@@ -1,0 +1,131 @@
+// Ablation: the cost-model design choices DESIGN.md calls out.
+//
+//  1. Clustered vs. plain Levenshtein matching quality (the paper's
+//     central claim that phoneme clusters help).
+//  2. The weak-phoneme discount (h/schwa at half cost): quality with
+//     and without.
+//  3. Bounded (early-exit) vs. full DP latency at matcher thresholds.
+//  4. Q-gram length: filter selectivity for q = 1, 2, 3.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "dataset/metrics.h"
+#include "match/edit_distance.h"
+#include "match/qgram.h"
+
+using namespace lexequal;
+using namespace lexequal::bench;
+
+int main() {
+  Result<dataset::Lexicon> lex_or = dataset::Lexicon::BuildTrilingual();
+  if (!lex_or.ok()) return 1;
+  const dataset::Lexicon& lexicon = lex_or.value();
+
+  // --- 1 & 2: quality ablation at the operating threshold. ---
+  std::printf("Quality ablation (threshold 0.25):\n");
+  std::printf("| cost model                      | recall | precision "
+              "|\n");
+  std::printf("|---------------------------------|--------|-----------"
+              "|\n");
+  struct Config {
+    const char* name;
+    match::LexEqualOptions options;
+  };
+  const Config configs[] = {
+      {"Levenshtein (cost 1, no discount)",
+       {.threshold = 0.25, .intra_cluster_cost = 1.0,
+        .weak_phoneme_discount = false}},
+      {"clustered 0.25, no discount",
+       {.threshold = 0.25, .intra_cluster_cost = 0.25,
+        .weak_phoneme_discount = false}},
+      {"clustered 0.25 + weak discount",
+       {.threshold = 0.25, .intra_cluster_cost = 0.25,
+        .weak_phoneme_discount = true}},
+      {"Soundex-like (cost 0 + discount)",
+       {.threshold = 0.25, .intra_cluster_cost = 0.0,
+        .weak_phoneme_discount = true}},
+  };
+  for (const Config& c : configs) {
+    dataset::QualityResult q =
+        dataset::EvaluateMatchQuality(lexicon, c.options);
+    std::printf("| %-31s | %5.3f  |   %5.3f   |\n", c.name, q.recall,
+                q.precision);
+  }
+  {
+    // Continuous feature-weighted substitution costs (no clusters).
+    match::FeatureCost feature_cost;
+    dataset::QualityResult q = dataset::EvaluateMatchQualityWithCost(
+        lexicon, 0.25, feature_cost);
+    std::printf("| %-31s | %5.3f  |   %5.3f   |\n",
+                "feature-weighted + discount", q.recall, q.precision);
+  }
+
+  // --- 3: bounded vs. full DP. ---
+  const auto& entries = lexicon.entries();
+  match::ClusteredCost cost(phonetic::ClusterTable::Default(), 0.25);
+  const int kPairs = 200000;
+  double full_ms;
+  double bounded_ms;
+  {
+    Timer t;
+    double sink = 0;
+    for (int i = 0; i < kPairs; ++i) {
+      const auto& a = entries[i % entries.size()].phonemes;
+      const auto& b = entries[(i * 13 + 7) % entries.size()].phonemes;
+      sink += match::EditDistance(a, b, cost);
+    }
+    full_ms = t.Millis();
+    if (sink < 0) std::printf("impossible\n");
+  }
+  {
+    Timer t;
+    double sink = 0;
+    for (int i = 0; i < kPairs; ++i) {
+      const auto& a = entries[i % entries.size()].phonemes;
+      const auto& b = entries[(i * 13 + 7) % entries.size()].phonemes;
+      const double bound =
+          0.25 * static_cast<double>(std::min(a.size(), b.size()));
+      sink += match::BoundedEditDistance(a, b, cost, bound);
+    }
+    bounded_ms = t.Millis();
+    if (sink < 0) std::printf("impossible\n");
+  }
+  std::printf("\nDP ablation over %d lexicon pairs:\n", kPairs);
+  std::printf("  full matrix:        %7.1f ms\n", full_ms);
+  std::printf("  bounded early-exit: %7.1f ms  (%.1fx faster at the "
+              "matcher's own bound)\n",
+              bounded_ms, full_ms / bounded_ms);
+
+  // --- 4: q sweep — how many candidate pairs survive the filters. ---
+  std::printf("\nq-gram filter selectivity (k = 0.25 * min length, "
+              "2000x2000 lexicon pairs):\n");
+  const size_t n = std::min<size_t>(entries.size(), 2000);
+  for (int q = 1; q <= 3; ++q) {
+    uint64_t survivors = 0;
+    uint64_t total = 0;
+    Timer t;
+    for (size_t i = 0; i < n; i += 4) {
+      for (size_t j = i + 1; j < n; j += 4) {
+        ++total;
+        const double k =
+            0.25 * static_cast<double>(std::min(
+                       entries[i].phonemes.size(),
+                       entries[j].phonemes.size()));
+        if (match::PassesQGramFilters(entries[i].phonemes,
+                                      entries[j].phonemes, k, q)) {
+          ++survivors;
+        }
+      }
+    }
+    std::printf("  q=%d: %6.2f%% of pairs survive (%llu of %llu), "
+                "%.0f ms\n",
+                q, 100.0 * survivors / total,
+                static_cast<unsigned long long>(survivors),
+                static_cast<unsigned long long>(total), t.Millis());
+  }
+  std::printf("\nq=2 is the operating point: q=1 grams are near-useless"
+              " discriminators,\nq=3 tightens little further on "
+              "short names while tripling gram width.\n");
+  return 0;
+}

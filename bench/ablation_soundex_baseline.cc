@@ -1,0 +1,72 @@
+// Baseline: classic Soundex — the only phonetic matching databases
+// offered when the paper was written (§2.2) — against LexEQUAL on the
+// same tagged lexicon.
+//
+// Soundex is Latin-alphabet-only, so it cannot say anything about a
+// Devanagari or Tamil string: every cross-script pair is unmatchable.
+// The bench quantifies exactly that gap, plus Soundex's quality on
+// the Latin-only subset where it does apply.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "dataset/metrics.h"
+#include "phonetic/soundex.h"
+
+using namespace lexequal;
+
+int main() {
+  Result<dataset::Lexicon> lex_or = dataset::Lexicon::BuildTrilingual();
+  if (!lex_or.ok()) return 1;
+  const dataset::Lexicon& lexicon = lex_or.value();
+  const auto& entries = lexicon.entries();
+
+  // Soundex over every pair: Latin-script pairs compare by code,
+  // anything else cannot match.
+  uint64_t ideal = 0;
+  for (int n : lexicon.group_sizes()) {
+    ideal += static_cast<uint64_t>(n) * (n - 1) / 2;
+  }
+  uint64_t m1 = 0;
+  uint64_t m2 = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const bool latin_i =
+        entries[i].language == text::Language::kEnglish;
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      if (!latin_i || entries[j].language != text::Language::kEnglish) {
+        continue;  // Soundex undefined across scripts
+      }
+      if (phonetic::SoundexEqual(entries[i].text, entries[j].text)) {
+        ++m2;
+        if (entries[i].tag == entries[j].tag) ++m1;
+      }
+    }
+  }
+  const double soundex_recall =
+      static_cast<double>(m1) / static_cast<double>(ideal);
+  const double soundex_precision =
+      m2 == 0 ? 1.0 : static_cast<double>(m1) / static_cast<double>(m2);
+
+  dataset::QualityResult lexequal = dataset::EvaluateMatchQuality(
+      lexicon, {.threshold = 0.2, .intra_cluster_cost = 0.25});
+
+  std::printf("Baseline comparison on the tagged trilingual lexicon "
+              "(%zu entries, %llu true pairs):\n\n",
+              entries.size(), static_cast<unsigned long long>(ideal));
+  std::printf("| matcher                    | recall | precision | "
+              "cross-script? |\n");
+  std::printf("|----------------------------|--------|-----------|-"
+              "--------------|\n");
+  std::printf("| Soundex (SQL built-in)     | %5.3f  |   %5.3f   | "
+              "no            |\n",
+              soundex_recall, soundex_precision);
+  std::printf("| LexEQUAL (t=0.2, c=0.25)   | %5.3f  |   %5.3f   | "
+              "yes           |\n\n",
+              lexequal.recall, lexequal.precision);
+  std::printf(
+      "Soundex can only ever reach the fraction of true pairs that are\n"
+      "Latin-Latin (spelling variants like Catherine/Katherine); all\n"
+      "cross-script pairs — the vast majority — are out of its reach.\n"
+      "This is the gap the LexEQUAL operator exists to close.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 10: frequency distribution of the multiscript lexicon with
+// respect to string length, for lexicographic (code-point) and
+// phonemic representations.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "text/utf8.h"
+
+using namespace lexequal;
+
+int main() {
+  Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
+  if (!lexicon.ok()) {
+    std::printf("lexicon: %s\n", lexicon.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kMaxLen = 24;
+  std::vector<int> text_hist(kMaxLen + 1, 0);
+  std::vector<int> phon_hist(kMaxLen + 1, 0);
+  for (const dataset::LexiconEntry& e : lexicon->entries()) {
+    int tl = static_cast<int>(text::CodePointCount(e.text));
+    int pl = static_cast<int>(e.phonemes.size());
+    text_hist[std::min(tl, kMaxLen)]++;
+    phon_hist[std::min(pl, kMaxLen)]++;
+  }
+
+  std::printf("Figure 10: Distribution of Multiscript Lexicon "
+              "(match-quality dataset)\n");
+  std::printf("entries: %zu   groups: %d\n", lexicon->entries().size(),
+              lexicon->group_count());
+  std::printf("average lexicographic length: %.2f (paper: 7.35)\n",
+              lexicon->AverageTextLength());
+  std::printf("average phonemic length:      %.2f (paper: 7.16)\n\n",
+              lexicon->AveragePhonemeLength());
+
+  std::printf("| length | lexicographic | phonemic |\n");
+  std::printf("|--------|---------------|----------|\n");
+  for (int len = 1; len <= kMaxLen; ++len) {
+    if (text_hist[len] == 0 && phon_hist[len] == 0) continue;
+    std::printf("| %6d | %13d | %8d |\n", len, text_hist[len],
+                phon_hist[len]);
+  }
+
+  // ASCII bars, as a visual stand-in for the paper's plot.
+  std::printf("\nlexicographic length histogram:\n");
+  for (int len = 1; len <= kMaxLen; ++len) {
+    if (text_hist[len] == 0) continue;
+    std::printf("%3d | %s %d\n", len,
+                std::string(text_hist[len] / 8, '#').c_str(),
+                text_hist[len]);
+  }
+  std::printf("\nphonemic length histogram:\n");
+  for (int len = 1; len <= kMaxLen; ++len) {
+    if (phon_hist[len] == 0) continue;
+    std::printf("%3d | %s %d\n", len,
+                std::string(phon_hist[len] / 8, '#').c_str(),
+                phon_hist[len]);
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the engineering-level
+// hot paths: G2P conversion, edit distance variants, q-gram
+// generation, phonetic keys, and B-Tree operations. Not a paper
+// table; used for ablation and regression tracking.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "dataset/lexicon.h"
+#include "g2p/g2p.h"
+#include "index/btree.h"
+#include "match/edit_distance.h"
+#include "match/qgram.h"
+#include "phonetic/phonetic_key.h"
+#include "phonetic/soundex.h"
+
+namespace {
+
+using namespace lexequal;
+
+const dataset::Lexicon& Lex() {
+  static const dataset::Lexicon& lex =
+      *new dataset::Lexicon(dataset::Lexicon::BuildTrilingual().value());
+  return lex;
+}
+
+void BM_EnglishG2P(benchmark::State& state) {
+  const g2p::G2PRegistry& g2p = g2p::G2PRegistry::Default();
+  size_t i = 0;
+  const auto& entries = Lex().entries();
+  for (auto _ : state) {
+    const auto& e = entries[(i += 3) % entries.size()];
+    if (e.language != text::Language::kEnglish) continue;
+    benchmark::DoNotOptimize(g2p.Transform(e.text, e.language));
+  }
+}
+BENCHMARK(BM_EnglishG2P);
+
+void BM_IndicG2P(benchmark::State& state) {
+  const g2p::G2PRegistry& g2p = g2p::G2PRegistry::Default();
+  size_t i = 1;  // Hindi entries sit at offset 1 of each triple
+  const auto& entries = Lex().entries();
+  for (auto _ : state) {
+    const auto& e = entries[(i += 3) % entries.size()];
+    benchmark::DoNotOptimize(g2p.Transform(e.text, e.language));
+  }
+}
+BENCHMARK(BM_IndicG2P);
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  match::ClusteredCost cost(phonetic::ClusterTable::Default(), 0.25);
+  const auto& entries = Lex().entries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = entries[i % entries.size()].phonemes;
+    const auto& b = entries[(i + 7) % entries.size()].phonemes;
+    ++i;
+    benchmark::DoNotOptimize(match::EditDistance(a, b, cost));
+  }
+}
+BENCHMARK(BM_EditDistanceFull);
+
+void BM_EditDistanceBounded(benchmark::State& state) {
+  // The threshold-aware variant used by the matcher: early exit makes
+  // the common non-match case cheap.
+  match::ClusteredCost cost(phonetic::ClusterTable::Default(), 0.25);
+  const auto& entries = Lex().entries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = entries[i % entries.size()].phonemes;
+    const auto& b = entries[(i + 7) % entries.size()].phonemes;
+    ++i;
+    benchmark::DoNotOptimize(
+        match::BoundedEditDistance(a, b, cost, 1.5));
+  }
+}
+BENCHMARK(BM_EditDistanceBounded);
+
+void BM_PositionalQGrams(benchmark::State& state) {
+  const auto& entries = Lex().entries();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::PositionalQGrams(entries[i % entries.size()].phonemes, 2));
+    ++i;
+  }
+}
+BENCHMARK(BM_PositionalQGrams);
+
+void BM_GroupedPhonemeKey(benchmark::State& state) {
+  const auto& entries = Lex().entries();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phonetic::GroupedPhonemeStringId(
+        entries[i % entries.size()].phonemes,
+        phonetic::ClusterTable::Default()));
+    ++i;
+  }
+}
+BENCHMARK(BM_GroupedPhonemeKey);
+
+void BM_Soundex(benchmark::State& state) {
+  const auto& entries = Lex().entries();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phonetic::Soundex(entries[i % entries.size()].text));
+    i += 3;  // stay on Latin entries
+  }
+}
+BENCHMARK(BM_Soundex);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const std::string path = "/tmp/lexequal_micro_btree.db";
+  std::filesystem::remove(path);
+  auto disk = storage::DiskManager::Open(path).value();
+  storage::BufferPool pool(disk.get(), 1024);
+  index::BTree tree = index::BTree::Create(&pool).value();
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Insert(key * 2654435761u % 100000,
+                    storage::RID{static_cast<uint32_t>(key), 0}));
+    ++key;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(key));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeScanEqual(benchmark::State& state) {
+  const std::string path = "/tmp/lexequal_micro_btree2.db";
+  std::filesystem::remove(path);
+  auto disk = storage::DiskManager::Open(path).value();
+  storage::BufferPool pool(disk.get(), 1024);
+  index::BTree tree = index::BTree::Create(&pool).value();
+  for (uint64_t i = 0; i < 100000; ++i) {
+    (void)tree.Insert(i % 9973, storage::RID{static_cast<uint32_t>(i), 0});
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.ScanEqual(key++ % 9973));
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_BTreeScanEqual);
+
+}  // namespace
+
+BENCHMARK_MAIN();

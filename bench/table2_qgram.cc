@@ -1,0 +1,121 @@
+// Table 2: LexEQUAL with q-gram filtering (paper §5.2) — the length,
+// count, and position filters prune candidates through the auxiliary
+// positional q-gram table before the exact UDF runs.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace lexequal;
+using namespace lexequal::bench;
+using engine::LexEqualPlan;
+using engine::LexEqualQueryOptions;
+using engine::QueryStats;
+
+int main() {
+  Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
+  if (!lexicon.ok()) return 1;
+  std::vector<dataset::LexiconEntry> gen =
+      dataset::GenerateConcatenatedDataset(*lexicon,
+                                           GeneratedDatasetSize());
+  std::printf("Table 2: Q-Gram Filter Performance\n");
+  Result<std::unique_ptr<engine::Database>> db_or =
+      BuildGeneratedDb("/tmp/lexequal_table2.db", *lexicon, gen);
+  if (!db_or.ok()) return 1;
+  std::unique_ptr<engine::Database> db = std::move(db_or).value();
+
+  {
+    Timer t;
+    Status st = db->CreateQGramIndex("names", "name_phon", 2);
+    if (!st.ok()) {
+      std::printf("index: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("built auxiliary q-gram table + gram B-Tree in %.1f s\n",
+                t.Seconds());
+  }
+
+  const int kProbes = 10;
+  std::vector<const dataset::LexiconEntry*> probes;
+  for (int i = 0; i < kProbes; ++i) {
+    probes.push_back(&gen[(gen.size() / kProbes) * i]);
+  }
+
+  LexEqualQueryOptions qgram;
+  qgram.match.threshold = 0.25;
+  qgram.match.intra_cluster_cost = 0.25;
+  qgram.plan = LexEqualPlan::kQGramFilter;
+  LexEqualQueryOptions naive = qgram;
+  naive.plan = LexEqualPlan::kNaiveUdf;
+
+  // --- Scan. ---
+  double qgram_scan_s = 0;
+  uint64_t udf_calls = 0;
+  uint64_t hits = 0;
+  {
+    Timer t;
+    for (const auto* p : probes) {
+      QueryStats stats;
+      auto rows = db->LexEqualSelectPhonemes(
+          "names", "name", p->phonemes, qgram, &stats);
+      if (!rows.ok()) {
+        std::printf("scan: %s\n", rows.status().ToString().c_str());
+        return 1;
+      }
+      udf_calls += stats.udf_calls;
+      hits += rows->size();
+    }
+    qgram_scan_s = t.Seconds() / kProbes;
+  }
+  // Naive comparison point (same probes).
+  double naive_scan_s = 0;
+  {
+    Timer t;
+    for (const auto* p : probes) {
+      auto rows = db->LexEqualSelectPhonemes(
+          "names", "name", p->phonemes, naive, nullptr);
+      if (!rows.ok()) return 1;
+    }
+    naive_scan_s = t.Seconds() / kProbes;
+  }
+
+  // --- Join on the same 0.2% outer subset as Table 1. ---
+  const uint64_t subset =
+      std::max<uint64_t>(20, static_cast<uint64_t>(gen.size() * 0.002));
+  double qgram_join_s = 0;
+  uint64_t join_pairs = 0;
+  {
+    Timer t;
+    QueryStats stats;
+    auto pairs = db->LexEqualJoin("names", "name", "names", "name",
+                                  qgram, subset, &stats);
+    if (!pairs.ok()) {
+      std::printf("join: %s\n", pairs.status().ToString().c_str());
+      return 1;
+    }
+    join_pairs = pairs->size();
+    qgram_join_s = t.Seconds();
+  }
+
+  PrintTableHeader(
+      "Table 2 (paper: 13.5 s scan / 856 s join, vs 1418 s / 4004 s "
+      "naive):");
+  PrintRow("Scan", "LexEQUAL UDF + q-gram filters", qgram_scan_s);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "UDF + q-gram filters (%llu-row outer)",
+                static_cast<unsigned long long>(subset));
+  PrintRow("Join", buf, qgram_join_s);
+
+  std::printf("\nq-gram scan speedup over naive UDF scan: %.1fx "
+              "(paper: ~105x on PL/SQL, where the UDF dominated)\n",
+              naive_scan_s / qgram_scan_s);
+  std::printf("average UDF calls per scan after filtering: %.0f of "
+              "%zu rows\n",
+              static_cast<double>(udf_calls) / kProbes, gen.size());
+  std::printf("hits %llu, join pairs %llu\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(join_pairs));
+  std::remove("/tmp/lexequal_table2.db");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Interactive SQL shell over a LexEQUAL database.
+//
+// Starts with the trilingual name lexicon loaded into `names(name,
+// name_phon, domain)` with both index access paths built, then reads
+// queries from stdin. Also accepts a SQL file / one-shot queries as
+// argv for scripted use:
+//
+//   ./lexequal_shell "select name from names where name LexEQUAL
+//                     'Krishna' Threshold 0.25 USING phonetic"
+//
+// Meta commands: \tables, \schema <table>, \quit.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "dataset/lexicon.h"
+#include "engine/database.h"
+#include "sql/planner.h"
+
+using namespace lexequal;
+using engine::Database;
+using engine::Schema;
+using engine::Tuple;
+using engine::Value;
+using engine::ValueType;
+
+namespace {
+
+void RunQuery(Database* db, const std::string& sql) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<sql::QueryResult> result = sql::ExecuteQuery(db, sql);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s(%zu rows, %.2f ms, %llu candidate rows verified)\n",
+              result->ToTable().c_str(), result->rows.size(), ms,
+              static_cast<unsigned long long>(result->stats.udf_calls));
+}
+
+void RunMeta(Database* db, const std::string& line) {
+  if (line == "\\tables") {
+    for (const std::string& name : db->catalog()->TableNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return;
+  }
+  if (line.rfind("\\schema ", 0) == 0) {
+    Result<engine::TableInfo*> info =
+        db->GetTable(line.substr(8));
+    if (!info.ok()) {
+      std::printf("error: %s\n", info.status().ToString().c_str());
+      return;
+    }
+    for (const engine::Column& col : info.value()->schema.columns()) {
+      std::printf("  %-16s %s%s\n", col.name.c_str(),
+                  std::string(ValueTypeName(col.type)).c_str(),
+                  col.phonemic_source.has_value() ? "  (derived phonemic)"
+                                                  : "");
+    }
+    std::printf("  indexes: %s%s\n",
+                info.value()->phonetic_index ? "phonetic " : "",
+                info.value()->qgram_index ? "qgram" : "");
+    return;
+  }
+  std::printf("unknown meta command; try \\tables, \\schema <t>, "
+              "\\quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
+  if (!lexicon.ok()) return 1;
+
+  std::remove("/tmp/lexequal_shell.db");
+  Result<std::unique_ptr<Database>> db_or =
+      Database::Open("/tmp/lexequal_shell.db", 2048);
+  if (!db_or.ok()) return 1;
+  std::unique_ptr<Database> db = std::move(db_or).value();
+
+  Schema schema({
+      {"name", ValueType::kString, std::nullopt},
+      {"name_phon", ValueType::kString, 0},
+      {"domain", ValueType::kString, std::nullopt},
+  });
+  if (!db->CreateTable("names", schema).ok()) return 1;
+  for (const dataset::LexiconEntry& e : lexicon->entries()) {
+    Tuple values{
+        Value::String(e.text, e.language),
+        Value::String(std::string(dataset::NameDomainName(e.domain)))};
+    if (!db->Insert("names", values).ok()) return 1;
+  }
+  if (!db->CreateQGramIndex("names", "name_phon", 2).ok()) return 1;
+  if (!db->CreatePhoneticIndex("names", "name_phon").ok()) return 1;
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) RunQuery(db.get(), argv[i]);
+    db.reset();
+    std::remove("/tmp/lexequal_shell.db");
+    return 0;
+  }
+
+  std::printf(
+      "LexEQUAL shell — %zu names loaded into `names`.\n"
+      "try: select name from names where name LexEQUAL 'Krishna' "
+      "Threshold 0.25 USING phonetic\n",
+      lexicon->entries().size());
+  std::string line;
+  while (true) {
+    std::printf("lexequal> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line[0] == '\\') {
+      RunMeta(db.get(), line);
+      continue;
+    }
+    RunQuery(db.get(), line);
+  }
+  db.reset();
+  std::remove("/tmp/lexequal_shell.db");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Phoneme inspector: shows exactly what the LexEQUAL pipeline does to
+// a name — the transform, the articulatory analysis, cluster ids, the
+// grouped phonetic key, the romanization, and the renderings in every
+// supported script. Handy when tuning cost tables or debugging a
+// surprising match.
+//
+//   ./phoneme_inspector Nehru नेहरु "Al-Qaeda"
+
+#include <cstdio>
+
+#include "g2p/g2p.h"
+#include "g2p/render_indic.h"
+#include "g2p/render_latin.h"
+#include "phonetic/phonetic_key.h"
+
+using namespace lexequal;
+
+namespace {
+
+void Inspect(const std::string& input) {
+  const g2p::G2PRegistry& g2p = g2p::G2PRegistry::Default();
+  text::TaggedString tagged =
+      text::TaggedString::WithDetectedLanguage(input);
+  std::printf("\n%s  (script %s, language %s)\n", input.c_str(),
+              std::string(text::ScriptName(tagged.script())).c_str(),
+              std::string(text::LanguageName(tagged.language())).c_str());
+
+  Result<phonetic::PhonemeString> phon = g2p.Transform(tagged);
+  if (!phon.ok()) {
+    std::printf("  transform: %s\n", phon.status().ToString().c_str());
+    return;
+  }
+  std::printf("  IPA: %s\n", phon->ToIpa().c_str());
+  const phonetic::ClusterTable& clusters =
+      phonetic::ClusterTable::Default();
+  for (phonetic::Phoneme p : phon->phonemes()) {
+    std::printf("    %-6s cluster %-2d  %s\n",
+                std::string(phonetic::PhonemeIpa(p)).c_str(),
+                clusters.cluster_of(p),
+                phonetic::DescribePhoneme(p).c_str());
+  }
+  std::printf("  grouped key: 0x%llx  (%s)\n",
+              static_cast<unsigned long long>(
+                  phonetic::GroupedPhonemeStringId(*phon, clusters)),
+              phonetic::GroupedPhonemeStringIdDebug(*phon, clusters)
+                  .c_str());
+  std::printf("  romanized:  %s\n", g2p::RenderLatin(*phon).c_str());
+
+  Result<std::string> deva = g2p::RenderDevanagari(*phon);
+  Result<std::string> tamil = g2p::RenderTamil(*phon);
+  Result<std::string> greek = g2p::RenderGreek(*phon);
+  std::printf("  devanagari: %s\n",
+              deva.ok() ? deva->c_str() : deva.status().ToString().c_str());
+  std::printf("  tamil:      %s\n",
+              tamil.ok() ? tamil->c_str()
+                         : tamil.status().ToString().c_str());
+  std::printf("  greek:      %s\n",
+              greek.ok() ? greek->c_str()
+                         : greek.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) Inspect(argv[i]);
+    return 0;
+  }
+  for (const char* name : {"Nehru", "Jawaharlal", "Catherine",
+                           "Al-Qaeda", "Hydrogen"}) {
+    Inspect(name);
+  }
+  return 0;
+}

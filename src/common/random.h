@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generator used by dataset
+// generation and tests. Every consumer passes an explicit seed so
+// benchmarks and the tagged lexicon are reproducible run to run.
+
+#ifndef LEXEQUAL_COMMON_RANDOM_H_
+#define LEXEQUAL_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace lexequal {
+
+/// xorshift128+ generator: small, fast, adequate statistical quality
+/// for workload generation (not for cryptography).
+class Random {
+ public:
+  /// Seeds the generator; equal seeds yield equal sequences.
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding avoids poor low-entropy starting states.
+    state0_ = SplitMix64(&seed);
+    state1_ = SplitMix64(&seed);
+    if (state0_ == 0 && state1_ == 0) state1_ = 1;
+  }
+
+  /// Uniform value over the whole uint64 range.
+  uint64_t Next() {
+    uint64_t s1 = state0_;
+    const uint64_t s0 = state1_;
+    state0_ = s0;
+    s1 ^= s1 << 23;
+    state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state1_ + s0;
+  }
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace lexequal
+
+#endif  // LEXEQUAL_COMMON_RANDOM_H_

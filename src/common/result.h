@@ -1,0 +1,85 @@
+// Result<T>: a value-or-Status union, the return type of fallible
+// functions that produce a value (the Arrow/absl StatusOr idiom).
+
+#ifndef LEXEQUAL_COMMON_RESULT_H_
+#define LEXEQUAL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lexequal {
+
+/// Holds either a T (status is OK) or a non-OK Status.
+///
+/// Accessing value() on an error Result is a programming error and
+/// asserts in debug builds. Typical use:
+///
+///   Result<PhonemeString> r = converter.ToPhonemes(text);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in factory functions.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from a Status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its Status on error,
+/// otherwise assigning the value to `lhs`.
+#define LEXEQUAL_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  LEXEQUAL_ASSIGN_OR_RETURN_IMPL_(                           \
+      LEXEQUAL_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define LEXEQUAL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#define LEXEQUAL_CONCAT_(a, b) LEXEQUAL_CONCAT_IMPL_(a, b)
+#define LEXEQUAL_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace lexequal
+
+#endif  // LEXEQUAL_COMMON_RESULT_H_

@@ -1,0 +1,125 @@
+// Status: error-handling primitive used across the LexEQUAL codebase.
+//
+// Functions that can fail return a Status (or a Result<T>, see result.h)
+// instead of throwing: no exceptions cross public API boundaries.
+
+#ifndef LEXEQUAL_COMMON_STATUS_H_
+#define LEXEQUAL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lexequal {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // a named entity (table, index, language) is missing
+  kAlreadyExists,     // creation collided with an existing entity
+  kOutOfRange,        // position / id beyond a valid range
+  kCorruption,        // on-disk or in-memory structure failed validation
+  kIOError,           // underlying file operation failed
+  kNotSupported,      // feature intentionally unimplemented
+  kResourceExhausted, // buffer pool full, page full, etc.
+  kNoResource,        // LexEQUAL NORESOURCE: no G2P converter for a language
+  kInternal,          // invariant violation: indicates a bug
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value type carrying success or a (code, message) pair.
+///
+/// The successful Status carries no allocation. Statuses are cheap to
+/// move and compare; use the factory functions (Status::InvalidArgument
+/// etc.) to construct failures.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NoResource(std::string msg) {
+    return Status(StatusCode::kNoResource, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsNoResource() const { return code_ == StatusCode::kNoResource; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK Status to the caller.
+#define LEXEQUAL_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::lexequal::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                          \
+  } while (false)
+
+}  // namespace lexequal
+
+#endif  // LEXEQUAL_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+// Small string helpers shared across modules.
+
+#ifndef LEXEQUAL_COMMON_STRING_UTIL_H_
+#define LEXEQUAL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lexequal {
+
+/// ASCII-lowercases a string (non-ASCII bytes pass through untouched).
+std::string AsciiToLower(std::string_view s);
+
+/// ASCII-uppercases a string (non-ASCII bytes pass through untouched).
+std::string AsciiToUpper(std::string_view s);
+
+/// Splits on a single-character delimiter; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// True if `s` ends with `suffix`.
+inline bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// True if c is an ASCII letter.
+inline bool IsAsciiAlpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+/// True if c is an ASCII vowel letter (either case).
+bool IsAsciiVowel(char c);
+
+}  // namespace lexequal
+
+#endif  // LEXEQUAL_COMMON_STRING_UTIL_H_

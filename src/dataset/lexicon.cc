@@ -1,0 +1,198 @@
+#include "dataset/lexicon.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "g2p/g2p.h"
+#include "g2p/render_indic.h"
+#include "g2p/render_latin.h"
+#include "text/utf8.h"
+
+namespace lexequal::dataset {
+
+namespace {
+
+using g2p::G2PRegistry;
+using phonetic::PhonemeString;
+using text::Language;
+
+}  // namespace
+
+namespace {
+
+// Spelling variants of one name. The paper tagged *phonetically
+// equivalent* names with a common tag-number by manual judgement;
+// these pairs are the same name in different conventional spellings,
+// so they share a tag (and matching them is correct, not a false
+// positive).
+std::string CanonicalSpelling(const std::string& lower) {
+  if (lower == "katherine") return "catherine";
+  if (lower == "sita") return "seetha";
+  if (lower == "sharma") return "sarma";
+  if (lower == "smyth") return "smith";
+  if (lower == "gita") return "geetha";
+  return lower;
+}
+
+}  // namespace
+
+Result<Lexicon> Lexicon::BuildMultiscript(bool include_greek) {
+  const G2PRegistry& g2p = G2PRegistry::Default();
+  Lexicon lex;
+  std::set<std::string> seen;  // dedupe across domains
+  std::map<std::string, int> canonical_tag;
+  int tag = 0;
+
+  for (NameDomain domain : {NameDomain::kIndian, NameDomain::kAmerican,
+                            NameDomain::kGeneric}) {
+    for (std::string_view name : BaseNames(domain)) {
+      std::string lower = AsciiToLower(name);
+      if (!seen.insert(lower).second) continue;
+
+      // English entry.
+      PhonemeString eng_phon;
+      LEXEQUAL_ASSIGN_OR_RETURN(
+          eng_phon, g2p.Transform(name, Language::kEnglish));
+
+      // Hindi (Devanagari) form, generated through the phoneme space
+      // and re-read with the Hindi converter — lossy exactly where
+      // the script is lossy.
+      std::string deva;
+      LEXEQUAL_ASSIGN_OR_RETURN(deva, g2p::RenderDevanagari(eng_phon));
+      PhonemeString hindi_phon;
+      LEXEQUAL_ASSIGN_OR_RETURN(hindi_phon,
+                                g2p.Transform(deva, Language::kHindi));
+
+      // Tamil form.
+      std::string tamil;
+      LEXEQUAL_ASSIGN_OR_RETURN(tamil, g2p::RenderTamil(eng_phon));
+      PhonemeString tamil_phon;
+      LEXEQUAL_ASSIGN_OR_RETURN(tamil_phon,
+                                g2p.Transform(tamil, Language::kTamil));
+
+      // Same-name spelling variants share the tag of the first
+      // spelling encountered.
+      const std::string canon = CanonicalSpelling(lower);
+      int entry_tag;
+      auto it = canonical_tag.find(canon);
+      if (it != canonical_tag.end()) {
+        entry_tag = it->second;
+        lex.group_sizes_[entry_tag] += 3;
+      } else {
+        entry_tag = tag++;
+        canonical_tag[canon] = entry_tag;
+        lex.group_sizes_.push_back(3);
+      }
+
+      lex.entries_.push_back({std::string(name), Language::kEnglish,
+                              domain, entry_tag, eng_phon});
+      lex.entries_.push_back({std::move(deva), Language::kHindi, domain,
+                              entry_tag, std::move(hindi_phon)});
+      lex.entries_.push_back({std::move(tamil), Language::kTamil, domain,
+                              entry_tag, std::move(tamil_phon)});
+      if (include_greek) {
+        std::string greek;
+        LEXEQUAL_ASSIGN_OR_RETURN(greek, g2p::RenderGreek(eng_phon));
+        PhonemeString greek_phon;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            greek_phon, g2p.Transform(greek, Language::kGreek));
+        lex.entries_.push_back({std::move(greek), Language::kGreek,
+                                domain, entry_tag,
+                                std::move(greek_phon)});
+        lex.group_sizes_[entry_tag] += 1;
+      }
+    }
+  }
+  lex.group_count_ = tag;
+  return lex;
+}
+
+double Lexicon::AverageTextLength() const {
+  if (entries_.empty()) return 0;
+  double sum = 0;
+  for (const LexiconEntry& e : entries_) {
+    sum += static_cast<double>(text::CodePointCount(e.text));
+  }
+  return sum / static_cast<double>(entries_.size());
+}
+
+double Lexicon::AveragePhonemeLength() const {
+  if (entries_.empty()) return 0;
+  double sum = 0;
+  for (const LexiconEntry& e : entries_) {
+    sum += static_cast<double>(e.phonemes.size());
+  }
+  return sum / static_cast<double>(entries_.size());
+}
+
+Lexicon Lexicon::Sample(int n_groups) const {
+  Lexicon out;
+  out.group_count_ = std::min(n_groups, group_count_);
+  out.group_sizes_.assign(group_sizes_.begin(),
+                          group_sizes_.begin() + out.group_count_);
+  for (const LexiconEntry& e : entries_) {
+    if (e.tag < out.group_count_) out.entries_.push_back(e);
+  }
+  return out;
+}
+
+std::vector<LexiconEntry> GenerateConcatenatedDataset(
+    const Lexicon& lexicon, size_t limit) {
+  // Group entries by language, preserving order (determinism).
+  std::vector<const LexiconEntry*> by_lang[3];
+  auto lang_slot = [](Language lang) -> int {
+    switch (lang) {
+      case Language::kEnglish:
+        return 0;
+      case Language::kHindi:
+        return 1;
+      case Language::kTamil:
+        return 2;
+      default:
+        return -1;
+    }
+  };
+  for (const LexiconEntry& e : lexicon.entries()) {
+    int slot = lang_slot(e.language);
+    if (slot >= 0) by_lang[slot].push_back(&e);
+  }
+
+  // With a limit, restrict every language to the same first K base
+  // names, chosen so 3·K·(K-1) ≈ limit. The per-language entry lists
+  // are index-aligned (one entry per base name in lexicon order), so
+  // the K-prefix keeps cross-language equivalents — and therefore
+  // join pairs — inside the subset.
+  size_t per_lang = by_lang[0].size();
+  if (limit > 0) {
+    size_t k = 2;
+    while (k * (k - 1) * 3 < limit && k < per_lang) ++k;
+    per_lang = std::min(per_lang, k);
+  }
+
+  std::vector<LexiconEntry> out;
+  const int n_groups = lexicon.group_count();
+  for (int slot = 0; slot < 3; ++slot) {
+    const auto& entries = by_lang[slot];
+    const size_t n = std::min(per_lang, entries.size());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        LexiconEntry concat;
+        concat.text = entries[i]->text + entries[j]->text;
+        concat.language = entries[i]->language;
+        concat.domain = entries[i]->domain;
+        // Tag by the ordered pair of source tags so that equivalent
+        // concatenations across languages share a tag.
+        concat.tag = entries[i]->tag * n_groups + entries[j]->tag;
+        concat.phonemes = entries[i]->phonemes;
+        concat.phonemes.Append(entries[j]->phonemes);
+        out.push_back(std::move(concat));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lexequal::dataset

@@ -1,0 +1,77 @@
+// The tagged multiscript lexicon (paper §4.1) and its synthetic
+// enlargement (paper §5).
+
+#ifndef LEXEQUAL_DATASET_LEXICON_H_
+#define LEXEQUAL_DATASET_LEXICON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/names.h"
+#include "phonetic/phoneme_string.h"
+#include "text/language.h"
+
+namespace lexequal::dataset {
+
+/// One lexicon entry: a name in one script, its phonemic form, and
+/// the tag number shared by all phonetically equivalent entries.
+struct LexiconEntry {
+  std::string text;            // UTF-8 in the entry's script
+  text::Language language;
+  NameDomain domain;
+  int tag;                     // equivalence-group id
+  phonetic::PhonemeString phonemes;
+};
+
+/// A tagged multiscript lexicon. Built deterministically, so every
+/// run of every bench sees identical data.
+class Lexicon {
+ public:
+  /// Builds the trilingual lexicon: every base English name plus its
+  /// Devanagari and Tamil forms generated through the phoneme space
+  /// (DESIGN.md §2), each group sharing one tag number. Duplicate
+  /// base names across domains are dropped (first domain wins).
+  static Result<Lexicon> BuildTrilingual() {
+    return BuildMultiscript(false);
+  }
+
+  /// Same, optionally adding a Greek form per group (the paper's
+  /// Fig. 2 language set: English, Hindi, Tamil, Greek).
+  static Result<Lexicon> BuildMultiscript(bool include_greek);
+
+  const std::vector<LexiconEntry>& entries() const { return entries_; }
+
+  /// Number of equivalence groups (n in the paper's recall formula).
+  int group_count() const { return group_count_; }
+
+  /// Group sizes n_i, indexed by tag.
+  const std::vector<int>& group_sizes() const { return group_sizes_; }
+
+  /// Average lexicographic length (code points) and phonemic length.
+  double AverageTextLength() const;
+  double AveragePhonemeLength() const;
+
+  /// A training subset: the first `n_groups` equivalence groups (used
+  /// by the parameter tuner and fast tests). Tags are preserved.
+  Lexicon Sample(int n_groups) const;
+
+ private:
+  std::vector<LexiconEntry> entries_;
+  int group_count_ = 0;
+  std::vector<int> group_sizes_;
+};
+
+/// The enlarged performance dataset (paper §5): "we concatenated each
+/// string with all remaining strings within a given language",
+/// yielding about 200,000 names. `limit` (0 = all) approximately caps
+/// the output for laptop-scale runs: every language is restricted to
+/// the same prefix of base names so that cross-language equivalents
+/// stay inside the subset (the result size is the nearest
+/// 3*K*(K-1) >= limit).
+std::vector<LexiconEntry> GenerateConcatenatedDataset(
+    const Lexicon& lexicon, size_t limit = 0);
+
+}  // namespace lexequal::dataset
+
+#endif  // LEXEQUAL_DATASET_LEXICON_H_

@@ -1,0 +1,126 @@
+#include "dataset/metrics.h"
+
+#include <algorithm>
+
+#include "match/edit_distance.h"
+
+namespace lexequal::dataset {
+
+QualityResult EvaluateMatchQuality(const Lexicon& lexicon,
+                                   const match::LexEqualOptions& options) {
+  QualityResult result;
+  result.threshold = options.threshold;
+  result.intra_cluster_cost = options.intra_cluster_cost;
+
+  for (int n : lexicon.group_sizes()) {
+    result.ideal_matches +=
+        static_cast<uint64_t>(n) * (n - 1) / 2;  // C(n_i, 2)
+  }
+
+  match::LexEqualMatcher matcher(options);
+  const auto& entries = lexicon.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      if (!matcher.MatchPhonemes(entries[i].phonemes,
+                                 entries[j].phonemes)) {
+        continue;
+      }
+      ++result.reported_matches;
+      if (entries[i].tag == entries[j].tag) ++result.correct_matches;
+    }
+  }
+  result.recall =
+      result.ideal_matches == 0
+          ? 1.0
+          : static_cast<double>(result.correct_matches) /
+                static_cast<double>(result.ideal_matches);
+  result.precision =
+      result.reported_matches == 0
+          ? 1.0
+          : static_cast<double>(result.correct_matches) /
+                static_cast<double>(result.reported_matches);
+  return result;
+}
+
+std::vector<PairwiseQuality> EvaluatePairwiseRecall(
+    const Lexicon& lexicon, const match::LexEqualOptions& options) {
+  using text::Language;
+  const Language langs[] = {Language::kEnglish, Language::kHindi,
+                            Language::kTamil};
+  std::vector<PairwiseQuality> out;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i; j < 3; ++j) {
+      out.push_back({langs[i], langs[j], 0, 0, 0});
+    }
+  }
+  auto slot = [&](Language a, Language b) -> PairwiseQuality* {
+    for (PairwiseQuality& p : out) {
+      if ((p.a == a && p.b == b) || (p.a == b && p.b == a)) return &p;
+    }
+    return nullptr;
+  };
+
+  match::LexEqualMatcher matcher(options);
+  const auto& entries = lexicon.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      if (entries[i].tag != entries[j].tag) continue;
+      PairwiseQuality* p =
+          slot(entries[i].language, entries[j].language);
+      if (p == nullptr) continue;
+      ++p->ideal;
+      if (matcher.MatchPhonemes(entries[i].phonemes,
+                                entries[j].phonemes)) {
+        ++p->correct;
+      }
+    }
+  }
+  for (PairwiseQuality& p : out) {
+    p.recall = p.ideal == 0
+                   ? 1.0
+                   : static_cast<double>(p.correct) /
+                         static_cast<double>(p.ideal);
+  }
+  return out;
+}
+
+QualityResult EvaluateMatchQualityWithCost(
+    const Lexicon& lexicon, double threshold,
+    const match::CostModel& costs) {
+  QualityResult result;
+  result.threshold = threshold;
+
+  for (int n : lexicon.group_sizes()) {
+    result.ideal_matches +=
+        static_cast<uint64_t>(n) * (n - 1) / 2;
+  }
+  const auto& entries = lexicon.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double bound =
+          threshold * static_cast<double>(std::min(
+                          entries[i].phonemes.size(),
+                          entries[j].phonemes.size()));
+      if (match::BoundedEditDistance(entries[i].phonemes,
+                                     entries[j].phonemes, costs,
+                                     bound) > bound) {
+        continue;
+      }
+      ++result.reported_matches;
+      if (entries[i].tag == entries[j].tag) ++result.correct_matches;
+    }
+  }
+  result.recall =
+      result.ideal_matches == 0
+          ? 1.0
+          : static_cast<double>(result.correct_matches) /
+                static_cast<double>(result.ideal_matches);
+  result.precision =
+      result.reported_matches == 0
+          ? 1.0
+          : static_cast<double>(result.correct_matches) /
+                static_cast<double>(result.reported_matches);
+  return result;
+}
+
+}  // namespace lexequal::dataset

@@ -1,0 +1,56 @@
+// Match-quality evaluation (paper §4.2).
+//
+// "We matched each phonemic string in the data set with every other
+// phonemic string, counting the number of matches m1 that were
+// correctly reported ... along with the total number of matches m2.
+//   Recall    = m1 / sum_i C(n_i, 2)
+//   Precision = m1 / m2"
+
+#ifndef LEXEQUAL_DATASET_METRICS_H_
+#define LEXEQUAL_DATASET_METRICS_H_
+
+#include "dataset/lexicon.h"
+#include "match/lexequal.h"
+
+namespace lexequal::dataset {
+
+/// Result of one all-pairs evaluation run.
+struct QualityResult {
+  double threshold = 0;
+  double intra_cluster_cost = 0;
+  uint64_t correct_matches = 0;   // m1
+  uint64_t reported_matches = 0;  // m2
+  uint64_t ideal_matches = 0;     // sum_i C(n_i, 2)
+  double recall = 0;
+  double precision = 0;
+};
+
+/// Runs the all-pairs phonemic match over `lexicon` with the given
+/// parameters and computes recall/precision by tag agreement.
+QualityResult EvaluateMatchQuality(const Lexicon& lexicon,
+                                   const match::LexEqualOptions& options);
+
+/// Same evaluation under an arbitrary cost model (used by the cost
+/// ablation bench, e.g. for FeatureCost). The decision rule is the
+/// operator's: distance <= threshold * min(|a|, |b|).
+QualityResult EvaluateMatchQualityWithCost(const Lexicon& lexicon,
+                                           double threshold,
+                                           const match::CostModel& costs);
+
+/// Recall broken down by language pair (En-Hi, En-Ta, Hi-Ta, and the
+/// within-language variants) — shows which script pair loses the most
+/// true matches at the chosen parameters.
+struct PairwiseQuality {
+  text::Language a;
+  text::Language b;
+  uint64_t ideal = 0;
+  uint64_t correct = 0;
+  double recall = 0;
+};
+
+std::vector<PairwiseQuality> EvaluatePairwiseRecall(
+    const Lexicon& lexicon, const match::LexEqualOptions& options);
+
+}  // namespace lexequal::dataset
+
+#endif  // LEXEQUAL_DATASET_METRICS_H_

@@ -1,0 +1,251 @@
+#include "dataset/names.h"
+
+namespace lexequal::dataset {
+
+namespace {
+
+// Common Indian given and family names (Bangalore directory domain).
+const std::vector<std::string_view>& IndianNames() {
+  static const std::vector<std::string_view>& names =
+      *new std::vector<std::string_view>{
+          "Aarav",      "Abdul",      "Abhishek",  "Aditi",
+          "Aditya",     "Agarwal",    "Ajay",      "Akash",
+          "Akhil",      "Amar",       "Ambika",    "Amit",
+          "Amrita",     "Anand",      "Ananya",    "Anil",
+          "Anita",      "Anjali",     "Ankit",     "Anu",
+          "Anupam",     "Aravind",    "Arjun",     "Arun",
+          "Asha",       "Ashok",      "Ashwin",    "Babu",
+          "Balaji",     "Balakrishna", "Banerjee", "Bhagat",
+          "Bharat",     "Bhaskar",    "Bhavani",   "Bose",
+          "Chandra",    "Chandran",   "Chawla",    "Chidambaram",
+          "Chitra",     "Damodar",    "Das",       "Deepa",
+          "Deepak",     "Desai",      "Devi",      "Dhanraj",
+          "Dilip",      "Dinesh",     "Divya",     "Durga",
+          "Ganesh",     "Ganguly",    "Gauri",     "Gayatri",
+          "Geetha",     "Girish",     "Gopal",     "Gopalan",
+          "Govind",     "Gupta",      "Harish",    "Hema",
+          "Indira",     "Indra",      "Iyer",      "Jagan",
+          "Jagdish",    "Jain",       "Jaya",      "Jayant",
+          "Jawaharlal", "Jeevan",     "Jyoti",     "Kala",
+          "Kailash",    "Kamala",     "Kamal",     "Kannan",
+          "Kapoor",     "Karthik",    "Karan",     "Kaveri",
+          "Kavita",     "Keshav",     "Kiran",     "Kishore",
+          "Krishna",    "Krishnan",   "Kulkarni",  "Kumar",
+          "Kumari",     "Lakshmi",    "Lalita",    "Lata",
+          "Lokesh",     "Madhav",     "Madhu",     "Mahadev",
+          "Mahesh",     "Mala",       "Malini",    "Mani",
+          "Manish",     "Manju",      "Manoj",     "Meena",
+          "Meenakshi",  "Mehta",      "Menon",     "Mohan",
+          "Mukesh",     "Mukherjee",  "Murali",    "Murthy",
+          "Nagaraj",    "Naidu",      "Nair",      "Nanda",
+          "Nandini",    "Narayan",    "Narayanan", "Naresh",
+          "Natarajan",  "Naveen",     "Nehru",     "Nikhil",
+          "Nirmala",    "Nitin",      "Padma",     "Padmini",
+          "Pandey",     "Pankaj",     "Parvati",   "Patel",
+          "Pillai",     "Prabhu",     "Pradeep",   "Prakash",
+          "Pramod",     "Pranav",     "Prasad",    "Praveen",
+          "Prem",       "Priya",      "Radha",     "Raghav",
+          "Raghu",      "Rahul",      "Raj",       "Raja",
+          "Rajan",      "Rajesh",     "Rajiv",     "Rakesh",
+          "Rama",       "Ramesh",     "Ramaswamy", "Rangan",
+          "Rani",       "Ranjan",     "Rao",       "Rashmi",
+          "Ravi",       "Reddy",      "Rekha",     "Renuka",
+          "Rohan",      "Rohit",      "Roy",       "Rukmini",
+          "Sagar",      "Sahana",     "Sai",       "Sandeep",
+          "Sanjay",     "Santosh",    "Sarala",    "Saraswati",
+          "Sarita",     "Sarma",      "Sathish",   "Savitri",
+          "Seetha",     "Sekhar",     "Selvam",    "Sen",
+          "Shankar",    "Shanti",     "Sharma",    "Shashi",
+          "Sheela",     "Shiva",      "Shobha",    "Shyam",
+          "Singh",      "Sita",       "Sitaram",   "Sneha",
+          "Soma",       "Sridhar",    "Srikanth",  "Srinivas",
+          "Srinivasan", "Subbarao",   "Subhash",   "Subramaniam",
+          "Sudha",      "Sudhir",     "Sujata",    "Sukumar",
+          "Suman",      "Sumathi",    "Sundar",    "Sundaram",
+          "Sunil",      "Sunita",     "Suresh",    "Surya",
+          "Sushila",    "Swamy",      "Tagore",    "Tara",
+          "Tewari",     "Thomas",     "Uday",      "Uma",
+          "Umesh",      "Usha",       "Vani",      "Varma",
+          "Vasant",     "Vasudev",    "Veena",     "Venkat",
+          "Venkatesh",  "Venu",       "Vidya",     "Vijay",
+          "Vijaya",     "Vikram",     "Vimala",    "Vinay",
+          "Vinod",      "Vishnu",     "Vishwanath", "Vivek",
+          "Yadav",      "Yamuna",     "Yash",      "Yogesh",
+      };
+  return names;
+}
+
+// Common American first and last names (SF physicians domain).
+const std::vector<std::string_view>& AmericanNames() {
+  static const std::vector<std::string_view>& names =
+      *new std::vector<std::string_view>{
+          "Aaron",     "Adams",     "Albert",    "Alice",
+          "Allen",     "Amanda",    "Amy",       "Anderson",
+          "Andrew",    "Angela",    "Ann",       "Anthony",
+          "Arnold",    "Arthur",    "Austin",    "Bailey",
+          "Baker",     "Barbara",   "Barnes",    "Bell",
+          "Benjamin",  "Bennett",   "Betty",     "Beverly",
+          "Brandon",   "Brian",     "Brooks",    "Bruce",
+          "Bryant",    "Burton",    "Campbell",  "Carl",
+          "Carol",     "Carter",    "Catherine", "Charles",
+          "Cheryl",    "Christine", "Christopher", "Clark",
+          "Cole",      "Collins",   "Cooper",    "Craig",
+          "Crawford",  "Cynthia",   "Daniel",    "David",
+          "Davis",     "Deborah",   "Dennis",    "Diana",
+          "Donald",    "Donna",     "Dorothy",   "Douglas",
+          "Duncan",    "Edward",    "Eleanor",   "Elizabeth",
+          "Ellis",     "Emily",     "Eric",      "Eugene",
+          "Evans",     "Fisher",    "Foster",    "Frank",
+          "Franklin",  "Fraser",    "Frederick", "Garcia",
+          "Gary",      "George",    "Gerald",    "Gibson",
+          "Gilbert",   "Gloria",    "Gordon",    "Graham",
+          "Grant",     "Gray",      "Gregory",   "Griffin",
+          "Hamilton",  "Harold",    "Harper",    "Harris",
+          "Harrison",  "Harvey",    "Heather",   "Helen",
+          "Henderson", "Henry",     "Herbert",   "Howard",
+          "Hudson",    "Hughes",    "Hunter",    "Irene",
+          "Jack",      "Jacob",     "James",     "Janet",
+          "Jason",     "Jeffrey",   "Jennifer",  "Jessica",
+          "Joan",      "John",      "Johnson",   "Jonathan",
+          "Jordan",    "Joseph",    "Joshua",    "Joyce",
+          "Judith",    "Julia",     "Justin",    "Karen",
+          "Katherine", "Kathleen",  "Keith",     "Kelly",
+          "Kennedy",   "Kenneth",   "Kevin",     "Kimberly",
+          "Kyle",      "Larry",     "Laura",     "Lawrence",
+          "Lee",       "Leonard",   "Lewis",     "Linda",
+          "Lisa",      "Logan",     "Louis",     "Lucas",
+          "Margaret",  "Maria",     "Marie",     "Marilyn",
+          "Marion",    "Mark",      "Marshall",  "Martha",
+          "Martin",    "Mary",      "Mason",     "Matthew",
+          "Maxwell",   "Melissa",   "Michael",   "Michelle",
+          "Miller",    "Mitchell",  "Monroe",    "Morgan",
+          "Morris",    "Murphy",    "Murray",    "Nancy",
+          "Nathan",    "Nelson",    "Newton",    "Nicholas",
+          "Nicole",    "Norman",    "Oliver",    "Olson",
+          "Pamela",    "Parker",    "Patricia",  "Patrick",
+          "Paul",      "Pearson",   "Peter",     "Phillips",
+          "Porter",    "Rachel",    "Ralph",     "Raymond",
+          "Rebecca",   "Reed",      "Reynolds",  "Richard",
+          "Riley",     "Robert",    "Roberts",   "Robinson",
+          "Rodriguez", "Roger",     "Ronald",    "Rose",
+          "Ross",      "Russell",   "Ruth",      "Ryan",
+          "Samuel",    "Sandra",    "Sarah",     "Scott",
+          "Sharon",    "Shirley",   "Simon",     "Smith",
+          "Spencer",   "Stanley",   "Stephanie", "Stephen",
+          "Stewart",   "Susan",     "Sutton",    "Taylor",
+          "Teresa",    "Theodore",  "Thompson",  "Timothy",
+          "Tucker",    "Turner",    "Tyler",     "Vernon",
+          "Victor",    "Victoria",  "Vincent",   "Virginia",
+          "Walker",    "Wallace",   "Walter",    "Warren",
+          "Watson",    "Wayne",     "Webster",   "Wesley",
+          "William",   "Williams",  "Wilson",    "Winston",
+          "Wright",    "Young",     "Zachary",   "Zimmerman",
+      };
+  return names;
+}
+
+// Places, objects, chemicals (OED domain).
+const std::vector<std::string_view>& GenericNames() {
+  static const std::vector<std::string_view>& names =
+      *new std::vector<std::string_view>{
+          // Places.
+          "Alabama",    "Alaska",     "Amazon",     "America",
+          "Arabia",     "Arizona",    "Athens",     "Atlanta",
+          "Australia",  "Baghdad",    "Bangalore",  "Barcelona",
+          "Beijing",    "Bengal",     "Berlin",     "Bombay",
+          "Boston",     "Brazil",     "Britain",    "Burma",
+          "Cairo",      "Calcutta",   "California", "Canada",
+          "Canberra",   "Chicago",    "China",      "Colombo",
+          "Dakota",     "Dallas",     "Delhi",      "Denver",
+          "Dublin",     "Egypt",      "England",    "Florida",
+          "France",     "Geneva",     "Georgia",    "Germany",
+          "Glasgow",    "Hamburg",    "Havana",     "Houston",
+          "India",      "Indiana",    "Ireland",    "Israel",
+          "Italy",      "Jakarta",    "Japan",      "Kashmir",
+          "Kenya",      "Kerala",     "Lahore",     "Lisbon",
+          "London",     "Madras",     "Madrid",     "Malaysia",
+          "Manila",     "Mexico",     "Michigan",   "Montreal",
+          "Moscow",     "Mysore",     "Nairobi",    "Nevada",
+          "Newark",     "Niagara",    "Nigeria",    "Norway",
+          "Ohio",       "Ontario",    "Oregon",     "Oslo",
+          "Ottawa",     "Oxford",     "Panama",     "Paris",
+          "Persia",     "Peru",       "Poland",     "Portugal",
+          "Punjab",     "Quebec",     "Rangoon",    "Russia",
+          "Sahara",     "Scotland",   "Seattle",    "Siberia",
+          "Singapore",  "Spain",      "Sweden",     "Sydney",
+          "Tehran",     "Texas",      "Tibet",      "Tokyo",
+          "Toronto",    "Turkey",     "Vienna",     "Virginia",
+          "Warsaw",     "Washington", "Wisconsin",  "Zurich",
+          // Objects.
+          "Anchor",     "Apple",      "Arrow",      "Basket",
+          "Bell",       "Blanket",    "Bottle",     "Bridge",
+          "Bucket",     "Butter",     "Button",     "Camera",
+          "Candle",     "Carpet",     "Castle",     "Chair",
+          "Chimney",    "Clock",      "Copper",     "Corner",
+          "Cotton",     "Cradle",     "Curtain",    "Diamond",
+          "Engine",     "Feather",    "Fiddle",     "Finger",
+          "Flower",     "Garden",     "Guitar",     "Hammer",
+          "Harbor",     "Helmet",     "Jacket",     "Kettle",
+          "Ladder",     "Lantern",    "Leather",    "Lemon",
+          "Marble",     "Market",     "Meadow",     "Mirror",
+          "Mountain",   "Needle",     "Orange",     "Paper",
+          "Pencil",     "Pepper",     "Pillow",     "Pistol",
+          "Pocket",     "Ribbon",     "River",      "Saddle",
+          "Shovel",     "Silver",     "Spoon",      "Sugar",
+          "Table",      "Temple",     "Thunder",    "Timber",
+          "Tunnel",     "Velvet",     "Violin",     "Wagon",
+          "Water",      "Window",     "Winter",     "Zipper",
+          // Chemicals.
+          "Acetone",    "Alcohol",    "Ammonia",    "Argon",
+          "Arsenic",    "Barium",     "Benzene",    "Bromine",
+          "Calcium",    "Carbon",     "Cesium",     "Chlorine",
+          "Chromium",   "Cobalt",     "Ethanol",    "Fluorine",
+          "Gallium",    "Glucose",    "Glycerin",   "Helium",
+          "Hydrogen",   "Iodine",     "Iridium",    "Krypton",
+          "Lithium",    "Magnesium",  "Manganese",  "Mercury",
+          "Methane",    "Neon",       "Nickel",     "Nitrogen",
+          "Oxygen",     "Phosphorus", "Platinum",   "Potassium",
+          "Propane",    "Radium",     "Radon",      "Silicon",
+          "Sodium",     "Sulfur",     "Titanium",   "Uranium",
+          "Vanadium",   "Xenon",      "Zinc",       "Zirconium",
+      };
+  return names;
+}
+
+}  // namespace
+
+std::string_view NameDomainName(NameDomain domain) {
+  switch (domain) {
+    case NameDomain::kIndian:
+      return "Indian";
+    case NameDomain::kAmerican:
+      return "American";
+    case NameDomain::kGeneric:
+      return "Generic";
+  }
+  return "Unknown";
+}
+
+const std::vector<std::string_view>& BaseNames(NameDomain domain) {
+  switch (domain) {
+    case NameDomain::kIndian:
+      return IndianNames();
+    case NameDomain::kAmerican:
+      return AmericanNames();
+    case NameDomain::kGeneric:
+      return GenericNames();
+  }
+  return GenericNames();
+}
+
+std::vector<std::string_view> AllBaseNames() {
+  std::vector<std::string_view> out;
+  for (NameDomain d : {NameDomain::kIndian, NameDomain::kAmerican,
+                       NameDomain::kGeneric}) {
+    const auto& names = BaseNames(d);
+    out.insert(out.end(), names.begin(), names.end());
+  }
+  return out;
+}
+
+}  // namespace lexequal::dataset

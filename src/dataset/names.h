@@ -1,0 +1,34 @@
+// Embedded base name lists for the evaluation lexicon.
+//
+// The paper drew ~800 names from three sources: the Bangalore
+// telephone directory (common Indian names), the San Francisco
+// physicians directory (common American first and last names), and
+// OED head-words for places/objects/chemicals. These lists are
+// stand-ins assembled from the same three domains.
+
+#ifndef LEXEQUAL_DATASET_NAMES_H_
+#define LEXEQUAL_DATASET_NAMES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace lexequal::dataset {
+
+/// Name domain, mirroring the paper's three sources.
+enum class NameDomain {
+  kIndian,    // Bangalore telephone directory
+  kAmerican,  // SF physicians directory
+  kGeneric,   // OED: places, objects, chemicals
+};
+
+std::string_view NameDomainName(NameDomain domain);
+
+/// The base names of one domain (English/Latin spellings).
+const std::vector<std::string_view>& BaseNames(NameDomain domain);
+
+/// All three domains concatenated (the paper's ~800-name lexicon).
+std::vector<std::string_view> AllBaseNames();
+
+}  // namespace lexequal::dataset
+
+#endif  // LEXEQUAL_DATASET_NAMES_H_

@@ -1,0 +1,41 @@
+#include "dataset/tuner.h"
+
+namespace lexequal::dataset {
+
+double ObjectiveValue(TuneObjective objective, const QualityResult& q) {
+  switch (objective) {
+    case TuneObjective::kF1: {
+      const double denom = q.recall + q.precision;
+      return denom == 0 ? 0 : 2.0 * q.recall * q.precision / denom;
+    }
+    case TuneObjective::kRecallFirst:
+      return q.recall + q.precision / 1000.0;
+    case TuneObjective::kPrecisionFirst:
+      return q.precision + q.recall / 1000.0;
+  }
+  return 0;
+}
+
+TuneResult TuneParameters(const Lexicon& training,
+                          TuneObjective objective, const TuneGrid& grid) {
+  TuneResult best;
+  best.objective_value = -1;
+  for (double cost : grid.costs) {
+    for (double threshold : grid.thresholds) {
+      match::LexEqualOptions options;
+      options.threshold = threshold;
+      options.intra_cluster_cost = cost;
+      QualityResult q = EvaluateMatchQuality(training, options);
+      best.grid.push_back(q);
+      const double value = ObjectiveValue(objective, q);
+      if (value > best.objective_value) {
+        best.objective_value = value;
+        best.options = options;
+        best.quality = q;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lexequal::dataset

@@ -1,0 +1,50 @@
+// Automatic parameter selection (the paper's future work: "techniques
+// for automatically generating the optimal matching parameters, based
+// on a given dataset, its domain and a training set").
+//
+// Given a tagged training lexicon, the tuner grid-searches the
+// (threshold, intra-cluster cost) space and returns the setting that
+// maximizes the chosen quality objective.
+
+#ifndef LEXEQUAL_DATASET_TUNER_H_
+#define LEXEQUAL_DATASET_TUNER_H_
+
+#include <vector>
+
+#include "dataset/metrics.h"
+
+namespace lexequal::dataset {
+
+/// What the tuner optimizes.
+enum class TuneObjective {
+  kF1,           // harmonic mean of recall and precision
+  kRecallFirst,  // max recall, precision as tie-break (LASA-style)
+  kPrecisionFirst,
+};
+
+struct TuneResult {
+  match::LexEqualOptions options;
+  QualityResult quality;
+  double objective_value = 0;
+  /// Every evaluated grid point, for reporting.
+  std::vector<QualityResult> grid;
+};
+
+/// Grid ranges; defaults cover the paper's experimental space.
+struct TuneGrid {
+  std::vector<double> thresholds = {0.0,  0.05, 0.1,  0.15, 0.2, 0.25,
+                                    0.3,  0.35, 0.4,  0.5};
+  std::vector<double> costs = {0.0, 0.125, 0.25, 0.375, 0.5, 0.75, 1.0};
+};
+
+/// Exhaustive grid search over the training lexicon.
+TuneResult TuneParameters(const Lexicon& training,
+                          TuneObjective objective,
+                          const TuneGrid& grid = TuneGrid());
+
+/// Objective value of one quality point.
+double ObjectiveValue(TuneObjective objective, const QualityResult& q);
+
+}  // namespace lexequal::dataset
+
+#endif  // LEXEQUAL_DATASET_TUNER_H_

@@ -1,0 +1,29 @@
+#include "engine/catalog.h"
+
+namespace lexequal::engine {
+
+Status Catalog::AddTable(std::unique_ptr<TableInfo> table) {
+  const std::string& name = table->name;
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace lexequal::engine

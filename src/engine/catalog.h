@@ -1,0 +1,92 @@
+// Catalog: in-memory metadata for tables and LexEQUAL access paths.
+//
+// Table data, auxiliary q-gram tables, and index pages all live in
+// the page file and persist; the catalog itself (name → root page
+// mappings) is process-local, matching the load-then-query shape of
+// the paper's experiments.
+
+#ifndef LEXEQUAL_ENGINE_CATALOG_H_
+#define LEXEQUAL_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "engine/value.h"
+#include "index/btree.h"
+#include "storage/heap_file.h"
+
+namespace lexequal::engine {
+
+/// A phonetic index (paper §5.3): B-Tree over the grouped phoneme
+/// string identifier of one phonemic column.
+struct PhoneticIndexInfo {
+  uint32_t column = 0;  // ordinal of the phonemic column
+  std::unique_ptr<index::BTree> btree;
+};
+
+/// A q-gram access path (paper §5.2). The paper stores an auxiliary
+/// table of positional q-grams and joins through it; we realize the
+/// same logical structure as a *covering* B-Tree: the key packs
+/// (gram code, position, string length) and the value is the base
+/// row's RID, so a probe never touches a heap page. q is limited to
+/// kQGramPackMaxQ by the key packing.
+struct QGramIndexInfo {
+  /// Bits reserved for pos and len in the packed key.
+  static constexpr int kPosBits = 8;
+  static constexpr int kLenBits = 8;
+  static constexpr uint64_t kPosLenMask = 0xFFFF;
+  /// Max q such that the gram code fits above pos+len (8 bits/symbol).
+  static constexpr int kQGramPackMaxQ = 6;
+
+  /// Packs one positional gram; pos/len clamp at 255 (the filters
+  /// treat 255 as "at least 255" and pass conservatively).
+  static uint64_t PackKey(uint64_t gram, uint32_t pos, size_t len) {
+    const uint64_t p = pos > 255 ? 255 : pos;
+    const uint64_t l = len > 255 ? 255 : len;
+    return (gram << 16) | (p << 8) | l;
+  }
+  static uint64_t GramOf(uint64_t key) { return key >> 16; }
+  static uint32_t PosOf(uint64_t key) {
+    return static_cast<uint32_t>((key >> 8) & 0xFF);
+  }
+  static size_t LenOf(uint64_t key) {
+    return static_cast<size_t>(key & 0xFF);
+  }
+
+  uint32_t column = 0;  // ordinal of the phonemic column
+  int q = 2;
+  std::unique_ptr<index::BTree> btree;
+};
+
+/// One table: schema + heap + optional LexEQUAL access paths.
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  std::unique_ptr<storage::HeapFile> heap;
+  std::unique_ptr<PhoneticIndexInfo> phonetic_index;
+  std::unique_ptr<QGramIndexInfo> qgram_index;
+};
+
+/// Name → table registry.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status AddTable(std::unique_ptr<TableInfo> table);
+  Result<TableInfo*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+};
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_CATALOG_H_

@@ -1,0 +1,201 @@
+#include "engine/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lexequal::engine {
+
+namespace {
+
+// Splits "text@Language" when the suffix names a known language.
+Value ParseStringCell(const std::string& field) {
+  const size_t at = field.rfind('@');
+  if (at != std::string::npos && at + 1 < field.size()) {
+    Result<text::Language> lang =
+        text::ParseLanguage(field.substr(at + 1));
+    if (lang.ok() && lang.value() != text::Language::kAny) {
+      return Value::String(field.substr(0, at), lang.value());
+    }
+  }
+  return Value::String(text::TaggedString::WithDetectedLanguage(field));
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  size_t i = 0;
+  const size_t n = line.size();
+  while (i < n) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < n && line[i + 1] == '"') {  // escaped quote
+          cur.push_back('"');
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      cur.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!cur.empty()) {
+        return Status::InvalidArgument(
+            "quote in the middle of an unquoted field");
+      }
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      ++i;
+      continue;
+    }
+    cur.push_back(c);
+    ++i;
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string QuoteCsvField(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+Result<CsvImportResult> ImportCsv(Database* db, const std::string& table,
+                                  const std::string& path,
+                                  bool has_header) {
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(table));
+  // User columns, in schema order.
+  std::vector<const Column*> user_cols;
+  for (const Column& col : info->schema.columns()) {
+    if (!col.phonemic_source.has_value()) user_cols.push_back(&col);
+  }
+
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  CsvImportResult result;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first && has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    Result<std::vector<std::string>> fields = ParseCsvLine(line);
+    if (!fields.ok() || fields->size() != user_cols.size()) {
+      ++result.rows_rejected;
+      continue;
+    }
+    Tuple values;
+    values.reserve(user_cols.size());
+    bool bad = false;
+    for (size_t c = 0; c < user_cols.size(); ++c) {
+      const std::string& field = (*fields)[c];
+      switch (user_cols[c]->type) {
+        case ValueType::kInt64: {
+          char* end = nullptr;
+          const long long v = std::strtoll(field.c_str(), &end, 10);
+          if (end != field.c_str() + field.size()) bad = true;
+          values.push_back(Value::Int64(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          char* end = nullptr;
+          const double v = std::strtod(field.c_str(), &end);
+          if (end != field.c_str() + field.size()) bad = true;
+          values.push_back(Value::Double(v));
+          break;
+        }
+        case ValueType::kString:
+          values.push_back(ParseStringCell(field));
+          break;
+      }
+    }
+    if (bad) {
+      ++result.rows_rejected;
+      continue;
+    }
+    Result<storage::RID> rid = db->Insert(table, values);
+    if (!rid.ok()) {
+      ++result.rows_rejected;
+      continue;
+    }
+    ++result.rows_inserted;
+  }
+  return result;
+}
+
+Status ExportCsv(Database* db, const std::string& table,
+                 const std::string& path) {
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(table));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot create '" + path + "'");
+  }
+  // Header.
+  for (size_t c = 0; c < info->schema.size(); ++c) {
+    if (c > 0) out << ',';
+    out << QuoteCsvField(info->schema.column(c).name);
+  }
+  out << '\n';
+
+  SeqScanExecutor scan(info);
+  LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+  Tuple row;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+    if (!has) break;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      const Value& v = row[c];
+      if (v.type() == ValueType::kString &&
+          v.AsString().language() != text::Language::kUnknown) {
+        out << QuoteCsvField(
+            v.AsString().text() + "@" +
+            std::string(text::LanguageName(v.AsString().language())));
+      } else {
+        out << QuoteCsvField(v.ToDisplayString());
+      }
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::IOError("write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace lexequal::engine

@@ -1,0 +1,44 @@
+// CSV import/export for LexEQUAL tables — the bulk-load path a
+// downstream user reaches for first.
+//
+// Format: RFC-4180-style quoting (fields with commas/quotes/newlines
+// wrapped in double quotes, embedded quotes doubled), UTF-8 text.
+// String columns may carry a language tag as `text@Language`
+// (e.g. `नेहरु@Hindi`); untagged strings get script-detected tags,
+// matching the paper's auto-identification discussion (§2.1).
+
+#ifndef LEXEQUAL_ENGINE_CSV_H_
+#define LEXEQUAL_ENGINE_CSV_H_
+
+#include <string>
+
+#include "engine/database.h"
+
+namespace lexequal::engine {
+
+struct CsvImportResult {
+  uint64_t rows_inserted = 0;
+  uint64_t rows_rejected = 0;  // malformed rows, reported not fatal
+};
+
+/// Imports `path` into `table`. The file's columns map 1:1 onto the
+/// table's *user* columns (derived phonemic columns are computed by
+/// the engine). `has_header` skips the first line.
+Result<CsvImportResult> ImportCsv(Database* db, const std::string& table,
+                                  const std::string& path,
+                                  bool has_header = true);
+
+/// Exports `table` to `path` with a header line; string cells with a
+/// known language are written as `text@Language`.
+Status ExportCsv(Database* db, const std::string& table,
+                 const std::string& path);
+
+/// Parses one CSV line into fields (exposed for tests).
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// Quotes one field for CSV output (exposed for tests).
+std::string QuoteCsvField(std::string_view field);
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_CSV_H_

@@ -1,0 +1,799 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "phonetic/phonetic_key.h"
+
+namespace lexequal::engine {
+
+namespace {
+
+using phonetic::PhonemeString;
+using storage::RID;
+
+// Finds the phonemic shadow column of `source_col`: either a column
+// declared with phonemic_source = source_col (engine-derived on
+// insert) or, failing that, a string column named "<source>_phon"
+// (caller-materialized phonemes, e.g. bulk loads that concatenate in
+// phoneme space).
+Result<uint32_t> PhonemicColumnOf(const Schema& schema,
+                                  uint32_t source_col) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema.column(i).phonemic_source.has_value() &&
+        *schema.column(i).phonemic_source == source_col) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  const std::string by_name = schema.column(source_col).name + "_phon";
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema.column(i).name == by_name &&
+        schema.column(i).type == ValueType::kString) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  return Status::NotFound(
+      "column '" + schema.column(source_col).name +
+      "' has no phonemic shadow column; declare one in the schema");
+}
+
+// Parses a row's stored phonemic cell. Empty cells (untransformable
+// rows) yield an empty phoneme string.
+Result<PhonemeString> RowPhonemes(const Tuple& row, uint32_t phon_col) {
+  const Value& cell = row[phon_col];
+  if (cell.type() != ValueType::kString) {
+    return Status::Corruption("phonemic column is not a string");
+  }
+  if (cell.AsString().text().empty()) return PhonemeString();
+  return PhonemeString::FromIpa(cell.AsString().text());
+}
+
+}  // namespace
+
+std::string_view LexEqualPlanName(LexEqualPlan plan) {
+  switch (plan) {
+    case LexEqualPlan::kNaiveUdf:
+      return "naive-udf";
+    case LexEqualPlan::kQGramFilter:
+      return "qgram-filter";
+    case LexEqualPlan::kPhoneticIndex:
+      return "phonetic-index";
+  }
+  return "unknown";
+}
+
+Database::Database(std::unique_ptr<storage::DiskManager> disk,
+                   std::unique_ptr<storage::BufferPool> pool)
+    : disk_(std::move(disk)),
+      pool_(std::move(pool)),
+      g2p_(&g2p::G2PRegistry::Default()) {}
+
+Database::~Database() {
+  // Best-effort checkpoint; errors have no channel here. Callers that
+  // need guaranteed durability call Flush() themselves.
+  (void)Flush();
+}
+
+Status Database::Flush() {
+  LEXEQUAL_RETURN_IF_ERROR(SaveCatalog());
+  return pool_->FlushAll();
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 size_t pool_pages) {
+  std::unique_ptr<storage::DiskManager> disk;
+  LEXEQUAL_ASSIGN_OR_RETURN(disk, storage::DiskManager::Open(path));
+  const bool fresh = disk->page_count() == 0;
+  auto pool = std::make_unique<storage::BufferPool>(disk.get(),
+                                                    pool_pages);
+  std::unique_ptr<Database> db(
+      new Database(std::move(disk), std::move(pool)));
+
+  // The meta heap lives at page 0: the very first allocation of a
+  // fresh file, or the known root of an existing one.
+  if (fresh) {
+    storage::HeapFile meta =
+        storage::HeapFile::Create(db->pool_.get()).value();
+    if (meta.first_page() != 0) {
+      return Status::Internal("meta heap did not land on page 0");
+    }
+    db->meta_ = std::make_unique<storage::HeapFile>(std::move(meta));
+  } else {
+    Result<storage::HeapFile> meta =
+        storage::HeapFile::Open(db->pool_.get(), 0);
+    if (!meta.ok()) return meta.status();
+    db->meta_ =
+        std::make_unique<storage::HeapFile>(std::move(meta).value());
+    LEXEQUAL_RETURN_IF_ERROR(db->LoadCatalog());
+  }
+
+  // The LexEQUAL UDF, callable from SQL and expression trees:
+  // LEXEQUAL(ipa_a, ipa_b, threshold, intra_cluster_cost) -> 0/1.
+  Status st = db->udfs_.Register(
+      "LEXEQUAL", [](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 4 ||
+            args[0].type() != ValueType::kString ||
+            args[1].type() != ValueType::kString) {
+          return Status::InvalidArgument(
+              "LEXEQUAL(ipa_a, ipa_b, threshold, cost)");
+        }
+        auto num = [](const Value& v) {
+          return v.type() == ValueType::kDouble
+                     ? v.AsDouble()
+                     : static_cast<double>(v.AsInt64());
+        };
+        const std::string& a = args[0].AsString().text();
+        const std::string& b = args[1].AsString().text();
+        if (a.empty() || b.empty()) return Value::Int64(0);
+        Result<PhonemeString> pa = PhonemeString::FromIpa(a);
+        if (!pa.ok()) return pa.status();
+        Result<PhonemeString> pb = PhonemeString::FromIpa(b);
+        if (!pb.ok()) return pb.status();
+        match::LexEqualMatcher matcher(
+            {.threshold = num(args[2]),
+             .intra_cluster_cost = num(args[3])});
+        return Value::Int64(
+            matcher.MatchPhonemes(pa.value(), pb.value()) ? 1 : 0);
+      });
+  LEXEQUAL_RETURN_IF_ERROR(st);
+  return db;
+}
+
+Status Database::SaveCatalog() {
+  if (meta_ == nullptr) return Status::OK();
+  ++catalog_version_;
+  for (const std::string& name : catalog_.TableNames()) {
+    TableInfo* info;
+    LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(name));
+    Tuple rec;
+    rec.push_back(Value::Int64(catalog_version_));
+    rec.push_back(Value::String(info->name));
+    rec.push_back(Value::Int64(static_cast<int64_t>(info->schema.size())));
+    for (const Column& col : info->schema.columns()) {
+      rec.push_back(Value::String(col.name));
+      rec.push_back(Value::Int64(static_cast<int64_t>(col.type)));
+      rec.push_back(Value::Int64(
+          col.phonemic_source.has_value()
+              ? static_cast<int64_t>(*col.phonemic_source)
+              : -1));
+    }
+    rec.push_back(Value::Int64(info->heap->first_page()));
+    const PhoneticIndexInfo* pi = info->phonetic_index.get();
+    rec.push_back(Value::Int64(pi != nullptr ? 1 : 0));
+    rec.push_back(Value::Int64(pi != nullptr ? pi->column : 0));
+    rec.push_back(
+        Value::Int64(pi != nullptr ? pi->btree->root_page_id() : 0));
+    const QGramIndexInfo* qi = info->qgram_index.get();
+    rec.push_back(Value::Int64(qi != nullptr ? 1 : 0));
+    rec.push_back(Value::Int64(qi != nullptr ? qi->column : 0));
+    rec.push_back(Value::Int64(qi != nullptr ? qi->q : 0));
+    rec.push_back(
+        Value::Int64(qi != nullptr ? qi->btree->root_page_id() : 0));
+    LEXEQUAL_RETURN_IF_ERROR(
+        meta_->Insert(SerializeTuple(rec)).status());
+  }
+  // A version marker record makes empty catalogs reopenable too.
+  Tuple marker;
+  marker.push_back(Value::Int64(catalog_version_));
+  LEXEQUAL_RETURN_IF_ERROR(
+      meta_->Insert(SerializeTuple(marker)).status());
+  return Status::OK();
+}
+
+Status Database::LoadCatalog() {
+  // Collect the latest snapshot version, then materialize its tables.
+  int64_t latest = 0;
+  std::vector<Tuple> records;
+  for (auto it = meta_->Begin(); !it.AtEnd();) {
+    Tuple rec;
+    LEXEQUAL_ASSIGN_OR_RETURN(rec, DeserializeTuple(it.record()));
+    if (rec.empty() || rec[0].type() != ValueType::kInt64) {
+      return Status::Corruption("malformed catalog record");
+    }
+    latest = std::max(latest, rec[0].AsInt64());
+    if (rec.size() > 1) records.push_back(std::move(rec));
+    LEXEQUAL_RETURN_IF_ERROR(it.Next());
+  }
+  catalog_version_ = latest;
+  for (const Tuple& rec : records) {
+    if (rec[0].AsInt64() != latest) continue;
+    size_t pos = 1;
+    auto next_int = [&]() { return rec[pos++].AsInt64(); };
+    const std::string name = rec[pos++].AsString().text();
+    const int64_t n_cols = next_int();
+    std::vector<Column> cols;
+    cols.reserve(n_cols);
+    for (int64_t c = 0; c < n_cols; ++c) {
+      Column col;
+      col.name = rec[pos++].AsString().text();
+      col.type = static_cast<ValueType>(next_int());
+      const int64_t src = next_int();
+      if (src >= 0) col.phonemic_source = static_cast<uint32_t>(src);
+      cols.push_back(std::move(col));
+    }
+    auto info = std::make_unique<TableInfo>();
+    info->name = name;
+    info->schema = Schema(std::move(cols));
+    const storage::PageId heap_root =
+        static_cast<storage::PageId>(next_int());
+    Result<storage::HeapFile> heap =
+        storage::HeapFile::Open(pool_.get(), heap_root);
+    if (!heap.ok()) return heap.status();
+    info->heap =
+        std::make_unique<storage::HeapFile>(std::move(heap).value());
+    if (next_int() != 0) {  // phonetic index
+      auto pi = std::make_unique<PhoneticIndexInfo>();
+      pi->column = static_cast<uint32_t>(next_int());
+      pi->btree = std::make_unique<index::BTree>(index::BTree::Open(
+          pool_.get(), static_cast<storage::PageId>(next_int())));
+      info->phonetic_index = std::move(pi);
+    } else {
+      pos += 2;
+    }
+    if (next_int() != 0) {  // q-gram index
+      auto qi = std::make_unique<QGramIndexInfo>();
+      qi->column = static_cast<uint32_t>(next_int());
+      qi->q = static_cast<int>(next_int());
+      qi->btree = std::make_unique<index::BTree>(index::BTree::Open(
+          pool_.get(), static_cast<storage::PageId>(next_int())));
+      info->qgram_index = std::move(qi);
+    }
+    LEXEQUAL_RETURN_IF_ERROR(catalog_.AddTable(std::move(info)));
+  }
+  return Status::OK();
+}
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  // Validate derived columns.
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const Column& c = schema.column(i);
+    if (c.phonemic_source.has_value()) {
+      if (*c.phonemic_source >= schema.size() ||
+          schema.column(*c.phonemic_source).type != ValueType::kString ||
+          c.type != ValueType::kString) {
+        return Status::InvalidArgument(
+            "phonemic column '" + c.name +
+            "' must derive from a string column");
+      }
+    }
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = name;
+  info->schema = std::move(schema);
+  storage::HeapFile heap = storage::HeapFile::Create(pool_.get()).value();
+  info->heap = std::make_unique<storage::HeapFile>(std::move(heap));
+  LEXEQUAL_RETURN_IF_ERROR(catalog_.AddTable(std::move(info)));
+  return SaveCatalog();
+}
+
+Result<RID> Database::Insert(const std::string& table,
+                             const Tuple& user_values) {
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
+  const Schema& schema = info->schema;
+  if (user_values.size() != schema.UserColumnCount()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(schema.UserColumnCount()) +
+        " values, got " + std::to_string(user_values.size()));
+  }
+
+  // Assemble the full row, deriving phonemic cells.
+  Tuple row;
+  row.reserve(schema.size());
+  size_t user_i = 0;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const Column& col = schema.column(i);
+    if (!col.phonemic_source.has_value()) {
+      const Value& v = user_values[user_i++];
+      if (v.type() != col.type) {
+        return Status::InvalidArgument(
+            "type mismatch for column '" + col.name + "'");
+      }
+      row.push_back(v);
+      continue;
+    }
+    // Derived: transform the (already appended) source column.
+    const Value& src = row[*col.phonemic_source];
+    Result<PhonemeString> phon = g2p_->Transform(src.AsString());
+    if (phon.ok()) {
+      row.push_back(Value::String(phon.value().ToIpa()));
+    } else if (phon.status().IsNoResource() ||
+               phon.status().IsInvalidArgument()) {
+      // No converter / untransformable: store the empty phonemic
+      // string, which matches nothing (the NORESOURCE row behaviour).
+      row.push_back(Value::String(""));
+    } else {
+      return phon.status();
+    }
+  }
+
+  RID rid;
+  LEXEQUAL_ASSIGN_OR_RETURN(rid, info->heap->Insert(SerializeTuple(row)));
+
+  // Maintain access paths.
+  if (info->phonetic_index != nullptr) {
+    PhonemeString phon;
+    LEXEQUAL_ASSIGN_OR_RETURN(
+        phon, RowPhonemes(row, info->phonetic_index->column));
+    if (!phon.empty()) {
+      const uint64_t key = phonetic::GroupedPhonemeStringId(
+          phon, phonetic::ClusterTable::Default());
+      LEXEQUAL_RETURN_IF_ERROR(
+          info->phonetic_index->btree->Insert(key, rid));
+    }
+  }
+  if (info->qgram_index != nullptr) {
+    PhonemeString phon;
+    LEXEQUAL_ASSIGN_OR_RETURN(phon,
+                              RowPhonemes(row, info->qgram_index->column));
+    if (!phon.empty()) {
+      for (const match::PositionalQGram& g :
+           match::PositionalQGrams(phon, info->qgram_index->q)) {
+        LEXEQUAL_RETURN_IF_ERROR(info->qgram_index->btree->Insert(
+            QGramIndexInfo::PackKey(g.gram, g.pos, phon.size()), rid));
+      }
+    }
+  }
+  return rid;
+}
+
+Status Database::CreatePhoneticIndex(const std::string& table,
+                                     const std::string& phonemic_column) {
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
+  uint32_t col;
+  LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(phonemic_column));
+  if (info->phonetic_index != nullptr) {
+    return Status::AlreadyExists("phonetic index already exists on '" +
+                                 table + "'");
+  }
+  auto idx = std::make_unique<PhoneticIndexInfo>();
+  idx->column = col;
+  index::BTree btree = index::BTree::Create(pool_.get()).value();
+  idx->btree = std::make_unique<index::BTree>(std::move(btree));
+
+  // Backfill existing rows.
+  SeqScanExecutor scan(info);
+  LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+  Tuple row;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+    if (!has) break;
+    PhonemeString phon;
+    LEXEQUAL_ASSIGN_OR_RETURN(phon, RowPhonemes(row, col));
+    if (phon.empty()) continue;
+    const uint64_t key = phonetic::GroupedPhonemeStringId(
+        phon, phonetic::ClusterTable::Default());
+    LEXEQUAL_RETURN_IF_ERROR(idx->btree->Insert(key, scan.current_rid()));
+  }
+  info->phonetic_index = std::move(idx);
+  return SaveCatalog();
+}
+
+Status Database::CreateQGramIndex(const std::string& table,
+                                  const std::string& phonemic_column,
+                                  int q) {
+  if (q < 1 || q > QGramIndexInfo::kQGramPackMaxQ) {
+    return Status::InvalidArgument(
+        "q must be in [1, " +
+        std::to_string(QGramIndexInfo::kQGramPackMaxQ) + "]");
+  }
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
+  uint32_t col;
+  LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(phonemic_column));
+  if (info->qgram_index != nullptr) {
+    return Status::AlreadyExists("q-gram index already exists on '" +
+                                 table + "'");
+  }
+  auto idx = std::make_unique<QGramIndexInfo>();
+  idx->column = col;
+  idx->q = q;
+  index::BTree btree = index::BTree::Create(pool_.get()).value();
+  idx->btree = std::make_unique<index::BTree>(std::move(btree));
+
+  SeqScanExecutor scan(info);
+  LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+  Tuple row;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+    if (!has) break;
+    PhonemeString phon;
+    LEXEQUAL_ASSIGN_OR_RETURN(phon, RowPhonemes(row, col));
+    if (phon.empty()) continue;
+    const RID rid = scan.current_rid();
+    for (const match::PositionalQGram& g :
+         match::PositionalQGrams(phon, q)) {
+      LEXEQUAL_RETURN_IF_ERROR(idx->btree->Insert(
+          QGramIndexInfo::PackKey(g.gram, g.pos, phon.size()), rid));
+    }
+  }
+  info->qgram_index = std::move(idx);
+  return SaveCatalog();
+}
+
+Result<std::vector<Tuple>> Database::ExactSelect(const std::string& table,
+                                                 const std::string& column,
+                                                 const Value& literal,
+                                                 QueryStats* stats) {
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
+  uint32_t col;
+  LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(column));
+  SeqScanExecutor scan(info);
+  LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+  std::vector<Tuple> out;
+  Tuple row;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+    if (!has) break;
+    if (stats != nullptr) ++stats->rows_scanned;
+    // Native equality is binary across scripts (SQL:1999 semantics):
+    // text comparison, no phonetics.
+    if (row[col].type() == ValueType::kString &&
+        literal.type() == ValueType::kString) {
+      if (row[col].AsString().text() == literal.AsString().text()) {
+        out.push_back(row);
+      }
+    } else if (row[col] == literal) {
+      out.push_back(row);
+    }
+  }
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+bool Database::LanguageAllowed(const LexEqualQueryOptions& options,
+                               const Tuple& row, uint32_t source_col) {
+  if (options.in_languages.empty()) return true;  // wildcard *
+  const text::Language lang = row[source_col].AsString().language();
+  for (text::Language allowed : options.in_languages) {
+    if (allowed == text::Language::kAny || allowed == lang) return true;
+  }
+  return false;
+}
+
+Result<bool> Database::VerifyCandidate(
+    const match::LexEqualMatcher& matcher,
+    const PhonemeString& query_phon, const Tuple& row, uint32_t phon_col,
+    QueryStats* stats) const {
+  if (stats != nullptr) {
+    ++stats->candidates;
+    ++stats->udf_calls;
+  }
+  PhonemeString cand;
+  LEXEQUAL_ASSIGN_OR_RETURN(cand, RowPhonemes(row, phon_col));
+  if (cand.empty() || query_phon.empty()) return false;
+  return matcher.MatchPhonemes(query_phon, cand);
+}
+
+Result<std::vector<RID>> Database::QGramCandidates(
+    const TableInfo& table, const PhonemeString& query_phon,
+    double threshold, QueryStats* stats) const {
+  const QGramIndexInfo& idx = *table.qgram_index;
+  const int q = idx.q;
+  const size_t qlen = query_phon.size();
+
+  struct CandState {
+    int matches = 0;
+    int64_t len = 0;
+  };
+  std::unordered_map<uint64_t, CandState> cands;  // packed RID -> state
+  auto pack = [](const RID& r) {
+    return (static_cast<uint64_t>(r.page_id) << 16) | r.slot;
+  };
+
+  for (const match::PositionalQGram& g :
+       match::PositionalQGrams(query_phon, q)) {
+    // Covering-index probe: all entries whose gram equals g.gram,
+    // with (pos, len) carried in the key's low bits.
+    std::vector<std::pair<uint64_t, RID>> entries;
+    LEXEQUAL_ASSIGN_OR_RETURN(
+        entries,
+        idx.btree->ScanRange(QGramIndexInfo::PackKey(g.gram, 0, 0),
+                             QGramIndexInfo::PackKey(
+                                 g.gram, 255, 255)));
+    for (const auto& [key, rid] : entries) {
+      const uint32_t pos = QGramIndexInfo::PosOf(key);
+      const size_t len = QGramIndexInfo::LenOf(key);
+      // Clamped pos/len (255) pass the filters conservatively.
+      const bool clamped = pos == 255 || len == 255;
+      // Per-candidate unit-edit budget (Fig. 14: e * len).
+      const double k =
+          threshold * static_cast<double>(std::min<size_t>(qlen, len));
+      if (!clamped) {
+        // Length filter.
+        if (!match::PassesLengthFilter(qlen, len, k)) continue;
+        // Position filter.
+        const double pos_diff = std::abs(static_cast<double>(pos) -
+                                         static_cast<double>(g.pos));
+        if (pos_diff > k) continue;
+      }
+      CandState& state = cands[pack(rid)];
+      ++state.matches;
+      state.len = static_cast<int64_t>(len);
+    }
+  }
+
+  std::vector<RID> out;
+  for (const auto& [packed, state] : cands) {
+    const double k = threshold * static_cast<double>(std::min<int64_t>(
+                                     qlen, state.len));
+    // Count filter over *padded* gram matches: identical padded
+    // strings share len + q - 1 grams, and each unit edit destroys at
+    // most q of them.
+    const double required =
+        match::CountFilterMinMatches(qlen, state.len, k, q);
+    if (required > 0 && state.matches < required) continue;
+    out.push_back(RID{static_cast<storage::PageId>(packed >> 16),
+                      static_cast<uint16_t>(packed & 0xFFFF)});
+  }
+  std::sort(out.begin(), out.end());
+  if (stats != nullptr) stats->rows_scanned += out.size();
+  return out;
+}
+
+Result<std::vector<Tuple>> Database::LexEqualSelect(
+    const std::string& table, const std::string& column,
+    const text::TaggedString& query, const LexEqualQueryOptions& options,
+    QueryStats* stats) {
+  PhonemeString query_phon;
+  LEXEQUAL_ASSIGN_OR_RETURN(query_phon, g2p_->Transform(query));
+  return LexEqualSelectPhonemes(table, column, query_phon, options,
+                                stats);
+}
+
+Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
+    const std::string& table, const std::string& column,
+    const PhonemeString& query_phon, const LexEqualQueryOptions& options,
+    QueryStats* stats) {
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
+  uint32_t source_col;
+  LEXEQUAL_ASSIGN_OR_RETURN(source_col, info->schema.IndexOf(column));
+  uint32_t phon_col;
+  LEXEQUAL_ASSIGN_OR_RETURN(phon_col,
+                            PhonemicColumnOf(info->schema, source_col));
+
+  match::LexEqualMatcher matcher(options.match);
+
+  std::vector<Tuple> out;
+  switch (options.plan) {
+    case LexEqualPlan::kNaiveUdf: {
+      SeqScanExecutor scan(info);
+      LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+      Tuple row;
+      while (true) {
+        bool has;
+        LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+        if (!has) break;
+        if (stats != nullptr) ++stats->rows_scanned;
+        if (!LanguageAllowed(options, row, source_col)) continue;
+        bool matched;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            matched,
+            VerifyCandidate(matcher, query_phon, row, phon_col, stats));
+        if (matched) out.push_back(row);
+      }
+      break;
+    }
+    case LexEqualPlan::kQGramFilter: {
+      if (info->qgram_index == nullptr) {
+        return Status::NotFound("no q-gram index on '" + table + "'");
+      }
+      std::vector<RID> rids;
+      LEXEQUAL_ASSIGN_OR_RETURN(
+          rids, QGramCandidates(*info, query_phon,
+                                options.match.threshold, stats));
+      RidLookupExecutor lookup(info, std::move(rids));
+      LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
+      Tuple row;
+      while (true) {
+        bool has;
+        LEXEQUAL_ASSIGN_OR_RETURN(has, lookup.Next(&row));
+        if (!has) break;
+        if (!LanguageAllowed(options, row, source_col)) continue;
+        bool matched;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            matched,
+            VerifyCandidate(matcher, query_phon, row, phon_col, stats));
+        if (matched) out.push_back(row);
+      }
+      break;
+    }
+    case LexEqualPlan::kPhoneticIndex: {
+      if (info->phonetic_index == nullptr) {
+        return Status::NotFound("no phonetic index on '" + table + "'");
+      }
+      const uint64_t key = phonetic::GroupedPhonemeStringId(
+          query_phon, phonetic::ClusterTable::Default());
+      std::vector<RID> rids;
+      LEXEQUAL_ASSIGN_OR_RETURN(rids,
+                                info->phonetic_index->btree->ScanEqual(key));
+      if (stats != nullptr) stats->rows_scanned += rids.size();
+      RidLookupExecutor lookup(info, std::move(rids));
+      LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
+      Tuple row;
+      while (true) {
+        bool has;
+        LEXEQUAL_ASSIGN_OR_RETURN(has, lookup.Next(&row));
+        if (!has) break;
+        if (!LanguageAllowed(options, row, source_col)) continue;
+        bool matched;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            matched,
+            VerifyCandidate(matcher, query_phon, row, phon_col, stats));
+        if (matched) out.push_back(row);
+      }
+      break;
+    }
+  }
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
+    const std::string& left_table, const std::string& left_column,
+    const std::string& right_table, const std::string& right_column,
+    const LexEqualQueryOptions& options, uint64_t outer_limit,
+    QueryStats* stats) {
+  TableInfo* left;
+  LEXEQUAL_ASSIGN_OR_RETURN(left, catalog_.GetTable(left_table));
+  TableInfo* right;
+  LEXEQUAL_ASSIGN_OR_RETURN(right, catalog_.GetTable(right_table));
+  uint32_t lcol;
+  LEXEQUAL_ASSIGN_OR_RETURN(lcol, left->schema.IndexOf(left_column));
+  uint32_t lphon;
+  LEXEQUAL_ASSIGN_OR_RETURN(lphon, PhonemicColumnOf(left->schema, lcol));
+  uint32_t rcol;
+  LEXEQUAL_ASSIGN_OR_RETURN(rcol, right->schema.IndexOf(right_column));
+  uint32_t rphon;
+  LEXEQUAL_ASSIGN_OR_RETURN(rphon, PhonemicColumnOf(right->schema, rcol));
+
+  match::LexEqualMatcher matcher(options.match);
+  std::vector<std::pair<Tuple, Tuple>> out;
+
+  SeqScanExecutor outer(left);
+  LEXEQUAL_RETURN_IF_ERROR(outer.Init());
+  Tuple lrow;
+  uint64_t outer_seen = 0;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, outer.Next(&lrow));
+    if (!has) break;
+    if (outer_limit > 0 && outer_seen >= outer_limit) break;
+    ++outer_seen;
+    if (stats != nullptr) ++stats->rows_scanned;
+    if (!LanguageAllowed(options, lrow, lcol)) continue;
+    PhonemeString lph;
+    LEXEQUAL_ASSIGN_OR_RETURN(lph, RowPhonemes(lrow, lphon));
+    if (lph.empty()) continue;
+    const text::Language llang = lrow[lcol].AsString().language();
+
+    auto emit_if_match = [&](const Tuple& rrow) -> Status {
+      // Fig. 5: B1.Language <> B2.Language.
+      if (rrow[rcol].AsString().language() == llang) return Status::OK();
+      if (!LanguageAllowed(options, rrow, rcol)) return Status::OK();
+      Result<bool> matched =
+          VerifyCandidate(matcher, lph, rrow, rphon, stats);
+      if (!matched.ok()) return matched.status();
+      if (matched.value()) out.emplace_back(lrow, rrow);
+      return Status::OK();
+    };
+
+    switch (options.plan) {
+      case LexEqualPlan::kNaiveUdf: {
+        SeqScanExecutor inner(right);
+        LEXEQUAL_RETURN_IF_ERROR(inner.Init());
+        Tuple rrow;
+        while (true) {
+          bool rhas;
+          LEXEQUAL_ASSIGN_OR_RETURN(rhas, inner.Next(&rrow));
+          if (!rhas) break;
+          LEXEQUAL_RETURN_IF_ERROR(emit_if_match(rrow));
+        }
+        break;
+      }
+      case LexEqualPlan::kQGramFilter: {
+        if (right->qgram_index == nullptr) {
+          return Status::NotFound("no q-gram index on '" + right_table +
+                                  "'");
+        }
+        std::vector<RID> rids;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            rids, QGramCandidates(*right, lph, options.match.threshold,
+                                  stats));
+        RidLookupExecutor lookup(right, std::move(rids));
+        LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
+        Tuple rrow;
+        while (true) {
+          bool rhas;
+          LEXEQUAL_ASSIGN_OR_RETURN(rhas, lookup.Next(&rrow));
+          if (!rhas) break;
+          LEXEQUAL_RETURN_IF_ERROR(emit_if_match(rrow));
+        }
+        break;
+      }
+      case LexEqualPlan::kPhoneticIndex: {
+        if (right->phonetic_index == nullptr) {
+          return Status::NotFound("no phonetic index on '" + right_table +
+                                  "'");
+        }
+        const uint64_t key = phonetic::GroupedPhonemeStringId(
+            lph, phonetic::ClusterTable::Default());
+        std::vector<RID> rids;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            rids, right->phonetic_index->btree->ScanEqual(key));
+        if (stats != nullptr) stats->rows_scanned += rids.size();
+        RidLookupExecutor lookup(right, std::move(rids));
+        LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
+        Tuple rrow;
+        while (true) {
+          bool rhas;
+          LEXEQUAL_ASSIGN_OR_RETURN(rhas, lookup.Next(&rrow));
+          if (!rhas) break;
+          LEXEQUAL_RETURN_IF_ERROR(emit_if_match(rrow));
+        }
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
+    const std::string& left_table, const std::string& left_column,
+    const std::string& right_table, const std::string& right_column,
+    uint64_t outer_limit, QueryStats* stats) {
+  TableInfo* left;
+  LEXEQUAL_ASSIGN_OR_RETURN(left, catalog_.GetTable(left_table));
+  TableInfo* right;
+  LEXEQUAL_ASSIGN_OR_RETURN(right, catalog_.GetTable(right_table));
+  uint32_t lcol;
+  LEXEQUAL_ASSIGN_OR_RETURN(lcol, left->schema.IndexOf(left_column));
+  uint32_t rcol;
+  LEXEQUAL_ASSIGN_OR_RETURN(rcol, right->schema.IndexOf(right_column));
+
+  // Hash the inner side on text (what a native equi-join does).
+  std::unordered_map<std::string, std::vector<Tuple>> inner;
+  {
+    SeqScanExecutor scan(right);
+    LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+    Tuple row;
+    while (true) {
+      bool has;
+      LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+      if (!has) break;
+      inner[row[rcol].AsString().text()].push_back(row);
+    }
+  }
+  std::vector<std::pair<Tuple, Tuple>> out;
+  SeqScanExecutor scan(left);
+  LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+  Tuple row;
+  uint64_t outer_seen = 0;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+    if (!has) break;
+    if (outer_limit > 0 && outer_seen >= outer_limit) break;
+    ++outer_seen;
+    if (stats != nullptr) ++stats->rows_scanned;
+    auto it = inner.find(row[lcol].AsString().text());
+    if (it == inner.end()) continue;
+    const text::Language llang = row[lcol].AsString().language();
+    for (const Tuple& rrow : it->second) {
+      if (rrow[rcol].AsString().language() == llang) continue;
+      out.emplace_back(row, rrow);
+    }
+  }
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+}  // namespace lexequal::engine

@@ -1,0 +1,177 @@
+// Database: the facade tying storage, catalog, G2P, and the LexEQUAL
+// operator together — the architecture of the paper's Figure 7.
+
+#ifndef LEXEQUAL_ENGINE_DATABASE_H_
+#define LEXEQUAL_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/executor.h"
+#include "engine/expression.h"
+#include "match/lexequal.h"
+#include "match/qgram.h"
+#include "storage/buffer_pool.h"
+
+namespace lexequal::engine {
+
+/// Which physical plan evaluates a LexEQUAL predicate.
+enum class LexEqualPlan {
+  kNaiveUdf,        // full scan / NLJ + UDF (paper Table 1)
+  kQGramFilter,     // q-gram filters + UDF   (paper Table 2)
+  kPhoneticIndex,   // phonetic B-Tree + UDF  (paper Table 3)
+};
+
+std::string_view LexEqualPlanName(LexEqualPlan plan);
+
+/// Per-query knobs for LexEQUAL selections and joins.
+struct LexEqualQueryOptions {
+  match::LexEqualOptions match;
+  LexEqualPlan plan = LexEqualPlan::kNaiveUdf;
+  /// Target languages (Fig. 3 "inlanguages"); empty = all (*).
+  std::vector<text::Language> in_languages;
+};
+
+/// Execution counters for one query, used by the benchmark tables.
+struct QueryStats {
+  uint64_t rows_scanned = 0;     // tuples pulled from base tables
+  uint64_t candidates = 0;       // rows reaching the UDF
+  uint64_t udf_calls = 0;        // exact matcher invocations
+  uint64_t results = 0;          // rows returned
+};
+
+/// A single-file embedded database with the LexEQUAL extension.
+///
+/// Catalog persistence: page 0 holds a meta heap of catalog snapshot
+/// records (table schemas, heap roots, index roots). Flush() writes a
+/// fresh snapshot, so a database that was Flush()ed reopens with all
+/// tables and indexes intact. DDL (CreateTable / Create*Index) also
+/// snapshots immediately.
+class Database {
+ public:
+  /// Opens (creating if necessary) the page file at `path` with a
+  /// buffer pool of `pool_pages` frames. Reloads the persisted
+  /// catalog when the file is non-empty.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                size_t pool_pages = 4096);
+
+  ~Database();
+
+  /// Creates a table. Columns with `phonemic_source` set are derived:
+  /// filled on insert with the IPA transform of the source column
+  /// (rows whose language has no converter get an empty phonemic
+  /// string, which never matches).
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Inserts a row; `user_values` covers the non-derived columns in
+  /// schema order.
+  Result<storage::RID> Insert(const std::string& table,
+                              const Tuple& user_values);
+
+  Result<TableInfo*> GetTable(const std::string& name) const {
+    return catalog_.GetTable(name);
+  }
+
+  /// Builds the phonetic (grouped phoneme string id) B-Tree over an
+  /// existing phonemic column (paper §5.3). Covers existing rows and
+  /// is maintained by subsequent inserts.
+  Status CreatePhoneticIndex(const std::string& table,
+                             const std::string& phonemic_column);
+
+  /// Builds the auxiliary q-gram table + gram B-Tree (paper §5.2).
+  Status CreateQGramIndex(const std::string& table,
+                          const std::string& phonemic_column, int q = 2);
+
+  /// SELECT * FROM `table` WHERE `column` = literal (native equality;
+  /// the Table 1 "Exact" baseline).
+  Result<std::vector<Tuple>> ExactSelect(const std::string& table,
+                                         const std::string& column,
+                                         const Value& literal,
+                                         QueryStats* stats = nullptr);
+
+  /// SELECT * FROM `table` WHERE `column` LexEQUAL query (Fig. 3).
+  /// `column` is the *source* text column; its phonemic shadow column
+  /// must exist — either declared with `phonemic_source`, or a string
+  /// column named "<column>_phon" holding caller-materialized IPA.
+  Result<std::vector<Tuple>> LexEqualSelect(
+      const std::string& table, const std::string& column,
+      const text::TaggedString& query, const LexEqualQueryOptions& options,
+      QueryStats* stats = nullptr);
+
+  /// Phoneme-space variant: the query is already transformed (used
+  /// when the caller holds phonemic strings, e.g. the benches that
+  /// probe with stored phonemes).
+  Result<std::vector<Tuple>> LexEqualSelectPhonemes(
+      const std::string& table, const std::string& column,
+      const phonetic::PhonemeString& query_phon,
+      const LexEqualQueryOptions& options, QueryStats* stats = nullptr);
+
+  /// SELECT pairs FROM t1, t2 WHERE t1.c1 LexEQUAL t2.c2 AND
+  /// t1.language <> t2.language (Fig. 5). `outer_limit` caps the
+  /// number of outer rows (0 = all) — the paper ran the naive UDF
+  /// join on a 0.2% subset for tractability (footnote 3).
+  Result<std::vector<std::pair<Tuple, Tuple>>> LexEqualJoin(
+      const std::string& left_table, const std::string& left_column,
+      const std::string& right_table, const std::string& right_column,
+      const LexEqualQueryOptions& options, uint64_t outer_limit = 0,
+      QueryStats* stats = nullptr);
+
+  /// Exact-match join baseline (text equality on the two columns,
+  /// different languages), for Table 1's "Exact Join" row.
+  Result<std::vector<std::pair<Tuple, Tuple>>> ExactJoin(
+      const std::string& left_table, const std::string& left_column,
+      const std::string& right_table, const std::string& right_column,
+      uint64_t outer_limit = 0, QueryStats* stats = nullptr);
+
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+  UdfRegistry* udf_registry() { return &udfs_; }
+  const g2p::G2PRegistry& g2p() const { return *g2p_; }
+  Catalog* catalog() { return &catalog_; }
+
+  /// Snapshots the catalog (current index roots included) and flushes
+  /// all dirty pages. Call before closing to make the file reopenable
+  /// with its tables and indexes.
+  Status Flush();
+
+ private:
+  Database(std::unique_ptr<storage::DiskManager> disk,
+           std::unique_ptr<storage::BufferPool> pool);
+
+  // Catalog persistence: snapshot records in the meta heap (page 0).
+  Status SaveCatalog();
+  Status LoadCatalog();
+
+  // Shared verification step: parse the candidate's phonemic cell and
+  // run the exact matcher.
+  Result<bool> VerifyCandidate(const match::LexEqualMatcher& matcher,
+                               const phonetic::PhonemeString& query_phon,
+                               const Tuple& row, uint32_t phon_col,
+                               QueryStats* stats) const;
+
+  // Candidate RIDs from the q-gram access path for one probe string.
+  // The filters use the paper's Fig. 14 semantics: the edit budget is
+  // k = threshold * min(|query|, |candidate|) counted in unit edits,
+  // so the candidate set is exact for Levenshtein costs and may lose
+  // a few clustered-cost matches (documented in DESIGN.md).
+  Result<std::vector<storage::RID>> QGramCandidates(
+      const TableInfo& table, const phonetic::PhonemeString& query_phon,
+      double threshold, QueryStats* stats) const;
+
+  // True if the row's language passes the inlanguages clause.
+  static bool LanguageAllowed(const LexEqualQueryOptions& options,
+                              const Tuple& row, uint32_t source_col);
+
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  const g2p::G2PRegistry* g2p_;
+  std::unique_ptr<storage::HeapFile> meta_;  // catalog snapshots
+  int64_t catalog_version_ = 0;
+};
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_DATABASE_H_

@@ -1,0 +1,172 @@
+#include "engine/executor.h"
+
+#include <map>
+
+namespace lexequal::engine {
+
+Status SeqScanExecutor::Init() {
+  it_.emplace(table_->heap->Begin());
+  return Status::OK();
+}
+
+Result<bool> SeqScanExecutor::Next(Tuple* out) {
+  if (!it_.has_value()) return Status::Internal("scan not initialized");
+  if (it_->AtEnd()) return false;
+  Result<Tuple> tuple = DeserializeTuple(it_->record());
+  if (!tuple.ok()) return tuple.status();
+  rid_ = it_->rid();
+  *out = std::move(tuple).value();
+  LEXEQUAL_RETURN_IF_ERROR(it_->Next());
+  return true;
+}
+
+Result<bool> RidLookupExecutor::Next(Tuple* out) {
+  while (pos_ < rids_.size()) {
+    Result<std::string> rec = table_->heap->Get(rids_[pos_]);
+    ++pos_;
+    if (!rec.ok()) {
+      if (rec.status().IsNotFound()) continue;  // deleted since indexed
+      return rec.status();
+    }
+    Result<Tuple> tuple = DeserializeTuple(rec.value());
+    if (!tuple.ok()) return tuple.status();
+    *out = std::move(tuple).value();
+    return true;
+  }
+  return false;
+}
+
+Result<bool> FilterExecutor::Next(Tuple* out) {
+  Tuple tuple;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, child_->Next(&tuple));
+    if (!has) return false;
+    bool pass;
+    LEXEQUAL_ASSIGN_OR_RETURN(pass, EvalPredicate(*predicate_, tuple));
+    if (pass) {
+      *out = std::move(tuple);
+      return true;
+    }
+  }
+}
+
+Result<bool> ProjectionExecutor::Next(Tuple* out) {
+  Tuple tuple;
+  bool has;
+  LEXEQUAL_ASSIGN_OR_RETURN(has, child_->Next(&tuple));
+  if (!has) return false;
+  Tuple projected;
+  projected.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    Value v;
+    LEXEQUAL_ASSIGN_OR_RETURN(v, e->Eval(tuple));
+    projected.push_back(std::move(v));
+  }
+  *out = std::move(projected);
+  return true;
+}
+
+Status NestedLoopJoinExecutor::Init() {
+  LEXEQUAL_RETURN_IF_ERROR(left_->Init());
+  LEXEQUAL_RETURN_IF_ERROR(right_->Init());
+  left_valid_ = false;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinExecutor::Next(Tuple* out) {
+  Tuple right_tuple;
+  while (true) {
+    if (!left_valid_) {
+      bool has;
+      LEXEQUAL_ASSIGN_OR_RETURN(has, left_->Next(&left_tuple_));
+      if (!has) return false;
+      left_valid_ = true;
+      LEXEQUAL_RETURN_IF_ERROR(right_->Init());  // rewind inner
+    }
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, right_->Next(&right_tuple));
+    if (!has) {
+      left_valid_ = false;  // advance outer
+      continue;
+    }
+    Tuple joined = left_tuple_;
+    joined.insert(joined.end(), right_tuple.begin(), right_tuple.end());
+    if (predicate_ != nullptr) {
+      bool pass;
+      LEXEQUAL_ASSIGN_OR_RETURN(pass, EvalPredicate(*predicate_, joined));
+      if (!pass) continue;
+    }
+    *out = std::move(joined);
+    return true;
+  }
+}
+
+Result<bool> LimitExecutor::Next(Tuple* out) {
+  if (seen_ >= limit_) return false;
+  bool has;
+  LEXEQUAL_ASSIGN_OR_RETURN(has, child_->Next(out));
+  if (!has) return false;
+  ++seen_;
+  return true;
+}
+
+Status HashGroupByExecutor::Init() {
+  LEXEQUAL_RETURN_IF_ERROR(child_->Init());
+  groups_.clear();
+  pos_ = 0;
+
+  // Group key rendered as a string (types are few and serialization
+  // is canonical, so display form is a safe hash key here).
+  std::map<std::string, std::pair<Tuple, int64_t>> groups;
+  Tuple row;
+  while (true) {
+    Result<bool> has = child_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    Tuple key_values;
+    std::string key;
+    for (const ExprPtr& k : keys_) {
+      Result<Value> v = k->Eval(row);
+      if (!v.ok()) return v.status();
+      key += v->ToDisplayString();
+      key.push_back('\x1F');
+      key_values.push_back(std::move(v).value());
+    }
+    auto [it, inserted] =
+        groups.try_emplace(key, std::move(key_values), 0);
+    ++it->second.second;
+  }
+  for (auto& [key, group] : groups) {
+    Tuple out = std::move(group.first);
+    out.push_back(Value::Int64(group.second));
+    if (having_ != nullptr) {
+      Result<bool> pass = EvalPredicate(*having_, out);
+      if (!pass.ok()) return pass.status();
+      if (!pass.value()) continue;
+    }
+    groups_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashGroupByExecutor::Next(Tuple* out) {
+  if (pos_ >= groups_.size()) return false;
+  *out = groups_[pos_++];
+  return true;
+}
+
+Result<std::vector<Tuple>> Collect(Executor& executor) {
+  LEXEQUAL_RETURN_IF_ERROR(executor.Init());
+  std::vector<Tuple> out;
+  Tuple tuple;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, executor.Next(&tuple));
+    if (!has) break;
+    out.push_back(tuple);
+  }
+  return out;
+}
+
+}  // namespace lexequal::engine

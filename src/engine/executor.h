@@ -1,0 +1,154 @@
+// Volcano-style executors. Each Next() produces one tuple; joins
+// concatenate child tuples.
+
+#ifndef LEXEQUAL_ENGINE_EXECUTOR_H_
+#define LEXEQUAL_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/catalog.h"
+#include "engine/expression.h"
+#include "storage/heap_file.h"
+
+namespace lexequal::engine {
+
+/// Pull-based operator. Protocol: Init() once, then Next(&t) until it
+/// returns false. Re-Init() rewinds (used by nested-loop join).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual Status Init() = 0;
+  /// Fills `out` and returns true, or returns false at end of stream.
+  virtual Result<bool> Next(Tuple* out) = 0;
+};
+
+using ExecutorPtr = std::unique_ptr<Executor>;
+
+/// Full scan of a table's heap.
+class SeqScanExecutor final : public Executor {
+ public:
+  explicit SeqScanExecutor(const TableInfo* table) : table_(table) {}
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+  /// RID of the tuple most recently returned.
+  const storage::RID& current_rid() const { return rid_; }
+
+ private:
+  const TableInfo* table_;
+  std::optional<storage::HeapFile::Iterator> it_;
+  storage::RID rid_;
+};
+
+/// Fetches explicit RIDs from a table (index scan tail).
+class RidLookupExecutor final : public Executor {
+ public:
+  RidLookupExecutor(const TableInfo* table,
+                    std::vector<storage::RID> rids)
+      : table_(table), rids_(std::move(rids)) {}
+  Status Init() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  const TableInfo* table_;
+  std::vector<storage::RID> rids_;
+  size_t pos_ = 0;
+};
+
+/// Filters child tuples by a predicate expression.
+class FilterExecutor final : public Executor {
+ public:
+  FilterExecutor(ExecutorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  Status Init() override { return child_->Init(); }
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  ExecutorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Projects child tuples through expressions.
+class ProjectionExecutor final : public Executor {
+ public:
+  ProjectionExecutor(ExecutorPtr child, std::vector<ExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+  Status Init() override { return child_->Init(); }
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  ExecutorPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+/// Tuple-nested-loop join with an optional join predicate over the
+/// concatenated tuple — the plan the paper's optimizer chose for the
+/// UDF join ("the optimizer chose a nested-loop technique").
+class NestedLoopJoinExecutor final : public Executor {
+ public:
+  NestedLoopJoinExecutor(ExecutorPtr left, ExecutorPtr right,
+                         ExprPtr predicate)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        predicate_(std::move(predicate)) {}
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  ExecutorPtr left_;
+  ExecutorPtr right_;
+  ExprPtr predicate_;  // may be null (cross product)
+  Tuple left_tuple_;
+  bool left_valid_ = false;
+};
+
+/// Caps the stream at `limit` tuples.
+class LimitExecutor final : public Executor {
+ public:
+  LimitExecutor(ExecutorPtr child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+  Status Init() override {
+    seen_ = 0;
+    return child_->Init();
+  }
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  ExecutorPtr child_;
+  uint64_t limit_;
+  uint64_t seen_ = 0;
+};
+
+/// Hash aggregation: groups child tuples by key expressions and
+/// emits one tuple per group of the form [key..., COUNT(*)], with an
+/// optional HAVING predicate evaluated over that output row — the
+/// GROUP BY / HAVING shape of the paper's Fig. 14 q-gram SQL.
+class HashGroupByExecutor final : public Executor {
+ public:
+  HashGroupByExecutor(ExecutorPtr child, std::vector<ExprPtr> keys,
+                      ExprPtr having)
+      : child_(std::move(child)),
+        keys_(std::move(keys)),
+        having_(std::move(having)) {}
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  ExecutorPtr child_;
+  std::vector<ExprPtr> keys_;
+  ExprPtr having_;  // may be null
+  std::vector<Tuple> groups_;
+  size_t pos_ = 0;
+};
+
+/// Drains an executor into a vector.
+Result<std::vector<Tuple>> Collect(Executor& executor);
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_EXECUTOR_H_

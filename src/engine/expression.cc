@@ -1,0 +1,97 @@
+#include "engine/expression.h"
+
+namespace lexequal::engine {
+
+namespace {
+
+Value Bool(bool b) { return Value::Int64(b ? 1 : 0); }
+
+bool Truthy(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return v.AsInt64() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Value> CompareExpr::Eval(const Tuple& tuple) const {
+  Value l;
+  LEXEQUAL_ASSIGN_OR_RETURN(l, left_->Eval(tuple));
+  Value r;
+  LEXEQUAL_ASSIGN_OR_RETURN(r, right_->Eval(tuple));
+  switch (op_) {
+    case CompareOp::kEq:
+      return Bool(l == r);
+    case CompareOp::kNe:
+      return Bool(!(l == r));
+    case CompareOp::kEqTextOnly:
+    case CompareOp::kNeTextOnly: {
+      if (l.type() != ValueType::kString ||
+          r.type() != ValueType::kString) {
+        const bool eq = l == r;
+        return Bool(op_ == CompareOp::kEqTextOnly ? eq : !eq);
+      }
+      const bool eq = l.AsString().text() == r.AsString().text();
+      return Bool(op_ == CompareOp::kEqTextOnly ? eq : !eq);
+    }
+  }
+  return Status::Internal("unhandled compare op");
+}
+
+Result<Value> LogicExpr::Eval(const Tuple& tuple) const {
+  Value l;
+  LEXEQUAL_ASSIGN_OR_RETURN(l, left_->Eval(tuple));
+  // Short-circuit where sound.
+  if (op_ == LogicOp::kAnd && !Truthy(l)) return Bool(false);
+  if (op_ == LogicOp::kOr && Truthy(l)) return Bool(true);
+  Value r;
+  LEXEQUAL_ASSIGN_OR_RETURN(r, right_->Eval(tuple));
+  return Bool(Truthy(r));
+}
+
+Result<Value> NotExpr::Eval(const Tuple& tuple) const {
+  Value v;
+  LEXEQUAL_ASSIGN_OR_RETURN(v, child_->Eval(tuple));
+  return Bool(!Truthy(v));
+}
+
+Status UdfRegistry::Register(std::string name, UdfFn fn) {
+  if (udfs_.count(name) > 0) {
+    return Status::AlreadyExists("UDF '" + name + "' already registered");
+  }
+  udfs_[std::move(name)] = std::move(fn);
+  return Status::OK();
+}
+
+Result<const UdfFn*> UdfRegistry::Lookup(const std::string& name) const {
+  auto it = udfs_.find(name);
+  if (it == udfs_.end()) {
+    return Status::NotFound("no UDF named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<Value> UdfExpr::Eval(const Tuple& tuple) const {
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& arg : args_) {
+    Value v;
+    LEXEQUAL_ASSIGN_OR_RETURN(v, arg->Eval(tuple));
+    args.push_back(std::move(v));
+  }
+  return (*fn_)(args);
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const Tuple& tuple) {
+  Value v;
+  LEXEQUAL_ASSIGN_OR_RETURN(v, expr.Eval(tuple));
+  return Truthy(v);
+}
+
+}  // namespace lexequal::engine

@@ -1,0 +1,130 @@
+// Expression trees evaluated over tuples, including UDF calls — the
+// mechanism the paper uses to add LexEQUAL to a server that lacks it
+// ("all commercial database systems allow User-defined Functions").
+
+#ifndef LEXEQUAL_ENGINE_EXPRESSION_H_
+#define LEXEQUAL_ENGINE_EXPRESSION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/value.h"
+
+namespace lexequal::engine {
+
+/// Base expression. Booleans are Int64 0/1.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual Result<Value> Eval(const Tuple& tuple) const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// References the tuple cell at a fixed ordinal (after join, ordinals
+/// index the concatenated row).
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(uint32_t index) : index_(index) {}
+  Result<Value> Eval(const Tuple& tuple) const override {
+    if (index_ >= tuple.size()) {
+      return Status::OutOfRange("column ordinal " +
+                                std::to_string(index_) +
+                                " beyond tuple width");
+    }
+    return tuple[index_];
+  }
+  uint32_t index() const { return index_; }
+
+ private:
+  uint32_t index_;
+};
+
+/// A literal.
+class ConstExpr final : public Expr {
+ public:
+  explicit ConstExpr(Value value) : value_(std::move(value)) {}
+  Result<Value> Eval(const Tuple&) const override { return value_; }
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// Comparison operators. Strings compare by (language, text) for
+/// equality — the SQL:1999 binary behaviour across collations the
+/// paper contrasts LexEQUAL with. kEqTextOnly ignores the tag.
+enum class CompareOp { kEq, kNe, kEqTextOnly, kNeTextOnly };
+
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Result<Value> Eval(const Tuple& tuple) const override;
+
+ private:
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// Logical connectives (strict evaluation).
+enum class LogicOp { kAnd, kOr };
+
+class LogicExpr final : public Expr {
+ public:
+  LogicExpr(LogicOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Result<Value> Eval(const Tuple& tuple) const override;
+
+ private:
+  LogicOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child) : child_(std::move(child)) {}
+  Result<Value> Eval(const Tuple& tuple) const override;
+
+ private:
+  ExprPtr child_;
+};
+
+/// A user-defined function: vector of argument values -> value.
+using UdfFn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+/// Registry of UDFs by name (case-sensitive).
+class UdfRegistry {
+ public:
+  Status Register(std::string name, UdfFn fn);
+  Result<const UdfFn*> Lookup(const std::string& name) const;
+
+ private:
+  std::map<std::string, UdfFn> udfs_;
+};
+
+/// Calls a UDF with evaluated arguments. Borrows the registry entry;
+/// the registry must outlive the expression.
+class UdfExpr final : public Expr {
+ public:
+  UdfExpr(const UdfFn* fn, std::vector<ExprPtr> args)
+      : fn_(fn), args_(std::move(args)) {}
+  Result<Value> Eval(const Tuple& tuple) const override;
+
+ private:
+  const UdfFn* fn_;
+  std::vector<ExprPtr> args_;
+};
+
+/// Helper: evaluates `expr` as a boolean predicate.
+Result<bool> EvalPredicate(const Expr& expr, const Tuple& tuple);
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_EXPRESSION_H_

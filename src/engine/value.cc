@@ -1,0 +1,168 @@
+#include "engine/value.h"
+
+#include <cstring>
+
+namespace lexequal::engine {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadBytes(std::string_view bytes, size_t* pos, void* out,
+               size_t n) {
+  if (*pos + n > bytes.size()) return false;
+  std::memcpy(out, bytes.data() + *pos, n);
+  *pos += n;
+  return true;
+}
+
+}  // namespace
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type_) {
+    case ValueType::kInt64:
+      return std::to_string(int_);
+    case ValueType::kDouble: {
+      std::string s = std::to_string(double_);
+      // Trim trailing zeros but keep one decimal.
+      while (s.size() > 1 && s.back() == '0' &&
+             s[s.size() - 2] != '.') {
+        s.pop_back();
+      }
+      return s;
+    }
+    case ValueType::kString:
+      return string_.text();
+  }
+  return "";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case ValueType::kInt64:
+      return a.int_ == b.int_;
+    case ValueType::kDouble:
+      return a.double_ == b.double_;
+    case ValueType::kString:
+      return a.string_ == b.string_;
+  }
+  return false;
+}
+
+Result<uint32_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<uint32_t>(i);
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+size_t Schema::UserColumnCount() const {
+  size_t n = 0;
+  for (const Column& c : columns_) {
+    if (!c.phonemic_source.has_value()) ++n;
+  }
+  return n;
+}
+
+std::string SerializeTuple(const Tuple& tuple) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(tuple.size()));
+  for (const Value& v : tuple) {
+    out.push_back(static_cast<char>(v.type()));
+    switch (v.type()) {
+      case ValueType::kInt64:
+        AppendU64(&out, static_cast<uint64_t>(v.AsInt64()));
+        break;
+      case ValueType::kDouble: {
+        double d = v.AsDouble();
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        AppendU64(&out, bits);
+        break;
+      }
+      case ValueType::kString: {
+        const text::TaggedString& s = v.AsString();
+        out.push_back(static_cast<char>(s.language()));
+        AppendU32(&out, static_cast<uint32_t>(s.text().size()));
+        out.append(s.text());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Tuple> DeserializeTuple(std::string_view bytes) {
+  size_t pos = 0;
+  uint32_t count;
+  if (!ReadBytes(bytes, &pos, &count, sizeof(count))) {
+    return Status::Corruption("truncated tuple header");
+  }
+  Tuple tuple;
+  tuple.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t type_byte;
+    if (!ReadBytes(bytes, &pos, &type_byte, 1)) {
+      return Status::Corruption("truncated tuple cell type");
+    }
+    switch (static_cast<ValueType>(type_byte)) {
+      case ValueType::kInt64: {
+        uint64_t v;
+        if (!ReadBytes(bytes, &pos, &v, sizeof(v))) {
+          return Status::Corruption("truncated int cell");
+        }
+        tuple.push_back(Value::Int64(static_cast<int64_t>(v)));
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits;
+        if (!ReadBytes(bytes, &pos, &bits, sizeof(bits))) {
+          return Status::Corruption("truncated double cell");
+        }
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        tuple.push_back(Value::Double(d));
+        break;
+      }
+      case ValueType::kString: {
+        uint8_t lang;
+        uint32_t len;
+        if (!ReadBytes(bytes, &pos, &lang, 1) ||
+            !ReadBytes(bytes, &pos, &len, sizeof(len)) ||
+            pos + len > bytes.size()) {
+          return Status::Corruption("truncated string cell");
+        }
+        tuple.push_back(Value::String(
+            std::string(bytes.substr(pos, len)),
+            static_cast<text::Language>(lang)));
+        pos += len;
+        break;
+      }
+      default:
+        return Status::Corruption("unknown cell type " +
+                                  std::to_string(type_byte));
+    }
+  }
+  return tuple;
+}
+
+}  // namespace lexequal::engine

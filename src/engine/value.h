@@ -1,0 +1,121 @@
+// Value, Schema, Tuple: the engine's data model.
+//
+// Multilingual strings are first-class: every string value carries
+// its language tag, mirroring the paper's assumption of Unicode data
+// "with each attribute value tagged with its language".
+
+#ifndef LEXEQUAL_ENGINE_VALUE_H_
+#define LEXEQUAL_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "text/language.h"
+#include "text/tagged_string.h"
+
+namespace lexequal::engine {
+
+/// Column/value types.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+std::string_view ValueTypeName(ValueType type);
+
+/// A dynamically typed cell.
+class Value {
+ public:
+  Value() : type_(ValueType::kInt64), int_(0) {}
+
+  static Value Int64(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt64;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value String(std::string s, text::Language lang =
+                                         text::Language::kUnknown) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = text::TaggedString(std::move(s), lang);
+    return out;
+  }
+  static Value String(text::TaggedString s) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = std::move(s);
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+  int64_t AsInt64() const { return int_; }
+  double AsDouble() const { return double_; }
+  const text::TaggedString& AsString() const { return string_; }
+
+  /// Rendering for result display ("Nehru", "9.95", "250").
+  std::string ToDisplayString() const;
+
+  /// Typed equality; values of different types never compare equal.
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  text::TaggedString string_;
+};
+
+/// One column of a schema. `phonemic_source` marks a derived column:
+/// the engine fills it with the IPA transform of the column at that
+/// ordinal on every insert (the paper's materialized phonemic
+/// representation).
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+  std::optional<uint32_t> phonemic_source;
+};
+
+/// An ordered set of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Ordinal of a named column, or NotFound.
+  Result<uint32_t> IndexOf(std::string_view name) const;
+
+  /// Count of columns the user supplies on insert (non-derived).
+  size_t UserColumnCount() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A row: one Value per schema column.
+using Tuple = std::vector<Value>;
+
+/// Serializes a tuple for heap storage (self-describing cells).
+std::string SerializeTuple(const Tuple& tuple);
+
+/// Inverse of SerializeTuple; fails on corrupt bytes.
+Result<Tuple> DeserializeTuple(std::string_view bytes);
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_VALUE_H_

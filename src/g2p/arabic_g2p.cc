@@ -1,0 +1,181 @@
+#include "g2p/arabic_g2p.h"
+
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+// Consonant letters (kNumPhonemes = not a consonant letter).
+Phoneme Consonant(uint32_t cp) {
+  switch (cp) {
+    case 0x0628: return P::kB;    // ب
+    case 0x062A: return P::kT;    // ت
+    case 0x062B: return P::kThF;  // ث
+    case 0x062C: return P::kJh;   // ج
+    case 0x062D: return P::kH;    // ح (pharyngeal -> h)
+    case 0x062E: return P::kX;    // خ
+    case 0x062F: return P::kD;    // د
+    case 0x0630: return P::kDhF;  // ذ
+    case 0x0631: return P::kR;    // ر
+    case 0x0632: return P::kZ;    // ز
+    case 0x0633: return P::kS;    // س
+    case 0x0634: return P::kSh;   // ش
+    case 0x0635: return P::kS;    // ص (emphatic -> s)
+    case 0x0636: return P::kD;    // ض
+    case 0x0637: return P::kT;    // ط
+    case 0x0638: return P::kZ;    // ظ
+    case 0x063A: return P::kGhF;  // غ
+    case 0x0641: return P::kF;    // ف
+    case 0x0642: return P::kK;    // ق (uvular -> k)
+    case 0x0643: return P::kK;    // ك
+    case 0x0644: return P::kL;    // ل
+    case 0x0645: return P::kM;    // م
+    case 0x0646: return P::kN;    // ن
+    case 0x0647: return P::kH;    // ه
+    case 0x067E: return P::kP;    // پ (Persian)
+    case 0x0686: return P::kCh;   // چ (Persian)
+    case 0x06AF: return P::kG;    // گ (Persian)
+    case 0x06A4: return P::kV;    // ڤ
+    default:
+      return P::kNumPhonemes;
+  }
+}
+
+bool IsVowelP(Phoneme p) { return phonetic::IsVowel(p); }
+
+}  // namespace
+
+Result<std::unique_ptr<ArabicG2P>> ArabicG2P::Create() {
+  return std::unique_ptr<ArabicG2P>(new ArabicG2P());
+}
+
+Result<phonetic::PhonemeString> ArabicG2P::ToPhonemes(
+    std::string_view utf8) const {
+  const std::vector<uint32_t> cps = text::DecodeUtf8(utf8);
+  std::vector<Phoneme> out;
+  out.reserve(cps.size());
+
+  auto last = [&]() -> Phoneme {
+    return out.empty() ? P::kNumPhonemes : out.back();
+  };
+
+  size_t i = 0;
+  const size_t n = cps.size();
+  while (i < n) {
+    const uint32_t cp = cps[i];
+
+    Phoneme cons = Consonant(cp);
+    if (cons != P::kNumPhonemes) {
+      out.push_back(cons);
+      ++i;
+      continue;
+    }
+
+    switch (cp) {
+      // Alif family: the long open vowel.
+      case 0x0627:  // ا
+      case 0x0622:  // آ
+      case 0x0623:  // أ
+      case 0x0625:  // إ
+      case 0x0671:  // ٱ
+        out.push_back(P::kA);
+        ++i;
+        break;
+      case 0x0649:  // ى alif maqsura
+        out.push_back(P::kA);
+        ++i;
+        break;
+      case 0x0629:  // ة ta marbuta: word-final -a(t); folded to a
+        out.push_back(P::kA);
+        ++i;
+        break;
+      case 0x0648:  // و: w before a vowel, long u otherwise
+        if (i + 1 < n &&
+            (cps[i + 1] == 0x0627 || cps[i + 1] == 0x064E ||
+             cps[i + 1] == 0x0650)) {
+          out.push_back(P::kW);
+        } else if (out.empty() || !IsVowelP(last())) {
+          out.push_back(P::kU);
+        } else {
+          out.push_back(P::kW);
+        }
+        ++i;
+        break;
+      case 0x064A:  // ي: j before a vowel, long i otherwise
+        if (i + 1 < n && cps[i + 1] == 0x0627) {
+          out.push_back(P::kJ);
+        } else if (out.empty() || !IsVowelP(last())) {
+          out.push_back(P::kI);
+        } else {
+          out.push_back(P::kJ);
+        }
+        ++i;
+        break;
+      // Short-vowel diacritics (present only in vocalized text).
+      case 0x064E:  // fatha
+        out.push_back(P::kA);
+        ++i;
+        break;
+      case 0x064F:  // damma
+        out.push_back(P::kUh);
+        ++i;
+        break;
+      case 0x0650:  // kasra
+        out.push_back(P::kIh);
+        ++i;
+        break;
+      case 0x064B:  // fathatan -> an
+        out.push_back(P::kA);
+        out.push_back(P::kN);
+        ++i;
+        break;
+      case 0x064C:  // dammatan -> un
+        out.push_back(P::kUh);
+        out.push_back(P::kN);
+        ++i;
+        break;
+      case 0x064D:  // kasratan -> in
+        out.push_back(P::kIh);
+        out.push_back(P::kN);
+        ++i;
+        break;
+      case 0x0651:  // shadda: geminate the previous consonant
+        if (!out.empty() && !IsVowelP(out.back())) {
+          out.push_back(out.back());
+        }
+        ++i;
+        break;
+      case 0x0652:  // sukun: explicit vowel absence
+      case 0x0621:  // ء hamza (glottal stop: dropped)
+      case 0x0624:  // ؤ
+      case 0x0626:  // ئ
+      case 0x0639:  // ع ain (pharyngeal: dropped, as in loan practice)
+      case 0x0640:  // ـ tatweel
+      case 0x200C:
+      case 0x200D:
+      case ' ':
+      case '-':
+      case '.':
+      case 0x060C:  // Arabic comma
+        ++i;
+        break;
+      default:
+        if (cp >= 0x0660 && cp <= 0x0669) {  // digits
+          ++i;
+          break;
+        }
+        return Status::InvalidArgument("unexpected code point U+" +
+                                       std::to_string(cp) +
+                                       " in Arabic text");
+    }
+  }
+  return phonetic::PhonemeString(std::move(out));
+}
+
+}  // namespace lexequal::g2p

@@ -1,0 +1,39 @@
+// Arabic grapheme-to-phoneme converter.
+
+#ifndef LEXEQUAL_G2P_ARABIC_G2P_H_
+#define LEXEQUAL_G2P_ARABIC_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+
+namespace lexequal::g2p {
+
+/// Arabic is an abjad: short vowels are normally unwritten. The
+/// converter emits the consonant skeleton, long vowels (ا و ي), and
+/// any short-vowel diacritics that are present (fatha/damma/kasra,
+/// shadda gemination, tanwin). Emphatic consonants fold to their
+/// plain counterparts and the pharyngeals (ع ح) to their nearest
+/// glottal sounds — the same phoneme-set flattening the paper's IPA
+/// pipeline applies everywhere else.
+///
+/// Unvocalized text therefore yields sparser vowels than a
+/// romanization; the weak-vowel-tolerant cost model absorbs much of
+/// that (see the Al-Qaeda test), but matching unvocalized Arabic
+/// remains the hardest configuration, as the paper's §2.1 anticipates
+/// for vocalization-dependent scripts.
+class ArabicG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<ArabicG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kArabic;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_ARABIC_G2P_H_

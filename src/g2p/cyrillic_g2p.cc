@@ -1,0 +1,122 @@
+#include "g2p/cyrillic_g2p.h"
+
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+// Lowercases Cyrillic (А..Я -> а..я, Ё -> ё).
+uint32_t FoldCyrillic(uint32_t cp) {
+  if (cp >= 0x0410 && cp <= 0x042F) return cp + 0x20;
+  if (cp == 0x0401) return 0x0451;  // Ё
+  return cp;
+}
+
+bool IsCyrillicVowelLetter(uint32_t cp) {
+  switch (cp) {
+    case 0x0430:  // а
+    case 0x0435:  // е
+    case 0x0451:  // ё
+    case 0x0438:  // и
+    case 0x043E:  // о
+    case 0x0443:  // у
+    case 0x044B:  // ы
+    case 0x044D:  // э
+    case 0x044E:  // ю
+    case 0x044F:  // я
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CyrillicG2P>> CyrillicG2P::Create() {
+  return std::unique_ptr<CyrillicG2P>(new CyrillicG2P());
+}
+
+Result<phonetic::PhonemeString> CyrillicG2P::ToPhonemes(
+    std::string_view utf8) const {
+  std::vector<uint32_t> cps = text::DecodeUtf8(utf8);
+  for (uint32_t& cp : cps) cp = FoldCyrillic(cp);
+
+  std::vector<Phoneme> out;
+  out.reserve(cps.size());
+  for (size_t i = 0; i < cps.size(); ++i) {
+    const uint32_t cp = cps[i];
+    // The iotated vowels contribute /j/ word-initially, after another
+    // vowel, and after the signs ь/ъ.
+    const bool j_position =
+        i == 0 || IsCyrillicVowelLetter(cps[i - 1]) ||
+        cps[i - 1] == 0x044C || cps[i - 1] == 0x044A;
+    switch (cp) {
+      case 0x0430: out.push_back(P::kA); break;             // а
+      case 0x0431: out.push_back(P::kB); break;             // б
+      case 0x0432: out.push_back(P::kV); break;             // в
+      case 0x0433: out.push_back(P::kG); break;             // г
+      case 0x0434: out.push_back(P::kD); break;             // д
+      case 0x0435:                                          // е
+        if (j_position) out.push_back(P::kJ);
+        out.push_back(P::kE);
+        break;
+      case 0x0451:                                          // ё
+        if (j_position) out.push_back(P::kJ);
+        out.push_back(P::kO);
+        break;
+      case 0x0436: out.push_back(P::kZh); break;            // ж
+      case 0x0437: out.push_back(P::kZ); break;             // з
+      case 0x0438: out.push_back(P::kI); break;             // и
+      case 0x0439: out.push_back(P::kJ); break;             // й
+      case 0x043A: out.push_back(P::kK); break;             // к
+      case 0x043B: out.push_back(P::kL); break;             // л
+      case 0x043C: out.push_back(P::kM); break;             // м
+      case 0x043D: out.push_back(P::kN); break;             // н
+      case 0x043E: out.push_back(P::kO); break;             // о
+      case 0x043F: out.push_back(P::kP); break;             // п
+      case 0x0440: out.push_back(P::kR); break;             // р
+      case 0x0441: out.push_back(P::kS); break;             // с
+      case 0x0442: out.push_back(P::kT); break;             // т
+      case 0x0443: out.push_back(P::kU); break;             // у
+      case 0x0444: out.push_back(P::kF); break;             // ф
+      case 0x0445: out.push_back(P::kX); break;             // х
+      case 0x0446:                                          // ц -> ts
+        out.push_back(P::kT);
+        out.push_back(P::kS);
+        break;
+      case 0x0447: out.push_back(P::kCh); break;            // ч
+      case 0x0448: out.push_back(P::kSh); break;            // ш
+      case 0x0449:                                          // щ -> ʃtʃ
+        out.push_back(P::kSh);
+        out.push_back(P::kCh);
+        break;
+      case 0x044A:                                          // ъ silent
+      case 0x044C:                                          // ь silent
+        break;
+      case 0x044B: out.push_back(P::kIh); break;            // ы
+      case 0x044D: out.push_back(P::kEh); break;            // э
+      case 0x044E:                                          // ю
+        if (j_position) out.push_back(P::kJ);
+        out.push_back(P::kU);
+        break;
+      case 0x044F:                                          // я
+        if (j_position) out.push_back(P::kJ);
+        out.push_back(P::kA);
+        break;
+      default:
+        if (cp == ' ' || cp == '-' || cp == '.' || cp == 0x2019) break;
+        return Status::InvalidArgument("unexpected code point U+" +
+                                       std::to_string(cp) +
+                                       " in Cyrillic text");
+    }
+  }
+  return phonetic::PhonemeString(std::move(out));
+}
+
+}  // namespace lexequal::g2p

@@ -1,0 +1,32 @@
+// Russian (Cyrillic script) grapheme-to-phoneme converter.
+
+#ifndef LEXEQUAL_G2P_CYRILLIC_G2P_H_
+#define LEXEQUAL_G2P_CYRILLIC_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+
+namespace lexequal::g2p {
+
+/// Russian orthography is close to phonemic for names: one letter,
+/// one sound, with the palatalizing vowels (я ю ё е) contributing a
+/// /j/ glide word-initially and after vowels/signs, and the signs
+/// (ь ъ) silent. Vowel reduction (akanye) is folded like the other
+/// converters fold allophony: orthographic values are used, which
+/// keeps the converter deterministic and round-trippable.
+class CyrillicG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<CyrillicG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kRussian;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_CYRILLIC_G2P_H_

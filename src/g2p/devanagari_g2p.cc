@@ -1,0 +1,260 @@
+#include "g2p/devanagari_g2p.h"
+
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+// Devanagari block offsets.
+constexpr uint32_t kVirama = 0x094D;
+constexpr uint32_t kAnusvara = 0x0902;
+constexpr uint32_t kCandrabindu = 0x0901;
+constexpr uint32_t kVisarga = 0x0903;
+constexpr uint32_t kNukta = 0x093C;
+
+// Consonant phoneme for code points U+0915..U+0939; kNumPhonemes for
+// non-consonants.
+Phoneme ConsonantPhoneme(uint32_t cp) {
+  switch (cp) {
+    case 0x0915: return P::kK;    // क
+    case 0x0916: return P::kKh;   // ख
+    case 0x0917: return P::kG;    // ग
+    case 0x0918: return P::kGh;   // घ
+    case 0x0919: return P::kNg;   // ङ
+    case 0x091A: return P::kCh;   // च
+    case 0x091B: return P::kChh;  // छ
+    case 0x091C: return P::kJh;   // ज
+    case 0x091D: return P::kJhh;  // झ
+    case 0x091E: return P::kNy;   // ञ
+    case 0x091F: return P::kTt;   // ट
+    case 0x0920: return P::kTth;  // ठ
+    case 0x0921: return P::kDd;   // ड
+    case 0x0922: return P::kDdh;  // ढ
+    case 0x0923: return P::kNn;   // ण
+    case 0x0924: return P::kT;    // त
+    case 0x0925: return P::kTh;   // थ
+    case 0x0926: return P::kD;    // द
+    case 0x0927: return P::kDh;   // ध
+    case 0x0928: return P::kN;    // न
+    case 0x0929: return P::kN;    // ऩ
+    case 0x092A: return P::kP;    // प
+    case 0x092B: return P::kPh;   // फ
+    case 0x092C: return P::kB;    // ब
+    case 0x092D: return P::kBh;   // भ
+    case 0x092E: return P::kM;    // म
+    case 0x092F: return P::kJ;    // य
+    case 0x0930: return P::kR;    // र
+    case 0x0931: return P::kR;    // ऱ
+    case 0x0932: return P::kL;    // ल
+    case 0x0933: return P::kLl;   // ळ
+    case 0x0934: return P::kRz;   // ऴ
+    case 0x0935: return P::kV;    // व
+    case 0x0936: return P::kSh;   // श
+    case 0x0937: return P::kSs;   // ष
+    case 0x0938: return P::kS;    // स
+    case 0x0939: return P::kH;    // ह
+    // Precomposed nukta consonants (Perso-Arabic loan sounds).
+    case 0x0958: return P::kK;    // क़ qa -> k
+    case 0x0959: return P::kX;    // ख़
+    case 0x095A: return P::kGhF;  // ग़
+    case 0x095B: return P::kZ;    // ज़
+    case 0x095C: return P::kRd;   // ड़
+    case 0x095D: return P::kRd;   // ढ़
+    case 0x095E: return P::kF;    // फ़
+    case 0x095F: return P::kJ;    // य़
+    default:
+      return P::kNumPhonemes;
+  }
+}
+
+// Applies a nukta to a base consonant phoneme.
+Phoneme ApplyNukta(Phoneme base) {
+  switch (base) {
+    case P::kK:   return P::kK;    // क़ (q), folded to k
+    case P::kKh:  return P::kX;    // ख़
+    case P::kG:   return P::kGhF;  // ग़
+    case P::kJh:  return P::kZ;    // ज़
+    case P::kDd:  return P::kRd;   // ड़
+    case P::kDdh: return P::kRd;   // ढ़
+    case P::kPh:  return P::kF;    // फ़
+    default:
+      return base;
+  }
+}
+
+// Independent vowel (U+0904..U+0914 and friends); kNumPhonemes if not.
+Phoneme IndependentVowel(uint32_t cp) {
+  switch (cp) {
+    case 0x0905: return P::kSchwa;  // अ
+    case 0x0906: return P::kA;      // आ
+    case 0x0907: return P::kIh;     // इ
+    case 0x0908: return P::kI;      // ई
+    case 0x0909: return P::kUh;     // उ
+    case 0x090A: return P::kU;      // ऊ
+    case 0x090B: return P::kRr;     // ऋ (r; the vocalic quality folds)
+    case 0x090F: return P::kE;      // ए
+    case 0x0910: return P::kEh;     // ऐ
+    case 0x0911: return P::kOh;     // ऑ
+    case 0x0913: return P::kO;      // ओ
+    case 0x0914: return P::kOh;     // औ
+    default:
+      return P::kNumPhonemes;
+  }
+}
+
+// Dependent vowel sign (matra, U+093E..U+094C); kNumPhonemes if not.
+Phoneme MatraVowel(uint32_t cp) {
+  switch (cp) {
+    case 0x093E: return P::kA;      // ा
+    case 0x093F: return P::kIh;     // ि
+    case 0x0940: return P::kI;      // ी
+    case 0x0941: return P::kUh;     // ु
+    case 0x0942: return P::kU;      // ू
+    case 0x0943: return P::kRr;     // ृ
+    case 0x0945: return P::kEh;     // ॅ
+    case 0x0947: return P::kE;      // े
+    case 0x0948: return P::kEh;     // ै
+    case 0x0949: return P::kOh;     // ॉ
+    case 0x094B: return P::kO;      // ो
+    case 0x094C: return P::kOh;     // ौ
+    default:
+      return P::kNumPhonemes;
+  }
+}
+
+// Homorganic nasal for the consonant that follows an anusvara.
+Phoneme AnusvaraBefore(Phoneme next) {
+  if (next == P::kNumPhonemes) return P::kM;  // word-final
+  const phonetic::PhonemeInfo& info = phonetic::GetPhonemeInfo(next);
+  using phonetic::Place;
+  switch (info.place) {
+    case Place::kBilabial:
+    case Place::kLabiodental:
+      return P::kM;
+    case Place::kVelar:
+      return P::kNg;
+    case Place::kPalatal:
+    case Place::kPostalveolar:
+      return P::kNy;
+    case Place::kRetroflex:
+      return P::kNn;
+    default:
+      return P::kN;
+  }
+}
+
+// True for vowel phonemes (syllable nuclei) in the working sequence.
+bool IsVowelP(Phoneme p) { return phonetic::IsVowel(p); }
+
+}  // namespace
+
+Result<std::unique_ptr<DevanagariG2P>> DevanagariG2P::Create() {
+  return std::unique_ptr<DevanagariG2P>(new DevanagariG2P());
+}
+
+Result<phonetic::PhonemeString> DevanagariG2P::ToPhonemes(
+    std::string_view utf8) const {
+  const std::vector<uint32_t> cps = text::DecodeUtf8(utf8);
+
+  // Pass 1: linearize to phonemes with explicit inherent schwas.
+  // `inherent[i]` marks schwas that came from the abugida (only those
+  // are candidates for deletion).
+  std::vector<Phoneme> seq;
+  std::vector<bool> inherent;
+  auto push = [&](Phoneme p, bool inh) {
+    seq.push_back(p);
+    inherent.push_back(inh);
+  };
+
+  size_t i = 0;
+  const size_t n = cps.size();
+  while (i < n) {
+    uint32_t cp = cps[i];
+
+    Phoneme cons = ConsonantPhoneme(cp);
+    if (cons != P::kNumPhonemes) {
+      ++i;
+      if (i < n && cps[i] == kNukta) {
+        cons = ApplyNukta(cons);
+        ++i;
+      }
+      push(cons, false);
+      if (i < n && cps[i] == kVirama) {
+        ++i;  // vowel suppressed; consonant cluster continues
+        continue;
+      }
+      Phoneme matra = i < n ? MatraVowel(cps[i]) : P::kNumPhonemes;
+      if (matra != P::kNumPhonemes) {
+        push(matra, false);
+        ++i;
+      } else {
+        push(P::kSchwa, true);  // inherent vowel
+      }
+      continue;
+    }
+
+    Phoneme vowel = IndependentVowel(cp);
+    if (vowel != P::kNumPhonemes) {
+      push(vowel, false);
+      ++i;
+      continue;
+    }
+
+    if (cp == kAnusvara || cp == kCandrabindu) {
+      // Resolve against the next consonant (peek past this sign).
+      Phoneme next = P::kNumPhonemes;
+      if (i + 1 < n) {
+        Phoneme c = ConsonantPhoneme(cps[i + 1]);
+        if (c != P::kNumPhonemes) next = c;
+      }
+      push(AnusvaraBefore(next), false);
+      ++i;
+      continue;
+    }
+    if (cp == kVisarga) {
+      push(P::kH, false);
+      ++i;
+      continue;
+    }
+    if (cp == 0x200C || cp == 0x200D ||  // ZWNJ / ZWJ
+        cp == ' ' || cp == '-' || cp == '.' || cp == kNukta ||
+        (cp >= 0x0966 && cp <= 0x096F)) {  // digits
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        "unexpected code point U+" + std::to_string(cp) +
+        " in Devanagari text");
+  }
+
+  // Pass 2: schwa deletion, in two stages so the medial rule sees the
+  // post-final-deletion form (भारत must become bʱarət, not bʱart).
+  // Stage 1: the word-final inherent schwa always deletes.
+  if (seq.size() > 1 && seq.back() == P::kSchwa && inherent.back()) {
+    seq.pop_back();
+    inherent.pop_back();
+  }
+  // Stage 2: a medial inherent schwa deletes in the V C _ C V context
+  // (the standard Hindi heuristic), left to right, non-recursively.
+  std::vector<Phoneme> out;
+  out.reserve(seq.size());
+  for (size_t k = 0; k < seq.size(); ++k) {
+    if (seq[k] == P::kSchwa && inherent[k]) {
+      const bool vc_before = k >= 2 && IsVowelP(seq[k - 2]) &&
+                             !IsVowelP(seq[k - 1]);
+      const bool cv_after = k + 2 < seq.size() && !IsVowelP(seq[k + 1]) &&
+                            IsVowelP(seq[k + 2]);
+      if (vc_before && cv_after) continue;  // delete medial schwa
+    }
+    out.push_back(seq[k]);
+  }
+  return phonetic::PhonemeString(std::move(out));
+}
+
+}  // namespace lexequal::g2p

@@ -1,0 +1,32 @@
+// Hindi (Devanagari script) grapheme-to-phoneme converter.
+
+#ifndef LEXEQUAL_G2P_DEVANAGARI_G2P_H_
+#define LEXEQUAL_G2P_DEVANAGARI_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+
+namespace lexequal::g2p {
+
+/// Devanagari is an abugida: consonants carry an inherent schwa that
+/// matras replace and the virama suppresses. Hindi additionally
+/// deletes the inherent schwa word-finally and (heuristically) in
+/// medial V.C(ə)C.V contexts — the converter implements both, plus
+/// homorganic anusvara resolution, visarga, and the nukta consonants
+/// used for Perso-Arabic loan sounds (fa, za, ...).
+class DevanagariG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<DevanagariG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kHindi;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_DEVANAGARI_G2P_H_

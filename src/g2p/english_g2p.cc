@@ -1,0 +1,230 @@
+#include "g2p/english_g2p.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "g2p/latin_util.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+// English letter-to-sound rules. Within each letter bucket the first
+// matching rule wins, so specific spellings precede defaults. The
+// final single-letter rule of every bucket is unconditional, making
+// the table total over [a-z].
+const std::vector<RewriteRule>& EnglishRules() {
+  static const std::vector<RewriteRule>& rules = *new std::vector<
+      RewriteRule>{
+      // --- A ---
+      {" ", "a", " ", "ə"},
+      {" ", "are", " ", "ɑr"},
+      {" ", "ar", "o", "ər"},
+      {"", "ar", "#", "ɛr"},
+      {" :", "any", "", "ɛni"},
+      {"", "a", "wa", "ə"},
+      {"", "augh", "", "ɔ"},
+      {"", "aw", "", "ɔ"},
+      {"", "au", "", "ɔ"},
+      {"#:", "ally", " ", "əli"},
+      {" ", "al", "#", "əl"},
+      {"", "al", "k", "ɔ"},
+      {" ", "again", " ", "əɡɛn"},
+      {"#:", "ag", "e", "ɪdʒ"},
+      {"", "arr", "", "ər"},
+      {" :", "a", "^+ ", "eɪ"},
+      {"", "a", "^%", "eɪ"},
+      {"", "a", "^+#", "eɪ"},
+      {"", "ai", "", "eɪ"},
+      {"", "ay", "", "eɪ"},
+      {"#:", "a", " ", "ə"},
+      {"", "a", "r", "ɑ"},
+      // Names domain: plain a is the open central vowel, not æ —
+      // Indian/European names and their Indic spellings agree on /a/.
+      {"", "a", "", "a"},
+      // --- B ---
+      {"", "bb", "", "b"},
+      {"", "b", "", "b"},
+      // --- C ---
+      {" ", "ch", "^", "k"},
+      {"^e", "ch", "", "k"},
+      {"", "ch", "", "tʃ"},
+      {" s", "ci", "#", "saɪ"},
+      {"", "ci", "a", "ʃ"},
+      {"", "ci", "o", "ʃ"},
+      {"", "ci", "en", "ʃ"},
+      {"", "cc", "+", "ks"},
+      {"", "cc", "", "k"},
+      {"", "ck", "", "k"},
+      {"", "c", "+", "s"},
+      {"", "c", "", "k"},
+      // --- D ---
+      {"", "dge", "", "dʒ"},
+      {"", "dd", "", "d"},
+      {"", "d", "", "d"},
+      // --- E ---
+      {"#:", "e", " ", ""},
+      {" :", "e", " ", "i"},
+      {"#:", "e", "d ", ""},
+      {"#:", "e", "s ", ""},
+      {"", "ev", "er", "ɛv"},
+      {"", "e", "^%", "i"},
+      {"#:", "er", "", "ər"},
+      {"", "ee", "", "i"},
+      {"", "earn", "", "ɜrn"},
+      {" ", "ear", "^", "ɜr"},
+      {"", "ead", "", "ɛd"},
+      {"#:", "ea", " ", "iə"},
+      {"", "ea", "", "i"},
+      {"", "eigh", "", "eɪ"},
+      {"", "ei", "", "i"},
+      {" ", "eye", "", "aɪ"},
+      {"", "ey", "", "i"},
+      {"", "eu", "", "ju"},
+      {"", "er", "", "ɜr"},
+      {"", "e", "", "ɛ"},
+      // --- F ---
+      {"", "ff", "", "f"},
+      {"", "f", "", "f"},
+      // --- G ---
+      {" ", "gh", "", "ɡ"},
+      {"", "gh", "", ""},
+      {" ", "gn", "", "n"},
+      {"", "gn", " ", "n"},
+      {"", "gi", "v", "ɡɪ"},
+      {"", "ge", "t", "ɡɛ"},
+      {"", "gg", "", "ɡ"},
+      {"", "g", "+", "dʒ"},
+      {"", "g", "", "ɡ"},
+      // --- H ---
+      // Names domain: h is audible except word-finally (Sarah) and
+      // before n (John); digraph h's (ch sh th ph gh wh) never reach
+      // these rules.
+      {"", "h", " ", ""},
+      {"", "h", "n", ""},
+      {"", "h", "", "h"},
+      // --- I ---
+      {" ", "i", " ", "aɪ"},
+      {"", "ique", "", "ik"},
+      {"", "igh", "", "aɪ"},
+      {"", "ild", "", "aɪld"},
+      {"", "ign", " ", "aɪn"},
+      {"", "ir", "#", "aɪr"},
+      {"", "ier", "", "iər"},
+      {"", "ie", "", "i"},
+      {" :", "i", "%", "aɪ"},
+      {"", "i", "%", "i"},
+      {"", "i", "^e ", "aɪ"},  // magic e: mike, kite
+      {"", "ir", "", "ɜr"},
+      {"", "i", "", "ɪ"},
+      // --- J ---
+      {"", "j", "", "dʒ"},
+      // --- K ---
+      {" ", "k", "n", ""},
+      {"", "kk", "", "k"},
+      {"", "k", "", "k"},
+      // --- L ---
+      {"", "ll", "", "l"},
+      {"", "l", "", "l"},
+      // --- M ---
+      {"", "mm", "", "m"},
+      {"", "m", "", "m"},
+      // --- N ---
+      {"", "nn", "", "n"},
+      {"", "ng", "+", "ndʒ"},
+      {"", "ng", "r", "ŋɡ"},
+      {"", "ng", "#", "ŋɡ"},
+      {"", "ng", "", "ŋ"},
+      {"", "nk", "", "ŋk"},
+      {"", "n", "", "n"},
+      // --- O ---
+      {"", "o", "^%", "oʊ"},
+      {"", "oo", "k", "ʊ"},
+      {"", "ood", "", "ʊd"},
+      {"", "oo", "", "u"},
+      {"", "o", "e", "oʊ"},
+      {"", "o", " ", "oʊ"},
+      {"", "oa", "", "oʊ"},
+      {"", "ong", "", "ɔŋ"},
+      {"", "ow", "", "oʊ"},
+      {"", "ought", "", "ɔt"},
+      {"", "ough", "", "ʌf"},
+      {"", "our", "", "ɔr"},
+      {"", "ould", "", "ʊd"},
+      {"", "ou", "", "aʊ"},
+      {"", "oy", "", "ɔɪ"},
+      {"", "oi", "", "ɔɪ"},
+      {"", "or", "", "ɔr"},
+      {"", "o", "", "ɑ"},
+      // --- P ---
+      {"", "ph", "", "f"},
+      {"", "pp", "", "p"},
+      {"", "p", "", "p"},
+      // --- Q ---
+      {"", "qu", "", "kw"},
+      {"", "q", "", "k"},
+      // --- R ---
+      {"", "rr", "", "r"},
+      {"", "r", "", "r"},
+      // --- S ---
+      {"", "sh", "", "ʃ"},
+      {"", "sch", "^", "ʃ"},
+      {"", "sch", "", "sk"},
+      {"#", "sion", "", "ʒən"},
+      {"", "sion", "", "ʃən"},
+      {"", "ss", "", "s"},
+      {"#", "s", "#", "z"},
+      {"", "s", "", "s"},
+      // --- T ---
+      {"", "tion", "", "ʃən"},
+      {"", "tia", "", "ʃə"},
+      {"", "tch", "", "tʃ"},
+      {"", "th", "", "θ"},
+      {"", "tt", "", "t"},
+      {"", "t", "", "t"},
+      // --- U ---
+      {" ", "u", " ", "ju"},
+      {" ", "u", "", "ju"},
+      {"", "uy", "", "aɪ"},
+      {"g", "u", "#", ""},  // silent u: guard, guest
+      {"", "u", "^ ", "ʌ"},
+      {"", "u", "^^", "ʌ"},
+      {"@", "u", "", "u"},
+      {"", "u", "", "u"},
+      // --- V ---
+      {"", "v", "", "v"},
+      // --- W ---
+      {" ", "wr", "", "r"},
+      {"", "wh", "o", "h"},
+      {"", "wh", "", "w"},
+      {"", "w", "", "w"},
+      // --- X ---
+      {" ", "x", "", "z"},
+      {"", "x", "", "ks"},
+      // --- Y ---
+      {"#:", "y", " ", "i"},
+      {" :", "y", " ", "aɪ"},
+      {" ", "y", "", "j"},
+      {"", "y", "", "ɪ"},
+      // --- Z ---
+      {"", "zz", "", "z"},
+      {"", "z", "", "z"},
+  };
+  return rules;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EnglishG2P>> EnglishG2P::Create() {
+  Result<RuleEngine> engine = RuleEngine::Create(EnglishRules());
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<EnglishG2P>(
+      new EnglishG2P(std::move(engine).value()));
+}
+
+Result<phonetic::PhonemeString> EnglishG2P::ToPhonemes(
+    std::string_view utf8) const {
+  return engine_.Apply(FoldLatinAccents(utf8));
+}
+
+}  // namespace lexequal::g2p

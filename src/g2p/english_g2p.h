@@ -1,0 +1,40 @@
+// English grapheme-to-phoneme converter.
+
+#ifndef LEXEQUAL_G2P_ENGLISH_G2P_H_
+#define LEXEQUAL_G2P_ENGLISH_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+#include "g2p/rule_engine.h"
+
+namespace lexequal::g2p {
+
+/// Rule-based English TTP in the NRL tradition, tuned for proper
+/// names (the paper's attribute domain). Deterministic: a given
+/// spelling always yields the same phoneme string.
+class EnglishG2P : public G2PConverter {
+ public:
+  /// Builds the converter; fails only on an internal rule-table bug.
+  static Result<std::unique_ptr<EnglishG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kEnglish;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+
+  /// The underlying engine, exposed for rule-count introspection in
+  /// tests and docs.
+  const RuleEngine& engine() const { return engine_; }
+
+ private:
+  explicit EnglishG2P(RuleEngine engine) : engine_(std::move(engine)) {}
+
+  RuleEngine engine_;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_ENGLISH_G2P_H_

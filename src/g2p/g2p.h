@@ -1,0 +1,83 @@
+// Text-to-Phoneme (TTP / G2P) conversion.
+//
+// This is the `transform` function of the LexEQUAL algorithm (Fig. 8):
+// it takes a lexicographic string in a given language and returns the
+// phonetically equivalent string in the IPA alphabet. The paper
+// integrates third-party TTP converters; here each converter is a
+// rule-based engine built from scratch (see DESIGN.md §2).
+
+#ifndef LEXEQUAL_G2P_G2P_H_
+#define LEXEQUAL_G2P_G2P_H_
+
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "phonetic/phoneme_string.h"
+#include "text/language.h"
+#include "text/tagged_string.h"
+
+namespace lexequal::g2p {
+
+/// Interface of a per-language grapheme-to-phoneme converter.
+class G2PConverter {
+ public:
+  virtual ~G2PConverter() = default;
+
+  /// Language this converter handles.
+  virtual text::Language language() const = 0;
+
+  /// Converts UTF-8 text to its phonemic representation. Characters
+  /// outside the converter's script (digits, punctuation) are skipped;
+  /// fails with InvalidArgument only on text it cannot interpret at
+  /// all.
+  virtual Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const = 0;
+};
+
+/// Registry of converters, the "lexical resources ... integrated with
+/// the query processor" of the paper's architecture (Fig. 7).
+///
+/// Thread-compatible: construct and populate once, then share.
+class G2PRegistry {
+ public:
+  G2PRegistry() = default;
+  G2PRegistry(const G2PRegistry&) = delete;
+  G2PRegistry& operator=(const G2PRegistry&) = delete;
+
+  /// Registers a converter; replaces any previous one for the same
+  /// language (user-installable resources, as in the paper).
+  void Register(std::unique_ptr<G2PConverter> converter);
+
+  /// True when a converter for `lang` is installed.
+  bool Supports(text::Language lang) const;
+
+  /// Languages with installed converters (the paper's S_L).
+  std::vector<text::Language> SupportedLanguages() const;
+
+  /// The `transform(S, L)` of Fig. 8. Returns NoResource when no
+  /// converter is installed for `lang` — the LexEQUAL NORESOURCE
+  /// outcome.
+  Result<phonetic::PhonemeString> Transform(std::string_view utf8,
+                                            text::Language lang) const;
+
+  /// Convenience overload for tagged strings.
+  Result<phonetic::PhonemeString> Transform(
+      const text::TaggedString& s) const {
+    return Transform(s.text(), s.language());
+  }
+
+  /// Registry preloaded with every bundled converter (English, Hindi,
+  /// Tamil, Greek, French, Spanish). The instance is immutable and
+  /// shared; lives for the program duration.
+  static const G2PRegistry& Default();
+
+ private:
+  std::map<text::Language, std::unique_ptr<G2PConverter>> converters_;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_G2P_H_

@@ -1,0 +1,284 @@
+#include "g2p/greek_g2p.h"
+
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+// Folds case and accents to lowercase base letters (code points in
+// the Greek and Coptic block). Returns 0 for non-letters.
+uint32_t FoldGreek(uint32_t cp) {
+  // Uppercase plain letters.
+  if (cp >= 0x0391 && cp <= 0x03A9 && cp != 0x03A2) {
+    return cp + 0x20;
+  }
+  switch (cp) {
+    case 0x0386: return 0x03B1;  // Ά
+    case 0x0388: return 0x03B5;  // Έ
+    case 0x0389: return 0x03B7;  // Ή
+    case 0x038A: return 0x03B9;  // Ί
+    case 0x038C: return 0x03BF;  // Ό
+    case 0x038E: return 0x03C5;  // Ύ
+    case 0x038F: return 0x03C9;  // Ώ
+    case 0x03AC: return 0x03B1;  // ά
+    case 0x03AD: return 0x03B5;  // έ
+    case 0x03AE: return 0x03B7;  // ή
+    case 0x03AF: return 0x03B9;  // ί
+    case 0x03CC: return 0x03BF;  // ό
+    case 0x03CD: return 0x03C5;  // ύ
+    case 0x03CE: return 0x03C9;  // ώ
+    case 0x03CA: return 0x03B9;  // ϊ
+    case 0x03CB: return 0x03C5;  // ϋ
+    case 0x0390: return 0x03B9;  // ΐ
+    case 0x03B0: return 0x03C5;  // ΰ
+    case 0x03C2: return 0x03C3;  // ς final sigma
+    default:
+      break;
+  }
+  if (cp >= 0x03B1 && cp <= 0x03C9) return cp;
+  return 0;
+}
+
+bool IsGreekVowel(uint32_t cp) {
+  switch (cp) {
+    case 0x03B1:  // α
+    case 0x03B5:  // ε
+    case 0x03B7:  // η
+    case 0x03B9:  // ι
+    case 0x03BF:  // ο
+    case 0x03C5:  // υ
+    case 0x03C9:  // ω
+      return true;
+    default:
+      return false;
+  }
+}
+
+// True when the letter starts a voiceless continuation for αυ/ευ.
+bool IsVoicelessNext(uint32_t cp) {
+  switch (cp) {
+    case 0x03B8:  // θ
+    case 0x03BA:  // κ
+    case 0x03BE:  // ξ
+    case 0x03C0:  // π
+    case 0x03C3:  // σ
+    case 0x03C4:  // τ
+    case 0x03C6:  // φ
+    case 0x03C7:  // χ
+    case 0x03C8:  // ψ
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GreekG2P>> GreekG2P::Create() {
+  return std::unique_ptr<GreekG2P>(new GreekG2P());
+}
+
+Result<phonetic::PhonemeString> GreekG2P::ToPhonemes(
+    std::string_view utf8) const {
+  std::vector<uint32_t> raw = text::DecodeUtf8(utf8);
+  std::vector<uint32_t> g;  // folded Greek letters only
+  g.reserve(raw.size());
+  for (uint32_t cp : raw) {
+    if (cp == ' ' || cp == '-' || cp == '.' || cp == 0x0384 ||
+        cp == 0x0385) {
+      continue;
+    }
+    uint32_t f = FoldGreek(cp);
+    if (f == 0) {
+      return Status::InvalidArgument("unexpected code point U+" +
+                                     std::to_string(cp) +
+                                     " in Greek text");
+    }
+    g.push_back(f);
+  }
+
+  std::vector<Phoneme> out;
+  out.reserve(g.size());
+  size_t i = 0;
+  const size_t n = g.size();
+  auto next_is = [&](uint32_t cp) { return i + 1 < n && g[i + 1] == cp; };
+
+  while (i < n) {
+    uint32_t c = g[i];
+    switch (c) {
+      case 0x03B1:  // α
+        if (next_is(0x03B9)) {  // αι -> e
+          out.push_back(P::kE);
+          i += 2;
+        } else if (next_is(0x03C5)) {  // αυ -> av / af
+          out.push_back(P::kA);
+          out.push_back(i + 2 < n && IsVoicelessNext(g[i + 2]) ? P::kF
+                                                               : P::kV);
+          i += 2;
+        } else {
+          out.push_back(P::kA);
+          ++i;
+        }
+        break;
+      case 0x03B5:  // ε
+        if (next_is(0x03B9)) {  // ει -> i
+          out.push_back(P::kI);
+          i += 2;
+        } else if (next_is(0x03C5)) {  // ευ -> ev / ef
+          out.push_back(P::kE);
+          out.push_back(i + 2 < n && IsVoicelessNext(g[i + 2]) ? P::kF
+                                                               : P::kV);
+          i += 2;
+        } else {
+          out.push_back(P::kEh);
+          ++i;
+        }
+        break;
+      case 0x03BF:  // ο
+        if (next_is(0x03B9)) {  // οι -> i
+          out.push_back(P::kI);
+          i += 2;
+        } else if (next_is(0x03C5)) {  // ου -> u
+          out.push_back(P::kU);
+          i += 2;
+        } else {
+          out.push_back(P::kO);
+          ++i;
+        }
+        break;
+      case 0x03C5:  // υ alone -> i
+        if (next_is(0x03B9)) {  // υι -> i
+          out.push_back(P::kI);
+          i += 2;
+        } else {
+          out.push_back(P::kI);
+          ++i;
+        }
+        break;
+      case 0x03B7:  // η -> i
+      case 0x03B9:  // ι
+        out.push_back(P::kI);
+        ++i;
+        break;
+      case 0x03C9:  // ω -> o
+        out.push_back(P::kO);
+        ++i;
+        break;
+      case 0x03B2:  // β -> v
+        out.push_back(P::kV);
+        ++i;
+        break;
+      case 0x03B3:  // γ
+        if (next_is(0x03BA)) {  // γκ -> g initially, ŋg medially
+          if (i != 0) out.push_back(P::kNg);
+          out.push_back(P::kG);
+          i += 2;
+        } else if (next_is(0x03B3)) {  // γγ -> ŋg
+          out.push_back(P::kNg);
+          out.push_back(P::kG);
+          i += 2;
+        } else if (i + 1 < n &&
+                   (g[i + 1] == 0x03B5 || g[i + 1] == 0x03B9 ||
+                    g[i + 1] == 0x03B7 || g[i + 1] == 0x03C5)) {
+          out.push_back(P::kJ);  // palatal before front vowels
+          ++i;
+        } else {
+          out.push_back(P::kGhF);  // ɣ
+          ++i;
+        }
+        break;
+      case 0x03B4:  // δ -> ð
+        out.push_back(P::kDhF);
+        ++i;
+        break;
+      case 0x03B6:  // ζ -> z
+        out.push_back(P::kZ);
+        ++i;
+        break;
+      case 0x03B8:  // θ
+        out.push_back(P::kThF);
+        ++i;
+        break;
+      case 0x03BA:  // κ
+        out.push_back(P::kK);
+        ++i;
+        break;
+      case 0x03BB:  // λ
+        out.push_back(P::kL);
+        ++i;
+        break;
+      case 0x03BC:  // μ
+        if (next_is(0x03C0)) {  // μπ -> b (mb medially; folded to b)
+          out.push_back(P::kB);
+          i += 2;
+        } else {
+          out.push_back(P::kM);
+          ++i;
+        }
+        break;
+      case 0x03BD:  // ν
+        if (next_is(0x03C4)) {  // ντ -> d
+          out.push_back(P::kD);
+          i += 2;
+        } else {
+          out.push_back(P::kN);
+          ++i;
+        }
+        break;
+      case 0x03BE:  // ξ -> ks
+        out.push_back(P::kK);
+        out.push_back(P::kS);
+        ++i;
+        break;
+      case 0x03C0:  // π
+        out.push_back(P::kP);
+        ++i;
+        break;
+      case 0x03C1:  // ρ
+        out.push_back(P::kR);
+        ++i;
+        break;
+      case 0x03C3:  // σ
+        out.push_back(P::kS);
+        ++i;
+        break;
+      case 0x03C4:  // τ
+        if (next_is(0x03C3)) {  // τσ -> tʃ (ts folded to the affricate)
+          out.push_back(P::kCh);
+          i += 2;
+        } else if (next_is(0x03B6)) {  // τζ -> dʒ
+          out.push_back(P::kJh);
+          i += 2;
+        } else {
+          out.push_back(P::kT);
+          ++i;
+        }
+        break;
+      case 0x03C6:  // φ -> f
+        out.push_back(P::kF);
+        ++i;
+        break;
+      case 0x03C7:  // χ -> x
+        out.push_back(P::kX);
+        ++i;
+        break;
+      case 0x03C8:  // ψ -> ps
+        out.push_back(P::kP);
+        out.push_back(P::kS);
+        ++i;
+        break;
+      default:
+        return Status::InvalidArgument("unhandled Greek letter U+" +
+                                       std::to_string(c));
+    }
+  }
+  return phonetic::PhonemeString(std::move(out));
+}
+
+}  // namespace lexequal::g2p

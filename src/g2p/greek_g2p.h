@@ -1,0 +1,31 @@
+// Modern Greek grapheme-to-phoneme converter.
+
+#ifndef LEXEQUAL_G2P_GREEK_G2P_H_
+#define LEXEQUAL_G2P_GREEK_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+
+namespace lexequal::g2p {
+
+/// Modern Greek orthography is nearly phonemic once its digraphs are
+/// handled: ου→u, αι→e, ει/οι/υι→i, αυ/ευ→av/ev (af/ef before
+/// voiceless), μπ→b, ντ→d, γκ/γγ→g/ŋg, τσ/τζ→affricates. Accented
+/// vowels fold to their bases (tonos carries stress only, which the
+/// paper strips).
+class GreekG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<GreekG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kGreek;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_GREEK_G2P_H_

@@ -1,0 +1,134 @@
+#include "g2p/hangul_g2p.h"
+
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+// Jamo tables in Unicode decomposition order. kNumPhonemes entries
+// mean "no sound" (the silent initial ㅇ, the empty final).
+const std::vector<std::vector<Phoneme>>& Initials() {
+  static const std::vector<std::vector<Phoneme>>& t =
+      *new std::vector<std::vector<Phoneme>>{
+          {P::kG},         // ㄱ
+          {P::kK},         // ㄲ (tense -> plain k)
+          {P::kN},         // ㄴ
+          {P::kD},         // ㄷ
+          {P::kT},         // ㄸ
+          {P::kRr},        // ㄹ
+          {P::kM},         // ㅁ
+          {P::kB},         // ㅂ
+          {P::kP},         // ㅃ
+          {P::kS},         // ㅅ
+          {P::kS},         // ㅆ
+          {},              // ㅇ silent initial
+          {P::kJh},        // ㅈ
+          {P::kCh},        // ㅉ
+          {P::kChh},       // ㅊ aspirated
+          {P::kKh},        // ㅋ
+          {P::kTh},        // ㅌ
+          {P::kPh},        // ㅍ
+          {P::kH},         // ㅎ
+      };
+  return t;
+}
+
+const std::vector<std::vector<Phoneme>>& Medials() {
+  static const std::vector<std::vector<Phoneme>>& t =
+      *new std::vector<std::vector<Phoneme>>{
+          {P::kA},                 // ㅏ
+          {P::kEh},                // ㅐ
+          {P::kJ, P::kA},          // ㅑ
+          {P::kJ, P::kEh},         // ㅒ
+          {P::kVv},                // ㅓ
+          {P::kE},                 // ㅔ
+          {P::kJ, P::kVv},         // ㅕ
+          {P::kJ, P::kE},          // ㅖ
+          {P::kO},                 // ㅗ
+          {P::kW, P::kA},          // ㅘ
+          {P::kW, P::kEh},         // ㅙ
+          {P::kW, P::kE},          // ㅚ
+          {P::kJ, P::kO},          // ㅛ
+          {P::kU},                 // ㅜ
+          {P::kW, P::kVv},         // ㅝ
+          {P::kW, P::kE},          // ㅞ
+          {P::kW, P::kI},          // ㅟ
+          {P::kJ, P::kU},          // ㅠ
+          {P::kUh},                // ㅡ (ɯ folded to ʊ)
+          {P::kUh, P::kI},         // ㅢ
+          {P::kI},                 // ㅣ
+      };
+  return t;
+}
+
+const std::vector<std::vector<Phoneme>>& Finals() {
+  static const std::vector<std::vector<Phoneme>>& t =
+      *new std::vector<std::vector<Phoneme>>{
+          {},               // (none)
+          {P::kK},          // ㄱ
+          {P::kK},          // ㄲ
+          {P::kK},          // ㄳ
+          {P::kN},          // ㄴ
+          {P::kN},          // ㄵ
+          {P::kN},          // ㄶ
+          {P::kT},          // ㄷ
+          {P::kL},          // ㄹ
+          {P::kK},          // ㄺ
+          {P::kM},          // ㄻ
+          {P::kL},          // ㄼ
+          {P::kL},          // ㄽ
+          {P::kL},          // ㄾ
+          {P::kP},          // ㄿ
+          {P::kL},          // ㅀ
+          {P::kM},          // ㅁ
+          {P::kP},          // ㅂ
+          {P::kP},          // ㅄ
+          {P::kT},          // ㅅ
+          {P::kT},          // ㅆ
+          {P::kNg},         // ㅇ
+          {P::kT},          // ㅈ
+          {P::kT},          // ㅊ
+          {P::kK},          // ㅋ
+          {P::kT},          // ㅌ
+          {P::kP},          // ㅍ
+          {P::kT},          // ㅎ
+      };
+  return t;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HangulG2P>> HangulG2P::Create() {
+  return std::unique_ptr<HangulG2P>(new HangulG2P());
+}
+
+Result<phonetic::PhonemeString> HangulG2P::ToPhonemes(
+    std::string_view utf8) const {
+  const std::vector<uint32_t> cps = text::DecodeUtf8(utf8);
+  std::vector<Phoneme> out;
+  for (uint32_t cp : cps) {
+    if (cp >= 0xAC00 && cp <= 0xD7A3) {
+      const uint32_t index = cp - 0xAC00;
+      const uint32_t initial = index / (21 * 28);
+      const uint32_t medial = (index / 28) % 21;
+      const uint32_t final = index % 28;
+      for (Phoneme p : Initials()[initial]) out.push_back(p);
+      for (Phoneme p : Medials()[medial]) out.push_back(p);
+      for (Phoneme p : Finals()[final]) out.push_back(p);
+      continue;
+    }
+    if (cp == ' ' || cp == '-' || cp == '.') continue;
+    return Status::InvalidArgument(
+        "unexpected code point U+" + std::to_string(cp) +
+        " in Hangul text (only composed syllables supported)");
+  }
+  return phonetic::PhonemeString(std::move(out));
+}
+
+}  // namespace lexequal::g2p

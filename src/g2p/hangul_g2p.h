@@ -1,0 +1,32 @@
+// Korean (Hangul script) grapheme-to-phoneme converter.
+
+#ifndef LEXEQUAL_G2P_HANGUL_G2P_H_
+#define LEXEQUAL_G2P_HANGUL_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+
+namespace lexequal::g2p {
+
+/// Hangul syllable blocks decompose arithmetically:
+///   code = 0xAC00 + (initial*21 + medial)*28 + final
+/// with 19 initial consonants, 21 medial vowels, and 28 finals (0 =
+/// none). The converter decomposes each block and maps the jamo to
+/// phonemes; tense consonants fold to their plain series and the
+/// aspirated series keeps its aspiration (the inventory carries it).
+class HangulG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<HangulG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kKorean;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_HANGUL_G2P_H_

@@ -1,0 +1,166 @@
+#include "g2p/kana_g2p.h"
+
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+// Phonemes of one hiragana sign (katakana is normalized first).
+// Returns false for code points that are not plain syllable signs.
+bool Syllable(uint32_t cp, std::vector<Phoneme>* out) {
+  auto cv = [out](std::initializer_list<Phoneme> ps) {
+    out->assign(ps);
+    return true;
+  };
+  switch (cp) {
+    case 0x3042: case 0x3041: return cv({P::kA});            // あ
+    case 0x3044: case 0x3043: return cv({P::kI});            // い
+    case 0x3046: case 0x3045: return cv({P::kU});            // う
+    case 0x3048: case 0x3047: return cv({P::kE});            // え
+    case 0x304A: case 0x3049: return cv({P::kO});            // お
+    case 0x304B: return cv({P::kK, P::kA});                  // か
+    case 0x304D: return cv({P::kK, P::kI});                  // き
+    case 0x304F: return cv({P::kK, P::kU});                  // く
+    case 0x3051: return cv({P::kK, P::kE});                  // け
+    case 0x3053: return cv({P::kK, P::kO});                  // こ
+    case 0x304C: return cv({P::kG, P::kA});                  // が
+    case 0x304E: return cv({P::kG, P::kI});                  // ぎ
+    case 0x3050: return cv({P::kG, P::kU});                  // ぐ
+    case 0x3052: return cv({P::kG, P::kE});                  // げ
+    case 0x3054: return cv({P::kG, P::kO});                  // ご
+    case 0x3055: return cv({P::kS, P::kA});                  // さ
+    case 0x3057: return cv({P::kSh, P::kI});                 // し
+    case 0x3059: return cv({P::kS, P::kU});                  // す
+    case 0x305B: return cv({P::kS, P::kE});                  // せ
+    case 0x305D: return cv({P::kS, P::kO});                  // そ
+    case 0x3056: return cv({P::kZ, P::kA});                  // ざ
+    case 0x3058: return cv({P::kJh, P::kI});                 // じ
+    case 0x305A: return cv({P::kZ, P::kU});                  // ず
+    case 0x305C: return cv({P::kZ, P::kE});                  // ぜ
+    case 0x305E: return cv({P::kZ, P::kO});                  // ぞ
+    case 0x305F: return cv({P::kT, P::kA});                  // た
+    case 0x3061: return cv({P::kCh, P::kI});                 // ち
+    case 0x3064: return cv({P::kT, P::kS, P::kU});           // つ
+    case 0x3066: return cv({P::kT, P::kE});                  // て
+    case 0x3068: return cv({P::kT, P::kO});                  // と
+    case 0x3060: return cv({P::kD, P::kA});                  // だ
+    case 0x3062: return cv({P::kJh, P::kI});                 // ぢ
+    case 0x3065: return cv({P::kZ, P::kU});                  // づ
+    case 0x3067: return cv({P::kD, P::kE});                  // で
+    case 0x3069: return cv({P::kD, P::kO});                  // ど
+    case 0x306A: return cv({P::kN, P::kA});                  // な
+    case 0x306B: return cv({P::kN, P::kI});                  // に
+    case 0x306C: return cv({P::kN, P::kU});                  // ぬ
+    case 0x306D: return cv({P::kN, P::kE});                  // ね
+    case 0x306E: return cv({P::kN, P::kO});                  // の
+    case 0x306F: return cv({P::kH, P::kA});                  // は
+    case 0x3072: return cv({P::kH, P::kI});                  // ひ
+    case 0x3075: return cv({P::kF, P::kU});                  // ふ
+    case 0x3078: return cv({P::kH, P::kE});                  // へ
+    case 0x307B: return cv({P::kH, P::kO});                  // ほ
+    case 0x3070: return cv({P::kB, P::kA});                  // ば
+    case 0x3073: return cv({P::kB, P::kI});                  // び
+    case 0x3076: return cv({P::kB, P::kU});                  // ぶ
+    case 0x3079: return cv({P::kB, P::kE});                  // べ
+    case 0x307C: return cv({P::kB, P::kO});                  // ぼ
+    case 0x3071: return cv({P::kP, P::kA});                  // ぱ
+    case 0x3074: return cv({P::kP, P::kI});                  // ぴ
+    case 0x3077: return cv({P::kP, P::kU});                  // ぷ
+    case 0x307A: return cv({P::kP, P::kE});                  // ぺ
+    case 0x307D: return cv({P::kP, P::kO});                  // ぽ
+    case 0x307E: return cv({P::kM, P::kA});                  // ま
+    case 0x307F: return cv({P::kM, P::kI});                  // み
+    case 0x3080: return cv({P::kM, P::kU});                  // む
+    case 0x3081: return cv({P::kM, P::kE});                  // め
+    case 0x3082: return cv({P::kM, P::kO});                  // も
+    case 0x3084: return cv({P::kJ, P::kA});                  // や
+    case 0x3086: return cv({P::kJ, P::kU});                  // ゆ
+    case 0x3088: return cv({P::kJ, P::kO});                  // よ
+    case 0x3089: return cv({P::kRr, P::kA});                 // ら
+    case 0x308A: return cv({P::kRr, P::kI});                 // り
+    case 0x308B: return cv({P::kRr, P::kU});                 // る
+    case 0x308C: return cv({P::kRr, P::kE});                 // れ
+    case 0x308D: return cv({P::kRr, P::kO});                 // ろ
+    case 0x308F: return cv({P::kW, P::kA});                  // わ
+    case 0x3092: return cv({P::kO});                         // を
+    case 0x3094: return cv({P::kV, P::kU});                  // ゔ
+    default:
+      return false;
+  }
+}
+
+// Vowel of a small yoon sign, or kNumPhonemes.
+Phoneme YoonVowel(uint32_t cp) {
+  switch (cp) {
+    case 0x3083: return P::kA;  // ゃ
+    case 0x3085: return P::kU;  // ゅ
+    case 0x3087: return P::kO;  // ょ
+    default:
+      return P::kNumPhonemes;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<KanaG2P>> KanaG2P::Create() {
+  return std::unique_ptr<KanaG2P>(new KanaG2P());
+}
+
+Result<phonetic::PhonemeString> KanaG2P::ToPhonemes(
+    std::string_view utf8) const {
+  std::vector<uint32_t> cps = text::DecodeUtf8(utf8);
+  // Normalize katakana to hiragana (U+30A1..U+30F6 -> −0x60).
+  for (uint32_t& cp : cps) {
+    if (cp >= 0x30A1 && cp <= 0x30F6) cp -= 0x60;
+  }
+
+  std::vector<Phoneme> out;
+  std::vector<Phoneme> syll;
+  for (size_t i = 0; i < cps.size(); ++i) {
+    const uint32_t cp = cps[i];
+    if (Syllable(cp, &syll)) {
+      out.insert(out.end(), syll.begin(), syll.end());
+      continue;
+    }
+    Phoneme yoon = YoonVowel(cp);
+    if (yoon != P::kNumPhonemes) {
+      // きゃ: replace the i of the preceding syllable with j + vowel.
+      // Palatal-region consonants absorb the glide (しゅ = ʃu).
+      if (!out.empty() && out.back() == P::kI) out.pop_back();
+      const bool palatal =
+          !out.empty() &&
+          (phonetic::GetPhonemeInfo(out.back()).place ==
+               phonetic::Place::kPostalveolar ||
+           phonetic::GetPhonemeInfo(out.back()).place ==
+               phonetic::Place::kPalatal);
+      if (!palatal) out.push_back(P::kJ);
+      out.push_back(yoon);
+      continue;
+    }
+    switch (cp) {
+      case 0x3093:  // ん moraic nasal
+        out.push_back(P::kN);
+        break;
+      case 0x3063:  // っ sokuon: gemination, non-phonemic here
+      case 0x30FC:  // ー long-vowel mark (length stripped)
+      case 0x30FB:  // ・ middle dot
+      case 0x309B:  // voicing marks (spacing)
+      case 0x309C:
+      case ' ':
+        break;
+      default:
+        return Status::InvalidArgument(
+            "unexpected code point U+" + std::to_string(cp) +
+            " in kana text (kanji needs a reading dictionary)");
+    }
+  }
+  return phonetic::PhonemeString(std::move(out));
+}
+
+}  // namespace lexequal::g2p

@@ -1,0 +1,37 @@
+// Japanese kana grapheme-to-phoneme converter.
+
+#ifndef LEXEQUAL_G2P_KANA_G2P_H_
+#define LEXEQUAL_G2P_KANA_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+
+namespace lexequal::g2p {
+
+/// Hiragana and katakana are syllabaries — each sign is a (C)V mora,
+/// so conversion is a table lookup plus three contextual signs: the
+/// moraic nasal ん/ン, the gemination marker っ/ッ (folded: length is
+/// non-phonemic after suprasegmental stripping), and the long-vowel
+/// mark ー (likewise folded). Yoon digraphs (きゃ -> kja) combine the
+/// base sign with a small ゃゅょ.
+///
+/// Kanji carries no phonetic information without a dictionary, so
+/// kanji input fails with InvalidArgument — such rows store the empty
+/// phonemic string and match nothing, which reproduces the paper's
+/// untransformable-row behaviour for the Japanese entry of Fig. 1.
+class KanaG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<KanaG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kJapanese;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_KANA_G2P_H_

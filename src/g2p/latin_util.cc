@@ -1,0 +1,96 @@
+#include "g2p/latin_util.h"
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+// Base letter for Latin-1 Supplement / Latin Extended-A code points;
+// 0 means "drop". Covers the accented letters that occur in European
+// name data (Figure 1 of the paper: René, École, Espanől, ...).
+char FoldOne(uint32_t cp) {
+  if (cp < 0x80) return static_cast<char>(cp);
+  switch (cp) {
+    case 0xC0: case 0xC1: case 0xC2: case 0xC3: case 0xC4: case 0xC5:
+    case 0x100: case 0x102: case 0x104:
+      return 'A';
+    case 0xE0: case 0xE1: case 0xE2: case 0xE3: case 0xE4: case 0xE5:
+    case 0x101: case 0x103: case 0x105:
+      return 'a';
+    case 0xC7: case 0x106: case 0x108: case 0x10A: case 0x10C:
+      return 'C';
+    case 0xE7: case 0x107: case 0x109: case 0x10B: case 0x10D:
+      return 'c';
+    case 0xC8: case 0xC9: case 0xCA: case 0xCB:
+    case 0x112: case 0x114: case 0x116: case 0x118: case 0x11A:
+      return 'E';
+    case 0xE8: case 0xE9: case 0xEA: case 0xEB:
+    case 0x113: case 0x115: case 0x117: case 0x119: case 0x11B:
+      return 'e';
+    case 0xCC: case 0xCD: case 0xCE: case 0xCF:
+    case 0x128: case 0x12A: case 0x12C: case 0x12E: case 0x130:
+      return 'I';
+    case 0xEC: case 0xED: case 0xEE: case 0xEF:
+    case 0x129: case 0x12B: case 0x12D: case 0x12F: case 0x131:
+      return 'i';
+    case 0xD1: case 0x143: case 0x145: case 0x147:
+      return 'N';
+    case 0xF1: case 0x144: case 0x146: case 0x148:
+      return 'n';
+    case 0xD2: case 0xD3: case 0xD4: case 0xD5: case 0xD6: case 0xD8:
+    case 0x14C: case 0x14E: case 0x150:
+      return 'O';
+    case 0xF2: case 0xF3: case 0xF4: case 0xF5: case 0xF6: case 0xF8:
+    case 0x14D: case 0x14F: case 0x151:
+      return 'o';
+    case 0xD9: case 0xDA: case 0xDB: case 0xDC:
+    case 0x168: case 0x16A: case 0x16C: case 0x16E: case 0x170:
+    case 0x172:
+      return 'U';
+    case 0xF9: case 0xFA: case 0xFB: case 0xFC:
+    case 0x169: case 0x16B: case 0x16D: case 0x16F: case 0x171:
+    case 0x173:
+      return 'u';
+    case 0xDD: case 0x176: case 0x178:
+      return 'Y';
+    case 0xFD: case 0xFF: case 0x177:
+      return 'y';
+    case 0x15A: case 0x15C: case 0x15E: case 0x160:
+      return 'S';
+    case 0x15B: case 0x15D: case 0x15F: case 0x161:
+      return 's';
+    case 0x179: case 0x17B: case 0x17D:
+      return 'Z';
+    case 0x17A: case 0x17C: case 0x17E:
+      return 'z';
+    case 0xDF:
+      return 's';  // ß -> s (ss collapses in phoneme space anyway)
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::string FoldLatinAccents(std::string_view utf8) {
+  std::string out;
+  out.reserve(utf8.size());
+  size_t pos = 0;
+  while (pos < utf8.size()) {
+    uint32_t cp = text::DecodeUtf8(utf8, &pos);
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+      continue;
+    }
+    // Combining diacritical marks: drop.
+    if (cp >= 0x0300 && cp <= 0x036F) continue;
+    char folded = FoldOne(cp);
+    if (folded != 0) out.push_back(folded);
+    // Other non-Latin code points are dropped: the Latin converters
+    // only interpret Latin letters.
+  }
+  return out;
+}
+
+}  // namespace lexequal::g2p

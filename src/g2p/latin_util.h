@@ -1,0 +1,20 @@
+// Latin-script helpers: accent folding for rule-engine input.
+
+#ifndef LEXEQUAL_G2P_LATIN_UTIL_H_
+#define LEXEQUAL_G2P_LATIN_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace lexequal::g2p {
+
+/// Folds accented Latin letters (U+00C0..U+024F) to their ASCII base
+/// letters (é→e, ñ→n, ç→c, ...) and drops combining marks; ASCII
+/// passes through. Used to normalize input before ASCII-only rewrite
+/// rules run; language-specific converters handle the accents that
+/// matter (e.g. French é) before folding.
+std::string FoldLatinAccents(std::string_view utf8);
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_LATIN_UTIL_H_

@@ -1,0 +1,74 @@
+#include "g2p/g2p.h"
+
+#include "g2p/arabic_g2p.h"
+#include "g2p/cyrillic_g2p.h"
+#include "g2p/devanagari_g2p.h"
+#include "g2p/english_g2p.h"
+#include "g2p/greek_g2p.h"
+#include "g2p/hangul_g2p.h"
+#include "g2p/kana_g2p.h"
+#include "g2p/romance_g2p.h"
+#include "g2p/tamil_g2p.h"
+
+namespace lexequal::g2p {
+
+void G2PRegistry::Register(std::unique_ptr<G2PConverter> converter) {
+  text::Language lang = converter->language();
+  converters_[lang] = std::move(converter);
+}
+
+bool G2PRegistry::Supports(text::Language lang) const {
+  return converters_.count(lang) > 0;
+}
+
+std::vector<text::Language> G2PRegistry::SupportedLanguages() const {
+  std::vector<text::Language> out;
+  out.reserve(converters_.size());
+  for (const auto& [lang, conv] : converters_) {
+    out.push_back(lang);
+  }
+  return out;
+}
+
+Result<phonetic::PhonemeString> G2PRegistry::Transform(
+    std::string_view utf8, text::Language lang) const {
+  if (lang == text::Language::kUnknown) {
+    // Auto-tag from script, as discussed in the paper's Section 2.1.
+    lang = text::DefaultLanguageForScript(text::DetectScript(utf8));
+  }
+  auto it = converters_.find(lang);
+  if (it == converters_.end()) {
+    return Status::NoResource(
+        "no text-to-phoneme converter installed for language '" +
+        std::string(text::LanguageName(lang)) + "'");
+  }
+  return it->second->ToPhonemes(utf8);
+}
+
+const G2PRegistry& G2PRegistry::Default() {
+  static const G2PRegistry& registry = *[] {
+    auto* r = new G2PRegistry();
+    // Converter construction only fails on internal rule-table bugs;
+    // surface those loudly at first use.
+    auto add = [r](auto result) {
+      if (!result.ok()) {
+        std::abort();
+      }
+      r->Register(std::move(result).value());
+    };
+    add(EnglishG2P::Create());
+    add(DevanagariG2P::Create());
+    add(TamilG2P::Create());
+    add(GreekG2P::Create());
+    add(FrenchG2P::Create());
+    add(SpanishG2P::Create());
+    add(ArabicG2P::Create());
+    add(KanaG2P::Create());
+    add(CyrillicG2P::Create());
+    add(HangulG2P::Create());
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace lexequal::g2p

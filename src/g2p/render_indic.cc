@@ -1,0 +1,308 @@
+#include "g2p/render_indic.h"
+
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+// ---------------------------------------------------------------------
+// Devanagari
+// ---------------------------------------------------------------------
+
+// Consonant letter for a consonant phoneme (loan conventions: English
+// alveolar stops are written retroflex, f/z/x with nukta letters).
+uint32_t DevaConsonant(Phoneme p) {
+  switch (p) {
+    case P::kP:   return 0x092A;  // प
+    case P::kB:   return 0x092C;  // ब
+    case P::kPh:  return 0x092B;  // फ
+    case P::kBh:  return 0x092D;  // भ
+    case P::kT:   return 0x091F;  // ट (loan convention)
+    case P::kD:   return 0x0921;  // ड
+    case P::kTh:  return 0x0925;  // थ
+    case P::kDh:  return 0x0927;  // ध
+    case P::kTt:  return 0x091F;  // ट
+    case P::kDd:  return 0x0921;  // ड
+    case P::kTth: return 0x0920;  // ठ
+    case P::kDdh: return 0x0922;  // ढ
+    case P::kK:   return 0x0915;  // क
+    case P::kG:   return 0x0917;  // ग
+    case P::kKh:  return 0x0916;  // ख
+    case P::kGh:  return 0x0918;  // घ
+    case P::kCh:  return 0x091A;  // च
+    case P::kJh:  return 0x091C;  // ज
+    case P::kChh: return 0x091B;  // छ
+    case P::kJhh: return 0x091D;  // झ
+    case P::kF:   return 0x095E;  // फ़
+    case P::kV:   return 0x0935;  // व
+    case P::kThF: return 0x0925;  // थ (θ has no letter)
+    case P::kDhF: return 0x0926;  // द (ð has no letter)
+    case P::kS:   return 0x0938;  // स
+    case P::kZ:   return 0x095B;  // ज़
+    case P::kSh:  return 0x0936;  // श
+    case P::kZh:  return 0x091D;  // झ (ʒ has no letter)
+    case P::kSs:  return 0x0937;  // ष
+    case P::kX:   return 0x0959;  // ख़
+    case P::kGhF: return 0x095A;  // ग़
+    case P::kH:   return 0x0939;  // ह
+    case P::kM:   return 0x092E;  // म
+    case P::kN:   return 0x0928;  // न
+    case P::kNn:  return 0x0923;  // ण
+    case P::kNy:  return 0x091E;  // ञ
+    case P::kNg:  return 0x0919;  // ङ
+    case P::kL:   return 0x0932;  // ल
+    case P::kLl:  return 0x0933;  // ळ
+    case P::kR:   return 0x0930;  // र
+    case P::kRr:  return 0x0930;  // र
+    case P::kRd:  return 0x095C;  // ड़
+    case P::kRz:  return 0x095C;  // ड़ (ɻ approximated)
+    case P::kJ:   return 0x092F;  // य
+    case P::kW:   return 0x0935;  // व
+    default:
+      return 0;
+  }
+}
+
+// (matra, independent) letters for a vowel phoneme; matra 0 means
+// "inherent vowel" (no sign).
+struct DevaVowel {
+  uint32_t matra;
+  uint32_t independent;
+};
+
+bool DevaVowelOf(Phoneme p, DevaVowel* out) {
+  switch (p) {
+    case P::kSchwa:
+    case P::kVv:
+    case P::kEr:
+      *out = {0, 0x0905};  // अ
+      return true;
+    case P::kA:
+    case P::kAa:
+    case P::kAe:
+      *out = {0x093E, 0x0906};  // ा / आ
+      return true;
+    case P::kIh:
+      *out = {0x093F, 0x0907};  // ि / इ
+      return true;
+    case P::kI:
+      *out = {0x0940, 0x0908};  // ी / ई
+      return true;
+    case P::kUh:
+      *out = {0x0941, 0x0909};  // ु / उ
+      return true;
+    case P::kU:
+    case P::kY:
+      *out = {0x0942, 0x090A};  // ू / ऊ
+      return true;
+    case P::kE:
+      *out = {0x0947, 0x090F};  // े / ए
+      return true;
+    case P::kEh:
+      *out = {0x0948, 0x0910};  // ै / ऐ
+      return true;
+    case P::kO:
+    case P::kOe:
+      *out = {0x094B, 0x0913};  // ो / ओ
+      return true;
+    case P::kOh:
+      *out = {0x094C, 0x0914};  // ौ / औ
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Tamil
+// ---------------------------------------------------------------------
+
+uint32_t TamilConsonant(Phoneme p, bool word_initial) {
+  switch (p) {
+    case P::kP: case P::kB: case P::kPh: case P::kBh:
+    case P::kF:  // Tamil has no f; names use ப
+      return 0x0BAA;  // ப
+    case P::kT: case P::kD:
+    case P::kTt: case P::kDd: case P::kTth: case P::kDdh:
+      return 0x0B9F;  // ட (loan convention for English t/d)
+    case P::kTh: case P::kDh: case P::kThF: case P::kDhF:
+      return 0x0BA4;  // த
+    case P::kK: case P::kG: case P::kKh: case P::kGh:
+    case P::kX: case P::kGhF:
+      return 0x0B95;  // க
+    case P::kCh: case P::kChh:
+      return 0x0B9A;  // ச
+    case P::kJh: case P::kJhh:
+      return 0x0B9C;  // ஜ (Grantha)
+    case P::kS: case P::kZ:
+      return 0x0BB8;  // ஸ (Grantha)
+    case P::kSh: case P::kZh: case P::kSs:
+      return 0x0BB7;  // ஷ (Grantha)
+    case P::kH:
+      return 0x0BB9;  // ஹ (Grantha)
+    case P::kV: case P::kW:
+      return 0x0BB5;  // வ
+    case P::kM:
+      return 0x0BAE;  // ம
+    case P::kN:
+      return word_initial ? 0x0BA8 : 0x0BA9;  // ந / ன
+    case P::kNn:
+      return 0x0BA3;  // ண
+    case P::kNy:
+      return 0x0B9E;  // ஞ
+    case P::kNg:
+      return 0x0B99;  // ங
+    case P::kL:
+      return 0x0BB2;  // ல
+    case P::kLl:
+      return 0x0BB3;  // ள
+    case P::kR: case P::kRr: case P::kRd:
+      return 0x0BB0;  // ர
+    case P::kRz:
+      return 0x0BB4;  // ழ
+    case P::kJ:
+      return 0x0BAF;  // ய
+    default:
+      return 0;
+  }
+}
+
+struct TamilVowel {
+  uint32_t matra;
+  uint32_t independent;
+};
+
+bool TamilVowelOf(Phoneme p, TamilVowel* out) {
+  switch (p) {
+    case P::kSchwa:
+    case P::kVv:
+    case P::kEr:
+      *out = {0, 0x0B85};  // அ (inherent)
+      return true;
+    case P::kA:
+    case P::kAa:
+    case P::kAe:
+      *out = {0x0BBE, 0x0B86};  // ா / ஆ
+      return true;
+    case P::kIh:
+      *out = {0x0BBF, 0x0B87};  // ி / இ
+      return true;
+    case P::kI:
+      *out = {0x0BC0, 0x0B88};  // ீ / ஈ
+      return true;
+    case P::kUh:
+    case P::kY:
+      *out = {0x0BC1, 0x0B89};  // ு / உ
+      return true;
+    case P::kU:
+      *out = {0x0BC2, 0x0B8A};  // ூ / ஊ
+      return true;
+    case P::kEh:
+      *out = {0x0BC6, 0x0B8E};  // ெ / எ
+      return true;
+    case P::kE:
+      *out = {0x0BC7, 0x0B8F};  // ே / ஏ
+      return true;
+    case P::kOh:
+      *out = {0x0BCA, 0x0B92};  // ொ / ஒ
+      return true;
+    case P::kO:
+    case P::kOe:
+      *out = {0x0BCB, 0x0B93};  // ோ / ஓ
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Generic abugida renderer parameterized over the two letter tables.
+// `final_schwa_as_a`: Hindi orthography writes a name-final schwa as
+// long ā (Kamala -> कमला), which survives the reader's schwa deletion.
+template <typename ConsonantFn, typename VowelFn>
+Result<std::string> RenderAbugida(const phonetic::PhonemeString& ps,
+                                  ConsonantFn consonant_of,
+                                  VowelFn vowel_of, uint32_t virama,
+                                  bool final_schwa_as_a) {
+  std::string out;
+  const auto& ph = ps.phonemes();
+  size_t i = 0;
+  const size_t n = ph.size();
+  auto effective_vowel = [&](Phoneme v, size_t pos) {
+    if (final_schwa_as_a && pos + 1 == n &&
+        (v == P::kSchwa || v == P::kVv || v == P::kEr)) {
+      return P::kA;
+    }
+    return v;
+  };
+  while (i < n) {
+    Phoneme p = ph[i];
+    if (!phonetic::IsVowel(p)) {
+      uint32_t letter = consonant_of(p, i == 0);
+      if (letter == 0) {
+        return Status::InvalidArgument(
+            std::string("phoneme '") + std::string(PhonemeIpa(p)) +
+            "' has no letter in this script");
+      }
+      text::AppendUtf8(letter, &out);
+      // Attach the following vowel as a matra, if any.
+      if (i + 1 < n && phonetic::IsVowel(ph[i + 1])) {
+        auto* v = vowel_of(effective_vowel(ph[i + 1], i + 1));
+        if (v == nullptr) {
+          return Status::InvalidArgument(
+              std::string("vowel '") +
+              std::string(PhonemeIpa(ph[i + 1])) +
+              "' has no sign in this script");
+        }
+        if (v->matra != 0) text::AppendUtf8(v->matra, &out);
+        i += 2;
+        continue;
+      }
+      // Bare consonant (cluster or word-final): suppress the vowel.
+      text::AppendUtf8(virama, &out);
+      ++i;
+      continue;
+    }
+    // Vowel at word start or after another vowel: independent letter.
+    auto* v = vowel_of(effective_vowel(p, i));
+    if (v == nullptr) {
+      return Status::InvalidArgument(std::string("vowel '") +
+                                     std::string(PhonemeIpa(p)) +
+                                     "' has no letter in this script");
+    }
+    text::AppendUtf8(v->independent, &out);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> RenderDevanagari(const phonetic::PhonemeString& ps) {
+  static thread_local DevaVowel vowel_buf;
+  return RenderAbugida(
+      ps,
+      [](Phoneme p, bool) { return DevaConsonant(p); },
+      [](Phoneme p) -> DevaVowel* {
+        return DevaVowelOf(p, &vowel_buf) ? &vowel_buf : nullptr;
+      },
+      0x094D, /*final_schwa_as_a=*/true);
+}
+
+Result<std::string> RenderTamil(const phonetic::PhonemeString& ps) {
+  static thread_local TamilVowel vowel_buf;
+  return RenderAbugida(
+      ps,
+      [](Phoneme p, bool initial) { return TamilConsonant(p, initial); },
+      [](Phoneme p) -> TamilVowel* {
+        return TamilVowelOf(p, &vowel_buf) ? &vowel_buf : nullptr;
+      },
+      0x0BCD, /*final_schwa_as_a=*/false);
+}
+
+}  // namespace lexequal::g2p

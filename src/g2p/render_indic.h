@@ -1,0 +1,36 @@
+// Phoneme-to-orthography renderers for Devanagari and Tamil.
+//
+// These generate the Indic spellings of the dataset lexicon from the
+// phoneme space (DESIGN.md §2): an English name's phoneme string is
+// rendered into each Indic script the way a literate speaker would
+// transcribe it. The rendering is deliberately *lossy in exactly the
+// ways the scripts are lossy* — Tamil cannot write voicing or
+// aspiration, Devanagari has no /æ/ or /ʒ/ — so converting the
+// rendered text back through the corresponding G2P yields phoneme
+// strings that are near but not equal to the English ones. This is
+// the cross-script "mismatch of phoneme sets" the paper's experiments
+// measure.
+
+#ifndef LEXEQUAL_G2P_RENDER_INDIC_H_
+#define LEXEQUAL_G2P_RENDER_INDIC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::g2p {
+
+/// Renders a phoneme string as Devanagari text (Hindi orthography
+/// conventions for loan names: alveolar stops become retroflex
+/// letters, f/z use nukta letters).
+Result<std::string> RenderDevanagari(const phonetic::PhonemeString& ps);
+
+/// Renders a phoneme string as Tamil text (Tamil orthography: one
+/// stop letter per place regardless of voicing/aspiration, Grantha
+/// letters for s/ʃ/h/dʒ).
+Result<std::string> RenderTamil(const phonetic::PhonemeString& ps);
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_RENDER_INDIC_H_

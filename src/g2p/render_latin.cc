@@ -1,0 +1,154 @@
+#include "g2p/render_latin.h"
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+const char* LatinOf(Phoneme p) {
+  switch (p) {
+    case P::kI: return "i";
+    case P::kIh: return "i";
+    case P::kE: return "e";
+    case P::kEh: return "e";
+    case P::kAe: return "a";
+    case P::kY: return "u";
+    case P::kOe: return "eu";
+    case P::kA: return "a";
+    case P::kAa: return "a";
+    case P::kVv: return "u";
+    case P::kSchwa: return "a";
+    case P::kEr: return "er";
+    case P::kO: return "o";
+    case P::kOh: return "o";
+    case P::kU: return "u";
+    case P::kUh: return "u";
+    case P::kP: return "p";
+    case P::kB: return "b";
+    case P::kPh: return "ph";
+    case P::kBh: return "bh";
+    case P::kT: return "t";
+    case P::kD: return "d";
+    case P::kTh: return "th";
+    case P::kDh: return "dh";
+    case P::kTt: return "t";
+    case P::kDd: return "d";
+    case P::kTth: return "th";
+    case P::kDdh: return "dh";
+    case P::kK: return "k";
+    case P::kG: return "g";
+    case P::kKh: return "kh";
+    case P::kGh: return "gh";
+    case P::kCh: return "ch";
+    case P::kJh: return "j";
+    case P::kChh: return "chh";
+    case P::kJhh: return "jh";
+    case P::kF: return "f";
+    case P::kV: return "v";
+    case P::kThF: return "th";
+    case P::kDhF: return "dh";
+    case P::kS: return "s";
+    case P::kZ: return "z";
+    case P::kSh: return "sh";
+    case P::kZh: return "zh";
+    case P::kSs: return "sh";
+    case P::kX: return "kh";
+    case P::kGhF: return "gh";
+    case P::kH: return "h";
+    case P::kM: return "m";
+    case P::kN: return "n";
+    case P::kNn: return "n";
+    case P::kNy: return "ny";
+    case P::kNg: return "ng";
+    case P::kL: return "l";
+    case P::kLl: return "l";
+    case P::kR: return "r";
+    case P::kRr: return "r";
+    case P::kRd: return "r";
+    case P::kRz: return "zh";
+    case P::kJ: return "y";
+    case P::kW: return "w";
+    default:
+      return "";
+  }
+}
+
+// Greek spellings; voiced stops use the digraphs the Greek G2P
+// decodes (μπ ντ γκ).
+const char* GreekOf(Phoneme p) {
+  switch (p) {
+    case P::kI: case P::kIh: case P::kY: return "ι";
+    case P::kE: return "ε";
+    case P::kEh: return "ε";
+    case P::kAe: case P::kA: case P::kAa: case P::kSchwa:
+    case P::kVv: case P::kEr:
+      return "α";
+    case P::kOe: case P::kO: case P::kOh: return "ο";
+    case P::kU: case P::kUh: return "ου";
+    case P::kP: case P::kPh: return "π";
+    case P::kB: case P::kBh: return "μπ";
+    case P::kT: case P::kTh: case P::kTt: case P::kTth: return "τ";
+    case P::kD: case P::kDh: case P::kDd: case P::kDdh: return "ντ";
+    case P::kK: case P::kKh: return "κ";
+    case P::kG: case P::kGh: return "γκ";
+    case P::kCh: case P::kChh: return "τσ";
+    case P::kJh: case P::kJhh: return "τζ";
+    case P::kF: return "φ";
+    case P::kV: case P::kW: return "β";
+    case P::kThF: return "θ";
+    case P::kDhF: return "δ";
+    case P::kS: return "σ";
+    case P::kZ: case P::kZh: return "ζ";
+    case P::kSh: case P::kSs: return "σ";
+    case P::kX: case P::kGhF: case P::kH: return "χ";
+    case P::kM: return "μ";
+    case P::kN: case P::kNn: case P::kNy: case P::kNg: return "ν";
+    case P::kL: case P::kLl: return "λ";
+    case P::kR: case P::kRr: case P::kRd: case P::kRz: return "ρ";
+    case P::kJ: return "γι";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string RenderLatin(const phonetic::PhonemeString& ps) {
+  std::string out;
+  for (Phoneme p : ps.phonemes()) {
+    out += LatinOf(p);
+  }
+  return out;
+}
+
+Result<std::string> RenderGreek(const phonetic::PhonemeString& ps) {
+  std::string out;
+  const auto& ph = ps.phonemes();
+  for (size_t i = 0; i < ph.size(); ++i) {
+    const Phoneme p = ph[i];
+    // /j/ before a front vowel is plain γ (the reader's palatal rule
+    // gives the glide back exactly); elsewhere γι approximates it.
+    if (p == P::kJ) {
+      const bool front_next =
+          i + 1 < ph.size() &&
+          (ph[i + 1] == P::kE || ph[i + 1] == P::kEh ||
+           ph[i + 1] == P::kI || ph[i + 1] == P::kIh);
+      out += front_next ? "γ" : "γι";
+      continue;
+    }
+    const char* g = GreekOf(p);
+    if (g == nullptr) {
+      return Status::InvalidArgument(
+          std::string("phoneme '") + std::string(PhonemeIpa(p)) +
+          "' has no Greek spelling");
+    }
+    out += g;
+  }
+  return out;
+}
+
+}  // namespace lexequal::g2p

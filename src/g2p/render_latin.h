@@ -1,0 +1,33 @@
+// Phoneme-to-Latin romanizer and phoneme-to-Greek renderer.
+//
+// The romanizer displays any match result in the user's own script —
+// the natural companion feature to multiscript matching ("retrieve
+// all the works of Nehru irrespective of the language of
+// publication" needs to *show* them readably too). The Greek renderer
+// extends the dataset builder to a fourth script, covering the
+// paper's Fig. 2 language set (English, Hindi, Tamil, Greek).
+
+#ifndef LEXEQUAL_G2P_RENDER_LATIN_H_
+#define LEXEQUAL_G2P_RENDER_LATIN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::g2p {
+
+/// Renders a phoneme string as a readable Latin romanization
+/// ("nɛhru" -> "nehru", "dʒævɑhərlɑl" -> "javaharlal"). Total over
+/// the inventory; loses the distinctions Latin spelling loses.
+std::string RenderLatin(const phonetic::PhonemeString& ps);
+
+/// Renders a phoneme string in Greek orthography (modern monotonic),
+/// using the digraphs the Greek G2P reads back: b -> μπ, d -> ντ,
+/// g -> γκ, u -> ου, e -> ε/αι. Fails only for phonemes with no
+/// Greek approximation at all (none in the current inventory).
+Result<std::string> RenderGreek(const phonetic::PhonemeString& ps);
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_RENDER_LATIN_H_

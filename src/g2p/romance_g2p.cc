@@ -1,0 +1,224 @@
+#include "g2p/romance_g2p.h"
+
+#include <vector>
+
+#include "g2p/latin_util.h"
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+// Pre-folding rewrite of accented letters whose accent changes the
+// phoneme. Maps each to an unambiguous ASCII marker spelling that the
+// rule tables below recognize ("q" + letter sequences never occur
+// natively, so qe/qo style markers stay collision-free).
+std::string PreFoldFrench(std::string_view utf8) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < utf8.size()) {
+    uint32_t cp = text::DecodeUtf8(utf8, &pos);
+    switch (cp) {
+      case 0xE9: case 0xC9:  // é -> "qe" marker (close e)
+        out += "qe";
+        break;
+      case 0xE8: case 0xC8: case 0xEA: case 0xCA:  // è ê -> open e
+        out += "qx";
+        break;
+      case 0xE7: case 0xC7:  // ç -> s
+        out += 's';
+        break;
+      default:
+        text::AppendUtf8(cp, &out);
+    }
+  }
+  return FoldLatinAccents(out);
+}
+
+// French rules. Final consonants of names are NOT silenced (names
+// like "Descartes" conventionally keep their final s silent, but
+// final-consonant silencing is lexical; we silence only final -s/-t/
+// -d/-x after a vowel-bearing syllable, the productive pattern).
+const std::vector<RewriteRule>& FrenchRules() {
+  static const std::vector<RewriteRule>& rules = *new std::vector<
+      RewriteRule>{
+      // Marker spellings from PreFoldFrench.
+      {"", "qe", "", "e"},   // é
+      {"", "qx", "", "ɛ"},   // è / ê
+      {"", "qu", "", "k"},
+      {"", "q", "", "k"},
+      // Vowels and digraphs.
+      {"", "eau", "", "o"},
+      {"", "eaux", " ", "o"},
+      {"", "au", "", "o"},
+      {"", "oi", "", "wa"},
+      {"", "ou", "", "u"},
+      {"", "ai", "", "ɛ"},
+      {"", "ei", "", "ɛ"},
+      {"", "eu", "", "ø"},
+      // A vowel before n+accent-marker is NOT nasal (René): consume
+      // just the vowel so the n reaches its plain rule.
+      {"", "e", "nq", "ə"},
+      {"", "a", "nq", "a"},
+      {"", "o", "nq", "ɔ"},
+      {"", "i", "nq", "i"},
+      {"", "an", "^", "ɑn"},
+      {"", "an", " ", "ɑn"},
+      {"", "en", "^", "ɑn"},
+      {"", "en", " ", "ɑn"},
+      {"", "on", "^", "ɔn"},
+      {"", "on", " ", "ɔn"},
+      {"", "in", "^", "ɛn"},
+      {"", "in", " ", "ɛn"},
+      {"j", "e", "a", ""},    // silent e: Jean
+      {"g", "e", "a", ""},    // silent e: Georges
+      {"g", "e", "o", ""},
+      {"#:", "e", " ", ""},   // final mute e
+      {"#:", "es", " ", ""},  // final mute es
+      {"", "e", "r ", "e"},   // -er
+      {"", "e", "z ", "e"},   // -ez
+      {"", "e", "", "ə"},
+      {"", "a", "", "a"},
+      {"", "i", "", "i"},
+      {"", "o", "", "ɔ"},
+      {"", "u", "", "y"},
+      {"", "y", "", "i"},
+      // Consonants.
+      {"", "ch", "", "ʃ"},
+      {"", "gn", "", "ɲ"},
+      {"", "ph", "", "f"},
+      {"", "th", "", "t"},
+      {"", "g", "+", "ʒ"},
+      {"", "gg", "", "ɡ"},
+      {"", "g", "", "ɡ"},
+      {"", "c", "+", "s"},
+      {"", "cc", "", "k"},
+      {"", "c", "", "k"},
+      {"", "j", "", "ʒ"},
+      {"#", "s", "#", "z"},
+      {"", "ss", "", "s"},
+      {"#", "s", " ", ""},  // final s silent
+      {"", "s", "", "s"},
+      {"#", "t", " ", ""},  // final t silent
+      {"", "tt", "", "t"},
+      {"", "t", "", "t"},
+      {"#", "d", " ", ""},  // final d silent
+      {"", "dd", "", "d"},
+      {"", "d", "", "d"},
+      {"#", "x", " ", ""},  // final x silent
+      {"", "x", "", "ks"},
+      {"", "ll", "", "l"},
+      {"", "l", "", "l"},
+      {"", "rr", "", "r"},
+      {"", "r", "", "r"},
+      {"", "mm", "", "m"},
+      {"", "m", "", "m"},
+      {"", "nn", "", "n"},
+      {"", "n", "", "n"},
+      {"", "pp", "", "p"},
+      {"", "p", "", "p"},
+      {"", "bb", "", "b"},
+      {"", "b", "", "b"},
+      {"", "f", "", "f"},
+      {"", "v", "", "v"},
+      {"", "w", "", "v"},
+      {"", "h", "", ""},  // h is always silent
+      {"", "k", "", "k"},
+      {"", "z", "", "z"},
+  };
+  return rules;
+}
+
+// Spanish rules (seseo: c/z before front vowels -> s).
+const std::vector<RewriteRule>& SpanishRules() {
+  static const std::vector<RewriteRule>& rules = *new std::vector<
+      RewriteRule>{
+      // Marker spellings from PreFoldSpanish.
+      {"", "qn", "", "ɲ"},  // ñ
+      {"", "qu", "", "k"},
+      {"", "q", "", "k"},
+      // Vowels.
+      {"", "a", "", "a"},
+      {"", "e", "", "e"},
+      {"", "i", "", "i"},
+      {"", "o", "", "o"},
+      {"", "u", "", "u"},
+      {"", "y", " ", "i"},
+      {"", "y", "", "j"},
+      // Consonants.
+      {"", "ch", "", "tʃ"},
+      {"", "ll", "", "j"},
+      {"", "rr", "", "r"},
+      {"", "g", "+", "x"},
+      {"", "gu", "+", "ɡ"},
+      {"", "g", "", "ɡ"},
+      {"", "c", "+", "s"},
+      {"", "cc", "", "k"},
+      {"", "c", "", "k"},
+      {"", "j", "", "x"},
+      {"", "h", "", ""},
+      {"", "v", "", "b"},
+      {"", "b", "", "b"},
+      {"", "z", "", "s"},
+      {"", "ss", "", "s"},
+      {"", "s", "", "s"},
+      {"", "x", "", "ks"},
+      {"", "w", "", "w"},
+      {"", "k", "", "k"},
+      {"", "l", "", "l"},
+      {"", "r", "", "ɾ"},
+      {"", "m", "", "m"},
+      {"", "nn", "", "n"},
+      {"", "n", "", "n"},
+      {"", "p", "", "p"},
+      {"", "t", "", "t"},
+      {"", "d", "", "d"},
+      {"", "f", "", "f"},
+  };
+  return rules;
+}
+
+std::string PreFoldSpanish(std::string_view utf8) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < utf8.size()) {
+    uint32_t cp = text::DecodeUtf8(utf8, &pos);
+    switch (cp) {
+      case 0xF1: case 0xD1:  // ñ
+      case 0x151: case 0x150:  // ő (the paper's "Espanől" spelling)
+        out += "qn";
+        break;
+      default:
+        text::AppendUtf8(cp, &out);
+    }
+  }
+  return FoldLatinAccents(out);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FrenchG2P>> FrenchG2P::Create() {
+  Result<RuleEngine> engine = RuleEngine::Create(FrenchRules());
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<FrenchG2P>(
+      new FrenchG2P(std::move(engine).value()));
+}
+
+Result<phonetic::PhonemeString> FrenchG2P::ToPhonemes(
+    std::string_view utf8) const {
+  return engine_.Apply(PreFoldFrench(utf8));
+}
+
+Result<std::unique_ptr<SpanishG2P>> SpanishG2P::Create() {
+  Result<RuleEngine> engine = RuleEngine::Create(SpanishRules());
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<SpanishG2P>(
+      new SpanishG2P(std::move(engine).value()));
+}
+
+Result<phonetic::PhonemeString> SpanishG2P::ToPhonemes(
+    std::string_view utf8) const {
+  return engine_.Apply(PreFoldSpanish(utf8));
+}
+
+}  // namespace lexequal::g2p

@@ -1,0 +1,54 @@
+// French and Spanish grapheme-to-phoneme converters.
+//
+// These cover the paper's Figure 1/9 examples (René, École, Español).
+// Both reuse the rewrite-rule engine with compact per-language rule
+// tables; accents that change the phoneme (é/è, ñ, ç) are rewritten
+// to ASCII digraph spellings before folding.
+
+#ifndef LEXEQUAL_G2P_ROMANCE_G2P_H_
+#define LEXEQUAL_G2P_ROMANCE_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+#include "g2p/rule_engine.h"
+
+namespace lexequal::g2p {
+
+/// Rule-based French TTP (names-oriented subset).
+class FrenchG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<FrenchG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kFrench;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+
+ private:
+  explicit FrenchG2P(RuleEngine engine) : engine_(std::move(engine)) {}
+  RuleEngine engine_;
+};
+
+/// Rule-based Spanish TTP (names-oriented subset, seseo variety).
+class SpanishG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<SpanishG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kSpanish;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+
+ private:
+  explicit SpanishG2P(RuleEngine engine) : engine_(std::move(engine)) {}
+  RuleEngine engine_;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_ROMANCE_G2P_H_

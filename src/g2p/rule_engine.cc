@@ -1,0 +1,290 @@
+#include "g2p/rule_engine.h"
+
+#include "common/string_util.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+bool IsVowelLetter(char c) { return IsAsciiVowel(c); }
+
+bool IsConsonantLetter(char c) {
+  return IsAsciiAlpha(c) && !IsAsciiVowel(c);
+}
+
+bool IsVoicedConsonant(char c) {
+  switch (c) {
+    case 'b': case 'd': case 'g': case 'j': case 'l': case 'm':
+    case 'n': case 'r': case 'v': case 'w': case 'z':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFrontVowel(char c) { return c == 'e' || c == 'i' || c == 'y'; }
+
+// The word is matched inside sentinels: word[i] for i in [0, n), with
+// positions outside treated as boundary.
+
+// Matches `pattern` leftwards, ending just before `pos` (exclusive).
+// Returns true if the pattern can consume characters so that its
+// leftmost element is satisfied.
+bool MatchLeft(std::string_view word, size_t pos, std::string_view pattern) {
+  // Walk the pattern right-to-left.
+  long p = static_cast<long>(pattern.size()) - 1;
+  long w = static_cast<long>(pos) - 1;
+  while (p >= 0) {
+    char pc = pattern[static_cast<size_t>(p)];
+    switch (pc) {
+      case ' ':
+        if (w >= 0) return false;
+        --p;
+        break;
+      case '#': {  // one or more vowels
+        if (w < 0 || !IsVowelLetter(word[static_cast<size_t>(w)])) {
+          return false;
+        }
+        while (w >= 0 && IsVowelLetter(word[static_cast<size_t>(w)])) --w;
+        --p;
+        break;
+      }
+      case ':':  // zero or more consonants
+        while (w >= 0 && IsConsonantLetter(word[static_cast<size_t>(w)])) {
+          --w;
+        }
+        --p;
+        break;
+      case '^':
+        if (w < 0 || !IsConsonantLetter(word[static_cast<size_t>(w)])) {
+          return false;
+        }
+        --w;
+        --p;
+        break;
+      case '.':
+        if (w < 0 || !IsVoicedConsonant(word[static_cast<size_t>(w)])) {
+          return false;
+        }
+        --w;
+        --p;
+        break;
+      case '+':
+        if (w < 0 || !IsFrontVowel(word[static_cast<size_t>(w)])) {
+          return false;
+        }
+        --w;
+        --p;
+        break;
+      case '&': {  // sibilant, possibly a digraph ending here
+        if (w < 0) return false;
+        char c = word[static_cast<size_t>(w)];
+        if (w >= 1 && c == 'h') {
+          char c2 = word[static_cast<size_t>(w - 1)];
+          if (c2 == 'c' || c2 == 's') {
+            w -= 2;
+            --p;
+            break;
+          }
+        }
+        if (c == 's' || c == 'c' || c == 'g' || c == 'z' || c == 'x' ||
+            c == 'j') {
+          --w;
+          --p;
+          break;
+        }
+        return false;
+      }
+      case '@': {
+        if (w < 0) return false;
+        char c = word[static_cast<size_t>(w)];
+        if (w >= 1 && c == 'h') {
+          char c2 = word[static_cast<size_t>(w - 1)];
+          if (c2 == 't' || c2 == 'c' || c2 == 's') {
+            w -= 2;
+            --p;
+            break;
+          }
+        }
+        if (c == 't' || c == 's' || c == 'r' || c == 'd' || c == 'l' ||
+            c == 'n' || c == 'j') {
+          --w;
+          --p;
+          break;
+        }
+        return false;
+      }
+      default:
+        if (w < 0 || word[static_cast<size_t>(w)] != pc) return false;
+        --w;
+        --p;
+        break;
+    }
+  }
+  return true;
+}
+
+// Matches `pattern` rightwards starting at `pos` (inclusive).
+bool MatchRight(std::string_view word, size_t pos,
+                std::string_view pattern) {
+  size_t p = 0;
+  size_t w = pos;
+  const size_t n = word.size();
+  while (p < pattern.size()) {
+    char pc = pattern[p];
+    switch (pc) {
+      case ' ':
+        if (w < n) return false;
+        ++p;
+        break;
+      case '#': {
+        if (w >= n || !IsVowelLetter(word[w])) return false;
+        while (w < n && IsVowelLetter(word[w])) ++w;
+        ++p;
+        break;
+      }
+      case ':':
+        while (w < n && IsConsonantLetter(word[w])) ++w;
+        ++p;
+        break;
+      case '^':
+        if (w >= n || !IsConsonantLetter(word[w])) return false;
+        ++w;
+        ++p;
+        break;
+      case '.':
+        if (w >= n || !IsVoicedConsonant(word[w])) return false;
+        ++w;
+        ++p;
+        break;
+      case '+':
+        if (w >= n || !IsFrontVowel(word[w])) return false;
+        ++w;
+        ++p;
+        break;
+      case '%': {  // suffix: e, er, es, ed, ing, ely (then boundary)
+        std::string_view rest = word.substr(w);
+        auto suffix_ok = [&](std::string_view sfx) {
+          return rest == sfx;
+        };
+        if (suffix_ok("e") || suffix_ok("er") || suffix_ok("es") ||
+            suffix_ok("ed") || suffix_ok("ing") || suffix_ok("ely")) {
+          w = n;
+          ++p;
+          break;
+        }
+        return false;
+      }
+      case '&': {
+        if (w >= n) return false;
+        char c = word[w];
+        if ((c == 'c' || c == 's') && w + 1 < n && word[w + 1] == 'h') {
+          w += 2;
+          ++p;
+          break;
+        }
+        if (c == 's' || c == 'c' || c == 'g' || c == 'z' || c == 'x' ||
+            c == 'j') {
+          ++w;
+          ++p;
+          break;
+        }
+        return false;
+      }
+      case '@': {
+        if (w >= n) return false;
+        char c = word[w];
+        if ((c == 't' || c == 'c' || c == 's') && w + 1 < n &&
+            word[w + 1] == 'h') {
+          w += 2;
+          ++p;
+          break;
+        }
+        if (c == 't' || c == 's' || c == 'r' || c == 'd' || c == 'l' ||
+            c == 'n' || c == 'j') {
+          ++w;
+          ++p;
+          break;
+        }
+        return false;
+      }
+      default:
+        if (w >= n || word[w] != pc) return false;
+        ++w;
+        ++p;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<RuleEngine> RuleEngine::Create(
+    const std::vector<RewriteRule>& rules) {
+  RuleEngine engine;
+  engine.rules_.reserve(rules.size());
+  for (const RewriteRule& r : rules) {
+    if (r.target == nullptr || r.target[0] == '\0') {
+      return Status::InvalidArgument("rewrite rule with empty target");
+    }
+    Result<phonetic::PhonemeString> ps =
+        phonetic::PhonemeString::FromIpa(r.ipa);
+    if (!ps.ok()) {
+      return Status::InvalidArgument(
+          std::string("bad IPA '") + r.ipa + "' in rule for target '" +
+          r.target + "': " + ps.status().message());
+    }
+    CompiledRule cr;
+    cr.left = r.left;
+    cr.target = r.target;
+    cr.right = r.right;
+    cr.phonemes = std::move(ps).value();
+    char first = cr.target[0];
+    if (first < 'a' || first > 'z') {
+      return Status::InvalidArgument(
+          "rule target must start with a lowercase letter: '" + cr.target +
+          "'");
+    }
+    engine.by_letter_[first - 'a'].push_back(
+        static_cast<uint32_t>(engine.rules_.size()));
+    engine.rules_.push_back(std::move(cr));
+  }
+  return engine;
+}
+
+Result<phonetic::PhonemeString> RuleEngine::Apply(
+    std::string_view input) const {
+  // Keep letters only so that hyphens/apostrophes ("Mary-Ann",
+  // "O'Brien") neither emit phonemes nor break context matching.
+  std::string word;
+  word.reserve(input.size());
+  for (char c : AsciiToLower(input)) {
+    if (c >= 'a' && c <= 'z') word.push_back(c);
+  }
+  phonetic::PhonemeString out;
+  size_t pos = 0;
+  while (pos < word.size()) {
+    char c = word[pos];
+    const std::vector<uint32_t>& bucket = by_letter_[c - 'a'];
+    bool matched = false;
+    for (uint32_t idx : bucket) {
+      const CompiledRule& r = rules_[idx];
+      if (word.compare(pos, r.target.size(), r.target) != 0) continue;
+      if (!MatchLeft(word, pos, r.left)) continue;
+      if (!MatchRight(word, pos + r.target.size(), r.right)) continue;
+      out.Append(r.phonemes);
+      pos += r.target.size();
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      return Status::InvalidArgument(
+          std::string("no rule matches letter '") + c + "' at position " +
+          std::to_string(pos) + " of '" + word + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace lexequal::g2p

@@ -1,0 +1,82 @@
+// Context-sensitive rewrite-rule engine for Latin-script G2P.
+//
+// Rules follow the classic text-to-phoneme formalism of Elovitz et
+// al. (NRL) that underlies most rule-based TTP systems, the kind of
+// "standard linguistic resource" the paper integrates: each rule
+//
+//     left [ target ] right  ->  phonemes
+//
+// rewrites `target` to `phonemes` when its left/right contexts match.
+// Scanning is left-to-right; at each position the first matching rule
+// wins and the cursor advances past `target`, so rule order encodes
+// priority. Context patterns may use metacharacters:
+//
+//   ' '  word boundary
+//   '#'  one or more vowel letters
+//   ':'  zero or more consonant letters
+//   '^'  exactly one consonant letter
+//   '.'  one voiced consonant (b d g j l m n r v w z)
+//   '+'  one front vowel letter (e i y)
+//   '%'  one of the suffixes -e -er -es -ed -ing -ely (right only)
+//   '&'  a sibilant (s c g z x j, or digraph ch sh)
+//   '@'  one of t s r d l n j, or digraph th ch sh
+//
+// Inputs are ASCII-lowercased before matching; accents must be folded
+// by the caller (see latin_util.h).
+
+#ifndef LEXEQUAL_G2P_RULE_ENGINE_H_
+#define LEXEQUAL_G2P_RULE_ENGINE_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::g2p {
+
+/// One rewrite rule in source form. `ipa` is parsed by
+/// PhonemeString::FromIpa when the engine is built; it may be empty
+/// (silent letters).
+struct RewriteRule {
+  const char* left;
+  const char* target;
+  const char* right;
+  const char* ipa;
+};
+
+/// A compiled, immutable rule set.
+class RuleEngine {
+ public:
+  /// Compiles a rule table. Fails if any rule has an empty target or
+  /// unparseable IPA.
+  static Result<RuleEngine> Create(const std::vector<RewriteRule>& rules);
+
+  /// Applies the rules to one word (ASCII letters; other characters
+  /// are skipped). Returns InvalidArgument if some letter position
+  /// matches no rule — a complete rule table ends with single-letter
+  /// default rules, so this indicates a table bug.
+  Result<phonetic::PhonemeString> Apply(std::string_view word) const;
+
+  size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct CompiledRule {
+    std::string left;
+    std::string target;
+    std::string right;
+    phonetic::PhonemeString phonemes;
+  };
+
+  RuleEngine() = default;
+
+  // Rules bucketed by first letter of target ('a'..'z').
+  std::vector<CompiledRule> rules_;
+  std::array<std::vector<uint32_t>, 26> by_letter_;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_RULE_ENGINE_H_

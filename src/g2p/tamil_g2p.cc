@@ -1,0 +1,261 @@
+#include "g2p/tamil_g2p.h"
+
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+
+namespace {
+
+using phonetic::Phoneme;
+using P = Phoneme;
+
+constexpr uint32_t kPulli = 0x0BCD;  // Tamil virama
+
+// Stop letters with positional voicing: (voiceless, voiced) pair.
+struct StopPair {
+  Phoneme voiceless;
+  Phoneme voiced;
+};
+
+// Returns the stop pair for the five ambiguous stop letters; nullptr
+// phonemes (kNumPhonemes) otherwise.
+bool StopLetter(uint32_t cp, StopPair* out) {
+  switch (cp) {
+    case 0x0B95: *out = {P::kK, P::kG}; return true;     // க
+    case 0x0B9A: *out = {P::kCh, P::kS}; return true;    // ச (see below)
+    case 0x0B9F: *out = {P::kTt, P::kDd}; return true;   // ட
+    case 0x0BA4: *out = {P::kT, P::kD}; return true;     // த
+    case 0x0BAA: *out = {P::kP, P::kB}; return true;     // ப
+    default:
+      return false;
+  }
+}
+
+// Unambiguous consonants.
+Phoneme PlainConsonant(uint32_t cp) {
+  switch (cp) {
+    case 0x0B99: return P::kNg;  // ங
+    case 0x0B9E: return P::kNy;  // ஞ
+    case 0x0BA3: return P::kNn;  // ண
+    case 0x0BA8: return P::kN;   // ந
+    case 0x0BA9: return P::kN;   // ன (alveolar n, folded)
+    case 0x0BAE: return P::kM;   // ம
+    case 0x0BAF: return P::kJ;   // ய
+    case 0x0BB0: return P::kR;   // ர
+    case 0x0BB1: return P::kRr;  // ற (alveolar tap/trill)
+    case 0x0BB2: return P::kL;   // ல
+    case 0x0BB3: return P::kLl;  // ள
+    case 0x0BB4: return P::kRz;  // ழ
+    case 0x0BB5: return P::kV;   // வ
+    case 0x0BB6: return P::kSh;  // ஶ
+    case 0x0BB7: return P::kSs;  // ஷ (Grantha)
+    case 0x0BB8: return P::kS;   // ஸ (Grantha)
+    case 0x0BB9: return P::kH;   // ஹ (Grantha)
+    case 0x0B9C: return P::kJh;  // ஜ (Grantha)
+    default:
+      return P::kNumPhonemes;
+  }
+}
+
+Phoneme IndependentVowel(uint32_t cp) {
+  switch (cp) {
+    case 0x0B85: return P::kA;      // அ (short a; central)
+    case 0x0B86: return P::kA;      // ஆ
+    case 0x0B87: return P::kIh;     // இ
+    case 0x0B88: return P::kI;      // ஈ
+    case 0x0B89: return P::kUh;     // உ
+    case 0x0B8A: return P::kU;      // ஊ
+    case 0x0B8E: return P::kEh;     // எ (short e)
+    case 0x0B8F: return P::kE;      // ஏ
+    case 0x0B90: return P::kNumPhonemes;  // ஐ handled as diphthong
+    case 0x0B92: return P::kOh;     // ஒ (short o)
+    case 0x0B93: return P::kO;      // ஓ
+    case 0x0B94: return P::kNumPhonemes;  // ஔ handled as diphthong
+    default:
+      return P::kNumPhonemes;
+  }
+}
+
+Phoneme MatraVowel(uint32_t cp) {
+  switch (cp) {
+    case 0x0BBE: return P::kA;   // ா
+    case 0x0BBF: return P::kIh;  // ி
+    case 0x0BC0: return P::kI;   // ீ
+    case 0x0BC1: return P::kUh;  // ு
+    case 0x0BC2: return P::kU;   // ூ
+    case 0x0BC6: return P::kEh;  // ெ
+    case 0x0BC7: return P::kE;   // ே
+    case 0x0BCA: return P::kOh;  // ொ
+    case 0x0BCB: return P::kO;   // ோ
+    default:
+      return P::kNumPhonemes;
+  }
+}
+
+// Diphthong vowels expand to two phonemes.
+bool DiphthongVowel(uint32_t cp, Phoneme* first, Phoneme* second) {
+  switch (cp) {
+    case 0x0B90:  // ஐ independent
+    case 0x0BC8:  // ை matra
+      *first = P::kA;
+      *second = P::kIh;
+      return true;
+    case 0x0B94:  // ஔ independent
+    case 0x0BCC:  // ௌ matra
+      *first = P::kA;
+      *second = P::kUh;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNasal(Phoneme p) {
+  return phonetic::GetPhonemeInfo(p).type == phonetic::PhonemeType::kNasal;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TamilG2P>> TamilG2P::Create() {
+  return std::unique_ptr<TamilG2P>(new TamilG2P());
+}
+
+Result<phonetic::PhonemeString> TamilG2P::ToPhonemes(
+    std::string_view utf8) const {
+  const std::vector<uint32_t> cps = text::DecodeUtf8(utf8);
+
+  // Pass 1: tokenize into (consonant-letter | vowel) events, tracking
+  // the pulli (virama) and gemination to resolve stop voicing.
+  struct Unit {
+    bool is_stop = false;
+    StopPair stops{P::kNumPhonemes, P::kNumPhonemes};
+    Phoneme phoneme = P::kNumPhonemes;  // plain consonant or vowel
+    bool is_vowel = false;
+    uint32_t letter = 0;  // source letter for gemination detection
+  };
+  std::vector<Unit> units;
+
+  size_t i = 0;
+  const size_t n = cps.size();
+  while (i < n) {
+    uint32_t cp = cps[i];
+    StopPair sp;
+    Phoneme plain = PlainConsonant(cp);
+    Phoneme d1, d2;
+    if (StopLetter(cp, &sp) || plain != P::kNumPhonemes) {
+      Unit u;
+      u.letter = cp;
+      if (plain != P::kNumPhonemes) {
+        u.phoneme = plain;
+      } else {
+        u.is_stop = true;
+        u.stops = sp;
+      }
+      units.push_back(u);
+      ++i;
+      if (i < n && cps[i] == kPulli) {
+        ++i;  // bare consonant; no vowel follows
+        continue;
+      }
+      // Vowel: matra, diphthong matra, or inherent 'a'.
+      if (i < n && DiphthongVowel(cps[i], &d1, &d2)) {
+        Unit v1;
+        v1.is_vowel = true;
+        v1.phoneme = d1;
+        units.push_back(v1);
+        Unit v2;
+        v2.is_vowel = true;
+        v2.phoneme = d2;
+        units.push_back(v2);
+        ++i;
+        continue;
+      }
+      Phoneme matra = i < n ? MatraVowel(cps[i]) : P::kNumPhonemes;
+      Unit v;
+      v.is_vowel = true;
+      v.phoneme = matra != P::kNumPhonemes ? matra : P::kA;  // inherent a
+      if (matra != P::kNumPhonemes) ++i;
+      units.push_back(v);
+      continue;
+    }
+    Phoneme vowel = IndependentVowel(cp);
+    if (vowel != P::kNumPhonemes) {
+      Unit v;
+      v.is_vowel = true;
+      v.phoneme = vowel;
+      units.push_back(v);
+      ++i;
+      continue;
+    }
+    if (DiphthongVowel(cp, &d1, &d2)) {
+      Unit v1;
+      v1.is_vowel = true;
+      v1.phoneme = d1;
+      units.push_back(v1);
+      Unit v2;
+      v2.is_vowel = true;
+      v2.phoneme = d2;
+      units.push_back(v2);
+      ++i;
+      continue;
+    }
+    if (cp == 0x0B83) {  // ஃ aytham: fricativizes; folded to h
+      Unit u;
+      u.phoneme = P::kH;
+      u.letter = cp;
+      units.push_back(u);
+      ++i;
+      continue;
+    }
+    if (cp == ' ' || cp == '-' || cp == '.' || cp == 0x200C ||
+        cp == 0x200D || (cp >= 0x0BE6 && cp <= 0x0BEF)) {
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected code point U+" +
+                                   std::to_string(cp) + " in Tamil text");
+  }
+
+  // Pass 2: resolve stop voicing positionally.
+  std::vector<Phoneme> out;
+  out.reserve(units.size());
+  for (size_t k = 0; k < units.size(); ++k) {
+    const Unit& u = units[k];
+    if (!u.is_stop) {
+      out.push_back(u.phoneme);
+      continue;
+    }
+    const bool word_initial = (k == 0);
+    // Geminates (க்க) stay voiceless on both halves: the bare onset
+    // half is detected by looking ahead, the closing half by looking
+    // back.
+    const bool geminate =
+        (k > 0 && !units[k - 1].is_vowel &&
+         units[k - 1].letter == u.letter) ||
+        (k + 1 < units.size() && !units[k + 1].is_vowel &&
+         units[k + 1].letter == u.letter);
+    const bool after_nasal =
+        (k > 0 && !units[k - 1].is_vowel &&
+         units[k - 1].phoneme != P::kNumPhonemes &&
+         IsNasal(units[k - 1].phoneme));
+    const bool after_vowel = (k > 0 && units[k - 1].is_vowel);
+
+    Phoneme chosen;
+    if (word_initial || geminate) {
+      chosen = u.stops.voiceless;
+    } else if (after_nasal) {
+      // ச after nasal is the affricate dʒ, not z.
+      chosen = (u.letter == 0x0B9A) ? P::kJh : u.stops.voiced;
+    } else if (after_vowel) {
+      chosen = u.stops.voiced;  // intervocalic lenition (ச -> s)
+    } else {
+      chosen = u.stops.voiceless;  // other clusters stay voiceless
+    }
+    out.push_back(chosen);
+  }
+  return phonetic::PhonemeString(std::move(out));
+}
+
+}  // namespace lexequal::g2p

@@ -1,0 +1,32 @@
+// Tamil grapheme-to-phoneme converter.
+
+#ifndef LEXEQUAL_G2P_TAMIL_G2P_H_
+#define LEXEQUAL_G2P_TAMIL_G2P_H_
+
+#include <memory>
+
+#include "g2p/g2p.h"
+
+namespace lexequal::g2p {
+
+/// Tamil is an abugida whose stop letters are voicing-ambiguous: the
+/// script writes one letter per place of articulation and voicing is
+/// positional — voiceless word-initially and when geminate, voiced
+/// after a nasal and between vowels. The converter implements these
+/// sandhi rules, the Grantha letters used for Sanskrit/English loans
+/// (ஜ ஷ ஸ ஹ), and the Tamil-specific liquids (ழ ள ற).
+class TamilG2P : public G2PConverter {
+ public:
+  static Result<std::unique_ptr<TamilG2P>> Create();
+
+  text::Language language() const override {
+    return text::Language::kTamil;
+  }
+
+  Result<phonetic::PhonemeString> ToPhonemes(
+      std::string_view utf8) const override;
+};
+
+}  // namespace lexequal::g2p
+
+#endif  // LEXEQUAL_G2P_TAMIL_G2P_H_

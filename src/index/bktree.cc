@@ -1,0 +1,57 @@
+#include "index/bktree.h"
+
+namespace lexequal::index {
+
+void BkTree::Insert(phonetic::PhonemeString phonemes, uint64_t payload) {
+  ++size_;
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    root_->phonemes = std::move(phonemes);
+    root_->payload = payload;
+    return;
+  }
+  Node* node = root_.get();
+  while (true) {
+    const double d =
+        match::EditDistance(phonemes, node->phonemes, *costs_);
+    const int bucket = Quantize(d);
+    auto it = node->children.find(bucket);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<Node>();
+      child->phonemes = std::move(phonemes);
+      child->payload = payload;
+      node->children[bucket] = std::move(child);
+      return;
+    }
+    node = it->second.get();
+  }
+}
+
+std::vector<uint64_t> BkTree::Search(const phonetic::PhonemeString& query,
+                                     double radius) const {
+  last_search_distances_ = 0;
+  std::vector<uint64_t> out;
+  if (root_ == nullptr) return out;
+
+  const int r_q = Quantize(radius);
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    const double d = match::EditDistance(query, node->phonemes, *costs_);
+    ++last_search_distances_;
+    if (d <= radius) out.push_back(node->payload);
+    const int d_q = Quantize(d);
+    // Triangle inequality: a child at pivot-distance b can only hold
+    // matches if |b - d| <= radius; the +1 absorbs quantization.
+    const int lo = d_q - r_q - 1;
+    const int hi = d_q + r_q + 1;
+    for (auto it = node->children.lower_bound(lo);
+         it != node->children.end() && it->first <= hi; ++it) {
+      stack.push_back(it->second.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace lexequal::index

@@ -1,0 +1,431 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace lexequal::index {
+
+namespace {
+
+using storage::kInvalidPageId;
+using storage::kPageSize;
+using storage::Page;
+using storage::PageId;
+using storage::RID;
+
+// Composite key: (key, rid) with lexicographic order.
+struct CKey {
+  uint64_t key;
+  RID rid;
+};
+
+bool Less(const CKey& a, const CKey& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.rid < b.rid;
+}
+
+// Node layout. Header:
+//   [is_leaf:2][count:2][next:4]          (8 bytes)
+// Leaf entries from offset 8, 14 bytes each:
+//   [key:8][page:4][slot:2]
+// Internal: leftmost child at offset 8 (4 bytes), then 18-byte
+// entries from offset 12:
+//   [key:8][page:4][slot:2][child:4]
+// Internal entry i's child covers composite keys >= its own.
+constexpr size_t kIsLeafOff = 0;
+constexpr size_t kCountOff = 2;
+constexpr size_t kNextOff = 4;
+constexpr size_t kLeafEntriesOff = 8;
+constexpr size_t kLeafEntrySize = 14;
+constexpr size_t kLeftmostChildOff = 8;
+constexpr size_t kInternalEntriesOff = 12;
+constexpr size_t kInternalEntrySize = 18;
+
+constexpr int kLeafCapacity =
+    static_cast<int>((kPageSize - kLeafEntriesOff) / kLeafEntrySize);
+constexpr int kInternalCapacity = static_cast<int>(
+    (kPageSize - kInternalEntriesOff) / kInternalEntrySize);
+
+uint16_t ReadU16(const Page* p, size_t off) {
+  uint16_t v;
+  std::memcpy(&v, p->data() + off, sizeof(v));
+  return v;
+}
+void WriteU16(Page* p, size_t off, uint16_t v) {
+  std::memcpy(p->data() + off, &v, sizeof(v));
+}
+uint32_t ReadU32(const Page* p, size_t off) {
+  uint32_t v;
+  std::memcpy(&v, p->data() + off, sizeof(v));
+  return v;
+}
+void WriteU32(Page* p, size_t off, uint32_t v) {
+  std::memcpy(p->data() + off, &v, sizeof(v));
+}
+uint64_t ReadU64(const Page* p, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, p->data() + off, sizeof(v));
+  return v;
+}
+void WriteU64(Page* p, size_t off, uint64_t v) {
+  std::memcpy(p->data() + off, &v, sizeof(v));
+}
+
+bool IsLeaf(const Page* p) { return ReadU16(p, kIsLeafOff) != 0; }
+int Count(const Page* p) { return ReadU16(p, kCountOff); }
+void SetCount(Page* p, int c) {
+  WriteU16(p, kCountOff, static_cast<uint16_t>(c));
+}
+PageId Next(const Page* p) { return ReadU32(p, kNextOff); }
+void SetNext(Page* p, PageId id) { WriteU32(p, kNextOff, id); }
+
+void InitLeaf(Page* p) {
+  WriteU16(p, kIsLeafOff, 1);
+  SetCount(p, 0);
+  SetNext(p, kInvalidPageId);
+}
+void InitInternal(Page* p) {
+  WriteU16(p, kIsLeafOff, 0);
+  SetCount(p, 0);
+  SetNext(p, kInvalidPageId);
+  WriteU32(p, kLeftmostChildOff, kInvalidPageId);
+}
+
+CKey LeafEntry(const Page* p, int i) {
+  const size_t off = kLeafEntriesOff + i * kLeafEntrySize;
+  CKey e;
+  e.key = ReadU64(p, off);
+  e.rid.page_id = ReadU32(p, off + 8);
+  e.rid.slot = ReadU16(p, off + 12);
+  return e;
+}
+void SetLeafEntry(Page* p, int i, const CKey& e) {
+  const size_t off = kLeafEntriesOff + i * kLeafEntrySize;
+  WriteU64(p, off, e.key);
+  WriteU32(p, off + 8, e.rid.page_id);
+  WriteU16(p, off + 12, e.rid.slot);
+}
+
+CKey InternalKey(const Page* p, int i) {
+  const size_t off = kInternalEntriesOff + i * kInternalEntrySize;
+  CKey e;
+  e.key = ReadU64(p, off);
+  e.rid.page_id = ReadU32(p, off + 8);
+  e.rid.slot = ReadU16(p, off + 12);
+  return e;
+}
+PageId InternalChild(const Page* p, int i) {
+  const size_t off = kInternalEntriesOff + i * kInternalEntrySize;
+  return ReadU32(p, off + 14);
+}
+void SetInternalEntry(Page* p, int i, const CKey& e, PageId child) {
+  const size_t off = kInternalEntriesOff + i * kInternalEntrySize;
+  WriteU64(p, off, e.key);
+  WriteU32(p, off + 8, e.rid.page_id);
+  WriteU16(p, off + 12, e.rid.slot);
+  WriteU32(p, off + 14, child);
+}
+PageId LeftmostChild(const Page* p) {
+  return ReadU32(p, kLeftmostChildOff);
+}
+void SetLeftmostChild(Page* p, PageId id) {
+  WriteU32(p, kLeftmostChildOff, id);
+}
+
+// First leaf index whose entry is >= ckey.
+int LeafLowerBound(const Page* p, const CKey& ckey) {
+  int lo = 0;
+  int hi = Count(p);
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (Less(LeafEntry(p, mid), ckey)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index (0 = leftmost) to descend into for ckey: the child of
+// the last internal entry whose key is <= ckey.
+int InternalDescendSlot(const Page* p, const CKey& ckey) {
+  int lo = 0;
+  int hi = Count(p);  // slot in [0, count]; entry i guards slot i+1
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (Less(ckey, InternalKey(p, mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;  // number of entries <= ckey
+}
+
+PageId DescendChild(const Page* p, int slot) {
+  return slot == 0 ? LeftmostChild(p) : InternalChild(p, slot - 1);
+}
+
+}  // namespace
+
+Result<BTree> BTree::Create(storage::BufferPool* pool) {
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool->NewPage());
+  InitLeaf(page);
+  const PageId root = page->page_id();
+  LEXEQUAL_RETURN_IF_ERROR(pool->UnpinPage(root, true));
+  return BTree(pool, root);
+}
+
+Status BTree::InsertRecursive(PageId node_id, uint64_t key,
+                              const RID& rid, Split* split) {
+  split->happened = false;
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node_id));
+  const CKey ckey{key, rid};
+
+  if (IsLeaf(page)) {
+    const int n = Count(page);
+    const int pos = LeafLowerBound(page, ckey);
+    if (n < kLeafCapacity) {
+      // Shift right and insert.
+      for (int i = n; i > pos; --i) {
+        SetLeafEntry(page, i, LeafEntry(page, i - 1));
+      }
+      SetLeafEntry(page, pos, ckey);
+      SetCount(page, n + 1);
+      return pool_->UnpinPage(node_id, true);
+    }
+    // Split: gather, divide, write both halves.
+    std::vector<CKey> all;
+    all.reserve(n + 1);
+    for (int i = 0; i < n; ++i) all.push_back(LeafEntry(page, i));
+    all.insert(all.begin() + pos, ckey);
+    Result<Page*> right_or = pool_->NewPage();
+    if (!right_or.ok()) {
+      (void)pool_->UnpinPage(node_id, false);
+      return right_or.status();
+    }
+    Page* right = right_or.value();
+    InitLeaf(right);
+    const int left_n = static_cast<int>(all.size() / 2);
+    const int right_n = static_cast<int>(all.size()) - left_n;
+    for (int i = 0; i < left_n; ++i) SetLeafEntry(page, i, all[i]);
+    SetCount(page, left_n);
+    for (int i = 0; i < right_n; ++i) {
+      SetLeafEntry(right, i, all[left_n + i]);
+    }
+    SetCount(right, right_n);
+    SetNext(right, Next(page));
+    SetNext(page, right->page_id());
+    split->happened = true;
+    split->key = all[left_n].key;
+    split->rid = all[left_n].rid;
+    split->right = right->page_id();
+    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(right->page_id(), true));
+    return pool_->UnpinPage(node_id, true);
+  }
+
+  // Internal node: descend.
+  const int slot = InternalDescendSlot(page, ckey);
+  const PageId child = DescendChild(page, slot);
+  // Unpin before recursing: bounded pin depth, the child path may
+  // need many frames on deep trees.
+  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node_id, false));
+  Split child_split;
+  LEXEQUAL_RETURN_IF_ERROR(
+      InsertRecursive(child, key, rid, &child_split));
+  if (!child_split.happened) return Status::OK();
+
+  // Insert the separator into this node.
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node_id));
+  const int n = Count(page);
+  const CKey sep{child_split.key, child_split.rid};
+  // Position: entries stay sorted by key.
+  int pos = 0;
+  while (pos < n && Less(InternalKey(page, pos), sep)) ++pos;
+  if (n < kInternalCapacity) {
+    for (int i = n; i > pos; --i) {
+      SetInternalEntry(page, i, InternalKey(page, i - 1),
+                       InternalChild(page, i - 1));
+    }
+    SetInternalEntry(page, pos, sep, child_split.right);
+    SetCount(page, n + 1);
+    return pool_->UnpinPage(node_id, true);
+  }
+  // Split internal node: middle entry is pushed up.
+  struct IEntry {
+    CKey key;
+    PageId child;
+  };
+  std::vector<IEntry> all;
+  all.reserve(n + 1);
+  for (int i = 0; i < n; ++i) {
+    all.push_back({InternalKey(page, i), InternalChild(page, i)});
+  }
+  all.insert(all.begin() + pos, {sep, child_split.right});
+  Result<Page*> right_or = pool_->NewPage();
+  if (!right_or.ok()) {
+    (void)pool_->UnpinPage(node_id, false);
+    return right_or.status();
+  }
+  Page* right = right_or.value();
+  InitInternal(right);
+  const int mid = static_cast<int>(all.size() / 2);
+  // Left keeps entries [0, mid); all[mid] is promoted; right gets
+  // (mid, end) with all[mid].child as its leftmost child.
+  for (int i = 0; i < mid; ++i) {
+    SetInternalEntry(page, i, all[i].key, all[i].child);
+  }
+  SetCount(page, mid);
+  SetLeftmostChild(right, all[mid].child);
+  const int right_n = static_cast<int>(all.size()) - mid - 1;
+  for (int i = 0; i < right_n; ++i) {
+    SetInternalEntry(right, i, all[mid + 1 + i].key,
+                     all[mid + 1 + i].child);
+  }
+  SetCount(right, right_n);
+  split->happened = true;
+  split->key = all[mid].key.key;
+  split->rid = all[mid].key.rid;
+  split->right = right->page_id();
+  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(right->page_id(), true));
+  return pool_->UnpinPage(node_id, true);
+}
+
+Status BTree::Insert(uint64_t key, const RID& rid) {
+  Split split;
+  LEXEQUAL_RETURN_IF_ERROR(InsertRecursive(root_, key, rid, &split));
+  if (!split.happened) return Status::OK();
+  // Grow a new root.
+  Page* new_root;
+  LEXEQUAL_ASSIGN_OR_RETURN(new_root, pool_->NewPage());
+  InitInternal(new_root);
+  SetLeftmostChild(new_root, root_);
+  SetInternalEntry(new_root, 0, CKey{split.key, split.rid}, split.right);
+  SetCount(new_root, 1);
+  root_ = new_root->page_id();
+  return pool_->UnpinPage(root_, true);
+}
+
+Result<PageId> BTree::FindLeaf(uint64_t key, const RID& rid) const {
+  const CKey ckey{key, rid};
+  PageId node = root_;
+  while (true) {
+    Page* page;
+    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
+    if (IsLeaf(page)) {
+      LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+      return node;
+    }
+    const PageId child =
+        DescendChild(page, InternalDescendSlot(page, ckey));
+    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    node = child;
+  }
+}
+
+Status BTree::Delete(uint64_t key, const RID& rid) {
+  PageId leaf_id;
+  LEXEQUAL_ASSIGN_OR_RETURN(leaf_id, FindLeaf(key, rid));
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(leaf_id));
+  const CKey ckey{key, rid};
+  const int n = Count(page);
+  const int pos = LeafLowerBound(page, ckey);
+  const CKey found = pos < n ? LeafEntry(page, pos) : CKey{};
+  if (pos >= n || Less(ckey, found) || Less(found, ckey)) {
+    (void)pool_->UnpinPage(leaf_id, false);
+    return Status::NotFound("entry not in index");
+  }
+  for (int i = pos; i + 1 < n; ++i) {
+    SetLeafEntry(page, i, LeafEntry(page, i + 1));
+  }
+  SetCount(page, n - 1);
+  return pool_->UnpinPage(leaf_id, true);
+}
+
+Result<std::vector<RID>> BTree::ScanEqual(uint64_t key) const {
+  std::vector<std::pair<uint64_t, RID>> range;
+  LEXEQUAL_ASSIGN_OR_RETURN(range, ScanRange(key, key));
+  std::vector<RID> out;
+  out.reserve(range.size());
+  for (const auto& [k, rid] : range) out.push_back(rid);
+  return out;
+}
+
+Result<std::vector<std::pair<uint64_t, RID>>> BTree::ScanRange(
+    uint64_t lo, uint64_t hi) const {
+  std::vector<std::pair<uint64_t, RID>> out;
+  PageId leaf_id;
+  LEXEQUAL_ASSIGN_OR_RETURN(leaf_id, FindLeaf(lo, RID{0, 0}));
+  PageId node = leaf_id;
+  while (node != kInvalidPageId) {
+    Page* page;
+    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
+    const int n = Count(page);
+    bool past_hi = false;
+    for (int i = 0; i < n; ++i) {
+      const CKey e = LeafEntry(page, i);
+      if (e.key < lo) continue;
+      if (e.key > hi) {
+        past_hi = true;
+        break;
+      }
+      out.emplace_back(e.key, e.rid);
+    }
+    const PageId next = Next(page);
+    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    if (past_hi) break;
+    node = next;
+  }
+  return out;
+}
+
+Result<uint64_t> BTree::EntryCount() const {
+  // Descend to the leftmost leaf, then walk the chain.
+  PageId node = root_;
+  while (true) {
+    Page* page;
+    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
+    if (IsLeaf(page)) {
+      LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+      break;
+    }
+    const PageId child = LeftmostChild(page);
+    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    node = child;
+  }
+  uint64_t count = 0;
+  while (node != kInvalidPageId) {
+    Page* page;
+    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
+    count += Count(page);
+    const PageId next = Next(page);
+    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    node = next;
+  }
+  return count;
+}
+
+Result<int> BTree::Height() const {
+  int height = 1;
+  PageId node = root_;
+  while (true) {
+    Page* page;
+    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
+    if (IsLeaf(page)) {
+      LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+      return height;
+    }
+    const PageId child = LeftmostChild(page);
+    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    node = child;
+    ++height;
+  }
+}
+
+}  // namespace lexequal::index

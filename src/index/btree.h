@@ -1,0 +1,82 @@
+// Persistent B+Tree over (uint64 key, RID) composite entries.
+//
+// This is the "standard database B-Tree index" of the paper's
+// Section 5.3: the phonetic index stores each record's grouped
+// phoneme string identifier (a uint64) as the key and the record's
+// RID as the payload. Duplicate keys are first-class: the composite
+// (key, rid) order keeps entries strictly sorted.
+//
+// Deletion is lazy (entry removal without rebalancing), matching the
+// paper's load-then-query workloads. Single-threaded.
+
+#ifndef LEXEQUAL_INDEX_BTREE_H_
+#define LEXEQUAL_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace lexequal::index {
+
+/// A B+Tree rooted at root_page_id(), persisted through the buffer
+/// pool. The root id must be stored externally (the catalog does) to
+/// re-open the tree.
+class BTree {
+ public:
+  /// Creates an empty tree (one empty leaf as root).
+  static Result<BTree> Create(storage::BufferPool* pool);
+
+  /// Opens an existing tree.
+  static BTree Open(storage::BufferPool* pool, storage::PageId root) {
+    return BTree(pool, root);
+  }
+
+  /// Inserts (key, rid). Duplicates of both key and rid are allowed.
+  Status Insert(uint64_t key, const storage::RID& rid);
+
+  /// Removes the exact (key, rid) entry; NotFound if absent.
+  Status Delete(uint64_t key, const storage::RID& rid);
+
+  /// All RIDs whose key equals `key`, in RID order.
+  Result<std::vector<storage::RID>> ScanEqual(uint64_t key) const;
+
+  /// All (key, rid) pairs with lo <= key <= hi, in key order.
+  Result<std::vector<std::pair<uint64_t, storage::RID>>> ScanRange(
+      uint64_t lo, uint64_t hi) const;
+
+  /// Total number of entries (walks the leaf chain).
+  Result<uint64_t> EntryCount() const;
+
+  /// Height of the tree (1 = just a root leaf).
+  Result<int> Height() const;
+
+  storage::PageId root_page_id() const { return root_; }
+
+ private:
+  BTree(storage::BufferPool* pool, storage::PageId root)
+      : pool_(pool), root_(root) {}
+
+  // Result of a child split: separator entry + new right sibling.
+  struct Split {
+    bool happened = false;
+    uint64_t key = 0;
+    storage::RID rid;
+    storage::PageId right = storage::kInvalidPageId;
+  };
+
+  Status InsertRecursive(storage::PageId node, uint64_t key,
+                         const storage::RID& rid, Split* split);
+
+  // Descends to the leaf that may contain (key, rid).
+  Result<storage::PageId> FindLeaf(uint64_t key,
+                                   const storage::RID& rid) const;
+
+  storage::BufferPool* pool_;
+  storage::PageId root_;
+};
+
+}  // namespace lexequal::index
+
+#endif  // LEXEQUAL_INDEX_BTREE_H_

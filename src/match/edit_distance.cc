@@ -1,0 +1,94 @@
+#include "match/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace lexequal::match {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double EditDistance(const phonetic::PhonemeString& a,
+                    const phonetic::PhonemeString& b,
+                    const CostModel& costs) {
+  const auto& sa = a.phonemes();
+  const auto& sb = b.phonemes();
+  const size_t la = sa.size();
+  const size_t lb = sb.size();
+
+  std::vector<double> prev(lb + 1);
+  std::vector<double> cur(lb + 1);
+  prev[0] = 0.0;
+  for (size_t j = 1; j <= lb; ++j) {
+    prev[j] = prev[j - 1] + costs.InsCost(sb[j - 1]);
+  }
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = prev[0] + costs.DelCost(sa[i - 1]);
+    for (size_t j = 1; j <= lb; ++j) {
+      const double del = prev[j] + costs.DelCost(sa[i - 1]);
+      const double ins = cur[j - 1] + costs.InsCost(sb[j - 1]);
+      const double sub = prev[j - 1] + costs.SubCost(sa[i - 1], sb[j - 1]);
+      cur[j] = std::min({del, ins, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[lb];
+}
+
+double BoundedEditDistance(const phonetic::PhonemeString& a,
+                           const phonetic::PhonemeString& b,
+                           const CostModel& costs, double bound) {
+  const auto& sa = a.phonemes();
+  const auto& sb = b.phonemes();
+  const size_t la = sa.size();
+  const size_t lb = sb.size();
+
+  // Length filter: every unmatched length unit costs at least one
+  // insert/delete of weight >= MinEditCost.
+  const double min_edit = costs.MinEditCost();
+  const double len_gap =
+      static_cast<double>(la > lb ? la - lb : lb - la) * min_edit;
+  if (len_gap > bound) return bound + 1.0;
+
+  std::vector<double> prev(lb + 1);
+  std::vector<double> cur(lb + 1);
+  prev[0] = 0.0;
+  for (size_t j = 1; j <= lb; ++j) {
+    prev[j] = prev[j - 1] + costs.InsCost(sb[j - 1]);
+    if (prev[j] > bound) prev[j] = kInf;  // can only grow rightwards
+  }
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = prev[0] + costs.DelCost(sa[i - 1]);
+    if (cur[0] > bound) cur[0] = kInf;
+    double row_min = cur[0];
+    for (size_t j = 1; j <= lb; ++j) {
+      const double del =
+          prev[j] == kInf ? kInf : prev[j] + costs.DelCost(sa[i - 1]);
+      const double ins =
+          cur[j - 1] == kInf ? kInf : cur[j - 1] + costs.InsCost(sb[j - 1]);
+      const double sub = prev[j - 1] == kInf
+                             ? kInf
+                             : prev[j - 1] +
+                                   costs.SubCost(sa[i - 1], sb[j - 1]);
+      double v = std::min({del, ins, sub});
+      // A cell must still cover the remaining length difference; if
+      // even the best-case completion exceeds the bound, prune it.
+      const size_t rem_a = la - i;
+      const size_t rem_b = lb - j;
+      const double rem_gap =
+          static_cast<double>(rem_a > rem_b ? rem_a - rem_b
+                                            : rem_b - rem_a) *
+          min_edit;
+      if (v + rem_gap > bound) v = kInf;
+      cur[j] = v;
+      row_min = std::min(row_min, v);
+    }
+    if (row_min == kInf) return bound + 1.0;  // no viable path remains
+    std::swap(prev, cur);
+  }
+  return prev[lb] == kInf ? bound + 1.0 : prev[lb];
+}
+
+}  // namespace lexequal::match

@@ -1,0 +1,30 @@
+// Dynamic-programming edit distance over phoneme strings — the
+// `editdistance` function of the paper's Fig. 8.
+
+#ifndef LEXEQUAL_MATCH_EDIT_DISTANCE_H_
+#define LEXEQUAL_MATCH_EDIT_DISTANCE_H_
+
+#include "match/cost_model.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::match {
+
+/// Full O(|a|·|b|) DP, two-row rolling storage. Returns the weighted
+/// edit distance between `a` and `b` under `costs`.
+double EditDistance(const phonetic::PhonemeString& a,
+                    const phonetic::PhonemeString& b,
+                    const CostModel& costs);
+
+/// Threshold variant with early exit: returns the exact distance when
+/// it is <= `bound`, otherwise returns any value > `bound` (callers
+/// must only compare against `bound`). Prunes cells whose best-case
+/// completion already exceeds the bound, which makes the common
+/// non-match case run in O(bound · min(|a|,|b|)) for unit-cost
+/// models.
+double BoundedEditDistance(const phonetic::PhonemeString& a,
+                           const phonetic::PhonemeString& b,
+                           const CostModel& costs, double bound);
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_EDIT_DISTANCE_H_

@@ -1,0 +1,21 @@
+#include "match/lexequal.h"
+
+namespace lexequal::match {
+
+MatchOutcome LexEqualMatcher::Match(const text::TaggedString& left,
+                                    const text::TaggedString& right) const {
+  Result<phonetic::PhonemeString> tl = registry_.Transform(left);
+  if (!tl.ok()) return MatchOutcome::kNoResource;
+  Result<phonetic::PhonemeString> tr = registry_.Transform(right);
+  if (!tr.ok()) return MatchOutcome::kNoResource;
+  return MatchPhonemes(tl.value(), tr.value()) ? MatchOutcome::kTrue
+                                               : MatchOutcome::kFalse;
+}
+
+bool LexEqualMatcher::MatchPhonemes(const phonetic::PhonemeString& a,
+                                    const phonetic::PhonemeString& b) const {
+  const double bound = Allowance(a.size(), b.size());
+  return BoundedEditDistance(a, b, cost_, bound) <= bound;
+}
+
+}  // namespace lexequal::match

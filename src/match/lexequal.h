@@ -1,0 +1,84 @@
+// The LexEQUAL operator (paper Fig. 8): multiscript matching of
+// proper names by approximate comparison of their phonemic forms.
+
+#ifndef LEXEQUAL_MATCH_LEXEQUAL_H_
+#define LEXEQUAL_MATCH_LEXEQUAL_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "g2p/g2p.h"
+#include "match/cost_model.h"
+#include "match/edit_distance.h"
+#include "phonetic/cluster.h"
+#include "phonetic/phoneme_string.h"
+#include "text/tagged_string.h"
+
+namespace lexequal::match {
+
+/// Three-valued outcome of a LexEQUAL comparison, as in the paper:
+/// TRUE, FALSE, or NORESOURCE (no TTP converter for a language).
+enum class MatchOutcome { kTrue, kFalse, kNoResource };
+
+/// Tunable parameters of the operator (paper §3.3).
+struct LexEqualOptions {
+  /// User match threshold e ∈ [0,1]: allowable edit distance as a
+  /// fraction of the size of the smaller phonemic string. 0 accepts
+  /// only perfect phonemic matches.
+  double threshold = 0.25;
+  /// Intra-cluster substitution cost ∈ [0,1]: 1 = Levenshtein,
+  /// 0 = Soundex-style free substitution of like phonemes.
+  double intra_cluster_cost = 0.5;
+  /// Charge only ClusteredCost::kWeakEditCost for inserting/deleting
+  /// weak phonemes (h, schwa). Disable together with
+  /// intra_cluster_cost = 1 for the textbook Levenshtein distance.
+  bool weak_phoneme_discount = true;
+};
+
+/// The LexEQUAL matcher. Owns its cost model; borrows the G2P
+/// registry and cluster table (both must outlive the matcher; the
+/// Default() singletons always do).
+class LexEqualMatcher {
+ public:
+  explicit LexEqualMatcher(
+      LexEqualOptions options = {},
+      const g2p::G2PRegistry& registry = g2p::G2PRegistry::Default(),
+      const phonetic::ClusterTable& clusters =
+          phonetic::ClusterTable::Default())
+      : options_(options),
+        registry_(registry),
+        clusters_(clusters),
+        cost_(clusters, options.intra_cluster_cost,
+              options.weak_phoneme_discount) {}
+
+  /// LexEQUAL(S_l, S_r, e) over lexicographic strings: transforms both
+  /// to phoneme space and compares. Returns kNoResource when either
+  /// language lacks a converter.
+  MatchOutcome Match(const text::TaggedString& left,
+                     const text::TaggedString& right) const;
+
+  /// Phoneme-space comparison (both strings already transformed):
+  /// editdistance(a, b) <= threshold * min(|a|, |b|).
+  bool MatchPhonemes(const phonetic::PhonemeString& a,
+                     const phonetic::PhonemeString& b) const;
+
+  /// The decision bound for a pair of lengths: threshold * min(la, lb).
+  double Allowance(size_t la, size_t lb) const {
+    return options_.threshold * static_cast<double>(la < lb ? la : lb);
+  }
+
+  const LexEqualOptions& options() const { return options_; }
+  const CostModel& cost_model() const { return cost_; }
+  const g2p::G2PRegistry& registry() const { return registry_; }
+  const phonetic::ClusterTable& clusters() const { return clusters_; }
+
+ private:
+  LexEqualOptions options_;
+  const g2p::G2PRegistry& registry_;
+  const phonetic::ClusterTable& clusters_;
+  ClusteredCost cost_;
+};
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_LEXEQUAL_H_

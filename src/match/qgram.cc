@@ -1,0 +1,90 @@
+#include "match/qgram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lexequal::match {
+
+std::vector<PositionalQGram> PositionalQGrams(
+    const phonetic::PhonemeString& s, int q) {
+  assert(q >= 1 && q <= kMaxQ);
+  const auto& ph = s.phonemes();
+  const size_t n = ph.size();
+  const size_t padded = n + 2 * (q - 1);
+
+  // Symbol at padded index i.
+  auto symbol_at = [&](size_t i) -> uint8_t {
+    if (i < static_cast<size_t>(q - 1)) return kQGramStartSymbol;
+    const size_t body = i - (q - 1);
+    if (body < n) return static_cast<uint8_t>(ph[body]);
+    return kQGramEndSymbol;
+  };
+
+  std::vector<PositionalQGram> out;
+  if (padded < static_cast<size_t>(q)) return out;
+  out.reserve(padded - q + 1);
+  for (size_t start = 0; start + q <= padded; ++start) {
+    uint64_t gram = 0;
+    for (int j = 0; j < q; ++j) {
+      gram = (gram << 8) | symbol_at(start + j);
+    }
+    out.push_back({static_cast<uint32_t>(start + 1), gram});
+  }
+  return out;
+}
+
+void SortQGrams(std::vector<PositionalQGram>* grams) {
+  std::sort(grams->begin(), grams->end(),
+            [](const PositionalQGram& x, const PositionalQGram& y) {
+              if (x.gram != y.gram) return x.gram < y.gram;
+              return x.pos < y.pos;
+            });
+}
+
+int CountCloseMatches(const std::vector<PositionalQGram>& a,
+                      const std::vector<PositionalQGram>& b, double k) {
+  int count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].gram < b[j].gram) {
+      ++i;
+    } else if (a[i].gram > b[j].gram) {
+      ++j;
+    } else {
+      // Runs of equal grams: count cross pairs within k positions.
+      const uint64_t gram = a[i].gram;
+      size_t ie = i;
+      while (ie < a.size() && a[ie].gram == gram) ++ie;
+      size_t je = j;
+      while (je < b.size() && b[je].gram == gram) ++je;
+      for (size_t x = i; x < ie; ++x) {
+        for (size_t y = j; y < je; ++y) {
+          const double diff =
+              a[x].pos > b[y].pos
+                  ? static_cast<double>(a[x].pos - b[y].pos)
+                  : static_cast<double>(b[y].pos - a[x].pos);
+          if (diff <= k) ++count;
+        }
+      }
+      i = ie;
+      j = je;
+    }
+  }
+  return count;
+}
+
+bool PassesQGramFilters(const phonetic::PhonemeString& a,
+                        const phonetic::PhonemeString& b, double k,
+                        int q) {
+  if (!PassesLengthFilter(a.size(), b.size(), k)) return false;
+  const double required = CountFilterMinMatches(a.size(), b.size(), k, q);
+  if (required <= 0) return true;  // count filter cannot reject
+  std::vector<PositionalQGram> ga = PositionalQGrams(a, q);
+  std::vector<PositionalQGram> gb = PositionalQGrams(b, q);
+  SortQGrams(&ga);
+  SortQGrams(&gb);
+  return CountCloseMatches(ga, gb, k) >= required;
+}
+
+}  // namespace lexequal::match

@@ -1,0 +1,85 @@
+// Positional q-grams over phoneme strings, and the three q-gram
+// filters of the paper's Section 5.2 (after Gravano et al., VLDB'01):
+//
+//   Length filter — strings within edit distance k differ in length
+//   by at most k.
+//   Count filter — they share at least
+//   max(|a|,|b|) - 1 - (k-1)*q positional q-grams.
+//   Position filter — corresponding q-grams are at most k positions
+//   apart.
+//
+// Strings are padded with q-1 start (◁) and end (▷) sentinels, which
+// are not phonemes, so q-grams are represented as packed integer
+// codes rather than PhonemeStrings.
+
+#ifndef LEXEQUAL_MATCH_QGRAM_H_
+#define LEXEQUAL_MATCH_QGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::match {
+
+/// One positional q-gram: the 1-based position in the padded string
+/// and the packed gram code (8 bits per symbol, first symbol in the
+/// highest-order byte, so codes sort lexicographically).
+struct PositionalQGram {
+  uint32_t pos;
+  uint64_t gram;
+
+  friend bool operator==(const PositionalQGram& a,
+                         const PositionalQGram& b) {
+    return a.pos == b.pos && a.gram == b.gram;
+  }
+};
+
+/// Maximum supported q (packing limit: 8 symbols × 8 bits).
+inline constexpr int kMaxQ = 8;
+
+/// Sentinel symbol codes used for padding (outside the phoneme range).
+inline constexpr uint8_t kQGramStartSymbol = 0xFF;  // ◁
+inline constexpr uint8_t kQGramEndSymbol = 0xFE;    // ▷
+
+/// Positional q-grams of `s` padded with q-1 start/end sentinels.
+/// A string of n phonemes yields n + q - 1 grams. q must be in
+/// [1, kMaxQ].
+std::vector<PositionalQGram> PositionalQGrams(
+    const phonetic::PhonemeString& s, int q);
+
+/// Length filter: can strings of these phoneme lengths be within edit
+/// distance k?
+inline bool PassesLengthFilter(size_t la, size_t lb, double k) {
+  const size_t gap = la > lb ? la - lb : lb - la;
+  return static_cast<double>(gap) <= k;
+}
+
+/// Minimum number of matching positional q-grams required by the
+/// count filter; values <= 0 mean the filter cannot reject.
+inline double CountFilterMinMatches(size_t la, size_t lb, double k,
+                                    int q) {
+  const double longer = static_cast<double>(la > lb ? la : lb);
+  return longer - 1.0 - (k - 1.0) * static_cast<double>(q);
+}
+
+/// Number of pairs (ga, gb) with equal grams and |pos(ga) - pos(gb)|
+/// <= k — the q-gram join with the position filter applied. Both
+/// inputs must be sorted by (gram, pos), as PositionalQGrams returns
+/// after SortQGrams.
+int CountCloseMatches(const std::vector<PositionalQGram>& a,
+                      const std::vector<PositionalQGram>& b, double k);
+
+/// Sorts grams into the (gram, pos) order CountCloseMatches expects.
+void SortQGrams(std::vector<PositionalQGram>* grams);
+
+/// Applies all three filters to a candidate pair. True means the pair
+/// *may* be within edit distance k and must be verified with the
+/// exact matcher; false proves it cannot match (no false dismissals
+/// with respect to unit-cost edit distance).
+bool PassesQGramFilters(const phonetic::PhonemeString& a,
+                        const phonetic::PhonemeString& b, double k, int q);
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_QGRAM_H_

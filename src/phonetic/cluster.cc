@@ -1,0 +1,111 @@
+#include "phonetic/cluster.h"
+
+#include <algorithm>
+
+namespace lexequal::phonetic {
+
+Result<ClusterTable> ClusterTable::Create(
+    const std::array<ClusterId, kPhonemeCount>& assignment) {
+  int max_id = -1;
+  for (ClusterId id : assignment) {
+    if (id >= kMaxClusters) {
+      return Status::InvalidArgument(
+          "cluster id " + std::to_string(id) + " exceeds maximum of " +
+          std::to_string(kMaxClusters - 1));
+    }
+    max_id = std::max<int>(max_id, id);
+  }
+  return ClusterTable(assignment, max_id + 1);
+}
+
+Result<ClusterTable> ClusterTable::FromGroups(
+    const std::vector<std::vector<Phoneme>>& groups) {
+  std::array<ClusterId, kPhonemeCount> assignment;
+  std::array<bool, kPhonemeCount> assigned{};
+  if (groups.size() > kMaxClusters) {
+    return Status::InvalidArgument("too many clusters: " +
+                                   std::to_string(groups.size()));
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (Phoneme p : groups[g]) {
+      size_t idx = static_cast<size_t>(p);
+      if (idx >= kPhonemeCount) {
+        return Status::InvalidArgument("invalid phoneme id");
+      }
+      if (assigned[idx]) {
+        return Status::InvalidArgument(
+            std::string("phoneme '") + std::string(PhonemeIpa(p)) +
+            "' assigned to two clusters");
+      }
+      assigned[idx] = true;
+      assignment[idx] = static_cast<ClusterId>(g);
+    }
+  }
+  // Unmentioned phonemes get singleton clusters.
+  int next = static_cast<int>(groups.size());
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    if (!assigned[i]) {
+      if (next >= kMaxClusters) {
+        return Status::InvalidArgument(
+            "singleton clusters for unassigned phonemes overflow the "
+            "cluster limit; assign more phonemes to groups");
+      }
+      assignment[i] = static_cast<ClusterId>(next++);
+    }
+  }
+  return Create(assignment);
+}
+
+const ClusterTable& ClusterTable::Default() {
+  static const ClusterTable& table = *new ClusterTable([] {
+    // 15 clusters over articulatory features; aspiration and the
+    // dental/alveolar/retroflex splits collapse, which is exactly the
+    // English-vs-Indic mismatch structure the paper exploits.
+    std::array<ClusterId, kPhonemeCount> a{};
+    auto set = [&a](std::initializer_list<Phoneme> ps, ClusterId id) {
+      for (Phoneme p : ps) a[static_cast<size_t>(p)] = id;
+    };
+    using P = Phoneme;
+    // 0: front vowels.
+    set({P::kI, P::kIh, P::kE, P::kEh, P::kY}, 0);
+    // 1: central / open vowels (æ patterns with a across languages).
+    set({P::kA, P::kAa, P::kAe, P::kVv, P::kSchwa, P::kEr}, 1);
+    // 2: back / rounded vowels.
+    set({P::kO, P::kOh, P::kU, P::kUh, P::kOe}, 2);
+    // 3: labial plosives.
+    set({P::kP, P::kB, P::kPh, P::kBh}, 3);
+    // 4: coronal plosives (dental, alveolar, retroflex) + the dental
+    // fricatives θ/ð, which every bundled script adapts as stops
+    // (Hindi थ/द, Tamil த, Greek loans).
+    set({P::kT, P::kD, P::kTh, P::kDh, P::kTt, P::kDd, P::kTth, P::kDdh,
+         P::kThF, P::kDhF},
+        4);
+    // 5: velar plosives.
+    set({P::kK, P::kG, P::kKh, P::kGh}, 5);
+    // 6: affricates + postalveolar fricatives.
+    set({P::kCh, P::kJh, P::kChh, P::kJhh, P::kSh, P::kZh, P::kSs}, 6);
+    // 7: labiodental fricatives + w (the pan-Indic v/w merger).
+    set({P::kF, P::kV, P::kW}, 7);
+    // 8: alveolar sibilants.
+    set({P::kS, P::kZ}, 8);
+    // 9: guttural fricatives.
+    set({P::kH, P::kX, P::kGhF}, 9);
+    // 10: labial nasal.
+    set({P::kM}, 10);
+    // 11: other nasals.
+    set({P::kN, P::kNn, P::kNy, P::kNg}, 11);
+    // 12: laterals.
+    set({P::kL, P::kLl}, 12);
+    // 13: rhotics.
+    set({P::kR, P::kRr, P::kRd, P::kRz}, 13);
+    // 14: palatal glide.
+    set({P::kJ}, 14);
+    Result<ClusterTable> t = Create(a);
+    // The assignment above is a compile-time-known constant; failure
+    // indicates a programming error in this file.
+    return t.value();
+  }());
+  return table;
+}
+
+}  // namespace lexequal::phonetic

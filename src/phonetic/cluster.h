@@ -1,0 +1,78 @@
+// Phoneme clustering.
+//
+// The paper's Clustered Edit Distance groups "like" phonemes into
+// clusters (after Mareuil et al.'s multilingual phoneme clustering)
+// and charges a tunable Intra-Cluster Substitution Cost for
+// substitutions inside a cluster. The same clusters drive the
+// phonetic index: a phoneme string maps to the sequence of its
+// cluster ids (Section 5.3).
+//
+// The default table keeps the cluster count at 15 so each cluster id
+// fits a 4-bit nibble of the grouped phoneme-string identifier.
+
+#ifndef LEXEQUAL_PHONETIC_CLUSTER_H_
+#define LEXEQUAL_PHONETIC_CLUSTER_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "phonetic/phoneme.h"
+
+namespace lexequal::phonetic {
+
+/// Identifier of a phoneme cluster, in [0, cluster_count).
+using ClusterId = uint8_t;
+
+/// Maximum number of clusters representable in the 4-bit packing used
+/// by the grouped phoneme-string identifier (value 15 is the length
+/// sentinel).
+inline constexpr int kMaxClusters = 15;
+
+/// A total assignment of phonemes to clusters. Immutable once built;
+/// user-customizable via the vector constructor (the paper allows
+/// "user customization of clustering of phonemes").
+class ClusterTable {
+ public:
+  /// Builds a table from an explicit assignment (indexed by Phoneme).
+  /// Fails if any id is >= kMaxClusters.
+  static Result<ClusterTable> Create(
+      const std::array<ClusterId, kPhonemeCount>& assignment);
+
+  /// Builds a table from named groups: each inner vector is one
+  /// cluster; phonemes not mentioned each get their own singleton
+  /// cluster — fails if that overflows kMaxClusters.
+  static Result<ClusterTable> FromGroups(
+      const std::vector<std::vector<Phoneme>>& groups);
+
+  /// The default multilingual clustering (15 clusters, documented in
+  /// cluster.cc): vowels by region; plosives by place (aspiration
+  /// ignored); affricates with postalveolar fricatives; fricatives by
+  /// region; m vs. other nasals; laterals; rhotics; glides.
+  static const ClusterTable& Default();
+
+  ClusterId cluster_of(Phoneme p) const {
+    return assignment_[static_cast<size_t>(p)];
+  }
+
+  /// True when the two phonemes share a cluster.
+  bool SameCluster(Phoneme a, Phoneme b) const {
+    return cluster_of(a) == cluster_of(b);
+  }
+
+  int cluster_count() const { return cluster_count_; }
+
+ private:
+  ClusterTable(std::array<ClusterId, kPhonemeCount> assignment,
+               int cluster_count)
+      : assignment_(assignment), cluster_count_(cluster_count) {}
+
+  std::array<ClusterId, kPhonemeCount> assignment_;
+  int cluster_count_;
+};
+
+}  // namespace lexequal::phonetic
+
+#endif  // LEXEQUAL_PHONETIC_CLUSTER_H_

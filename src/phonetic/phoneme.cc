@@ -1,0 +1,197 @@
+#include "phonetic/phoneme.h"
+
+#include <array>
+#include <vector>
+
+#include "text/utf8.h"
+
+namespace lexequal::phonetic {
+
+namespace {
+
+using PT = PhonemeType;
+using PL = Place;
+using HT = Height;
+using BK = Backness;
+
+// One entry per Phoneme enumerator, in order. IPA spellings use
+// universal character names and compile to UTF-8.
+constexpr std::array<PhonemeInfo, kPhonemeCount> kInventory = {{
+    // ipa        type          place            voiced aspir  height    back        round
+    {"i",         PT::kVowel,   PL::kNone,       true,  false, HT::kHigh, BK::kFront,   false},
+    {"ɪ",    PT::kVowel,   PL::kNone,       true,  false, HT::kHigh, BK::kFront,   false},
+    {"e",         PT::kVowel,   PL::kNone,       true,  false, HT::kMid,  BK::kFront,   false},
+    {"ɛ",    PT::kVowel,   PL::kNone,       true,  false, HT::kMid,  BK::kFront,   false},
+    {"æ",    PT::kVowel,   PL::kNone,       true,  false, HT::kLow,  BK::kFront,   false},
+    {"y",         PT::kVowel,   PL::kNone,       true,  false, HT::kHigh, BK::kFront,   true},
+    {"ø",    PT::kVowel,   PL::kNone,       true,  false, HT::kMid,  BK::kFront,   true},
+    {"a",         PT::kVowel,   PL::kNone,       true,  false, HT::kLow,  BK::kCentral, false},
+    {"ɑ",    PT::kVowel,   PL::kNone,       true,  false, HT::kLow,  BK::kBack,    false},
+    {"ʌ",    PT::kVowel,   PL::kNone,       true,  false, HT::kMid,  BK::kBack,    false},
+    {"ə",    PT::kVowel,   PL::kNone,       true,  false, HT::kMid,  BK::kCentral, false},
+    {"ɜ",    PT::kVowel,   PL::kNone,       true,  false, HT::kMid,  BK::kCentral, false},
+    {"o",         PT::kVowel,   PL::kNone,       true,  false, HT::kMid,  BK::kBack,    true},
+    {"ɔ",    PT::kVowel,   PL::kNone,       true,  false, HT::kMid,  BK::kBack,    true},
+    {"u",         PT::kVowel,   PL::kNone,       true,  false, HT::kHigh, BK::kBack,    true},
+    {"ʊ",    PT::kVowel,   PL::kNone,       true,  false, HT::kHigh, BK::kBack,    true},
+    // Plosives.
+    {"p",             PT::kPlosive, PL::kBilabial,  false, false, HT::kNA, BK::kNA, false},
+    {"b",             PT::kPlosive, PL::kBilabial,  true,  false, HT::kNA, BK::kNA, false},
+    {"pʰ",       PT::kPlosive, PL::kBilabial,  false, true,  HT::kNA, BK::kNA, false},
+    {"bʱ",       PT::kPlosive, PL::kBilabial,  true,  true,  HT::kNA, BK::kNA, false},
+    {"t",             PT::kPlosive, PL::kAlveolar,  false, false, HT::kNA, BK::kNA, false},
+    {"d",             PT::kPlosive, PL::kAlveolar,  true,  false, HT::kNA, BK::kNA, false},
+    {"tʰ",       PT::kPlosive, PL::kAlveolar,  false, true,  HT::kNA, BK::kNA, false},
+    {"dʱ",       PT::kPlosive, PL::kAlveolar,  true,  true,  HT::kNA, BK::kNA, false},
+    {"ʈ",        PT::kPlosive, PL::kRetroflex, false, false, HT::kNA, BK::kNA, false},
+    {"ɖ",        PT::kPlosive, PL::kRetroflex, true,  false, HT::kNA, BK::kNA, false},
+    {"ʈʰ",  PT::kPlosive, PL::kRetroflex, false, true,  HT::kNA, BK::kNA, false},
+    {"ɖʱ",  PT::kPlosive, PL::kRetroflex, true,  true,  HT::kNA, BK::kNA, false},
+    {"k",             PT::kPlosive, PL::kVelar,     false, false, HT::kNA, BK::kNA, false},
+    {"ɡ",        PT::kPlosive, PL::kVelar,     true,  false, HT::kNA, BK::kNA, false},
+    {"kʰ",       PT::kPlosive, PL::kVelar,     false, true,  HT::kNA, BK::kNA, false},
+    {"ɡʱ",  PT::kPlosive, PL::kVelar,     true,  true,  HT::kNA, BK::kNA, false},
+    // Affricates.
+    {"tʃ",           PT::kAffricate, PL::kPostalveolar, false, false, HT::kNA, BK::kNA, false},
+    {"dʒ",           PT::kAffricate, PL::kPostalveolar, true,  false, HT::kNA, BK::kNA, false},
+    {"tʃʰ",     PT::kAffricate, PL::kPostalveolar, false, true,  HT::kNA, BK::kNA, false},
+    {"dʒʱ",     PT::kAffricate, PL::kPostalveolar, true,  true,  HT::kNA, BK::kNA, false},
+    // Fricatives.
+    {"f",         PT::kFricative, PL::kLabiodental,  false, false, HT::kNA, BK::kNA, false},
+    {"v",         PT::kFricative, PL::kLabiodental,  true,  false, HT::kNA, BK::kNA, false},
+    {"θ",    PT::kFricative, PL::kDental,       false, false, HT::kNA, BK::kNA, false},
+    {"ð",    PT::kFricative, PL::kDental,       true,  false, HT::kNA, BK::kNA, false},
+    {"s",         PT::kFricative, PL::kAlveolar,     false, false, HT::kNA, BK::kNA, false},
+    {"z",         PT::kFricative, PL::kAlveolar,     true,  false, HT::kNA, BK::kNA, false},
+    {"ʃ",    PT::kFricative, PL::kPostalveolar, false, false, HT::kNA, BK::kNA, false},
+    {"ʒ",    PT::kFricative, PL::kPostalveolar, true,  false, HT::kNA, BK::kNA, false},
+    {"ʂ",    PT::kFricative, PL::kRetroflex,    false, false, HT::kNA, BK::kNA, false},
+    {"x",         PT::kFricative, PL::kVelar,        false, false, HT::kNA, BK::kNA, false},
+    {"ɣ",    PT::kFricative, PL::kVelar,        true,  false, HT::kNA, BK::kNA, false},
+    {"h",         PT::kFricative, PL::kGlottal,      false, false, HT::kNA, BK::kNA, false},
+    // Nasals.
+    {"m",         PT::kNasal, PL::kBilabial,  true, false, HT::kNA, BK::kNA, false},
+    {"n",         PT::kNasal, PL::kAlveolar,  true, false, HT::kNA, BK::kNA, false},
+    {"ɳ",    PT::kNasal, PL::kRetroflex, true, false, HT::kNA, BK::kNA, false},
+    {"ɲ",    PT::kNasal, PL::kPalatal,   true, false, HT::kNA, BK::kNA, false},
+    {"ŋ",    PT::kNasal, PL::kVelar,     true, false, HT::kNA, BK::kNA, false},
+    // Laterals.
+    {"l",         PT::kLateral, PL::kAlveolar,  true, false, HT::kNA, BK::kNA, false},
+    {"ɭ",    PT::kLateral, PL::kRetroflex, true, false, HT::kNA, BK::kNA, false},
+    // Rhotics.
+    {"r",         PT::kRhotic, PL::kAlveolar,  true, false, HT::kNA, BK::kNA, false},
+    {"ɾ",    PT::kRhotic, PL::kAlveolar,  true, false, HT::kNA, BK::kNA, false},
+    {"ɽ",    PT::kRhotic, PL::kRetroflex, true, false, HT::kNA, BK::kNA, false},
+    {"ɻ",    PT::kRhotic, PL::kRetroflex, true, false, HT::kNA, BK::kNA, false},
+    // Glides.
+    {"j",         PT::kGlide, PL::kPalatal,   true, false, HT::kNA, BK::kNA, false},
+    {"w",         PT::kGlide, PL::kVelar,     true, false, HT::kNA, BK::kNA, false},
+}};
+
+// Decoded code-point spellings of every phoneme, built on first use.
+struct DecodedInventory {
+  std::vector<uint32_t> spelling[kPhonemeCount];
+  size_t max_len = 0;
+  DecodedInventory() {
+    for (int i = 0; i < kPhonemeCount; ++i) {
+      spelling[i] = text::DecodeUtf8(kInventory[i].ipa);
+      max_len = std::max(max_len, spelling[i].size());
+    }
+  }
+};
+
+const DecodedInventory& Decoded() {
+  static const DecodedInventory& inv = *new DecodedInventory();
+  return inv;
+}
+
+}  // namespace
+
+const PhonemeInfo& GetPhonemeInfo(Phoneme p) {
+  return kInventory[static_cast<size_t>(p)];
+}
+
+std::string_view PhonemeIpa(Phoneme p) {
+  return kInventory[static_cast<size_t>(p)].ipa;
+}
+
+bool IsVowel(Phoneme p) {
+  return GetPhonemeInfo(p).type == PhonemeType::kVowel;
+}
+
+std::string DescribePhoneme(Phoneme p) {
+  const PhonemeInfo& info = GetPhonemeInfo(p);
+  std::string out;
+  if (info.type == PhonemeType::kVowel) {
+    switch (info.height) {
+      case Height::kHigh: out += "close "; break;
+      case Height::kMid: out += "mid "; break;
+      case Height::kLow: out += "open "; break;
+      case Height::kNA: break;
+    }
+    switch (info.backness) {
+      case Backness::kFront: out += "front "; break;
+      case Backness::kCentral: out += "central "; break;
+      case Backness::kBack: out += "back "; break;
+      case Backness::kNA: break;
+    }
+    if (info.rounded) out += "rounded ";
+    out += "vowel";
+    return out;
+  }
+  out += info.voiced ? "voiced " : "voiceless ";
+  if (info.aspirated) out += "aspirated ";
+  switch (info.place) {
+    case Place::kBilabial: out += "bilabial "; break;
+    case Place::kLabiodental: out += "labiodental "; break;
+    case Place::kDental: out += "dental "; break;
+    case Place::kAlveolar: out += "alveolar "; break;
+    case Place::kRetroflex: out += "retroflex "; break;
+    case Place::kPostalveolar: out += "postalveolar "; break;
+    case Place::kPalatal: out += "palatal "; break;
+    case Place::kVelar: out += "velar "; break;
+    case Place::kGlottal: out += "glottal "; break;
+    case Place::kNone: break;
+  }
+  switch (info.type) {
+    case PhonemeType::kPlosive: out += "plosive"; break;
+    case PhonemeType::kAffricate: out += "affricate"; break;
+    case PhonemeType::kFricative: out += "fricative"; break;
+    case PhonemeType::kNasal: out += "nasal"; break;
+    case PhonemeType::kLateral: out += "lateral"; break;
+    case PhonemeType::kRhotic: out += "rhotic"; break;
+    case PhonemeType::kGlide: out += "glide"; break;
+    case PhonemeType::kVowel: break;
+  }
+  return out;
+}
+
+Result<Phoneme> ParsePhonemeAt(const std::vector<uint32_t>& cps,
+                               size_t* pos) {
+  const DecodedInventory& inv = Decoded();
+  int best = -1;
+  size_t best_len = 0;
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    const std::vector<uint32_t>& sp = inv.spelling[i];
+    if (sp.size() <= best_len || *pos + sp.size() > cps.size()) continue;
+    bool match = true;
+    for (size_t k = 0; k < sp.size(); ++k) {
+      if (cps[*pos + k] != sp[k]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      best = i;
+      best_len = sp.size();
+    }
+  }
+  if (best < 0) {
+    return Status::NotFound("no phoneme at code-point offset " +
+                            std::to_string(*pos));
+  }
+  *pos += best_len;
+  return static_cast<Phoneme>(best);
+}
+
+}  // namespace lexequal::phonetic

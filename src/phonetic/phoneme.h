@@ -1,0 +1,176 @@
+// The phoneme inventory.
+//
+// Phonemes are the alphabet of the paper's match space: every
+// lexicographic string is transformed into a string over this
+// inventory (rendered in IPA), and LexEQUAL compares those strings.
+//
+// The inventory covers the union of the phoneme sets produced by the
+// bundled G2P converters (English, Hindi, Tamil, Greek, plus the
+// French/Spanish examples of Figure 9). Each phoneme carries
+// articulatory features; the default phoneme clustering (cluster.h)
+// is defined over these features, following the multilingual phoneme
+// clustering approach of Mareuil et al. that the paper builds on.
+//
+// Vowel length and supra-segmentals are intentionally absent: the
+// paper strips "those symbols specific to speech generation, such as
+// the supra-segmentals, diacritics, tones and accents".
+
+#ifndef LEXEQUAL_PHONETIC_PHONEME_H_
+#define LEXEQUAL_PHONETIC_PHONEME_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lexequal::phonetic {
+
+/// Manner of articulation (with Vowel folded in as a type).
+enum class PhonemeType : uint8_t {
+  kVowel = 0,
+  kPlosive,
+  kAffricate,
+  kFricative,
+  kNasal,
+  kLateral,
+  kRhotic,
+  kGlide,
+};
+
+/// Place of articulation (kNone for vowels).
+enum class Place : uint8_t {
+  kNone = 0,
+  kBilabial,
+  kLabiodental,
+  kDental,
+  kAlveolar,
+  kRetroflex,
+  kPostalveolar,
+  kPalatal,
+  kVelar,
+  kGlottal,
+};
+
+/// Vowel height (kNA for consonants).
+enum class Height : uint8_t { kNA = 0, kHigh, kMid, kLow };
+
+/// Vowel backness (kNA for consonants).
+enum class Backness : uint8_t { kNA = 0, kFront, kCentral, kBack };
+
+/// Dense phoneme identifiers. The order groups vowels first, then
+/// consonants by manner; new phonemes must be appended to keep stored
+/// phonemic data stable.
+enum class Phoneme : uint8_t {
+  // Vowels.
+  kI = 0,   // i  close front
+  kIh,      // ɪ  near-close front
+  kE,       // e  close-mid front
+  kEh,      // ɛ  open-mid front
+  kAe,      // æ  near-open front
+  kY,       // y  close front rounded (Fr. u)
+  kOe,      // ø  close-mid front rounded (Fr. eu)
+  kA,       // a  open front/central
+  kAa,      // ɑ  open back
+  kVv,      // ʌ  open-mid back unrounded
+  kSchwa,   // ə  mid central
+  kEr,      // ɜ  open-mid central
+  kO,       // o  close-mid back rounded
+  kOh,      // ɔ  open-mid back rounded
+  kU,       // u  close back rounded
+  kUh,      // ʊ  near-close back rounded
+  // Plosives.
+  kP,       // p
+  kB,       // b
+  kPh,      // pʰ aspirated
+  kBh,      // bʱ breathy
+  kT,       // t
+  kD,       // d
+  kTh,      // tʰ
+  kDh,      // dʱ
+  kTt,      // ʈ  retroflex
+  kDd,      // ɖ  retroflex
+  kTth,     // ʈʰ
+  kDdh,     // ɖʱ
+  kK,       // k
+  kG,       // ɡ
+  kKh,      // kʰ
+  kGh,      // ɡʱ
+  // Affricates.
+  kCh,      // tʃ
+  kJh,      // dʒ
+  kChh,     // tʃʰ
+  kJhh,     // dʒʱ
+  // Fricatives.
+  kF,       // f
+  kV,       // v
+  kThF,     // θ
+  kDhF,     // ð
+  kS,       // s
+  kZ,       // z
+  kSh,      // ʃ
+  kZh,      // ʒ
+  kSs,      // ʂ  retroflex
+  kX,       // x  velar
+  kGhF,     // ɣ  velar voiced
+  kH,       // h
+  // Nasals.
+  kM,       // m
+  kN,       // n
+  kNn,      // ɳ  retroflex
+  kNy,      // ɲ  palatal
+  kNg,      // ŋ  velar
+  // Laterals.
+  kL,       // l
+  kLl,      // ɭ  retroflex
+  // Rhotics.
+  kR,       // r  trill
+  kRr,      // ɾ  tap
+  kRd,      // ɽ  retroflex flap
+  kRz,      // ɻ  retroflex approximant (Ta. ழ)
+  // Glides.
+  kJ,       // j
+  kW,       // w
+  kNumPhonemes,  // sentinel, not a phoneme
+};
+
+/// Number of real phonemes in the inventory.
+inline constexpr int kPhonemeCount =
+    static_cast<int>(Phoneme::kNumPhonemes);
+
+/// Static descriptor of one phoneme.
+struct PhonemeInfo {
+  const char* ipa;       // UTF-8 IPA spelling (1-3 code points)
+  PhonemeType type;
+  Place place;           // kNone for vowels
+  bool voiced;
+  bool aspirated;        // aspirated / breathy release
+  Height height;         // kNA for consonants
+  Backness backness;     // kNA for consonants
+  bool rounded;          // false for consonants
+};
+
+/// Descriptor lookup; `p` must be a real phoneme.
+const PhonemeInfo& GetPhonemeInfo(Phoneme p);
+
+/// IPA spelling of a phoneme as UTF-8.
+std::string_view PhonemeIpa(Phoneme p);
+
+/// True for vowels.
+bool IsVowel(Phoneme p);
+
+/// Human-readable articulatory description, e.g. "voiceless bilabial
+/// plosive" for p, "close front vowel" for i.
+std::string DescribePhoneme(Phoneme p);
+
+/// Parses the longest phoneme starting at code-point offset `*pos` of
+/// the code-point sequence `cps` (greedy longest match, so "tʃʰ"
+/// parses as the aspirated affricate, not t + ʃ + modifier). On
+/// success advances `*pos`. Unknown code points yield NotFound without
+/// advancing.
+Result<Phoneme> ParsePhonemeAt(const std::vector<uint32_t>& cps,
+                               size_t* pos);
+
+}  // namespace lexequal::phonetic
+
+#endif  // LEXEQUAL_PHONETIC_PHONEME_H_

@@ -1,0 +1,75 @@
+#include "phonetic/phoneme_string.h"
+
+#include "text/utf8.h"
+
+namespace lexequal::phonetic {
+
+namespace {
+
+// Supra-segmental / diacritic code points silently skipped by the
+// parser (stress, length, syllable break, tie bar).
+bool IsSuprasegmental(uint32_t cp) {
+  switch (cp) {
+    case 0x02D0:  // ː length
+    case 0x02D1:  // ˑ half-length
+    case 0x02C8:  // ˈ primary stress
+    case 0x02CC:  // ˌ secondary stress
+    case 0x002E:  // . syllable break
+    case 0x0361:  // combining tie bar
+    case 0x032F:  // combining inverted breve below
+    case 0x0303:  // combining tilde (nasalization)
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<PhonemeString> PhonemeString::FromIpa(std::string_view ipa_utf8) {
+  std::vector<uint32_t> cps = text::DecodeUtf8(ipa_utf8);
+  std::vector<Phoneme> out;
+  out.reserve(cps.size());
+  size_t pos = 0;
+  while (pos < cps.size()) {
+    if (IsSuprasegmental(cps[pos]) || cps[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    Result<Phoneme> p = ParsePhonemeAt(cps, &pos);
+    if (!p.ok()) {
+      return Status::InvalidArgument(
+          "unrecognized IPA code point U+" +
+          [](uint32_t cp) {
+            char buf[9];
+            static const char* digits = "0123456789ABCDEF";
+            int n = 0;
+            char tmp[8];
+            if (cp == 0) tmp[n++] = '0';
+            while (cp > 0) {
+              tmp[n++] = digits[cp & 0xF];
+              cp >>= 4;
+            }
+            int w = n < 4 ? 4 : n;
+            for (int i = 0; i < w; ++i) {
+              buf[i] = i < w - n ? '0' : tmp[w - 1 - i];
+            }
+            buf[w] = '\0';
+            return std::string(buf);
+          }(cps[pos]) +
+          " in '" + std::string(ipa_utf8) + "'");
+    }
+    out.push_back(p.value());
+  }
+  return PhonemeString(std::move(out));
+}
+
+std::string PhonemeString::ToIpa() const {
+  std::string out;
+  for (Phoneme p : phonemes_) {
+    out += PhonemeIpa(p);
+  }
+  return out;
+}
+
+}  // namespace lexequal::phonetic

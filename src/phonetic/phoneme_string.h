@@ -1,0 +1,58 @@
+// PhonemeString: a sequence of phonemes, the unit LexEQUAL compares.
+//
+// Phoneme strings round-trip through IPA-encoded UTF-8 so that stored
+// phonemic columns are ordinary Unicode strings, as in the paper's
+// prototype (which stored both forms in Unicode on Oracle).
+
+#ifndef LEXEQUAL_PHONETIC_PHONEME_STRING_H_
+#define LEXEQUAL_PHONETIC_PHONEME_STRING_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "phonetic/phoneme.h"
+
+namespace lexequal::phonetic {
+
+/// An immutable-ish phoneme sequence with IPA (de)serialization.
+class PhonemeString {
+ public:
+  PhonemeString() = default;
+  explicit PhonemeString(std::vector<Phoneme> phonemes)
+      : phonemes_(std::move(phonemes)) {}
+  PhonemeString(std::initializer_list<Phoneme> phonemes)
+      : phonemes_(phonemes) {}
+
+  /// Parses an IPA-encoded UTF-8 string. Code points that begin no
+  /// known phoneme yield InvalidArgument; IPA length marks (ː),
+  /// stress marks (ˈ ˌ) and syllable dots are skipped, mirroring the
+  /// paper's removal of supra-segmentals.
+  static Result<PhonemeString> FromIpa(std::string_view ipa_utf8);
+
+  /// Renders the sequence as IPA UTF-8.
+  std::string ToIpa() const;
+
+  const std::vector<Phoneme>& phonemes() const { return phonemes_; }
+  size_t size() const { return phonemes_.size(); }
+  bool empty() const { return phonemes_.empty(); }
+  Phoneme operator[](size_t i) const { return phonemes_[i]; }
+
+  void Append(Phoneme p) { phonemes_.push_back(p); }
+  void Append(const PhonemeString& other) {
+    phonemes_.insert(phonemes_.end(), other.phonemes_.begin(),
+                     other.phonemes_.end());
+  }
+
+  friend bool operator==(const PhonemeString& a, const PhonemeString& b) {
+    return a.phonemes_ == b.phonemes_;
+  }
+
+ private:
+  std::vector<Phoneme> phonemes_;
+};
+
+}  // namespace lexequal::phonetic
+
+#endif  // LEXEQUAL_PHONETIC_PHONEME_STRING_H_

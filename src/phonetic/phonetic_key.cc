@@ -1,0 +1,51 @@
+#include "phonetic/phonetic_key.h"
+
+#include <algorithm>
+
+namespace lexequal::phonetic {
+
+bool IsKeyPhoneme(Phoneme p) {
+  switch (p) {
+    case Phoneme::kH:      // scripts drop /h/ (Tamil has none)
+    case Phoneme::kSchwa:  // Hindi schwa deletion
+    case Phoneme::kA:
+    case Phoneme::kAa:
+    case Phoneme::kAe:
+    case Phoneme::kVv:
+    case Phoneme::kEr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+uint64_t GroupedPhonemeStringId(const PhonemeString& ps,
+                                const ClusterTable& clusters) {
+  uint64_t key = 0;
+  size_t packed = 0;
+  for (size_t i = 0;
+       i < ps.size() && packed < kPhoneticKeyMaxPhonemes; ++i) {
+    if (!IsKeyPhoneme(ps[i])) continue;
+    key = (key << 4) | clusters.cluster_of(ps[i]);
+    ++packed;
+  }
+  if (packed < kPhoneticKeyMaxPhonemes) {
+    key = (key << 4) | 0xF;  // terminator nibble
+  }
+  return key;
+}
+
+std::string GroupedPhonemeStringIdDebug(const PhonemeString& ps,
+                                        const ClusterTable& clusters) {
+  std::string out;
+  bool first = true;
+  for (size_t i = 0; i < ps.size(); ++i) {
+    if (!IsKeyPhoneme(ps[i])) continue;
+    if (!first) out += '.';
+    first = false;
+    out += std::to_string(static_cast<int>(clusters.cluster_of(ps[i])));
+  }
+  return out;
+}
+
+}  // namespace lexequal::phonetic

@@ -1,0 +1,50 @@
+// Grouped Phoneme String Identifier (Section 5.3).
+//
+// Maps a phoneme string to a compact integer key by concatenating the
+// cluster id of each phoneme, so that strings whose phonemes differ
+// only within clusters collide — a Soundex-style hash generalized to
+// the multilingual phoneme space. The key indexes a standard B-Tree.
+
+#ifndef LEXEQUAL_PHONETIC_PHONETIC_KEY_H_
+#define LEXEQUAL_PHONETIC_PHONETIC_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "phonetic/cluster.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::phonetic {
+
+/// Maximum number of phonemes encoded in the 64-bit key. Longer
+/// strings are truncated: truncation merges keys (extra candidates,
+/// filtered by the exact UDF) but never separates equivalents, so it
+/// introduces no false dismissals beyond those inherent to the scheme.
+inline constexpr size_t kPhoneticKeyMaxPhonemes = 15;
+
+/// True when a phoneme contributes to the grouped key. Weak segments
+/// — glottal h and the central vowels (a ɑ æ ʌ ə ɜ) — are skipped:
+/// they are precisely what scripts add or drop (Tamil writes no /h/,
+/// Hindi deletes schwas, final -a alternates with -ə), so keying on
+/// them would dismiss most cross-script equivalents. This is the
+/// "more robust grouping of like phonemes" the paper's §5.3 calls
+/// for, in the spirit of Soundex's vowel/h elision.
+bool IsKeyPhoneme(Phoneme p);
+
+/// Packs the cluster-id sequence of `ps` (key phonemes only) into a
+/// uint64.
+///
+/// Each key phoneme contributes one 4-bit nibble (cluster ids are
+/// < 15); the nibble value 15 terminates the encoding so that e.g.
+/// cluster sequence [3] and [3,0] produce different keys. Key
+/// phonemes beyond kPhoneticKeyMaxPhonemes are ignored.
+uint64_t GroupedPhonemeStringId(const PhonemeString& ps,
+                                const ClusterTable& clusters);
+
+/// Debug form: dotted cluster ids, e.g. "11.0.13.2" for "neru".
+std::string GroupedPhonemeStringIdDebug(const PhonemeString& ps,
+                                        const ClusterTable& clusters);
+
+}  // namespace lexequal::phonetic
+
+#endif  // LEXEQUAL_PHONETIC_PHONETIC_KEY_H_

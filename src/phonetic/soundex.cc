@@ -1,0 +1,68 @@
+#include "phonetic/soundex.h"
+
+#include "common/string_util.h"
+
+namespace lexequal::phonetic {
+
+namespace {
+
+// Soundex digit per letter, '0' for vowels/h/w/y (not coded).
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b': case 'f': case 'p': case 'v':
+      return '1';
+    case 'c': case 'g': case 'j': case 'k':
+    case 'q': case 's': case 'x': case 'z':
+      return '2';
+    case 'd': case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm': case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view name) {
+  // Collect ASCII letters only, lowercased.
+  std::string letters;
+  letters.reserve(name.size());
+  for (char c : name) {
+    if (IsAsciiAlpha(c)) {
+      letters.push_back(c >= 'A' && c <= 'Z'
+                            ? static_cast<char>(c - 'A' + 'a')
+                            : c);
+    }
+  }
+  if (letters.empty()) return "0000";
+
+  std::string code;
+  code.push_back(static_cast<char>(letters[0] - 'a' + 'A'));
+  char prev_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    char c = letters[i];
+    char d = SoundexDigit(c);
+    if (d != '0' && d != prev_digit) {
+      code.push_back(d);
+    }
+    // 'h' and 'w' are transparent: they do not reset the previous
+    // digit, so identical codes across them still merge.
+    if (c != 'h' && c != 'w') {
+      prev_digit = d;
+    }
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+bool SoundexEqual(std::string_view a, std::string_view b) {
+  return Soundex(a) == Soundex(b);
+}
+
+}  // namespace lexequal::phonetic

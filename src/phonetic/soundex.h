@@ -1,0 +1,27 @@
+// Classic Soundex (Knuth, TAOCP vol. 3) over Latin-script names.
+//
+// The paper cites Soundex as the root of phonetic matching and as the
+// only phonetic facility databases offered at the time. We provide it
+// both as a baseline comparator for the quality experiments and as
+// the reference point for the clustered cost model (intra-cluster
+// substitution cost 0 "simulates" Soundex behaviour in phoneme space).
+
+#ifndef LEXEQUAL_PHONETIC_SOUNDEX_H_
+#define LEXEQUAL_PHONETIC_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace lexequal::phonetic {
+
+/// Four-character Soundex code ("N600" for "Nehru"). Non-ASCII and
+/// non-alphabetic characters are ignored; an empty or letterless
+/// input yields "0000".
+std::string Soundex(std::string_view name);
+
+/// True when the two names share a Soundex code.
+bool SoundexEqual(std::string_view a, std::string_view b);
+
+}  // namespace lexequal::phonetic
+
+#endif  // LEXEQUAL_PHONETIC_SOUNDEX_H_

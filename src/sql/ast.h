@@ -1,0 +1,79 @@
+// AST for the LexEQUAL SQL subset (Figures 3 and 5 of the paper):
+//
+//   SELECT cols FROM table [alias] [, table [alias]]
+//   WHERE pred [AND pred]...
+//   [USING plan] [LIMIT n]
+//
+//   pred := col = 'literal'
+//         | col = col | col <> col
+//         | col LEXEQUAL 'literal' [THRESHOLD t] [COST c]
+//               [INLANGUAGES { lang, ... }]
+//         | col LEXEQUAL col [THRESHOLD t] [COST c]
+
+#ifndef LEXEQUAL_SQL_AST_H_
+#define LEXEQUAL_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lexequal::sql {
+
+/// A possibly alias-qualified column reference.
+struct ColumnName {
+  std::string qualifier;  // alias or table name; empty if unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+};
+
+/// A table reference with optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+
+  const std::string& effective_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+enum class PredicateKind {
+  kEqualsLiteral,     // col = 'str' / col = number
+  kEqualsColumn,      // col = col
+  kNotEqualsColumn,   // col <> col
+  kLexEqualLiteral,   // col LEXEQUAL 'str' ...
+  kLexEqualColumn,    // col LEXEQUAL col ...
+};
+
+struct Predicate {
+  PredicateKind kind;
+  ColumnName left;
+  ColumnName right_column;        // for column comparisons
+  std::string string_literal;     // for literal comparisons
+  std::optional<double> number_literal;
+  // LexEQUAL options.
+  std::optional<double> threshold;
+  std::optional<double> cost;
+  std::vector<std::string> in_languages;  // "*" allowed
+};
+
+struct OrderBy {
+  ColumnName column;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  bool select_star = false;
+  std::vector<ColumnName> select_list;
+  std::vector<TableRef> tables;  // 1 or 2
+  std::vector<Predicate> predicates;
+  std::string plan_hint;         // USING naive|qgram|phonetic ("" = default)
+  std::optional<OrderBy> order_by;
+  std::optional<uint64_t> limit;
+};
+
+}  // namespace lexequal::sql
+
+#endif  // LEXEQUAL_SQL_AST_H_

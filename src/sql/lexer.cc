@@ -1,0 +1,130 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace lexequal::sql {
+
+namespace {
+
+bool IsKeyword(const std::string& upper) {
+  static const char* kKeywords[] = {
+      "SELECT", "FROM",      "WHERE",       "AND",   "OR",
+      "NOT",    "LEXEQUAL",  "THRESHOLD",   "LIMIT", "INLANGUAGES",
+      "USING",  "COST",      "AS",          "ORDER", "BY",
+      "ASC",    "DESC",
+  };
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+bool IsIdentStart(char c) {
+  return IsAsciiAlpha(c) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return IsAsciiAlpha(c) || c == '_' || (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      std::string upper = AsciiToUpper(word);
+      Token t;
+      t.offset = start;
+      if (IsKeyword(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = word;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = i;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // '' escape
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " +
+            std::to_string(start));
+      }
+      out.push_back({TokenType::kString, std::move(value), 0, start});
+      continue;
+    }
+    if ((c >= '0' && c <= '9') ||
+        (c == '.' && i + 1 < n && input[i + 1] >= '0' &&
+         input[i + 1] <= '9')) {
+      size_t start = i;
+      while (i < n && ((input[i] >= '0' && input[i] <= '9') ||
+                       input[i] == '.')) {
+        ++i;
+      }
+      std::string num(input.substr(start, i - start));
+      Token t;
+      t.type = TokenType::kNumber;
+      t.text = num;
+      t.offset = start;
+      char* end = nullptr;
+      t.number = std::strtod(num.c_str(), &end);
+      if (end != num.c_str() + num.size()) {
+        return Status::InvalidArgument("bad numeric literal '" + num +
+                                       "'");
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '<' && i + 1 < n && input[i + 1] == '>') {
+      out.push_back({TokenType::kSymbol, "<>", 0, i});
+      i += 2;
+      continue;
+    }
+    if (c == ',' || c == '.' || c == '*' || c == '=' || c == '(' ||
+        c == ')' || c == '{' || c == '}' || c == ';') {
+      out.push_back({TokenType::kSymbol, std::string(1, c), 0, i});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  out.push_back({TokenType::kEnd, "", 0, n});
+  return out;
+}
+
+}  // namespace lexequal::sql

@@ -1,0 +1,35 @@
+// SQL lexer for the LexEQUAL query subset.
+
+#ifndef LEXEQUAL_SQL_LEXER_H_
+#define LEXEQUAL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lexequal::sql {
+
+enum class TokenType {
+  kIdentifier,   // table / column names (also non-reserved keywords)
+  kKeyword,      // SELECT FROM WHERE AND OR NOT LEXEQUAL THRESHOLD
+                 // INLANGUAGES USING LIMIT
+  kString,       // '...' literal (UTF-8, '' escapes a quote)
+  kNumber,       // integer or decimal literal
+  kSymbol,       // , . * = ( ) { } <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // keywords uppercased, identifiers as written
+  double number = 0;   // valid for kNumber
+  size_t offset = 0;   // byte offset in the input (error reporting)
+};
+
+/// Tokenizes `input`. Keywords are recognized case-insensitively.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace lexequal::sql
+
+#endif  // LEXEQUAL_SQL_LEXER_H_

@@ -1,0 +1,243 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace lexequal::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    LEXEQUAL_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    LEXEQUAL_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    LEXEQUAL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    LEXEQUAL_RETURN_IF_ERROR(ParseTableRefs(&stmt));
+    if (MatchKeyword("WHERE")) {
+      LEXEQUAL_RETURN_IF_ERROR(ParsePredicates(&stmt));
+    }
+    if (MatchKeyword("ORDER")) {
+      LEXEQUAL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      OrderBy order;
+      LEXEQUAL_ASSIGN_OR_RETURN(order.column, ParseColumnName());
+      if (MatchKeyword("DESC")) {
+        order.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt.order_by = order;
+    }
+    if (MatchKeyword("USING")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected plan name after USING");
+      }
+      stmt.plan_hint = Next().text;
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected number after LIMIT");
+      }
+      stmt.limit = static_cast<uint64_t>(Next().number);
+    }
+    MatchSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::InvalidArgument(
+          "expected " + std::string(kw) + " at offset " +
+          std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::InvalidArgument(
+          "expected '" + std::string(sym) + "' at offset " +
+          std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status Error(std::string msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  Result<ColumnName> ParseColumnName() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument(
+          "expected column name at offset " +
+          std::to_string(Peek().offset));
+    }
+    ColumnName col;
+    col.column = Next().text;
+    if (MatchSymbol(".")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument(
+            "expected column after '.' at offset " +
+            std::to_string(Peek().offset));
+      }
+      col.qualifier = std::move(col.column);
+      col.column = Next().text;
+    }
+    return col;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (MatchSymbol("*")) {
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    while (true) {
+      ColumnName col;
+      LEXEQUAL_ASSIGN_OR_RETURN(col, ParseColumnName());
+      stmt->select_list.push_back(std::move(col));
+      if (!MatchSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRefs(SelectStatement* stmt) {
+    while (true) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument(
+            "expected table name at offset " +
+            std::to_string(Peek().offset));
+      }
+      TableRef ref;
+      ref.table = Next().text;
+      MatchKeyword("AS");
+      if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = Next().text;
+      }
+      stmt->tables.push_back(std::move(ref));
+      if (!MatchSymbol(",")) break;
+    }
+    if (stmt->tables.size() > 2) {
+      return Status::NotSupported(
+          "at most two tables in the FROM clause");
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredicates(SelectStatement* stmt) {
+    while (true) {
+      Predicate pred;
+      LEXEQUAL_RETURN_IF_ERROR(ParsePredicate(&pred));
+      stmt->predicates.push_back(std::move(pred));
+      if (!MatchKeyword("AND")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredicate(Predicate* pred) {
+    LEXEQUAL_ASSIGN_OR_RETURN(pred->left, ParseColumnName());
+    if (MatchSymbol("=")) {
+      if (Peek().type == TokenType::kString) {
+        pred->kind = PredicateKind::kEqualsLiteral;
+        pred->string_literal = Next().text;
+        return Status::OK();
+      }
+      if (Peek().type == TokenType::kNumber) {
+        pred->kind = PredicateKind::kEqualsLiteral;
+        pred->number_literal = Next().number;
+        return Status::OK();
+      }
+      pred->kind = PredicateKind::kEqualsColumn;
+      LEXEQUAL_ASSIGN_OR_RETURN(pred->right_column, ParseColumnName());
+      return Status::OK();
+    }
+    if (MatchSymbol("<>")) {
+      pred->kind = PredicateKind::kNotEqualsColumn;
+      LEXEQUAL_ASSIGN_OR_RETURN(pred->right_column, ParseColumnName());
+      return Status::OK();
+    }
+    if (MatchKeyword("LEXEQUAL")) {
+      if (Peek().type == TokenType::kString) {
+        pred->kind = PredicateKind::kLexEqualLiteral;
+        pred->string_literal = Next().text;
+      } else {
+        pred->kind = PredicateKind::kLexEqualColumn;
+        LEXEQUAL_ASSIGN_OR_RETURN(pred->right_column, ParseColumnName());
+      }
+      // Optional clauses in any order.
+      while (true) {
+        if (MatchKeyword("THRESHOLD")) {
+          if (Peek().type != TokenType::kNumber) {
+            return Error("expected number after THRESHOLD");
+          }
+          pred->threshold = Next().number;
+          continue;
+        }
+        if (MatchKeyword("COST")) {
+          if (Peek().type != TokenType::kNumber) {
+            return Error("expected number after COST");
+          }
+          pred->cost = Next().number;
+          continue;
+        }
+        if (MatchKeyword("INLANGUAGES")) {
+          LEXEQUAL_RETURN_IF_ERROR(ExpectSymbol("{"));
+          while (true) {
+            if (Peek().type == TokenType::kIdentifier) {
+              pred->in_languages.push_back(Next().text);
+            } else if (MatchSymbol("*")) {
+              pred->in_languages.push_back("*");
+            } else {
+              return Error("expected language name or *");
+            }
+            if (!MatchSymbol(",")) break;
+          }
+          LEXEQUAL_RETURN_IF_ERROR(ExpectSymbol("}"));
+          continue;
+        }
+        break;
+      }
+      return Status::OK();
+    }
+    return Error("expected =, <> or LexEQUAL");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> Parse(std::string_view sql) {
+  std::vector<Token> tokens;
+  LEXEQUAL_ASSIGN_OR_RETURN(tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace lexequal::sql

@@ -1,0 +1,16 @@
+// Recursive-descent parser for the LexEQUAL SQL subset.
+
+#ifndef LEXEQUAL_SQL_PARSER_H_
+#define LEXEQUAL_SQL_PARSER_H_
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace lexequal::sql {
+
+/// Parses one SELECT statement; errors carry byte offsets.
+Result<SelectStatement> Parse(std::string_view sql);
+
+}  // namespace lexequal::sql
+
+#endif  // LEXEQUAL_SQL_PARSER_H_

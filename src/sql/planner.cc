@@ -1,0 +1,431 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+#include "text/utf8.h"
+
+namespace lexequal::sql {
+
+namespace {
+
+using engine::Database;
+using engine::LexEqualPlan;
+using engine::LexEqualQueryOptions;
+using engine::TableInfo;
+using engine::Tuple;
+using engine::Value;
+using engine::ValueType;
+
+Result<LexEqualPlan> ResolvePlanHint(const std::string& hint,
+                                     const TableInfo& table) {
+  const std::string lower = AsciiToLower(hint);
+  if (lower == "naive" || lower == "udf") return LexEqualPlan::kNaiveUdf;
+  if (lower == "qgram" || lower == "qgrams") {
+    return LexEqualPlan::kQGramFilter;
+  }
+  if (lower == "phonetic" || lower == "index") {
+    return LexEqualPlan::kPhoneticIndex;
+  }
+  if (!lower.empty()) {
+    return Status::InvalidArgument("unknown plan hint '" + hint +
+                                   "' (naive | qgram | phonetic)");
+  }
+  // Auto: cheapest available access path.
+  if (table.phonetic_index != nullptr) return LexEqualPlan::kPhoneticIndex;
+  if (table.qgram_index != nullptr) return LexEqualPlan::kQGramFilter;
+  return LexEqualPlan::kNaiveUdf;
+}
+
+Result<LexEqualQueryOptions> BuildOptions(const Predicate& pred,
+                                          const std::string& hint,
+                                          const TableInfo& table) {
+  LexEqualQueryOptions options;
+  if (pred.threshold.has_value()) {
+    options.match.threshold = *pred.threshold;
+  }
+  if (pred.cost.has_value()) {
+    options.match.intra_cluster_cost = *pred.cost;
+  }
+  for (const std::string& lang : pred.in_languages) {
+    text::Language parsed;
+    LEXEQUAL_ASSIGN_OR_RETURN(parsed, text::ParseLanguage(lang));
+    options.in_languages.push_back(parsed);
+  }
+  LEXEQUAL_ASSIGN_OR_RETURN(options.plan, ResolvePlanHint(hint, table));
+  return options;
+}
+
+// Resolves a column against one table; the qualifier (if any) must
+// match the table's alias.
+Result<uint32_t> ResolveColumn(const ColumnName& col, const TableRef& ref,
+                               const TableInfo& info) {
+  if (!col.qualifier.empty() &&
+      AsciiToLower(col.qualifier) !=
+          AsciiToLower(ref.effective_name())) {
+    return Status::NotFound("qualifier '" + col.qualifier +
+                            "' does not name table '" +
+                            ref.effective_name() + "'");
+  }
+  return info.schema.IndexOf(col.column);
+}
+
+// Applies residual `col = literal` predicates to a row.
+Result<bool> PassesResiduals(
+    const Tuple& row,
+    const std::vector<std::pair<uint32_t, Value>>& residuals) {
+  for (const auto& [ordinal, literal] : residuals) {
+    const Value& cell = row[ordinal];
+    if (cell.type() == ValueType::kString &&
+        literal.type() == ValueType::kString) {
+      if (cell.AsString().text() != literal.AsString().text()) {
+        return false;
+      }
+    } else if (!(cell == literal)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<QueryResult> ExecuteSingleTable(Database* db,
+                                       const SelectStatement& stmt) {
+  const TableRef& ref = stmt.tables[0];
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(ref.table));
+
+  // Classify predicates.
+  const Predicate* lex_pred = nullptr;
+  std::vector<std::pair<uint32_t, Value>> residuals;
+  for (const Predicate& pred : stmt.predicates) {
+    switch (pred.kind) {
+      case PredicateKind::kLexEqualLiteral: {
+        if (lex_pred != nullptr) {
+          return Status::NotSupported(
+              "at most one LexEQUAL predicate per query");
+        }
+        lex_pred = &pred;
+        break;
+      }
+      case PredicateKind::kEqualsLiteral: {
+        uint32_t ordinal;
+        LEXEQUAL_ASSIGN_OR_RETURN(ordinal,
+                                  ResolveColumn(pred.left, ref, *info));
+        Value literal =
+            pred.number_literal.has_value()
+                ? (info->schema.column(ordinal).type == ValueType::kInt64
+                       ? Value::Int64(
+                             static_cast<int64_t>(*pred.number_literal))
+                       : Value::Double(*pred.number_literal))
+                : Value::String(pred.string_literal);
+        residuals.emplace_back(ordinal, std::move(literal));
+        break;
+      }
+      default:
+        return Status::NotSupported(
+            "column-to-column predicates need a two-table query");
+    }
+  }
+
+  std::vector<Tuple> rows;
+  engine::QueryStats stats;
+  if (lex_pred != nullptr) {
+    LexEqualQueryOptions options;
+    LEXEQUAL_ASSIGN_OR_RETURN(
+        options, BuildOptions(*lex_pred, stmt.plan_hint, *info));
+    // The query constant's language is auto-detected from its script
+    // (§2.1 of the paper).
+    text::TaggedString query =
+        text::TaggedString::WithDetectedLanguage(lex_pred->string_literal);
+    LEXEQUAL_ASSIGN_OR_RETURN(
+        rows, db->LexEqualSelect(ref.table, lex_pred->left.column, query,
+                                 options, &stats));
+  } else {
+    // Plain scan.
+    engine::SeqScanExecutor scan(info);
+    LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+    Tuple row;
+    while (true) {
+      bool has;
+      LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+      if (!has) break;
+      ++stats.rows_scanned;
+      rows.push_back(row);
+    }
+  }
+
+  // Residual filters.
+  std::vector<Tuple> filtered;
+  for (Tuple& row : rows) {
+    bool pass;
+    LEXEQUAL_ASSIGN_OR_RETURN(pass, PassesResiduals(row, residuals));
+    if (pass) filtered.push_back(std::move(row));
+  }
+
+  // Projection.
+  QueryResult result;
+  result.stats = stats;
+  std::vector<uint32_t> ordinals;
+  if (stmt.select_star) {
+    for (size_t i = 0; i < info->schema.size(); ++i) {
+      ordinals.push_back(static_cast<uint32_t>(i));
+      result.column_names.push_back(info->schema.column(i).name);
+    }
+  } else {
+    for (const ColumnName& col : stmt.select_list) {
+      uint32_t ordinal;
+      LEXEQUAL_ASSIGN_OR_RETURN(ordinal, ResolveColumn(col, ref, *info));
+      ordinals.push_back(ordinal);
+      result.column_names.push_back(col.column);
+    }
+  }
+  for (Tuple& row : filtered) {
+    if (stmt.limit.has_value() && result.rows.size() >= *stmt.limit) {
+      break;
+    }
+    Tuple projected;
+    projected.reserve(ordinals.size());
+    for (uint32_t o : ordinals) projected.push_back(row[o]);
+    result.rows.push_back(std::move(projected));
+  }
+  result.stats.results = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> ExecuteJoin(Database* db,
+                                const SelectStatement& stmt) {
+  const TableRef& left_ref = stmt.tables[0];
+  const TableRef& right_ref = stmt.tables[1];
+  TableInfo* left_info;
+  LEXEQUAL_ASSIGN_OR_RETURN(left_info, db->GetTable(left_ref.table));
+  TableInfo* right_info;
+  LEXEQUAL_ASSIGN_OR_RETURN(right_info, db->GetTable(right_ref.table));
+
+  const Predicate* lex_pred = nullptr;
+  for (const Predicate& pred : stmt.predicates) {
+    switch (pred.kind) {
+      case PredicateKind::kLexEqualColumn:
+        if (lex_pred != nullptr) {
+          return Status::NotSupported(
+              "at most one LexEQUAL predicate per query");
+        }
+        lex_pred = &pred;
+        break;
+      case PredicateKind::kNotEqualsColumn: {
+        // The idiomatic B1.Language <> B2.Language: implicit in the
+        // LexEQUAL join (it never pairs same-language rows).
+        if (AsciiToLower(pred.left.column) != "language" ||
+            AsciiToLower(pred.right_column.column) != "language") {
+          return Status::NotSupported(
+              "only language <> language is supported in joins");
+        }
+        break;
+      }
+      default:
+        return Status::NotSupported(
+            "unsupported predicate in a two-table query");
+    }
+  }
+  if (lex_pred == nullptr) {
+    return Status::NotSupported(
+        "two-table queries require a LexEQUAL join predicate");
+  }
+
+  // Sides may arrive in either order.
+  const ColumnName* left_col = &lex_pred->left;
+  const ColumnName* right_col = &lex_pred->right_column;
+  if (!left_col->qualifier.empty() &&
+      AsciiToLower(left_col->qualifier) ==
+          AsciiToLower(right_ref.effective_name())) {
+    std::swap(left_col, right_col);
+  }
+
+  LexEqualQueryOptions options;
+  LEXEQUAL_ASSIGN_OR_RETURN(
+      options, BuildOptions(*lex_pred, stmt.plan_hint, *right_info));
+
+  engine::QueryStats stats;
+  std::vector<std::pair<Tuple, Tuple>> pairs;
+  LEXEQUAL_ASSIGN_OR_RETURN(
+      pairs, db->LexEqualJoin(left_ref.table, left_col->column,
+                              right_ref.table, right_col->column, options,
+                              /*outer_limit=*/0, &stats));
+
+  // Projection over the concatenated row.
+  QueryResult result;
+  result.stats = stats;
+  struct Slot {
+    bool from_left;
+    uint32_t ordinal;
+  };
+  std::vector<Slot> slots;
+  auto resolve = [&](const ColumnName& col) -> Result<Slot> {
+    const bool left_q =
+        col.qualifier.empty() ||
+        AsciiToLower(col.qualifier) ==
+            AsciiToLower(left_ref.effective_name());
+    const bool right_q =
+        col.qualifier.empty() ||
+        AsciiToLower(col.qualifier) ==
+            AsciiToLower(right_ref.effective_name());
+    if (left_q) {
+      Result<uint32_t> o = left_info->schema.IndexOf(col.column);
+      if (o.ok()) return Slot{true, o.value()};
+      if (!col.qualifier.empty()) return o.status();
+    }
+    if (right_q) {
+      Result<uint32_t> o = right_info->schema.IndexOf(col.column);
+      if (o.ok()) return Slot{false, o.value()};
+    }
+    return Status::NotFound("cannot resolve column '" + col.ToString() +
+                            "'");
+  };
+  if (stmt.select_star) {
+    for (size_t i = 0; i < left_info->schema.size(); ++i) {
+      slots.push_back({true, static_cast<uint32_t>(i)});
+      result.column_names.push_back(left_ref.effective_name() + "." +
+                                    left_info->schema.column(i).name);
+    }
+    for (size_t i = 0; i < right_info->schema.size(); ++i) {
+      slots.push_back({false, static_cast<uint32_t>(i)});
+      result.column_names.push_back(right_ref.effective_name() + "." +
+                                    right_info->schema.column(i).name);
+    }
+  } else {
+    for (const ColumnName& col : stmt.select_list) {
+      Slot slot;
+      LEXEQUAL_ASSIGN_OR_RETURN(slot, resolve(col));
+      slots.push_back(slot);
+      result.column_names.push_back(col.ToString());
+    }
+  }
+  for (const auto& [lrow, rrow] : pairs) {
+    if (stmt.limit.has_value() && result.rows.size() >= *stmt.limit) {
+      break;
+    }
+    Tuple projected;
+    projected.reserve(slots.size());
+    for (const Slot& slot : slots) {
+      projected.push_back(slot.from_left ? lrow[slot.ordinal]
+                                         : rrow[slot.ordinal]);
+    }
+    result.rows.push_back(std::move(projected));
+  }
+  result.stats.results = result.rows.size();
+  return result;
+}
+
+}  // namespace
+
+std::string QueryResult::ToTable() const {
+  // Column widths in code points.
+  std::vector<size_t> widths(column_names.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    widths[c] = text::CodePointCount(column_names[c]);
+  }
+  cells.reserve(rows.size());
+  for (const engine::Tuple& row : rows) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < row.size() && c < column_names.size(); ++c) {
+      line.push_back(row[c].ToDisplayString());
+      widths[c] = std::max(widths[c], text::CodePointCount(line[c]));
+    }
+    cells.push_back(std::move(line));
+  }
+  auto pad = [](const std::string& s, size_t width) {
+    std::string out = s;
+    size_t len = text::CodePointCount(s);
+    for (size_t i = len; i < width; ++i) out += ' ';
+    return out;
+  };
+  std::string out;
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += "| " + pad(column_names[c], widths[c]) + " ";
+  }
+  out += "|\n";
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += "|" + std::string(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < column_names.size(); ++c) {
+      out += "| " + pad(c < line.size() ? line[c] : "", widths[c]) + " ";
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Total order over values for ORDER BY (types never mix within one
+// column; mixed types order by type id for stability).
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return a.type() < b.type();
+  switch (a.type()) {
+    case ValueType::kInt64:
+      return a.AsInt64() < b.AsInt64();
+    case ValueType::kDouble:
+      return a.AsDouble() < b.AsDouble();
+    case ValueType::kString:
+      return a.AsString().text() < b.AsString().text();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteStatement(engine::Database* db,
+                                     const SelectStatement& stmt) {
+  // ORDER BY sorts the projected result, so run the core plan without
+  // the limit and apply sort + limit here.
+  SelectStatement core = stmt;
+  if (stmt.order_by.has_value()) core.limit.reset();
+
+  Result<QueryResult> result_or =
+      core.tables.size() == 1   ? ExecuteSingleTable(db, core)
+      : core.tables.size() == 2 ? ExecuteJoin(db, core)
+                                : Status::NotSupported(
+                                      "only 1- and 2-table queries");
+  if (!result_or.ok() || !stmt.order_by.has_value()) return result_or;
+
+  QueryResult result = std::move(result_or).value();
+  // Resolve the ORDER BY column against the output columns.
+  const std::string wanted = stmt.order_by->column.ToString();
+  size_t ordinal = result.column_names.size();
+  for (size_t i = 0; i < result.column_names.size(); ++i) {
+    if (AsciiToLower(result.column_names[i]) == AsciiToLower(wanted) ||
+        AsciiToLower(result.column_names[i]) ==
+            AsciiToLower(stmt.order_by->column.column)) {
+      ordinal = i;
+      break;
+    }
+  }
+  if (ordinal == result.column_names.size()) {
+    return Status::NotFound("ORDER BY column '" + wanted +
+                            "' is not in the select list");
+  }
+  const bool desc = stmt.order_by->descending;
+  std::stable_sort(result.rows.begin(), result.rows.end(),
+                   [ordinal, desc](const engine::Tuple& a,
+                                   const engine::Tuple& b) {
+                     return desc ? ValueLess(b[ordinal], a[ordinal])
+                                 : ValueLess(a[ordinal], b[ordinal]);
+                   });
+  if (stmt.limit.has_value() && result.rows.size() > *stmt.limit) {
+    result.rows.resize(*stmt.limit);
+  }
+  result.stats.results = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> ExecuteQuery(engine::Database* db,
+                                 std::string_view sql) {
+  SelectStatement stmt;
+  LEXEQUAL_ASSIGN_OR_RETURN(stmt, Parse(sql));
+  return ExecuteStatement(db, stmt);
+}
+
+}  // namespace lexequal::sql

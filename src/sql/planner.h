@@ -1,0 +1,42 @@
+// Planner: lowers a parsed SELECT onto the engine's physical plans.
+//
+// Supported shapes (the paper's query classes):
+//  * Single table, any mix of `col = literal` predicates and at most
+//    one `col LexEQUAL 'literal'` predicate (Fig. 3). The LexEQUAL
+//    predicate picks the physical plan: naive scan, q-gram filters,
+//    or the phonetic index (USING hint or best-available).
+//  * Two tables with `a.col LexEQUAL b.col` plus the idiomatic
+//    `a.language <> b.language` (Fig. 5), run as the LexEQUAL join.
+
+#ifndef LEXEQUAL_SQL_PLANNER_H_
+#define LEXEQUAL_SQL_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "sql/ast.h"
+
+namespace lexequal::sql {
+
+/// A rendered result set.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<engine::Tuple> rows;
+  engine::QueryStats stats;
+
+  /// ASCII table rendering for examples and debugging.
+  std::string ToTable() const;
+};
+
+/// Parses and executes `sql` against `db`.
+Result<QueryResult> ExecuteQuery(engine::Database* db,
+                                 std::string_view sql);
+
+/// Executes an already-parsed statement.
+Result<QueryResult> ExecuteStatement(engine::Database* db,
+                                     const SelectStatement& stmt);
+
+}  // namespace lexequal::sql
+
+#endif  // LEXEQUAL_SQL_PLANNER_H_

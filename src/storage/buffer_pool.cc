@@ -1,0 +1,138 @@
+#include "storage/buffer_pool.h"
+
+namespace lexequal::storage {
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size)
+    : disk_(disk) {
+  frames_.reserve(pool_size);
+  free_frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_size - 1 - i);  // pop from the back
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best effort: persist what we can. Errors here have no channel;
+  // callers that care must FlushAll explicitly.
+  (void)FlushAll();
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all " + std::to_string(frames_.size()) +
+        " frames are pinned");
+  }
+  size_t frame = lru_.front();
+  lru_.pop_front();
+  lru_pos_.erase(frame);
+  Page* victim = frames_[frame].get();
+  if (victim->is_dirty()) {
+    LEXEQUAL_RETURN_IF_ERROR(
+        disk_->WritePage(victim->page_id(), victim->data()));
+    ++stats_.flushes;
+  }
+  page_table_.erase(victim->page_id());
+  ++stats_.evictions;
+  victim->Reset();
+  return frame;
+}
+
+Result<Page*> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    size_t frame = it->second;
+    Page* page = frames_[frame].get();
+    // A page moving from unpinned to pinned leaves the LRU list.
+    auto lru_it = lru_pos_.find(frame);
+    if (lru_it != lru_pos_.end()) {
+      lru_.erase(lru_it->second);
+      lru_pos_.erase(lru_it);
+    }
+    page->IncPin();
+    return page;
+  }
+  ++stats_.misses;
+  size_t frame;
+  LEXEQUAL_ASSIGN_OR_RETURN(frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  Status read = disk_->ReadPage(id, page->data());
+  if (!read.ok()) {
+    free_frames_.push_back(frame);
+    return read;
+  }
+  page->set_page_id(id);
+  page->IncPin();
+  page_table_[id] = frame;
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  PageId id;
+  LEXEQUAL_ASSIGN_OR_RETURN(id, disk_->AllocatePage());
+  size_t frame;
+  LEXEQUAL_ASSIGN_OR_RETURN(frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  page->set_page_id(id);
+  page->IncPin();
+  page->set_dirty(true);  // newly allocated pages must reach disk
+  page_table_[id] = frame;
+  return page;
+}
+
+Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("unpin of unbuffered page " +
+                            std::to_string(id));
+  }
+  size_t frame = it->second;
+  Page* page = frames_[frame].get();
+  if (page->pin_count() == 0) {
+    return Status::Internal("unpin of unpinned page " +
+                            std::to_string(id));
+  }
+  if (dirty) page->set_dirty(true);
+  page->DecPin();
+  if (page->pin_count() == 0) {
+    lru_.push_back(frame);
+    lru_pos_[frame] = std::prev(lru_.end());
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("flush of unbuffered page " +
+                            std::to_string(id));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->is_dirty()) {
+    LEXEQUAL_RETURN_IF_ERROR(disk_->WritePage(id, page->data()));
+    page->set_dirty(false);
+    ++stats_.flushes;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [id, frame] : page_table_) {
+    Page* page = frames_[frame].get();
+    if (page->is_dirty()) {
+      LEXEQUAL_RETURN_IF_ERROR(disk_->WritePage(id, page->data()));
+      page->set_dirty(false);
+      ++stats_.flushes;
+    }
+  }
+  return disk_->Sync();
+}
+
+}  // namespace lexequal::storage

@@ -1,0 +1,74 @@
+// BufferPool: fixed set of page frames with LRU replacement and
+// pin/unpin discipline.
+
+#ifndef LEXEQUAL_STORAGE_BUFFER_POOL_H_
+#define LEXEQUAL_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace lexequal::storage {
+
+/// Counters exposed for the efficiency experiments: buffered vs.
+/// on-disk behaviour is part of the Table 1-3 story.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+};
+
+/// LRU buffer pool. Callers must Unpin every page they Fetch/New;
+/// a pinned page is never evicted. Single-threaded.
+class BufferPool {
+ public:
+  /// `pool_size` frames over `disk` (borrowed; must outlive the pool).
+  BufferPool(DiskManager* disk, size_t pool_size);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  /// Pins page `id`, reading it from disk if absent. Fails with
+  /// ResourceExhausted when every frame is pinned.
+  Result<Page*> FetchPage(PageId id);
+
+  /// Allocates a new page on disk and pins it.
+  Result<Page*> NewPage();
+
+  /// Releases one pin; `dirty` marks the page as modified.
+  Status UnpinPage(PageId id, bool dirty);
+
+  /// Writes a page back if dirty (keeps it buffered).
+  Status FlushPage(PageId id);
+
+  /// Flushes every dirty page.
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t pool_size() const { return frames_.size(); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  // Finds a victim frame: a free one, else the LRU unpinned one.
+  Result<size_t> GetVictimFrame();
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;  // page id -> frame
+  std::list<size_t> lru_;  // unpinned frames, least-recent first
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace lexequal::storage
+
+#endif  // LEXEQUAL_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,95 @@
+#include "storage/disk_manager.h"
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace lexequal::storage {
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(
+    const std::string& path) {
+  // "a" then reopen r+b: creates the file if absent without
+  // truncating existing data.
+  std::FILE* probe = std::fopen(path.c_str(), "ab");
+  if (probe == nullptr) {
+    return Status::IOError("cannot create '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::fclose(probe);
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IOError("seek failed on '" + path + "'");
+  }
+  const long size = std::ftell(file);
+  if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
+    std::fclose(file);
+    return Status::Corruption("file '" + path +
+                              "' is not page-aligned: " +
+                              std::to_string(size) + " bytes");
+  }
+  const PageId pages = static_cast<PageId>(size / kPageSize);
+  return std::unique_ptr<DiskManager>(
+      new DiskManager(path, file, pages));
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  const PageId id = page_count_;
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  LEXEQUAL_RETURN_IF_ERROR(WritePage(id, zeros));
+  page_count_ = id + 1;
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  const long offset = static_cast<long>(id) * kPageSize;
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return Status::IOError("seek failed reading page " +
+                           std::to_string(id));
+  }
+  if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short read of page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  if (id > page_count_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  const long offset = static_cast<long>(id) * kPageSize;
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return Status::IOError("seek failed writing page " +
+                           std::to_string(id));
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write of page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed on '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace lexequal::storage

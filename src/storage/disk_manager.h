@@ -1,0 +1,57 @@
+// DiskManager: page-granular file I/O.
+
+#ifndef LEXEQUAL_STORAGE_DISK_MANAGER_H_
+#define LEXEQUAL_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace lexequal::storage {
+
+/// Owns one database file and hands out page-aligned reads/writes.
+/// Page allocation is append-only (no free list): the paper's
+/// workloads are load-then-query.
+class DiskManager {
+ public:
+  /// Opens (creating if necessary) the file at `path`.
+  static Result<std::unique_ptr<DiskManager>> Open(
+      const std::string& path);
+
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a fresh page (zero-filled on disk) and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `out` (kPageSize bytes).
+  Status ReadPage(PageId id, char* out);
+
+  /// Writes kPageSize bytes from `data` to page `id`.
+  Status WritePage(PageId id, const char* data);
+
+  /// Flushes OS buffers to disk.
+  Status Sync();
+
+  /// Number of pages allocated so far.
+  PageId page_count() const { return page_count_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  DiskManager(std::string path, std::FILE* file, PageId page_count)
+      : path_(std::move(path)), file_(file), page_count_(page_count) {}
+
+  std::string path_;
+  std::FILE* file_;
+  PageId page_count_;
+};
+
+}  // namespace lexequal::storage
+
+#endif  // LEXEQUAL_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,138 @@
+#include "storage/heap_file.h"
+
+namespace lexequal::storage {
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool->NewPage());
+  SlottedPage sp(page);
+  sp.Init();
+  const PageId id = page->page_id();
+  LEXEQUAL_RETURN_IF_ERROR(pool->UnpinPage(id, /*dirty=*/true));
+  return HeapFile(pool, id, id, 0);
+}
+
+Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page) {
+  // Walk the chain to find the tail and count records.
+  PageId page_id = first_page;
+  PageId last = first_page;
+  uint64_t count = 0;
+  while (page_id != kInvalidPageId) {
+    Page* page;
+    LEXEQUAL_ASSIGN_OR_RETURN(page, pool->FetchPage(page_id));
+    SlottedPage sp(page);
+    for (uint16_t s = 0; s < sp.slot_count(); ++s) {
+      if (sp.Get(s).ok()) ++count;
+    }
+    last = page_id;
+    page_id = sp.next_page_id();
+    LEXEQUAL_RETURN_IF_ERROR(pool->UnpinPage(last, /*dirty=*/false));
+  }
+  return HeapFile(pool, first_page, last, count);
+}
+
+Result<RID> HeapFile::Insert(std::string_view record) {
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(last_page_));
+  SlottedPage sp(page);
+  Result<uint16_t> slot = sp.Insert(record);
+  if (slot.ok()) {
+    RID rid{last_page_, slot.value()};
+    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, true));
+    ++record_count_;
+    return rid;
+  }
+  if (!slot.status().IsResourceExhausted()) {
+    (void)pool_->UnpinPage(last_page_, false);
+    return slot.status();
+  }
+  // Grow the chain.
+  Page* fresh;
+  Result<Page*> fresh_or = pool_->NewPage();
+  if (!fresh_or.ok()) {
+    (void)pool_->UnpinPage(last_page_, false);
+    return fresh_or.status();
+  }
+  fresh = fresh_or.value();
+  SlottedPage fresh_sp(fresh);
+  fresh_sp.Init();
+  sp.set_next_page_id(fresh->page_id());
+  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, true));
+  last_page_ = fresh->page_id();
+  Result<uint16_t> slot2 = fresh_sp.Insert(record);
+  if (!slot2.ok()) {
+    (void)pool_->UnpinPage(last_page_, true);
+    return slot2.status();  // record larger than a page
+  }
+  RID rid{last_page_, slot2.value()};
+  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, true));
+  ++record_count_;
+  return rid;
+}
+
+Result<std::string> HeapFile::Get(const RID& rid) const {
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(rid.page_id));
+  SlottedPage sp(page);
+  Result<std::string_view> rec = sp.Get(rid.slot);
+  if (!rec.ok()) {
+    (void)pool_->UnpinPage(rid.page_id, false);
+    return rec.status();
+  }
+  std::string out(rec.value());
+  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, false));
+  return out;
+}
+
+Status HeapFile::Delete(const RID& rid) {
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(rid.page_id));
+  SlottedPage sp(page);
+  Status st = sp.Delete(rid.slot);
+  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, st.ok()));
+  if (st.ok() && record_count_ > 0) --record_count_;
+  return st;
+}
+
+HeapFile::Iterator HeapFile::Begin() const {
+  Iterator it(pool_, first_page_);
+  // Settle onto the first record; errors surface as AtEnd (the
+  // explicit Next() API reports them on subsequent use).
+  (void)it.Settle();
+  return it;
+}
+
+HeapFile::Iterator::Iterator(BufferPool* pool, PageId first_page)
+    : pool_(pool), page_(first_page), slot_(0), at_end_(false) {}
+
+Status HeapFile::Iterator::Settle() {
+  while (page_ != kInvalidPageId) {
+    Page* page;
+    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(page_));
+    SlottedPage sp(page);
+    const uint16_t n = sp.slot_count();
+    while (slot_ < n) {
+      Result<std::string_view> rec = sp.Get(slot_);
+      if (rec.ok()) {
+        rid_ = {page_, slot_};
+        record_.assign(rec.value());
+        return pool_->UnpinPage(page_, false);
+      }
+      ++slot_;
+    }
+    const PageId next = sp.next_page_id();
+    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(page_, false));
+    page_ = next;
+    slot_ = 0;
+  }
+  at_end_ = true;
+  return Status::OK();
+}
+
+Status HeapFile::Iterator::Next() {
+  if (at_end_) return Status::OutOfRange("iterator past the end");
+  ++slot_;
+  return Settle();
+}
+
+}  // namespace lexequal::storage

@@ -1,0 +1,82 @@
+// HeapFile: an unordered collection of records in a chain of slotted
+// pages, addressed by RID.
+
+#ifndef LEXEQUAL_STORAGE_HEAP_FILE_H_
+#define LEXEQUAL_STORAGE_HEAP_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/slotted_page.h"
+
+namespace lexequal::storage {
+
+/// A heap file rooted at its first page id. Inserts append to the
+/// last page (tracked in memory); scans follow the page chain.
+class HeapFile {
+ public:
+  /// Creates a new, empty heap file.
+  static Result<HeapFile> Create(BufferPool* pool);
+
+  /// Re-opens an existing heap file rooted at `first_page`.
+  static Result<HeapFile> Open(BufferPool* pool, PageId first_page);
+
+  /// Appends a record and returns its RID.
+  Result<RID> Insert(std::string_view record);
+
+  /// Reads the record at `rid` into an owned string (the page pin is
+  /// released before returning).
+  Result<std::string> Get(const RID& rid) const;
+
+  /// Tombstones the record at `rid`.
+  Status Delete(const RID& rid);
+
+  PageId first_page() const { return first_page_; }
+  uint64_t record_count() const { return record_count_; }
+
+  /// Forward iterator over live records. Usage:
+  ///   for (auto it = heap.Begin(); !it.AtEnd(); it.Next()) { ... }
+  /// Iteration holds no pins between Next() calls.
+  class Iterator {
+   public:
+    bool AtEnd() const { return at_end_; }
+    const RID& rid() const { return rid_; }
+    const std::string& record() const { return record_; }
+
+    /// Advances to the next live record; surfaces I/O errors.
+    Status Next();
+
+   private:
+    friend class HeapFile;
+    Iterator(BufferPool* pool, PageId first_page);
+    // Moves to the first live slot at or after (page_, slot_).
+    Status Settle();
+
+    BufferPool* pool_;
+    PageId page_;
+    uint16_t slot_;
+    bool at_end_;
+    RID rid_;
+    std::string record_;
+  };
+
+  Iterator Begin() const;
+
+ private:
+  HeapFile(BufferPool* pool, PageId first, PageId last, uint64_t count)
+      : pool_(pool),
+        first_page_(first),
+        last_page_(last),
+        record_count_(count) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+  uint64_t record_count_;
+};
+
+}  // namespace lexequal::storage
+
+#endif  // LEXEQUAL_STORAGE_HEAP_FILE_H_

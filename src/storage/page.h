@@ -1,0 +1,77 @@
+// Page: the unit of disk I/O and buffering.
+//
+// The engine is single-threaded by design (the paper's experiments
+// are single-stream query timings); pages carry pin counts for
+// buffer-pool correctness but no latches.
+
+#ifndef LEXEQUAL_STORAGE_PAGE_H_
+#define LEXEQUAL_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace lexequal::storage {
+
+/// Page identifier; kInvalidPageId marks "no page".
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Page size in bytes. 4 KiB, the common database default.
+inline constexpr size_t kPageSize = 4096;
+
+/// An in-memory frame holding one disk page.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  bool is_dirty() const { return is_dirty_; }
+  int pin_count() const { return pin_count_; }
+
+  void set_page_id(PageId id) { page_id_ = id; }
+  void set_dirty(bool dirty) { is_dirty_ = dirty; }
+  void IncPin() { ++pin_count_; }
+  void DecPin() {
+    if (pin_count_ > 0) --pin_count_;
+  }
+
+  /// Returns the frame to its pristine state (buffer pool internal).
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    is_dirty_ = false;
+    pin_count_ = 0;
+  }
+
+ private:
+  char data_[kPageSize];
+  PageId page_id_;
+  bool is_dirty_;
+  int pin_count_;
+};
+
+/// Record identifier: a tuple's physical address.
+struct RID {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+
+  friend bool operator==(const RID& a, const RID& b) {
+    return a.page_id == b.page_id && a.slot == b.slot;
+  }
+  friend bool operator<(const RID& a, const RID& b) {
+    if (a.page_id != b.page_id) return a.page_id < b.page_id;
+    return a.slot < b.slot;
+  }
+};
+
+}  // namespace lexequal::storage
+
+#endif  // LEXEQUAL_STORAGE_PAGE_H_

@@ -1,0 +1,109 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+
+namespace lexequal::storage {
+
+namespace {
+constexpr size_t kNextPageOffset = 0;
+constexpr size_t kNumSlotsOffset = 4;
+constexpr size_t kFreePtrOffset = 6;
+}  // namespace
+
+uint16_t SlottedPage::ReadU16(size_t offset) const {
+  uint16_t v;
+  std::memcpy(&v, page_->data() + offset, sizeof(v));
+  return v;
+}
+
+void SlottedPage::WriteU16(size_t offset, uint16_t value) {
+  std::memcpy(page_->data() + offset, &value, sizeof(value));
+}
+
+uint32_t SlottedPage::ReadU32(size_t offset) const {
+  uint32_t v;
+  std::memcpy(&v, page_->data() + offset, sizeof(v));
+  return v;
+}
+
+void SlottedPage::WriteU32(size_t offset, uint32_t value) {
+  std::memcpy(page_->data() + offset, &value, sizeof(value));
+}
+
+void SlottedPage::Init() {
+  WriteU32(kNextPageOffset, kInvalidPageId);
+  WriteU16(kNumSlotsOffset, 0);
+  WriteU16(kFreePtrOffset, static_cast<uint16_t>(kPageSize));
+}
+
+PageId SlottedPage::next_page_id() const {
+  return ReadU32(kNextPageOffset);
+}
+
+void SlottedPage::set_next_page_id(PageId id) {
+  WriteU32(kNextPageOffset, id);
+}
+
+uint16_t SlottedPage::slot_count() const {
+  return ReadU16(kNumSlotsOffset);
+}
+
+size_t SlottedPage::FreeSpace() const {
+  const size_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  const size_t free_ptr = ReadU16(kFreePtrOffset);
+  const size_t gap = free_ptr > slots_end ? free_ptr - slots_end : 0;
+  return gap > kSlotSize ? gap - kSlotSize : 0;
+}
+
+Result<uint16_t> SlottedPage::Insert(std::string_view record) {
+  if (record.empty()) {
+    return Status::InvalidArgument("empty record");
+  }
+  if (record.size() > FreeSpace()) {
+    return Status::ResourceExhausted(
+        "record of " + std::to_string(record.size()) +
+        " bytes does not fit (free: " + std::to_string(FreeSpace()) +
+        ")");
+  }
+  const uint16_t slot = slot_count();
+  const uint16_t new_free =
+      static_cast<uint16_t>(ReadU16(kFreePtrOffset) - record.size());
+  std::memcpy(page_->data() + new_free, record.data(), record.size());
+  WriteU16(kFreePtrOffset, new_free);
+  const size_t slot_offset = kHeaderSize + slot * kSlotSize;
+  WriteU16(slot_offset, new_free);
+  WriteU16(slot_offset + 2, static_cast<uint16_t>(record.size()));
+  WriteU16(kNumSlotsOffset, slot + 1);
+  return slot;
+}
+
+Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  const size_t slot_offset = kHeaderSize + slot * kSlotSize;
+  const uint16_t offset = ReadU16(slot_offset);
+  if (offset == kDeletedSlot) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " is deleted");
+  }
+  const uint16_t size = ReadU16(slot_offset + 2);
+  return std::string_view(page_->data() + offset, size);
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  const size_t slot_offset = kHeaderSize + slot * kSlotSize;
+  if (ReadU16(slot_offset) == kDeletedSlot) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " already deleted");
+  }
+  WriteU16(slot_offset, kDeletedSlot);
+  return Status::OK();
+}
+
+}  // namespace lexequal::storage

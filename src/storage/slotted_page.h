@@ -1,0 +1,69 @@
+// SlottedPage: variable-length record storage inside one page.
+//
+// Layout:
+//   [next_page_id:4][num_slots:2][free_ptr:2]  header (8 bytes)
+//   [slot 0][slot 1]...                        growing upward
+//   ...free space...
+//   [record data]                              growing downward
+//
+// Each slot is {offset:2, size:2}; a deleted slot keeps its index
+// (RIDs stay stable) with offset kDeletedSlot.
+
+#ifndef LEXEQUAL_STORAGE_SLOTTED_PAGE_H_
+#define LEXEQUAL_STORAGE_SLOTTED_PAGE_H_
+
+#include <optional>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace lexequal::storage {
+
+/// A typed view over a Page holding slotted records. The view does
+/// not own the page and must not outlive its pin.
+class SlottedPage {
+ public:
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats a fresh page (call once after NewPage).
+  void Init();
+
+  /// Next page in the owning heap file's chain.
+  PageId next_page_id() const;
+  void set_next_page_id(PageId id);
+
+  /// Number of slots ever created (including deleted ones).
+  uint16_t slot_count() const;
+
+  /// Bytes available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+
+  /// Inserts a record; fails with ResourceExhausted when it does not
+  /// fit. Records must be non-empty and < ~4000 bytes.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Returns the record at `slot`, or NotFound for deleted/bad slots.
+  Result<std::string_view> Get(uint16_t slot) const;
+
+  /// Tombstones the record at `slot` (space is not reclaimed; the
+  /// paper's workloads are append-only, deletion exists for API
+  /// completeness and tests).
+  Status Delete(uint16_t slot);
+
+ private:
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kSlotSize = 4;
+  static constexpr uint16_t kDeletedSlot = 0xFFFF;
+
+  uint16_t ReadU16(size_t offset) const;
+  void WriteU16(size_t offset, uint16_t value);
+  uint32_t ReadU32(size_t offset) const;
+  void WriteU32(size_t offset, uint32_t value);
+
+  Page* page_;
+};
+
+}  // namespace lexequal::storage
+
+#endif  // LEXEQUAL_STORAGE_SLOTTED_PAGE_H_

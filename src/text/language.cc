@@ -1,0 +1,184 @@
+#include "text/language.h"
+
+#include "common/string_util.h"
+
+namespace lexequal::text {
+
+std::string_view LanguageName(Language lang) {
+  switch (lang) {
+    case Language::kUnknown:
+      return "Unknown";
+    case Language::kAny:
+      return "*";
+    case Language::kEnglish:
+      return "English";
+    case Language::kHindi:
+      return "Hindi";
+    case Language::kTamil:
+      return "Tamil";
+    case Language::kGreek:
+      return "Greek";
+    case Language::kFrench:
+      return "French";
+    case Language::kSpanish:
+      return "Spanish";
+    case Language::kArabic:
+      return "Arabic";
+    case Language::kJapanese:
+      return "Japanese";
+    case Language::kRussian:
+      return "Russian";
+    case Language::kKorean:
+      return "Korean";
+  }
+  return "Unknown";
+}
+
+Result<Language> ParseLanguage(std::string_view name) {
+  const std::string lower = AsciiToLower(StripAsciiWhitespace(name));
+  if (lower == "*" || lower == "any") return Language::kAny;
+  if (lower == "english") return Language::kEnglish;
+  if (lower == "hindi") return Language::kHindi;
+  if (lower == "tamil") return Language::kTamil;
+  if (lower == "greek") return Language::kGreek;
+  if (lower == "french") return Language::kFrench;
+  if (lower == "spanish") return Language::kSpanish;
+  if (lower == "arabic") return Language::kArabic;
+  if (lower == "japanese") return Language::kJapanese;
+  if (lower == "russian") return Language::kRussian;
+  if (lower == "korean") return Language::kKorean;
+  return Status::NotFound("unknown language: '" + std::string(name) + "'");
+}
+
+std::string_view ScriptName(Script script) {
+  switch (script) {
+    case Script::kUnknown:
+      return "Unknown";
+    case Script::kLatin:
+      return "Latin";
+    case Script::kDevanagari:
+      return "Devanagari";
+    case Script::kTamil:
+      return "Tamil";
+    case Script::kGreek:
+      return "Greek";
+    case Script::kArabic:
+      return "Arabic";
+    case Script::kCyrillic:
+      return "Cyrillic";
+    case Script::kHangul:
+      return "Hangul";
+    case Script::kCjk:
+      return "CJK";
+    case Script::kIpa:
+      return "IPA";
+  }
+  return "Unknown";
+}
+
+Script ScriptOfCodePoint(CodePoint cp) {
+  // Unicode block ranges (The Unicode Standard; only the blocks the
+  // system stores). Order matters: IPA extensions sit inside the range
+  // that a naive "Latin" test might claim.
+  if (cp >= 0x0250 && cp <= 0x02AF) return Script::kIpa;  // IPA Extensions
+  if (cp >= 0x02B0 && cp <= 0x02FF) return Script::kIpa;  // Spacing modifiers
+  if ((cp >= 0x0041 && cp <= 0x005A) || (cp >= 0x0061 && cp <= 0x007A) ||
+      (cp >= 0x00C0 && cp <= 0x024F)) {
+    return Script::kLatin;  // Basic Latin letters + Latin-1/Extended
+  }
+  if ((cp >= 0x0370 && cp <= 0x03FF) || (cp >= 0x1F00 && cp <= 0x1FFF)) {
+    return Script::kGreek;  // Greek and Coptic + Greek Extended
+  }
+  if ((cp >= 0x0600 && cp <= 0x06FF) || (cp >= 0x0750 && cp <= 0x077F)) {
+    return Script::kArabic;
+  }
+  if ((cp >= 0x0400 && cp <= 0x04FF) || (cp >= 0x0500 && cp <= 0x052F)) {
+    return Script::kCyrillic;
+  }
+  if ((cp >= 0xAC00 && cp <= 0xD7AF) ||  // Hangul syllables
+      (cp >= 0x1100 && cp <= 0x11FF) ||  // Hangul jamo
+      (cp >= 0x3130 && cp <= 0x318F)) {  // compatibility jamo
+    return Script::kHangul;
+  }
+  if (cp >= 0x0900 && cp <= 0x097F) return Script::kDevanagari;
+  if (cp >= 0x0B80 && cp <= 0x0BFF) return Script::kTamil;
+  if ((cp >= 0x3040 && cp <= 0x30FF) ||  // Hiragana + Katakana
+      (cp >= 0x4E00 && cp <= 0x9FFF) ||  // CJK Unified Ideographs
+      (cp >= 0x3400 && cp <= 0x4DBF)) {
+    return Script::kCjk;
+  }
+  return Script::kUnknown;
+}
+
+Script DetectScript(std::string_view utf8) {
+  // Counts per script; ASCII digits/punct/space are "common" (skipped).
+  int counts[11] = {0};
+  size_t pos = 0;
+  while (pos < utf8.size()) {
+    CodePoint cp = DecodeUtf8(utf8, &pos);
+    if (cp < 0x80 && !((cp >= 'A' && cp <= 'Z') || (cp >= 'a' && cp <= 'z'))) {
+      continue;  // common: space, digits, punctuation
+    }
+    Script s = ScriptOfCodePoint(cp);
+    counts[static_cast<int>(s)]++;
+  }
+  int best = 0;
+  int best_count = 0;
+  for (int i = 1; i < 11; ++i) {  // skip kUnknown at index 0
+    if (counts[i] > best_count) {
+      best = i;
+      best_count = counts[i];
+    }
+  }
+  return best_count > 0 ? static_cast<Script>(best) : Script::kUnknown;
+}
+
+Language DefaultLanguageForScript(Script script) {
+  switch (script) {
+    case Script::kLatin:
+      return Language::kEnglish;
+    case Script::kDevanagari:
+      return Language::kHindi;
+    case Script::kTamil:
+      return Language::kTamil;
+    case Script::kGreek:
+      return Language::kGreek;
+    case Script::kArabic:
+      return Language::kArabic;
+    case Script::kCjk:
+      return Language::kJapanese;
+    case Script::kCyrillic:
+      return Language::kRussian;
+    case Script::kHangul:
+      return Language::kKorean;
+    default:
+      return Language::kUnknown;
+  }
+}
+
+Script ScriptOfLanguage(Language lang) {
+  switch (lang) {
+    case Language::kEnglish:
+    case Language::kFrench:
+    case Language::kSpanish:
+      return Script::kLatin;
+    case Language::kHindi:
+      return Script::kDevanagari;
+    case Language::kTamil:
+      return Script::kTamil;
+    case Language::kGreek:
+      return Script::kGreek;
+    case Language::kArabic:
+      return Script::kArabic;
+    case Language::kJapanese:
+      return Script::kCjk;
+    case Language::kRussian:
+      return Script::kCyrillic;
+    case Language::kKorean:
+      return Script::kHangul;
+    default:
+      return Script::kUnknown;
+  }
+}
+
+}  // namespace lexequal::text

@@ -1,0 +1,78 @@
+// Language and Script registries.
+//
+// The paper assumes each stored text value is tagged with its language
+// (footnote 1). Language drives the choice of G2P converter; Script is
+// the Unicode writing system, derivable from the code points, and is
+// used for automatic language identification of untagged data.
+
+#ifndef LEXEQUAL_TEXT_LANGUAGE_H_
+#define LEXEQUAL_TEXT_LANGUAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "text/utf8.h"
+
+namespace lexequal::text {
+
+/// Writing systems relevant to the paper's evaluation plus those used
+/// in its motivating examples (Figure 1).
+enum class Script : uint8_t {
+  kUnknown = 0,
+  kLatin,
+  kDevanagari,
+  kTamil,
+  kGreek,
+  kArabic,
+  kCyrillic,
+  kHangul,
+  kCjk,
+  kIpa,  // IPA extensions block (stored phoneme strings)
+};
+
+/// Languages known to the system. kAny is the query-side wildcard
+/// ("inlanguages { * }").
+enum class Language : uint8_t {
+  kUnknown = 0,
+  kAny,
+  kEnglish,
+  kHindi,
+  kTamil,
+  kGreek,
+  kFrench,
+  kSpanish,
+  kArabic,
+  kJapanese,
+  kRussian,
+  kKorean,
+};
+
+/// Human-readable language name ("English", "Hindi", ...).
+std::string_view LanguageName(Language lang);
+
+/// Parses a language name (case-insensitive ASCII); "*" yields kAny.
+Result<Language> ParseLanguage(std::string_view name);
+
+/// Human-readable script name.
+std::string_view ScriptName(Script script);
+
+/// Script of a single code point, by Unicode block range.
+Script ScriptOfCodePoint(CodePoint cp);
+
+/// Dominant script of a UTF-8 string: the script of the majority of its
+/// non-common code points (ASCII punctuation/digits/space are "common"
+/// and ignored); kUnknown for empty or all-common strings.
+Script DetectScript(std::string_view utf8);
+
+/// Default language for a script, used to auto-tag untagged data
+/// (Section 2.1 notes this identification is heuristic; e.g. Latin
+/// script defaults to English).
+Language DefaultLanguageForScript(Script script);
+
+/// Script a language is conventionally written in.
+Script ScriptOfLanguage(Language lang);
+
+}  // namespace lexequal::text
+
+#endif  // LEXEQUAL_TEXT_LANGUAGE_H_

@@ -1,0 +1,51 @@
+// TaggedString: a UTF-8 text value tagged with its language — the
+// storage format the paper assumes for multilingual attributes
+// (Unicode "with each attribute value tagged with its language").
+
+#ifndef LEXEQUAL_TEXT_TAGGED_STRING_H_
+#define LEXEQUAL_TEXT_TAGGED_STRING_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "text/language.h"
+
+namespace lexequal::text {
+
+/// A language-tagged Unicode string. When constructed without an
+/// explicit language the tag is inferred from the dominant script.
+class TaggedString {
+ public:
+  TaggedString() : language_(Language::kUnknown) {}
+
+  TaggedString(std::string text, Language language)
+      : text_(std::move(text)), language_(language) {}
+
+  /// Infers the language from the dominant script of `text`.
+  static TaggedString WithDetectedLanguage(std::string text) {
+    Language lang = DefaultLanguageForScript(DetectScript(text));
+    return TaggedString(std::move(text), lang);
+  }
+
+  const std::string& text() const { return text_; }
+  Language language() const { return language_; }
+  Script script() const { return DetectScript(text_); }
+
+  /// Number of Unicode code points (the paper's "character length").
+  size_t CodePointLength() const { return CodePointCount(text_); }
+
+  bool empty() const { return text_.empty(); }
+
+  friend bool operator==(const TaggedString& a, const TaggedString& b) {
+    return a.language_ == b.language_ && a.text_ == b.text_;
+  }
+
+ private:
+  std::string text_;
+  Language language_;
+};
+
+}  // namespace lexequal::text
+
+#endif  // LEXEQUAL_TEXT_TAGGED_STRING_H_

@@ -1,0 +1,161 @@
+#include "text/utf8.h"
+
+namespace lexequal::text {
+
+namespace {
+
+bool IsContinuation(uint8_t b) { return (b & 0xC0) == 0x80; }
+
+// Decodes one sequence; returns kReplacementChar and consumes one byte
+// on malformation. `strict_ok` reports whether the sequence was valid.
+CodePoint DecodeOne(std::string_view s, size_t* pos, bool* strict_ok) {
+  *strict_ok = true;
+  const size_t n = s.size();
+  const size_t i = *pos;
+  const uint8_t b0 = static_cast<uint8_t>(s[i]);
+
+  if (b0 < 0x80) {
+    *pos = i + 1;
+    return b0;
+  }
+
+  auto fail = [&]() -> CodePoint {
+    *strict_ok = false;
+    *pos = i + 1;
+    return kReplacementChar;
+  };
+
+  if (b0 < 0xC2) return fail();  // continuation byte or overlong lead
+
+  if (b0 < 0xE0) {  // two bytes
+    if (i + 1 >= n || !IsContinuation(static_cast<uint8_t>(s[i + 1]))) {
+      return fail();
+    }
+    CodePoint cp = (static_cast<CodePoint>(b0 & 0x1F) << 6) |
+                   (static_cast<uint8_t>(s[i + 1]) & 0x3F);
+    *pos = i + 2;
+    return cp;
+  }
+
+  if (b0 < 0xF0) {  // three bytes
+    if (i + 2 >= n || !IsContinuation(static_cast<uint8_t>(s[i + 1])) ||
+        !IsContinuation(static_cast<uint8_t>(s[i + 2]))) {
+      return fail();
+    }
+    CodePoint cp = (static_cast<CodePoint>(b0 & 0x0F) << 12) |
+                   ((static_cast<uint8_t>(s[i + 1]) & 0x3F) << 6) |
+                   (static_cast<uint8_t>(s[i + 2]) & 0x3F);
+    if (cp < 0x800) return fail();                    // overlong
+    if (cp >= 0xD800 && cp <= 0xDFFF) return fail();  // surrogate
+    *pos = i + 3;
+    return cp;
+  }
+
+  if (b0 < 0xF5) {  // four bytes
+    if (i + 3 >= n || !IsContinuation(static_cast<uint8_t>(s[i + 1])) ||
+        !IsContinuation(static_cast<uint8_t>(s[i + 2])) ||
+        !IsContinuation(static_cast<uint8_t>(s[i + 3]))) {
+      return fail();
+    }
+    CodePoint cp = (static_cast<CodePoint>(b0 & 0x07) << 18) |
+                   ((static_cast<uint8_t>(s[i + 1]) & 0x3F) << 12) |
+                   ((static_cast<uint8_t>(s[i + 2]) & 0x3F) << 6) |
+                   (static_cast<uint8_t>(s[i + 3]) & 0x3F);
+    if (cp < 0x10000 || cp > 0x10FFFF) return fail();  // overlong / range
+    *pos = i + 4;
+    return cp;
+  }
+
+  return fail();
+}
+
+}  // namespace
+
+void AppendUtf8(CodePoint cp, std::string* out) {
+  if ((cp >= 0xD800 && cp <= 0xDFFF) || cp > 0x10FFFF) {
+    cp = kReplacementChar;
+  }
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string EncodeUtf8(CodePoint cp) {
+  std::string out;
+  AppendUtf8(cp, &out);
+  return out;
+}
+
+std::string EncodeUtf8(const std::vector<CodePoint>& cps) {
+  std::string out;
+  out.reserve(cps.size());
+  for (CodePoint cp : cps) AppendUtf8(cp, &out);
+  return out;
+}
+
+CodePoint DecodeUtf8(std::string_view s, size_t* pos) {
+  bool ok;
+  return DecodeOne(s, pos, &ok);
+}
+
+std::vector<CodePoint> DecodeUtf8(std::string_view s) {
+  std::vector<CodePoint> out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) {
+    bool ok;
+    out.push_back(DecodeOne(s, &pos, &ok));
+  }
+  return out;
+}
+
+Result<std::vector<CodePoint>> DecodeUtf8Strict(std::string_view s) {
+  std::vector<CodePoint> out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) {
+    bool ok;
+    size_t at = pos;
+    out.push_back(DecodeOne(s, &pos, &ok));
+    if (!ok) {
+      return Status::InvalidArgument("malformed UTF-8 at byte offset " +
+                                     std::to_string(at));
+    }
+  }
+  return out;
+}
+
+bool IsValidUtf8(std::string_view s) {
+  size_t pos = 0;
+  while (pos < s.size()) {
+    bool ok;
+    DecodeOne(s, &pos, &ok);
+    if (!ok) return false;
+  }
+  return true;
+}
+
+size_t CodePointCount(std::string_view s) {
+  size_t pos = 0;
+  size_t count = 0;
+  while (pos < s.size()) {
+    bool ok;
+    DecodeOne(s, &pos, &ok);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace lexequal::text

@@ -1,0 +1,54 @@
+// Minimal UTF-8 layer: decoding, encoding, validation, and code-point
+// iteration. This is the Unicode substrate the paper obtains from the
+// host DBMS; we implement exactly the subset the pipeline uses.
+
+#ifndef LEXEQUAL_TEXT_UTF8_H_
+#define LEXEQUAL_TEXT_UTF8_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lexequal::text {
+
+/// A Unicode code point (scalar value, U+0000..U+10FFFF minus surrogates).
+using CodePoint = uint32_t;
+
+/// Value returned by decoding when the input is malformed.
+inline constexpr CodePoint kReplacementChar = 0xFFFD;
+
+/// Appends the UTF-8 encoding of `cp` to `out`. Invalid scalar values
+/// (surrogates, > U+10FFFF) encode the replacement character.
+void AppendUtf8(CodePoint cp, std::string* out);
+
+/// Encodes a single code point as UTF-8.
+std::string EncodeUtf8(CodePoint cp);
+
+/// Encodes a sequence of code points as UTF-8.
+std::string EncodeUtf8(const std::vector<CodePoint>& cps);
+
+/// Decodes one code point starting at `s[pos]`. Advances `*pos` past the
+/// consumed bytes. Malformed sequences consume one byte and yield
+/// kReplacementChar.
+CodePoint DecodeUtf8(std::string_view s, size_t* pos);
+
+/// Decodes an entire UTF-8 string into code points (replacement
+/// characters for malformed byte sequences).
+std::vector<CodePoint> DecodeUtf8(std::string_view s);
+
+/// Strict decode: returns InvalidArgument on any malformed sequence.
+Result<std::vector<CodePoint>> DecodeUtf8Strict(std::string_view s);
+
+/// True if `s` is well-formed UTF-8 (no overlongs, no surrogates,
+/// in-range scalar values).
+bool IsValidUtf8(std::string_view s);
+
+/// Number of code points in `s` (malformed bytes count as one each).
+size_t CodePointCount(std::string_view s);
+
+}  // namespace lexequal::text
+
+#endif  // LEXEQUAL_TEXT_UTF8_H_

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "g2p/arabic_g2p.h"
+#include "g2p/kana_g2p.h"
+#include "match/lexequal.h"
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+namespace {
+
+using text::EncodeUtf8;
+
+class ArabicG2PTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    arabic_ = ArabicG2P::Create().value().release();
+  }
+  static std::string Ipa(const std::vector<uint32_t>& cps) {
+    Result<phonetic::PhonemeString> ps =
+        arabic_->ToPhonemes(EncodeUtf8(cps));
+    EXPECT_TRUE(ps.ok()) << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static ArabicG2P* arabic_;
+};
+
+ArabicG2P* ArabicG2PTest::arabic_ = nullptr;
+
+TEST_F(ArabicG2PTest, ConsonantSkeleton) {
+  // محمد (Muhammad, unvocalized): m h m d with shadda on the middle m.
+  std::string ipa = Ipa({0x0645, 0x062D, 0x0645, 0x0651, 0x062F});
+  EXPECT_EQ(ipa, "mhmmd");
+}
+
+TEST_F(ArabicG2PTest, LongVowels) {
+  // سلام (salaam unvocalized): s l a m.
+  EXPECT_EQ(Ipa({0x0633, 0x0644, 0x0627, 0x0645}), "slam");
+  // نور (nur): n u r.
+  EXPECT_EQ(Ipa({0x0646, 0x0648, 0x0631}), "nur");
+  // أمير (amir): a m i r.
+  EXPECT_EQ(Ipa({0x0623, 0x0645, 0x064A, 0x0631}), "amir");
+}
+
+TEST_F(ArabicG2PTest, Diacritics) {
+  // مُحَمَّد fully vocalized: m-u-h-a-mm-a-d.
+  std::string ipa = Ipa({0x0645, 0x064F, 0x062D, 0x064E, 0x0645,
+                         0x0651, 0x064E, 0x062F});
+  EXPECT_EQ(ipa, "mʊhammad");
+}
+
+TEST_F(ArabicG2PTest, TaMarbutaIsFinalA) {
+  // ة -> a (Fatima فاطمة: f a t m a).
+  EXPECT_EQ(Ipa({0x0641, 0x0627, 0x0637, 0x0645, 0x0629}), "fatma");
+}
+
+TEST_F(ArabicG2PTest, RejectsForeignText) {
+  EXPECT_FALSE(arabic_->ToPhonemes("abc").ok());
+}
+
+TEST_F(ArabicG2PTest, AlQaedaMatchesAcrossScripts) {
+  // The paper's opening example: "it is not possible to automatically
+  // match the English string Al-Qaeda and its equivalent ... in
+  // Arabic". With LexEQUAL it is: القاعدة ~ Al-Qaeda.
+  match::LexEqualMatcher matcher(
+      {.threshold = 0.35, .intra_cluster_cost = 0.25});
+  text::TaggedString english("Al-Qaeda", text::Language::kEnglish);
+  text::TaggedString arabic(
+      EncodeUtf8({0x0627, 0x0644, 0x0642, 0x0627, 0x0639, 0x062F,
+                  0x0629}),
+      text::Language::kArabic);
+  EXPECT_EQ(matcher.Match(english, arabic), match::MatchOutcome::kTrue);
+  // And a control that must not match.
+  text::TaggedString control("Hydrogen", text::Language::kEnglish);
+  EXPECT_EQ(matcher.Match(control, arabic), match::MatchOutcome::kFalse);
+}
+
+class KanaG2PTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kana_ = KanaG2P::Create().value().release();
+  }
+  static std::string Ipa(const std::vector<uint32_t>& cps) {
+    Result<phonetic::PhonemeString> ps =
+        kana_->ToPhonemes(EncodeUtf8(cps));
+    EXPECT_TRUE(ps.ok()) << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static KanaG2P* kana_;
+};
+
+KanaG2P* KanaG2PTest::kana_ = nullptr;
+
+TEST_F(KanaG2PTest, HiraganaSyllables) {
+  // さくら sakura.
+  EXPECT_EQ(Ipa({0x3055, 0x304F, 0x3089}), "sakuɾa");
+  // とうきょう Tokyo: long vowels fold.
+  EXPECT_EQ(Ipa({0x3068, 0x3046, 0x304D, 0x3087, 0x3046}), "toukjou");
+}
+
+TEST_F(KanaG2PTest, KatakanaNormalizes) {
+  // テライ Terai (the Fig. 1 author's reading, in katakana).
+  EXPECT_EQ(Ipa({0x30C6, 0x30E9, 0x30A4}), "teɾai");
+  // カタカナ == かたかな.
+  EXPECT_EQ(Ipa({0x30AB, 0x30BF, 0x30AB, 0x30CA}),
+            Ipa({0x304B, 0x305F, 0x304B, 0x306A}));
+}
+
+TEST_F(KanaG2PTest, ContextualSigns) {
+  // ん moraic nasal: けん -> ken.
+  EXPECT_EQ(Ipa({0x3051, 0x3093}), "ken");
+  // っ sokuon folds (length is non-phonemic here): きって -> kite.
+  EXPECT_EQ(Ipa({0x304D, 0x3063, 0x3066}), "kite");
+  // ー long-vowel mark folds: ラーメン -> ɾamen.
+  EXPECT_EQ(Ipa({0x30E9, 0x30FC, 0x30E1, 0x30F3}), "ɾamen");
+}
+
+TEST_F(KanaG2PTest, YoonDigraphs) {
+  // きゃ -> kja, しゅ -> ʃu.
+  EXPECT_EQ(Ipa({0x304D, 0x3083}), "kja");
+  EXPECT_EQ(Ipa({0x3057, 0x3085}), "ʃu");
+}
+
+TEST_F(KanaG2PTest, KanjiIsRejected) {
+  // 寺井 (the Fig. 1 Japanese author) has no reading without a
+  // dictionary; the row becomes unmatchable, as in the paper.
+  EXPECT_TRUE(kana_->ToPhonemes("\xE5\xAF\xBA\xE4\xBA\x95")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(KanaG2PTest, LoanwordMatchesKatakana) {
+  // カメラ (kamera) ~ "Camera" across scripts.
+  match::LexEqualMatcher matcher(
+      {.threshold = 0.35, .intra_cluster_cost = 0.25});
+  text::TaggedString english("Camera", text::Language::kEnglish);
+  text::TaggedString katakana(EncodeUtf8({0x30AB, 0x30E1, 0x30E9}),
+                              text::Language::kJapanese);
+  EXPECT_EQ(matcher.Match(english, katakana),
+            match::MatchOutcome::kTrue);
+  EXPECT_EQ(matcher.Match(
+                text::TaggedString("Hydrogen", text::Language::kEnglish),
+                katakana),
+            match::MatchOutcome::kFalse);
+  // Epenthetic vowels (スミス "Sumisu" for Smith) need much looser
+  // thresholds — the hard case for Japanese, worth documenting.
+  match::LexEqualMatcher loose(
+      {.threshold = 0.85, .intra_cluster_cost = 0.25});
+  text::TaggedString smith("Smith", text::Language::kEnglish);
+  text::TaggedString sumisu(EncodeUtf8({0x30B9, 0x30DF, 0x30B9}),
+                            text::Language::kJapanese);
+  EXPECT_EQ(loose.Match(smith, sumisu), match::MatchOutcome::kTrue);
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

@@ -1,0 +1,120 @@
+#include "index/bktree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "dataset/lexicon.h"
+
+namespace lexequal::index {
+namespace {
+
+using match::ClusteredCost;
+using match::EditDistance;
+using phonetic::ClusterTable;
+using phonetic::kPhonemeCount;
+using phonetic::Phoneme;
+using phonetic::PhonemeString;
+
+PhonemeString RandomString(Random* rng, size_t max_len) {
+  size_t len = 1 + rng->Uniform(max_len);
+  std::vector<Phoneme> ph;
+  for (size_t i = 0; i < len; ++i) {
+    ph.push_back(static_cast<Phoneme>(rng->Uniform(kPhonemeCount)));
+  }
+  return PhonemeString(std::move(ph));
+}
+
+TEST(BkTreeTest, EmptyTree) {
+  ClusteredCost cost(ClusterTable::Default(), 0.25);
+  BkTree tree(&cost);
+  EXPECT_EQ(tree.size(), 0u);
+  PhonemeString q({Phoneme::kN});
+  EXPECT_TRUE(tree.Search(q, 5.0).empty());
+}
+
+TEST(BkTreeTest, ExactAndNearLookups) {
+  ClusteredCost cost(ClusterTable::Default(), 0.25);
+  BkTree tree(&cost);
+  PhonemeString neru({Phoneme::kN, Phoneme::kE, Phoneme::kR, Phoneme::kU});
+  PhonemeString nehru({Phoneme::kN, Phoneme::kE, Phoneme::kH,
+                       Phoneme::kR, Phoneme::kU});
+  PhonemeString smith({Phoneme::kS, Phoneme::kM, Phoneme::kIh,
+                       Phoneme::kThF});
+  tree.Insert(neru, 1);
+  tree.Insert(nehru, 2);
+  tree.Insert(smith, 3);
+
+  std::vector<uint64_t> exact = tree.Search(neru, 0.0);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0], 1u);
+
+  // h insertion costs 0.5 under the weak discount.
+  std::vector<uint64_t> near = tree.Search(neru, 0.5);
+  std::sort(near.begin(), near.end());
+  EXPECT_EQ(near, (std::vector<uint64_t>{1, 2}));
+
+  EXPECT_TRUE(tree.Search(smith, 0.0).size() == 1);
+}
+
+// The core property: Search(q, r) returns exactly the elements a
+// linear scan would.
+TEST(BkTreeTest, AgreesWithLinearScanProperty) {
+  Random rng(77);
+  ClusteredCost cost(ClusterTable::Default(), 0.25);
+  BkTree tree(&cost);
+  std::vector<PhonemeString> all;
+  for (uint64_t i = 0; i < 400; ++i) {
+    PhonemeString s = RandomString(&rng, 10);
+    tree.Insert(s, i);
+    all.push_back(std::move(s));
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    PhonemeString q = RandomString(&rng, 10);
+    const double radius = rng.NextDouble() * 3.0;
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < all.size(); ++i) {
+      if (EditDistance(q, all[i], cost) <= radius) expected.insert(i);
+    }
+    std::vector<uint64_t> got = tree.Search(q, radius);
+    std::set<uint64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, expected) << "radius " << radius;
+  }
+}
+
+TEST(BkTreeTest, SearchPrunesDistanceComputations) {
+  // On real lexicon data, a small-radius search must compute far
+  // fewer distances than the element count.
+  ClusteredCost cost(ClusterTable::Default(), 0.25);
+  BkTree tree(&cost);
+  Result<dataset::Lexicon> lex = dataset::Lexicon::BuildTrilingual();
+  ASSERT_TRUE(lex.ok());
+  uint64_t id = 0;
+  for (const dataset::LexiconEntry& e : lex->entries()) {
+    tree.Insert(e.phonemes, id++);
+  }
+  ASSERT_EQ(tree.size(), lex->entries().size());
+  const PhonemeString& probe = lex->entries()[42].phonemes;
+  std::vector<uint64_t> hits = tree.Search(probe, 1.0);
+  EXPECT_GE(hits.size(), 1u);  // finds at least itself
+  EXPECT_LT(tree.last_search_distance_count(),
+            lex->entries().size() / 2)
+      << "BK-tree pruned less than half the tree";
+}
+
+TEST(BkTreeTest, DuplicateElementsAllReturned) {
+  ClusteredCost cost(ClusterTable::Default(), 0.5);
+  BkTree tree(&cost);
+  PhonemeString s({Phoneme::kM, Phoneme::kA});
+  tree.Insert(s, 7);
+  tree.Insert(s, 8);
+  tree.Insert(s, 9);
+  std::vector<uint64_t> got = tree.Search(s, 0.0);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<uint64_t>{7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace lexequal::index

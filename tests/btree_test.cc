@@ -1,0 +1,196 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "common/random.h"
+
+namespace lexequal::index {
+namespace {
+
+using storage::BufferPool;
+using storage::DiskManager;
+using storage::RID;
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_btree_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto disk = DiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    disk_ = std::move(disk).value();
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 64);
+  }
+  void TearDown() override {
+    pool_.reset();
+    disk_.reset();
+    std::filesystem::remove(path_);
+  }
+  std::filesystem::path path_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+RID MakeRid(uint32_t i) { return RID{i, static_cast<uint16_t>(i % 7)}; }
+
+TEST_F(BTreeTest, EmptyTree) {
+  Result<BTree> tree = BTree::Create(pool_.get());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->EntryCount().value(), 0u);
+  EXPECT_EQ(tree->Height().value(), 1);
+  EXPECT_TRUE(tree->ScanEqual(42).value().empty());
+}
+
+TEST_F(BTreeTest, InsertAndPointLookup) {
+  Result<BTree> tree = BTree::Create(pool_.get());
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(10, MakeRid(1)).ok());
+  ASSERT_TRUE(tree->Insert(20, MakeRid(2)).ok());
+  ASSERT_TRUE(tree->Insert(15, MakeRid(3)).ok());
+
+  Result<std::vector<RID>> hit = tree->ScanEqual(15);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0], MakeRid(3));
+  EXPECT_TRUE(tree->ScanEqual(17).value().empty());
+}
+
+TEST_F(BTreeTest, DuplicateKeysAllReturned) {
+  Result<BTree> tree = BTree::Create(pool_.get());
+  ASSERT_TRUE(tree.ok());
+  for (uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree->Insert(7, MakeRid(i)).ok());
+  }
+  ASSERT_TRUE(tree->Insert(8, MakeRid(100)).ok());
+  Result<std::vector<RID>> hits = tree->ScanEqual(7);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 50u);
+  EXPECT_TRUE(std::is_sorted(hits->begin(), hits->end()));
+}
+
+TEST_F(BTreeTest, LargeInsertTriggersSplitsAndStaysSorted) {
+  Result<BTree> tree = BTree::Create(pool_.get());
+  ASSERT_TRUE(tree.ok());
+  Random rng(42);
+  std::multimap<uint64_t, RID> reference;
+  for (uint32_t i = 0; i < 20000; ++i) {
+    uint64_t key = rng.Uniform(5000);
+    RID rid = MakeRid(i);
+    ASSERT_TRUE(tree->Insert(key, rid).ok());
+    reference.emplace(key, rid);
+  }
+  EXPECT_EQ(tree->EntryCount().value(), 20000u);
+  EXPECT_GT(tree->Height().value(), 1);
+
+  // Every key's postings match the reference.
+  for (uint64_t key : {0ull, 17ull, 4999ull, 2500ull}) {
+    auto [lo, hi] = reference.equal_range(key);
+    std::vector<RID> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::sort(expected.begin(), expected.end());
+    Result<std::vector<RID>> got = tree->ScanEqual(key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, expected) << "key " << key;
+  }
+
+  // Full range scan returns everything in key order.
+  auto all = tree->ScanRange(0, UINT64_MAX);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 20000u);
+  EXPECT_TRUE(std::is_sorted(
+      all->begin(), all->end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST_F(BTreeTest, RangeScanBoundsInclusive) {
+  Result<BTree> tree = BTree::Create(pool_.get());
+  ASSERT_TRUE(tree.ok());
+  for (uint32_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree->Insert(k, MakeRid(k)).ok());
+  }
+  auto r = tree->ScanRange(10, 20);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 11u);
+  EXPECT_EQ(r->front().first, 10u);
+  EXPECT_EQ(r->back().first, 20u);
+}
+
+TEST_F(BTreeTest, DeleteRemovesExactEntry) {
+  Result<BTree> tree = BTree::Create(pool_.get());
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(5, MakeRid(1)).ok());
+  ASSERT_TRUE(tree->Insert(5, MakeRid(2)).ok());
+  ASSERT_TRUE(tree->Delete(5, MakeRid(1)).ok());
+  Result<std::vector<RID>> hits = tree->ScanEqual(5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], MakeRid(2));
+  EXPECT_TRUE(tree->Delete(5, MakeRid(1)).IsNotFound());
+  EXPECT_TRUE(tree->Delete(99, MakeRid(0)).IsNotFound());
+}
+
+TEST_F(BTreeTest, PersistsAcrossReopen) {
+  storage::PageId root;
+  {
+    Result<BTree> tree = BTree::Create(pool_.get());
+    ASSERT_TRUE(tree.ok());
+    for (uint32_t i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(tree->Insert(i * 3, MakeRid(i)).ok());
+    }
+    root = tree->root_page_id();
+    ASSERT_TRUE(pool_->FlushAll().ok());
+  }
+  // Fresh pool over the same file.
+  BufferPool pool2(disk_.get(), 16);
+  BTree tree = BTree::Open(&pool2, root);
+  EXPECT_EQ(tree.EntryCount().value(), 5000u);
+  Result<std::vector<RID>> hit = tree.ScanEqual(300);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0], MakeRid(100));
+}
+
+TEST_F(BTreeTest, SequentialAndReverseInsertOrders) {
+  for (bool reverse : {false, true}) {
+    auto disk = DiskManager::Open(path_.string() +
+                                  (reverse ? ".rev" : ".fwd"));
+    ASSERT_TRUE(disk.ok());
+    BufferPool pool(disk->get(), 32);
+    Result<BTree> tree = BTree::Create(&pool);
+    ASSERT_TRUE(tree.ok());
+    for (uint32_t i = 0; i < 3000; ++i) {
+      uint64_t key = reverse ? 3000 - i : i;
+      ASSERT_TRUE(tree->Insert(key, MakeRid(i)).ok());
+    }
+    EXPECT_EQ(tree->EntryCount().value(), 3000u);
+    auto all = tree->ScanRange(0, UINT64_MAX);
+    ASSERT_TRUE(all.ok());
+    EXPECT_TRUE(std::is_sorted(
+        all->begin(), all->end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; }));
+    std::filesystem::remove(path_.string() + (reverse ? ".rev" : ".fwd"));
+  }
+}
+
+TEST_F(BTreeTest, WorksWithTinyBufferPool) {
+  // The tree must function when the pool is much smaller than the
+  // tree (true on-disk behaviour, as in the paper's experiments).
+  BufferPool tiny(disk_.get(), 8);
+  Result<BTree> tree = BTree::Create(&tiny);
+  ASSERT_TRUE(tree.ok());
+  for (uint32_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(tree->Insert(i % 997, MakeRid(i)).ok()) << i;
+  }
+  EXPECT_EQ(tree->EntryCount().value(), 10000u);
+  EXPECT_GT(tiny.stats().evictions, 0u);
+  EXPECT_EQ(tree->ScanEqual(0).value().size(), 11u);  // 0,997,...,9970
+}
+
+}  // namespace
+}  // namespace lexequal::index

@@ -1,0 +1,84 @@
+#include "phonetic/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal::phonetic {
+namespace {
+
+using P = Phoneme;
+
+TEST(ClusterTest, DefaultTableCoversAllPhonemesWithinLimit) {
+  const ClusterTable& t = ClusterTable::Default();
+  EXPECT_LE(t.cluster_count(), kMaxClusters);
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    EXPECT_LT(t.cluster_of(static_cast<Phoneme>(i)), kMaxClusters);
+  }
+}
+
+TEST(ClusterTest, LikePhonemesShareClusters) {
+  const ClusterTable& t = ClusterTable::Default();
+  // Aspiration is intra-cluster (Hindi ph vs English p).
+  EXPECT_TRUE(t.SameCluster(P::kP, P::kPh));
+  // Dental/retroflex t variants cluster (English t vs Indic ʈ).
+  EXPECT_TRUE(t.SameCluster(P::kT, P::kTt));
+  EXPECT_TRUE(t.SameCluster(P::kD, P::kDd));
+  // Voicing is intra-cluster for stops (Tamil script ambiguity).
+  EXPECT_TRUE(t.SameCluster(P::kK, P::kG));
+  // Vowel reductions: a/ə/æ cluster.
+  EXPECT_TRUE(t.SameCluster(P::kA, P::kSchwa));
+  EXPECT_TRUE(t.SameCluster(P::kA, P::kAe));
+  // Front vowels together.
+  EXPECT_TRUE(t.SameCluster(P::kI, P::kIh));
+  EXPECT_TRUE(t.SameCluster(P::kE, P::kEh));
+  // Rhotics together.
+  EXPECT_TRUE(t.SameCluster(P::kR, P::kRr));
+}
+
+TEST(ClusterTest, UnlikePhonemesSeparate) {
+  const ClusterTable& t = ClusterTable::Default();
+  EXPECT_FALSE(t.SameCluster(P::kP, P::kK));   // place differs
+  EXPECT_FALSE(t.SameCluster(P::kM, P::kN));   // m is its own cluster
+  EXPECT_FALSE(t.SameCluster(P::kL, P::kR));   // lateral vs rhotic
+  EXPECT_FALSE(t.SameCluster(P::kA, P::kI));   // open vs front vowel
+  EXPECT_FALSE(t.SameCluster(P::kS, P::kSh));  // s vs ʃ region
+  EXPECT_FALSE(t.SameCluster(P::kF, P::kP));   // fricative vs stop
+}
+
+TEST(ClusterTest, CreateRejectsOverflowingIds) {
+  std::array<ClusterId, kPhonemeCount> a{};
+  a[0] = kMaxClusters;  // one past the maximum
+  EXPECT_TRUE(ClusterTable::Create(a).status().IsInvalidArgument());
+}
+
+TEST(ClusterTest, FromGroupsAssignsSingletons) {
+  // Two explicit groups; everything else becomes singleton clusters —
+  // which overflows unless the groups cover enough phonemes, so cover
+  // most of the inventory with two giant groups.
+  std::vector<std::vector<Phoneme>> groups(2);
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    Phoneme p = static_cast<Phoneme>(i);
+    if (i >= kPhonemeCount - 3) continue;  // leave 3 unassigned
+    groups[IsVowel(p) ? 0 : 1].push_back(p);
+  }
+  Result<ClusterTable> t = ClusterTable::FromGroups(groups);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().cluster_count(), 5);  // 2 groups + 3 singletons
+  // The three singletons do not share clusters.
+  Phoneme last = static_cast<Phoneme>(kPhonemeCount - 1);
+  Phoneme prev = static_cast<Phoneme>(kPhonemeCount - 2);
+  EXPECT_FALSE(t.value().SameCluster(last, prev));
+}
+
+TEST(ClusterTest, FromGroupsRejectsDuplicates) {
+  std::vector<std::vector<Phoneme>> groups = {{P::kA, P::kA}};
+  EXPECT_TRUE(ClusterTable::FromGroups(groups).status().IsInvalidArgument());
+}
+
+TEST(ClusterTest, FromGroupsRejectsTooManySingletons) {
+  // No groups: every phoneme would need its own cluster.
+  EXPECT_TRUE(
+      ClusterTable::FromGroups({}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lexequal::phonetic

@@ -1,0 +1,109 @@
+#include "match/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "match/edit_distance.h"
+
+namespace lexequal::match {
+namespace {
+
+using phonetic::ClusterTable;
+using phonetic::kPhonemeCount;
+using phonetic::Phoneme;
+using P = Phoneme;
+
+TEST(LevenshteinCostTest, UnitCosts) {
+  LevenshteinCost cost;
+  EXPECT_EQ(cost.InsCost(P::kA), 1.0);
+  EXPECT_EQ(cost.DelCost(P::kH), 1.0);
+  EXPECT_EQ(cost.SubCost(P::kA, P::kA), 0.0);
+  EXPECT_EQ(cost.SubCost(P::kA, P::kE), 1.0);
+  EXPECT_EQ(cost.MinEditCost(), 1.0);
+}
+
+TEST(ClusteredCostTest, ParameterClamping) {
+  ClusteredCost low(ClusterTable::Default(), -0.5);
+  EXPECT_EQ(low.intra_cluster_cost(), 0.0);
+  ClusteredCost high(ClusterTable::Default(), 2.0);
+  EXPECT_EQ(high.intra_cluster_cost(), 1.0);
+}
+
+TEST(ClusteredCostTest, WeakDiscountToggles) {
+  ClusteredCost with(ClusterTable::Default(), 0.5, true);
+  ClusteredCost without(ClusterTable::Default(), 0.5, false);
+  EXPECT_EQ(with.InsCost(P::kH), ClusteredCost::kWeakEditCost);
+  EXPECT_EQ(with.DelCost(P::kSchwa), ClusteredCost::kWeakEditCost);
+  EXPECT_EQ(with.InsCost(P::kK), 1.0);
+  EXPECT_EQ(without.InsCost(P::kH), 1.0);
+  EXPECT_EQ(with.MinEditCost(), 0.5);
+  EXPECT_EQ(without.MinEditCost(), 1.0);
+}
+
+TEST(FeatureCostTest, IdentityIsFree) {
+  FeatureCost cost;
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    Phoneme p = static_cast<Phoneme>(i);
+    EXPECT_EQ(cost.SubCost(p, p), 0.0);
+  }
+}
+
+TEST(FeatureCostTest, SymmetricSubstitutions) {
+  FeatureCost cost;
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    for (int j = 0; j < kPhonemeCount; ++j) {
+      Phoneme a = static_cast<Phoneme>(i);
+      Phoneme b = static_cast<Phoneme>(j);
+      EXPECT_DOUBLE_EQ(cost.SubCost(a, b), cost.SubCost(b, a));
+    }
+  }
+}
+
+TEST(FeatureCostTest, GradedByFeatureDistance) {
+  FeatureCost cost;
+  // Voicing-only difference is cheaper than a place change, which is
+  // cheaper than a manner change, which is cheaper than vowel vs
+  // consonant.
+  const double voicing = cost.SubCost(P::kP, P::kB);
+  const double place = cost.SubCost(P::kP, P::kT);
+  const double manner = cost.SubCost(P::kP, P::kF);
+  const double vowel_cons = cost.SubCost(P::kP, P::kA);
+  EXPECT_LT(voicing, place);
+  EXPECT_LT(place, manner);
+  EXPECT_LE(manner, vowel_cons);
+  EXPECT_EQ(vowel_cons, 1.0);
+  // Aspiration is the cheapest distinction.
+  EXPECT_LT(cost.SubCost(P::kP, P::kPh), voicing + 1e-12);
+}
+
+TEST(FeatureCostTest, DistinctPhonemesNeverFree) {
+  FeatureCost cost;
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    for (int j = 0; j < kPhonemeCount; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(cost.SubCost(static_cast<Phoneme>(i),
+                             static_cast<Phoneme>(j)),
+                0.10);
+    }
+  }
+}
+
+TEST(FeatureCostTest, VowelFeatureGrading) {
+  FeatureCost cost;
+  // i vs ɪ: same height/backness/rounding -> floor cost.
+  EXPECT_DOUBLE_EQ(cost.SubCost(P::kI, P::kIh), 0.10);
+  // i vs u: backness + rounding differ.
+  EXPECT_GT(cost.SubCost(P::kI, P::kU), cost.SubCost(P::kI, P::kY));
+}
+
+TEST(FeatureCostTest, WorksWithEditDistance) {
+  FeatureCost cost;
+  phonetic::PhonemeString a({P::kN, P::kEh, P::kH, P::kR, P::kU});
+  phonetic::PhonemeString b({P::kN, P::kE, P::kH, P::kR, P::kUh});
+  // Two near-vowel substitutions: small but positive distance.
+  const double d = EditDistance(a, b, cost);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+}  // namespace
+}  // namespace lexequal::match

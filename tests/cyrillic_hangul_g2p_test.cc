@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "g2p/cyrillic_g2p.h"
+#include "g2p/hangul_g2p.h"
+#include "match/lexequal.h"
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+namespace {
+
+using text::EncodeUtf8;
+
+class CyrillicG2PTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cyr_ = CyrillicG2P::Create().value().release();
+  }
+  static std::string Ipa(const std::vector<uint32_t>& cps) {
+    Result<phonetic::PhonemeString> ps = cyr_->ToPhonemes(EncodeUtf8(cps));
+    EXPECT_TRUE(ps.ok()) << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static CyrillicG2P* cyr_;
+};
+
+CyrillicG2P* CyrillicG2PTest::cyr_ = nullptr;
+
+TEST_F(CyrillicG2PTest, BasicNames) {
+  // Иван -> ivan.
+  EXPECT_EQ(Ipa({0x0418, 0x0432, 0x0430, 0x043D}), "ivan");
+  // Борис -> boris.
+  EXPECT_EQ(Ipa({0x0411, 0x043E, 0x0440, 0x0438, 0x0441}), "boris");
+}
+
+TEST_F(CyrillicG2PTest, IotatedVowels) {
+  // Word-initial я -> ja: Яна = jana.
+  EXPECT_EQ(Ipa({0x042F, 0x043D, 0x0430}), "jana");
+  // After a consonant no glide: Нева = neva.
+  EXPECT_EQ(Ipa({0x041D, 0x0435, 0x0432, 0x0430}), "neva");
+  // After a vowel the glide returns: Мария = marija.
+  EXPECT_EQ(Ipa({0x041C, 0x0430, 0x0440, 0x0438, 0x044F}), "marija");
+}
+
+TEST_F(CyrillicG2PTest, SignsAreSilent) {
+  // Гоголь -> gogol (ь silent).
+  EXPECT_EQ(Ipa({0x0413, 0x043E, 0x0433, 0x043E, 0x043B, 0x044C}),
+            "ɡoɡol");
+}
+
+TEST_F(CyrillicG2PTest, CompoundLetters) {
+  // ц -> ts, щ -> ʃtʃ, ж -> ʒ, х -> x.
+  EXPECT_EQ(Ipa({0x0426, 0x0430, 0x0440}), "tsar");
+  EXPECT_EQ(Ipa({0x0416, 0x0443, 0x043A}), "ʒuk");
+}
+
+TEST_F(CyrillicG2PTest, CrossScriptMatch) {
+  // Иван ~ "Ivan" across scripts.
+  match::LexEqualMatcher matcher(
+      {.threshold = 0.25, .intra_cluster_cost = 0.25});
+  text::TaggedString latin("Ivan", text::Language::kEnglish);
+  text::TaggedString cyrillic(EncodeUtf8({0x0418, 0x0432, 0x0430, 0x043D}),
+                              text::Language::kRussian);
+  EXPECT_EQ(matcher.Match(latin, cyrillic), match::MatchOutcome::kTrue);
+}
+
+TEST_F(CyrillicG2PTest, RejectsForeignText) {
+  EXPECT_FALSE(cyr_->ToPhonemes("abc").ok());
+}
+
+class HangulG2PTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    kor_ = HangulG2P::Create().value().release();
+  }
+  static std::string Ipa(const std::vector<uint32_t>& cps) {
+    Result<phonetic::PhonemeString> ps = kor_->ToPhonemes(EncodeUtf8(cps));
+    EXPECT_TRUE(ps.ok()) << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static HangulG2P* kor_;
+};
+
+HangulG2P* HangulG2PTest::kor_ = nullptr;
+
+TEST_F(HangulG2PTest, SyllableDecomposition) {
+  // 김 (gim): ㄱ + ㅣ + ㅁ.
+  EXPECT_EQ(Ipa({0xAE40}), "ɡim");
+  // 박 (bak): ㅂ + ㅏ + ㄱ-final.
+  EXPECT_EQ(Ipa({0xBC15}), "bak");
+  // 서울 (seoul): ㅅㅓ + ㅇㅜㄹ.
+  EXPECT_EQ(Ipa({0xC11C, 0xC6B8}), "sʌul");
+}
+
+TEST_F(HangulG2PTest, SilentInitialAndNgFinal) {
+  // 아 = bare vowel a; 강 (gang) has the ŋ final.
+  EXPECT_EQ(Ipa({0xC544}), "a");
+  EXPECT_EQ(Ipa({0xAC15}), "ɡaŋ");
+}
+
+TEST_F(HangulG2PTest, AspiratedSeries) {
+  // 타 = tʰa, 파 = pʰa, 차 = tʃʰa.
+  EXPECT_EQ(Ipa({0xD0C0}), "tʰa");
+  EXPECT_EQ(Ipa({0xD30C}), "pʰa");
+  EXPECT_EQ(Ipa({0xCC28}), "tʃʰa");
+}
+
+TEST_F(HangulG2PTest, DiphthongMedials) {
+  // 원 (won): w + ʌ + n.
+  EXPECT_EQ(Ipa({0xC6D0}), "wʌn");
+  // 여 (yeo): j + ʌ.
+  EXPECT_EQ(Ipa({0xC5EC}), "jʌ");
+}
+
+TEST_F(HangulG2PTest, CrossScriptMatch) {
+  // 김 ~ "Kim": lenis g vs k is intra-cluster.
+  match::LexEqualMatcher matcher(
+      {.threshold = 0.25, .intra_cluster_cost = 0.25});
+  text::TaggedString latin("Kim", text::Language::kEnglish);
+  text::TaggedString hangul(EncodeUtf8({0xAE40}),
+                            text::Language::kKorean);
+  EXPECT_EQ(matcher.Match(latin, hangul), match::MatchOutcome::kTrue);
+}
+
+TEST_F(HangulG2PTest, RejectsNonSyllables) {
+  EXPECT_FALSE(kor_->ToPhonemes("abc").ok());
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

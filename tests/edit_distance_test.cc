@@ -1,0 +1,146 @@
+#include "match/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "match/cost_model.h"
+
+namespace lexequal::match {
+namespace {
+
+using phonetic::ClusterTable;
+using phonetic::kPhonemeCount;
+using phonetic::Phoneme;
+using phonetic::PhonemeString;
+using P = Phoneme;
+
+PhonemeString RandomString(Random* rng, size_t max_len) {
+  size_t len = rng->Uniform(max_len + 1);
+  std::vector<Phoneme> ph;
+  ph.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    ph.push_back(static_cast<Phoneme>(rng->Uniform(kPhonemeCount)));
+  }
+  return PhonemeString(std::move(ph));
+}
+
+TEST(EditDistanceTest, IdenticalStringsAreZero) {
+  LevenshteinCost cost;
+  PhonemeString s({P::kN, P::kE, P::kR, P::kU});
+  EXPECT_EQ(EditDistance(s, s, cost), 0.0);
+}
+
+TEST(EditDistanceTest, EmptyVersusNonEmpty) {
+  LevenshteinCost cost;
+  PhonemeString empty;
+  PhonemeString s({P::kN, P::kE, P::kR});
+  EXPECT_EQ(EditDistance(empty, s, cost), 3.0);
+  EXPECT_EQ(EditDistance(s, empty, cost), 3.0);
+  EXPECT_EQ(EditDistance(empty, empty, cost), 0.0);
+}
+
+TEST(EditDistanceTest, SingleEdits) {
+  LevenshteinCost cost;
+  PhonemeString neru({P::kN, P::kE, P::kR, P::kU});
+  PhonemeString nehru({P::kN, P::kE, P::kH, P::kR, P::kU});
+  PhonemeString nelu({P::kN, P::kE, P::kL, P::kU});
+  EXPECT_EQ(EditDistance(neru, nehru, cost), 1.0);  // insertion
+  EXPECT_EQ(EditDistance(neru, nelu, cost), 1.0);   // substitution
+}
+
+TEST(EditDistanceTest, ClusteredCostChargesIntraClusterFraction) {
+  ClusteredCost half(ClusterTable::Default(), 0.5);
+  // ɛ and e share the front-vowel cluster.
+  PhonemeString a({P::kN, P::kEh, P::kR, P::kU});
+  PhonemeString b({P::kN, P::kE, P::kR, P::kU});
+  EXPECT_DOUBLE_EQ(EditDistance(a, b, half), 0.5);
+  // Cost 1 degenerates to Levenshtein.
+  ClusteredCost unit(ClusterTable::Default(), 1.0);
+  EXPECT_DOUBLE_EQ(EditDistance(a, b, unit), 1.0);
+  // Cost 0 simulates Soundex: like phonemes are free.
+  ClusteredCost zero(ClusterTable::Default(), 0.0);
+  EXPECT_DOUBLE_EQ(EditDistance(a, b, zero), 0.0);
+}
+
+TEST(EditDistanceTest, ClusteredCostCrossClusterIsUnit) {
+  ClusteredCost half(ClusterTable::Default(), 0.5);
+  PhonemeString a({P::kN, P::kE, P::kR, P::kU});
+  PhonemeString b({P::kN, P::kE, P::kL, P::kU});  // r vs l: different
+  EXPECT_DOUBLE_EQ(EditDistance(a, b, half), 1.0);
+}
+
+TEST(EditDistanceTest, SymmetryProperty) {
+  Random rng(2024);
+  LevenshteinCost cost;
+  for (int trial = 0; trial < 200; ++trial) {
+    PhonemeString a = RandomString(&rng, 12);
+    PhonemeString b = RandomString(&rng, 12);
+    EXPECT_DOUBLE_EQ(EditDistance(a, b, cost), EditDistance(b, a, cost));
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequalityProperty) {
+  Random rng(7);
+  ClusteredCost cost(ClusterTable::Default(), 0.5);
+  for (int trial = 0; trial < 100; ++trial) {
+    PhonemeString a = RandomString(&rng, 10);
+    PhonemeString b = RandomString(&rng, 10);
+    PhonemeString c = RandomString(&rng, 10);
+    const double ab = EditDistance(a, b, cost);
+    const double bc = EditDistance(b, c, cost);
+    const double ac = EditDistance(a, c, cost);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+TEST(EditDistanceTest, BoundedAgreesWithFullWhenWithinBound) {
+  Random rng(11);
+  ClusteredCost cost(ClusterTable::Default(), 0.5);
+  int checked = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    PhonemeString a = RandomString(&rng, 10);
+    PhonemeString b = RandomString(&rng, 10);
+    const double full = EditDistance(a, b, cost);
+    const double bound = 3.0;
+    const double bounded = BoundedEditDistance(a, b, cost, bound);
+    if (full <= bound) {
+      EXPECT_DOUBLE_EQ(bounded, full) << a.ToIpa() << " vs " << b.ToIpa();
+      ++checked;
+    } else {
+      EXPECT_GT(bounded, bound);
+    }
+  }
+  EXPECT_GT(checked, 20);  // the sweep must exercise the agree branch
+}
+
+TEST(EditDistanceTest, BoundedIsConsistentAcrossBounds) {
+  // Raising the bound never changes a within-bound answer.
+  Random rng(13);
+  LevenshteinCost cost;
+  for (int trial = 0; trial < 200; ++trial) {
+    PhonemeString a = RandomString(&rng, 8);
+    PhonemeString b = RandomString(&rng, 8);
+    const double d2 = BoundedEditDistance(a, b, cost, 2.0);
+    const double d5 = BoundedEditDistance(a, b, cost, 5.0);
+    if (d2 <= 2.0) EXPECT_DOUBLE_EQ(d2, d5);
+  }
+}
+
+TEST(EditDistanceTest, BoundedLengthGapShortCircuits) {
+  LevenshteinCost cost;
+  PhonemeString shorty({P::kN});
+  PhonemeString longy(std::vector<Phoneme>(10, P::kN));
+  EXPECT_GT(BoundedEditDistance(shorty, longy, cost, 2.0), 2.0);
+}
+
+TEST(EditDistanceTest, ZeroBoundMeansExactMatchOnly) {
+  LevenshteinCost cost;
+  PhonemeString a({P::kN, P::kE});
+  PhonemeString b({P::kN, P::kE});
+  PhonemeString c({P::kN, P::kA});
+  EXPECT_EQ(BoundedEditDistance(a, b, cost, 0.0), 0.0);
+  EXPECT_GT(BoundedEditDistance(a, c, cost, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace lexequal::match

@@ -1,0 +1,294 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "g2p/render_indic.h"
+#include "text/utf8.h"
+
+namespace lexequal::engine {
+namespace {
+
+using text::Language;
+using text::TaggedString;
+
+// The Books.com catalog of the paper's Figure 1 (the rows relevant to
+// multiscript matching).
+struct BookRow {
+  std::string author;
+  Language lang;
+  std::string title;
+  double price;
+};
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_engine_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Database::Open(path_.string(), 512);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+
+    // Books(author STRING, author_phon derived, title STRING,
+    //       price DOUBLE).
+    Schema schema({
+        {"author", ValueType::kString, std::nullopt},
+        {"author_phon", ValueType::kString, 0},
+        {"title", ValueType::kString, std::nullopt},
+        {"price", ValueType::kDouble, std::nullopt},
+    });
+    ASSERT_TRUE(db_->CreateTable("books", schema).ok());
+
+    // Hindi / Tamil forms of Nehru, as in Figure 1.
+    const std::string nehru_hi =
+        text::EncodeUtf8({0x0928, 0x0947, 0x0939, 0x0930, 0x0941});
+    const std::string neru_ta =
+        text::EncodeUtf8({0x0BA8, 0x0BC7, 0x0BB0, 0x0BC1});
+    const std::vector<BookRow> rows = {
+        {"Nehru", Language::kEnglish, "Discovery of India", 9.95},
+        {nehru_hi, Language::kHindi, "Bharat Ek Khoj", 175},
+        {neru_ta, Language::kTamil, "Asia Jothi", 250},
+        {"Nero", Language::kEnglish, "The Coronation of the Virgin", 99},
+        {"Descartes", Language::kFrench, "Les Meditations", 49},
+        {"Sarri", Language::kGreek, "Paichnidia sto Piano", 15.5},
+        {"Smith", Language::kEnglish, "A Book", 5},
+    };
+    for (const BookRow& r : rows) {
+      Tuple values{Value::String(r.author, r.lang),
+                   Value::String(r.title, Language::kEnglish),
+                   Value::Double(r.price)};
+      Result<storage::RID> rid = db_->Insert("books", values);
+      ASSERT_TRUE(rid.ok()) << r.author << ": " << rid.status();
+    }
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  static LexEqualQueryOptions Options(LexEqualPlan plan) {
+    LexEqualQueryOptions o;
+    o.match.threshold = 0.3;
+    o.match.intra_cluster_cost = 0.25;
+    o.plan = plan;
+    return o;
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, InsertDerivesPhonemicColumn) {
+  Result<TableInfo*> info = db_->GetTable("books");
+  ASSERT_TRUE(info.ok());
+  SeqScanExecutor scan(info.value());
+  ASSERT_TRUE(scan.Init().ok());
+  Tuple row;
+  Result<bool> has = scan.Next(&row);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(has.value());
+  // Row 0 is English "Nehru": the phonemic cell holds its IPA.
+  EXPECT_EQ(row[0].AsString().text(), "Nehru");
+  EXPECT_EQ(row[1].AsString().text(), "nɛhru");
+}
+
+TEST_F(DatabaseTest, ExactSelectIsBinaryAcrossScripts) {
+  // SQL:1999 semantics (the paper's Fig. 2 pain point): exact match
+  // finds only the same-script row.
+  QueryStats stats;
+  Result<std::vector<Tuple>> rows = db_->ExactSelect(
+      "books", "author", Value::String("Nehru", Language::kEnglish),
+      &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_EQ(stats.rows_scanned, 7u);
+}
+
+TEST_F(DatabaseTest, LexEqualSelectFindsAllScriptsNaive) {
+  // The Fig. 3 query: Nehru across English/Hindi/Tamil.
+  QueryStats stats;
+  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
+      "books", "author", TaggedString("Nehru", Language::kEnglish),
+      Options(LexEqualPlan::kNaiveUdf), &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 3u) << "expected En+Hi+Ta Nehru rows";
+  EXPECT_EQ(stats.rows_scanned, 7u);
+  EXPECT_EQ(stats.udf_calls, 7u);
+}
+
+TEST_F(DatabaseTest, LexEqualSelectHonorsInLanguages) {
+  LexEqualQueryOptions opts = Options(LexEqualPlan::kNaiveUdf);
+  opts.in_languages = {Language::kHindi};
+  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
+      "books", "author", TaggedString("Nehru", Language::kEnglish), opts);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsString().language(), Language::kHindi);
+}
+
+TEST_F(DatabaseTest, QGramPlanExactUnderLevenshteinCosts) {
+  // With unit costs (intra cost 1, no weak discount) the q-gram
+  // filters are lossless: the plan returns exactly the naive result.
+  ASSERT_TRUE(db_->CreateQGramIndex("books", "author_phon", 2).ok());
+  LexEqualQueryOptions lev;
+  lev.match.threshold = 0.3;
+  lev.match.intra_cluster_cost = 1.0;
+  lev.match.weak_phoneme_discount = false;
+  QueryStats naive_stats, qgram_stats;
+  lev.plan = LexEqualPlan::kNaiveUdf;
+  Result<std::vector<Tuple>> naive = db_->LexEqualSelect(
+      "books", "author", TaggedString("Nehru", Language::kEnglish), lev,
+      &naive_stats);
+  lev.plan = LexEqualPlan::kQGramFilter;
+  Result<std::vector<Tuple>> qgram = db_->LexEqualSelect(
+      "books", "author", TaggedString("Nehru", Language::kEnglish), lev,
+      &qgram_stats);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(qgram.ok()) << qgram.status();
+  EXPECT_EQ(naive->size(), qgram->size());
+  // The filters pruned: fewer UDF calls than the naive scan made.
+  EXPECT_LT(qgram_stats.udf_calls, naive_stats.udf_calls);
+}
+
+TEST_F(DatabaseTest, PhoneticIndexPlanFindsClusterEqualRows) {
+  ASSERT_TRUE(db_->CreatePhoneticIndex("books", "author_phon").ok());
+  QueryStats stats;
+  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
+      "books", "author", TaggedString("Nehru", Language::kEnglish),
+      Options(LexEqualPlan::kPhoneticIndex), &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  // The phonetic index may dismiss some true matches (paper §5.3
+  // reports 4-5% false dismissals) but must at least find the exact
+  // same-key English row, and scan far fewer rows than the table.
+  EXPECT_GE(rows->size(), 1u);
+  EXPECT_LE(stats.udf_calls, 3u);
+}
+
+TEST_F(DatabaseTest, PlansReturnSubsetsOfNaive) {
+  ASSERT_TRUE(db_->CreateQGramIndex("books", "author_phon", 2).ok());
+  ASSERT_TRUE(db_->CreatePhoneticIndex("books", "author_phon").ok());
+  for (const char* probe : {"Nehru", "Nero", "Smith", "Sarri"}) {
+    TaggedString q(probe, Language::kEnglish);
+    auto naive = db_->LexEqualSelect("books", "author", q,
+                                     Options(LexEqualPlan::kNaiveUdf));
+    auto qgram = db_->LexEqualSelect("books", "author", q,
+                                     Options(LexEqualPlan::kQGramFilter));
+    auto phon = db_->LexEqualSelect(
+        "books", "author", q, Options(LexEqualPlan::kPhoneticIndex));
+    ASSERT_TRUE(naive.ok() && qgram.ok() && phon.ok());
+    auto contains = [&](const std::vector<Tuple>& rows, const Tuple& t) {
+      for (const Tuple& r : rows) {
+        if (r[0] == t[0] && r[2] == t[2]) return true;
+      }
+      return false;
+    };
+    for (const Tuple& t : *qgram) {
+      EXPECT_TRUE(contains(*naive, t)) << probe;
+    }
+    for (const Tuple& t : *phon) {
+      EXPECT_TRUE(contains(*naive, t)) << probe;
+    }
+  }
+}
+
+TEST_F(DatabaseTest, LexEqualJoinFindsCrossScriptPairs) {
+  // Fig. 5: authors who published in multiple languages.
+  QueryStats stats;
+  Result<std::vector<std::pair<Tuple, Tuple>>> pairs = db_->LexEqualJoin(
+      "books", "author", "books", "author",
+      Options(LexEqualPlan::kNaiveUdf), 0, &stats);
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  // Nehru En/Hi/Ta: 3 ordered cross-language pairs each way = 6.
+  EXPECT_EQ(pairs->size(), 6u);
+}
+
+TEST_F(DatabaseTest, LexEqualJoinWithIndexPlans) {
+  ASSERT_TRUE(db_->CreateQGramIndex("books", "author_phon", 2).ok());
+  ASSERT_TRUE(db_->CreatePhoneticIndex("books", "author_phon").ok());
+  auto naive = db_->LexEqualJoin("books", "author", "books", "author",
+                                 Options(LexEqualPlan::kNaiveUdf));
+  auto qgram = db_->LexEqualJoin("books", "author", "books", "author",
+                                 Options(LexEqualPlan::kQGramFilter));
+  auto phon = db_->LexEqualJoin("books", "author", "books", "author",
+                                Options(LexEqualPlan::kPhoneticIndex));
+  ASSERT_TRUE(naive.ok() && qgram.ok() && phon.ok());
+  // Both accelerated plans return subsets of the naive result (the
+  // clustered cost model makes the q-gram filters lossy too; the
+  // phonetic index trades recall for speed by design — paper §5.3).
+  EXPECT_LE(qgram->size(), naive->size());
+  EXPECT_GE(qgram->size(), 1u);
+  EXPECT_LE(phon->size(), naive->size());
+  EXPECT_GE(phon->size(), 1u);
+}
+
+TEST_F(DatabaseTest, JoinOuterLimitCapsWork) {
+  QueryStats stats;
+  auto pairs =
+      db_->LexEqualJoin("books", "author", "books", "author",
+                        Options(LexEqualPlan::kNaiveUdf), 2, &stats);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(stats.rows_scanned, 2u);
+}
+
+TEST_F(DatabaseTest, UnsupportedLanguageRowsNeverMatch) {
+  // A Japanese row gets an empty phonemic cell and never matches.
+  Tuple values{
+      Value::String("\xE5\xAF\xBA\xE4\xBA\x95", Language::kJapanese),
+      Value::String("Aki no Kaze", Language::kEnglish),
+      Value::Double(7500)};
+  ASSERT_TRUE(db_->Insert("books", values).ok());
+  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
+      "books", "author", TaggedString("Terai", Language::kEnglish),
+      Options(LexEqualPlan::kNaiveUdf));
+  ASSERT_TRUE(rows.ok());
+  for (const Tuple& r : *rows) {
+    EXPECT_NE(r[0].AsString().language(), Language::kJapanese);
+  }
+}
+
+TEST_F(DatabaseTest, QueryInUnresolvableLanguageIsNoResource) {
+  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
+      "books", "author", TaggedString("123", Language::kUnknown),
+      Options(LexEqualPlan::kNaiveUdf));
+  EXPECT_TRUE(rows.status().IsNoResource());
+  // Kanji has a converter (kana) but no reading without a dictionary.
+  Result<std::vector<Tuple>> kanji = db_->LexEqualSelect(
+      "books", "author",
+      TaggedString("\xE5\xAF\xBA\xE4\xBA\x95", Language::kJapanese),
+      Options(LexEqualPlan::kNaiveUdf));
+  EXPECT_TRUE(kanji.status().IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, InsertValidation) {
+  EXPECT_TRUE(db_->Insert("books", {Value::Int64(1)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->Insert("nope", {}).status().IsNotFound());
+  Schema bad({{"p", ValueType::kString, 5}});
+  EXPECT_TRUE(db_->CreateTable("bad", bad).IsInvalidArgument());
+  EXPECT_TRUE(
+      db_->CreateTable("books", Schema()).IsAlreadyExists());
+}
+
+TEST_F(DatabaseTest, UdfRegistryLexEqualCallable) {
+  Result<const UdfFn*> fn = db_->udf_registry()->Lookup("LEXEQUAL");
+  ASSERT_TRUE(fn.ok());
+  // nɛhru vs nehrʊ matches at the knee parameters.
+  std::vector<Value> args{
+      Value::String("nɛhru"), Value::String("nehrʊ"),
+      Value::Double(0.3), Value::Double(0.25)};
+  Result<Value> v = (**fn)(args);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->AsInt64(), 1);
+  // Empty phonemic cells never match.
+  std::vector<Value> empty_args{Value::String(""), Value::String(""),
+                                Value::Double(1.0), Value::Double(0.0)};
+  EXPECT_EQ((**fn)(empty_args)->AsInt64(), 0);
+}
+
+}  // namespace
+}  // namespace lexequal::engine

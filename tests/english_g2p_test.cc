@@ -1,0 +1,93 @@
+#include "g2p/english_g2p.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal::g2p {
+namespace {
+
+class EnglishG2PTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Result<std::unique_ptr<EnglishG2P>> r = EnglishG2P::Create();
+    ASSERT_TRUE(r.ok()) << r.status();
+    converter_ = r.value().release();
+  }
+  static std::string Ipa(std::string_view word) {
+    Result<phonetic::PhonemeString> ps = converter_->ToPhonemes(word);
+    EXPECT_TRUE(ps.ok()) << word << ": " << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static EnglishG2P* converter_;
+};
+
+EnglishG2P* EnglishG2PTest::converter_ = nullptr;
+
+TEST_F(EnglishG2PTest, SimpleNames) {
+  EXPECT_EQ(Ipa("Nehru"), "nɛhru");
+  EXPECT_EQ(Ipa("Rama"), "ramə");
+  EXPECT_EQ(Ipa("Bob"), "bɑb");
+  EXPECT_EQ(Ipa("Lee"), "li");
+}
+
+TEST_F(EnglishG2PTest, SilentLetters) {
+  EXPECT_EQ(Ipa("Knight"), "naɪt");
+  EXPECT_EQ(Ipa("Wright"), "raɪt");
+  EXPECT_EQ(Ipa("Mike"), "maɪk");    // silent final e
+  EXPECT_EQ(Ipa("Singh"), "sɪŋ");    // gh silent after n
+}
+
+TEST_F(EnglishG2PTest, Digraphs) {
+  EXPECT_EQ(Ipa("Sharma"), "ʃɑrmə");
+  EXPECT_EQ(Ipa("Chand"), "tʃand");
+  EXPECT_EQ(Ipa("Philip"), "fɪlɪp");
+  EXPECT_EQ(Ipa("Smith"), "smɪθ");
+  EXPECT_EQ(Ipa("Jack"), "dʒak");
+}
+
+TEST_F(EnglishG2PTest, CContexts) {
+  // c is soft before front vowels, hard otherwise.
+  EXPECT_EQ(Ipa("Cecil")[0], 's');
+  std::string carl = Ipa("Carl");
+  EXPECT_EQ(carl[0], 'k');
+}
+
+TEST_F(EnglishG2PTest, CaseAndAccentsFold) {
+  EXPECT_EQ(Ipa("NEHRU"), Ipa("nehru"));
+  EXPECT_EQ(Ipa("René"), Ipa("Rene"));
+}
+
+TEST_F(EnglishG2PTest, NonLettersSkipped) {
+  EXPECT_EQ(Ipa("O'Brien"), Ipa("OBrien"));
+  EXPECT_EQ(Ipa("Mary-Ann"), Ipa("MaryAnn"));
+}
+
+TEST_F(EnglishG2PTest, Deterministic) {
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Ipa("Jawaharlal"), Ipa("Jawaharlal"));
+  }
+}
+
+TEST_F(EnglishG2PTest, PaperExampleUniversity) {
+  // Figure 9 shows "University" as junəv3rsīti; modulo the stressed
+  // vowel variants our output keeps the shape j-u-n-v-r-s-t.
+  std::string ipa = Ipa("University");
+  EXPECT_EQ(ipa.substr(0, 2), "ju");  // j + u, initial
+  EXPECT_NE(ipa.find("v"), std::string::npos);
+  EXPECT_NE(ipa.find("s"), std::string::npos);
+  EXPECT_NE(ipa.find("t"), std::string::npos);
+}
+
+TEST_F(EnglishG2PTest, EveryLetterHasADefault) {
+  // Pangram-ish garbage must not error: the table is total.
+  EXPECT_NE(Ipa("zyxwvutsrqponmlkjihgfedcba"), "<error>");
+  EXPECT_NE(Ipa("qqq"), "<error>");
+}
+
+TEST_F(EnglishG2PTest, EmptyInput) {
+  Result<phonetic::PhonemeString> ps = converter_->ToPhonemes("");
+  ASSERT_TRUE(ps.ok());
+  EXPECT_TRUE(ps.value().empty());
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

@@ -1,0 +1,125 @@
+#include "engine/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal::engine {
+namespace {
+
+Tuple Row() {
+  return Tuple{Value::Int64(7), Value::String("Nehru"),
+               Value::Double(9.95)};
+}
+
+TEST(ExpressionTest, ColumnRefAndConst) {
+  ColumnRefExpr col(1);
+  Result<Value> v = col.Eval(Row());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString().text(), "Nehru");
+
+  ColumnRefExpr bad(9);
+  EXPECT_TRUE(bad.Eval(Row()).status().IsOutOfRange());
+
+  ConstExpr c(Value::Int64(3));
+  EXPECT_EQ(c.Eval(Row())->AsInt64(), 3);
+}
+
+TEST(ExpressionTest, CompareOps) {
+  auto eq = CompareExpr(CompareOp::kEq,
+                        std::make_unique<ColumnRefExpr>(0),
+                        std::make_unique<ConstExpr>(Value::Int64(7)));
+  EXPECT_EQ(eq.Eval(Row())->AsInt64(), 1);
+  auto ne = CompareExpr(CompareOp::kNe,
+                        std::make_unique<ColumnRefExpr>(0),
+                        std::make_unique<ConstExpr>(Value::Int64(7)));
+  EXPECT_EQ(ne.Eval(Row())->AsInt64(), 0);
+}
+
+TEST(ExpressionTest, TextOnlyComparisonIgnoresLanguageTag) {
+  auto mk = [](CompareOp op) {
+    return CompareExpr(
+        op, std::make_unique<ConstExpr>(
+                Value::String("x", text::Language::kEnglish)),
+        std::make_unique<ConstExpr>(
+            Value::String("x", text::Language::kFrench)));
+  };
+  EXPECT_EQ(mk(CompareOp::kEq).Eval({})->AsInt64(), 0);  // tags differ
+  EXPECT_EQ(mk(CompareOp::kEqTextOnly).Eval({})->AsInt64(), 1);
+  EXPECT_EQ(mk(CompareOp::kNeTextOnly).Eval({})->AsInt64(), 0);
+}
+
+TEST(ExpressionTest, LogicShortCircuits) {
+  // The right side references an invalid column; short-circuiting
+  // must avoid evaluating it.
+  auto false_const = std::make_unique<ConstExpr>(Value::Int64(0));
+  auto boom = std::make_unique<ColumnRefExpr>(99);
+  LogicExpr and_expr(LogicOp::kAnd, std::move(false_const),
+                     std::move(boom));
+  Result<Value> v = and_expr.Eval(Row());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 0);
+
+  auto true_const = std::make_unique<ConstExpr>(Value::Int64(1));
+  auto boom2 = std::make_unique<ColumnRefExpr>(99);
+  LogicExpr or_expr(LogicOp::kOr, std::move(true_const),
+                    std::move(boom2));
+  v = or_expr.Eval(Row());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 1);
+}
+
+TEST(ExpressionTest, NotAndTruthiness) {
+  NotExpr not_zero(std::make_unique<ConstExpr>(Value::Int64(0)));
+  EXPECT_EQ(not_zero.Eval({})->AsInt64(), 1);
+  NotExpr not_str(std::make_unique<ConstExpr>(Value::String("x")));
+  EXPECT_EQ(not_str.Eval({})->AsInt64(), 0);  // non-empty is truthy
+  NotExpr not_empty(std::make_unique<ConstExpr>(Value::String("")));
+  EXPECT_EQ(not_empty.Eval({})->AsInt64(), 1);
+}
+
+TEST(ExpressionTest, UdfRegistryAndCall) {
+  UdfRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("ADD",
+                            [](const std::vector<Value>& args)
+                                -> Result<Value> {
+                              if (args.size() != 2) {
+                                return Status::InvalidArgument("arity");
+                              }
+                              return Value::Int64(args[0].AsInt64() +
+                                                  args[1].AsInt64());
+                            })
+                  .ok());
+  EXPECT_TRUE(registry.Register("ADD", nullptr).IsAlreadyExists());
+  EXPECT_TRUE(registry.Lookup("NOPE").status().IsNotFound());
+
+  const UdfFn* fn = registry.Lookup("ADD").value();
+  std::vector<ExprPtr> args;
+  args.push_back(std::make_unique<ColumnRefExpr>(0));
+  args.push_back(std::make_unique<ConstExpr>(Value::Int64(5)));
+  UdfExpr call(fn, std::move(args));
+  Result<Value> v = call.Eval(Row());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 12);
+}
+
+TEST(ExpressionTest, UdfErrorsPropagate) {
+  UdfRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("FAIL",
+                            [](const std::vector<Value>&) -> Result<Value> {
+                              return Status::Internal("boom");
+                            })
+                  .ok());
+  UdfExpr call(registry.Lookup("FAIL").value(), {});
+  EXPECT_TRUE(call.Eval({}).status().IsInternal());
+}
+
+TEST(ExpressionTest, EvalPredicateHelper) {
+  ConstExpr truthy(Value::Double(0.5));
+  EXPECT_TRUE(EvalPredicate(truthy, {}).value());
+  ConstExpr falsy(Value::Double(0.0));
+  EXPECT_FALSE(EvalPredicate(falsy, {}).value());
+}
+
+}  // namespace
+}  // namespace lexequal::engine

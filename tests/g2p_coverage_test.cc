@@ -1,0 +1,94 @@
+// Coverage sweeps: every converter must handle every string the
+// dataset pipeline will ever feed it, and the full pipeline must be
+// total over the embedded name lists.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/lexicon.h"
+#include "g2p/g2p.h"
+#include "g2p/render_indic.h"
+
+namespace lexequal::g2p {
+namespace {
+
+using dataset::AllBaseNames;
+using dataset::BaseNames;
+using dataset::NameDomain;
+using phonetic::PhonemeString;
+using text::Language;
+
+TEST(G2PCoverageTest, EnglishHandlesEveryBaseName) {
+  const G2PRegistry& g2p = G2PRegistry::Default();
+  for (std::string_view name : AllBaseNames()) {
+    Result<PhonemeString> r = g2p.Transform(name, Language::kEnglish);
+    ASSERT_TRUE(r.ok()) << name << ": " << r.status();
+    EXPECT_FALSE(r->empty()) << name;
+    // No pathological blowup: phoneme count stays near letter count.
+    EXPECT_LE(r->size(), name.size() + 3) << name;
+    EXPECT_GE(r->size() * 3, name.size()) << name;
+  }
+}
+
+TEST(G2PCoverageTest, RenderersHandleEveryBaseName) {
+  const G2PRegistry& g2p = G2PRegistry::Default();
+  for (std::string_view name : AllBaseNames()) {
+    Result<PhonemeString> eng = g2p.Transform(name, Language::kEnglish);
+    ASSERT_TRUE(eng.ok()) << name;
+    Result<std::string> deva = RenderDevanagari(eng.value());
+    ASSERT_TRUE(deva.ok()) << name << ": " << deva.status();
+    Result<std::string> tam = RenderTamil(eng.value());
+    ASSERT_TRUE(tam.ok()) << name << ": " << tam.status();
+    // And the rendered forms re-read without error.
+    EXPECT_TRUE(g2p.Transform(deva.value(), Language::kHindi).ok())
+        << name;
+    EXPECT_TRUE(g2p.Transform(tam.value(), Language::kTamil).ok())
+        << name;
+  }
+}
+
+TEST(G2PCoverageTest, EveryLexiconEntryRoundTripsThroughIpa) {
+  // The stored phonemic column is IPA text; it must parse back to the
+  // identical phoneme string for every entry.
+  Result<dataset::Lexicon> lex = dataset::Lexicon::BuildTrilingual();
+  ASSERT_TRUE(lex.ok());
+  for (const dataset::LexiconEntry& e : lex->entries()) {
+    Result<PhonemeString> back =
+        PhonemeString::FromIpa(e.phonemes.ToIpa());
+    ASSERT_TRUE(back.ok()) << e.text;
+    EXPECT_EQ(back.value(), e.phonemes) << e.text;
+  }
+}
+
+TEST(G2PCoverageTest, DomainsDoNotDegenerate) {
+  // Each domain contributes distinct phonemic strings (no mass
+  // collapse that would trivialize matching).
+  const G2PRegistry& g2p = G2PRegistry::Default();
+  for (NameDomain domain : {NameDomain::kIndian, NameDomain::kAmerican,
+                            NameDomain::kGeneric}) {
+    std::set<std::string> distinct;
+    const auto& names = BaseNames(domain);
+    for (std::string_view name : names) {
+      Result<PhonemeString> r = g2p.Transform(name, Language::kEnglish);
+      ASSERT_TRUE(r.ok());
+      distinct.insert(r->ToIpa());
+    }
+    EXPECT_GT(distinct.size(), names.size() * 9 / 10)
+        << dataset::NameDomainName(domain);
+  }
+}
+
+TEST(G2PCoverageTest, DeterministicAcrossCalls) {
+  const G2PRegistry& g2p = G2PRegistry::Default();
+  for (std::string_view name : {"Krishnamurthy", "Vishwanathan",
+                                "Montgomery", "Phosphorus"}) {
+    Result<PhonemeString> a = g2p.Transform(name, Language::kEnglish);
+    Result<PhonemeString> b = g2p.Transform(name, Language::kEnglish);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "g2p/greek_g2p.h"
+#include "g2p/romance_g2p.h"
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+namespace {
+
+using text::EncodeUtf8;
+
+class GreekG2PTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    greek_ = GreekG2P::Create().value().release();
+  }
+  static std::string Ipa(const std::vector<uint32_t>& cps) {
+    Result<phonetic::PhonemeString> ps = greek_->ToPhonemes(EncodeUtf8(cps));
+    EXPECT_TRUE(ps.ok()) << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static GreekG2P* greek_;
+};
+
+GreekG2P* GreekG2PTest::greek_ = nullptr;
+
+TEST_F(GreekG2PTest, PaperNameNearu) {
+  // Νεερου: the Greek spelling of Nehru used in the paper's Fig. 2
+  // (Νερου here): ν ε ρ ο υ -> n e r u.
+  std::string ipa = Ipa({0x039D, 0x03B5, 0x03C1, 0x03BF, 0x03C5});
+  EXPECT_EQ(ipa, "nɛru");
+}
+
+TEST_F(GreekG2PTest, Digraphs) {
+  // ου -> u, αι -> e, ει -> i.
+  EXPECT_EQ(Ipa({0x03BF, 0x03C5}), "u");
+  EXPECT_EQ(Ipa({0x03B1, 0x03B9}), "e");
+  EXPECT_EQ(Ipa({0x03B5, 0x03B9}), "i");
+}
+
+TEST_F(GreekG2PTest, VoicedStopsViaDigraphs) {
+  // μπ -> b, ντ -> d, γκ -> g (initial).
+  EXPECT_EQ(Ipa({0x03BC, 0x03C0, 0x03BF}), "bo");
+  EXPECT_EQ(Ipa({0x03BD, 0x03C4, 0x03BF}), "do");
+  EXPECT_EQ(Ipa({0x03B3, 0x03BA, 0x03BF}), "ɡo");
+}
+
+TEST_F(GreekG2PTest, AvEfAlternation) {
+  // αυ before voiced -> av; before voiceless -> af.
+  std::string avra = Ipa({0x03B1, 0x03C5, 0x03C1, 0x03B1});
+  EXPECT_NE(avra.find("v"), std::string::npos);
+  std::string afti = Ipa({0x03B1, 0x03C5, 0x03C4, 0x03B9});
+  EXPECT_NE(afti.find("f"), std::string::npos);
+}
+
+TEST_F(GreekG2PTest, AccentsFold) {
+  // ά folds to α.
+  EXPECT_EQ(Ipa({0x03AC}), Ipa({0x03B1}));
+  // Final sigma ς = σ.
+  EXPECT_EQ(Ipa({0x03C2}), Ipa({0x03C3}));
+  // Uppercase folds.
+  EXPECT_EQ(Ipa({0x0391}), Ipa({0x03B1}));
+}
+
+TEST_F(GreekG2PTest, SarriExample) {
+  // Σαρρη (paper Figure 1) -> s a r r i (double rho stays doubled in
+  // phonemes; matching tolerates it).
+  std::string ipa =
+      Ipa({0x03A3, 0x03B1, 0x03C1, 0x03C1, 0x03B7});
+  EXPECT_EQ(ipa.substr(0, 2), "sa");
+  EXPECT_EQ(ipa.back(), 'i');
+}
+
+TEST_F(GreekG2PTest, RejectsNonGreek) {
+  EXPECT_FALSE(greek_->ToPhonemes("abc").ok());
+}
+
+class RomanceG2PTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    french_ = FrenchG2P::Create().value().release();
+    spanish_ = SpanishG2P::Create().value().release();
+  }
+  static std::string Fr(std::string_view s) {
+    Result<phonetic::PhonemeString> ps = french_->ToPhonemes(s);
+    EXPECT_TRUE(ps.ok()) << s << ": " << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static std::string Es(std::string_view s) {
+    Result<phonetic::PhonemeString> ps = spanish_->ToPhonemes(s);
+    EXPECT_TRUE(ps.ok()) << s << ": " << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static FrenchG2P* french_;
+  static SpanishG2P* spanish_;
+};
+
+FrenchG2P* RomanceG2PTest::french_ = nullptr;
+SpanishG2P* RomanceG2PTest::spanish_ = nullptr;
+
+TEST_F(RomanceG2PTest, FrenchEcole) {
+  // École (paper Figure 9: eikøl): accents handled, ch/ou digraphs.
+  std::string ipa = Fr("École");
+  EXPECT_EQ(ipa[0], 'e');
+  EXPECT_NE(ipa.find("k"), std::string::npos);
+  EXPECT_NE(ipa.find("l"), std::string::npos);
+}
+
+TEST_F(RomanceG2PTest, FrenchBasics) {
+  EXPECT_EQ(Fr("ou"), "u");
+  EXPECT_EQ(Fr("chou"), "ʃu");
+  EXPECT_EQ(Fr("Jean"), "ʒɑn");
+  EXPECT_EQ(Fr("René"), "rəne");
+  // h silent, final consonants silent after vowels.
+  EXPECT_EQ(Fr("Hugo"), Fr("ugo"));
+}
+
+TEST_F(RomanceG2PTest, FrenchFinalConsonantsSilent) {
+  std::string ipa = Fr("Descartes");
+  // Final s silent; the word must not end in s.
+  EXPECT_NE(ipa.back(), 's');
+}
+
+TEST_F(RomanceG2PTest, SpanishBasics) {
+  // Jesus: the paper's language-dependent vocalization example —
+  // Spanish j -> x ("Hesus").
+  std::string ipa = Es("Jesus");
+  EXPECT_EQ(ipa.substr(0, 1), "x");
+  EXPECT_EQ(Es("llama").substr(0, 1), "j");
+  EXPECT_NE(Es("España").find("ɲ"), std::string::npos);
+  EXPECT_EQ(Es("Vega")[0], 'b');  // v -> b
+  EXPECT_EQ(Es("quinto").substr(0, 2), "ki");
+}
+
+TEST_F(RomanceG2PTest, SpanishSeseo) {
+  // z and soft c -> s.
+  EXPECT_EQ(Es("Cruz").back(), 's');
+  EXPECT_EQ(Es("Cecilia")[0], 's');
+}
+
+TEST_F(RomanceG2PTest, LanguageDependentVocalization) {
+  // Same spelling, different phonemes per language (paper §2.1).
+  EXPECT_NE(Es("Jesus"), Fr("Jesus"));
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

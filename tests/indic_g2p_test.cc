@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "g2p/devanagari_g2p.h"
+#include "g2p/tamil_g2p.h"
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+namespace {
+
+using text::EncodeUtf8;
+
+class IndicG2PTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hindi_ = DevanagariG2P::Create().value().release();
+    tamil_ = TamilG2P::Create().value().release();
+  }
+  static std::string HindiIpa(const std::vector<uint32_t>& cps) {
+    Result<phonetic::PhonemeString> ps = hindi_->ToPhonemes(EncodeUtf8(cps));
+    EXPECT_TRUE(ps.ok()) << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static std::string TamilIpa(const std::vector<uint32_t>& cps) {
+    Result<phonetic::PhonemeString> ps = tamil_->ToPhonemes(EncodeUtf8(cps));
+    EXPECT_TRUE(ps.ok()) << ps.status();
+    return ps.ok() ? ps.value().ToIpa() : "<error>";
+  }
+  static DevanagariG2P* hindi_;
+  static TamilG2P* tamil_;
+};
+
+DevanagariG2P* IndicG2PTest::hindi_ = nullptr;
+TamilG2P* IndicG2PTest::tamil_ = nullptr;
+
+// --- Devanagari ---
+
+TEST_F(IndicG2PTest, HindiNehru) {
+  // नेहरु: na + e-matra, ha, ra + u-matra. The medial inherent schwa
+  // of ha deletes (V C ə C V) -> nehru.
+  std::string ipa = HindiIpa({0x0928, 0x0947, 0x0939, 0x0930, 0x0941});
+  EXPECT_EQ(ipa, "nehrʊ");
+}
+
+TEST_F(IndicG2PTest, HindiRam) {
+  // राम: final inherent schwa deletes -> rɑm... (a-matra = a).
+  std::string ipa = HindiIpa({0x0930, 0x093E, 0x092E});
+  EXPECT_EQ(ipa, "ram");
+}
+
+TEST_F(IndicG2PTest, HindiViramaCluster) {
+  // भारत (bhɑrat): bha + a-matra, ra, ta; final schwa deleted.
+  std::string ipa = HindiIpa({0x092D, 0x093E, 0x0930, 0x0924});
+  EXPECT_EQ(ipa, "bʱarət");
+}
+
+TEST_F(IndicG2PTest, HindiIndependentVowels) {
+  // आइ -> a + ɪ.
+  std::string ipa = HindiIpa({0x0906, 0x0907});
+  EXPECT_EQ(ipa, "aɪ");
+}
+
+TEST_F(IndicG2PTest, HindiAnusvaraHomorganic) {
+  // संत (sant): anusvara before dental t -> n.
+  std::string with_t = HindiIpa({0x0938, 0x0902, 0x0924});
+  EXPECT_NE(with_t.find("n"), std::string::npos);
+  // संप: anusvara before p -> m.
+  std::string with_p = HindiIpa({0x0938, 0x0902, 0x092A});
+  EXPECT_NE(with_p.find("m"), std::string::npos);
+}
+
+TEST_F(IndicG2PTest, HindiNuktaConsonants) {
+  // फ़ -> f, ज़ -> z (precomposed).
+  EXPECT_EQ(HindiIpa({0x095E, 0x093E}), "fa");
+  EXPECT_EQ(HindiIpa({0x095B, 0x093E}), "za");
+  // Combining nukta: फ + ◌़ -> f.
+  EXPECT_EQ(HindiIpa({0x092B, 0x093C, 0x093E}), "fa");
+}
+
+TEST_F(IndicG2PTest, HindiVirama) {
+  // र्क (rka cluster via virama on ra) inside मार्क "Mark".
+  std::string ipa = HindiIpa({0x092E, 0x093E, 0x0930, 0x094D, 0x0915});
+  EXPECT_EQ(ipa, "mark");
+}
+
+TEST_F(IndicG2PTest, HindiRejectsForeignCodePoints) {
+  Result<phonetic::PhonemeString> ps = hindi_->ToPhonemes("abc");
+  EXPECT_FALSE(ps.ok());
+}
+
+// --- Tamil ---
+
+TEST_F(IndicG2PTest, TamilNeru) {
+  // நேரு: na + e-matra, ra + u-matra -> neru (front n folds to n).
+  std::string ipa = TamilIpa({0x0BA8, 0x0BC7, 0x0BB0, 0x0BC1});
+  EXPECT_EQ(ipa, "nerʊ");
+}
+
+TEST_F(IndicG2PTest, TamilPositionalVoicing) {
+  // க word-initial -> k: கமலா (Kamala).
+  std::string kamala =
+      TamilIpa({0x0B95, 0x0BAE, 0x0BB2, 0x0BBE});
+  EXPECT_EQ(kamala[0], 'k');
+  // Intervocalic க -> ɡ: மகன் (magan).
+  std::string magan = TamilIpa({0x0BAE, 0x0B95, 0x0BA9, 0x0BCD});
+  EXPECT_NE(magan.find("ɡ"), std::string::npos);
+  // After nasal: பாண்டி -> ɖ voiced.
+  std::string pandi =
+      TamilIpa({0x0BAA, 0x0BBE, 0x0BA3, 0x0BCD, 0x0B9F, 0x0BBF});
+  EXPECT_NE(pandi.find("ɖ"), std::string::npos);
+}
+
+TEST_F(IndicG2PTest, TamilGeminateStaysVoiceless) {
+  // க்க geminate -> k: பக்கம்.
+  std::string ipa = TamilIpa(
+      {0x0BAA, 0x0B95, 0x0BCD, 0x0B95, 0x0BAE, 0x0BCD});
+  // Exactly one k (the geminate collapses is not required; voicing is).
+  EXPECT_EQ(ipa.find("ɡ"), std::string::npos);
+}
+
+TEST_F(IndicG2PTest, TamilDiphthongs) {
+  // ஐ -> a + ɪ.
+  std::string ipa = TamilIpa({0x0B90});
+  EXPECT_EQ(ipa, "aɪ");
+  // கை -> k a ɪ.
+  EXPECT_EQ(TamilIpa({0x0B95, 0x0BC8}), "kaɪ");
+}
+
+TEST_F(IndicG2PTest, TamilGranthaLetters) {
+  // ஜ -> dʒ, ஸ -> s, ஹ -> h, ஷ -> ʂ.
+  EXPECT_EQ(TamilIpa({0x0B9C, 0x0BBE}), "dʒa");
+  EXPECT_EQ(TamilIpa({0x0BB8, 0x0BBE}), "sa");
+  EXPECT_EQ(TamilIpa({0x0BB9, 0x0BBE}), "ha");
+}
+
+TEST_F(IndicG2PTest, TamilSpecialLiquids) {
+  // ழ -> ɻ (Tamil's famous retroflex approximant).
+  std::string ipa = TamilIpa({0x0BA4, 0x0BAE, 0x0BBF, 0x0BB4, 0x0BCD});
+  EXPECT_NE(ipa.find("ɻ"), std::string::npos);
+}
+
+TEST_F(IndicG2PTest, TamilChaPositional) {
+  // ச: initial -> tʃ, intervocalic -> s.
+  std::string initial = TamilIpa({0x0B9A, 0x0BBE});
+  EXPECT_EQ(initial.substr(0, 3), "tʃ");  // tʃ = 't' + 2-byte ʃ
+  std::string medial = TamilIpa({0x0B85, 0x0B9A, 0x0BBE});
+  EXPECT_NE(medial.find("s"), std::string::npos);
+}
+
+TEST_F(IndicG2PTest, TamilRejectsForeignCodePoints) {
+  EXPECT_FALSE(tamil_->ToPhonemes("abc").ok());
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

@@ -1,0 +1,91 @@
+#include "text/language.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tagged_string.h"
+#include "text/utf8.h"
+
+namespace lexequal::text {
+namespace {
+
+TEST(LanguageTest, ParseRoundTripsNames) {
+  for (Language lang :
+       {Language::kEnglish, Language::kHindi, Language::kTamil,
+        Language::kGreek, Language::kFrench, Language::kSpanish,
+        Language::kArabic, Language::kJapanese}) {
+    Result<Language> parsed = ParseLanguage(LanguageName(lang));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), lang);
+  }
+}
+
+TEST(LanguageTest, ParseIsCaseInsensitiveAndTrims) {
+  EXPECT_EQ(ParseLanguage(" ENGLISH ").value(), Language::kEnglish);
+  EXPECT_EQ(ParseLanguage("tamil").value(), Language::kTamil);
+  EXPECT_EQ(ParseLanguage("*").value(), Language::kAny);
+  EXPECT_EQ(ParseLanguage("any").value(), Language::kAny);
+  EXPECT_TRUE(ParseLanguage("klingon").status().IsNotFound());
+}
+
+TEST(ScriptTest, CodePointScripts) {
+  EXPECT_EQ(ScriptOfCodePoint('A'), Script::kLatin);
+  EXPECT_EQ(ScriptOfCodePoint(0x00E9), Script::kLatin);      // é
+  EXPECT_EQ(ScriptOfCodePoint(0x0928), Script::kDevanagari);  // न
+  EXPECT_EQ(ScriptOfCodePoint(0x0BA8), Script::kTamil);       // ந
+  EXPECT_EQ(ScriptOfCodePoint(0x03B1), Script::kGreek);       // α
+  EXPECT_EQ(ScriptOfCodePoint(0x0645), Script::kArabic);      // م
+  EXPECT_EQ(ScriptOfCodePoint(0x4E00), Script::kCjk);
+  EXPECT_EQ(ScriptOfCodePoint(0x0259), Script::kIpa);         // ə
+  EXPECT_EQ(ScriptOfCodePoint('1'), Script::kUnknown);
+}
+
+TEST(ScriptTest, DetectDominantScript) {
+  EXPECT_EQ(DetectScript("Nehru"), Script::kLatin);
+  EXPECT_EQ(DetectScript(EncodeUtf8({0x0928, 0x0947, 0x0939})),
+            Script::kDevanagari);
+  EXPECT_EQ(DetectScript(EncodeUtf8({0x0BA8, 0x0BC7, 0x0BB0})),
+            Script::kTamil);
+  EXPECT_EQ(DetectScript("12345 --"), Script::kUnknown);
+  EXPECT_EQ(DetectScript(""), Script::kUnknown);
+}
+
+TEST(ScriptTest, DetectIgnoresCommonCharacters) {
+  // Digits and punctuation do not dilute the dominant script.
+  std::string mixed = "12-" + EncodeUtf8({0x0928, 0x0947});
+  EXPECT_EQ(DetectScript(mixed), Script::kDevanagari);
+}
+
+TEST(ScriptTest, LanguageScriptMapping) {
+  EXPECT_EQ(ScriptOfLanguage(Language::kEnglish), Script::kLatin);
+  EXPECT_EQ(ScriptOfLanguage(Language::kHindi), Script::kDevanagari);
+  EXPECT_EQ(ScriptOfLanguage(Language::kTamil), Script::kTamil);
+  EXPECT_EQ(DefaultLanguageForScript(Script::kLatin), Language::kEnglish);
+  EXPECT_EQ(DefaultLanguageForScript(Script::kDevanagari),
+            Language::kHindi);
+}
+
+TEST(TaggedStringTest, ExplicitTag) {
+  TaggedString s("Nehru", Language::kEnglish);
+  EXPECT_EQ(s.text(), "Nehru");
+  EXPECT_EQ(s.language(), Language::kEnglish);
+  EXPECT_EQ(s.CodePointLength(), 5u);
+}
+
+TEST(TaggedStringTest, DetectedTag) {
+  TaggedString hindi = TaggedString::WithDetectedLanguage(
+      EncodeUtf8({0x0928, 0x0947, 0x0939, 0x0930, 0x0941}));
+  EXPECT_EQ(hindi.language(), Language::kHindi);
+  EXPECT_EQ(hindi.script(), Script::kDevanagari);
+  EXPECT_EQ(hindi.CodePointLength(), 5u);
+}
+
+TEST(TaggedStringTest, Equality) {
+  TaggedString a("x", Language::kEnglish);
+  TaggedString b("x", Language::kEnglish);
+  TaggedString c("x", Language::kFrench);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace lexequal::text

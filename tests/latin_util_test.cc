@@ -1,0 +1,48 @@
+#include "g2p/latin_util.h"
+
+#include <gtest/gtest.h>
+
+#include "text/utf8.h"
+
+namespace lexequal::g2p {
+namespace {
+
+TEST(LatinUtilTest, AsciiPassesThrough) {
+  EXPECT_EQ(FoldLatinAccents("Nehru-42 x"), "Nehru-42 x");
+  EXPECT_EQ(FoldLatinAccents(""), "");
+}
+
+TEST(LatinUtilTest, CommonEuropeanAccents) {
+  EXPECT_EQ(FoldLatinAccents("René"), "Rene");       // é
+  EXPECT_EQ(FoldLatinAccents("École"), "Ecole");     // É
+  EXPECT_EQ(FoldLatinAccents("François"), "Francois");  // ç
+  EXPECT_EQ(FoldLatinAccents("Müller"), "Muller");   // ü
+  EXPECT_EQ(FoldLatinAccents("Español"), "Espanol"); // ñ
+  EXPECT_EQ(FoldLatinAccents("Gödel"), "Godel");     // ö
+  EXPECT_EQ(FoldLatinAccents("Åse"), "Ase");         // Å
+  EXPECT_EQ(FoldLatinAccents("Straße"), "Strase");   // ß -> s
+}
+
+TEST(LatinUtilTest, ExtendedLatin) {
+  // Š š Ž ž Ő ű Ł? (Ł not mapped -> dropped is acceptable; test the
+  // mapped ones.)
+  EXPECT_EQ(FoldLatinAccents("Škoda"), "Skoda");
+  EXPECT_EQ(FoldLatinAccents("Žukov"), "Zukov");
+  EXPECT_EQ(FoldLatinAccents("Erdős"), "Erdos");  // ő
+}
+
+TEST(LatinUtilTest, CombiningMarksDropped) {
+  // e + combining acute = é decomposed.
+  std::string decomposed = "e";
+  text::AppendUtf8(0x0301, &decomposed);
+  EXPECT_EQ(FoldLatinAccents(decomposed), "e");
+}
+
+TEST(LatinUtilTest, NonLatinDropped) {
+  // Devanagari code points do not survive Latin folding.
+  EXPECT_EQ(FoldLatinAccents(text::EncodeUtf8({0x0928, 'a', 0x0947})),
+            "a");
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

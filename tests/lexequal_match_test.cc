@@ -1,0 +1,152 @@
+#include "match/lexequal.h"
+
+#include <gtest/gtest.h>
+
+#include "g2p/render_indic.h"
+#include "text/utf8.h"
+
+namespace lexequal::match {
+namespace {
+
+using text::Language;
+using text::TaggedString;
+
+TaggedString Hindi(const std::vector<uint32_t>& cps) {
+  return TaggedString(text::EncodeUtf8(cps), Language::kHindi);
+}
+
+TaggedString Tamil(const std::vector<uint32_t>& cps) {
+  return TaggedString(text::EncodeUtf8(cps), Language::kTamil);
+}
+
+TaggedString English(std::string s) {
+  return TaggedString(std::move(s), Language::kEnglish);
+}
+
+// The paper's running example: Nehru in English, Hindi (नेहरु),
+// Tamil (நேரு), Greek (Νερου).
+const std::vector<uint32_t> kNehruHindi = {0x0928, 0x0947, 0x0939, 0x0930,
+                                           0x0941};
+const std::vector<uint32_t> kNehruTamil = {0x0BA8, 0x0BC7, 0x0BB0, 0x0BC1};
+const std::vector<uint32_t> kNehruGreek = {0x039D, 0x03B5, 0x03C1, 0x03BF,
+                                           0x03C5};
+
+TEST(LexEqualMatcherTest, NehruMatchesAcrossFourScripts) {
+  // Parameters from the paper's recommended knee region (Fig. 12):
+  // threshold 0.25-0.35, intra-cluster cost 0.25-0.5.
+  LexEqualMatcher matcher({.threshold = 0.3, .intra_cluster_cost = 0.25});
+  TaggedString english = English("Nehru");
+  EXPECT_EQ(matcher.Match(english, Hindi(kNehruHindi)),
+            MatchOutcome::kTrue);
+  EXPECT_EQ(matcher.Match(english, Tamil(kNehruTamil)),
+            MatchOutcome::kTrue);
+  EXPECT_EQ(matcher.Match(
+                english,
+                TaggedString(text::EncodeUtf8(kNehruGreek),
+                             Language::kGreek)),
+            MatchOutcome::kTrue);
+}
+
+TEST(LexEqualMatcherTest, MatchingIsSymmetric) {
+  LexEqualMatcher matcher;
+  TaggedString english = English("Nehru");
+  TaggedString hindi = Hindi(kNehruHindi);
+  EXPECT_EQ(matcher.Match(english, hindi), matcher.Match(hindi, english));
+}
+
+TEST(LexEqualMatcherTest, DifferentNamesDoNotMatch) {
+  LexEqualMatcher matcher({.threshold = 0.25, .intra_cluster_cost = 0.5});
+  EXPECT_EQ(matcher.Match(English("Nehru"), English("Gandhi")),
+            MatchOutcome::kFalse);
+  EXPECT_EQ(matcher.Match(English("Smith"), Hindi(kNehruHindi)),
+            MatchOutcome::kFalse);
+}
+
+TEST(LexEqualMatcherTest, NeroIsABorderlineFalsePositive) {
+  // The paper notes Nero *could* appear in Nehru's result set
+  // depending on the threshold: phonemically nɛro vs nɛ(h)ru.
+  TaggedString nehru = English("Nehru");
+  TaggedString nero = English("Nero");
+  LexEqualMatcher strict({.threshold = 0.0, .intra_cluster_cost = 0.5});
+  EXPECT_EQ(strict.Match(nehru, nero), MatchOutcome::kFalse);
+  LexEqualMatcher lax({.threshold = 0.6, .intra_cluster_cost = 0.25});
+  EXPECT_EQ(lax.Match(nehru, nero), MatchOutcome::kTrue);
+}
+
+TEST(LexEqualMatcherTest, ThresholdZeroAcceptsPerfectPhonemicMatches) {
+  // Identical vocalization, different spelling.
+  LexEqualMatcher strict({.threshold = 0.0, .intra_cluster_cost = 1.0});
+  EXPECT_EQ(strict.Match(English("Smith"), English("Smith")),
+            MatchOutcome::kTrue);
+}
+
+TEST(LexEqualMatcherTest, NoResourceForUnsupportedLanguage) {
+  LexEqualMatcher matcher;
+  TaggedString japanese("\xE5\xAF\xBA\xE4\xBA\x95",
+                        Language::kJapanese);  // 寺井
+  EXPECT_EQ(matcher.Match(English("Nehru"), japanese),
+            MatchOutcome::kNoResource);
+  EXPECT_EQ(matcher.Match(japanese, English("Nehru")),
+            MatchOutcome::kNoResource);
+}
+
+TEST(LexEqualMatcherTest, HigherThresholdAdmitsMore) {
+  // Monotonicity in the threshold parameter.
+  TaggedString a = English("Catherine");
+  TaggedString b = English("Kathryn");
+  bool matched_at_lower = false;
+  for (double t : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    LexEqualMatcher m({.threshold = t, .intra_cluster_cost = 0.5});
+    bool now = m.Match(a, b) == MatchOutcome::kTrue;
+    EXPECT_TRUE(now || !matched_at_lower)
+        << "match lost when raising threshold to " << t;
+    matched_at_lower = matched_at_lower || now;
+  }
+  EXPECT_TRUE(matched_at_lower);  // they match at some threshold
+}
+
+TEST(LexEqualMatcherTest, LowerIntraClusterCostAdmitsMore) {
+  // nɛru-style variants: lowering the cluster cost can only help.
+  TaggedString eng = English("Nehru");
+  TaggedString tam = Tamil(kNehruTamil);
+  for (double t : {0.1, 0.25}) {
+    bool matched_at_higher_cost = false;
+    for (double c : {1.0, 0.5, 0.0}) {
+      LexEqualMatcher m({.threshold = t, .intra_cluster_cost = c});
+      bool now = m.Match(eng, tam) == MatchOutcome::kTrue;
+      EXPECT_TRUE(now || !matched_at_higher_cost);
+      matched_at_higher_cost = matched_at_higher_cost || now;
+    }
+  }
+}
+
+TEST(LexEqualMatcherTest, MatchPhonemesUsesMinLengthAllowance) {
+  LexEqualMatcher m({.threshold = 0.5, .intra_cluster_cost = 1.0});
+  // |a| = 2, |b| = 3: allowance = 1.
+  phonetic::PhonemeString a({phonetic::Phoneme::kN, phonetic::Phoneme::kE});
+  phonetic::PhonemeString b({phonetic::Phoneme::kN, phonetic::Phoneme::kE,
+                             phonetic::Phoneme::kR});
+  EXPECT_TRUE(m.MatchPhonemes(a, b));
+  EXPECT_DOUBLE_EQ(m.Allowance(a.size(), b.size()), 1.0);
+}
+
+TEST(LexEqualMatcherTest, CrossScriptEquiJoinPairs) {
+  // Figure 5 semantics: same author, different languages.
+  LexEqualMatcher matcher({.threshold = 0.3, .intra_cluster_cost = 0.25});
+  struct Pair {
+    TaggedString a;
+    TaggedString b;
+  };
+  const Pair pairs[] = {
+      {English("Nehru"), Hindi(kNehruHindi)},
+      {English("Nehru"), Tamil(kNehruTamil)},
+      {Hindi(kNehruHindi), Tamil(kNehruTamil)},
+  };
+  for (const Pair& p : pairs) {
+    EXPECT_EQ(matcher.Match(p.a, p.b), MatchOutcome::kTrue)
+        << p.a.text() << " vs " << p.b.text();
+  }
+}
+
+}  // namespace
+}  // namespace lexequal::match

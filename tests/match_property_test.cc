@@ -1,0 +1,157 @@
+// Parameterized property sweeps over the matcher's tunable space:
+// each invariant is checked at every (threshold, intra-cluster cost)
+// grid point.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "match/lexequal.h"
+#include "match/qgram.h"
+
+namespace lexequal::match {
+namespace {
+
+using phonetic::kPhonemeCount;
+using phonetic::Phoneme;
+using phonetic::PhonemeString;
+
+PhonemeString RandomString(Random* rng, size_t min_len, size_t max_len) {
+  size_t len = min_len + rng->Uniform(max_len - min_len + 1);
+  std::vector<Phoneme> ph;
+  for (size_t i = 0; i < len; ++i) {
+    ph.push_back(static_cast<Phoneme>(rng->Uniform(kPhonemeCount)));
+  }
+  return PhonemeString(std::move(ph));
+}
+
+class MatcherSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {
+ protected:
+  LexEqualOptions Options() const {
+    return {.threshold = std::get<0>(GetParam()),
+            .intra_cluster_cost = std::get<1>(GetParam())};
+  }
+};
+
+TEST_P(MatcherSweep, MatchingIsReflexive) {
+  LexEqualMatcher matcher(Options());
+  Random rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    PhonemeString s = RandomString(&rng, 1, 12);
+    EXPECT_TRUE(matcher.MatchPhonemes(s, s));
+  }
+}
+
+TEST_P(MatcherSweep, MatchingIsSymmetric) {
+  LexEqualMatcher matcher(Options());
+  Random rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    PhonemeString a = RandomString(&rng, 1, 10);
+    PhonemeString b = RandomString(&rng, 1, 10);
+    EXPECT_EQ(matcher.MatchPhonemes(a, b), matcher.MatchPhonemes(b, a));
+  }
+}
+
+TEST_P(MatcherSweep, DistanceDecisionAgreesWithFullDp) {
+  // The operator's bounded-DP decision must equal a decision made
+  // with the exhaustive distance.
+  LexEqualMatcher matcher(Options());
+  ClusteredCost cost(phonetic::ClusterTable::Default(),
+                     Options().intra_cluster_cost);
+  Random rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    PhonemeString a = RandomString(&rng, 1, 9);
+    PhonemeString b = RandomString(&rng, 1, 9);
+    const double bound = matcher.Allowance(a.size(), b.size());
+    const bool exhaustive = EditDistance(a, b, cost) <= bound;
+    EXPECT_EQ(matcher.MatchPhonemes(a, b), exhaustive)
+        << a.ToIpa() << " ~ " << b.ToIpa();
+  }
+}
+
+TEST_P(MatcherSweep, IntraClusterSubstitutionsCostAtMostParameter) {
+  // A single intra-cluster substitution must match whenever
+  // threshold * len >= cost parameter.
+  LexEqualOptions options = Options();
+  LexEqualMatcher matcher(options);
+  PhonemeString a({Phoneme::kN, Phoneme::kE, Phoneme::kR, Phoneme::kU,
+                   Phoneme::kK, Phoneme::kA});
+  PhonemeString b({Phoneme::kN, Phoneme::kEh, Phoneme::kR, Phoneme::kU,
+                   Phoneme::kK, Phoneme::kA});  // e -> ɛ intra
+  const bool expected =
+      options.intra_cluster_cost <= options.threshold * 6.0 + 1e-12;
+  EXPECT_EQ(matcher.MatchPhonemes(a, b), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, MatcherSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.25, 0.35, 0.5),
+                       ::testing::Values(0.0, 0.25, 0.5, 1.0)),
+    [](const auto& info) {
+      return "t" +
+             std::to_string(static_cast<int>(
+                 std::get<0>(info.param) * 100)) +
+             "_c" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// Q-gram no-false-dismissal sweep over (q, k).
+class QGramSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(QGramSweep, NoFalseDismissalsUnderLevenshtein) {
+  const int q = std::get<0>(GetParam());
+  const double k = std::get<1>(GetParam());
+  LevenshteinCost cost;
+  Random rng(q * 1000 + static_cast<int>(k * 10));
+  int within = 0;
+  for (int trial = 0; trial < 800; ++trial) {
+    size_t len = 2 + rng.Uniform(10);
+    std::vector<Phoneme> base;
+    for (size_t i = 0; i < len; ++i) {
+      base.push_back(static_cast<Phoneme>(rng.Uniform(kPhonemeCount)));
+    }
+    std::vector<Phoneme> mutated = base;
+    const int edits = static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] =
+              static_cast<Phoneme>(rng.Uniform(kPhonemeCount));
+          break;
+        case 1:
+          mutated.erase(mutated.begin() + pos);
+          break;
+        default:
+          mutated.insert(
+              mutated.begin() + pos,
+              static_cast<Phoneme>(rng.Uniform(kPhonemeCount)));
+      }
+    }
+    PhonemeString a(base);
+    PhonemeString b(mutated);
+    if (EditDistance(a, b, cost) <= k) {
+      ++within;
+      EXPECT_TRUE(PassesQGramFilters(a, b, k, q))
+          << "q=" << q << " k=" << k << " " << a.ToIpa() << " ~ "
+          << b.ToIpa();
+    }
+  }
+  EXPECT_GT(within, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QkGrid, QGramSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1.0, 2.0, 3.0)),
+    [](const auto& info) {
+      return "q" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace lexequal::match

@@ -1,0 +1,134 @@
+#include "phonetic/phoneme.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "phonetic/phoneme_string.h"
+#include "text/utf8.h"
+
+namespace lexequal::phonetic {
+namespace {
+
+TEST(PhonemeTest, InventoryIsWellFormed) {
+  std::set<std::string> spellings;
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    Phoneme p = static_cast<Phoneme>(i);
+    const PhonemeInfo& info = GetPhonemeInfo(p);
+    ASSERT_NE(info.ipa, nullptr);
+    EXPECT_GT(std::string_view(info.ipa).size(), 0u);
+    // No duplicate spellings: parsing must be unambiguous.
+    EXPECT_TRUE(spellings.insert(info.ipa).second)
+        << "duplicate IPA spelling " << info.ipa;
+    // Vowels carry vowel features, consonants carry a place.
+    if (info.type == PhonemeType::kVowel) {
+      EXPECT_NE(info.height, Height::kNA) << info.ipa;
+      EXPECT_NE(info.backness, Backness::kNA) << info.ipa;
+      EXPECT_EQ(info.place, Place::kNone) << info.ipa;
+    } else {
+      EXPECT_NE(info.place, Place::kNone) << info.ipa;
+      EXPECT_EQ(info.height, Height::kNA) << info.ipa;
+    }
+  }
+}
+
+TEST(PhonemeTest, IsVowelMatchesType) {
+  EXPECT_TRUE(IsVowel(Phoneme::kA));
+  EXPECT_TRUE(IsVowel(Phoneme::kSchwa));
+  EXPECT_FALSE(IsVowel(Phoneme::kK));
+  EXPECT_FALSE(IsVowel(Phoneme::kM));
+}
+
+TEST(PhonemeTest, ParseSingle) {
+  std::vector<uint32_t> cps = text::DecodeUtf8("n");
+  size_t pos = 0;
+  Result<Phoneme> p = ParsePhonemeAt(cps, &pos);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value(), Phoneme::kN);
+  EXPECT_EQ(pos, 1u);
+}
+
+TEST(PhonemeTest, ParseGreedyLongestMatch) {
+  // tʃʰ must parse as the aspirated affricate, not t + ʃ + modifier.
+  std::vector<uint32_t> cps = text::DecodeUtf8("tʃʰa");
+  size_t pos = 0;
+  Result<Phoneme> p = ParsePhonemeAt(cps, &pos);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value(), Phoneme::kChh);
+  EXPECT_EQ(pos, 3u);
+}
+
+TEST(PhonemeTest, ParseUnknownFails) {
+  std::vector<uint32_t> cps = {0x4E00};  // CJK ideograph
+  size_t pos = 0;
+  EXPECT_TRUE(ParsePhonemeAt(cps, &pos).status().IsNotFound());
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(PhonemeStringTest, EveryPhonemeRoundTripsThroughIpa) {
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    Phoneme p = static_cast<Phoneme>(i);
+    PhonemeString ps({p});
+    Result<PhonemeString> back = PhonemeString::FromIpa(ps.ToIpa());
+    ASSERT_TRUE(back.ok()) << PhonemeIpa(p);
+    ASSERT_EQ(back.value().size(), 1u) << PhonemeIpa(p);
+    EXPECT_EQ(back.value()[0], p) << PhonemeIpa(p);
+  }
+}
+
+TEST(PhonemeStringTest, SequenceRoundTrip) {
+  // "nɛhru"-like sequence.
+  PhonemeString ps(
+      {Phoneme::kN, Phoneme::kEh, Phoneme::kH, Phoneme::kR, Phoneme::kU});
+  Result<PhonemeString> back = PhonemeString::FromIpa(ps.ToIpa());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), ps);
+}
+
+TEST(PhonemeStringTest, SkipsSuprasegmentals) {
+  // Stress and length marks (paper: stripped before matching).
+  Result<PhonemeString> ps = PhonemeString::FromIpa("ˈneːru");
+  ASSERT_TRUE(ps.ok());
+  ASSERT_EQ(ps.value().size(), 4u);
+  EXPECT_EQ(ps.value()[0], Phoneme::kN);
+  EXPECT_EQ(ps.value()[1], Phoneme::kE);
+}
+
+TEST(PhonemeStringTest, RejectsUnknownCodePoints) {
+  Result<PhonemeString> ps = PhonemeString::FromIpa("ne7ru");
+  EXPECT_FALSE(ps.ok());
+  EXPECT_TRUE(ps.status().IsInvalidArgument());
+}
+
+TEST(PhonemeStringTest, EmptyString) {
+  Result<PhonemeString> ps = PhonemeString::FromIpa("");
+  ASSERT_TRUE(ps.ok());
+  EXPECT_TRUE(ps.value().empty());
+  EXPECT_EQ(ps.value().ToIpa(), "");
+}
+
+TEST(PhonemeTest, DescribePhoneme) {
+  EXPECT_EQ(DescribePhoneme(Phoneme::kP), "voiceless bilabial plosive");
+  EXPECT_EQ(DescribePhoneme(Phoneme::kBh),
+            "voiced aspirated bilabial plosive");
+  EXPECT_EQ(DescribePhoneme(Phoneme::kI), "close front vowel");
+  EXPECT_EQ(DescribePhoneme(Phoneme::kU), "close back rounded vowel");
+  EXPECT_EQ(DescribePhoneme(Phoneme::kNg), "voiced velar nasal");
+  EXPECT_EQ(DescribePhoneme(Phoneme::kRz),
+            "voiced retroflex rhotic");
+  // Every phoneme has a non-empty description ending in its manner.
+  for (int i = 0; i < kPhonemeCount; ++i) {
+    EXPECT_FALSE(DescribePhoneme(static_cast<Phoneme>(i)).empty());
+  }
+}
+
+TEST(PhonemeStringTest, AppendConcatenates) {
+  PhonemeString a({Phoneme::kN, Phoneme::kE});
+  PhonemeString b({Phoneme::kR, Phoneme::kU});
+  a.Append(b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.ToIpa(), "neru");
+}
+
+}  // namespace
+}  // namespace lexequal::phonetic

@@ -1,0 +1,67 @@
+#include "phonetic/phonetic_key.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal::phonetic {
+namespace {
+
+using P = Phoneme;
+
+const ClusterTable& T() { return ClusterTable::Default(); }
+
+TEST(PhoneticKeyTest, EqualStringsEqualKeys) {
+  PhonemeString a({P::kN, P::kE, P::kR, P::kU});
+  PhonemeString b({P::kN, P::kE, P::kR, P::kU});
+  EXPECT_EQ(GroupedPhonemeStringId(a, T()), GroupedPhonemeStringId(b, T()));
+}
+
+TEST(PhoneticKeyTest, IntraClusterSubstitutionsCollide) {
+  // nɛru vs neru: ɛ and e share the front-vowel cluster.
+  PhonemeString a({P::kN, P::kEh, P::kR, P::kU});
+  PhonemeString b({P::kN, P::kE, P::kR, P::kU});
+  EXPECT_EQ(GroupedPhonemeStringId(a, T()), GroupedPhonemeStringId(b, T()));
+  // Aspiration collides too: pʰapa vs papa.
+  PhonemeString c({P::kPh, P::kA, P::kP, P::kA});
+  PhonemeString d({P::kP, P::kA, P::kP, P::kA});
+  EXPECT_EQ(GroupedPhonemeStringId(c, T()), GroupedPhonemeStringId(d, T()));
+}
+
+TEST(PhoneticKeyTest, CrossClusterSubstitutionsSeparate) {
+  PhonemeString a({P::kN, P::kE, P::kR, P::kU});
+  PhonemeString b({P::kN, P::kE, P::kL, P::kU});  // r -> l
+  EXPECT_NE(GroupedPhonemeStringId(a, T()), GroupedPhonemeStringId(b, T()));
+}
+
+TEST(PhoneticKeyTest, LengthMatters) {
+  // A prefix must not collide with its extension (terminator nibble).
+  PhonemeString a({P::kN, P::kE});
+  PhonemeString b({P::kN, P::kE, P::kR});
+  PhonemeString c({P::kN, P::kE, P::kR, P::kU});
+  EXPECT_NE(GroupedPhonemeStringId(a, T()), GroupedPhonemeStringId(b, T()));
+  EXPECT_NE(GroupedPhonemeStringId(b, T()), GroupedPhonemeStringId(c, T()));
+}
+
+TEST(PhoneticKeyTest, EmptyStringHasStableKey) {
+  PhonemeString empty;
+  EXPECT_EQ(GroupedPhonemeStringId(empty, T()), 0xFull);
+}
+
+TEST(PhoneticKeyTest, TruncationMergesOnlyLongStrings) {
+  // Two strings identical in the first 15 phonemes collide even if
+  // they diverge later (documented false-positive source).
+  std::vector<Phoneme> base(15, P::kN);
+  PhonemeString a(base);
+  std::vector<Phoneme> longer = base;
+  longer.push_back(P::kU);
+  PhonemeString b(longer);
+  EXPECT_EQ(GroupedPhonemeStringId(a, T()), GroupedPhonemeStringId(b, T()));
+}
+
+TEST(PhoneticKeyTest, DebugFormListsClusterIds) {
+  PhonemeString a({P::kN, P::kE, P::kR, P::kU});
+  std::string dbg = GroupedPhonemeStringIdDebug(a, T());
+  EXPECT_EQ(dbg, "11.0.13.2");
+}
+
+}  // namespace
+}  // namespace lexequal::phonetic

@@ -1,0 +1,146 @@
+#include "match/qgram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "match/cost_model.h"
+#include "match/edit_distance.h"
+
+namespace lexequal::match {
+namespace {
+
+using phonetic::kPhonemeCount;
+using phonetic::Phoneme;
+using phonetic::PhonemeString;
+using P = Phoneme;
+
+TEST(QGramTest, GramCountIsNPlusQMinusOne) {
+  PhonemeString s({P::kN, P::kE, P::kR, P::kU});
+  for (int q = 1; q <= 4; ++q) {
+    EXPECT_EQ(PositionalQGrams(s, q).size(), s.size() + q - 1)
+        << "q=" << q;
+  }
+}
+
+TEST(QGramTest, PositionsAreOneBasedAndDense) {
+  PhonemeString s({P::kN, P::kE, P::kR});
+  std::vector<PositionalQGram> grams = PositionalQGrams(s, 2);
+  ASSERT_EQ(grams.size(), 4u);
+  for (size_t i = 0; i < grams.size(); ++i) {
+    EXPECT_EQ(grams[i].pos, i + 1);
+  }
+}
+
+TEST(QGramTest, PaddingSentinelsAppear) {
+  PhonemeString s({P::kN});
+  std::vector<PositionalQGram> grams = PositionalQGrams(s, 3);
+  // ◁◁n, ◁n▷, n▷▷ — 3 grams.
+  ASSERT_EQ(grams.size(), 3u);
+  const uint64_t n_code = static_cast<uint8_t>(P::kN);
+  EXPECT_EQ(grams[0].gram,
+            (0xFFull << 16) | (0xFFull << 8) | n_code);
+  EXPECT_EQ(grams[2].gram,
+            (n_code << 16) | (0xFEull << 8) | 0xFE);
+}
+
+TEST(QGramTest, EmptyStringHasOnlyPaddingGrams) {
+  PhonemeString empty;
+  EXPECT_EQ(PositionalQGrams(empty, 2).size(), 1u);  // ◁▷
+  EXPECT_TRUE(PositionalQGrams(empty, 1).empty());
+}
+
+TEST(QGramTest, IdenticalStringsShareAllGrams) {
+  PhonemeString s({P::kN, P::kE, P::kR, P::kU});
+  std::vector<PositionalQGram> a = PositionalQGrams(s, 2);
+  std::vector<PositionalQGram> b = PositionalQGrams(s, 2);
+  SortQGrams(&a);
+  SortQGrams(&b);
+  EXPECT_GE(CountCloseMatches(a, b, 0.0),
+            static_cast<int>(s.size() + 1));
+}
+
+TEST(QGramTest, PositionFilterRejectsDistantMatches) {
+  // Same grams but shifted far apart must not count at small k.
+  PhonemeString a({P::kN, P::kE, P::kA, P::kA, P::kA, P::kA, P::kA});
+  PhonemeString b({P::kA, P::kA, P::kA, P::kA, P::kA, P::kN, P::kE});
+  std::vector<PositionalQGram> ga = PositionalQGrams(a, 2);
+  std::vector<PositionalQGram> gb = PositionalQGrams(b, 2);
+  SortQGrams(&ga);
+  SortQGrams(&gb);
+  const int close = CountCloseMatches(ga, gb, 1.0);
+  const int far = CountCloseMatches(ga, gb, 10.0);
+  EXPECT_LT(close, far);
+}
+
+TEST(QGramTest, LengthFilter) {
+  EXPECT_TRUE(PassesLengthFilter(5, 7, 2.0));
+  EXPECT_FALSE(PassesLengthFilter(5, 8, 2.0));
+  EXPECT_TRUE(PassesLengthFilter(5, 5, 0.0));
+}
+
+TEST(QGramTest, CountFilterFormula) {
+  // max(|a|,|b|) - 1 - (k-1)q.
+  EXPECT_DOUBLE_EQ(CountFilterMinMatches(10, 8, 2.0, 3), 10 - 1 - 3);
+  EXPECT_DOUBLE_EQ(CountFilterMinMatches(4, 4, 1.0, 2), 3.0);
+}
+
+// The core guarantee (paper §5.2): the filters never dismiss a true
+// match under unit-cost edit distance.
+TEST(QGramTest, NoFalseDismissalsProperty) {
+  Random rng(99);
+  LevenshteinCost cost;
+  int within = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Generate near strings: mutate a base string a few times.
+    size_t len = 3 + rng.Uniform(10);
+    std::vector<Phoneme> base;
+    for (size_t i = 0; i < len; ++i) {
+      base.push_back(static_cast<Phoneme>(rng.Uniform(kPhonemeCount)));
+    }
+    std::vector<Phoneme> mutated = base;
+    int edits = static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<Phoneme>(rng.Uniform(kPhonemeCount));
+          break;
+        case 1:
+          mutated.erase(mutated.begin() + pos);
+          break;
+        default:
+          mutated.insert(
+              mutated.begin() + pos,
+              static_cast<Phoneme>(rng.Uniform(kPhonemeCount)));
+      }
+    }
+    PhonemeString a(base);
+    PhonemeString b(mutated);
+    const double k = 2.0;
+    const double dist = EditDistance(a, b, cost);
+    if (dist <= k) {
+      ++within;
+      EXPECT_TRUE(PassesQGramFilters(a, b, k, 2))
+          << a.ToIpa() << " vs " << b.ToIpa() << " dist=" << dist;
+      EXPECT_TRUE(PassesQGramFilters(a, b, k, 3))
+          << a.ToIpa() << " vs " << b.ToIpa() << " dist=" << dist;
+    }
+  }
+  EXPECT_GT(within, 300);  // the sweep must exercise the guarantee
+}
+
+TEST(QGramTest, FiltersRejectGrosslyDifferentStrings) {
+  PhonemeString a({P::kN, P::kE, P::kR, P::kU});
+  PhonemeString b({P::kS, P::kM, P::kIh, P::kThF, P::kS, P::kM, P::kIh});
+  EXPECT_FALSE(PassesQGramFilters(a, b, 1.0, 2));
+}
+
+TEST(QGramTest, FilterSelectivityOnSimilarStrings) {
+  // neru vs nehru passes (distance 1).
+  PhonemeString neru({P::kN, P::kE, P::kR, P::kU});
+  PhonemeString nehru({P::kN, P::kE, P::kH, P::kR, P::kU});
+  EXPECT_TRUE(PassesQGramFilters(neru, nehru, 1.0, 2));
+}
+
+}  // namespace
+}  // namespace lexequal::match

@@ -1,0 +1,69 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lexequal {
+namespace {
+
+TEST(RandomTest, DeterministicForEqualSeeds) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U(0,1) is 0.5; a 10k sample lands well within ±0.05.
+  EXPECT_NEAR(sum / 10000, 0.5, 0.05);
+}
+
+TEST(RandomTest, BernoulliRespectsProbability) {
+  Random r(123);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.05);
+  Random r2(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r2.Bernoulli(0.0));
+  }
+}
+
+}  // namespace
+}  // namespace lexequal

@@ -1,0 +1,103 @@
+#include "g2p/render_latin.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/lexicon.h"
+#include "g2p/g2p.h"
+#include "g2p/render_indic.h"
+#include "dataset/metrics.h"
+#include "match/lexequal.h"
+
+namespace lexequal::g2p {
+namespace {
+
+using phonetic::PhonemeString;
+using text::Language;
+
+const G2PRegistry& Reg() { return G2PRegistry::Default(); }
+
+TEST(RenderLatinTest, ReadableRomanizations) {
+  struct Case {
+    const char* name;
+    const char* expected;
+  };
+  const Case cases[] = {
+      {"Nehru", "nehru"},
+      {"Sharma", "sharma"},
+      {"Jack", "jak"},
+      {"Philip", "filip"},
+  };
+  for (const Case& c : cases) {
+    Result<PhonemeString> phon = Reg().Transform(c.name,
+                                                 Language::kEnglish);
+    ASSERT_TRUE(phon.ok()) << c.name;
+    EXPECT_EQ(RenderLatin(phon.value()), c.expected) << c.name;
+  }
+}
+
+TEST(RenderLatinTest, TotalOverInventory) {
+  std::vector<phonetic::Phoneme> all;
+  for (int i = 0; i < phonetic::kPhonemeCount; ++i) {
+    all.push_back(static_cast<phonetic::Phoneme>(i));
+  }
+  std::string r = RenderLatin(PhonemeString(std::move(all)));
+  EXPECT_GT(r.size(), static_cast<size_t>(phonetic::kPhonemeCount) / 2);
+  for (char c : r) {
+    EXPECT_TRUE(c >= 'a' && c <= 'z') << c;
+  }
+}
+
+TEST(RenderLatinTest, RomanizesIndicText) {
+  // The display path: show a Devanagari match to a Latin-script user.
+  Result<PhonemeString> eng = Reg().Transform("Krishna",
+                                              Language::kEnglish);
+  ASSERT_TRUE(eng.ok());
+  Result<std::string> deva = RenderDevanagari(eng.value());
+  ASSERT_TRUE(deva.ok());
+  Result<PhonemeString> hindi =
+      Reg().Transform(deva.value(), Language::kHindi);
+  ASSERT_TRUE(hindi.ok());
+  std::string roman = RenderLatin(hindi.value());
+  EXPECT_NE(roman.find("kri"), std::string::npos) << roman;
+}
+
+TEST(RenderGreekTest, RoundTripsStayClose) {
+  match::LexEqualMatcher matcher(
+      {.threshold = 0.3, .intra_cluster_cost = 0.25});
+  for (const char* name : {"Nehru", "Katerina", "Sandra", "Miller",
+                           "Bangalore", "Hydrogen"}) {
+    Result<PhonemeString> eng = Reg().Transform(name, Language::kEnglish);
+    ASSERT_TRUE(eng.ok()) << name;
+    Result<std::string> greek = RenderGreek(eng.value());
+    ASSERT_TRUE(greek.ok()) << name << ": " << greek.status();
+    EXPECT_EQ(text::DetectScript(greek.value()), text::Script::kGreek)
+        << name;
+    Result<PhonemeString> back =
+        Reg().Transform(greek.value(), Language::kGreek);
+    ASSERT_TRUE(back.ok()) << name << " [" << greek.value()
+                           << "]: " << back.status();
+    EXPECT_TRUE(matcher.MatchPhonemes(eng.value(), back.value()))
+        << name << " eng=" << eng.value().ToIpa()
+        << " back=" << back.value().ToIpa();
+  }
+}
+
+TEST(QuadrilingualLexiconTest, GreekEntriesJoinTheGroups) {
+  Result<dataset::Lexicon> lex = dataset::Lexicon::BuildMultiscript(true);
+  ASSERT_TRUE(lex.ok()) << lex.status();
+  // 4 entries per group now.
+  int greek_count = 0;
+  for (const dataset::LexiconEntry& e : lex->entries()) {
+    if (e.language == Language::kGreek) ++greek_count;
+  }
+  EXPECT_EQ(greek_count * 4, static_cast<int>(lex->entries().size()));
+  // Quality at the operating point stays in the useful band with the
+  // fourth script included.
+  dataset::QualityResult q = dataset::EvaluateMatchQuality(
+      lex->Sample(200), {.threshold = 0.2, .intra_cluster_cost = 0.25});
+  EXPECT_GT(q.recall, 0.8);
+  EXPECT_GT(q.precision, 0.6);
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

@@ -1,0 +1,149 @@
+// Round-trip tests: English name -> phonemes -> Indic orthography ->
+// Indic G2P -> phonemes. The round trip must stay *phonetically
+// close* (the dataset builder depends on this) while being lossy in
+// the script-specific ways documented in render_indic.h.
+
+#include <gtest/gtest.h>
+
+#include "g2p/g2p.h"
+#include "g2p/render_indic.h"
+#include "phonetic/cluster.h"
+#include "text/language.h"
+
+namespace lexequal::g2p {
+namespace {
+
+using phonetic::ClusterTable;
+using phonetic::PhonemeString;
+using text::Language;
+
+const G2PRegistry& Reg() { return G2PRegistry::Default(); }
+
+// Cluster-level edit distance: substitutions inside a cluster are
+// free, everything else costs 1. (A miniature of the match module's
+// clustered cost model with intra-cluster cost 0, local to this test
+// so the g2p layer is testable on its own.)
+int ClusterEditDistance(const PhonemeString& a, const PhonemeString& b) {
+  const ClusterTable& t = ClusterTable::Default();
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  std::vector<int> prev(lb + 1);
+  std::vector<int> cur(lb + 1);
+  for (size_t j = 0; j <= lb; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= lb; ++j) {
+      int sub = t.SameCluster(a[i - 1], b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[lb];
+}
+
+class RenderRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RenderRoundTripTest, DevanagariStaysPhoneticallyClose) {
+  const char* name = GetParam();
+  Result<PhonemeString> eng = Reg().Transform(name, Language::kEnglish);
+  ASSERT_TRUE(eng.ok()) << eng.status();
+  Result<std::string> deva = RenderDevanagari(eng.value());
+  ASSERT_TRUE(deva.ok()) << name << ": " << deva.status();
+  Result<PhonemeString> back = Reg().Transform(deva.value(),
+                                               Language::kHindi);
+  ASSERT_TRUE(back.ok()) << name << ": " << back.status();
+  // Within ~1/3 of the shorter length in cluster-level edits — the
+  // regime where LexEQUAL's recommended threshold (0.25-0.35) matches.
+  const size_t min_len = std::min(eng.value().size(), back.value().size());
+  EXPECT_LE(ClusterEditDistance(eng.value(), back.value()),
+            std::max<int>(1, static_cast<int>(0.35 * min_len)))
+      << name << " eng=" << eng.value().ToIpa()
+      << " back=" << back.value().ToIpa();
+}
+
+TEST_P(RenderRoundTripTest, TamilStaysPhoneticallyClose) {
+  const char* name = GetParam();
+  Result<PhonemeString> eng = Reg().Transform(name, Language::kEnglish);
+  ASSERT_TRUE(eng.ok()) << eng.status();
+  Result<std::string> tam = RenderTamil(eng.value());
+  ASSERT_TRUE(tam.ok()) << name << ": " << tam.status();
+  Result<PhonemeString> back = Reg().Transform(tam.value(),
+                                               Language::kTamil);
+  ASSERT_TRUE(back.ok()) << name << ": " << back.status();
+  const size_t min_len = std::min(eng.value().size(), back.value().size());
+  EXPECT_LE(ClusterEditDistance(eng.value(), back.value()),
+            std::max<int>(1, static_cast<int>(0.35 * min_len)))
+      << name << " eng=" << eng.value().ToIpa()
+      << " back=" << back.value().ToIpa();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, RenderRoundTripTest,
+    ::testing::Values("Nehru", "Kumar", "Sharma", "Lakshmi", "Ganesh",
+                      "Meena", "Smith", "Johnson", "Miller", "Davis",
+                      "Anderson", "Taylor", "Hydrogen", "Madras",
+                      "Kaveri", "Arjun", "Patel", "Banerjee"));
+
+TEST(RenderIndicTest, DevanagariUsesDevanagariBlock) {
+  Result<PhonemeString> eng = Reg().Transform("Nehru", Language::kEnglish);
+  ASSERT_TRUE(eng.ok());
+  Result<std::string> deva = RenderDevanagari(eng.value());
+  ASSERT_TRUE(deva.ok());
+  EXPECT_EQ(text::DetectScript(deva.value()), text::Script::kDevanagari);
+}
+
+TEST(RenderIndicTest, TamilUsesTamilBlock) {
+  Result<PhonemeString> eng = Reg().Transform("Nehru", Language::kEnglish);
+  ASSERT_TRUE(eng.ok());
+  Result<std::string> tam = RenderTamil(eng.value());
+  ASSERT_TRUE(tam.ok());
+  EXPECT_EQ(text::DetectScript(tam.value()), text::Script::kTamil);
+}
+
+TEST(RenderIndicTest, TamilLosesVoicing) {
+  // "Bob": initial b renders as ப which reads back voiceless — the
+  // canonical Tamil-script information loss.
+  Result<PhonemeString> eng = Reg().Transform("Bob", Language::kEnglish);
+  ASSERT_TRUE(eng.ok());
+  Result<std::string> tam = RenderTamil(eng.value());
+  ASSERT_TRUE(tam.ok());
+  Result<PhonemeString> back = Reg().Transform(tam.value(),
+                                               Language::kTamil);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()[0], phonetic::Phoneme::kP);
+  // But p and b share a cluster, so clustered matching absorbs it.
+  EXPECT_TRUE(
+      ClusterTable::Default().SameCluster(eng.value()[0], back.value()[0]));
+}
+
+TEST(RegistryTest, DefaultSupportsEightLanguages) {
+  EXPECT_TRUE(Reg().Supports(Language::kEnglish));
+  EXPECT_TRUE(Reg().Supports(Language::kHindi));
+  EXPECT_TRUE(Reg().Supports(Language::kTamil));
+  EXPECT_TRUE(Reg().Supports(Language::kGreek));
+  EXPECT_TRUE(Reg().Supports(Language::kFrench));
+  EXPECT_TRUE(Reg().Supports(Language::kSpanish));
+  EXPECT_TRUE(Reg().Supports(Language::kArabic));
+  EXPECT_TRUE(Reg().Supports(Language::kJapanese));
+  EXPECT_FALSE(Reg().Supports(Language::kUnknown));
+}
+
+TEST(RegistryTest, NoResourceForUnresolvableLanguage) {
+  // Untagged text with no detectable script has no converter.
+  Result<PhonemeString> r = Reg().Transform("123", Language::kUnknown);
+  EXPECT_TRUE(r.status().IsNoResource());
+}
+
+TEST(RegistryTest, AutoDetectsLanguageFromScript) {
+  // Untagged Devanagari routes to the Hindi converter.
+  Result<PhonemeString> eng = Reg().Transform("Nehru", Language::kEnglish);
+  ASSERT_TRUE(eng.ok());
+  Result<std::string> deva = RenderDevanagari(eng.value());
+  ASSERT_TRUE(deva.ok());
+  Result<PhonemeString> r =
+      Reg().Transform(deva.value(), Language::kUnknown);
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

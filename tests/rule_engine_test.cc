@@ -1,0 +1,137 @@
+#include "g2p/rule_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal::g2p {
+namespace {
+
+// A tiny table exercising every metacharacter.
+RuleEngine MakeEngine(std::vector<RewriteRule> rules) {
+  Result<RuleEngine> engine = RuleEngine::Create(rules);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+std::string Apply(const RuleEngine& engine, std::string_view word) {
+  Result<phonetic::PhonemeString> ps = engine.Apply(word);
+  EXPECT_TRUE(ps.ok()) << word << ": " << ps.status();
+  return ps.ok() ? ps.value().ToIpa() : "<error>";
+}
+
+TEST(RuleEngineTest, FirstMatchingRuleWins) {
+  RuleEngine e = MakeEngine({
+      {"", "ab", "", "p"},
+      {"", "a", "", "a"},
+      {"", "b", "", "b"},
+  });
+  EXPECT_EQ(Apply(e, "ab"), "p");    // digraph rule first
+  EXPECT_EQ(Apply(e, "ba"), "ba");   // falls through to singles
+}
+
+TEST(RuleEngineTest, WordBoundaryContexts) {
+  RuleEngine e = MakeEngine({
+      {" ", "a", "", "i"},   // word-initial a
+      {"", "a", " ", "u"},   // word-final a
+      {"", "a", "", "a"},
+      {"", "b", "", "b"},
+  });
+  EXPECT_EQ(Apply(e, "aba"), "ibu");
+  EXPECT_EQ(Apply(e, "bab"), "bab");
+}
+
+TEST(RuleEngineTest, VowelAndConsonantClasses) {
+  RuleEngine e = MakeEngine({
+      {"#", "b", "", "p"},    // b after one or more vowels
+      {"", "b", "^", "m"},    // b before a consonant
+      {"", "b", "", "b"},
+      {"", "a", "", "a"},
+      {"", "e", "", "e"},
+      {"", "t", "", "t"},
+  });
+  EXPECT_EQ(Apply(e, "aeb"), "aep");  // '#' consumed both vowels
+  EXPECT_EQ(Apply(e, "bta"), "mta");  // '^' matched t
+  EXPECT_EQ(Apply(e, "b"), "b");
+}
+
+TEST(RuleEngineTest, ZeroOrMoreConsonants) {
+  RuleEngine e = MakeEngine({
+      {"#:", "o", " ", "u"},  // final o after vowel + any consonants
+      {"", "o", "", "o"},
+      {"", "a", "", "a"},
+      {"", "t", "", "t"},
+      {"", "r", "", "r"},
+  });
+  EXPECT_EQ(Apply(e, "atro"), "atru");  // ':' ate "tr"
+  EXPECT_EQ(Apply(e, "o"), "o");        // no vowel before: no match
+}
+
+TEST(RuleEngineTest, VoicedAndFrontClasses) {
+  RuleEngine e = MakeEngine({
+      {".", "s", "", "z"},   // s after a voiced consonant
+      {"", "s", "+", "ʃ"},   // s before a front vowel
+      {"", "s", "", "s"},
+      {"", "n", "", "n"},
+      {"", "i", "", "i"},
+      {"", "a", "", "a"},
+      {"", "t", "", "t"},
+  });
+  EXPECT_EQ(Apply(e, "ns"), "nz");
+  EXPECT_EQ(Apply(e, "si"), "ʃi");
+  EXPECT_EQ(Apply(e, "tsa"), "tsa");
+}
+
+TEST(RuleEngineTest, SuffixClass) {
+  RuleEngine e = MakeEngine({
+      {"", "o", "^%", "u"},  // o + consonant + e/es/ed/er/ing/ely
+      {"", "o", "", "o"},
+      {"", "n", "", "n"},
+      {"", "e", "", "e"},
+      {"", "s", "", "s"},
+      {"", "d", "", "d"},
+  });
+  EXPECT_EQ(Apply(e, "nones"), "nunes");  // "es" suffix matched
+  EXPECT_EQ(Apply(e, "non"), "non");
+}
+
+TEST(RuleEngineTest, SilentRules) {
+  RuleEngine e = MakeEngine({
+      {"", "k", "n", ""},  // silent k before n
+      {"", "k", "", "k"},
+      {"", "n", "", "n"},
+      {"", "i", "", "i"},
+  });
+  EXPECT_EQ(Apply(e, "kni"), "ni");
+  EXPECT_EQ(Apply(e, "kin"), "kin");
+}
+
+TEST(RuleEngineTest, NonLettersAreStripped) {
+  RuleEngine e = MakeEngine({
+      {" ", "a", "", "i"},  // word-initial
+      {"", "a", "", "a"},
+      {"", "b", "", "b"},
+  });
+  // Hyphens/digits are removed before matching, so contexts see a
+  // contiguous word.
+  EXPECT_EQ(Apply(e, "a-b4a"), Apply(e, "aba"));
+}
+
+TEST(RuleEngineTest, IncompleteTableErrors) {
+  RuleEngine e = MakeEngine({{"", "a", "", "a"}});
+  Result<phonetic::PhonemeString> r = e.Apply("ab");
+  EXPECT_TRUE(r.status().IsInvalidArgument());  // no rule for b
+}
+
+TEST(RuleEngineTest, CreateValidation) {
+  EXPECT_FALSE(RuleEngine::Create({{"", "", "", "a"}}).ok());
+  EXPECT_FALSE(RuleEngine::Create({{"", "a", "", "NOPE!"}}).ok());
+  EXPECT_FALSE(RuleEngine::Create({{"", "9x", "", "a"}}).ok());
+  EXPECT_TRUE(RuleEngine::Create({{"", "a", "", ""}}).ok());  // silent ok
+}
+
+TEST(RuleEngineTest, RuleCount) {
+  RuleEngine e = MakeEngine({{"", "a", "", "a"}, {"", "b", "", "b"}});
+  EXPECT_EQ(e.rule_count(), 2u);
+}
+
+}  // namespace
+}  // namespace lexequal::g2p

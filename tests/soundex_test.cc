@@ -1,0 +1,60 @@
+#include "phonetic/soundex.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal::phonetic {
+namespace {
+
+TEST(SoundexTest, KnuthReferenceExamples) {
+  // The classic examples from TAOCP vol. 3.
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Euler"), "E460");
+  EXPECT_EQ(Soundex("Gauss"), "G200");
+  EXPECT_EQ(Soundex("Knuth"), "K530");
+}
+
+TEST(SoundexTest, CaseInsensitive) {
+  EXPECT_EQ(Soundex("NEHRU"), Soundex("nehru"));
+  EXPECT_EQ(Soundex("Nehru"), "N600");
+}
+
+TEST(SoundexTest, IgnoresNonLetters) {
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("OBrien"));
+  EXPECT_EQ(Soundex("Al-Qaeda"), Soundex("AlQaeda"));
+}
+
+TEST(SoundexTest, EmptyAndLetterless) {
+  EXPECT_EQ(Soundex(""), "0000");
+  EXPECT_EQ(Soundex("123"), "0000");
+}
+
+TEST(SoundexTest, PadsShortCodes) {
+  EXPECT_EQ(Soundex("Lee"), "L000");
+  EXPECT_EQ(Soundex("A"), "A000");
+}
+
+TEST(SoundexTest, SameInitialVariantsCollide) {
+  EXPECT_TRUE(SoundexEqual("Smith", "Smyth"));
+  EXPECT_TRUE(SoundexEqual("Meyer", "Meier"));
+  EXPECT_FALSE(SoundexEqual("Cathy", "Nehru"));
+}
+
+TEST(SoundexTest, FirstLetterBlindSpot) {
+  // Classic Soundex keeps the first *letter*, so Cathy/Kathy do NOT
+  // collide — exactly the kind of miss that motivates matching in
+  // phoneme space instead (paper §2.3, Cathy/Kathy example).
+  EXPECT_FALSE(SoundexEqual("Cathy", "Kathy"));
+  EXPECT_FALSE(SoundexEqual("Catherine", "Katherine"));
+}
+
+TEST(SoundexTest, DoubledLettersCollapse) {
+  EXPECT_EQ(Soundex("Gutierrez"), Soundex("Gutierez"));
+}
+
+}  // namespace
+}  // namespace lexequal::phonetic

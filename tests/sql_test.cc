@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "text/utf8.h"
+
+namespace lexequal::sql {
+namespace {
+
+using engine::Database;
+using engine::Schema;
+using engine::Tuple;
+using engine::Value;
+using engine::ValueType;
+using text::Language;
+
+// --- Lexer / parser unit tests ---
+
+TEST(LexerTest, TokenKinds) {
+  Result<std::vector<Token>> toks =
+      Tokenize("SELECT Author, Title FROM Books WHERE Price = 9.95;");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[1].text, "Author");
+  // 9.95 lexes as a number.
+  bool found_number = false;
+  for (const Token& t : *toks) {
+    if (t.type == TokenType::kNumber) {
+      EXPECT_DOUBLE_EQ(t.number, 9.95);
+      found_number = true;
+    }
+  }
+  EXPECT_TRUE(found_number);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  Result<std::vector<Token>> toks = Tokenize("'O''Brien' 'नेहरु'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "O'Brien");
+  EXPECT_EQ((*toks)[1].text, "नेहरु");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("SELECT @").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, Figure3Query) {
+  // The paper's Fig. 3 syntax, verbatim modulo whitespace.
+  Result<SelectStatement> stmt = Parse(
+      "select Author, Title from Books "
+      "where Author LexEQUAL 'Nehru' Threshold 0.25 "
+      "inlanguages { English, Hindi, Tamil, Greek }");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->tables.size(), 1u);
+  EXPECT_EQ(stmt->tables[0].table, "Books");
+  ASSERT_EQ(stmt->predicates.size(), 1u);
+  const Predicate& p = stmt->predicates[0];
+  EXPECT_EQ(p.kind, PredicateKind::kLexEqualLiteral);
+  EXPECT_EQ(p.string_literal, "Nehru");
+  ASSERT_TRUE(p.threshold.has_value());
+  EXPECT_DOUBLE_EQ(*p.threshold, 0.25);
+  EXPECT_EQ(p.in_languages.size(), 4u);
+}
+
+TEST(ParserTest, Figure5JoinQuery) {
+  Result<SelectStatement> stmt = Parse(
+      "select B1.Author from Books B1, Books B2 "
+      "where B1.Author LexEQUAL B2.Author Threshold 0.25 "
+      "and B1.Language <> B2.Language");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->tables.size(), 2u);
+  EXPECT_EQ(stmt->tables[0].alias, "B1");
+  ASSERT_EQ(stmt->predicates.size(), 2u);
+  EXPECT_EQ(stmt->predicates[0].kind, PredicateKind::kLexEqualColumn);
+  EXPECT_EQ(stmt->predicates[1].kind, PredicateKind::kNotEqualsColumn);
+}
+
+TEST(ParserTest, WildcardLanguagesAndHints) {
+  Result<SelectStatement> stmt = Parse(
+      "SELECT * FROM t WHERE c LexEQUAL 'x' inlanguages { * } "
+      "USING qgram LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->select_star);
+  EXPECT_EQ(stmt->plan_hint, "qgram");
+  ASSERT_TRUE(stmt->limit.has_value());
+  EXPECT_EQ(*stmt->limit, 10u);
+  EXPECT_EQ(stmt->predicates[0].in_languages,
+            std::vector<std::string>{"*"});
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a b c").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE a LIKE 'x'").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t extra junk").ok());
+  EXPECT_TRUE(Parse("SELECT a FROM t1, t2, t3 WHERE a = b")
+                  .status()
+                  .IsNotSupported());
+}
+
+// --- End-to-end planner tests over the Books.com data ---
+
+class SqlEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_sql_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Database::Open(path_.string(), 512);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    Schema schema({
+        {"author", ValueType::kString, std::nullopt},
+        {"author_phon", ValueType::kString, 0},
+        {"title", ValueType::kString, std::nullopt},
+        {"price", ValueType::kDouble, std::nullopt},
+    });
+    ASSERT_TRUE(db_->CreateTable("books", schema).ok());
+    auto add = [&](const std::string& author, Language lang,
+                   const std::string& title, double price) {
+      Tuple values{Value::String(author, lang),
+                   Value::String(title, Language::kEnglish),
+                   Value::Double(price)};
+      ASSERT_TRUE(db_->Insert("books", values).ok());
+    };
+    add("Nehru", Language::kEnglish, "Discovery of India", 9.95);
+    add(text::EncodeUtf8({0x0928, 0x0947, 0x0939, 0x0930, 0x0941}),
+        Language::kHindi, "Bharat Ek Khoj", 175);
+    add(text::EncodeUtf8({0x0BA8, 0x0BC7, 0x0BB0, 0x0BC1}),
+        Language::kTamil, "Asia Jothi", 250);
+    add("Nero", Language::kEnglish, "Coronation", 99);
+    add("Smith", Language::kEnglish, "A Book", 5);
+    ASSERT_TRUE(db_->CreateQGramIndex("books", "author_phon", 2).ok());
+    ASSERT_TRUE(db_->CreatePhoneticIndex("books", "author_phon").ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+  }
+  std::filesystem::path path_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SqlEndToEndTest, Figure3SelectReturnsThreeScripts) {
+  Result<QueryResult> result = ExecuteQuery(
+      db_.get(),
+      "select author, title, price from books "
+      "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
+      "inlanguages { English, Hindi, Tamil } USING naive");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->column_names,
+            (std::vector<std::string>{"author", "title", "price"}));
+}
+
+TEST_F(SqlEndToEndTest, PlanHintsAllWork) {
+  for (const char* hint : {"naive", "qgram", "phonetic"}) {
+    Result<QueryResult> result = ExecuteQuery(
+        db_.get(), std::string("select author from books where author "
+                               "LexEQUAL 'Nehru' Threshold 0.3 Cost "
+                               "0.25 USING ") +
+                       hint);
+    ASSERT_TRUE(result.ok()) << hint << ": " << result.status();
+    EXPECT_GE(result->rows.size(), 1u) << hint;
+  }
+}
+
+TEST_F(SqlEndToEndTest, ExactEqualityIsBinary) {
+  Result<QueryResult> result = ExecuteQuery(
+      db_.get(), "select author from books where author = 'Nehru'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST_F(SqlEndToEndTest, ResidualPredicateCombines) {
+  Result<QueryResult> result = ExecuteQuery(
+      db_.get(),
+      "select author, title from books "
+      "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
+      "and title = 'Discovery of India' USING naive");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST_F(SqlEndToEndTest, Figure5JoinExecutes) {
+  Result<QueryResult> result = ExecuteQuery(
+      db_.get(),
+      "select B1.author, B2.author from books B1, books B2 "
+      "where B1.author LexEQUAL B2.author Threshold 0.3 Cost 0.25 "
+      "and B1.language <> B2.language USING naive");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Nehru En/Hi/Ta -> 6 ordered cross-language pairs.
+  EXPECT_EQ(result->rows.size(), 6u);
+  EXPECT_EQ(result->column_names[0], "B1.author");
+}
+
+TEST_F(SqlEndToEndTest, OrderBySortsResults) {
+  Result<QueryResult> asc = ExecuteQuery(
+      db_.get(), "select author, price from books ORDER BY price ASC");
+  ASSERT_TRUE(asc.ok()) << asc.status();
+  ASSERT_EQ(asc->rows.size(), 5u);
+  for (size_t i = 1; i < asc->rows.size(); ++i) {
+    EXPECT_LE((*asc).rows[i - 1][1].AsDouble(),
+              (*asc).rows[i][1].AsDouble());
+  }
+  Result<QueryResult> desc = ExecuteQuery(
+      db_.get(),
+      "select author, price from books ORDER BY price DESC LIMIT 2");
+  ASSERT_TRUE(desc.ok()) << desc.status();
+  ASSERT_EQ(desc->rows.size(), 2u);
+  EXPECT_GE((*desc).rows[0][1].AsDouble(),
+            (*desc).rows[1][1].AsDouble());
+  // Limit applies after the sort: these are the two priciest books.
+  EXPECT_DOUBLE_EQ((*desc).rows[0][1].AsDouble(), 250);
+}
+
+TEST_F(SqlEndToEndTest, OrderByWithLexEqual) {
+  Result<QueryResult> result = ExecuteQuery(
+      db_.get(),
+      "select author, price from books "
+      "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
+      "ORDER BY price DESC USING naive");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->rows[0][1].AsDouble(), 250);
+}
+
+TEST_F(SqlEndToEndTest, OrderByUnknownColumnFails) {
+  EXPECT_TRUE(ExecuteQuery(db_.get(),
+                           "select author from books ORDER BY price")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SqlEndToEndTest, SelectStarAndLimit) {
+  Result<QueryResult> result = ExecuteQuery(
+      db_.get(), "select * from books LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->column_names.size(), 4u);  // all columns
+}
+
+TEST_F(SqlEndToEndTest, ToTableRendersAligned) {
+  Result<QueryResult> result = ExecuteQuery(
+      db_.get(),
+      "select author, price from books where author = 'Nehru'");
+  ASSERT_TRUE(result.ok());
+  std::string table = result->ToTable();
+  EXPECT_NE(table.find("author"), std::string::npos);
+  EXPECT_NE(table.find("Nehru"), std::string::npos);
+  EXPECT_NE(table.find("9.95"), std::string::npos);
+}
+
+TEST_F(SqlEndToEndTest, UnknownEntitiesError) {
+  EXPECT_TRUE(ExecuteQuery(db_.get(), "select a from nope")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ExecuteQuery(db_.get(), "select nope from books")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(
+      ExecuteQuery(db_.get(),
+                   "select author from books where author LexEQUAL "
+                   "'x' USING turbo")
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_F(SqlEndToEndTest, UnsupportedJoinPredicates) {
+  EXPECT_TRUE(ExecuteQuery(db_.get(),
+                           "select B1.author from books B1, books B2 "
+                           "where B1.title <> B2.title")
+                  .status()
+                  .IsNotSupported());
+}
+
+}  // namespace
+}  // namespace lexequal::sql

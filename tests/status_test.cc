@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace lexequal {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughToString) {
+  struct Case {
+    Status status;
+    bool (Status::*pred)() const;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("x"), &Status::IsInvalidArgument},
+      {Status::NotFound("x"), &Status::IsNotFound},
+      {Status::AlreadyExists("x"), &Status::IsAlreadyExists},
+      {Status::OutOfRange("x"), &Status::IsOutOfRange},
+      {Status::Corruption("x"), &Status::IsCorruption},
+      {Status::IOError("x"), &Status::IsIOError},
+      {Status::NotSupported("x"), &Status::IsNotSupported},
+      {Status::ResourceExhausted("x"), &Status::IsResourceExhausted},
+      {Status::NoResource("x"), &Status::IsNoResource},
+      {Status::Internal("x"), &Status::IsInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_TRUE((c.status.*c.pred)());
+    EXPECT_NE(c.status.ToString().find(": x"), std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  LEXEQUAL_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_TRUE(UsesReturnIfError(-1).IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  int h;
+  LEXEQUAL_ASSIGN_OR_RETURN(h, Half(x));
+  LEXEQUAL_ASSIGN_OR_RETURN(h, Half(h));
+  return h;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lexequal

@@ -1,0 +1,146 @@
+// Stress/property tests: the storage stack against in-memory
+// reference models under randomized workloads and tiny buffer pools.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "storage/heap_file.h"
+
+namespace lexequal::storage {
+namespace {
+
+class StorageStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_stress_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(StorageStressTest, HeapFileMatchesReferenceModel) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 4);  // deliberately tiny
+  Result<HeapFile> heap = HeapFile::Create(&pool);
+  ASSERT_TRUE(heap.ok());
+
+  Random rng(123);
+  std::map<RID, std::string> reference;
+  std::vector<RID> live;
+  for (int op = 0; op < 5000; ++op) {
+    const uint64_t dice = rng.Uniform(10);
+    if (dice < 6 || live.empty()) {
+      // Insert a random-size record.
+      std::string rec(1 + rng.Uniform(300), ' ');
+      for (char& c : rec) c = static_cast<char>('a' + rng.Uniform(26));
+      Result<RID> rid = heap->Insert(rec);
+      ASSERT_TRUE(rid.ok()) << rid.status();
+      reference[rid.value()] = rec;
+      live.push_back(rid.value());
+    } else if (dice < 8) {
+      // Delete a random live record.
+      size_t pick = rng.Uniform(live.size());
+      RID rid = live[pick];
+      ASSERT_TRUE(heap->Delete(rid).ok());
+      reference.erase(rid);
+      live.erase(live.begin() + pick);
+    } else {
+      // Read a random live record.
+      size_t pick = rng.Uniform(live.size());
+      RID rid = live[pick];
+      Result<std::string> got = heap->Get(rid);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), reference[rid]);
+    }
+  }
+  // Full iteration agrees with the reference.
+  std::map<RID, std::string> seen;
+  for (auto it = heap->Begin(); !it.AtEnd();) {
+    seen[it.rid()] = it.record();
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(seen, reference);
+  EXPECT_EQ(heap->record_count(), reference.size());
+}
+
+TEST_F(StorageStressTest, BTreeMatchesMultimapUnderMixedOps) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 16);
+  Result<index::BTree> tree = index::BTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+
+  Random rng(321);
+  std::multimap<uint64_t, RID> reference;
+  std::vector<std::pair<uint64_t, RID>> live;
+  for (int op = 0; op < 20000; ++op) {
+    if (rng.Uniform(10) < 7 || live.empty()) {
+      uint64_t key = rng.Uniform(500);
+      RID rid{static_cast<PageId>(op), static_cast<uint16_t>(op % 13)};
+      ASSERT_TRUE(tree->Insert(key, rid).ok());
+      reference.emplace(key, rid);
+      live.emplace_back(key, rid);
+    } else {
+      size_t pick = rng.Uniform(live.size());
+      auto [key, rid] = live[pick];
+      ASSERT_TRUE(tree->Delete(key, rid).ok());
+      auto range = reference.equal_range(key);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (it->second == rid) {
+          reference.erase(it);
+          break;
+        }
+      }
+      live.erase(live.begin() + pick);
+    }
+  }
+  EXPECT_EQ(tree->EntryCount().value(), reference.size());
+  for (uint64_t key = 0; key < 500; key += 17) {
+    auto range = reference.equal_range(key);
+    std::vector<RID> expected;
+    for (auto it = range.first; it != range.second; ++it) {
+      expected.push_back(it->second);
+    }
+    std::sort(expected.begin(), expected.end());
+    Result<std::vector<RID>> got = tree->ScanEqual(key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, expected) << "key " << key;
+  }
+}
+
+TEST_F(StorageStressTest, BufferPoolPinDisciplineUnderChurn) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 8);
+  // Allocate many pages, keep pins balanced, verify data integrity.
+  Random rng(55);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 64; ++i) {
+    Result<Page*> p = pool.NewPage();
+    ASSERT_TRUE(p.ok());
+    std::memset((*p)->data(), 'A' + (i % 26), 64);
+    pages.push_back((*p)->page_id());
+    ASSERT_TRUE(pool.UnpinPage(pages.back(), true).ok());
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    PageId id = pages[rng.Uniform(pages.size())];
+    Result<Page*> p = pool.FetchPage(id);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ((*p)->data()[5], static_cast<char>('A' + id % 26))
+        << "page " << id;
+    ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  }
+  EXPECT_GT(pool.stats().evictions, 50u);
+  EXPECT_GT(pool.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace lexequal::storage

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace lexequal::storage {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_storage_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(StorageTest, DiskManagerAllocateReadWrite) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok()) << disk.status();
+  EXPECT_EQ((*disk)->page_count(), 0u);
+
+  Result<PageId> p0 = (*disk)->AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(p0.value(), 0u);
+
+  char buf[kPageSize];
+  std::memset(buf, 0xAB, kPageSize);
+  ASSERT_TRUE((*disk)->WritePage(0, buf).ok());
+
+  char readback[kPageSize];
+  ASSERT_TRUE((*disk)->ReadPage(0, readback).ok());
+  EXPECT_EQ(std::memcmp(buf, readback, kPageSize), 0);
+
+  EXPECT_TRUE((*disk)->ReadPage(5, readback).IsOutOfRange());
+}
+
+TEST_F(StorageTest, DiskManagerPersistsAcrossReopen) {
+  {
+    auto disk = DiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AllocatePage().ok());
+    char buf[kPageSize];
+    std::memset(buf, 0x5A, kPageSize);
+    ASSERT_TRUE((*disk)->WritePage(0, buf).ok());
+    ASSERT_TRUE((*disk)->Sync().ok());
+  }
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->page_count(), 1u);
+  char readback[kPageSize];
+  ASSERT_TRUE((*disk)->ReadPage(0, readback).ok());
+  EXPECT_EQ(readback[100], 0x5A);
+}
+
+TEST_F(StorageTest, BufferPoolPinningPreventsEviction) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 3);
+
+  Page* pages[3];
+  for (int i = 0; i < 3; ++i) {
+    Result<Page*> p = pool.NewPage();
+    ASSERT_TRUE(p.ok());
+    pages[i] = p.value();
+  }
+  // All frames pinned: the next allocation must fail.
+  EXPECT_TRUE(pool.NewPage().status().IsResourceExhausted());
+  // Unpin one and retry.
+  ASSERT_TRUE(pool.UnpinPage(pages[0]->page_id(), false).ok());
+  EXPECT_TRUE(pool.NewPage().ok());
+}
+
+TEST_F(StorageTest, BufferPoolEvictsLruAndRereads) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 2);
+
+  // Create 3 pages, write a marker in each, unpin.
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    Result<Page*> p = pool.NewPage();
+    ASSERT_TRUE(p.ok());
+    ids[i] = (*p)->page_id();
+    (*p)->data()[0] = static_cast<char>('A' + i);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], true).ok());
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+  // Every page still readable with its marker.
+  for (int i = 0; i < 3; ++i) {
+    Result<Page*> p = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ((*p)->data()[0], static_cast<char>('A' + i));
+    ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
+  }
+}
+
+TEST_F(StorageTest, BufferPoolHitTracking) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 4);
+  Result<Page*> p = pool.NewPage();
+  ASSERT_TRUE(p.ok());
+  PageId id = (*p)->page_id();
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  const uint64_t hits_before = pool.stats().hits;
+  ASSERT_TRUE(pool.FetchPage(id).ok());
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+}
+
+TEST_F(StorageTest, SlottedPageInsertGetDelete) {
+  Page raw;
+  SlottedPage sp(&raw);
+  sp.Init();
+  EXPECT_EQ(sp.slot_count(), 0);
+
+  Result<uint16_t> s0 = sp.Insert("hello");
+  Result<uint16_t> s1 = sp.Insert("world!");
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(sp.Get(s0.value()).value(), "hello");
+  EXPECT_EQ(sp.Get(s1.value()).value(), "world!");
+
+  ASSERT_TRUE(sp.Delete(s0.value()).ok());
+  EXPECT_TRUE(sp.Get(s0.value()).status().IsNotFound());
+  EXPECT_EQ(sp.Get(s1.value()).value(), "world!");  // s1 unaffected
+  EXPECT_TRUE(sp.Delete(s0.value()).IsNotFound());
+}
+
+TEST_F(StorageTest, SlottedPageRejectsOverflow) {
+  Page raw;
+  SlottedPage sp(&raw);
+  sp.Init();
+  std::string big(kPageSize, 'x');
+  EXPECT_TRUE(sp.Insert(big).status().IsResourceExhausted());
+  EXPECT_TRUE(sp.Insert("").status().IsInvalidArgument());
+  // Fill until full: all inserts either succeed or report exhaustion.
+  int inserted = 0;
+  while (true) {
+    Result<uint16_t> s = sp.Insert("0123456789");
+    if (!s.ok()) {
+      EXPECT_TRUE(s.status().IsResourceExhausted());
+      break;
+    }
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 200);  // (4096-8) / (10+4) ≈ 290
+}
+
+TEST_F(StorageTest, HeapFileInsertGetAcrossPages) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 8);
+  Result<HeapFile> heap = HeapFile::Create(&pool);
+  ASSERT_TRUE(heap.ok());
+
+  // Insert enough records to span several pages.
+  std::vector<RID> rids;
+  for (int i = 0; i < 2000; ++i) {
+    std::string rec = "record-" + std::to_string(i);
+    Result<RID> rid = heap->Insert(rec);
+    ASSERT_TRUE(rid.ok()) << rid.status();
+    rids.push_back(rid.value());
+  }
+  EXPECT_EQ(heap->record_count(), 2000u);
+  // Spot-check retrieval.
+  EXPECT_EQ(heap->Get(rids[0]).value(), "record-0");
+  EXPECT_EQ(heap->Get(rids[1234]).value(), "record-1234");
+  EXPECT_EQ(heap->Get(rids[1999]).value(), "record-1999");
+}
+
+TEST_F(StorageTest, HeapFileIterationSeesAllLiveRecords) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 8);
+  Result<HeapFile> heap = HeapFile::Create(&pool);
+  ASSERT_TRUE(heap.ok());
+
+  std::vector<RID> rids;
+  for (int i = 0; i < 500; ++i) {
+    Result<RID> rid = heap->Insert("r" + std::to_string(i));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(rid.value());
+  }
+  // Delete every third record.
+  for (size_t i = 0; i < rids.size(); i += 3) {
+    ASSERT_TRUE(heap->Delete(rids[i]).ok());
+  }
+  size_t seen = 0;
+  for (auto it = heap->Begin(); !it.AtEnd();) {
+    ++seen;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(seen, 500u - (500 + 2) / 3);
+}
+
+TEST_F(StorageTest, HeapFileReopenFindsRecords) {
+  PageId first_page;
+  {
+    auto disk = DiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    BufferPool pool(disk->get(), 8);
+    Result<HeapFile> heap = HeapFile::Create(&pool);
+    ASSERT_TRUE(heap.ok());
+    first_page = heap->first_page();
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(heap->Insert("persist-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 8);
+  Result<HeapFile> heap = HeapFile::Open(&pool, first_page);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_EQ(heap->record_count(), 300u);
+  // Inserts continue at the tail.
+  ASSERT_TRUE(heap->Insert("tail").ok());
+  EXPECT_EQ(heap->record_count(), 301u);
+}
+
+TEST_F(StorageTest, HeapFileEmptyIteration) {
+  auto disk = DiskManager::Open(path_.string());
+  ASSERT_TRUE(disk.ok());
+  BufferPool pool(disk->get(), 4);
+  Result<HeapFile> heap = HeapFile::Create(&pool);
+  ASSERT_TRUE(heap.ok());
+  auto it = heap->Begin();
+  EXPECT_TRUE(it.AtEnd());
+}
+
+}  // namespace
+}  // namespace lexequal::storage

@@ -1,0 +1,53 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal {
+namespace {
+
+TEST(StringUtilTest, AsciiCaseConversion) {
+  EXPECT_EQ(AsciiToLower("Nehru-42"), "nehru-42");
+  EXPECT_EQ(AsciiToUpper("Nehru-42"), "NEHRU-42");
+  // Non-ASCII bytes pass through untouched.
+  EXPECT_EQ(AsciiToLower("Ren\xC3\xA9"), "ren\xC3\xA9");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  std::vector<std::string> pieces = {"a", "b", "c"};
+  EXPECT_EQ(Join(pieces, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split(Join(pieces, "|"), '|'), pieces);
+}
+
+TEST(StringUtilTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("lexequal", "lex"));
+  EXPECT_FALSE(StartsWith("lex", "lexequal"));
+  EXPECT_TRUE(EndsWith("lexequal", "equal"));
+  EXPECT_FALSE(EndsWith("equal", "lexequal"));
+}
+
+TEST(StringUtilTest, CharacterClasses) {
+  EXPECT_TRUE(IsAsciiAlpha('a'));
+  EXPECT_TRUE(IsAsciiAlpha('Z'));
+  EXPECT_FALSE(IsAsciiAlpha('1'));
+  EXPECT_TRUE(IsAsciiVowel('e'));
+  EXPECT_TRUE(IsAsciiVowel('U'));
+  EXPECT_FALSE(IsAsciiVowel('y'));
+  EXPECT_FALSE(IsAsciiVowel('b'));
+}
+
+}  // namespace
+}  // namespace lexequal

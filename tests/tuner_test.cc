@@ -1,0 +1,77 @@
+#include "dataset/tuner.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal::dataset {
+namespace {
+
+const Lexicon& Training() {
+  // A 150-group training sample keeps the grid search fast.
+  static const Lexicon& lex = *new Lexicon(
+      Lexicon::BuildTrilingual().value().Sample(150));
+  return lex;
+}
+
+TEST(LexiconSampleTest, KeepsGroupStructure) {
+  const Lexicon& s = Training();
+  EXPECT_EQ(s.group_count(), 150);
+  EXPECT_EQ(s.group_sizes().size(), 150u);
+  for (const LexiconEntry& e : s.entries()) {
+    EXPECT_LT(e.tag, 150);
+  }
+  uint64_t total = 0;
+  for (int n : s.group_sizes()) total += n;
+  EXPECT_EQ(total, s.entries().size());
+}
+
+TEST(TunerTest, ObjectiveValues) {
+  QualityResult q;
+  q.recall = 0.8;
+  q.precision = 0.6;
+  EXPECT_NEAR(ObjectiveValue(TuneObjective::kF1, q), 0.6857, 1e-3);
+  EXPECT_GT(ObjectiveValue(TuneObjective::kRecallFirst, q), 0.8);
+  EXPECT_GT(ObjectiveValue(TuneObjective::kPrecisionFirst, q), 0.6);
+  QualityResult zero;
+  zero.recall = 0;
+  zero.precision = 0;
+  EXPECT_EQ(ObjectiveValue(TuneObjective::kF1, zero), 0.0);
+}
+
+TEST(TunerTest, FindsKneeRegionParameters) {
+  TuneGrid grid;
+  grid.thresholds = {0.0, 0.1, 0.2, 0.3, 0.5};
+  grid.costs = {0.0, 0.25, 0.5, 1.0};
+  TuneResult best = TuneParameters(Training(), TuneObjective::kF1, grid);
+  EXPECT_EQ(best.grid.size(), grid.thresholds.size() * grid.costs.size());
+  // The optimum must achieve a strong F1 and sit away from the
+  // degenerate corners (threshold 0.5 collapses precision; threshold
+  // 0 collapses recall at high cost).
+  EXPECT_GT(best.objective_value, 0.8);
+  EXPECT_GT(best.quality.recall, 0.7);
+  EXPECT_GT(best.quality.precision, 0.7);
+  EXPECT_LT(best.options.threshold, 0.5);
+}
+
+TEST(TunerTest, RecallFirstPicksLooserSettings) {
+  TuneGrid grid;
+  grid.thresholds = {0.1, 0.3, 0.5};
+  grid.costs = {0.25};
+  TuneResult f1 = TuneParameters(Training(), TuneObjective::kF1, grid);
+  TuneResult recall =
+      TuneParameters(Training(), TuneObjective::kRecallFirst, grid);
+  EXPECT_GE(recall.quality.recall, f1.quality.recall);
+  EXPECT_GE(recall.options.threshold, f1.options.threshold);
+}
+
+TEST(TunerTest, GridRespectsRequestedPoints) {
+  TuneGrid grid;
+  grid.thresholds = {0.2};
+  grid.costs = {0.25};
+  TuneResult best = TuneParameters(Training(), TuneObjective::kF1, grid);
+  ASSERT_EQ(best.grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(best.options.threshold, 0.2);
+  EXPECT_DOUBLE_EQ(best.options.intra_cluster_cost, 0.25);
+}
+
+}  // namespace
+}  // namespace lexequal::dataset

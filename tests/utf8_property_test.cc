@@ -1,0 +1,75 @@
+// Property sweeps for the UTF-8 codec: round-trip identity over valid
+// scalar values and total robustness over random byte soup.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "text/utf8.h"
+
+namespace lexequal::text {
+namespace {
+
+CodePoint RandomScalar(Random* rng) {
+  while (true) {
+    CodePoint cp = static_cast<CodePoint>(rng->Uniform(0x110000));
+    if (cp >= 0xD800 && cp <= 0xDFFF) continue;  // surrogates
+    return cp;
+  }
+}
+
+TEST(Utf8PropertyTest, EncodeDecodeIdentityOverRandomScalars) {
+  Random rng(404);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<CodePoint> cps;
+    const size_t n = rng.Uniform(32);
+    for (size_t i = 0; i < n; ++i) cps.push_back(RandomScalar(&rng));
+    const std::string encoded = EncodeUtf8(cps);
+    EXPECT_TRUE(IsValidUtf8(encoded));
+    EXPECT_EQ(DecodeUtf8(encoded), cps);
+    Result<std::vector<CodePoint>> strict = DecodeUtf8Strict(encoded);
+    ASSERT_TRUE(strict.ok());
+    EXPECT_EQ(*strict, cps);
+    EXPECT_EQ(CodePointCount(encoded), cps.size());
+  }
+}
+
+TEST(Utf8PropertyTest, RandomBytesNeverCrashAndReencodeValid) {
+  Random rng(505);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string soup;
+    const size_t n = rng.Uniform(64);
+    for (size_t i = 0; i < n; ++i) {
+      soup.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    // Lenient decode is total; its output re-encodes as valid UTF-8.
+    std::vector<CodePoint> cps = DecodeUtf8(soup);
+    const std::string reencoded = EncodeUtf8(cps);
+    EXPECT_TRUE(IsValidUtf8(reencoded));
+    // Strict decode agrees with the validator.
+    EXPECT_EQ(DecodeUtf8Strict(soup).ok(), IsValidUtf8(soup));
+  }
+}
+
+TEST(Utf8PropertyTest, DecodeConsumesEveryByteExactlyOnce) {
+  Random rng(606);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string soup;
+    const size_t n = 1 + rng.Uniform(32);
+    for (size_t i = 0; i < n; ++i) {
+      soup.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    size_t pos = 0;
+    size_t steps = 0;
+    while (pos < soup.size()) {
+      const size_t before = pos;
+      (void)DecodeUtf8(soup, &pos);
+      ASSERT_GT(pos, before);  // always advances: no infinite loops
+      ++steps;
+      ASSERT_LE(steps, soup.size());
+    }
+    EXPECT_EQ(pos, soup.size());
+  }
+}
+
+}  // namespace
+}  // namespace lexequal::text

@@ -1,0 +1,102 @@
+#include "text/utf8.h"
+
+#include <gtest/gtest.h>
+
+namespace lexequal::text {
+namespace {
+
+TEST(Utf8Test, AsciiRoundTrip) {
+  std::string s = "Nehru";
+  std::vector<CodePoint> cps = DecodeUtf8(s);
+  ASSERT_EQ(cps.size(), 5u);
+  EXPECT_EQ(cps[0], 'N');
+  EXPECT_EQ(EncodeUtf8(cps), s);
+}
+
+TEST(Utf8Test, TwoByteRoundTrip) {
+  // é U+00E9
+  std::string s = "\xC3\xA9";
+  std::vector<CodePoint> cps = DecodeUtf8(s);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0], 0xE9u);
+  EXPECT_EQ(EncodeUtf8(0xE9), s);
+}
+
+TEST(Utf8Test, ThreeByteRoundTrip) {
+  // Devanagari NA U+0928
+  std::vector<CodePoint> cps = {0x0928};
+  std::string s = EncodeUtf8(cps);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(DecodeUtf8(s), cps);
+}
+
+TEST(Utf8Test, FourByteRoundTrip) {
+  std::vector<CodePoint> cps = {0x1F600};
+  std::string s = EncodeUtf8(cps);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(DecodeUtf8(s), cps);
+}
+
+TEST(Utf8Test, MixedStringCodePointCount) {
+  // "नेहरु" = 5 code points, 15 bytes.
+  std::string s = EncodeUtf8({0x0928, 0x0947, 0x0939, 0x0930, 0x0941});
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_EQ(CodePointCount(s), 5u);
+}
+
+TEST(Utf8Test, RejectsOverlongEncoding) {
+  // Overlong encoding of '/' (0x2F) as two bytes.
+  std::string overlong = "\xC0\xAF";
+  EXPECT_FALSE(IsValidUtf8(overlong));
+  EXPECT_FALSE(DecodeUtf8Strict(overlong).ok());
+}
+
+TEST(Utf8Test, RejectsSurrogates) {
+  // CESU-8 style encoded surrogate U+D800: ED A0 80.
+  std::string surrogate = "\xED\xA0\x80";
+  EXPECT_FALSE(IsValidUtf8(surrogate));
+}
+
+TEST(Utf8Test, RejectsTruncatedSequence) {
+  std::string truncated = "\xE0\xA4";  // missing third byte
+  EXPECT_FALSE(IsValidUtf8(truncated));
+  // Lenient decoding substitutes replacement characters.
+  std::vector<CodePoint> cps = DecodeUtf8(truncated);
+  ASSERT_FALSE(cps.empty());
+  EXPECT_EQ(cps[0], kReplacementChar);
+}
+
+TEST(Utf8Test, RejectsBareContinuation) {
+  std::string bare = "a\x80z";
+  EXPECT_FALSE(IsValidUtf8(bare));
+  std::vector<CodePoint> cps = DecodeUtf8(bare);
+  ASSERT_EQ(cps.size(), 3u);
+  EXPECT_EQ(cps[1], kReplacementChar);
+}
+
+TEST(Utf8Test, RejectsOutOfRange) {
+  // 0xF5 starts values above U+10FFFF.
+  std::string big = "\xF5\x80\x80\x80";
+  EXPECT_FALSE(IsValidUtf8(big));
+}
+
+TEST(Utf8Test, EncodeClampsInvalidScalars) {
+  EXPECT_EQ(EncodeUtf8(0xD800u), EncodeUtf8(kReplacementChar));
+  EXPECT_EQ(EncodeUtf8(0x110000u), EncodeUtf8(kReplacementChar));
+}
+
+TEST(Utf8Test, StrictDecodeReportsOffset) {
+  Result<std::vector<CodePoint>> r = DecodeUtf8Strict("ab\x80");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset 2"), std::string::npos);
+}
+
+TEST(Utf8Test, ValidStringsAcrossPlanes) {
+  EXPECT_TRUE(IsValidUtf8(""));
+  EXPECT_TRUE(IsValidUtf8("ascii only"));
+  EXPECT_TRUE(IsValidUtf8(EncodeUtf8({0x7F, 0x80, 0x7FF, 0x800, 0xFFFF,
+                                      0x10000, 0x10FFFF})));
+}
+
+}  // namespace
+}  // namespace lexequal::text

@@ -1,0 +1,118 @@
+#include "engine/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "text/utf8.h"
+
+namespace lexequal::engine {
+namespace {
+
+TEST(ValueTest, FactoryAndAccessors) {
+  Value i = Value::Int64(-7);
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(i.AsInt64(), -7);
+
+  Value d = Value::Double(2.5);
+  EXPECT_EQ(d.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 2.5);
+
+  Value s = Value::String("नेहरु", text::Language::kHindi);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(s.AsString().text(), "नेहरु");
+  EXPECT_EQ(s.AsString().language(), text::Language::kHindi);
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value::Int64(42).ToDisplayString(), "42");
+  EXPECT_EQ(Value::String("x").ToDisplayString(), "x");
+  // Doubles drop useless trailing zeros but keep one decimal.
+  std::string d = Value::Double(9.95).ToDisplayString();
+  EXPECT_EQ(d.substr(0, 4), "9.95");
+  EXPECT_EQ(Value::Double(5).ToDisplayString().substr(0, 3), "5.0");
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_EQ(Value::Int64(1), Value::Int64(1));
+  EXPECT_FALSE(Value::Int64(1) == Value::Double(1.0));
+  EXPECT_FALSE(Value::Int64(1) == Value::String("1"));
+  // Strings compare language-sensitively (SQL:1999 collation-binary).
+  EXPECT_FALSE(Value::String("x", text::Language::kEnglish) ==
+               Value::String("x", text::Language::kFrench));
+  EXPECT_EQ(Value::String("x", text::Language::kEnglish),
+            Value::String("x", text::Language::kEnglish));
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_EQ(ValueTypeName(ValueType::kInt64), "INT64");
+  EXPECT_EQ(ValueTypeName(ValueType::kDouble), "DOUBLE");
+  EXPECT_EQ(ValueTypeName(ValueType::kString), "STRING");
+}
+
+TEST(SchemaTest, IndexOfAndUserColumns) {
+  Schema schema({
+      {"a", ValueType::kString, std::nullopt},
+      {"a_phon", ValueType::kString, 0},
+      {"b", ValueType::kInt64, std::nullopt},
+  });
+  EXPECT_EQ(schema.IndexOf("a").value(), 0u);
+  EXPECT_EQ(schema.IndexOf("b").value(), 2u);
+  EXPECT_TRUE(schema.IndexOf("nope").status().IsNotFound());
+  EXPECT_EQ(schema.UserColumnCount(), 2u);  // derived column excluded
+  EXPECT_EQ(schema.size(), 3u);
+}
+
+TEST(TupleSerializationTest, RandomizedRoundTripProperty) {
+  Random rng(20260706);
+  for (int trial = 0; trial < 500; ++trial) {
+    Tuple t;
+    const size_t n = rng.Uniform(6);
+    for (size_t i = 0; i < n; ++i) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          t.push_back(Value::Int64(static_cast<int64_t>(rng.Next())));
+          break;
+        case 1:
+          t.push_back(Value::Double(rng.NextDouble() * 1e6 - 5e5));
+          break;
+        default: {
+          std::string s;
+          const size_t len = rng.Uniform(20);
+          for (size_t k = 0; k < len; ++k) {
+            // Mix ASCII and multibyte.
+            if (rng.Bernoulli(0.3)) {
+              text::AppendUtf8(0x0900 + rng.Uniform(0x7F), &s);
+            } else {
+              s.push_back(static_cast<char>('a' + rng.Uniform(26)));
+            }
+          }
+          t.push_back(Value::String(
+              std::move(s),
+              static_cast<text::Language>(rng.Uniform(10))));
+        }
+      }
+    }
+    Result<Tuple> back = DeserializeTuple(SerializeTuple(t));
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      EXPECT_EQ((*back)[i], t[i]) << "trial " << trial << " cell " << i;
+    }
+  }
+}
+
+TEST(TupleSerializationTest, TruncationAtEveryByteIsSafe) {
+  // Corruption robustness: no prefix of a valid encoding may crash,
+  // and every strict prefix must fail to parse as the full tuple.
+  Tuple t{Value::Int64(7), Value::String("नेहरु", text::Language::kHindi),
+          Value::Double(1.5)};
+  const std::string bytes = SerializeTuple(t);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<Tuple> r = DeserializeTuple(bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok() && r->size() == t.size() && (*r)[2] == t[2])
+        << "cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace lexequal::engine
