@@ -29,13 +29,13 @@ class Timer {
 };
 
 /// Size of the generated performance dataset. Defaults to the
-/// paper's ~200k rows; override with LEXEQUAL_DATASET_SIZE (e.g.
-/// 50000 for a quick run, 0 for the complete ~1.5M concatenation
-/// set).
-inline size_t GeneratedDatasetSize() {
+/// paper's ~200k rows unless the bench passes its own default;
+/// override with LEXEQUAL_DATASET_SIZE (e.g. 50000 for a quick run,
+/// 0 for the complete ~1.5M concatenation set).
+inline size_t GeneratedDatasetSize(size_t default_size = 200000) {
   const char* env = std::getenv("LEXEQUAL_DATASET_SIZE");
   if (env != nullptr) return static_cast<size_t>(std::atoll(env));
-  return 200000;
+  return default_size;
 }
 
 /// Loads the generated dataset into table `names(name, name_phon,

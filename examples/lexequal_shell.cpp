@@ -8,7 +8,7 @@
 //   ./lexequal_shell "select name from names where name LexEQUAL
 //                     'Krishna' Threshold 0.25 USING phonetic"
 //
-// Meta commands: \tables, \schema <table>, \quit.
+// Meta commands: \help, \tables, \schema <table>, \quit.
 
 #include <chrono>
 #include <cstdio>
@@ -41,9 +41,34 @@ void RunQuery(Database* db, const std::string& sql) {
   std::printf("%s(%zu rows, %.2f ms, %llu candidate rows verified)\n",
               result->ToTable().c_str(), result->rows.size(), ms,
               static_cast<unsigned long long>(result->stats.udf_calls));
+  // Matcher breakdown: populated by LexEQUAL predicates (the cache
+  // counters by every text probe, the rest by `USING parallel`).
+  const lexequal::match::MatchStats& m = result->stats.match;
+  if (m.tuples_scanned > 0 || m.cache_hits + m.cache_misses > 0) {
+    std::printf("match: %s\n", m.ToString().c_str());
+  }
+}
+
+// The grammar accepted by sql::Parse, clause order included.
+void PrintHelp() {
+  std::printf(
+      "query grammar:\n"
+      "  select <cols> from <table>\n"
+      "  where  <col> LexEQUAL '<literal>'      -- or LexEQUAL <col>\n"
+      "         [Threshold <e>] [Cost <c>] [inlanguages { L1, ... | * }]\n"
+      "  [order by <col> [asc|desc]] [USING <plan>] [limit <n>]\n"
+      "plans (USING): naive | qgram | phonetic | parallel\n"
+      "  parallel returns the same rows as naive and prints a match:\n"
+      "  line — scanned/filtered/dp counters plus phoneme-cache\n"
+      "  hits/misses (repeat a probe to see the cache warm up).\n"
+      "meta commands: \\help, \\tables, \\schema <table>, \\quit\n");
 }
 
 void RunMeta(Database* db, const std::string& line) {
+  if (line == "\\help" || line == "\\h") {
+    PrintHelp();
+    return;
+  }
   if (line == "\\tables") {
     for (const std::string& name : db->catalog()->TableNames()) {
       std::printf("%s\n", name.c_str());
@@ -68,8 +93,8 @@ void RunMeta(Database* db, const std::string& line) {
                 info.value()->qgram_index ? "qgram" : "");
     return;
   }
-  std::printf("unknown meta command; try \\tables, \\schema <t>, "
-              "\\quit\n");
+  std::printf("unknown meta command; try \\help, \\tables, "
+              "\\schema <t>, \\quit\n");
 }
 
 }  // namespace
@@ -109,7 +134,8 @@ int main(int argc, char** argv) {
   std::printf(
       "LexEQUAL shell — %zu names loaded into `names`.\n"
       "try: select name from names where name LexEQUAL 'Krishna' "
-      "Threshold 0.25 USING phonetic\n",
+      "Threshold 0.25 USING parallel\n"
+      "\\help shows the grammar and plan hints.\n",
       lexicon->entries().size());
   std::string line;
   while (true) {

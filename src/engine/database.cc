@@ -59,6 +59,8 @@ std::string_view LexEqualPlanName(LexEqualPlan plan) {
       return "qgram-filter";
     case LexEqualPlan::kPhoneticIndex:
       return "phonetic-index";
+    case LexEqualPlan::kParallelScan:
+      return "parallel-scan";
   }
   return "unknown";
 }
@@ -293,9 +295,12 @@ Result<RID> Database::Insert(const std::string& table,
       row.push_back(v);
       continue;
     }
-    // Derived: transform the (already appended) source column.
+    // Derived: transform the (already appended) source column,
+    // through the shared cache — bulk loads with recurring names
+    // (and re-loads of the same dataset) skip the rule engines.
     const Value& src = row[*col.phonemic_source];
-    Result<PhonemeString> phon = g2p_->Transform(src.AsString());
+    Result<PhonemeString> phon =
+        match::PhonemeCache::Default().Transform(src.AsString());
     if (phon.ok()) {
       row.push_back(Value::String(phon.value().ToIpa()));
     } else if (phon.status().IsNoResource() ||
@@ -541,10 +546,19 @@ Result<std::vector<Tuple>> Database::LexEqualSelect(
     const std::string& table, const std::string& column,
     const text::TaggedString& query, const LexEqualQueryOptions& options,
     QueryStats* stats) {
-  PhonemeString query_phon;
-  LEXEQUAL_ASSIGN_OR_RETURN(query_phon, g2p_->Transform(query));
-  return LexEqualSelectPhonemes(table, column, query_phon, options,
-                                stats);
+  // Query-side transform goes through the shared phoneme cache:
+  // repeated probes (and multi-predicate queries) re-use the G2P run.
+  match::PhonemeCache& cache = match::PhonemeCache::Default();
+  const match::PhonemeCacheStats before = cache.stats();
+  Result<PhonemeString> query_phon = cache.Transform(query);
+  if (stats != nullptr) {
+    const match::PhonemeCacheStats after = cache.stats();
+    stats->match.cache_hits += after.hits - before.hits;
+    stats->match.cache_misses += after.misses - before.misses;
+  }
+  if (!query_phon.ok()) return query_phon.status();
+  return LexEqualSelectPhonemes(table, column, query_phon.value(),
+                                options, stats);
 }
 
 Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
@@ -631,6 +645,32 @@ Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
       }
       break;
     }
+    case LexEqualPlan::kParallelScan: {
+      ParallelScanSpec spec;
+      spec.query = query_phon;
+      spec.source_col = source_col;
+      spec.phon_col = phon_col;
+      spec.match = options.match;
+      spec.in_languages = options.in_languages;
+      spec.threads = options.threads;
+      spec.cache = &match::PhonemeCache::Default();
+      ParallelLexEqualScanExecutor scan(info, std::move(spec));
+      LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+      Tuple row;
+      while (true) {
+        bool has;
+        LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+        if (!has) break;
+        out.push_back(std::move(row));
+      }
+      if (stats != nullptr) {
+        stats->rows_scanned += scan.rows_scanned();
+        stats->candidates += scan.stats().dp_evaluations;
+        stats->udf_calls += scan.stats().dp_evaluations;
+        stats->match.Merge(scan.stats());
+      }
+      break;
+    }
   }
   if (stats != nullptr) stats->results = out.size();
   return out;
@@ -656,6 +696,32 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
 
   match::LexEqualMatcher matcher(options.match);
   std::vector<std::pair<Tuple, Tuple>> out;
+
+  // Parallel plan: materialize the inner side once (rows + phonemic
+  // cells), then batch-match every outer probe against it. The match
+  // pair set and order are identical to the naive nested loop.
+  std::vector<Tuple> inner_rows;
+  std::vector<std::string> inner_ipa;
+  match::ParallelMatcherOptions pm_options;
+  pm_options.threads = options.threads;
+  pm_options.cache = &match::PhonemeCache::Default();
+  match::ParallelMatcher pm(matcher, pm_options);
+  if (options.plan == LexEqualPlan::kParallelScan) {
+    SeqScanExecutor inner(right);
+    LEXEQUAL_RETURN_IF_ERROR(inner.Init());
+    Tuple rrow;
+    while (true) {
+      bool rhas;
+      LEXEQUAL_ASSIGN_OR_RETURN(rhas, inner.Next(&rrow));
+      if (!rhas) break;
+      const Value& cell = rrow[rphon];
+      if (cell.type() != ValueType::kString) {
+        return Status::Corruption("phonemic column is not a string");
+      }
+      inner_ipa.push_back(cell.AsString().text());
+      inner_rows.push_back(std::move(rrow));
+    }
+  }
 
   SeqScanExecutor outer(left);
   LEXEQUAL_RETURN_IF_ERROR(outer.Init());
@@ -737,6 +803,29 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
           LEXEQUAL_ASSIGN_OR_RETURN(rhas, lookup.Next(&rrow));
           if (!rhas) break;
           LEXEQUAL_RETURN_IF_ERROR(emit_if_match(rrow));
+        }
+        break;
+      }
+      case LexEqualPlan::kParallelScan: {
+        match::MatchStats mstats;
+        std::vector<size_t> matched;
+        {
+          Result<std::vector<size_t>> matched_or =
+              pm.MatchBatchIpa(lph, inner_ipa, &mstats);
+          if (!matched_or.ok()) return matched_or.status();
+          matched = std::move(matched_or).value();
+        }
+        if (stats != nullptr) {
+          stats->candidates += mstats.dp_evaluations;
+          stats->udf_calls += mstats.dp_evaluations;
+          stats->match.Merge(mstats);
+        }
+        for (size_t idx : matched) {
+          const Tuple& rrow = inner_rows[idx];
+          // Fig. 5: B1.Language <> B2.Language, plus inlanguages.
+          if (rrow[rcol].AsString().language() == llang) continue;
+          if (!LanguageAllowed(options, rrow, rcol)) continue;
+          out.emplace_back(lrow, rrow);
         }
         break;
       }

@@ -12,6 +12,8 @@
 #include "engine/executor.h"
 #include "engine/expression.h"
 #include "match/lexequal.h"
+#include "match/match_stats.h"
+#include "match/phoneme_cache.h"
 #include "match/qgram.h"
 #include "storage/buffer_pool.h"
 
@@ -22,6 +24,8 @@ enum class LexEqualPlan {
   kNaiveUdf,        // full scan / NLJ + UDF (paper Table 1)
   kQGramFilter,     // q-gram filters + UDF   (paper Table 2)
   kPhoneticIndex,   // phonetic B-Tree + UDF  (paper Table 3)
+  kParallelScan,    // batch scan: filters + thread pool + phoneme
+                    // cache; same match set as kNaiveUdf
 };
 
 std::string_view LexEqualPlanName(LexEqualPlan plan);
@@ -32,6 +36,9 @@ struct LexEqualQueryOptions {
   LexEqualPlan plan = LexEqualPlan::kNaiveUdf;
   /// Target languages (Fig. 3 "inlanguages"); empty = all (*).
   std::vector<text::Language> in_languages;
+  /// Worker threads for kParallelScan (0 = auto). Ignored by the
+  /// other plans.
+  uint32_t threads = 0;
 };
 
 /// Execution counters for one query, used by the benchmark tables.
@@ -40,6 +47,10 @@ struct QueryStats {
   uint64_t candidates = 0;       // rows reaching the UDF
   uint64_t udf_calls = 0;        // exact matcher invocations
   uint64_t results = 0;          // rows returned
+  /// Matcher-side breakdown (filters, DP runs, phoneme-cache hits,
+  /// threads, wall time). Filled by the parallel plan; the query-side
+  /// G2P cache counters are filled by every LexEQUAL text query.
+  match::MatchStats match;
 };
 
 /// A single-file embedded database with the LexEQUAL extension.

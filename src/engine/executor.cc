@@ -156,6 +156,78 @@ Result<bool> HashGroupByExecutor::Next(Tuple* out) {
   return true;
 }
 
+namespace {
+
+// Mirrors Database::LanguageAllowed: the inlanguages clause over the
+// source column's language tag.
+bool ScanLanguageAllowed(const std::vector<text::Language>& allowed,
+                         const Tuple& row, uint32_t source_col) {
+  if (allowed.empty()) return true;  // wildcard *
+  const text::Language lang = row[source_col].AsString().language();
+  for (text::Language l : allowed) {
+    if (l == text::Language::kAny || l == lang) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ParallelLexEqualScanExecutor::Init() {
+  matched_rows_.clear();
+  pos_ = 0;
+  stats_ = {};
+  rows_scanned_ = 0;
+
+  // Single-threaded materialization: heap iteration goes through the
+  // buffer pool, which is not synchronized. Rows failing the language
+  // clause are dropped here, exactly where the serial plan drops them.
+  std::vector<Tuple> rows;
+  std::vector<std::string> ipa;
+  SeqScanExecutor scan(table_);
+  LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+  Tuple row;
+  while (true) {
+    Result<bool> has = scan.Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    ++rows_scanned_;
+    if (!ScanLanguageAllowed(spec_.in_languages, row,
+                             spec_.source_col)) {
+      continue;
+    }
+    const Value& cell = row[spec_.phon_col];
+    if (cell.type() != ValueType::kString) {
+      return Status::Corruption("phonemic column is not a string");
+    }
+    ipa.push_back(cell.AsString().text());
+    rows.push_back(std::move(row));
+  }
+
+  match::LexEqualMatcher matcher(spec_.match);
+  match::ParallelMatcherOptions pm_options;
+  pm_options.threads = spec_.threads;
+  pm_options.cache = spec_.cache;
+  match::ParallelMatcher pm(matcher, pm_options);
+  std::vector<size_t> matched;
+  {
+    Result<std::vector<size_t>> matched_or =
+        pm.MatchBatchIpa(spec_.query, ipa, &stats_);
+    if (!matched_or.ok()) return matched_or.status();
+    matched = std::move(matched_or).value();
+  }
+  matched_rows_.reserve(matched.size());
+  for (size_t i : matched) {
+    matched_rows_.push_back(std::move(rows[i]));
+  }
+  return Status::OK();
+}
+
+Result<bool> ParallelLexEqualScanExecutor::Next(Tuple* out) {
+  if (pos_ >= matched_rows_.size()) return false;
+  *out = matched_rows_[pos_++];
+  return true;
+}
+
 Result<std::vector<Tuple>> Collect(Executor& executor) {
   LEXEQUAL_RETURN_IF_ERROR(executor.Init());
   std::vector<Tuple> out;

@@ -10,6 +10,8 @@
 #include "common/result.h"
 #include "engine/catalog.h"
 #include "engine/expression.h"
+#include "match/match_stats.h"
+#include "match/parallel_matcher.h"
 #include "storage/heap_file.h"
 
 namespace lexequal::engine {
@@ -144,6 +146,52 @@ class HashGroupByExecutor final : public Executor {
   ExprPtr having_;  // may be null
   std::vector<Tuple> groups_;
   size_t pos_ = 0;
+};
+
+/// Everything the parallel scan node needs besides the table: the
+/// probe, the column bindings, and the matcher/thread/cache knobs.
+/// (A plain struct rather than LexEqualQueryOptions to keep executor.h
+/// independent of database.h, which includes this header.)
+struct ParallelScanSpec {
+  phonetic::PhonemeString query;       // probe, already in phoneme space
+  uint32_t source_col = 0;             // text column (language tag)
+  uint32_t phon_col = 0;               // phonemic shadow column
+  match::LexEqualOptions match;        // threshold / cost knobs
+  std::vector<text::Language> in_languages;  // empty = all (*)
+  uint32_t threads = 0;                // 0 = auto
+  match::PhonemeCache* cache = nullptr;  // optional, borrowed
+};
+
+/// Parallel LexEQUAL scan (the batch sibling of the naive-UDF plan):
+/// Init() materializes the heap once on the calling thread — the
+/// storage layer is single-threaded by design — then fans the
+/// candidate array out to a ParallelMatcher worker pool; Next()
+/// streams the matching tuples in heap order. The match set is
+/// bit-identical to the naive serial scan for every thread count
+/// (see parallel_matcher.h for the determinism contract).
+class ParallelLexEqualScanExecutor final : public Executor {
+ public:
+  ParallelLexEqualScanExecutor(const TableInfo* table,
+                               ParallelScanSpec spec)
+      : table_(table), spec_(std::move(spec)) {}
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+  /// Matcher-side counters of the last Init() (filters, DP runs,
+  /// cache hits, wall time).
+  const match::MatchStats& stats() const { return stats_; }
+
+  /// Base-table tuples pulled during materialization.
+  uint64_t rows_scanned() const { return rows_scanned_; }
+
+ private:
+  const TableInfo* table_;
+  ParallelScanSpec spec_;
+  std::vector<Tuple> matched_rows_;
+  size_t pos_ = 0;
+  match::MatchStats stats_;
+  uint64_t rows_scanned_ = 0;
 };
 
 /// Drains an executor into a vector.

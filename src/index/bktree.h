@@ -34,6 +34,21 @@ namespace lexequal::index {
 
 /// Metric tree keyed by weighted phoneme-string distance; payloads
 /// are opaque 64-bit ids (row ids, offsets, ...).
+///
+/// Contract: the cost model must be a pseudometric over phoneme
+/// strings (symmetric, triangle inequality) — true for ClusteredCost
+/// and LevenshteinCost — or Search may wrongly prune. Search is
+/// complete: every payload within `radius` of the query is returned
+/// (quantization slack only ever widens the candidate set).
+///
+/// Ownership and lifetime: the tree owns its nodes and copies each
+/// inserted PhonemeString; `costs` is borrowed and must outlive the
+/// tree. Movable, not copyable (a moved-from tree is empty).
+///
+/// Thread-safety: none. Insert mutates the tree, and Search updates
+/// the distance counter, so even concurrent Searches race. Callers
+/// that share a tree across the parallel scan's workers must build it
+/// fully first and give each worker its own tree or external lock.
 class BkTree {
  public:
   /// `costs` must outlive the tree.
@@ -44,18 +59,22 @@ class BkTree {
   BkTree(BkTree&&) = default;
   BkTree& operator=(BkTree&&) = default;
 
-  /// Adds one element.
+  /// Adds one element. Duplicate phoneme strings are allowed; each
+  /// insert keeps its own payload. O(depth) distance computations.
   void Insert(phonetic::PhonemeString phonemes, uint64_t payload);
 
   /// All payloads whose distance to `query` is <= `radius`, in
   /// insertion-order within each branch (no global order guaranteed).
+  /// Prunes children whose quantized distance bucket lies outside
+  /// [d - radius, d + radius] by the triangle inequality.
   std::vector<uint64_t> Search(const phonetic::PhonemeString& query,
                                double radius) const;
 
   size_t size() const { return size_; }
 
   /// Distance computations performed by the last Search (the metric
-  /// the access-path ablation reports).
+  /// the access-path ablation reports). Overwritten by every Search —
+  /// one more reason Search is not reentrant.
   uint64_t last_search_distance_count() const {
     return last_search_distances_;
   }

@@ -1,0 +1,76 @@
+// MatchStats: per-query execution counters for the batch/parallel
+// LexEQUAL path, the observability companion of the paper's Tables
+// 1–3 (which report only wall time). Where QueryStats counts what the
+// *plan* did (rows scanned, UDF calls), MatchStats breaks down what
+// the *matcher* did with those rows: how many were rejected by the
+// cheap filters before the DP ran, how many DP evaluations survived,
+// and how often the phoneme cache saved a conversion.
+
+#ifndef LEXEQUAL_MATCH_MATCH_STATS_H_
+#define LEXEQUAL_MATCH_MATCH_STATS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace lexequal::match {
+
+/// Counters for one batch-match invocation (or the merged sum over
+/// one query's invocations). Plain aggregable integers; workers keep
+/// a private copy and the driver Merge()s them, so no atomics are
+/// needed on the hot path.
+struct MatchStats {
+  uint64_t tuples_scanned = 0;     // candidates offered to the matcher
+  uint64_t filter_rejections = 0;  // dropped by length/q-gram filters
+  uint64_t dp_evaluations = 0;     // clustered-cost DP runs
+  uint64_t matches = 0;            // candidates accepted
+  uint64_t cache_hits = 0;         // phoneme-cache hits this query
+  uint64_t cache_misses = 0;       // phoneme-cache misses this query
+  uint32_t threads_used = 0;       // worker threads (0 = serial path)
+  double wall_ms = 0.0;            // matcher wall-clock
+
+  /// Sums the counters of `other` into this (threads_used takes the
+  /// max, wall_ms the sum — workers run concurrently but the driver
+  /// times the whole batch, so it overwrites wall_ms afterwards).
+  void Merge(const MatchStats& other) {
+    tuples_scanned += other.tuples_scanned;
+    filter_rejections += other.filter_rejections;
+    dp_evaluations += other.dp_evaluations;
+    matches += other.matches;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    if (other.threads_used > threads_used) {
+      threads_used = other.threads_used;
+    }
+    wall_ms += other.wall_ms;
+  }
+
+  double cache_hit_rate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// One-line rendering for shells and benches, e.g.
+  /// "scanned=200466 filtered=182031 dp=18435 matched=12
+  ///  cache=1020/3 (99.7% hit) threads=4 wall=41.2ms".
+  std::string ToString() const {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "scanned=%llu filtered=%llu dp=%llu matched=%llu "
+                  "cache=%llu/%llu (%.1f%% hit) threads=%u wall=%.1fms",
+                  static_cast<unsigned long long>(tuples_scanned),
+                  static_cast<unsigned long long>(filter_rejections),
+                  static_cast<unsigned long long>(dp_evaluations),
+                  static_cast<unsigned long long>(matches),
+                  static_cast<unsigned long long>(cache_hits),
+                  static_cast<unsigned long long>(cache_misses),
+                  100.0 * cache_hit_rate(), threads_used, wall_ms);
+    return std::string(buf);
+  }
+};
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_MATCH_STATS_H_

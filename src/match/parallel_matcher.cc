@@ -1,0 +1,238 @@
+#include "match/parallel_matcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "match/qgram.h"
+
+namespace lexequal::match {
+
+namespace {
+
+using phonetic::PhonemeString;
+
+// Precomputed probe-side state shared (read-only) by all workers.
+struct ProbeContext {
+  const PhonemeString* query;
+  size_t qlen;
+  // Lower bound on the weighted cost of one insert/delete.
+  double min_edit;
+  // Lower bound on the weighted cost of *any* single edit; 0 means
+  // some edit is free and no unit-edit budget can be derived.
+  double cheapest_edit;
+  int filter_q;
+  // Query grams in (gram, pos) order; empty when the count filter is
+  // off.
+  std::vector<PositionalQGram> query_grams;
+};
+
+// Decides one candidate. Returns true when the candidate matches;
+// updates the worker-local stats.
+bool DecideCandidate(const LexEqualMatcher& matcher,
+                     const ProbeContext& ctx, const PhonemeString& cand,
+                     MatchStats* stats) {
+  ++stats->tuples_scanned;
+  if (cand.empty() || ctx.qlen == 0) {
+    ++stats->filter_rejections;
+    return false;
+  }
+  const size_t clen = cand.size();
+  const double allowance = matcher.Allowance(ctx.qlen, clen);
+
+  // Length filter: each surplus phoneme must be inserted or deleted.
+  const size_t gap = ctx.qlen > clen ? ctx.qlen - clen : clen - ctx.qlen;
+  if (static_cast<double>(gap) * ctx.min_edit > allowance) {
+    ++stats->filter_rejections;
+    return false;
+  }
+
+  // Count/position filter (Fig. 14 semantics) on the conservative
+  // unit-edit budget k = allowance / cheapest_edit. Only engage when
+  // the required-match bound can reject at these lengths — for the
+  // default clustered costs the budget is too lax and this stays off.
+  if (ctx.filter_q > 0 && ctx.cheapest_edit > 0.0) {
+    const double k_units = allowance / ctx.cheapest_edit;
+    const double required =
+        CountFilterMinMatches(ctx.qlen, clen, k_units, ctx.filter_q);
+    if (required > 0.0) {
+      std::vector<PositionalQGram> cand_grams =
+          PositionalQGrams(cand, ctx.filter_q);
+      SortQGrams(&cand_grams);
+      const int shared =
+          CountCloseMatches(ctx.query_grams, cand_grams, k_units);
+      if (static_cast<double>(shared) < required) {
+        ++stats->filter_rejections;
+        return false;
+      }
+    }
+  }
+
+  ++stats->dp_evaluations;
+  const bool matched = matcher.MatchPhonemes(*ctx.query, cand);
+  if (matched) ++stats->matches;
+  return matched;
+}
+
+}  // namespace
+
+ParallelMatcher::ParallelMatcher(const LexEqualMatcher& matcher,
+                                 ParallelMatcherOptions options)
+    : matcher_(matcher), options_(options) {}
+
+uint32_t ParallelMatcher::EffectiveThreads(size_t batch_size) const {
+  if (batch_size < options_.min_parallel_batch) return 1;
+  uint32_t n = options_.threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    n = std::min(n, ParallelMatcherOptions::kMaxAutoThreads);
+  }
+  // Never more threads than candidates.
+  return static_cast<uint32_t>(
+      std::min<size_t>(n == 0 ? 1 : n, batch_size == 0 ? 1 : batch_size));
+}
+
+namespace {
+
+// Shared driver: partitions [0, n) into contiguous chunks, runs
+// `decide(i)` for each index, concatenates per-chunk match lists in
+// chunk order. `decide` must be reentrant; it gets a worker-local
+// MatchStats and returns Result<bool>.
+template <typename DecideFn>
+Result<std::vector<size_t>> RunPartitioned(size_t n, uint32_t threads,
+                                           DecideFn&& decide,
+                                           MatchStats* stats_out) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::vector<size_t>> chunk_matches(threads);
+  std::vector<MatchStats> chunk_stats(threads);
+  std::vector<Status> chunk_status(threads, Status::OK());
+
+  auto worker = [&](uint32_t t) {
+    const size_t begin = n * t / threads;
+    const size_t end = n * (t + 1) / threads;
+    for (size_t i = begin; i < end; ++i) {
+      Result<bool> matched = decide(i, &chunk_stats[t]);
+      if (!matched.ok()) {
+        chunk_status[t] = matched.status();
+        return;
+      }
+      if (matched.value()) chunk_matches[t].push_back(i);
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, t);
+    }
+    for (std::thread& th : pool) th.join();
+  }
+
+  for (const Status& st : chunk_status) {
+    LEXEQUAL_RETURN_IF_ERROR(st);
+  }
+
+  std::vector<size_t> out;
+  size_t total = 0;
+  for (const auto& m : chunk_matches) total += m.size();
+  out.reserve(total);
+  for (const auto& m : chunk_matches) {
+    out.insert(out.end(), m.begin(), m.end());
+  }
+  if (stats_out != nullptr) {
+    for (const MatchStats& s : chunk_stats) stats_out->Merge(s);
+    stats_out->threads_used = threads;
+    stats_out->wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  }
+  return out;
+}
+
+ProbeContext BuildProbeContext(const LexEqualMatcher& matcher,
+                               const PhonemeString& query, int filter_q) {
+  ProbeContext ctx;
+  ctx.query = &query;
+  ctx.qlen = query.size();
+  ctx.min_edit = matcher.cost_model().MinEditCost();
+  // Cheapest single edit overall: an insert/delete, or an
+  // intra-cluster substitution (which MinEditCost need not cover).
+  const double intra =
+      std::clamp(matcher.options().intra_cluster_cost, 0.0, 1.0);
+  ctx.cheapest_edit = std::min(ctx.min_edit, intra);
+  ctx.filter_q = filter_q > 0 && filter_q <= kMaxQ ? filter_q : 0;
+  if (ctx.filter_q > 0 && ctx.cheapest_edit > 0.0 && ctx.qlen > 0) {
+    ctx.query_grams = PositionalQGrams(query, ctx.filter_q);
+    SortQGrams(&ctx.query_grams);
+  }
+  return ctx;
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> ParallelMatcher::MatchBatch(
+    const PhonemeString& query,
+    const std::vector<PhonemeString>& candidates,
+    MatchStats* stats) const {
+  const ProbeContext ctx =
+      BuildProbeContext(matcher_, query, options_.filter_q);
+  const uint32_t threads = EffectiveThreads(candidates.size());
+  return RunPartitioned(
+      candidates.size(), threads,
+      [&](size_t i, MatchStats* s) -> Result<bool> {
+        return DecideCandidate(matcher_, ctx, candidates[i], s);
+      },
+      stats);
+}
+
+Result<std::vector<size_t>> ParallelMatcher::MatchBatchIpa(
+    const PhonemeString& query,
+    const std::vector<std::string>& ipa_candidates,
+    MatchStats* stats) const {
+  const ProbeContext ctx =
+      BuildProbeContext(matcher_, query, options_.filter_q);
+  const uint32_t threads = EffectiveThreads(ipa_candidates.size());
+  // Scan resistance: a batch larger than the cache cannot profit from
+  // it — an LRU under repeated full scans of an oversized key set
+  // yields ~0% hits while paying insert/evict churn per tuple — so
+  // bypass and parse directly, which costs exactly what the naive
+  // plan pays.
+  PhonemeCache* cache = options_.cache;
+  if (cache != nullptr && ipa_candidates.size() > cache->capacity()) {
+    cache = nullptr;
+  }
+  const PhonemeCacheStats before =
+      cache != nullptr ? cache->stats() : PhonemeCacheStats{};
+  Result<std::vector<size_t>> out = RunPartitioned(
+      ipa_candidates.size(), threads,
+      [&](size_t i, MatchStats* s) -> Result<bool> {
+        const std::string& ipa = ipa_candidates[i];
+        if (ipa.empty()) {
+          ++s->tuples_scanned;
+          ++s->filter_rejections;
+          return false;
+        }
+        if (cache != nullptr) {
+          // Allocation-free hit path: borrow the cached parse.
+          std::shared_ptr<const PhonemeString> cand;
+          LEXEQUAL_ASSIGN_OR_RETURN(cand, cache->ParseIpaShared(ipa));
+          return DecideCandidate(matcher_, ctx, *cand, s);
+        }
+        PhonemeString cand;
+        LEXEQUAL_ASSIGN_OR_RETURN(cand, PhonemeString::FromIpa(ipa));
+        return DecideCandidate(matcher_, ctx, cand, s);
+      },
+      stats);
+  if (out.ok() && stats != nullptr && cache != nullptr) {
+    const PhonemeCacheStats after = cache->stats();
+    stats->cache_hits += after.hits - before.hits;
+    stats->cache_misses += after.misses - before.misses;
+  }
+  return out;
+}
+
+}  // namespace lexequal::match

@@ -1,0 +1,108 @@
+// ParallelMatcher: batch evaluation of one LexEQUAL probe against
+// many candidate phoneme strings, partitioned across a small fixed
+// pool of std::threads.
+//
+// This is the scan-side answer to the paper's Table 1 problem: the
+// naive UDF plan runs the clustered-cost DP once per tuple, single
+// threaded. The batch matcher (a) applies the cheap filters first —
+// the weighted length filter, and the q-gram count/position filter of
+// §5.2 when it can reject — so most tuples never reach the DP, and
+// (b) splits the candidate array into contiguous per-thread chunks.
+//
+// Determinism contract: the result is the ascending list of matching
+// candidate indices, bit-identical to the serial loop
+//
+//   for i in 0..n: if matcher.MatchPhonemes(query, cand[i]) keep i
+//
+// for every thread count, because (1) chunks are contiguous and
+// concatenated in chunk order, and (2) every filter is lossless with
+// respect to the *weighted* distance: a candidate is only skipped
+// when a lower bound on its distance already exceeds the allowance.
+// (The engine's q-gram access path uses sharper but lossy unit-cost
+// filters; here losslessness is required so `USING parallel` returns
+// exactly what `USING naive` does.)
+//
+// Thread-safety: Match* methods are const and reentrant. The borrowed
+// LexEqualMatcher and PhonemeCache must outlive the ParallelMatcher;
+// the matcher is read-only shared state, the cache synchronizes
+// internally.
+
+#ifndef LEXEQUAL_MATCH_PARALLEL_MATCHER_H_
+#define LEXEQUAL_MATCH_PARALLEL_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "match/lexequal.h"
+#include "match/match_stats.h"
+#include "match/phoneme_cache.h"
+
+namespace lexequal::match {
+
+/// Knobs of the batch/parallel scan path.
+struct ParallelMatcherOptions {
+  /// Worker threads. 0 = auto: hardware_concurrency clamped to
+  /// [1, kMaxAutoThreads]. 1 runs inline in the calling thread.
+  uint32_t threads = 0;
+  static constexpr uint32_t kMaxAutoThreads = 8;
+
+  /// Batches smaller than this always run inline: thread start-up
+  /// costs more than the matching itself.
+  size_t min_parallel_batch = 4096;
+
+  /// q for the count/position prefilter; 0 disables it (the length
+  /// filter always runs). The filter only engages for parameter
+  /// settings where it can actually reject (unit-edit budgets small
+  /// enough), so it costs nothing in the default operating region.
+  int filter_q = 2;
+
+  /// Optional phoneme cache for the IPA-parsing batch entry point;
+  /// nullptr parses uncached. Borrowed, must outlive the matcher.
+  /// Batches larger than the cache's capacity bypass it (an LRU
+  /// repeatedly scanned with an oversized key set thrashes: ~0% hits
+  /// plus eviction churn), falling back to direct parsing.
+  PhonemeCache* cache = nullptr;
+};
+
+/// Runs one probe against candidate batches. Cheap to construct;
+/// borrows `matcher` (and options.cache), both of which must outlive
+/// this object.
+class ParallelMatcher {
+ public:
+  explicit ParallelMatcher(const LexEqualMatcher& matcher,
+                           ParallelMatcherOptions options = {});
+
+  /// Matches `query` against already-parsed candidates. Returns the
+  /// ascending indices of matches (see the determinism contract
+  /// above). `stats` (optional) receives the per-batch counters;
+  /// cache counters stay zero on this entry point.
+  Result<std::vector<size_t>> MatchBatch(
+      const phonetic::PhonemeString& query,
+      const std::vector<phonetic::PhonemeString>& candidates,
+      MatchStats* stats = nullptr) const;
+
+  /// Matches `query` against IPA-encoded candidate cells (the stored
+  /// form of phonemic shadow columns). Parsing happens inside the
+  /// worker threads, memoized through options.cache when set — on a
+  /// repeated-probe workload the second query's parses are all cache
+  /// hits. Empty cells (untransformable rows) never match.
+  Result<std::vector<size_t>> MatchBatchIpa(
+      const phonetic::PhonemeString& query,
+      const std::vector<std::string>& ipa_candidates,
+      MatchStats* stats = nullptr) const;
+
+  /// The thread count a batch of `batch_size` would use.
+  uint32_t EffectiveThreads(size_t batch_size) const;
+
+  const ParallelMatcherOptions& options() const { return options_; }
+
+ private:
+  const LexEqualMatcher& matcher_;
+  ParallelMatcherOptions options_;
+};
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_PARALLEL_MATCHER_H_

@@ -1,0 +1,161 @@
+#include "match/phoneme_cache.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace lexequal::match {
+
+namespace {
+
+// Key namespaces. G2P tags carry the language in the low byte so the
+// same spelling through two converters gets two entries; the IPA
+// namespace has a single tag.
+constexpr uint16_t kIpaTag = 'i' << 8;
+
+uint16_t MakeG2PTag(text::Language lang) {
+  return static_cast<uint16_t>(('g' << 8) |
+                               static_cast<uint8_t>(lang));
+}
+
+}  // namespace
+
+PhonemeCache::PhonemeCache(const g2p::G2PRegistry& registry,
+                           size_t capacity)
+    : registry_(registry),
+      capacity_(capacity < kShards ? kShards : capacity),
+      per_shard_capacity_(capacity_ / kShards) {}
+
+PhonemeCache::Shard& PhonemeCache::ShardFor(const KeyRef& key) {
+  return shards_[KeyRefHash{}(key) % kShards];
+}
+
+template <typename Fn>
+Result<std::shared_ptr<const phonetic::PhonemeString>>
+PhonemeCache::GetOrCompute(uint16_t tag, std::string_view text,
+                           Fn&& compute) {
+  const KeyRef probe{tag, text};
+  Shard& shard = ShardFor(probe);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(probe);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      // Move to MRU position; iterators (and the KeyRef map keys
+      // viewing Entry::key) stay valid across splice.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      const Entry& e = *it->second;
+      if (!e.status.ok()) return e.status;
+      return e.phonemes;
+    }
+    ++shard.misses;
+  }
+
+  // Compute outside the lock: rule-engine runs and IPA parses are the
+  // expensive part, and holding the stripe would serialize workers.
+  Result<phonetic::PhonemeString> computed = compute();
+  const bool cacheable =
+      computed.ok() || computed.status().IsNoResource() ||
+      computed.status().IsInvalidArgument();
+  if (!cacheable) return computed.status();  // transient, not memoized
+
+  Entry entry;
+  entry.tag = tag;
+  entry.key = std::string(text);
+  std::shared_ptr<const phonetic::PhonemeString> value;
+  if (computed.ok()) {
+    entry.status = Status::OK();
+    value = std::make_shared<const phonetic::PhonemeString>(
+        std::move(computed).value());
+    entry.phonemes = value;
+  } else {
+    entry.status = computed.status();
+  }
+  const Status status = entry.status;
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Another thread may have raced us to the same key; keep theirs.
+  if (shard.map.find(KeyRef{tag, entry.key}) == shard.map.end()) {
+    shard.lru.push_front(std::move(entry));
+    shard.map.emplace(
+        KeyRef{tag, std::string_view(shard.lru.front().key)},
+        shard.lru.begin());
+    while (shard.lru.size() > per_shard_capacity_) {
+      const Entry& back = shard.lru.back();
+      shard.map.erase(KeyRef{back.tag, std::string_view(back.key)});
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+  if (!status.ok()) return status;
+  return value;
+}
+
+Result<std::shared_ptr<const phonetic::PhonemeString>>
+PhonemeCache::TransformShared(std::string_view utf8,
+                              text::Language lang) {
+  return GetOrCompute(MakeG2PTag(lang), utf8, [&] {
+    return registry_.Transform(utf8, lang);
+  });
+}
+
+Result<std::shared_ptr<const phonetic::PhonemeString>>
+PhonemeCache::ParseIpaShared(std::string_view ipa_utf8) {
+  if (ipa_utf8.empty()) {
+    static const std::shared_ptr<const phonetic::PhonemeString> empty =
+        std::make_shared<const phonetic::PhonemeString>();
+    return empty;
+  }
+  return GetOrCompute(kIpaTag, ipa_utf8, [&] {
+    return phonetic::PhonemeString::FromIpa(ipa_utf8);
+  });
+}
+
+Result<phonetic::PhonemeString> PhonemeCache::Transform(
+    std::string_view utf8, text::Language lang) {
+  std::shared_ptr<const phonetic::PhonemeString> shared;
+  LEXEQUAL_ASSIGN_OR_RETURN(shared, TransformShared(utf8, lang));
+  return *shared;
+}
+
+Result<phonetic::PhonemeString> PhonemeCache::ParseIpa(
+    std::string_view ipa_utf8) {
+  std::shared_ptr<const phonetic::PhonemeString> shared;
+  LEXEQUAL_ASSIGN_OR_RETURN(shared, ParseIpaShared(ipa_utf8));
+  return *shared;
+}
+
+PhonemeCacheStats PhonemeCache::stats() const {
+  PhonemeCacheStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+void PhonemeCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+}
+
+PhonemeCache& PhonemeCache::Default() {
+  // Leaked singleton: shared across Database instances and threads
+  // for the program's lifetime, like G2PRegistry::Default().
+  static PhonemeCache* cache = [] {
+    size_t capacity = kDefaultCapacity;
+    if (const char* env = std::getenv("LEXEQUAL_PHONEME_CACHE_CAPACITY")) {
+      const long long parsed = std::atoll(env);
+      if (parsed > 0) capacity = static_cast<size_t>(parsed);
+    }
+    return new PhonemeCache(g2p::G2PRegistry::Default(), capacity);
+  }();
+  return *cache;
+}
+
+}  // namespace lexequal::match

@@ -1,0 +1,168 @@
+// PhonemeCache: a sharded, mutex-striped LRU that memoizes the two
+// text→phoneme conversions on the LexEQUAL hot path:
+//
+//   * G2P transforms, keyed by (language, lexicographic string) — the
+//     `transform` of the paper's Fig. 8. Repeated probes and
+//     multi-predicate queries stop re-running the rule engines.
+//   * IPA parses, keyed by the stored phonemic cell text — the
+//     candidate-side decode that a naive scan repeats for every tuple
+//     of every probe (paper Table 1's dominant fixed cost).
+//
+// The paper's own §5 remedy is to precompute the phonemic form once
+// and reuse it; this cache is the dynamic version of that idea for
+// query-time work that cannot be precomputed at load time.
+//
+// Thread-safe: the key space is hashed across kShards independent
+// LRU shards, each guarded by its own mutex, so concurrent probes
+// from the ParallelMatcher's worker pool contend only when they hash
+// to the same shard. Failed conversions (NoResource / InvalidArgument)
+// are cached too — negative caching — so a probe in an unsupported
+// language costs one rule-engine run, not one per retry.
+//
+// The hit path is allocation-free: lookups probe with a (tag,
+// string_view) composite key, so no composed key string is built, and
+// values are handed out as shared_ptr<const PhonemeString>, so a hit
+// costs one refcount increment rather than a vector copy. This is
+// what lets the batch scan call ParseIpaShared once per tuple without
+// the allocator showing up in profiles.
+
+#ifndef LEXEQUAL_MATCH_PHONEME_CACHE_H_
+#define LEXEQUAL_MATCH_PHONEME_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "g2p/g2p.h"
+#include "phonetic/phoneme_string.h"
+#include "text/language.h"
+#include "text/tagged_string.h"
+
+namespace lexequal::match {
+
+/// Aggregate cache counters (summed over shards at read time).
+struct PhonemeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;  // currently resident
+};
+
+/// Memoizing front-end for G2PRegistry::Transform and
+/// PhonemeString::FromIpa. Borrows the registry, which must outlive
+/// the cache (the G2PRegistry::Default() singleton always does).
+class PhonemeCache {
+ public:
+  /// Total capacity across all shards; per-shard capacity is
+  /// capacity / shard count (minimum 1). The default covers the
+  /// paper's ~200k-row enlarged dataset with headroom: an LRU under a
+  /// repeated full-column scan is all-or-nothing (capacity below the
+  /// working set degenerates to 0% hits plus eviction churn — see
+  /// ParallelMatcher's bypass), so the default errs large. Entries
+  /// cost roughly 250 bytes, fully populated ~65 MB.
+  static constexpr size_t kDefaultCapacity = 1 << 18;
+  static constexpr size_t kShards = 16;
+
+  explicit PhonemeCache(
+      const g2p::G2PRegistry& registry = g2p::G2PRegistry::Default(),
+      size_t capacity = kDefaultCapacity);
+
+  PhonemeCache(const PhonemeCache&) = delete;
+  PhonemeCache& operator=(const PhonemeCache&) = delete;
+
+  /// Memoized G2PRegistry::Transform(utf8, lang). The NoResource /
+  /// InvalidArgument failure statuses are memoized as well. The
+  /// returned value is never null on OK.
+  Result<std::shared_ptr<const phonetic::PhonemeString>> TransformShared(
+      std::string_view utf8, text::Language lang);
+
+  /// Memoized PhonemeString::FromIpa(ipa_utf8). An empty input yields
+  /// an empty phoneme string (the stored form of untransformable
+  /// rows) without touching the cache.
+  Result<std::shared_ptr<const phonetic::PhonemeString>> ParseIpaShared(
+      std::string_view ipa_utf8);
+
+  /// Copying conveniences for callers that want an owned value.
+  Result<phonetic::PhonemeString> Transform(std::string_view utf8,
+                                            text::Language lang);
+
+  Result<phonetic::PhonemeString> Transform(const text::TaggedString& s) {
+    return Transform(s.text(), s.language());
+  }
+
+  Result<phonetic::PhonemeString> ParseIpa(std::string_view ipa_utf8);
+
+  /// Point-in-time counters. Hit rate = hits / (hits + misses).
+  PhonemeCacheStats stats() const;
+
+  /// Drops every entry; counters keep accumulating.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+  /// Process-wide cache over G2PRegistry::Default(), shared by every
+  /// Database instance. Never destroyed (lives for program duration).
+  /// Capacity is kDefaultCapacity, overridable once at first use via
+  /// the LEXEQUAL_PHONEME_CACHE_CAPACITY environment variable (for
+  /// datasets larger than the paper's; size it to the phonemic
+  /// column's distinct-value count).
+  static PhonemeCache& Default();
+
+ private:
+  // Composite lookup key: `tag` encodes the conversion namespace (and
+  // the language for G2P keys) so the two memoizations never collide;
+  // `text` views either the caller's input (lookup) or Entry::key
+  // (stored). Probing with a view is what keeps hits allocation-free.
+  struct KeyRef {
+    uint16_t tag;
+    std::string_view text;
+    friend bool operator==(const KeyRef& a, const KeyRef& b) {
+      return a.tag == b.tag && a.text == b.text;
+    }
+  };
+  struct KeyRefHash {
+    size_t operator()(const KeyRef& k) const {
+      return std::hash<std::string_view>{}(k.text) ^
+             (static_cast<size_t>(k.tag) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+  struct Entry {
+    uint16_t tag;
+    std::string key;
+    Status status;  // OK, NoResource, or InvalidArgument
+    std::shared_ptr<const phonetic::PhonemeString> phonemes;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // MRU at front; map values point into the list.
+    std::list<Entry> lru;
+    std::unordered_map<KeyRef, std::list<Entry>::iterator, KeyRefHash>
+        map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  // Looks up (tag, text) in its shard, computing-and-inserting via
+  // `compute` on a miss. Returns the cached conversion outcome.
+  template <typename Fn>
+  Result<std::shared_ptr<const phonetic::PhonemeString>> GetOrCompute(
+      uint16_t tag, std::string_view text, Fn&& compute);
+
+  Shard& ShardFor(const KeyRef& key);
+
+  const g2p::G2PRegistry& registry_;
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  Shard shards_[kShards];
+};
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_PHONEME_CACHE_H_

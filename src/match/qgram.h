@@ -11,6 +11,20 @@
 // Strings are padded with q-1 start (◁) and end (▷) sentinels, which
 // are not phonemes, so q-grams are represented as packed integer
 // codes rather than PhonemeStrings.
+//
+// The filters are stated for *unit-cost* (Levenshtein) edit distance
+// with budget k. Two call sites consume them with different k:
+//
+//   * The q-gram access path (Database::QGramCandidates) uses
+//     k = threshold * min(|a|,|b|) in unit edits — the paper's
+//     Fig. 14 semantics — which is exact for Levenshtein costs and
+//     may lose a few clustered-cost matches (see DESIGN.md).
+//   * The ParallelMatcher derives a conservative unit budget
+//     k = allowance / cheapest_edit from the weighted cost model, so
+//     its filtering is lossless for any ClusteredCost configuration.
+//
+// Everything here is a pure function over its arguments: no global
+// state, safe to call concurrently from the parallel scan's workers.
 
 #ifndef LEXEQUAL_MATCH_QGRAM_H_
 #define LEXEQUAL_MATCH_QGRAM_H_
@@ -43,8 +57,9 @@ inline constexpr uint8_t kQGramStartSymbol = 0xFF;  // ◁
 inline constexpr uint8_t kQGramEndSymbol = 0xFE;    // ▷
 
 /// Positional q-grams of `s` padded with q-1 start/end sentinels.
-/// A string of n phonemes yields n + q - 1 grams. q must be in
-/// [1, kMaxQ].
+/// A string of n phonemes yields n + q - 1 grams, in position order
+/// (call SortQGrams before CountCloseMatches). q must be in
+/// [1, kMaxQ]; the result borrows nothing from `s`.
 std::vector<PositionalQGram> PositionalQGrams(
     const phonetic::PhonemeString& s, int q);
 
@@ -66,7 +81,8 @@ inline double CountFilterMinMatches(size_t la, size_t lb, double k,
 /// Number of pairs (ga, gb) with equal grams and |pos(ga) - pos(gb)|
 /// <= k — the q-gram join with the position filter applied. Both
 /// inputs must be sorted by (gram, pos), as PositionalQGrams returns
-/// after SortQGrams.
+/// after SortQGrams. Runs in O(|a| + |b| + matches) via a sorted
+/// merge.
 int CountCloseMatches(const std::vector<PositionalQGram>& a,
                       const std::vector<PositionalQGram>& b, double k);
 
@@ -76,7 +92,9 @@ void SortQGrams(std::vector<PositionalQGram>* grams);
 /// Applies all three filters to a candidate pair. True means the pair
 /// *may* be within edit distance k and must be verified with the
 /// exact matcher; false proves it cannot match (no false dismissals
-/// with respect to unit-cost edit distance).
+/// with respect to unit-cost edit distance). Convenience form for
+/// one-off pairs — batch callers precompute and sort the query's
+/// grams once instead (see ParallelMatcher's probe context).
 bool PassesQGramFilters(const phonetic::PhonemeString& a,
                         const phonetic::PhonemeString& b, double k, int q);
 

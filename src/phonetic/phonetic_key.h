@@ -1,9 +1,24 @@
-// Grouped Phoneme String Identifier (Section 5.3).
+// Grouped Phoneme String Identifier (paper §5.3, "Phoneme Grouping").
 //
 // Maps a phoneme string to a compact integer key by concatenating the
 // cluster id of each phoneme, so that strings whose phonemes differ
 // only within clusters collide — a Soundex-style hash generalized to
-// the multilingual phoneme space. The key indexes a standard B-Tree.
+// the multilingual phoneme space. The key indexes a standard B-Tree:
+// this is the paper's multilingual phonetic index (its Table 3 access
+// path), realized in src/engine as CreatePhoneticIndex.
+//
+// Contract notes:
+//   * The mapping is many-to-one by design. Equal keys mean "probably
+//     phonetically equivalent"; candidates must still be verified by
+//     the exact matcher. Distinct keys of *similar* names can occur
+//     (the recall/threshold trade-off the paper's Fig. 11 measures),
+//     so the index trades a little recall for point-lookup speed.
+//   * Keys are persisted inside B-Tree pages, so the encoding below
+//     (nibble packing, terminator, weak-phoneme elision) is an
+//     on-disk format: changing it invalidates existing indexes.
+//   * All functions are pure and thread-safe; the borrowed
+//     ClusterTable must outlive each call (the Default() singleton
+//     always does).
 
 #ifndef LEXEQUAL_PHONETIC_PHONETIC_KEY_H_
 #define LEXEQUAL_PHONETIC_PHONETIC_KEY_H_

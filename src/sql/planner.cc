@@ -28,9 +28,13 @@ Result<LexEqualPlan> ResolvePlanHint(const std::string& hint,
   if (lower == "phonetic" || lower == "index") {
     return LexEqualPlan::kPhoneticIndex;
   }
+  if (lower == "parallel" || lower == "batch") {
+    return LexEqualPlan::kParallelScan;
+  }
   if (!lower.empty()) {
-    return Status::InvalidArgument("unknown plan hint '" + hint +
-                                   "' (naive | qgram | phonetic)");
+    return Status::InvalidArgument(
+        "unknown plan hint '" + hint +
+        "' (naive | qgram | phonetic | parallel)");
   }
   // Auto: cheapest available access path.
   if (table.phonetic_index != nullptr) return LexEqualPlan::kPhoneticIndex;

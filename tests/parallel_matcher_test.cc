@@ -1,0 +1,190 @@
+#include "match/parallel_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dataset/lexicon.h"
+#include "match/lexequal.h"
+#include "match/match_stats.h"
+#include "match/phoneme_cache.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::match {
+namespace {
+
+using dataset::GenerateConcatenatedDataset;
+using dataset::Lexicon;
+using dataset::LexiconEntry;
+using phonetic::PhonemeString;
+
+// The serial reference the determinism contract is stated against.
+std::vector<size_t> SerialReference(
+    const LexEqualMatcher& matcher, const PhonemeString& query,
+    const std::vector<PhonemeString>& candidates) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].empty() &&
+        matcher.MatchPhonemes(query, candidates[i])) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+class ParallelMatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Lexicon> lexicon = Lexicon::BuildTrilingual();
+    ASSERT_TRUE(lexicon.ok());
+    // ~5k-row enlarged lexicon (paper §5 concatenation scheme).
+    std::vector<LexiconEntry> rows =
+        GenerateConcatenatedDataset(lexicon.value(), 5000);
+    ASSERT_GE(rows.size(), 5000u);
+    for (const LexiconEntry& e : rows) {
+      candidates_.push_back(e.phonemes);
+      ipa_.push_back(e.phonemes.ToIpa());
+    }
+    // Probe with a stored phoneme string so matches are guaranteed.
+    query_ = rows[7].phonemes;
+  }
+
+  std::vector<PhonemeString> candidates_;
+  std::vector<std::string> ipa_;
+  PhonemeString query_;
+};
+
+TEST_F(ParallelMatcherTest, MatchesSerialAcrossThreadCounts) {
+  LexEqualMatcher matcher;
+  const std::vector<size_t> expected =
+      SerialReference(matcher, query_, candidates_);
+  ASSERT_FALSE(expected.empty());
+
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    ParallelMatcherOptions options;
+    options.threads = threads;
+    options.min_parallel_batch = 1;  // force the pool even at 5k rows
+    ParallelMatcher pm(matcher, options);
+    MatchStats stats;
+    Result<std::vector<size_t>> got =
+        pm.MatchBatch(query_, candidates_, &stats);
+    ASSERT_TRUE(got.ok()) << "threads=" << threads;
+    EXPECT_EQ(got.value(), expected) << "threads=" << threads;
+    EXPECT_EQ(stats.tuples_scanned, candidates_.size());
+    EXPECT_EQ(stats.matches, expected.size());
+    EXPECT_EQ(stats.threads_used, pm.EffectiveThreads(candidates_.size()));
+    // Every tuple is either filtered or DP-verified.
+    EXPECT_EQ(stats.filter_rejections + stats.dp_evaluations,
+              stats.tuples_scanned);
+  }
+}
+
+TEST_F(ParallelMatcherTest, MatchesSerialUnderLevenshteinCosts) {
+  // Levenshtein configuration turns the count filter on (every unit
+  // edit costs 1); the result must still equal the serial loop.
+  LexEqualOptions opt;
+  opt.intra_cluster_cost = 1.0;
+  opt.weak_phoneme_discount = false;
+  LexEqualMatcher matcher(opt);
+  const std::vector<size_t> expected =
+      SerialReference(matcher, query_, candidates_);
+
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    ParallelMatcherOptions options;
+    options.threads = threads;
+    options.min_parallel_batch = 1;
+    ParallelMatcher pm(matcher, options);
+    Result<std::vector<size_t>> got =
+        pm.MatchBatch(query_, candidates_, nullptr);
+    ASSERT_TRUE(got.ok()) << "threads=" << threads;
+    EXPECT_EQ(got.value(), expected) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelMatcherTest, FiltersDisabledStillMatchesSerial) {
+  LexEqualMatcher matcher;
+  const std::vector<size_t> expected =
+      SerialReference(matcher, query_, candidates_);
+
+  ParallelMatcherOptions options;
+  options.threads = 4;
+  options.min_parallel_batch = 1;
+  options.filter_q = 0;  // count filter off; length filter remains
+  ParallelMatcher pm(matcher, options);
+  Result<std::vector<size_t>> got =
+      pm.MatchBatch(query_, candidates_, nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), expected);
+}
+
+TEST_F(ParallelMatcherTest, IpaEntryPointMatchesParsedEntryPoint) {
+  LexEqualMatcher matcher;
+  const std::vector<size_t> expected =
+      SerialReference(matcher, query_, candidates_);
+
+  PhonemeCache cache;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    ParallelMatcherOptions options;
+    options.threads = threads;
+    options.min_parallel_batch = 1;
+    options.cache = &cache;
+    ParallelMatcher pm(matcher, options);
+    MatchStats stats;
+    Result<std::vector<size_t>> got =
+        pm.MatchBatchIpa(query_, ipa_, &stats);
+    ASSERT_TRUE(got.ok()) << "threads=" << threads;
+    EXPECT_EQ(got.value(), expected) << "threads=" << threads;
+  }
+  // After the first pass warmed the cache, later passes hit it.
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST_F(ParallelMatcherTest, IpaEntryPointWorksWithoutCache) {
+  LexEqualMatcher matcher;
+  const std::vector<size_t> expected =
+      SerialReference(matcher, query_, candidates_);
+
+  ParallelMatcherOptions options;
+  options.threads = 2;
+  options.min_parallel_batch = 1;
+  options.cache = nullptr;
+  ParallelMatcher pm(matcher, options);
+  MatchStats stats;
+  Result<std::vector<size_t>> got = pm.MatchBatchIpa(query_, ipa_, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), expected);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+}
+
+TEST_F(ParallelMatcherTest, EmptyAndTinyBatches) {
+  LexEqualMatcher matcher;
+  ParallelMatcher pm(matcher, {.threads = 8, .min_parallel_batch = 1});
+
+  Result<std::vector<size_t>> none =
+      pm.MatchBatch(query_, std::vector<PhonemeString>{}, nullptr);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+
+  // Batch smaller than the thread count: chunking must not break.
+  std::vector<PhonemeString> three(candidates_.begin(),
+                                   candidates_.begin() + 3);
+  MatchStats stats;
+  Result<std::vector<size_t>> got = pm.MatchBatch(query_, three, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), SerialReference(matcher, query_, three));
+  EXPECT_EQ(stats.tuples_scanned, 3u);
+}
+
+TEST_F(ParallelMatcherTest, AutoThreadSelectionIsBounded) {
+  LexEqualMatcher matcher;
+  ParallelMatcher pm(matcher);  // threads = 0 (auto)
+  const uint32_t t = pm.EffectiveThreads(1 << 20);
+  EXPECT_GE(t, 1u);
+  EXPECT_LE(t, ParallelMatcherOptions::kMaxAutoThreads);
+  // Small batches stay inline regardless of the configured pool.
+  EXPECT_EQ(pm.EffectiveThreads(16), 1u);
+}
+
+}  // namespace
+}  // namespace lexequal::match

@@ -1,0 +1,173 @@
+// Engine- and SQL-level coverage of the kParallelScan plan: the
+// parallel path must return exactly the rows of the naive UDF scan,
+// for direct API calls and for `USING parallel` queries, and must
+// populate the MatchStats / phoneme-cache counters it advertises.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dataset/lexicon.h"
+#include "engine/database.h"
+#include "sql/planner.h"
+#include "text/tagged_string.h"
+
+namespace lexequal::engine {
+namespace {
+
+using dataset::GenerateConcatenatedDataset;
+using dataset::Lexicon;
+using dataset::LexiconEntry;
+using text::Language;
+using text::TaggedString;
+
+std::vector<std::string> RowTexts(const std::vector<Tuple>& rows,
+                                  size_t col) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& row : rows) out.push_back(row[col].AsString().text());
+  return out;
+}
+
+class ParallelScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_parallel_scan_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Database::Open(path_.string(), 2048);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+
+    Result<Lexicon> lexicon = Lexicon::BuildTrilingual();
+    ASSERT_TRUE(lexicon.ok());
+    rows_ = GenerateConcatenatedDataset(lexicon.value(), 5000);
+    ASSERT_GE(rows_.size(), 5000u);
+
+    Schema schema({
+        {"name", ValueType::kString, std::nullopt},
+        {"name_phon", ValueType::kString, 0},
+    });
+    ASSERT_TRUE(db_->CreateTable("names", schema).ok());
+    for (const LexiconEntry& e : rows_) {
+      Tuple values{Value::String(e.text, e.language)};
+      ASSERT_TRUE(db_->Insert("names", values).ok());
+    }
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  Result<std::vector<Tuple>> Select(LexEqualPlan plan, uint32_t threads,
+                                    const TaggedString& query,
+                                    QueryStats* stats = nullptr) {
+    LexEqualQueryOptions options;
+    options.plan = plan;
+    options.threads = threads;
+    return db_->LexEqualSelect("names", "name", query, options, stats);
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<Database> db_;
+  std::vector<LexiconEntry> rows_;
+};
+
+TEST_F(ParallelScanTest, SameRowsAsNaiveAcrossThreadCounts) {
+  const TaggedString query(rows_[3].text, rows_[3].language);
+  Result<std::vector<Tuple>> naive =
+      Select(LexEqualPlan::kNaiveUdf, 0, query);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  ASSERT_FALSE(naive->empty());
+
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    QueryStats stats;
+    Result<std::vector<Tuple>> parallel =
+        Select(LexEqualPlan::kParallelScan, threads, query, &stats);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads << ": "
+                               << parallel.status();
+    ASSERT_EQ(parallel->size(), naive->size()) << "threads=" << threads;
+    // Same rows in the same (heap scan) order.
+    for (size_t i = 0; i < naive->size(); ++i) {
+      EXPECT_EQ((*parallel)[i], (*naive)[i]) << "row " << i;
+    }
+    EXPECT_EQ(stats.match.tuples_scanned, rows_.size());
+    EXPECT_EQ(stats.match.matches, naive->size());
+    EXPECT_EQ(stats.match.filter_rejections + stats.match.dp_evaluations,
+              stats.match.tuples_scanned);
+    // The UDF-call counter reports only DP verifications, which the
+    // filters keep well under the scanned-row count.
+    EXPECT_EQ(stats.udf_calls, stats.match.dp_evaluations);
+    EXPECT_LT(stats.match.dp_evaluations, stats.match.tuples_scanned);
+  }
+}
+
+TEST_F(ParallelScanTest, InLanguagesRestrictsLikeNaive) {
+  const TaggedString query(rows_[3].text, rows_[3].language);
+  LexEqualQueryOptions naive_opt;
+  naive_opt.plan = LexEqualPlan::kNaiveUdf;
+  naive_opt.in_languages = {Language::kHindi, Language::kTamil};
+  Result<std::vector<Tuple>> naive =
+      db_->LexEqualSelect("names", "name", query, naive_opt);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+
+  LexEqualQueryOptions par_opt = naive_opt;
+  par_opt.plan = LexEqualPlan::kParallelScan;
+  par_opt.threads = 4;
+  Result<std::vector<Tuple>> parallel =
+      db_->LexEqualSelect("names", "name", query, par_opt);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(RowTexts(*parallel, 0), RowTexts(*naive, 0));
+  for (const Tuple& row : *parallel) {
+    const Language lang = row[0].AsString().language();
+    EXPECT_TRUE(lang == Language::kHindi || lang == Language::kTamil);
+  }
+}
+
+TEST_F(ParallelScanTest, RepeatedProbeHitsPhonemeCache) {
+  const TaggedString query(rows_[11].text, rows_[11].language);
+  QueryStats cold;
+  ASSERT_TRUE(
+      Select(LexEqualPlan::kParallelScan, 2, query, &cold).ok());
+  QueryStats warm;
+  ASSERT_TRUE(
+      Select(LexEqualPlan::kParallelScan, 2, query, &warm).ok());
+  // Candidate-side IPA parses (and the query's G2P transform) were
+  // memoized by the first run.
+  EXPECT_GT(warm.match.cache_hits, 0u);
+  EXPECT_GT(warm.match.cache_hits, warm.match.cache_misses);
+}
+
+TEST_F(ParallelScanTest, SqlUsingParallelMatchesUsingNaive) {
+  const std::string base =
+      "select name from names where name LexEQUAL '" + rows_[3].text +
+      "' Threshold 0.25 USING ";
+  Result<sql::QueryResult> naive =
+      sql::ExecuteQuery(db_.get(), base + "naive");
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  ASSERT_FALSE(naive->rows.empty());
+
+  Result<sql::QueryResult> parallel =
+      sql::ExecuteQuery(db_.get(), base + "parallel");
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_EQ(parallel->rows.size(), naive->rows.size());
+  for (size_t i = 0; i < naive->rows.size(); ++i) {
+    EXPECT_EQ(parallel->rows[i][0].AsString().text(),
+              naive->rows[i][0].AsString().text());
+  }
+  EXPECT_EQ(parallel->stats.match.tuples_scanned, rows_.size());
+  EXPECT_GT(parallel->stats.match.filter_rejections, 0u);
+}
+
+TEST_F(ParallelScanTest, UnknownPlanHintStillRejected) {
+  Result<sql::QueryResult> result = sql::ExecuteQuery(
+      db_.get(),
+      "select name from names where name LexEQUAL 'x' USING turbo");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace lexequal::engine

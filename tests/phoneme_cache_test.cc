@@ -1,0 +1,195 @@
+#include "match/phoneme_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "g2p/g2p.h"
+#include "phonetic/phoneme_string.h"
+#include "text/language.h"
+
+namespace lexequal::match {
+namespace {
+
+using phonetic::PhonemeString;
+using text::Language;
+
+TEST(PhonemeCacheTest, MissThenHitReturnsSameTransform) {
+  PhonemeCache cache;
+  Result<PhonemeString> direct =
+      g2p::G2PRegistry::Default().Transform("Nehru", Language::kEnglish);
+  ASSERT_TRUE(direct.ok());
+
+  Result<PhonemeString> first = cache.Transform("Nehru",
+                                                Language::kEnglish);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), direct.value());
+  PhonemeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  Result<PhonemeString> second = cache.Transform("Nehru",
+                                                 Language::kEnglish);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), direct.value());
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(PhonemeCacheTest, KeyIncludesLanguage) {
+  PhonemeCache cache;
+  // Same spelling through two converters must not collide.
+  Result<PhonemeString> en = cache.Transform("chat", Language::kEnglish);
+  Result<PhonemeString> fr = cache.Transform("chat", Language::kFrench);
+  ASSERT_TRUE(en.ok());
+  ASSERT_TRUE(fr.ok());
+  // Two misses proves the (language, text) keys did not collide.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PhonemeCacheTest, NegativeCachingOfNoResource) {
+  PhonemeCache cache;
+  // kAny has no converter installed: NORESOURCE, memoized, so the
+  // second probe is a hit that replays the failure.
+  Result<PhonemeString> first = cache.Transform("abc", Language::kAny);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsNoResource());
+  Result<PhonemeString> second = cache.Transform("abc", Language::kAny);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsNoResource());
+  PhonemeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(PhonemeCacheTest, ParseIpaRoundTripsAndCaches) {
+  PhonemeCache cache;
+  Result<PhonemeString> direct =
+      g2p::G2PRegistry::Default().Transform("Krishna",
+                                            Language::kEnglish);
+  ASSERT_TRUE(direct.ok());
+  const std::string ipa = direct.value().ToIpa();
+
+  Result<PhonemeString> parsed = cache.ParseIpa(ipa);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), direct.value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  parsed = cache.ParseIpa(ipa);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), direct.value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // The empty cell (untransformable row) bypasses the cache.
+  Result<PhonemeString> empty = cache.ParseIpa("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PhonemeCacheTest, IpaAndG2PKeySpacesDoNotCollide) {
+  PhonemeCache cache;
+  // "nehru" as English text vs. "nehru" as an IPA string are
+  // different conversions; both must be computed.
+  Result<PhonemeString> text = cache.Transform("nehru",
+                                               Language::kEnglish);
+  ASSERT_TRUE(text.ok());
+  Result<PhonemeString> ipa = cache.ParseIpa("nehru");
+  ASSERT_TRUE(ipa.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PhonemeCacheTest, EvictsLeastRecentlyUsed) {
+  // Tiny capacity: kShards entries total → 1 per shard. Inserting
+  // many distinct keys must evict, keep entries bounded, and stay
+  // correct (recompute on re-access).
+  PhonemeCache cache(g2p::G2PRegistry::Default(), PhonemeCache::kShards);
+  const int kKeys = 64;
+  for (int i = 0; i < kKeys; ++i) {
+    Result<PhonemeString> r =
+        cache.Transform("name" + std::to_string(i), Language::kEnglish);
+    ASSERT_TRUE(r.ok());
+  }
+  PhonemeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<uint64_t>(kKeys));
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, static_cast<uint64_t>(PhonemeCache::kShards));
+
+  // Evicted keys recompute correctly (miss, not corruption).
+  Result<PhonemeString> again = cache.Transform("name0",
+                                                Language::kEnglish);
+  ASSERT_TRUE(again.ok());
+  Result<PhonemeString> direct =
+      g2p::G2PRegistry::Default().Transform("name0", Language::kEnglish);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(again.value(), direct.value());
+}
+
+TEST(PhonemeCacheTest, ClearEmptiesButKeepsCounters) {
+  PhonemeCache cache;
+  ASSERT_TRUE(cache.Transform("Nehru", Language::kEnglish).ok());
+  ASSERT_TRUE(cache.Transform("Nehru", Language::kEnglish).ok());
+  cache.Clear();
+  PhonemeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  ASSERT_TRUE(cache.Transform("Nehru", Language::kEnglish).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);  // recomputed after Clear
+}
+
+TEST(PhonemeCacheTest, ConcurrentHammeringStaysConsistent) {
+  // 8 threads × mixed hot/cold keys on a small cache: exercises hits,
+  // misses, evictions, and the insert race under ThreadSanitizer.
+  PhonemeCache cache(g2p::G2PRegistry::Default(), 128);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+
+  // Reference values computed single-threaded.
+  std::vector<std::string> keys;
+  std::vector<PhonemeString> expected;
+  for (int i = 0; i < 16; ++i) {
+    keys.push_back("name" + std::to_string(i));
+    Result<PhonemeString> r = g2p::G2PRegistry::Default().Transform(
+        keys.back(), Language::kEnglish);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r.value());
+  }
+
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Hot keys repeat across threads; cold keys force eviction.
+        const size_t k = (t + i) % keys.size();
+        Result<PhonemeString> r =
+            cache.Transform(keys[k], Language::kEnglish);
+        if (!r.ok() || !(r.value() == expected[k])) ++wrong;
+        if (i % 7 == 0) {
+          Result<PhonemeString> cold = cache.Transform(
+              "cold" + std::to_string(t) + "_" + std::to_string(i),
+              Language::kEnglish);
+          if (!cold.ok()) ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  PhonemeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kOpsPerThread +
+                                  kThreads * ((kOpsPerThread + 6) / 7)));
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace lexequal::match
