@@ -29,8 +29,13 @@ int main() {
       BuildGeneratedDb("/tmp/lexequal_ablation1.db", *lexicon, gen);
   if (!db_or.ok()) return 1;
   std::unique_ptr<engine::Database> db = std::move(db_or).value();
-  if (!db->CreateQGramIndex("names", "name_phon", 2).ok()) return 1;
-  if (!db->CreatePhoneticIndex("names", "name_phon").ok()) return 1;
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "names",
+                      .column = "name_phon",
+                      .q = 2}).ok()) return 1;
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "names",
+                      .column = "name_phon"}).ok()) return 1;
 
   // BK-tree over the same data.
   match::ClusteredCost bk_cost(phonetic::ClusterTable::Default(), 0.25);
@@ -57,7 +62,7 @@ int main() {
   for (LexEqualPlan plan :
        {LexEqualPlan::kNaiveUdf, LexEqualPlan::kQGramFilter,
         LexEqualPlan::kPhoneticIndex}) {
-    options.plan = plan;
+    options.hints.plan = plan;
     QueryStats total;
     uint64_t hits = 0;
     Timer t;

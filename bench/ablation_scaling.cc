@@ -32,8 +32,13 @@ int main() {
         BuildGeneratedDb("/tmp/lexequal_scaling.db", *lexicon, gen);
     if (!db_or.ok()) return 1;
     std::unique_ptr<engine::Database> db = std::move(db_or).value();
-    if (!db->CreateQGramIndex("names", "name_phon", 2).ok()) return 1;
-    if (!db->CreatePhoneticIndex("names", "name_phon").ok()) return 1;
+    if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "names",
+                      .column = "name_phon",
+                      .q = 2}).ok()) return 1;
+    if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "names",
+                      .column = "name_phon"}).ok()) return 1;
 
     double ms[3] = {0, 0, 0};
     int plan_i = 0;
@@ -43,7 +48,7 @@ int main() {
       LexEqualQueryOptions options;
       options.match.threshold = 0.25;
       options.match.intra_cluster_cost = 0.25;
-      options.plan = plan;
+      options.hints.plan = plan;
       Timer t;
       for (int i = 0; i < kProbes; ++i) {
         const auto* p = &gen[(gen.size() / kProbes) * i];

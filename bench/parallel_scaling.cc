@@ -222,7 +222,7 @@ int main() {
 
   LexEqualQueryOptions options;
   options.match = match_options;
-  options.plan = LexEqualPlan::kNaiveUdf;
+  options.hints.plan = LexEqualPlan::kNaiveUdf;
   Result<RunResult> engine_naive = RunEnginePlan(db.get(), probes, options);
   if (!engine_naive.ok()) return 1;
 
@@ -232,9 +232,9 @@ int main() {
   PrintScalingRow("kNaiveUdf serial scan", *engine_naive,
                   engine_naive->seconds_per_probe);
 
-  options.plan = LexEqualPlan::kParallelScan;
+  options.hints.plan = LexEqualPlan::kParallelScan;
   for (uint32_t threads : {1u, 4u}) {
-    options.threads = threads;
+    options.hints.threads = threads;
     match::PhonemeCache::Default().Clear();
     Result<RunResult> cold = RunEnginePlan(db.get(), probes, options);
     if (!cold.ok()) return 1;

@@ -43,7 +43,7 @@ int main() {
   LexEqualQueryOptions naive;
   naive.match.threshold = 0.25;
   naive.match.intra_cluster_cost = 0.25;
-  naive.plan = LexEqualPlan::kNaiveUdf;
+  naive.hints.plan = LexEqualPlan::kNaiveUdf;
 
   // --- Scan, exact (= operator). ---
   double exact_scan_s = 0;

@@ -26,7 +26,10 @@ int main() {
 
   {
     Timer t;
-    Status st = db->CreateQGramIndex("names", "name_phon", 2);
+    Status st = db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "names",
+                      .column = "name_phon",
+                      .q = 2});
     if (!st.ok()) {
       std::printf("index: %s\n", st.ToString().c_str());
       return 1;
@@ -44,9 +47,9 @@ int main() {
   LexEqualQueryOptions qgram;
   qgram.match.threshold = 0.25;
   qgram.match.intra_cluster_cost = 0.25;
-  qgram.plan = LexEqualPlan::kQGramFilter;
+  qgram.hints.plan = LexEqualPlan::kQGramFilter;
   LexEqualQueryOptions naive = qgram;
-  naive.plan = LexEqualPlan::kNaiveUdf;
+  naive.hints.plan = LexEqualPlan::kNaiveUdf;
 
   // --- Scan. ---
   double qgram_scan_s = 0;

@@ -29,7 +29,9 @@ int main() {
 
   {
     Timer t;
-    Status st = db->CreatePhoneticIndex("names", "name_phon");
+    Status st = db->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "names",
+                      .column = "name_phon"});
     if (!st.ok()) {
       std::printf("index: %s\n", st.ToString().c_str());
       return 1;
@@ -47,9 +49,9 @@ int main() {
   LexEqualQueryOptions phon;
   phon.match.threshold = 0.25;
   phon.match.intra_cluster_cost = 0.25;
-  phon.plan = LexEqualPlan::kPhoneticIndex;
+  phon.hints.plan = LexEqualPlan::kPhoneticIndex;
   LexEqualQueryOptions naive = phon;
-  naive.plan = LexEqualPlan::kNaiveUdf;
+  naive.hints.plan = LexEqualPlan::kNaiveUdf;
 
   // --- Scan. ---
   double phon_scan_s = 0;

@@ -72,7 +72,10 @@ int main() {
       planted.insert({english_reg, dup_reg});
     }
   }
-  if (!db->CreateQGramIndex("citizens", "name_phon", 2).ok()) return 1;
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "citizens",
+                      .column = "name_phon",
+                      .q = 2}).ok()) return 1;
   std::printf("registry: %d enrollments, %zu planted cross-script "
               "duplicates\n\n",
               enrolled, planted.size());
@@ -86,7 +89,7 @@ int main() {
   std::vector<std::pair<Tuple, Tuple>> naive_pairs;
   for (LexEqualPlan plan :
        {LexEqualPlan::kNaiveUdf, LexEqualPlan::kQGramFilter}) {
-    options.plan = plan;
+    options.hints.plan = plan;
     engine::QueryStats stats;
     const auto start = std::chrono::steady_clock::now();
     Result<std::vector<std::pair<Tuple, Tuple>>> pairs =

@@ -8,7 +8,8 @@
 //   ./lexequal_shell "select name from names where name LexEQUAL
 //                     'Krishna' Threshold 0.25 USING phonetic"
 //
-// Meta commands: \help, \tables, \schema <table>, \quit.
+// Meta commands: \help, \tables, \schema <table>, \stats, \plans,
+// \quit.
 
 #include <chrono>
 #include <cstdio>
@@ -49,7 +50,18 @@ void RunQuery(Database* db, const std::string& sql) {
   }
 }
 
-// The grammar accepted by sql::Parse, clause order included.
+// Every plan the engine knows, straight from the descriptor table —
+// a new LexEqualPlan value shows up here without touching the shell.
+void PrintPlans() {
+  std::printf("plans (USING <hint>):\n");
+  for (const engine::LexEqualPlanDesc& desc : engine::kLexEqualPlans) {
+    std::printf("  %-9s %-15s %s\n", std::string(desc.hint).c_str(),
+                std::string(desc.name).c_str(),
+                std::string(desc.summary).c_str());
+  }
+}
+
+// The grammar accepted by sql::ParseStatement, clause order included.
 void PrintHelp() {
   std::printf(
       "query grammar:\n"
@@ -57,11 +69,40 @@ void PrintHelp() {
       "  where  <col> LexEQUAL '<literal>'      -- or LexEQUAL <col>\n"
       "         [Threshold <e>] [Cost <c>] [inlanguages { L1, ... | * }]\n"
       "  [order by <col> [asc|desc]] [USING <plan>] [limit <n>]\n"
-      "plans (USING): naive | qgram | phonetic | parallel\n"
+      "optimizer statements:\n"
+      "  analyze [<table>]           -- collect + persist table stats\n"
+      "  explain <select>            -- cost-based plan choice, no run\n"
+      "  explain analyze <select>    -- run it; estimated vs actual\n"
+      "  create index phonetic|qgram on <table> (<column>) [Q <n>]\n");
+  PrintPlans();
+  std::printf(
+      "  without USING, auto picks by cost (ANALYZE first for stats).\n"
       "  parallel returns the same rows as naive and prints a match:\n"
       "  line — scanned/filtered/dp counters plus phoneme-cache\n"
       "  hits/misses (repeat a probe to see the cache warm up).\n"
-      "meta commands: \\help, \\tables, \\schema <table>, \\quit\n");
+      "meta commands: \\help, \\tables, \\schema <table>, \\stats, "
+      "\\plans, \\quit\n");
+}
+
+// Plan + estimated-vs-actual line for the most recent query.
+void PrintLastStats(Database* db) {
+  const engine::QueryStats& s = db->LastQueryStats();
+  std::printf(
+      "plan: %s (%s)\n",
+      std::string(engine::LexEqualPlanName(s.plan)).c_str(),
+      s.plan_was_auto
+          ? (s.plan_used_stats ? "auto, statistics" : "auto, heuristic")
+          : "hinted");
+  if (s.plan_used_stats) {
+    std::printf("estimated: cost %.1f, %.1f candidate rows\n", s.est_cost,
+                s.est_candidates);
+  }
+  std::printf("actual: %llu scanned, %llu candidates, %llu udf calls, "
+              "%llu results\n",
+              static_cast<unsigned long long>(s.rows_scanned),
+              static_cast<unsigned long long>(s.candidates),
+              static_cast<unsigned long long>(s.udf_calls),
+              static_cast<unsigned long long>(s.results));
 }
 
 void RunMeta(Database* db, const std::string& line) {
@@ -91,10 +132,24 @@ void RunMeta(Database* db, const std::string& line) {
     std::printf("  indexes: %s%s\n",
                 info.value()->phonetic_index ? "phonetic " : "",
                 info.value()->qgram_index ? "qgram" : "");
+    std::printf("  stats: %s\n",
+                info.value()->stats.analyzed
+                    ? (std::to_string(info.value()->stats.row_count) +
+                       " rows analyzed")
+                          .c_str()
+                    : "unanalyzed (run `analyze`)");
+    return;
+  }
+  if (line == "\\stats") {
+    PrintLastStats(db);
+    return;
+  }
+  if (line == "\\plans") {
+    PrintPlans();
     return;
   }
   std::printf("unknown meta command; try \\help, \\tables, "
-              "\\schema <t>, \\quit\n");
+              "\\schema <t>, \\stats, \\plans, \\quit\n");
 }
 
 }  // namespace
@@ -121,8 +176,15 @@ int main(int argc, char** argv) {
         Value::String(std::string(dataset::NameDomainName(e.domain)))};
     if (!db->Insert("names", values).ok()) return 1;
   }
-  if (!db->CreateQGramIndex("names", "name_phon", 2).ok()) return 1;
-  if (!db->CreatePhoneticIndex("names", "name_phon").ok()) return 1;
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "names",
+                      .column = "name_phon",
+                      .q = 2}).ok()) return 1;
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "names",
+                      .column = "name_phon"}).ok()) return 1;
+  // Stats up front, so hint-free queries get the cost-based picker.
+  if (!db->AnalyzeAll().ok()) return 1;
 
   if (argc > 1) {
     for (int i = 1; i < argc; ++i) RunQuery(db.get(), argv[i]);
@@ -132,9 +194,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "LexEQUAL shell — %zu names loaded into `names`.\n"
+      "LexEQUAL shell — %zu names loaded into `names` (analyzed, both "
+      "indexes built).\n"
       "try: select name from names where name LexEQUAL 'Krishna' "
-      "Threshold 0.25 USING parallel\n"
+      "Threshold 0.25\n"
+      "then: explain analyze select name from names where name "
+      "LexEQUAL 'Krishna'\n"
       "\\help shows the grammar and plan hints.\n",
       lexicon->entries().size());
   std::string line;

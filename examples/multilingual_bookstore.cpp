@@ -86,8 +86,13 @@ int main() {
     }
   }
   // Access paths for the optimized plans.
-  (void)db->CreateQGramIndex("books", "author_phon", 2);
-  (void)db->CreatePhoneticIndex("books", "author_phon");
+  (void)db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "books",
+                      .column = "author_phon",
+                      .q = 2});
+  (void)db->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "books",
+                      .column = "author_phon"});
 
   Run(db.get(), "SQL:1999 exact match finds only one script (Fig. 2)",
       "select author, title, price from books where author = 'Nehru'");

@@ -41,7 +41,7 @@ void Search(Database* db, const std::string& query_text) {
     LexEqualQueryOptions options;
     options.match.threshold = 0.25;
     options.match.intra_cluster_cost = 0.25;
-    options.plan = plan;
+    options.hints.plan = plan;
     QueryStats stats;
     auto start = std::chrono::steady_clock::now();
     Result<std::vector<Tuple>> rows =
@@ -93,8 +93,13 @@ int main(int argc, char** argv) {
                       text::Language::kEnglish)};
     if (!db->Insert("names", values).ok()) return 1;
   }
-  if (!db->CreateQGramIndex("names", "name_phon", 2).ok()) return 1;
-  if (!db->CreatePhoneticIndex("names", "name_phon").ok()) return 1;
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "names",
+                      .column = "name_phon",
+                      .q = 2}).ok()) return 1;
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "names",
+                      .column = "name_phon"}).ok()) return 1;
   std::printf("loaded %zu names in 3 scripts; indexes built\n",
               lexicon->entries().size());
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer preset and runs the concurrency-labeled
+# tests (`ctest -L parallel`): the ParallelMatcher pool, the parallel
+# SQL scan, the shared phoneme cache, and the plan picker's parallel
+# arm. Run from the repo root:
+#
+#   scripts/run_tsan_tests.sh [extra ctest args...]
+#
+# The tsan tree lives in build-tsan/ (see CMakePresets.json), separate
+# from the regular build/ so the two configurations never collide.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+# Halt-on-error keeps the first data race on top of the output instead
+# of burying it under later, derived failures.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan -L parallel --output-on-failure "$@"

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "engine/table_stats.h"
 #include "engine/value.h"
 #include "index/btree.h"
 #include "storage/heap_file.h"
@@ -67,6 +68,9 @@ struct TableInfo {
   std::unique_ptr<storage::HeapFile> heap;
   std::unique_ptr<PhoneticIndexInfo> phonetic_index;
   std::unique_ptr<QGramIndexInfo> qgram_index;
+  /// Optimizer statistics from the last ANALYZE (unanalyzed default
+  /// until one runs); persisted through the catalog snapshot.
+  TableStats stats;
 };
 
 /// Name → table registry.

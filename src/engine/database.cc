@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "phonetic/phonetic_key.h"
 
@@ -12,6 +13,13 @@ namespace {
 
 using phonetic::PhonemeString;
 using storage::RID;
+
+// Catalog snapshot format. v1 records ended after the q-gram block;
+// v2 appends the table-stats block (engine/table_stats.h) and widens
+// the version marker to [version, format]. The loader is structural —
+// it reads whatever blocks are present — so the number is persisted
+// for diagnostics and future migrations rather than branched on.
+constexpr int64_t kCatalogFormatVersion = 2;
 
 // Finds the phonemic shadow column of `source_col`: either a column
 // declared with phonemic_source = source_col (engine-derived on
@@ -51,18 +59,17 @@ Result<PhonemeString> RowPhonemes(const Tuple& row, uint32_t phon_col) {
 
 }  // namespace
 
-std::string_view LexEqualPlanName(LexEqualPlan plan) {
-  switch (plan) {
-    case LexEqualPlan::kNaiveUdf:
-      return "naive-udf";
-    case LexEqualPlan::kQGramFilter:
-      return "qgram-filter";
-    case LexEqualPlan::kPhoneticIndex:
-      return "phonetic-index";
-    case LexEqualPlan::kParallelScan:
-      return "parallel-scan";
-  }
-  return "unknown";
+void QueryStats::Accumulate(const QueryStats& other) {
+  rows_scanned += other.rows_scanned;
+  candidates += other.candidates;
+  udf_calls += other.udf_calls;
+  results = other.results;
+  plan = other.plan;
+  plan_was_auto = other.plan_was_auto;
+  plan_used_stats = other.plan_used_stats;
+  est_cost = other.est_cost;
+  est_candidates = other.est_candidates;
+  match.Merge(other.match);
 }
 
 Database::Database(std::unique_ptr<storage::DiskManager> disk,
@@ -172,12 +179,16 @@ Status Database::SaveCatalog() {
     rec.push_back(Value::Int64(qi != nullptr ? qi->q : 0));
     rec.push_back(
         Value::Int64(qi != nullptr ? qi->btree->root_page_id() : 0));
+    info->stats.AppendTo(&rec);
     LEXEQUAL_RETURN_IF_ERROR(
         meta_->Insert(SerializeTuple(rec)).status());
   }
-  // A version marker record makes empty catalogs reopenable too.
+  // A version marker record makes empty catalogs reopenable too. The
+  // loader tells markers and table records apart by cell [1]'s type
+  // (markers carry the format number, table records their name).
   Tuple marker;
   marker.push_back(Value::Int64(catalog_version_));
+  marker.push_back(Value::Int64(kCatalogFormatVersion));
   LEXEQUAL_RETURN_IF_ERROR(
       meta_->Insert(SerializeTuple(marker)).status());
   return Status::OK();
@@ -200,6 +211,9 @@ Status Database::LoadCatalog() {
   catalog_version_ = latest;
   for (const Tuple& rec : records) {
     if (rec[0].AsInt64() != latest) continue;
+    // v2 version markers are [version, format]; table records always
+    // carry their name at cell [1].
+    if (rec[1].type() != ValueType::kString) continue;
     size_t pos = 1;
     auto next_int = [&]() { return rec[pos++].AsInt64(); };
     const std::string name = rec[pos++].AsString().text();
@@ -240,7 +254,12 @@ Status Database::LoadCatalog() {
       qi->btree = std::make_unique<index::BTree>(index::BTree::Open(
           pool_.get(), static_cast<storage::PageId>(next_int())));
       info->qgram_index = std::move(qi);
+    } else {
+      pos += 3;
     }
+    // Stats block (absent in pre-v2 snapshots => unanalyzed default).
+    LEXEQUAL_ASSIGN_OR_RETURN(info->stats,
+                              TableStats::ReadFrom(rec, &pos));
     LEXEQUAL_RETURN_IF_ERROR(catalog_.AddTable(std::move(info)));
   }
   return Status::OK();
@@ -343,20 +362,31 @@ Result<RID> Database::Insert(const std::string& table,
   return rid;
 }
 
-Status Database::CreatePhoneticIndex(const std::string& table,
-                                     const std::string& phonemic_column) {
+Status Database::CreateIndex(const IndexSpec& spec) {
   TableInfo* info;
-  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
+  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(spec.table));
   uint32_t col;
-  LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(phonemic_column));
-  if (info->phonetic_index != nullptr) {
+  LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(spec.column));
+
+  const bool phonetic = spec.kind == IndexSpec::Kind::kPhonetic;
+  if (phonetic && info->phonetic_index != nullptr) {
     return Status::AlreadyExists("phonetic index already exists on '" +
-                                 table + "'");
+                                 spec.table + "'");
   }
-  auto idx = std::make_unique<PhoneticIndexInfo>();
-  idx->column = col;
+  if (!phonetic) {
+    if (spec.q < 1 || spec.q > QGramIndexInfo::kQGramPackMaxQ) {
+      return Status::InvalidArgument(
+          "q must be in [1, " +
+          std::to_string(QGramIndexInfo::kQGramPackMaxQ) + "]");
+    }
+    if (info->qgram_index != nullptr) {
+      return Status::AlreadyExists("q-gram index already exists on '" +
+                                   spec.table + "'");
+    }
+  }
+
   index::BTree btree = index::BTree::Create(pool_.get()).value();
-  idx->btree = std::make_unique<index::BTree>(std::move(btree));
+  auto tree = std::make_unique<index::BTree>(std::move(btree));
 
   // Backfill existing rows.
   SeqScanExecutor scan(info);
@@ -369,35 +399,64 @@ Status Database::CreatePhoneticIndex(const std::string& table,
     PhonemeString phon;
     LEXEQUAL_ASSIGN_OR_RETURN(phon, RowPhonemes(row, col));
     if (phon.empty()) continue;
-    const uint64_t key = phonetic::GroupedPhonemeStringId(
-        phon, phonetic::ClusterTable::Default());
-    LEXEQUAL_RETURN_IF_ERROR(idx->btree->Insert(key, scan.current_rid()));
+    const RID rid = scan.current_rid();
+    if (phonetic) {
+      const uint64_t key = phonetic::GroupedPhonemeStringId(
+          phon, phonetic::ClusterTable::Default());
+      LEXEQUAL_RETURN_IF_ERROR(tree->Insert(key, rid));
+    } else {
+      for (const match::PositionalQGram& g :
+           match::PositionalQGrams(phon, spec.q)) {
+        LEXEQUAL_RETURN_IF_ERROR(tree->Insert(
+            QGramIndexInfo::PackKey(g.gram, g.pos, phon.size()), rid));
+      }
+    }
   }
-  info->phonetic_index = std::move(idx);
+
+  if (phonetic) {
+    auto idx = std::make_unique<PhoneticIndexInfo>();
+    idx->column = col;
+    idx->btree = std::move(tree);
+    info->phonetic_index = std::move(idx);
+  } else {
+    auto idx = std::make_unique<QGramIndexInfo>();
+    idx->column = col;
+    idx->q = spec.q;
+    idx->btree = std::move(tree);
+    info->qgram_index = std::move(idx);
+  }
   return SaveCatalog();
 }
 
-Status Database::CreateQGramIndex(const std::string& table,
-                                  const std::string& phonemic_column,
-                                  int q) {
-  if (q < 1 || q > QGramIndexInfo::kQGramPackMaxQ) {
-    return Status::InvalidArgument(
-        "q must be in [1, " +
-        std::to_string(QGramIndexInfo::kQGramPackMaxQ) + "]");
-  }
+Status Database::Analyze(const std::string& table) {
   TableInfo* info;
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
-  uint32_t col;
-  LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(phonemic_column));
-  if (info->qgram_index != nullptr) {
-    return Status::AlreadyExists("q-gram index already exists on '" +
-                                 table + "'");
+  const Schema& schema = info->schema;
+
+  // Phonemic columns: declared shadows, plus caller-materialized
+  // "<name>_phon" string columns (same recognition as the query path).
+  TableStats stats;
+  stats.analyzed = true;
+  struct ColState {
+    PhonemicColumnStats s;
+    std::unordered_map<uint64_t, uint64_t> key_counts;
+    std::unordered_set<uint64_t> grams;
+  };
+  std::vector<ColState> cols;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const Column& c = schema.column(i);
+    const bool shadow = c.phonemic_source.has_value();
+    const bool by_name = c.type == ValueType::kString &&
+                         c.name.size() > 5 &&
+                         c.name.compare(c.name.size() - 5, 5, "_phon") == 0;
+    if (!shadow && !by_name) continue;
+    ColState state;
+    state.s.column = static_cast<uint32_t>(i);
+    if (info->qgram_index != nullptr && info->qgram_index->column == i) {
+      state.s.qgram_q = info->qgram_index->q;
+    }
+    cols.push_back(std::move(state));
   }
-  auto idx = std::make_unique<QGramIndexInfo>();
-  idx->column = col;
-  idx->q = q;
-  index::BTree btree = index::BTree::Create(pool_.get()).value();
-  idx->btree = std::make_unique<index::BTree>(std::move(btree));
 
   SeqScanExecutor scan(info);
   LEXEQUAL_RETURN_IF_ERROR(scan.Init());
@@ -406,18 +465,42 @@ Status Database::CreateQGramIndex(const std::string& table,
     bool has;
     LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
     if (!has) break;
-    PhonemeString phon;
-    LEXEQUAL_ASSIGN_OR_RETURN(phon, RowPhonemes(row, col));
-    if (phon.empty()) continue;
-    const RID rid = scan.current_rid();
-    for (const match::PositionalQGram& g :
-         match::PositionalQGrams(phon, q)) {
-      LEXEQUAL_RETURN_IF_ERROR(idx->btree->Insert(
-          QGramIndexInfo::PackKey(g.gram, g.pos, phon.size()), rid));
+    ++stats.row_count;
+    for (ColState& state : cols) {
+      PhonemeString phon;
+      LEXEQUAL_ASSIGN_OR_RETURN(phon, RowPhonemes(row, state.s.column));
+      if (phon.empty()) continue;
+      ++state.s.nonempty_rows;
+      state.s.total_phonemes += phon.size();
+      state.s.max_phonemes =
+          std::max<uint64_t>(state.s.max_phonemes, phon.size());
+      ++state.key_counts[phonetic::GroupedPhonemeStringId(
+          phon, phonetic::ClusterTable::Default())];
+      for (const match::PositionalQGram& g :
+           match::PositionalQGrams(phon, state.s.qgram_q)) {
+        ++state.s.total_qgrams;
+        state.grams.insert(g.gram);
+      }
     }
   }
-  info->qgram_index = std::move(idx);
+  for (ColState& state : cols) {
+    state.s.distinct_phonetic_keys = state.key_counts.size();
+    for (const auto& [key, count] : state.key_counts) {
+      state.s.max_phonetic_fanout =
+          std::max(state.s.max_phonetic_fanout, count);
+    }
+    state.s.distinct_qgrams = state.grams.size();
+    stats.columns.push_back(std::move(state.s));
+  }
+  info->stats = std::move(stats);
   return SaveCatalog();
+}
+
+Status Database::AnalyzeAll() {
+  for (const std::string& name : catalog_.TableNames()) {
+    LEXEQUAL_RETURN_IF_ERROR(Analyze(name));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<Tuple>> Database::ExactSelect(const std::string& table,
@@ -430,13 +513,14 @@ Result<std::vector<Tuple>> Database::ExactSelect(const std::string& table,
   LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(column));
   SeqScanExecutor scan(info);
   LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+  QueryStats qs;
   std::vector<Tuple> out;
   Tuple row;
   while (true) {
     bool has;
     LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
     if (!has) break;
-    if (stats != nullptr) ++stats->rows_scanned;
+    ++qs.rows_scanned;
     // Native equality is binary across scripts (SQL:1999 semantics):
     // text comparison, no phonetics.
     if (row[col].type() == ValueType::kString &&
@@ -448,7 +532,9 @@ Result<std::vector<Tuple>> Database::ExactSelect(const std::string& table,
       out.push_back(row);
     }
   }
-  if (stats != nullptr) stats->results = out.size();
+  qs.results = out.size();
+  last_stats_ = qs;
+  if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
 
@@ -542,26 +628,74 @@ Result<std::vector<RID>> Database::QGramCandidates(
   return out;
 }
 
+PlanPickerInputs Database::PickerInputs(
+    const TableInfo& info, uint32_t phon_col, double query_len,
+    const LexEqualQueryOptions& options) const {
+  PlanPickerInputs in;
+  in.stats = &info.stats;
+  in.phon_col = phon_col;
+  in.has_qgram = info.qgram_index != nullptr;
+  if (in.has_qgram) in.qgram_q = info.qgram_index->q;
+  in.has_phonetic = info.phonetic_index != nullptr;
+  if (query_len > 0) in.query_len = query_len;
+  in.match = options.match;
+  in.hints = options.hints;
+  return in;
+}
+
+Result<PlanChoice> Database::ExplainLexEqualSelect(
+    const std::string& table, const std::string& column,
+    const text::TaggedString& query, const LexEqualQueryOptions& options) {
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
+  uint32_t source_col;
+  LEXEQUAL_ASSIGN_OR_RETURN(source_col, info->schema.IndexOf(column));
+  uint32_t phon_col;
+  LEXEQUAL_ASSIGN_OR_RETURN(phon_col,
+                            PhonemicColumnOf(info->schema, source_col));
+  PhonemeString query_phon;
+  LEXEQUAL_ASSIGN_OR_RETURN(
+      query_phon, match::PhonemeCache::Default().Transform(query));
+  return ChooseLexEqualPlan(PickerInputs(
+      *info, phon_col, static_cast<double>(query_phon.size()), options));
+}
+
 Result<std::vector<Tuple>> Database::LexEqualSelect(
     const std::string& table, const std::string& column,
     const text::TaggedString& query, const LexEqualQueryOptions& options,
     QueryStats* stats) {
   // Query-side transform goes through the shared phoneme cache:
   // repeated probes (and multi-predicate queries) re-use the G2P run.
+  QueryStats qs;
   match::PhonemeCache& cache = match::PhonemeCache::Default();
   const match::PhonemeCacheStats before = cache.stats();
   Result<PhonemeString> query_phon = cache.Transform(query);
-  if (stats != nullptr) {
-    const match::PhonemeCacheStats after = cache.stats();
-    stats->match.cache_hits += after.hits - before.hits;
-    stats->match.cache_misses += after.misses - before.misses;
-  }
+  const match::PhonemeCacheStats after = cache.stats();
+  qs.match.cache_hits += after.hits - before.hits;
+  qs.match.cache_misses += after.misses - before.misses;
   if (!query_phon.ok()) return query_phon.status();
-  return LexEqualSelectPhonemes(table, column, query_phon.value(),
-                                options, stats);
+  Result<std::vector<Tuple>> out =
+      SelectPhonemesImpl(table, column, query_phon.value(), options, &qs);
+  if (!out.ok()) return out.status();
+  last_stats_ = qs;
+  if (stats != nullptr) stats->Accumulate(qs);
+  return out;
 }
 
 Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
+    const std::string& table, const std::string& column,
+    const PhonemeString& query_phon, const LexEqualQueryOptions& options,
+    QueryStats* stats) {
+  QueryStats qs;
+  Result<std::vector<Tuple>> out =
+      SelectPhonemesImpl(table, column, query_phon, options, &qs);
+  if (!out.ok()) return out.status();
+  last_stats_ = qs;
+  if (stats != nullptr) stats->Accumulate(qs);
+  return out;
+}
+
+Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
     const std::string& table, const std::string& column,
     const PhonemeString& query_phon, const LexEqualQueryOptions& options,
     QueryStats* stats) {
@@ -573,10 +707,21 @@ Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
   LEXEQUAL_ASSIGN_OR_RETURN(phon_col,
                             PhonemicColumnOf(info->schema, source_col));
 
+  const PlanChoice choice = ChooseLexEqualPlan(PickerInputs(
+      *info, phon_col, static_cast<double>(query_phon.size()), options));
+  stats->plan = choice.plan;
+  stats->plan_was_auto = !choice.hinted;
+  stats->plan_used_stats = choice.used_stats;
+  if (const PlanCostEstimate* est = choice.Estimate(choice.plan);
+      est != nullptr) {
+    stats->est_cost = est->cost;
+    stats->est_candidates = est->est_candidates;
+  }
+
   match::LexEqualMatcher matcher(options.match);
 
   std::vector<Tuple> out;
-  switch (options.plan) {
+  switch (choice.plan) {
     case LexEqualPlan::kNaiveUdf: {
       SeqScanExecutor scan(info);
       LEXEQUAL_RETURN_IF_ERROR(scan.Init());
@@ -652,7 +797,7 @@ Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
       spec.phon_col = phon_col;
       spec.match = options.match;
       spec.in_languages = options.in_languages;
-      spec.threads = options.threads;
+      spec.threads = options.hints.threads;
       spec.cache = &match::PhonemeCache::Default();
       ParallelLexEqualScanExecutor scan(info, std::move(spec));
       LEXEQUAL_RETURN_IF_ERROR(scan.Init());
@@ -671,8 +816,10 @@ Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
       }
       break;
     }
+    case LexEqualPlan::kAuto:
+      return Status::Internal("kAuto survived plan resolution");
   }
-  if (stats != nullptr) stats->results = out.size();
+  stats->results = out.size();
   return out;
 }
 
@@ -694,6 +841,26 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
   uint32_t rphon;
   LEXEQUAL_ASSIGN_OR_RETURN(rphon, PhonemicColumnOf(right->schema, rcol));
 
+  // The probe side of the join is the right table; the typical probe
+  // length is the left side's average phonemic length when known.
+  double probe_len = 0.0;
+  if (left->stats.analyzed) {
+    if (const PhonemicColumnStats* ls = left->stats.ForColumn(lphon)) {
+      probe_len = ls->avg_phonemes();
+    }
+  }
+  const PlanChoice choice =
+      ChooseLexEqualPlan(PickerInputs(*right, rphon, probe_len, options));
+  QueryStats qs;
+  qs.plan = choice.plan;
+  qs.plan_was_auto = !choice.hinted;
+  qs.plan_used_stats = choice.used_stats;
+  if (const PlanCostEstimate* est = choice.Estimate(choice.plan);
+      est != nullptr) {
+    qs.est_cost = est->cost;
+    qs.est_candidates = est->est_candidates;
+  }
+
   match::LexEqualMatcher matcher(options.match);
   std::vector<std::pair<Tuple, Tuple>> out;
 
@@ -703,10 +870,10 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
   std::vector<Tuple> inner_rows;
   std::vector<std::string> inner_ipa;
   match::ParallelMatcherOptions pm_options;
-  pm_options.threads = options.threads;
+  pm_options.threads = options.hints.threads;
   pm_options.cache = &match::PhonemeCache::Default();
   match::ParallelMatcher pm(matcher, pm_options);
-  if (options.plan == LexEqualPlan::kParallelScan) {
+  if (choice.plan == LexEqualPlan::kParallelScan) {
     SeqScanExecutor inner(right);
     LEXEQUAL_RETURN_IF_ERROR(inner.Init());
     Tuple rrow;
@@ -733,7 +900,7 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
     if (!has) break;
     if (outer_limit > 0 && outer_seen >= outer_limit) break;
     ++outer_seen;
-    if (stats != nullptr) ++stats->rows_scanned;
+    ++qs.rows_scanned;
     if (!LanguageAllowed(options, lrow, lcol)) continue;
     PhonemeString lph;
     LEXEQUAL_ASSIGN_OR_RETURN(lph, RowPhonemes(lrow, lphon));
@@ -745,13 +912,13 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
       if (rrow[rcol].AsString().language() == llang) return Status::OK();
       if (!LanguageAllowed(options, rrow, rcol)) return Status::OK();
       Result<bool> matched =
-          VerifyCandidate(matcher, lph, rrow, rphon, stats);
+          VerifyCandidate(matcher, lph, rrow, rphon, &qs);
       if (!matched.ok()) return matched.status();
       if (matched.value()) out.emplace_back(lrow, rrow);
       return Status::OK();
     };
 
-    switch (options.plan) {
+    switch (choice.plan) {
       case LexEqualPlan::kNaiveUdf: {
         SeqScanExecutor inner(right);
         LEXEQUAL_RETURN_IF_ERROR(inner.Init());
@@ -772,7 +939,7 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
         std::vector<RID> rids;
         LEXEQUAL_ASSIGN_OR_RETURN(
             rids, QGramCandidates(*right, lph, options.match.threshold,
-                                  stats));
+                                  &qs));
         RidLookupExecutor lookup(right, std::move(rids));
         LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
         Tuple rrow;
@@ -794,7 +961,7 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
         std::vector<RID> rids;
         LEXEQUAL_ASSIGN_OR_RETURN(
             rids, right->phonetic_index->btree->ScanEqual(key));
-        if (stats != nullptr) stats->rows_scanned += rids.size();
+        qs.rows_scanned += rids.size();
         RidLookupExecutor lookup(right, std::move(rids));
         LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
         Tuple rrow;
@@ -815,11 +982,9 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
           if (!matched_or.ok()) return matched_or.status();
           matched = std::move(matched_or).value();
         }
-        if (stats != nullptr) {
-          stats->candidates += mstats.dp_evaluations;
-          stats->udf_calls += mstats.dp_evaluations;
-          stats->match.Merge(mstats);
-        }
+        qs.candidates += mstats.dp_evaluations;
+        qs.udf_calls += mstats.dp_evaluations;
+        qs.match.Merge(mstats);
         for (size_t idx : matched) {
           const Tuple& rrow = inner_rows[idx];
           // Fig. 5: B1.Language <> B2.Language, plus inlanguages.
@@ -829,9 +994,13 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
         }
         break;
       }
+      case LexEqualPlan::kAuto:
+        return Status::Internal("kAuto survived plan resolution");
     }
   }
-  if (stats != nullptr) stats->results = out.size();
+  qs.results = out.size();
+  last_stats_ = qs;
+  if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
 
@@ -862,6 +1031,7 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
     }
   }
   std::vector<std::pair<Tuple, Tuple>> out;
+  QueryStats qs;
   SeqScanExecutor scan(left);
   LEXEQUAL_RETURN_IF_ERROR(scan.Init());
   Tuple row;
@@ -872,7 +1042,7 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
     if (!has) break;
     if (outer_limit > 0 && outer_seen >= outer_limit) break;
     ++outer_seen;
-    if (stats != nullptr) ++stats->rows_scanned;
+    ++qs.rows_scanned;
     auto it = inner.find(row[lcol].AsString().text());
     if (it == inner.end()) continue;
     const text::Language llang = row[lcol].AsString().language();
@@ -881,7 +1051,9 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
       out.emplace_back(row, rrow);
     }
   }
-  if (stats != nullptr) stats->results = out.size();
+  qs.results = out.size();
+  last_stats_ = qs;
+  if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
 

@@ -11,6 +11,8 @@
 #include "engine/catalog.h"
 #include "engine/executor.h"
 #include "engine/expression.h"
+#include "engine/plan.h"
+#include "engine/plan_picker.h"
 #include "match/lexequal.h"
 #include "match/match_stats.h"
 #include "match/phoneme_cache.h"
@@ -19,38 +21,53 @@
 
 namespace lexequal::engine {
 
-/// Which physical plan evaluates a LexEQUAL predicate.
-enum class LexEqualPlan {
-  kNaiveUdf,        // full scan / NLJ + UDF (paper Table 1)
-  kQGramFilter,     // q-gram filters + UDF   (paper Table 2)
-  kPhoneticIndex,   // phonetic B-Tree + UDF  (paper Table 3)
-  kParallelScan,    // batch scan: filters + thread pool + phoneme
-                    // cache; same match set as kNaiveUdf
-};
-
-std::string_view LexEqualPlanName(LexEqualPlan plan);
-
 /// Per-query knobs for LexEQUAL selections and joins.
 struct LexEqualQueryOptions {
   match::LexEqualOptions match;
-  LexEqualPlan plan = LexEqualPlan::kNaiveUdf;
   /// Target languages (Fig. 3 "inlanguages"); empty = all (*).
   std::vector<text::Language> in_languages;
-  /// Worker threads for kParallelScan (0 = auto). Ignored by the
-  /// other plans.
-  uint32_t threads = 0;
+  /// Physical-plan hints (engine/plan.h). The default, kAuto, hands
+  /// the choice to the cost-based picker; setting hints.plan forces a
+  /// specific access path (the SQL `USING <plan>` clause).
+  PlanHints hints;
 };
 
-/// Execution counters for one query, used by the benchmark tables.
+/// Execution counters for one query, used by the benchmark tables and
+/// EXPLAIN ANALYZE. Counter fields accumulate across queries sharing
+/// one stats object (the bench pattern); the plan/estimate/result
+/// fields always describe the most recent query.
 struct QueryStats {
   uint64_t rows_scanned = 0;     // tuples pulled from base tables
   uint64_t candidates = 0;       // rows reaching the UDF
   uint64_t udf_calls = 0;        // exact matcher invocations
   uint64_t results = 0;          // rows returned
+  /// The plan that actually ran (kAuto is resolved before execution).
+  LexEqualPlan plan = LexEqualPlan::kNaiveUdf;
+  bool plan_was_auto = false;    // picked by the optimizer, not forced
+  bool plan_used_stats = false;  // priced from ANALYZE statistics
+  double est_cost = 0.0;         // optimizer cost of the executed plan
+  double est_candidates = 0.0;   // estimated rows reaching the UDF
   /// Matcher-side breakdown (filters, DP runs, phoneme-cache hits,
   /// threads, wall time). Filled by the parallel plan; the query-side
   /// G2P cache counters are filled by every LexEQUAL text query.
   match::MatchStats match;
+
+  /// Folds one query's stats into this object: counters add, match
+  /// stats merge, plan/estimate/result fields take the newcomer's.
+  void Accumulate(const QueryStats& other);
+};
+
+/// Declarative description of a LexEQUAL access path — the single
+/// entry point Database::CreateIndex builds both index kinds from.
+struct IndexSpec {
+  enum class Kind {
+    kPhonetic,  // grouped phoneme string id B-Tree (paper §5.3)
+    kQGram,     // covering positional q-gram B-Tree (paper §5.2)
+  };
+  Kind kind = Kind::kPhonetic;
+  std::string table;
+  std::string column;  // the phonemic column to index
+  int q = 2;           // gram length; kQGram only
 };
 
 /// A single-file embedded database with the LexEQUAL extension.
@@ -85,15 +102,43 @@ class Database {
     return catalog_.GetTable(name);
   }
 
-  /// Builds the phonetic (grouped phoneme string id) B-Tree over an
-  /// existing phonemic column (paper §5.3). Covers existing rows and
-  /// is maintained by subsequent inserts.
-  Status CreatePhoneticIndex(const std::string& table,
-                             const std::string& phonemic_column);
+  /// Builds the access path described by `spec` over an existing
+  /// phonemic column, backfilling existing rows; maintained by
+  /// subsequent inserts. A table holds at most one index of each kind.
+  Status CreateIndex(const IndexSpec& spec);
 
-  /// Builds the auxiliary q-gram table + gram B-Tree (paper §5.2).
+  /// Deprecated shim — use CreateIndex with Kind::kPhonetic.
+  Status CreatePhoneticIndex(const std::string& table,
+                             const std::string& phonemic_column) {
+    return CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
+                        .table = table,
+                        .column = phonemic_column});
+  }
+
+  /// Deprecated shim — use CreateIndex with Kind::kQGram.
   Status CreateQGramIndex(const std::string& table,
-                          const std::string& phonemic_column, int q = 2);
+                          const std::string& phonemic_column, int q = 2) {
+    return CreateIndex({.kind = IndexSpec::Kind::kQGram,
+                        .table = table,
+                        .column = phonemic_column,
+                        .q = q});
+  }
+
+  /// Collects optimizer statistics for `table` — row count, phonemic
+  /// lengths, phonetic-key fanout, q-gram posting density — in one
+  /// heap scan, and persists them through the catalog snapshot. Until
+  /// a table is ANALYZEd the plan picker falls back to a heuristic
+  /// (see engine/plan_picker.h).
+  Status Analyze(const std::string& table);
+
+  /// ANALYZEs every table in the catalog.
+  Status AnalyzeAll();
+
+  /// The optimizer's decision for a LexEQUAL selection, with per-plan
+  /// cost estimates — the substance of EXPLAIN. Does not execute.
+  Result<PlanChoice> ExplainLexEqualSelect(
+      const std::string& table, const std::string& column,
+      const text::TaggedString& query, const LexEqualQueryOptions& options);
 
   /// SELECT * FROM `table` WHERE `column` = literal (native equality;
   /// the Table 1 "Exact" baseline).
@@ -141,6 +186,10 @@ class Database {
   const g2p::G2PRegistry& g2p() const { return *g2p_; }
   Catalog* catalog() { return &catalog_; }
 
+  /// Stats of the most recent query executed on this database (exact
+  /// or LexEQUAL, selection or join) — the shell's \stats command.
+  const QueryStats& LastQueryStats() const { return last_stats_; }
+
   /// Snapshots the catalog (current index roots included) and flushes
   /// all dirty pages. Call before closing to make the file reopenable
   /// with its tables and indexes.
@@ -153,6 +202,19 @@ class Database {
   // Catalog persistence: snapshot records in the meta heap (page 0).
   Status SaveCatalog();
   Status LoadCatalog();
+
+  // Assembles the plan-picker inputs for one probe of `phon_col`.
+  PlanPickerInputs PickerInputs(const TableInfo& info, uint32_t phon_col,
+                                double query_len,
+                                const LexEqualQueryOptions& options) const;
+
+  // LexEqualSelectPhonemes body. `qs` is never null and receives this
+  // query's stats; the public wrappers own the LastQueryStats and
+  // out-parameter plumbing.
+  Result<std::vector<Tuple>> SelectPhonemesImpl(
+      const std::string& table, const std::string& column,
+      const phonetic::PhonemeString& query_phon,
+      const LexEqualQueryOptions& options, QueryStats* qs);
 
   // Shared verification step: parse the candidate's phonemic cell and
   // run the exact matcher.
@@ -181,6 +243,7 @@ class Database {
   const g2p::G2PRegistry* g2p_;
   std::unique_ptr<storage::HeapFile> meta_;  // catalog snapshots
   int64_t catalog_version_ = 0;
+  QueryStats last_stats_;  // most recent query (LastQueryStats)
 };
 
 }  // namespace lexequal::engine

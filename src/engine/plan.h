@@ -1,0 +1,86 @@
+// Physical plans for LexEQUAL predicates, and the descriptor table
+// that keeps every shell/EXPLAIN surface exhaustive over them.
+
+#ifndef LEXEQUAL_ENGINE_PLAN_H_
+#define LEXEQUAL_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <iterator>
+#include <string_view>
+
+namespace lexequal::engine {
+
+/// Which physical plan evaluates a LexEQUAL predicate.
+enum class LexEqualPlan {
+  kNaiveUdf,        // full scan / NLJ + UDF (paper Table 1)
+  kQGramFilter,     // q-gram filters + UDF   (paper Table 2)
+  kPhoneticIndex,   // phonetic B-Tree + UDF  (paper Table 3)
+  kParallelScan,    // batch scan: filters + thread pool + phoneme
+                    // cache; same match set as kNaiveUdf
+  kAuto,            // cost-based choice from table statistics; must
+                    // stay last (the descriptor guard pins it there)
+};
+
+/// One row of the plan table: canonical name, the USING spelling, and
+/// a one-line summary for shells and EXPLAIN output.
+struct LexEqualPlanDesc {
+  LexEqualPlan plan;
+  std::string_view name;     // canonical dashed name ("qgram-filter")
+  std::string_view hint;     // USING spelling ("qgram")
+  std::string_view summary;  // what the plan does
+};
+
+/// Every enum value, in enum order. Adding a LexEqualPlan without a
+/// descriptor row here (or reordering either side) breaks the
+/// static_assert below, so new plans cannot ship unnamed.
+inline constexpr LexEqualPlanDesc kLexEqualPlans[] = {
+    {LexEqualPlan::kNaiveUdf, "naive-udf", "naive",
+     "full heap scan, UDF on every row (paper Table 1)"},
+    {LexEqualPlan::kQGramFilter, "qgram-filter", "qgram",
+     "q-gram length/position/count filters, UDF on survivors"},
+    {LexEqualPlan::kPhoneticIndex, "phonetic-index", "phonetic",
+     "grouped phonetic-key B-Tree probe, UDF on key-equal rows"},
+    {LexEqualPlan::kParallelScan, "parallel-scan", "parallel",
+     "batch scan over a worker pool; same rows as naive"},
+    {LexEqualPlan::kAuto, "auto", "auto",
+     "cost-based choice from ANALYZE statistics"},
+};
+
+inline constexpr size_t kLexEqualPlanCount = std::size(kLexEqualPlans);
+
+namespace internal {
+constexpr bool PlanTableIsExhaustive() {
+  for (size_t i = 0; i < kLexEqualPlanCount; ++i) {
+    if (kLexEqualPlans[i].plan != static_cast<LexEqualPlan>(i)) {
+      return false;
+    }
+  }
+  return kLexEqualPlans[kLexEqualPlanCount - 1].plan ==
+         LexEqualPlan::kAuto;
+}
+}  // namespace internal
+
+static_assert(internal::PlanTableIsExhaustive(),
+              "kLexEqualPlans must list every LexEqualPlan value in "
+              "enum order, with kAuto last — add a descriptor row for "
+              "any new plan");
+
+/// Canonical name of a plan ("naive-udf", ..., "auto").
+constexpr std::string_view LexEqualPlanName(LexEqualPlan plan) {
+  const auto i = static_cast<size_t>(plan);
+  return i < kLexEqualPlanCount ? kLexEqualPlans[i].name : "unknown";
+}
+
+/// Per-query plan hints. Defaulting the plan to kAuto hands hint-free
+/// callers to the optimizer; `USING <plan>` (or setting `plan`)
+/// remains an explicit override.
+struct PlanHints {
+  LexEqualPlan plan = LexEqualPlan::kAuto;
+  /// Worker threads for kParallelScan (0 = hardware). Also feeds the
+  /// cost model's parallel-speedup estimate.
+  uint32_t threads = 0;
+};
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_PLAN_H_

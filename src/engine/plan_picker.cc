@@ -1,0 +1,134 @@
+#include "engine/plan_picker.h"
+
+#include <algorithm>
+
+#include "match/plan_cost.h"
+
+namespace lexequal::engine {
+
+namespace {
+
+using match::EstimateParallelSpeedup;
+using match::EstimateQGramCandidates;
+using match::EstimateQGramPostings;
+using match::EstimateVerifyCost;
+using match::PlanCostParams;
+
+/// Prices every concrete plan from analyzed statistics.
+std::vector<PlanCostEstimate> PriceAll(const PlanPickerInputs& in,
+                                       const PhonemicColumnStats& col) {
+  const PlanCostParams p;
+  const double rows =
+      static_cast<double>(std::max<uint64_t>(in.stats->row_count, 1));
+  const double phonemic =
+      static_cast<double>(std::min<uint64_t>(col.nonempty_rows,
+                                             in.stats->row_count));
+  const double avg_len = std::max(col.avg_phonemes(), 1.0);
+  const double threshold = in.match.threshold;
+  const double verify =
+      EstimateVerifyCost(in.query_len, avg_len, threshold, p);
+
+  std::vector<PlanCostEstimate> out;
+
+  {
+    PlanCostEstimate e;
+    e.plan = LexEqualPlan::kNaiveUdf;
+    e.eligible = true;
+    e.est_candidates = phonemic;
+    e.cost = rows * p.scan_tuple + phonemic * verify;
+    out.push_back(std::move(e));
+  }
+  {
+    PlanCostEstimate e;
+    e.plan = LexEqualPlan::kQGramFilter;
+    if (!in.has_qgram) {
+      e.note = "no q-gram index";
+    } else {
+      e.eligible = true;
+      const double postings = EstimateQGramPostings(
+          in.query_len, in.qgram_q, col.avg_qgram_postings());
+      const double grams =
+          in.query_len + static_cast<double>(in.qgram_q) - 1.0;
+      e.est_candidates =
+          EstimateQGramCandidates(in.query_len, avg_len, threshold,
+                                  in.qgram_q, postings, phonemic);
+      e.cost = p.index_plan_overhead + grams * p.btree_probe +
+               postings * p.posting_entry +
+               e.est_candidates * (p.rid_lookup + verify);
+    }
+    out.push_back(std::move(e));
+  }
+  {
+    PlanCostEstimate e;
+    e.plan = LexEqualPlan::kPhoneticIndex;
+    if (!in.has_phonetic) {
+      e.note = "no phonetic index";
+    } else if (threshold > kPhoneticIndexThresholdGate) {
+      e.note = "threshold above auto-pick gate";
+    } else {
+      e.eligible = true;
+      e.est_candidates = std::max(col.avg_phonetic_fanout(), 1.0);
+      e.cost = p.index_plan_overhead + p.btree_probe +
+               e.est_candidates * (p.rid_lookup + verify);
+    }
+    out.push_back(std::move(e));
+  }
+  {
+    PlanCostEstimate e;
+    e.plan = LexEqualPlan::kParallelScan;
+    e.eligible = true;
+    e.est_candidates = phonemic;
+    const double speedup = EstimateParallelSpeedup(in.hints.threads, p);
+    e.cost = p.parallel_setup +
+             (rows * p.scan_tuple + phonemic * verify) / speedup;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+/// Pre-optimizer preference order, used when the table was never
+/// ANALYZEd: an index beats a scan, and the phonetic index beats the
+/// q-gram filter when the threshold is tight enough for it.
+LexEqualPlan HeuristicPlan(const PlanPickerInputs& in) {
+  if (in.has_phonetic &&
+      in.match.threshold <= kPhoneticIndexThresholdGate) {
+    return LexEqualPlan::kPhoneticIndex;
+  }
+  if (in.has_qgram) return LexEqualPlan::kQGramFilter;
+  return LexEqualPlan::kNaiveUdf;
+}
+
+}  // namespace
+
+PlanChoice ChooseLexEqualPlan(const PlanPickerInputs& in) {
+  PlanChoice choice;
+  const PhonemicColumnStats* col =
+      (in.stats != nullptr && in.stats->analyzed)
+          ? in.stats->ForColumn(in.phon_col)
+          : nullptr;
+  if (col != nullptr) {
+    choice.used_stats = true;
+    choice.estimates = PriceAll(in, *col);
+  }
+
+  if (in.hints.plan != LexEqualPlan::kAuto) {
+    choice.hinted = true;
+    choice.plan = in.hints.plan;
+    return choice;
+  }
+
+  if (!choice.used_stats) {
+    choice.plan = HeuristicPlan(in);
+    return choice;
+  }
+
+  const PlanCostEstimate* best = nullptr;
+  for (const PlanCostEstimate& e : choice.estimates) {
+    if (!e.eligible) continue;
+    if (best == nullptr || e.cost < best->cost) best = &e;
+  }
+  choice.plan = best != nullptr ? best->plan : LexEqualPlan::kNaiveUdf;
+  return choice;
+}
+
+}  // namespace lexequal::engine

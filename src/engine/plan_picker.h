@@ -1,0 +1,82 @@
+// Cost-based plan selection for LexEQUAL predicates.
+//
+// The paper's efficiency study (Tables 1-3) shows the best access
+// path depends on table size, selectivity, and threshold. The picker
+// prices every concrete plan from ANALYZE statistics (table_stats.h)
+// and the match-layer cost estimators (match/plan_cost.h), then
+// chooses the cheapest eligible one. A `USING` hint bypasses the
+// choice but the estimates are still produced for EXPLAIN.
+//
+// Eligibility rules:
+//  * kQGramFilter / kPhoneticIndex need the corresponding index.
+//  * kPhoneticIndex is additionally gated to thresholds <=
+//    kPhoneticIndexThresholdGate: the index only returns rows whose
+//    grouped phonetic key equals the probe's, so at loose thresholds
+//    its false-dismissal rate grows past the paper's reported 4-5%
+//    (§5.3) and we refuse to auto-pick it. An explicit hint still
+//    runs it.
+//
+// Unanalyzed tables fall back to a documented heuristic — the
+// pre-optimizer preference order: phonetic index (when present and
+// under the threshold gate), else q-gram index, else naive scan.
+
+#ifndef LEXEQUAL_ENGINE_PLAN_PICKER_H_
+#define LEXEQUAL_ENGINE_PLAN_PICKER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+#include "engine/table_stats.h"
+#include "match/lexequal.h"
+
+namespace lexequal::engine {
+
+/// Auto-pick gate for the phonetic index (see header comment).
+inline constexpr double kPhoneticIndexThresholdGate = 0.35;
+
+/// Priced alternative for one concrete plan.
+struct PlanCostEstimate {
+  LexEqualPlan plan = LexEqualPlan::kNaiveUdf;
+  bool eligible = false;
+  double cost = 0.0;            // abstract work units (plan_cost.h)
+  double est_candidates = 0.0;  // rows expected to reach the UDF
+  std::string note;             // ineligibility reason, or ""
+};
+
+/// The picker's decision plus the priced alternatives behind it.
+struct PlanChoice {
+  LexEqualPlan plan = LexEqualPlan::kNaiveUdf;
+  bool used_stats = false;  // false = heuristic fallback (unanalyzed)
+  bool hinted = false;      // plan forced by a USING hint
+  std::vector<PlanCostEstimate> estimates;  // concrete plans, enum order
+
+  const PlanCostEstimate* Estimate(LexEqualPlan p) const {
+    for (const PlanCostEstimate& e : estimates) {
+      if (e.plan == p) return &e;
+    }
+    return nullptr;
+  }
+};
+
+/// Everything the picker needs, decoupled from Database so unit tests
+/// can fabricate inputs directly.
+struct PlanPickerInputs {
+  const TableStats* stats = nullptr;  // null/unanalyzed => heuristic
+  uint32_t phon_col = 0;              // phonemic column being probed
+  bool has_qgram = false;
+  int qgram_q = 2;
+  bool has_phonetic = false;
+  double query_len = 8.0;             // probe length in phonemes
+  match::LexEqualOptions match;
+  PlanHints hints;
+};
+
+/// Chooses the plan for one LexEQUAL selection (or one join probe).
+/// Honors hints.plan != kAuto as a forced choice; otherwise picks the
+/// cheapest eligible plan by cost (stats) or heuristic (no stats).
+PlanChoice ChooseLexEqualPlan(const PlanPickerInputs& in);
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_PLAN_PICKER_H_

@@ -1,0 +1,80 @@
+#include "engine/table_stats.h"
+
+namespace lexequal::engine {
+
+const PhonemicColumnStats* TableStats::ForColumn(uint32_t column) const {
+  for (const PhonemicColumnStats& c : columns) {
+    if (c.column == column) return &c;
+  }
+  return nullptr;
+}
+
+void TableStats::AppendTo(Tuple* record) const {
+  record->push_back(Value::Int64(analyzed ? 1 : 0));
+  if (!analyzed) return;
+  record->push_back(Value::Int64(static_cast<int64_t>(row_count)));
+  record->push_back(Value::Int64(static_cast<int64_t>(columns.size())));
+  for (const PhonemicColumnStats& c : columns) {
+    record->push_back(Value::Int64(c.column));
+    record->push_back(Value::Int64(static_cast<int64_t>(c.nonempty_rows)));
+    record->push_back(
+        Value::Int64(static_cast<int64_t>(c.total_phonemes)));
+    record->push_back(Value::Int64(static_cast<int64_t>(c.max_phonemes)));
+    record->push_back(
+        Value::Int64(static_cast<int64_t>(c.distinct_phonetic_keys)));
+    record->push_back(
+        Value::Int64(static_cast<int64_t>(c.max_phonetic_fanout)));
+    record->push_back(
+        Value::Int64(static_cast<int64_t>(c.distinct_qgrams)));
+    record->push_back(Value::Int64(static_cast<int64_t>(c.total_qgrams)));
+    record->push_back(Value::Int64(c.qgram_q));
+  }
+}
+
+Result<TableStats> TableStats::ReadFrom(const Tuple& record,
+                                        size_t* pos) {
+  TableStats stats;
+  // Pre-stats snapshot: the record ends where the block would start.
+  if (*pos >= record.size()) return stats;
+  auto next_int = [&]() -> Result<int64_t> {
+    if (*pos >= record.size() ||
+        record[*pos].type() != ValueType::kInt64) {
+      return Status::Corruption("malformed table-stats block");
+    }
+    return record[(*pos)++].AsInt64();
+  };
+  int64_t flag;
+  LEXEQUAL_ASSIGN_OR_RETURN(flag, next_int());
+  if (flag == 0) return stats;
+  stats.analyzed = true;
+  int64_t v;
+  LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+  stats.row_count = static_cast<uint64_t>(v);
+  int64_t n_cols;
+  LEXEQUAL_ASSIGN_OR_RETURN(n_cols, next_int());
+  for (int64_t i = 0; i < n_cols; ++i) {
+    PhonemicColumnStats c;
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.column = static_cast<uint32_t>(v);
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.nonempty_rows = static_cast<uint64_t>(v);
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.total_phonemes = static_cast<uint64_t>(v);
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.max_phonemes = static_cast<uint64_t>(v);
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.distinct_phonetic_keys = static_cast<uint64_t>(v);
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.max_phonetic_fanout = static_cast<uint64_t>(v);
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.distinct_qgrams = static_cast<uint64_t>(v);
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.total_qgrams = static_cast<uint64_t>(v);
+    LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+    c.qgram_q = static_cast<int>(v);
+    stats.columns.push_back(c);
+  }
+  return stats;
+}
+
+}  // namespace lexequal::engine

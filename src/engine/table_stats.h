@@ -1,0 +1,84 @@
+// TableStats: optimizer statistics collected by ANALYZE and persisted
+// through the catalog snapshot.
+//
+// One scan of the table heap summarizes, per phonemic column, the
+// quantities each access path's cost depends on: how many rows carry
+// phonemes at all (naive/parallel verification volume), the average
+// phonemic length (DP cost per verification), the grouped
+// phonetic-key fanout (phonetic-index candidate count, paper §5.3),
+// and the q-gram posting density (q-gram probe volume, paper §5.2).
+//
+// Stats are advisory: a database written before they existed (or one
+// never ANALYZEd) simply reports analyzed = false and the planner
+// falls back to a documented heuristic (see engine/plan_picker.h).
+
+#ifndef LEXEQUAL_ENGINE_TABLE_STATS_H_
+#define LEXEQUAL_ENGINE_TABLE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/value.h"
+
+namespace lexequal::engine {
+
+/// Statistics for one phonemic (IPA shadow) column.
+struct PhonemicColumnStats {
+  uint32_t column = 0;            // ordinal of the phonemic column
+  uint64_t nonempty_rows = 0;     // rows with a non-empty phonemic cell
+  uint64_t total_phonemes = 0;    // sum of phonemic lengths
+  uint64_t max_phonemes = 0;      // longest phonemic string
+  uint64_t distinct_phonetic_keys = 0;  // grouped phoneme string ids
+  uint64_t max_phonetic_fanout = 0;     // rows behind the hottest key
+  uint64_t distinct_qgrams = 0;   // distinct gram codes at qgram_q
+  uint64_t total_qgrams = 0;      // positional gram postings at qgram_q
+  int qgram_q = 2;                // q the gram counts were taken at
+
+  double avg_phonemes() const {
+    return nonempty_rows == 0
+               ? 0.0
+               : static_cast<double>(total_phonemes) /
+                     static_cast<double>(nonempty_rows);
+  }
+  /// Average rows behind one phonetic key (candidates per index probe).
+  double avg_phonetic_fanout() const {
+    return distinct_phonetic_keys == 0
+               ? 0.0
+               : static_cast<double>(nonempty_rows) /
+                     static_cast<double>(distinct_phonetic_keys);
+  }
+  /// Average postings behind one gram code.
+  double avg_qgram_postings() const {
+    return distinct_qgrams == 0
+               ? 0.0
+               : static_cast<double>(total_qgrams) /
+                     static_cast<double>(distinct_qgrams);
+  }
+};
+
+/// Per-table statistics. `analyzed` is false until ANALYZE runs (and
+/// stays false for snapshots written before stats existed).
+struct TableStats {
+  bool analyzed = false;
+  uint64_t row_count = 0;
+  std::vector<PhonemicColumnStats> columns;
+
+  /// Stats of one phonemic column, or nullptr if it was not analyzed.
+  const PhonemicColumnStats* ForColumn(uint32_t column) const;
+
+  /// Appends the stats block to a catalog snapshot record. The block
+  /// is a flat run of Int64 cells: [analyzed] and, when analyzed,
+  /// [row_count, n_columns, then 9 cells per column]. Old snapshots
+  /// simply end before the block (see ReadStats).
+  void AppendTo(Tuple* record) const;
+
+  /// Reads the stats block starting at *pos, advancing it. A record
+  /// that ends before *pos (a pre-stats snapshot) yields default
+  /// (unanalyzed) stats — the backward-compatibility path.
+  static Result<TableStats> ReadFrom(const Tuple& record, size_t* pos);
+};
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_TABLE_STATS_H_

@@ -1,0 +1,51 @@
+#include "match/plan_cost.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "match/qgram.h"
+
+namespace lexequal::match {
+
+double EstimateVerifyCost(double query_len, double cand_len,
+                          double threshold, const PlanCostParams& p) {
+  if (query_len <= 0 || cand_len <= 0) return p.phoneme_parse;
+  const double shorter = std::min(query_len, cand_len);
+  const double longer = std::max(query_len, cand_len);
+  // Unit-edit band around the diagonal; the banded DP visits at most
+  // longer * band cells before the early-out prunes.
+  const double band =
+      std::min(2.0 * threshold * shorter + 1.0, longer + 1.0);
+  return p.phoneme_parse * cand_len + p.dp_cell * shorter * band;
+}
+
+double EstimateQGramPostings(double query_len, int q,
+                             double avg_postings_per_gram) {
+  const double grams = query_len + static_cast<double>(q) - 1.0;
+  return std::max(0.0, grams * avg_postings_per_gram);
+}
+
+double EstimateQGramCandidates(double query_len, double avg_len,
+                               double threshold, int q,
+                               double postings_touched,
+                               double nonempty_rows) {
+  const double shorter = std::min(query_len, avg_len);
+  const double k = threshold * shorter;  // Fig. 14 unit-edit budget
+  const double required = CountFilterMinMatches(
+      static_cast<size_t>(query_len + 0.5),
+      static_cast<size_t>(avg_len + 0.5), k, q);
+  double est = required > 1.0 ? postings_touched / required
+                              : nonempty_rows;
+  return std::clamp(est, 0.0, nonempty_rows);
+}
+
+double EstimateParallelSpeedup(uint32_t threads_hint,
+                               const PlanCostParams& p) {
+  uint32_t n = threads_hint;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  n = std::min(n, p.max_useful_threads);
+  return std::max(1.0, p.parallel_efficiency * static_cast<double>(n));
+}
+
+}  // namespace lexequal::match

@@ -1,0 +1,69 @@
+// Per-plan cost estimators for LexEQUAL access paths.
+//
+// These price the operators of the paper's efficiency study (Section
+// 5, Tables 1-3) in abstract work units (~ one heap-tuple pull). They
+// sit next to the filters they model: the q-gram candidate estimate
+// reuses CountFilterMinMatches (qgram.h) so the estimator and the
+// executed filter can never drift apart, and the verification
+// estimate mirrors the banded DP of edit_distance.h. The engine's
+// plan picker (engine/plan_picker.h) combines these with persisted
+// table statistics; everything here is a pure function of its
+// arguments.
+
+#ifndef LEXEQUAL_MATCH_PLAN_COST_H_
+#define LEXEQUAL_MATCH_PLAN_COST_H_
+
+#include <cstdint>
+
+namespace lexequal::match {
+
+/// Cost-model constants, in units of one sequential heap-tuple pull.
+/// Calibrated against bench/autoplan on the generated dataset; only
+/// the *ratios* matter to plan choice.
+struct PlanCostParams {
+  double scan_tuple = 1.0;       // sequential heap pull + deserialize
+  double rid_lookup = 4.0;       // random heap fetch for one candidate
+  double btree_probe = 40.0;     // one B-Tree descent
+  double posting_entry = 0.2;    // one index entry touched in a range
+  double dp_cell = 0.05;         // one cell of the banded DP
+  double phoneme_parse = 0.3;    // parse one phoneme of a stored cell
+  double index_plan_overhead = 300.0;  // fixed cost of any index plan
+  double parallel_setup = 20000.0;     // worker-pool spin-up
+  double parallel_efficiency = 0.6;    // per-thread scaling factor
+  uint32_t max_useful_threads = 8;     // memory bandwidth ceiling
+};
+
+/// Cost of verifying one candidate of `cand_len` phonemes against a
+/// probe of `query_len`: parsing the stored IPA cell plus the banded
+/// clustered-cost DP (band width ~ 2k+1 unit edits around the
+/// diagonal, k = threshold * min length).
+double EstimateVerifyCost(double query_len, double cand_len,
+                          double threshold,
+                          const PlanCostParams& p = {});
+
+/// Index entries touched by a q-gram probe: the padded probe carries
+/// query_len + q - 1 grams, each hitting ~avg_postings_per_gram
+/// entries of the covering index.
+double EstimateQGramPostings(double query_len, int q,
+                             double avg_postings_per_gram);
+
+/// Candidates surviving the q-gram length/position/count filters,
+/// estimated from the postings touched and the count-filter bar
+/// (CountFilterMinMatches): a candidate needs `required` of its grams
+/// hit, so ~postings/required candidates clear it. When the bar is <=
+/// 1 the filters cannot prune and every phonemic row is a candidate.
+/// Clamped to [0, nonempty_rows].
+double EstimateQGramCandidates(double query_len, double avg_len,
+                               double threshold, int q,
+                               double postings_touched,
+                               double nonempty_rows);
+
+/// Effective speedup of the parallel scan for a thread-count hint
+/// (0 = hardware concurrency), after the per-thread efficiency
+/// discount. Never below 1.
+double EstimateParallelSpeedup(uint32_t threads_hint,
+                               const PlanCostParams& p = {});
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_PLAN_COST_H_

@@ -9,6 +9,12 @@
 //         | col LEXEQUAL 'literal' [THRESHOLD t] [COST c]
 //               [INLANGUAGES { lang, ... }]
 //         | col LEXEQUAL col [THRESHOLD t] [COST c]
+//
+// plus the optimizer statements:
+//
+//   ANALYZE [table]
+//   EXPLAIN [ANALYZE] select
+//   CREATE INDEX phonetic|qgram ON table (column) [Q n]
 
 #ifndef LEXEQUAL_SQL_AST_H_
 #define LEXEQUAL_SQL_AST_H_
@@ -69,9 +75,35 @@ struct SelectStatement {
   std::vector<ColumnName> select_list;
   std::vector<TableRef> tables;  // 1 or 2
   std::vector<Predicate> predicates;
-  std::string plan_hint;         // USING naive|qgram|phonetic ("" = default)
+  /// USING naive|qgram|phonetic|parallel|auto ("" = auto).
+  std::string plan_hint;
   std::optional<OrderBy> order_by;
   std::optional<uint64_t> limit;
+};
+
+/// ANALYZE [table] — collect optimizer statistics.
+struct AnalyzeStatement {
+  std::string table;  // empty = every table
+};
+
+/// CREATE INDEX phonetic|qgram ON table (column) [Q n].
+struct CreateIndexStatement {
+  std::string kind;    // "phonetic" | "qgram" (lowercased)
+  std::string table;
+  std::string column;  // the phonemic column
+  std::optional<int> q;
+};
+
+enum class StatementKind { kSelect, kExplain, kAnalyze, kCreateIndex };
+
+/// Any statement the SQL front end accepts. The payload for kExplain
+/// is `select` (with `explain_analyze` saying whether to execute it).
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  SelectStatement select;
+  bool explain_analyze = false;
+  AnalyzeStatement analyze;
+  CreateIndexStatement create_index;
 };
 
 }  // namespace lexequal::sql

@@ -14,7 +14,8 @@ bool IsKeyword(const std::string& upper) {
       "SELECT", "FROM",      "WHERE",       "AND",   "OR",
       "NOT",    "LEXEQUAL",  "THRESHOLD",   "LIMIT", "INLANGUAGES",
       "USING",  "COST",      "AS",          "ORDER", "BY",
-      "ASC",    "DESC",
+      "ASC",    "DESC",      "ANALYZE",     "EXPLAIN", "CREATE",
+      "INDEX",  "ON",
   };
   for (const char* kw : kKeywords) {
     if (upper == kw) return true;

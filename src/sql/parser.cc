@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include "common/string_util.h"
 #include "sql/lexer.h"
 
 namespace lexequal::sql {
@@ -10,6 +11,60 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens)
       : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (MatchKeyword("ANALYZE")) {
+      stmt.kind = StatementKind::kAnalyze;
+      if (Peek().type == TokenType::kIdentifier) {
+        stmt.analyze.table = Next().text;
+      }
+      return Finish(std::move(stmt));
+    }
+    if (MatchKeyword("EXPLAIN")) {
+      stmt.kind = StatementKind::kExplain;
+      stmt.explain_analyze = MatchKeyword("ANALYZE");
+      LEXEQUAL_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      return stmt;
+    }
+    if (MatchKeyword("CREATE")) {
+      stmt.kind = StatementKind::kCreateIndex;
+      LEXEQUAL_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected index kind (phonetic | qgram)");
+      }
+      stmt.create_index.kind = AsciiToLower(Next().text);
+      if (stmt.create_index.kind != "phonetic" &&
+          stmt.create_index.kind != "qgram") {
+        return Error("index kind must be phonetic or qgram");
+      }
+      LEXEQUAL_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected table name after ON");
+      }
+      stmt.create_index.table = Next().text;
+      LEXEQUAL_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column name");
+      }
+      stmt.create_index.column = Next().text;
+      LEXEQUAL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      // Optional gram length: Q <n> (an identifier, not a keyword, so
+      // columns named q stay usable elsewhere).
+      if (Peek().type == TokenType::kIdentifier &&
+          AsciiToLower(Peek().text) == "q") {
+        ++pos_;
+        if (Peek().type != TokenType::kNumber) {
+          return Error("expected number after Q");
+        }
+        stmt.create_index.q = static_cast<int>(Next().number);
+      }
+      return Finish(std::move(stmt));
+    }
+    stmt.kind = StatementKind::kSelect;
+    LEXEQUAL_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    return stmt;
+  }
 
   Result<SelectStatement> ParseSelect() {
     SelectStatement stmt;
@@ -51,6 +106,15 @@ class Parser {
   }
 
  private:
+  // Consumes the optional trailing ';' for statements that end here.
+  Result<Statement> Finish(Statement stmt) {
+    MatchSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
   const Token& Peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
@@ -238,6 +302,13 @@ Result<SelectStatement> Parse(std::string_view sql) {
   LEXEQUAL_ASSIGN_OR_RETURN(tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseSelect();
+}
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  std::vector<Token> tokens;
+  LEXEQUAL_ASSIGN_OR_RETURN(tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
 }
 
 }  // namespace lexequal::sql

@@ -11,6 +11,10 @@ namespace lexequal::sql {
 /// Parses one SELECT statement; errors carry byte offsets.
 Result<SelectStatement> Parse(std::string_view sql);
 
+/// Parses any supported statement: SELECT, EXPLAIN [ANALYZE] select,
+/// ANALYZE [table], CREATE INDEX phonetic|qgram ON table (col) [Q n].
+Result<Statement> ParseStatement(std::string_view sql);
+
 }  // namespace lexequal::sql
 
 #endif  // LEXEQUAL_SQL_PARSER_H_

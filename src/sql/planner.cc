@@ -1,6 +1,7 @@
 #include "sql/planner.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/string_util.h"
 #include "sql/parser.h"
@@ -18,9 +19,11 @@ using engine::Tuple;
 using engine::Value;
 using engine::ValueType;
 
-Result<LexEqualPlan> ResolvePlanHint(const std::string& hint,
-                                     const TableInfo& table) {
+Result<LexEqualPlan> ResolvePlanHint(const std::string& hint) {
   const std::string lower = AsciiToLower(hint);
+  // No hint = the cost-based picker; kAuto resolves in the engine
+  // (stats when ANALYZEd, a documented heuristic otherwise).
+  if (lower.empty() || lower == "auto") return LexEqualPlan::kAuto;
   if (lower == "naive" || lower == "udf") return LexEqualPlan::kNaiveUdf;
   if (lower == "qgram" || lower == "qgrams") {
     return LexEqualPlan::kQGramFilter;
@@ -31,20 +34,13 @@ Result<LexEqualPlan> ResolvePlanHint(const std::string& hint,
   if (lower == "parallel" || lower == "batch") {
     return LexEqualPlan::kParallelScan;
   }
-  if (!lower.empty()) {
-    return Status::InvalidArgument(
-        "unknown plan hint '" + hint +
-        "' (naive | qgram | phonetic | parallel)");
-  }
-  // Auto: cheapest available access path.
-  if (table.phonetic_index != nullptr) return LexEqualPlan::kPhoneticIndex;
-  if (table.qgram_index != nullptr) return LexEqualPlan::kQGramFilter;
-  return LexEqualPlan::kNaiveUdf;
+  return Status::InvalidArgument(
+      "unknown plan hint '" + hint +
+      "' (auto | naive | qgram | phonetic | parallel)");
 }
 
 Result<LexEqualQueryOptions> BuildOptions(const Predicate& pred,
-                                          const std::string& hint,
-                                          const TableInfo& table) {
+                                          const std::string& hint) {
   LexEqualQueryOptions options;
   if (pred.threshold.has_value()) {
     options.match.threshold = *pred.threshold;
@@ -57,7 +53,7 @@ Result<LexEqualQueryOptions> BuildOptions(const Predicate& pred,
     LEXEQUAL_ASSIGN_OR_RETURN(parsed, text::ParseLanguage(lang));
     options.in_languages.push_back(parsed);
   }
-  LEXEQUAL_ASSIGN_OR_RETURN(options.plan, ResolvePlanHint(hint, table));
+  LEXEQUAL_ASSIGN_OR_RETURN(options.hints.plan, ResolvePlanHint(hint));
   return options;
 }
 
@@ -136,8 +132,8 @@ Result<QueryResult> ExecuteSingleTable(Database* db,
   engine::QueryStats stats;
   if (lex_pred != nullptr) {
     LexEqualQueryOptions options;
-    LEXEQUAL_ASSIGN_OR_RETURN(
-        options, BuildOptions(*lex_pred, stmt.plan_hint, *info));
+    LEXEQUAL_ASSIGN_OR_RETURN(options,
+                              BuildOptions(*lex_pred, stmt.plan_hint));
     // The query constant's language is auto-detected from its script
     // (§2.1 of the paper).
     text::TaggedString query =
@@ -246,8 +242,8 @@ Result<QueryResult> ExecuteJoin(Database* db,
   }
 
   LexEqualQueryOptions options;
-  LEXEQUAL_ASSIGN_OR_RETURN(
-      options, BuildOptions(*lex_pred, stmt.plan_hint, *right_info));
+  LEXEQUAL_ASSIGN_OR_RETURN(options,
+                            BuildOptions(*lex_pred, stmt.plan_hint));
 
   engine::QueryStats stats;
   std::vector<std::pair<Tuple, Tuple>> pairs;
@@ -425,11 +421,161 @@ Result<QueryResult> ExecuteStatement(engine::Database* db,
   return result;
 }
 
+namespace {
+
+Result<QueryResult> ExecuteAnalyze(Database* db,
+                                   const AnalyzeStatement& stmt) {
+  std::vector<std::string> names;
+  if (!stmt.table.empty()) {
+    names.push_back(stmt.table);
+  } else {
+    names = db->catalog()->TableNames();
+  }
+  QueryResult result;
+  result.column_names = {"table", "rows"};
+  for (const std::string& name : names) {
+    LEXEQUAL_RETURN_IF_ERROR(db->Analyze(name));
+    TableInfo* info;
+    LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(name));
+    Tuple row;
+    row.push_back(Value::String(name));
+    row.push_back(
+        Value::Int64(static_cast<int64_t>(info->stats.row_count)));
+    result.rows.push_back(std::move(row));
+  }
+  result.stats.results = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> ExecuteCreateIndex(Database* db,
+                                       const CreateIndexStatement& stmt) {
+  engine::IndexSpec spec;
+  spec.kind = stmt.kind == "phonetic" ? engine::IndexSpec::Kind::kPhonetic
+                                      : engine::IndexSpec::Kind::kQGram;
+  spec.table = stmt.table;
+  spec.column = stmt.column;
+  if (stmt.q.has_value()) spec.q = *stmt.q;
+  LEXEQUAL_RETURN_IF_ERROR(db->CreateIndex(spec));
+  QueryResult result;
+  result.column_names = {"created"};
+  Tuple row;
+  row.push_back(Value::String(stmt.kind + " index on " + stmt.table +
+                              "(" + stmt.column + ")"));
+  result.rows.push_back(std::move(row));
+  result.stats.results = 1;
+  return result;
+}
+
+std::string FormatCost(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+Result<QueryResult> ExecuteExplain(Database* db, const Statement& stmt) {
+  const SelectStatement& sel = stmt.select;
+  if (sel.tables.size() != 1) {
+    return Status::NotSupported(
+        "EXPLAIN supports single-table queries");
+  }
+  const Predicate* lex_pred = nullptr;
+  for (const Predicate& pred : sel.predicates) {
+    if (pred.kind == PredicateKind::kLexEqualLiteral) {
+      lex_pred = &pred;
+      break;
+    }
+  }
+  if (lex_pred == nullptr) {
+    return Status::NotSupported(
+        "EXPLAIN needs a LexEQUAL predicate to explain");
+  }
+  LexEqualQueryOptions options;
+  LEXEQUAL_ASSIGN_OR_RETURN(options,
+                            BuildOptions(*lex_pred, sel.plan_hint));
+  const text::TaggedString query =
+      text::TaggedString::WithDetectedLanguage(lex_pred->string_literal);
+  engine::PlanChoice choice;
+  LEXEQUAL_ASSIGN_OR_RETURN(
+      choice,
+      db->ExplainLexEqualSelect(sel.tables[0].table,
+                                lex_pred->left.column, query, options));
+
+  QueryResult result;
+  engine::QueryStats actual;
+  if (stmt.explain_analyze) {
+    QueryResult executed;
+    LEXEQUAL_ASSIGN_OR_RETURN(executed, ExecuteStatement(db, sel));
+    actual = executed.stats;
+    result.stats = executed.stats;
+  }
+
+  result.column_names = {"plan", "chosen", "source", "est_cost",
+                         "est_rows"};
+  if (stmt.explain_analyze) {
+    result.column_names.push_back("act_rows");
+    result.column_names.push_back("act_results");
+  }
+  result.column_names.push_back("note");
+
+  const std::string source = choice.hinted       ? "hint"
+                             : choice.used_stats ? "statistics"
+                                                 : "heuristic";
+  auto add_row = [&](std::string_view plan_name, bool chosen,
+                     const engine::PlanCostEstimate* est,
+                     std::string note) {
+    Tuple row;
+    row.push_back(Value::String(std::string(plan_name)));
+    row.push_back(Value::String(chosen ? "*" : ""));
+    row.push_back(Value::String(chosen ? source : ""));
+    row.push_back(Value::String(
+        est != nullptr && est->eligible ? FormatCost(est->cost) : ""));
+    row.push_back(Value::String(est != nullptr && est->eligible
+                                    ? FormatCost(est->est_candidates)
+                                    : ""));
+    if (stmt.explain_analyze) {
+      row.push_back(Value::String(
+          chosen ? std::to_string(actual.candidates) : ""));
+      row.push_back(
+          Value::String(chosen ? std::to_string(actual.results) : ""));
+    }
+    row.push_back(Value::String(std::move(note)));
+    result.rows.push_back(std::move(row));
+  };
+
+  if (!choice.estimates.empty()) {
+    for (const engine::PlanCostEstimate& e : choice.estimates) {
+      add_row(engine::LexEqualPlanName(e.plan), e.plan == choice.plan,
+              &e, e.note);
+    }
+  } else {
+    add_row(engine::LexEqualPlanName(choice.plan), true, nullptr,
+            "table unanalyzed; run ANALYZE for cost-based choice");
+  }
+  if (!stmt.explain_analyze) result.stats.results = result.rows.size();
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> Execute(engine::Database* db, const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteStatement(db, stmt.select);
+    case StatementKind::kExplain:
+      return ExecuteExplain(db, stmt);
+    case StatementKind::kAnalyze:
+      return ExecuteAnalyze(db, stmt.analyze);
+    case StatementKind::kCreateIndex:
+      return ExecuteCreateIndex(db, stmt.create_index);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
 Result<QueryResult> ExecuteQuery(engine::Database* db,
                                  std::string_view sql) {
-  SelectStatement stmt;
-  LEXEQUAL_ASSIGN_OR_RETURN(stmt, Parse(sql));
-  return ExecuteStatement(db, stmt);
+  Statement stmt;
+  LEXEQUAL_ASSIGN_OR_RETURN(stmt, ParseStatement(sql));
+  return Execute(db, stmt);
 }
 
 }  // namespace lexequal::sql

@@ -29,11 +29,15 @@ struct QueryResult {
   std::string ToTable() const;
 };
 
-/// Parses and executes `sql` against `db`.
+/// Parses and executes `sql` against `db`. Accepts every statement
+/// kind: SELECT, EXPLAIN [ANALYZE] select, ANALYZE, CREATE INDEX.
 Result<QueryResult> ExecuteQuery(engine::Database* db,
                                  std::string_view sql);
 
-/// Executes an already-parsed statement.
+/// Executes an already-parsed statement of any kind.
+Result<QueryResult> Execute(engine::Database* db, const Statement& stmt);
+
+/// Executes an already-parsed SELECT.
 Result<QueryResult> ExecuteStatement(engine::Database* db,
                                      const SelectStatement& stmt);
 

@@ -1,0 +1,366 @@
+// Cost-based plan selection: picker unit tests over fabricated
+// statistics, ANALYZE persistence, kAuto result identity with every
+// manual plan, and the deprecated index-creation shims.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "engine/database.h"
+#include "engine/plan_picker.h"
+#include "text/utf8.h"
+
+namespace lexequal::engine {
+namespace {
+
+using text::Language;
+using text::TaggedString;
+
+// ---------------------------------------------------------------------
+// Picker unit tests: fabricated stats, no database.
+
+// One phonemic column (ordinal 1) with tunable shape.
+TableStats MakeStats(uint64_t rows, double avg_len,
+                     uint64_t distinct_keys, uint64_t distinct_qgrams,
+                     uint64_t total_qgrams) {
+  TableStats stats;
+  stats.analyzed = true;
+  stats.row_count = rows;
+  PhonemicColumnStats col;
+  col.column = 1;
+  col.nonempty_rows = rows;
+  col.total_phonemes = static_cast<uint64_t>(avg_len * rows);
+  col.max_phonemes = static_cast<uint64_t>(avg_len) + 4;
+  col.distinct_phonetic_keys = distinct_keys;
+  col.max_phonetic_fanout = distinct_keys == 0 ? 0 : rows / distinct_keys;
+  col.distinct_qgrams = distinct_qgrams;
+  col.total_qgrams = total_qgrams;
+  stats.columns.push_back(col);
+  return stats;
+}
+
+PlanPickerInputs Inputs(const TableStats* stats, bool has_qgram,
+                        bool has_phonetic, double threshold) {
+  PlanPickerInputs in;
+  in.stats = stats;
+  in.phon_col = 1;
+  in.has_qgram = has_qgram;
+  in.has_phonetic = has_phonetic;
+  in.query_len = 8.0;
+  in.match.threshold = threshold;
+  return in;
+}
+
+TEST(PlanPicker, SmallTablePrefersNaiveOverIndexOverhead) {
+  const TableStats stats = MakeStats(50, 8.0, 40, 200, 450);
+  const PlanChoice choice = ChooseLexEqualPlan(
+      Inputs(&stats, /*has_qgram=*/true, /*has_phonetic=*/true, 0.25));
+  EXPECT_EQ(choice.plan, LexEqualPlan::kNaiveUdf);
+  EXPECT_TRUE(choice.used_stats);
+  EXPECT_FALSE(choice.hinted);
+  // All four concrete plans were priced.
+  EXPECT_EQ(choice.estimates.size(), 4u);
+}
+
+TEST(PlanPicker, LargeTableTightThresholdPrefersPhoneticIndex) {
+  const TableStats stats = MakeStats(200000, 8.0, 50000, 2000, 1800000);
+  const PlanChoice choice = ChooseLexEqualPlan(
+      Inputs(&stats, /*has_qgram=*/true, /*has_phonetic=*/true, 0.25));
+  EXPECT_EQ(choice.plan, LexEqualPlan::kPhoneticIndex);
+  const PlanCostEstimate* phon =
+      choice.Estimate(LexEqualPlan::kPhoneticIndex);
+  ASSERT_NE(phon, nullptr);
+  const PlanCostEstimate* naive =
+      choice.Estimate(LexEqualPlan::kNaiveUdf);
+  ASSERT_NE(naive, nullptr);
+  EXPECT_LT(phon->cost, naive->cost);
+}
+
+TEST(PlanPicker, LooseThresholdGatesPhoneticAndPicksQGram) {
+  const TableStats stats = MakeStats(5000, 8.0, 1500, 500, 45000);
+  const PlanChoice choice = ChooseLexEqualPlan(
+      Inputs(&stats, /*has_qgram=*/true, /*has_phonetic=*/true, 0.40));
+  EXPECT_EQ(choice.plan, LexEqualPlan::kQGramFilter);
+  const PlanCostEstimate* phon =
+      choice.Estimate(LexEqualPlan::kPhoneticIndex);
+  ASSERT_NE(phon, nullptr);
+  EXPECT_FALSE(phon->eligible);  // 0.40 > kPhoneticIndexThresholdGate
+  EXPECT_FALSE(phon->note.empty());
+}
+
+TEST(PlanPicker, ParallelScanWinsOnHugeUnindexedTableWithThreads) {
+  const TableStats stats = MakeStats(1000000, 8.0, 250000, 0, 0);
+  PlanPickerInputs in =
+      Inputs(&stats, /*has_qgram=*/false, /*has_phonetic=*/false, 0.25);
+  in.hints.threads = 8;  // explicit: the host may be single-core
+  const PlanChoice choice = ChooseLexEqualPlan(in);
+  EXPECT_EQ(choice.plan, LexEqualPlan::kParallelScan);
+}
+
+TEST(PlanPicker, HintForcesPlanButEstimatesRemain) {
+  const TableStats stats = MakeStats(200000, 8.0, 50000, 2000, 1800000);
+  PlanPickerInputs in =
+      Inputs(&stats, /*has_qgram=*/true, /*has_phonetic=*/true, 0.25);
+  in.hints.plan = LexEqualPlan::kNaiveUdf;
+  const PlanChoice choice = ChooseLexEqualPlan(in);
+  EXPECT_EQ(choice.plan, LexEqualPlan::kNaiveUdf);
+  EXPECT_TRUE(choice.hinted);
+  EXPECT_TRUE(choice.used_stats);
+  EXPECT_EQ(choice.estimates.size(), 4u);  // EXPLAIN still sees costs
+}
+
+TEST(PlanPicker, UnanalyzedFallsBackToHeuristicOrder) {
+  // No stats at all: index-first preference, threshold-gated.
+  PlanPickerInputs in =
+      Inputs(nullptr, /*has_qgram=*/true, /*has_phonetic=*/true, 0.25);
+  EXPECT_EQ(ChooseLexEqualPlan(in).plan, LexEqualPlan::kPhoneticIndex);
+  EXPECT_FALSE(ChooseLexEqualPlan(in).used_stats);
+
+  in.match.threshold = 0.45;  // above the gate: phonetic is lossy
+  EXPECT_EQ(ChooseLexEqualPlan(in).plan, LexEqualPlan::kQGramFilter);
+
+  in.has_qgram = false;
+  EXPECT_EQ(ChooseLexEqualPlan(in).plan, LexEqualPlan::kNaiveUdf);
+
+  // Unanalyzed stats object behaves like no stats.
+  const TableStats unanalyzed;
+  in = Inputs(&unanalyzed, true, true, 0.25);
+  const PlanChoice choice = ChooseLexEqualPlan(in);
+  EXPECT_EQ(choice.plan, LexEqualPlan::kPhoneticIndex);
+  EXPECT_FALSE(choice.used_stats);
+  EXPECT_TRUE(choice.estimates.empty());
+}
+
+TEST(PlanPicker, MissingIndexesAreIneligible) {
+  const TableStats stats = MakeStats(200000, 8.0, 50000, 2000, 1800000);
+  const PlanChoice choice = ChooseLexEqualPlan(
+      Inputs(&stats, /*has_qgram=*/false, /*has_phonetic=*/false, 0.25));
+  EXPECT_FALSE(choice.Estimate(LexEqualPlan::kQGramFilter)->eligible);
+  EXPECT_FALSE(choice.Estimate(LexEqualPlan::kPhoneticIndex)->eligible);
+  EXPECT_TRUE(choice.plan == LexEqualPlan::kNaiveUdf ||
+              choice.plan == LexEqualPlan::kParallelScan);
+}
+
+// ---------------------------------------------------------------------
+// Descriptor-table guarantees (the shell/EXPLAIN surfaces feed on it).
+
+TEST(PlanTable, EveryPlanHasANameAndHint) {
+  EXPECT_EQ(kLexEqualPlanCount,
+            static_cast<size_t>(LexEqualPlan::kAuto) + 1);
+  for (const LexEqualPlanDesc& desc : kLexEqualPlans) {
+    EXPECT_FALSE(desc.name.empty());
+    EXPECT_FALSE(desc.hint.empty());
+    EXPECT_FALSE(desc.summary.empty());
+    EXPECT_EQ(LexEqualPlanName(desc.plan), desc.name);
+  }
+  EXPECT_EQ(LexEqualPlanName(LexEqualPlan::kAuto), "auto");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end tests against a real database.
+
+class AutoPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_autoplan_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void PopulateBooks(Database* db) {
+    Schema schema({
+        {"author", ValueType::kString, std::nullopt},
+        {"author_phon", ValueType::kString, 0},
+        {"title", ValueType::kString, std::nullopt},
+    });
+    ASSERT_TRUE(db->CreateTable("books", schema).ok());
+    auto add = [&](const std::string& author, Language lang,
+                   const char* title) {
+      Tuple values{Value::String(author, lang),
+                   Value::String(title, Language::kEnglish)};
+      ASSERT_TRUE(db->Insert("books", values).ok());
+    };
+    add("Nehru", Language::kEnglish, "Discovery of India");
+    add("Nehru", Language::kEnglish, "Glimpses of World History");
+    add(text::EncodeUtf8({0x0928, 0x0947, 0x0939, 0x0930, 0x0941}),
+        Language::kHindi, "Bharat Ek Khoj");
+    add("Smith", Language::kEnglish, "A Book");
+    add("Sarri", Language::kEnglish, "Another Book");
+  }
+
+  static void BuildBothIndexes(Database* db) {
+    ASSERT_TRUE(db->CreateIndex({.kind = IndexSpec::Kind::kQGram,
+                                 .table = "books",
+                                 .column = "author_phon",
+                                 .q = 2})
+                    .ok());
+    ASSERT_TRUE(db->CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
+                                 .table = "books",
+                                 .column = "author_phon"})
+                    .ok());
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(AutoPlanTest, AnalyzeCollectsColumnStatistics) {
+  auto db = Database::Open(path_.string(), 256);
+  ASSERT_TRUE(db.ok());
+  PopulateBooks(db->get());
+  ASSERT_TRUE((*db)->Analyze("books").ok());
+
+  const TableStats& stats = (*db)->GetTable("books").value()->stats;
+  ASSERT_TRUE(stats.analyzed);
+  EXPECT_EQ(stats.row_count, 5u);
+  const PhonemicColumnStats* col = stats.ForColumn(1);
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(col->nonempty_rows, 5u);
+  EXPECT_GT(col->total_phonemes, 0u);
+  EXPECT_GT(col->distinct_phonetic_keys, 0u);
+  // Two identical "Nehru" rows (plus the Hindi cognate) share a key.
+  EXPECT_GE(col->max_phonetic_fanout, 2u);
+  EXPECT_GT(col->distinct_qgrams, 0u);
+  EXPECT_GT(col->total_qgrams, col->distinct_qgrams);
+}
+
+TEST_F(AutoPlanTest, AnalyzedStatsSurviveReopen) {
+  TableStats before;
+  {
+    auto db = Database::Open(path_.string(), 256);
+    ASSERT_TRUE(db.ok());
+    PopulateBooks(db->get());
+    BuildBothIndexes(db->get());
+    ASSERT_TRUE((*db)->AnalyzeAll().ok());
+    before = (*db)->GetTable("books").value()->stats;
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  auto db = Database::Open(path_.string(), 256);
+  ASSERT_TRUE(db.ok()) << db.status();
+  const TableStats& after = (*db)->GetTable("books").value()->stats;
+  ASSERT_TRUE(after.analyzed);
+  EXPECT_EQ(after.row_count, before.row_count);
+  ASSERT_EQ(after.columns.size(), before.columns.size());
+  const PhonemicColumnStats* b = before.ForColumn(1);
+  const PhonemicColumnStats* a = after.ForColumn(1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->total_phonemes, b->total_phonemes);
+  EXPECT_EQ(a->distinct_phonetic_keys, b->distinct_phonetic_keys);
+  EXPECT_EQ(a->distinct_qgrams, b->distinct_qgrams);
+  EXPECT_EQ(a->qgram_q, b->qgram_q);
+}
+
+TEST_F(AutoPlanTest, UnanalyzedDatabaseStillOpensAndQueries) {
+  // A snapshot written without ANALYZE (the pre-optimizer format, give
+  // or take the marker) must reopen as "unanalyzed" and keep working.
+  {
+    auto db = Database::Open(path_.string(), 256);
+    ASSERT_TRUE(db.ok());
+    PopulateBooks(db->get());
+    BuildBothIndexes(db->get());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  auto db = Database::Open(path_.string(), 256);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_FALSE((*db)->GetTable("books").value()->stats.analyzed);
+
+  // Hint-free query runs on the documented heuristic.
+  LexEqualQueryOptions options;
+  options.match.threshold = 0.25;
+  Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
+      "books", "author", TaggedString("Nehru", Language::kEnglish),
+      options);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_GE(rows->size(), 2u);
+  EXPECT_TRUE((*db)->LastQueryStats().plan_was_auto);
+  EXPECT_FALSE((*db)->LastQueryStats().plan_used_stats);
+}
+
+TEST_F(AutoPlanTest, LastQueryStatsReportsResolvedPlan) {
+  auto db = Database::Open(path_.string(), 256);
+  ASSERT_TRUE(db.ok());
+  PopulateBooks(db->get());
+  BuildBothIndexes(db->get());
+  ASSERT_TRUE((*db)->Analyze("books").ok());
+
+  LexEqualQueryOptions options;  // kAuto
+  Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
+      "books", "author", TaggedString("Nehru", Language::kEnglish),
+      options);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  const QueryStats& s = (*db)->LastQueryStats();
+  // Five rows: every plan beats the fixed index overhead via stats.
+  EXPECT_EQ(s.plan, LexEqualPlan::kNaiveUdf);
+  EXPECT_TRUE(s.plan_was_auto);
+  EXPECT_TRUE(s.plan_used_stats);
+  EXPECT_GT(s.est_cost, 0.0);
+  EXPECT_EQ(s.results, rows->size());
+
+  // A hint overrides the pick and is reported as such.
+  options.hints.plan = LexEqualPlan::kQGramFilter;
+  ASSERT_TRUE((*db)
+                  ->LexEqualSelect("books", "author",
+                                   TaggedString("Nehru",
+                                                Language::kEnglish),
+                                   options)
+                  .ok());
+  EXPECT_EQ((*db)->LastQueryStats().plan, LexEqualPlan::kQGramFilter);
+  EXPECT_FALSE((*db)->LastQueryStats().plan_was_auto);
+}
+
+TEST_F(AutoPlanTest, AutoMatchesEveryManualPlanRowForRow) {
+  auto db = Database::Open(path_.string(), 256);
+  ASSERT_TRUE(db.ok());
+  PopulateBooks(db->get());
+  BuildBothIndexes(db->get());
+  ASSERT_TRUE((*db)->Analyze("books").ok());
+
+  // Threshold 0 + unit costs: all four access paths are exact (equal
+  // phoneme strings <=> equal grouped keys), so row identity holds.
+  LexEqualQueryOptions options;
+  options.match.threshold = 0.0;
+  options.match.intra_cluster_cost = 1.0;
+
+  auto titles = [&](LexEqualPlan plan) {
+    options.hints.plan = plan;
+    options.hints.threads = plan == LexEqualPlan::kParallelScan ? 2 : 0;
+    Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
+        "books", "author", TaggedString("Nehru", Language::kEnglish),
+        options);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    std::vector<std::string> out;
+    for (const Tuple& row : rows.value()) {
+      out.push_back(row[2].AsString().text());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  const std::vector<std::string> reference =
+      titles(LexEqualPlan::kNaiveUdf);
+  ASSERT_EQ(reference.size(), 2u);  // both English "Nehru" rows
+  for (LexEqualPlan plan :
+       {LexEqualPlan::kQGramFilter, LexEqualPlan::kPhoneticIndex,
+        LexEqualPlan::kParallelScan, LexEqualPlan::kAuto}) {
+    EXPECT_EQ(titles(plan), reference)
+        << "plan " << LexEqualPlanName(plan);
+  }
+}
+
+TEST_F(AutoPlanTest, DeprecatedIndexShimsStillWork) {
+  auto db = Database::Open(path_.string(), 256);
+  ASSERT_TRUE(db.ok());
+  PopulateBooks(db->get());
+  ASSERT_TRUE((*db)->CreateQGramIndex("books", "author_phon", 2).ok());
+  ASSERT_TRUE((*db)->CreatePhoneticIndex("books", "author_phon").ok());
+  TableInfo* info = (*db)->GetTable("books").value();
+  EXPECT_NE(info->qgram_index, nullptr);
+  EXPECT_NE(info->phonetic_index, nullptr);
+  EXPECT_EQ(info->qgram_index->q, 2);
+}
+
+}  // namespace
+}  // namespace lexequal::engine

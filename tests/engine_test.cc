@@ -74,7 +74,7 @@ class DatabaseTest : public ::testing::Test {
     LexEqualQueryOptions o;
     o.match.threshold = 0.3;
     o.match.intra_cluster_cost = 0.25;
-    o.plan = plan;
+    o.hints.plan = plan;
     return o;
   }
 
@@ -133,17 +133,20 @@ TEST_F(DatabaseTest, LexEqualSelectHonorsInLanguages) {
 TEST_F(DatabaseTest, QGramPlanExactUnderLevenshteinCosts) {
   // With unit costs (intra cost 1, no weak discount) the q-gram
   // filters are lossless: the plan returns exactly the naive result.
-  ASSERT_TRUE(db_->CreateQGramIndex("books", "author_phon", 2).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "books",
+                      .column = "author_phon",
+                      .q = 2}).ok());
   LexEqualQueryOptions lev;
   lev.match.threshold = 0.3;
   lev.match.intra_cluster_cost = 1.0;
   lev.match.weak_phoneme_discount = false;
   QueryStats naive_stats, qgram_stats;
-  lev.plan = LexEqualPlan::kNaiveUdf;
+  lev.hints.plan = LexEqualPlan::kNaiveUdf;
   Result<std::vector<Tuple>> naive = db_->LexEqualSelect(
       "books", "author", TaggedString("Nehru", Language::kEnglish), lev,
       &naive_stats);
-  lev.plan = LexEqualPlan::kQGramFilter;
+  lev.hints.plan = LexEqualPlan::kQGramFilter;
   Result<std::vector<Tuple>> qgram = db_->LexEqualSelect(
       "books", "author", TaggedString("Nehru", Language::kEnglish), lev,
       &qgram_stats);
@@ -155,7 +158,9 @@ TEST_F(DatabaseTest, QGramPlanExactUnderLevenshteinCosts) {
 }
 
 TEST_F(DatabaseTest, PhoneticIndexPlanFindsClusterEqualRows) {
-  ASSERT_TRUE(db_->CreatePhoneticIndex("books", "author_phon").ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "books",
+                      .column = "author_phon"}).ok());
   QueryStats stats;
   Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
       "books", "author", TaggedString("Nehru", Language::kEnglish),
@@ -169,8 +174,13 @@ TEST_F(DatabaseTest, PhoneticIndexPlanFindsClusterEqualRows) {
 }
 
 TEST_F(DatabaseTest, PlansReturnSubsetsOfNaive) {
-  ASSERT_TRUE(db_->CreateQGramIndex("books", "author_phon", 2).ok());
-  ASSERT_TRUE(db_->CreatePhoneticIndex("books", "author_phon").ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "books",
+                      .column = "author_phon",
+                      .q = 2}).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "books",
+                      .column = "author_phon"}).ok());
   for (const char* probe : {"Nehru", "Nero", "Smith", "Sarri"}) {
     TaggedString q(probe, Language::kEnglish);
     auto naive = db_->LexEqualSelect("books", "author", q,
@@ -207,8 +217,13 @@ TEST_F(DatabaseTest, LexEqualJoinFindsCrossScriptPairs) {
 }
 
 TEST_F(DatabaseTest, LexEqualJoinWithIndexPlans) {
-  ASSERT_TRUE(db_->CreateQGramIndex("books", "author_phon", 2).ok());
-  ASSERT_TRUE(db_->CreatePhoneticIndex("books", "author_phon").ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "books",
+                      .column = "author_phon",
+                      .q = 2}).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "books",
+                      .column = "author_phon"}).ok());
   auto naive = db_->LexEqualJoin("books", "author", "books", "author",
                                  Options(LexEqualPlan::kNaiveUdf));
   auto qgram = db_->LexEqualJoin("books", "author", "books", "author",

@@ -1,0 +1,219 @@
+// SQL surface of the optimizer: ANALYZE / CREATE INDEX statements and
+// the EXPLAIN [ANALYZE] table rendering (structure, chosen marker,
+// source column, estimated-vs-actual columns).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "sql/planner.h"
+#include "text/utf8.h"
+
+namespace lexequal::sql {
+namespace {
+
+using engine::Database;
+using engine::Schema;
+using engine::Tuple;
+using engine::Value;
+using engine::ValueType;
+using text::Language;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_explain_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Database::Open(path_.string(), 256);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    PopulateBooks();
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  void PopulateBooks() {
+    Schema schema({
+        {"author", ValueType::kString, std::nullopt},
+        {"author_phon", ValueType::kString, 0},
+        {"title", ValueType::kString, std::nullopt},
+    });
+    ASSERT_TRUE(db_->CreateTable("books", schema).ok());
+    auto add = [&](const std::string& author, Language lang,
+                   const char* title) {
+      Tuple values{Value::String(author, lang),
+                   Value::String(title, Language::kEnglish)};
+      ASSERT_TRUE(db_->Insert("books", values).ok());
+    };
+    add("Nehru", Language::kEnglish, "Discovery of India");
+    add(text::EncodeUtf8({0x0928, 0x0947, 0x0939, 0x0930, 0x0941}),
+        Language::kHindi, "Bharat Ek Khoj");
+    add("Smith", Language::kEnglish, "A Book");
+    add("Sarri", Language::kEnglish, "Another Book");
+  }
+
+  QueryResult Run(const std::string& sql) {
+    Result<QueryResult> result = ExecuteQuery(db_.get(), sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  // Ordinal of `name` in the result's header, or fails the test.
+  static size_t Col(const QueryResult& result, const std::string& name) {
+    for (size_t i = 0; i < result.column_names.size(); ++i) {
+      if (result.column_names[i] == name) return i;
+    }
+    ADD_FAILURE() << "no column '" << name << "'";
+    return 0;
+  }
+
+  static std::string Cell(const QueryResult& result, size_t row,
+                          const std::string& column) {
+    return result.rows[row][Col(result, column)].AsString().text();
+  }
+
+  // The row whose `chosen` cell is "*" (exactly one must exist).
+  static size_t ChosenRow(const QueryResult& result) {
+    size_t found = result.rows.size();
+    size_t count = 0;
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+      if (Cell(result, i, "chosen") == "*") {
+        found = i;
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, 1u) << "expected exactly one chosen plan";
+    return found;
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExplainTest, AnalyzeStatementReportsRowCounts) {
+  const QueryResult result = Run("analyze books");
+  EXPECT_EQ(result.column_names,
+            (std::vector<std::string>{"table", "rows"}));
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsString().text(), "books");
+  EXPECT_EQ(result.rows[0][1].AsInt64(), 4);
+  EXPECT_TRUE(db_->GetTable("books").value()->stats.analyzed);
+}
+
+TEST_F(ExplainTest, CreateIndexStatementsBuildBothKinds) {
+  Run("create index qgram on books (author_phon) Q 2");
+  Run("create index phonetic on books (author_phon)");
+  engine::TableInfo* info = db_->GetTable("books").value();
+  ASSERT_NE(info->qgram_index, nullptr);
+  EXPECT_EQ(info->qgram_index->q, 2);
+  EXPECT_NE(info->phonetic_index, nullptr);
+
+  Result<QueryResult> bad = ExecuteQuery(
+      db_.get(), "create index btree on books (author_phon)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(ExplainTest, ExplainUnanalyzedFallsBackToHeuristicRow) {
+  const QueryResult result = Run(
+      "explain select author from books where author LexEQUAL 'Nehru' "
+      "Threshold 0.25");
+  EXPECT_EQ(result.column_names,
+            (std::vector<std::string>{"plan", "chosen", "source",
+                                      "est_cost", "est_rows", "note"}));
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(Cell(result, 0, "chosen"), "*");
+  EXPECT_EQ(Cell(result, 0, "source"), "heuristic");
+  EXPECT_EQ(Cell(result, 0, "est_cost"), "");  // no statistics yet
+  EXPECT_NE(Cell(result, 0, "note").find("unanalyzed"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainAnalyzedPricesEveryConcretePlan) {
+  Run("create index qgram on books (author_phon)");
+  Run("create index phonetic on books (author_phon)");
+  Run("analyze");
+  const QueryResult result = Run(
+      "explain select author from books where author LexEQUAL 'Nehru' "
+      "Threshold 0.25");
+  ASSERT_EQ(result.rows.size(), 4u);  // one per concrete plan
+  EXPECT_EQ(Cell(result, 0, "plan"), "naive-udf");
+  EXPECT_EQ(Cell(result, 1, "plan"), "qgram-filter");
+  EXPECT_EQ(Cell(result, 2, "plan"), "phonetic-index");
+  EXPECT_EQ(Cell(result, 3, "plan"), "parallel-scan");
+  const size_t chosen = ChosenRow(result);
+  EXPECT_EQ(Cell(result, chosen, "source"), "statistics");
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    EXPECT_FALSE(Cell(result, i, "est_cost").empty())
+        << "plan " << Cell(result, i, "plan");
+  }
+}
+
+TEST_F(ExplainTest, ExplainHonorsUsingHint) {
+  Run("create index qgram on books (author_phon)");
+  Run("analyze books");
+  const QueryResult result = Run(
+      "explain select author from books where author LexEQUAL 'Nehru' "
+      "Threshold 0.25 USING qgram");
+  const size_t chosen = ChosenRow(result);
+  EXPECT_EQ(Cell(result, chosen, "plan"), "qgram-filter");
+  EXPECT_EQ(Cell(result, chosen, "source"), "hint");
+  // Ineligible plans say why instead of pricing.
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    if (Cell(result, i, "plan") == "phonetic-index") {
+      EXPECT_NE(Cell(result, i, "note").find("no phonetic index"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeAddsActualColumns) {
+  Run("analyze books");
+  const std::string select =
+      "select author from books where author LexEQUAL 'Nehru' "
+      "Threshold 0.25";
+  const QueryResult direct = Run(select);
+  const QueryResult result = Run("explain analyze " + select);
+  EXPECT_EQ(result.column_names,
+            (std::vector<std::string>{"plan", "chosen", "source",
+                                      "est_cost", "est_rows", "act_rows",
+                                      "act_results", "note"}));
+  const size_t chosen = ChosenRow(result);
+  EXPECT_EQ(Cell(result, chosen, "act_results"),
+            std::to_string(direct.rows.size()));
+  EXPECT_FALSE(Cell(result, chosen, "act_rows").empty());
+  // Non-chosen rows did not run, so their actual cells stay blank.
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    if (i == chosen) continue;
+    EXPECT_EQ(Cell(result, i, "act_results"), "");
+  }
+}
+
+TEST_F(ExplainTest, ExplainRejectsUnsupportedShapes) {
+  Result<QueryResult> no_pred =
+      ExecuteQuery(db_.get(), "explain select author from books");
+  EXPECT_FALSE(no_pred.ok());
+  EXPECT_EQ(no_pred.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(ExplainTest, UsingAutoMatchesHintFreeQuery) {
+  const std::string base =
+      "select title from books where author LexEQUAL 'Nehru' "
+      "Threshold 0.25";
+  const QueryResult plain = Run(base);
+  const QueryResult with_auto = Run(base + " USING auto");
+  ASSERT_EQ(plain.rows.size(), with_auto.rows.size());
+  for (size_t i = 0; i < plain.rows.size(); ++i) {
+    EXPECT_EQ(plain.rows[i][0].AsString().text(),
+              with_auto.rows[i][0].AsString().text());
+  }
+}
+
+}  // namespace
+}  // namespace lexequal::sql

@@ -66,8 +66,8 @@ class ParallelScanTest : public ::testing::Test {
                                     const TaggedString& query,
                                     QueryStats* stats = nullptr) {
     LexEqualQueryOptions options;
-    options.plan = plan;
-    options.threads = threads;
+    options.hints.plan = plan;
+    options.hints.threads = threads;
     return db_->LexEqualSelect("names", "name", query, options, stats);
   }
 
@@ -108,15 +108,15 @@ TEST_F(ParallelScanTest, SameRowsAsNaiveAcrossThreadCounts) {
 TEST_F(ParallelScanTest, InLanguagesRestrictsLikeNaive) {
   const TaggedString query(rows_[3].text, rows_[3].language);
   LexEqualQueryOptions naive_opt;
-  naive_opt.plan = LexEqualPlan::kNaiveUdf;
+  naive_opt.hints.plan = LexEqualPlan::kNaiveUdf;
   naive_opt.in_languages = {Language::kHindi, Language::kTamil};
   Result<std::vector<Tuple>> naive =
       db_->LexEqualSelect("names", "name", query, naive_opt);
   ASSERT_TRUE(naive.ok()) << naive.status();
 
   LexEqualQueryOptions par_opt = naive_opt;
-  par_opt.plan = LexEqualPlan::kParallelScan;
-  par_opt.threads = 4;
+  par_opt.hints.plan = LexEqualPlan::kParallelScan;
+  par_opt.hints.threads = 4;
   Result<std::vector<Tuple>> parallel =
       db_->LexEqualSelect("names", "name", query, par_opt);
   ASSERT_TRUE(parallel.ok()) << parallel.status();

@@ -28,7 +28,7 @@ class PersistenceTest : public ::testing::Test {
     LexEqualQueryOptions o;
     o.match.threshold = 0.3;
     o.match.intra_cluster_cost = 0.25;
-    o.plan = plan;
+    o.hints.plan = plan;
     return o;
   }
 
@@ -84,8 +84,13 @@ TEST_F(PersistenceTest, IndexesSurviveReopen) {
     auto db = Database::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
-    ASSERT_TRUE((*db)->CreateQGramIndex("books", "author_phon", 2).ok());
-    ASSERT_TRUE((*db)->CreatePhoneticIndex("books", "author_phon").ok());
+    ASSERT_TRUE((*db)->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "books",
+                      .column = "author_phon",
+                      .q = 2}).ok());
+    ASSERT_TRUE((*db)->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "books",
+                      .column = "author_phon"}).ok());
     ASSERT_TRUE((*db)->Flush().ok());
   }
   auto db = Database::Open(path_.string(), 256);
@@ -110,7 +115,9 @@ TEST_F(PersistenceTest, InsertsAfterReopenAreIndexed) {
     auto db = Database::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
-    ASSERT_TRUE((*db)->CreatePhoneticIndex("books", "author_phon").ok());
+    ASSERT_TRUE((*db)->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "books",
+                      .column = "author_phon"}).ok());
     ASSERT_TRUE((*db)->Flush().ok());
   }
   {
@@ -170,7 +177,9 @@ TEST_F(PersistenceTest, RepeatedFlushesKeepLatestSnapshot) {
     for (int i = 0; i < 5; ++i) {
       ASSERT_TRUE((*db)->Flush().ok());
     }
-    ASSERT_TRUE((*db)->CreatePhoneticIndex("books", "author_phon").ok());
+    ASSERT_TRUE((*db)->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "books",
+                      .column = "author_phon"}).ok());
     ASSERT_TRUE((*db)->Flush().ok());
   }
   auto db = Database::Open(path_.string(), 256);

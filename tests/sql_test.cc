@@ -104,6 +104,72 @@ TEST(ParserTest, Errors) {
                   .IsNotSupported());
 }
 
+TEST(ParserTest, UsingAutoHint) {
+  Result<SelectStatement> stmt =
+      Parse("select a from t where a LexEQUAL 'x' USING auto");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->plan_hint, "auto");
+}
+
+TEST(ParserTest, AnalyzeStatement) {
+  Result<Statement> stmt = ParseStatement("analyze Books;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kAnalyze);
+  EXPECT_EQ(stmt->analyze.table, "Books");
+
+  stmt = ParseStatement("ANALYZE");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kAnalyze);
+  EXPECT_TRUE(stmt->analyze.table.empty());  // = all tables
+}
+
+TEST(ParserTest, ExplainStatements) {
+  Result<Statement> stmt = ParseStatement(
+      "explain select a from t where a LexEQUAL 'x' Threshold 0.3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kExplain);
+  EXPECT_FALSE(stmt->explain_analyze);
+  EXPECT_EQ(stmt->select.tables[0].table, "t");
+
+  stmt = ParseStatement(
+      "EXPLAIN ANALYZE select a from t where a LexEQUAL 'x'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kExplain);
+  EXPECT_TRUE(stmt->explain_analyze);
+
+  // EXPLAIN needs a SELECT behind it.
+  EXPECT_FALSE(ParseStatement("explain analyze Books").ok());
+}
+
+TEST(ParserTest, CreateIndexStatement) {
+  Result<Statement> stmt = ParseStatement(
+      "create index phonetic on Books (Author_phon)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kCreateIndex);
+  EXPECT_EQ(stmt->create_index.kind, "phonetic");
+  EXPECT_EQ(stmt->create_index.table, "Books");
+  EXPECT_EQ(stmt->create_index.column, "Author_phon");
+  EXPECT_FALSE(stmt->create_index.q.has_value());
+
+  stmt = ParseStatement("CREATE INDEX qgram ON t (c) Q 3;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->create_index.kind, "qgram");
+  ASSERT_TRUE(stmt->create_index.q.has_value());
+  EXPECT_EQ(*stmt->create_index.q, 3);
+
+  EXPECT_FALSE(ParseStatement("create index btree on t (c)").ok());
+  EXPECT_FALSE(ParseStatement("create index qgram on t c").ok());
+  EXPECT_FALSE(ParseStatement("create index qgram on t (c) Q").ok());
+}
+
+TEST(ParserTest, ParseStatementStillAcceptsPlainSelect) {
+  Result<Statement> stmt =
+      ParseStatement("select a from t where a LexEQUAL 'x'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kSelect);
+  EXPECT_EQ(stmt->select.predicates.size(), 1u);
+}
+
 // --- End-to-end planner tests over the Books.com data ---
 
 class SqlEndToEndTest : public ::testing::Test {
@@ -137,8 +203,13 @@ class SqlEndToEndTest : public ::testing::Test {
         Language::kTamil, "Asia Jothi", 250);
     add("Nero", Language::kEnglish, "Coronation", 99);
     add("Smith", Language::kEnglish, "A Book", 5);
-    ASSERT_TRUE(db_->CreateQGramIndex("books", "author_phon", 2).ok());
-    ASSERT_TRUE(db_->CreatePhoneticIndex("books", "author_phon").ok());
+    ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                      .table = "books",
+                      .column = "author_phon",
+                      .q = 2}).ok());
+    ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                      .table = "books",
+                      .column = "author_phon"}).ok());
   }
   void TearDown() override {
     db_.reset();
