@@ -1,0 +1,190 @@
+// Observability overhead bench: proves the metrics/trace layer costs
+// <3% by running the same probe workload with the runtime switch on
+// and off, interleaved per repetition so clock drift and cache warmth
+// cancel out. Covers all four physical plans.
+//
+// Usage:
+//   ./bench/obs_overhead                  full run, writes BENCH_obs.json
+//   ./bench/obs_overhead --smoke          tiny dataset + 1 rep (ctest)
+//   ./bench/obs_overhead --json <path>    JSON output path
+//   ./bench/obs_overhead --export <path>  also dump the Prometheus text
+//                                         export (input for
+//                                         scripts/check_metrics_names.sh)
+//
+// Under -DLEXEQUAL_NO_OBS=ON both arms compile to the same no-ops, so
+// overhead_pct reads ~0 by construction.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+
+using namespace lexequal;
+using namespace lexequal::bench;
+using engine::LexEqualPlan;
+using engine::LexEqualQueryOptions;
+using engine::QueryStats;
+
+namespace {
+
+struct PlanRun {
+  const char* name;
+  LexEqualPlan plan;
+  double enabled_ms = 0;
+  double disabled_ms = 0;
+  uint64_t hits = 0;  // result-count parity check across arms
+
+  double OverheadPct() const {
+    if (disabled_ms <= 0) return 0.0;
+    return (enabled_ms - disabled_ms) / disabled_ms * 100.0;
+  }
+};
+
+// One timed pass of every probe under `plan`; returns total hits.
+double RunProbes(engine::Database* db,
+                 const std::vector<const dataset::LexiconEntry*>& probes,
+                 LexEqualPlan plan, uint64_t* hits) {
+  LexEqualQueryOptions options;
+  options.match.threshold = 0.25;
+  options.match.intra_cluster_cost = 0.25;
+  options.hints.plan = plan;
+  Timer t;
+  for (const dataset::LexiconEntry* p : probes) {
+    QueryStats stats;
+    auto rows = db->LexEqualSelectPhonemes("names", "name", p->phonemes,
+                                           options, &stats);
+    if (!rows.ok()) {
+      std::printf("probe: %s\n", rows.status().ToString().c_str());
+      std::exit(1);
+    }
+    *hits += rows->size();
+  }
+  return t.Millis();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_obs.json";
+  std::string export_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+      export_path = argv[++i];
+    }
+  }
+
+  Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
+  if (!lexicon.ok()) return 1;
+  const size_t rows = smoke ? 2000 : GeneratedDatasetSize(20000);
+  const int probes_n = smoke ? 3 : 10;
+  const int reps = smoke ? 1 : 5;
+  std::vector<dataset::LexiconEntry> gen =
+      dataset::GenerateConcatenatedDataset(*lexicon, rows);
+
+  std::printf("obs_overhead: %zu rows, %d probes, %d reps%s\n",
+              gen.size(), probes_n, reps, smoke ? " (smoke)" : "");
+  Result<std::unique_ptr<engine::Database>> db_or =
+      BuildGeneratedDb("/tmp/lexequal_obs_overhead.db", *lexicon, gen);
+  if (!db_or.ok()) {
+    std::printf("build: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<engine::Database> db = std::move(db_or).value();
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                        .table = "names",
+                        .column = "name_phon",
+                        .q = 2}).ok()) return 1;
+  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                        .table = "names",
+                        .column = "name_phon"}).ok()) return 1;
+  if (!db->AnalyzeAll().ok()) return 1;
+
+  std::vector<const dataset::LexiconEntry*> probes;
+  for (int i = 0; i < probes_n; ++i) {
+    probes.push_back(&gen[(gen.size() / probes_n) * i]);
+  }
+
+  PlanRun runs[] = {
+      {"naive", LexEqualPlan::kNaiveUdf},
+      {"qgram", LexEqualPlan::kQGramFilter},
+      {"phonetic", LexEqualPlan::kPhoneticIndex},
+      {"parallel", LexEqualPlan::kParallelScan},
+  };
+
+  const bool was_enabled = obs::SetEnabled(true);
+  for (PlanRun& run : runs) {
+    // Warm-up pass (phoneme cache, buffer pool) outside the timings.
+    uint64_t warm_hits = 0;
+    RunProbes(db.get(), probes, run.plan, &warm_hits);
+    uint64_t enabled_hits = 0, disabled_hits = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      obs::SetEnabled(true);
+      run.enabled_ms +=
+          RunProbes(db.get(), probes, run.plan, &enabled_hits);
+      obs::SetEnabled(false);
+      run.disabled_ms +=
+          RunProbes(db.get(), probes, run.plan, &disabled_hits);
+    }
+    obs::SetEnabled(true);
+    if (enabled_hits != disabled_hits) {
+      std::printf("MISMATCH: %s enabled %llu vs disabled %llu hits\n",
+                  run.name,
+                  static_cast<unsigned long long>(enabled_hits),
+                  static_cast<unsigned long long>(disabled_hits));
+      return 1;
+    }
+    run.hits = enabled_hits;
+    std::printf("| %-8s | on %8.2f ms | off %8.2f ms | %+6.2f %% |\n",
+                run.name, run.enabled_ms, run.disabled_ms,
+                run.OverheadPct());
+  }
+  obs::SetEnabled(was_enabled);
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::printf("cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\"dataset_rows\": %zu, \"probes\": %d, \"reps\": %d, "
+               "\"plans\": [",
+               gen.size(), probes_n, reps);
+  bool first = true;
+  for (const PlanRun& run : runs) {
+    std::fprintf(json,
+                 "%s{\"plan\": \"%s\", \"enabled_ms\": %.3f, "
+                 "\"disabled_ms\": %.3f, \"overhead_pct\": %.2f, "
+                 "\"hits\": %llu}",
+                 first ? "" : ", ", run.name, run.enabled_ms,
+                 run.disabled_ms, run.OverheadPct(),
+                 static_cast<unsigned long long>(run.hits));
+    first = false;
+  }
+  std::fprintf(json, "]}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!export_path.empty()) {
+    FILE* exp = std::fopen(export_path.c_str(), "w");
+    if (exp == nullptr) {
+      std::printf("cannot write %s\n", export_path.c_str());
+      return 1;
+    }
+    const std::string text = engine::Database::DumpMetrics();
+    std::fwrite(text.data(), 1, text.size(), exp);
+    std::fclose(exp);
+    std::printf("wrote %s\n", export_path.c_str());
+  }
+
+  db.reset();
+  std::remove("/tmp/lexequal_obs_overhead.db");
+  return 0;
+}

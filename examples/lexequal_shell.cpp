@@ -9,7 +9,7 @@
 //                     'Krishna' Threshold 0.25 USING phonetic"
 //
 // Meta commands: \help, \tables, \schema <table>, \stats, \plans,
-// \quit.
+// \metrics [json], \trace on|off, \quit.
 
 #include <chrono>
 #include <cstdio>
@@ -42,11 +42,20 @@ void RunQuery(Database* db, const std::string& sql) {
   std::printf("%s(%zu rows, %.2f ms, %llu candidate rows verified)\n",
               result->ToTable().c_str(), result->rows.size(), ms,
               static_cast<unsigned long long>(result->stats.udf_calls));
+  // EXPLAIN ANALYZE: the per-stage timing table under the plan table.
+  if (!result->trace_rows.empty()) {
+    std::printf("stages:\n%s", result->TraceTable().c_str());
+  }
   // Matcher breakdown: populated by LexEQUAL predicates (the cache
   // counters by every text probe, the rest by `USING parallel`).
   const lexequal::match::MatchStats& m = result->stats.match;
   if (m.tuples_scanned > 0 || m.cache_hits + m.cache_misses > 0) {
     std::printf("match: %s\n", m.ToString().c_str());
+  }
+  // \trace on: print the span tree of the query that just ran.
+  if (db->tracing() && db->LastTrace() != nullptr &&
+      result->trace_rows.empty()) {
+    std::printf("trace:\n%s", db->LastTrace()->ToString().c_str());
   }
 }
 
@@ -80,8 +89,13 @@ void PrintHelp() {
       "  parallel returns the same rows as naive and prints a match:\n"
       "  line — scanned/filtered/dp counters plus phoneme-cache\n"
       "  hits/misses (repeat a probe to see the cache warm up).\n"
+      "observability:\n"
+      "  \\metrics [json]  -- process-wide counters/histograms\n"
+      "                      (Prometheus text, or one JSON object)\n"
+      "  \\trace on|off    -- per-query span tree with wall times and\n"
+      "                      buffer-pool / phoneme-cache deltas\n"
       "meta commands: \\help, \\tables, \\schema <table>, \\stats, "
-      "\\plans, \\quit\n");
+      "\\plans, \\metrics, \\trace, \\quit\n");
 }
 
 // Plan + estimated-vs-actual line for the most recent query.
@@ -148,8 +162,27 @@ void RunMeta(Database* db, const std::string& line) {
     PrintPlans();
     return;
   }
+  if (line == "\\metrics") {
+    std::printf("%s", Database::DumpMetrics().c_str());
+    return;
+  }
+  if (line == "\\metrics json") {
+    std::printf("%s\n", Database::DumpMetricsJson().c_str());
+    return;
+  }
+  if (line == "\\trace on") {
+    db->set_tracing(true);
+    std::printf("tracing on: queries print their span tree\n");
+    return;
+  }
+  if (line == "\\trace off") {
+    db->set_tracing(false);
+    std::printf("tracing off\n");
+    return;
+  }
   std::printf("unknown meta command; try \\help, \\tables, "
-              "\\schema <t>, \\stats, \\plans, \\quit\n");
+              "\\schema <t>, \\stats, \\plans, \\metrics [json], "
+              "\\trace on|off, \\quit\n");
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Lints the metric naming contract: every name registered against the
+# MetricsRegistry must be lexequal_<subsystem>_<name> — lower snake
+# case, at least two segments after the prefix. Two modes:
+#
+#   scripts/check_metrics_names.sh [repo-root]
+#       Source mode: greps every GetCounter/GetGauge/GetHistogram call
+#       in src/ for its string-literal name and validates it. Computed
+#       names (none today) would be flagged as unlintable.
+#
+#   scripts/check_metrics_names.sh --export <file>
+#       Export mode: validates the metric names in a Prometheus text
+#       dump (e.g. `bench/obs_overhead --export metrics.txt`), so the
+#       contract holds for whatever actually registered at runtime.
+#
+# Wired into ctest as `metrics_name_lint` (source mode).
+set -u
+
+name_re='^lexequal_[a-z0-9]+(_[a-z0-9]+)+$'
+fail=0
+
+check_name() {
+  local origin="$1" name="$2"
+  if ! [[ "$name" =~ $name_re ]]; then
+    echo "BAD METRIC NAME: $origin -> '$name'" \
+         "(want lexequal_<subsystem>_<name> snake_case)"
+    fail=1
+  fi
+}
+
+if [ "${1:-}" = "--export" ]; then
+  file="${2:?usage: check_metrics_names.sh --export <file>}"
+  [ -f "$file" ] || { echo "no such export: $file"; exit 1; }
+  found=0
+  while IFS= read -r name; do
+    found=1
+    check_name "$file" "$name"
+  done < <(grep '^# TYPE ' "$file" | awk '{print $3}')
+  if [ "$found" -eq 0 ]; then
+    echo "export contains no # TYPE lines: $file"
+    exit 1
+  fi
+else
+  root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+  found=0
+  # Registration sites: Get{Counter,Gauge,Histogram}("name"...). The
+  # name literal is the first string after the call — sometimes on the
+  # next line, so awk joins one continuation line before extracting.
+  # src/obs/ itself (registry implementation + doc examples) is out of
+  # scope; everything else under src/ is linted.
+  files=$(grep -rl 'GetCounter\|GetGauge\|GetHistogram' "$root/src" \
+          --include='*.cc' --include='*.h' | grep -v '/obs/')
+  while IFS=$'\t' read -r origin name; do
+    if [ "$name" = "UNLINTABLE" ]; then
+      # No string literal near the call: a computed name the lint
+      # cannot check — flag it for a human.
+      echo "UNLINTABLE REGISTRATION: $origin"
+      fail=1
+      continue
+    fi
+    found=1
+    check_name "$origin" "$name"
+  done < <(awk '
+    /^[ \t]*(\/\/|\*)/ { next }  # comment lines are not registrations
+    /Get(Counter|Gauge|Histogram)\(/ {
+      pos = match($0, /Get(Counter|Gauge|Histogram)\(/)
+      rest = substr($0, pos)
+      lineno = FNR
+      if (rest !~ /"/) { getline nxt; rest = rest nxt }
+      if (match(rest, /"[^"]*"/)) {
+        print FILENAME ":" lineno "\t" \
+              substr(rest, RSTART + 1, RLENGTH - 2)
+      } else {
+        print FILENAME ":" lineno "\tUNLINTABLE"
+      }
+    }' $files)
+  if [ "$found" -eq 0 ]; then
+    echo "no metric registrations found under $root/src"
+    exit 1
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "metric name lint FAILED"
+  exit 1
+fi
+echo "metric name lint OK"

@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
@@ -55,6 +56,109 @@ Result<PhonemeString> RowPhonemes(const Tuple& row, uint32_t phon_col) {
   }
   if (cell.AsString().text().empty()) return PhonemeString();
   return PhonemeString::FromIpa(cell.AsString().text());
+}
+
+// Process-wide engine counters. QueryStats / MatchStats stay the
+// per-query ground truth; one FlushQueryStats call per public query
+// entry point folds them into the registry, so every plan — serial or
+// parallel — feeds the same lexequal_query_* / lexequal_match_*
+// series (the counter-drift fix: the sequential paths used to leave
+// the match breakdown empty).
+struct EngineCounters {
+  obs::Counter* query_total;
+  obs::Counter* rows_scanned;
+  obs::Counter* udf_calls;
+  obs::Counter* results;
+  obs::Histogram* query_wall_us;
+  obs::Counter* match_tuples;
+  obs::Counter* match_filtered;
+  obs::Counter* match_dp;
+  obs::Counter* match_matches;
+  obs::Counter* qgram_probes;
+  obs::Counter* qgram_postings;
+  obs::Counter* qgram_candidates;
+  obs::Counter* phonetic_probes;
+  obs::Counter* phonetic_candidates;
+
+  static const EngineCounters& Get() {
+    static const EngineCounters c = [] {
+      auto& reg = obs::MetricsRegistry::Default();
+      EngineCounters out;
+      out.query_total = reg.GetCounter("lexequal_query_total",
+                                       "Queries executed");
+      out.rows_scanned = reg.GetCounter(
+          "lexequal_query_rows_scanned", "Base-table rows pulled");
+      out.udf_calls = reg.GetCounter("lexequal_query_udf_calls",
+                                     "Exact-matcher invocations");
+      out.results = reg.GetCounter("lexequal_query_results",
+                                   "Rows returned to callers");
+      out.query_wall_us = reg.GetHistogram(
+          "lexequal_query_wall_us", "End-to-end query latency (µs)");
+      out.match_tuples =
+          reg.GetCounter("lexequal_match_tuples_scanned",
+                         "Candidates offered to the matcher");
+      out.match_filtered =
+          reg.GetCounter("lexequal_match_filter_rejections",
+                         "Candidates dropped by cheap filters");
+      out.match_dp = reg.GetCounter("lexequal_match_dp_evaluations",
+                                    "Clustered-cost DP runs");
+      out.match_matches = reg.GetCounter("lexequal_match_matches",
+                                         "Candidates accepted");
+      out.qgram_probes = reg.GetCounter(
+          "lexequal_qgram_probes", "Q-gram index range probes");
+      out.qgram_postings = reg.GetCounter(
+          "lexequal_qgram_postings", "Q-gram postings merged");
+      out.qgram_candidates =
+          reg.GetCounter("lexequal_qgram_candidates",
+                         "Candidates surviving the q-gram filters");
+      out.phonetic_probes = reg.GetCounter(
+          "lexequal_phonetic_probes", "Phonetic B-Tree equality probes");
+      out.phonetic_candidates =
+          reg.GetCounter("lexequal_phonetic_candidates",
+                         "RIDs returned by phonetic probes");
+      return out;
+    }();
+    return c;
+  }
+};
+
+// Folds one finished query's stats into the registry, once, at the
+// public entry point (never in inner loops or workers — that would
+// double count).
+void FlushQueryStats(const QueryStats& qs, uint64_t wall_us) {
+  const EngineCounters& c = EngineCounters::Get();
+  c.query_total->Inc();
+  c.rows_scanned->Inc(qs.rows_scanned);
+  c.udf_calls->Inc(qs.udf_calls);
+  c.results->Inc(qs.results);
+  c.query_wall_us->Record(wall_us);
+  c.match_tuples->Inc(qs.match.tuples_scanned);
+  c.match_filtered->Inc(qs.match.filter_rejections);
+  c.match_dp->Inc(qs.match.dp_evaluations);
+  c.match_matches->Inc(qs.match.matches);
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+// A trace pre-wired with the counters whose per-span deltas EXPLAIN
+// ANALYZE reports: buffer-pool faults, disk reads, phoneme-cache
+// traffic.
+std::unique_ptr<obs::QueryTrace> MakeEngineTrace() {
+  auto& reg = obs::MetricsRegistry::Default();
+  auto trace = std::make_unique<obs::QueryTrace>();
+  trace->Watch("bp_hits", reg.GetCounter("lexequal_bufpool_hits"));
+  trace->Watch("bp_misses", reg.GetCounter("lexequal_bufpool_misses"));
+  trace->Watch("disk_reads", reg.GetCounter("lexequal_disk_reads"));
+  trace->Watch("cache_hits",
+               reg.GetCounter("lexequal_phoneme_cache_hits"));
+  trace->Watch("cache_misses",
+               reg.GetCounter("lexequal_phoneme_cache_misses"));
+  return trace;
 }
 
 }  // namespace
@@ -507,6 +611,7 @@ Result<std::vector<Tuple>> Database::ExactSelect(const std::string& table,
                                                  const std::string& column,
                                                  const Value& literal,
                                                  QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
   TableInfo* info;
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
   uint32_t col;
@@ -534,6 +639,7 @@ Result<std::vector<Tuple>> Database::ExactSelect(const std::string& table,
   }
   qs.results = out.size();
   last_stats_ = qs;
+  FlushQueryStats(qs, ElapsedUs(start));
   if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
@@ -552,14 +658,29 @@ Result<bool> Database::VerifyCandidate(
     const match::LexEqualMatcher& matcher,
     const PhonemeString& query_phon, const Tuple& row, uint32_t phon_col,
     QueryStats* stats) const {
+  // Counter contract, identical to the parallel path's
+  // DecideCandidate: every candidate bumps tuples_scanned; an empty
+  // side is a filter rejection, not a UDF call; udf_calls ==
+  // match.dp_evaluations on every plan. (Previously the sequential
+  // plans counted udf_calls for unverifiable rows and left the
+  // MatchStats breakdown at zero, so per-plan parity never held.)
   if (stats != nullptr) {
     ++stats->candidates;
-    ++stats->udf_calls;
+    ++stats->match.tuples_scanned;
   }
   PhonemeString cand;
   LEXEQUAL_ASSIGN_OR_RETURN(cand, RowPhonemes(row, phon_col));
-  if (cand.empty() || query_phon.empty()) return false;
-  return matcher.MatchPhonemes(query_phon, cand);
+  if (cand.empty() || query_phon.empty()) {
+    if (stats != nullptr) ++stats->match.filter_rejections;
+    return false;
+  }
+  if (stats != nullptr) {
+    ++stats->udf_calls;
+    ++stats->match.dp_evaluations;
+  }
+  const bool matched = matcher.MatchPhonemes(query_phon, cand);
+  if (matched && stats != nullptr) ++stats->match.matches;
+  return matched;
 }
 
 Result<std::vector<RID>> Database::QGramCandidates(
@@ -588,6 +709,8 @@ Result<std::vector<RID>> Database::QGramCandidates(
         idx.btree->ScanRange(QGramIndexInfo::PackKey(g.gram, 0, 0),
                              QGramIndexInfo::PackKey(
                                  g.gram, 255, 255)));
+    EngineCounters::Get().qgram_probes->Inc();
+    EngineCounters::Get().qgram_postings->Inc(entries.size());
     for (const auto& [key, rid] : entries) {
       const uint32_t pos = QGramIndexInfo::PosOf(key);
       const size_t len = QGramIndexInfo::LenOf(key);
@@ -624,6 +747,7 @@ Result<std::vector<RID>> Database::QGramCandidates(
                       static_cast<uint16_t>(packed & 0xFFFF)});
   }
   std::sort(out.begin(), out.end());
+  EngineCounters::Get().qgram_candidates->Inc(out.size());
   if (stats != nullptr) stats->rows_scanned += out.size();
   return out;
 }
@@ -664,20 +788,31 @@ Result<std::vector<Tuple>> Database::LexEqualSelect(
     const std::string& table, const std::string& column,
     const text::TaggedString& query, const LexEqualQueryOptions& options,
     QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  QueryStats qs;
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (tracing_) trace = MakeEngineTrace();
+  obs::ScopedSpan root(trace.get(), "lexequal_select");
+
   // Query-side transform goes through the shared phoneme cache:
   // repeated probes (and multi-predicate queries) re-use the G2P run.
-  QueryStats qs;
   match::PhonemeCache& cache = match::PhonemeCache::Default();
   const match::PhonemeCacheStats before = cache.stats();
-  Result<PhonemeString> query_phon = cache.Transform(query);
+  Result<PhonemeString> query_phon = [&] {
+    obs::ScopedSpan span(trace.get(), "g2p_transform");
+    return cache.Transform(query);
+  }();
   const match::PhonemeCacheStats after = cache.stats();
   qs.match.cache_hits += after.hits - before.hits;
   qs.match.cache_misses += after.misses - before.misses;
   if (!query_phon.ok()) return query_phon.status();
-  Result<std::vector<Tuple>> out =
-      SelectPhonemesImpl(table, column, query_phon.value(), options, &qs);
+  Result<std::vector<Tuple>> out = SelectPhonemesImpl(
+      table, column, query_phon.value(), options, &qs, trace.get());
   if (!out.ok()) return out.status();
+  root.End();
   last_stats_ = qs;
+  FlushQueryStats(qs, ElapsedUs(start));
+  if (trace != nullptr) last_trace_ = std::move(trace);
   if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
@@ -686,11 +821,18 @@ Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
     const std::string& table, const std::string& column,
     const PhonemeString& query_phon, const LexEqualQueryOptions& options,
     QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
   QueryStats qs;
-  Result<std::vector<Tuple>> out =
-      SelectPhonemesImpl(table, column, query_phon, options, &qs);
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (tracing_) trace = MakeEngineTrace();
+  obs::ScopedSpan root(trace.get(), "lexequal_select");
+  Result<std::vector<Tuple>> out = SelectPhonemesImpl(
+      table, column, query_phon, options, &qs, trace.get());
   if (!out.ok()) return out.status();
+  root.End();
   last_stats_ = qs;
+  FlushQueryStats(qs, ElapsedUs(start));
+  if (trace != nullptr) last_trace_ = std::move(trace);
   if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
@@ -698,7 +840,7 @@ Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
 Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
     const std::string& table, const std::string& column,
     const PhonemeString& query_phon, const LexEqualQueryOptions& options,
-    QueryStats* stats) {
+    QueryStats* stats, obs::QueryTrace* trace) {
   TableInfo* info;
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
   uint32_t source_col;
@@ -707,8 +849,12 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
   LEXEQUAL_ASSIGN_OR_RETURN(phon_col,
                             PhonemicColumnOf(info->schema, source_col));
 
-  const PlanChoice choice = ChooseLexEqualPlan(PickerInputs(
-      *info, phon_col, static_cast<double>(query_phon.size()), options));
+  const PlanChoice choice = [&] {
+    obs::ScopedSpan span(trace, "plan_pick");
+    return ChooseLexEqualPlan(PickerInputs(
+        *info, phon_col, static_cast<double>(query_phon.size()),
+        options));
+  }();
   stats->plan = choice.plan;
   stats->plan_was_auto = !choice.hinted;
   stats->plan_used_stats = choice.used_stats;
@@ -723,6 +869,7 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
   std::vector<Tuple> out;
   switch (choice.plan) {
     case LexEqualPlan::kNaiveUdf: {
+      obs::ScopedSpan span(trace, "seq_scan_udf");
       SeqScanExecutor scan(info);
       LEXEQUAL_RETURN_IF_ERROR(scan.Init());
       Tuple row;
@@ -738,6 +885,7 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
             VerifyCandidate(matcher, query_phon, row, phon_col, stats));
         if (matched) out.push_back(row);
       }
+      if (stats != nullptr) span.AddRows(stats->rows_scanned);
       break;
     }
     case LexEqualPlan::kQGramFilter: {
@@ -745,9 +893,14 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
         return Status::NotFound("no q-gram index on '" + table + "'");
       }
       std::vector<RID> rids;
-      LEXEQUAL_ASSIGN_OR_RETURN(
-          rids, QGramCandidates(*info, query_phon,
-                                options.match.threshold, stats));
+      {
+        obs::ScopedSpan span(trace, "qgram_filter");
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            rids, QGramCandidates(*info, query_phon,
+                                  options.match.threshold, stats));
+        span.AddRows(rids.size());
+      }
+      obs::ScopedSpan span(trace, "verify");
       RidLookupExecutor lookup(info, std::move(rids));
       LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
       Tuple row;
@@ -762,6 +915,7 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
             VerifyCandidate(matcher, query_phon, row, phon_col, stats));
         if (matched) out.push_back(row);
       }
+      span.AddRows(out.size());
       break;
     }
     case LexEqualPlan::kPhoneticIndex: {
@@ -771,9 +925,16 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
       const uint64_t key = phonetic::GroupedPhonemeStringId(
           query_phon, phonetic::ClusterTable::Default());
       std::vector<RID> rids;
-      LEXEQUAL_ASSIGN_OR_RETURN(rids,
-                                info->phonetic_index->btree->ScanEqual(key));
+      {
+        obs::ScopedSpan span(trace, "phonetic_probe");
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            rids, info->phonetic_index->btree->ScanEqual(key));
+        span.AddRows(rids.size());
+      }
+      EngineCounters::Get().phonetic_probes->Inc();
+      EngineCounters::Get().phonetic_candidates->Inc(rids.size());
       if (stats != nullptr) stats->rows_scanned += rids.size();
+      obs::ScopedSpan span(trace, "verify");
       RidLookupExecutor lookup(info, std::move(rids));
       LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
       Tuple row;
@@ -788,6 +949,7 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
             VerifyCandidate(matcher, query_phon, row, phon_col, stats));
         if (matched) out.push_back(row);
       }
+      span.AddRows(out.size());
       break;
     }
     case LexEqualPlan::kParallelScan: {
@@ -799,6 +961,7 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
       spec.in_languages = options.in_languages;
       spec.threads = options.hints.threads;
       spec.cache = &match::PhonemeCache::Default();
+      spec.trace = trace;
       ParallelLexEqualScanExecutor scan(info, std::move(spec));
       LEXEQUAL_RETURN_IF_ERROR(scan.Init());
       Tuple row;
@@ -828,6 +991,10 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
     const std::string& right_table, const std::string& right_column,
     const LexEqualQueryOptions& options, uint64_t outer_limit,
     QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (tracing_) trace = MakeEngineTrace();
+  obs::ScopedSpan root(trace.get(), "lexequal_join");
   TableInfo* left;
   LEXEQUAL_ASSIGN_OR_RETURN(left, catalog_.GetTable(left_table));
   TableInfo* right;
@@ -999,7 +1166,10 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
     }
   }
   qs.results = out.size();
+  root.End();
   last_stats_ = qs;
+  FlushQueryStats(qs, ElapsedUs(start));
+  if (trace != nullptr) last_trace_ = std::move(trace);
   if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
@@ -1008,6 +1178,7 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
     const std::string& left_table, const std::string& left_column,
     const std::string& right_table, const std::string& right_column,
     uint64_t outer_limit, QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
   TableInfo* left;
   LEXEQUAL_ASSIGN_OR_RETURN(left, catalog_.GetTable(left_table));
   TableInfo* right;
@@ -1053,6 +1224,7 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
   }
   qs.results = out.size();
   last_stats_ = qs;
+  FlushQueryStats(qs, ElapsedUs(start));
   if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }

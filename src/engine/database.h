@@ -17,6 +17,8 @@
 #include "match/match_stats.h"
 #include "match/phoneme_cache.h"
 #include "match/qgram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 
 namespace lexequal::engine {
@@ -190,6 +192,29 @@ class Database {
   /// or LexEQUAL, selection or join) — the shell's \stats command.
   const QueryStats& LastQueryStats() const { return last_stats_; }
 
+  /// Per-query tracing (the shell's \trace on|off and the machinery
+  /// behind EXPLAIN ANALYZE's stage table). While on, every LexEQUAL
+  /// query builds a span tree — planner, access path, verify, matcher
+  /// — with wall-clock durations and buffer-pool / phoneme-cache
+  /// counter deltas per span, retrievable via LastTrace().
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+
+  /// Span tree of the most recent traced query; null when tracing was
+  /// off for that query (or no query has run yet).
+  const obs::QueryTrace* LastTrace() const { return last_trace_.get(); }
+
+  /// Process-wide metrics registry in Prometheus text exposition
+  /// format — the shell's \metrics command.
+  static std::string DumpMetrics() {
+    return obs::MetricsRegistry::Default().ExportPrometheus();
+  }
+
+  /// The same registry as one JSON object (\metrics json).
+  static std::string DumpMetricsJson() {
+    return obs::MetricsRegistry::Default().ExportJson();
+  }
+
   /// Snapshots the catalog (current index roots included) and flushes
   /// all dirty pages. Call before closing to make the file reopenable
   /// with its tables and indexes.
@@ -210,11 +235,12 @@ class Database {
 
   // LexEqualSelectPhonemes body. `qs` is never null and receives this
   // query's stats; the public wrappers own the LastQueryStats and
-  // out-parameter plumbing.
+  // out-parameter plumbing. `trace` may be null (tracing off).
   Result<std::vector<Tuple>> SelectPhonemesImpl(
       const std::string& table, const std::string& column,
       const phonetic::PhonemeString& query_phon,
-      const LexEqualQueryOptions& options, QueryStats* qs);
+      const LexEqualQueryOptions& options, QueryStats* qs,
+      obs::QueryTrace* trace);
 
   // Shared verification step: parse the candidate's phonemic cell and
   // run the exact matcher.
@@ -244,6 +270,8 @@ class Database {
   std::unique_ptr<storage::HeapFile> meta_;  // catalog snapshots
   int64_t catalog_version_ = 0;
   QueryStats last_stats_;  // most recent query (LastQueryStats)
+  bool tracing_ = false;
+  std::unique_ptr<obs::QueryTrace> last_trace_;  // most recent traced
 };
 
 }  // namespace lexequal::engine

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "obs/metrics.h"
+
 namespace lexequal::engine {
 
 Status SeqScanExecutor::Init() {
@@ -10,10 +12,17 @@ Status SeqScanExecutor::Init() {
 }
 
 Result<bool> SeqScanExecutor::Next(Tuple* out) {
+  // Every heap tuple the engine materializes, across all plans and
+  // maintenance scans (index backfill, ANALYZE).
+  static obs::Counter* tuples =
+      obs::MetricsRegistry::Default().GetCounter(
+          "lexequal_heap_scan_tuples",
+          "Tuples deserialized by sequential heap scans");
   if (!it_.has_value()) return Status::Internal("scan not initialized");
   if (it_->AtEnd()) return false;
   Result<Tuple> tuple = DeserializeTuple(it_->record());
   if (!tuple.ok()) return tuple.status();
+  tuples->Inc();
   rid_ = it_->rid();
   *out = std::move(tuple).value();
   LEXEQUAL_RETURN_IF_ERROR(it_->Next());
@@ -183,24 +192,28 @@ Status ParallelLexEqualScanExecutor::Init() {
   // clause are dropped here, exactly where the serial plan drops them.
   std::vector<Tuple> rows;
   std::vector<std::string> ipa;
-  SeqScanExecutor scan(table_);
-  LEXEQUAL_RETURN_IF_ERROR(scan.Init());
-  Tuple row;
-  while (true) {
-    Result<bool> has = scan.Next(&row);
-    if (!has.ok()) return has.status();
-    if (!has.value()) break;
-    ++rows_scanned_;
-    if (!ScanLanguageAllowed(spec_.in_languages, row,
-                             spec_.source_col)) {
-      continue;
+  {
+    obs::ScopedSpan span(spec_.trace, "materialize");
+    SeqScanExecutor scan(table_);
+    LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+    Tuple row;
+    while (true) {
+      Result<bool> has = scan.Next(&row);
+      if (!has.ok()) return has.status();
+      if (!has.value()) break;
+      ++rows_scanned_;
+      if (!ScanLanguageAllowed(spec_.in_languages, row,
+                               spec_.source_col)) {
+        continue;
+      }
+      const Value& cell = row[spec_.phon_col];
+      if (cell.type() != ValueType::kString) {
+        return Status::Corruption("phonemic column is not a string");
+      }
+      ipa.push_back(cell.AsString().text());
+      rows.push_back(std::move(row));
     }
-    const Value& cell = row[spec_.phon_col];
-    if (cell.type() != ValueType::kString) {
-      return Status::Corruption("phonemic column is not a string");
-    }
-    ipa.push_back(cell.AsString().text());
-    rows.push_back(std::move(row));
+    span.AddRows(rows_scanned_);
   }
 
   match::LexEqualMatcher matcher(spec_.match);
@@ -210,10 +223,12 @@ Status ParallelLexEqualScanExecutor::Init() {
   match::ParallelMatcher pm(matcher, pm_options);
   std::vector<size_t> matched;
   {
+    obs::ScopedSpan span(spec_.trace, "parallel_match");
     Result<std::vector<size_t>> matched_or =
         pm.MatchBatchIpa(spec_.query, ipa, &stats_);
     if (!matched_or.ok()) return matched_or.status();
     matched = std::move(matched_or).value();
+    span.AddRows(matched.size());
   }
   matched_rows_.reserve(matched.size());
   for (size_t i : matched) {

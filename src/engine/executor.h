@@ -12,6 +12,7 @@
 #include "engine/expression.h"
 #include "match/match_stats.h"
 #include "match/parallel_matcher.h"
+#include "obs/trace.h"
 #include "storage/heap_file.h"
 
 namespace lexequal::engine {
@@ -160,6 +161,8 @@ struct ParallelScanSpec {
   std::vector<text::Language> in_languages;  // empty = all (*)
   uint32_t threads = 0;                // 0 = auto
   match::PhonemeCache* cache = nullptr;  // optional, borrowed
+  obs::QueryTrace* trace = nullptr;    // optional, borrowed: Init()
+                                       // opens materialize/match spans
 };
 
 /// Parallel LexEQUAL scan (the batch sibling of the naive-UDF plan):

@@ -5,12 +5,30 @@
 #include <thread>
 
 #include "match/qgram.h"
+#include "obs/metrics.h"
 
 namespace lexequal::match {
 
 namespace {
 
 using phonetic::PhonemeString;
+
+// Fan-out metrics. The per-worker chunk histogram is what exposes
+// skew: with even partitioning every chunk should land in the same
+// bucket, and a fat p99 means one worker got the expensive tuples.
+obs::Counter* BatchCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_parallel_batches", "ParallelMatcher batch invocations");
+  return c;
+}
+
+obs::Histogram* ChunkWallHistogram() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "lexequal_parallel_chunk_wall_us",
+          "Per-worker chunk wall time in microseconds");
+  return h;
+}
 
 // Precomputed probe-side state shared (read-only) by all workers.
 struct ProbeContext {
@@ -104,21 +122,28 @@ Result<std::vector<size_t>> RunPartitioned(size_t n, uint32_t threads,
                                            DecideFn&& decide,
                                            MatchStats* stats_out) {
   const auto start = std::chrono::steady_clock::now();
+  BatchCounter()->Inc();
   std::vector<std::vector<size_t>> chunk_matches(threads);
   std::vector<MatchStats> chunk_stats(threads);
   std::vector<Status> chunk_status(threads, Status::OK());
 
   auto worker = [&](uint32_t t) {
+    const auto chunk_start = std::chrono::steady_clock::now();
     const size_t begin = n * t / threads;
     const size_t end = n * (t + 1) / threads;
     for (size_t i = begin; i < end; ++i) {
       Result<bool> matched = decide(i, &chunk_stats[t]);
       if (!matched.ok()) {
         chunk_status[t] = matched.status();
-        return;
+        break;
       }
       if (matched.value()) chunk_matches[t].push_back(i);
     }
+    // One lock-free Record per chunk, not per tuple.
+    ChunkWallHistogram()->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - chunk_start)
+            .count()));
   };
 
   if (threads <= 1) {

@@ -3,9 +3,46 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace lexequal::match {
 
 namespace {
+
+// Registry mirrors, shared by every PhonemeCache instance. The
+// per-shard counters under the stripe mutex remain the per-instance
+// ground truth; these aggregate process-wide for \metrics and traces.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Gauge* entries;
+  obs::Counter* g2p_transforms;
+  obs::Counter* ipa_parses;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Default();
+      CacheMetrics out;
+      out.hits = reg.GetCounter("lexequal_phoneme_cache_hits",
+                                "Phoneme cache lookups served");
+      out.misses = reg.GetCounter("lexequal_phoneme_cache_misses",
+                                  "Phoneme cache lookups that computed");
+      out.evictions =
+          reg.GetCounter("lexequal_phoneme_cache_evictions",
+                         "Entries dropped by per-shard LRU pressure");
+      out.entries = reg.GetGauge("lexequal_phoneme_cache_entries",
+                                 "Entries currently resident");
+      out.g2p_transforms =
+          reg.GetCounter("lexequal_g2p_transforms",
+                         "Rule-engine grapheme-to-phoneme runs");
+      out.ipa_parses = reg.GetCounter("lexequal_g2p_ipa_parses",
+                                      "Stored IPA cell decodes");
+      return out;
+    }();
+    return m;
+  }
+};
 
 // Key namespaces. G2P tags carry the language in the low byte so the
 // same spelling through two converters gets two entries; the IPA
@@ -40,6 +77,7 @@ PhonemeCache::GetOrCompute(uint16_t tag, std::string_view text,
     auto it = shard.map.find(probe);
     if (it != shard.map.end()) {
       ++shard.hits;
+      CacheMetrics::Get().hits->Inc();
       // Move to MRU position; iterators (and the KeyRef map keys
       // viewing Entry::key) stay valid across splice.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -48,6 +86,7 @@ PhonemeCache::GetOrCompute(uint16_t tag, std::string_view text,
       return e.phonemes;
     }
     ++shard.misses;
+    CacheMetrics::Get().misses->Inc();
   }
 
   // Compute outside the lock: rule-engine runs and IPA parses are the
@@ -79,11 +118,14 @@ PhonemeCache::GetOrCompute(uint16_t tag, std::string_view text,
     shard.map.emplace(
         KeyRef{tag, std::string_view(shard.lru.front().key)},
         shard.lru.begin());
+    CacheMetrics::Get().entries->Add(1);
     while (shard.lru.size() > per_shard_capacity_) {
       const Entry& back = shard.lru.back();
       shard.map.erase(KeyRef{back.tag, std::string_view(back.key)});
       shard.lru.pop_back();
       ++shard.evictions;
+      CacheMetrics::Get().evictions->Inc();
+      CacheMetrics::Get().entries->Add(-1);
     }
   }
   if (!status.ok()) return status;
@@ -94,6 +136,7 @@ Result<std::shared_ptr<const phonetic::PhonemeString>>
 PhonemeCache::TransformShared(std::string_view utf8,
                               text::Language lang) {
   return GetOrCompute(MakeG2PTag(lang), utf8, [&] {
+    CacheMetrics::Get().g2p_transforms->Inc();
     return registry_.Transform(utf8, lang);
   });
 }
@@ -106,6 +149,7 @@ PhonemeCache::ParseIpaShared(std::string_view ipa_utf8) {
     return empty;
   }
   return GetOrCompute(kIpaTag, ipa_utf8, [&] {
+    CacheMetrics::Get().ipa_parses->Inc();
     return phonetic::PhonemeString::FromIpa(ipa_utf8);
   });
 }
@@ -137,11 +181,14 @@ PhonemeCacheStats PhonemeCache::stats() const {
 }
 
 void PhonemeCache::Clear() {
+  int64_t dropped = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    dropped += static_cast<int64_t>(shard.lru.size());
     shard.map.clear();
     shard.lru.clear();
   }
+  CacheMetrics::Get().entries->Add(-dropped);
 }
 
 PhonemeCache& PhonemeCache::Default() {

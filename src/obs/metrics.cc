@@ -1,0 +1,273 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lexequal::obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+bool SetEnabled(bool enabled) {
+  return internal::g_enabled.exchange(enabled,
+                                      std::memory_order_relaxed);
+}
+
+const std::array<uint64_t, Histogram::kBucketCount>&
+Histogram::BucketBounds() {
+  // 1-2-5 progression over microseconds: 1 µs .. 2 s.
+  static const std::array<uint64_t, kBucketCount> kBounds = {
+      1,      2,      5,      10,     20,      50,      100,
+      200,    500,    1000,   2000,   5000,    10000,   20000,
+      50000,  100000, 200000, 500000, 1000000, 2000000,
+  };
+  return kBounds;
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!Enabled()) return;
+  const auto& bounds = BucketBounds();
+  size_t i = 0;
+  while (i < kBucketCount && value > bounds[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil).
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(n) + 0.5) == 0
+          ? 1
+          : static_cast<uint64_t>(q * static_cast<double>(n) + 0.5);
+  const auto& bounds = BucketBounds();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= kBucketCount; ++i) {
+    const uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == kBucketCount) {
+      // Overflow mass: clamp to the largest finite bound.
+      return static_cast<double>(bounds[kBucketCount - 1]);
+    }
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double upper = static_cast<double>(bounds[i]);
+    if (in_bucket == 0) return upper;
+    const double frac = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(in_bucket);
+    return lower + (upper - lower) * frac;
+  }
+  return static_cast<double>(bounds[kBucketCount - 1]);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::ValidName(std::string_view name) {
+  constexpr std::string_view kPrefix = "lexequal_";
+  if (name.substr(0, kPrefix.size()) != kPrefix) return false;
+  const std::string_view rest = name.substr(kPrefix.size());
+  if (rest.empty()) return false;
+  size_t segments = 1;
+  char prev = '_';
+  for (char c : rest) {
+    const bool lower = c >= 'a' && c <= 'z';
+    const bool digit = c >= '0' && c <= '9';
+    if (c == '_') {
+      if (prev == '_') return false;  // empty segment
+      ++segments;
+    } else if (!lower && !digit) {
+      return false;
+    }
+    prev = c;
+  }
+  if (prev == '_') return false;  // trailing underscore
+  // lexequal_<subsystem>_<name>: at least two segments after prefix.
+  return segments >= 2;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
+    std::string_view name, std::string_view help, Kind kind) {
+  if (!ValidName(name)) {
+    std::fprintf(stderr,
+                 "metrics: invalid metric name '%.*s' (want "
+                 "lexequal_<subsystem>_<name> snake_case)\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(std::string(name));
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind) {
+      std::fprintf(stderr,
+                   "metrics: '%.*s' registered with two kinds\n",
+                   static_cast<int>(name.size()), name.data());
+      std::abort();
+    }
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = std::string(help);
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  auto [pos, inserted] =
+      metrics_.emplace(std::string(name), std::move(entry));
+  (void)inserted;
+  return &pos->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  return GetOrCreate(name, help, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  return GetOrCreate(name, help, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help) {
+  return GetOrCreate(name, help, Kind::kHistogram)->histogram.get();
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[160];
+  for (const auto& [name, entry] : metrics_) {
+    if (!entry.help.empty()) {
+      out += "# HELP " + name + " " + entry.help + "\n";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", name.c_str(),
+                      entry.counter->value());
+        out += buf;
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        std::snprintf(buf, sizeof buf, "%s %" PRId64 "\n", name.c_str(),
+                      entry.gauge->value());
+        out += buf;
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const auto& bounds = Histogram::BucketBounds();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          cumulative += entry.histogram->bucket(i);
+          std::snprintf(buf, sizeof buf,
+                        "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                        name.c_str(), bounds[i], cumulative);
+          out += buf;
+        }
+        cumulative += entry.histogram->overflow();
+        std::snprintf(buf, sizeof buf,
+                      "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                      name.c_str(), cumulative);
+        out += buf;
+        std::snprintf(buf, sizeof buf, "%s_sum %" PRIu64 "\n",
+                      name.c_str(), entry.histogram->sum());
+        out += buf;
+        std::snprintf(buf, sizeof buf, "%s_count %" PRIu64 "\n",
+                      name.c_str(), entry.histogram->count());
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  char buf[200];
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof buf, "\"%s\": %" PRIu64, name.c_str(),
+                      entry.counter->value());
+        if (!counters.empty()) counters += ", ";
+        counters += buf;
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof buf, "\"%s\": %" PRId64, name.c_str(),
+                      entry.gauge->value());
+        if (!gauges.empty()) gauges += ", ";
+        gauges += buf;
+        break;
+      case Kind::kHistogram:
+        std::snprintf(buf, sizeof buf,
+                      "\"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                      ", \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f}",
+                      name.c_str(), entry.histogram->count(),
+                      entry.histogram->sum(), entry.histogram->p50(),
+                      entry.histogram->p95(), entry.histogram->p99());
+        if (!histograms.empty()) histograms += ", ";
+        histograms += buf;
+        break;
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) out.push_back(name);
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked singleton, like G2PRegistry::Default(): cached metric
+  // pointers must stay valid through static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace lexequal::obs

@@ -1,0 +1,215 @@
+// MetricsRegistry: the unified observability surface of the engine.
+//
+// The paper's entire efficiency argument (§5, Tables 1-3) is a cost
+// story — where does a LexEQUAL query spend its budget? — yet until
+// this subsystem the engine could only answer with per-query counter
+// structs (QueryStats, MatchStats, BufferPoolStats) that neither
+// accumulate across queries nor attribute I/O or latency. The
+// registry is the process-wide aggregation point those structs feed:
+// named counters, gauges, and fixed-bucket latency histograms, all
+// readable at any moment through Prometheus-style text or JSON.
+//
+// Naming contract (enforced by scripts/check_metrics_names.sh and by
+// ValidName at registration): every metric is
+//
+//   lexequal_<subsystem>_<name>    e.g. lexequal_bufpool_hits
+//
+// lower-snake-case, at least two segments after the prefix, each
+// name registered with exactly one metric kind.
+//
+// Hot-path cost model:
+//  * Counter::Inc / Gauge::Add / Histogram::Record are lock-free —
+//    one relaxed atomic RMW (plus a relaxed load of the global
+//    enabled flag). No mutex is ever taken after registration.
+//  * Registration (Get*) takes the registry mutex; call sites cache
+//    the returned pointer (a member or function-local static), so
+//    the mutex is off every per-tuple path.
+//  * The compile-time kill switch LEXEQUAL_NO_OBS (cmake
+//    -DLEXEQUAL_NO_OBS=ON) turns every mutation into a no-op the
+//    optimizer deletes; bench/obs_overhead quantifies the residual
+//    cost of leaving instrumentation on (<3% on the Table-1 naive
+//    scan — see EXPERIMENTS.md).
+//  * SetEnabled(false) is the runtime kill switch: mutations become
+//    a relaxed load + branch. The per-instance structs
+//    (BufferPoolStats et al.) are *views* fed alongside the registry
+//    and are never gated — tests asserting exact per-instance counts
+//    stay deterministic regardless of the switch.
+//
+// Thread-safety: all metric mutations and reads are safe from any
+// thread. Readout (value(), Quantile(), exporters) is monotonic but
+// not a consistent cut across metrics — fine for monitoring.
+
+#ifndef LEXEQUAL_OBS_METRICS_H_
+#define LEXEQUAL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lexequal::obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// Runtime kill switch for every metric mutation. Defaults to on.
+inline bool Enabled() {
+#ifdef LEXEQUAL_NO_OBS
+  return false;
+#else
+  return internal::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Flips the runtime switch; returns the previous value. Under
+/// LEXEQUAL_NO_OBS this is accepted but Enabled() stays false.
+bool SetEnabled(bool enabled);
+
+/// Monotonic counter. Lock-free; relaxed ordering (counters are
+/// statistics, not synchronization).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    if (!Enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Test/bench helper; not for production paths.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (resident entries, pool occupancy).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram, calibrated for microsecond
+/// durations (1 µs .. 2 s in a 1-2-5 progression) plus an overflow
+/// bucket. Recording is lock-free: one bucket increment plus
+/// count/sum increments, all relaxed. Quantiles are read by linear
+/// interpolation inside the winning bucket; an empty histogram
+/// reports 0 and values past the last bound land in the overflow
+/// bucket, whose quantile reads clamp to the largest finite bound.
+class Histogram {
+ public:
+  static constexpr size_t kBucketCount = 20;
+
+  /// Upper bounds (inclusive) of the finite buckets, ascending.
+  static const std::array<uint64_t, kBucketCount>& BucketBounds();
+
+  void Record(uint64_t value);
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Observations beyond the largest finite bound.
+  uint64_t overflow() const {
+    return buckets_[kBucketCount].load(std::memory_order_relaxed);
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Interpolated quantile in [0, 1]; 0 when empty. Overflow mass
+  /// clamps to the largest finite bound.
+  double Quantile(double q) const;
+
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount + 1] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Name → metric map. Registration is GetOrCreate: the first call
+/// for a name creates the metric, later calls return the same
+/// pointer (so every buffer pool instance shares one
+/// lexequal_bufpool_hits). Registering one name as two different
+/// kinds aborts — that is a programming error the name lint also
+/// catches. Metric objects live as long as the registry (for
+/// Default(), the process), so cached pointers never dangle.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// True iff `name` follows lexequal_<subsystem>_<name> snake_case.
+  static bool ValidName(std::string_view name);
+
+  Counter* GetCounter(std::string_view name, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name,
+                          std::string_view help = "");
+
+  /// Prometheus text exposition format (counters/gauges as samples,
+  /// histograms as cumulative _bucket/_sum/_count series).
+  std::string ExportPrometheus() const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p95, p99}}}.
+  std::string ExportJson() const;
+
+  /// Registered names in sorted order (tests, lint round-trips).
+  std::vector<std::string> Names() const;
+
+  /// Zeroes every metric (bench isolation; not thread-safe against
+  /// concurrent recorders in the sense that in-flight increments may
+  /// survive, which is fine for benches).
+  void ResetAll();
+
+  /// Process-wide registry, never destroyed.
+  static MetricsRegistry& Default();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreate(std::string_view name, std::string_view help,
+                     Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;  // sorted => stable exports
+};
+
+}  // namespace lexequal::obs
+
+#endif  // LEXEQUAL_OBS_METRICS_H_

@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lexequal::obs {
+
+void QueryTrace::Watch(std::string label, const Counter* counter) {
+  labels_.push_back(std::move(label));
+  watched_.push_back(counter);
+}
+
+std::vector<uint64_t> QueryTrace::SnapshotCounters() const {
+  std::vector<uint64_t> out;
+  out.reserve(watched_.size());
+  for (const Counter* c : watched_) out.push_back(c->value());
+  return out;
+}
+
+size_t QueryTrace::BeginSpan(std::string_view name) {
+  Span span;
+  span.name = std::string(name);
+  if (!open_stack_.empty()) {
+    span.parent = open_stack_.back();
+    span.depth = spans_[span.parent].depth + 1;
+  }
+  span.deltas.assign(watched_.size(), 0);
+  const size_t id = spans_.size();
+  spans_.push_back(std::move(span));
+  OpenState state;
+  state.start = std::chrono::steady_clock::now();
+  state.counter_start = SnapshotCounters();
+  open_state_.push_back(std::move(state));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void QueryTrace::EndSpan(size_t id) {
+  if (id >= spans_.size() || !spans_[id].open) return;
+  // Close any deeper spans first so the stack unwinds cleanly.
+  while (!open_stack_.empty()) {
+    const size_t top = open_stack_.back();
+    open_stack_.pop_back();
+    Span& span = spans_[top];
+    if (!span.open) continue;
+    span.open = false;
+    span.wall_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - open_state_[top].start)
+            .count());
+    const std::vector<uint64_t> now = SnapshotCounters();
+    for (size_t i = 0; i < now.size(); ++i) {
+      span.deltas[i] = now[i] - open_state_[top].counter_start[i];
+    }
+    if (top == id) break;
+  }
+}
+
+void QueryTrace::AddRows(size_t id, uint64_t n) {
+  if (id < spans_.size()) spans_[id].rows += n;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  char buf[96];
+  for (const Span& span : spans_) {
+    out.append(span.depth * 2, ' ');
+    out += span.name;
+    const size_t pad_to = 28;
+    const size_t used = span.depth * 2 + span.name.size();
+    out.append(used < pad_to ? pad_to - used : 1, ' ');
+    std::snprintf(buf, sizeof buf, "%8" PRIu64 " us", span.wall_us);
+    out += buf;
+    if (span.rows > 0) {
+      std::snprintf(buf, sizeof buf, "  rows=%" PRIu64, span.rows);
+      out += buf;
+    }
+    for (size_t i = 0; i < span.deltas.size(); ++i) {
+      if (span.deltas[i] == 0) continue;
+      std::snprintf(buf, sizeof buf, "  %s=%" PRIu64,
+                    labels_[i].c_str(), span.deltas[i]);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void QueryTrace::Clear() {
+  spans_.clear();
+  open_state_.clear();
+  open_stack_.clear();
+}
+
+}  // namespace lexequal::obs

@@ -1,0 +1,138 @@
+// QueryTrace: a per-query span tree with steady-clock durations and
+// per-span registry-counter deltas — the timing backbone of EXPLAIN
+// ANALYZE and the shell's \trace mode.
+//
+// A trace is owned by the driver of one query (Database keeps one per
+// traced query) and is NOT thread-safe: spans are begun and ended on
+// the query thread only. Worker pools report through the registry
+// counters the trace watches, so their work still shows up as deltas
+// on the enclosing span.
+//
+// Usage:
+//
+//   obs::QueryTrace trace;
+//   trace.Watch("bp_hits", registry.GetCounter("lexequal_bufpool_hits"));
+//   {
+//     obs::ScopedSpan query(&trace, "lexequal_select");
+//     {
+//       obs::ScopedSpan scan(&trace, "seq_scan_udf");
+//       scan.AddRows(n);
+//     }  // scan ends: duration + counter deltas captured
+//   }
+//   trace.ToString();  // indented tree
+//
+// Nesting comes from begin/end order: BeginSpan parents the new span
+// under the innermost still-open span, which is exactly the call
+// structure when spans are scoped objects. A null trace pointer makes
+// ScopedSpan a no-op, so instrumented code needs no branches.
+
+#ifndef LEXEQUAL_OBS_TRACE_H_
+#define LEXEQUAL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lexequal::obs {
+
+class QueryTrace {
+ public:
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  struct Span {
+    std::string name;
+    size_t parent = kNoParent;
+    size_t depth = 0;
+    uint64_t wall_us = 0;
+    uint64_t rows = 0;  // stage-defined tuple count, see AddRows
+    bool open = true;
+    /// Watched-counter deltas over the span, parallel to
+    /// watched_labels(). Zero-filled while the span is open.
+    std::vector<uint64_t> deltas;
+  };
+
+  QueryTrace() = default;
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Registers a counter whose per-span delta every subsequent span
+  /// records. Call before the first BeginSpan. `counter` is borrowed
+  /// and must outlive the trace (registry metrics always do).
+  void Watch(std::string label, const Counter* counter);
+
+  /// Opens a span under the innermost open span; returns its id.
+  size_t BeginSpan(std::string_view name);
+
+  /// Closes `id`, capturing wall time and counter deltas. Ending a
+  /// span also ends any deeper spans still open (defensive; scoped
+  /// usage never triggers it).
+  void EndSpan(size_t id);
+
+  /// Adds `n` to the span's row counter (what "rows" means is
+  /// stage-specific: tuples scanned, candidates produced, matches).
+  void AddRows(size_t id, uint64_t n);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<std::string>& watched_labels() const {
+    return labels_;
+  }
+
+  /// Indented tree: one line per span with µs, rows, and non-zero
+  /// counter deltas.
+  std::string ToString() const;
+
+  void Clear();
+
+ private:
+  struct OpenState {
+    std::chrono::steady_clock::time_point start;
+    std::vector<uint64_t> counter_start;
+  };
+
+  std::vector<uint64_t> SnapshotCounters() const;
+
+  std::vector<std::string> labels_;
+  std::vector<const Counter*> watched_;
+  std::vector<Span> spans_;
+  std::vector<OpenState> open_state_;  // parallel to spans_
+  std::vector<size_t> open_stack_;     // innermost open span on top
+};
+
+/// RAII span. A null trace makes every operation a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, std::string_view name)
+      : trace_(trace),
+        id_(trace != nullptr ? trace->BeginSpan(name)
+                             : QueryTrace::kNoParent) {}
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddRows(uint64_t n) {
+    if (trace_ != nullptr) trace_->AddRows(id_, n);
+  }
+
+  /// Ends the span early (idempotent).
+  void End() {
+    if (trace_ != nullptr) {
+      trace_->EndSpan(id_);
+      trace_ = nullptr;
+    }
+  }
+
+  size_t id() const { return id_; }
+
+ private:
+  QueryTrace* trace_;
+  size_t id_;
+};
+
+}  // namespace lexequal::obs
+
+#endif  // LEXEQUAL_OBS_TRACE_H_

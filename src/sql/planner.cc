@@ -318,7 +318,10 @@ Result<QueryResult> ExecuteJoin(Database* db,
 
 }  // namespace
 
-std::string QueryResult::ToTable() const {
+namespace {
+
+std::string RenderTable(const std::vector<std::string>& column_names,
+                        const std::vector<engine::Tuple>& rows) {
   // Column widths in code points.
   std::vector<size_t> widths(column_names.size());
   std::vector<std::vector<std::string>> cells;
@@ -356,6 +359,17 @@ std::string QueryResult::ToTable() const {
     out += "|\n";
   }
   return out;
+}
+
+}  // namespace
+
+std::string QueryResult::ToTable() const {
+  return RenderTable(column_names, rows);
+}
+
+std::string QueryResult::TraceTable() const {
+  if (trace_rows.empty()) return "";
+  return RenderTable(trace_column_names, trace_rows);
 }
 
 namespace {
@@ -472,6 +486,52 @@ std::string FormatCost(double v) {
   return buf;
 }
 
+// Renders a query's span tree as EXPLAIN ANALYZE's stage table:
+// stage name (indented by nesting depth), wall-clock µs, stage rows,
+// and the watched-counter deltas the engine's trace records.
+void AppendTraceTable(const obs::QueryTrace& trace, QueryResult* result) {
+  result->trace_column_names = {
+      "stage",      "wall_us",      "rows",
+      "bp_hits",    "bp_misses",    "disk_reads",
+      "cache_hits", "cache_misses", "cache_hit_pct"};
+  const std::vector<std::string>& labels = trace.watched_labels();
+  auto idx_of = [&](std::string_view label) {
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == label) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const int bp_hits = idx_of("bp_hits");
+  const int bp_misses = idx_of("bp_misses");
+  const int disk_reads = idx_of("disk_reads");
+  const int cache_hits = idx_of("cache_hits");
+  const int cache_misses = idx_of("cache_misses");
+  auto delta = [](const obs::QueryTrace::Span& span, int i) -> int64_t {
+    return i >= 0 && static_cast<size_t>(i) < span.deltas.size()
+               ? static_cast<int64_t>(span.deltas[i])
+               : 0;
+  };
+  for (const obs::QueryTrace::Span& span : trace.spans()) {
+    engine::Tuple row;
+    row.push_back(
+        Value::String(std::string(span.depth * 2, ' ') + span.name));
+    row.push_back(Value::Int64(static_cast<int64_t>(span.wall_us)));
+    row.push_back(Value::Int64(static_cast<int64_t>(span.rows)));
+    row.push_back(Value::Int64(delta(span, bp_hits)));
+    row.push_back(Value::Int64(delta(span, bp_misses)));
+    row.push_back(Value::Int64(delta(span, disk_reads)));
+    const int64_t ch = delta(span, cache_hits);
+    const int64_t cm = delta(span, cache_misses);
+    row.push_back(Value::Int64(ch));
+    row.push_back(Value::Int64(cm));
+    row.push_back(Value::String(
+        ch + cm > 0 ? FormatCost(100.0 * static_cast<double>(ch) /
+                                 static_cast<double>(ch + cm))
+                    : ""));
+    result->trace_rows.push_back(std::move(row));
+  }
+}
+
 Result<QueryResult> ExecuteExplain(Database* db, const Statement& stmt) {
   const SelectStatement& sel = stmt.select;
   if (sel.tables.size() != 1) {
@@ -503,10 +563,19 @@ Result<QueryResult> ExecuteExplain(Database* db, const Statement& stmt) {
   QueryResult result;
   engine::QueryStats actual;
   if (stmt.explain_analyze) {
-    QueryResult executed;
-    LEXEQUAL_ASSIGN_OR_RETURN(executed, ExecuteStatement(db, sel));
-    actual = executed.stats;
-    result.stats = executed.stats;
+    // Execute with tracing forced on so the stage table below carries
+    // real wall-clock and I/O data; the caller's setting is restored.
+    const bool was_tracing = db->tracing();
+    db->set_tracing(true);
+    Result<QueryResult> executed = ExecuteStatement(db, sel);
+    db->set_tracing(was_tracing);
+    if (!executed.ok()) return executed.status();
+    actual = executed->stats;
+    result.stats = executed->stats;
+    if (const obs::QueryTrace* trace = db->LastTrace();
+        trace != nullptr) {
+      AppendTraceTable(*trace, &result);
+    }
   }
 
   result.column_names = {"plan", "chosen", "source", "est_cost",

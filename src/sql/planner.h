@@ -25,8 +25,19 @@ struct QueryResult {
   std::vector<engine::Tuple> rows;
   engine::QueryStats stats;
 
+  /// EXPLAIN ANALYZE stage table: one row per executed plan stage
+  /// (planner, access path, verify, matcher) with wall-clock µs and
+  /// buffer-pool / disk / phoneme-cache counter deltas. Empty for
+  /// every other statement kind — the plan table above keeps its
+  /// columns unchanged.
+  std::vector<std::string> trace_column_names;
+  std::vector<engine::Tuple> trace_rows;
+
   /// ASCII table rendering for examples and debugging.
   std::string ToTable() const;
+
+  /// Renders the EXPLAIN ANALYZE stage table; "" when absent.
+  std::string TraceTable() const;
 };
 
 /// Parses and executes `sql` against `db`. Accepts every statement

@@ -10,6 +10,15 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_size)
     frames_.push_back(std::make_unique<Page>());
     free_frames_.push_back(pool_size - 1 - i);  // pop from the back
   }
+  auto& reg = obs::MetricsRegistry::Default();
+  m_hits_ = reg.GetCounter("lexequal_bufpool_hits",
+                           "Buffer pool page hits");
+  m_misses_ = reg.GetCounter("lexequal_bufpool_misses",
+                             "Buffer pool page misses (disk faults)");
+  m_evictions_ = reg.GetCounter("lexequal_bufpool_evictions",
+                                "Frames reclaimed from the LRU list");
+  m_flushes_ = reg.GetCounter("lexequal_bufpool_flushes",
+                              "Dirty pages written back to disk");
 }
 
 BufferPool::~BufferPool() {
@@ -36,10 +45,12 @@ Result<size_t> BufferPool::GetVictimFrame() {
   if (victim->is_dirty()) {
     LEXEQUAL_RETURN_IF_ERROR(
         disk_->WritePage(victim->page_id(), victim->data()));
-    ++stats_.flushes;
+    counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+    m_flushes_->Inc();
   }
   page_table_.erase(victim->page_id());
-  ++stats_.evictions;
+  counters_.evictions.fetch_add(1, std::memory_order_relaxed);
+  m_evictions_->Inc();
   victim->Reset();
   return frame;
 }
@@ -47,7 +58,8 @@ Result<size_t> BufferPool::GetVictimFrame() {
 Result<Page*> BufferPool::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
-    ++stats_.hits;
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    m_hits_->Inc();
     size_t frame = it->second;
     Page* page = frames_[frame].get();
     // A page moving from unpinned to pinned leaves the LRU list.
@@ -59,7 +71,8 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
     page->IncPin();
     return page;
   }
-  ++stats_.misses;
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  m_misses_->Inc();
   size_t frame;
   LEXEQUAL_ASSIGN_OR_RETURN(frame, GetVictimFrame());
   Page* page = frames_[frame].get();
@@ -118,7 +131,8 @@ Status BufferPool::FlushPage(PageId id) {
   if (page->is_dirty()) {
     LEXEQUAL_RETURN_IF_ERROR(disk_->WritePage(id, page->data()));
     page->set_dirty(false);
-    ++stats_.flushes;
+    counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+    m_flushes_->Inc();
   }
   return Status::OK();
 }
@@ -129,7 +143,8 @@ Status BufferPool::FlushAll() {
     if (page->is_dirty()) {
       LEXEQUAL_RETURN_IF_ERROR(disk_->WritePage(id, page->data()));
       page->set_dirty(false);
-      ++stats_.flushes;
+      counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+      m_flushes_->Inc();
     }
   }
   return disk_->Sync();

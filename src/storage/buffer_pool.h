@@ -4,19 +4,24 @@
 #ifndef LEXEQUAL_STORAGE_BUFFER_POOL_H_
 #define LEXEQUAL_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
 namespace lexequal::storage {
 
-/// Counters exposed for the efficiency experiments: buffered vs.
-/// on-disk behaviour is part of the Table 1-3 story.
+/// Counter snapshot exposed for the efficiency experiments: buffered
+/// vs. on-disk behaviour is part of the Table 1-3 story. Returned by
+/// value from BufferPool::stats(); the live counters are atomic, so a
+/// snapshot taken while another thread drives evictions is safe (if
+/// not a single consistent cut — each field is individually exact).
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -25,7 +30,15 @@ struct BufferPoolStats {
 };
 
 /// LRU buffer pool. Callers must Unpin every page they Fetch/New;
-/// a pinned page is never evicted. Single-threaded.
+/// a pinned page is never evicted.
+///
+/// Threading: the page table and LRU structures are single-threaded
+/// by design (one query drives the pool at a time); the *counters*
+/// are std::atomic so stats() may be called from any thread — e.g. a
+/// metrics scraper or the shell's \metrics while a parallel scan's
+/// driver thread faults pages in. Counters also mirror into the
+/// process-wide MetricsRegistry (lexequal_bufpool_*), which
+/// aggregates across every pool instance.
 class BufferPool {
  public:
   /// `pool_size` frames over `disk` (borrowed; must outlive the pool).
@@ -52,11 +65,27 @@ class BufferPool {
   /// Flushes every dirty page.
   Status FlushAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Atomic snapshot of this pool's counters (thread-safe).
+  BufferPoolStats stats() const {
+    BufferPoolStats out;
+    out.hits = counters_.hits.load(std::memory_order_relaxed);
+    out.misses = counters_.misses.load(std::memory_order_relaxed);
+    out.evictions = counters_.evictions.load(std::memory_order_relaxed);
+    out.flushes = counters_.flushes.load(std::memory_order_relaxed);
+    return out;
+  }
   size_t pool_size() const { return frames_.size(); }
   DiskManager* disk() const { return disk_; }
 
  private:
+  // Per-pool live counters plus their process-wide registry mirrors.
+  struct AtomicStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> flushes{0};
+  };
+
   // Finds a victim frame: a free one, else the LRU unpinned one.
   Result<size_t> GetVictimFrame();
 
@@ -66,7 +95,11 @@ class BufferPool {
   std::list<size_t> lru_;  // unpinned frames, least-recent first
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
   std::vector<size_t> free_frames_;
-  BufferPoolStats stats_;
+  AtomicStats counters_;
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
+  obs::Counter* m_evictions_;
+  obs::Counter* m_flushes_;
 };
 
 }  // namespace lexequal::storage

@@ -4,7 +4,27 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace lexequal::storage {
+
+namespace {
+
+// Process-wide disk I/O counters, shared across every DiskManager.
+// Function-local statics keep the registration off the hot path.
+obs::Counter* DiskReads() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_disk_reads", "Pages read from disk");
+  return c;
+}
+
+obs::Counter* DiskWrites() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_disk_writes", "Pages written to disk");
+  return c;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<DiskManager>> DiskManager::Open(
     const std::string& path) {
@@ -66,6 +86,7 @@ Status DiskManager::ReadPage(PageId id, char* out) {
   if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
     return Status::IOError("short read of page " + std::to_string(id));
   }
+  DiskReads()->Inc();
   return Status::OK();
 }
 
@@ -82,6 +103,7 @@ Status DiskManager::WritePage(PageId id, const char* data) {
   if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
     return Status::IOError("short write of page " + std::to_string(id));
   }
+  DiskWrites()->Inc();
   return Status::OK();
 }
 

@@ -117,7 +117,13 @@ TEST_F(DatabaseTest, LexEqualSelectFindsAllScriptsNaive) {
   ASSERT_TRUE(rows.ok()) << rows.status();
   EXPECT_EQ(rows->size(), 3u) << "expected En+Hi+Ta Nehru rows";
   EXPECT_EQ(stats.rows_scanned, 7u);
-  EXPECT_EQ(stats.udf_calls, 7u);
+  // Every row is offered to the matcher; rows whose phonemic cell is
+  // empty (untransformable) are filter rejections, not UDF calls.
+  EXPECT_EQ(stats.match.tuples_scanned, 7u);
+  EXPECT_EQ(stats.udf_calls, stats.match.dp_evaluations);
+  EXPECT_EQ(stats.match.tuples_scanned,
+            stats.match.filter_rejections + stats.match.dp_evaluations);
+  EXPECT_EQ(stats.match.matches, 3u);
 }
 
 TEST_F(DatabaseTest, LexEqualSelectHonorsInLanguages) {

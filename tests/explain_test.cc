@@ -195,6 +195,121 @@ TEST_F(ExplainTest, ExplainAnalyzeAddsActualColumns) {
   }
 }
 
+// --- EXPLAIN ANALYZE stage table (QueryTrace-backed) ---------------
+
+// Trimmed stage names from the trace table, in execution order.
+std::vector<std::string> StageNames(const QueryResult& result) {
+  size_t col = 0;
+  for (size_t i = 0; i < result.trace_column_names.size(); ++i) {
+    if (result.trace_column_names[i] == "stage") col = i;
+  }
+  std::vector<std::string> out;
+  for (const Tuple& row : result.trace_rows) {
+    std::string name = row[col].AsString().text();
+    out.push_back(name.substr(name.find_first_not_of(' ')));
+  }
+  return out;
+}
+
+bool Contains(const std::vector<std::string>& names,
+              const std::string& want) {
+  for (const std::string& n : names) {
+    if (n == want) return true;
+  }
+  return false;
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeEmitsStageTableForNaivePlan) {
+  Run("analyze books");
+  const QueryResult result = Run(
+      "explain analyze select author from books where author LexEQUAL "
+      "'Nehru' Threshold 0.25 USING naive");
+  ASSERT_FALSE(result.trace_rows.empty());
+  EXPECT_EQ(result.trace_column_names,
+            (std::vector<std::string>{
+                "stage", "wall_us", "rows", "bp_hits", "bp_misses",
+                "disk_reads", "cache_hits", "cache_misses",
+                "cache_hit_pct"}));
+  const std::vector<std::string> stages = StageNames(result);
+  EXPECT_EQ(stages.front(), "lexequal_select");  // root comes first
+  EXPECT_TRUE(Contains(stages, "plan_pick"));
+  EXPECT_TRUE(Contains(stages, "seq_scan_udf"));
+  EXPECT_FALSE(result.TraceTable().empty());
+  // Plain EXPLAIN (no ANALYZE) never produces a stage table.
+  const QueryResult plain = Run(
+      "explain select author from books where author LexEQUAL 'Nehru' "
+      "Threshold 0.25 USING naive");
+  EXPECT_TRUE(plain.trace_rows.empty());
+  EXPECT_TRUE(plain.TraceTable().empty());
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeTracesQGramStages) {
+  Run("create index qgram on books (author_phon)");
+  Run("analyze books");
+  const QueryResult result = Run(
+      "explain analyze select author from books where author LexEQUAL "
+      "'Nehru' Threshold 0.25 USING qgram");
+  const std::vector<std::string> stages = StageNames(result);
+  EXPECT_TRUE(Contains(stages, "qgram_filter"));
+  EXPECT_TRUE(Contains(stages, "verify"));
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeTracesPhoneticStages) {
+  Run("create index phonetic on books (author_phon)");
+  Run("analyze books");
+  const QueryResult result = Run(
+      "explain analyze select author from books where author LexEQUAL "
+      "'Nehru' Threshold 0.25 USING phonetic");
+  const std::vector<std::string> stages = StageNames(result);
+  EXPECT_TRUE(Contains(stages, "phonetic_probe"));
+  EXPECT_TRUE(Contains(stages, "verify"));
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeTracesParallelStages) {
+  Run("analyze books");
+  const QueryResult result = Run(
+      "explain analyze select author from books where author LexEQUAL "
+      "'Nehru' Threshold 0.25 USING parallel");
+  const std::vector<std::string> stages = StageNames(result);
+  EXPECT_TRUE(Contains(stages, "materialize"));
+  EXPECT_TRUE(Contains(stages, "parallel_match"));
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeRestoresTracingState) {
+  ASSERT_FALSE(db_->tracing());
+  Run("explain analyze select author from books where author LexEQUAL "
+      "'Nehru' Threshold 0.25");
+  EXPECT_FALSE(db_->tracing());  // forced on for the run, restored
+
+  db_->set_tracing(true);
+  Run("explain analyze select author from books where author LexEQUAL "
+      "'Nehru' Threshold 0.25");
+  EXPECT_TRUE(db_->tracing());
+  db_->set_tracing(false);
+}
+
+// The stats-drift satellite: every plan routes its candidates through
+// the same counters, so udf_calls and match.dp_evaluations agree and
+// every scanned candidate is either filtered or DP-evaluated.
+TEST_F(ExplainTest, AllPlansKeepUdfAndDpCountersInParity) {
+  Run("create index qgram on books (author_phon)");
+  Run("create index phonetic on books (author_phon)");
+  Run("analyze books");
+  for (const char* hint : {"naive", "qgram", "phonetic", "parallel"}) {
+    const QueryResult result = Run(
+        std::string("select author from books where author LexEQUAL "
+                    "'Nehru' Threshold 0.25 USING ") +
+        hint);
+    const engine::QueryStats& s = result.stats;
+    EXPECT_EQ(s.udf_calls, s.match.dp_evaluations) << hint;
+    EXPECT_EQ(s.match.tuples_scanned,
+              s.match.filter_rejections + s.match.dp_evaluations)
+        << hint;
+    EXPECT_GT(s.match.tuples_scanned, 0u) << hint;
+    EXPECT_EQ(s.match.matches, result.rows.size()) << hint;
+  }
+}
+
 TEST_F(ExplainTest, ExplainRejectsUnsupportedShapes) {
   Result<QueryResult> no_pred =
       ExecuteQuery(db_.get(), "explain select author from books");

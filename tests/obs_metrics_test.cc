@@ -1,0 +1,249 @@
+// MetricsRegistry unit coverage: the naming contract, the runtime
+// kill switch, histogram edge cases (empty quantiles, overflow
+// clamping, concurrent exact sums), registration idempotence, and
+// both export formats.
+//
+// Histogram-concurrency tests carry the `parallel` ctest label via
+// the binary's registration so the tsan run exercises the lock-free
+// recording path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lexequal::obs {
+namespace {
+
+// Restores the runtime switch after each test so the binary's other
+// tests never observe a disabled registry.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = SetEnabled(true); }
+  void TearDown() override { SetEnabled(previous_); }
+
+  bool previous_ = true;
+  MetricsRegistry registry_;  // fresh per test; no cross-test names
+};
+
+TEST_F(ObsMetricsTest, ValidNameEnforcesPrefixAndSnakeCase) {
+  EXPECT_TRUE(MetricsRegistry::ValidName("lexequal_bufpool_hits"));
+  EXPECT_TRUE(MetricsRegistry::ValidName("lexequal_g2p_transforms"));
+  EXPECT_TRUE(
+      MetricsRegistry::ValidName("lexequal_parallel_chunk_wall_us"));
+
+  EXPECT_FALSE(MetricsRegistry::ValidName(""));
+  EXPECT_FALSE(MetricsRegistry::ValidName("bufpool_hits"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("lexequal_hits"));  // 1 segment
+  EXPECT_FALSE(MetricsRegistry::ValidName("lexequal_BufPool_hits"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("lexequal_bufpool_"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("lexequal__hits"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("lexequal_bufpool-hits"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("lexequal_bufpool_hits "));
+}
+
+TEST_F(ObsMetricsTest, RegistrationReturnsSamePointerPerName) {
+  Counter* a = registry_.GetCounter("lexequal_test_counter", "help");
+  Counter* b = registry_.GetCounter("lexequal_test_counter");
+  EXPECT_EQ(a, b);
+
+  Gauge* g1 = registry_.GetGauge("lexequal_test_gauge");
+  Gauge* g2 = registry_.GetGauge("lexequal_test_gauge");
+  EXPECT_EQ(g1, g2);
+
+  Histogram* h1 = registry_.GetHistogram("lexequal_test_hist_us");
+  Histogram* h2 = registry_.GetHistogram("lexequal_test_hist_us");
+  EXPECT_EQ(h1, h2);
+
+  EXPECT_EQ(registry_.Names(),
+            (std::vector<std::string>{"lexequal_test_counter",
+                                      "lexequal_test_gauge",
+                                      "lexequal_test_hist_us"}));
+}
+
+TEST_F(ObsMetricsTest, SetEnabledGatesMutationsAndRestores) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "mutations compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Counter* c = registry_.GetCounter("lexequal_test_gated");
+  Gauge* g = registry_.GetGauge("lexequal_test_gated_gauge");
+  Histogram* h = registry_.GetHistogram("lexequal_test_gated_us");
+
+  ASSERT_TRUE(SetEnabled(false));  // previous value was true (SetUp)
+  EXPECT_FALSE(Enabled());
+  c->Inc();
+  g->Add(5);
+  h->Record(10);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+
+  EXPECT_FALSE(SetEnabled(true));  // returns the value it replaces
+  c->Inc(3);
+  g->Set(-2);
+  h->Record(10);
+  EXPECT_EQ(c->value(), 3u);
+  EXPECT_EQ(g->value(), -2);
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST_F(ObsMetricsTest, EmptyHistogramReportsZeroQuantiles) {
+  Histogram* h = registry_.GetHistogram("lexequal_test_empty_us");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->sum(), 0u);
+  EXPECT_EQ(h->overflow(), 0u);
+  EXPECT_EQ(h->Quantile(0.0), 0.0);
+  EXPECT_EQ(h->p50(), 0.0);
+  EXPECT_EQ(h->p99(), 0.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramOverflowBucketClampsQuantiles) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "Record compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Histogram* h = registry_.GetHistogram("lexequal_test_overflow_us");
+  const uint64_t max_bound = Histogram::BucketBounds().back();
+
+  h->Record(max_bound + 1);
+  h->Record(max_bound * 10);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->overflow(), 2u);
+  EXPECT_EQ(h->sum(), (max_bound + 1) + max_bound * 10);
+  // All mass is past the last finite bound: quantiles clamp to it
+  // instead of inventing a value the buckets cannot resolve.
+  EXPECT_EQ(h->p50(), static_cast<double>(max_bound));
+  EXPECT_EQ(h->p99(), static_cast<double>(max_bound));
+
+  // A value exactly on the bound is finite, not overflow.
+  h->Record(max_bound);
+  EXPECT_EQ(h->overflow(), 2u);
+  EXPECT_EQ(h->count(), 3u);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsArePositiveAndAscending) {
+  const auto& bounds = Histogram::BucketBounds();
+  ASSERT_EQ(bounds.size(), Histogram::kBucketCount);
+  EXPECT_GE(bounds.front(), 1u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "bucket " << i;
+  }
+}
+
+TEST_F(ObsMetricsTest, HistogramQuantileInterpolatesWithinBucket) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "Record compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Histogram* h = registry_.GetHistogram("lexequal_test_interp_us");
+  for (int i = 0; i < 100; ++i) h->Record(7);  // all in one bucket
+  const double p50 = h->p50();
+  // The observation bucket for 7 µs is (5, 10]; interpolation stays
+  // inside it.
+  EXPECT_GT(p50, 5.0);
+  EXPECT_LE(p50, 10.0);
+  EXPECT_GE(h->p99(), p50);
+}
+
+TEST_F(ObsMetricsTest, ConcurrentRecordsKeepExactCountAndSum) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "Record compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Histogram* h = registry_.GetHistogram("lexequal_test_race_us");
+  Counter* c = registry_.GetCounter("lexequal_test_race_count");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Record(7);
+        c->Inc();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const uint64_t total =
+      static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(c->value(), total);
+  EXPECT_EQ(h->count(), total);
+  EXPECT_EQ(h->sum(), total * 7);
+  EXPECT_EQ(h->overflow(), 0u);
+}
+
+TEST_F(ObsMetricsTest, ExportPrometheusContainsAllSeries) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "exports show zeros under LEXEQUAL_NO_OBS";
+#endif
+  registry_.GetCounter("lexequal_test_export", "counts things")->Inc(42);
+  registry_.GetGauge("lexequal_test_export_gauge")->Set(-3);
+  Histogram* h = registry_.GetHistogram("lexequal_test_export_us");
+  h->Record(7);
+
+  const std::string text = registry_.ExportPrometheus();
+  EXPECT_NE(text.find("# TYPE lexequal_test_export counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP lexequal_test_export counts things"),
+            std::string::npos);
+  EXPECT_NE(text.find("lexequal_test_export 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lexequal_test_export_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("lexequal_test_export_gauge -3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lexequal_test_export_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("lexequal_test_export_us_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lexequal_test_export_us_sum 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, ExportJsonGroupsByKind) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "exports show zeros under LEXEQUAL_NO_OBS";
+#endif
+  registry_.GetCounter("lexequal_test_json")->Inc(5);
+  registry_.GetGauge("lexequal_test_json_gauge")->Set(9);
+  registry_.GetHistogram("lexequal_test_json_us")->Record(100);
+
+  const std::string json = registry_.ExportJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"lexequal_test_json\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"lexequal_test_json_gauge\": 9"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lexequal_test_json_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, ResetAllZeroesEveryMetric) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "mutations compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Counter* c = registry_.GetCounter("lexequal_test_reset");
+  Gauge* g = registry_.GetGauge("lexequal_test_reset_gauge");
+  Histogram* h = registry_.GetHistogram("lexequal_test_reset_us");
+  c->Inc(10);
+  g->Set(10);
+  h->Record(10);
+
+  registry_.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->sum(), 0u);
+  EXPECT_EQ(h->p50(), 0.0);
+}
+
+TEST_F(ObsMetricsTest, DefaultRegistryIsProcessWideSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace lexequal::obs

@@ -1,0 +1,153 @@
+// QueryTrace unit coverage: span nesting from begin/end order,
+// watched-counter deltas, defensive unwinding, rows accounting, the
+// null-trace no-op contract of ScopedSpan, and ToString rendering.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lexequal::obs {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = SetEnabled(true); }
+  void TearDown() override { SetEnabled(previous_); }
+
+  bool previous_ = true;
+  MetricsRegistry registry_;
+};
+
+TEST_F(ObsTraceTest, ScopedSpansNestByScope) {
+  QueryTrace trace;
+  {
+    ScopedSpan root(&trace, "query");
+    {
+      ScopedSpan scan(&trace, "scan");
+      scan.AddRows(10);
+    }
+    { ScopedSpan verify(&trace, "verify"); }
+  }
+  ASSERT_EQ(trace.spans().size(), 3u);
+
+  const QueryTrace::Span& root = trace.spans()[0];
+  EXPECT_EQ(root.name, "query");
+  EXPECT_EQ(root.parent, QueryTrace::kNoParent);
+  EXPECT_EQ(root.depth, 0u);
+  EXPECT_FALSE(root.open);
+
+  const QueryTrace::Span& scan = trace.spans()[1];
+  EXPECT_EQ(scan.name, "scan");
+  EXPECT_EQ(scan.parent, 0u);
+  EXPECT_EQ(scan.depth, 1u);
+  EXPECT_EQ(scan.rows, 10u);
+
+  const QueryTrace::Span& verify = trace.spans()[2];
+  EXPECT_EQ(verify.parent, 0u);  // sibling of scan, child of root
+  EXPECT_EQ(verify.depth, 1u);
+}
+
+TEST_F(ObsTraceTest, WatchedCountersRecordPerSpanDeltas) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "counter mutations compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Counter* hits = registry_.GetCounter("lexequal_test_trace_hits");
+  hits->Inc(100);  // pre-trace activity must not leak into deltas
+
+  QueryTrace trace;
+  trace.Watch("hits", hits);
+  ASSERT_EQ(trace.watched_labels(),
+            (std::vector<std::string>{"hits"}));
+  {
+    ScopedSpan root(&trace, "query");
+    hits->Inc(2);
+    {
+      ScopedSpan inner(&trace, "scan");
+      hits->Inc(5);
+    }
+  }
+  // Inner span saw only its own 5; the root saw both its 2 and the
+  // nested 5 (deltas are inclusive of children, like wall time).
+  EXPECT_EQ(trace.spans()[1].deltas[0], 5u);
+  EXPECT_EQ(trace.spans()[0].deltas[0], 7u);
+}
+
+TEST_F(ObsTraceTest, EndingAnOuterSpanClosesInnerSpans) {
+  QueryTrace trace;
+  const size_t root = trace.BeginSpan("query");
+  trace.BeginSpan("scan");  // never explicitly ended
+  trace.EndSpan(root);
+  EXPECT_FALSE(trace.spans()[0].open);
+  EXPECT_FALSE(trace.spans()[1].open);
+
+  // Ending again is a no-op, as is ending a bogus id.
+  trace.EndSpan(root);
+  trace.EndSpan(12345);
+  EXPECT_EQ(trace.spans().size(), 2u);
+}
+
+TEST_F(ObsTraceTest, NullTraceMakesScopedSpanANoOp) {
+  ScopedSpan span(nullptr, "anything");
+  span.AddRows(5);
+  span.End();  // must not crash
+  SUCCEED();
+}
+
+TEST_F(ObsTraceTest, ScopedSpanEndIsIdempotent) {
+  QueryTrace trace;
+  {
+    ScopedSpan span(&trace, "query");
+    span.End();
+    span.AddRows(3);  // after End: dropped, not credited elsewhere
+    span.End();
+  }  // destructor End is the third call
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_FALSE(trace.spans()[0].open);
+  EXPECT_EQ(trace.spans()[0].rows, 0u);
+}
+
+TEST_F(ObsTraceTest, ToStringIndentsByDepthAndShowsDeltas) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "counter mutations compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Counter* reads = registry_.GetCounter("lexequal_test_trace_reads");
+  QueryTrace trace;
+  trace.Watch("reads", reads);
+  {
+    ScopedSpan root(&trace, "query");
+    {
+      ScopedSpan scan(&trace, "scan");
+      scan.AddRows(4);
+      reads->Inc(3);
+    }
+  }
+  const std::string text = trace.ToString();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("\n  scan"), std::string::npos);  // indented child
+  EXPECT_NE(text.find("rows=4"), std::string::npos);
+  EXPECT_NE(text.find("reads=3"), std::string::npos);
+  EXPECT_NE(text.find(" us"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, ClearDropsSpansButKeepsWatches) {
+  QueryTrace trace;
+  trace.Watch("hits", registry_.GetCounter("lexequal_test_trace_keep"));
+  { ScopedSpan span(&trace, "query"); }
+  ASSERT_EQ(trace.spans().size(), 1u);
+
+  trace.Clear();
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_EQ(trace.watched_labels().size(), 1u);
+
+  // Reusable after Clear: new spans start a fresh tree.
+  { ScopedSpan span(&trace, "again"); }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "again");
+  EXPECT_EQ(trace.spans()[0].depth, 0u);
+}
+
+}  // namespace
+}  // namespace lexequal::obs
