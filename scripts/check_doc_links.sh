@@ -1,56 +1,21 @@
 #!/usr/bin/env bash
-# Checks that every relative markdown link and backticked file path in
-# the top-level docs points at a file that exists in the repo. Run as:
+# Shim kept for muscle memory: the doc-link check moved into the
+# project linter (tools/lexlint, rule `doclinks`), which ctest runs
+# as `doc_links_check`. This wrapper finds the built binary and
+# forwards to it:
 #
 #   scripts/check_doc_links.sh [repo-root]
 #
-# Wired into ctest as `doc_links_check`, so a doc that names a moved
-# or deleted file fails the suite.
-set -u
+# Set LEXLINT to point at a binary outside the default build tree.
+set -eu
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-docs=(README.md ARCHITECTURE.md EXPERIMENTS.md DESIGN.md ROADMAP.md)
+lexlint="${LEXLINT:-$root/build/tools/lexlint}"
 
-fail=0
-
-check_path() {
-  local doc="$1" target="$2"
-  # Strip anchors and surrounding whitespace.
-  target="${target%%#*}"
-  [ -z "$target" ] && return 0
-  # External and absolute references are out of scope.
-  case "$target" in
-    http://*|https://*|mailto:*|/*) return 0 ;;
-  esac
-  # Accept the path itself, or — for references to built binaries
-  # like `bench/parallel_scaling` — the source file behind them.
-  if [ ! -e "$root/$target" ] &&
-     [ ! -e "$root/$target.cc" ] &&
-     [ ! -e "$root/$target.cpp" ]; then
-    echo "BROKEN: $doc -> $target"
-    fail=1
-  fi
-}
-
-for doc in "${docs[@]}"; do
-  [ -f "$root/$doc" ] || continue
-
-  # Markdown links: [text](target)
-  while IFS= read -r target; do
-    check_path "$doc" "$target"
-  done < <(grep -o '\](\([^)]*\))' "$root/$doc" 2>/dev/null |
-           sed 's/^](//; s/)$//')
-
-  # Backticked repo paths: `src/...`, `tests/...`, `bench/...`,
-  # `scripts/...`, `examples/...` (directories or files).
-  while IFS= read -r target; do
-    check_path "$doc" "$target"
-  done < <(grep -o '`\(src\|tests\|bench\|scripts\|examples\)/[A-Za-z0-9_./-]*`' \
-           "$root/$doc" 2>/dev/null | tr -d '\`')
-done
-
-if [ "$fail" -ne 0 ]; then
-  echo "doc link check FAILED"
-  exit 1
+if [ ! -x "$lexlint" ]; then
+  echo "check_doc_links: lexlint not built at $lexlint" >&2
+  echo "  (build it with: cmake --build build --target lexlint)" >&2
+  exit 2
 fi
-echo "doc link check OK"
+
+exec "$lexlint" --rule=doclinks --root="$root" "$root/src"

@@ -1,87 +1,33 @@
 #!/usr/bin/env bash
-# Lints the metric naming contract: every name registered against the
-# MetricsRegistry must be lexequal_<subsystem>_<name> — lower snake
-# case, at least two segments after the prefix. Two modes:
+# Shim kept for muscle memory: the metric-name lint moved into the
+# project linter (tools/lexlint, rule `metrics`), which ctest runs as
+# `metrics_name_lint` (source mode) and inside `obs_overhead_smoke`
+# (export mode). This wrapper finds the built binary and forwards:
 #
-#   scripts/check_metrics_names.sh [repo-root]
-#       Source mode: greps every GetCounter/GetGauge/GetHistogram call
-#       in src/ for its string-literal name and validates it. Computed
-#       names (none today) would be flagged as unlintable.
+#   scripts/check_metrics_names.sh [repo-root]       # source mode
+#   scripts/check_metrics_names.sh --export <file>   # export mode
 #
-#   scripts/check_metrics_names.sh --export <file>
-#       Export mode: validates the metric names in a Prometheus text
-#       dump (e.g. `bench/obs_overhead --export metrics.txt`), so the
-#       contract holds for whatever actually registered at runtime.
-#
-# Wired into ctest as `metrics_name_lint` (source mode).
-set -u
+# Set LEXLINT to point at a binary outside the default build tree.
+set -eu
 
-name_re='^lexequal_[a-z0-9]+(_[a-z0-9]+)+$'
-fail=0
-
-check_name() {
-  local origin="$1" name="$2"
-  if ! [[ "$name" =~ $name_re ]]; then
-    echo "BAD METRIC NAME: $origin -> '$name'" \
-         "(want lexequal_<subsystem>_<name> snake_case)"
-    fail=1
-  fi
-}
+here="$(cd "$(dirname "$0")/.." && pwd)"
 
 if [ "${1:-}" = "--export" ]; then
-  file="${2:?usage: check_metrics_names.sh --export <file>}"
-  [ -f "$file" ] || { echo "no such export: $file"; exit 1; }
-  found=0
-  while IFS= read -r name; do
-    found=1
-    check_name "$file" "$name"
-  done < <(grep '^# TYPE ' "$file" | awk '{print $3}')
-  if [ "$found" -eq 0 ]; then
-    echo "export contains no # TYPE lines: $file"
-    exit 1
+  [ $# -ge 2 ] || { echo "usage: $0 --export <file>" >&2; exit 2; }
+  lexlint="${LEXLINT:-$here/build/tools/lexlint}"
+  if [ ! -x "$lexlint" ]; then
+    echo "check_metrics_names: lexlint not built at $lexlint" >&2
+    exit 2
   fi
-else
-  root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-  found=0
-  # Registration sites: Get{Counter,Gauge,Histogram}("name"...). The
-  # name literal is the first string after the call — sometimes on the
-  # next line, so awk joins one continuation line before extracting.
-  # src/obs/ itself (registry implementation + doc examples) is out of
-  # scope; everything else under src/ is linted.
-  files=$(grep -rl 'GetCounter\|GetGauge\|GetHistogram' "$root/src" \
-          --include='*.cc' --include='*.h' | grep -v '/obs/')
-  while IFS=$'\t' read -r origin name; do
-    if [ "$name" = "UNLINTABLE" ]; then
-      # No string literal near the call: a computed name the lint
-      # cannot check — flag it for a human.
-      echo "UNLINTABLE REGISTRATION: $origin"
-      fail=1
-      continue
-    fi
-    found=1
-    check_name "$origin" "$name"
-  done < <(awk '
-    /^[ \t]*(\/\/|\*)/ { next }  # comment lines are not registrations
-    /Get(Counter|Gauge|Histogram)\(/ {
-      pos = match($0, /Get(Counter|Gauge|Histogram)\(/)
-      rest = substr($0, pos)
-      lineno = FNR
-      if (rest !~ /"/) { getline nxt; rest = rest nxt }
-      if (match(rest, /"[^"]*"/)) {
-        print FILENAME ":" lineno "\t" \
-              substr(rest, RSTART + 1, RLENGTH - 2)
-      } else {
-        print FILENAME ":" lineno "\tUNLINTABLE"
-      }
-    }' $files)
-  if [ "$found" -eq 0 ]; then
-    echo "no metric registrations found under $root/src"
-    exit 1
-  fi
+  exec "$lexlint" --rule=metrics --export="$2"
 fi
 
-if [ "$fail" -ne 0 ]; then
-  echo "metric name lint FAILED"
-  exit 1
+root="${1:-$here}"
+lexlint="${LEXLINT:-$root/build/tools/lexlint}"
+if [ ! -x "$lexlint" ]; then
+  echo "check_metrics_names: lexlint not built at $lexlint" >&2
+  echo "  (build it with: cmake --build build --target lexlint)" >&2
+  exit 2
 fi
-echo "metric name lint OK"
+
+exec "$lexlint" --rule=metrics --root="$root" "$root/src"

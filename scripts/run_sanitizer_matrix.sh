@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# The full sanitizer matrix, one preset per instrumented build tree:
+#
+#   asan  — AddressSanitizer over the whole suite (heap/stack
+#           lifetime, leaks on exit), build-asan/
+#   ubsan — UndefinedBehaviorSanitizer over the whole suite with
+#           recovery disabled, so the first overflow/shift/bounds
+#           report is a hard failure, build-ubsan/
+#   tsan  — ThreadSanitizer over the concurrency-labeled tests
+#           (`ctest -L parallel`); single-threaded code has nothing
+#           for it to see and triples the runtime, build-tsan/
+#
+# Run from the repo root:
+#
+#   scripts/run_sanitizer_matrix.sh              # all three
+#   scripts/run_sanitizer_matrix.sh asan ubsan   # a subset
+#
+# Each arm is an independent build tree, so an interrupted run
+# resumes incrementally.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+arms=("$@")
+if [ ${#arms[@]} -eq 0 ]; then
+  arms=(asan ubsan tsan)
+fi
+
+for arm in "${arms[@]}"; do
+  case "$arm" in
+    asan|ubsan|tsan) ;;
+    *) echo "run_sanitizer_matrix: unknown arm '$arm' (want asan, ubsan, tsan)" >&2
+       exit 2 ;;
+  esac
+done
+
+fail=0
+for arm in "${arms[@]}"; do
+  echo "=== sanitizer matrix: $arm ==="
+  cmake --preset "$arm"
+  cmake --build --preset "$arm" -j "$(nproc)"
+  case "$arm" in
+    tsan)
+      # Halt-on-error keeps the first data race on top of the output
+      # instead of burying it under later, derived failures.
+      TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+        ctest --test-dir build-tsan -L parallel --output-on-failure \
+        || fail=1
+      ;;
+    asan)
+      ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+        ctest --test-dir build-asan --output-on-failure \
+        || fail=1
+      ;;
+    ubsan)
+      UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+        ctest --test-dir build-ubsan --output-on-failure \
+        || fail=1
+      ;;
+  esac
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "=== sanitizer matrix: FAILED ==="
+  exit 1
+fi
+echo "=== sanitizer matrix: clean (${arms[*]}) ==="

@@ -20,8 +20,11 @@ namespace lexequal {
 ///   Result<PhonemeString> r = converter.ToPhonemes(text);
 ///   if (!r.ok()) return r.status();
 ///   Use(r.value());
+///
+/// Like Status, Result is [[nodiscard]]: dropping one on the floor
+/// loses both the value and the failure it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: allows `return value;` in factory functions.
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
@@ -35,24 +38,24 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     assert(ok());
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     assert(ok());
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     assert(ok());
     return std::move(*value_);
   }
 
   /// Returns the contained value or `fallback` when in error state.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
 

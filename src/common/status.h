@@ -36,7 +36,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// The successful Status carries no allocation. Statuses are cheap to
 /// move and compare; use the factory functions (Status::InvalidArgument
 /// etc.) to construct failures.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status is how a
+/// failed insert or unpin turns into a wrong match set instead of an
+/// error, so every discard must be explicit — handle it, propagate it
+/// (LEXEQUAL_RETURN_IF_ERROR), or justify it via IgnoreNonFatal().
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -80,9 +85,9 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
@@ -112,6 +117,19 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Explicitly discards a Status from a best-effort operation whose
+/// failure has no error channel or must not mask the primary control
+/// flow (destructors, already-failing error paths, final flushes).
+///
+/// This is the only sanctioned way to drop a Status: bare `(void)`
+/// casts are rejected by the `status` rule of tools/lexlint, because
+/// an unexplained discard is indistinguishable from a forgotten
+/// check. `why` documents the justification at the callsite.
+inline void IgnoreNonFatal(const Status& status,
+                           [[maybe_unused]] const char* why) {
+  (void)status;
+}
 
 /// Propagates a non-OK Status to the caller.
 #define LEXEQUAL_RETURN_IF_ERROR(expr)                  \

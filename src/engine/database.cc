@@ -183,9 +183,9 @@ Database::Database(std::unique_ptr<storage::DiskManager> disk,
       g2p_(&g2p::G2PRegistry::Default()) {}
 
 Database::~Database() {
-  // Best-effort checkpoint; errors have no channel here. Callers that
-  // need guaranteed durability call Flush() themselves.
-  (void)Flush();
+  // Best-effort checkpoint. Callers that need guaranteed durability
+  // call Flush() themselves.
+  IgnoreNonFatal(Flush(), "destructor checkpoint has no error channel");
 }
 
 Status Database::Flush() {
@@ -206,12 +206,18 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
   // The meta heap lives at page 0: the very first allocation of a
   // fresh file, or the known root of an existing one.
   if (fresh) {
-    storage::HeapFile meta =
-        storage::HeapFile::Create(db->pool_.get()).value();
-    if (meta.first_page() != 0) {
+    // Surfacing the Status matters here: with an undersized pool the
+    // very first page allocation can fail, and the old
+    // `.value()`-and-hope pattern turned that into undefined
+    // behaviour instead of an error (caught by the nodiscard audit).
+    Result<storage::HeapFile> meta =
+        storage::HeapFile::Create(db->pool_.get());
+    if (!meta.ok()) return meta.status();
+    if (meta->first_page() != 0) {
       return Status::Internal("meta heap did not land on page 0");
     }
-    db->meta_ = std::make_unique<storage::HeapFile>(std::move(meta));
+    db->meta_ =
+        std::make_unique<storage::HeapFile>(std::move(meta).value());
   } else {
     Result<storage::HeapFile> meta =
         storage::HeapFile::Open(db->pool_.get(), 0);
@@ -302,7 +308,9 @@ Status Database::LoadCatalog() {
   // Collect the latest snapshot version, then materialize its tables.
   int64_t latest = 0;
   std::vector<Tuple> records;
-  for (auto it = meta_->Begin(); !it.AtEnd();) {
+  auto it = meta_->Begin();
+  LEXEQUAL_RETURN_IF_ERROR(it.status());
+  for (; !it.AtEnd();) {
     Tuple rec;
     LEXEQUAL_ASSIGN_OR_RETURN(rec, DeserializeTuple(it.record()));
     if (rec.empty() || rec[0].type() != ValueType::kInt64) {
@@ -386,8 +394,10 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
   auto info = std::make_unique<TableInfo>();
   info->name = name;
   info->schema = std::move(schema);
-  storage::HeapFile heap = storage::HeapFile::Create(pool_.get()).value();
-  info->heap = std::make_unique<storage::HeapFile>(std::move(heap));
+  Result<storage::HeapFile> heap = storage::HeapFile::Create(pool_.get());
+  if (!heap.ok()) return heap.status();
+  info->heap =
+      std::make_unique<storage::HeapFile>(std::move(heap).value());
   LEXEQUAL_RETURN_IF_ERROR(catalog_.AddTable(std::move(info)));
   return SaveCatalog();
 }
@@ -489,8 +499,10 @@ Status Database::CreateIndex(const IndexSpec& spec) {
     }
   }
 
-  index::BTree btree = index::BTree::Create(pool_.get()).value();
-  auto tree = std::make_unique<index::BTree>(std::move(btree));
+  Result<index::BTree> btree = index::BTree::Create(pool_.get());
+  if (!btree.ok()) return btree.status();
+  auto tree =
+      std::make_unique<index::BTree>(std::move(btree).value());
 
   // Backfill existing rows.
   SeqScanExecutor scan(info);

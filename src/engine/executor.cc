@@ -19,6 +19,9 @@ Result<bool> SeqScanExecutor::Next(Tuple* out) {
           "lexequal_heap_scan_tuples",
           "Tuples deserialized by sequential heap scans");
   if (!it_.has_value()) return Status::Internal("scan not initialized");
+  // A Begin()-time I/O failure is parked on the iterator; surface it
+  // here instead of mistaking the unreadable heap for an empty one.
+  LEXEQUAL_RETURN_IF_ERROR(it_->status());
   if (it_->AtEnd()) return false;
   Result<Tuple> tuple = DeserializeTuple(it_->record());
   if (!tuple.ok()) return tuple.status();

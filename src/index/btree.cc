@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "storage/page.h"
+#include "storage/page_guard.h"
 
 namespace lexequal::index {
 
@@ -12,6 +13,7 @@ namespace {
 using storage::kInvalidPageId;
 using storage::kPageSize;
 using storage::Page;
+using storage::PageGuard;
 using storage::PageId;
 using storage::RID;
 
@@ -172,19 +174,21 @@ PageId DescendChild(const Page* p, int slot) {
 }  // namespace
 
 Result<BTree> BTree::Create(storage::BufferPool* pool) {
-  Page* page;
-  LEXEQUAL_ASSIGN_OR_RETURN(page, pool->NewPage());
-  InitLeaf(page);
-  const PageId root = page->page_id();
-  LEXEQUAL_RETURN_IF_ERROR(pool->UnpinPage(root, true));
+  PageGuard guard;
+  LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::New(pool));
+  InitLeaf(guard.get());
+  guard.MarkDirty();
+  const PageId root = guard.id();
+  LEXEQUAL_RETURN_IF_ERROR(guard.Release());
   return BTree(pool, root);
 }
 
 Status BTree::InsertRecursive(PageId node_id, uint64_t key,
                               const RID& rid, Split* split) {
   split->happened = false;
-  Page* page;
-  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node_id));
+  PageGuard node;
+  LEXEQUAL_ASSIGN_OR_RETURN(node, PageGuard::Fetch(pool_, node_id));
+  Page* page = node.get();
   const CKey ckey{key, rid};
 
   if (IsLeaf(page)) {
@@ -197,19 +201,17 @@ Status BTree::InsertRecursive(PageId node_id, uint64_t key,
       }
       SetLeafEntry(page, pos, ckey);
       SetCount(page, n + 1);
-      return pool_->UnpinPage(node_id, true);
+      node.MarkDirty();
+      return node.Release();
     }
     // Split: gather, divide, write both halves.
     std::vector<CKey> all;
     all.reserve(n + 1);
     for (int i = 0; i < n; ++i) all.push_back(LeafEntry(page, i));
     all.insert(all.begin() + pos, ckey);
-    Result<Page*> right_or = pool_->NewPage();
-    if (!right_or.ok()) {
-      (void)pool_->UnpinPage(node_id, false);
-      return right_or.status();
-    }
-    Page* right = right_or.value();
+    PageGuard right_guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(right_guard, PageGuard::New(pool_));
+    Page* right = right_guard.get();
     InitLeaf(right);
     const int left_n = static_cast<int>(all.size() / 2);
     const int right_n = static_cast<int>(all.size()) - left_n;
@@ -225,8 +227,10 @@ Status BTree::InsertRecursive(PageId node_id, uint64_t key,
     split->key = all[left_n].key;
     split->rid = all[left_n].rid;
     split->right = right->page_id();
-    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(right->page_id(), true));
-    return pool_->UnpinPage(node_id, true);
+    node.MarkDirty();
+    right_guard.MarkDirty();
+    LEXEQUAL_RETURN_IF_ERROR(right_guard.Release());
+    return node.Release();
   }
 
   // Internal node: descend.
@@ -234,14 +238,15 @@ Status BTree::InsertRecursive(PageId node_id, uint64_t key,
   const PageId child = DescendChild(page, slot);
   // Unpin before recursing: bounded pin depth, the child path may
   // need many frames on deep trees.
-  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node_id, false));
+  LEXEQUAL_RETURN_IF_ERROR(node.Release());
   Split child_split;
   LEXEQUAL_RETURN_IF_ERROR(
       InsertRecursive(child, key, rid, &child_split));
   if (!child_split.happened) return Status::OK();
 
   // Insert the separator into this node.
-  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node_id));
+  LEXEQUAL_ASSIGN_OR_RETURN(node, PageGuard::Fetch(pool_, node_id));
+  page = node.get();
   const int n = Count(page);
   const CKey sep{child_split.key, child_split.rid};
   // Position: entries stay sorted by key.
@@ -254,7 +259,8 @@ Status BTree::InsertRecursive(PageId node_id, uint64_t key,
     }
     SetInternalEntry(page, pos, sep, child_split.right);
     SetCount(page, n + 1);
-    return pool_->UnpinPage(node_id, true);
+    node.MarkDirty();
+    return node.Release();
   }
   // Split internal node: middle entry is pushed up.
   struct IEntry {
@@ -267,12 +273,9 @@ Status BTree::InsertRecursive(PageId node_id, uint64_t key,
     all.push_back({InternalKey(page, i), InternalChild(page, i)});
   }
   all.insert(all.begin() + pos, {sep, child_split.right});
-  Result<Page*> right_or = pool_->NewPage();
-  if (!right_or.ok()) {
-    (void)pool_->UnpinPage(node_id, false);
-    return right_or.status();
-  }
-  Page* right = right_or.value();
+  PageGuard right_guard;
+  LEXEQUAL_ASSIGN_OR_RETURN(right_guard, PageGuard::New(pool_));
+  Page* right = right_guard.get();
   InitInternal(right);
   const int mid = static_cast<int>(all.size() / 2);
   // Left keeps entries [0, mid); all[mid] is promoted; right gets
@@ -292,8 +295,10 @@ Status BTree::InsertRecursive(PageId node_id, uint64_t key,
   split->key = all[mid].key.key;
   split->rid = all[mid].key.rid;
   split->right = right->page_id();
-  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(right->page_id(), true));
-  return pool_->UnpinPage(node_id, true);
+  node.MarkDirty();
+  right_guard.MarkDirty();
+  LEXEQUAL_RETURN_IF_ERROR(right_guard.Release());
+  return node.Release();
 }
 
 Status BTree::Insert(uint64_t key, const RID& rid) {
@@ -301,29 +306,31 @@ Status BTree::Insert(uint64_t key, const RID& rid) {
   LEXEQUAL_RETURN_IF_ERROR(InsertRecursive(root_, key, rid, &split));
   if (!split.happened) return Status::OK();
   // Grow a new root.
-  Page* new_root;
-  LEXEQUAL_ASSIGN_OR_RETURN(new_root, pool_->NewPage());
-  InitInternal(new_root);
-  SetLeftmostChild(new_root, root_);
-  SetInternalEntry(new_root, 0, CKey{split.key, split.rid}, split.right);
-  SetCount(new_root, 1);
-  root_ = new_root->page_id();
-  return pool_->UnpinPage(root_, true);
+  PageGuard new_root;
+  LEXEQUAL_ASSIGN_OR_RETURN(new_root, PageGuard::New(pool_));
+  InitInternal(new_root.get());
+  SetLeftmostChild(new_root.get(), root_);
+  SetInternalEntry(new_root.get(), 0, CKey{split.key, split.rid},
+                   split.right);
+  SetCount(new_root.get(), 1);
+  root_ = new_root.id();
+  new_root.MarkDirty();
+  return new_root.Release();
 }
 
 Result<PageId> BTree::FindLeaf(uint64_t key, const RID& rid) const {
   const CKey ckey{key, rid};
   PageId node = root_;
   while (true) {
-    Page* page;
-    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
-    if (IsLeaf(page)) {
-      LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, node));
+    if (IsLeaf(guard.get())) {
+      LEXEQUAL_RETURN_IF_ERROR(guard.Release());
       return node;
     }
-    const PageId child =
-        DescendChild(page, InternalDescendSlot(page, ckey));
-    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    const PageId child = DescendChild(
+        guard.get(), InternalDescendSlot(guard.get(), ckey));
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
     node = child;
   }
 }
@@ -331,21 +338,22 @@ Result<PageId> BTree::FindLeaf(uint64_t key, const RID& rid) const {
 Status BTree::Delete(uint64_t key, const RID& rid) {
   PageId leaf_id;
   LEXEQUAL_ASSIGN_OR_RETURN(leaf_id, FindLeaf(key, rid));
-  Page* page;
-  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(leaf_id));
+  PageGuard guard;
+  LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, leaf_id));
+  Page* page = guard.get();
   const CKey ckey{key, rid};
   const int n = Count(page);
   const int pos = LeafLowerBound(page, ckey);
   const CKey found = pos < n ? LeafEntry(page, pos) : CKey{};
   if (pos >= n || Less(ckey, found) || Less(found, ckey)) {
-    (void)pool_->UnpinPage(leaf_id, false);
     return Status::NotFound("entry not in index");
   }
   for (int i = pos; i + 1 < n; ++i) {
     SetLeafEntry(page, i, LeafEntry(page, i + 1));
   }
   SetCount(page, n - 1);
-  return pool_->UnpinPage(leaf_id, true);
+  guard.MarkDirty();
+  return guard.Release();
 }
 
 Result<std::vector<RID>> BTree::ScanEqual(uint64_t key) const {
@@ -364,8 +372,9 @@ Result<std::vector<std::pair<uint64_t, RID>>> BTree::ScanRange(
   LEXEQUAL_ASSIGN_OR_RETURN(leaf_id, FindLeaf(lo, RID{0, 0}));
   PageId node = leaf_id;
   while (node != kInvalidPageId) {
-    Page* page;
-    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, node));
+    Page* page = guard.get();
     const int n = Count(page);
     bool past_hi = false;
     for (int i = 0; i < n; ++i) {
@@ -378,7 +387,7 @@ Result<std::vector<std::pair<uint64_t, RID>>> BTree::ScanRange(
       out.emplace_back(e.key, e.rid);
     }
     const PageId next = Next(page);
-    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
     if (past_hi) break;
     node = next;
   }
@@ -389,23 +398,23 @@ Result<uint64_t> BTree::EntryCount() const {
   // Descend to the leftmost leaf, then walk the chain.
   PageId node = root_;
   while (true) {
-    Page* page;
-    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
-    if (IsLeaf(page)) {
-      LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, node));
+    if (IsLeaf(guard.get())) {
+      LEXEQUAL_RETURN_IF_ERROR(guard.Release());
       break;
     }
-    const PageId child = LeftmostChild(page);
-    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    const PageId child = LeftmostChild(guard.get());
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
     node = child;
   }
   uint64_t count = 0;
   while (node != kInvalidPageId) {
-    Page* page;
-    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
-    count += Count(page);
-    const PageId next = Next(page);
-    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, node));
+    count += Count(guard.get());
+    const PageId next = Next(guard.get());
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
     node = next;
   }
   return count;
@@ -415,14 +424,14 @@ Result<int> BTree::Height() const {
   int height = 1;
   PageId node = root_;
   while (true) {
-    Page* page;
-    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
-    if (IsLeaf(page)) {
-      LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, node));
+    if (IsLeaf(guard.get())) {
+      LEXEQUAL_RETURN_IF_ERROR(guard.Release());
       return height;
     }
-    const PageId child = LeftmostChild(page);
-    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(node, false));
+    const PageId child = LeftmostChild(guard.get());
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
     node = child;
     ++height;
   }

@@ -22,9 +22,9 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_size)
 }
 
 BufferPool::~BufferPool() {
-  // Best effort: persist what we can. Errors here have no channel;
-  // callers that care must FlushAll explicitly.
-  (void)FlushAll();
+  // Best effort: persist what we can; callers that care must
+  // FlushAll explicitly.
+  IgnoreNonFatal(FlushAll(), "destructor flush has no error channel");
 }
 
 Result<size_t> BufferPool::GetVictimFrame() {

@@ -1,14 +1,17 @@
 #include "storage/heap_file.h"
 
+#include "storage/page_guard.h"
+
 namespace lexequal::storage {
 
 Result<HeapFile> HeapFile::Create(BufferPool* pool) {
-  Page* page;
-  LEXEQUAL_ASSIGN_OR_RETURN(page, pool->NewPage());
-  SlottedPage sp(page);
+  PageGuard guard;
+  LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::New(pool));
+  SlottedPage sp(guard.get());
   sp.Init();
-  const PageId id = page->page_id();
-  LEXEQUAL_RETURN_IF_ERROR(pool->UnpinPage(id, /*dirty=*/true));
+  guard.MarkDirty();
+  const PageId id = guard.id();
+  LEXEQUAL_RETURN_IF_ERROR(guard.Release());
   return HeapFile(pool, id, id, 0);
 }
 
@@ -18,87 +21,80 @@ Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page) {
   PageId last = first_page;
   uint64_t count = 0;
   while (page_id != kInvalidPageId) {
-    Page* page;
-    LEXEQUAL_ASSIGN_OR_RETURN(page, pool->FetchPage(page_id));
-    SlottedPage sp(page);
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool, page_id));
+    SlottedPage sp(guard.get());
     for (uint16_t s = 0; s < sp.slot_count(); ++s) {
       if (sp.Get(s).ok()) ++count;
     }
     last = page_id;
     page_id = sp.next_page_id();
-    LEXEQUAL_RETURN_IF_ERROR(pool->UnpinPage(last, /*dirty=*/false));
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
   }
   return HeapFile(pool, first_page, last, count);
 }
 
 Result<RID> HeapFile::Insert(std::string_view record) {
-  Page* page;
-  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(last_page_));
-  SlottedPage sp(page);
+  PageGuard tail;
+  LEXEQUAL_ASSIGN_OR_RETURN(tail, PageGuard::Fetch(pool_, last_page_));
+  SlottedPage sp(tail.get());
   Result<uint16_t> slot = sp.Insert(record);
   if (slot.ok()) {
     RID rid{last_page_, slot.value()};
-    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, true));
+    tail.MarkDirty();
+    LEXEQUAL_RETURN_IF_ERROR(tail.Release());
     ++record_count_;
     return rid;
   }
-  if (!slot.status().IsResourceExhausted()) {
-    (void)pool_->UnpinPage(last_page_, false);
-    return slot.status();
-  }
+  if (!slot.status().IsResourceExhausted()) return slot.status();
   // Grow the chain.
-  Page* fresh;
-  Result<Page*> fresh_or = pool_->NewPage();
-  if (!fresh_or.ok()) {
-    (void)pool_->UnpinPage(last_page_, false);
-    return fresh_or.status();
-  }
-  fresh = fresh_or.value();
-  SlottedPage fresh_sp(fresh);
+  PageGuard fresh;
+  LEXEQUAL_ASSIGN_OR_RETURN(fresh, PageGuard::New(pool_));
+  SlottedPage fresh_sp(fresh.get());
   fresh_sp.Init();
-  sp.set_next_page_id(fresh->page_id());
-  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, true));
-  last_page_ = fresh->page_id();
+  fresh.MarkDirty();
+  sp.set_next_page_id(fresh.id());
+  tail.MarkDirty();
+  LEXEQUAL_RETURN_IF_ERROR(tail.Release());
+  last_page_ = fresh.id();
   Result<uint16_t> slot2 = fresh_sp.Insert(record);
-  if (!slot2.ok()) {
-    (void)pool_->UnpinPage(last_page_, true);
-    return slot2.status();  // record larger than a page
-  }
+  if (!slot2.ok()) return slot2.status();  // record larger than a page
   RID rid{last_page_, slot2.value()};
-  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, true));
+  LEXEQUAL_RETURN_IF_ERROR(fresh.Release());
   ++record_count_;
   return rid;
 }
 
 Result<std::string> HeapFile::Get(const RID& rid) const {
-  Page* page;
-  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(rid.page_id));
-  SlottedPage sp(page);
+  PageGuard guard;
+  LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, rid.page_id));
+  SlottedPage sp(guard.get());
   Result<std::string_view> rec = sp.Get(rid.slot);
-  if (!rec.ok()) {
-    (void)pool_->UnpinPage(rid.page_id, false);
-    return rec.status();
-  }
+  if (!rec.ok()) return rec.status();
   std::string out(rec.value());
-  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, false));
+  LEXEQUAL_RETURN_IF_ERROR(guard.Release());
   return out;
 }
 
 Status HeapFile::Delete(const RID& rid) {
-  Page* page;
-  LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(rid.page_id));
-  SlottedPage sp(page);
+  PageGuard guard;
+  LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, rid.page_id));
+  SlottedPage sp(guard.get());
   Status st = sp.Delete(rid.slot);
-  LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, st.ok()));
+  if (st.ok()) guard.MarkDirty();
+  LEXEQUAL_RETURN_IF_ERROR(guard.Release());
   if (st.ok() && record_count_ > 0) --record_count_;
   return st;
 }
 
 HeapFile::Iterator HeapFile::Begin() const {
   Iterator it(pool_, first_page_);
-  // Settle onto the first record; errors surface as AtEnd (the
-  // explicit Next() API reports them on subsequent use).
-  (void)it.Settle();
+  // Settle onto the first record. A failure here must not masquerade
+  // as an empty heap — a scan that silently starts at "end" returns a
+  // wrong (empty) match set. The iterator records the error and stays
+  // !AtEnd(); status() and Next() surface it to the scan.
+  Status st = it.Settle();
+  if (!st.ok()) it.error_ = std::move(st);
   return it;
 }
 
@@ -107,21 +103,21 @@ HeapFile::Iterator::Iterator(BufferPool* pool, PageId first_page)
 
 Status HeapFile::Iterator::Settle() {
   while (page_ != kInvalidPageId) {
-    Page* page;
-    LEXEQUAL_ASSIGN_OR_RETURN(page, pool_->FetchPage(page_));
-    SlottedPage sp(page);
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, page_));
+    SlottedPage sp(guard.get());
     const uint16_t n = sp.slot_count();
     while (slot_ < n) {
       Result<std::string_view> rec = sp.Get(slot_);
       if (rec.ok()) {
         rid_ = {page_, slot_};
         record_.assign(rec.value());
-        return pool_->UnpinPage(page_, false);
+        return guard.Release();
       }
       ++slot_;
     }
     const PageId next = sp.next_page_id();
-    LEXEQUAL_RETURN_IF_ERROR(pool_->UnpinPage(page_, false));
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
     page_ = next;
     slot_ = 0;
   }
@@ -130,6 +126,7 @@ Status HeapFile::Iterator::Settle() {
 }
 
 Status HeapFile::Iterator::Next() {
+  LEXEQUAL_RETURN_IF_ERROR(error_);  // construction-time failure
   if (at_end_) return Status::OutOfRange("iterator past the end");
   ++slot_;
   return Settle();

@@ -37,13 +37,21 @@ class HeapFile {
   uint64_t record_count() const { return record_count_; }
 
   /// Forward iterator over live records. Usage:
-  ///   for (auto it = heap.Begin(); !it.AtEnd(); it.Next()) { ... }
+  ///   auto it = heap.Begin();
+  ///   LEXEQUAL_RETURN_IF_ERROR(it.status());
+  ///   for (; !it.AtEnd(); ...) { ... LEXEQUAL_RETURN_IF_ERROR(it.Next()); }
   /// Iteration holds no pins between Next() calls.
   class Iterator {
    public:
     bool AtEnd() const { return at_end_; }
     const RID& rid() const { return rid_; }
     const std::string& record() const { return record_; }
+
+    /// Error hit while settling onto the first record, if any. A
+    /// failed Begin() is NOT AtEnd() — callers must check status()
+    /// (or call Next(), which re-surfaces it) rather than treat an
+    /// unreadable heap as an empty one.
+    Status status() const { return error_; }
 
     /// Advances to the next live record; surfaces I/O errors.
     Status Next();
@@ -60,6 +68,7 @@ class HeapFile {
     bool at_end_;
     RID rid_;
     std::string record_;
+    Status error_;
   };
 
   Iterator Begin() const;

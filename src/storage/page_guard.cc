@@ -1,0 +1,31 @@
+#include "storage/page_guard.h"
+
+namespace lexequal::storage {
+
+Result<PageGuard> PageGuard::Fetch(BufferPool* pool, PageId id) {
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool->FetchPage(id));
+  return PageGuard(pool, page);
+}
+
+Result<PageGuard> PageGuard::New(BufferPool* pool) {
+  Page* page;
+  LEXEQUAL_ASSIGN_OR_RETURN(page, pool->NewPage());
+  return PageGuard(pool, page);
+}
+
+Status PageGuard::Release() {
+  if (page_ == nullptr) return Status::OK();
+  const PageId id = page_->page_id();
+  page_ = nullptr;
+  BufferPool* pool = std::exchange(pool_, nullptr);
+  const bool dirty = std::exchange(dirty_, false);
+  return pool->UnpinPage(id, dirty);
+}
+
+void PageGuard::Drop() {
+  IgnoreNonFatal(Release(), "destructor path has no error channel; "
+                            "success paths Release() explicitly");
+}
+
+}  // namespace lexequal::storage

@@ -1,0 +1,78 @@
+// PageGuard: RAII ownership of one buffer-pool pin.
+//
+// Every FetchPage/NewPage outside the pool implementation must flow
+// through this guard — enforced by the `bufpool` rule of
+// tools/lexlint. A manually managed pin that leaks on an early error
+// return is never reclaimed; once enough leak, the pool has no
+// evictable frame left and scans start failing (or, worse, a partial
+// scan is reported as a complete — and wrong — match set).
+
+#ifndef LEXEQUAL_STORAGE_PAGE_GUARD_H_
+#define LEXEQUAL_STORAGE_PAGE_GUARD_H_
+
+#include <utility>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace lexequal::storage {
+
+/// Owns a pinned page; unpins on destruction or explicit Release().
+///
+/// The dirty bit is sticky: call MarkDirty() after the first
+/// mutation, and the eventual unpin reports the page as modified.
+/// Success paths should Release() explicitly so the unpin Status can
+/// propagate; the destructor covers early error returns, where the
+/// unpin result has no channel and is dropped via IgnoreNonFatal.
+class PageGuard {
+ public:
+  /// Empty guard (holds no pin); assign from Fetch()/New().
+  PageGuard() = default;
+
+  /// Pins page `id`, reading it from disk if absent.
+  static Result<PageGuard> Fetch(BufferPool* pool, PageId id);
+
+  /// Allocates a new page on disk and pins it.
+  static Result<PageGuard> New(BufferPool* pool);
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Drop();
+      pool_ = std::exchange(other.pool_, nullptr);
+      page_ = std::exchange(other.page_, nullptr);
+      dirty_ = std::exchange(other.dirty_, false);
+    }
+    return *this;
+  }
+  ~PageGuard() { Drop(); }
+
+  /// The pinned page; null for an empty guard.
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  /// Id of the pinned page. Must hold a page.
+  PageId id() const { return page_->page_id(); }
+  bool holds_page() const { return page_ != nullptr; }
+
+  /// Marks the page modified; the unpin will report it dirty.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Unpins now, surfacing the pool's Status; the guard is empty
+  /// afterwards (and on an empty guard this is a no-op OK).
+  Status Release();
+
+ private:
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  void Drop();
+
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace lexequal::storage
+
+#endif  // LEXEQUAL_STORAGE_PAGE_GUARD_H_

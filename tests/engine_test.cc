@@ -311,5 +311,20 @@ TEST_F(DatabaseTest, UdfRegistryLexEqualCallable) {
   EXPECT_EQ((**fn)(empty_args)->AsInt64(), 0);
 }
 
+// Regression: Open() used to call .value() on the catalog heap's
+// Result without checking it, which is undefined behavior when the
+// pool is too small to host the catalog page. It must be a clean
+// error instead.
+TEST_F(DatabaseTest, OpenWithZeroFramePoolFailsCleanly) {
+  const auto tiny = std::filesystem::temp_directory_path() /
+                    "lexequal_engine_test_tiny.db";
+  std::filesystem::remove(tiny);
+  Result<std::unique_ptr<Database>> db =
+      Database::Open(tiny.string(), /*pool_pages=*/0);
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsResourceExhausted()) << db.status();
+  std::filesystem::remove(tiny);
+}
+
 }  // namespace
 }  // namespace lexequal::engine

@@ -1,0 +1,345 @@
+// Fixture-driven tests for the project linter: each rule family gets
+// a tiny generated source tree containing one violation, and we
+// assert that Run() reports exactly that diagnostic with a nonzero
+// exit code — and that the clean variant passes.
+
+#include "tools/lexlint/lexlint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lexequal::lexlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LexlintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("lexlint_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& text) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+
+  // Runs the given rules (empty = all) over the fixture tree.
+  int Lint(std::vector<std::string> rules,
+           std::vector<Diagnostic>* diags) {
+    Options options;
+    options.src_dir = (root_ / "src").string();
+    options.root_dir = root_.string();
+    options.rules = std::move(rules);
+    std::ostringstream log;
+    const int rc = lexlint::Run(options, diags, log);
+    if (rc == 2) ADD_FAILURE() << "lexlint usage error: " << log.str();
+    return rc;
+  }
+
+  static std::string Render(const std::vector<Diagnostic>& diags) {
+    std::string out;
+    for (const auto& d : diags) out += d.ToString() + "\n";
+    return out;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(LexlintTest, CleanTreeExitsZero) {
+  WriteFile("src/common/util.h", "#pragma once\nint Add(int a, int b);\n");
+  WriteFile("src/text/norm.cc",
+            "#include \"common/util.h\"\nint N() { return Add(1, 2); }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({}, &diags), 0) << Render(diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST_F(LexlintTest, LayeringBackEdgeIsFlagged) {
+  WriteFile("src/common/oops.cc", "#include \"engine/database.h\"\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"layering"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "layering");
+  EXPECT_EQ(diags[0].file, "src/common/oops.cc");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("back-edge"), std::string::npos);
+}
+
+TEST_F(LexlintTest, LayeringAllowsDeclaredDeps) {
+  WriteFile("src/engine/exec.cc",
+            "#include \"storage/page.h\"\n#include \"match/matcher.h\"\n");
+  WriteFile("src/phonetic/key.cc", "#include \"text/utf8.h\"\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"layering"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, LayeringRejectsUndeclaredLayer) {
+  WriteFile("src/telemetry/t.cc", "int x;\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"layering"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("not a declared layer"),
+            std::string::npos);
+}
+
+TEST_F(LexlintTest, LayeringIgnoresCommentedIncludes) {
+  WriteFile("src/common/doc.cc",
+            "// #include \"engine/database.h\"\n"
+            "/* #include \"sql/parser.h\" */\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"layering"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, NakedFetchPageIsFlagged) {
+  WriteFile("src/index/scan.cc",
+            "void F(BufferPool* pool) {\n"
+            "  auto page = pool->FetchPage(7);\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"bufpool"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "bufpool");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("PageGuard"), std::string::npos);
+}
+
+TEST_F(LexlintTest, BufpoolExemptsPoolAndGuard) {
+  WriteFile("src/storage/buffer_pool.cc",
+            "void F() { FetchPage(1); NewPage(); UnpinPage(1, true); }\n");
+  WriteFile("src/storage/page_guard.cc",
+            "void G(BufferPool* p) { p->FetchPage(2); }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"bufpool"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, BufpoolIgnoresMentionsInCommentsAndStrings) {
+  WriteFile("src/engine/doc.cc",
+            "// callers must not FetchPage( directly\n"
+            "const char* kMsg = \"NewPage( failed\";\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"bufpool"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, DiscardedStatusIsFlagged) {
+  WriteFile("src/common/io.h", "Status WriteAll(const char* path);\n");
+  WriteFile("src/engine/save.cc",
+            "void Save() {\n"
+            "  WriteAll(\"/tmp/x\");\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"status"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "status");
+  EXPECT_EQ(diags[0].file, "src/engine/save.cc");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST_F(LexlintTest, VoidCastDiscardIsFlagged) {
+  WriteFile("src/common/io.h", "Status WriteAll(const char* path);\n");
+  WriteFile("src/engine/save.cc",
+            "void Save() { (void)WriteAll(\"/tmp/x\"); }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"status"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("(void) cast"), std::string::npos);
+}
+
+TEST_F(LexlintTest, HandledStatusIsNotFlagged) {
+  WriteFile("src/common/io.h",
+            "Status WriteAll(const char* path);\n"
+            "Result<int> Parse(const char* s);\n");
+  WriteFile("src/engine/save.cc",
+            "Status Save() {\n"
+            "  Status st = WriteAll(\"/tmp/x\");\n"
+            "  if (!st.ok()) return st;\n"
+            "  LEXEQUAL_RETURN_IF_ERROR(WriteAll(\"/tmp/y\"));\n"
+            "  return WriteAll(\"/tmp/z\");\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"status"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, VoidOverloadDisablesStatusCheck) {
+  // A name declared both Status and void is ambiguous textually;
+  // the rule must stay quiet rather than guess.
+  WriteFile("src/common/io.h",
+            "Status Log(const char* m);\nvoid Log(int level);\n");
+  WriteFile("src/engine/use.cc", "void F() { Log(\"hi\"); }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"status"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, BadMetricNameIsFlagged) {
+  WriteFile("src/match/m.cc",
+            "void F() {\n"
+            "  auto* c = reg.GetCounter(\"MatchHits\", \"hits\");\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"metrics"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "metrics");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("MatchHits"), std::string::npos);
+}
+
+TEST_F(LexlintTest, MetricNameOnNextLineIsFound) {
+  WriteFile("src/match/m.cc",
+            "void F() {\n"
+            "  auto* c = reg.GetCounter(\n"
+            "      \"lexequal_match_hits\", \"hits\");\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"metrics"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, ComputedMetricNameIsUnlintable) {
+  WriteFile("src/match/m.cc",
+            "void F(const std::string& n) { reg.GetCounter(n, n); }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"metrics"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("computed name"), std::string::npos);
+}
+
+TEST_F(LexlintTest, ObsModuleIsExemptFromMetricNames) {
+  WriteFile("src/obs/registry.cc",
+            "void F() { GetCounter(\"whatever\", \"internal\"); }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"metrics"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, BrokenDocLinkIsFlagged) {
+  WriteFile("README.md",
+            "Intro.\nSee [design](docs/missing.md) for details.\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"doclinks"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "doclinks");
+  EXPECT_EQ(diags[0].file, "README.md");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("docs/missing.md"), std::string::npos);
+}
+
+TEST_F(LexlintTest, BacktickedPathsAndAnchorsAreChecked) {
+  WriteFile("src/common/util.h", "#pragma once\n");
+  WriteFile("ARCHITECTURE.md",
+            "Real: `src/common/util.h`, [self](ARCHITECTURE.md#top),\n"
+            "[web](https://example.com), bogus `src/ghost.cc`.\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"doclinks"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("src/ghost.cc"), std::string::npos);
+}
+
+TEST_F(LexlintTest, SuppressionWithReasonSilencesFinding) {
+  WriteFile("src/common/io.h", "Status WriteAll(const char* path);\n");
+  WriteFile("src/engine/save.cc",
+            "void Save() {\n"
+            "  // lexlint:allow(status): shutdown path, failure logged by callee\n"
+            "  WriteAll(\"/tmp/x\");\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"status"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, ReasonlessSuppressionIsItselfAViolation) {
+  WriteFile("src/common/io.h", "Status WriteAll(const char* path);\n");
+  WriteFile("src/engine/save.cc",
+            "void Save() {\n"
+            "  // lexlint:allow(status)\n"
+            "  WriteAll(\"/tmp/x\");\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"status"}, &diags), 1);
+  // The bare marker is reported AND does not suppress the finding.
+  ASSERT_EQ(diags.size(), 2u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "suppression");
+  EXPECT_EQ(diags[1].rule, "status");
+}
+
+TEST_F(LexlintTest, SuppressionForOtherRuleDoesNotApply) {
+  WriteFile("src/common/io.h", "Status WriteAll(const char* path);\n");
+  WriteFile("src/engine/save.cc",
+            "void Save() {\n"
+            "  WriteAll(\"/tmp/x\");  // lexlint:allow(bufpool): wrong rule\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"status"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "status");
+}
+
+TEST_F(LexlintTest, UnknownRuleIsUsageError) {
+  WriteFile("src/common/x.cc", "int x;\n");
+  Options options;
+  options.src_dir = (root_ / "src").string();
+  options.rules = {"spelling"};
+  std::vector<Diagnostic> diags;
+  std::ostringstream log;
+  EXPECT_EQ(lexlint::Run(options, &diags, log), 2);
+  EXPECT_NE(log.str().find("unknown rule"), std::string::npos);
+}
+
+TEST_F(LexlintTest, MissingTreeIsUsageError) {
+  Options options;
+  options.src_dir = (root_ / "no_such_dir").string();
+  std::vector<Diagnostic> diags;
+  std::ostringstream log;
+  EXPECT_EQ(lexlint::Run(options, &diags, log), 2);
+}
+
+TEST_F(LexlintTest, ExportModeValidatesPrometheusDump) {
+  WriteFile("metrics.txt",
+            "# HELP lexequal_match_hits hits\n"
+            "# TYPE lexequal_match_hits counter\n"
+            "lexequal_match_hits 3\n"
+            "# TYPE BadExportName gauge\n"
+            "BadExportName 1\n");
+  Options options;
+  options.export_file = (root_ / "metrics.txt").string();
+  std::vector<Diagnostic> diags;
+  std::ostringstream log;
+  EXPECT_EQ(lexlint::Run(options, &diags, log), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("BadExportName"), std::string::npos);
+}
+
+TEST_F(LexlintTest, ExportModeCleanDump) {
+  WriteFile("metrics.txt",
+            "# TYPE lexequal_match_hits counter\n"
+            "lexequal_match_hits 3\n");
+  Options options;
+  options.export_file = (root_ / "metrics.txt").string();
+  std::vector<Diagnostic> diags;
+  std::ostringstream log;
+  EXPECT_EQ(lexlint::Run(options, &diags, log), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, ExportModeEmptyDumpFails) {
+  WriteFile("metrics.txt", "nothing registered\n");
+  Options options;
+  options.export_file = (root_ / "metrics.txt").string();
+  std::vector<Diagnostic> diags;
+  std::ostringstream log;
+  EXPECT_EQ(lexlint::Run(options, &diags, log), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("no '# TYPE'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lexequal::lexlint

@@ -1,0 +1,146 @@
+// PageGuard pin discipline and the heap-iterator error path it
+// closed: a Begin()-time fault must surface through status(), never
+// masquerade as an empty heap.
+
+#include "storage/page_guard.h"
+
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace lexequal::storage {
+namespace {
+
+class PageGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_page_guard_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto disk = DiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok()) << disk.status();
+    disk_ = std::move(disk).value();
+  }
+  void TearDown() override {
+    pool_.reset();
+    disk_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  void MakePool(size_t frames) {
+    pool_ = std::make_unique<BufferPool>(disk_.get(), frames);
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(PageGuardTest, DestructorReturnsPinToPool) {
+  MakePool(1);
+  {
+    Result<PageGuard> guard = PageGuard::New(pool_.get());
+    ASSERT_TRUE(guard.ok()) << guard.status();
+    EXPECT_TRUE(guard->holds_page());
+    // The single frame is pinned: a second page cannot be brought in.
+    EXPECT_FALSE(PageGuard::New(pool_.get()).ok());
+  }
+  // Guard destroyed -> pin dropped -> the frame is reusable.
+  Result<PageGuard> again = PageGuard::New(pool_.get());
+  EXPECT_TRUE(again.ok()) << again.status();
+}
+
+TEST_F(PageGuardTest, ReleaseSurfacesUnpinAndEmptiesGuard) {
+  MakePool(2);
+  Result<PageGuard> guard = PageGuard::New(pool_.get());
+  ASSERT_TRUE(guard.ok()) << guard.status();
+  PageGuard g = std::move(guard).value();
+  const PageId id = g.id();
+  EXPECT_TRUE(g.Release().ok());
+  EXPECT_FALSE(g.holds_page());
+  // Double release is a harmless no-op, not a double unpin.
+  EXPECT_TRUE(g.Release().ok());
+  // The page really was unpinned: unpinning again via the pool fails.
+  EXPECT_FALSE(pool_->UnpinPage(id, false).ok());
+}
+
+TEST_F(PageGuardTest, MoveTransfersThePin) {
+  MakePool(1);
+  Result<PageGuard> guard = PageGuard::New(pool_.get());
+  ASSERT_TRUE(guard.ok()) << guard.status();
+  PageGuard a = std::move(guard).value();
+  const PageId id = a.id();
+  PageGuard b = std::move(a);
+  EXPECT_FALSE(a.holds_page());  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(b.holds_page());
+  EXPECT_EQ(b.id(), id);
+  // Moved-from guard's destructor must not unpin: b still holds the
+  // only pin, so the frame stays unevictable.
+  { PageGuard dead = std::move(a); }
+  EXPECT_FALSE(PageGuard::New(pool_.get()).ok());
+  EXPECT_TRUE(b.Release().ok());
+}
+
+TEST_F(PageGuardTest, MarkDirtyPersistsThroughRelease) {
+  MakePool(2);
+  PageId id;
+  {
+    Result<PageGuard> guard = PageGuard::New(pool_.get());
+    ASSERT_TRUE(guard.ok()) << guard.status();
+    PageGuard g = std::move(guard).value();
+    id = g.id();
+    g->data()[0] = 'Z';
+    g.MarkDirty();
+    ASSERT_TRUE(g.Release().ok());
+  }
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  char buf[kPageSize];
+  ASSERT_TRUE(disk_->ReadPage(id, buf).ok());
+  EXPECT_EQ(buf[0], 'Z');
+}
+
+TEST_F(PageGuardTest, FetchFailureYieldsEmptyResult) {
+  MakePool(2);
+  Result<PageGuard> guard = PageGuard::Fetch(pool_.get(), 9999);
+  EXPECT_FALSE(guard.ok());
+}
+
+// Regression: HeapFile::Begin() used to swallow its Settle() error
+// with a (void) cast, so an unreadable heap scanned as empty. The
+// error now parks on the iterator and must be checked.
+TEST_F(PageGuardTest, HeapIteratorSurfacesBeginFailure) {
+  MakePool(2);
+  Result<HeapFile> heap_or = HeapFile::Create(pool_.get());
+  ASSERT_TRUE(heap_or.ok()) << heap_or.status();
+  HeapFile heap = std::move(heap_or).value();
+  ASSERT_TRUE(heap.Insert("rec").ok());
+
+  // Exhaust the pool so Begin() cannot pin the first heap page.
+  Result<PageGuard> hold1 = PageGuard::New(pool_.get());
+  ASSERT_TRUE(hold1.ok()) << hold1.status();
+  Result<PageGuard> hold2 = PageGuard::New(pool_.get());
+  ASSERT_TRUE(hold2.ok()) << hold2.status();
+
+  HeapFile::Iterator it = heap.Begin();
+  EXPECT_FALSE(it.status().ok());
+  EXPECT_FALSE(it.AtEnd()) << "I/O failure must not look like an "
+                              "empty heap";
+  EXPECT_FALSE(it.Next().ok());
+
+  // Release the pins and the same heap scans fine.
+  ASSERT_TRUE(hold1.value().Release().ok());
+  ASSERT_TRUE(hold2.value().Release().ok());
+  HeapFile::Iterator ok_it = heap.Begin();
+  ASSERT_TRUE(ok_it.status().ok()) << ok_it.status();
+  ASSERT_FALSE(ok_it.AtEnd());
+  EXPECT_EQ(ok_it.record(), "rec");
+}
+
+}  // namespace
+}  // namespace lexequal::storage

@@ -1,0 +1,701 @@
+#include "tools/lexlint/lexlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lexequal::lexlint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// The layer DAG. A file in layer L may include headers of L itself and
+// of any layer in its set. Two stacks share the low layers: the text
+// pipeline (text → phonetic → g2p → match) and the storage pipeline
+// (storage → index → engine → sql); obs is a leaf everyone below the
+// engine may use for counters, dataset is a consumer of the match
+// stack. Adding a subsystem means adding a row here — an unknown
+// directory is itself a violation, so layering can never silently rot.
+const std::map<std::string, std::set<std::string>>& LayerDeps() {
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"common", {}},
+      {"obs", {"common"}},
+      {"text", {"common"}},
+      {"phonetic", {"common", "text"}},
+      {"g2p", {"common", "text", "phonetic"}},
+      {"match", {"common", "obs", "text", "phonetic", "g2p"}},
+      {"storage", {"common", "obs"}},
+      {"index",
+       {"common", "obs", "text", "phonetic", "g2p", "match", "storage"}},
+      {"dataset", {"common", "obs", "text", "phonetic", "g2p", "match"}},
+      {"engine",
+       {"common", "obs", "text", "phonetic", "g2p", "match", "storage",
+        "index"}},
+      {"sql",
+       {"common", "obs", "text", "phonetic", "g2p", "match", "storage",
+        "index", "engine"}},
+  };
+  return kDeps;
+}
+
+// Files allowed to touch the raw pin/unpin API: the pool itself and
+// the RAII guard that everyone else must go through.
+bool BufpoolExempt(const std::string& module, const std::string& base) {
+  if (module != "storage") return false;
+  return base == "buffer_pool.h" || base == "buffer_pool.cc" ||
+         base == "page_guard.h" || base == "page_guard.cc";
+}
+
+const std::regex& MetricNameRe() {
+  static const std::regex re("^lexequal_[a-z0-9]+(_[a-z0-9]+)+$");
+  return re;
+}
+
+// ---------------------------------------------------------------------------
+// Source loading: a file plus comment/literal-stripped views and its
+// suppression table.
+
+struct SourceFile {
+  std::string display;  // path relative to the repo root
+  std::string module;   // first directory under src/ ("" = unknown)
+  std::string base;     // file name
+  std::vector<std::string> lines;  // original, 0-based
+  std::string code;  // comments blanked; literals + preprocessor kept
+  std::string pure;  // comments, literals and preprocessor blanked
+  // line (1-based) -> rules suppressed on that line
+  std::map<int, std::set<std::string>> allow;
+  // lines carrying a reasonless lexlint:allow marker
+  std::vector<int> reasonless_allow;
+};
+
+// Blanks comments (and, for `pure`, string/char literal contents and
+// preprocessor lines) while preserving the newline structure, so line
+// numbers in the stripped views match the original.
+void StripSource(const std::string& text, std::string* code,
+                 std::string* pure) {
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  code->assign(text);
+  pure->assign(text);
+  bool preproc = false;       // inside a preprocessor directive
+  bool line_has_code = false;  // non-ws seen on this line (pre-'#')
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLine) state = State::kCode;
+      if (preproc && (i == 0 || text[i - 1] != '\\')) preproc = false;
+      line_has_code = false;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (preproc) {
+          (*pure)[i] = ' ';
+          break;
+        }
+        if (c == '#' && !line_has_code) {
+          preproc = true;
+          (*pure)[i] = ' ';
+          break;
+        }
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          line_has_code = true;
+        }
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          (*code)[i] = ' ';
+          (*pure)[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          (*code)[i] = ' ';
+          (*pure)[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        (*code)[i] = ' ';
+        (*pure)[i] = ' ';
+        break;
+      case State::kBlock:
+        (*code)[i] = ' ';
+        (*pure)[i] = ' ';
+        if (c == '*' && next == '/') {
+          (*code)[i + 1] = ' ';
+          (*pure)[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          (*pure)[i] = ' ';
+          if (next != '\n' && next != '\0') (*pure)[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else {
+          (*pure)[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          (*pure)[i] = ' ';
+          if (next != '\n' && next != '\0') (*pure)[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          (*pure)[i] = ' ';
+        }
+        break;
+    }
+  }
+}
+
+std::string Trimmed(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Parses `lexlint:allow(<rule>): <reason>` markers. A marker on a
+// line with code applies to that line; a marker alone on its line
+// covers the following line.
+void ScanSuppressions(SourceFile* file) {
+  static const std::regex re(
+      R"(lexlint:allow\(([a-z]+)\)(\s*:\s*(\S.*))?)");
+  for (size_t i = 0; i < file->lines.size(); ++i) {
+    const std::string& line = file->lines[i];
+    std::smatch m;
+    if (!std::regex_search(line, m, re)) continue;
+    const int lineno = static_cast<int>(i) + 1;
+    if (!m[3].matched) {
+      file->reasonless_allow.push_back(lineno);
+      continue;
+    }
+    const std::string before = Trimmed(line.substr(0, m.position(0)));
+    const bool own_line = before == "//" || before == "*" || before.empty();
+    const int target = own_line ? lineno + 1 : lineno;
+    file->allow[target].insert(m[1].str());
+  }
+}
+
+std::optional<SourceFile> LoadFile(const fs::path& path,
+                                   const fs::path& root) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  SourceFile file;
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  file.display = ec ? path.string() : rel.generic_string();
+  file.base = path.filename().string();
+  // Module = first path component under .../src/.
+  const std::string generic = path.generic_string();
+  const size_t src_pos = generic.rfind("/src/");
+  if (src_pos != std::string::npos) {
+    const size_t start = src_pos + 5;
+    const size_t slash = generic.find('/', start);
+    if (slash != std::string::npos) {
+      file.module = generic.substr(start, slash - start);
+    }
+  }
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      file.lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) file.lines.push_back(std::move(cur));
+  StripSource(text, &file.code, &file.pure);
+  ScanSuppressions(&file);
+  return file;
+}
+
+int LineOfOffset(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic sink with suppression handling.
+
+class Sink {
+ public:
+  explicit Sink(std::vector<Diagnostic>* out) : out_(out) {}
+
+  void Emit(const SourceFile& file, const std::string& rule, int line,
+            std::string message) {
+    auto it = file.allow.find(line);
+    if (it != file.allow.end() && it->second.count(rule) > 0) return;
+    out_->push_back({rule, file.display, line, std::move(message)});
+  }
+
+  void EmitRaw(const std::string& rule, const std::string& path, int line,
+               std::string message) {
+    out_->push_back({rule, path, line, std::move(message)});
+  }
+
+ private:
+  std::vector<Diagnostic>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Rule: layering.
+
+void CheckLayering(const std::vector<SourceFile>& files, Sink* sink) {
+  static const std::regex inc_re(
+      R"(^[ \t]*#[ \t]*include[ \t]*"([^"]+)\")");
+  const auto& deps = LayerDeps();
+  for (const SourceFile& f : files) {
+    if (f.module.empty()) continue;  // not under src/<module>/
+    const auto self = deps.find(f.module);
+    if (self == deps.end()) {
+      sink->Emit(f, "layering", 1,
+                 "directory 'src/" + f.module +
+                     "' is not a declared layer; add it to the layer "
+                     "DAG in tools/lexlint/lexlint.cc");
+      continue;
+    }
+    std::istringstream code(f.code);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(code, line)) {
+      ++lineno;
+      std::smatch m;
+      if (!std::regex_search(line, m, inc_re)) continue;
+      const std::string target = m[1].str();
+      const size_t slash = target.find('/');
+      if (slash == std::string::npos) continue;  // non-module include
+      const std::string mod = target.substr(0, slash);
+      if (mod == f.module) continue;
+      if (deps.find(mod) == deps.end()) continue;  // external tree
+      if (self->second.count(mod) > 0) continue;
+      sink->Emit(f, "layering", lineno,
+                 "include of \"" + target + "\" from layer '" +
+                     f.module + "' is a back-edge in the layer DAG ('" +
+                     f.module + "' may depend on: " +
+                     [&] {
+                       std::string s;
+                       for (const std::string& d : self->second) {
+                         if (!s.empty()) s += ", ";
+                         s += d;
+                       }
+                       return s.empty() ? std::string("nothing") : s;
+                     }() +
+                     ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: bufpool.
+
+void CheckBufpool(const std::vector<SourceFile>& files, Sink* sink) {
+  static const std::regex call_re(
+      R"((FetchPage|NewPage|UnpinPage)[ \t]*\()");
+  for (const SourceFile& f : files) {
+    if (BufpoolExempt(f.module, f.base)) continue;
+    for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
+                                        call_re);
+         it != std::sregex_iterator(); ++it) {
+      // Reject identifier-prefix matches (e.g. MyNewPage).
+      const size_t pos = static_cast<size_t>(it->position(0));
+      if (pos > 0) {
+        const char prev = f.pure[pos - 1];
+        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+          continue;
+        }
+      }
+      sink->Emit(f, "bufpool", LineOfOffset(f.pure, pos),
+                 "raw BufferPool::" + (*it)[1].str() +
+                     " outside the pool/guard implementation; hold "
+                     "pins through storage::PageGuard "
+                     "(src/storage/page_guard.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: status.
+
+// Harvests the names of functions returning Status or Result<T> from
+// every declaration in the tree. Names also declared with a void
+// return somewhere are dropped (same-name overloads would make the
+// textual check ambiguous).
+std::set<std::string> CollectFallibleNames(
+    const std::vector<SourceFile>& files) {
+  static const std::regex decl_re(
+      R"((?:^|[\s;{}(])(?:(?:static|virtual|inline|constexpr|explicit|friend|\[\[nodiscard\]\])\s+)*(Status|Result\s*<[^;{}()]*>)\s+([A-Za-z_]\w*)\s*\()");
+  static const std::regex void_re(
+      R"((?:^|[\s;{}])void\s+([A-Za-z_]\w*)\s*\()");
+  std::set<std::string> names;
+  std::set<std::string> voids;
+  for (const SourceFile& f : files) {
+    for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
+                                        decl_re);
+         it != std::sregex_iterator(); ++it) {
+      names.insert((*it)[2].str());
+    }
+    for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
+                                        void_re);
+         it != std::sregex_iterator(); ++it) {
+      voids.insert((*it)[1].str());
+    }
+  }
+  for (const std::string& v : voids) names.erase(v);
+  return names;
+}
+
+bool IsStatementKeyword(const std::string& word) {
+  static const std::set<std::string> kKeywords = {
+      "return",  "co_return", "if",     "for",      "while",
+      "switch",  "do",        "else",   "case",     "default",
+      "break",   "continue",  "goto",   "throw",    "delete",
+      "using",   "typedef",   "template", "class",  "struct",
+      "enum",    "namespace", "public", "private",  "protected",
+      "new",     "operator",  "static_assert", "sizeof"};
+  return kKeywords.count(word) > 0;
+}
+
+// If `stmt` is exactly one call expression `obj->Chain()...Name(...)`,
+// returns the final callee name.
+std::optional<std::string> WholeStatementCallee(const std::string& stmt) {
+  static const std::regex chain_re(
+      R"(^([A-Za-z_]\w*(\s*::\s*[A-Za-z_]\w*)*(\s*(\.|->)\s*[A-Za-z_]\w*)*)\s*\()");
+  std::smatch m;
+  if (!std::regex_search(stmt, m, chain_re)) return std::nullopt;
+  const std::string chain = m[1].str();
+  // First word must not be a control-flow keyword.
+  static const std::regex first_re(R"(^[A-Za-z_]\w*)");
+  std::smatch fm;
+  if (std::regex_search(chain, fm, first_re) &&
+      IsStatementKeyword(fm[0].str())) {
+    return std::nullopt;
+  }
+  // The callee is the last identifier of the chain.
+  static const std::regex last_re(R"([A-Za-z_]\w*$)");
+  std::smatch lm;
+  if (!std::regex_search(chain, lm, last_re)) return std::nullopt;
+  // The call must span the whole statement: match parens from the
+  // opening '(' and require only whitespace after the close.
+  size_t open = static_cast<size_t>(m.position(0)) + m.length(0) - 1;
+  int depth = 0;
+  size_t close = std::string::npos;
+  for (size_t i = open; i < stmt.size(); ++i) {
+    if (stmt[i] == '(') ++depth;
+    if (stmt[i] == ')' && --depth == 0) {
+      close = i;
+      break;
+    }
+  }
+  if (close == std::string::npos) return std::nullopt;
+  if (!Trimmed(stmt.substr(close + 1)).empty()) return std::nullopt;
+  return lm[0].str();
+}
+
+void CheckStatus(const std::vector<SourceFile>& files, Sink* sink) {
+  const std::set<std::string> fallible = CollectFallibleNames(files);
+  for (const SourceFile& f : files) {
+    // Split the stripped text into statements at top parenthesis
+    // depth; braces reset the buffer.
+    std::string stmt;
+    int stmt_line = 1;
+    bool fresh = true;
+    int depth = 0;
+    for (size_t i = 0; i < f.pure.size(); ++i) {
+      const char c = f.pure[i];
+      if (fresh && !std::isspace(static_cast<unsigned char>(c))) {
+        stmt_line = LineOfOffset(f.pure, i);
+        fresh = false;
+      }
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if ((c == ';' && depth <= 0) || c == '{' || c == '}') {
+        if (c == ';') {
+          std::string trimmed = Trimmed(stmt);
+          bool voidcast = false;
+          static const std::regex void_cast_re(R"(^\(\s*void\s*\)\s*)");
+          std::smatch vm;
+          if (std::regex_search(trimmed, vm, void_cast_re)) {
+            voidcast = true;
+            trimmed = trimmed.substr(vm.length(0));
+          }
+          if (std::optional<std::string> callee =
+                  WholeStatementCallee(trimmed);
+              callee.has_value() && fallible.count(*callee) > 0) {
+            if (voidcast) {
+              sink->Emit(f, "status", stmt_line,
+                         "blanket (void) cast discards the Status/"
+                         "Result of '" + *callee +
+                             "'; justify the discard through "
+                             "IgnoreNonFatal(status, why)");
+            } else {
+              sink->Emit(f, "status", stmt_line,
+                         "call to '" + *callee +
+                             "' discards its Status/Result; handle "
+                             "it, propagate it, or wrap it in "
+                             "IgnoreNonFatal(status, why)");
+            }
+          }
+        }
+        stmt.clear();
+        fresh = true;
+        depth = 0;
+        continue;
+      }
+      stmt.push_back(c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: metrics (source scan + export mode).
+
+void CheckMetricsSource(const std::vector<SourceFile>& files, Sink* sink) {
+  static const std::regex reg_re(R"(Get(Counter|Gauge|Histogram)\s*\()");
+  static const std::regex lit_re("\"([^\"]*)\"");
+  for (const SourceFile& f : files) {
+    // The registry implementation and its doc examples are the one
+    // place allowed to mention non-contract names.
+    if (f.module == "obs") continue;
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(),
+                                        reg_re);
+         it != std::sregex_iterator(); ++it) {
+      const size_t pos = static_cast<size_t>(it->position(0));
+      const int lineno = LineOfOffset(f.code, pos);
+      // The name literal is the first string after the call,
+      // sometimes on the next line: search to the second newline.
+      size_t end = f.code.find('\n', pos);
+      if (end != std::string::npos) end = f.code.find('\n', end + 1);
+      const std::string window =
+          f.code.substr(pos, end == std::string::npos ? std::string::npos
+                                                      : end - pos);
+      std::smatch lm;
+      if (!std::regex_search(window, lm, lit_re)) {
+        sink->Emit(f, "metrics", lineno,
+                   "registration with a computed name; the naming "
+                   "contract can only be linted for string literals");
+        continue;
+      }
+      const std::string name = lm[1].str();
+      if (!std::regex_match(name, MetricNameRe())) {
+        sink->Emit(f, "metrics", lineno,
+                   "bad metric name '" + name +
+                       "' (want lexequal_<subsystem>_<name> "
+                       "snake_case)");
+      }
+    }
+  }
+}
+
+int CheckMetricsExport(const std::string& path, Sink* sink,
+                       std::ostream& log) {
+  std::ifstream in(path);
+  if (!in) {
+    log << "lexlint: cannot read export file: " << path << "\n";
+    return 2;
+  }
+  static const std::regex type_re(R"(^#\s*TYPE\s+(\S+)\s+\S+)");
+  std::string line;
+  int lineno = 0;
+  int found = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::smatch m;
+    if (!std::regex_match(line, m, type_re)) continue;
+    ++found;
+    const std::string name = m[1].str();
+    if (!std::regex_match(name, MetricNameRe())) {
+      sink->EmitRaw("metrics", path, lineno,
+                    "bad exported metric name '" + name +
+                        "' (want lexequal_<subsystem>_<name> "
+                        "snake_case)");
+    }
+  }
+  if (found == 0) {
+    sink->EmitRaw("metrics", path, 0,
+                  "export contains no '# TYPE' lines; nothing "
+                  "registered at runtime?");
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: doclinks.
+
+void CheckDocLinks(const fs::path& root, Sink* sink) {
+  static const char* kDocs[] = {"README.md", "ARCHITECTURE.md",
+                                "EXPERIMENTS.md", "DESIGN.md",
+                                "ROADMAP.md"};
+  static const std::regex link_re(R"(\]\(([^)]*)\))");
+  static const std::regex tick_re(
+      R"(`((src|tests|bench|scripts|examples|tools)/[A-Za-z0-9_./-]*)`)");
+
+  auto check = [&](const std::string& doc, int lineno,
+                   std::string target) {
+    const size_t hash = target.find('#');
+    if (hash != std::string::npos) target = target.substr(0, hash);
+    target = Trimmed(target);
+    if (target.empty()) return;
+    if (target.rfind("http://", 0) == 0 ||
+        target.rfind("https://", 0) == 0 ||
+        target.rfind("mailto:", 0) == 0 || target[0] == '/') {
+      return;
+    }
+    // Accept the path itself, or — for references to built binaries
+    // like `bench/parallel_scaling` — the source file behind them.
+    if (fs::exists(root / target) ||
+        fs::exists(root / (target + ".cc")) ||
+        fs::exists(root / (target + ".cpp"))) {
+      return;
+    }
+    sink->EmitRaw("doclinks", doc, lineno,
+                  "broken reference '" + target +
+                      "': no such file in the repo");
+  };
+
+  for (const char* doc : kDocs) {
+    std::ifstream in(root / doc);
+    if (!in) continue;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                          link_re);
+           it != std::sregex_iterator(); ++it) {
+        check(doc, lineno, (*it)[1].str());
+      }
+      for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                          tick_re);
+           it != std::sregex_iterator(); ++it) {
+        check(doc, lineno, (*it)[1].str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::string out = rule + ": " + file;
+  if (line > 0) out += ":" + std::to_string(line);
+  out += ": " + message;
+  return out;
+}
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      "layering", "bufpool", "status", "metrics", "doclinks"};
+  return kRules;
+}
+
+int Run(const Options& options, std::vector<Diagnostic>* diags,
+        std::ostream& log) {
+  Sink sink(diags);
+
+  // Validate the rule subset.
+  std::set<std::string> rules(options.rules.begin(), options.rules.end());
+  for (const std::string& r : rules) {
+    if (std::find(AllRules().begin(), AllRules().end(), r) ==
+        AllRules().end()) {
+      log << "lexlint: unknown rule '" << r << "' (known:";
+      for (const std::string& k : AllRules()) log << " " << k;
+      log << ")\n";
+      return 2;
+    }
+  }
+  auto enabled = [&](const std::string& r) {
+    return rules.empty() || rules.count(r) > 0;
+  };
+
+  // Export mode: validate a Prometheus dump and nothing else.
+  if (!options.export_file.empty()) {
+    if (!rules.empty() && rules.count("metrics") == 0) {
+      log << "lexlint: --export requires the metrics rule\n";
+      return 2;
+    }
+    const int rc = CheckMetricsExport(options.export_file, &sink, log);
+    if (rc != 0) return rc;
+    return diags->empty() ? 0 : 1;
+  }
+
+  std::error_code ec;
+  const fs::path src = fs::canonical(options.src_dir, ec);
+  if (ec || !fs::is_directory(src)) {
+    log << "lexlint: no such source tree: " << options.src_dir << "\n";
+    return 2;
+  }
+  const fs::path root = options.root_dir.empty()
+                            ? src.parent_path()
+                            : fs::canonical(options.root_dir, ec);
+  if (ec || !fs::is_directory(root)) {
+    log << "lexlint: no such root: " << options.root_dir << "\n";
+    return 2;
+  }
+
+  const bool needs_sources = enabled("layering") || enabled("bufpool") ||
+                             enabled("status") || enabled("metrics");
+  std::vector<SourceFile> files;
+  if (needs_sources) {
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      std::optional<SourceFile> f = LoadFile(p, root);
+      if (!f.has_value()) {
+        log << "lexlint: cannot read " << p.string() << "\n";
+        return 2;
+      }
+      files.push_back(std::move(*f));
+    }
+    // Reasonless suppressions are violations regardless of rule
+    // subset: a bare lexlint:allow hides findings with no audit trail.
+    for (const SourceFile& f : files) {
+      for (const int line : f.reasonless_allow) {
+        sink.EmitRaw("suppression", f.display, line,
+                     "lexlint:allow without a reason; write "
+                     "'// lexlint:allow(<rule>): <why>'");
+      }
+    }
+  }
+
+  if (enabled("layering")) CheckLayering(files, &sink);
+  if (enabled("bufpool")) CheckBufpool(files, &sink);
+  if (enabled("status")) CheckStatus(files, &sink);
+  if (enabled("metrics")) CheckMetricsSource(files, &sink);
+  if (enabled("doclinks")) CheckDocLinks(root, &sink);
+
+  return diags->empty() ? 0 : 1;
+}
+
+}  // namespace lexequal::lexlint

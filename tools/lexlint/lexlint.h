@@ -1,0 +1,81 @@
+// lexlint: the project static-analysis pass.
+//
+// A single driver that owns every source-level invariant the compiler
+// cannot check. Run over the src/ tree (and the top-level docs) it
+// enforces:
+//
+//   layering  — the subsystem include DAG (common ← text ← phonetic ←
+//               g2p ← match, storage ← index ← engine ← sql, obs and
+//               dataset as leaves); no back-edges, no new undeclared
+//               layers.
+//   bufpool   — buffer-pool pin discipline: FetchPage/NewPage/
+//               UnpinPage may appear only inside the pool
+//               implementation and the RAII PageGuard; everything
+//               else must hold pins through the guard.
+//   status    — no silently discarded Status / Result<T>: a call to a
+//               fallible function whose value is dropped on the floor
+//               (including via a bare `(void)` cast) is an error;
+//               sanctioned discards go through IgnoreNonFatal().
+//   metrics   — MetricsRegistry names must be
+//               lexequal_<subsystem>_<name> snake_case (source scan,
+//               or --export over a Prometheus text dump).
+//   doclinks  — every relative link / backticked repo path in the
+//               top-level docs resolves to a real file.
+//
+// Suppression: `// lexlint:allow(<rule>): <reason>` on the offending
+// line, or alone on the line above it. The reason string is
+// mandatory — an unexplained suppression is itself a violation,
+// because six months later nobody can tell a justified exemption
+// from a silenced bug.
+//
+// Built by the main CMake tree as build/tools/lexlint and wired into
+// ctest (lexlint_check), so `ctest` fails on any new violation.
+
+#ifndef LEXEQUAL_TOOLS_LEXLINT_LEXLINT_H_
+#define LEXEQUAL_TOOLS_LEXLINT_LEXLINT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lexequal::lexlint {
+
+/// One finding, formatted as `<rule>: <file>:<line>: <message>`.
+struct Diagnostic {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// What to lint. Defaults lint everything under `src_dir` plus the
+/// docs at `root_dir` with every rule.
+struct Options {
+  /// The source tree to scan (e.g. "<repo>/src").
+  std::string src_dir;
+  /// Repo root, for the doclinks rule; empty = parent of src_dir.
+  std::string root_dir;
+  /// Subset of rules to run; empty = all. Known names: layering,
+  /// bufpool, status, metrics, doclinks.
+  std::vector<std::string> rules;
+  /// Non-empty: validate metric names in this Prometheus text export
+  /// instead of scanning sources (implies the metrics rule only).
+  std::string export_file;
+};
+
+/// All rule names, in reporting order.
+const std::vector<std::string>& AllRules();
+
+/// Runs the configured rules. Diagnostics are appended to `diags`
+/// (never null). Returns the process exit code: 0 = clean,
+/// 1 = violations found, 2 = usage or I/O error (bad path, unknown
+/// rule, unreadable export). `log` receives human-oriented progress /
+/// error text beyond the diagnostics themselves.
+int Run(const Options& options, std::vector<Diagnostic>* diags,
+        std::ostream& log);
+
+}  // namespace lexequal::lexlint
+
+#endif  // LEXEQUAL_TOOLS_LEXLINT_LEXLINT_H_
