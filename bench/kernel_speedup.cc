@@ -1,0 +1,228 @@
+// Kernel speedup bench: the table-driven MatchKernel against the
+// reference virtual-dispatch DP (edit_distance.h) on the Table-1
+// naive-scan verification workload — every (probe, candidate) pair of
+// 10 probes against the generated dataset, decided at threshold 0.25.
+//
+// Two cost-model arms, one per kernel family:
+//   levenshtein  — unit costs, decided by the bit-parallel path
+//                  (target >= 3x over the reference DP)
+//   clustered    — paper default (intra 0.25, weak discount), decided
+//                  by the banded DP (target >= 1.5x)
+//
+// Arms are interleaved per repetition so clock drift and cache warmth
+// cancel out, and each repetition cross-checks that both
+// implementations accept exactly the same pairs (the kernel is exact,
+// not approximate — tests/match_kernel_test.cc proves bit-equality).
+//
+// Usage:
+//   ./bench/kernel_speedup               full run, writes BENCH_kernel.json
+//   ./bench/kernel_speedup --smoke       tiny dataset + 1 rep (ctest)
+//   ./bench/kernel_speedup --json <path> JSON output path
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dataset/lexicon.h"
+#include "match/edit_distance.h"
+#include "match/match_kernel.h"
+#include "phonetic/cluster.h"
+
+using namespace lexequal;
+using namespace lexequal::bench;
+using match::CompiledCostModel;
+using match::CostModel;
+using match::DpArena;
+using match::MatchKernel;
+using phonetic::PhonemeString;
+
+namespace {
+
+constexpr double kThreshold = 0.25;
+constexpr size_t kProbes = 10;
+
+struct Arm {
+  const char* name;
+  std::unique_ptr<CostModel> model;
+  double target_speedup;
+  double legacy_ms = 0;
+  double kernel_ms = 0;
+  uint64_t pairs = 0;
+  uint64_t matched = 0;  // parity-checked across implementations
+  match::KernelCounters counters;
+
+  double Speedup() const {
+    return kernel_ms > 0 ? legacy_ms / kernel_ms : 0.0;
+  }
+};
+
+double Bound(size_t la, size_t lb) {
+  return kThreshold * static_cast<double>(la < lb ? la : lb);
+}
+
+// Reference arm: the scalar virtual-dispatch bounded DP, one call per
+// pair, exactly what every executor did before the kernel.
+double RunLegacy(const std::vector<const PhonemeString*>& probes,
+                 const std::vector<PhonemeString>& cands,
+                 const CostModel& model, uint64_t* matched) {
+  Timer t;
+  for (const PhonemeString* p : probes) {
+    for (const PhonemeString& c : cands) {
+      const double bound = Bound(p->size(), c.size());
+      if (match::BoundedEditDistance(*p, c, model, bound) <= bound) {
+        ++*matched;
+      }
+    }
+  }
+  return t.Millis();
+}
+
+// Kernel arm: one MatchBatch per probe on a reused arena.
+double RunKernel(const std::vector<const PhonemeString*>& probes,
+                 const std::vector<const PhonemeString*>& cand_ptrs,
+                 const MatchKernel& kernel, DpArena* arena,
+                 uint64_t* matched) {
+  std::vector<size_t> hits;
+  Timer t;
+  for (const PhonemeString* p : probes) {
+    hits.clear();
+    kernel.MatchBatch(*p, cand_ptrs, kThreshold, arena, &hits);
+    *matched += hits.size();
+  }
+  return t.Millis();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const size_t rows = smoke ? 2000 : GeneratedDatasetSize(200000);
+  const int reps = smoke ? 1 : 5;
+
+  Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
+  if (!lexicon.ok()) {
+    std::printf("lexicon: %s\n", lexicon.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<dataset::LexiconEntry> gen =
+      dataset::GenerateConcatenatedDataset(lexicon.value(), rows);
+  std::vector<PhonemeString> cands;
+  cands.reserve(gen.size());
+  for (const dataset::LexiconEntry& e : gen) {
+    if (!e.phonemes.empty()) cands.push_back(e.phonemes);
+  }
+  std::vector<const PhonemeString*> cand_ptrs;
+  cand_ptrs.reserve(cands.size());
+  for (const PhonemeString& c : cands) cand_ptrs.push_back(&c);
+  std::vector<const PhonemeString*> probes;
+  for (size_t i = 0; i < kProbes; ++i) {
+    probes.push_back(&cands[(cands.size() / kProbes) * i]);
+  }
+  std::printf("kernel_speedup: %zu candidates x %zu probes, "
+              "threshold %.2f, %d rep(s)\n",
+              cands.size(), probes.size(), kThreshold, reps);
+
+  std::vector<Arm> arms;
+  arms.push_back({"levenshtein", std::make_unique<match::LevenshteinCost>(),
+                  3.0});
+  arms.push_back({"clustered",
+                  std::make_unique<match::ClusteredCost>(
+                      phonetic::ClusterTable::Default(), 0.25, true),
+                  1.5});
+
+  DpArena arena;
+  bool parity_ok = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (Arm& arm : arms) {
+      const MatchKernel kernel(CompiledCostModel::Compile(*arm.model));
+      uint64_t legacy_matched = 0;
+      uint64_t kernel_matched = 0;
+      const match::KernelCounters before = arena.counters;
+      arm.legacy_ms +=
+          RunLegacy(probes, cands, *arm.model, &legacy_matched);
+      arm.kernel_ms +=
+          RunKernel(probes, cand_ptrs, kernel, &arena, &kernel_matched);
+      arm.counters.Merge(arena.counters.DeltaSince(before));
+      if (legacy_matched != kernel_matched) {
+        std::printf("PARITY FAILURE %s rep %d: legacy %llu vs kernel "
+                    "%llu matches\n",
+                    arm.name, rep,
+                    static_cast<unsigned long long>(legacy_matched),
+                    static_cast<unsigned long long>(kernel_matched));
+        parity_ok = false;
+      }
+      arm.pairs += probes.size() * cands.size();
+      arm.matched += kernel_matched;
+    }
+  }
+
+  std::printf("| %-12s | %10s | %10s | %8s | %8s |\n", "model",
+              "legacy ms", "kernel ms", "speedup", "target");
+  for (const Arm& arm : arms) {
+    std::printf("| %-12s | %10.1f | %10.1f | %7.2fx | %7.2fx |\n",
+                arm.name, arm.legacy_ms, arm.kernel_ms, arm.Speedup(),
+                arm.target_speedup);
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::printf("cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"kernel_speedup\",\n"
+               "  \"rows\": %zu,\n  \"probes\": %zu,\n"
+               "  \"threshold\": %.2f,\n  \"reps\": %d,\n"
+               "  \"smoke\": %s,\n  \"arms\": [\n",
+               cands.size(), probes.size(), kThreshold, reps,
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const Arm& arm = arms[i];
+    std::fprintf(
+        json,
+        "    {\"model\": \"%s\", \"legacy_ms\": %.1f, "
+        "\"kernel_ms\": %.1f, \"speedup\": %.2f, "
+        "\"target_speedup\": %.1f, \"met_target\": %s, "
+        "\"pairs\": %llu, \"matched\": %llu, "
+        "\"bitparallel_pairs\": %llu, \"banded_pairs\": %llu, "
+        "\"general_pairs\": %llu, \"dp_cells\": %llu}%s\n",
+        arm.name, arm.legacy_ms, arm.kernel_ms, arm.Speedup(),
+        arm.target_speedup,
+        arm.Speedup() >= arm.target_speedup ? "true" : "false",
+        static_cast<unsigned long long>(arm.pairs),
+        static_cast<unsigned long long>(arm.matched),
+        static_cast<unsigned long long>(arm.counters.bitparallel_pairs),
+        static_cast<unsigned long long>(arm.counters.banded_pairs),
+        static_cast<unsigned long long>(arm.counters.general_pairs),
+        static_cast<unsigned long long>(arm.counters.dp_cells),
+        i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"parity_ok\": %s\n}\n",
+               parity_ok ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Parity is a correctness gate in every mode; the speedup targets
+  // are only enforced on full runs (smoke timings are noise).
+  if (!parity_ok) return 1;
+  if (!smoke) {
+    for (const Arm& arm : arms) {
+      if (arm.Speedup() < arm.target_speedup) {
+        std::printf("TARGET MISSED: %s %.2fx < %.1fx\n", arm.name,
+                    arm.Speedup(), arm.target_speedup);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -117,6 +117,15 @@ void PrintLastStats(Database* db) {
               static_cast<unsigned long long>(s.candidates),
               static_cast<unsigned long long>(s.udf_calls),
               static_cast<unsigned long long>(s.results));
+  if (s.match.dp_evaluations > 0) {
+    std::printf("kernel: %s (%llu bit-parallel, %llu banded, "
+                "%llu general; %llu dp cells)\n",
+                s.match.DominantKernel(),
+                static_cast<unsigned long long>(s.match.kernel_bitparallel),
+                static_cast<unsigned long long>(s.match.kernel_banded),
+                static_cast<unsigned long long>(s.match.kernel_general),
+                static_cast<unsigned long long>(s.match.dp_cells));
+  }
 }
 
 void RunMeta(Database* db, const std::string& line) {

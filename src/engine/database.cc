@@ -690,8 +690,12 @@ Result<bool> Database::VerifyCandidate(
     ++stats->udf_calls;
     ++stats->match.dp_evaluations;
   }
-  const bool matched = matcher.MatchPhonemes(query_phon, cand);
-  if (matched && stats != nullptr) ++stats->match.matches;
+  match::KernelCounters kernel;
+  const bool matched = matcher.MatchPhonemes(query_phon, cand, &kernel);
+  if (stats != nullptr) {
+    kernel.AccumulateInto(&stats->match);
+    if (matched) ++stats->match.matches;
+  }
   return matched;
 }
 

@@ -91,6 +91,9 @@ class ClusteredCost final : public CostModel {
 
   double intra_cluster_cost() const { return intra_cost_; }
   bool weak_phoneme_discount() const { return weak_discount_; }
+  /// The cluster table this model's params are defined over; part of
+  /// the compiled-model cache key (match_kernel.h).
+  const phonetic::ClusterTable& clusters() const { return clusters_; }
 
  private:
   bool IsWeak(phonetic::Phoneme p) const {
@@ -149,6 +152,8 @@ class FeatureCost final : public CostModel {
   double MinEditCost() const override {
     return weak_discount_ ? kWeakEditCost : 1.0;
   }
+
+  bool weak_phoneme_discount() const { return weak_discount_; }
 
  private:
   bool IsWeak(phonetic::Phoneme p) const {

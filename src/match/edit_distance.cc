@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <limits>
-#include <vector>
+
+#include "match/match_kernel.h"
 
 namespace lexequal::match {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
+
+// This file is the *reference* implementation the table-driven kernel
+// (match_kernel.cc) is differential-tested against: the algorithms
+// are kept deliberately plain. The only optimization shared with the
+// kernel is scratch reuse — both borrow rows from the thread-local
+// DpArena instead of heap-allocating two vectors per pair.
 
 double EditDistance(const phonetic::PhonemeString& a,
                     const phonetic::PhonemeString& b,
@@ -18,8 +25,7 @@ double EditDistance(const phonetic::PhonemeString& a,
   const size_t la = sa.size();
   const size_t lb = sb.size();
 
-  std::vector<double> prev(lb + 1);
-  std::vector<double> cur(lb + 1);
+  auto [prev, cur] = DpArena::ThreadLocal().Rows(lb + 1);
   prev[0] = 0.0;
   for (size_t j = 1; j <= lb; ++j) {
     prev[j] = prev[j - 1] + costs.InsCost(sb[j - 1]);
@@ -52,8 +58,7 @@ double BoundedEditDistance(const phonetic::PhonemeString& a,
       static_cast<double>(la > lb ? la - lb : lb - la) * min_edit;
   if (len_gap > bound) return bound + 1.0;
 
-  std::vector<double> prev(lb + 1);
-  std::vector<double> cur(lb + 1);
+  auto [prev, cur] = DpArena::ThreadLocal().Rows(lb + 1);
   prev[0] = 0.0;
   for (size_t j = 1; j <= lb; ++j) {
     prev[j] = prev[j - 1] + costs.InsCost(sb[j - 1]);
@@ -75,6 +80,8 @@ double BoundedEditDistance(const phonetic::PhonemeString& a,
       double v = std::min({del, ins, sub});
       // A cell must still cover the remaining length difference; if
       // even the best-case completion exceeds the bound, prune it.
+      // (The kernel tightens this with per-phoneme suffix min-cost
+      // tables; the reference keeps the simpler global bound.)
       const size_t rem_a = la - i;
       const size_t rem_b = lb - j;
       const double rem_gap =

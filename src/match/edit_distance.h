@@ -1,5 +1,12 @@
 // Dynamic-programming edit distance over phoneme strings — the
 // `editdistance` function of the paper's Fig. 8.
+//
+// This is the *reference* implementation: deliberately plain, used
+// as ground truth by the differential tests and by consumers that
+// need the full metric (index/bktree.cc, dataset/metrics.cc).
+// Execution paths verify candidates through the table-driven
+// MatchKernel (match_kernel.h) instead — lexlint's `kernel` rule
+// enforces that engine/sql code never calls these directly.
 
 #ifndef LEXEQUAL_MATCH_EDIT_DISTANCE_H_
 #define LEXEQUAL_MATCH_EDIT_DISTANCE_H_

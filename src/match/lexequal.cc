@@ -13,9 +13,16 @@ MatchOutcome LexEqualMatcher::Match(const text::TaggedString& left,
 }
 
 bool LexEqualMatcher::MatchPhonemes(const phonetic::PhonemeString& a,
-                                    const phonetic::PhonemeString& b) const {
+                                    const phonetic::PhonemeString& b,
+                                    KernelCounters* counters) const {
   const double bound = Allowance(a.size(), b.size());
-  return BoundedEditDistance(a, b, cost_, bound) <= bound;
+  DpArena& arena = DpArena::ThreadLocal();
+  const KernelCounters before = arena.counters;
+  const bool matched = kernel_.BoundedDistance(a, b, bound, &arena) <= bound;
+  if (counters != nullptr) {
+    counters->Merge(arena.counters.DeltaSince(before));
+  }
+  return matched;
 }
 
 }  // namespace lexequal::match

@@ -9,7 +9,7 @@
 #include "common/result.h"
 #include "g2p/g2p.h"
 #include "match/cost_model.h"
-#include "match/edit_distance.h"
+#include "match/match_kernel.h"
 #include "phonetic/cluster.h"
 #include "phonetic/phoneme_string.h"
 #include "text/tagged_string.h"
@@ -49,7 +49,8 @@ class LexEqualMatcher {
         registry_(registry),
         clusters_(clusters),
         cost_(clusters, options.intra_cluster_cost,
-              options.weak_phoneme_discount) {}
+              options.weak_phoneme_discount),
+        kernel_(CompiledCostModel::Compile(cost_)) {}
 
   /// LexEQUAL(S_l, S_r, e) over lexicographic strings: transforms both
   /// to phoneme space and compares. Returns kNoResource when either
@@ -58,9 +59,13 @@ class LexEqualMatcher {
                      const text::TaggedString& right) const;
 
   /// Phoneme-space comparison (both strings already transformed):
-  /// editdistance(a, b) <= threshold * min(|a|, |b|).
+  /// editdistance(a, b) <= threshold * min(|a|, |b|), evaluated by
+  /// the table-driven MatchKernel on the calling thread's DpArena.
+  /// The optional `counters` out-param receives the kernel-path
+  /// breakdown of this call (which algorithm ran, cells computed).
   bool MatchPhonemes(const phonetic::PhonemeString& a,
-                     const phonetic::PhonemeString& b) const;
+                     const phonetic::PhonemeString& b,
+                     KernelCounters* counters = nullptr) const;
 
   /// The decision bound for a pair of lengths: threshold * min(la, lb).
   double Allowance(size_t la, size_t lb) const {
@@ -69,6 +74,9 @@ class LexEqualMatcher {
 
   const LexEqualOptions& options() const { return options_; }
   const CostModel& cost_model() const { return cost_; }
+  /// The compiled batch kernel this matcher verifies through; shared
+  /// with ParallelMatcher workers (each brings its own DpArena).
+  const MatchKernel& kernel() const { return kernel_; }
   const g2p::G2PRegistry& registry() const { return registry_; }
   const phonetic::ClusterTable& clusters() const { return clusters_; }
 
@@ -77,6 +85,7 @@ class LexEqualMatcher {
   const g2p::G2PRegistry& registry_;
   const phonetic::ClusterTable& clusters_;
   ClusteredCost cost_;
+  MatchKernel kernel_;  // compiled form of cost_, cached per params
 };
 
 }  // namespace lexequal::match

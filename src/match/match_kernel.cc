@@ -1,0 +1,525 @@
+#include "match/match_kernel.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lexequal::match {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Path/arena counters on the process-wide registry. One relaxed
+// atomic add per pair (or per arena growth) — the same budget the
+// rest of the hot path already pays (see src/obs/metrics.h).
+obs::Counter* BitParallelPairs() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_bitparallel_pairs",
+      "Pairs decided by the Myers bit-parallel kernel");
+  return c;
+}
+obs::Counter* BandedPairs() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_banded_pairs",
+      "Pairs decided by the banded table-driven DP");
+  return c;
+}
+obs::Counter* GeneralPairs() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_general_pairs",
+      "Pairs decided by the general full DP");
+  return c;
+}
+obs::Counter* DpCells() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_dp_cells",
+      "DP cells computed by the banded/general kernel paths");
+  return c;
+}
+obs::Counter* ArenaReuses() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_arena_reuses",
+      "DpArena requests served from already-grown buffers");
+  return c;
+}
+obs::Counter* ArenaGrowths() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_arena_growths",
+      "DpArena requests that had to grow a buffer");
+  return c;
+}
+
+}  // namespace
+
+const char* KernelPathName(KernelPath path) {
+  switch (path) {
+    case KernelPath::kNone:
+      return "none";
+    case KernelPath::kBitParallel:
+      return "bitparallel";
+    case KernelPath::kBanded:
+      return "banded";
+    case KernelPath::kGeneral:
+      return "general";
+  }
+  return "none";
+}
+
+// ---------------------------------------------------------------------------
+// CompiledCostModel
+
+CompiledCostModel::CompiledCostModel(const CostModel& model) {
+  sub_.resize(static_cast<size_t>(kP) * kP);
+  min_edit_ = model.MinEditCost();
+  min_indel_ = kInf;
+  for (int p = 0; p < kP; ++p) {
+    const auto ph = static_cast<phonetic::Phoneme>(p);
+    ins_[p] = model.InsCost(ph);
+    del_[p] = model.DelCost(ph);
+    min_indel_ = std::min({min_indel_, ins_[p], del_[p]});
+    for (int q = 0; q < kP; ++q) {
+      sub_[static_cast<size_t>(p) * kP + q] =
+          model.SubCost(ph, static_cast<phonetic::Phoneme>(q));
+    }
+  }
+  unit_ = true;
+  for (int p = 0; p < kP && unit_; ++p) {
+    if (ins_[p] != 1.0 || del_[p] != 1.0) unit_ = false;
+    for (int q = 0; q < kP && unit_; ++q) {
+      const double want = p == q ? 0.0 : 1.0;
+      if (sub_[static_cast<size_t>(p) * kP + q] != want) unit_ = false;
+    }
+  }
+}
+
+std::shared_ptr<const CompiledCostModel> CompiledCostModel::Compile(
+    const CostModel& model) {
+  // Key the recognized models by their parameters so e.g. the SQL UDF
+  // (one LexEqualMatcher per call) never recompiles the tables.
+  std::string key;
+  if (dynamic_cast<const LevenshteinCost*>(&model) != nullptr) {
+    key = "lev";
+  } else if (const auto* c = dynamic_cast<const ClusteredCost*>(&model)) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "clu:%p:%.17g:%d",
+                  static_cast<const void*>(&c->clusters()),
+                  c->intra_cluster_cost(),
+                  c->weak_phoneme_discount() ? 1 : 0);
+    key = buf;
+  } else if (const auto* f = dynamic_cast<const FeatureCost*>(&model)) {
+    key = f->weak_phoneme_discount() ? "feat:w" : "feat";
+  }
+  if (key.empty()) {
+    // Unknown model type: no parameter identity to key on.
+    return std::make_shared<CompiledCostModel>(model);
+  }
+  // Lock-free repeat path for the per-row matcher-construction
+  // pattern; the mutex guards only first-time compiles per thread.
+  thread_local std::string last_key;
+  thread_local std::shared_ptr<const CompiledCostModel> last;
+  if (last != nullptr && last_key == key) return last;
+
+  static std::mutex mu;
+  // Leaked intentionally: compiled models may be referenced from
+  // thread-local caches past static destruction order.
+  static auto* cache =
+      new std::map<std::string, std::shared_ptr<const CompiledCostModel>>();
+  std::lock_guard<std::mutex> lock(mu);
+  std::shared_ptr<const CompiledCostModel>& slot = (*cache)[key];
+  if (slot == nullptr) slot = std::make_shared<CompiledCostModel>(model);
+  last_key = key;
+  last = slot;
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// DpArena
+
+DpArena& DpArena::ThreadLocal() {
+  thread_local DpArena arena;
+  return arena;
+}
+
+double* DpArena::Grow(std::vector<double>* buf, size_t n) {
+  if (buf->size() < n) {
+    buf->resize(n);
+    ++pending_growths_;
+  } else {
+    ++pending_reuses_;
+  }
+  return buf->data();
+}
+
+void DpArena::FlushMetrics() {
+  if (pending_growths_ > 0) {
+    ArenaGrowths()->Inc(pending_growths_);
+    pending_growths_ = 0;
+  }
+  if (pending_reuses_ > 0) {
+    ArenaReuses()->Inc(pending_reuses_);
+    pending_reuses_ = 0;
+  }
+}
+
+std::pair<double*, double*> DpArena::Rows(size_t n) {
+  double* base = Grow(&rows_, 2 * n);
+  return {base, base + n};
+}
+
+double* DpArena::SuffixA(size_t n) { return Grow(&suffix_a_, n); }
+double* DpArena::SuffixB(size_t n) { return Grow(&suffix_b_, n); }
+
+// ---------------------------------------------------------------------------
+// MatchKernel
+
+namespace {
+
+// Contiguous byte view of a phoneme string (Phoneme is uint8_t-based;
+// see the static_assert in phoneme_string.h).
+inline const uint8_t* Ids(const phonetic::PhonemeString& s) {
+  return s.ids();
+}
+
+// Myers/Hyyrö bit-parallel Levenshtein recurrence for a pattern of
+// m <= 64 phonemes (already loaded into `peq`) against a text of n
+// phonemes. Exact unit edit distance. MatchBatch builds `peq` once
+// for a whole batch of texts; the scalar wrapper below builds and
+// clears it per call.
+uint64_t MyersCore(const uint64_t* peq, size_t m, const uint8_t* txt,
+                   size_t n) {
+  uint64_t vp = m == 64 ? ~uint64_t{0} : (uint64_t{1} << m) - 1;
+  uint64_t vn = 0;
+  uint64_t score = m;
+  const uint64_t top = uint64_t{1} << (m - 1);
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t x = peq[txt[j]] | vn;
+    const uint64_t d0 = (((x & vp) + vp) ^ vp) | x;
+    uint64_t hp = vn | ~(d0 | vp);
+    uint64_t hn = vp & d0;
+    if (hp & top) {
+      ++score;
+    } else if (hn & top) {
+      --score;
+    }
+    hp = (hp << 1) | 1;
+    hn <<= 1;
+    vp = hn | ~(d0 | hp);
+    vn = hp & d0;
+  }
+  return score;
+}
+
+void BuildPeq(const uint8_t* pat, size_t m, uint64_t* peq) {
+  for (size_t i = 0; i < m; ++i) {
+    peq[pat[i]] |= uint64_t{1} << i;
+  }
+}
+
+void ClearPeq(const uint8_t* pat, size_t m, uint64_t* peq) {
+  for (size_t i = 0; i < m; ++i) {
+    peq[pat[i]] = 0;
+  }
+}
+
+// Scalar form: builds the mask table, runs the recurrence, leaves
+// the table zeroed again.
+uint64_t MyersDistance(const uint8_t* pat, size_t m, const uint8_t* txt,
+                       size_t n, uint64_t* peq) {
+  BuildPeq(pat, m, peq);
+  const uint64_t score = MyersCore(peq, m, txt, n);
+  ClearPeq(pat, m, peq);
+  return score;
+}
+
+// Publishes a batch of arena-local counter deltas to the process
+// registry: one atomic add per counter per public kernel call (or per
+// whole batch), never per pair.
+void FlushRegistry(const KernelCounters& d) {
+  if (d.bitparallel_pairs > 0) BitParallelPairs()->Inc(d.bitparallel_pairs);
+  if (d.banded_pairs > 0) BandedPairs()->Inc(d.banded_pairs);
+  if (d.general_pairs > 0) GeneralPairs()->Inc(d.general_pairs);
+  if (d.dp_cells > 0) DpCells()->Inc(d.dp_cells);
+}
+
+}  // namespace
+
+double MatchKernel::DistanceImpl(const phonetic::PhonemeString& a,
+                                 const phonetic::PhonemeString& b,
+                                 double bound, bool bounded,
+                                 DpArena* arena,
+                                 const double* batch_suffix_del) const {
+  const CompiledCostModel& cm = *costs_;
+  const uint8_t* ia = Ids(a);
+  const uint8_t* ib = Ids(b);
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  // Normalizes a bounded result to the contract: exact when <= bound,
+  // exactly bound + 1.0 otherwise.
+  auto norm = [&](double d) {
+    return bounded && d > bound ? bound + 1.0 : d;
+  };
+
+  // Empty sides: the distance is a pure prefix sum of ins/del costs,
+  // accumulated left-to-right like the reference DP's border row.
+  if (la == 0 || lb == 0) {
+    ++arena->counters.general_pairs;
+    double d = 0.0;
+    if (la == 0) {
+      for (size_t j = 0; j < lb; ++j) d += cm.Ins(ib[j]);
+    } else {
+      for (size_t i = 0; i < la; ++i) d += cm.Del(ia[i]);
+    }
+    return norm(d);
+  }
+
+  // Bit-parallel fast path: exact unit Levenshtein in one 64-bit
+  // block, pattern = shorter side (unit distance is symmetric).
+  if (cm.IsUnit() && std::min(la, lb) <= 64) {
+    ++arena->counters.bitparallel_pairs;
+    const uint8_t* pat = la <= lb ? ia : ib;
+    const uint8_t* txt = la <= lb ? ib : ia;
+    const size_t m = std::min(la, lb);
+    const size_t n = std::max(la, lb);
+    if (bounded &&
+        static_cast<double>(n - m) > bound) {  // length filter
+      return bound + 1.0;
+    }
+    const uint64_t score = MyersDistance(pat, m, txt, n, arena->Peq());
+    return norm(static_cast<double>(score));
+  }
+
+  // Cheap conservative length reject before any per-pair setup: each
+  // surplus phoneme costs at least min_indel (tight) / min_edit
+  // (legacy prune semantics), so a large enough length gap loses
+  // without touching the strings.
+  if (bounded) {
+    const size_t gap = la > lb ? la - lb : lb - la;
+    const double per_gap =
+        options_.tight_prune ? cm.min_indel() : cm.min_edit();
+    if (static_cast<double>(gap) * per_gap > bound) {
+      ++arena->counters.banded_pairs;
+      return bound + 1.0;
+    }
+  }
+
+  // Weighted paths. Per-phoneme suffix min ins/del tables make the
+  // length filter and the remaining-gap prune tight: the legacy prune
+  // priced every remaining insert/delete at the global MinEditCost
+  // (0.5 with the weak-phoneme discount) even when no remaining
+  // phoneme is weak. suffix_del[i] = min del cost over a[i..), and
+  // symmetrically for inserts of b.
+  const double* suffix_del = nullptr;
+  double* suffix_ins = nullptr;
+  if (bounded) {
+    const bool tight = options_.tight_prune;
+    if (batch_suffix_del != nullptr) {
+      // MatchBatch precomputed the probe-side table for the whole
+      // batch (the probe is side `a` on every pair).
+      suffix_del = batch_suffix_del;
+    } else {
+      double* sd = arena->SuffixA(la + 1);
+      sd[la] = kInf;
+      for (size_t i = la; i-- > 0;) {
+        const double d = tight ? cm.Del(ia[i]) : cm.min_edit();
+        sd[i] = std::min(sd[i + 1], d);
+      }
+      suffix_del = sd;
+    }
+    suffix_ins = arena->SuffixB(lb + 1);
+    suffix_ins[lb] = kInf;
+    for (size_t j = lb; j-- > 0;) {
+      const double d = tight ? cm.Ins(ib[j]) : cm.min_edit();
+      suffix_ins[j] = std::min(suffix_ins[j + 1], d);
+    }
+  }
+  auto rem_gap = [&](size_t i, size_t j) {
+    const size_t rem_a = la - i;
+    const size_t rem_b = lb - j;
+    if (rem_a > rem_b) {
+      return static_cast<double>(rem_a - rem_b) * suffix_del[i];
+    }
+    if (rem_b > rem_a) {
+      return static_cast<double>(rem_b - rem_a) * suffix_ins[j];
+    }
+    return 0.0;
+  };
+
+  if (bounded && rem_gap(0, 0) > bound) {
+    ++arena->counters.banded_pairs;
+    return bound + 1.0;
+  }
+
+  // Ukkonen band: a path through cell (i, j) contains at least
+  // |j - i| inserts/deletes, each costing >= min_indel, so cells with
+  // |j - i| > bound / min_indel cannot be on a <= bound path. The +1
+  // absorbs the floor/rounding slack so the band never clips an
+  // exactly-at-bound alignment.
+  size_t k = std::max(la, lb);  // unbounded: full width
+  if (bounded && cm.min_indel() > 0.0) {
+    const double band = bound / cm.min_indel();
+    if (band < static_cast<double>(k)) {
+      k = static_cast<size_t>(band) + 1;
+    }
+  }
+  if (k < std::max(la, lb)) {
+    ++arena->counters.banded_pairs;
+  } else {
+    ++arena->counters.general_pairs;
+  }
+
+  auto [prev, cur] = arena->Rows(lb + 1);
+  uint64_t cells = 0;
+
+  // Border row 0: prefix sums of inserts, clipped to the band.
+  const size_t top_hi = std::min(lb, k);
+  prev[0] = 0.0;
+  for (size_t j = 1; j <= top_hi; ++j) {
+    prev[j] = prev[j - 1] + cm.Ins(ib[j - 1]);
+    if (bounded && prev[j] > bound) prev[j] = kInf;
+  }
+  if (top_hi < lb) prev[top_hi + 1] = kInf;
+
+  for (size_t i = 1; i <= la; ++i) {
+    const size_t lo = i > k ? i - k : 1;
+    const size_t hi = std::min(lb, i + k);
+    const uint8_t ca = ia[i - 1];
+    const double del_ca = cm.Del(ca);
+    const double* sub_row = cm.SubRow(ca);
+    double row_min;
+    if (lo == 1) {
+      cur[0] = prev[0] + del_ca;
+      if (bounded && cur[0] > bound) cur[0] = kInf;
+      row_min = cur[0];
+    } else {
+      cur[lo - 1] = kInf;  // left band edge
+      row_min = kInf;
+    }
+    for (size_t j = lo; j <= hi; ++j) {
+      ++cells;
+      const uint8_t cb = ib[j - 1];
+      const double del = prev[j] + del_ca;
+      const double ins = cur[j - 1] + cm.Ins(cb);
+      const double sub = prev[j - 1] + sub_row[cb];
+      double v = std::min({del, ins, sub});
+      if (bounded && v + rem_gap(i, j) > bound) v = kInf;
+      cur[j] = v;
+      if (v < row_min) row_min = v;
+    }
+    if (hi < lb) cur[hi + 1] = kInf;  // right band edge
+    if (bounded && row_min == kInf) {
+      arena->counters.dp_cells += cells;
+      return bound + 1.0;  // no viable path remains
+    }
+    std::swap(prev, cur);
+  }
+  arena->counters.dp_cells += cells;
+  const double result = prev[lb];
+  if (result == kInf) return bound + 1.0;
+  return norm(result);
+}
+
+double MatchKernel::Distance(const phonetic::PhonemeString& a,
+                             const phonetic::PhonemeString& b,
+                             DpArena* arena) const {
+  const KernelCounters before = arena->counters;
+  const double d =
+      DistanceImpl(a, b, /*bound=*/0.0, /*bounded=*/false, arena);
+  FlushRegistry(arena->counters.DeltaSince(before));
+  arena->FlushMetrics();
+  return d;
+}
+
+double MatchKernel::BoundedDistance(const phonetic::PhonemeString& a,
+                                    const phonetic::PhonemeString& b,
+                                    double bound, DpArena* arena) const {
+  const KernelCounters before = arena->counters;
+  const double d = DistanceImpl(a, b, bound, /*bounded=*/true, arena);
+  FlushRegistry(arena->counters.DeltaSince(before));
+  arena->FlushMetrics();
+  return d;
+}
+
+void MatchKernel::MatchBatch(
+    const phonetic::PhonemeString& probe,
+    std::span<const phonetic::PhonemeString* const> candidates,
+    double threshold, DpArena* arena,
+    std::vector<size_t>* matched) const {
+  // Candidates are walked in index order: batch producers materialize
+  // them contiguously (dataset vectors, per-chunk survivor lists), so
+  // index order is also allocation order and the hardware prefetcher
+  // streams the phoneme buffers. (A length-sorted order — nicer band
+  // shapes for the branch predictor — was measured and rejected: the
+  // reordering turns the scan into random access and costs a cache
+  // miss per pair once the batch outgrows L2.) Ascending iteration
+  // also satisfies the ascending-index contract on *matched for free.
+  const KernelCounters before = arena->counters;
+  const CompiledCostModel& cm = *costs_;
+  const size_t lp = probe.size();
+
+  if (cm.IsUnit() && lp > 0 && lp <= 64) {
+    // Batch bit-parallel: the probe is the Myers pattern for every
+    // candidate (unit distance is symmetric, and the pattern only has
+    // to fit the 64-bit block), so the mask table is built once for
+    // the whole batch instead of per pair.
+    uint64_t* peq = arena->Peq();
+    const uint8_t* pp = Ids(probe);
+    BuildPeq(pp, lp, peq);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i] == nullptr) continue;
+      const phonetic::PhonemeString& cand = *candidates[i];
+      const size_t lc = cand.size();
+      const double bound =
+          threshold * static_cast<double>(std::min(lp, lc));
+      ++arena->counters.bitparallel_pairs;
+      const size_t gap = lc > lp ? lc - lp : lp - lc;
+      if (static_cast<double>(gap) > bound) continue;  // length filter
+      const uint64_t score = MyersCore(peq, lp, Ids(cand), lc);
+      if (static_cast<double>(score) <= bound) matched->push_back(i);
+    }
+    ClearPeq(pp, lp, peq);
+  } else {
+    // Batch weighted path: the probe-side suffix min-del table and
+    // the per-gap reject cost are loop invariants — compute them once
+    // and reject hopeless length gaps before paying the call into the
+    // DP at all.
+    const bool tight = options_.tight_prune;
+    const uint8_t* pp = Ids(probe);
+    double* probe_suffix = arena->SuffixA(lp + 1);
+    probe_suffix[lp] = kInf;
+    for (size_t i = lp; i-- > 0;) {
+      const double d = tight ? cm.Del(pp[i]) : cm.min_edit();
+      probe_suffix[i] = std::min(probe_suffix[i + 1], d);
+    }
+    const double per_gap = tight ? cm.min_indel() : cm.min_edit();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i] == nullptr) continue;
+      const phonetic::PhonemeString& cand = *candidates[i];
+      const size_t lc = cand.size();
+      const double bound =
+          threshold * static_cast<double>(std::min(lp, lc));
+      if (lp > 0 && lc > 0) {
+        const size_t gap = lc > lp ? lc - lp : lp - lc;
+        if (static_cast<double>(gap) * per_gap > bound) {
+          ++arena->counters.banded_pairs;
+          continue;
+        }
+      }
+      if (DistanceImpl(probe, cand, bound, /*bounded=*/true, arena,
+                       probe_suffix) <= bound) {
+        matched->push_back(i);
+      }
+    }
+  }
+
+  // Publish the whole batch's counters in one registry round-trip.
+  FlushRegistry(arena->counters.DeltaSince(before));
+  arena->FlushMetrics();
+}
+
+}  // namespace lexequal::match

@@ -1,0 +1,240 @@
+// MatchKernel: the table-driven batch edit-distance kernel every
+// execution path verifies candidates through.
+//
+// The paper's run-time half (§5) is dominated by the `editdistance`
+// UDF. The reference DP (edit_distance.h) pays three virtual
+// CostModel calls per cell; this kernel removes that by snapshotting
+// the cost model into dense tables over the small fixed Phoneme enum
+// (CompiledCostModel), then picking the cheapest algorithm the
+// compiled tables admit:
+//
+//   unit costs, min side <= 64   -> bit-parallel (Myers 64-bit block)
+//   weighted + finite bound      -> banded DP (Ukkonen band from
+//                                   bound / min ins-del cost)
+//   otherwise                    -> general full DP, table-driven
+//
+// All paths are exact: the kernel returns bit-identical distances to
+// the reference DP (tests/match_kernel_test.cc proves this over
+// randomized pairs for every bundled cost model). Scratch memory
+// lives in a caller-owned DpArena so the per-pair hot path performs
+// zero heap allocations; ParallelMatcher keeps one arena per worker,
+// scalar callers use DpArena::ThreadLocal().
+
+#ifndef LEXEQUAL_MATCH_MATCH_KERNEL_H_
+#define LEXEQUAL_MATCH_MATCH_KERNEL_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "match/cost_model.h"
+#include "match/match_stats.h"
+#include "phonetic/phoneme.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::match {
+
+/// Which algorithm decided a pair. Exported per pair through the
+/// lexequal_match_kernel_* counters and per query through MatchStats.
+enum class KernelPath : uint8_t { kNone, kBitParallel, kBanded, kGeneral };
+
+/// Display name ("bitparallel", "banded", "general", "none").
+const char* KernelPathName(KernelPath path);
+
+/// Per-arena kernel counters. Workers accumulate these privately and
+/// fold them into MatchStats at batch end — no atomics on the pair
+/// path (the global registry counters are bumped separately).
+struct KernelCounters {
+  uint64_t bitparallel_pairs = 0;  // pairs decided by the Myers path
+  uint64_t banded_pairs = 0;       // pairs decided by the banded DP
+  uint64_t general_pairs = 0;      // pairs decided by the full DP
+  uint64_t dp_cells = 0;           // DP cells computed (banded+general)
+
+  void Merge(const KernelCounters& o) {
+    bitparallel_pairs += o.bitparallel_pairs;
+    banded_pairs += o.banded_pairs;
+    general_pairs += o.general_pairs;
+    dp_cells += o.dp_cells;
+  }
+
+  /// This minus an earlier snapshot of the same counters.
+  KernelCounters DeltaSince(const KernelCounters& before) const {
+    KernelCounters d;
+    d.bitparallel_pairs = bitparallel_pairs - before.bitparallel_pairs;
+    d.banded_pairs = banded_pairs - before.banded_pairs;
+    d.general_pairs = general_pairs - before.general_pairs;
+    d.dp_cells = dp_cells - before.dp_cells;
+    return d;
+  }
+
+  void AccumulateInto(MatchStats* stats) const {
+    stats->kernel_bitparallel += bitparallel_pairs;
+    stats->kernel_banded += banded_pairs;
+    stats->kernel_general += general_pairs;
+    stats->dp_cells += dp_cells;
+  }
+};
+
+/// A CostModel snapshotted into dense tables over the Phoneme enum:
+/// sub[P][P] matrix plus ins[P]/del[P] vectors, the model's exact
+/// MinEditCost, and the min over the ins/del tables (the band
+/// derives from the latter — diagonal deviation is paid for in
+/// inserts/deletes only). Values are copied verbatim (doubles, no
+/// narrowing), which is what makes the kernel bit-exact against the
+/// reference DP.
+class CompiledCostModel {
+ public:
+  static constexpr int kP = phonetic::kPhonemeCount;
+
+  /// Snapshots `model` with kP*(kP+2) virtual calls. Prefer Compile()
+  /// on hot paths — it caches one compiled model per (model, params).
+  explicit CompiledCostModel(const CostModel& model);
+
+  /// Returns the cached compiled form of `model`. Recognized models
+  /// (Levenshtein / Clustered / Feature) are keyed by their params and
+  /// compiled once per process; unknown models compile fresh.
+  static std::shared_ptr<const CompiledCostModel> Compile(
+      const CostModel& model);
+
+  double Sub(uint8_t from, uint8_t to) const {
+    return sub_[static_cast<size_t>(from) * kP + to];
+  }
+  /// Contiguous row of the substitution matrix for `from`; the inner
+  /// DP loop indexes it by the candidate-side phoneme id.
+  const double* SubRow(uint8_t from) const {
+    return sub_.data() + static_cast<size_t>(from) * kP;
+  }
+  double Ins(uint8_t p) const { return ins_[p]; }
+  double Del(uint8_t p) const { return del_[p]; }
+
+  /// The source model's exact MinEditCost().
+  double min_edit() const { return min_edit_; }
+  /// Min over the ins/del tables; > 0. Bounds the cost of straying
+  /// one cell off the DP diagonal, hence the Ukkonen band width.
+  double min_indel() const { return min_indel_; }
+
+  /// True when the tables are exactly unit Levenshtein (all ins/del
+  /// 1, sub 0 on the diagonal and 1 off it) — e.g. LevenshteinCost,
+  /// or ClusteredCost with intra_cluster_cost 1 and the weak-phoneme
+  /// discount off. Enables the bit-parallel path.
+  bool IsUnit() const { return unit_; }
+
+ private:
+  std::vector<double> sub_;  // kP * kP, row-major [from][to]
+  std::array<double, kP> ins_;
+  std::array<double, kP> del_;
+  double min_edit_ = 1.0;
+  double min_indel_ = 1.0;
+  bool unit_ = false;
+};
+
+/// Reusable scratch for the kernel: DP rows, suffix min-cost tables,
+/// and the Myers pattern-mask table. Grows
+/// monotonically and is reused across calls (arena reuse/growth is
+/// exported through lexequal_match_kernel_arena_*). Not thread-safe;
+/// keep one per worker, or use ThreadLocal() from scalar paths.
+class DpArena {
+ public:
+  DpArena() = default;
+  DpArena(const DpArena&) = delete;
+  DpArena& operator=(const DpArena&) = delete;
+
+  /// The calling thread's arena (used by the scalar MatchPhonemes
+  /// API and by the legacy reference DP).
+  static DpArena& ThreadLocal();
+
+  /// Two DP rows of `n` doubles each; contents are stale.
+  std::pair<double*, double*> Rows(size_t n);
+  /// Suffix min-cost tables of `n` doubles (probe / candidate side).
+  double* SuffixA(size_t n);
+  double* SuffixB(size_t n);
+  /// The Myers pattern-mask table (kP words). The kernel clears the
+  /// entries it set before returning, so the table is always zero
+  /// between calls.
+  uint64_t* Peq() { return peq_.data(); }
+
+  /// Kernel counters accumulated by every call through this arena.
+  KernelCounters counters;
+
+  /// Publishes the buffered arena reuse/growth counts to the process
+  /// metrics registry. Called by the kernel once per public call /
+  /// batch — Grow itself never touches an atomic.
+  void FlushMetrics();
+
+ private:
+  double* Grow(std::vector<double>* buf, size_t n);
+
+  uint64_t pending_reuses_ = 0;
+  uint64_t pending_growths_ = 0;
+
+  std::vector<double> rows_;      // 2 * row length
+  std::vector<double> suffix_a_;
+  std::vector<double> suffix_b_;
+  std::array<uint64_t, CompiledCostModel::kP> peq_{};
+};
+
+/// Kernel tuning knobs. `tight_prune` selects the per-phoneme
+/// suffix-min remaining-gap bound (on by default); off reproduces the
+/// legacy prune that priced the remaining length gap with the global
+/// MinEditCost even when no remaining phoneme is that cheap. The
+/// regression test shows both decide identically while the tight
+/// bound visits strictly fewer cells.
+struct MatchKernelOptions {
+  bool tight_prune = true;
+};
+
+/// The batch-oriented, allocation-free edit-distance kernel. Holds a
+/// shared immutable compiled cost model; the object itself is
+/// stateless and safe to share across threads (each caller brings its
+/// own DpArena).
+class MatchKernel {
+ public:
+  explicit MatchKernel(std::shared_ptr<const CompiledCostModel> costs,
+                       MatchKernelOptions options = {})
+      : costs_(std::move(costs)), options_(options) {}
+
+  const CompiledCostModel& costs() const { return *costs_; }
+
+  /// Exact distance, no bound. Equals EditDistance(a, b, model)
+  /// bit-for-bit.
+  double Distance(const phonetic::PhonemeString& a,
+                  const phonetic::PhonemeString& b, DpArena* arena) const;
+
+  /// Threshold variant: returns the exact distance when it is <=
+  /// `bound`, otherwise exactly `bound + 1.0`. Callers must only
+  /// compare against `bound` (same contract as the reference
+  /// BoundedEditDistance).
+  double BoundedDistance(const phonetic::PhonemeString& a,
+                         const phonetic::PhonemeString& b, double bound,
+                         DpArena* arena) const;
+
+  /// Batch decision for the LexEQUAL predicate: appends to *matched
+  /// (in ascending order) every index i with
+  ///   distance(probe, *candidates[i]) <= threshold * min(|probe|,
+  ///   |candidates[i]|).
+  /// Candidates are processed in index order (their allocation order,
+  /// which streams memory sequentially); null entries never match.
+  void MatchBatch(const phonetic::PhonemeString& probe,
+                  std::span<const phonetic::PhonemeString* const> candidates,
+                  double threshold, DpArena* arena,
+                  std::vector<size_t>* matched) const;
+
+ private:
+  /// `batch_suffix_del` optionally carries a precomputed probe-side
+  /// suffix min-del table (MatchBatch hoists it out of the per-pair
+  /// loop); null means compute it locally.
+  double DistanceImpl(const phonetic::PhonemeString& a,
+                      const phonetic::PhonemeString& b, double bound,
+                      bool bounded, DpArena* arena,
+                      const double* batch_suffix_del = nullptr) const;
+
+  std::shared_ptr<const CompiledCostModel> costs_;
+  MatchKernelOptions options_;
+};
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_MATCH_KERNEL_H_

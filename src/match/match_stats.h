@@ -26,6 +26,13 @@ struct MatchStats {
   uint64_t matches = 0;            // candidates accepted
   uint64_t cache_hits = 0;         // phoneme-cache hits this query
   uint64_t cache_misses = 0;       // phoneme-cache misses this query
+  // Kernel-path breakdown (match_kernel.h): which algorithm decided
+  // the dp_evaluations above, and how many DP cells the non-bit-
+  // parallel paths actually computed.
+  uint64_t kernel_bitparallel = 0;  // pairs via the Myers bit kernel
+  uint64_t kernel_banded = 0;       // pairs via the banded DP
+  uint64_t kernel_general = 0;      // pairs via the general full DP
+  uint64_t dp_cells = 0;            // banded+general DP cells computed
   uint32_t threads_used = 0;       // worker threads (0 = serial path)
   double wall_ms = 0.0;            // matcher wall-clock
 
@@ -39,6 +46,10 @@ struct MatchStats {
     matches += other.matches;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    kernel_bitparallel += other.kernel_bitparallel;
+    kernel_banded += other.kernel_banded;
+    kernel_general += other.kernel_general;
+    dp_cells += other.dp_cells;
     if (other.threads_used > threads_used) {
       threads_used = other.threads_used;
     }
@@ -52,21 +63,39 @@ struct MatchStats {
                             static_cast<double>(total);
   }
 
+  /// Name of the kernel path that decided most pairs this query
+  /// ("bitparallel" / "banded" / "general"), or "none" before any DP
+  /// ran. Surfaced by EXPLAIN ANALYZE and the shell's \stats.
+  const char* DominantKernel() const {
+    if (kernel_bitparallel + kernel_banded + kernel_general == 0) {
+      return "none";
+    }
+    if (kernel_bitparallel >= kernel_banded &&
+        kernel_bitparallel >= kernel_general) {
+      return "bitparallel";
+    }
+    return kernel_banded >= kernel_general ? "banded" : "general";
+  }
+
   /// One-line rendering for shells and benches, e.g.
   /// "scanned=200466 filtered=182031 dp=18435 matched=12
-  ///  cache=1020/3 (99.7% hit) threads=4 wall=41.2ms".
+  ///  cache=1020/3 (99.7% hit) kernel=banded cells=812k threads=4
+  ///  wall=41.2ms".
   std::string ToString() const {
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "scanned=%llu filtered=%llu dp=%llu matched=%llu "
-                  "cache=%llu/%llu (%.1f%% hit) threads=%u wall=%.1fms",
+                  "cache=%llu/%llu (%.1f%% hit) kernel=%s cells=%llu "
+                  "threads=%u wall=%.1fms",
                   static_cast<unsigned long long>(tuples_scanned),
                   static_cast<unsigned long long>(filter_rejections),
                   static_cast<unsigned long long>(dp_evaluations),
                   static_cast<unsigned long long>(matches),
                   static_cast<unsigned long long>(cache_hits),
                   static_cast<unsigned long long>(cache_misses),
-                  100.0 * cache_hit_rate(), threads_used, wall_ms);
+                  100.0 * cache_hit_rate(), DominantKernel(),
+                  static_cast<unsigned long long>(dp_cells), threads_used,
+                  wall_ms);
     return std::string(buf);
   }
 };

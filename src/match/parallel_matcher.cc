@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
 
+#include "match/match_kernel.h"
 #include "match/qgram.h"
 #include "obs/metrics.h"
 
@@ -45,11 +47,13 @@ struct ProbeContext {
   std::vector<PositionalQGram> query_grams;
 };
 
-// Decides one candidate. Returns true when the candidate matches;
-// updates the worker-local stats.
-bool DecideCandidate(const LexEqualMatcher& matcher,
-                     const ProbeContext& ctx, const PhonemeString& cand,
-                     MatchStats* stats) {
+// The lossless prefilters, shared by every plan: length filter, then
+// the Fig. 14 count/position q-gram filter. Returns true when `cand`
+// survives and must be verified by the kernel; updates the
+// worker-local stats either way.
+bool PassesPrefilters(const LexEqualMatcher& matcher,
+                      const ProbeContext& ctx, const PhonemeString& cand,
+                      MatchStats* stats) {
   ++stats->tuples_scanned;
   if (cand.empty() || ctx.qlen == 0) {
     ++stats->filter_rejections;
@@ -85,12 +89,51 @@ bool DecideCandidate(const LexEqualMatcher& matcher,
       }
     }
   }
-
-  ++stats->dp_evaluations;
-  const bool matched = matcher.MatchPhonemes(*ctx.query, cand);
-  if (matched) ++stats->matches;
-  return matched;
+  return true;
 }
+
+// Per-worker verification state: survivors of the prefilters are
+// collected per chunk and decided by one MatchKernel::MatchBatch call
+// on the worker's private arena — zero allocations per pair, one
+// batched DP pass per chunk.
+struct ChunkVerifier {
+  explicit ChunkVerifier(const LexEqualMatcher& matcher)
+      : matcher(matcher) {}
+
+  const LexEqualMatcher& matcher;
+  DpArena arena;
+  // Parallel vectors: candidate view + its original batch index.
+  std::vector<const PhonemeString*> survivors;
+  std::vector<size_t> survivor_index;
+  // Keeps cache borrows / fresh parses alive until the batch runs.
+  std::vector<std::shared_ptr<const PhonemeString>> owned;
+  std::vector<size_t> batch_matched;
+
+  void Add(const PhonemeString* cand, size_t index) {
+    survivors.push_back(cand);
+    survivor_index.push_back(index);
+  }
+
+  // Runs the batched verification, appends matched original indices
+  // (ascending) to *matched, and folds kernel counters into *stats.
+  void Flush(const ProbeContext& ctx, MatchStats* stats,
+             std::vector<size_t>* matched) {
+    stats->dp_evaluations += survivors.size();
+    batch_matched.clear();
+    matcher.kernel().MatchBatch(*ctx.query, survivors,
+                                matcher.options().threshold, &arena,
+                                &batch_matched);
+    for (const size_t k : batch_matched) {
+      matched->push_back(survivor_index[k]);
+    }
+    stats->matches += batch_matched.size();
+    arena.counters.AccumulateInto(stats);
+    arena.counters = KernelCounters{};
+    survivors.clear();
+    survivor_index.clear();
+    owned.clear();
+  }
+};
 
 }  // namespace
 
@@ -114,12 +157,13 @@ uint32_t ParallelMatcher::EffectiveThreads(size_t batch_size) const {
 namespace {
 
 // Shared driver: partitions [0, n) into contiguous chunks, runs
-// `decide(i)` for each index, concatenates per-chunk match lists in
-// chunk order. `decide` must be reentrant; it gets a worker-local
-// MatchStats and returns Result<bool>.
-template <typename DecideFn>
+// `chunk_fn(begin, end, stats, matched)` for each chunk, concatenates
+// per-chunk match lists in chunk order (each chunk must append its
+// matches in ascending index order). `chunk_fn` must be reentrant; it
+// gets a worker-local MatchStats and returns Status.
+template <typename ChunkFn>
 Result<std::vector<size_t>> RunPartitioned(size_t n, uint32_t threads,
-                                           DecideFn&& decide,
+                                           ChunkFn&& chunk_fn,
                                            MatchStats* stats_out) {
   const auto start = std::chrono::steady_clock::now();
   BatchCounter()->Inc();
@@ -131,14 +175,8 @@ Result<std::vector<size_t>> RunPartitioned(size_t n, uint32_t threads,
     const auto chunk_start = std::chrono::steady_clock::now();
     const size_t begin = n * t / threads;
     const size_t end = n * (t + 1) / threads;
-    for (size_t i = begin; i < end; ++i) {
-      Result<bool> matched = decide(i, &chunk_stats[t]);
-      if (!matched.ok()) {
-        chunk_status[t] = matched.status();
-        break;
-      }
-      if (matched.value()) chunk_matches[t].push_back(i);
-    }
+    chunk_status[t] =
+        chunk_fn(begin, end, &chunk_stats[t], &chunk_matches[t]);
     // One lock-free Record per chunk, not per tuple.
     ChunkWallHistogram()->Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
@@ -208,8 +246,16 @@ Result<std::vector<size_t>> ParallelMatcher::MatchBatch(
   const uint32_t threads = EffectiveThreads(candidates.size());
   return RunPartitioned(
       candidates.size(), threads,
-      [&](size_t i, MatchStats* s) -> Result<bool> {
-        return DecideCandidate(matcher_, ctx, candidates[i], s);
+      [&](size_t begin, size_t end, MatchStats* s,
+          std::vector<size_t>* matched) -> Status {
+        ChunkVerifier verifier(matcher_);
+        for (size_t i = begin; i < end; ++i) {
+          if (PassesPrefilters(matcher_, ctx, candidates[i], s)) {
+            verifier.Add(&candidates[i], i);
+          }
+        }
+        verifier.Flush(ctx, s, matched);
+        return Status::OK();
       },
       stats);
 }
@@ -234,22 +280,34 @@ Result<std::vector<size_t>> ParallelMatcher::MatchBatchIpa(
       cache != nullptr ? cache->stats() : PhonemeCacheStats{};
   Result<std::vector<size_t>> out = RunPartitioned(
       ipa_candidates.size(), threads,
-      [&](size_t i, MatchStats* s) -> Result<bool> {
-        const std::string& ipa = ipa_candidates[i];
-        if (ipa.empty()) {
-          ++s->tuples_scanned;
-          ++s->filter_rejections;
-          return false;
-        }
-        if (cache != nullptr) {
-          // Allocation-free hit path: borrow the cached parse.
+      [&](size_t begin, size_t end, MatchStats* s,
+          std::vector<size_t>* matched) -> Status {
+        ChunkVerifier verifier(matcher_);
+        for (size_t i = begin; i < end; ++i) {
+          const std::string& ipa = ipa_candidates[i];
+          if (ipa.empty()) {
+            ++s->tuples_scanned;
+            ++s->filter_rejections;
+            continue;
+          }
           std::shared_ptr<const PhonemeString> cand;
-          LEXEQUAL_ASSIGN_OR_RETURN(cand, cache->ParseIpaShared(ipa));
-          return DecideCandidate(matcher_, ctx, *cand, s);
+          if (cache != nullptr) {
+            // Allocation-free hit path: borrow the cached parse (the
+            // cached PhonemeString carries its contiguous id buffer,
+            // so the kernel reads it in place).
+            LEXEQUAL_ASSIGN_OR_RETURN(cand, cache->ParseIpaShared(ipa));
+          } else {
+            PhonemeString parsed;
+            LEXEQUAL_ASSIGN_OR_RETURN(parsed, PhonemeString::FromIpa(ipa));
+            cand = std::make_shared<const PhonemeString>(std::move(parsed));
+          }
+          if (PassesPrefilters(matcher_, ctx, *cand, s)) {
+            verifier.Add(cand.get(), i);
+            verifier.owned.push_back(std::move(cand));
+          }
         }
-        PhonemeString cand;
-        LEXEQUAL_ASSIGN_OR_RETURN(cand, PhonemeString::FromIpa(ipa));
-        return DecideCandidate(matcher_, ctx, cand, s);
+        verifier.Flush(ctx, s, matched);
+        return Status::OK();
       },
       stats);
   if (out.ok() && stats != nullptr && cache != nullptr) {

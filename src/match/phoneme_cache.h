@@ -84,7 +84,9 @@ class PhonemeCache {
 
   /// Memoized PhonemeString::FromIpa(ipa_utf8). An empty input yields
   /// an empty phoneme string (the stored form of untransformable
-  /// rows) without touching the cache.
+  /// rows) without touching the cache. A cached parse is a contiguous
+  /// byte array of phoneme ids (PhonemeString::ids()), so borrowers
+  /// can feed it straight to MatchKernel without copying.
   Result<std::shared_ptr<const phonetic::PhonemeString>> ParseIpaShared(
       std::string_view ipa_utf8);
 

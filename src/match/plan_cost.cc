@@ -12,10 +12,13 @@ double EstimateVerifyCost(double query_len, double cand_len,
   if (query_len <= 0 || cand_len <= 0) return p.phoneme_parse;
   const double shorter = std::min(query_len, cand_len);
   const double longer = std::max(query_len, cand_len);
-  // Unit-edit band around the diagonal; the banded DP visits at most
-  // longer * band cells before the early-out prunes.
+  // Band around the diagonal as the kernel computes it: the weighted
+  // bound (threshold * shorter) buys bound / min_indel unit edits each
+  // side; with the default clustered weights (min_indel = 0.5) that is
+  // ~ 4k+1 columns. The DP visits at most longer * band cells before
+  // the row-minimum early-out prunes.
   const double band =
-      std::min(2.0 * threshold * shorter + 1.0, longer + 1.0);
+      std::min(4.0 * threshold * shorter + 1.0, longer + 1.0);
   return p.phoneme_parse * cand_len + p.dp_cell * shorter * band;
 }
 

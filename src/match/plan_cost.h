@@ -5,7 +5,7 @@
 // sit next to the filters they model: the q-gram candidate estimate
 // reuses CountFilterMinMatches (qgram.h) so the estimator and the
 // executed filter can never drift apart, and the verification
-// estimate mirrors the banded DP of edit_distance.h. The engine's
+// estimate mirrors the banded table-driven DP of match_kernel.h. The engine's
 // plan picker (engine/plan_picker.h) combines these with persisted
 // table statistics; everything here is a pure function of its
 // arguments.
@@ -25,7 +25,7 @@ struct PlanCostParams {
   double rid_lookup = 4.0;       // random heap fetch for one candidate
   double btree_probe = 40.0;     // one B-Tree descent
   double posting_entry = 0.2;    // one index entry touched in a range
-  double dp_cell = 0.05;         // one cell of the banded DP
+  double dp_cell = 0.02;         // one cell of the table-driven DP
   double phoneme_parse = 0.3;    // parse one phoneme of a stored cell
   double index_plan_overhead = 300.0;  // fixed cost of any index plan
   double parallel_setup = 20000.0;     // worker-pool spin-up
@@ -34,9 +34,13 @@ struct PlanCostParams {
 };
 
 /// Cost of verifying one candidate of `cand_len` phonemes against a
-/// probe of `query_len`: parsing the stored IPA cell plus the banded
-/// clustered-cost DP (band width ~ 2k+1 unit edits around the
-/// diagonal, k = threshold * min length).
+/// probe of `query_len`: parsing the stored IPA cell plus the
+/// table-driven DP of match_kernel.h. The kernel band derives from
+/// the weighted bound over the cheapest insert/delete (~ threshold *
+/// min length / min_indel unit edits each side of the diagonal); with
+/// the default clustered weights (min_indel = 0.5) that is ~ 4k+1
+/// columns wide, k = threshold * min length. The bit-parallel
+/// unit-cost path is strictly cheaper, so this stays an upper bound.
 double EstimateVerifyCost(double query_len, double cand_len,
                           double threshold,
                           const PlanCostParams& p = {});

@@ -7,8 +7,10 @@
 #ifndef LEXEQUAL_PHONETIC_PHONEME_STRING_H_
 #define LEXEQUAL_PHONETIC_PHONEME_STRING_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/result.h"
@@ -35,6 +37,21 @@ class PhonemeString {
   std::string ToIpa() const;
 
   const std::vector<Phoneme>& phonemes() const { return phonemes_; }
+
+  /// Contiguous byte view of the sequence for table-driven kernels
+  /// (match/match_kernel.h): Phoneme is a dense uint8_t enum, so the
+  /// backing vector *is* the id array — no copy, and cached parses
+  /// (match/phoneme_cache.h) carry their id buffer for free. Valid
+  /// while the string is alive and unmodified.
+  const uint8_t* ids() const {
+    static_assert(sizeof(Phoneme) == 1 &&
+                      std::is_same_v<std::underlying_type_t<Phoneme>,
+                                     uint8_t>,
+                  "Phoneme must stay a dense uint8_t enum for the "
+                  "id-buffer view");
+    return reinterpret_cast<const uint8_t*>(phonemes_.data());
+  }
+
   size_t size() const { return phonemes_.size(); }
   bool empty() const { return phonemes_.empty(); }
   Phoneme operator[](size_t i) const { return phonemes_[i]; }

@@ -592,6 +592,16 @@ Result<QueryResult> ExecuteExplain(Database* db, const Statement& stmt) {
   auto add_row = [&](std::string_view plan_name, bool chosen,
                      const engine::PlanCostEstimate* est,
                      std::string note) {
+    if (chosen && stmt.explain_analyze &&
+        actual.match.dp_evaluations > 0) {
+      // Surface which edit-distance kernel verified this query's
+      // candidates and how much DP work it did.
+      if (!note.empty()) note += "; ";
+      note += "kernel=";
+      note += actual.match.DominantKernel();
+      note += " dp_cells=";
+      note += std::to_string(actual.match.dp_cells);
+    }
     Tuple row;
     row.push_back(Value::String(std::string(plan_name)));
     row.push_back(Value::String(chosen ? "*" : ""));

@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "dataset/lexicon.h"
+#include "match/edit_distance.h"
 
 namespace lexequal::index {
 namespace {

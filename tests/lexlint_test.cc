@@ -135,6 +135,45 @@ TEST_F(LexlintTest, BufpoolIgnoresMentionsInCommentsAndStrings) {
   EXPECT_EQ(Lint({"bufpool"}, &diags), 0) << Render(diags);
 }
 
+TEST_F(LexlintTest, DirectEditDistanceInEngineIsFlagged) {
+  WriteFile("src/engine/verify.cc",
+            "bool F(const P& a, const P& b, const CostModel& c) {\n"
+            "  return BoundedEditDistance(a, b, c, 1.0) <= 1.0;\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"kernel"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "kernel");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("MatchKernel"), std::string::npos);
+}
+
+TEST_F(LexlintTest, KernelExemptsMatchIndexDataset) {
+  WriteFile("src/match/edit_distance.cc",
+            "double F(const P& a, const P& b, const CostModel& c) {\n"
+            "  return EditDistance(a, b, c);\n"
+            "}\n");
+  WriteFile("src/index/bktree.cc",
+            "double G(const P& a, const P& b, const CostModel& c) {\n"
+            "  return EditDistance(a, b, c);\n"
+            "}\n");
+  WriteFile("src/dataset/metrics.cc",
+            "double H(const P& a, const P& b, const CostModel& c) {\n"
+            "  return BoundedEditDistance(a, b, c, 2.0);\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"kernel"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, KernelIgnoresIdentifierPrefixesAndComments) {
+  WriteFile("src/sql/doc.cc",
+            "// the kernel replaces EditDistance( here\n"
+            "double MyEditDistance(int x);\n"
+            "double y = MyEditDistance(3);\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"kernel"}, &diags), 0) << Render(diags);
+}
+
 TEST_F(LexlintTest, DiscardedStatusIsFlagged) {
   WriteFile("src/common/io.h", "Status WriteAll(const char* path);\n");
   WriteFile("src/engine/save.cc",

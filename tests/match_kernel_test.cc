@@ -1,0 +1,292 @@
+// Differential tests for the table-driven MatchKernel
+// (match/match_kernel.h) against the reference DP
+// (match/edit_distance.h): randomized pairs across every bundled cost
+// model and a grid of bounds must agree bit-for-bit, for all three
+// kernel paths (bit-parallel, banded, general). Plus the tight-prune
+// regression (same decisions, strictly fewer cells) and the batch
+// API contract.
+
+#include "match/match_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "match/edit_distance.h"
+#include "match/lexequal.h"
+#include "phonetic/cluster.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::match {
+namespace {
+
+using phonetic::Phoneme;
+using phonetic::PhonemeString;
+
+// Random phoneme string over the full dense enum. Length-biased
+// toward short names, with a tail past 64 so the unit-cost model
+// also exercises the non-bit-parallel fallback.
+PhonemeString RandomString(Random* rng, size_t len) {
+  PhonemeString s;
+  for (size_t i = 0; i < len; ++i) {
+    s.Append(static_cast<Phoneme>(
+        rng->Uniform(static_cast<uint64_t>(phonetic::kPhonemeCount))));
+  }
+  return s;
+}
+
+size_t RandomLength(Random* rng) {
+  const uint64_t bucket = rng->Uniform(100);
+  if (bucket < 70) return rng->Uniform(28);        // short names
+  if (bucket < 95) return 28 + rng->Uniform(36);   // long names
+  return 65 + rng->Uniform(32);                    // past the 64 block
+}
+
+struct NamedModel {
+  std::string name;
+  std::unique_ptr<CostModel> model;
+};
+
+// Every bundled cost model, covering the unit (bit-parallel),
+// clustered (banded), and feature (general weighted) table shapes.
+std::vector<NamedModel> AllModels() {
+  const phonetic::ClusterTable& clusters =
+      phonetic::ClusterTable::Default();
+  std::vector<NamedModel> models;
+  models.push_back({"levenshtein", std::make_unique<LevenshteinCost>()});
+  for (const double alpha : {0.0, 0.25, 0.5, 1.0}) {
+    models.push_back(
+        {"clustered_" + std::to_string(alpha) + "_weak",
+         std::make_unique<ClusteredCost>(clusters, alpha, true)});
+  }
+  // intra=1, no weak discount: exactly unit tables -> bit-parallel.
+  models.push_back({"clustered_unit",
+                    std::make_unique<ClusteredCost>(clusters, 1.0, false)});
+  models.push_back({"feature", std::make_unique<FeatureCost>(true)});
+  models.push_back({"feature_noweak",
+                    std::make_unique<FeatureCost>(false)});
+  return models;
+}
+
+// One differential check: kernel vs reference, unbounded and across
+// a grid of bounds. Returns the reference distance.
+double CheckPair(const MatchKernel& kernel, const CostModel& model,
+                 const PhonemeString& a, const PhonemeString& b,
+                 DpArena* arena, const std::string& context) {
+  const double ref = EditDistance(a, b, model);
+  // Unbounded: bit-identical.
+  EXPECT_EQ(kernel.Distance(a, b, arena), ref) << context;
+
+  const double minlen =
+      static_cast<double>(std::min(a.size(), b.size()));
+  const double bounds[] = {0.0,          0.25 * minlen, 1.0 * minlen,
+                           ref,          ref - 0.1,     ref + 0.1};
+  for (const double bound : bounds) {
+    if (bound < 0.0) continue;
+    const double got = kernel.BoundedDistance(a, b, bound, arena);
+    if (ref <= bound) {
+      // In-bound distances come back exact.
+      EXPECT_EQ(got, ref) << context << " bound=" << bound;
+    } else {
+      EXPECT_GT(got, bound) << context << " bound=" << bound
+                            << " ref=" << ref;
+    }
+  }
+  return ref;
+}
+
+TEST(MatchKernelDifferentialTest, RandomPairsMatchReferenceExactly) {
+  Random rng(0x5eed0001);
+  const std::vector<NamedModel> models = AllModels();
+  DpArena arena;
+  // ~10k random pairs, each checked under every model and the bound
+  // grid above — all three kernel paths run many thousands of times.
+  constexpr int kPairsPerModel = 1200;
+  for (const NamedModel& nm : models) {
+    const MatchKernel kernel(CompiledCostModel::Compile(*nm.model));
+    for (int i = 0; i < kPairsPerModel; ++i) {
+      const PhonemeString a = RandomString(&rng, RandomLength(&rng));
+      const PhonemeString b = RandomString(&rng, RandomLength(&rng));
+      CheckPair(kernel, *nm.model, a, b, &arena,
+                nm.name + " pair#" + std::to_string(i));
+    }
+  }
+  // Sanity: the sweep exercised every kernel path.
+  EXPECT_GT(arena.counters.bitparallel_pairs, 0u);
+  EXPECT_GT(arena.counters.banded_pairs, 0u);
+  EXPECT_GT(arena.counters.general_pairs, 0u);
+}
+
+TEST(MatchKernelDifferentialTest, EmptyAndDegenerateCases) {
+  const std::vector<NamedModel> models = AllModels();
+  Random rng(0x5eed0002);
+  DpArena arena;
+  const PhonemeString empty;
+  const PhonemeString one = RandomString(&rng, 1);
+  const PhonemeString mid = RandomString(&rng, 17);
+  const PhonemeString big = RandomString(&rng, 70);
+  for (const NamedModel& nm : models) {
+    const MatchKernel kernel(CompiledCostModel::Compile(*nm.model));
+    for (const PhonemeString* x : {&empty, &one, &mid, &big}) {
+      for (const PhonemeString* y : {&empty, &one, &mid, &big}) {
+        CheckPair(kernel, *nm.model, *x, *y, &arena, nm.name);
+      }
+    }
+    // Identical strings are distance 0 under every bundled model.
+    EXPECT_EQ(kernel.Distance(mid, mid, &arena), 0.0) << nm.name;
+    EXPECT_EQ(kernel.BoundedDistance(mid, mid, 0.0, &arena), 0.0)
+        << nm.name;
+  }
+}
+
+TEST(MatchKernelDifferentialTest, BandEdgeLengthGaps) {
+  // Pairs whose length gap sits exactly at / just past what the bound
+  // affords: the banded path must clip rows to an empty feasible
+  // window without reading outside it.
+  const std::vector<NamedModel> models = AllModels();
+  Random rng(0x5eed0003);
+  DpArena arena;
+  for (const NamedModel& nm : models) {
+    const MatchKernel kernel(CompiledCostModel::Compile(*nm.model));
+    for (const auto& [la, lb] : std::vector<std::pair<size_t, size_t>>{
+             {1, 40}, {40, 1}, {10, 40}, {63, 65}, {64, 64}, {65, 66},
+             {5, 6},  {32, 48}}) {
+      const PhonemeString a = RandomString(&rng, la);
+      const PhonemeString b = RandomString(&rng, lb);
+      CheckPair(kernel, *nm.model, a, b, &arena,
+                nm.name + " la=" + std::to_string(la) +
+                    " lb=" + std::to_string(lb));
+    }
+  }
+}
+
+TEST(MatchKernelTest, TightPruneDecidesIdenticallyWithFewerCells) {
+  // Satellite regression for the pessimistic prune: the legacy bound
+  // priced the remaining length gap at the *global* MinEditCost (0.5
+  // with the weak-phoneme discount) even when no remaining phoneme is
+  // that cheap. The tight per-phoneme suffix bound must never change
+  // a decision and must visit strictly fewer cells on strings with no
+  // weak phonemes.
+  const phonetic::ClusterTable& clusters =
+      phonetic::ClusterTable::Default();
+  const ClusteredCost model(clusters, 0.25, true);
+  auto compiled = CompiledCostModel::Compile(model);
+  const MatchKernel tight(compiled, MatchKernelOptions{true});
+  const MatchKernel legacy(compiled, MatchKernelOptions{false});
+  ASSERT_LT(compiled->min_indel(), 1.0);  // discount present in tables
+
+  // Strings over non-weak phonemes only: every real ins/del costs 1,
+  // twice what the legacy bound assumes.
+  Random rng(0x5eed0004);
+  DpArena tight_arena;
+  DpArena legacy_arena;
+  int decisions = 0;
+  for (int i = 0; i < 400; ++i) {
+    PhonemeString a;
+    PhonemeString b;
+    for (size_t k = RandomLength(&rng); k > 0; --k) {
+      a.Append(static_cast<Phoneme>(rng.Uniform(20)));  // low ids: vowels/stops
+    }
+    for (size_t k = RandomLength(&rng); k > 0; --k) {
+      b.Append(static_cast<Phoneme>(rng.Uniform(20)));
+    }
+    if (a.empty() || b.empty()) continue;
+    const double bound =
+        0.25 * static_cast<double>(std::min(a.size(), b.size()));
+    const double dt = tight.BoundedDistance(a, b, bound, &tight_arena);
+    const double dl = legacy.BoundedDistance(a, b, bound, &legacy_arena);
+    EXPECT_EQ(dt <= bound, dl <= bound) << "pair#" << i;
+    if (dt <= bound) {
+      EXPECT_EQ(dt, dl) << "pair#" << i;
+    }
+    ++decisions;
+  }
+  ASSERT_GT(decisions, 300);
+  EXPECT_LT(tight_arena.counters.dp_cells,
+            legacy_arena.counters.dp_cells);
+}
+
+TEST(MatchKernelTest, MatchBatchAgreesWithScalarAndIsAscending) {
+  LexEqualMatcher matcher;  // default threshold 0.25, clustered costs
+  Random rng(0x5eed0005);
+  std::vector<PhonemeString> pool;
+  for (int i = 0; i < 300; ++i) {
+    pool.push_back(RandomString(&rng, RandomLength(&rng)));
+  }
+  const PhonemeString probe = RandomString(&rng, 12);
+
+  std::vector<const PhonemeString*> ptrs;
+  for (const PhonemeString& s : pool) ptrs.push_back(&s);
+  ptrs.push_back(nullptr);  // null candidates never match
+
+  DpArena arena;
+  std::vector<size_t> matched;
+  matcher.kernel().MatchBatch(probe, ptrs,
+                              matcher.options().threshold, &arena,
+                              &matched);
+  EXPECT_TRUE(std::is_sorted(matched.begin(), matched.end()));
+  std::vector<size_t> expected;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (matcher.MatchPhonemes(probe, pool[i])) expected.push_back(i);
+  }
+  EXPECT_EQ(matched, expected);
+}
+
+TEST(MatchKernelTest, CompileCachesPerParams) {
+  const phonetic::ClusterTable& clusters =
+      phonetic::ClusterTable::Default();
+  const ClusteredCost a(clusters, 0.25, true);
+  const ClusteredCost b(clusters, 0.25, true);
+  const ClusteredCost c(clusters, 0.5, true);
+  EXPECT_EQ(CompiledCostModel::Compile(a), CompiledCostModel::Compile(b));
+  EXPECT_NE(CompiledCostModel::Compile(a), CompiledCostModel::Compile(c));
+  const LevenshteinCost lev;
+  EXPECT_EQ(CompiledCostModel::Compile(lev),
+            CompiledCostModel::Compile(lev));
+  EXPECT_TRUE(CompiledCostModel::Compile(lev)->IsUnit());
+  EXPECT_FALSE(CompiledCostModel::Compile(a)->IsUnit());
+}
+
+TEST(MatchKernelTest, CountersClassifyPathsCorrectly) {
+  Random rng(0x5eed0006);
+  DpArena arena;
+
+  // Unit model, both sides <= 64: bit-parallel.
+  const LevenshteinCost lev;
+  const MatchKernel unit(CompiledCostModel::Compile(lev));
+  const PhonemeString s8 = RandomString(&rng, 8);
+  const PhonemeString s9 = RandomString(&rng, 9);
+  unit.Distance(s8, s9, &arena);
+  EXPECT_EQ(arena.counters.bitparallel_pairs, 1u);
+  EXPECT_EQ(arena.counters.dp_cells, 0u);  // no DP cells on this path
+
+  // Unit model past 64 phonemes falls back to the weighted DP.
+  const PhonemeString s70 = RandomString(&rng, 70);
+  const PhonemeString s71 = RandomString(&rng, 71);
+  unit.Distance(s70, s71, &arena);
+  EXPECT_EQ(arena.counters.bitparallel_pairs, 1u);
+  EXPECT_EQ(arena.counters.banded_pairs + arena.counters.general_pairs,
+            1u);
+  EXPECT_GT(arena.counters.dp_cells, 0u);
+
+  // Weighted model with a finite bound narrower than the grid: banded.
+  const ClusteredCost clu(phonetic::ClusterTable::Default(), 0.25, true);
+  const MatchKernel weighted(CompiledCostModel::Compile(clu));
+  const PhonemeString t30 = RandomString(&rng, 30);
+  const PhonemeString u30 = RandomString(&rng, 30);
+  const KernelCounters before = arena.counters;
+  weighted.BoundedDistance(t30, u30, 1.0, &arena);
+  EXPECT_EQ(arena.counters.DeltaSince(before).banded_pairs, 1u);
+
+  // Weighted model, unbounded: general full DP.
+  const KernelCounters before2 = arena.counters;
+  weighted.Distance(t30, u30, &arena);
+  EXPECT_EQ(arena.counters.DeltaSince(before2).general_pairs, 1u);
+}
+
+}  // namespace
+}  // namespace lexequal::match

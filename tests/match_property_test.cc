@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/random.h"
+#include "match/edit_distance.h"
 #include "match/lexequal.h"
 #include "match/qgram.h"
 

@@ -176,6 +176,32 @@ TEST_F(ParallelMatcherTest, EmptyAndTinyBatches) {
   EXPECT_EQ(stats.tuples_scanned, 3u);
 }
 
+TEST_F(ParallelMatcherTest, SharedKernelAcrossWorkersCountsEveryPair) {
+  // All workers verify through the matcher's one shared MatchKernel,
+  // each on a private DpArena; the per-worker kernel counters must
+  // add up to exactly the DP-verified pairs, with the results still
+  // serial-identical.
+  LexEqualMatcher matcher;
+  const std::vector<size_t> expected =
+      SerialReference(matcher, query_, candidates_);
+
+  ParallelMatcher pm(matcher, {.threads = 4, .min_parallel_batch = 1});
+  MatchStats stats;
+  Result<std::vector<size_t>> got =
+      pm.MatchBatch(query_, candidates_, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), expected);
+  EXPECT_EQ(stats.threads_used, 4u);
+  // Every DP-verified pair was decided by exactly one kernel path.
+  EXPECT_EQ(stats.kernel_bitparallel + stats.kernel_banded +
+                stats.kernel_general,
+            stats.dp_evaluations);
+  EXPECT_GT(stats.dp_evaluations, 0u);
+  // Default clustered costs are weighted: the banded DP decides.
+  EXPECT_GT(stats.kernel_banded, 0u);
+  EXPECT_GT(stats.dp_cells, 0u);
+}
+
 TEST_F(ParallelMatcherTest, AutoThreadSelectionIsBounded) {
   LexEqualMatcher matcher;
   ParallelMatcher pm(matcher);  // threads = 0 (auto)

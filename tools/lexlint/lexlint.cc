@@ -340,6 +340,44 @@ void CheckBufpool(const std::vector<SourceFile>& files, Sink* sink) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: kernel.
+
+// Modules allowed to call the reference edit-distance routines
+// directly: the match library itself (kernel + differential
+// harness), the BK-tree (whose metric must be the full distance, not
+// a bounded decision), and dataset ground-truth computation. Engine
+// and SQL execution paths must verify candidates through
+// match::MatchKernel so they get the table-driven batch kernels.
+bool KernelExempt(const std::string& module) {
+  return module == "match" || module == "index" || module == "dataset";
+}
+
+void CheckKernel(const std::vector<SourceFile>& files, Sink* sink) {
+  static const std::regex call_re(
+      R"((BoundedEditDistance|EditDistance)[ \t]*\()");
+  for (const SourceFile& f : files) {
+    if (KernelExempt(f.module)) continue;
+    for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
+                                        call_re);
+         it != std::sregex_iterator(); ++it) {
+      // Reject identifier-prefix matches (e.g. MyEditDistance).
+      const size_t pos = static_cast<size_t>(it->position(0));
+      if (pos > 0) {
+        const char prev = f.pure[pos - 1];
+        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+          continue;
+        }
+      }
+      sink->Emit(f, "kernel", LineOfOffset(f.pure, pos),
+                 "reference " + (*it)[1].str() +
+                     " outside match/index/dataset; execution paths "
+                     "must verify through match::MatchKernel "
+                     "(src/match/match_kernel.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: status.
 
 // Harvests the names of functions returning Status or Result<T> from
@@ -610,7 +648,7 @@ std::string Diagnostic::ToString() const {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      "layering", "bufpool", "status", "metrics", "doclinks"};
+      "layering", "bufpool", "kernel", "status", "metrics", "doclinks"};
   return kRules;
 }
 
@@ -659,7 +697,8 @@ int Run(const Options& options, std::vector<Diagnostic>* diags,
   }
 
   const bool needs_sources = enabled("layering") || enabled("bufpool") ||
-                             enabled("status") || enabled("metrics");
+                             enabled("kernel") || enabled("status") ||
+                             enabled("metrics");
   std::vector<SourceFile> files;
   if (needs_sources) {
     std::vector<fs::path> paths;
@@ -691,6 +730,7 @@ int Run(const Options& options, std::vector<Diagnostic>* diags,
 
   if (enabled("layering")) CheckLayering(files, &sink);
   if (enabled("bufpool")) CheckBufpool(files, &sink);
+  if (enabled("kernel")) CheckKernel(files, &sink);
   if (enabled("status")) CheckStatus(files, &sink);
   if (enabled("metrics")) CheckMetricsSource(files, &sink);
   if (enabled("doclinks")) CheckDocLinks(root, &sink);

@@ -12,6 +12,12 @@
 //               UnpinPage may appear only inside the pool
 //               implementation and the RAII PageGuard; everything
 //               else must hold pins through the guard.
+//   kernel    — edit-distance kernel discipline: the reference
+//               EditDistance/BoundedEditDistance may be called only
+//               from match/ (kernel + tests' ground truth), index/
+//               (BK-tree metric), and dataset/ (ground-truth
+//               metrics); engine and SQL execution paths must verify
+//               candidates through match::MatchKernel.
 //   status    — no silently discarded Status / Result<T>: a call to a
 //               fallible function whose value is dropped on the floor
 //               (including via a bare `(void)` cast) is an error;
@@ -58,7 +64,7 @@ struct Options {
   /// Repo root, for the doclinks rule; empty = parent of src_dir.
   std::string root_dir;
   /// Subset of rules to run; empty = all. Known names: layering,
-  /// bufpool, status, metrics, doclinks.
+  /// bufpool, kernel, status, metrics, doclinks.
   std::vector<std::string> rules;
   /// Non-empty: validate metric names in this Prometheus text export
   /// instead of scanning sources (implies the metrics rule only).
