@@ -78,11 +78,14 @@ void PrintHelp() {
       "  where  <col> LexEQUAL '<literal>'      -- or LexEQUAL <col>\n"
       "         [Threshold <e>] [Cost <c>] [inlanguages { L1, ... | * }]\n"
       "  [order by <col> [asc|desc]] [USING <plan>] [limit <n>]\n"
+      "ranked retrieval (top-K, served by the inverted index):\n"
+      "  select <cols> from <table>\n"
+      "  order by lexsim(<col>, '<query>') [desc] [USING <plan>] limit <k>\n"
       "optimizer statements:\n"
       "  analyze [<table>]           -- collect + persist table stats\n"
       "  explain <select>            -- cost-based plan choice, no run\n"
       "  explain analyze <select>    -- run it; estimated vs actual\n"
-      "  create index phonetic|qgram on <table> (<column>) [Q <n>]\n");
+      "  create index phonetic|qgram|invidx on <table> (<column>) [Q <n>]\n");
   PrintPlans();
   std::printf(
       "  without USING, auto picks by cost (ANALYZE first for stats).\n"

@@ -16,6 +16,7 @@
 #include "engine/table_stats.h"
 #include "engine/value.h"
 #include "index/btree.h"
+#include "index/inverted_index.h"
 #include "storage/heap_file.h"
 
 namespace lexequal::engine {
@@ -61,6 +62,31 @@ struct QGramIndexInfo {
   std::unique_ptr<index::BTree> btree;
 };
 
+/// The q-gram inverted index (index/inverted_index.h): delta-encoded
+/// posting lists with skip blocks over one phonemic column's grams.
+/// Docids are packed RIDs ((page_id << 16) | slot), increasing under
+/// the append-only heap. min_len/max_len bound the indexed phoneme
+/// lengths — the top-K exactness check maximizes its score bound over
+/// this range, so they must cover every indexed row (they are
+/// maintained on insert and persisted with the snapshot).
+struct InvertedIndexInfo {
+  static uint64_t PackDocid(const storage::RID& rid) {
+    return (static_cast<uint64_t>(rid.page_id) << 16) |
+           static_cast<uint64_t>(rid.slot);
+  }
+  static storage::RID UnpackDocid(uint64_t docid) {
+    return storage::RID{static_cast<storage::PageId>(docid >> 16),
+                        static_cast<uint16_t>(docid & 0xFFFF)};
+  }
+
+  uint32_t column = 0;  // ordinal of the phonemic column
+  int q = 2;
+  std::unique_ptr<index::InvertedIndex> index;
+  uint64_t indexed_rows = 0;
+  uint32_t min_len = 0;  // shortest indexed phoneme string (0 = none)
+  uint32_t max_len = 0;  // longest indexed phoneme string
+};
+
 /// One table: schema + heap + optional LexEQUAL access paths.
 struct TableInfo {
   std::string name;
@@ -68,6 +94,7 @@ struct TableInfo {
   std::unique_ptr<storage::HeapFile> heap;
   std::unique_ptr<PhoneticIndexInfo> phonetic_index;
   std::unique_ptr<QGramIndexInfo> qgram_index;
+  std::unique_ptr<InvertedIndexInfo> inverted_index;
   /// Optimizer statistics from the last ANALYZE (unanalyzed default
   /// until one runs); persisted through the catalog snapshot.
   TableStats stats;

@@ -17,10 +17,12 @@ using storage::RID;
 
 // Catalog snapshot format. v1 records ended after the q-gram block;
 // v2 appends the table-stats block (engine/table_stats.h) and widens
-// the version marker to [version, format]. The loader is structural —
-// it reads whatever blocks are present — so the number is persisted
-// for diagnostics and future migrations rather than branched on.
-constexpr int64_t kCatalogFormatVersion = 2;
+// the version marker to [version, format]; v3 appends the
+// inverted-index block after the stats block. The loader is
+// structural — it reads whatever blocks are present — so the number
+// is persisted for diagnostics and future migrations rather than
+// branched on.
+constexpr int64_t kCatalogFormatVersion = 3;
 
 // Finds the phonemic shadow column of `source_col`: either a column
 // declared with phonemic_source = source_col (engine-derived on
@@ -58,6 +60,24 @@ Result<PhonemeString> RowPhonemes(const Tuple& row, uint32_t phon_col) {
   return PhonemeString::FromIpa(cell.AsString().text());
 }
 
+// Feeds one row into a table's inverted index, maintaining the
+// indexed-rows count and the length bounds the top-K exactness check
+// depends on. Docids are packed RIDs, increasing under the
+// append-only heap, which keeps posting lists sorted on append.
+Status AddToInvertedIndex(InvertedIndexInfo* ii,
+                          const PhonemeString& phon, RID rid) {
+  if (phon.empty()) return Status::OK();
+  LEXEQUAL_RETURN_IF_ERROR(
+      ii->index->Add(InvertedIndexInfo::PackDocid(rid),
+                     match::PositionalQGrams(phon, ii->q),
+                     static_cast<uint32_t>(phon.size())));
+  const uint32_t len = static_cast<uint32_t>(phon.size());
+  ++ii->indexed_rows;
+  ii->min_len = ii->indexed_rows == 1 ? len : std::min(ii->min_len, len);
+  ii->max_len = std::max(ii->max_len, len);
+  return Status::OK();
+}
+
 // Process-wide engine counters. QueryStats / MatchStats stay the
 // per-query ground truth; one FlushQueryStats call per public query
 // entry point folds them into the registry, so every plan — serial or
@@ -79,6 +99,14 @@ struct EngineCounters {
   obs::Counter* qgram_candidates;
   obs::Counter* phonetic_probes;
   obs::Counter* phonetic_candidates;
+  obs::Counter* invidx_probes;
+  obs::Counter* invidx_postings;
+  obs::Counter* invidx_postings_skipped;
+  obs::Counter* invidx_blocks_skipped;
+  obs::Counter* invidx_candidates;
+  obs::Counter* invidx_early_terminations;
+  obs::Counter* invidx_restarts;
+  obs::Counter* invidx_fallback_scans;
 
   static const EngineCounters& Get() {
     static const EngineCounters c = [] {
@@ -116,6 +144,30 @@ struct EngineCounters {
       out.phonetic_candidates =
           reg.GetCounter("lexequal_phonetic_candidates",
                          "RIDs returned by phonetic probes");
+      out.invidx_probes = reg.GetCounter(
+          "lexequal_invidx_probes",
+          "Inverted-index posting lists opened");
+      out.invidx_postings = reg.GetCounter(
+          "lexequal_invidx_postings",
+          "Inverted-index postings decoded");
+      out.invidx_postings_skipped = reg.GetCounter(
+          "lexequal_invidx_postings_skipped",
+          "Postings bypassed via skip blocks or pruned lists");
+      out.invidx_blocks_skipped = reg.GetCounter(
+          "lexequal_invidx_blocks_skipped",
+          "Posting blocks never decoded");
+      out.invidx_candidates = reg.GetCounter(
+          "lexequal_invidx_candidates",
+          "Candidates produced by inverted-index merges");
+      out.invidx_early_terminations = reg.GetCounter(
+          "lexequal_invidx_early_terminations",
+          "Top-K candidates pruned by the score upper bound");
+      out.invidx_restarts = reg.GetCounter(
+          "lexequal_invidx_restarts",
+          "Top-K merge escalations (wider list prefix)");
+      out.invidx_fallback_scans = reg.GetCounter(
+          "lexequal_invidx_fallback_scans",
+          "Top-K queries re-run as brute-force ranking");
       return out;
     }();
     return c;
@@ -136,6 +188,27 @@ void FlushQueryStats(const QueryStats& qs, uint64_t wall_us) {
   c.match_filtered->Inc(qs.match.filter_rejections);
   c.match_dp->Inc(qs.match.dp_evaluations);
   c.match_matches->Inc(qs.match.matches);
+}
+
+// Folds one inverted-index operation's counters into the query stats
+// and the registry. Bumped at the call site like the q-gram counters;
+// FlushQueryStats never touches these, so nothing double counts.
+void FoldInvidxStats(const index::invidx::Stats& is, QueryStats* qs) {
+  const EngineCounters& c = EngineCounters::Get();
+  c.invidx_probes->Inc(is.lists_opened);
+  c.invidx_postings->Inc(is.postings_examined);
+  c.invidx_postings_skipped->Inc(is.postings_skipped);
+  c.invidx_blocks_skipped->Inc(is.blocks_skipped);
+  c.invidx_candidates->Inc(is.candidates);
+  c.invidx_early_terminations->Inc(is.early_terminated);
+  c.invidx_restarts->Inc(is.restarts);
+  if (qs != nullptr) {
+    qs->invidx_postings += is.postings_examined;
+    qs->invidx_postings_skipped += is.postings_skipped;
+    qs->invidx_blocks_skipped += is.blocks_skipped;
+    qs->invidx_early_terminated += is.early_terminated;
+    qs->invidx_restarts += is.restarts;
+  }
 }
 
 uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
@@ -167,6 +240,12 @@ void QueryStats::Accumulate(const QueryStats& other) {
   rows_scanned += other.rows_scanned;
   candidates += other.candidates;
   udf_calls += other.udf_calls;
+  invidx_postings += other.invidx_postings;
+  invidx_postings_skipped += other.invidx_postings_skipped;
+  invidx_blocks_skipped += other.invidx_blocks_skipped;
+  invidx_early_terminated += other.invidx_early_terminated;
+  invidx_restarts += other.invidx_restarts;
+  invidx_fallbacks += other.invidx_fallbacks;
   results = other.results;
   plan = other.plan;
   plan_was_auto = other.plan_was_auto;
@@ -290,6 +369,19 @@ Status Database::SaveCatalog() {
     rec.push_back(
         Value::Int64(qi != nullptr ? qi->btree->root_page_id() : 0));
     info->stats.AppendTo(&rec);
+    // v3: inverted-index block, after the stats block so v2 readers
+    // (which stop at the stats block's end) stay compatible.
+    const InvertedIndexInfo* ii = info->inverted_index.get();
+    rec.push_back(Value::Int64(ii != nullptr ? 1 : 0));
+    if (ii != nullptr) {
+      rec.push_back(Value::Int64(ii->column));
+      rec.push_back(Value::Int64(ii->q));
+      rec.push_back(Value::Int64(ii->index->directory_root()));
+      rec.push_back(
+          Value::Int64(static_cast<int64_t>(ii->indexed_rows)));
+      rec.push_back(Value::Int64(ii->min_len));
+      rec.push_back(Value::Int64(ii->max_len));
+    }
     LEXEQUAL_RETURN_IF_ERROR(
         meta_->Insert(SerializeTuple(rec)).status());
   }
@@ -372,6 +464,24 @@ Status Database::LoadCatalog() {
     // Stats block (absent in pre-v2 snapshots => unanalyzed default).
     LEXEQUAL_ASSIGN_OR_RETURN(info->stats,
                               TableStats::ReadFrom(rec, &pos));
+    // Inverted-index block (absent in pre-v3 snapshots).
+    if (pos < rec.size() && next_int() != 0) {
+      if (pos + 6 > rec.size()) {
+        return Status::Corruption(
+            "truncated inverted-index catalog block");
+      }
+      auto ii = std::make_unique<InvertedIndexInfo>();
+      ii->column = static_cast<uint32_t>(next_int());
+      ii->q = static_cast<int>(next_int());
+      ii->index = std::make_unique<index::InvertedIndex>(
+          index::InvertedIndex::Open(
+              pool_.get(), ii->q,
+              static_cast<storage::PageId>(next_int())));
+      ii->indexed_rows = static_cast<uint64_t>(next_int());
+      ii->min_len = static_cast<uint32_t>(next_int());
+      ii->max_len = static_cast<uint32_t>(next_int());
+      info->inverted_index = std::move(ii);
+    }
     LEXEQUAL_RETURN_IF_ERROR(catalog_.AddTable(std::move(info)));
   }
   return Status::OK();
@@ -473,6 +583,13 @@ Result<RID> Database::Insert(const std::string& table,
       }
     }
   }
+  if (info->inverted_index != nullptr) {
+    PhonemeString phon;
+    LEXEQUAL_ASSIGN_OR_RETURN(
+        phon, RowPhonemes(row, info->inverted_index->column));
+    LEXEQUAL_RETURN_IF_ERROR(
+        AddToInvertedIndex(info->inverted_index.get(), phon, rid));
+  }
   return rid;
 }
 
@@ -481,6 +598,41 @@ Status Database::CreateIndex(const IndexSpec& spec) {
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(spec.table));
   uint32_t col;
   LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(spec.column));
+
+  if (spec.kind == IndexSpec::Kind::kInverted) {
+    if (spec.q < 1 || spec.q > match::kMaxQ) {
+      return Status::InvalidArgument(
+          "q must be in [1, " + std::to_string(match::kMaxQ) + "]");
+    }
+    if (info->inverted_index != nullptr) {
+      return Status::AlreadyExists(
+          "inverted index already exists on '" + spec.table + "'");
+    }
+    Result<index::InvertedIndex> created =
+        index::InvertedIndex::Create(pool_.get(), spec.q);
+    if (!created.ok()) return created.status();
+    auto ii = std::make_unique<InvertedIndexInfo>();
+    ii->column = col;
+    ii->q = spec.q;
+    ii->index = std::make_unique<index::InvertedIndex>(
+        std::move(created).value());
+    // Backfill in heap order, which yields strictly increasing RIDs
+    // (= packed docids), the order posting-list appends require.
+    SeqScanExecutor scan(info);
+    LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+    Tuple row;
+    while (true) {
+      bool has;
+      LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+      if (!has) break;
+      PhonemeString phon;
+      LEXEQUAL_ASSIGN_OR_RETURN(phon, RowPhonemes(row, col));
+      LEXEQUAL_RETURN_IF_ERROR(
+          AddToInvertedIndex(ii.get(), phon, scan.current_rid()));
+    }
+    info->inverted_index = std::move(ii);
+    return SaveCatalog();
+  }
 
   const bool phonetic = spec.kind == IndexSpec::Kind::kPhonetic;
   if (phonetic && info->phonetic_index != nullptr) {
@@ -571,6 +723,10 @@ Status Database::Analyze(const std::string& table) {
     if (info->qgram_index != nullptr && info->qgram_index->column == i) {
       state.s.qgram_q = info->qgram_index->q;
     }
+    if (info->inverted_index != nullptr &&
+        info->inverted_index->column == i) {
+      state.s.invidx_q = info->inverted_index->q;
+    }
     cols.push_back(std::move(state));
   }
 
@@ -606,6 +762,14 @@ Status Database::Analyze(const std::string& table) {
           std::max(state.s.max_phonetic_fanout, count);
     }
     state.s.distinct_qgrams = state.grams.size();
+    if (info->inverted_index != nullptr &&
+        info->inverted_index->column == state.s.column) {
+      index::InvertedIndex::Totals totals;
+      LEXEQUAL_ASSIGN_OR_RETURN(
+          totals, info->inverted_index->index->ComputeTotals());
+      state.s.invidx_distinct_grams = totals.distinct_grams;
+      state.s.invidx_total_postings = totals.total_postings;
+    }
     stats.columns.push_back(std::move(state.s));
   }
   info->stats = std::move(stats);
@@ -700,11 +864,11 @@ Result<bool> Database::VerifyCandidate(
 }
 
 Result<std::vector<RID>> Database::QGramCandidates(
-    const TableInfo& table, const PhonemeString& query_phon,
+    const TableInfo& table, const match::QGramProbe& probe,
     double threshold, QueryStats* stats) const {
   const QGramIndexInfo& idx = *table.qgram_index;
-  const int q = idx.q;
-  const size_t qlen = query_phon.size();
+  const int q = probe.q;
+  const size_t qlen = probe.length;
 
   struct CandState {
     int matches = 0;
@@ -715,8 +879,7 @@ Result<std::vector<RID>> Database::QGramCandidates(
     return (static_cast<uint64_t>(r.page_id) << 16) | r.slot;
   };
 
-  for (const match::PositionalQGram& g :
-       match::PositionalQGrams(query_phon, q)) {
+  for (const match::PositionalQGram& g : probe.grams) {
     // Covering-index probe: all entries whose gram equals g.gram,
     // with (pos, len) carried in the key's low bits.
     std::vector<std::pair<uint64_t, RID>> entries;
@@ -777,6 +940,8 @@ PlanPickerInputs Database::PickerInputs(
   in.has_qgram = info.qgram_index != nullptr;
   if (in.has_qgram) in.qgram_q = info.qgram_index->q;
   in.has_phonetic = info.phonetic_index != nullptr;
+  in.has_invidx = info.inverted_index != nullptr;
+  if (in.has_invidx) in.invidx_q = info.inverted_index->q;
   if (query_len > 0) in.query_len = query_len;
   in.match = options.match;
   in.hints = options.hints;
@@ -908,13 +1073,58 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
       if (info->qgram_index == nullptr) {
         return Status::NotFound("no q-gram index on '" + table + "'");
       }
+      // One probe multiset per query, reused across every index
+      // chunk (the per-chunk rebuild was a measured regression).
+      const match::QGramProbe probe =
+          match::BuildQGramProbe(query_phon, info->qgram_index->q);
       std::vector<RID> rids;
       {
         obs::ScopedSpan span(trace, "qgram_filter");
         LEXEQUAL_ASSIGN_OR_RETURN(
-            rids, QGramCandidates(*info, query_phon,
+            rids, QGramCandidates(*info, probe,
                                   options.match.threshold, stats));
         span.AddRows(rids.size());
+      }
+      obs::ScopedSpan span(trace, "verify");
+      RidLookupExecutor lookup(info, std::move(rids));
+      LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
+      Tuple row;
+      while (true) {
+        bool has;
+        LEXEQUAL_ASSIGN_OR_RETURN(has, lookup.Next(&row));
+        if (!has) break;
+        if (!LanguageAllowed(options, row, source_col)) continue;
+        bool matched;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            matched,
+            VerifyCandidate(matcher, query_phon, row, phon_col, stats));
+        if (matched) out.push_back(row);
+      }
+      span.AddRows(out.size());
+      break;
+    }
+    case LexEqualPlan::kInvertedIndex: {
+      if (info->inverted_index == nullptr) {
+        return Status::NotFound("no inverted index on '" + table + "'");
+      }
+      const InvertedIndexInfo& ii = *info->inverted_index;
+      const match::QGramProbe probe =
+          match::BuildQGramProbe(query_phon, ii.q);
+      index::invidx::Stats istats;
+      std::vector<uint64_t> docids;
+      {
+        obs::ScopedSpan span(trace, "invidx_merge");
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            docids, ii.index->ThresholdCandidates(
+                        probe, options.match.threshold, &istats));
+        span.AddRows(docids.size());
+      }
+      FoldInvidxStats(istats, stats);
+      if (stats != nullptr) stats->rows_scanned += docids.size();
+      std::vector<RID> rids;
+      rids.reserve(docids.size());
+      for (uint64_t d : docids) {
+        rids.push_back(InvertedIndexInfo::UnpackDocid(d));
       }
       obs::ScopedSpan span(trace, "verify");
       RidLookupExecutor lookup(info, std::move(rids));
@@ -1119,10 +1329,43 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
           return Status::NotFound("no q-gram index on '" + right_table +
                                   "'");
         }
+        // One probe multiset per outer probe string.
+        const match::QGramProbe probe =
+            match::BuildQGramProbe(lph, right->qgram_index->q);
         std::vector<RID> rids;
         LEXEQUAL_ASSIGN_OR_RETURN(
-            rids, QGramCandidates(*right, lph, options.match.threshold,
-                                  &qs));
+            rids, QGramCandidates(*right, probe,
+                                  options.match.threshold, &qs));
+        RidLookupExecutor lookup(right, std::move(rids));
+        LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
+        Tuple rrow;
+        while (true) {
+          bool rhas;
+          LEXEQUAL_ASSIGN_OR_RETURN(rhas, lookup.Next(&rrow));
+          if (!rhas) break;
+          LEXEQUAL_RETURN_IF_ERROR(emit_if_match(rrow));
+        }
+        break;
+      }
+      case LexEqualPlan::kInvertedIndex: {
+        if (right->inverted_index == nullptr) {
+          return Status::NotFound("no inverted index on '" +
+                                  right_table + "'");
+        }
+        const InvertedIndexInfo& ii = *right->inverted_index;
+        const match::QGramProbe probe = match::BuildQGramProbe(lph, ii.q);
+        index::invidx::Stats istats;
+        std::vector<uint64_t> docids;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            docids, ii.index->ThresholdCandidates(
+                        probe, options.match.threshold, &istats));
+        FoldInvidxStats(istats, &qs);
+        qs.rows_scanned += docids.size();
+        std::vector<RID> rids;
+        rids.reserve(docids.size());
+        for (uint64_t d : docids) {
+          rids.push_back(InvertedIndexInfo::UnpackDocid(d));
+        }
         RidLookupExecutor lookup(right, std::move(rids));
         LEXEQUAL_RETURN_IF_ERROR(lookup.Init());
         Tuple rrow;
@@ -1187,6 +1430,242 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
   FlushQueryStats(qs, ElapsedUs(start));
   if (trace != nullptr) last_trace_ = std::move(trace);
   if (stats != nullptr) stats->Accumulate(qs);
+  return out;
+}
+
+Result<std::vector<TopKRow>> Database::LexEqualTopK(
+    const std::string& table, const std::string& column,
+    const text::TaggedString& query, size_t k,
+    const LexEqualQueryOptions& options, QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  QueryStats qs;
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (tracing_) trace = MakeEngineTrace();
+  obs::ScopedSpan root(trace.get(), "lexequal_topk");
+  match::PhonemeCache& cache = match::PhonemeCache::Default();
+  const match::PhonemeCacheStats before = cache.stats();
+  Result<PhonemeString> query_phon = [&] {
+    obs::ScopedSpan span(trace.get(), "g2p_transform");
+    return cache.Transform(query);
+  }();
+  const match::PhonemeCacheStats after = cache.stats();
+  qs.match.cache_hits += after.hits - before.hits;
+  qs.match.cache_misses += after.misses - before.misses;
+  if (!query_phon.ok()) return query_phon.status();
+  Result<std::vector<TopKRow>> out = TopKPhonemesImpl(
+      table, column, query_phon.value(), k, options, &qs, trace.get());
+  if (!out.ok()) return out.status();
+  root.End();
+  last_stats_ = qs;
+  FlushQueryStats(qs, ElapsedUs(start));
+  if (trace != nullptr) last_trace_ = std::move(trace);
+  if (stats != nullptr) stats->Accumulate(qs);
+  return out;
+}
+
+Result<std::vector<TopKRow>> Database::LexEqualTopKPhonemes(
+    const std::string& table, const std::string& column,
+    const PhonemeString& query_phon, size_t k,
+    const LexEqualQueryOptions& options, QueryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  QueryStats qs;
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (tracing_) trace = MakeEngineTrace();
+  obs::ScopedSpan root(trace.get(), "lexequal_topk");
+  Result<std::vector<TopKRow>> out = TopKPhonemesImpl(
+      table, column, query_phon, k, options, &qs, trace.get());
+  if (!out.ok()) return out.status();
+  root.End();
+  last_stats_ = qs;
+  FlushQueryStats(qs, ElapsedUs(start));
+  if (trace != nullptr) last_trace_ = std::move(trace);
+  if (stats != nullptr) stats->Accumulate(qs);
+  return out;
+}
+
+Result<std::vector<TopKRow>> Database::TopKPhonemesImpl(
+    const std::string& table, const std::string& column,
+    const PhonemeString& query_phon, size_t k,
+    const LexEqualQueryOptions& options, QueryStats* qs,
+    obs::QueryTrace* trace) {
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
+  uint32_t source_col;
+  LEXEQUAL_ASSIGN_OR_RETURN(source_col, info->schema.IndexOf(column));
+  uint32_t phon_col;
+  LEXEQUAL_ASSIGN_OR_RETURN(phon_col,
+                            PhonemicColumnOf(info->schema, source_col));
+
+  match::LexEqualMatcher matcher(options.match);
+  std::vector<TopKRow> out;
+  qs->plan_was_auto = options.hints.plan == LexEqualPlan::kAuto;
+  if (options.hints.plan == LexEqualPlan::kInvertedIndex &&
+      info->inverted_index == nullptr) {
+    return Status::NotFound("no inverted index on '" + table + "'");
+  }
+  if (k == 0) {
+    qs->plan = info->inverted_index != nullptr
+                   ? LexEqualPlan::kInvertedIndex
+                   : LexEqualPlan::kNaiveUdf;
+    return out;
+  }
+
+  // Plan: the inverted index when present; a USING hint for another
+  // plan or an empty probe (no grams to merge) runs the exact
+  // brute-force ranking. Either path scores through the same kernel,
+  // so the result rows and scores are identical.
+  const bool hinted_away =
+      options.hints.plan != LexEqualPlan::kAuto &&
+      options.hints.plan != LexEqualPlan::kInvertedIndex;
+  const bool use_invidx = info->inverted_index != nullptr &&
+                          !hinted_away && !query_phon.empty();
+  if (!use_invidx) {
+    qs->plan = LexEqualPlan::kNaiveUdf;
+    LEXEQUAL_ASSIGN_OR_RETURN(
+        out, BruteForceTopK(info, source_col, phon_col, matcher,
+                            query_phon, k, options, qs, trace));
+    qs->results = out.size();
+    return out;
+  }
+
+  qs->plan = LexEqualPlan::kInvertedIndex;
+  const InvertedIndexInfo& ii = *info->inverted_index;
+  const match::QGramProbe probe =
+      match::BuildQGramProbe(query_phon, ii.q);
+
+  // Lower-bound cost facts for the per-list score upper bound
+  // (understating them weakens pruning but never correctness).
+  index::invidx::ScoreBounds bounds;
+  bounds.min_indel = matcher.kernel().costs().min_indel();
+  bounds.cheapest_edit = std::min(matcher.kernel().costs().min_edit(),
+                                  matcher.kernel().costs().min_indel());
+  bounds.min_len = ii.min_len;
+  bounds.max_len = ii.max_len;
+
+  match::DpArena& arena = match::DpArena::ThreadLocal();
+  std::unordered_map<uint64_t, Tuple> fetched;
+  index::InvidxVerifyFn verify =
+      [&](uint64_t docid,
+          uint32_t /*len*/) -> Result<std::optional<double>> {
+    const RID rid = InvertedIndexInfo::UnpackDocid(docid);
+    std::string rec;
+    LEXEQUAL_ASSIGN_OR_RETURN(rec, info->heap->Get(rid));
+    Tuple row;
+    LEXEQUAL_ASSIGN_OR_RETURN(row, DeserializeTuple(rec));
+    ++qs->candidates;
+    ++qs->match.tuples_scanned;
+    if (!LanguageAllowed(options, row, source_col)) {
+      return std::optional<double>();
+    }
+    PhonemeString cand;
+    LEXEQUAL_ASSIGN_OR_RETURN(cand, RowPhonemes(row, phon_col));
+    if (cand.empty()) {
+      ++qs->match.filter_rejections;
+      return std::optional<double>();
+    }
+    ++qs->udf_calls;
+    ++qs->match.dp_evaluations;
+    const double dist =
+        matcher.kernel().Distance(query_phon, cand, &arena);
+    const double score = index::invidx::LexsimScore(
+        dist, query_phon.size(), cand.size());
+    fetched[docid] = std::move(row);
+    return std::optional<double>(score);
+  };
+
+  index::invidx::Stats istats;
+  index::invidx::TopKOutcome outcome;
+  LEXEQUAL_ASSIGN_OR_RETURN(
+      outcome, ii.index->TopK(probe, k, bounds, verify, &istats, trace));
+  FoldInvidxStats(istats, qs);
+  if (!outcome.exact) {
+    // The score bound could not certify the ranking (e.g. a row
+    // sharing no gram with the probe could still outscore the k-th
+    // hit on a short or sparse lexicon). Re-rank exactly.
+    EngineCounters::Get().invidx_fallback_scans->Inc();
+    ++qs->invidx_fallbacks;
+    LEXEQUAL_ASSIGN_OR_RETURN(
+        out, BruteForceTopK(info, source_col, phon_col, matcher,
+                            query_phon, k, options, qs, trace));
+    qs->results = out.size();
+    return out;
+  }
+  out.reserve(outcome.hits.size());
+  for (const index::invidx::TopKHit& hit : outcome.hits) {
+    auto it = fetched.find(hit.docid);
+    if (it == fetched.end()) {
+      return Status::Internal("top-K hit was never verified");
+    }
+    out.push_back(TopKRow{it->second, hit.score});
+  }
+  qs->results = out.size();
+  return out;
+}
+
+Result<std::vector<TopKRow>> Database::BruteForceTopK(
+    TableInfo* info, uint32_t source_col, uint32_t phon_col,
+    const match::LexEqualMatcher& matcher,
+    const PhonemeString& query_phon, size_t k,
+    const LexEqualQueryOptions& options, QueryStats* qs,
+    obs::QueryTrace* trace) {
+  obs::ScopedSpan span(trace, "topk_brute_force");
+  struct Scored {
+    double score = 0.0;
+    uint64_t docid = 0;
+    Tuple row;
+  };
+  // Heap comparator = the ranking order (score desc, docid asc); with
+  // it the heap front is the *worst* kept entry, the one the next
+  // better candidate evicts.
+  auto better = [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.docid < b.docid;
+  };
+  std::vector<Scored> heap;
+  heap.reserve(k);
+  match::DpArena& arena = match::DpArena::ThreadLocal();
+  SeqScanExecutor scan(info);
+  LEXEQUAL_RETURN_IF_ERROR(scan.Init());
+  Tuple row;
+  while (true) {
+    bool has;
+    LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
+    if (!has) break;
+    if (qs != nullptr) ++qs->rows_scanned;
+    if (!LanguageAllowed(options, row, source_col)) continue;
+    PhonemeString cand;
+    LEXEQUAL_ASSIGN_OR_RETURN(cand, RowPhonemes(row, phon_col));
+    if (cand.empty()) continue;
+    if (qs != nullptr) {
+      ++qs->candidates;
+      ++qs->match.tuples_scanned;
+      ++qs->udf_calls;
+      ++qs->match.dp_evaluations;
+    }
+    const double dist =
+        matcher.kernel().Distance(query_phon, cand, &arena);
+    Scored s;
+    s.score = index::invidx::LexsimScore(dist, query_phon.size(),
+                                         cand.size());
+    s.docid = InvertedIndexInfo::PackDocid(scan.current_rid());
+    if (heap.size() < k) {
+      s.row = row;
+      heap.push_back(std::move(s));
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(s, heap.front())) {
+      s.row = row;
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = std::move(s);
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), better);
+  std::vector<TopKRow> out;
+  out.reserve(heap.size());
+  for (Scored& s : heap) {
+    out.push_back(TopKRow{std::move(s.row), s.score});
+  }
+  span.AddRows(out.size());
   return out;
 }
 

@@ -49,6 +49,16 @@ struct QueryStats {
   bool plan_used_stats = false;  // priced from ANALYZE statistics
   double est_cost = 0.0;         // optimizer cost of the executed plan
   double est_candidates = 0.0;   // estimated rows reaching the UDF
+  /// Inverted-index work (zero unless kInvertedIndex or top-K ran):
+  /// postings decoded vs bypassed through skip blocks, top-K pruning
+  /// outcomes, and brute-force fallbacks when the exactness check
+  /// cannot certify the ranking.
+  uint64_t invidx_postings = 0;
+  uint64_t invidx_postings_skipped = 0;
+  uint64_t invidx_blocks_skipped = 0;
+  uint64_t invidx_early_terminated = 0;
+  uint64_t invidx_restarts = 0;
+  uint64_t invidx_fallbacks = 0;
   /// Matcher-side breakdown (filters, DP runs, phoneme-cache hits,
   /// threads, wall time). Filled by the parallel plan; the query-side
   /// G2P cache counters are filled by every LexEQUAL text query.
@@ -65,11 +75,19 @@ struct IndexSpec {
   enum class Kind {
     kPhonetic,  // grouped phoneme string id B-Tree (paper §5.3)
     kQGram,     // covering positional q-gram B-Tree (paper §5.2)
+    kInverted,  // gram posting lists + skip blocks (invidx; §5.2 + top-K)
   };
   Kind kind = Kind::kPhonetic;
   std::string table;
   std::string column;  // the phonemic column to index
-  int q = 2;           // gram length; kQGram only
+  int q = 2;           // gram length; kQGram and kInverted only
+};
+
+/// One row of a ranked (top-K) LexEQUAL retrieval, with its score
+/// lexsim = 1 - editdistance / max(|a|, |b|) in [..., 1].
+struct TopKRow {
+  Tuple row;
+  double score = 0.0;
 };
 
 /// A single-file embedded database with the LexEQUAL extension.
@@ -126,6 +144,15 @@ class Database {
                         .q = q});
   }
 
+  /// Convenience wrapper — CreateIndex with Kind::kInverted.
+  Status CreateInvertedIndex(const std::string& table,
+                             const std::string& phonemic_column, int q = 2) {
+    return CreateIndex({.kind = IndexSpec::Kind::kInverted,
+                        .table = table,
+                        .column = phonemic_column,
+                        .q = q});
+  }
+
   /// Collects optimizer statistics for `table` — row count, phonemic
   /// lengths, phonetic-key fanout, q-gram posting density — in one
   /// heap scan, and persists them through the catalog snapshot. Until
@@ -164,6 +191,27 @@ class Database {
   Result<std::vector<Tuple>> LexEqualSelectPhonemes(
       const std::string& table, const std::string& column,
       const phonetic::PhonemeString& query_phon,
+      const LexEqualQueryOptions& options, QueryStats* stats = nullptr);
+
+  /// Ranked retrieval: the k rows of `table` most similar to `query`
+  /// under lexsim(column, query) = 1 - editdistance / max length,
+  /// ordered (score desc, insertion order asc) — the SQL surface is
+  /// `SELECT ... ORDER BY lexsim(col, 'q') LIMIT k`. Runs the
+  /// inverted index's skip-block top-K with score upper bounds when
+  /// one exists on the column (falling back to an exact brute-force
+  /// ranking otherwise, or whenever the index cannot certify the
+  /// ranking); either way the scores come from the exact MatchKernel,
+  /// so the result is identical to ranking every row.
+  /// `options.match.threshold` is ignored — ranking has no cutoff.
+  Result<std::vector<TopKRow>> LexEqualTopK(
+      const std::string& table, const std::string& column,
+      const text::TaggedString& query, size_t k,
+      const LexEqualQueryOptions& options, QueryStats* stats = nullptr);
+
+  /// Phoneme-space variant of LexEqualTopK.
+  Result<std::vector<TopKRow>> LexEqualTopKPhonemes(
+      const std::string& table, const std::string& column,
+      const phonetic::PhonemeString& query_phon, size_t k,
       const LexEqualQueryOptions& options, QueryStats* stats = nullptr);
 
   /// SELECT pairs FROM t1, t2 WHERE t1.c1 LexEQUAL t2.c2 AND
@@ -249,13 +297,33 @@ class Database {
                                const Tuple& row, uint32_t phon_col,
                                QueryStats* stats) const;
 
-  // Candidate RIDs from the q-gram access path for one probe string.
-  // The filters use the paper's Fig. 14 semantics: the edit budget is
-  // k = threshold * min(|query|, |candidate|) counted in unit edits,
-  // so the candidate set is exact for Levenshtein costs and may lose
-  // a few clustered-cost matches (documented in DESIGN.md).
+  // LexEqualTopKPhonemes body, same contract as SelectPhonemesImpl.
+  Result<std::vector<TopKRow>> TopKPhonemesImpl(
+      const std::string& table, const std::string& column,
+      const phonetic::PhonemeString& query_phon, size_t k,
+      const LexEqualQueryOptions& options, QueryStats* qs,
+      obs::QueryTrace* trace);
+
+  // Exact reference ranking: scores every phonemic row with the
+  // kernel and keeps the best k by (score desc, RID asc). Used as the
+  // top-K fallback plan and by the differential tests.
+  Result<std::vector<TopKRow>> BruteForceTopK(
+      TableInfo* info, uint32_t source_col, uint32_t phon_col,
+      const match::LexEqualMatcher& matcher,
+      const phonetic::PhonemeString& query_phon, size_t k,
+      const LexEqualQueryOptions& options, QueryStats* qs,
+      obs::QueryTrace* trace);
+
+  // Candidate RIDs from the q-gram access path for one probe. The
+  // probe multiset is built once per query (BuildQGramProbe) and
+  // reused across every index chunk — rebuilding it per chunk was a
+  // measurable regression, pinned by a counter test. The filters use
+  // the paper's Fig. 14 semantics: the edit budget is k = threshold *
+  // min(|query|, |candidate|) counted in unit edits, so the candidate
+  // set is exact for Levenshtein costs and may lose a few
+  // clustered-cost matches (documented in DESIGN.md).
   Result<std::vector<storage::RID>> QGramCandidates(
-      const TableInfo& table, const phonetic::PhonemeString& query_phon,
+      const TableInfo& table, const match::QGramProbe& probe,
       double threshold, QueryStats* stats) const;
 
   // True if the row's language passes the inlanguages clause.

@@ -17,6 +17,8 @@ enum class LexEqualPlan {
   kPhoneticIndex,   // phonetic B-Tree + UDF  (paper Table 3)
   kParallelScan,    // batch scan: filters + thread pool + phoneme
                     // cache; same match set as kNaiveUdf
+  kInvertedIndex,   // q-gram inverted-index merge + UDF on survivors;
+                    // also backs ORDER BY lexsim(...) LIMIT k
   kAuto,            // cost-based choice from table statistics; must
                     // stay last (the descriptor guard pins it there)
 };
@@ -42,6 +44,9 @@ inline constexpr LexEqualPlanDesc kLexEqualPlans[] = {
      "grouped phonetic-key B-Tree probe, UDF on key-equal rows"},
     {LexEqualPlan::kParallelScan, "parallel-scan", "parallel",
      "batch scan over a worker pool; same rows as naive"},
+    {LexEqualPlan::kInvertedIndex, "inverted-index", "invidx",
+     "posting-list merge over the gram inverted index, UDF on "
+     "survivors; skip blocks back top-K ranking"},
     {LexEqualPlan::kAuto, "auto", "auto",
      "cost-based choice from ANALYZE statistics"},
 };

@@ -8,6 +8,7 @@ namespace lexequal::engine {
 
 namespace {
 
+using match::EstimateInvidxPostings;
 using match::EstimateParallelSpeedup;
 using match::EstimateQGramCandidates;
 using match::EstimateQGramPostings;
@@ -83,6 +84,30 @@ std::vector<PlanCostEstimate> PriceAll(const PlanPickerInputs& in,
              (rows * p.scan_tuple + phonemic * verify) / speedup;
     out.push_back(std::move(e));
   }
+  {
+    PlanCostEstimate e;
+    e.plan = LexEqualPlan::kInvertedIndex;
+    if (!in.has_invidx) {
+      e.note = "no inverted index";
+    } else {
+      e.eligible = true;
+      // One directory descent per probe gram, then a sequential
+      // decode of each list's blocks (no per-entry B-Tree work); the
+      // survivors of the shared length/position/count filters match
+      // the q-gram path's, so reuse that candidate estimate.
+      const double postings = EstimateInvidxPostings(
+          in.query_len, in.invidx_q, col.avg_invidx_postings());
+      const double grams =
+          in.query_len + static_cast<double>(in.invidx_q) - 1.0;
+      e.est_candidates =
+          EstimateQGramCandidates(in.query_len, avg_len, threshold,
+                                  in.invidx_q, postings, phonemic);
+      e.cost = p.index_plan_overhead + grams * p.btree_probe +
+               postings * p.invidx_posting +
+               e.est_candidates * (p.rid_lookup + verify);
+    }
+    out.push_back(std::move(e));
+  }
   return out;
 }
 
@@ -94,6 +119,9 @@ LexEqualPlan HeuristicPlan(const PlanPickerInputs& in) {
       in.match.threshold <= kPhoneticIndexThresholdGate) {
     return LexEqualPlan::kPhoneticIndex;
   }
+  // The inverted index produces the same candidates as the q-gram
+  // B-Tree with a sequential merge instead of per-entry probes.
+  if (in.has_invidx) return LexEqualPlan::kInvertedIndex;
   if (in.has_qgram) return LexEqualPlan::kQGramFilter;
   return LexEqualPlan::kNaiveUdf;
 }

@@ -8,7 +8,8 @@
 // choice but the estimates are still produced for EXPLAIN.
 //
 // Eligibility rules:
-//  * kQGramFilter / kPhoneticIndex need the corresponding index.
+//  * kQGramFilter / kPhoneticIndex / kInvertedIndex need the
+//    corresponding index.
 //  * kPhoneticIndex is additionally gated to thresholds <=
 //    kPhoneticIndexThresholdGate: the index only returns rows whose
 //    grouped phonetic key equals the probe's, so at loose thresholds
@@ -67,6 +68,8 @@ struct PlanPickerInputs {
   bool has_qgram = false;
   int qgram_q = 2;
   bool has_phonetic = false;
+  bool has_invidx = false;
+  int invidx_q = 2;
   double query_len = 8.0;             // probe length in phonemes
   match::LexEqualOptions match;
   PlanHints hints;

@@ -10,7 +10,9 @@ const PhonemicColumnStats* TableStats::ForColumn(uint32_t column) const {
 }
 
 void TableStats::AppendTo(Tuple* record) const {
-  record->push_back(Value::Int64(analyzed ? 1 : 0));
+  // The leading cell is the block version: 0 = unanalyzed, 2 = the
+  // current 12-cell column run (1 was the pre-invidx 9-cell run).
+  record->push_back(Value::Int64(analyzed ? 2 : 0));
   if (!analyzed) return;
   record->push_back(Value::Int64(static_cast<int64_t>(row_count)));
   record->push_back(Value::Int64(static_cast<int64_t>(columns.size())));
@@ -28,6 +30,11 @@ void TableStats::AppendTo(Tuple* record) const {
         Value::Int64(static_cast<int64_t>(c.distinct_qgrams)));
     record->push_back(Value::Int64(static_cast<int64_t>(c.total_qgrams)));
     record->push_back(Value::Int64(c.qgram_q));
+    record->push_back(Value::Int64(c.invidx_q));
+    record->push_back(
+        Value::Int64(static_cast<int64_t>(c.invidx_distinct_grams)));
+    record->push_back(
+        Value::Int64(static_cast<int64_t>(c.invidx_total_postings)));
   }
 }
 
@@ -43,9 +50,12 @@ Result<TableStats> TableStats::ReadFrom(const Tuple& record,
     }
     return record[(*pos)++].AsInt64();
   };
-  int64_t flag;
-  LEXEQUAL_ASSIGN_OR_RETURN(flag, next_int());
-  if (flag == 0) return stats;
+  int64_t version;
+  LEXEQUAL_ASSIGN_OR_RETURN(version, next_int());
+  if (version == 0) return stats;
+  if (version != 1 && version != 2) {
+    return Status::Corruption("unknown table-stats block version");
+  }
   stats.analyzed = true;
   int64_t v;
   LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
@@ -72,6 +82,14 @@ Result<TableStats> TableStats::ReadFrom(const Tuple& record,
     c.total_qgrams = static_cast<uint64_t>(v);
     LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
     c.qgram_q = static_cast<int>(v);
+    if (version >= 2) {
+      LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+      c.invidx_q = static_cast<int>(v);
+      LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+      c.invidx_distinct_grams = static_cast<uint64_t>(v);
+      LEXEQUAL_ASSIGN_OR_RETURN(v, next_int());
+      c.invidx_total_postings = static_cast<uint64_t>(v);
+    }
     stats.columns.push_back(c);
   }
   return stats;

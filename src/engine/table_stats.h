@@ -34,6 +34,21 @@ struct PhonemicColumnStats {
   uint64_t distinct_qgrams = 0;   // distinct gram codes at qgram_q
   uint64_t total_qgrams = 0;      // positional gram postings at qgram_q
   int qgram_q = 2;                // q the gram counts were taken at
+  // Inverted-index shape (v2 stats; zero when no invidx exists or the
+  // snapshot predates them). Postings here are docs-per-list entries,
+  // not positional grams: each row contributes one posting per
+  // *distinct* gram it contains.
+  int invidx_q = 0;                     // q of the inverted index
+  uint64_t invidx_distinct_grams = 0;   // posting lists in the index
+  uint64_t invidx_total_postings = 0;   // sum of list lengths
+
+  /// Average posting-list length of the inverted index.
+  double avg_invidx_postings() const {
+    return invidx_distinct_grams == 0
+               ? 0.0
+               : static_cast<double>(invidx_total_postings) /
+                     static_cast<double>(invidx_distinct_grams);
+  }
 
   double avg_phonemes() const {
     return nonempty_rows == 0
@@ -68,14 +83,18 @@ struct TableStats {
   const PhonemicColumnStats* ForColumn(uint32_t column) const;
 
   /// Appends the stats block to a catalog snapshot record. The block
-  /// is a flat run of Int64 cells: [analyzed] and, when analyzed,
-  /// [row_count, n_columns, then 9 cells per column]. Old snapshots
-  /// simply end before the block (see ReadStats).
+  /// is a flat run of Int64 cells: [version] and, when analyzed,
+  /// [row_count, n_columns, then a fixed cell run per column]. The
+  /// leading cell doubles as the format version: 0 = unanalyzed,
+  /// 1 = the original 9-cell columns, 2 = 12 cells (adds the
+  /// inverted-index shape). Old snapshots simply end before the block
+  /// (see ReadFrom).
   void AppendTo(Tuple* record) const;
 
   /// Reads the stats block starting at *pos, advancing it. A record
   /// that ends before *pos (a pre-stats snapshot) yields default
-  /// (unanalyzed) stats — the backward-compatibility path.
+  /// (unanalyzed) stats, and version-1 blocks load with zeroed
+  /// inverted-index cells — the backward-compatibility paths.
   static Result<TableStats> ReadFrom(const Tuple& record, size_t* pos);
 };
 

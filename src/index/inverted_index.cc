@@ -1,0 +1,930 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "storage/page_guard.h"
+
+namespace lexequal::index {
+
+namespace invidx {
+
+void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+size_t DecodeVarint(const uint8_t* p, const uint8_t* end, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  const uint8_t* start = p;
+  while (p < end && shift < 64) {
+    const uint8_t byte = *p++;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return static_cast<size_t>(p - start);
+    }
+    shift += 7;
+  }
+  return 0;  // truncated or overlong
+}
+
+void AppendPosting(const Posting& p, uint64_t prev_docid,
+                   std::string* out) {
+  AppendVarint(p.docid - prev_docid, out);
+  AppendVarint(p.len, out);
+  AppendVarint(p.positions.size(), out);
+  uint32_t prev_pos = 0;
+  bool first = true;
+  for (uint32_t pos : p.positions) {
+    AppendVarint(first ? pos : pos - prev_pos, out);
+    prev_pos = pos;
+    first = false;
+  }
+}
+
+namespace {
+
+// Sanity ceilings for decoded fields: anything past these is a
+// corrupt page, not a real phoneme string (the padded positions of an
+// n-phoneme string never exceed n + q - 1).
+constexpr uint64_t kMaxDecodedLen = 1u << 20;
+constexpr uint64_t kMaxDecodedPositions = 1u << 12;
+
+}  // namespace
+
+Result<std::vector<Posting>> DecodePostings(std::string_view payload,
+                                            uint32_t n_postings) {
+  std::vector<Posting> out;
+  out.reserve(n_postings);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(payload.data());
+  const uint8_t* end = p + payload.size();
+  uint64_t docid = 0;
+  for (uint32_t i = 0; i < n_postings; ++i) {
+    uint64_t delta, len, npos;
+    size_t n = DecodeVarint(p, end, &delta);
+    if (n == 0) return Status::Corruption("posting docid truncated");
+    p += n;
+    if (i > 0 && delta == 0) {
+      return Status::Corruption("non-increasing posting docid");
+    }
+    if (delta > std::numeric_limits<uint64_t>::max() - docid) {
+      return Status::Corruption("posting docid overflow");
+    }
+    docid = (i == 0) ? delta : docid + delta;
+    n = DecodeVarint(p, end, &len);
+    if (n == 0) return Status::Corruption("posting length truncated");
+    p += n;
+    if (len == 0 || len > kMaxDecodedLen) {
+      return Status::Corruption("implausible posting length");
+    }
+    n = DecodeVarint(p, end, &npos);
+    if (n == 0) return Status::Corruption("position count truncated");
+    p += n;
+    if (npos == 0 || npos > kMaxDecodedPositions) {
+      return Status::Corruption("implausible position count");
+    }
+    Posting posting;
+    posting.docid = docid;
+    posting.len = static_cast<uint32_t>(len);
+    posting.positions.reserve(npos);
+    uint64_t pos = 0;
+    for (uint64_t j = 0; j < npos; ++j) {
+      uint64_t d;
+      n = DecodeVarint(p, end, &d);
+      if (n == 0) return Status::Corruption("position delta truncated");
+      p += n;
+      if (j > 0 && d == 0) {
+        return Status::Corruption("non-increasing gram position");
+      }
+      pos = (j == 0) ? d : pos + d;
+      if (pos > kMaxDecodedLen) {
+        return Status::Corruption("implausible gram position");
+      }
+      posting.positions.push_back(static_cast<uint32_t>(pos));
+    }
+    out.push_back(std::move(posting));
+  }
+  if (p != end) {
+    return Status::Corruption("trailing bytes after posting block");
+  }
+  return out;
+}
+
+double ScoreUpperBound(size_t probe_len, uint32_t len,
+                       uint64_t max_gram_matches, int q,
+                       const ScoreBounds& bounds) {
+  const double lp = static_cast<double>(probe_len);
+  const double lc = static_cast<double>(len);
+  const double longer = std::max(std::max(lp, lc), 1.0);
+  const double gap = std::abs(lp - lc);
+  // Count-filter arithmetic, inverted: strings within ed unit edits
+  // share >= longer + q - 1 - ed*q padded grams, so a candidate
+  // matching at most m grams has ed >= (longer + q - 1 - m) / q.
+  const double total = longer + static_cast<double>(q) - 1.0;
+  const double missing =
+      std::max(0.0, total - static_cast<double>(max_gram_matches));
+  const double units_lb = missing / static_cast<double>(q);
+  // Every unit of length gap costs at least one insert/delete; every
+  // unit edit costs at least the model's cheapest operation.
+  const double ed_lb = std::max(gap * bounds.min_indel,
+                                units_lb * bounds.cheapest_edit);
+  return 1.0 - ed_lb / longer;
+}
+
+}  // namespace invidx
+
+namespace {
+
+using invidx::Posting;
+using storage::kInvalidPageId;
+using storage::kPageSize;
+using storage::PageGuard;
+using storage::PageId;
+
+// Anchor-page layout (the per-list skip index).
+constexpr size_t kAnchorNext = 0;        // u32
+constexpr size_t kAnchorNBlocks = 4;     // u16
+constexpr size_t kAnchorGram = 8;        // u64
+constexpr size_t kAnchorDocCount = 16;   // u64 (first anchor only)
+constexpr size_t kAnchorLast = 24;       // u32 (first anchor only)
+constexpr size_t kAnchorHeaderSize = 32;
+constexpr size_t kAnchorEntrySize = 20;  // u64 first, u64 last, u32 page
+constexpr size_t kMaxAnchorEntries =
+    (kPageSize - kAnchorHeaderSize) / kAnchorEntrySize;
+
+// Block-page layout.
+constexpr size_t kBlockNPostings = 0;  // u16
+constexpr size_t kBlockUsed = 2;       // u16
+constexpr size_t kBlockHeaderSize = 8;
+constexpr size_t kBlockPayload = kPageSize - kBlockHeaderSize;
+
+template <typename T>
+T ReadAt(const char* data, size_t off) {
+  T v;
+  std::memcpy(&v, data + off, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void WriteAt(char* data, size_t off, T v) {
+  std::memcpy(data + off, &v, sizeof(T));
+}
+
+size_t EntryOffset(uint16_t i) {
+  return kAnchorHeaderSize + static_cast<size_t>(i) * kAnchorEntrySize;
+}
+
+void WriteEntry(char* data, uint16_t i, uint64_t first, uint64_t last,
+                PageId page) {
+  const size_t off = EntryOffset(i);
+  WriteAt<uint64_t>(data, off, first);
+  WriteAt<uint64_t>(data, off + 8, last);
+  WriteAt<uint32_t>(data, off + 16, page);
+}
+
+// Ranking comparator shared with the brute-force differential test:
+// higher score first, ascending docid on ties.
+bool BetterHit(double score_a, uint64_t docid_a, double score_b,
+               uint64_t docid_b) {
+  if (score_a != score_b) return score_a > score_b;
+  return docid_a < docid_b;
+}
+
+}  // namespace
+
+Result<InvertedIndex> InvertedIndex::Create(storage::BufferPool* pool,
+                                            int q) {
+  if (q < 1 || q > match::kMaxQ) {
+    return Status::InvalidArgument("invidx q out of range");
+  }
+  Result<BTree> directory = BTree::Create(pool);
+  if (!directory.ok()) return directory.status();
+  return InvertedIndex(pool, q, directory->root_page_id());
+}
+
+Result<std::optional<PageId>> InvertedIndex::FindAnchor(
+    uint64_t gram) const {
+  std::vector<storage::RID> rids;
+  LEXEQUAL_ASSIGN_OR_RETURN(rids, directory_.ScanEqual(gram));
+  if (rids.empty()) return std::optional<PageId>();
+  return std::optional<PageId>(rids.front().page_id);
+}
+
+Status InvertedIndex::CreateList(uint64_t gram, const Posting& posting) {
+  PageGuard block;
+  LEXEQUAL_ASSIGN_OR_RETURN(block, PageGuard::New(pool_));
+  std::string encoded;
+  invidx::AppendPosting(posting, 0, &encoded);
+  WriteAt<uint16_t>(block->data(), kBlockNPostings, 1);
+  WriteAt<uint16_t>(block->data(), kBlockUsed,
+                    static_cast<uint16_t>(encoded.size()));
+  std::memcpy(block->data() + kBlockHeaderSize, encoded.data(),
+              encoded.size());
+  block.MarkDirty();
+  const PageId block_page = block.id();
+  LEXEQUAL_RETURN_IF_ERROR(block.Release());
+
+  PageGuard anchor;
+  LEXEQUAL_ASSIGN_OR_RETURN(anchor, PageGuard::New(pool_));
+  WriteAt<uint32_t>(anchor->data(), kAnchorNext, kInvalidPageId);
+  WriteAt<uint16_t>(anchor->data(), kAnchorNBlocks, 1);
+  WriteAt<uint64_t>(anchor->data(), kAnchorGram, gram);
+  WriteAt<uint64_t>(anchor->data(), kAnchorDocCount, 1);
+  WriteAt<uint32_t>(anchor->data(), kAnchorLast, anchor.id());
+  WriteEntry(anchor->data(), 0, posting.docid, posting.docid, block_page);
+  anchor.MarkDirty();
+  const PageId anchor_page = anchor.id();
+  LEXEQUAL_RETURN_IF_ERROR(anchor.Release());
+  return directory_.Insert(gram, storage::RID{anchor_page, 0});
+}
+
+Status InvertedIndex::AppendToList(PageId first_anchor,
+                                   const Posting& posting) {
+  PageGuard first;
+  LEXEQUAL_ASSIGN_OR_RETURN(first, PageGuard::Fetch(pool_, first_anchor));
+  const PageId last_anchor = ReadAt<uint32_t>(first->data(), kAnchorLast);
+  WriteAt<uint64_t>(first->data(), kAnchorDocCount,
+                    ReadAt<uint64_t>(first->data(), kAnchorDocCount) + 1);
+  first.MarkDirty();
+
+  // Work on the tail anchor (== the first for short lists; the first
+  // guard stays pinned so the metadata write above survives either
+  // way).
+  PageGuard tail_guard;
+  char* tail = first->data();
+  if (last_anchor != first_anchor) {
+    LEXEQUAL_ASSIGN_OR_RETURN(tail_guard,
+                              PageGuard::Fetch(pool_, last_anchor));
+    tail = tail_guard->data();
+  }
+  const uint16_t n_blocks = ReadAt<uint16_t>(tail, kAnchorNBlocks);
+  if (n_blocks == 0) return Status::Corruption("empty tail anchor");
+  const size_t off = EntryOffset(n_blocks - 1);
+  const uint64_t last_docid = ReadAt<uint64_t>(tail, off + 8);
+  if (posting.docid <= last_docid) {
+    return Status::InvalidArgument(
+        "invidx postings must be appended in docid order");
+  }
+
+  const PageId block_page = ReadAt<uint32_t>(tail, off + 16);
+  std::string encoded;
+  invidx::AppendPosting(posting, last_docid, &encoded);
+
+  PageGuard block;
+  LEXEQUAL_ASSIGN_OR_RETURN(block, PageGuard::Fetch(pool_, block_page));
+  const uint16_t used = ReadAt<uint16_t>(block->data(), kBlockUsed);
+  if (kBlockHeaderSize + used + encoded.size() <= kPageSize) {
+    // In-place append into the open block.
+    std::memcpy(block->data() + kBlockHeaderSize + used, encoded.data(),
+                encoded.size());
+    WriteAt<uint16_t>(block->data(), kBlockUsed,
+                      static_cast<uint16_t>(used + encoded.size()));
+    WriteAt<uint16_t>(
+        block->data(), kBlockNPostings,
+        static_cast<uint16_t>(
+            ReadAt<uint16_t>(block->data(), kBlockNPostings) + 1));
+    block.MarkDirty();
+    LEXEQUAL_RETURN_IF_ERROR(block.Release());
+    WriteAt<uint64_t>(tail, off + 8, posting.docid);
+    if (tail_guard.holds_page()) {
+      tail_guard.MarkDirty();
+      LEXEQUAL_RETURN_IF_ERROR(tail_guard.Release());
+    }
+    return first.Release();
+  }
+  LEXEQUAL_RETURN_IF_ERROR(block.Release());
+
+  // Block full: start a fresh one (the new block's first posting
+  // stores its absolute docid).
+  PageGuard fresh;
+  LEXEQUAL_ASSIGN_OR_RETURN(fresh, PageGuard::New(pool_));
+  encoded.clear();
+  invidx::AppendPosting(posting, 0, &encoded);
+  WriteAt<uint16_t>(fresh->data(), kBlockNPostings, 1);
+  WriteAt<uint16_t>(fresh->data(), kBlockUsed,
+                    static_cast<uint16_t>(encoded.size()));
+  std::memcpy(fresh->data() + kBlockHeaderSize, encoded.data(),
+              encoded.size());
+  fresh.MarkDirty();
+  const PageId fresh_page = fresh.id();
+  LEXEQUAL_RETURN_IF_ERROR(fresh.Release());
+
+  if (n_blocks < kMaxAnchorEntries) {
+    WriteEntry(tail, n_blocks, posting.docid, posting.docid, fresh_page);
+    WriteAt<uint16_t>(tail, kAnchorNBlocks,
+                      static_cast<uint16_t>(n_blocks + 1));
+    if (tail_guard.holds_page()) {
+      tail_guard.MarkDirty();
+      LEXEQUAL_RETURN_IF_ERROR(tail_guard.Release());
+    }
+    return first.Release();
+  }
+
+  // Tail anchor full too: chain a new one.
+  PageGuard next;
+  LEXEQUAL_ASSIGN_OR_RETURN(next, PageGuard::New(pool_));
+  WriteAt<uint32_t>(next->data(), kAnchorNext, kInvalidPageId);
+  WriteAt<uint16_t>(next->data(), kAnchorNBlocks, 1);
+  WriteAt<uint64_t>(next->data(), kAnchorGram,
+                    ReadAt<uint64_t>(tail, kAnchorGram));
+  WriteEntry(next->data(), 0, posting.docid, posting.docid, fresh_page);
+  next.MarkDirty();
+  const PageId next_page = next.id();
+  LEXEQUAL_RETURN_IF_ERROR(next.Release());
+
+  WriteAt<uint32_t>(tail, kAnchorNext, next_page);
+  if (tail_guard.holds_page()) {
+    tail_guard.MarkDirty();
+    LEXEQUAL_RETURN_IF_ERROR(tail_guard.Release());
+  }
+  WriteAt<uint32_t>(first->data(), kAnchorLast, next_page);
+  return first.Release();
+}
+
+Status InvertedIndex::Add(uint64_t docid,
+                          const std::vector<match::PositionalQGram>& grams,
+                          uint32_t len) {
+  // Group the doc's grams by code; positions stay ascending because
+  // the sort is (gram, pos).
+  std::vector<match::PositionalQGram> sorted = grams;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const match::PositionalQGram& a,
+               const match::PositionalQGram& b) {
+              if (a.gram != b.gram) return a.gram < b.gram;
+              return a.pos < b.pos;
+            });
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const uint64_t gram = sorted[i].gram;
+    Posting posting;
+    posting.docid = docid;
+    posting.len = len;
+    while (i < sorted.size() && sorted[i].gram == gram) {
+      posting.positions.push_back(sorted[i].pos);
+      ++i;
+    }
+    std::optional<PageId> anchor;
+    LEXEQUAL_ASSIGN_OR_RETURN(anchor, FindAnchor(gram));
+    if (anchor.has_value()) {
+      LEXEQUAL_RETURN_IF_ERROR(AppendToList(*anchor, posting));
+    } else {
+      LEXEQUAL_RETURN_IF_ERROR(CreateList(gram, posting));
+    }
+  }
+  return Status::OK();
+}
+
+Result<InvertedIndex::ListHandle> InvertedIndex::OpenList(
+    uint64_t gram, PageId anchor) const {
+  ListHandle handle;
+  handle.gram = gram;
+  handle.first_anchor = anchor;
+  PageId page = anchor;
+  bool first = true;
+  while (page != kInvalidPageId) {
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, page));
+    if (ReadAt<uint64_t>(guard->data(), kAnchorGram) != gram) {
+      return Status::Corruption("anchor gram mismatch");
+    }
+    if (first) {
+      handle.doc_count = ReadAt<uint64_t>(guard->data(), kAnchorDocCount);
+      first = false;
+    }
+    const uint16_t n = ReadAt<uint16_t>(guard->data(), kAnchorNBlocks);
+    if (n > kMaxAnchorEntries) {
+      return Status::Corruption("anchor block count out of range");
+    }
+    for (uint16_t e = 0; e < n; ++e) {
+      const size_t off = EntryOffset(e);
+      BlockRef ref;
+      ref.first_docid = ReadAt<uint64_t>(guard->data(), off);
+      ref.last_docid = ReadAt<uint64_t>(guard->data(), off + 8);
+      ref.page = ReadAt<uint32_t>(guard->data(), off + 16);
+      ref.anchor = page;
+      ref.anchor_index = e;
+      handle.blocks.push_back(ref);
+    }
+    page = ReadAt<uint32_t>(guard->data(), kAnchorNext);
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
+  }
+  return handle;
+}
+
+Result<std::vector<Posting>> InvertedIndex::DecodeBlock(
+    const BlockRef& block) const {
+  PageGuard guard;
+  LEXEQUAL_ASSIGN_OR_RETURN(guard, PageGuard::Fetch(pool_, block.page));
+  const uint16_t n = ReadAt<uint16_t>(guard->data(), kBlockNPostings);
+  const uint16_t used = ReadAt<uint16_t>(guard->data(), kBlockUsed);
+  if (used > kBlockPayload) {
+    return Status::Corruption("posting block overflows its page");
+  }
+  Result<std::vector<Posting>> postings = invidx::DecodePostings(
+      std::string_view(guard->data() + kBlockHeaderSize, used), n);
+  if (!postings.ok()) return postings.status();
+  LEXEQUAL_RETURN_IF_ERROR(guard.Release());
+  if (!postings.value().empty() &&
+      (postings.value().front().docid != block.first_docid ||
+       postings.value().back().docid != block.last_docid)) {
+    return Status::Corruption("posting block out of sync with its anchor");
+  }
+  return postings;
+}
+
+Result<std::vector<uint64_t>> InvertedIndex::ThresholdCandidates(
+    const match::QGramProbe& probe, double threshold,
+    invidx::Stats* stats) const {
+  if (probe.q != q_) {
+    return Status::InvalidArgument("probe q does not match index q");
+  }
+  const size_t qlen = probe.length;
+
+  // Probe grams grouped by code (the probe's positions for each).
+  std::vector<match::PositionalQGram> sorted = probe.grams;
+  match::SortQGrams(&sorted);
+
+  struct CandState {
+    int matches = 0;
+    uint32_t len = 0;
+  };
+  std::unordered_map<uint64_t, CandState> cands;
+
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const uint64_t gram = sorted[i].gram;
+    std::vector<uint32_t> probe_pos;
+    while (i < sorted.size() && sorted[i].gram == gram) {
+      probe_pos.push_back(sorted[i].pos);
+      ++i;
+    }
+    std::optional<PageId> anchor;
+    LEXEQUAL_ASSIGN_OR_RETURN(anchor, FindAnchor(gram));
+    if (!anchor.has_value()) continue;
+    ++stats->lists_opened;
+    ++stats->lists_merged;
+    ListHandle handle;
+    LEXEQUAL_ASSIGN_OR_RETURN(handle, OpenList(gram, *anchor));
+    for (const BlockRef& block : handle.blocks) {
+      std::vector<Posting> postings;
+      LEXEQUAL_ASSIGN_OR_RETURN(postings, DecodeBlock(block));
+      ++stats->blocks_decoded;
+      stats->postings_examined += postings.size();
+      for (const Posting& posting : postings) {
+        // Per-candidate unit budget (Fig. 14: e * min length) and the
+        // length filter, identical to the B-Tree candidate path.
+        const double k = threshold * static_cast<double>(std::min<size_t>(
+                                         qlen, posting.len));
+        if (!match::PassesLengthFilter(qlen, posting.len, k)) continue;
+        // Position filter: count close (probe, candidate) pairs.
+        int close = 0;
+        for (uint32_t pp : probe_pos) {
+          for (uint32_t cp : posting.positions) {
+            const double diff = pp > cp ? static_cast<double>(pp - cp)
+                                        : static_cast<double>(cp - pp);
+            if (diff <= k) ++close;
+          }
+        }
+        if (close == 0) continue;
+        CandState& state = cands[posting.docid];
+        state.matches += close;
+        state.len = posting.len;
+      }
+    }
+  }
+
+  std::vector<uint64_t> out;
+  out.reserve(cands.size());
+  for (const auto& [docid, state] : cands) {
+    const double k = threshold * static_cast<double>(std::min<uint64_t>(
+                                     qlen, state.len));
+    const double required =
+        match::CountFilterMinMatches(qlen, state.len, k, q_);
+    if (required > 0 && state.matches < required) continue;
+    out.push_back(docid);
+  }
+  std::sort(out.begin(), out.end());
+  stats->candidates += out.size();
+  return out;
+}
+
+Result<invidx::TopKOutcome> InvertedIndex::TopK(
+    const match::QGramProbe& probe, size_t k,
+    const invidx::ScoreBounds& bounds, const InvidxVerifyFn& verify,
+    invidx::Stats* stats, obs::QueryTrace* trace) const {
+  invidx::TopKOutcome outcome;
+  if (probe.q != q_) {
+    return Status::InvalidArgument("probe q does not match index q");
+  }
+  if (k == 0) return outcome;
+  if (probe.length == 0) {
+    outcome.exact = false;
+    return outcome;
+  }
+
+  // Open the probe's gram lists (skip indexes only), rarest first.
+  struct List {
+    uint32_t mult = 0;  // gram occurrences in the probe
+    ListHandle handle;
+  };
+  std::vector<List> lists;
+  {
+    obs::ScopedSpan span(trace, "invidx_open_lists");
+    std::vector<match::PositionalQGram> sorted = probe.grams;
+    match::SortQGrams(&sorted);
+    size_t i = 0;
+    while (i < sorted.size()) {
+      const uint64_t gram = sorted[i].gram;
+      uint32_t mult = 0;
+      while (i < sorted.size() && sorted[i].gram == gram) {
+        ++mult;
+        ++i;
+      }
+      std::optional<PageId> anchor;
+      LEXEQUAL_ASSIGN_OR_RETURN(anchor, FindAnchor(gram));
+      if (!anchor.has_value()) continue;
+      ++stats->lists_opened;
+      List list;
+      list.mult = mult;
+      LEXEQUAL_ASSIGN_OR_RETURN(list.handle, OpenList(gram, *anchor));
+      lists.push_back(std::move(list));
+    }
+    std::sort(lists.begin(), lists.end(),
+              [](const List& a, const List& b) {
+                if (a.handle.doc_count != b.handle.doc_count) {
+                  return a.handle.doc_count < b.handle.doc_count;
+                }
+                return a.handle.gram < b.handle.gram;
+              });
+    span.AddRows(lists.size());
+  }
+  if (lists.empty()) {
+    // Nothing indexed shares a gram with the probe; the index cannot
+    // rank anything, so the caller must brute-force.
+    outcome.exact = false;
+    return outcome;
+  }
+  const size_t n_lists = lists.size();
+
+  // The scan is incremental: lists are consumed rarest-first, one per
+  // round, and every byte of work persists across rounds — merged
+  // candidates, cached verification scores, pruning decisions. (The
+  // first cut of this scan restarted with a doubled merge front when
+  // the bound could not certify, re-decoding everything it had
+  // already paid for; on merge-heavy probes that cost 2-3x the full
+  // merge. The incremental front makes the total decode cost monotone
+  // and bounded by one full merge.)
+  //
+  // Per-candidate bookkeeping keeps one invariant: m_exact +
+  // (unmerged_mult - settled_mult) is an upper bound on the number of
+  // probe gram occurrences the candidate can match. Merging a list
+  // moves its mult out of unmerged_mult and its true contribution
+  // into m_exact, so the bound is monotone nonincreasing; with the
+  // running k-th score monotone nondecreasing, a candidate pruned by
+  // the bound can never come back — pruning is sticky and exact.
+  struct Cand {
+    uint64_t docid = 0;
+    uint32_t len = 0;
+    uint64_t m_exact = 0;        // gram matches confirmed so far
+    uint64_t settled_mask = 0;   // unmerged lists resolved via probe
+    uint64_t settled_mult = 0;   // summed mult of settled_mask lists
+    bool alive = true;
+    bool verified = false;
+    double score = 0.0;
+  };
+
+  // Top-k kept as a worst-on-top heap under the (score desc, docid
+  // asc) ranking, so the running threshold is heap.front().
+  std::vector<invidx::TopKHit> heap;
+  auto worse_on_top = [](const invidx::TopKHit& a,
+                         const invidx::TopKHit& b) {
+    return BetterHit(a.score, a.docid, b.score, b.docid);
+  };
+  auto offer = [&](uint64_t docid, double score) {
+    if (heap.size() < k) {
+      heap.push_back({docid, score});
+      std::push_heap(heap.begin(), heap.end(), worse_on_top);
+      return;
+    }
+    if (BetterHit(score, docid, heap.front().score, heap.front().docid)) {
+      std::pop_heap(heap.begin(), heap.end(), worse_on_top);
+      heap.back() = {docid, score};
+      std::push_heap(heap.begin(), heap.end(), worse_on_top);
+    }
+  };
+  auto have_threshold = [&] { return heap.size() >= k; };
+  // Strictly-below-threshold test; candidates tied with the current
+  // k-th score must still be verified (a smaller docid wins the tie).
+  auto below_threshold = [&](double ub) {
+    return have_threshold() && ub < heap.front().score;
+  };
+
+  std::vector<Cand> cands;
+  std::unordered_map<uint64_t, size_t> by_docid;
+  size_t merged = 0;  // lists[0..merged) are fully decoded
+  uint64_t unmerged_mult = 0;
+  for (const List& list : lists) unmerged_mult += list.mult;
+  // Per-list decode tallies for the skip accounting at the end.
+  std::vector<uint64_t> probed_postings(n_lists, 0);
+  std::vector<uint64_t> probed_blocks(n_lists, 0);
+  // The probe phase tracks settled lists in a per-candidate bitmask;
+  // probes of more than 64 lists are simply not attempted (the merge
+  // front alone stays exact).
+  const bool maskable = n_lists <= 64;
+
+  auto m_potential = [&](const Cand& c) {
+    return c.m_exact + (unmerged_mult - c.settled_mult);
+  };
+  auto cand_ub = [&](const Cand& c) {
+    return invidx::ScoreUpperBound(probe.length, c.len, m_potential(c),
+                                   q_, bounds);
+  };
+  // Best score any doc absent from every merged list could reach: it
+  // matches at most the unmerged gram occurrences, at whatever indexed
+  // length flatters it most.
+  auto unseen_bound = [&](uint64_t unseen_mult) {
+    double ub = -std::numeric_limits<double>::infinity();
+    const uint32_t lo = std::max<uint32_t>(bounds.min_len, 1);
+    for (uint32_t len = lo; len <= std::max(bounds.max_len, lo); ++len) {
+      ub = std::max(ub, invidx::ScoreUpperBound(probe.length, len,
+                                                unseen_mult, q_, bounds));
+    }
+    return ub;
+  };
+
+  auto verify_cand = [&](Cand& c) -> Status {
+    if (c.verified) return Status::OK();
+    c.verified = true;
+    ++stats->verified;
+    std::optional<double> score;
+    LEXEQUAL_ASSIGN_OR_RETURN(score, verify(c.docid, c.len));
+    if (!score.has_value()) {
+      c.alive = false;  // excluded row (empty phonemes / language)
+      return Status::OK();
+    }
+    c.score = *score;
+    offer(c.docid, c.score);
+    return Status::OK();
+  };
+
+  while (true) {
+    // ---- Merge round: fully decode the next-rarest list. ----
+    {
+      obs::ScopedSpan span(trace, "invidx_merge");
+      const List& list = lists[merged];
+      const uint64_t bit = maskable ? (uint64_t{1} << merged) : 0;
+      ++stats->lists_merged;
+      uint64_t decoded = 0;
+      for (const BlockRef& block : list.handle.blocks) {
+        std::vector<Posting> postings;
+        LEXEQUAL_ASSIGN_OR_RETURN(postings, DecodeBlock(block));
+        ++stats->blocks_decoded;
+        stats->postings_examined += postings.size();
+        decoded += postings.size();
+        for (const Posting& p : postings) {
+          auto [it, fresh] = by_docid.try_emplace(p.docid, cands.size());
+          if (fresh) {
+            Cand c;
+            c.docid = p.docid;
+            c.len = p.len;
+            cands.push_back(c);
+          }
+          Cand& c = cands[it->second];
+          if (!c.alive || c.verified) continue;
+          // A probe round may already have settled this list for the
+          // candidate; its contribution is in m_exact, don't re-add.
+          if (bit != 0 && (c.settled_mask & bit) != 0) continue;
+          c.m_exact += std::min<uint64_t>(list.mult, p.positions.size());
+        }
+      }
+      span.AddRows(decoded);
+      // The list's mult leaves the unmerged pool; candidates that had
+      // it settled via a probe drop the matching credit so the
+      // potential stays an exact upper bound.
+      if (bit != 0) {
+        for (Cand& c : cands) {
+          if ((c.settled_mask & bit) != 0) {
+            c.settled_mask &= ~bit;
+            c.settled_mult -= list.mult;
+          }
+        }
+      }
+      unmerged_mult -= list.mult;
+      ++merged;
+      if (merged > 1) ++stats->restarts;  // escalation rounds
+    }
+
+    // ---- Seed the threshold: verify the candidates with the most
+    // confirmed gram matches (exact matches sit here), so the bound
+    // starts pruning as early as possible. Scores cache across
+    // rounds, so re-seeding is nearly free. ----
+    {
+      obs::ScopedSpan span(trace, "topk_verify");
+      std::vector<size_t> order;
+      for (size_t ci = 0; ci < cands.size(); ++ci) {
+        if (cands[ci].alive && !cands[ci].verified) order.push_back(ci);
+      }
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (cands[a].m_exact != cands[b].m_exact) {
+          return cands[a].m_exact > cands[b].m_exact;
+        }
+        return cands[a].docid < cands[b].docid;
+      });
+      const size_t seed = std::min(order.size(), k + 8);
+      for (size_t oi = 0; oi < seed; ++oi) {
+        LEXEQUAL_RETURN_IF_ERROR(verify_cand(cands[order[oi]]));
+      }
+      span.AddRows(seed);
+    }
+
+    // ---- Certification check: with the k-th score strictly above
+    // what any doc outside the merged lists could reach, finishing
+    // the candidates we already hold finishes the query. ----
+    const bool last = merged == n_lists;
+    const bool certifiable =
+        have_threshold() && heap.front().score > unseen_bound(unmerged_mult);
+    if (!certifiable && !last) continue;  // escalate: merge next list
+
+    // ---- Probe phase: resolve unmerged lists for the surviving
+    // candidates through the skip blocks — but only where the skip
+    // index shows most of the list's blocks hold no candidate, so a
+    // probe is strictly cheaper than the merge it replaces. ----
+    if (maskable && merged < n_lists) {
+      obs::ScopedSpan span(trace, "invidx_probe");
+      uint64_t decoded = 0;
+      for (Cand& c : cands) {
+        if (!c.alive || c.verified) continue;
+        if (below_threshold(cand_ub(c))) {
+          c.alive = false;
+          ++stats->early_terminated;
+        }
+      }
+      for (size_t li = merged; li < n_lists; ++li) {
+        const uint64_t bit = uint64_t{1} << li;
+        std::vector<size_t> targets;  // alive, unverified, docid asc
+        for (size_t ci = 0; ci < cands.size(); ++ci) {
+          if (cands[ci].alive && !cands[ci].verified &&
+              (cands[ci].settled_mask & bit) == 0) {
+            targets.push_back(ci);
+          }
+        }
+        if (targets.empty()) break;
+        std::sort(targets.begin(), targets.end(), [&](size_t a, size_t b) {
+          return cands[a].docid < cands[b].docid;
+        });
+        const List& list = lists[li];
+        // Which blocks can hold a target at all? The anchor's
+        // [first_docid, last_docid] entries answer without touching a
+        // block page.
+        std::vector<size_t> hit_blocks;
+        {
+          size_t ti = 0;
+          for (size_t bi = 0; bi < list.handle.blocks.size(); ++bi) {
+            const BlockRef& block = list.handle.blocks[bi];
+            while (ti < targets.size() &&
+                   cands[targets[ti]].docid < block.first_docid) {
+              ++ti;
+            }
+            if (ti < targets.size() &&
+                cands[targets[ti]].docid <= block.last_docid) {
+              hit_blocks.push_back(bi);
+            }
+          }
+        }
+        // Selectivity gate: if the targets land in most of the blocks
+        // anyway, probing approximates the merge this phase exists to
+        // avoid — leave the list to the bound instead.
+        if (2 * hit_blocks.size() > list.handle.blocks.size()) continue;
+        ++stats->lists_probed;
+        size_t ti = 0;
+        for (size_t bi : hit_blocks) {
+          const BlockRef& block = list.handle.blocks[bi];
+          std::vector<Posting> postings;
+          LEXEQUAL_ASSIGN_OR_RETURN(postings, DecodeBlock(block));
+          ++stats->blocks_decoded;
+          stats->postings_examined += postings.size();
+          decoded += postings.size();
+          probed_postings[li] += postings.size();
+          ++probed_blocks[li];
+          while (ti < targets.size() &&
+                 cands[targets[ti]].docid < block.first_docid) {
+            ++ti;
+          }
+          size_t pi = 0;
+          size_t tj = ti;
+          while (pi < postings.size() && tj < targets.size()) {
+            const uint64_t pd = postings[pi].docid;
+            const uint64_t td = cands[targets[tj]].docid;
+            if (pd < td) {
+              ++pi;
+            } else if (pd > td) {
+              ++tj;
+            } else {
+              Cand& c = cands[targets[tj]];
+              c.m_exact += std::min<uint64_t>(
+                  list.mult, postings[pi].positions.size());
+              ++pi;
+              ++tj;
+            }
+          }
+        }
+        // Presence (or proven absence) is now exact for every target:
+        // targets outside every hit block's range cannot be in the
+        // list at all.
+        for (size_t ci : targets) {
+          cands[ci].settled_mask |= bit;
+          cands[ci].settled_mult += list.mult;
+        }
+        for (size_t ci : targets) {
+          Cand& c = cands[ci];
+          if (!c.alive || c.verified) continue;
+          if (below_threshold(cand_ub(c))) {
+            c.alive = false;
+            ++stats->early_terminated;
+          }
+        }
+      }
+      span.AddRows(decoded);
+    }
+
+    // ---- Burn-down: verify everything still alive, best upper
+    // bound first, stopping at the first candidate the bound puts
+    // strictly below the k-th score. ----
+    {
+      obs::ScopedSpan span(trace, "topk_verify");
+      std::vector<size_t> order;
+      for (size_t ci = 0; ci < cands.size(); ++ci) {
+        if (cands[ci].alive && !cands[ci].verified) order.push_back(ci);
+      }
+      std::vector<double> ubs(cands.size(), 0.0);
+      for (size_t ci : order) ubs[ci] = cand_ub(cands[ci]);
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (ubs[a] != ubs[b]) return ubs[a] > ubs[b];
+        return cands[a].docid < cands[b].docid;
+      });
+      uint64_t swept = 0;
+      for (size_t oi = 0; oi < order.size(); ++oi) {
+        if (below_threshold(ubs[order[oi]])) {
+          stats->early_terminated += order.size() - oi;
+          break;
+        }
+        LEXEQUAL_RETURN_IF_ERROR(verify_cand(cands[order[oi]]));
+        ++swept;
+      }
+      span.AddRows(swept);
+    }
+
+    // Verification only raises the k-th score, so a certifiable round
+    // stays certifiable; re-check to cover the merged-everything path
+    // (where the question is whether zero-overlap strings can place).
+    outcome.exact = have_threshold() &&
+                    heap.front().score > unseen_bound(unmerged_mult);
+    break;
+  }
+
+  // Skip accounting for the lists the certification spared.
+  for (size_t li = merged; li < n_lists; ++li) {
+    stats->postings_skipped +=
+        lists[li].handle.doc_count - probed_postings[li];
+    stats->blocks_skipped +=
+        lists[li].handle.blocks.size() - probed_blocks[li];
+  }
+  stats->candidates += cands.size();
+
+  std::sort(heap.begin(), heap.end(),
+            [](const invidx::TopKHit& a, const invidx::TopKHit& b) {
+              return BetterHit(a.score, a.docid, b.score, b.docid);
+            });
+  outcome.hits = std::move(heap);
+  outcome.threshold_score =
+      outcome.hits.empty() ? 0.0 : outcome.hits.back().score;
+  return outcome;
+}
+
+Result<InvertedIndex::Totals> InvertedIndex::ComputeTotals() const {
+  Totals totals;
+  std::vector<std::pair<uint64_t, storage::RID>> entries;
+  LEXEQUAL_ASSIGN_OR_RETURN(
+      entries,
+      directory_.ScanRange(0, std::numeric_limits<uint64_t>::max()));
+  for (const auto& [gram, rid] : entries) {
+    ++totals.distinct_grams;
+    PageGuard guard;
+    LEXEQUAL_ASSIGN_OR_RETURN(guard,
+                              PageGuard::Fetch(pool_, rid.page_id));
+    totals.total_postings +=
+        ReadAt<uint64_t>(guard->data(), kAnchorDocCount);
+    LEXEQUAL_RETURN_IF_ERROR(guard.Release());
+  }
+  return totals;
+}
+
+}  // namespace lexequal::index

@@ -42,6 +42,12 @@ double EstimateQGramCandidates(double query_len, double avg_len,
   return std::clamp(est, 0.0, nonempty_rows);
 }
 
+double EstimateInvidxPostings(double query_len, int q,
+                              double avg_postings_per_list) {
+  const double grams = query_len + static_cast<double>(q) - 1.0;
+  return std::max(0.0, grams * avg_postings_per_list);
+}
+
 double EstimateParallelSpeedup(uint32_t threads_hint,
                                const PlanCostParams& p) {
   uint32_t n = threads_hint;

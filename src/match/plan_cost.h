@@ -26,6 +26,9 @@ struct PlanCostParams {
   double btree_probe = 40.0;     // one B-Tree descent
   double posting_entry = 0.2;    // one index entry touched in a range
   double dp_cell = 0.02;         // one cell of the table-driven DP
+  double invidx_posting = 0.05;  // one varint posting decoded in a
+                                 // block-at-a-time inverted-list merge
+                                 // (sequential, no B-Tree re-descent)
   double phoneme_parse = 0.3;    // parse one phoneme of a stored cell
   double index_plan_overhead = 300.0;  // fixed cost of any index plan
   double parallel_setup = 20000.0;     // worker-pool spin-up
@@ -61,6 +64,15 @@ double EstimateQGramCandidates(double query_len, double avg_len,
                                double threshold, int q,
                                double postings_touched,
                                double nonempty_rows);
+
+/// Postings decoded by an inverted-index merge of the probe's grams:
+/// the padded probe carries query_len + q - 1 grams (duplicates share
+/// a list, but the estimate ignores that), each list holding
+/// ~avg_postings_per_list *document* entries. Unlike
+/// EstimateQGramPostings this counts docs-per-list, not positional
+/// grams, so the same stats table feeds both without double counting.
+double EstimateInvidxPostings(double query_len, int q,
+                              double avg_postings_per_list);
 
 /// Effective speedup of the parallel scan for a thread-count hint
 /// (0 = hardware concurrency), after the per-thread efficiency

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace lexequal::match {
 
 std::vector<PositionalQGram> PositionalQGrams(
@@ -72,6 +74,19 @@ int CountCloseMatches(const std::vector<PositionalQGram>& a,
     }
   }
   return count;
+}
+
+QGramProbe BuildQGramProbe(const phonetic::PhonemeString& s, int q) {
+  static obs::Counter* builds =
+      obs::MetricsRegistry::Default().GetCounter(
+          "lexequal_qgram_probe_builds",
+          "Probe q-gram multisets computed (one per query)");
+  builds->Inc();
+  QGramProbe probe;
+  probe.q = q;
+  probe.length = s.size();
+  probe.grams = PositionalQGrams(s, q);
+  return probe;
 }
 
 bool PassesQGramFilters(const phonetic::PhonemeString& a,

@@ -23,8 +23,9 @@
 //     k = allowance / cheapest_edit from the weighted cost model, so
 //     its filtering is lossless for any ClusteredCost configuration.
 //
-// Everything here is a pure function over its arguments: no global
-// state, safe to call concurrently from the parallel scan's workers.
+// Everything here is a pure function over its arguments (the probe
+// builder additionally bumps one monotonic metric), safe to call
+// concurrently from the parallel scan's workers.
 
 #ifndef LEXEQUAL_MATCH_QGRAM_H_
 #define LEXEQUAL_MATCH_QGRAM_H_
@@ -97,6 +98,26 @@ void SortQGrams(std::vector<PositionalQGram>* grams);
 /// grams once instead (see ParallelMatcher's probe context).
 bool PassesQGramFilters(const phonetic::PhonemeString& a,
                         const phonetic::PhonemeString& b, double k, int q);
+
+/// A probe's q-gram multiset, computed once per query and shared by
+/// every downstream consumer (the q-gram B-Tree candidate path, the
+/// inverted-index merge, and the top-K scorer). Hoisting the build to
+/// the query boundary is load-bearing: the access paths chunk their
+/// work (per gram list, per posting block), and recomputing the probe
+/// grams per chunk silently multiplies the G2P-adjacent work by the
+/// chunk count. The build is counted in the
+/// lexequal_qgram_probe_builds metric so a regression test can pin
+/// "exactly one build per query" (tests/inverted_index_test.cc).
+struct QGramProbe {
+  int q = 2;
+  size_t length = 0;                   // probe phoneme count (unpadded)
+  /// In position order, exactly as PositionalQGrams returns them.
+  std::vector<PositionalQGram> grams;
+};
+
+/// Builds the probe context for `s` (padded positional grams plus the
+/// unpadded length) and bumps lexequal_qgram_probe_builds.
+QGramProbe BuildQGramProbe(const phonetic::PhonemeString& s, int q);
 
 }  // namespace lexequal::match
 

@@ -2,6 +2,7 @@
 //
 //   SELECT cols FROM table [alias] [, table [alias]]
 //   WHERE pred [AND pred]...
+//   [ORDER BY col [ASC|DESC] | ORDER BY lexsim(col, 'query') [DESC]]
 //   [USING plan] [LIMIT n]
 //
 //   pred := col = 'literal'
@@ -10,11 +11,15 @@
 //               [INLANGUAGES { lang, ... }]
 //         | col LEXEQUAL col [THRESHOLD t] [COST c]
 //
+// ORDER BY lexsim(...) LIMIT k is ranked retrieval: the k rows most
+// phonemically similar to the query, scored lexsim = 1 - editdistance
+// / max length, served by the inverted index's top-K when one exists.
+//
 // plus the optimizer statements:
 //
 //   ANALYZE [table]
 //   EXPLAIN [ANALYZE] select
-//   CREATE INDEX phonetic|qgram ON table (column) [Q n]
+//   CREATE INDEX phonetic|qgram|invidx ON table (column) [Q n]
 
 #ifndef LEXEQUAL_SQL_AST_H_
 #define LEXEQUAL_SQL_AST_H_
@@ -70,14 +75,24 @@ struct OrderBy {
   bool descending = false;
 };
 
+/// ORDER BY lexsim(col, 'query'): rank by phonemic similarity to the
+/// query constant. Always descending (best first; DESC is accepted as
+/// documentation, ASC rejected); ties break by insertion order. The
+/// result grows a trailing "lexsim" score column.
+struct LexsimOrder {
+  ColumnName column;
+  std::string query;
+};
+
 struct SelectStatement {
   bool select_star = false;
   std::vector<ColumnName> select_list;
   std::vector<TableRef> tables;  // 1 or 2
   std::vector<Predicate> predicates;
-  /// USING naive|qgram|phonetic|parallel|auto ("" = auto).
+  /// USING naive|qgram|phonetic|parallel|invidx|auto ("" = auto).
   std::string plan_hint;
-  std::optional<OrderBy> order_by;
+  std::optional<OrderBy> order_by;           // at most one of these
+  std::optional<LexsimOrder> lexsim_order;   // two is set
   std::optional<uint64_t> limit;
 };
 
@@ -86,9 +101,9 @@ struct AnalyzeStatement {
   std::string table;  // empty = every table
 };
 
-/// CREATE INDEX phonetic|qgram ON table (column) [Q n].
+/// CREATE INDEX phonetic|qgram|invidx ON table (column) [Q n].
 struct CreateIndexStatement {
-  std::string kind;    // "phonetic" | "qgram" (lowercased)
+  std::string kind;    // "phonetic" | "qgram" | "invidx" (lowercased)
   std::string table;
   std::string column;  // the phonemic column
   std::optional<int> q;

@@ -34,9 +34,13 @@ class Parser {
         return Error("expected index kind (phonetic | qgram)");
       }
       stmt.create_index.kind = AsciiToLower(Next().text);
+      if (stmt.create_index.kind == "inverted") {
+        stmt.create_index.kind = "invidx";  // accepted alias
+      }
       if (stmt.create_index.kind != "phonetic" &&
-          stmt.create_index.kind != "qgram") {
-        return Error("index kind must be phonetic or qgram");
+          stmt.create_index.kind != "qgram" &&
+          stmt.create_index.kind != "invidx") {
+        return Error("index kind must be phonetic, qgram or invidx");
       }
       LEXEQUAL_RETURN_IF_ERROR(ExpectKeyword("ON"));
       if (Peek().type != TokenType::kIdentifier) {
@@ -77,14 +81,37 @@ class Parser {
     }
     if (MatchKeyword("ORDER")) {
       LEXEQUAL_RETURN_IF_ERROR(ExpectKeyword("BY"));
-      OrderBy order;
-      LEXEQUAL_ASSIGN_OR_RETURN(order.column, ParseColumnName());
-      if (MatchKeyword("DESC")) {
-        order.descending = true;
+      // `lexsim` stays an identifier (columns with that name remain
+      // usable); only `lexsim(` after ORDER BY means ranked retrieval.
+      if (Peek().type == TokenType::kIdentifier &&
+          AsciiToLower(Peek().text) == "lexsim" &&
+          Peek(1).type == TokenType::kSymbol && Peek(1).text == "(") {
+        pos_ += 2;
+        LexsimOrder order;
+        LEXEQUAL_ASSIGN_OR_RETURN(order.column, ParseColumnName());
+        LEXEQUAL_RETURN_IF_ERROR(ExpectSymbol(","));
+        if (Peek().type != TokenType::kString) {
+          return Error("expected a string literal in lexsim()");
+        }
+        order.query = Next().text;
+        LEXEQUAL_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (MatchKeyword("ASC")) {
+          return Error(
+              "ORDER BY lexsim(...) ranks best-first; ASC is not "
+              "supported");
+        }
+        MatchKeyword("DESC");  // the default; accepted as documentation
+        stmt.lexsim_order = std::move(order);
       } else {
-        MatchKeyword("ASC");
+        OrderBy order;
+        LEXEQUAL_ASSIGN_OR_RETURN(order.column, ParseColumnName());
+        if (MatchKeyword("DESC")) {
+          order.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt.order_by = order;
       }
-      stmt.order_by = order;
     }
     if (MatchKeyword("USING")) {
       if (Peek().type != TokenType::kIdentifier) {

@@ -34,9 +34,12 @@ Result<LexEqualPlan> ResolvePlanHint(const std::string& hint) {
   if (lower == "parallel" || lower == "batch") {
     return LexEqualPlan::kParallelScan;
   }
+  if (lower == "invidx" || lower == "inverted") {
+    return LexEqualPlan::kInvertedIndex;
+  }
   return Status::InvalidArgument(
       "unknown plan hint '" + hint +
-      "' (auto | naive | qgram | phonetic | parallel)");
+      "' (auto | naive | qgram | phonetic | parallel | invidx)");
 }
 
 Result<LexEqualQueryOptions> BuildOptions(const Predicate& pred,
@@ -87,6 +90,68 @@ Result<bool> PassesResiduals(
     }
   }
   return true;
+}
+
+// ORDER BY lexsim(col, 'query') LIMIT k — ranked retrieval. The rows
+// come back best-first from the engine (inverted-index top-K or the
+// brute-force fallback, identical results), so no post-hoc sort; the
+// projection grows a trailing "lexsim" score column.
+Result<QueryResult> ExecuteTopK(Database* db,
+                                const SelectStatement& stmt) {
+  if (stmt.tables.size() != 1) {
+    return Status::NotSupported(
+        "ORDER BY lexsim(...) supports single-table queries");
+  }
+  if (!stmt.predicates.empty()) {
+    return Status::NotSupported(
+        "ORDER BY lexsim(...) cannot be combined with WHERE");
+  }
+  if (!stmt.limit.has_value() || *stmt.limit == 0) {
+    return Status::InvalidArgument(
+        "ORDER BY lexsim(...) requires LIMIT k with k >= 1");
+  }
+  const TableRef& ref = stmt.tables[0];
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(ref.table));
+
+  LexEqualQueryOptions options;
+  LEXEQUAL_ASSIGN_OR_RETURN(options.hints.plan,
+                            ResolvePlanHint(stmt.plan_hint));
+  const text::TaggedString query =
+      text::TaggedString::WithDetectedLanguage(stmt.lexsim_order->query);
+  engine::QueryStats stats;
+  std::vector<engine::TopKRow> ranked;
+  LEXEQUAL_ASSIGN_OR_RETURN(
+      ranked,
+      db->LexEqualTopK(ref.table, stmt.lexsim_order->column.column, query,
+                       *stmt.limit, options, &stats));
+
+  QueryResult result;
+  result.stats = stats;
+  std::vector<uint32_t> ordinals;
+  if (stmt.select_star) {
+    for (size_t i = 0; i < info->schema.size(); ++i) {
+      ordinals.push_back(static_cast<uint32_t>(i));
+      result.column_names.push_back(info->schema.column(i).name);
+    }
+  } else {
+    for (const ColumnName& col : stmt.select_list) {
+      uint32_t ordinal;
+      LEXEQUAL_ASSIGN_OR_RETURN(ordinal, ResolveColumn(col, ref, *info));
+      ordinals.push_back(ordinal);
+      result.column_names.push_back(col.column);
+    }
+  }
+  result.column_names.push_back("lexsim");
+  for (engine::TopKRow& r : ranked) {
+    Tuple projected;
+    projected.reserve(ordinals.size() + 1);
+    for (uint32_t o : ordinals) projected.push_back(r.row[o]);
+    projected.push_back(Value::Double(r.score));
+    result.rows.push_back(std::move(projected));
+  }
+  result.stats.results = result.rows.size();
+  return result;
 }
 
 Result<QueryResult> ExecuteSingleTable(Database* db,
@@ -393,6 +458,10 @@ bool ValueLess(const Value& a, const Value& b) {
 
 Result<QueryResult> ExecuteStatement(engine::Database* db,
                                      const SelectStatement& stmt) {
+  // Ranked retrieval bypasses the sort-after path entirely: the limit
+  // drives the top-K algorithm and rows arrive already ordered.
+  if (stmt.lexsim_order.has_value()) return ExecuteTopK(db, stmt);
+
   // ORDER BY sorts the projected result, so run the core plan without
   // the limit and apply sort + limit here.
   SelectStatement core = stmt;
@@ -465,6 +534,7 @@ Result<QueryResult> ExecuteCreateIndex(Database* db,
                                        const CreateIndexStatement& stmt) {
   engine::IndexSpec spec;
   spec.kind = stmt.kind == "phonetic" ? engine::IndexSpec::Kind::kPhonetic
+              : stmt.kind == "invidx" ? engine::IndexSpec::Kind::kInverted
                                       : engine::IndexSpec::Kind::kQGram;
   spec.table = stmt.table;
   spec.column = stmt.column;
@@ -532,8 +602,75 @@ void AppendTraceTable(const obs::QueryTrace& trace, QueryResult* result) {
   }
 }
 
+// EXPLAIN for ORDER BY lexsim(...) LIMIT k. The top-K path has two
+// plans (inverted-index skip-block merge, brute-force ranking) chosen
+// by index presence, not by the cost picker; EXPLAIN ANALYZE executes
+// the query and surfaces the posting / skip / early-termination
+// counters plus the stage (span) table.
+Result<QueryResult> ExplainTopK(Database* db, const Statement& stmt) {
+  const SelectStatement& sel = stmt.select;
+  if (sel.tables.size() != 1) {
+    return Status::NotSupported("EXPLAIN supports single-table queries");
+  }
+  TableInfo* info;
+  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(sel.tables[0].table));
+
+  QueryResult result;
+  engine::QueryStats actual;
+  if (stmt.explain_analyze) {
+    const bool was_tracing = db->tracing();
+    db->set_tracing(true);
+    Result<QueryResult> executed = ExecuteStatement(db, sel);
+    db->set_tracing(was_tracing);
+    if (!executed.ok()) return executed.status();
+    actual = executed->stats;
+    result.stats = executed->stats;
+    if (const obs::QueryTrace* trace = db->LastTrace();
+        trace != nullptr) {
+      AppendTraceTable(*trace, &result);
+    }
+  }
+
+  result.column_names = {"plan", "chosen", "note"};
+  const bool has_invidx = info->inverted_index != nullptr;
+  engine::LexEqualPlan hinted = engine::LexEqualPlan::kAuto;
+  if (!sel.plan_hint.empty()) {
+    LEXEQUAL_ASSIGN_OR_RETURN(hinted, ResolvePlanHint(sel.plan_hint));
+  }
+  const bool invidx_chosen =
+      has_invidx && (hinted == engine::LexEqualPlan::kAuto ||
+                     hinted == engine::LexEqualPlan::kInvertedIndex);
+  auto add_row = [&](std::string_view plan, bool chosen,
+                     std::string note) {
+    Tuple row;
+    row.push_back(Value::String(std::string(plan)));
+    row.push_back(Value::String(chosen ? "*" : ""));
+    row.push_back(Value::String(std::move(note)));
+    result.rows.push_back(std::move(row));
+  };
+  std::string invidx_note =
+      has_invidx ? "skip-block merge, per-list score upper bounds"
+                 : "no inverted index";
+  std::string naive_note = "exact ranking of every phonemic row";
+  if (stmt.explain_analyze) {
+    std::string& chosen_note = invidx_chosen ? invidx_note : naive_note;
+    chosen_note += "; postings=" + std::to_string(actual.invidx_postings);
+    chosen_note +=
+        " skipped=" + std::to_string(actual.invidx_postings_skipped);
+    chosen_note += " early_terminated=" +
+                   std::to_string(actual.invidx_early_terminated);
+    chosen_note +=
+        " fallbacks=" + std::to_string(actual.invidx_fallbacks);
+  }
+  add_row("inverted-index", invidx_chosen, std::move(invidx_note));
+  add_row("naive-udf", !invidx_chosen, std::move(naive_note));
+  if (!stmt.explain_analyze) result.stats.results = result.rows.size();
+  return result;
+}
+
 Result<QueryResult> ExecuteExplain(Database* db, const Statement& stmt) {
   const SelectStatement& sel = stmt.select;
+  if (sel.lexsim_order.has_value()) return ExplainTopK(db, stmt);
   if (sel.tables.size() != 1) {
     return Status::NotSupported(
         "EXPLAIN supports single-table queries");

@@ -59,8 +59,8 @@ TEST(PlanPicker, SmallTablePrefersNaiveOverIndexOverhead) {
   EXPECT_EQ(choice.plan, LexEqualPlan::kNaiveUdf);
   EXPECT_TRUE(choice.used_stats);
   EXPECT_FALSE(choice.hinted);
-  // All four concrete plans were priced.
-  EXPECT_EQ(choice.estimates.size(), 4u);
+  // All five concrete plans were priced.
+  EXPECT_EQ(choice.estimates.size(), 5u);
 }
 
 TEST(PlanPicker, LargeTableTightThresholdPrefersPhoneticIndex) {
@@ -107,7 +107,7 @@ TEST(PlanPicker, HintForcesPlanButEstimatesRemain) {
   EXPECT_EQ(choice.plan, LexEqualPlan::kNaiveUdf);
   EXPECT_TRUE(choice.hinted);
   EXPECT_TRUE(choice.used_stats);
-  EXPECT_EQ(choice.estimates.size(), 4u);  // EXPLAIN still sees costs
+  EXPECT_EQ(choice.estimates.size(), 5u);  // EXPLAIN still sees costs
 }
 
 TEST(PlanPicker, UnanalyzedFallsBackToHeuristicOrder) {

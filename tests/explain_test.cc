@@ -138,15 +138,17 @@ TEST_F(ExplainTest, ExplainUnanalyzedFallsBackToHeuristicRow) {
 TEST_F(ExplainTest, ExplainAnalyzedPricesEveryConcretePlan) {
   Run("create index qgram on books (author_phon)");
   Run("create index phonetic on books (author_phon)");
+  Run("create index invidx on books (author_phon)");
   Run("analyze");
   const QueryResult result = Run(
       "explain select author from books where author LexEQUAL 'Nehru' "
       "Threshold 0.25");
-  ASSERT_EQ(result.rows.size(), 4u);  // one per concrete plan
+  ASSERT_EQ(result.rows.size(), 5u);  // one per concrete plan
   EXPECT_EQ(Cell(result, 0, "plan"), "naive-udf");
   EXPECT_EQ(Cell(result, 1, "plan"), "qgram-filter");
   EXPECT_EQ(Cell(result, 2, "plan"), "phonetic-index");
   EXPECT_EQ(Cell(result, 3, "plan"), "parallel-scan");
+  EXPECT_EQ(Cell(result, 4, "plan"), "inverted-index");
   const size_t chosen = ChosenRow(result);
   EXPECT_EQ(Cell(result, chosen, "source"), "statistics");
   for (size_t i = 0; i < result.rows.size(); ++i) {
@@ -241,6 +243,54 @@ TEST_F(ExplainTest, ExplainAnalyzeEmitsStageTableForNaivePlan) {
       "Threshold 0.25 USING naive");
   EXPECT_TRUE(plain.trace_rows.empty());
   EXPECT_TRUE(plain.TraceTable().empty());
+}
+
+// --- EXPLAIN for ORDER BY lexsim(...) LIMIT k ----------------------
+
+TEST_F(ExplainTest, ExplainTopKShowsBothPlans) {
+  const QueryResult without = Run(
+      "explain select author from books "
+      "order by lexsim(author, 'Nehru') limit 2");
+  EXPECT_EQ(without.column_names,
+            (std::vector<std::string>{"plan", "chosen", "note"}));
+  ASSERT_EQ(without.rows.size(), 2u);
+  EXPECT_EQ(Cell(without, 0, "plan"), "inverted-index");
+  EXPECT_EQ(Cell(without, 1, "plan"), "naive-udf");
+  EXPECT_EQ(Cell(without, ChosenRow(without), "plan"), "naive-udf");
+
+  Run("create index invidx on books (author_phon)");
+  const QueryResult with = Run(
+      "explain select author from books "
+      "order by lexsim(author, 'Nehru') limit 2");
+  EXPECT_EQ(Cell(with, ChosenRow(with), "plan"), "inverted-index");
+  // A hint away from the index puts brute force back in charge.
+  const QueryResult hinted = Run(
+      "explain select author from books "
+      "order by lexsim(author, 'Nehru') USING naive limit 2");
+  EXPECT_EQ(Cell(hinted, ChosenRow(hinted), "plan"), "naive-udf");
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeTopKTracesInvidxStages) {
+  Run("create index invidx on books (author_phon)");
+  const QueryResult result = Run(
+      "explain analyze select author from books "
+      "order by lexsim(author, 'Nehru') limit 2");
+  const size_t chosen = ChosenRow(result);
+  EXPECT_EQ(Cell(result, chosen, "plan"), "inverted-index");
+  // The chosen row's note carries the actual posting / skip /
+  // early-termination counters.
+  EXPECT_NE(Cell(result, chosen, "note").find("postings="),
+            std::string::npos);
+  EXPECT_NE(Cell(result, chosen, "note").find("early_terminated="),
+            std::string::npos);
+  ASSERT_FALSE(result.trace_rows.empty());
+  const std::vector<std::string> stages = StageNames(result);
+  EXPECT_EQ(stages.front(), "lexequal_topk");
+  EXPECT_TRUE(Contains(stages, "invidx_open_lists"));
+  // The four-row table certifies exactness by brute force or by the
+  // score bound; either stage row is acceptable, but one must exist.
+  EXPECT_TRUE(Contains(stages, "invidx_merge") ||
+              Contains(stages, "topk_brute_force"));
 }
 
 TEST_F(ExplainTest, ExplainAnalyzeTracesQGramStages) {

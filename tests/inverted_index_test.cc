@@ -1,0 +1,435 @@
+// InvertedIndex coverage: the posting-list codec (varint + delta
+// roundtrips, corruption fuzz), the index proper (Add ordering,
+// threshold-candidate parity with the q-gram B-Tree plan), the
+// once-per-query probe-build discipline, and catalog persistence of
+// the index across reopen.
+
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dataset/lexicon.h"
+#include "engine/database.h"
+#include "match/qgram.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "text/tagged_string.h"
+
+namespace lexequal::index {
+namespace {
+
+using engine::Database;
+using engine::LexEqualPlan;
+using engine::LexEqualQueryOptions;
+using engine::QueryStats;
+using engine::Schema;
+using engine::TableInfo;
+using engine::Tuple;
+using engine::Value;
+using engine::ValueType;
+using phonetic::kPhonemeCount;
+using phonetic::Phoneme;
+using phonetic::PhonemeString;
+using text::Language;
+using text::TaggedString;
+
+// ---------------------------------------------------------------- codec
+
+TEST(InvidxCodecTest, VarintRoundtripsEdgeValues) {
+  const uint64_t values[] = {0,     1,          127,        128,
+                             16383, 16384,      0xFFFFFFFF, 1ull << 56,
+                             ~0ull, 0x8000ull,  300,        7};
+  for (uint64_t v : values) {
+    std::string buf;
+    invidx::AppendVarint(v, &buf);
+    uint64_t out = 0;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+    size_t used = invidx::DecodeVarint(p, p + buf.size(), &out);
+    EXPECT_EQ(used, buf.size()) << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(InvidxCodecTest, VarintRejectsTruncation) {
+  std::string buf;
+  invidx::AppendVarint(~0ull, &buf);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    uint64_t out = 0;
+    EXPECT_EQ(invidx::DecodeVarint(p, p + cut, &out), 0u) << cut;
+  }
+}
+
+TEST(InvidxCodecTest, VarintRejectsOverlongEncodings) {
+  // 11 continuation bytes can never be a valid uint64 varint.
+  std::string buf(11, static_cast<char>(0x80));
+  buf.push_back(0x01);
+  uint64_t out = 0;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+  EXPECT_EQ(invidx::DecodeVarint(p, p + buf.size(), &out), 0u);
+}
+
+std::vector<invidx::Posting> RandomPostings(Random* rng, size_t n) {
+  std::vector<invidx::Posting> postings;
+  uint64_t docid = 0;
+  for (size_t i = 0; i < n; ++i) {
+    docid += 1 + rng->Uniform(1000);
+    invidx::Posting p;
+    p.docid = docid;
+    p.len = static_cast<uint32_t>(1 + rng->Uniform(40));
+    uint32_t pos = 0;
+    const size_t npos = 1 + rng->Uniform(4);
+    for (size_t j = 0; j < npos; ++j) {
+      pos += static_cast<uint32_t>(1 + rng->Uniform(10));
+      p.positions.push_back(pos);
+    }
+    postings.push_back(std::move(p));
+  }
+  return postings;
+}
+
+std::string EncodePostings(const std::vector<invidx::Posting>& postings) {
+  std::string payload;
+  uint64_t prev = 0;
+  for (const invidx::Posting& p : postings) {
+    invidx::AppendPosting(p, prev, &payload);
+    prev = p.docid;
+  }
+  return payload;
+}
+
+TEST(InvidxCodecTest, PostingRoundtrip) {
+  Random rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<invidx::Posting> in =
+        RandomPostings(&rng, 1 + rng.Uniform(64));
+    Result<std::vector<invidx::Posting>> out = invidx::DecodePostings(
+        EncodePostings(in), static_cast<uint32_t>(in.size()));
+    ASSERT_TRUE(out.ok()) << out.status();
+    EXPECT_EQ(*out, in);
+  }
+}
+
+TEST(InvidxCodecTest, DecodeRejectsCountPastPayload) {
+  Random rng(8);
+  const std::vector<invidx::Posting> in = RandomPostings(&rng, 5);
+  const std::string payload = EncodePostings(in);
+  // Asking for more postings than the payload holds must fail cleanly,
+  // even for absurd counts (no unbounded allocation).
+  for (uint32_t n : {6u, 100u, 0xFFFFu}) {
+    EXPECT_FALSE(invidx::DecodePostings(payload, n).ok()) << n;
+  }
+}
+
+// Every single-byte mutation of a valid payload must decode cleanly
+// (the mutation landed in a "don't care" spot) or surface Corruption —
+// never crash, hang, or allocate absurdly. ASan/UBSan runs of this
+// test are the real teeth.
+TEST(InvidxCodecTest, CorruptionFuzzSingleByteMutations) {
+  Random rng(42);
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<invidx::Posting> in =
+        RandomPostings(&rng, 1 + rng.Uniform(16));
+    std::string payload = EncodePostings(in);
+    const size_t at = rng.Uniform(payload.size());
+    payload[at] = static_cast<char>(rng.Uniform(256));
+    Result<std::vector<invidx::Posting>> out = invidx::DecodePostings(
+        payload, static_cast<uint32_t>(in.size()));
+    if (out.ok()) {
+      // Whatever decoded must at least honor the structural invariants.
+      uint64_t prev = 0;
+      for (const invidx::Posting& p : *out) {
+        EXPECT_GT(p.docid, prev);
+        prev = p.docid;
+        EXPECT_TRUE(std::is_sorted(p.positions.begin(),
+                                   p.positions.end()));
+      }
+    }
+  }
+}
+
+TEST(InvidxCodecTest, CorruptionFuzzTruncations) {
+  Random rng(43);
+  for (int round = 0; round < 100; ++round) {
+    const std::vector<invidx::Posting> in =
+        RandomPostings(&rng, 1 + rng.Uniform(16));
+    const std::string payload = EncodePostings(in);
+    const std::string cut =
+        payload.substr(0, rng.Uniform(payload.size()));
+    // Truncation may still hold a prefix of whole postings; claiming
+    // the full count must fail.
+    EXPECT_FALSE(
+        invidx::DecodePostings(cut, static_cast<uint32_t>(in.size()))
+            .ok());
+  }
+}
+
+TEST(InvidxCodecTest, ScoreUpperBoundIsMonotonic) {
+  invidx::ScoreBounds bounds;
+  bounds.min_indel = 1.0;
+  bounds.cheapest_edit = 0.5;
+  bounds.min_len = 2;
+  bounds.max_len = 20;
+  // More matching grams can never lower the bound.
+  double prev = -1e9;
+  for (uint64_t m = 0; m <= 12; ++m) {
+    const double ub = invidx::ScoreUpperBound(10, 10, m, 2, bounds);
+    EXPECT_GE(ub, prev) << m;
+    prev = ub;
+  }
+  // A full-match candidate bounds at (or above) the perfect score.
+  EXPECT_GE(invidx::ScoreUpperBound(10, 10, 11, 2, bounds), 1.0 - 1e-9);
+}
+
+// ----------------------------------------------------- index mechanics
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_invidx_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto disk = storage::DiskManager::Open(path_.string());
+    ASSERT_TRUE(disk.ok());
+    disk_ = std::move(disk).value();
+    pool_ = std::make_unique<storage::BufferPool>(disk_.get(), 128);
+  }
+  void TearDown() override {
+    pool_.reset();
+    disk_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  static PhonemeString RandomPhonemes(Random* rng, size_t len) {
+    std::vector<Phoneme> syms;
+    for (size_t i = 0; i < len; ++i) {
+      syms.push_back(
+          static_cast<Phoneme>(rng->Uniform(kPhonemeCount)));
+    }
+    return PhonemeString(std::move(syms));
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+};
+
+TEST_F(InvertedIndexTest, AddRejectsOutOfOrderDocids) {
+  Result<InvertedIndex> idx = InvertedIndex::Create(pool_.get(), 2);
+  ASSERT_TRUE(idx.ok());
+  Random rng(1);
+  const PhonemeString s = RandomPhonemes(&rng, 6);
+  const auto grams = match::PositionalQGrams(s, 2);
+  ASSERT_TRUE(idx->Add(100, grams, 6).ok());
+  ASSERT_TRUE(idx->Add(200, grams, 6).ok());
+  EXPECT_FALSE(idx->Add(150, grams, 6).ok());
+  EXPECT_FALSE(idx->Add(200, grams, 6).ok());
+}
+
+TEST_F(InvertedIndexTest, TotalsCountEveryPosting) {
+  Result<InvertedIndex> idx = InvertedIndex::Create(pool_.get(), 2);
+  ASSERT_TRUE(idx.ok());
+  Random rng(2);
+  uint64_t expected_postings = 0;
+  std::set<uint64_t> distinct;
+  for (uint64_t doc = 1; doc <= 200; ++doc) {
+    const PhonemeString s = RandomPhonemes(&rng, 3 + rng.Uniform(8));
+    const auto grams = match::PositionalQGrams(s, 2);
+    // One posting per distinct gram in the doc.
+    std::set<uint64_t> doc_grams;
+    for (const auto& g : grams) doc_grams.insert(g.gram);
+    expected_postings += doc_grams.size();
+    distinct.insert(doc_grams.begin(), doc_grams.end());
+    ASSERT_TRUE(
+        idx->Add(doc, grams, static_cast<uint32_t>(s.size())).ok());
+  }
+  Result<InvertedIndex::Totals> totals = idx->ComputeTotals();
+  ASSERT_TRUE(totals.ok()) << totals.status();
+  EXPECT_EQ(totals->distinct_grams, distinct.size());
+  EXPECT_EQ(totals->total_postings, expected_postings);
+}
+
+TEST_F(InvertedIndexTest, ThresholdCandidatesFindSelf) {
+  Result<InvertedIndex> idx = InvertedIndex::Create(pool_.get(), 2);
+  ASSERT_TRUE(idx.ok());
+  Random rng(3);
+  std::vector<PhonemeString> docs;
+  for (uint64_t doc = 1; doc <= 100; ++doc) {
+    docs.push_back(RandomPhonemes(&rng, 4 + rng.Uniform(6)));
+    const auto grams = match::PositionalQGrams(docs.back(), 2);
+    ASSERT_TRUE(
+        idx->Add(doc, grams, static_cast<uint32_t>(docs.back().size()))
+            .ok());
+  }
+  for (uint64_t doc : {1ull, 37ull, 100ull}) {
+    const match::QGramProbe probe =
+        match::BuildQGramProbe(docs[doc - 1], 2);
+    invidx::Stats stats;
+    Result<std::vector<uint64_t>> cands =
+        idx->ThresholdCandidates(probe, 0.3, &stats);
+    ASSERT_TRUE(cands.ok()) << cands.status();
+    EXPECT_TRUE(std::is_sorted(cands->begin(), cands->end()));
+    EXPECT_TRUE(
+        std::binary_search(cands->begin(), cands->end(), doc))
+        << "doc " << doc << " missing from its own candidates";
+  }
+}
+
+// ------------------------------------------------- engine integration
+
+class InvidxEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_invidx_engine_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Database::Open(path_.string(), 2048);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+
+    Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
+    ASSERT_TRUE(lexicon.ok());
+    rows_ = dataset::GenerateConcatenatedDataset(lexicon.value(), 800);
+    ASSERT_GE(rows_.size(), 800u);
+
+    Schema schema({
+        {"name", ValueType::kString, std::nullopt},
+        {"name_phon", ValueType::kString, 0},
+    });
+    ASSERT_TRUE(db_->CreateTable("names", schema).ok());
+    for (const dataset::LexiconEntry& e : rows_) {
+      Tuple values{Value::String(e.text, e.language)};
+      ASSERT_TRUE(db_->Insert("names", values).ok());
+    }
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  Result<std::vector<Tuple>> Select(LexEqualPlan plan,
+                                    const TaggedString& query,
+                                    QueryStats* stats = nullptr) {
+    LexEqualQueryOptions options;
+    options.hints.plan = plan;
+    return db_->LexEqualSelect("names", "name", query, options, stats);
+  }
+
+  static std::vector<std::string> Texts(const std::vector<Tuple>& rows) {
+    std::vector<std::string> out;
+    for (const Tuple& row : rows) out.push_back(row[0].AsString().text());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<Database> db_;
+  std::vector<dataset::LexiconEntry> rows_;
+};
+
+TEST_F(InvidxEngineTest, ThresholdParityWithQGramPlan) {
+  ASSERT_TRUE(db_->CreateQGramIndex("names", "name_phon", 2).ok());
+  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  for (size_t i : {0u, 5u, 42u, 137u}) {
+    const TaggedString query(rows_[i].text, rows_[i].language);
+    Result<std::vector<Tuple>> via_qgram =
+        Select(LexEqualPlan::kQGramFilter, query);
+    ASSERT_TRUE(via_qgram.ok()) << via_qgram.status();
+    QueryStats stats;
+    Result<std::vector<Tuple>> via_invidx =
+        Select(LexEqualPlan::kInvertedIndex, query, &stats);
+    ASSERT_TRUE(via_invidx.ok()) << via_invidx.status();
+    EXPECT_EQ(Texts(*via_invidx), Texts(*via_qgram)) << "probe " << i;
+    EXPECT_FALSE(via_invidx->empty());  // at least the self match
+    EXPECT_GT(stats.invidx_postings, 0u);
+  }
+}
+
+TEST_F(InvidxEngineTest, ProbeBuiltExactlyOncePerQuery) {
+  ASSERT_TRUE(db_->CreateQGramIndex("names", "name_phon", 2).ok());
+  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  obs::Counter* builds = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_qgram_probe_builds");
+  const TaggedString query(rows_[9].text, rows_[9].language);
+  for (LexEqualPlan plan :
+       {LexEqualPlan::kQGramFilter, LexEqualPlan::kInvertedIndex}) {
+    const uint64_t before = builds->value();
+    ASSERT_TRUE(Select(plan, query).ok());
+    // The probe grams are computed once at the query boundary — never
+    // per gram list, per chunk, or per posting block (the regression
+    // this test pins: see match::QGramProbe).
+    EXPECT_EQ(builds->value() - before, 1u)
+        << engine::LexEqualPlanName(plan);
+  }
+}
+
+TEST_F(InvidxEngineTest, TopKBuildsProbeOncePerQuery) {
+  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  obs::Counter* builds = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_qgram_probe_builds");
+  const uint64_t before = builds->value();
+  LexEqualQueryOptions options;
+  Result<std::vector<engine::TopKRow>> top = db_->LexEqualTopK(
+      "names", "name", TaggedString(rows_[4].text, rows_[4].language), 5,
+      options);
+  ASSERT_TRUE(top.ok()) << top.status();
+  EXPECT_EQ(builds->value() - before, 1u);
+}
+
+TEST_F(InvidxEngineTest, SurvivesReopen) {
+  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 3).ok());
+  const TaggedString query(rows_[17].text, rows_[17].language);
+  Result<std::vector<Tuple>> before =
+      Select(LexEqualPlan::kInvertedIndex, query);
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_TRUE(db_->Flush().ok());
+  db_.reset();
+
+  auto reopened = Database::Open(path_.string(), 2048);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  db_ = std::move(reopened).value();
+  TableInfo* info = db_->GetTable("names").value();
+  ASSERT_NE(info->inverted_index, nullptr);
+  EXPECT_EQ(info->inverted_index->q, 3);
+  EXPECT_EQ(info->inverted_index->indexed_rows, rows_.size());
+
+  Result<std::vector<Tuple>> after =
+      Select(LexEqualPlan::kInvertedIndex, query);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(Texts(*after), Texts(*before));
+
+  // Inserts after reopen reach the index.
+  Tuple values{Value::String(rows_[17].text, rows_[17].language)};
+  ASSERT_TRUE(db_->Insert("names", values).ok());
+  Result<std::vector<Tuple>> grown =
+      Select(LexEqualPlan::kInvertedIndex, query);
+  ASSERT_TRUE(grown.ok()) << grown.status();
+  EXPECT_EQ(grown->size(), after->size() + 1);
+}
+
+TEST_F(InvidxEngineTest, AnalyzeFillsInvidxStats) {
+  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  ASSERT_TRUE(db_->Analyze("names").ok());
+  TableInfo* info = db_->GetTable("names").value();
+  ASSERT_TRUE(info->stats.analyzed);
+  const engine::PhonemicColumnStats* col =
+      info->stats.ForColumn(info->inverted_index->column);
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(col->invidx_q, 2);
+  EXPECT_GT(col->invidx_distinct_grams, 0u);
+  EXPECT_GT(col->invidx_total_postings, 0u);
+}
+
+}  // namespace
+}  // namespace lexequal::index

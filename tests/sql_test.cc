@@ -352,5 +352,110 @@ TEST_F(SqlEndToEndTest, UnsupportedJoinPredicates) {
                   .IsNotSupported());
 }
 
+// --- ORDER BY lexsim(...) LIMIT k — ranked retrieval ----------------
+
+TEST(ParserTest, OrderByLexsimParses) {
+  Result<SelectStatement> stmt = Parse(
+      "select author from books "
+      "order by lexsim(author, 'Nehru') DESC limit 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_TRUE(stmt->lexsim_order.has_value());
+  EXPECT_EQ(stmt->lexsim_order->column.column, "author");
+  EXPECT_EQ(stmt->lexsim_order->query, "Nehru");
+  EXPECT_FALSE(stmt->order_by.has_value());
+  EXPECT_EQ(stmt->limit, 3u);
+}
+
+TEST(ParserTest, OrderByLexsimRejectsAscAndNonLiterals) {
+  EXPECT_FALSE(Parse("select a from t "
+                     "order by lexsim(a, 'x') ASC limit 3")
+                   .ok());
+  EXPECT_FALSE(Parse("select a from t order by lexsim(a, b) limit 3")
+                   .ok());
+  EXPECT_FALSE(Parse("select a from t order by lexsim(a 'x') limit 3")
+                   .ok());
+}
+
+TEST(ParserTest, LexsimColumnNameStillUsable) {
+  // Only `lexsim(` after ORDER BY is ranked retrieval; a plain column
+  // that happens to be named lexsim sorts normally.
+  Result<SelectStatement> stmt =
+      Parse("select lexsim from t order by lexsim desc");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_FALSE(stmt->lexsim_order.has_value());
+  ASSERT_TRUE(stmt->order_by.has_value());
+  EXPECT_EQ(stmt->order_by->column.column, "lexsim");
+}
+
+TEST(ParserTest, CreateIndexInvidxAndInvertedAlias) {
+  for (const char* kind : {"invidx", "inverted"}) {
+    Result<Statement> stmt = ParseStatement(
+        std::string("create index ") + kind +
+        " on books (author_phon) Q 3");
+    ASSERT_TRUE(stmt.ok()) << kind << ": " << stmt.status();
+    EXPECT_EQ(stmt->kind, StatementKind::kCreateIndex);
+    EXPECT_EQ(stmt->create_index.kind, "invidx");
+    EXPECT_EQ(stmt->create_index.q, 3);
+  }
+}
+
+TEST_F(SqlEndToEndTest, OrderByLexsimRanksBestFirst) {
+  Result<QueryResult> create = ExecuteQuery(
+      db_.get(), "create index invidx on books (author_phon) Q 2");
+  ASSERT_TRUE(create.ok()) << create.status();
+  ASSERT_NE(db_->GetTable("books").value()->inverted_index, nullptr);
+
+  Result<QueryResult> result = ExecuteQuery(
+      db_.get(),
+      "select author from books "
+      "order by lexsim(author, 'Nehru') limit 3");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 3u);
+  // The trailing score column is appended to the projection.
+  ASSERT_EQ(result->column_names,
+            (std::vector<std::string>{"author", "lexsim"}));
+  double prev = 2.0;
+  for (const auto& row : result->rows) {
+    const double score = row[1].AsDouble();
+    EXPECT_LE(score, prev);
+    prev = score;
+  }
+  // The best-scoring rows are the Nehru spellings, not Smith.
+  EXPECT_EQ(result->rows[0][0].AsString().text(), "Nehru");
+}
+
+TEST_F(SqlEndToEndTest, OrderByLexsimWorksWithoutIndexViaFallback) {
+  QueryResult hinted;  // naive hint and index-free table agree
+  {
+    Result<QueryResult> result = ExecuteQuery(
+        db_.get(),
+        "select author from books "
+        "order by lexsim(author, 'Nehru') USING naive limit 2");
+    ASSERT_TRUE(result.ok()) << result.status();
+    hinted = std::move(result).value();
+  }
+  ASSERT_EQ(hinted.rows.size(), 2u);
+  EXPECT_EQ(hinted.rows[0][0].AsString().text(), "Nehru");
+}
+
+TEST_F(SqlEndToEndTest, OrderByLexsimRequiresLimitAndNoWhere) {
+  EXPECT_TRUE(ExecuteQuery(db_.get(),
+                           "select author from books "
+                           "order by lexsim(author, 'Nehru')")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteQuery(db_.get(),
+                           "select author from books "
+                           "order by lexsim(author, 'Nehru') limit 0")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteQuery(db_.get(),
+                           "select author from books "
+                           "where title = 'A Book' "
+                           "order by lexsim(author, 'Nehru') limit 2")
+                  .status()
+                  .IsNotSupported());
+}
+
 }  // namespace
 }  // namespace lexequal::sql

@@ -1,0 +1,226 @@
+// Differential coverage of ranked retrieval: LexEqualTopK through the
+// inverted index must return the exact sequence the brute-force
+// kernel ranking returns — same rows, same scores, same deterministic
+// tie order — across every bundled cost-model configuration, table
+// probes and randomized out-of-table probes alike. The inverted index
+// is allowed to *prune* work, never to change the answer.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dataset/lexicon.h"
+#include "engine/database.h"
+#include "text/tagged_string.h"
+
+namespace lexequal::engine {
+namespace {
+
+using phonetic::kPhonemeCount;
+using phonetic::Phoneme;
+using phonetic::PhonemeString;
+using text::Language;
+using text::TaggedString;
+
+// The cost-model space reachable through the engine options: textbook
+// Levenshtein, the default clustered model, and a near-Soundex model
+// with cheap intra-cluster substitutions.
+struct CostConfig {
+  const char* name;
+  double intra_cluster_cost;
+  bool weak_phoneme_discount;
+};
+constexpr CostConfig kCostConfigs[] = {
+    {"levenshtein", 1.0, false},
+    {"clustered-default", 0.5, true},
+    {"near-soundex", 0.25, true},
+};
+
+PhonemeString RandomPhonemes(Random* rng, size_t len) {
+  std::vector<Phoneme> syms;
+  for (size_t i = 0; i < len; ++i) {
+    syms.push_back(static_cast<Phoneme>(rng->Uniform(kPhonemeCount)));
+  }
+  return PhonemeString(std::move(syms));
+}
+
+class TopKDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_topk_diff_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Database::Open(path_.string(), 2048);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+
+    Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
+    ASSERT_TRUE(lexicon.ok());
+    rows_ = dataset::GenerateConcatenatedDataset(lexicon.value(), 1200);
+    ASSERT_GE(rows_.size(), 1200u);
+
+    Schema schema({
+        {"name", ValueType::kString, std::nullopt},
+        {"name_phon", ValueType::kString, 0},
+    });
+    ASSERT_TRUE(db_->CreateTable("names", schema).ok());
+    for (const dataset::LexiconEntry& e : rows_) {
+      Tuple values{Value::String(e.text, e.language)};
+      ASSERT_TRUE(db_->Insert("names", values).ok());
+    }
+    ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  static LexEqualQueryOptions Options(const CostConfig& cfg,
+                                      LexEqualPlan plan) {
+    LexEqualQueryOptions o;
+    o.match.intra_cluster_cost = cfg.intra_cluster_cost;
+    o.match.weak_phoneme_discount = cfg.weak_phoneme_discount;
+    o.hints.plan = plan;
+    return o;
+  }
+
+  // The two rankings must agree exactly: the invidx path computes its
+  // final scores through the same MatchKernel as the brute force, so
+  // even the doubles are bit-identical.
+  static void ExpectSameRanking(const std::vector<TopKRow>& invidx,
+                                const std::vector<TopKRow>& brute,
+                                const std::string& label) {
+    ASSERT_EQ(invidx.size(), brute.size()) << label;
+    for (size_t i = 0; i < brute.size(); ++i) {
+      EXPECT_EQ(invidx[i].score, brute[i].score)
+          << label << " rank " << i;
+      EXPECT_EQ(invidx[i].row[0].AsString().text(),
+                brute[i].row[0].AsString().text())
+          << label << " rank " << i;
+    }
+  }
+
+  void CheckTextProbe(const CostConfig& cfg, const TaggedString& query,
+                      size_t k, const std::string& label) {
+    QueryStats inv_stats;
+    Result<std::vector<TopKRow>> invidx = db_->LexEqualTopK(
+        "names", "name", query, k, Options(cfg, LexEqualPlan::kAuto),
+        &inv_stats);
+    ASSERT_TRUE(invidx.ok()) << label << ": " << invidx.status();
+    QueryStats brute_stats;
+    Result<std::vector<TopKRow>> brute = db_->LexEqualTopK(
+        "names", "name", query, k, Options(cfg, LexEqualPlan::kNaiveUdf),
+        &brute_stats);
+    ASSERT_TRUE(brute.ok()) << label << ": " << brute.status();
+    EXPECT_EQ(inv_stats.plan, LexEqualPlan::kInvertedIndex) << label;
+    EXPECT_EQ(brute_stats.plan, LexEqualPlan::kNaiveUdf) << label;
+    ExpectSameRanking(*invidx, *brute, label);
+  }
+
+  void CheckPhonemeProbe(const CostConfig& cfg, const PhonemeString& probe,
+                         size_t k, const std::string& label) {
+    Result<std::vector<TopKRow>> invidx = db_->LexEqualTopKPhonemes(
+        "names", "name", probe, k, Options(cfg, LexEqualPlan::kAuto));
+    ASSERT_TRUE(invidx.ok()) << label << ": " << invidx.status();
+    Result<std::vector<TopKRow>> brute = db_->LexEqualTopKPhonemes(
+        "names", "name", probe, k, Options(cfg, LexEqualPlan::kNaiveUdf));
+    ASSERT_TRUE(brute.ok()) << label << ": " << brute.status();
+    ExpectSameRanking(*invidx, *brute, label);
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<Database> db_;
+  std::vector<dataset::LexiconEntry> rows_;
+};
+
+TEST_F(TopKDifferentialTest, TableProbesMatchBruteForce) {
+  for (const CostConfig& cfg : kCostConfigs) {
+    for (size_t i : {2u, 71u, 419u}) {
+      const TaggedString query(rows_[i].text, rows_[i].language);
+      for (size_t k : {1u, 10u}) {
+        CheckTextProbe(cfg, query, k,
+                       std::string(cfg.name) + "/probe" +
+                           std::to_string(i) + "/k" + std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST_F(TopKDifferentialTest, RandomizedPhonemeProbesMatchBruteForce) {
+  Random rng(20260807);
+  for (const CostConfig& cfg : kCostConfigs) {
+    for (int round = 0; round < 4; ++round) {
+      const PhonemeString probe =
+          RandomPhonemes(&rng, 3 + rng.Uniform(10));
+      CheckPhonemeProbe(cfg, probe, 5,
+                        std::string(cfg.name) + "/random" +
+                            std::to_string(round));
+    }
+  }
+}
+
+TEST_F(TopKDifferentialTest, KLargerThanTableRanksEveryRow) {
+  const CostConfig& cfg = kCostConfigs[1];
+  const TaggedString query(rows_[33].text, rows_[33].language);
+  Result<std::vector<TopKRow>> invidx = db_->LexEqualTopK(
+      "names", "name", query, rows_.size() + 100,
+      Options(cfg, LexEqualPlan::kAuto));
+  ASSERT_TRUE(invidx.ok()) << invidx.status();
+  Result<std::vector<TopKRow>> brute = db_->LexEqualTopK(
+      "names", "name", query, rows_.size() + 100,
+      Options(cfg, LexEqualPlan::kNaiveUdf));
+  ASSERT_TRUE(brute.ok()) << brute.status();
+  EXPECT_EQ(invidx->size(), rows_.size());
+  ExpectSameRanking(*invidx, *brute, "k-overflow");
+  // Descending scores, no gaps.
+  for (size_t i = 1; i < invidx->size(); ++i) {
+    EXPECT_GE((*invidx)[i - 1].score, (*invidx)[i].score);
+  }
+}
+
+TEST_F(TopKDifferentialTest, HintedInvidxWithoutIndexIsNotFound) {
+  Schema schema({
+      {"word", ValueType::kString, std::nullopt},
+      {"word_phon", ValueType::kString, 0},
+  });
+  ASSERT_TRUE(db_->CreateTable("bare", schema).ok());
+  Tuple values{Value::String("Nehru", Language::kEnglish)};
+  ASSERT_TRUE(db_->Insert("bare", values).ok());
+  LexEqualQueryOptions o;
+  o.hints.plan = LexEqualPlan::kInvertedIndex;
+  Result<std::vector<TopKRow>> top = db_->LexEqualTopK(
+      "bare", "word", TaggedString("Nehru", Language::kEnglish), 3, o);
+  EXPECT_FALSE(top.ok());
+}
+
+// Tiny tables are where the WAND bound usually cannot certify the
+// ranking — the outcome goes inexact and the engine falls back. The
+// answer must still be exact.
+TEST_F(TopKDifferentialTest, TinyTableFallbackStaysExact) {
+  Schema schema({
+      {"word", ValueType::kString, std::nullopt},
+      {"word_phon", ValueType::kString, 0},
+  });
+  ASSERT_TRUE(db_->CreateTable("tiny", schema).ok());
+  for (size_t i = 0; i < 6; ++i) {
+    Tuple values{Value::String(rows_[i].text, rows_[i].language)};
+    ASSERT_TRUE(db_->Insert("tiny", values).ok());
+  }
+  ASSERT_TRUE(db_->CreateInvertedIndex("tiny", "word_phon", 2).ok());
+  const TaggedString query(rows_[1].text, rows_[1].language);
+  const CostConfig& cfg = kCostConfigs[1];
+  Result<std::vector<TopKRow>> invidx = db_->LexEqualTopK(
+      "tiny", "word", query, 3, Options(cfg, LexEqualPlan::kAuto));
+  ASSERT_TRUE(invidx.ok()) << invidx.status();
+  Result<std::vector<TopKRow>> brute = db_->LexEqualTopK(
+      "tiny", "word", query, 3, Options(cfg, LexEqualPlan::kNaiveUdf));
+  ASSERT_TRUE(brute.ok()) << brute.status();
+  ExpectSameRanking(*invidx, *brute, "tiny");
+}
+
+}  // namespace
+}  // namespace lexequal::engine
