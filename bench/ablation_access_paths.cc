@@ -25,10 +25,10 @@ int main() {
       dataset::GenerateConcatenatedDataset(*lexicon,
                                            GeneratedDatasetSize());
   std::printf("Ablation: access paths for LexEQUAL selections\n");
-  Result<std::unique_ptr<engine::Database>> db_or =
+  Result<std::unique_ptr<engine::Engine>> db_or =
       BuildGeneratedDb("/tmp/lexequal_ablation1.db", *lexicon, gen);
   if (!db_or.ok()) return 1;
-  std::unique_ptr<engine::Database> db = std::move(db_or).value();
+  std::unique_ptr<engine::Engine> db = std::move(db_or).value();
   if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
                       .table = "names",
                       .column = "name_phon",
@@ -49,6 +49,7 @@ int main() {
                 bktree.size());
   }
 
+  engine::Session session = db->CreateSession();
   const int kProbes = 20;
   LexEqualQueryOptions options;
   options.match.threshold = 0.25;
@@ -68,18 +69,18 @@ int main() {
     Timer t;
     for (int i = 0; i < kProbes; ++i) {
       const auto* p = &gen[(gen.size() / kProbes) * i];
-      QueryStats stats;
-      auto rows = db->LexEqualSelectPhonemes("names", "name",
-                                             p->phonemes, options,
-                                             &stats);
-      if (!rows.ok()) {
+      engine::QueryRequest req = engine::QueryRequest::
+          ThresholdSelectPhonemes("names", "name", p->phonemes);
+      req.options = options;
+      auto result = session.Execute(req);
+      if (!result.ok()) {
         std::printf("%s: %s\n",
                     std::string(LexEqualPlanName(plan)).c_str(),
-                    rows.status().ToString().c_str());
+                    result.status().ToString().c_str());
         return 1;
       }
-      hits += rows->size();
-      total.udf_calls += stats.udf_calls;
+      hits += result->rows.size();
+      total.udf_calls += result->stats.udf_calls;
     }
     std::printf("| %-15s | %8.3f ms |     %10.0f | %8.1f |\n",
                 std::string(LexEqualPlanName(plan)).c_str(),

@@ -28,10 +28,10 @@ int main() {
   for (size_t size : sizes) {
     std::vector<dataset::LexiconEntry> gen =
         dataset::GenerateConcatenatedDataset(*lexicon, size);
-    Result<std::unique_ptr<engine::Database>> db_or =
+    Result<std::unique_ptr<engine::Engine>> db_or =
         BuildGeneratedDb("/tmp/lexequal_scaling.db", *lexicon, gen);
     if (!db_or.ok()) return 1;
-    std::unique_ptr<engine::Database> db = std::move(db_or).value();
+    std::unique_ptr<engine::Engine> db = std::move(db_or).value();
     if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
                       .table = "names",
                       .column = "name_phon",
@@ -40,6 +40,7 @@ int main() {
                       .table = "names",
                       .column = "name_phon"}).ok()) return 1;
 
+    engine::Session session = db->CreateSession();
     double ms[3] = {0, 0, 0};
     int plan_i = 0;
     for (LexEqualPlan plan :
@@ -52,13 +53,14 @@ int main() {
       Timer t;
       for (int i = 0; i < kProbes; ++i) {
         const auto* p = &gen[(gen.size() / kProbes) * i];
-        auto rows = db->LexEqualSelectPhonemes("names", "name",
-                                               p->phonemes, options,
-                                               nullptr);
-        if (!rows.ok()) {
+        engine::QueryRequest req = engine::QueryRequest::
+            ThresholdSelectPhonemes("names", "name", p->phonemes);
+        req.options = options;
+        auto result = session.Execute(req);
+        if (!result.ok()) {
           std::printf("%s: %s\n",
                       std::string(LexEqualPlanName(plan)).c_str(),
-                      rows.status().ToString().c_str());
+                      result.status().ToString().c_str());
           return 1;
         }
       }

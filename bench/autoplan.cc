@@ -11,11 +11,13 @@
 
 using namespace lexequal;
 using namespace lexequal::bench;
-using engine::Database;
+using engine::Engine;
 using engine::LexEqualPlan;
 using engine::LexEqualPlanName;
 using engine::LexEqualQueryOptions;
+using engine::QueryRequest;
 using engine::QueryStats;
+using engine::Session;
 
 namespace {
 
@@ -35,7 +37,7 @@ struct PlanTiming {
 // Times one plan over all probes; a failed probe marks the plan as
 // unavailable (e.g. phonetic above the gate still runs when hinted,
 // so failures here mean a missing index, not the gate).
-PlanTiming TimePlan(Database* db, LexEqualPlan plan,
+PlanTiming TimePlan(Session* session, LexEqualPlan plan,
                     const std::vector<const dataset::LexiconEntry*>& probes,
                     const LexEqualQueryOptions& base) {
   PlanTiming timing;
@@ -44,16 +46,18 @@ PlanTiming TimePlan(Database* db, LexEqualPlan plan,
   options.hints.plan = plan;
   Timer t;
   for (const auto* p : probes) {
-    auto rows = db->LexEqualSelectPhonemes("names", "name", p->phonemes,
-                                           options, nullptr);
-    if (!rows.ok()) return timing;
+    QueryRequest req = QueryRequest::ThresholdSelectPhonemes(
+        "names", "name", p->phonemes);
+    req.options = options;
+    auto result = session->Execute(req);
+    if (!result.ok()) return timing;
   }
   timing.ok = true;
   timing.avg_s = t.Seconds() / probes.size();
   return timing;
 }
 
-void RunWorkload(Database* db, const char* caption,
+void RunWorkload(Session* session, const char* caption,
                  const std::vector<const dataset::LexiconEntry*>& probes,
                  double threshold) {
   LexEqualQueryOptions base;
@@ -64,7 +68,7 @@ void RunWorkload(Database* db, const char* caption,
 
   double best_manual = -1;
   for (LexEqualPlan plan : kManualPlans) {
-    const PlanTiming timing = TimePlan(db, plan, probes, base);
+    const PlanTiming timing = TimePlan(session, plan, probes, base);
     if (!timing.ok) {
       std::printf("  %-15s unavailable\n",
                   std::string(LexEqualPlanName(plan)).c_str());
@@ -85,12 +89,12 @@ void RunWorkload(Database* db, const char* caption,
 
   // Hint-free run: the picker chooses per probe from the statistics.
   const PlanTiming auto_timing =
-      TimePlan(db, LexEqualPlan::kAuto, probes, base);
+      TimePlan(session, LexEqualPlan::kAuto, probes, base);
   if (!auto_timing.ok) {
     std::printf("  auto FAILED\n");
     return;
   }
-  const QueryStats& s = db->LastQueryStats();
+  const QueryStats& s = session->LastQueryStats();
   std::printf("  %-15s %9.4f s/probe -> picked %s (%s)\n", "auto",
               auto_timing.avg_s,
               std::string(LexEqualPlanName(s.plan)).c_str(),
@@ -116,10 +120,10 @@ int main() {
       dataset::GenerateConcatenatedDataset(*lexicon,
                                            GeneratedDatasetSize());
   std::printf("Auto-plan picker vs manual plans\n");
-  Result<std::unique_ptr<Database>> db_or =
+  Result<std::unique_ptr<Engine>> db_or =
       BuildGeneratedDb("/tmp/lexequal_autoplan.db", *lexicon, gen);
   if (!db_or.ok()) return 1;
-  std::unique_ptr<Database> db = std::move(db_or).value();
+  std::unique_ptr<Engine> db = std::move(db_or).value();
 
   {
     Timer t;
@@ -152,15 +156,16 @@ int main() {
     probes.push_back(&gen[(gen.size() / kProbes) * i]);
   }
 
+  Session session = db->CreateSession();
   // Table 3 regime: tight threshold, phonetic index eligible.
-  RunWorkload(db.get(), "Workload A: tight-threshold scan (Table 3)",
+  RunWorkload(&session, "Workload A: tight-threshold scan (Table 3)",
               probes, 0.25);
   // Table 2 regime: loose threshold gates the (lossy) phonetic index,
   // leaving q-grams vs scans.
-  RunWorkload(db.get(), "Workload B: loose-threshold scan (Table 2)",
+  RunWorkload(&session, "Workload B: loose-threshold scan (Table 2)",
               probes, 0.40);
   // Exact regime: threshold 0 makes every path cheap; overheads decide.
-  RunWorkload(db.get(), "Workload C: exact match", probes, 0.0);
+  RunWorkload(&session, "Workload C: exact match", probes, 0.0);
 
   std::remove("/tmp/lexequal_autoplan.db");
   return 0;

@@ -9,7 +9,7 @@
 #include <string>
 
 #include "dataset/lexicon.h"
-#include "engine/database.h"
+#include "engine/session.h"
 
 namespace lexequal::bench {
 
@@ -40,12 +40,12 @@ inline size_t GeneratedDatasetSize(size_t default_size = 200000) {
 
 /// Loads the generated dataset into table `names(name, name_phon,
 /// tag)` of a fresh database at `path`. Prints load time.
-inline Result<std::unique_ptr<engine::Database>> BuildGeneratedDb(
+inline Result<std::unique_ptr<engine::Engine>> BuildGeneratedDb(
     const std::string& path, const dataset::Lexicon& lexicon,
     const std::vector<dataset::LexiconEntry>& data) {
   std::remove(path.c_str());
-  std::unique_ptr<engine::Database> db;
-  LEXEQUAL_ASSIGN_OR_RETURN(db, engine::Database::Open(path, 8192));
+  std::unique_ptr<engine::Engine> db;
+  LEXEQUAL_ASSIGN_OR_RETURN(db, engine::Engine::Open(path, 8192));
   // name_phon is caller-materialized: the generated dataset is built
   // by concatenation in phoneme space (as the paper's was), so the
   // stored phonemes are the concatenated base phonemes rather than a

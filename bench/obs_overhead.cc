@@ -44,7 +44,7 @@ struct PlanRun {
 };
 
 // One timed pass of every probe under `plan`; returns total hits.
-double RunProbes(engine::Database* db,
+double RunProbes(engine::Session* session,
                  const std::vector<const dataset::LexiconEntry*>& probes,
                  LexEqualPlan plan, uint64_t* hits) {
   LexEqualQueryOptions options;
@@ -53,14 +53,15 @@ double RunProbes(engine::Database* db,
   options.hints.plan = plan;
   Timer t;
   for (const dataset::LexiconEntry* p : probes) {
-    QueryStats stats;
-    auto rows = db->LexEqualSelectPhonemes("names", "name", p->phonemes,
-                                           options, &stats);
-    if (!rows.ok()) {
-      std::printf("probe: %s\n", rows.status().ToString().c_str());
+    engine::QueryRequest req = engine::QueryRequest::
+        ThresholdSelectPhonemes("names", "name", p->phonemes);
+    req.options = options;
+    auto result = session->Execute(req);
+    if (!result.ok()) {
+      std::printf("probe: %s\n", result.status().ToString().c_str());
       std::exit(1);
     }
-    *hits += rows->size();
+    *hits += result->rows.size();
   }
   return t.Millis();
 }
@@ -91,13 +92,13 @@ int main(int argc, char** argv) {
 
   std::printf("obs_overhead: %zu rows, %d probes, %d reps%s\n",
               gen.size(), probes_n, reps, smoke ? " (smoke)" : "");
-  Result<std::unique_ptr<engine::Database>> db_or =
+  Result<std::unique_ptr<engine::Engine>> db_or =
       BuildGeneratedDb("/tmp/lexequal_obs_overhead.db", *lexicon, gen);
   if (!db_or.ok()) {
     std::printf("build: %s\n", db_or.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<engine::Database> db = std::move(db_or).value();
+  std::unique_ptr<engine::Engine> db = std::move(db_or).value();
   if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
                         .table = "names",
                         .column = "name_phon",
@@ -119,19 +120,20 @@ int main(int argc, char** argv) {
       {"parallel", LexEqualPlan::kParallelScan},
   };
 
+  engine::Session session = db->CreateSession();
   const bool was_enabled = obs::SetEnabled(true);
   for (PlanRun& run : runs) {
     // Warm-up pass (phoneme cache, buffer pool) outside the timings.
     uint64_t warm_hits = 0;
-    RunProbes(db.get(), probes, run.plan, &warm_hits);
+    RunProbes(&session, probes, run.plan, &warm_hits);
     uint64_t enabled_hits = 0, disabled_hits = 0;
     for (int rep = 0; rep < reps; ++rep) {
       obs::SetEnabled(true);
       run.enabled_ms +=
-          RunProbes(db.get(), probes, run.plan, &enabled_hits);
+          RunProbes(&session, probes, run.plan, &enabled_hits);
       obs::SetEnabled(false);
       run.disabled_ms +=
-          RunProbes(db.get(), probes, run.plan, &disabled_hits);
+          RunProbes(&session, probes, run.plan, &disabled_hits);
     }
     obs::SetEnabled(true);
     if (enabled_hits != disabled_hits) {
@@ -178,7 +180,7 @@ int main(int argc, char** argv) {
       std::printf("cannot write %s\n", export_path.c_str());
       return 1;
     }
-    const std::string text = engine::Database::DumpMetrics();
+    const std::string text = engine::Engine::DumpMetrics();
     std::fwrite(text.data(), 1, text.size(), exp);
     std::fclose(exp);
     std::printf("wrote %s\n", export_path.c_str());

@@ -13,7 +13,7 @@
 //     cache (warm) — this is where the tentpole's >= 2x comes from.
 //
 //  B. Engine plans over a precomputed phonemic column: kNaiveUdf vs.
-//     kParallelScan through Database::LexEqualSelectPhonemes. Both
+//     kParallelScan through Session::Execute phoneme selects. Both
 //     plans pay the same heap scan and the stored-IPA decode is far
 //     cheaper than G2P, so gains here are the filters + memoized
 //     parses only — the honest lower bound.
@@ -113,19 +113,19 @@ Result<RunResult> RunParallelIpa(
 // --- Regime B: engine plans over the stored phonemic column. ---
 
 Result<RunResult> RunEnginePlan(
-    engine::Database* db,
+    engine::Session* session,
     const std::vector<const dataset::LexiconEntry*>& probes,
     const LexEqualQueryOptions& options) {
   RunResult out;
   Timer t;
   for (const auto* p : probes) {
-    QueryStats stats;
-    LEXEQUAL_ASSIGN_OR_RETURN(
-        std::vector<engine::Tuple> rows,
-        db->LexEqualSelectPhonemes("names", "name", p->phonemes, options,
-                                   &stats));
-    out.hits += rows.size();
-    out.stats.Merge(stats.match);
+    engine::QueryRequest req = engine::QueryRequest::
+        ThresholdSelectPhonemes("names", "name", p->phonemes);
+    req.options = options;
+    engine::QueryResult result;
+    LEXEQUAL_ASSIGN_OR_RETURN(result, session->Execute(req));
+    out.hits += result.rows.size();
+    out.stats.Merge(result.stats.match);
   }
   out.seconds_per_probe = t.Seconds() / probes.size();
   return out;
@@ -212,18 +212,19 @@ int main() {
   }
 
   // ---- Regime B ----------------------------------------------------
-  Result<std::unique_ptr<engine::Database>> db_or =
+  Result<std::unique_ptr<engine::Engine>> db_or =
       BuildGeneratedDb("/tmp/lexequal_parallel_scaling.db", *lexicon, gen);
   if (!db_or.ok()) {
     std::printf("build: %s\n", db_or.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<engine::Database> db = std::move(db_or).value();
+  std::unique_ptr<engine::Engine> db = std::move(db_or).value();
+  engine::Session session = db->CreateSession();
 
   LexEqualQueryOptions options;
   options.match = match_options;
   options.hints.plan = LexEqualPlan::kNaiveUdf;
-  Result<RunResult> engine_naive = RunEnginePlan(db.get(), probes, options);
+  Result<RunResult> engine_naive = RunEnginePlan(&session, probes, options);
   if (!engine_naive.ok()) return 1;
 
   PrintScalingHeader(
@@ -236,14 +237,14 @@ int main() {
   for (uint32_t threads : {1u, 4u}) {
     options.hints.threads = threads;
     match::PhonemeCache::Default().Clear();
-    Result<RunResult> cold = RunEnginePlan(db.get(), probes, options);
+    Result<RunResult> cold = RunEnginePlan(&session, probes, options);
     if (!cold.ok()) return 1;
     char label[64];
     std::snprintf(label, sizeof(label), "kParallelScan t=%u cold",
                   threads);
     PrintScalingRow(label, *cold, engine_naive->seconds_per_probe);
 
-    Result<RunResult> warm = RunEnginePlan(db.get(), probes, options);
+    Result<RunResult> warm = RunEnginePlan(&session, probes, options);
     if (!warm.ok()) return 1;
     std::snprintf(label, sizeof(label), "kParallelScan t=%u warm",
                   threads);

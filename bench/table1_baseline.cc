@@ -25,13 +25,14 @@ int main() {
       dataset::GenerateConcatenatedDataset(*lexicon,
                                            GeneratedDatasetSize());
   std::printf("Table 1: Relative Performance of Approximate Matching\n");
-  Result<std::unique_ptr<engine::Database>> db_or =
+  Result<std::unique_ptr<engine::Engine>> db_or =
       BuildGeneratedDb("/tmp/lexequal_table1.db", *lexicon, gen);
   if (!db_or.ok()) {
     std::printf("build: %s\n", db_or.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<engine::Database> db = std::move(db_or).value();
+  std::unique_ptr<engine::Engine> db = std::move(db_or).value();
+  engine::Session session = db->CreateSession();
 
   // Probe queries: a deterministic sample of stored names.
   const int kProbes = 10;
@@ -51,11 +52,10 @@ int main() {
   {
     Timer t;
     for (const auto* p : probes) {
-      QueryStats stats;
-      auto rows = db->ExactSelect(
-          "names", "name", Value::String(p->text, p->language), &stats);
-      if (!rows.ok()) return 1;
-      exact_hits += rows->size();
+      auto result = session.Execute(engine::QueryRequest::ExactSelect(
+          "names", "name", Value::String(p->text, p->language)));
+      if (!result.ok()) return 1;
+      exact_hits += result->rows.size();
     }
     exact_scan_s = t.Seconds() / kProbes;
   }
@@ -66,14 +66,15 @@ int main() {
   {
     Timer t;
     for (const auto* p : probes) {
-      QueryStats stats;
-      auto rows = db->LexEqualSelectPhonemes(
-          "names", "name", p->phonemes, naive, &stats);
-      if (!rows.ok()) {
-        std::printf("scan: %s\n", rows.status().ToString().c_str());
+      engine::QueryRequest req = engine::QueryRequest::
+          ThresholdSelectPhonemes("names", "name", p->phonemes);
+      req.options = naive;
+      auto result = session.Execute(req);
+      if (!result.ok()) {
+        std::printf("scan: %s\n", result.status().ToString().c_str());
         return 1;
       }
-      udf_hits += rows->size();
+      udf_hits += result->rows.size();
     }
     udf_scan_s = t.Seconds() / kProbes;
   }
@@ -82,10 +83,9 @@ int main() {
   double exact_join_s = 0;
   {
     Timer t;
-    QueryStats stats;
-    auto pairs =
-        db->ExactJoin("names", "name", "names", "name", 0, &stats);
-    if (!pairs.ok()) return 1;
+    auto result = session.Execute(
+        engine::QueryRequest::ExactJoin("names", "name", "names", "name"));
+    if (!result.ok()) return 1;
     exact_join_s = t.Seconds();
   }
 
@@ -96,14 +96,16 @@ int main() {
   uint64_t join_results = 0;
   {
     Timer t;
-    QueryStats stats;
-    auto pairs = db->LexEqualJoin("names", "name", "names", "name",
-                                  naive, subset, &stats);
-    if (!pairs.ok()) {
-      std::printf("join: %s\n", pairs.status().ToString().c_str());
+    engine::QueryRequest req =
+        engine::QueryRequest::Join("names", "name", "names", "name");
+    req.options = naive;
+    req.outer_limit = subset;
+    auto result = session.Execute(req);
+    if (!result.ok()) {
+      std::printf("join: %s\n", result.status().ToString().c_str());
       return 1;
     }
-    join_results = pairs->size();
+    join_results = result->pairs.size();
     udf_join_s = t.Seconds();
   }
   const double scaled_join =

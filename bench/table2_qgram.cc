@@ -19,10 +19,11 @@ int main() {
       dataset::GenerateConcatenatedDataset(*lexicon,
                                            GeneratedDatasetSize());
   std::printf("Table 2: Q-Gram Filter Performance\n");
-  Result<std::unique_ptr<engine::Database>> db_or =
+  Result<std::unique_ptr<engine::Engine>> db_or =
       BuildGeneratedDb("/tmp/lexequal_table2.db", *lexicon, gen);
   if (!db_or.ok()) return 1;
-  std::unique_ptr<engine::Database> db = std::move(db_or).value();
+  std::unique_ptr<engine::Engine> db = std::move(db_or).value();
+  engine::Session session = db->CreateSession();
 
   {
     Timer t;
@@ -58,15 +59,16 @@ int main() {
   {
     Timer t;
     for (const auto* p : probes) {
-      QueryStats stats;
-      auto rows = db->LexEqualSelectPhonemes(
-          "names", "name", p->phonemes, qgram, &stats);
-      if (!rows.ok()) {
-        std::printf("scan: %s\n", rows.status().ToString().c_str());
+      engine::QueryRequest req = engine::QueryRequest::
+          ThresholdSelectPhonemes("names", "name", p->phonemes);
+      req.options = qgram;
+      auto result = session.Execute(req);
+      if (!result.ok()) {
+        std::printf("scan: %s\n", result.status().ToString().c_str());
         return 1;
       }
-      udf_calls += stats.udf_calls;
-      hits += rows->size();
+      udf_calls += result->stats.udf_calls;
+      hits += result->rows.size();
     }
     qgram_scan_s = t.Seconds() / kProbes;
   }
@@ -75,9 +77,11 @@ int main() {
   {
     Timer t;
     for (const auto* p : probes) {
-      auto rows = db->LexEqualSelectPhonemes(
-          "names", "name", p->phonemes, naive, nullptr);
-      if (!rows.ok()) return 1;
+      engine::QueryRequest req = engine::QueryRequest::
+          ThresholdSelectPhonemes("names", "name", p->phonemes);
+      req.options = naive;
+      auto result = session.Execute(req);
+      if (!result.ok()) return 1;
     }
     naive_scan_s = t.Seconds() / kProbes;
   }
@@ -89,14 +93,16 @@ int main() {
   uint64_t join_pairs = 0;
   {
     Timer t;
-    QueryStats stats;
-    auto pairs = db->LexEqualJoin("names", "name", "names", "name",
-                                  qgram, subset, &stats);
-    if (!pairs.ok()) {
-      std::printf("join: %s\n", pairs.status().ToString().c_str());
+    engine::QueryRequest req =
+        engine::QueryRequest::Join("names", "name", "names", "name");
+    req.options = qgram;
+    req.outer_limit = subset;
+    auto result = session.Execute(req);
+    if (!result.ok()) {
+      std::printf("join: %s\n", result.status().ToString().c_str());
       return 1;
     }
-    join_pairs = pairs->size();
+    join_pairs = result->pairs.size();
     qgram_join_s = t.Seconds();
   }
 

@@ -22,10 +22,11 @@ int main() {
       dataset::GenerateConcatenatedDataset(*lexicon,
                                            GeneratedDatasetSize());
   std::printf("Table 3: Phonetic Index Performance\n");
-  Result<std::unique_ptr<engine::Database>> db_or =
+  Result<std::unique_ptr<engine::Engine>> db_or =
       BuildGeneratedDb("/tmp/lexequal_table3.db", *lexicon, gen);
   if (!db_or.ok()) return 1;
-  std::unique_ptr<engine::Database> db = std::move(db_or).value();
+  std::unique_ptr<engine::Engine> db = std::move(db_or).value();
+  engine::Session session = db->CreateSession();
 
   {
     Timer t;
@@ -59,13 +60,15 @@ int main() {
   {
     Timer t;
     for (const auto* p : probes) {
-      auto rows = db->LexEqualSelectPhonemes(
-          "names", "name", p->phonemes, phon, nullptr);
-      if (!rows.ok()) {
-        std::printf("scan: %s\n", rows.status().ToString().c_str());
+      engine::QueryRequest req = engine::QueryRequest::
+          ThresholdSelectPhonemes("names", "name", p->phonemes);
+      req.options = phon;
+      auto result = session.Execute(req);
+      if (!result.ok()) {
+        std::printf("scan: %s\n", result.status().ToString().c_str());
         return 1;
       }
-      hits += rows->size();
+      hits += result->rows.size();
     }
     phon_scan_s = t.Seconds() / kProbes;
   }
@@ -77,13 +80,16 @@ int main() {
   uint64_t join_pairs = 0;
   {
     Timer t;
-    auto pairs = db->LexEqualJoin("names", "name", "names", "name",
-                                  phon, subset, nullptr);
-    if (!pairs.ok()) {
-      std::printf("join: %s\n", pairs.status().ToString().c_str());
+    engine::QueryRequest req =
+        engine::QueryRequest::Join("names", "name", "names", "name");
+    req.options = phon;
+    req.outer_limit = subset;
+    auto result = session.Execute(req);
+    if (!result.ok()) {
+      std::printf("join: %s\n", result.status().ToString().c_str());
       return 1;
     }
-    join_pairs = pairs->size();
+    join_pairs = result->pairs.size();
     phon_join_s = t.Seconds();
   }
 
@@ -102,16 +108,19 @@ int main() {
   uint64_t kept_all = 0;
   for (int i = 0; i < kQualityProbes; ++i) {
     const auto* p = &gen[(gen.size() / kQualityProbes) * i];
-    auto full = db->LexEqualSelectPhonemes("names", "name", p->phonemes,
-                                           naive, nullptr);
-    auto fast = db->LexEqualSelectPhonemes("names", "name", p->phonemes,
-                                           phon, nullptr);
+    engine::QueryRequest naive_req = engine::QueryRequest::
+        ThresholdSelectPhonemes("names", "name", p->phonemes);
+    naive_req.options = naive;
+    engine::QueryRequest phon_req = naive_req;
+    phon_req.options = phon;
+    auto full = session.Execute(naive_req);
+    auto fast = session.Execute(phon_req);
     if (!full.ok() || !fast.ok()) return 1;
     std::set<std::string> fast_set;
-    for (const Tuple& row : *fast) {
+    for (const Tuple& row : fast->rows) {
       fast_set.insert(row[0].AsString().text());
     }
-    for (const Tuple& row : *full) {
+    for (const Tuple& row : full->rows) {
       const bool kept = fast_set.count(row[0].AsString().text()) > 0;
       ++naive_all;
       kept_all += kept ? 1 : 0;

@@ -35,14 +35,16 @@
 #include "bench/bench_common.h"
 #include "common/random.h"
 #include "dataset/lexicon.h"
-#include "engine/database.h"
+#include "engine/session.h"
 
 using namespace lexequal;
 using namespace lexequal::bench;
-using engine::Database;
+using engine::Engine;
 using engine::LexEqualPlan;
 using engine::LexEqualQueryOptions;
+using engine::QueryRequest;
 using engine::QueryStats;
+using engine::Session;
 using engine::TopKRow;
 
 namespace {
@@ -112,21 +114,25 @@ int main(int argc, char** argv) {
   }
 
   const std::string db_path = "/tmp/lexequal_topk_bench.db";
-  Result<std::unique_ptr<Database>> db_or =
+  Result<std::unique_ptr<Engine>> db_or =
       BuildGeneratedDb(db_path, *lexicon, gen);
   if (!db_or.ok()) {
     std::printf("db: %s\n", db_or.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<Database> db = std::move(db_or).value();
+  std::unique_ptr<Engine> db = std::move(db_or).value();
   {
     Timer t;
-    if (!db->CreateInvertedIndex("names", "name_phon", 2).ok()) {
+    if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kInverted,
+                          .table = "names",
+                          .column = "name_phon",
+                          .q = 2}).ok()) {
       return 1;
     }
     std::printf("built inverted index in %.1f s\n", t.Seconds());
   }
   if (!db->Analyze("names").ok()) return 1;
+  Session session = db->CreateSession();
 
   std::vector<const dataset::LexiconEntry*> probes;
   for (size_t i = 0; i < kProbes; ++i) {
@@ -147,24 +153,27 @@ int main(int argc, char** argv) {
     KResult r;
     r.k = k;
     for (const dataset::LexiconEntry* p : probes) {
-      QueryStats topk_stats;
+      QueryRequest topk_req = QueryRequest::TopKPhonemes(
+          "names", "name", p->phonemes, k);
+      topk_req.options = invidx_opt;
       Timer ti;
-      Result<std::vector<TopKRow>> ranked = db->LexEqualTopKPhonemes(
-          "names", "name", p->phonemes, k, invidx_opt, &topk_stats);
+      Result<engine::QueryResult> ranked = session.Execute(topk_req);
       r.invidx_ms += ti.Millis();
       if (!ranked.ok()) {
         std::printf("topk: %s\n", ranked.status().ToString().c_str());
         return 1;
       }
+      const QueryStats topk_stats = ranked->stats;
+      QueryRequest brute_req = topk_req;
+      brute_req.options = brute_opt;
       Timer tb;
-      Result<std::vector<TopKRow>> brute = db->LexEqualTopKPhonemes(
-          "names", "name", p->phonemes, k, brute_opt, nullptr);
+      Result<engine::QueryResult> brute = session.Execute(brute_req);
       r.brute_ms += tb.Millis();
       if (!brute.ok()) {
         std::printf("brute: %s\n", brute.status().ToString().c_str());
         return 1;
       }
-      if (!SameRanking(*ranked, *brute)) {
+      if (!SameRanking(ranked->ranked, brute->ranked)) {
         std::printf("PARITY FAILURE: k=%zu probe '%s'\n", k,
                     p->text.c_str());
         parity_ok = false;
@@ -176,15 +185,15 @@ int main(int argc, char** argv) {
 
       // Full-merge baseline: the threshold plan decodes every posting
       // of the probe's gram lists.
-      QueryStats merge_stats;
-      Result<std::vector<engine::Tuple>> merged =
-          db->LexEqualSelectPhonemes("names", "name", p->phonemes,
-                                     merge_opt, &merge_stats);
+      QueryRequest merge_req = QueryRequest::ThresholdSelectPhonemes(
+          "names", "name", p->phonemes);
+      merge_req.options = merge_opt;
+      Result<engine::QueryResult> merged = session.Execute(merge_req);
       if (!merged.ok()) {
         std::printf("merge: %s\n", merged.status().ToString().c_str());
         return 1;
       }
-      r.merge_postings += merge_stats.invidx_postings;
+      r.merge_postings += merged->stats.invidx_postings;
     }
     results.push_back(r);
   }

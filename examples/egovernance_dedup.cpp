@@ -17,13 +17,15 @@
 
 #include "common/random.h"
 #include "dataset/lexicon.h"
-#include "engine/database.h"
+#include "engine/session.h"
 
 using namespace lexequal;
-using engine::Database;
+using engine::Engine;
 using engine::LexEqualPlan;
 using engine::LexEqualQueryOptions;
+using engine::QueryRequest;
 using engine::Schema;
+using engine::Session;
 using engine::Tuple;
 using engine::Value;
 using engine::ValueType;
@@ -33,10 +35,10 @@ int main() {
   if (!lexicon.ok()) return 1;
 
   std::remove("/tmp/lexequal_dedup.db");
-  Result<std::unique_ptr<Database>> db_or =
-      Database::Open("/tmp/lexequal_dedup.db", 2048);
+  Result<std::unique_ptr<Engine>> db_or =
+      Engine::Open("/tmp/lexequal_dedup.db", 2048);
   if (!db_or.ok()) return 1;
-  std::unique_ptr<Database> db = std::move(db_or).value();
+  std::unique_ptr<Engine> db = std::move(db_or).value();
 
   Schema schema({
       {"reg_no", ValueType::kInt64, std::nullopt},
@@ -80,6 +82,7 @@ int main() {
               "duplicates\n\n",
               enrolled, planted.size());
 
+  Session session = db->CreateSession();
   LexEqualQueryOptions options;
   options.match.threshold = 0.25;
   options.match.intra_cluster_cost = 0.25;
@@ -90,29 +93,31 @@ int main() {
   for (LexEqualPlan plan :
        {LexEqualPlan::kNaiveUdf, LexEqualPlan::kQGramFilter}) {
     options.hints.plan = plan;
-    engine::QueryStats stats;
+    QueryRequest req =
+        QueryRequest::Join("citizens", "name", "citizens", "name");
+    req.options = options;
     const auto start = std::chrono::steady_clock::now();
-    Result<std::vector<std::pair<Tuple, Tuple>>> pairs =
-        db->LexEqualJoin("citizens", "name", "citizens", "name", options,
-                         0, &stats);
+    Result<engine::QueryResult> result = session.Execute(req);
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-    if (!pairs.ok()) {
-      std::printf("join: %s\n", pairs.status().ToString().c_str());
+    if (!result.ok()) {
+      std::printf("join: %s\n", result.status().ToString().c_str());
       return 1;
     }
+    std::vector<std::pair<Tuple, Tuple>> pairs =
+        std::move(result->pairs);
     std::set<std::pair<int64_t, int64_t>> caught;
-    for (const auto& [a, b] : *pairs) {
+    for (const auto& [a, b] : pairs) {
       int64_t lo = std::min(a[0].AsInt64(), b[0].AsInt64());
       int64_t hi = std::max(a[0].AsInt64(), b[0].AsInt64());
       if (planted.count({lo, hi}) > 0) caught.insert({lo, hi});
     }
     std::printf("| %-12s | %4zu of %-4zu | %5zu | %5.0f ms |\n",
                 std::string(LexEqualPlanName(plan)).c_str(),
-                caught.size(), planted.size(), pairs->size(), ms);
+                caught.size(), planted.size(), pairs.size(), ms);
     if (plan == LexEqualPlan::kNaiveUdf) {
-      naive_pairs = std::move(pairs).value();
+      naive_pairs = std::move(pairs);
     }
   }
 

@@ -8,30 +8,49 @@
 //   ./lexequal_shell "select name from names where name LexEQUAL
 //                     'Krishna' Threshold 0.25 USING phonetic"
 //
-// Meta commands: \help, \tables, \schema <table>, \stats, \plans,
-// \metrics [json], \trace on|off, \quit.
+// The shell models the multi-client server it fronts: one shared
+// Engine, any number of named Sessions. \session <name> switches (or
+// creates) a session; \stats and \trace are per-session state, so two
+// sessions never see each other's last query.
+//
+// Meta commands: \help, \tables, \schema <table>, \session [<name>],
+// \stats, \plans, \metrics [json], \trace on|off, \quit.
 
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "dataset/lexicon.h"
-#include "engine/database.h"
+#include "engine/session.h"
 #include "sql/planner.h"
 
 using namespace lexequal;
-using engine::Database;
+using engine::Column;
+using engine::Engine;
+using engine::IndexSpec;
 using engine::Schema;
+using engine::Session;
+using engine::TableInfo;
 using engine::Tuple;
 using engine::Value;
 using engine::ValueType;
 
 namespace {
 
-void RunQuery(Database* db, const std::string& sql) {
+// The named sessions of this shell process. Every session shares the
+// one Engine; options, \stats, and \trace state stay per-session.
+struct SessionBook {
+  std::map<std::string, Session> sessions;
+  std::string current = "main";
+
+  Session* Current() { return &sessions.at(current); }
+};
+
+void RunQuery(Session* session, const std::string& sql) {
   const auto start = std::chrono::steady_clock::now();
-  Result<sql::QueryResult> result = sql::ExecuteQuery(db, sql);
+  Result<sql::QueryResult> result = sql::ExecuteQuery(session, sql);
   const double ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -53,9 +72,8 @@ void RunQuery(Database* db, const std::string& sql) {
     std::printf("match: %s\n", m.ToString().c_str());
   }
   // \trace on: print the span tree of the query that just ran.
-  if (db->tracing() && db->LastTrace() != nullptr &&
-      result->trace_rows.empty()) {
-    std::printf("trace:\n%s", db->LastTrace()->ToString().c_str());
+  if (result->trace != nullptr && result->trace_rows.empty()) {
+    std::printf("trace:\n%s", result->trace->ToString().c_str());
   }
 }
 
@@ -92,18 +110,24 @@ void PrintHelp() {
       "  parallel returns the same rows as naive and prints a match:\n"
       "  line — scanned/filtered/dp counters plus phoneme-cache\n"
       "  hits/misses (repeat a probe to see the cache warm up).\n"
+      "sessions (one shared engine, per-client state):\n"
+      "  \\session         -- list sessions; * marks the current one\n"
+      "  \\session <name>  -- switch to <name>, creating it if new;\n"
+      "                      \\stats and \\trace are per-session\n"
       "observability:\n"
       "  \\metrics [json]  -- process-wide counters/histograms\n"
       "                      (Prometheus text, or one JSON object)\n"
       "  \\trace on|off    -- per-query span tree with wall times and\n"
       "                      buffer-pool / phoneme-cache deltas\n"
-      "meta commands: \\help, \\tables, \\schema <table>, \\stats, "
-      "\\plans, \\metrics, \\trace, \\quit\n");
+      "meta commands: \\help, \\tables, \\schema <table>, \\session "
+      "[<name>], \\stats, \\plans, \\metrics [json], \\trace on|off, "
+      "\\quit\n");
 }
 
-// Plan + estimated-vs-actual line for the most recent query.
-void PrintLastStats(Database* db) {
-  const engine::QueryStats& s = db->LastQueryStats();
+// Plan + estimated-vs-actual line for the most recent query of this
+// session (the compatibility window onto QueryResult.stats).
+void PrintLastStats(Session* session) {
+  const engine::QueryStats& s = session->LastQueryStats();
   std::printf(
       "plan: %s (%s)\n",
       std::string(engine::LexEqualPlanName(s.plan)).c_str(),
@@ -131,25 +155,49 @@ void PrintLastStats(Database* db) {
   }
 }
 
-void RunMeta(Database* db, const std::string& line) {
+void RunSessionMeta(SessionBook* book, Engine* engine,
+                    const std::string& line) {
+  if (line == "\\session") {
+    for (const auto& [name, session] : book->sessions) {
+      std::printf("%c %-12s trace=%s threshold=%.2f\n",
+                  name == book->current ? '*' : ' ', name.c_str(),
+                  session.tracing() ? "on" : "off",
+                  session.default_options().match.threshold);
+    }
+    return;
+  }
+  const std::string name = line.substr(std::string("\\session ").size());
+  if (name.empty() || name.find(' ') != std::string::npos) {
+    std::printf("usage: \\session [<name>]\n");
+    return;
+  }
+  const bool created =
+      book->sessions.try_emplace(name, engine->CreateSession()).second;
+  book->current = name;
+  std::printf("%s session '%s'\n", created ? "created" : "switched to",
+              name.c_str());
+}
+
+void RunMeta(SessionBook* book, const std::string& line) {
+  Session* session = book->Current();
+  Engine* engine = session->engine();
   if (line == "\\help" || line == "\\h") {
     PrintHelp();
     return;
   }
   if (line == "\\tables") {
-    for (const std::string& name : db->catalog()->TableNames()) {
+    for (const std::string& name : engine->catalog()->TableNames()) {
       std::printf("%s\n", name.c_str());
     }
     return;
   }
   if (line.rfind("\\schema ", 0) == 0) {
-    Result<engine::TableInfo*> info =
-        db->GetTable(line.substr(8));
+    Result<TableInfo*> info = engine->GetTable(line.substr(8));
     if (!info.ok()) {
       std::printf("error: %s\n", info.status().ToString().c_str());
       return;
     }
-    for (const engine::Column& col : info.value()->schema.columns()) {
+    for (const Column& col : info.value()->schema.columns()) {
       std::printf("  %-16s %s%s\n", col.name.c_str(),
                   std::string(ValueTypeName(col.type)).c_str(),
                   col.phonemic_source.has_value() ? "  (derived phonemic)"
@@ -166,8 +214,12 @@ void RunMeta(Database* db, const std::string& line) {
                     : "unanalyzed (run `analyze`)");
     return;
   }
+  if (line == "\\session" || line.rfind("\\session ", 0) == 0) {
+    RunSessionMeta(book, engine, line);
+    return;
+  }
   if (line == "\\stats") {
-    PrintLastStats(db);
+    PrintLastStats(session);
     return;
   }
   if (line == "\\plans") {
@@ -175,26 +227,26 @@ void RunMeta(Database* db, const std::string& line) {
     return;
   }
   if (line == "\\metrics") {
-    std::printf("%s", Database::DumpMetrics().c_str());
+    std::printf("%s", Engine::DumpMetrics().c_str());
     return;
   }
   if (line == "\\metrics json") {
-    std::printf("%s\n", Database::DumpMetricsJson().c_str());
+    std::printf("%s\n", Engine::DumpMetricsJson().c_str());
     return;
   }
   if (line == "\\trace on") {
-    db->set_tracing(true);
+    session->set_tracing(true);
     std::printf("tracing on: queries print their span tree\n");
     return;
   }
   if (line == "\\trace off") {
-    db->set_tracing(false);
+    session->set_tracing(false);
     std::printf("tracing off\n");
     return;
   }
   std::printf("unknown meta command; try \\help, \\tables, "
-              "\\schema <t>, \\stats, \\plans, \\metrics [json], "
-              "\\trace on|off, \\quit\n");
+              "\\schema <t>, \\session [<name>], \\stats, \\plans, "
+              "\\metrics [json], \\trace on|off, \\quit\n");
 }
 
 }  // namespace
@@ -204,36 +256,40 @@ int main(int argc, char** argv) {
   if (!lexicon.ok()) return 1;
 
   std::remove("/tmp/lexequal_shell.db");
-  Result<std::unique_ptr<Database>> db_or =
-      Database::Open("/tmp/lexequal_shell.db", 2048);
-  if (!db_or.ok()) return 1;
-  std::unique_ptr<Database> db = std::move(db_or).value();
+  Result<std::unique_ptr<Engine>> engine_or =
+      Engine::Open("/tmp/lexequal_shell.db", 2048);
+  if (!engine_or.ok()) return 1;
+  std::unique_ptr<Engine> engine = std::move(engine_or).value();
 
   Schema schema({
       {"name", ValueType::kString, std::nullopt},
       {"name_phon", ValueType::kString, 0},
       {"domain", ValueType::kString, std::nullopt},
   });
-  if (!db->CreateTable("names", schema).ok()) return 1;
+  if (!engine->CreateTable("names", schema).ok()) return 1;
   for (const dataset::LexiconEntry& e : lexicon->entries()) {
     Tuple values{
         Value::String(e.text, e.language),
         Value::String(std::string(dataset::NameDomainName(e.domain)))};
-    if (!db->Insert("names", values).ok()) return 1;
+    if (!engine->Insert("names", values).ok()) return 1;
   }
-  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
-                      .table = "names",
-                      .column = "name_phon",
-                      .q = 2}).ok()) return 1;
-  if (!db->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
-                      .table = "names",
-                      .column = "name_phon"}).ok()) return 1;
+  if (!engine->CreateIndex({.kind = IndexSpec::Kind::kQGram,
+                            .table = "names",
+                            .column = "name_phon",
+                            .q = 2}).ok()) return 1;
+  if (!engine->CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
+                            .table = "names",
+                            .column = "name_phon"}).ok()) return 1;
   // Stats up front, so hint-free queries get the cost-based picker.
-  if (!db->AnalyzeAll().ok()) return 1;
+  if (!engine->AnalyzeAll().ok()) return 1;
+
+  SessionBook book;
+  book.sessions.try_emplace("main", engine->CreateSession());
 
   if (argc > 1) {
-    for (int i = 1; i < argc; ++i) RunQuery(db.get(), argv[i]);
-    db.reset();
+    for (int i = 1; i < argc; ++i) RunQuery(book.Current(), argv[i]);
+    book.sessions.clear();
+    engine.reset();
     std::remove("/tmp/lexequal_shell.db");
     return 0;
   }
@@ -245,22 +301,24 @@ int main(int argc, char** argv) {
       "Threshold 0.25\n"
       "then: explain analyze select name from names where name "
       "LexEQUAL 'Krishna'\n"
-      "\\help shows the grammar and plan hints.\n",
+      "\\help shows the grammar and plan hints; \\session <name> opens "
+      "another client.\n",
       lexicon->entries().size());
   std::string line;
   while (true) {
-    std::printf("lexequal> ");
+    std::printf("lexequal(%s)> ", book.current.c_str());
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q") break;
     if (line[0] == '\\') {
-      RunMeta(db.get(), line);
+      RunMeta(&book, line);
       continue;
     }
-    RunQuery(db.get(), line);
+    RunQuery(book.Current(), line);
   }
-  db.reset();
+  book.sessions.clear();
+  engine.reset();
   std::remove("/tmp/lexequal_shell.db");
   return 0;
 }

@@ -3,13 +3,14 @@
 
 #include <cstdio>
 
-#include "engine/database.h"
+#include "engine/session.h"
 #include "sql/planner.h"
 #include "text/utf8.h"
 
 using namespace lexequal;
-using engine::Database;
+using engine::Engine;
 using engine::Schema;
+using engine::Session;
 using engine::Tuple;
 using engine::Value;
 using engine::ValueType;
@@ -17,9 +18,9 @@ using text::Language;
 
 namespace {
 
-void Run(Database* db, const char* title, const std::string& sql) {
+void Run(Session* session, const char* title, const std::string& sql) {
   std::printf("\n-- %s\n%s\n", title, sql.c_str());
-  Result<sql::QueryResult> result = sql::ExecuteQuery(db, sql);
+  Result<sql::QueryResult> result = sql::ExecuteQuery(session, sql);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -31,13 +32,13 @@ void Run(Database* db, const char* title, const std::string& sql) {
 }  // namespace
 
 int main() {
-  Result<std::unique_ptr<Database>> db_or =
-      Database::Open("/tmp/lexequal_bookstore.db", 1024);
+  Result<std::unique_ptr<Engine>> db_or =
+      Engine::Open("/tmp/lexequal_bookstore.db", 1024);
   if (!db_or.ok()) {
     std::printf("open failed: %s\n", db_or.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<Database> db = std::move(db_or).value();
+  std::unique_ptr<Engine> db = std::move(db_or).value();
 
   // The catalog of Figure 1. author_phon is the materialized phonemic
   // column the architecture of Fig. 7 derives with TTP converters.
@@ -94,25 +95,26 @@ int main() {
                       .table = "books",
                       .column = "author_phon"});
 
-  Run(db.get(), "SQL:1999 exact match finds only one script (Fig. 2)",
+  Session session = db->CreateSession();
+  Run(&session, "SQL:1999 exact match finds only one script (Fig. 2)",
       "select author, title, price from books where author = 'Nehru'");
 
-  Run(db.get(), "LexEQUAL selection across scripts (Fig. 3 -> Fig. 4)",
+  Run(&session, "LexEQUAL selection across scripts (Fig. 3 -> Fig. 4)",
       "select author, title, price from books "
       "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
       "inlanguages { English, Hindi, Tamil, Greek } USING naive");
 
-  Run(db.get(), "Same query through the q-gram plan",
+  Run(&session, "Same query through the q-gram plan",
       "select author, title from books "
       "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
       "USING qgram");
 
-  Run(db.get(), "Same query through the phonetic index",
+  Run(&session, "Same query through the phonetic index",
       "select author, title from books "
       "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
       "USING phonetic");
 
-  Run(db.get(),
+  Run(&session,
       "LexEQUAL equi-join: authors published in multiple languages "
       "(Fig. 5)",
       "select B1.author, B1.language, B2.author, B2.language "

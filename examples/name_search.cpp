@@ -10,14 +10,15 @@
 #include <cstdio>
 
 #include "dataset/lexicon.h"
-#include "engine/database.h"
+#include "engine/session.h"
 
 using namespace lexequal;
-using engine::Database;
+using engine::Engine;
 using engine::LexEqualPlan;
 using engine::LexEqualQueryOptions;
-using engine::QueryStats;
+using engine::QueryRequest;
 using engine::Schema;
+using engine::Session;
 using engine::Tuple;
 using engine::Value;
 using engine::ValueType;
@@ -30,7 +31,7 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-void Search(Database* db, const std::string& query_text) {
+void Search(Session* session, const std::string& query_text) {
   text::TaggedString query =
       text::TaggedString::WithDetectedLanguage(query_text);
   std::printf("\nquery '%s' (%s):\n", query_text.c_str(),
@@ -42,26 +43,27 @@ void Search(Database* db, const std::string& query_text) {
     options.match.threshold = 0.25;
     options.match.intra_cluster_cost = 0.25;
     options.hints.plan = plan;
-    QueryStats stats;
+    QueryRequest req = QueryRequest::ThresholdSelect("names", "name", query);
+    req.options = options;
     auto start = std::chrono::steady_clock::now();
-    Result<std::vector<Tuple>> rows =
-        db->LexEqualSelect("names", "name", query, options, &stats);
+    Result<engine::QueryResult> result = session->Execute(req);
     const double ms = MillisSince(start);
-    if (!rows.ok()) {
+    if (!result.ok()) {
       std::printf("  %-15s error: %s\n",
                   std::string(LexEqualPlanName(plan)).c_str(),
-                  rows.status().ToString().c_str());
+                  result.status().ToString().c_str());
       continue;
     }
+    const std::vector<Tuple>& rows = result->rows;
     std::printf("  %-15s %6.2f ms  %4zu hits  (%llu candidates)  [",
                 std::string(LexEqualPlanName(plan)).c_str(), ms,
-                rows->size(),
-                static_cast<unsigned long long>(stats.udf_calls));
-    for (size_t i = 0; i < rows->size() && i < 6; ++i) {
+                rows.size(),
+                static_cast<unsigned long long>(result->stats.udf_calls));
+    for (size_t i = 0; i < rows.size() && i < 6; ++i) {
       std::printf("%s%s", i > 0 ? ", " : "",
-                  (*rows)[i][0].AsString().text().c_str());
+                  rows[i][0].AsString().text().c_str());
     }
-    std::printf("%s]\n", rows->size() > 6 ? ", ..." : "");
+    std::printf("%s]\n", rows.size() > 6 ? ", ..." : "");
   }
 }
 
@@ -75,10 +77,10 @@ int main(int argc, char** argv) {
   }
 
   std::remove("/tmp/lexequal_name_search.db");
-  Result<std::unique_ptr<Database>> db_or =
-      Database::Open("/tmp/lexequal_name_search.db", 2048);
+  Result<std::unique_ptr<Engine>> db_or =
+      Engine::Open("/tmp/lexequal_name_search.db", 2048);
   if (!db_or.ok()) return 1;
-  std::unique_ptr<Database> db = std::move(db_or).value();
+  std::unique_ptr<Engine> db = std::move(db_or).value();
 
   Schema schema({
       {"name", ValueType::kString, std::nullopt},
@@ -103,12 +105,13 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu names in 3 scripts; indexes built\n",
               lexicon->entries().size());
 
+  Session session = db->CreateSession();
   if (argc > 1) {
-    for (int i = 1; i < argc; ++i) Search(db.get(), argv[i]);
+    for (int i = 1; i < argc; ++i) Search(&session, argv[i]);
   } else {
     for (const char* q :
          {"Nehru", "Krishna", "Catherine", "Hydrogen", "Bangalore"}) {
-      Search(db.get(), q);
+      Search(&session, q);
     }
   }
   db.reset();

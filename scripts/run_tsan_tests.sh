@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer preset and runs the concurrency-labeled
 # tests (`ctest -L parallel`): the ParallelMatcher pool, the parallel
-# SQL scan, the shared phoneme cache, and the plan picker's parallel
-# arm. Run from the repo root:
+# SQL scan, the shared phoneme cache, the plan picker's parallel arm,
+# and the multi-session stress test (concurrent Sessions racing reads
+# against DDL/insert/analyze on one shared Engine — the latch contract
+# from src/engine/engine.h exercised end to end). Run from the repo
+# root:
 #
 #   scripts/run_tsan_tests.sh [extra ctest args...]
 #

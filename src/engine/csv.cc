@@ -86,11 +86,12 @@ std::string QuoteCsvField(std::string_view field) {
   return out;
 }
 
-Result<CsvImportResult> ImportCsv(Database* db, const std::string& table,
+Result<CsvImportResult> ImportCsv(Engine* engine,
+                                  const std::string& table,
                                   const std::string& path,
                                   bool has_header) {
   TableInfo* info;
-  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(table));
+  LEXEQUAL_ASSIGN_OR_RETURN(info, engine->GetTable(table));
   // User columns, in schema order.
   std::vector<const Column*> user_cols;
   for (const Column& col : info->schema.columns()) {
@@ -146,7 +147,7 @@ Result<CsvImportResult> ImportCsv(Database* db, const std::string& table,
       ++result.rows_rejected;
       continue;
     }
-    Result<storage::RID> rid = db->Insert(table, values);
+    Result<storage::RID> rid = engine->Insert(table, values);
     if (!rid.ok()) {
       ++result.rows_rejected;
       continue;
@@ -156,10 +157,10 @@ Result<CsvImportResult> ImportCsv(Database* db, const std::string& table,
   return result;
 }
 
-Status ExportCsv(Database* db, const std::string& table,
+Status ExportCsv(Engine* engine, const std::string& table,
                  const std::string& path) {
   TableInfo* info;
-  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(table));
+  LEXEQUAL_ASSIGN_OR_RETURN(info, engine->GetTable(table));
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     return Status::IOError("cannot create '" + path + "'");

@@ -12,7 +12,7 @@
 
 #include <string>
 
-#include "engine/database.h"
+#include "engine/engine.h"
 
 namespace lexequal::engine {
 
@@ -24,13 +24,14 @@ struct CsvImportResult {
 /// Imports `path` into `table`. The file's columns map 1:1 onto the
 /// table's *user* columns (derived phonemic columns are computed by
 /// the engine). `has_header` skips the first line.
-Result<CsvImportResult> ImportCsv(Database* db, const std::string& table,
+Result<CsvImportResult> ImportCsv(Engine* engine,
+                                  const std::string& table,
                                   const std::string& path,
                                   bool has_header = true);
 
 /// Exports `table` to `path` with a header line; string cells with a
 /// known language are written as `text@Language`.
-Status ExportCsv(Database* db, const std::string& table,
+Status ExportCsv(Engine* engine, const std::string& table,
                  const std::string& path);
 
 /// Parses one CSV line into fields (exposed for tests).

@@ -1,8 +1,8 @@
-#include "engine/database.h"
+#include "engine/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -174,22 +174,6 @@ struct EngineCounters {
   }
 };
 
-// Folds one finished query's stats into the registry, once, at the
-// public entry point (never in inner loops or workers — that would
-// double count).
-void FlushQueryStats(const QueryStats& qs, uint64_t wall_us) {
-  const EngineCounters& c = EngineCounters::Get();
-  c.query_total->Inc();
-  c.rows_scanned->Inc(qs.rows_scanned);
-  c.udf_calls->Inc(qs.udf_calls);
-  c.results->Inc(qs.results);
-  c.query_wall_us->Record(wall_us);
-  c.match_tuples->Inc(qs.match.tuples_scanned);
-  c.match_filtered->Inc(qs.match.filter_rejections);
-  c.match_dp->Inc(qs.match.dp_evaluations);
-  c.match_matches->Inc(qs.match.matches);
-}
-
 // Folds one inverted-index operation's counters into the query stats
 // and the registry. Bumped at the call site like the q-gram counters;
 // FlushQueryStats never touches these, so nothing double counts.
@@ -211,17 +195,24 @@ void FoldInvidxStats(const index::invidx::Stats& is, QueryStats* qs) {
   }
 }
 
-uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+}  // namespace
+
+// Definitions of the Session-facing statics live here, next to the
+// counter registrations they feed (EngineCounters is file-local).
+void Engine::FlushQueryStats(const QueryStats& qs, uint64_t wall_us) {
+  const EngineCounters& c = EngineCounters::Get();
+  c.query_total->Inc();
+  c.rows_scanned->Inc(qs.rows_scanned);
+  c.udf_calls->Inc(qs.udf_calls);
+  c.results->Inc(qs.results);
+  c.query_wall_us->Record(wall_us);
+  c.match_tuples->Inc(qs.match.tuples_scanned);
+  c.match_filtered->Inc(qs.match.filter_rejections);
+  c.match_dp->Inc(qs.match.dp_evaluations);
+  c.match_matches->Inc(qs.match.matches);
 }
 
-// A trace pre-wired with the counters whose per-span deltas EXPLAIN
-// ANALYZE reports: buffer-pool faults, disk reads, phoneme-cache
-// traffic.
-std::unique_ptr<obs::QueryTrace> MakeEngineTrace() {
+std::unique_ptr<obs::QueryTrace> Engine::MakeEngineTrace() {
   auto& reg = obs::MetricsRegistry::Default();
   auto trace = std::make_unique<obs::QueryTrace>();
   trace->Watch("bp_hits", reg.GetCounter("lexequal_bufpool_hits"));
@@ -233,8 +224,6 @@ std::unique_ptr<obs::QueryTrace> MakeEngineTrace() {
                reg.GetCounter("lexequal_phoneme_cache_misses"));
   return trace;
 }
-
-}  // namespace
 
 void QueryStats::Accumulate(const QueryStats& other) {
   rows_scanned += other.rows_scanned;
@@ -255,32 +244,35 @@ void QueryStats::Accumulate(const QueryStats& other) {
   match.Merge(other.match);
 }
 
-Database::Database(std::unique_ptr<storage::DiskManager> disk,
-                   std::unique_ptr<storage::BufferPool> pool)
+Engine::Engine(std::unique_ptr<storage::DiskManager> disk,
+               std::unique_ptr<storage::BufferPool> pool)
     : disk_(std::move(disk)),
       pool_(std::move(pool)),
       g2p_(&g2p::G2PRegistry::Default()) {}
 
-Database::~Database() {
+Engine::~Engine() {
   // Best-effort checkpoint. Callers that need guaranteed durability
-  // call Flush() themselves.
+  // call Flush() themselves. Sessions must already be gone (they
+  // borrow the engine), so the latch is free.
   IgnoreNonFatal(Flush(), "destructor checkpoint has no error channel");
 }
 
-Status Database::Flush() {
-  LEXEQUAL_RETURN_IF_ERROR(SaveCatalog());
+Status Engine::Flush() {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  // lexlint:allow(latch): exclusive latch acquired on the line above
+  LEXEQUAL_RETURN_IF_ERROR(SaveCatalogLocked());
   return pool_->FlushAll();
 }
 
-Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
-                                                 size_t pool_pages) {
+Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
+                                             size_t pool_pages) {
   std::unique_ptr<storage::DiskManager> disk;
   LEXEQUAL_ASSIGN_OR_RETURN(disk, storage::DiskManager::Open(path));
   const bool fresh = disk->page_count() == 0;
   auto pool = std::make_unique<storage::BufferPool>(disk.get(),
                                                     pool_pages);
-  std::unique_ptr<Database> db(
-      new Database(std::move(disk), std::move(pool)));
+  std::unique_ptr<Engine> db(
+      new Engine(std::move(disk), std::move(pool)));
 
   // The meta heap lives at page 0: the very first allocation of a
   // fresh file, or the known root of an existing one.
@@ -303,7 +295,10 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
     if (!meta.ok()) return meta.status();
     db->meta_ =
         std::make_unique<storage::HeapFile>(std::move(meta).value());
-    LEXEQUAL_RETURN_IF_ERROR(db->LoadCatalog());
+    // Construction precedes sharing: no session can exist yet, so the
+    // catalog load needs no latch.
+    // lexlint:allow(latch): construction precedes sharing
+    LEXEQUAL_RETURN_IF_ERROR(db->LoadCatalogLocked());
   }
 
   // The LexEQUAL UDF, callable from SQL and expression trees:
@@ -338,7 +333,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
   return db;
 }
 
-Status Database::SaveCatalog() {
+Status Engine::SaveCatalogLocked() {
   if (meta_ == nullptr) return Status::OK();
   ++catalog_version_;
   for (const std::string& name : catalog_.TableNames()) {
@@ -396,7 +391,7 @@ Status Database::SaveCatalog() {
   return Status::OK();
 }
 
-Status Database::LoadCatalog() {
+Status Engine::LoadCatalogLocked() {
   // Collect the latest snapshot version, then materialize its tables.
   int64_t latest = 0;
   std::vector<Tuple> records;
@@ -487,7 +482,12 @@ Status Database::LoadCatalog() {
   return Status::OK();
 }
 
-Status Database::CreateTable(const std::string& name, Schema schema) {
+Status Engine::CreateTable(const std::string& name, Schema schema) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  return CreateTableLocked(name, std::move(schema));
+}
+
+Status Engine::CreateTableLocked(const std::string& name, Schema schema) {
   // Validate derived columns.
   for (size_t i = 0; i < schema.size(); ++i) {
     const Column& c = schema.column(i);
@@ -509,11 +509,17 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
   info->heap =
       std::make_unique<storage::HeapFile>(std::move(heap).value());
   LEXEQUAL_RETURN_IF_ERROR(catalog_.AddTable(std::move(info)));
-  return SaveCatalog();
+  return SaveCatalogLocked();
 }
 
-Result<RID> Database::Insert(const std::string& table,
-                             const Tuple& user_values) {
+Result<RID> Engine::Insert(const std::string& table,
+                           const Tuple& user_values) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  return InsertLocked(table, user_values);
+}
+
+Result<RID> Engine::InsertLocked(const std::string& table,
+                                 const Tuple& user_values) {
   TableInfo* info;
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
   const Schema& schema = info->schema;
@@ -593,7 +599,12 @@ Result<RID> Database::Insert(const std::string& table,
   return rid;
 }
 
-Status Database::CreateIndex(const IndexSpec& spec) {
+Status Engine::CreateIndex(const IndexSpec& spec) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  return CreateIndexLocked(spec);
+}
+
+Status Engine::CreateIndexLocked(const IndexSpec& spec) {
   TableInfo* info;
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(spec.table));
   uint32_t col;
@@ -631,7 +642,7 @@ Status Database::CreateIndex(const IndexSpec& spec) {
           AddToInvertedIndex(ii.get(), phon, scan.current_rid()));
     }
     info->inverted_index = std::move(ii);
-    return SaveCatalog();
+    return SaveCatalogLocked();
   }
 
   const bool phonetic = spec.kind == IndexSpec::Kind::kPhonetic;
@@ -693,10 +704,15 @@ Status Database::CreateIndex(const IndexSpec& spec) {
     idx->btree = std::move(tree);
     info->qgram_index = std::move(idx);
   }
-  return SaveCatalog();
+  return SaveCatalogLocked();
 }
 
-Status Database::Analyze(const std::string& table) {
+Status Engine::Analyze(const std::string& table) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  return AnalyzeLocked(table);
+}
+
+Status Engine::AnalyzeLocked(const std::string& table) {
   TableInfo* info;
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
   const Schema& schema = info->schema;
@@ -773,35 +789,35 @@ Status Database::Analyze(const std::string& table) {
     stats.columns.push_back(std::move(state.s));
   }
   info->stats = std::move(stats);
-  return SaveCatalog();
+  return SaveCatalogLocked();
 }
 
-Status Database::AnalyzeAll() {
+Status Engine::AnalyzeAll() {
+  // One exclusive latch across all tables, so a concurrent session
+  // sees either no new stats or all of them.
+  std::unique_lock<std::shared_mutex> lock(latch_);
   for (const std::string& name : catalog_.TableNames()) {
-    LEXEQUAL_RETURN_IF_ERROR(Analyze(name));
+    LEXEQUAL_RETURN_IF_ERROR(AnalyzeLocked(name));
   }
   return Status::OK();
 }
 
-Result<std::vector<Tuple>> Database::ExactSelect(const std::string& table,
-                                                 const std::string& column,
-                                                 const Value& literal,
-                                                 QueryStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
+Result<std::vector<Tuple>> Engine::ExactSelectLocked(
+    const std::string& table, const std::string& column,
+    const Value& literal, QueryStats* qs) {
   TableInfo* info;
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
   uint32_t col;
   LEXEQUAL_ASSIGN_OR_RETURN(col, info->schema.IndexOf(column));
   SeqScanExecutor scan(info);
   LEXEQUAL_RETURN_IF_ERROR(scan.Init());
-  QueryStats qs;
   std::vector<Tuple> out;
   Tuple row;
   while (true) {
     bool has;
     LEXEQUAL_ASSIGN_OR_RETURN(has, scan.Next(&row));
     if (!has) break;
-    ++qs.rows_scanned;
+    ++qs->rows_scanned;
     // Native equality is binary across scripts (SQL:1999 semantics):
     // text comparison, no phonetics.
     if (row[col].type() == ValueType::kString &&
@@ -813,15 +829,12 @@ Result<std::vector<Tuple>> Database::ExactSelect(const std::string& table,
       out.push_back(row);
     }
   }
-  qs.results = out.size();
-  last_stats_ = qs;
-  FlushQueryStats(qs, ElapsedUs(start));
-  if (stats != nullptr) stats->Accumulate(qs);
+  qs->results = out.size();
   return out;
 }
 
-bool Database::LanguageAllowed(const LexEqualQueryOptions& options,
-                               const Tuple& row, uint32_t source_col) {
+bool Engine::LanguageAllowed(const LexEqualQueryOptions& options,
+                             const Tuple& row, uint32_t source_col) {
   if (options.in_languages.empty()) return true;  // wildcard *
   const text::Language lang = row[source_col].AsString().language();
   for (text::Language allowed : options.in_languages) {
@@ -830,7 +843,7 @@ bool Database::LanguageAllowed(const LexEqualQueryOptions& options,
   return false;
 }
 
-Result<bool> Database::VerifyCandidate(
+Result<bool> Engine::VerifyCandidate(
     const match::LexEqualMatcher& matcher,
     const PhonemeString& query_phon, const Tuple& row, uint32_t phon_col,
     QueryStats* stats) const {
@@ -863,7 +876,7 @@ Result<bool> Database::VerifyCandidate(
   return matched;
 }
 
-Result<std::vector<RID>> Database::QGramCandidates(
+Result<std::vector<RID>> Engine::QGramCandidates(
     const TableInfo& table, const match::QGramProbe& probe,
     double threshold, QueryStats* stats) const {
   const QGramIndexInfo& idx = *table.qgram_index;
@@ -931,7 +944,7 @@ Result<std::vector<RID>> Database::QGramCandidates(
   return out;
 }
 
-PlanPickerInputs Database::PickerInputs(
+PlanPickerInputs Engine::PickerInputs(
     const TableInfo& info, uint32_t phon_col, double query_len,
     const LexEqualQueryOptions& options) const {
   PlanPickerInputs in;
@@ -948,9 +961,10 @@ PlanPickerInputs Database::PickerInputs(
   return in;
 }
 
-Result<PlanChoice> Database::ExplainLexEqualSelect(
+Result<PlanChoice> Engine::ExplainSelectLocked(
     const std::string& table, const std::string& column,
-    const text::TaggedString& query, const LexEqualQueryOptions& options) {
+    const PhonemeString& query_phon,
+    const LexEqualQueryOptions& options) {
   TableInfo* info;
   LEXEQUAL_ASSIGN_OR_RETURN(info, catalog_.GetTable(table));
   uint32_t source_col;
@@ -958,67 +972,11 @@ Result<PlanChoice> Database::ExplainLexEqualSelect(
   uint32_t phon_col;
   LEXEQUAL_ASSIGN_OR_RETURN(phon_col,
                             PhonemicColumnOf(info->schema, source_col));
-  PhonemeString query_phon;
-  LEXEQUAL_ASSIGN_OR_RETURN(
-      query_phon, match::PhonemeCache::Default().Transform(query));
   return ChooseLexEqualPlan(PickerInputs(
       *info, phon_col, static_cast<double>(query_phon.size()), options));
 }
 
-Result<std::vector<Tuple>> Database::LexEqualSelect(
-    const std::string& table, const std::string& column,
-    const text::TaggedString& query, const LexEqualQueryOptions& options,
-    QueryStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
-  QueryStats qs;
-  std::unique_ptr<obs::QueryTrace> trace;
-  if (tracing_) trace = MakeEngineTrace();
-  obs::ScopedSpan root(trace.get(), "lexequal_select");
-
-  // Query-side transform goes through the shared phoneme cache:
-  // repeated probes (and multi-predicate queries) re-use the G2P run.
-  match::PhonemeCache& cache = match::PhonemeCache::Default();
-  const match::PhonemeCacheStats before = cache.stats();
-  Result<PhonemeString> query_phon = [&] {
-    obs::ScopedSpan span(trace.get(), "g2p_transform");
-    return cache.Transform(query);
-  }();
-  const match::PhonemeCacheStats after = cache.stats();
-  qs.match.cache_hits += after.hits - before.hits;
-  qs.match.cache_misses += after.misses - before.misses;
-  if (!query_phon.ok()) return query_phon.status();
-  Result<std::vector<Tuple>> out = SelectPhonemesImpl(
-      table, column, query_phon.value(), options, &qs, trace.get());
-  if (!out.ok()) return out.status();
-  root.End();
-  last_stats_ = qs;
-  FlushQueryStats(qs, ElapsedUs(start));
-  if (trace != nullptr) last_trace_ = std::move(trace);
-  if (stats != nullptr) stats->Accumulate(qs);
-  return out;
-}
-
-Result<std::vector<Tuple>> Database::LexEqualSelectPhonemes(
-    const std::string& table, const std::string& column,
-    const PhonemeString& query_phon, const LexEqualQueryOptions& options,
-    QueryStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
-  QueryStats qs;
-  std::unique_ptr<obs::QueryTrace> trace;
-  if (tracing_) trace = MakeEngineTrace();
-  obs::ScopedSpan root(trace.get(), "lexequal_select");
-  Result<std::vector<Tuple>> out = SelectPhonemesImpl(
-      table, column, query_phon, options, &qs, trace.get());
-  if (!out.ok()) return out.status();
-  root.End();
-  last_stats_ = qs;
-  FlushQueryStats(qs, ElapsedUs(start));
-  if (trace != nullptr) last_trace_ = std::move(trace);
-  if (stats != nullptr) stats->Accumulate(qs);
-  return out;
-}
-
-Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
+Result<std::vector<Tuple>> Engine::SelectPhonemesLocked(
     const std::string& table, const std::string& column,
     const PhonemeString& query_phon, const LexEqualQueryOptions& options,
     QueryStats* stats, obs::QueryTrace* trace) {
@@ -1212,15 +1170,13 @@ Result<std::vector<Tuple>> Database::SelectPhonemesImpl(
   return out;
 }
 
-Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
+Result<std::vector<std::pair<Tuple, Tuple>>> Engine::JoinLocked(
     const std::string& left_table, const std::string& left_column,
     const std::string& right_table, const std::string& right_column,
     const LexEqualQueryOptions& options, uint64_t outer_limit,
-    QueryStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
-  std::unique_ptr<obs::QueryTrace> trace;
-  if (tracing_) trace = MakeEngineTrace();
-  obs::ScopedSpan root(trace.get(), "lexequal_join");
+    QueryStats* stats, obs::QueryTrace* trace) {
+  QueryStats& qs = *stats;
+  obs::ScopedSpan scan_span(trace, "join_scan");
   TableInfo* left;
   LEXEQUAL_ASSIGN_OR_RETURN(left, catalog_.GetTable(left_table));
   TableInfo* right;
@@ -1244,7 +1200,6 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
   }
   const PlanChoice choice =
       ChooseLexEqualPlan(PickerInputs(*right, rphon, probe_len, options));
-  QueryStats qs;
   qs.plan = choice.plan;
   qs.plan_was_auto = !choice.hinted;
   qs.plan_used_stats = choice.used_stats;
@@ -1425,65 +1380,10 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::LexEqualJoin(
     }
   }
   qs.results = out.size();
-  root.End();
-  last_stats_ = qs;
-  FlushQueryStats(qs, ElapsedUs(start));
-  if (trace != nullptr) last_trace_ = std::move(trace);
-  if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
 
-Result<std::vector<TopKRow>> Database::LexEqualTopK(
-    const std::string& table, const std::string& column,
-    const text::TaggedString& query, size_t k,
-    const LexEqualQueryOptions& options, QueryStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
-  QueryStats qs;
-  std::unique_ptr<obs::QueryTrace> trace;
-  if (tracing_) trace = MakeEngineTrace();
-  obs::ScopedSpan root(trace.get(), "lexequal_topk");
-  match::PhonemeCache& cache = match::PhonemeCache::Default();
-  const match::PhonemeCacheStats before = cache.stats();
-  Result<PhonemeString> query_phon = [&] {
-    obs::ScopedSpan span(trace.get(), "g2p_transform");
-    return cache.Transform(query);
-  }();
-  const match::PhonemeCacheStats after = cache.stats();
-  qs.match.cache_hits += after.hits - before.hits;
-  qs.match.cache_misses += after.misses - before.misses;
-  if (!query_phon.ok()) return query_phon.status();
-  Result<std::vector<TopKRow>> out = TopKPhonemesImpl(
-      table, column, query_phon.value(), k, options, &qs, trace.get());
-  if (!out.ok()) return out.status();
-  root.End();
-  last_stats_ = qs;
-  FlushQueryStats(qs, ElapsedUs(start));
-  if (trace != nullptr) last_trace_ = std::move(trace);
-  if (stats != nullptr) stats->Accumulate(qs);
-  return out;
-}
-
-Result<std::vector<TopKRow>> Database::LexEqualTopKPhonemes(
-    const std::string& table, const std::string& column,
-    const PhonemeString& query_phon, size_t k,
-    const LexEqualQueryOptions& options, QueryStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
-  QueryStats qs;
-  std::unique_ptr<obs::QueryTrace> trace;
-  if (tracing_) trace = MakeEngineTrace();
-  obs::ScopedSpan root(trace.get(), "lexequal_topk");
-  Result<std::vector<TopKRow>> out = TopKPhonemesImpl(
-      table, column, query_phon, k, options, &qs, trace.get());
-  if (!out.ok()) return out.status();
-  root.End();
-  last_stats_ = qs;
-  FlushQueryStats(qs, ElapsedUs(start));
-  if (trace != nullptr) last_trace_ = std::move(trace);
-  if (stats != nullptr) stats->Accumulate(qs);
-  return out;
-}
-
-Result<std::vector<TopKRow>> Database::TopKPhonemesImpl(
+Result<std::vector<TopKRow>> Engine::TopKPhonemesLocked(
     const std::string& table, const std::string& column,
     const PhonemeString& query_phon, size_t k,
     const LexEqualQueryOptions& options, QueryStats* qs,
@@ -1602,7 +1502,7 @@ Result<std::vector<TopKRow>> Database::TopKPhonemesImpl(
   return out;
 }
 
-Result<std::vector<TopKRow>> Database::BruteForceTopK(
+Result<std::vector<TopKRow>> Engine::BruteForceTopK(
     TableInfo* info, uint32_t source_col, uint32_t phon_col,
     const match::LexEqualMatcher& matcher,
     const PhonemeString& query_phon, size_t k,
@@ -1669,11 +1569,11 @@ Result<std::vector<TopKRow>> Database::BruteForceTopK(
   return out;
 }
 
-Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
+Result<std::vector<std::pair<Tuple, Tuple>>> Engine::ExactJoinLocked(
     const std::string& left_table, const std::string& left_column,
     const std::string& right_table, const std::string& right_column,
     uint64_t outer_limit, QueryStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
+  QueryStats& qs = *stats;
   TableInfo* left;
   LEXEQUAL_ASSIGN_OR_RETURN(left, catalog_.GetTable(left_table));
   TableInfo* right;
@@ -1697,7 +1597,6 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
     }
   }
   std::vector<std::pair<Tuple, Tuple>> out;
-  QueryStats qs;
   SeqScanExecutor scan(left);
   LEXEQUAL_RETURN_IF_ERROR(scan.Init());
   Tuple row;
@@ -1718,9 +1617,6 @@ Result<std::vector<std::pair<Tuple, Tuple>>> Database::ExactJoin(
     }
   }
   qs.results = out.size();
-  last_stats_ = qs;
-  FlushQueryStats(qs, ElapsedUs(start));
-  if (stats != nullptr) stats->Accumulate(qs);
   return out;
 }
 

@@ -1,10 +1,19 @@
-// Database: the facade tying storage, catalog, G2P, and the LexEQUAL
-// operator together — the architecture of the paper's Figure 7.
+// Engine: the shared half of the execution API — storage, catalog,
+// G2P, indexes, and table statistics behind one reader/writer latch
+// (the architecture of the paper's Figure 7, grown to many clients).
+//
+// Concurrency contract: an Engine is shared by any number of
+// Sessions (engine/session.h). Queries run under the shared latch and
+// may execute concurrently from different threads; DDL, ANALYZE, and
+// Insert take the latch exclusively. A Session itself is
+// single-threaded — one client, one thread — so all per-query state
+// (options defaults, last stats, tracing) lives there, not here.
 
-#ifndef LEXEQUAL_ENGINE_DATABASE_H_
-#define LEXEQUAL_ENGINE_DATABASE_H_
+#ifndef LEXEQUAL_ENGINE_ENGINE_H_
+#define LEXEQUAL_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +31,8 @@
 #include "storage/buffer_pool.h"
 
 namespace lexequal::engine {
+
+class Session;
 
 /// Per-query knobs for LexEQUAL selections and joins.
 struct LexEqualQueryOptions {
@@ -70,7 +81,7 @@ struct QueryStats {
 };
 
 /// Declarative description of a LexEQUAL access path — the single
-/// entry point Database::CreateIndex builds both index kinds from.
+/// entry point Engine::CreateIndex builds all index kinds from.
 struct IndexSpec {
   enum class Kind {
     kPhonetic,  // grouped phoneme string id B-Tree (paper §5.3)
@@ -90,31 +101,41 @@ struct TopKRow {
   double score = 0.0;
 };
 
-/// A single-file embedded database with the LexEQUAL extension.
+/// The shared core of a single-file embedded database with the
+/// LexEQUAL extension. Queries go through Session::Execute
+/// (engine/session.h); Engine owns the shared state — catalog, buffer
+/// pool, indexes, statistics, the metrics registry — and the write
+/// path.
 ///
 /// Catalog persistence: page 0 holds a meta heap of catalog snapshot
 /// records (table schemas, heap roots, index roots). Flush() writes a
 /// fresh snapshot, so a database that was Flush()ed reopens with all
-/// tables and indexes intact. DDL (CreateTable / Create*Index) also
+/// tables and indexes intact. DDL (CreateTable / CreateIndex) also
 /// snapshots immediately.
-class Database {
+class Engine {
  public:
   /// Opens (creating if necessary) the page file at `path` with a
   /// buffer pool of `pool_pages` frames. Reloads the persisted
   /// catalog when the file is non-empty.
-  static Result<std::unique_ptr<Database>> Open(const std::string& path,
-                                                size_t pool_pages = 4096);
+  static Result<std::unique_ptr<Engine>> Open(const std::string& path,
+                                              size_t pool_pages = 4096);
 
-  ~Database();
+  ~Engine();
+
+  /// A new client session over this engine. Sessions are cheap — one
+  /// per connection/thread; the engine must outlive its sessions.
+  /// (Defined in engine/session.h; include it to call Execute.)
+  Session CreateSession();
 
   /// Creates a table. Columns with `phonemic_source` set are derived:
   /// filled on insert with the IPA transform of the source column
   /// (rows whose language has no converter get an empty phonemic
-  /// string, which never matches).
+  /// string, which never matches). Takes the latch exclusively.
   Status CreateTable(const std::string& name, Schema schema);
 
   /// Inserts a row; `user_values` covers the non-derived columns in
-  /// schema order.
+  /// schema order. Takes the latch exclusively (index maintenance
+  /// mutates shared B-Trees and posting lists).
   Result<storage::RID> Insert(const std::string& table,
                               const Tuple& user_values);
 
@@ -124,133 +145,24 @@ class Database {
 
   /// Builds the access path described by `spec` over an existing
   /// phonemic column, backfilling existing rows; maintained by
-  /// subsequent inserts. A table holds at most one index of each kind.
+  /// subsequent inserts. A table holds at most one index of each
+  /// kind. Takes the latch exclusively.
   Status CreateIndex(const IndexSpec& spec);
-
-  /// Deprecated shim — use CreateIndex with Kind::kPhonetic.
-  Status CreatePhoneticIndex(const std::string& table,
-                             const std::string& phonemic_column) {
-    return CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
-                        .table = table,
-                        .column = phonemic_column});
-  }
-
-  /// Deprecated shim — use CreateIndex with Kind::kQGram.
-  Status CreateQGramIndex(const std::string& table,
-                          const std::string& phonemic_column, int q = 2) {
-    return CreateIndex({.kind = IndexSpec::Kind::kQGram,
-                        .table = table,
-                        .column = phonemic_column,
-                        .q = q});
-  }
-
-  /// Convenience wrapper — CreateIndex with Kind::kInverted.
-  Status CreateInvertedIndex(const std::string& table,
-                             const std::string& phonemic_column, int q = 2) {
-    return CreateIndex({.kind = IndexSpec::Kind::kInverted,
-                        .table = table,
-                        .column = phonemic_column,
-                        .q = q});
-  }
 
   /// Collects optimizer statistics for `table` — row count, phonemic
   /// lengths, phonetic-key fanout, q-gram posting density — in one
   /// heap scan, and persists them through the catalog snapshot. Until
   /// a table is ANALYZEd the plan picker falls back to a heuristic
-  /// (see engine/plan_picker.h).
+  /// (see engine/plan_picker.h). Takes the latch exclusively.
   Status Analyze(const std::string& table);
 
-  /// ANALYZEs every table in the catalog.
+  /// ANALYZEs every table in the catalog under one exclusive latch.
   Status AnalyzeAll();
-
-  /// The optimizer's decision for a LexEQUAL selection, with per-plan
-  /// cost estimates — the substance of EXPLAIN. Does not execute.
-  Result<PlanChoice> ExplainLexEqualSelect(
-      const std::string& table, const std::string& column,
-      const text::TaggedString& query, const LexEqualQueryOptions& options);
-
-  /// SELECT * FROM `table` WHERE `column` = literal (native equality;
-  /// the Table 1 "Exact" baseline).
-  Result<std::vector<Tuple>> ExactSelect(const std::string& table,
-                                         const std::string& column,
-                                         const Value& literal,
-                                         QueryStats* stats = nullptr);
-
-  /// SELECT * FROM `table` WHERE `column` LexEQUAL query (Fig. 3).
-  /// `column` is the *source* text column; its phonemic shadow column
-  /// must exist — either declared with `phonemic_source`, or a string
-  /// column named "<column>_phon" holding caller-materialized IPA.
-  Result<std::vector<Tuple>> LexEqualSelect(
-      const std::string& table, const std::string& column,
-      const text::TaggedString& query, const LexEqualQueryOptions& options,
-      QueryStats* stats = nullptr);
-
-  /// Phoneme-space variant: the query is already transformed (used
-  /// when the caller holds phonemic strings, e.g. the benches that
-  /// probe with stored phonemes).
-  Result<std::vector<Tuple>> LexEqualSelectPhonemes(
-      const std::string& table, const std::string& column,
-      const phonetic::PhonemeString& query_phon,
-      const LexEqualQueryOptions& options, QueryStats* stats = nullptr);
-
-  /// Ranked retrieval: the k rows of `table` most similar to `query`
-  /// under lexsim(column, query) = 1 - editdistance / max length,
-  /// ordered (score desc, insertion order asc) — the SQL surface is
-  /// `SELECT ... ORDER BY lexsim(col, 'q') LIMIT k`. Runs the
-  /// inverted index's skip-block top-K with score upper bounds when
-  /// one exists on the column (falling back to an exact brute-force
-  /// ranking otherwise, or whenever the index cannot certify the
-  /// ranking); either way the scores come from the exact MatchKernel,
-  /// so the result is identical to ranking every row.
-  /// `options.match.threshold` is ignored — ranking has no cutoff.
-  Result<std::vector<TopKRow>> LexEqualTopK(
-      const std::string& table, const std::string& column,
-      const text::TaggedString& query, size_t k,
-      const LexEqualQueryOptions& options, QueryStats* stats = nullptr);
-
-  /// Phoneme-space variant of LexEqualTopK.
-  Result<std::vector<TopKRow>> LexEqualTopKPhonemes(
-      const std::string& table, const std::string& column,
-      const phonetic::PhonemeString& query_phon, size_t k,
-      const LexEqualQueryOptions& options, QueryStats* stats = nullptr);
-
-  /// SELECT pairs FROM t1, t2 WHERE t1.c1 LexEQUAL t2.c2 AND
-  /// t1.language <> t2.language (Fig. 5). `outer_limit` caps the
-  /// number of outer rows (0 = all) — the paper ran the naive UDF
-  /// join on a 0.2% subset for tractability (footnote 3).
-  Result<std::vector<std::pair<Tuple, Tuple>>> LexEqualJoin(
-      const std::string& left_table, const std::string& left_column,
-      const std::string& right_table, const std::string& right_column,
-      const LexEqualQueryOptions& options, uint64_t outer_limit = 0,
-      QueryStats* stats = nullptr);
-
-  /// Exact-match join baseline (text equality on the two columns,
-  /// different languages), for Table 1's "Exact Join" row.
-  Result<std::vector<std::pair<Tuple, Tuple>>> ExactJoin(
-      const std::string& left_table, const std::string& left_column,
-      const std::string& right_table, const std::string& right_column,
-      uint64_t outer_limit = 0, QueryStats* stats = nullptr);
 
   storage::BufferPool* buffer_pool() { return pool_.get(); }
   UdfRegistry* udf_registry() { return &udfs_; }
   const g2p::G2PRegistry& g2p() const { return *g2p_; }
   Catalog* catalog() { return &catalog_; }
-
-  /// Stats of the most recent query executed on this database (exact
-  /// or LexEQUAL, selection or join) — the shell's \stats command.
-  const QueryStats& LastQueryStats() const { return last_stats_; }
-
-  /// Per-query tracing (the shell's \trace on|off and the machinery
-  /// behind EXPLAIN ANALYZE's stage table). While on, every LexEQUAL
-  /// query builds a span tree — planner, access path, verify, matcher
-  /// — with wall-clock durations and buffer-pool / phoneme-cache
-  /// counter deltas per span, retrievable via LastTrace().
-  void set_tracing(bool on) { tracing_ = on; }
-  bool tracing() const { return tracing_; }
-
-  /// Span tree of the most recent traced query; null when tracing was
-  /// off for that query (or no query has run yet).
-  const obs::QueryTrace* LastTrace() const { return last_trace_.get(); }
 
   /// Process-wide metrics registry in Prometheus text exposition
   /// format — the shell's \metrics command.
@@ -265,30 +177,108 @@ class Database {
 
   /// Snapshots the catalog (current index roots included) and flushes
   /// all dirty pages. Call before closing to make the file reopenable
-  /// with its tables and indexes.
+  /// with its tables and indexes. Takes the latch exclusively.
   Status Flush();
 
  private:
-  Database(std::unique_ptr<storage::DiskManager> disk,
-           std::unique_ptr<storage::BufferPool> pool);
+  friend class Session;  // queries run through the *Locked impls
+
+  Engine(std::unique_ptr<storage::DiskManager> disk,
+         std::unique_ptr<storage::BufferPool> pool);
+
+  // ------------------------------------------------------------------
+  // Latch discipline. `latch_` guards the shared mutable state: the
+  // catalog map, every TableInfo (heaps, index roots, stats), and the
+  // meta heap. Readers (Session::Execute) hold it shared for the
+  // whole query, so TableInfo pointers stay valid across the plan;
+  // writers (DDL / ANALYZE / Insert / Flush) hold it exclusively.
+  // Methods suffixed `Locked` assume the caller already holds the
+  // latch in the required mode and never re-acquire it; the lexlint
+  // `latch` rule enforces that the catalog-mutation funnels are only
+  // reached from inside *Locked helpers.
 
   // Catalog persistence: snapshot records in the meta heap (page 0).
-  Status SaveCatalog();
-  Status LoadCatalog();
+  Status SaveCatalogLocked();
+  Status LoadCatalogLocked();
+
+  // Write-path bodies (exclusive latch held).
+  Status CreateTableLocked(const std::string& name, Schema schema);
+  Result<storage::RID> InsertLocked(const std::string& table,
+                                    const Tuple& user_values);
+  Status CreateIndexLocked(const IndexSpec& spec);
+  Status AnalyzeLocked(const std::string& table);
+
+  // ------------------------------------------------------------------
+  // Query bodies (shared latch held; called by Session::Execute).
+  // `qs` is never null and receives this query's stats; the Session
+  // owns LastQueryStats and the metrics flush. `trace` may be null
+  // (tracing off).
+
+  // The optimizer's decision for a LexEQUAL selection, with per-plan
+  // cost estimates — the substance of EXPLAIN. Does not execute.
+  Result<PlanChoice> ExplainSelectLocked(
+      const std::string& table, const std::string& column,
+      const phonetic::PhonemeString& query_phon,
+      const LexEqualQueryOptions& options);
+
+  // WHERE `column` LexEQUAL probe, in phoneme space (Fig. 3).
+  Result<std::vector<Tuple>> SelectPhonemesLocked(
+      const std::string& table, const std::string& column,
+      const phonetic::PhonemeString& query_phon,
+      const LexEqualQueryOptions& options, QueryStats* qs,
+      obs::QueryTrace* trace);
+
+  // Ranked retrieval: the k rows most similar to the probe under
+  // lexsim, ordered (score desc, insertion order asc).
+  Result<std::vector<TopKRow>> TopKPhonemesLocked(
+      const std::string& table, const std::string& column,
+      const phonetic::PhonemeString& query_phon, size_t k,
+      const LexEqualQueryOptions& options, QueryStats* qs,
+      obs::QueryTrace* trace);
+
+  // SELECT pairs WHERE t1.c1 LexEQUAL t2.c2 AND t1.language <>
+  // t2.language (Fig. 5). `outer_limit` caps outer rows (0 = all).
+  Result<std::vector<std::pair<Tuple, Tuple>>> JoinLocked(
+      const std::string& left_table, const std::string& left_column,
+      const std::string& right_table, const std::string& right_column,
+      const LexEqualQueryOptions& options, uint64_t outer_limit,
+      QueryStats* qs, obs::QueryTrace* trace);
+
+  // SELECT * WHERE `column` = literal (native equality; the Table 1
+  // "Exact" baseline).
+  Result<std::vector<Tuple>> ExactSelectLocked(const std::string& table,
+                                               const std::string& column,
+                                               const Value& literal,
+                                               QueryStats* qs);
+
+  // Exact-match join baseline (text equality on the two columns,
+  // different languages), for Table 1's "Exact Join" row.
+  Result<std::vector<std::pair<Tuple, Tuple>>> ExactJoinLocked(
+      const std::string& left_table, const std::string& left_column,
+      const std::string& right_table, const std::string& right_column,
+      uint64_t outer_limit, QueryStats* qs);
+
+  // ------------------------------------------------------------------
+  // Session-facing plumbing (defined in engine.cc, next to the
+  // process-wide counter registrations they feed).
+
+  // Folds one finished query's stats into the metrics registry, once,
+  // at the Session entry point (never in inner loops or workers —
+  // that would double count).
+  static void FlushQueryStats(const QueryStats& qs, uint64_t wall_us);
+
+  // A trace pre-wired with the counters whose per-span deltas EXPLAIN
+  // ANALYZE reports: buffer-pool faults, disk reads, phoneme-cache
+  // traffic.
+  static std::unique_ptr<obs::QueryTrace> MakeEngineTrace();
+
+  // ------------------------------------------------------------------
+  // Internal helpers (latch already held by the caller).
 
   // Assembles the plan-picker inputs for one probe of `phon_col`.
   PlanPickerInputs PickerInputs(const TableInfo& info, uint32_t phon_col,
                                 double query_len,
                                 const LexEqualQueryOptions& options) const;
-
-  // LexEqualSelectPhonemes body. `qs` is never null and receives this
-  // query's stats; the public wrappers own the LastQueryStats and
-  // out-parameter plumbing. `trace` may be null (tracing off).
-  Result<std::vector<Tuple>> SelectPhonemesImpl(
-      const std::string& table, const std::string& column,
-      const phonetic::PhonemeString& query_phon,
-      const LexEqualQueryOptions& options, QueryStats* qs,
-      obs::QueryTrace* trace);
 
   // Shared verification step: parse the candidate's phonemic cell and
   // run the exact matcher.
@@ -296,13 +286,6 @@ class Database {
                                const phonetic::PhonemeString& query_phon,
                                const Tuple& row, uint32_t phon_col,
                                QueryStats* stats) const;
-
-  // LexEqualTopKPhonemes body, same contract as SelectPhonemesImpl.
-  Result<std::vector<TopKRow>> TopKPhonemesImpl(
-      const std::string& table, const std::string& column,
-      const phonetic::PhonemeString& query_phon, size_t k,
-      const LexEqualQueryOptions& options, QueryStats* qs,
-      obs::QueryTrace* trace);
 
   // Exact reference ranking: scores every phonemic row with the
   // kernel and keeps the best k by (score desc, RID asc). Used as the
@@ -330,6 +313,7 @@ class Database {
   static bool LanguageAllowed(const LexEqualQueryOptions& options,
                               const Tuple& row, uint32_t source_col);
 
+  mutable std::shared_mutex latch_;  // readers: queries; writers: DDL
   std::unique_ptr<storage::DiskManager> disk_;
   std::unique_ptr<storage::BufferPool> pool_;
   Catalog catalog_;
@@ -337,11 +321,8 @@ class Database {
   const g2p::G2PRegistry* g2p_;
   std::unique_ptr<storage::HeapFile> meta_;  // catalog snapshots
   int64_t catalog_version_ = 0;
-  QueryStats last_stats_;  // most recent query (LastQueryStats)
-  bool tracing_ = false;
-  std::unique_ptr<obs::QueryTrace> last_trace_;  // most recent traced
 };
 
 }  // namespace lexequal::engine
 
-#endif  // LEXEQUAL_ENGINE_DATABASE_H_
+#endif  // LEXEQUAL_ENGINE_ENGINE_H_

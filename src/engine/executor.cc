@@ -170,7 +170,7 @@ Result<bool> HashGroupByExecutor::Next(Tuple* out) {
 
 namespace {
 
-// Mirrors Database::LanguageAllowed: the inlanguages clause over the
+// Mirrors Engine::LanguageAllowed: the inlanguages clause over the
 // source column's language tag.
 bool ScanLanguageAllowed(const std::vector<text::Language>& allowed,
                          const Tuple& row, uint32_t source_col) {

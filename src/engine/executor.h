@@ -152,7 +152,7 @@ class HashGroupByExecutor final : public Executor {
 /// Everything the parallel scan node needs besides the table: the
 /// probe, the column bindings, and the matcher/thread/cache knobs.
 /// (A plain struct rather than LexEqualQueryOptions to keep executor.h
-/// independent of database.h, which includes this header.)
+/// independent of engine.h, which includes this header.)
 struct ParallelScanSpec {
   phonetic::PhonemeString query;       // probe, already in phoneme space
   uint32_t source_col = 0;             // text column (language tag)

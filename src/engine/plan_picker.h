@@ -60,7 +60,7 @@ struct PlanChoice {
   }
 };
 
-/// Everything the picker needs, decoupled from Database so unit tests
+/// Everything the picker needs, decoupled from the Engine so unit tests
 /// can fabricate inputs directly.
 struct PlanPickerInputs {
   const TableStats* stats = nullptr;  // null/unanalyzed => heuristic

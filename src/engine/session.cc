@@ -1,0 +1,247 @@
+#include "engine/session.h"
+
+#include <chrono>
+#include <shared_mutex>
+
+namespace lexequal::engine {
+
+namespace {
+
+using phonetic::PhonemeString;
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+// G2P-transforms a text probe through the shared phoneme cache —
+// repeated probes (and multi-predicate queries) re-use the G2P run —
+// charging the hit/miss deltas to this query's stats.
+Result<PhonemeString> TransformProbe(const text::TaggedString& query,
+                                     QueryStats* qs,
+                                     obs::QueryTrace* trace) {
+  match::PhonemeCache& cache = match::PhonemeCache::Default();
+  const match::PhonemeCacheStats before = cache.stats();
+  Result<PhonemeString> phon = [&] {
+    obs::ScopedSpan span(trace, "g2p_transform");
+    return cache.Transform(query);
+  }();
+  const match::PhonemeCacheStats after = cache.stats();
+  qs->match.cache_hits += after.hits - before.hits;
+  qs->match.cache_misses += after.misses - before.misses;
+  return phon;
+}
+
+}  // namespace
+
+Session Engine::CreateSession() { return Session(this); }
+
+QueryRequest QueryRequest::ThresholdSelect(std::string table,
+                                           std::string column,
+                                           text::TaggedString query) {
+  QueryRequest req;
+  req.kind = Kind::kThresholdSelect;
+  req.table = std::move(table);
+  req.column = std::move(column);
+  req.query_text = std::move(query);
+  return req;
+}
+
+QueryRequest QueryRequest::ThresholdSelectPhonemes(
+    std::string table, std::string column,
+    phonetic::PhonemeString phonemes) {
+  QueryRequest req;
+  req.kind = Kind::kThresholdSelect;
+  req.table = std::move(table);
+  req.column = std::move(column);
+  req.query_phonemes = std::move(phonemes);
+  return req;
+}
+
+QueryRequest QueryRequest::TopK(std::string table, std::string column,
+                                text::TaggedString query, size_t k) {
+  QueryRequest req;
+  req.kind = Kind::kTopK;
+  req.table = std::move(table);
+  req.column = std::move(column);
+  req.query_text = std::move(query);
+  req.k = k;
+  return req;
+}
+
+QueryRequest QueryRequest::TopKPhonemes(std::string table,
+                                        std::string column,
+                                        phonetic::PhonemeString phonemes,
+                                        size_t k) {
+  QueryRequest req;
+  req.kind = Kind::kTopK;
+  req.table = std::move(table);
+  req.column = std::move(column);
+  req.query_phonemes = std::move(phonemes);
+  req.k = k;
+  return req;
+}
+
+QueryRequest QueryRequest::Join(std::string left_table,
+                                std::string left_column,
+                                std::string right_table,
+                                std::string right_column) {
+  QueryRequest req;
+  req.kind = Kind::kJoin;
+  req.table = std::move(left_table);
+  req.column = std::move(left_column);
+  req.right_table = std::move(right_table);
+  req.right_column = std::move(right_column);
+  return req;
+}
+
+QueryRequest QueryRequest::ExactSelect(std::string table,
+                                       std::string column, Value literal) {
+  QueryRequest req;
+  req.kind = Kind::kExactSelect;
+  req.table = std::move(table);
+  req.column = std::move(column);
+  req.literal = std::move(literal);
+  return req;
+}
+
+QueryRequest QueryRequest::ExactJoin(std::string left_table,
+                                     std::string left_column,
+                                     std::string right_table,
+                                     std::string right_column) {
+  QueryRequest req;
+  req.kind = Kind::kExactJoin;
+  req.table = std::move(left_table);
+  req.column = std::move(left_column);
+  req.right_table = std::move(right_table);
+  req.right_column = std::move(right_column);
+  return req;
+}
+
+Result<QueryResult> Session::Execute(const QueryRequest& req) {
+  using Kind = QueryRequest::Kind;
+  // Validate the request shape before taking the latch.
+  const bool lexequal_probe =
+      req.kind == Kind::kThresholdSelect || req.kind == Kind::kTopK;
+  if (lexequal_probe &&
+      req.query_text.has_value() == req.query_phonemes.has_value()) {
+    return Status::InvalidArgument(
+        "request needs exactly one of query_text / query_phonemes");
+  }
+  if (req.kind == Kind::kExactSelect && !req.literal.has_value()) {
+    return Status::InvalidArgument(
+        "an exact select needs a comparison literal");
+  }
+  if (req.explain_only && req.kind != Kind::kThresholdSelect) {
+    return Status::InvalidArgument(
+        "explain_only is supported for threshold selects");
+  }
+
+  const LexEqualQueryOptions& options =
+      req.options.has_value() ? *req.options : default_options_;
+  const auto start = std::chrono::steady_clock::now();
+  QueryStats qs;
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (req.trace.value_or(tracing_) && !req.explain_only) {
+    trace = Engine::MakeEngineTrace();
+  }
+
+  // The whole query runs under the shared latch: concurrent with
+  // other sessions' queries, serialized against DDL / ANALYZE /
+  // Insert. Dispatch's root spans close before the latch drops.
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    std::shared_lock<std::shared_mutex> lock(engine_->latch_);
+    return Dispatch(req, options, &qs, trace.get());
+  }();
+  if (!result.ok()) return result.status();
+
+  result->stats = qs;
+  if (req.explain_only) return result;  // nothing executed: no flush
+
+  last_stats_ = qs;
+  Engine::FlushQueryStats(qs, ElapsedUs(start));
+  if (trace != nullptr) {
+    std::shared_ptr<const obs::QueryTrace> shared = std::move(trace);
+    last_trace_ = shared;
+    result->trace = std::move(shared);
+  } else {
+    last_trace_.reset();  // the latest query ran untraced
+  }
+  return result;
+}
+
+Result<QueryResult> Session::Dispatch(const QueryRequest& req,
+                                      const LexEqualQueryOptions& options,
+                                      QueryStats* qs,
+                                      obs::QueryTrace* trace) {
+  using Kind = QueryRequest::Kind;
+  QueryResult out;
+  switch (req.kind) {
+    case Kind::kThresholdSelect: {
+      obs::ScopedSpan root(trace, "lexequal_select");
+      PhonemeString phon;
+      if (req.query_text.has_value()) {
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            phon, TransformProbe(*req.query_text, qs, trace));
+      } else {
+        phon = *req.query_phonemes;
+      }
+      if (req.explain_only) {
+        PlanChoice choice;
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            choice, engine_->ExplainSelectLocked(req.table, req.column,
+                                                 phon, options));
+        out.plan_choice = std::move(choice);
+        return out;
+      }
+      LEXEQUAL_ASSIGN_OR_RETURN(
+          out.rows, engine_->SelectPhonemesLocked(req.table, req.column,
+                                                  phon, options, qs,
+                                                  trace));
+      return out;
+    }
+    case Kind::kTopK: {
+      obs::ScopedSpan root(trace, "lexequal_topk");
+      PhonemeString phon;
+      if (req.query_text.has_value()) {
+        LEXEQUAL_ASSIGN_OR_RETURN(
+            phon, TransformProbe(*req.query_text, qs, trace));
+      } else {
+        phon = *req.query_phonemes;
+      }
+      LEXEQUAL_ASSIGN_OR_RETURN(
+          out.ranked, engine_->TopKPhonemesLocked(req.table, req.column,
+                                                  phon, req.k, options,
+                                                  qs, trace));
+      return out;
+    }
+    case Kind::kJoin: {
+      obs::ScopedSpan root(trace, "lexequal_join");
+      LEXEQUAL_ASSIGN_OR_RETURN(
+          out.pairs,
+          engine_->JoinLocked(req.table, req.column, req.right_table,
+                              req.right_column, options, req.outer_limit,
+                              qs, trace));
+      return out;
+    }
+    case Kind::kExactSelect: {
+      LEXEQUAL_ASSIGN_OR_RETURN(
+          out.rows, engine_->ExactSelectLocked(req.table, req.column,
+                                               *req.literal, qs));
+      return out;
+    }
+    case Kind::kExactJoin: {
+      LEXEQUAL_ASSIGN_OR_RETURN(
+          out.pairs,
+          engine_->ExactJoinLocked(req.table, req.column, req.right_table,
+                                   req.right_column, req.outer_limit,
+                                   qs));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled request kind");
+}
+
+}  // namespace lexequal::engine

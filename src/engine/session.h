@@ -1,0 +1,164 @@
+// Session: the per-client half of the execution API.
+//
+// A Session is one client's handle onto a shared Engine: it owns the
+// query-option defaults, the \stats / \trace state, and the single
+// query entry point, Session::Execute(QueryRequest). Every query —
+// threshold select, top-K, join, the exact baselines, EXPLAIN — is a
+// QueryRequest, and everything it produces — rows, ranking, stats,
+// plan choice, span tree — rides back in the QueryResult. Out-params
+// are gone.
+//
+// Threading: a Session is single-threaded (one client, one thread).
+// Concurrency comes from many sessions: Execute takes the engine
+// latch shared, so any number of sessions query in parallel while
+// DDL / ANALYZE / Insert (Engine methods) serialize against them.
+
+#ifndef LEXEQUAL_ENGINE_SESSION_H_
+#define LEXEQUAL_ENGINE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace lexequal::engine {
+
+/// One query, declaratively. Build with the static constructors and
+/// adjust fields; unset `options` / `trace` fall back to the session
+/// defaults, so a request carries only what the call site cares
+/// about.
+struct QueryRequest {
+  enum class Kind {
+    kThresholdSelect,  // WHERE column LexEQUAL probe [Threshold e]
+    kTopK,             // ORDER BY lexsim(column, probe) LIMIT k
+    kJoin,             // t1.c1 LexEQUAL t2.c2, different languages
+    kExactSelect,      // WHERE column = literal (native equality)
+    kExactJoin,        // text equi-join baseline (Table 1)
+  };
+  Kind kind = Kind::kThresholdSelect;
+
+  std::string table;   // the (outer / left) table
+  std::string column;  // the probed (outer / left) column
+  std::string right_table;   // kJoin / kExactJoin only
+  std::string right_column;  // kJoin / kExactJoin only
+
+  /// The probe, in exactly one form (kThresholdSelect / kTopK):
+  /// source text, G2P-transformed by Execute with the cache traffic
+  /// charged to this query's stats — or pre-transformed phonemes,
+  /// for callers that already hold IPA (benches, bulk dedup).
+  std::optional<text::TaggedString> query_text;
+  std::optional<phonetic::PhonemeString> query_phonemes;
+  /// kExactSelect's comparison literal.
+  std::optional<Value> literal;
+
+  size_t k = 0;              // kTopK: result size (0 = empty result)
+  uint64_t outer_limit = 0;  // joins: cap on outer rows (0 = all)
+
+  /// EXPLAIN: resolve and price the plan choice, execute nothing.
+  /// Supported for kThresholdSelect (the plans the picker owns).
+  bool explain_only = false;
+
+  /// Per-request overrides of the session defaults.
+  std::optional<LexEqualQueryOptions> options;
+  std::optional<bool> trace;
+
+  static QueryRequest ThresholdSelect(std::string table,
+                                      std::string column,
+                                      text::TaggedString query);
+  static QueryRequest ThresholdSelectPhonemes(
+      std::string table, std::string column,
+      phonetic::PhonemeString phonemes);
+  static QueryRequest TopK(std::string table, std::string column,
+                           text::TaggedString query, size_t k);
+  static QueryRequest TopKPhonemes(std::string table, std::string column,
+                                   phonetic::PhonemeString phonemes,
+                                   size_t k);
+  static QueryRequest Join(std::string left_table,
+                           std::string left_column,
+                           std::string right_table,
+                           std::string right_column);
+  static QueryRequest ExactSelect(std::string table, std::string column,
+                                  Value literal);
+  static QueryRequest ExactJoin(std::string left_table,
+                                std::string left_column,
+                                std::string right_table,
+                                std::string right_column);
+};
+
+/// Everything one query produced. Exactly one of rows / ranked /
+/// pairs is populated, per the request kind; stats always is, and the
+/// rest is present when the query asked for it.
+struct QueryResult {
+  std::vector<Tuple> rows;      // kThresholdSelect / kExactSelect
+  std::vector<TopKRow> ranked;  // kTopK, best-first
+  std::vector<std::pair<Tuple, Tuple>> pairs;  // join kinds
+
+  /// Execution counters and the plan that ran (the old out-param).
+  QueryStats stats;
+
+  /// The picker's priced alternatives — set by explain_only requests
+  /// (the substance of EXPLAIN's plan table).
+  std::optional<PlanChoice> plan_choice;
+
+  /// Span tree of this query, when it was traced (shared with the
+  /// session's LastTrace — traces are immutable once the query ends).
+  std::shared_ptr<const obs::QueryTrace> trace;
+};
+
+/// One client's execution context over a shared Engine. Create via
+/// Engine::CreateSession(); the engine must outlive the session.
+/// Cheap to construct and move — one per connection or thread.
+class Session {
+ public:
+  explicit Session(Engine* engine) : engine_(engine) {}
+
+  /// Executes one request under the engine's shared latch. Per-query
+  /// metrics are flushed to the process registry here, once; stats,
+  /// plan choice, and the trace come back inside the result (and are
+  /// also kept as this session's LastQueryStats / LastTrace).
+  Result<QueryResult> Execute(const QueryRequest& req);
+
+  Engine* engine() const { return engine_; }
+
+  /// Session-wide option defaults, used by requests that carry none
+  /// (a client's SET-style knobs: threshold, cost model, plan hint).
+  const LexEqualQueryOptions& default_options() const {
+    return default_options_;
+  }
+  void set_default_options(LexEqualQueryOptions options) {
+    default_options_ = std::move(options);
+  }
+
+  /// Stats of this session's most recent executed query — the shell's
+  /// \stats. Other sessions' queries never show up here.
+  const QueryStats& LastQueryStats() const { return last_stats_; }
+
+  /// Per-query tracing default (the shell's \trace on|off); a
+  /// request's `trace` field overrides it for one query.
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+
+  /// Span tree of this session's most recent traced query; null when
+  /// that query ran untraced (or none has run).
+  const obs::QueryTrace* LastTrace() const { return last_trace_.get(); }
+
+ private:
+  // Dispatches one validated request with the latch held; root spans
+  // and the G2P probe transform live here.
+  Result<QueryResult> Dispatch(const QueryRequest& req,
+                               const LexEqualQueryOptions& options,
+                               QueryStats* qs, obs::QueryTrace* trace);
+
+  Engine* engine_;
+  LexEqualQueryOptions default_options_;
+  QueryStats last_stats_;
+  bool tracing_ = false;
+  std::shared_ptr<const obs::QueryTrace> last_trace_;
+};
+
+}  // namespace lexequal::engine
+
+#endif  // LEXEQUAL_ENGINE_SESSION_H_

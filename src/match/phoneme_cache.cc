@@ -192,7 +192,7 @@ void PhonemeCache::Clear() {
 }
 
 PhonemeCache& PhonemeCache::Default() {
-  // Leaked singleton: shared across Database instances and threads
+  // Leaked singleton: shared across Engine instances and threads
   // for the program's lifetime, like G2PRegistry::Default().
   static PhonemeCache* cache = [] {
     size_t capacity = kDefaultCapacity;

@@ -109,7 +109,7 @@ class PhonemeCache {
   size_t capacity() const { return capacity_; }
 
   /// Process-wide cache over G2PRegistry::Default(), shared by every
-  /// Database instance. Never destroyed (lives for program duration).
+  /// Engine instance. Never destroyed (lives for program duration).
   /// Capacity is kDefaultCapacity, overridable once at first use via
   /// the LEXEQUAL_PHONEME_CACHE_CAPACITY environment variable (for
   /// datasets larger than the paper's; size it to the phonemic

@@ -15,7 +15,7 @@
 // The filters are stated for *unit-cost* (Levenshtein) edit distance
 // with budget k. Two call sites consume them with different k:
 //
-//   * The q-gram access path (Database::QGramCandidates) uses
+//   * The q-gram access path (Engine::QGramCandidates) uses
 //     k = threshold * min(|a|,|b|) in unit edits — the paper's
 //     Fig. 14 semantics — which is exact for Levenshtein costs and
 //     may lose a few clustered-cost matches (see DESIGN.md).

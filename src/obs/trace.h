@@ -2,7 +2,7 @@
 // per-span registry-counter deltas — the timing backbone of EXPLAIN
 // ANALYZE and the shell's \trace mode.
 //
-// A trace is owned by the driver of one query (Database keeps one per
+// A trace is owned by the driver of one query (a Session keeps one per
 // traced query) and is NOT thread-safe: spans are begun and ended on
 // the query thread only. Worker pools report through the registry
 // counters the trace watches, so their work still shows up as deltas

@@ -5,7 +5,7 @@
 // only within clusters collide — a Soundex-style hash generalized to
 // the multilingual phoneme space. The key indexes a standard B-Tree:
 // this is the paper's multilingual phonetic index (its Table 3 access
-// path), realized in src/engine as CreatePhoneticIndex.
+// path), built in src/engine via CreateIndex(IndexSpec::Kind::kPhonetic).
 //
 // Contract notes:
 //   * The mapping is many-to-one by design. Equal keys mean "probably

@@ -11,9 +11,9 @@ namespace lexequal::sql {
 
 namespace {
 
-using engine::Database;
 using engine::LexEqualPlan;
 using engine::LexEqualQueryOptions;
+using engine::Session;
 using engine::TableInfo;
 using engine::Tuple;
 using engine::Value;
@@ -96,7 +96,7 @@ Result<bool> PassesResiduals(
 // come back best-first from the engine (inverted-index top-K or the
 // brute-force fallback, identical results), so no post-hoc sort; the
 // projection grows a trailing "lexsim" score column.
-Result<QueryResult> ExecuteTopK(Database* db,
+Result<QueryResult> ExecuteTopK(Session* session,
                                 const SelectStatement& stmt) {
   if (stmt.tables.size() != 1) {
     return Status::NotSupported(
@@ -112,22 +112,23 @@ Result<QueryResult> ExecuteTopK(Database* db,
   }
   const TableRef& ref = stmt.tables[0];
   TableInfo* info;
-  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(ref.table));
+  LEXEQUAL_ASSIGN_OR_RETURN(info, session->engine()->GetTable(ref.table));
 
   LexEqualQueryOptions options;
   LEXEQUAL_ASSIGN_OR_RETURN(options.hints.plan,
                             ResolvePlanHint(stmt.plan_hint));
   const text::TaggedString query =
       text::TaggedString::WithDetectedLanguage(stmt.lexsim_order->query);
-  engine::QueryStats stats;
-  std::vector<engine::TopKRow> ranked;
-  LEXEQUAL_ASSIGN_OR_RETURN(
-      ranked,
-      db->LexEqualTopK(ref.table, stmt.lexsim_order->column.column, query,
-                       *stmt.limit, options, &stats));
+  engine::QueryRequest req = engine::QueryRequest::TopK(
+      ref.table, stmt.lexsim_order->column.column, query, *stmt.limit);
+  req.options = options;
+  engine::QueryResult executed;
+  LEXEQUAL_ASSIGN_OR_RETURN(executed, session->Execute(req));
+  std::vector<engine::TopKRow> ranked = std::move(executed.ranked);
 
   QueryResult result;
-  result.stats = stats;
+  result.stats = executed.stats;
+  result.trace = executed.trace;
   std::vector<uint32_t> ordinals;
   if (stmt.select_star) {
     for (size_t i = 0; i < info->schema.size(); ++i) {
@@ -154,11 +155,11 @@ Result<QueryResult> ExecuteTopK(Database* db,
   return result;
 }
 
-Result<QueryResult> ExecuteSingleTable(Database* db,
+Result<QueryResult> ExecuteSingleTable(Session* session,
                                        const SelectStatement& stmt) {
   const TableRef& ref = stmt.tables[0];
   TableInfo* info;
-  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(ref.table));
+  LEXEQUAL_ASSIGN_OR_RETURN(info, session->engine()->GetTable(ref.table));
 
   // Classify predicates.
   const Predicate* lex_pred = nullptr;
@@ -195,6 +196,7 @@ Result<QueryResult> ExecuteSingleTable(Database* db,
 
   std::vector<Tuple> rows;
   engine::QueryStats stats;
+  std::shared_ptr<const obs::QueryTrace> trace;
   if (lex_pred != nullptr) {
     LexEqualQueryOptions options;
     LEXEQUAL_ASSIGN_OR_RETURN(options,
@@ -203,9 +205,14 @@ Result<QueryResult> ExecuteSingleTable(Database* db,
     // (§2.1 of the paper).
     text::TaggedString query =
         text::TaggedString::WithDetectedLanguage(lex_pred->string_literal);
-    LEXEQUAL_ASSIGN_OR_RETURN(
-        rows, db->LexEqualSelect(ref.table, lex_pred->left.column, query,
-                                 options, &stats));
+    engine::QueryRequest req = engine::QueryRequest::ThresholdSelect(
+        ref.table, lex_pred->left.column, query);
+    req.options = options;
+    engine::QueryResult executed;
+    LEXEQUAL_ASSIGN_OR_RETURN(executed, session->Execute(req));
+    rows = std::move(executed.rows);
+    stats = executed.stats;
+    trace = executed.trace;
   } else {
     // Plain scan.
     engine::SeqScanExecutor scan(info);
@@ -231,6 +238,7 @@ Result<QueryResult> ExecuteSingleTable(Database* db,
   // Projection.
   QueryResult result;
   result.stats = stats;
+  result.trace = std::move(trace);
   std::vector<uint32_t> ordinals;
   if (stmt.select_star) {
     for (size_t i = 0; i < info->schema.size(); ++i) {
@@ -258,14 +266,16 @@ Result<QueryResult> ExecuteSingleTable(Database* db,
   return result;
 }
 
-Result<QueryResult> ExecuteJoin(Database* db,
+Result<QueryResult> ExecuteJoin(Session* session,
                                 const SelectStatement& stmt) {
   const TableRef& left_ref = stmt.tables[0];
   const TableRef& right_ref = stmt.tables[1];
   TableInfo* left_info;
-  LEXEQUAL_ASSIGN_OR_RETURN(left_info, db->GetTable(left_ref.table));
+  LEXEQUAL_ASSIGN_OR_RETURN(left_info,
+                            session->engine()->GetTable(left_ref.table));
   TableInfo* right_info;
-  LEXEQUAL_ASSIGN_OR_RETURN(right_info, db->GetTable(right_ref.table));
+  LEXEQUAL_ASSIGN_OR_RETURN(right_info,
+                            session->engine()->GetTable(right_ref.table));
 
   const Predicate* lex_pred = nullptr;
   for (const Predicate& pred : stmt.predicates) {
@@ -310,16 +320,18 @@ Result<QueryResult> ExecuteJoin(Database* db,
   LEXEQUAL_ASSIGN_OR_RETURN(options,
                             BuildOptions(*lex_pred, stmt.plan_hint));
 
-  engine::QueryStats stats;
-  std::vector<std::pair<Tuple, Tuple>> pairs;
-  LEXEQUAL_ASSIGN_OR_RETURN(
-      pairs, db->LexEqualJoin(left_ref.table, left_col->column,
-                              right_ref.table, right_col->column, options,
-                              /*outer_limit=*/0, &stats));
+  engine::QueryRequest req =
+      engine::QueryRequest::Join(left_ref.table, left_col->column,
+                                 right_ref.table, right_col->column);
+  req.options = options;
+  engine::QueryResult executed;
+  LEXEQUAL_ASSIGN_OR_RETURN(executed, session->Execute(req));
+  std::vector<std::pair<Tuple, Tuple>> pairs = std::move(executed.pairs);
 
   // Projection over the concatenated row.
   QueryResult result;
-  result.stats = stats;
+  result.stats = executed.stats;
+  result.trace = executed.trace;
   struct Slot {
     bool from_left;
     uint32_t ordinal;
@@ -456,11 +468,11 @@ bool ValueLess(const Value& a, const Value& b) {
 
 }  // namespace
 
-Result<QueryResult> ExecuteStatement(engine::Database* db,
+Result<QueryResult> ExecuteStatement(engine::Session* session,
                                      const SelectStatement& stmt) {
   // Ranked retrieval bypasses the sort-after path entirely: the limit
   // drives the top-K algorithm and rows arrive already ordered.
-  if (stmt.lexsim_order.has_value()) return ExecuteTopK(db, stmt);
+  if (stmt.lexsim_order.has_value()) return ExecuteTopK(session, stmt);
 
   // ORDER BY sorts the projected result, so run the core plan without
   // the limit and apply sort + limit here.
@@ -468,8 +480,8 @@ Result<QueryResult> ExecuteStatement(engine::Database* db,
   if (stmt.order_by.has_value()) core.limit.reset();
 
   Result<QueryResult> result_or =
-      core.tables.size() == 1   ? ExecuteSingleTable(db, core)
-      : core.tables.size() == 2 ? ExecuteJoin(db, core)
+      core.tables.size() == 1   ? ExecuteSingleTable(session, core)
+      : core.tables.size() == 2 ? ExecuteJoin(session, core)
                                 : Status::NotSupported(
                                       "only 1- and 2-table queries");
   if (!result_or.ok() || !stmt.order_by.has_value()) return result_or;
@@ -506,20 +518,21 @@ Result<QueryResult> ExecuteStatement(engine::Database* db,
 
 namespace {
 
-Result<QueryResult> ExecuteAnalyze(Database* db,
+Result<QueryResult> ExecuteAnalyze(Session* session,
                                    const AnalyzeStatement& stmt) {
+  engine::Engine* engine = session->engine();
   std::vector<std::string> names;
   if (!stmt.table.empty()) {
     names.push_back(stmt.table);
   } else {
-    names = db->catalog()->TableNames();
+    names = engine->catalog()->TableNames();
   }
   QueryResult result;
   result.column_names = {"table", "rows"};
   for (const std::string& name : names) {
-    LEXEQUAL_RETURN_IF_ERROR(db->Analyze(name));
+    LEXEQUAL_RETURN_IF_ERROR(engine->Analyze(name));
     TableInfo* info;
-    LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(name));
+    LEXEQUAL_ASSIGN_OR_RETURN(info, engine->GetTable(name));
     Tuple row;
     row.push_back(Value::String(name));
     row.push_back(
@@ -530,7 +543,7 @@ Result<QueryResult> ExecuteAnalyze(Database* db,
   return result;
 }
 
-Result<QueryResult> ExecuteCreateIndex(Database* db,
+Result<QueryResult> ExecuteCreateIndex(Session* session,
                                        const CreateIndexStatement& stmt) {
   engine::IndexSpec spec;
   spec.kind = stmt.kind == "phonetic" ? engine::IndexSpec::Kind::kPhonetic
@@ -539,7 +552,7 @@ Result<QueryResult> ExecuteCreateIndex(Database* db,
   spec.table = stmt.table;
   spec.column = stmt.column;
   if (stmt.q.has_value()) spec.q = *stmt.q;
-  LEXEQUAL_RETURN_IF_ERROR(db->CreateIndex(spec));
+  LEXEQUAL_RETURN_IF_ERROR(session->engine()->CreateIndex(spec));
   QueryResult result;
   result.column_names = {"created"};
   Tuple row;
@@ -607,27 +620,27 @@ void AppendTraceTable(const obs::QueryTrace& trace, QueryResult* result) {
 // by index presence, not by the cost picker; EXPLAIN ANALYZE executes
 // the query and surfaces the posting / skip / early-termination
 // counters plus the stage (span) table.
-Result<QueryResult> ExplainTopK(Database* db, const Statement& stmt) {
+Result<QueryResult> ExplainTopK(Session* session, const Statement& stmt) {
   const SelectStatement& sel = stmt.select;
   if (sel.tables.size() != 1) {
     return Status::NotSupported("EXPLAIN supports single-table queries");
   }
   TableInfo* info;
-  LEXEQUAL_ASSIGN_OR_RETURN(info, db->GetTable(sel.tables[0].table));
+  LEXEQUAL_ASSIGN_OR_RETURN(
+      info, session->engine()->GetTable(sel.tables[0].table));
 
   QueryResult result;
   engine::QueryStats actual;
   if (stmt.explain_analyze) {
-    const bool was_tracing = db->tracing();
-    db->set_tracing(true);
-    Result<QueryResult> executed = ExecuteStatement(db, sel);
-    db->set_tracing(was_tracing);
+    const bool was_tracing = session->tracing();
+    session->set_tracing(true);
+    Result<QueryResult> executed = ExecuteStatement(session, sel);
+    session->set_tracing(was_tracing);
     if (!executed.ok()) return executed.status();
     actual = executed->stats;
     result.stats = executed->stats;
-    if (const obs::QueryTrace* trace = db->LastTrace();
-        trace != nullptr) {
-      AppendTraceTable(*trace, &result);
+    if (executed->trace != nullptr) {
+      AppendTraceTable(*executed->trace, &result);
     }
   }
 
@@ -668,9 +681,10 @@ Result<QueryResult> ExplainTopK(Database* db, const Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> ExecuteExplain(Database* db, const Statement& stmt) {
+Result<QueryResult> ExecuteExplain(Session* session,
+                                   const Statement& stmt) {
   const SelectStatement& sel = stmt.select;
-  if (sel.lexsim_order.has_value()) return ExplainTopK(db, stmt);
+  if (sel.lexsim_order.has_value()) return ExplainTopK(session, stmt);
   if (sel.tables.size() != 1) {
     return Status::NotSupported(
         "EXPLAIN supports single-table queries");
@@ -691,27 +705,31 @@ Result<QueryResult> ExecuteExplain(Database* db, const Statement& stmt) {
                             BuildOptions(*lex_pred, sel.plan_hint));
   const text::TaggedString query =
       text::TaggedString::WithDetectedLanguage(lex_pred->string_literal);
-  engine::PlanChoice choice;
-  LEXEQUAL_ASSIGN_OR_RETURN(
-      choice,
-      db->ExplainLexEqualSelect(sel.tables[0].table,
-                                lex_pred->left.column, query, options));
+  engine::QueryRequest explain_req = engine::QueryRequest::ThresholdSelect(
+      sel.tables[0].table, lex_pred->left.column, query);
+  explain_req.options = options;
+  explain_req.explain_only = true;
+  engine::QueryResult explained;
+  LEXEQUAL_ASSIGN_OR_RETURN(explained, session->Execute(explain_req));
+  if (!explained.plan_choice.has_value()) {
+    return Status::Internal("explain returned no plan choice");
+  }
+  const engine::PlanChoice& choice = *explained.plan_choice;
 
   QueryResult result;
   engine::QueryStats actual;
   if (stmt.explain_analyze) {
     // Execute with tracing forced on so the stage table below carries
     // real wall-clock and I/O data; the caller's setting is restored.
-    const bool was_tracing = db->tracing();
-    db->set_tracing(true);
-    Result<QueryResult> executed = ExecuteStatement(db, sel);
-    db->set_tracing(was_tracing);
+    const bool was_tracing = session->tracing();
+    session->set_tracing(true);
+    Result<QueryResult> executed = ExecuteStatement(session, sel);
+    session->set_tracing(was_tracing);
     if (!executed.ok()) return executed.status();
     actual = executed->stats;
     result.stats = executed->stats;
-    if (const obs::QueryTrace* trace = db->LastTrace();
-        trace != nullptr) {
-      AppendTraceTable(*trace, &result);
+    if (executed->trace != nullptr) {
+      AppendTraceTable(*executed->trace, &result);
     }
   }
 
@@ -773,25 +791,26 @@ Result<QueryResult> ExecuteExplain(Database* db, const Statement& stmt) {
 
 }  // namespace
 
-Result<QueryResult> Execute(engine::Database* db, const Statement& stmt) {
+Result<QueryResult> Execute(engine::Session* session,
+                            const Statement& stmt) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteStatement(db, stmt.select);
+      return ExecuteStatement(session, stmt.select);
     case StatementKind::kExplain:
-      return ExecuteExplain(db, stmt);
+      return ExecuteExplain(session, stmt);
     case StatementKind::kAnalyze:
-      return ExecuteAnalyze(db, stmt.analyze);
+      return ExecuteAnalyze(session, stmt.analyze);
     case StatementKind::kCreateIndex:
-      return ExecuteCreateIndex(db, stmt.create_index);
+      return ExecuteCreateIndex(session, stmt.create_index);
   }
   return Status::Internal("unhandled statement kind");
 }
 
-Result<QueryResult> ExecuteQuery(engine::Database* db,
+Result<QueryResult> ExecuteQuery(engine::Session* session,
                                  std::string_view sql) {
   Statement stmt;
   LEXEQUAL_ASSIGN_OR_RETURN(stmt, ParseStatement(sql));
-  return Execute(db, stmt);
+  return Execute(session, stmt);
 }
 
 }  // namespace lexequal::sql

@@ -11,10 +11,11 @@
 #ifndef LEXEQUAL_SQL_PLANNER_H_
 #define LEXEQUAL_SQL_PLANNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "engine/database.h"
+#include "engine/session.h"
 #include "sql/ast.h"
 
 namespace lexequal::sql {
@@ -24,6 +25,10 @@ struct QueryResult {
   std::vector<std::string> column_names;
   std::vector<engine::Tuple> rows;
   engine::QueryStats stats;
+
+  /// Span tree of the executed query, when the session traced it
+  /// (carried through from engine::QueryResult).
+  std::shared_ptr<const obs::QueryTrace> trace;
 
   /// EXPLAIN ANALYZE stage table: one row per executed plan stage
   /// (planner, access path, verify, matcher) with wall-clock µs and
@@ -40,16 +45,19 @@ struct QueryResult {
   std::string TraceTable() const;
 };
 
-/// Parses and executes `sql` against `db`. Accepts every statement
+/// Parses and executes `sql` on `session`. Accepts every statement
 /// kind: SELECT, EXPLAIN [ANALYZE] select, ANALYZE, CREATE INDEX.
-Result<QueryResult> ExecuteQuery(engine::Database* db,
+/// Queries run under the engine's shared latch (concurrent across
+/// sessions); ANALYZE and CREATE INDEX take it exclusively.
+Result<QueryResult> ExecuteQuery(engine::Session* session,
                                  std::string_view sql);
 
 /// Executes an already-parsed statement of any kind.
-Result<QueryResult> Execute(engine::Database* db, const Statement& stmt);
+Result<QueryResult> Execute(engine::Session* session,
+                            const Statement& stmt);
 
 /// Executes an already-parsed SELECT.
-Result<QueryResult> ExecuteStatement(engine::Database* db,
+Result<QueryResult> ExecuteStatement(engine::Session* session,
                                      const SelectStatement& stmt);
 
 }  // namespace lexequal::sql

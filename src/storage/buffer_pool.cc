@@ -27,7 +27,7 @@ BufferPool::~BufferPool() {
   IgnoreNonFatal(FlushAll(), "destructor flush has no error channel");
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
+Result<size_t> BufferPool::GetVictimFrameLocked() {
   if (!free_frames_.empty()) {
     size_t frame = free_frames_.back();
     free_frames_.pop_back();
@@ -56,6 +56,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     counters_.hits.fetch_add(1, std::memory_order_relaxed);
@@ -74,7 +75,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   counters_.misses.fetch_add(1, std::memory_order_relaxed);
   m_misses_->Inc();
   size_t frame;
-  LEXEQUAL_ASSIGN_OR_RETURN(frame, GetVictimFrame());
+  LEXEQUAL_ASSIGN_OR_RETURN(frame, GetVictimFrameLocked());
   Page* page = frames_[frame].get();
   Status read = disk_->ReadPage(id, page->data());
   if (!read.ok()) {
@@ -88,10 +89,11 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
   PageId id;
   LEXEQUAL_ASSIGN_OR_RETURN(id, disk_->AllocatePage());
   size_t frame;
-  LEXEQUAL_ASSIGN_OR_RETURN(frame, GetVictimFrame());
+  LEXEQUAL_ASSIGN_OR_RETURN(frame, GetVictimFrameLocked());
   Page* page = frames_[frame].get();
   page->set_page_id(id);
   page->IncPin();
@@ -101,6 +103,7 @@ Result<Page*> BufferPool::NewPage() {
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
     return Status::NotFound("unpin of unbuffered page " +
@@ -122,6 +125,7 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
     return Status::NotFound("flush of unbuffered page " +
@@ -138,6 +142,7 @@ Status BufferPool::FlushPage(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, frame] : page_table_) {
     Page* page = frames_[frame].get();
     if (page->is_dirty()) {

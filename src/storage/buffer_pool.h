@@ -7,6 +7,7 @@
 #include <atomic>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -32,11 +33,14 @@ struct BufferPoolStats {
 /// LRU buffer pool. Callers must Unpin every page they Fetch/New;
 /// a pinned page is never evicted.
 ///
-/// Threading: the page table and LRU structures are single-threaded
-/// by design (one query drives the pool at a time); the *counters*
-/// are std::atomic so stats() may be called from any thread — e.g. a
-/// metrics scraper or the shell's \metrics while a parallel scan's
-/// driver thread faults pages in. Counters also mirror into the
+/// Threading: safe for concurrent callers. Any number of sessions
+/// fetch and unpin pages in parallel under the engine's shared latch,
+/// so the frame bookkeeping — page table, LRU list, pin counts — is
+/// guarded by an internal mutex (held across the disk read of a
+/// faulting fetch; correctness first, the concurrency experiments run
+/// warm). Page *contents* are not guarded here: the engine latch
+/// already serializes page writers against readers. The counters are
+/// std::atomic so stats() needs no lock, and they mirror into the
 /// process-wide MetricsRegistry (lexequal_bufpool_*), which
 /// aggregates across every pool instance.
 class BufferPool {
@@ -87,8 +91,10 @@ class BufferPool {
   };
 
   // Finds a victim frame: a free one, else the LRU unpinned one.
-  Result<size_t> GetVictimFrame();
+  // Caller holds mu_.
+  Result<size_t> GetVictimFrameLocked();
 
+  mutable std::mutex mu_;  // guards the frame bookkeeping below
   DiskManager* disk_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, size_t> page_table_;  // page id -> frame

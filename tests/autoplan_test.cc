@@ -1,14 +1,14 @@
 // Cost-based plan selection: picker unit tests over fabricated
-// statistics, ANALYZE persistence, kAuto result identity with every
-// manual plan, and the deprecated index-creation shims.
+// statistics, ANALYZE persistence, and kAuto result identity with
+// every manual plan.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <filesystem>
 
-#include "engine/database.h"
 #include "engine/plan_picker.h"
+#include "engine/session.h"
 #include "text/utf8.h"
 
 namespace lexequal::engine {
@@ -170,7 +170,7 @@ class AutoPlanTest : public ::testing::Test {
   }
   void TearDown() override { std::filesystem::remove(path_); }
 
-  void PopulateBooks(Database* db) {
+  void PopulateBooks(Engine* db) {
     Schema schema({
         {"author", ValueType::kString, std::nullopt},
         {"author_phon", ValueType::kString, 0},
@@ -191,7 +191,7 @@ class AutoPlanTest : public ::testing::Test {
     add("Sarri", Language::kEnglish, "Another Book");
   }
 
-  static void BuildBothIndexes(Database* db) {
+  static void BuildBothIndexes(Engine* db) {
     ASSERT_TRUE(db->CreateIndex({.kind = IndexSpec::Kind::kQGram,
                                  .table = "books",
                                  .column = "author_phon",
@@ -203,11 +203,19 @@ class AutoPlanTest : public ::testing::Test {
                     .ok());
   }
 
+  static Result<QueryResult> SelectNehru(
+      Session* session, const LexEqualQueryOptions& options) {
+    QueryRequest req = QueryRequest::ThresholdSelect(
+        "books", "author", TaggedString("Nehru", Language::kEnglish));
+    req.options = options;
+    return session->Execute(req);
+  }
+
   std::filesystem::path path_;
 };
 
 TEST_F(AutoPlanTest, AnalyzeCollectsColumnStatistics) {
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok());
   PopulateBooks(db->get());
   ASSERT_TRUE((*db)->Analyze("books").ok());
@@ -229,7 +237,7 @@ TEST_F(AutoPlanTest, AnalyzeCollectsColumnStatistics) {
 TEST_F(AutoPlanTest, AnalyzedStatsSurviveReopen) {
   TableStats before;
   {
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
     BuildBothIndexes(db->get());
@@ -237,7 +245,7 @@ TEST_F(AutoPlanTest, AnalyzedStatsSurviveReopen) {
     before = (*db)->GetTable("books").value()->stats;
     ASSERT_TRUE((*db)->Flush().ok());
   }
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok()) << db.status();
   const TableStats& after = (*db)->GetTable("books").value()->stats;
   ASSERT_TRUE(after.analyzed);
@@ -257,62 +265,58 @@ TEST_F(AutoPlanTest, UnanalyzedDatabaseStillOpensAndQueries) {
   // A snapshot written without ANALYZE (the pre-optimizer format, give
   // or take the marker) must reopen as "unanalyzed" and keep working.
   {
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
     BuildBothIndexes(db->get());
     ASSERT_TRUE((*db)->Flush().ok());
   }
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok()) << db.status();
   EXPECT_FALSE((*db)->GetTable("books").value()->stats.analyzed);
 
   // Hint-free query runs on the documented heuristic.
+  Session session = (*db)->CreateSession();
   LexEqualQueryOptions options;
   options.match.threshold = 0.25;
-  Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish),
-      options);
-  ASSERT_TRUE(rows.ok()) << rows.status();
-  EXPECT_GE(rows->size(), 2u);
-  EXPECT_TRUE((*db)->LastQueryStats().plan_was_auto);
-  EXPECT_FALSE((*db)->LastQueryStats().plan_used_stats);
+  Result<QueryResult> result = SelectNehru(&session, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->rows.size(), 2u);
+  EXPECT_TRUE(result->stats.plan_was_auto);
+  EXPECT_FALSE(result->stats.plan_used_stats);
 }
 
 TEST_F(AutoPlanTest, LastQueryStatsReportsResolvedPlan) {
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok());
   PopulateBooks(db->get());
   BuildBothIndexes(db->get());
   ASSERT_TRUE((*db)->Analyze("books").ok());
 
+  Session session = (*db)->CreateSession();
   LexEqualQueryOptions options;  // kAuto
-  Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish),
-      options);
-  ASSERT_TRUE(rows.ok()) << rows.status();
-  const QueryStats& s = (*db)->LastQueryStats();
+  Result<QueryResult> result = SelectNehru(&session, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The result's stats and the session's compat accessor agree.
+  const QueryStats& s = session.LastQueryStats();
   // Five rows: every plan beats the fixed index overhead via stats.
   EXPECT_EQ(s.plan, LexEqualPlan::kNaiveUdf);
   EXPECT_TRUE(s.plan_was_auto);
   EXPECT_TRUE(s.plan_used_stats);
   EXPECT_GT(s.est_cost, 0.0);
-  EXPECT_EQ(s.results, rows->size());
+  EXPECT_EQ(s.results, result->rows.size());
+  EXPECT_EQ(result->stats.plan, s.plan);
+  EXPECT_EQ(result->stats.results, s.results);
 
   // A hint overrides the pick and is reported as such.
   options.hints.plan = LexEqualPlan::kQGramFilter;
-  ASSERT_TRUE((*db)
-                  ->LexEqualSelect("books", "author",
-                                   TaggedString("Nehru",
-                                                Language::kEnglish),
-                                   options)
-                  .ok());
-  EXPECT_EQ((*db)->LastQueryStats().plan, LexEqualPlan::kQGramFilter);
-  EXPECT_FALSE((*db)->LastQueryStats().plan_was_auto);
+  ASSERT_TRUE(SelectNehru(&session, options).ok());
+  EXPECT_EQ(session.LastQueryStats().plan, LexEqualPlan::kQGramFilter);
+  EXPECT_FALSE(session.LastQueryStats().plan_was_auto);
 }
 
 TEST_F(AutoPlanTest, AutoMatchesEveryManualPlanRowForRow) {
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok());
   PopulateBooks(db->get());
   BuildBothIndexes(db->get());
@@ -320,6 +324,7 @@ TEST_F(AutoPlanTest, AutoMatchesEveryManualPlanRowForRow) {
 
   // Threshold 0 + unit costs: all four access paths are exact (equal
   // phoneme strings <=> equal grouped keys), so row identity holds.
+  Session session = (*db)->CreateSession();
   LexEqualQueryOptions options;
   options.match.threshold = 0.0;
   options.match.intra_cluster_cost = 1.0;
@@ -327,12 +332,10 @@ TEST_F(AutoPlanTest, AutoMatchesEveryManualPlanRowForRow) {
   auto titles = [&](LexEqualPlan plan) {
     options.hints.plan = plan;
     options.hints.threads = plan == LexEqualPlan::kParallelScan ? 2 : 0;
-    Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
-        "books", "author", TaggedString("Nehru", Language::kEnglish),
-        options);
-    EXPECT_TRUE(rows.ok()) << rows.status();
+    Result<QueryResult> result = SelectNehru(&session, options);
+    EXPECT_TRUE(result.ok()) << result.status();
     std::vector<std::string> out;
-    for (const Tuple& row : rows.value()) {
+    for (const Tuple& row : result->rows) {
       out.push_back(row[2].AsString().text());
     }
     std::sort(out.begin(), out.end());
@@ -348,18 +351,6 @@ TEST_F(AutoPlanTest, AutoMatchesEveryManualPlanRowForRow) {
     EXPECT_EQ(titles(plan), reference)
         << "plan " << LexEqualPlanName(plan);
   }
-}
-
-TEST_F(AutoPlanTest, DeprecatedIndexShimsStillWork) {
-  auto db = Database::Open(path_.string(), 256);
-  ASSERT_TRUE(db.ok());
-  PopulateBooks(db->get());
-  ASSERT_TRUE((*db)->CreateQGramIndex("books", "author_phon", 2).ok());
-  ASSERT_TRUE((*db)->CreatePhoneticIndex("books", "author_phon").ok());
-  TableInfo* info = (*db)->GetTable("books").value();
-  EXPECT_NE(info->qgram_index, nullptr);
-  EXPECT_NE(info->phonetic_index, nullptr);
-  EXPECT_EQ(info->qgram_index->q, 2);
 }
 
 }  // namespace

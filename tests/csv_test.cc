@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "engine/session.h"
 #include "text/utf8.h"
 
 namespace lexequal::engine {
@@ -56,7 +57,7 @@ class CsvIoTest : public ::testing::Test {
                         ".csv");
     std::filesystem::remove(db_path_);
     std::filesystem::remove(csv_path_);
-    auto db = Database::Open(db_path_.string(), 256);
+    auto db = Engine::Open(db_path_.string(), 256);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
     Schema schema({
@@ -75,7 +76,7 @@ class CsvIoTest : public ::testing::Test {
   std::filesystem::path dir_;
   std::filesystem::path db_path_;
   std::filesystem::path csv_path_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Engine> db_;
 };
 
 TEST_F(CsvIoTest, ImportWithLanguageTagsAndDetection) {
@@ -97,14 +98,16 @@ TEST_F(CsvIoTest, ImportWithLanguageTagsAndDetection) {
   EXPECT_EQ(r->rows_rejected, 2u);
 
   // Imported rows are LexEQUAL-queryable (phonemes derived on insert).
+  Session session = db_->CreateSession();
   LexEqualQueryOptions options;
   options.match.threshold = 0.3;
   options.match.intra_cluster_cost = 0.25;
-  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
-      "books", "author", text::TaggedString("Nehru", Language::kEnglish),
-      options);
-  ASSERT_TRUE(rows.ok()) << rows.status();
-  EXPECT_EQ(rows->size(), 3u);
+  QueryRequest req = QueryRequest::ThresholdSelect(
+      "books", "author", text::TaggedString("Nehru", Language::kEnglish));
+  req.options = options;
+  Result<QueryResult> result = session.Execute(req);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 3u);
 }
 
 TEST_F(CsvIoTest, ExportImportRoundTrip) {

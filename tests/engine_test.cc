@@ -1,9 +1,11 @@
-#include "engine/database.h"
+#include "engine/engine.h"
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <optional>
 
+#include "engine/session.h"
 #include "g2p/render_indic.h"
 #include "text/utf8.h"
 
@@ -22,16 +24,17 @@ struct BookRow {
   double price;
 };
 
-class DatabaseTest : public ::testing::Test {
+class EngineTest : public ::testing::Test {
  protected:
   void SetUp() override {
     path_ = std::filesystem::temp_directory_path() /
             ("lexequal_engine_test_" +
              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
     std::filesystem::remove(path_);
-    auto db = Database::Open(path_.string(), 512);
+    auto db = Engine::Open(path_.string(), 512);
     ASSERT_TRUE(db.ok()) << db.status();
     db_ = std::move(db).value();
+    session_.emplace(db_->CreateSession());
 
     // Books(author STRING, author_phon derived, title STRING,
     //       price DOUBLE).
@@ -66,6 +69,7 @@ class DatabaseTest : public ::testing::Test {
     }
   }
   void TearDown() override {
+    session_.reset();
     db_.reset();
     std::filesystem::remove(path_);
   }
@@ -78,11 +82,29 @@ class DatabaseTest : public ::testing::Test {
     return o;
   }
 
+  // WHERE author LexEQUAL `query` through the unified entry point.
+  Result<QueryResult> Select(const TaggedString& query,
+                             const LexEqualQueryOptions& options) {
+    QueryRequest req = QueryRequest::ThresholdSelect("books", "author", query);
+    req.options = options;
+    return session_->Execute(req);
+  }
+
+  // books.author self-join through the unified entry point.
+  Result<QueryResult> Join(const LexEqualQueryOptions& options,
+                           uint64_t outer_limit = 0) {
+    QueryRequest req = QueryRequest::Join("books", "author", "books", "author");
+    req.options = options;
+    req.outer_limit = outer_limit;
+    return session_->Execute(req);
+  }
+
   std::filesystem::path path_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Engine> db_;
+  std::optional<Session> session_;
 };
 
-TEST_F(DatabaseTest, InsertDerivesPhonemicColumn) {
+TEST_F(EngineTest, InsertDerivesPhonemicColumn) {
   Result<TableInfo*> info = db_->GetTable("books");
   ASSERT_TRUE(info.ok());
   SeqScanExecutor scan(info.value());
@@ -96,26 +118,24 @@ TEST_F(DatabaseTest, InsertDerivesPhonemicColumn) {
   EXPECT_EQ(row[1].AsString().text(), "nɛhru");
 }
 
-TEST_F(DatabaseTest, ExactSelectIsBinaryAcrossScripts) {
+TEST_F(EngineTest, ExactSelectIsBinaryAcrossScripts) {
   // SQL:1999 semantics (the paper's Fig. 2 pain point): exact match
   // finds only the same-script row.
-  QueryStats stats;
-  Result<std::vector<Tuple>> rows = db_->ExactSelect(
-      "books", "author", Value::String("Nehru", Language::kEnglish),
-      &stats);
-  ASSERT_TRUE(rows.ok());
-  EXPECT_EQ(rows->size(), 1u);
-  EXPECT_EQ(stats.rows_scanned, 7u);
+  Result<QueryResult> result = session_->Execute(QueryRequest::ExactSelect(
+      "books", "author", Value::String("Nehru", Language::kEnglish)));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->stats.rows_scanned, 7u);
 }
 
-TEST_F(DatabaseTest, LexEqualSelectFindsAllScriptsNaive) {
+TEST_F(EngineTest, LexEqualSelectFindsAllScriptsNaive) {
   // The Fig. 3 query: Nehru across English/Hindi/Tamil.
-  QueryStats stats;
-  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish),
-      Options(LexEqualPlan::kNaiveUdf), &stats);
-  ASSERT_TRUE(rows.ok()) << rows.status();
-  EXPECT_EQ(rows->size(), 3u) << "expected En+Hi+Ta Nehru rows";
+  Result<QueryResult> result =
+      Select(TaggedString("Nehru", Language::kEnglish),
+             Options(LexEqualPlan::kNaiveUdf));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 3u) << "expected En+Hi+Ta Nehru rows";
+  const QueryStats& stats = result->stats;
   EXPECT_EQ(stats.rows_scanned, 7u);
   // Every row is offered to the matcher; rows whose phonemic cell is
   // empty (untransformable) are filter rejections, not UDF calls.
@@ -126,20 +146,20 @@ TEST_F(DatabaseTest, LexEqualSelectFindsAllScriptsNaive) {
   EXPECT_EQ(stats.match.matches, 3u);
 }
 
-TEST_F(DatabaseTest, LexEqualSelectHonorsInLanguages) {
+TEST_F(EngineTest, LexEqualSelectHonorsInLanguages) {
   LexEqualQueryOptions opts = Options(LexEqualPlan::kNaiveUdf);
   opts.in_languages = {Language::kHindi};
-  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish), opts);
-  ASSERT_TRUE(rows.ok());
-  ASSERT_EQ(rows->size(), 1u);
-  EXPECT_EQ((*rows)[0][0].AsString().language(), Language::kHindi);
+  Result<QueryResult> result =
+      Select(TaggedString("Nehru", Language::kEnglish), opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsString().language(), Language::kHindi);
 }
 
-TEST_F(DatabaseTest, QGramPlanExactUnderLevenshteinCosts) {
+TEST_F(EngineTest, QGramPlanExactUnderLevenshteinCosts) {
   // With unit costs (intra cost 1, no weak discount) the q-gram
   // filters are lossless: the plan returns exactly the naive result.
-  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kQGram,
                       .table = "books",
                       .column = "author_phon",
                       .q = 2}).ok());
@@ -147,54 +167,47 @@ TEST_F(DatabaseTest, QGramPlanExactUnderLevenshteinCosts) {
   lev.match.threshold = 0.3;
   lev.match.intra_cluster_cost = 1.0;
   lev.match.weak_phoneme_discount = false;
-  QueryStats naive_stats, qgram_stats;
   lev.hints.plan = LexEqualPlan::kNaiveUdf;
-  Result<std::vector<Tuple>> naive = db_->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish), lev,
-      &naive_stats);
+  Result<QueryResult> naive =
+      Select(TaggedString("Nehru", Language::kEnglish), lev);
   lev.hints.plan = LexEqualPlan::kQGramFilter;
-  Result<std::vector<Tuple>> qgram = db_->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish), lev,
-      &qgram_stats);
+  Result<QueryResult> qgram =
+      Select(TaggedString("Nehru", Language::kEnglish), lev);
   ASSERT_TRUE(naive.ok());
   ASSERT_TRUE(qgram.ok()) << qgram.status();
-  EXPECT_EQ(naive->size(), qgram->size());
+  EXPECT_EQ(naive->rows.size(), qgram->rows.size());
   // The filters pruned: fewer UDF calls than the naive scan made.
-  EXPECT_LT(qgram_stats.udf_calls, naive_stats.udf_calls);
+  EXPECT_LT(qgram->stats.udf_calls, naive->stats.udf_calls);
 }
 
-TEST_F(DatabaseTest, PhoneticIndexPlanFindsClusterEqualRows) {
-  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+TEST_F(EngineTest, PhoneticIndexPlanFindsClusterEqualRows) {
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
                       .table = "books",
                       .column = "author_phon"}).ok());
-  QueryStats stats;
-  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish),
-      Options(LexEqualPlan::kPhoneticIndex), &stats);
-  ASSERT_TRUE(rows.ok()) << rows.status();
+  Result<QueryResult> result =
+      Select(TaggedString("Nehru", Language::kEnglish),
+             Options(LexEqualPlan::kPhoneticIndex));
+  ASSERT_TRUE(result.ok()) << result.status();
   // The phonetic index may dismiss some true matches (paper §5.3
   // reports 4-5% false dismissals) but must at least find the exact
   // same-key English row, and scan far fewer rows than the table.
-  EXPECT_GE(rows->size(), 1u);
-  EXPECT_LE(stats.udf_calls, 3u);
+  EXPECT_GE(result->rows.size(), 1u);
+  EXPECT_LE(result->stats.udf_calls, 3u);
 }
 
-TEST_F(DatabaseTest, PlansReturnSubsetsOfNaive) {
-  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+TEST_F(EngineTest, PlansReturnSubsetsOfNaive) {
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kQGram,
                       .table = "books",
                       .column = "author_phon",
                       .q = 2}).ok());
-  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
                       .table = "books",
                       .column = "author_phon"}).ok());
   for (const char* probe : {"Nehru", "Nero", "Smith", "Sarri"}) {
     TaggedString q(probe, Language::kEnglish);
-    auto naive = db_->LexEqualSelect("books", "author", q,
-                                     Options(LexEqualPlan::kNaiveUdf));
-    auto qgram = db_->LexEqualSelect("books", "author", q,
-                                     Options(LexEqualPlan::kQGramFilter));
-    auto phon = db_->LexEqualSelect(
-        "books", "author", q, Options(LexEqualPlan::kPhoneticIndex));
+    auto naive = Select(q, Options(LexEqualPlan::kNaiveUdf));
+    auto qgram = Select(q, Options(LexEqualPlan::kQGramFilter));
+    auto phon = Select(q, Options(LexEqualPlan::kPhoneticIndex));
     ASSERT_TRUE(naive.ok() && qgram.ok() && phon.ok());
     auto contains = [&](const std::vector<Tuple>& rows, const Tuple& t) {
       for (const Tuple& r : rows) {
@@ -202,89 +215,80 @@ TEST_F(DatabaseTest, PlansReturnSubsetsOfNaive) {
       }
       return false;
     };
-    for (const Tuple& t : *qgram) {
-      EXPECT_TRUE(contains(*naive, t)) << probe;
+    for (const Tuple& t : qgram->rows) {
+      EXPECT_TRUE(contains(naive->rows, t)) << probe;
     }
-    for (const Tuple& t : *phon) {
-      EXPECT_TRUE(contains(*naive, t)) << probe;
+    for (const Tuple& t : phon->rows) {
+      EXPECT_TRUE(contains(naive->rows, t)) << probe;
     }
   }
 }
 
-TEST_F(DatabaseTest, LexEqualJoinFindsCrossScriptPairs) {
+TEST_F(EngineTest, LexEqualJoinFindsCrossScriptPairs) {
   // Fig. 5: authors who published in multiple languages.
-  QueryStats stats;
-  Result<std::vector<std::pair<Tuple, Tuple>>> pairs = db_->LexEqualJoin(
-      "books", "author", "books", "author",
-      Options(LexEqualPlan::kNaiveUdf), 0, &stats);
-  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  Result<QueryResult> result = Join(Options(LexEqualPlan::kNaiveUdf));
+  ASSERT_TRUE(result.ok()) << result.status();
   // Nehru En/Hi/Ta: 3 ordered cross-language pairs each way = 6.
-  EXPECT_EQ(pairs->size(), 6u);
+  EXPECT_EQ(result->pairs.size(), 6u);
 }
 
-TEST_F(DatabaseTest, LexEqualJoinWithIndexPlans) {
-  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+TEST_F(EngineTest, LexEqualJoinWithIndexPlans) {
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kQGram,
                       .table = "books",
                       .column = "author_phon",
                       .q = 2}).ok());
-  ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
                       .table = "books",
                       .column = "author_phon"}).ok());
-  auto naive = db_->LexEqualJoin("books", "author", "books", "author",
-                                 Options(LexEqualPlan::kNaiveUdf));
-  auto qgram = db_->LexEqualJoin("books", "author", "books", "author",
-                                 Options(LexEqualPlan::kQGramFilter));
-  auto phon = db_->LexEqualJoin("books", "author", "books", "author",
-                                Options(LexEqualPlan::kPhoneticIndex));
+  auto naive = Join(Options(LexEqualPlan::kNaiveUdf));
+  auto qgram = Join(Options(LexEqualPlan::kQGramFilter));
+  auto phon = Join(Options(LexEqualPlan::kPhoneticIndex));
   ASSERT_TRUE(naive.ok() && qgram.ok() && phon.ok());
   // Both accelerated plans return subsets of the naive result (the
   // clustered cost model makes the q-gram filters lossy too; the
   // phonetic index trades recall for speed by design — paper §5.3).
-  EXPECT_LE(qgram->size(), naive->size());
-  EXPECT_GE(qgram->size(), 1u);
-  EXPECT_LE(phon->size(), naive->size());
-  EXPECT_GE(phon->size(), 1u);
+  EXPECT_LE(qgram->pairs.size(), naive->pairs.size());
+  EXPECT_GE(qgram->pairs.size(), 1u);
+  EXPECT_LE(phon->pairs.size(), naive->pairs.size());
+  EXPECT_GE(phon->pairs.size(), 1u);
 }
 
-TEST_F(DatabaseTest, JoinOuterLimitCapsWork) {
-  QueryStats stats;
-  auto pairs =
-      db_->LexEqualJoin("books", "author", "books", "author",
-                        Options(LexEqualPlan::kNaiveUdf), 2, &stats);
-  ASSERT_TRUE(pairs.ok());
-  EXPECT_EQ(stats.rows_scanned, 2u);
+TEST_F(EngineTest, JoinOuterLimitCapsWork) {
+  Result<QueryResult> result =
+      Join(Options(LexEqualPlan::kNaiveUdf), /*outer_limit=*/2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.rows_scanned, 2u);
 }
 
-TEST_F(DatabaseTest, UnsupportedLanguageRowsNeverMatch) {
+TEST_F(EngineTest, UnsupportedLanguageRowsNeverMatch) {
   // A Japanese row gets an empty phonemic cell and never matches.
   Tuple values{
       Value::String("\xE5\xAF\xBA\xE4\xBA\x95", Language::kJapanese),
       Value::String("Aki no Kaze", Language::kEnglish),
       Value::Double(7500)};
   ASSERT_TRUE(db_->Insert("books", values).ok());
-  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
-      "books", "author", TaggedString("Terai", Language::kEnglish),
-      Options(LexEqualPlan::kNaiveUdf));
-  ASSERT_TRUE(rows.ok());
-  for (const Tuple& r : *rows) {
+  Result<QueryResult> result =
+      Select(TaggedString("Terai", Language::kEnglish),
+             Options(LexEqualPlan::kNaiveUdf));
+  ASSERT_TRUE(result.ok());
+  for (const Tuple& r : result->rows) {
     EXPECT_NE(r[0].AsString().language(), Language::kJapanese);
   }
 }
 
-TEST_F(DatabaseTest, QueryInUnresolvableLanguageIsNoResource) {
-  Result<std::vector<Tuple>> rows = db_->LexEqualSelect(
-      "books", "author", TaggedString("123", Language::kUnknown),
-      Options(LexEqualPlan::kNaiveUdf));
-  EXPECT_TRUE(rows.status().IsNoResource());
+TEST_F(EngineTest, QueryInUnresolvableLanguageIsNoResource) {
+  Result<QueryResult> result =
+      Select(TaggedString("123", Language::kUnknown),
+             Options(LexEqualPlan::kNaiveUdf));
+  EXPECT_TRUE(result.status().IsNoResource());
   // Kanji has a converter (kana) but no reading without a dictionary.
-  Result<std::vector<Tuple>> kanji = db_->LexEqualSelect(
-      "books", "author",
+  Result<QueryResult> kanji = Select(
       TaggedString("\xE5\xAF\xBA\xE4\xBA\x95", Language::kJapanese),
       Options(LexEqualPlan::kNaiveUdf));
   EXPECT_TRUE(kanji.status().IsInvalidArgument());
 }
 
-TEST_F(DatabaseTest, InsertValidation) {
+TEST_F(EngineTest, InsertValidation) {
   EXPECT_TRUE(db_->Insert("books", {Value::Int64(1)})
                   .status()
                   .IsInvalidArgument());
@@ -295,7 +299,7 @@ TEST_F(DatabaseTest, InsertValidation) {
       db_->CreateTable("books", Schema()).IsAlreadyExists());
 }
 
-TEST_F(DatabaseTest, UdfRegistryLexEqualCallable) {
+TEST_F(EngineTest, UdfRegistryLexEqualCallable) {
   Result<const UdfFn*> fn = db_->udf_registry()->Lookup("LEXEQUAL");
   ASSERT_TRUE(fn.ok());
   // nɛhru vs nehrʊ matches at the knee parameters.
@@ -315,12 +319,12 @@ TEST_F(DatabaseTest, UdfRegistryLexEqualCallable) {
 // Result without checking it, which is undefined behavior when the
 // pool is too small to host the catalog page. It must be a clean
 // error instead.
-TEST_F(DatabaseTest, OpenWithZeroFramePoolFailsCleanly) {
+TEST_F(EngineTest, OpenWithZeroFramePoolFailsCleanly) {
   const auto tiny = std::filesystem::temp_directory_path() /
                     "lexequal_engine_test_tiny.db";
   std::filesystem::remove(tiny);
-  Result<std::unique_ptr<Database>> db =
-      Database::Open(tiny.string(), /*pool_pages=*/0);
+  Result<std::unique_ptr<Engine>> db =
+      Engine::Open(tiny.string(), /*pool_pages=*/0);
   EXPECT_FALSE(db.ok());
   EXPECT_TRUE(db.status().IsResourceExhausted()) << db.status();
   std::filesystem::remove(tiny);

@@ -4,7 +4,7 @@
 
 #include <filesystem>
 
-#include "engine/database.h"
+#include "engine/engine.h"
 
 namespace lexequal::engine {
 namespace {
@@ -16,7 +16,7 @@ class ExecutorTest : public ::testing::Test {
             ("lexequal_executor_test_" +
              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
     std::filesystem::remove(path_);
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
     Schema schema({{"id", ValueType::kInt64, std::nullopt},
@@ -36,7 +36,7 @@ class ExecutorTest : public ::testing::Test {
   }
 
   std::filesystem::path path_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Engine> db_;
   TableInfo* table_ = nullptr;
 };
 

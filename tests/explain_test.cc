@@ -5,18 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "engine/database.h"
+#include "engine/session.h"
 #include "sql/planner.h"
 #include "text/utf8.h"
 
 namespace lexequal::sql {
 namespace {
 
-using engine::Database;
+using engine::Engine;
 using engine::Schema;
+using engine::Session;
 using engine::Tuple;
 using engine::Value;
 using engine::ValueType;
@@ -29,12 +31,14 @@ class ExplainTest : public ::testing::Test {
             ("lexequal_explain_test_" +
              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
     std::filesystem::remove(path_);
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
+    session_.emplace(db_->CreateSession());
     PopulateBooks();
   }
   void TearDown() override {
+    session_.reset();
     db_.reset();
     std::filesystem::remove(path_);
   }
@@ -60,7 +64,7 @@ class ExplainTest : public ::testing::Test {
   }
 
   QueryResult Run(const std::string& sql) {
-    Result<QueryResult> result = ExecuteQuery(db_.get(), sql);
+    Result<QueryResult> result = ExecuteQuery(&*session_, sql);
     EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
     return result.ok() ? std::move(result).value() : QueryResult{};
   }
@@ -94,7 +98,8 @@ class ExplainTest : public ::testing::Test {
   }
 
   std::filesystem::path path_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Engine> db_;
+  std::optional<Session> session_;
 };
 
 TEST_F(ExplainTest, AnalyzeStatementReportsRowCounts) {
@@ -116,7 +121,7 @@ TEST_F(ExplainTest, CreateIndexStatementsBuildBothKinds) {
   EXPECT_NE(info->phonetic_index, nullptr);
 
   Result<QueryResult> bad = ExecuteQuery(
-      db_.get(), "create index btree on books (author_phon)");
+      &*session_, "create index btree on books (author_phon)");
   EXPECT_FALSE(bad.ok());
 }
 
@@ -326,16 +331,16 @@ TEST_F(ExplainTest, ExplainAnalyzeTracesParallelStages) {
 }
 
 TEST_F(ExplainTest, ExplainAnalyzeRestoresTracingState) {
-  ASSERT_FALSE(db_->tracing());
+  ASSERT_FALSE(session_->tracing());
   Run("explain analyze select author from books where author LexEQUAL "
       "'Nehru' Threshold 0.25");
-  EXPECT_FALSE(db_->tracing());  // forced on for the run, restored
+  EXPECT_FALSE(session_->tracing());  // forced on for the run, restored
 
-  db_->set_tracing(true);
+  session_->set_tracing(true);
   Run("explain analyze select author from books where author LexEQUAL "
       "'Nehru' Threshold 0.25");
-  EXPECT_TRUE(db_->tracing());
-  db_->set_tracing(false);
+  EXPECT_TRUE(session_->tracing());
+  session_->set_tracing(false);
 }
 
 // The stats-drift satellite: every plan routes its candidates through
@@ -362,7 +367,7 @@ TEST_F(ExplainTest, AllPlansKeepUdfAndDpCountersInParity) {
 
 TEST_F(ExplainTest, ExplainRejectsUnsupportedShapes) {
   Result<QueryResult> no_pred =
-      ExecuteQuery(db_.get(), "explain select author from books");
+      ExecuteQuery(&*session_, "explain select author from books");
   EXPECT_FALSE(no_pred.ok());
   EXPECT_EQ(no_pred.status().code(), StatusCode::kNotSupported);
 }

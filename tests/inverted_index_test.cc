@@ -17,7 +17,7 @@
 
 #include "common/random.h"
 #include "dataset/lexicon.h"
-#include "engine/database.h"
+#include "engine/session.h"
 #include "match/qgram.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
@@ -27,11 +27,15 @@
 namespace lexequal::index {
 namespace {
 
-using engine::Database;
+using engine::Engine;
+using engine::IndexSpec;
 using engine::LexEqualPlan;
 using engine::LexEqualQueryOptions;
+using engine::QueryRequest;
+using engine::QueryResult;
 using engine::QueryStats;
 using engine::Schema;
+using engine::Session;
 using engine::TableInfo;
 using engine::Tuple;
 using engine::Value;
@@ -294,7 +298,7 @@ class InvidxEngineTest : public ::testing::Test {
             ("lexequal_invidx_engine_test_" +
              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
     std::filesystem::remove(path_);
-    auto db = Database::Open(path_.string(), 2048);
+    auto db = Engine::Open(path_.string(), 2048);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
 
@@ -318,12 +322,14 @@ class InvidxEngineTest : public ::testing::Test {
     std::filesystem::remove(path_);
   }
 
-  Result<std::vector<Tuple>> Select(LexEqualPlan plan,
-                                    const TaggedString& query,
-                                    QueryStats* stats = nullptr) {
+  Result<QueryResult> Select(LexEqualPlan plan,
+                             const TaggedString& query) {
+    Session session = db_->CreateSession();
     LexEqualQueryOptions options;
     options.hints.plan = plan;
-    return db_->LexEqualSelect("names", "name", query, options, stats);
+    QueryRequest req = QueryRequest::ThresholdSelect("names", "name", query);
+    req.options = options;
+    return session.Execute(req);
   }
 
   static std::vector<std::string> Texts(const std::vector<Tuple>& rows) {
@@ -334,31 +340,43 @@ class InvidxEngineTest : public ::testing::Test {
   }
 
   std::filesystem::path path_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Engine> db_;
   std::vector<dataset::LexiconEntry> rows_;
 };
 
 TEST_F(InvidxEngineTest, ThresholdParityWithQGramPlan) {
-  ASSERT_TRUE(db_->CreateQGramIndex("names", "name_phon", 2).ok());
-  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kQGram,
+                                .table = "names",
+                                .column = "name_phon",
+                                .q = 2}).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kInverted,
+                                .table = "names",
+                                .column = "name_phon",
+                                .q = 2}).ok());
   for (size_t i : {0u, 5u, 42u, 137u}) {
     const TaggedString query(rows_[i].text, rows_[i].language);
-    Result<std::vector<Tuple>> via_qgram =
+    Result<QueryResult> via_qgram =
         Select(LexEqualPlan::kQGramFilter, query);
     ASSERT_TRUE(via_qgram.ok()) << via_qgram.status();
-    QueryStats stats;
-    Result<std::vector<Tuple>> via_invidx =
-        Select(LexEqualPlan::kInvertedIndex, query, &stats);
+    Result<QueryResult> via_invidx =
+        Select(LexEqualPlan::kInvertedIndex, query);
     ASSERT_TRUE(via_invidx.ok()) << via_invidx.status();
-    EXPECT_EQ(Texts(*via_invidx), Texts(*via_qgram)) << "probe " << i;
-    EXPECT_FALSE(via_invidx->empty());  // at least the self match
-    EXPECT_GT(stats.invidx_postings, 0u);
+    EXPECT_EQ(Texts(via_invidx->rows), Texts(via_qgram->rows))
+        << "probe " << i;
+    EXPECT_FALSE(via_invidx->rows.empty());  // at least the self match
+    EXPECT_GT(via_invidx->stats.invidx_postings, 0u);
   }
 }
 
 TEST_F(InvidxEngineTest, ProbeBuiltExactlyOncePerQuery) {
-  ASSERT_TRUE(db_->CreateQGramIndex("names", "name_phon", 2).ok());
-  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kQGram,
+                                .table = "names",
+                                .column = "name_phon",
+                                .q = 2}).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kInverted,
+                                .table = "names",
+                                .column = "name_phon",
+                                .q = 2}).ok());
   obs::Counter* builds = obs::MetricsRegistry::Default().GetCounter(
       "lexequal_qgram_probe_builds");
   const TaggedString query(rows_[9].text, rows_[9].language);
@@ -375,28 +393,33 @@ TEST_F(InvidxEngineTest, ProbeBuiltExactlyOncePerQuery) {
 }
 
 TEST_F(InvidxEngineTest, TopKBuildsProbeOncePerQuery) {
-  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kInverted,
+                                .table = "names",
+                                .column = "name_phon",
+                                .q = 2}).ok());
   obs::Counter* builds = obs::MetricsRegistry::Default().GetCounter(
       "lexequal_qgram_probe_builds");
   const uint64_t before = builds->value();
-  LexEqualQueryOptions options;
-  Result<std::vector<engine::TopKRow>> top = db_->LexEqualTopK(
-      "names", "name", TaggedString(rows_[4].text, rows_[4].language), 5,
-      options);
+  Session session = db_->CreateSession();
+  Result<QueryResult> top = session.Execute(QueryRequest::TopK(
+      "names", "name", TaggedString(rows_[4].text, rows_[4].language), 5));
   ASSERT_TRUE(top.ok()) << top.status();
   EXPECT_EQ(builds->value() - before, 1u);
 }
 
 TEST_F(InvidxEngineTest, SurvivesReopen) {
-  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 3).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kInverted,
+                                .table = "names",
+                                .column = "name_phon",
+                                .q = 3}).ok());
   const TaggedString query(rows_[17].text, rows_[17].language);
-  Result<std::vector<Tuple>> before =
+  Result<QueryResult> before =
       Select(LexEqualPlan::kInvertedIndex, query);
   ASSERT_TRUE(before.ok()) << before.status();
   ASSERT_TRUE(db_->Flush().ok());
   db_.reset();
 
-  auto reopened = Database::Open(path_.string(), 2048);
+  auto reopened = Engine::Open(path_.string(), 2048);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   db_ = std::move(reopened).value();
   TableInfo* info = db_->GetTable("names").value();
@@ -404,22 +427,25 @@ TEST_F(InvidxEngineTest, SurvivesReopen) {
   EXPECT_EQ(info->inverted_index->q, 3);
   EXPECT_EQ(info->inverted_index->indexed_rows, rows_.size());
 
-  Result<std::vector<Tuple>> after =
+  Result<QueryResult> after =
       Select(LexEqualPlan::kInvertedIndex, query);
   ASSERT_TRUE(after.ok()) << after.status();
-  EXPECT_EQ(Texts(*after), Texts(*before));
+  EXPECT_EQ(Texts(after->rows), Texts(before->rows));
 
   // Inserts after reopen reach the index.
   Tuple values{Value::String(rows_[17].text, rows_[17].language)};
   ASSERT_TRUE(db_->Insert("names", values).ok());
-  Result<std::vector<Tuple>> grown =
+  Result<QueryResult> grown =
       Select(LexEqualPlan::kInvertedIndex, query);
   ASSERT_TRUE(grown.ok()) << grown.status();
-  EXPECT_EQ(grown->size(), after->size() + 1);
+  EXPECT_EQ(grown->rows.size(), after->rows.size() + 1);
 }
 
 TEST_F(InvidxEngineTest, AnalyzeFillsInvidxStats) {
-  ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kInverted,
+                                .table = "names",
+                                .column = "name_phon",
+                                .q = 2}).ok());
   ASSERT_TRUE(db_->Analyze("names").ok());
   TableInfo* info = db_->GetTable("names").value();
   ASSERT_TRUE(info->stats.analyzed);

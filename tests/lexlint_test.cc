@@ -174,6 +174,76 @@ TEST_F(LexlintTest, KernelIgnoresIdentifierPrefixesAndComments) {
   EXPECT_EQ(Lint({"kernel"}, &diags), 0) << Render(diags);
 }
 
+TEST_F(LexlintTest, LatchFunnelOutsideLockedFunctionIsFlagged) {
+  WriteFile("src/engine/checkpoint.cc",
+            "Status Engine::Checkpoint() {\n"
+            "  return SaveCatalogLocked();\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "latch");
+  EXPECT_EQ(diags[0].file, "src/engine/checkpoint.cc");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("Checkpoint"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("*Locked"), std::string::npos);
+}
+
+TEST_F(LexlintTest, LatchFunnelInsideLockedFunctionIsClean) {
+  WriteFile("src/engine/ddl.cc",
+            "Status Engine::CreateTableLocked(Schema schema) {\n"
+            "  LEXEQUAL_RETURN_IF_ERROR(catalog_.AddTable(MakeInfo()));\n"
+            "  auto persist = [&] { return SaveCatalogLocked(); };\n"
+            "  return persist();\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, LatchIgnoresDeclarationsAndDefinitions) {
+  WriteFile("src/engine/engine_decl.h",
+            "class Engine {\n"
+            " private:\n"
+            "  Status SaveCatalogLocked();\n"
+            "  Status LoadCatalogLocked();\n"
+            "};\n");
+  WriteFile("src/engine/engine_impl.cc",
+            "Status Engine::SaveCatalogLocked() {\n"
+            "  return Status::OK();\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, LatchAppliesOnlyToTheEngineModule) {
+  WriteFile("src/sql/mirror.cc",
+            "Status F() { return SaveCatalogLocked(); }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, LatchSuppressionWithReasonSilencesFinding) {
+  WriteFile("src/engine/open.cc",
+            "Status Engine::Bootstrap() {\n"
+            "  // lexlint:allow(latch): construction precedes sharing\n"
+            "  return LoadCatalogLocked();\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, LatchCatchesUnlatchedCatalogInsertion) {
+  WriteFile("src/engine/fastpath.cc",
+            "Status Engine::RegisterTable(std::unique_ptr<TableInfo> t) {\n"
+            "  return catalog_.AddTable(std::move(t));\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "latch");
+  EXPECT_NE(diags[0].message.find("catalog_.AddTable"), std::string::npos);
+}
+
 TEST_F(LexlintTest, DiscardedStatusIsFlagged) {
   WriteFile("src/common/io.h", "Status WriteAll(const char* path);\n");
   WriteFile("src/engine/save.cc",

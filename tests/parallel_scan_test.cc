@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "dataset/lexicon.h"
-#include "engine/database.h"
+#include "engine/session.h"
 #include "sql/planner.h"
 #include "text/tagged_string.h"
 
@@ -38,7 +38,7 @@ class ParallelScanTest : public ::testing::Test {
             ("lexequal_parallel_scan_test_" +
              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
     std::filesystem::remove(path_);
-    auto db = Database::Open(path_.string(), 2048);
+    auto db = Engine::Open(path_.string(), 2048);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
 
@@ -62,40 +62,47 @@ class ParallelScanTest : public ::testing::Test {
     std::filesystem::remove(path_);
   }
 
-  Result<std::vector<Tuple>> Select(LexEqualPlan plan, uint32_t threads,
-                                    const TaggedString& query,
-                                    QueryStats* stats = nullptr) {
+  Result<QueryResult> Select(LexEqualPlan plan, uint32_t threads,
+                             const TaggedString& query) {
     LexEqualQueryOptions options;
     options.hints.plan = plan;
     options.hints.threads = threads;
-    return db_->LexEqualSelect("names", "name", query, options, stats);
+    return Select(options, query);
+  }
+
+  Result<QueryResult> Select(const LexEqualQueryOptions& options,
+                             const TaggedString& query) {
+    Session session = db_->CreateSession();
+    QueryRequest req = QueryRequest::ThresholdSelect("names", "name", query);
+    req.options = options;
+    return session.Execute(req);
   }
 
   std::filesystem::path path_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Engine> db_;
   std::vector<LexiconEntry> rows_;
 };
 
 TEST_F(ParallelScanTest, SameRowsAsNaiveAcrossThreadCounts) {
   const TaggedString query(rows_[3].text, rows_[3].language);
-  Result<std::vector<Tuple>> naive =
-      Select(LexEqualPlan::kNaiveUdf, 0, query);
+  Result<QueryResult> naive = Select(LexEqualPlan::kNaiveUdf, 0, query);
   ASSERT_TRUE(naive.ok()) << naive.status();
-  ASSERT_FALSE(naive->empty());
+  ASSERT_FALSE(naive->rows.empty());
 
   for (uint32_t threads : {1u, 2u, 8u}) {
-    QueryStats stats;
-    Result<std::vector<Tuple>> parallel =
-        Select(LexEqualPlan::kParallelScan, threads, query, &stats);
+    Result<QueryResult> parallel =
+        Select(LexEqualPlan::kParallelScan, threads, query);
     ASSERT_TRUE(parallel.ok()) << "threads=" << threads << ": "
                                << parallel.status();
-    ASSERT_EQ(parallel->size(), naive->size()) << "threads=" << threads;
+    ASSERT_EQ(parallel->rows.size(), naive->rows.size())
+        << "threads=" << threads;
     // Same rows in the same (heap scan) order.
-    for (size_t i = 0; i < naive->size(); ++i) {
-      EXPECT_EQ((*parallel)[i], (*naive)[i]) << "row " << i;
+    for (size_t i = 0; i < naive->rows.size(); ++i) {
+      EXPECT_EQ(parallel->rows[i], naive->rows[i]) << "row " << i;
     }
+    const QueryStats& stats = parallel->stats;
     EXPECT_EQ(stats.match.tuples_scanned, rows_.size());
-    EXPECT_EQ(stats.match.matches, naive->size());
+    EXPECT_EQ(stats.match.matches, naive->rows.size());
     EXPECT_EQ(stats.match.filter_rejections + stats.match.dp_evaluations,
               stats.match.tuples_scanned);
     // The UDF-call counter reports only DP verifications, which the
@@ -110,18 +117,16 @@ TEST_F(ParallelScanTest, InLanguagesRestrictsLikeNaive) {
   LexEqualQueryOptions naive_opt;
   naive_opt.hints.plan = LexEqualPlan::kNaiveUdf;
   naive_opt.in_languages = {Language::kHindi, Language::kTamil};
-  Result<std::vector<Tuple>> naive =
-      db_->LexEqualSelect("names", "name", query, naive_opt);
+  Result<QueryResult> naive = Select(naive_opt, query);
   ASSERT_TRUE(naive.ok()) << naive.status();
 
   LexEqualQueryOptions par_opt = naive_opt;
   par_opt.hints.plan = LexEqualPlan::kParallelScan;
   par_opt.hints.threads = 4;
-  Result<std::vector<Tuple>> parallel =
-      db_->LexEqualSelect("names", "name", query, par_opt);
+  Result<QueryResult> parallel = Select(par_opt, query);
   ASSERT_TRUE(parallel.ok()) << parallel.status();
-  EXPECT_EQ(RowTexts(*parallel, 0), RowTexts(*naive, 0));
-  for (const Tuple& row : *parallel) {
+  EXPECT_EQ(RowTexts(parallel->rows, 0), RowTexts(naive->rows, 0));
+  for (const Tuple& row : parallel->rows) {
     const Language lang = row[0].AsString().language();
     EXPECT_TRUE(lang == Language::kHindi || lang == Language::kTamil);
   }
@@ -129,29 +134,30 @@ TEST_F(ParallelScanTest, InLanguagesRestrictsLikeNaive) {
 
 TEST_F(ParallelScanTest, RepeatedProbeHitsPhonemeCache) {
   const TaggedString query(rows_[11].text, rows_[11].language);
-  QueryStats cold;
-  ASSERT_TRUE(
-      Select(LexEqualPlan::kParallelScan, 2, query, &cold).ok());
-  QueryStats warm;
-  ASSERT_TRUE(
-      Select(LexEqualPlan::kParallelScan, 2, query, &warm).ok());
+  Result<QueryResult> cold =
+      Select(LexEqualPlan::kParallelScan, 2, query);
+  ASSERT_TRUE(cold.ok());
+  Result<QueryResult> warm =
+      Select(LexEqualPlan::kParallelScan, 2, query);
+  ASSERT_TRUE(warm.ok());
   // Candidate-side IPA parses (and the query's G2P transform) were
   // memoized by the first run.
-  EXPECT_GT(warm.match.cache_hits, 0u);
-  EXPECT_GT(warm.match.cache_hits, warm.match.cache_misses);
+  EXPECT_GT(warm->stats.match.cache_hits, 0u);
+  EXPECT_GT(warm->stats.match.cache_hits, warm->stats.match.cache_misses);
 }
 
 TEST_F(ParallelScanTest, SqlUsingParallelMatchesUsingNaive) {
+  Session session = db_->CreateSession();
   const std::string base =
       "select name from names where name LexEQUAL '" + rows_[3].text +
       "' Threshold 0.25 USING ";
   Result<sql::QueryResult> naive =
-      sql::ExecuteQuery(db_.get(), base + "naive");
+      sql::ExecuteQuery(&session, base + "naive");
   ASSERT_TRUE(naive.ok()) << naive.status();
   ASSERT_FALSE(naive->rows.empty());
 
   Result<sql::QueryResult> parallel =
-      sql::ExecuteQuery(db_.get(), base + "parallel");
+      sql::ExecuteQuery(&session, base + "parallel");
   ASSERT_TRUE(parallel.ok()) << parallel.status();
   ASSERT_EQ(parallel->rows.size(), naive->rows.size());
   for (size_t i = 0; i < naive->rows.size(); ++i) {
@@ -163,8 +169,9 @@ TEST_F(ParallelScanTest, SqlUsingParallelMatchesUsingNaive) {
 }
 
 TEST_F(ParallelScanTest, UnknownPlanHintStillRejected) {
+  Session session = db_->CreateSession();
   Result<sql::QueryResult> result = sql::ExecuteQuery(
-      db_.get(),
+      &session,
       "select name from names where name LexEQUAL 'x' USING turbo");
   EXPECT_FALSE(result.ok());
 }

@@ -5,7 +5,7 @@
 
 #include <filesystem>
 
-#include "engine/database.h"
+#include "engine/session.h"
 #include "text/utf8.h"
 
 namespace lexequal::engine {
@@ -32,7 +32,16 @@ class PersistenceTest : public ::testing::Test {
     return o;
   }
 
-  void PopulateBooks(Database* db) {
+  // WHERE author LexEQUAL Nehru through a one-off session.
+  static Result<QueryResult> SelectNehru(Engine* db, LexEqualPlan plan) {
+    Session session = db->CreateSession();
+    QueryRequest req = QueryRequest::ThresholdSelect(
+        "books", "author", TaggedString("Nehru", Language::kEnglish));
+    req.options = Options(plan);
+    return session.Execute(req);
+  }
+
+  void PopulateBooks(Engine* db) {
     Schema schema({
         {"author", ValueType::kString, std::nullopt},
         {"author_phon", ValueType::kString, 0},
@@ -56,12 +65,12 @@ class PersistenceTest : public ::testing::Test {
 
 TEST_F(PersistenceTest, TablesAndRowsSurviveReopen) {
   {
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
     ASSERT_TRUE((*db)->Flush().ok());
   }
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok()) << db.status();
   Result<TableInfo*> info = (*db)->GetTable("books");
   ASSERT_TRUE(info.ok()) << info.status();
@@ -71,29 +80,27 @@ TEST_F(PersistenceTest, TablesAndRowsSurviveReopen) {
   EXPECT_TRUE(
       info.value()->schema.column(1).phonemic_source.has_value());
 
-  QueryStats stats;
-  Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish),
-      Options(LexEqualPlan::kNaiveUdf), &stats);
-  ASSERT_TRUE(rows.ok()) << rows.status();
-  EXPECT_EQ(rows->size(), 2u);  // En + Hi
+  Result<QueryResult> result =
+      SelectNehru(db->get(), LexEqualPlan::kNaiveUdf);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 2u);  // En + Hi
 }
 
 TEST_F(PersistenceTest, IndexesSurviveReopen) {
   {
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
-    ASSERT_TRUE((*db)->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+    ASSERT_TRUE((*db)->CreateIndex({.kind = IndexSpec::Kind::kQGram,
                       .table = "books",
                       .column = "author_phon",
                       .q = 2}).ok());
-    ASSERT_TRUE((*db)->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+    ASSERT_TRUE((*db)->CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
                       .table = "books",
                       .column = "author_phon"}).ok());
     ASSERT_TRUE((*db)->Flush().ok());
   }
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok()) << db.status();
   TableInfo* info = (*db)->GetTable("books").value();
   ASSERT_NE(info->phonetic_index, nullptr);
@@ -102,26 +109,24 @@ TEST_F(PersistenceTest, IndexesSurviveReopen) {
 
   for (LexEqualPlan plan :
        {LexEqualPlan::kQGramFilter, LexEqualPlan::kPhoneticIndex}) {
-    Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
-        "books", "author", TaggedString("Nehru", Language::kEnglish),
-        Options(plan), nullptr);
-    ASSERT_TRUE(rows.ok()) << rows.status();
-    EXPECT_GE(rows->size(), 1u);
+    Result<QueryResult> result = SelectNehru(db->get(), plan);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GE(result->rows.size(), 1u);
   }
 }
 
 TEST_F(PersistenceTest, InsertsAfterReopenAreIndexed) {
   {
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
-    ASSERT_TRUE((*db)->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+    ASSERT_TRUE((*db)->CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
                       .table = "books",
                       .column = "author_phon"}).ok());
     ASSERT_TRUE((*db)->Flush().ok());
   }
   {
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     Tuple values{
         Value::String(text::EncodeUtf8({0x0BA8, 0x0BC7, 0x0BB0, 0x0BC1}),
@@ -130,16 +135,15 @@ TEST_F(PersistenceTest, InsertsAfterReopenAreIndexed) {
     ASSERT_TRUE((*db)->Insert("books", values).ok());
     ASSERT_TRUE((*db)->Flush().ok());
   }
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok());
   EXPECT_EQ((*db)->GetTable("books").value()->heap->record_count(), 4u);
-  Result<std::vector<Tuple>> rows = (*db)->LexEqualSelect(
-      "books", "author", TaggedString("Nehru", Language::kEnglish),
-      Options(LexEqualPlan::kPhoneticIndex), nullptr);
-  ASSERT_TRUE(rows.ok());
+  Result<QueryResult> result =
+      SelectNehru(db->get(), LexEqualPlan::kPhoneticIndex);
+  ASSERT_TRUE(result.ok());
   // The post-reopen Tamil row is visible through the index.
   bool found_tamil = false;
-  for (const Tuple& row : *rows) {
+  for (const Tuple& row : result->rows) {
     found_tamil =
         found_tamil || row[0].AsString().language() == Language::kTamil;
   }
@@ -148,41 +152,41 @@ TEST_F(PersistenceTest, InsertsAfterReopenAreIndexed) {
 
 TEST_F(PersistenceTest, DestructorCheckpoints) {
   {
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
     // No explicit Flush: the destructor checkpoints best-effort.
   }
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok()) << db.status();
   EXPECT_TRUE((*db)->GetTable("books").ok());
 }
 
 TEST_F(PersistenceTest, EmptyDatabaseReopens) {
   {
-    auto db = Database::Open(path_.string(), 64);
+    auto db = Engine::Open(path_.string(), 64);
     ASSERT_TRUE(db.ok());
     ASSERT_TRUE((*db)->Flush().ok());
   }
-  auto db = Database::Open(path_.string(), 64);
+  auto db = Engine::Open(path_.string(), 64);
   ASSERT_TRUE(db.ok()) << db.status();
   EXPECT_FALSE((*db)->GetTable("books").ok());
 }
 
 TEST_F(PersistenceTest, RepeatedFlushesKeepLatestSnapshot) {
   {
-    auto db = Database::Open(path_.string(), 256);
+    auto db = Engine::Open(path_.string(), 256);
     ASSERT_TRUE(db.ok());
     PopulateBooks(db->get());
     for (int i = 0; i < 5; ++i) {
       ASSERT_TRUE((*db)->Flush().ok());
     }
-    ASSERT_TRUE((*db)->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+    ASSERT_TRUE((*db)->CreateIndex({.kind = IndexSpec::Kind::kPhonetic,
                       .table = "books",
                       .column = "author_phon"}).ok());
     ASSERT_TRUE((*db)->Flush().ok());
   }
-  auto db = Database::Open(path_.string(), 256);
+  auto db = Engine::Open(path_.string(), 256);
   ASSERT_TRUE(db.ok()) << db.status();
   // The latest snapshot (with the index) wins.
   EXPECT_NE((*db)->GetTable("books").value()->phonetic_index, nullptr);

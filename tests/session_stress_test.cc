@@ -1,0 +1,170 @@
+// Multi-session concurrency stress, built for ThreadSanitizer (the
+// `parallel` ctest label): several reader sessions hammer threshold
+// selects under the shared latch while a writer thread runs the
+// exclusive-latch path — Insert, ANALYZE, CREATE INDEX — against the
+// same Engine. Every query must stay well-formed (no torn catalog
+// reads, no stats cross-talk); tsan certifies the latch discipline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataset/lexicon.h"
+#include "engine/session.h"
+#include "text/tagged_string.h"
+
+namespace lexequal::engine {
+namespace {
+
+using text::TaggedString;
+
+class SessionStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_session_stress_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Engine::Open(path_.string(), 2048);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+
+    Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
+    ASSERT_TRUE(lexicon.ok());
+    rows_ = dataset::GenerateConcatenatedDataset(lexicon.value(), 2000);
+    ASSERT_GE(rows_.size(), 2000u);
+
+    Schema schema({
+        {"name", ValueType::kString, std::nullopt},
+        {"name_phon", ValueType::kString, 0},
+    });
+    ASSERT_TRUE(db_->CreateTable("names", schema).ok());
+    for (const dataset::LexiconEntry& e : rows_) {
+      Tuple values{Value::String(e.text, e.language)};
+      ASSERT_TRUE(db_->Insert("names", values).ok());
+    }
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<Engine> db_;
+  std::vector<dataset::LexiconEntry> rows_;
+};
+
+TEST_F(SessionStressTest, ReadersRaceWriterWithoutTearing) {
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 24;
+  const size_t base_rows = rows_.size();
+
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> total_results{0};
+
+  // Readers: one Session per thread (a Session is single-threaded;
+  // concurrency comes from many of them). Plans are hinted to the
+  // single-threaded scans so tsan exercises the engine latch, not the
+  // matcher pool's internal synchronization.
+  auto reader = [&](int id) {
+    Session session = db_->CreateSession();
+    LexEqualQueryOptions options;
+    options.hints.plan = LexEqualPlan::kNaiveUdf;
+    session.set_default_options(options);
+    for (int i = 0; i < kQueriesPerReader; ++i) {
+      const dataset::LexiconEntry& probe =
+          rows_[(id * 131 + i * 17) % rows_.size()];
+      QueryRequest req = QueryRequest::ThresholdSelect(
+          "names", "name", TaggedString(probe.text, probe.language));
+      Result<QueryResult> result = session.Execute(req);
+      if (!result.ok()) {
+        ++failures;
+        continue;
+      }
+      // The probe is a table row, so it must at least match itself,
+      // and a scan can never report fewer rows than the seed data.
+      if (result->rows.empty() ||
+          result->stats.rows_scanned < base_rows) {
+        ++failures;
+      }
+      total_results += result->rows.size();
+      if (session.LastQueryStats().results != result->stats.results) {
+        ++failures;  // another session's stats bled into ours
+      }
+    }
+  };
+
+  // Writer: the exclusive-latch path. Grows the table, refreshes the
+  // optimizer statistics, and drops an index build into the middle of
+  // the run; none of it may tear a concurrent reader.
+  auto writer = [&] {
+    for (int i = 0; i < 16; ++i) {
+      const dataset::LexiconEntry& e = rows_[i % rows_.size()];
+      Tuple values{Value::String(e.text, e.language)};
+      if (!db_->Insert("names", values).ok()) ++failures;
+      if (i % 4 == 1 && !db_->Analyze("names").ok()) ++failures;
+      if (i == 7 &&
+          !db_->CreateIndex({.kind = IndexSpec::Kind::kQGram,
+                             .table = "names",
+                             .column = "name_phon",
+                             .q = 2}).ok()) {
+        ++failures;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int id = 0; id < kReaders; ++id) threads.emplace_back(reader, id);
+  threads.emplace_back(writer);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(total_results.load(), 0u);
+  // The writer's side effects really landed.
+  Result<TableInfo*> info = db_->GetTable("names");
+  ASSERT_TRUE(info.ok());
+  EXPECT_NE(info.value()->qgram_index, nullptr);
+  EXPECT_TRUE(info.value()->stats.analyzed);
+}
+
+TEST_F(SessionStressTest, ConcurrentReadersAgreeOnAStaticTable) {
+  // No writer: every session must compute the identical answer for the
+  // identical probe, through its own private stats.
+  constexpr int kReaders = 4;
+  const dataset::LexiconEntry& probe = rows_[42];
+
+  Session reference = db_->CreateSession();
+  QueryRequest req = QueryRequest::ThresholdSelect(
+      "names", "name", TaggedString(probe.text, probe.language));
+  LexEqualQueryOptions options;
+  options.hints.plan = LexEqualPlan::kNaiveUdf;
+  req.options = options;
+  Result<QueryResult> expected = reference.Execute(req);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ASSERT_FALSE(expected->rows.empty());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders);
+  for (int id = 0; id < kReaders; ++id) {
+    threads.emplace_back([&] {
+      Session session = db_->CreateSession();
+      for (int i = 0; i < 12; ++i) {
+        Result<QueryResult> got = session.Execute(req);
+        if (!got.ok() || got->rows.size() != expected->rows.size()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace lexequal::engine

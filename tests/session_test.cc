@@ -1,0 +1,211 @@
+// Session isolation: many Sessions share one Engine, but everything a
+// client can set or read back — option defaults, \stats, \trace — is
+// private to its session. These tests pin the contract the shell's
+// \session command and the concurrency bench both rely on.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <optional>
+
+#include "engine/session.h"
+#include "text/utf8.h"
+
+namespace lexequal::engine {
+namespace {
+
+using text::Language;
+using text::TaggedString;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_session_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Engine::Open(path_.string(), 512);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+
+    Schema schema({
+        {"author", ValueType::kString, std::nullopt},
+        {"author_phon", ValueType::kString, 0},
+    });
+    ASSERT_TRUE(db_->CreateTable("books", schema).ok());
+    const std::string nehru_hi =
+        text::EncodeUtf8({0x0928, 0x0947, 0x0939, 0x0930, 0x0941});
+    for (const auto& [author, lang] :
+         std::vector<std::pair<std::string, Language>>{
+             {"Nehru", Language::kEnglish},
+             {nehru_hi, Language::kHindi},
+             {"Nero", Language::kEnglish},
+             {"Smith", Language::kEnglish},
+         }) {
+      Tuple values{Value::String(author, lang)};
+      ASSERT_TRUE(db_->Insert("books", values).ok());
+    }
+    ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kQGram,
+                                  .table = "books",
+                                  .column = "author_phon",
+                                  .q = 2}).ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+  }
+
+  static QueryRequest NehruSelect() {
+    return QueryRequest::ThresholdSelect(
+        "books", "author", TaggedString("Nehru", Language::kEnglish));
+  }
+
+  std::filesystem::path path_;
+  std::unique_ptr<Engine> db_;
+};
+
+TEST_F(SessionTest, DefaultOptionsAreIndependentPerSession) {
+  Session loose = db_->CreateSession();
+  Session strict = db_->CreateSession();
+
+  LexEqualQueryOptions loose_opts;
+  loose_opts.match.threshold = 0.3;  // admits the cross-script forms
+  loose_opts.match.intra_cluster_cost = 0.25;
+  loose_opts.hints.plan = LexEqualPlan::kNaiveUdf;
+  loose.set_default_options(loose_opts);
+  LexEqualQueryOptions strict_opts;
+  strict_opts.match.threshold = 0.0;  // exact phonemic equality only
+  strict_opts.hints.plan = LexEqualPlan::kNaiveUdf;
+  strict.set_default_options(strict_opts);
+
+  // Same request object, no per-request options: each session falls
+  // back to ITS defaults, and the two answers differ.
+  const QueryRequest req = NehruSelect();
+  Result<QueryResult> wide = loose.Execute(req);
+  ASSERT_TRUE(wide.ok()) << wide.status();
+  Result<QueryResult> narrow = strict.Execute(req);
+  ASSERT_TRUE(narrow.ok()) << narrow.status();
+  EXPECT_GE(wide->rows.size(), 2u);  // Nehru + the Hindi form at least
+  EXPECT_LT(narrow->rows.size(), wide->rows.size());
+
+  // Setting one session's defaults never leaked into the other.
+  EXPECT_EQ(loose.default_options().match.threshold, 0.3);
+  EXPECT_EQ(strict.default_options().match.threshold, 0.0);
+}
+
+TEST_F(SessionTest, RequestOverrideDoesNotStickToSessionDefaults) {
+  Session session = db_->CreateSession();
+  QueryRequest req = NehruSelect();
+  LexEqualQueryOptions opts;
+  opts.match.threshold = 0.5;
+  opts.hints.plan = LexEqualPlan::kQGramFilter;
+  req.options = opts;
+  Result<QueryResult> result = session.Execute(req);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.plan, LexEqualPlan::kQGramFilter);
+  // The override was per-request: the session defaults are untouched.
+  EXPECT_EQ(session.default_options().match.threshold,
+            LexEqualQueryOptions().match.threshold);
+  EXPECT_EQ(session.default_options().hints.plan, LexEqualPlan::kAuto);
+}
+
+TEST_F(SessionTest, LastQueryStatsDoNotBleedBetweenSessions) {
+  Session a = db_->CreateSession();
+  Session b = db_->CreateSession();
+
+  QueryRequest naive = NehruSelect();
+  LexEqualQueryOptions naive_opts;
+  naive_opts.hints.plan = LexEqualPlan::kNaiveUdf;
+  naive.options = naive_opts;
+  Result<QueryResult> ra = a.Execute(naive);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+
+  QueryRequest qgram = NehruSelect();
+  LexEqualQueryOptions qgram_opts;
+  qgram_opts.hints.plan = LexEqualPlan::kQGramFilter;
+  qgram.options = qgram_opts;
+  Result<QueryResult> rb = b.Execute(qgram);
+  ASSERT_TRUE(rb.ok()) << rb.status();
+
+  // Each session's \stats reflects its own last query, and matches the
+  // copy that rode back in the result.
+  EXPECT_EQ(a.LastQueryStats().plan, LexEqualPlan::kNaiveUdf);
+  EXPECT_EQ(b.LastQueryStats().plan, LexEqualPlan::kQGramFilter);
+  EXPECT_EQ(a.LastQueryStats().results, ra->stats.results);
+  EXPECT_EQ(b.LastQueryStats().results, rb->stats.results);
+  EXPECT_EQ(a.LastQueryStats().rows_scanned, ra->stats.rows_scanned);
+}
+
+TEST_F(SessionTest, TracingIsPerSession) {
+  Session traced = db_->CreateSession();
+  Session plain = db_->CreateSession();
+  traced.set_tracing(true);
+
+  Result<QueryResult> rt = traced.Execute(NehruSelect());
+  ASSERT_TRUE(rt.ok()) << rt.status();
+  Result<QueryResult> rp = plain.Execute(NehruSelect());
+  ASSERT_TRUE(rp.ok()) << rp.status();
+
+  EXPECT_NE(rt->trace, nullptr);
+  EXPECT_NE(traced.LastTrace(), nullptr);
+  EXPECT_EQ(rt->trace.get(), traced.LastTrace());
+  EXPECT_EQ(rp->trace, nullptr);
+  EXPECT_EQ(plain.LastTrace(), nullptr);
+  EXPECT_FALSE(plain.tracing());
+}
+
+TEST_F(SessionTest, RequestTraceOverrideIsOneShot) {
+  Session session = db_->CreateSession();
+  QueryRequest req = NehruSelect();
+  req.trace = true;
+  Result<QueryResult> traced = session.Execute(req);
+  ASSERT_TRUE(traced.ok()) << traced.status();
+  EXPECT_NE(traced->trace, nullptr);
+  EXPECT_FALSE(session.tracing());  // the default never flipped
+
+  Result<QueryResult> plain = session.Execute(NehruSelect());
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->trace, nullptr);
+  // The untraced query is now the most recent one: LastTrace is gone.
+  EXPECT_EQ(session.LastTrace(), nullptr);
+}
+
+TEST_F(SessionTest, SessionsObserveDdlFromTheSharedEngine) {
+  // A session created before a DDL statement sees its effects: the
+  // catalog is engine state, not session state.
+  Session session = db_->CreateSession();
+  Schema schema({
+      {"word", ValueType::kString, std::nullopt},
+      {"word_phon", ValueType::kString, 0},
+  });
+  ASSERT_TRUE(db_->CreateTable("late", schema).ok());
+  Tuple values{Value::String("Nehru", Language::kEnglish)};
+  ASSERT_TRUE(db_->Insert("late", values).ok());
+
+  Result<QueryResult> result = session.Execute(QueryRequest::ThresholdSelect(
+      "late", "word", TaggedString("Nehru", Language::kEnglish)));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST_F(SessionTest, MovedSessionKeepsItsState) {
+  Session original = db_->CreateSession();
+  LexEqualQueryOptions opts;
+  opts.match.threshold = 0.4;
+  original.set_default_options(opts);
+  original.set_tracing(true);
+  Result<QueryResult> before = original.Execute(NehruSelect());
+  ASSERT_TRUE(before.ok());
+
+  Session moved = std::move(original);
+  EXPECT_EQ(moved.engine(), db_.get());
+  EXPECT_EQ(moved.default_options().match.threshold, 0.4);
+  EXPECT_TRUE(moved.tracing());
+  EXPECT_EQ(moved.LastQueryStats().results, before->stats.results);
+  Result<QueryResult> after = moved.Execute(NehruSelect());
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->rows.size(), before->rows.size());
+}
+
+}  // namespace
+}  // namespace lexequal::engine

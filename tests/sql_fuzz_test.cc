@@ -7,7 +7,7 @@
 #include <filesystem>
 
 #include "common/random.h"
-#include "engine/database.h"
+#include "engine/session.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
 
@@ -75,10 +75,11 @@ TEST(SqlFuzzTest, ExecutorRejectsGarbageGracefully) {
       (std::filesystem::temp_directory_path() / "lexequal_sqlfuzz.db")
           .string();
   std::filesystem::remove(path);
-  auto db = engine::Database::Open(path, 64);
+  auto db = engine::Engine::Open(path, 64);
   ASSERT_TRUE(db.ok());
   engine::Schema schema({{"a", engine::ValueType::kString, std::nullopt}});
   ASSERT_TRUE((*db)->CreateTable("t", schema).ok());
+  engine::Session session = (*db)->CreateSession();
 
   Random rng(99);
   const char* vocab[] = {
@@ -93,7 +94,7 @@ TEST(SqlFuzzTest, ExecutorRejectsGarbageGracefully) {
       input += vocab[rng.Uniform(std::size(vocab))];
       input += ' ';
     }
-    Result<QueryResult> r = ExecuteQuery(db->get(), input);
+    Result<QueryResult> r = ExecuteQuery(&session, input);
     if (r.ok()) ++executed;  // fine; must simply not crash
   }
   // Some token soup will be valid ("SELECT a FROM t"); most is not.

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <optional>
 
+#include "engine/session.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -10,8 +12,9 @@
 namespace lexequal::sql {
 namespace {
 
-using engine::Database;
+using engine::Engine;
 using engine::Schema;
+using engine::Session;
 using engine::Tuple;
 using engine::Value;
 using engine::ValueType;
@@ -179,9 +182,10 @@ class SqlEndToEndTest : public ::testing::Test {
             ("lexequal_sql_test_" +
              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
     std::filesystem::remove(path_);
-    auto db = Database::Open(path_.string(), 512);
+    auto db = Engine::Open(path_.string(), 512);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
+    session_.emplace(db_->CreateSession());
     Schema schema({
         {"author", ValueType::kString, std::nullopt},
         {"author_phon", ValueType::kString, 0},
@@ -212,17 +216,22 @@ class SqlEndToEndTest : public ::testing::Test {
                       .column = "author_phon"}).ok());
   }
   void TearDown() override {
+    session_.reset();
     db_.reset();
     std::filesystem::remove(path_);
   }
+
+  Result<QueryResult> Exec(const std::string& sql) {
+    return ExecuteQuery(&*session_, sql);
+  }
+
   std::filesystem::path path_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Engine> db_;
+  std::optional<Session> session_;
 };
 
 TEST_F(SqlEndToEndTest, Figure3SelectReturnsThreeScripts) {
-  Result<QueryResult> result = ExecuteQuery(
-      db_.get(),
-      "select author, title, price from books "
+  Result<QueryResult> result = Exec("select author, title, price from books "
       "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
       "inlanguages { English, Hindi, Tamil } USING naive");
   ASSERT_TRUE(result.ok()) << result.status();
@@ -233,8 +242,7 @@ TEST_F(SqlEndToEndTest, Figure3SelectReturnsThreeScripts) {
 
 TEST_F(SqlEndToEndTest, PlanHintsAllWork) {
   for (const char* hint : {"naive", "qgram", "phonetic"}) {
-    Result<QueryResult> result = ExecuteQuery(
-        db_.get(), std::string("select author from books where author "
+    Result<QueryResult> result = Exec(std::string("select author from books where author "
                                "LexEQUAL 'Nehru' Threshold 0.3 Cost "
                                "0.25 USING ") +
                        hint);
@@ -244,16 +252,13 @@ TEST_F(SqlEndToEndTest, PlanHintsAllWork) {
 }
 
 TEST_F(SqlEndToEndTest, ExactEqualityIsBinary) {
-  Result<QueryResult> result = ExecuteQuery(
-      db_.get(), "select author from books where author = 'Nehru'");
+  Result<QueryResult> result = Exec("select author from books where author = 'Nehru'");
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->rows.size(), 1u);
 }
 
 TEST_F(SqlEndToEndTest, ResidualPredicateCombines) {
-  Result<QueryResult> result = ExecuteQuery(
-      db_.get(),
-      "select author, title from books "
+  Result<QueryResult> result = Exec("select author, title from books "
       "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
       "and title = 'Discovery of India' USING naive");
   ASSERT_TRUE(result.ok()) << result.status();
@@ -261,9 +266,7 @@ TEST_F(SqlEndToEndTest, ResidualPredicateCombines) {
 }
 
 TEST_F(SqlEndToEndTest, Figure5JoinExecutes) {
-  Result<QueryResult> result = ExecuteQuery(
-      db_.get(),
-      "select B1.author, B2.author from books B1, books B2 "
+  Result<QueryResult> result = Exec("select B1.author, B2.author from books B1, books B2 "
       "where B1.author LexEQUAL B2.author Threshold 0.3 Cost 0.25 "
       "and B1.language <> B2.language USING naive");
   ASSERT_TRUE(result.ok()) << result.status();
@@ -273,17 +276,14 @@ TEST_F(SqlEndToEndTest, Figure5JoinExecutes) {
 }
 
 TEST_F(SqlEndToEndTest, OrderBySortsResults) {
-  Result<QueryResult> asc = ExecuteQuery(
-      db_.get(), "select author, price from books ORDER BY price ASC");
+  Result<QueryResult> asc = Exec("select author, price from books ORDER BY price ASC");
   ASSERT_TRUE(asc.ok()) << asc.status();
   ASSERT_EQ(asc->rows.size(), 5u);
   for (size_t i = 1; i < asc->rows.size(); ++i) {
     EXPECT_LE((*asc).rows[i - 1][1].AsDouble(),
               (*asc).rows[i][1].AsDouble());
   }
-  Result<QueryResult> desc = ExecuteQuery(
-      db_.get(),
-      "select author, price from books ORDER BY price DESC LIMIT 2");
+  Result<QueryResult> desc = Exec("select author, price from books ORDER BY price DESC LIMIT 2");
   ASSERT_TRUE(desc.ok()) << desc.status();
   ASSERT_EQ(desc->rows.size(), 2u);
   EXPECT_GE((*desc).rows[0][1].AsDouble(),
@@ -293,9 +293,7 @@ TEST_F(SqlEndToEndTest, OrderBySortsResults) {
 }
 
 TEST_F(SqlEndToEndTest, OrderByWithLexEqual) {
-  Result<QueryResult> result = ExecuteQuery(
-      db_.get(),
-      "select author, price from books "
+  Result<QueryResult> result = Exec("select author, price from books "
       "where author LexEQUAL 'Nehru' Threshold 0.3 Cost 0.25 "
       "ORDER BY price DESC USING naive");
   ASSERT_TRUE(result.ok()) << result.status();
@@ -304,24 +302,20 @@ TEST_F(SqlEndToEndTest, OrderByWithLexEqual) {
 }
 
 TEST_F(SqlEndToEndTest, OrderByUnknownColumnFails) {
-  EXPECT_TRUE(ExecuteQuery(db_.get(),
-                           "select author from books ORDER BY price")
+  EXPECT_TRUE(Exec("select author from books ORDER BY price")
                   .status()
                   .IsNotFound());
 }
 
 TEST_F(SqlEndToEndTest, SelectStarAndLimit) {
-  Result<QueryResult> result = ExecuteQuery(
-      db_.get(), "select * from books LIMIT 2");
+  Result<QueryResult> result = Exec("select * from books LIMIT 2");
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->rows.size(), 2u);
   EXPECT_EQ(result->column_names.size(), 4u);  // all columns
 }
 
 TEST_F(SqlEndToEndTest, ToTableRendersAligned) {
-  Result<QueryResult> result = ExecuteQuery(
-      db_.get(),
-      "select author, price from books where author = 'Nehru'");
+  Result<QueryResult> result = Exec("select author, price from books where author = 'Nehru'");
   ASSERT_TRUE(result.ok());
   std::string table = result->ToTable();
   EXPECT_NE(table.find("author"), std::string::npos);
@@ -330,23 +324,21 @@ TEST_F(SqlEndToEndTest, ToTableRendersAligned) {
 }
 
 TEST_F(SqlEndToEndTest, UnknownEntitiesError) {
-  EXPECT_TRUE(ExecuteQuery(db_.get(), "select a from nope")
+  EXPECT_TRUE(Exec("select a from nope")
                   .status()
                   .IsNotFound());
-  EXPECT_TRUE(ExecuteQuery(db_.get(), "select nope from books")
+  EXPECT_TRUE(Exec("select nope from books")
                   .status()
                   .IsNotFound());
   EXPECT_TRUE(
-      ExecuteQuery(db_.get(),
-                   "select author from books where author LexEQUAL "
+      Exec("select author from books where author LexEQUAL "
                    "'x' USING turbo")
           .status()
           .IsInvalidArgument());
 }
 
 TEST_F(SqlEndToEndTest, UnsupportedJoinPredicates) {
-  EXPECT_TRUE(ExecuteQuery(db_.get(),
-                           "select B1.author from books B1, books B2 "
+  EXPECT_TRUE(Exec("select B1.author from books B1, books B2 "
                            "where B1.title <> B2.title")
                   .status()
                   .IsNotSupported());
@@ -400,14 +392,11 @@ TEST(ParserTest, CreateIndexInvidxAndInvertedAlias) {
 }
 
 TEST_F(SqlEndToEndTest, OrderByLexsimRanksBestFirst) {
-  Result<QueryResult> create = ExecuteQuery(
-      db_.get(), "create index invidx on books (author_phon) Q 2");
+  Result<QueryResult> create = Exec("create index invidx on books (author_phon) Q 2");
   ASSERT_TRUE(create.ok()) << create.status();
   ASSERT_NE(db_->GetTable("books").value()->inverted_index, nullptr);
 
-  Result<QueryResult> result = ExecuteQuery(
-      db_.get(),
-      "select author from books "
+  Result<QueryResult> result = Exec("select author from books "
       "order by lexsim(author, 'Nehru') limit 3");
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->rows.size(), 3u);
@@ -427,9 +416,7 @@ TEST_F(SqlEndToEndTest, OrderByLexsimRanksBestFirst) {
 TEST_F(SqlEndToEndTest, OrderByLexsimWorksWithoutIndexViaFallback) {
   QueryResult hinted;  // naive hint and index-free table agree
   {
-    Result<QueryResult> result = ExecuteQuery(
-        db_.get(),
-        "select author from books "
+    Result<QueryResult> result = Exec("select author from books "
         "order by lexsim(author, 'Nehru') USING naive limit 2");
     ASSERT_TRUE(result.ok()) << result.status();
     hinted = std::move(result).value();
@@ -439,18 +426,15 @@ TEST_F(SqlEndToEndTest, OrderByLexsimWorksWithoutIndexViaFallback) {
 }
 
 TEST_F(SqlEndToEndTest, OrderByLexsimRequiresLimitAndNoWhere) {
-  EXPECT_TRUE(ExecuteQuery(db_.get(),
-                           "select author from books "
+  EXPECT_TRUE(Exec("select author from books "
                            "order by lexsim(author, 'Nehru')")
                   .status()
                   .IsInvalidArgument());
-  EXPECT_TRUE(ExecuteQuery(db_.get(),
-                           "select author from books "
+  EXPECT_TRUE(Exec("select author from books "
                            "order by lexsim(author, 'Nehru') limit 0")
                   .status()
                   .IsInvalidArgument());
-  EXPECT_TRUE(ExecuteQuery(db_.get(),
-                           "select author from books "
+  EXPECT_TRUE(Exec("select author from books "
                            "where title = 'A Book' "
                            "order by lexsim(author, 'Nehru') limit 2")
                   .status()

@@ -1,5 +1,5 @@
-// Differential coverage of ranked retrieval: LexEqualTopK through the
-// inverted index must return the exact sequence the brute-force
+// Differential coverage of ranked retrieval: top-K requests through
+// the inverted index must return the exact sequence the brute-force
 // kernel ranking returns — same rows, same scores, same deterministic
 // tie order — across every bundled cost-model configuration, table
 // probes and randomized out-of-table probes alike. The inverted index
@@ -13,7 +13,7 @@
 
 #include "common/random.h"
 #include "dataset/lexicon.h"
-#include "engine/database.h"
+#include "engine/session.h"
 #include "text/tagged_string.h"
 
 namespace lexequal::engine {
@@ -54,7 +54,7 @@ class TopKDifferentialTest : public ::testing::Test {
             ("lexequal_topk_diff_test_" +
              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
     std::filesystem::remove(path_);
-    auto db = Database::Open(path_.string(), 2048);
+    auto db = Engine::Open(path_.string(), 2048);
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
 
@@ -72,7 +72,10 @@ class TopKDifferentialTest : public ::testing::Test {
       Tuple values{Value::String(e.text, e.language)};
       ASSERT_TRUE(db_->Insert("names", values).ok());
     }
-    ASSERT_TRUE(db_->CreateInvertedIndex("names", "name_phon", 2).ok());
+    ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kInverted,
+                                  .table = "names",
+                                  .column = "name_phon",
+                                  .q = 2}).ok());
   }
   void TearDown() override {
     db_.reset();
@@ -86,6 +89,25 @@ class TopKDifferentialTest : public ::testing::Test {
     o.match.weak_phoneme_discount = cfg.weak_phoneme_discount;
     o.hints.plan = plan;
     return o;
+  }
+
+  Result<QueryResult> TopKText(const std::string& table,
+                               const std::string& column,
+                               const TaggedString& query, size_t k,
+                               const LexEqualQueryOptions& options) {
+    Session session = db_->CreateSession();
+    QueryRequest req = QueryRequest::TopK(table, column, query, k);
+    req.options = options;
+    return session.Execute(req);
+  }
+
+  Result<QueryResult> TopKPhon(const PhonemeString& probe, size_t k,
+                               const LexEqualQueryOptions& options) {
+    Session session = db_->CreateSession();
+    QueryRequest req =
+        QueryRequest::TopKPhonemes("names", "name", probe, k);
+    req.options = options;
+    return session.Execute(req);
   }
 
   // The two rankings must agree exactly: the invidx path computes its
@@ -106,34 +128,30 @@ class TopKDifferentialTest : public ::testing::Test {
 
   void CheckTextProbe(const CostConfig& cfg, const TaggedString& query,
                       size_t k, const std::string& label) {
-    QueryStats inv_stats;
-    Result<std::vector<TopKRow>> invidx = db_->LexEqualTopK(
-        "names", "name", query, k, Options(cfg, LexEqualPlan::kAuto),
-        &inv_stats);
+    Result<QueryResult> invidx = TopKText(
+        "names", "name", query, k, Options(cfg, LexEqualPlan::kAuto));
     ASSERT_TRUE(invidx.ok()) << label << ": " << invidx.status();
-    QueryStats brute_stats;
-    Result<std::vector<TopKRow>> brute = db_->LexEqualTopK(
-        "names", "name", query, k, Options(cfg, LexEqualPlan::kNaiveUdf),
-        &brute_stats);
+    Result<QueryResult> brute = TopKText(
+        "names", "name", query, k, Options(cfg, LexEqualPlan::kNaiveUdf));
     ASSERT_TRUE(brute.ok()) << label << ": " << brute.status();
-    EXPECT_EQ(inv_stats.plan, LexEqualPlan::kInvertedIndex) << label;
-    EXPECT_EQ(brute_stats.plan, LexEqualPlan::kNaiveUdf) << label;
-    ExpectSameRanking(*invidx, *brute, label);
+    EXPECT_EQ(invidx->stats.plan, LexEqualPlan::kInvertedIndex) << label;
+    EXPECT_EQ(brute->stats.plan, LexEqualPlan::kNaiveUdf) << label;
+    ExpectSameRanking(invidx->ranked, brute->ranked, label);
   }
 
   void CheckPhonemeProbe(const CostConfig& cfg, const PhonemeString& probe,
                          size_t k, const std::string& label) {
-    Result<std::vector<TopKRow>> invidx = db_->LexEqualTopKPhonemes(
-        "names", "name", probe, k, Options(cfg, LexEqualPlan::kAuto));
+    Result<QueryResult> invidx =
+        TopKPhon(probe, k, Options(cfg, LexEqualPlan::kAuto));
     ASSERT_TRUE(invidx.ok()) << label << ": " << invidx.status();
-    Result<std::vector<TopKRow>> brute = db_->LexEqualTopKPhonemes(
-        "names", "name", probe, k, Options(cfg, LexEqualPlan::kNaiveUdf));
+    Result<QueryResult> brute =
+        TopKPhon(probe, k, Options(cfg, LexEqualPlan::kNaiveUdf));
     ASSERT_TRUE(brute.ok()) << label << ": " << brute.status();
-    ExpectSameRanking(*invidx, *brute, label);
+    ExpectSameRanking(invidx->ranked, brute->ranked, label);
   }
 
   std::filesystem::path path_;
-  std::unique_ptr<Database> db_;
+  std::unique_ptr<Engine> db_;
   std::vector<dataset::LexiconEntry> rows_;
 };
 
@@ -166,19 +184,19 @@ TEST_F(TopKDifferentialTest, RandomizedPhonemeProbesMatchBruteForce) {
 TEST_F(TopKDifferentialTest, KLargerThanTableRanksEveryRow) {
   const CostConfig& cfg = kCostConfigs[1];
   const TaggedString query(rows_[33].text, rows_[33].language);
-  Result<std::vector<TopKRow>> invidx = db_->LexEqualTopK(
+  Result<QueryResult> invidx = TopKText(
       "names", "name", query, rows_.size() + 100,
       Options(cfg, LexEqualPlan::kAuto));
   ASSERT_TRUE(invidx.ok()) << invidx.status();
-  Result<std::vector<TopKRow>> brute = db_->LexEqualTopK(
+  Result<QueryResult> brute = TopKText(
       "names", "name", query, rows_.size() + 100,
       Options(cfg, LexEqualPlan::kNaiveUdf));
   ASSERT_TRUE(brute.ok()) << brute.status();
-  EXPECT_EQ(invidx->size(), rows_.size());
-  ExpectSameRanking(*invidx, *brute, "k-overflow");
+  EXPECT_EQ(invidx->ranked.size(), rows_.size());
+  ExpectSameRanking(invidx->ranked, brute->ranked, "k-overflow");
   // Descending scores, no gaps.
-  for (size_t i = 1; i < invidx->size(); ++i) {
-    EXPECT_GE((*invidx)[i - 1].score, (*invidx)[i].score);
+  for (size_t i = 1; i < invidx->ranked.size(); ++i) {
+    EXPECT_GE(invidx->ranked[i - 1].score, invidx->ranked[i].score);
   }
 }
 
@@ -192,7 +210,7 @@ TEST_F(TopKDifferentialTest, HintedInvidxWithoutIndexIsNotFound) {
   ASSERT_TRUE(db_->Insert("bare", values).ok());
   LexEqualQueryOptions o;
   o.hints.plan = LexEqualPlan::kInvertedIndex;
-  Result<std::vector<TopKRow>> top = db_->LexEqualTopK(
+  Result<QueryResult> top = TopKText(
       "bare", "word", TaggedString("Nehru", Language::kEnglish), 3, o);
   EXPECT_FALSE(top.ok());
 }
@@ -210,16 +228,19 @@ TEST_F(TopKDifferentialTest, TinyTableFallbackStaysExact) {
     Tuple values{Value::String(rows_[i].text, rows_[i].language)};
     ASSERT_TRUE(db_->Insert("tiny", values).ok());
   }
-  ASSERT_TRUE(db_->CreateInvertedIndex("tiny", "word_phon", 2).ok());
+  ASSERT_TRUE(db_->CreateIndex({.kind = IndexSpec::Kind::kInverted,
+                                .table = "tiny",
+                                .column = "word_phon",
+                                .q = 2}).ok());
   const TaggedString query(rows_[1].text, rows_[1].language);
   const CostConfig& cfg = kCostConfigs[1];
-  Result<std::vector<TopKRow>> invidx = db_->LexEqualTopK(
+  Result<QueryResult> invidx = TopKText(
       "tiny", "word", query, 3, Options(cfg, LexEqualPlan::kAuto));
   ASSERT_TRUE(invidx.ok()) << invidx.status();
-  Result<std::vector<TopKRow>> brute = db_->LexEqualTopK(
+  Result<QueryResult> brute = TopKText(
       "tiny", "word", query, 3, Options(cfg, LexEqualPlan::kNaiveUdf));
   ASSERT_TRUE(brute.ok()) << brute.status();
-  ExpectSameRanking(*invidx, *brute, "tiny");
+  ExpectSameRanking(invidx->ranked, brute->ranked, "tiny");
 }
 
 }  // namespace

@@ -378,6 +378,115 @@ void CheckKernel(const std::vector<SourceFile>& files, Sink* sink) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: latch.
+
+// The engine's catalog-mutation funnels. Reaching one of these means
+// mutating shared Engine state, which the latch discipline
+// (src/engine/engine.h) only permits with the latch held — i.e. from
+// inside a function whose name ends in "Locked".
+bool IsStatementKeyword(const std::string& word);  // defined with the status rule
+
+const std::regex& LatchFunnelRe() {
+  static const std::regex re(
+      R"((SaveCatalogLocked|LoadCatalogLocked|catalog_\s*\.\s*AddTable)\s*\()");
+  return re;
+}
+
+// The function name a brace-opening statement introduces: the first
+// `name(` whose name is not a control keyword. Empty when the brace
+// opens a namespace, class, lambda, or control block — those inherit
+// the enclosing function.
+std::string FunctionOpenerName(const std::string& stmt) {
+  static const std::regex re(R"(([A-Za-z_]\w*)\s*\()");
+  std::smatch m;
+  if (!std::regex_search(stmt, m, re)) return "";
+  const std::string name = m[1].str();
+  return IsStatementKeyword(name) ? "" : name;
+}
+
+void CheckLatch(const std::vector<SourceFile>& files, Sink* sink) {
+  for (const SourceFile& f : files) {
+    if (f.module != "engine") continue;
+
+    // Funnel mention positions, in order. Declarations and qualified
+    // definitions are filtered out below; calls remain.
+    std::vector<std::pair<size_t, std::string>> sites;
+    for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
+                                        LatchFunnelRe());
+         it != std::sregex_iterator(); ++it) {
+      const size_t pos = static_cast<size_t>(it->position(0));
+      size_t p = pos;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(f.pure[p - 1]))) {
+        --p;
+      }
+      if (p > 0) {
+        const char prev = f.pure[p - 1];
+        if (prev == ':') continue;  // Engine::SaveCatalogLocked() { — a defn
+        if (prev == '>' && (p < 2 || f.pure[p - 2] != '-')) {
+          continue;  // Result<T> InsertLocked( — a declaration
+        }
+        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+          // Preceded by a word: `return Save...` is a call, `Status
+          // Save...` is a declaration.
+          size_t b = p;
+          while (b > 0 && (std::isalnum(static_cast<unsigned char>(
+                               f.pure[b - 1])) ||
+                           f.pure[b - 1] == '_')) {
+            --b;
+          }
+          if (!IsStatementKeyword(f.pure.substr(b, p - b))) continue;
+        }
+      }
+      sites.emplace_back(pos, (*it)[1].str());
+    }
+    if (sites.empty()) continue;
+
+    // One pass over the stripped text, tracking the enclosing function
+    // through a brace stack; check each funnel call as the scan
+    // reaches it.
+    std::vector<std::string> scopes;
+    std::string stmt;
+    size_t next = 0;
+    for (size_t i = 0; i < f.pure.size() && next < sites.size(); ++i) {
+      if (i == sites[next].first) {
+        const std::string fn = scopes.empty() ? "" : scopes.back();
+        const bool held = fn.size() >= 6 &&
+                          fn.compare(fn.size() - 6, 6, "Locked") == 0;
+        if (!held) {
+          std::string callee = sites[next].second;
+          if (callee.find("AddTable") != std::string::npos) {
+            callee = "catalog_.AddTable";
+          }
+          sink->Emit(f, "latch", LineOfOffset(f.pure, i),
+                     "call to '" + callee + "' from '" +
+                         (fn.empty() ? std::string("<file scope>") : fn) +
+                         "', which does not hold the engine latch by "
+                         "contract; funnel catalog mutations through a "
+                         "*Locked method (latch discipline, "
+                         "src/engine/engine.h)");
+        }
+        ++next;
+      }
+      const char c = f.pure[i];
+      if (c == '{') {
+        const std::string name = FunctionOpenerName(stmt);
+        scopes.push_back(name.empty() && !scopes.empty() ? scopes.back()
+                                                         : name);
+        stmt.clear();
+      } else if (c == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+        stmt.clear();
+      } else if (c == ';') {
+        stmt.clear();
+      } else {
+        stmt.push_back(c);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: status.
 
 // Harvests the names of functions returning Status or Result<T> from
@@ -648,7 +757,8 @@ std::string Diagnostic::ToString() const {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      "layering", "bufpool", "kernel", "status", "metrics", "doclinks"};
+      "layering", "bufpool", "kernel", "latch",
+      "status",   "metrics", "doclinks"};
   return kRules;
 }
 
@@ -697,8 +807,8 @@ int Run(const Options& options, std::vector<Diagnostic>* diags,
   }
 
   const bool needs_sources = enabled("layering") || enabled("bufpool") ||
-                             enabled("kernel") || enabled("status") ||
-                             enabled("metrics");
+                             enabled("kernel") || enabled("latch") ||
+                             enabled("status") || enabled("metrics");
   std::vector<SourceFile> files;
   if (needs_sources) {
     std::vector<fs::path> paths;
@@ -731,6 +841,7 @@ int Run(const Options& options, std::vector<Diagnostic>* diags,
   if (enabled("layering")) CheckLayering(files, &sink);
   if (enabled("bufpool")) CheckBufpool(files, &sink);
   if (enabled("kernel")) CheckKernel(files, &sink);
+  if (enabled("latch")) CheckLatch(files, &sink);
   if (enabled("status")) CheckStatus(files, &sink);
   if (enabled("metrics")) CheckMetricsSource(files, &sink);
   if (enabled("doclinks")) CheckDocLinks(root, &sink);

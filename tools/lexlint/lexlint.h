@@ -18,6 +18,12 @@
 //               (BK-tree metric), and dataset/ (ground-truth
 //               metrics); engine and SQL execution paths must verify
 //               candidates through match::MatchKernel.
+//   latch     — engine latch discipline: the catalog-mutation funnels
+//               (SaveCatalogLocked / LoadCatalogLocked /
+//               catalog_.AddTable) may be reached only from inside
+//               functions whose names end in "Locked" — the engine's
+//               convention for "caller already holds latch_". Anything
+//               else is shared-state mutation outside the latch.
 //   status    — no silently discarded Status / Result<T>: a call to a
 //               fallible function whose value is dropped on the floor
 //               (including via a bare `(void)` cast) is an error;
@@ -64,7 +70,7 @@ struct Options {
   /// Repo root, for the doclinks rule; empty = parent of src_dir.
   std::string root_dir;
   /// Subset of rules to run; empty = all. Known names: layering,
-  /// bufpool, kernel, status, metrics, doclinks.
+  /// bufpool, kernel, latch, status, metrics, doclinks.
   std::vector<std::string> rules;
   /// Non-empty: validate metric names in this Prometheus text export
   /// instead of scanning sources (implies the metrics rule only).
