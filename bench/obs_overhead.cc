@@ -1,11 +1,16 @@
-// Observability overhead bench: proves the metrics/trace layer costs
-// <3% by running the same probe workload with the runtime switch on
-// and off, interleaved per repetition so clock drift and cache warmth
-// cancel out. Covers all four physical plans.
+// Observability overhead bench: proves the full observability stack —
+// metrics, per-query traces, AND statement statistics — costs <3% by
+// running the same probe workload with everything on and everything
+// off. The arms interleave A/B/A/B inside every repetition (clock
+// drift and cache warmth cancel out), share one warm-up pass, and
+// report the median of the per-rep times, so one descheduled rep
+// cannot fake an overhead regression. Covers all four physical plans.
 //
 // Usage:
 //   ./bench/obs_overhead                  full run, writes BENCH_obs.json
-//   ./bench/obs_overhead --smoke          tiny dataset + 1 rep (ctest)
+//   ./bench/obs_overhead --smoke          tiny dataset + few reps (ctest)
+//   ./bench/obs_overhead --stmt-smoke     statement-stats-only A/B on the
+//                                         qgram plan; gates <1% overhead
 //   ./bench/obs_overhead --json <path>    JSON output path
 //   ./bench/obs_overhead --export <path>  also dump the Prometheus text
 //                                         export (input for
@@ -14,6 +19,7 @@
 // Under -DLEXEQUAL_NO_OBS=ON both arms compile to the same no-ops, so
 // overhead_pct reads ~0 by construction.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -33,15 +39,22 @@ namespace {
 struct PlanRun {
   const char* name;
   LexEqualPlan plan;
-  double enabled_ms = 0;
-  double disabled_ms = 0;
-  uint64_t hits = 0;  // result-count parity check across arms
+  double enabled_ms = 0;   // median of per-rep times, stack on
+  double disabled_ms = 0;  // median of per-rep times, stack off
+  uint64_t hits = 0;       // result-count parity check across arms
 
   double OverheadPct() const {
     if (disabled_ms <= 0) return 0.0;
     return (enabled_ms - disabled_ms) / disabled_ms * 100.0;
   }
 };
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
 
 // One timed pass of every probe under `plan`; returns total hits.
 double RunProbes(engine::Session* session,
@@ -66,14 +79,27 @@ double RunProbes(engine::Session* session,
   return t.Millis();
 }
 
+// Flips the whole observability stack at once: the metrics/trace
+// runtime switch, per-query span collection, and statement stats.
+void SetObsStack(engine::Engine* db, engine::Session* session, bool on) {
+  obs::SetEnabled(on);
+  session->set_tracing(on);
+  db->stmt_stats()->set_enabled(on);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool stmt_smoke = false;
   std::string json_path = "BENCH_obs.json";
   std::string export_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--stmt-smoke") == 0) {
+      smoke = true;
+      stmt_smoke = true;
+    }
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     }
@@ -86,12 +112,13 @@ int main(int argc, char** argv) {
   if (!lexicon.ok()) return 1;
   const size_t rows = smoke ? 2000 : GeneratedDatasetSize(20000);
   const int probes_n = smoke ? 3 : 10;
-  const int reps = smoke ? 1 : 5;
+  const int reps = stmt_smoke ? 9 : smoke ? 3 : 7;
   std::vector<dataset::LexiconEntry> gen =
       dataset::GenerateConcatenatedDataset(*lexicon, rows);
 
-  std::printf("obs_overhead: %zu rows, %d probes, %d reps%s\n",
-              gen.size(), probes_n, reps, smoke ? " (smoke)" : "");
+  std::printf("obs_overhead: %zu rows, %d probes, %d reps%s%s\n",
+              gen.size(), probes_n, reps, smoke ? " (smoke)" : "",
+              stmt_smoke ? " (stmt stats A/B)" : "");
   Result<std::unique_ptr<engine::Engine>> db_or =
       BuildGeneratedDb("/tmp/lexequal_obs_overhead.db", *lexicon, gen);
   if (!db_or.ok()) {
@@ -113,29 +140,48 @@ int main(int argc, char** argv) {
     probes.push_back(&gen[(gen.size() / probes_n) * i]);
   }
 
-  PlanRun runs[] = {
-      {"naive", LexEqualPlan::kNaiveUdf},
-      {"qgram", LexEqualPlan::kQGramFilter},
-      {"phonetic", LexEqualPlan::kPhoneticIndex},
-      {"parallel", LexEqualPlan::kParallelScan},
-  };
+  std::vector<PlanRun> runs;
+  if (stmt_smoke) {
+    // Statement stats alone on the heaviest-traffic indexed plan; the
+    // rest of the stack stays on in BOTH arms so the delta isolates
+    // StatementStats::Record.
+    runs.push_back({"qgram", LexEqualPlan::kQGramFilter});
+  } else {
+    runs = {{"naive", LexEqualPlan::kNaiveUdf},
+            {"qgram", LexEqualPlan::kQGramFilter},
+            {"phonetic", LexEqualPlan::kPhoneticIndex},
+            {"parallel", LexEqualPlan::kParallelScan}};
+  }
 
   engine::Session session = db->CreateSession();
   const bool was_enabled = obs::SetEnabled(true);
+  bool gate_failed = false;
   for (PlanRun& run : runs) {
-    // Warm-up pass (phoneme cache, buffer pool) outside the timings.
+    // One shared warm-up pass (phoneme cache, buffer pool) outside
+    // the timings — both arms inherit identical warmth.
+    SetObsStack(db.get(), &session, true);
     uint64_t warm_hits = 0;
     RunProbes(&session, probes, run.plan, &warm_hits);
+
     uint64_t enabled_hits = 0, disabled_hits = 0;
+    std::vector<double> on_ms, off_ms;
     for (int rep = 0; rep < reps; ++rep) {
-      obs::SetEnabled(true);
-      run.enabled_ms +=
-          RunProbes(&session, probes, run.plan, &enabled_hits);
-      obs::SetEnabled(false);
-      run.disabled_ms +=
-          RunProbes(&session, probes, run.plan, &disabled_hits);
+      if (stmt_smoke) {
+        db->stmt_stats()->set_enabled(true);
+      } else {
+        SetObsStack(db.get(), &session, true);
+      }
+      on_ms.push_back(
+          RunProbes(&session, probes, run.plan, &enabled_hits));
+      if (stmt_smoke) {
+        db->stmt_stats()->set_enabled(false);
+      } else {
+        SetObsStack(db.get(), &session, false);
+      }
+      off_ms.push_back(
+          RunProbes(&session, probes, run.plan, &disabled_hits));
     }
-    obs::SetEnabled(true);
+    SetObsStack(db.get(), &session, true);
     if (enabled_hits != disabled_hits) {
       std::printf("MISMATCH: %s enabled %llu vs disabled %llu hits\n",
                   run.name,
@@ -144,9 +190,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     run.hits = enabled_hits;
+    run.enabled_ms = Median(on_ms);
+    run.disabled_ms = Median(off_ms);
     std::printf("| %-8s | on %8.2f ms | off %8.2f ms | %+6.2f %% |\n",
                 run.name, run.enabled_ms, run.disabled_ms,
                 run.OverheadPct());
+    if (stmt_smoke) {
+      // Gate: statement stats must cost <1% on the qgram plan. A
+      // small absolute floor keeps micro-second timing jitter from
+      // failing runs whose total is a handful of milliseconds.
+      const double delta_ms = run.enabled_ms - run.disabled_ms;
+      if (run.OverheadPct() >= 1.0 && delta_ms >= 0.25) {
+        std::printf("GATE FAILED: stmt stats overhead %.2f%% "
+                    "(delta %.3f ms) >= 1%% on %s\n",
+                    run.OverheadPct(), delta_ms, run.name);
+        gate_failed = true;
+      }
+    }
   }
   obs::SetEnabled(was_enabled);
 
@@ -157,8 +217,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "{\"dataset_rows\": %zu, \"probes\": %d, \"reps\": %d, "
-               "\"plans\": [",
-               gen.size(), probes_n, reps);
+               "\"mode\": \"%s\", \"plans\": [",
+               gen.size(), probes_n, reps,
+               stmt_smoke ? "stmt_stats_ab" : "full_stack_ab");
   bool first = true;
   for (const PlanRun& run : runs) {
     std::fprintf(json,
@@ -188,5 +249,5 @@ int main(int argc, char** argv) {
 
   db.reset();
   std::remove("/tmp/lexequal_obs_overhead.db");
-  return 0;
+  return gate_failed ? 1 : 0;
 }

@@ -14,10 +14,13 @@
 // sessions never see each other's last query.
 //
 // Meta commands: \help, \tables, \schema <table>, \session [<name>],
-// \stats, \plans, \metrics [json], \trace on|off, \quit.
+// \stats, \plans, \metrics [json], \trace on|off, \statements
+// [json|reset], \slowquery <us>|off, \slowlog [<n>|json], \health
+// [json], \quit.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -119,9 +122,17 @@ void PrintHelp() {
       "                      (Prometheus text, or one JSON object)\n"
       "  \\trace on|off    -- per-query span tree with wall times and\n"
       "                      buffer-pool / phoneme-cache deltas\n"
+      "  \\statements [json|reset] -- per-statement aggregates, hottest\n"
+      "                      first (SQL: SHOW STATEMENTS [ORDER BY\n"
+      "                      calls|p99|total_time] [LIMIT n] / RESET)\n"
+      "  \\slowquery <us>|off -- arm this session's slow-query capture\n"
+      "  \\slowlog [<n>|json] -- captured slow queries, newest first,\n"
+      "                      each with its full span tree\n"
+      "  \\health [json]   -- engine health snapshot (buffer pool,\n"
+      "                      phoneme cache, catalog, sessions)\n"
       "meta commands: \\help, \\tables, \\schema <table>, \\session "
       "[<name>], \\stats, \\plans, \\metrics [json], \\trace on|off, "
-      "\\quit\n");
+      "\\statements, \\slowquery <us>, \\slowlog, \\health, \\quit\n");
 }
 
 // Plan + estimated-vs-actual line for the most recent query of this
@@ -152,6 +163,39 @@ void PrintLastStats(Session* session) {
                 static_cast<unsigned long long>(s.match.kernel_banded),
                 static_cast<unsigned long long>(s.match.kernel_general),
                 static_cast<unsigned long long>(s.match.dp_cells));
+  }
+}
+
+// \slowlog [<n>|json]: the engine-wide slow-query ring, newest first.
+void PrintSlowLog(Engine* engine, const std::string& arg) {
+  obs::SlowQueryLog* log = engine->slow_query_log();
+  if (arg == "json") {
+    std::printf("%s\n", log->ExportJson().c_str());
+    return;
+  }
+  size_t n = 0;  // 0 = everything retained
+  if (!arg.empty()) n = std::strtoul(arg.c_str(), nullptr, 10);
+  const std::vector<obs::SlowQueryEntry> entries = log->Latest(n);
+  if (entries.empty()) {
+    std::printf("slow-query log is empty (capture %s; arm per session "
+                "with \\slowquery <us>)\n",
+                log->captured() > 0 ? "drained" : "unarmed or nothing slow");
+    return;
+  }
+  for (const obs::SlowQueryEntry& e : entries) {
+    std::printf("#%llu session=%llu %llu us (threshold %llu us) "
+                "plan=%s rows=%llu candidates=%llu\n  %s\n",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<unsigned long long>(e.session_id),
+                static_cast<unsigned long long>(e.wall_us),
+                static_cast<unsigned long long>(e.threshold_us),
+                e.plan.c_str(),
+                static_cast<unsigned long long>(e.rows),
+                static_cast<unsigned long long>(e.candidates),
+                e.statement.c_str());
+    if (e.trace != nullptr) {
+      std::printf("%s", e.trace->ToString().c_str());
+    }
   }
 }
 
@@ -244,9 +288,56 @@ void RunMeta(SessionBook* book, const std::string& line) {
     std::printf("tracing off\n");
     return;
   }
+  if (line == "\\statements") {
+    RunQuery(session, "show statements");
+    return;
+  }
+  if (line == "\\statements json") {
+    std::printf("%s\n", engine->stmt_stats()->ExportJson().c_str());
+    return;
+  }
+  if (line == "\\statements reset") {
+    engine->stmt_stats()->Reset();
+    std::printf("statement statistics reset\n");
+    return;
+  }
+  if (line.rfind("\\slowquery ", 0) == 0) {
+    const std::string arg = line.substr(std::string("\\slowquery ").size());
+    if (arg == "off" || arg == "0") {
+      session->set_slow_query_us(0);
+      std::printf("slow-query capture off for this session\n");
+    } else {
+      const uint64_t us = std::strtoull(arg.c_str(), nullptr, 10);
+      if (us == 0) {
+        std::printf("usage: \\slowquery <microseconds>|off\n");
+        return;
+      }
+      session->set_slow_query_us(us);
+      std::printf("capturing queries over %llu us (session '%s'; "
+                  "\\slowlog to inspect)\n",
+                  static_cast<unsigned long long>(us),
+                  book->current.c_str());
+    }
+    return;
+  }
+  if (line == "\\slowlog" || line.rfind("\\slowlog ", 0) == 0) {
+    PrintSlowLog(engine, line == "\\slowlog"
+                             ? std::string()
+                             : line.substr(std::string("\\slowlog ").size()));
+    return;
+  }
+  if (line == "\\health") {
+    std::printf("%s", engine->Health().ToString().c_str());
+    return;
+  }
+  if (line == "\\health json") {
+    std::printf("%s\n", engine->Health().ToJson().c_str());
+    return;
+  }
   std::printf("unknown meta command; try \\help, \\tables, "
               "\\schema <t>, \\session [<name>], \\stats, \\plans, "
-              "\\metrics [json], \\trace on|off, \\quit\n");
+              "\\metrics [json], \\trace on|off, \\statements, "
+              "\\slowquery <us>, \\slowlog, \\health, \\quit\n");
 }
 
 }  // namespace

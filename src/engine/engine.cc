@@ -1,7 +1,9 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -229,6 +231,7 @@ void QueryStats::Accumulate(const QueryStats& other) {
   rows_scanned += other.rows_scanned;
   candidates += other.candidates;
   udf_calls += other.udf_calls;
+  wall_us += other.wall_us;
   invidx_postings += other.invidx_postings;
   invidx_postings_skipped += other.invidx_postings_skipped;
   invidx_blocks_skipped += other.invidx_blocks_skipped;
@@ -248,13 +251,123 @@ Engine::Engine(std::unique_ptr<storage::DiskManager> disk,
                std::unique_ptr<storage::BufferPool> pool)
     : disk_(std::move(disk)),
       pool_(std::move(pool)),
-      g2p_(&g2p::G2PRegistry::Default()) {}
+      g2p_(&g2p::G2PRegistry::Default()),
+      stmt_stats_(/*shards=*/8, /*shard_capacity=*/512,
+                  &obs::MetricsRegistry::Default()),
+      slow_log_(obs::SlowQueryLog::kDefaultCapacity,
+                &obs::MetricsRegistry::Default()) {}
 
 Engine::~Engine() {
   // Best-effort checkpoint. Callers that need guaranteed durability
   // call Flush() themselves. Sessions must already be gone (they
   // borrow the engine), so the latch is free.
   IgnoreNonFatal(Flush(), "destructor checkpoint has no error channel");
+}
+
+HealthSnapshot Engine::Health() const {
+  HealthSnapshot snap;
+  snap.uptime_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+
+  const storage::BufferPoolStats bp = pool_->stats();
+  snap.bufpool_frames = pool_->pool_size();
+  snap.bufpool_resident = pool_->resident_pages();
+  snap.bufpool_hits = bp.hits;
+  snap.bufpool_misses = bp.misses;
+
+  match::PhonemeCache& cache = match::PhonemeCache::Default();
+  const match::PhonemeCacheStats pc = cache.stats();
+  snap.phoneme_cache_entries = pc.entries;
+  snap.phoneme_cache_capacity = cache.capacity();
+  snap.phoneme_cache_hits = pc.hits;
+  snap.phoneme_cache_misses = pc.misses;
+
+  {
+    // Catalog shape is latch-guarded shared state; everything else in
+    // the snapshot reads atomics.
+    std::shared_lock<std::shared_mutex> lock(latch_);
+    for (const std::string& name : catalog_.TableNames()) {
+      Result<TableInfo*> info = catalog_.GetTable(name);
+      if (!info.ok()) continue;
+      ++snap.tables;
+      if (info.value()->stats.analyzed) ++snap.analyzed_tables;
+      if (info.value()->phonetic_index != nullptr) ++snap.indexes;
+      if (info.value()->qgram_index != nullptr) ++snap.indexes;
+      if (info.value()->inverted_index != nullptr) ++snap.indexes;
+    }
+  }
+
+  snap.sessions_created =
+      next_session_id_.load(std::memory_order_relaxed);
+  snap.in_flight_queries =
+      in_flight_queries_.load(std::memory_order_relaxed);
+  snap.statements_recorded = stmt_stats_.recorded();
+  snap.statement_fingerprints = stmt_stats_.fingerprints();
+  snap.slow_queries_captured = slow_log_.captured();
+  return snap;
+}
+
+std::string HealthSnapshot::ToString() const {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "uptime          %.1f s\n",
+                static_cast<double>(uptime_us) / 1e6);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "buffer pool     %zu/%zu pages resident (%.1f%%), hit "
+                "rate %.1f%%\n",
+                bufpool_resident, bufpool_frames,
+                100.0 * bufpool_occupancy(), 100.0 * bufpool_hit_rate());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "phoneme cache   %" PRIu64
+                "/%zu entries (%.1f%%), hit rate %.1f%%\n",
+                phoneme_cache_entries, phoneme_cache_capacity,
+                100.0 * phoneme_cache_fill(),
+                100.0 * phoneme_cache_hit_rate());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "catalog         %zu tables (%zu analyzed), %zu "
+                "indexes\n",
+                tables, analyzed_tables, indexes);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "sessions        %" PRIu64 " created, %" PRId64
+                " queries in flight\n",
+                sessions_created, in_flight_queries);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "statements      %" PRIu64 " recorded over %" PRIu64
+                " fingerprints, %" PRIu64 " slow captures\n",
+                statements_recorded, statement_fingerprints,
+                slow_queries_captured);
+  out += buf;
+  return out;
+}
+
+std::string HealthSnapshot::ToJson() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"uptime_us\": %" PRIu64
+      ", \"bufpool\": {\"frames\": %zu, \"resident\": %zu, \"hits\": "
+      "%" PRIu64 ", \"misses\": %" PRIu64
+      "}, \"phoneme_cache\": {\"entries\": %" PRIu64
+      ", \"capacity\": %zu, \"hits\": %" PRIu64 ", \"misses\": %" PRIu64
+      "}, \"catalog\": {\"tables\": %zu, \"analyzed\": %zu, "
+      "\"indexes\": %zu}, \"sessions\": {\"created\": %" PRIu64
+      ", \"in_flight_queries\": %" PRId64
+      "}, \"statements\": {\"recorded\": %" PRIu64
+      ", \"fingerprints\": %" PRIu64 ", \"slow_captured\": %" PRIu64
+      "}}",
+      uptime_us, bufpool_frames, bufpool_resident, bufpool_hits,
+      bufpool_misses, phoneme_cache_entries, phoneme_cache_capacity,
+      phoneme_cache_hits, phoneme_cache_misses, tables, analyzed_tables,
+      indexes, sessions_created, in_flight_queries, statements_recorded,
+      statement_fingerprints, slow_queries_captured);
+  return buf;
 }
 
 Status Engine::Flush() {

@@ -12,6 +12,8 @@
 #ifndef LEXEQUAL_ENGINE_ENGINE_H_
 #define LEXEQUAL_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -27,6 +29,8 @@
 #include "match/phoneme_cache.h"
 #include "match/qgram.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/stmt_stats.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
 
@@ -54,6 +58,10 @@ struct QueryStats {
   uint64_t candidates = 0;       // rows reaching the UDF
   uint64_t udf_calls = 0;        // exact matcher invocations
   uint64_t results = 0;          // rows returned
+  /// End-to-end wall time in µs, stamped by Session::Execute after
+  /// the latch drops — the ground truth the statement-statistics
+  /// differential test sums against.
+  uint64_t wall_us = 0;
   /// The plan that actually ran (kAuto is resolved before execution).
   LexEqualPlan plan = LexEqualPlan::kNaiveUdf;
   bool plan_was_auto = false;    // picked by the optimizer, not forced
@@ -99,6 +107,67 @@ struct IndexSpec {
 struct TopKRow {
   Tuple row;
   double score = 0.0;
+};
+
+/// Point-in-time engine health — the status payload the shell's
+/// \health renders and the future line-protocol server will serve
+/// verbatim. Produced by Engine::Health() under the shared latch;
+/// every field is a copy, safe to hold after the latch drops.
+struct HealthSnapshot {
+  uint64_t uptime_us = 0;  // since Engine::Open
+
+  // Buffer pool: occupancy and hit rate.
+  size_t bufpool_frames = 0;
+  size_t bufpool_resident = 0;
+  uint64_t bufpool_hits = 0;
+  uint64_t bufpool_misses = 0;
+
+  // Shared phoneme (G2P) cache: fill and hit rate.
+  uint64_t phoneme_cache_entries = 0;
+  size_t phoneme_cache_capacity = 0;
+  uint64_t phoneme_cache_hits = 0;
+  uint64_t phoneme_cache_misses = 0;
+
+  // Catalog shape.
+  size_t tables = 0;
+  size_t indexes = 0;          // all kinds, all tables
+  size_t analyzed_tables = 0;  // tables with optimizer statistics
+
+  // Sessions and queries.
+  uint64_t sessions_created = 0;
+  int64_t in_flight_queries = 0;  // across all sessions, right now
+  uint64_t statements_recorded = 0;
+  uint64_t statement_fingerprints = 0;
+  uint64_t slow_queries_captured = 0;
+
+  double bufpool_occupancy() const {
+    return bufpool_frames == 0 ? 0.0
+                               : static_cast<double>(bufpool_resident) /
+                                     static_cast<double>(bufpool_frames);
+  }
+  double bufpool_hit_rate() const {
+    const uint64_t total = bufpool_hits + bufpool_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(bufpool_hits) /
+                            static_cast<double>(total);
+  }
+  double phoneme_cache_fill() const {
+    return phoneme_cache_capacity == 0
+               ? 0.0
+               : static_cast<double>(phoneme_cache_entries) /
+                     static_cast<double>(phoneme_cache_capacity);
+  }
+  double phoneme_cache_hit_rate() const {
+    const uint64_t total = phoneme_cache_hits + phoneme_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(phoneme_cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// Human-oriented multi-line rendering (the shell's \health).
+  std::string ToString() const;
+  /// One JSON object (the future status endpoint's payload).
+  std::string ToJson() const;
 };
 
 /// The shared core of a single-file embedded database with the
@@ -163,6 +232,21 @@ class Engine {
   UdfRegistry* udf_registry() { return &udfs_; }
   const g2p::G2PRegistry& g2p() const { return *g2p_; }
   Catalog* catalog() { return &catalog_; }
+
+  /// Cross-query statement statistics, keyed by fingerprint (SHOW
+  /// STATEMENTS / shell \statements). Sessions record into it after
+  /// releasing the latch; reads are safe from any thread.
+  obs::StatementStats* stmt_stats() { return &stmt_stats_; }
+  const obs::StatementStats* stmt_stats() const { return &stmt_stats_; }
+
+  /// Ring of over-threshold query evidence (shell \slowlog). Fed by
+  /// sessions whose slow_query_us threshold is set.
+  obs::SlowQueryLog* slow_query_log() { return &slow_log_; }
+  const obs::SlowQueryLog* slow_query_log() const { return &slow_log_; }
+
+  /// One consistent-enough health snapshot: catalog shape under the
+  /// shared latch, cache/pool counters from their atomics.
+  HealthSnapshot Health() const;
 
   /// Process-wide metrics registry in Prometheus text exposition
   /// format — the shell's \metrics command.
@@ -321,6 +405,16 @@ class Engine {
   const g2p::G2PRegistry* g2p_;
   std::unique_ptr<storage::HeapFile> meta_;  // catalog snapshots
   int64_t catalog_version_ = 0;
+
+  // Observability state. Sessions mutate these only after releasing
+  // latch_ (record-after-release; audited by the lexlint latch rule),
+  // so a slow query can never serialize the shared query path.
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
+  obs::StatementStats stmt_stats_;
+  obs::SlowQueryLog slow_log_;
+  std::atomic<uint64_t> next_session_id_{0};
+  std::atomic<int64_t> in_flight_queries_{0};
 };
 
 }  // namespace lexequal::engine

@@ -1,6 +1,7 @@
 #include "engine/session.h"
 
 #include <chrono>
+#include <cstdio>
 #include <shared_mutex>
 
 namespace lexequal::engine {
@@ -14,6 +15,63 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+// Normalized statement text for requests that arrived without a
+// SQL-planner fingerprint (direct API callers: benches, tests, bulk
+// jobs). Mirrors sql/fingerprint.h's rules at the request level:
+// probe literals become `?`, identifiers are case-folded upstream
+// (request tables/columns are already exact), and the knobs that
+// change the physical question — threshold, cost model, plan hint,
+// language filter, k — are preserved.
+std::string DescribeRequest(const QueryRequest& req,
+                            const LexEqualQueryOptions& options) {
+  using Kind = QueryRequest::Kind;
+  std::string out;
+  switch (req.kind) {
+    case Kind::kThresholdSelect:
+      out = "api threshold_select ";
+      break;
+    case Kind::kTopK:
+      out = "api topk ";
+      break;
+    case Kind::kJoin:
+      out = "api join ";
+      break;
+    case Kind::kExactSelect:
+      out = "api exact_select ";
+      break;
+    case Kind::kExactJoin:
+      out = "api exact_join ";
+      break;
+  }
+  out += req.table + "." + req.column;
+  if (!req.right_table.empty()) {
+    out += " x " + req.right_table + "." + req.right_column;
+  }
+  const bool lexequal_probe =
+      req.kind == Kind::kThresholdSelect || req.kind == Kind::kTopK;
+  if (lexequal_probe || req.literal.has_value()) out += " probe=?";
+  if (req.kind == Kind::kTopK) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " k=%zu", req.k);
+    out += buf;
+  }
+  if (lexequal_probe || req.kind == Kind::kJoin) {
+    char buf[96];
+    const std::string_view plan = LexEqualPlanName(options.hints.plan);
+    std::snprintf(buf, sizeof buf, " threshold=%g cost=%g plan=%.*s",
+                  options.match.threshold,
+                  options.match.intra_cluster_cost,
+                  static_cast<int>(plan.size()), plan.data());
+    out += buf;
+    if (!options.in_languages.empty()) {
+      std::snprintf(buf, sizeof buf, " langs=%zu",
+                    options.in_languages.size());
+      out += buf;
+    }
+  }
+  return out;
 }
 
 // G2P-transforms a text probe through the shared phoneme cache —
@@ -36,7 +94,10 @@ Result<PhonemeString> TransformProbe(const text::TaggedString& query,
 
 }  // namespace
 
-Session Engine::CreateSession() { return Session(this); }
+Session Engine::CreateSession() {
+  return Session(
+      this, next_session_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
 
 QueryRequest QueryRequest::ThresholdSelect(std::string table,
                                            std::string column,
@@ -144,32 +205,102 @@ Result<QueryResult> Session::Execute(const QueryRequest& req) {
   const auto start = std::chrono::steady_clock::now();
   QueryStats qs;
   std::unique_ptr<obs::QueryTrace> trace;
-  if (req.trace.value_or(tracing_) && !req.explain_only) {
+  // Trace when asked — and whenever slow-query capture is armed: the
+  // log must retain the span tree of a query nobody predicted would
+  // be slow.
+  if ((req.trace.value_or(tracing_) || slow_query_us_ > 0) &&
+      !req.explain_only) {
     trace = Engine::MakeEngineTrace();
   }
 
   // The whole query runs under the shared latch: concurrent with
   // other sessions' queries, serialized against DDL / ANALYZE /
   // Insert. Dispatch's root spans close before the latch drops.
+  engine_->in_flight_queries_.fetch_add(1, std::memory_order_relaxed);
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     std::shared_lock<std::shared_mutex> lock(engine_->latch_);
     return Dispatch(req, options, &qs, trace.get());
   }();
-  if (!result.ok()) return result.status();
+  engine_->in_flight_queries_.fetch_sub(1, std::memory_order_relaxed);
+
+  // Everything below runs after the latch dropped
+  // (record-after-release — the lexlint latch rule audits this), so
+  // statement bookkeeping never serializes the shared query path.
+  qs.wall_us = ElapsedUs(start);
+  if (!result.ok()) {
+    if (!req.explain_only) {
+      RecordStatement(req, options, qs, /*error=*/true, nullptr);
+    }
+    return result.status();
+  }
 
   result->stats = qs;
   if (req.explain_only) return result;  // nothing executed: no flush
 
   last_stats_ = qs;
-  Engine::FlushQueryStats(qs, ElapsedUs(start));
+  Engine::FlushQueryStats(qs, qs.wall_us);
+  std::shared_ptr<const obs::QueryTrace> shared;
   if (trace != nullptr) {
-    std::shared_ptr<const obs::QueryTrace> shared = std::move(trace);
+    shared = std::shared_ptr<const obs::QueryTrace>(std::move(trace));
     last_trace_ = shared;
-    result->trace = std::move(shared);
+    result->trace = shared;
   } else {
     last_trace_.reset();  // the latest query ran untraced
   }
+  RecordStatement(req, options, qs, /*error=*/false, shared);
   return result;
+}
+
+void Session::RecordStatement(
+    const QueryRequest& req, const LexEqualQueryOptions& options,
+    const QueryStats& qs, bool error,
+    const std::shared_ptr<const obs::QueryTrace>& trace) {
+  obs::StatementStats* stats = engine_->stmt_stats();
+  const bool aggregate = obs::Enabled() && stats->enabled();
+  const bool slow =
+      slow_query_us_ > 0 && qs.wall_us >= slow_query_us_ && !error;
+  if (!aggregate && !slow) return;
+
+  // Resolve the statement identity once: the planner's fingerprint
+  // when the query came through SQL, a request-shape description
+  // otherwise.
+  uint64_t fp = req.fingerprint;
+  std::string derived;
+  std::string_view text = req.statement;
+  if (fp == 0) {
+    derived = DescribeRequest(req, options);
+    fp = obs::FingerprintHash(derived);
+    text = derived;
+  }
+
+  if (aggregate) {
+    obs::StmtRecord record;
+    record.fingerprint = fp;
+    record.statement = text;
+    record.wall_us = qs.wall_us;
+    record.rows = qs.results;
+    record.candidates = qs.candidates;
+    record.dp_cells = qs.match.dp_cells;
+    record.cache_hits = qs.match.cache_hits;
+    record.cache_misses = qs.match.cache_misses;
+    record.plan = static_cast<uint32_t>(qs.plan);
+    record.error = error;
+    stats->Record(record);
+  }
+  if (slow) {
+    obs::SlowQueryEntry entry;
+    entry.fingerprint = fp;
+    entry.session_id = id_;
+    entry.wall_us = qs.wall_us;
+    entry.threshold_us = slow_query_us_;
+    entry.rows = qs.results;
+    entry.candidates = qs.candidates;
+    entry.dp_cells = qs.match.dp_cells;
+    entry.statement = std::string(text);
+    entry.plan = LexEqualPlanName(qs.plan);
+    entry.trace = trace;
+    engine_->slow_query_log()->Record(std::move(entry));
+  }
 }
 
 Result<QueryResult> Session::Dispatch(const QueryRequest& req,

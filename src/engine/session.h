@@ -65,6 +65,14 @@ struct QueryRequest {
   std::optional<LexEqualQueryOptions> options;
   std::optional<bool> trace;
 
+  /// Statement-statistics identity, set by the SQL planner at plan
+  /// time (sql/fingerprint.h): the 64-bit fingerprint of the
+  /// normalized statement and the normalized text itself. Left at 0,
+  /// Session::Execute derives both from the request shape, so direct
+  /// API callers (benches, tests) aggregate too.
+  uint64_t fingerprint = 0;
+  std::string statement;
+
   static QueryRequest ThresholdSelect(std::string table,
                                       std::string column,
                                       text::TaggedString query);
@@ -113,7 +121,13 @@ struct QueryResult {
 /// Cheap to construct and move — one per connection or thread.
 class Session {
  public:
-  explicit Session(Engine* engine) : engine_(engine) {}
+  explicit Session(Engine* engine, uint64_t id = 0)
+      : engine_(engine), id_(id) {}
+
+  /// This session's engine-assigned id (1-based for sessions from
+  /// Engine::CreateSession; 0 for directly constructed ones). Slow
+  /// -query log entries carry it so the DBA can attribute captures.
+  uint64_t id() const { return id_; }
 
   /// Executes one request under the engine's shared latch. Per-query
   /// metrics are flushed to the process registry here, once; stats,
@@ -145,6 +159,14 @@ class Session {
   /// that query ran untraced (or none has run).
   const obs::QueryTrace* LastTrace() const { return last_trace_.get(); }
 
+  /// Slow-query capture threshold in µs; 0 (the default) disables
+  /// capture. While armed, every query is traced — the log must
+  /// retain the span tree of a query nobody predicted would be slow —
+  /// and any query at or over the threshold lands in the engine's
+  /// SlowQueryLog with this session's id.
+  void set_slow_query_us(uint64_t us) { slow_query_us_ = us; }
+  uint64_t slow_query_us() const { return slow_query_us_; }
+
  private:
   // Dispatches one validated request with the latch held; root spans
   // and the G2P probe transform live here.
@@ -152,10 +174,21 @@ class Session {
                                const LexEqualQueryOptions& options,
                                QueryStats* qs, obs::QueryTrace* trace);
 
+  // Records one finished query into the engine's StatementStats and,
+  // when over this session's threshold, its SlowQueryLog. Called by
+  // Execute strictly after the shared latch is released
+  // (record-after-release; audited by the lexlint latch rule).
+  void RecordStatement(const QueryRequest& req,
+                       const LexEqualQueryOptions& options,
+                       const QueryStats& qs, bool error,
+                       const std::shared_ptr<const obs::QueryTrace>& trace);
+
   Engine* engine_;
+  uint64_t id_ = 0;
   LexEqualQueryOptions default_options_;
   QueryStats last_stats_;
   bool tracing_ = false;
+  uint64_t slow_query_us_ = 0;
   std::shared_ptr<const obs::QueryTrace> last_trace_;
 };
 

@@ -36,21 +36,24 @@ void Histogram::Record(uint64_t value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
-double Histogram::Quantile(double q) const {
-  const uint64_t n = count();
-  if (n == 0) return 0.0;
+static_assert(std::tuple_size<decltype(HistogramSnapshot::buckets)>::value ==
+                  Histogram::kBucketCount + 1,
+              "snapshot bucket array must cover finite buckets + overflow");
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the target observation (1-based, ceil).
   const uint64_t rank =
-      static_cast<uint64_t>(q * static_cast<double>(n) + 0.5) == 0
+      static_cast<uint64_t>(q * static_cast<double>(count) + 0.5) == 0
           ? 1
-          : static_cast<uint64_t>(q * static_cast<double>(n) + 0.5);
-  const auto& bounds = BucketBounds();
+          : static_cast<uint64_t>(q * static_cast<double>(count) + 0.5);
+  const auto& bounds = Histogram::BucketBounds();
+  constexpr size_t kBucketCount = Histogram::kBucketCount;
   uint64_t cumulative = 0;
   for (size_t i = 0; i <= kBucketCount; ++i) {
-    const uint64_t in_bucket =
-        buckets_[i].load(std::memory_order_relaxed);
+    const uint64_t in_bucket = buckets[i];
     if (cumulative + in_bucket < rank) {
       cumulative += in_bucket;
       continue;
@@ -68,6 +71,37 @@ double Histogram::Quantile(double q) const {
     return lower + (upper - lower) * frac;
   }
   return static_cast<double>(bounds[kBucketCount - 1]);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Record() bumps bucket, count, then sum as three separate relaxed
+  // RMWs, so a plain read can land between them. Retry until the
+  // buckets we read sum to a stable count; under pathological
+  // contention fall through and derive count from the buckets, which
+  // keeps the snapshot internally consistent either way.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const uint64_t before = count_.load(std::memory_order_relaxed);
+    uint64_t total = 0;
+    for (size_t i = 0; i <= kBucketCount; ++i) {
+      snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += snap.buckets[i];
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    const uint64_t after = count_.load(std::memory_order_relaxed);
+    if (before == after && total == before) {
+      snap.count = before;
+      return snap;
+    }
+  }
+  uint64_t total = 0;
+  for (size_t i = 0; i <= kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap.buckets[i];
+  }
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
 }
 
 void Histogram::Reset() {
@@ -178,24 +212,28 @@ std::string MetricsRegistry::ExportPrometheus() const {
       case Kind::kHistogram: {
         out += "# TYPE " + name + " histogram\n";
         const auto& bounds = Histogram::BucketBounds();
+        // One consistent snapshot per histogram: the +Inf cumulative
+        // bucket and _count below are guaranteed equal even while
+        // recorders race or the runtime switch flips mid-export.
+        const HistogramSnapshot snap = entry.histogram->Snapshot();
         uint64_t cumulative = 0;
         for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
-          cumulative += entry.histogram->bucket(i);
+          cumulative += snap.buckets[i];
           std::snprintf(buf, sizeof buf,
                         "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
                         name.c_str(), bounds[i], cumulative);
           out += buf;
         }
-        cumulative += entry.histogram->overflow();
+        cumulative += snap.buckets[Histogram::kBucketCount];
         std::snprintf(buf, sizeof buf,
                       "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
                       name.c_str(), cumulative);
         out += buf;
         std::snprintf(buf, sizeof buf, "%s_sum %" PRIu64 "\n",
-                      name.c_str(), entry.histogram->sum());
+                      name.c_str(), snap.sum);
         out += buf;
         std::snprintf(buf, sizeof buf, "%s_count %" PRIu64 "\n",
-                      name.c_str(), entry.histogram->count());
+                      name.c_str(), snap.count);
         out += buf;
         break;
       }
@@ -222,16 +260,17 @@ std::string MetricsRegistry::ExportJson() const {
         if (!gauges.empty()) gauges += ", ";
         gauges += buf;
         break;
-      case Kind::kHistogram:
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = entry.histogram->Snapshot();
         std::snprintf(buf, sizeof buf,
                       "\"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
                       ", \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f}",
-                      name.c_str(), entry.histogram->count(),
-                      entry.histogram->sum(), entry.histogram->p50(),
-                      entry.histogram->p95(), entry.histogram->p99());
+                      name.c_str(), snap.count, snap.sum, snap.p50(),
+                      snap.p95(), snap.p99());
         if (!histograms.empty()) histograms += ", ";
         histograms += buf;
         break;
+      }
     }
   }
   return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +

@@ -109,6 +109,29 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+class Histogram;
+
+/// A consistent point-in-time view of one histogram: the bucket
+/// counts always sum exactly to `count`, so cumulative Prometheus
+/// series, _count, and quantiles computed from one snapshot can
+/// never contradict each other — even while recorders race or
+/// SetEnabled flips mid-export (a Record interrupted by the switch
+/// leaves the live atomics mid-update; the snapshot reconciles).
+struct HistogramSnapshot {
+  /// Finite buckets then the overflow bucket (see BucketBounds()).
+  std::array<uint64_t, 21> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  /// Interpolated quantile in [0, 1]; 0 when empty. Overflow mass
+  /// clamps to the largest finite bound. Always defined: an empty
+  /// snapshot returns 0, a single sample lands inside its bucket.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+};
+
 /// Fixed-bucket latency histogram, calibrated for microsecond
 /// durations (1 µs .. 2 s in a 1-2-5 progression) plus an overflow
 /// bucket. Recording is lock-free: one bucket increment plus
@@ -137,9 +160,16 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Consistent read of the whole histogram (see HistogramSnapshot).
+  /// Retries while recorders race; if contention never quiesces it
+  /// derives `count` from the buckets actually read, so the
+  /// Σbuckets == count invariant holds unconditionally.
+  HistogramSnapshot Snapshot() const;
+
   /// Interpolated quantile in [0, 1]; 0 when empty. Overflow mass
-  /// clamps to the largest finite bound.
-  double Quantile(double q) const;
+  /// clamps to the largest finite bound. Computed from Snapshot(),
+  /// so it is internally consistent under concurrent recording.
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
 
   double p50() const { return Quantile(0.50); }
   double p95() const { return Quantile(0.95); }

@@ -1,0 +1,134 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace lexequal::obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(size_t capacity, MetricsRegistry* mirror)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+  if (mirror != nullptr) {
+    captured_metric_ = mirror->GetCounter(
+        "lexequal_slowlog_captured",
+        "Queries captured by the slow-query log");
+    evicted_metric_ = mirror->GetCounter(
+        "lexequal_slowlog_evicted",
+        "Slow-query entries evicted by ring wraparound");
+  }
+}
+
+uint64_t SlowQueryLog::Record(SlowQueryEntry entry) {
+  uint64_t seq;
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = ++seq_;
+    entry.seq = seq;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(entry));
+    } else {
+      ring_[next_] = std::move(entry);
+      evicted = true;
+    }
+    next_ = next_ + 1 == capacity_ ? 0 : next_ + 1;
+  }
+  if (captured_metric_ != nullptr) captured_metric_->Inc();
+  if (evicted && evicted_metric_ != nullptr) evicted_metric_->Inc();
+  return seq;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Latest(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> out(ring_.begin(), ring_.end());
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+              return a.seq > b.seq;
+            });
+  if (n != 0 && out.size() > n) out.resize(n);
+  return out;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t SlowQueryLog::captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+std::string SlowQueryLog::ExportJson(size_t n) const {
+  const std::vector<SlowQueryEntry> entries = Latest(n);
+  std::string out = "[";
+  char buf[256];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SlowQueryEntry& e = entries[i];
+    if (i > 0) out += ", ";
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"seq\": %" PRIu64 ", \"fingerprint\": \"%016" PRIx64
+        "\", \"session\": %" PRIu64 ", \"wall_us\": %" PRIu64
+        ", \"threshold_us\": %" PRIu64 ", \"rows\": %" PRIu64
+        ", \"candidates\": %" PRIu64 ", \"dp_cells\": %" PRIu64,
+        e.seq, e.fingerprint, e.session_id, e.wall_us, e.threshold_us,
+        e.rows, e.candidates, e.dp_cells);
+    out += buf;
+    out += ", \"plan\": \"" + JsonEscape(e.plan) + "\"";
+    out += ", \"statement\": \"" + JsonEscape(e.statement) + "\"";
+    out += ", \"trace\": ";
+    if (e.trace != nullptr) {
+      out += "\"" + JsonEscape(e.trace->ToString()) + "\"";
+    } else {
+      out += "null";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace lexequal::obs

@@ -1,0 +1,92 @@
+// SlowQueryLog: a fixed-size ring of evidence about queries that
+// exceeded their session's slow_query_us threshold.
+//
+// Aggregates (StatementStats) tell the DBA which statement shapes
+// are slow on average; this log retains the *individual* outliers —
+// the full QueryTrace span tree, the fingerprint, the owning session
+// and the headline stats — after the query has finished and its
+// session has moved on. The shell's \slowlog dumps it; the future
+// line-protocol server will serve the JSON export.
+//
+// Concurrency: a single mutex guards the ring. That is deliberate —
+// entries are recorded only for queries that already blew a
+// multi-microsecond latency budget, so the lock is never on a fast
+// path, and readers (\slowlog) are rare. When the ring is full the
+// oldest entry is evicted (counted). Traces are retained by
+// shared_ptr: the session, the query result, and the log can all
+// hold the same immutable tree.
+
+#ifndef LEXEQUAL_OBS_SLOW_QUERY_LOG_H_
+#define LEXEQUAL_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lexequal::obs {
+
+struct SlowQueryEntry {
+  uint64_t seq = 0;  // monotonic capture id, assigned by Record
+  uint64_t fingerprint = 0;
+  uint64_t session_id = 0;
+  uint64_t wall_us = 0;
+  uint64_t threshold_us = 0;
+  uint64_t rows = 0;
+  uint64_t candidates = 0;
+  uint64_t dp_cells = 0;
+  std::string statement;  // normalized text (may be empty)
+  std::string plan;       // plan name that ran
+  /// Full span tree; null when the query ran untraced.
+  std::shared_ptr<const QueryTrace> trace;
+};
+
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  /// `mirror`, when non-null, receives lexequal_slowlog_captured /
+  /// _evicted counters for the ordinary Prometheus scrape.
+  explicit SlowQueryLog(size_t capacity = kDefaultCapacity,
+                        MetricsRegistry* mirror = nullptr);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Appends one over-threshold query, evicting the oldest entry if
+  /// the ring is full. Assigns and returns the entry's seq.
+  uint64_t Record(SlowQueryEntry entry);
+
+  /// The most recent entries, newest first. n == 0 means all
+  /// retained entries.
+  std::vector<SlowQueryEntry> Latest(size_t n = 0) const;
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  /// Entries currently retained (<= capacity).
+  size_t size() const;
+  /// Total captures ever, including evicted ones.
+  uint64_t captured() const;
+
+  /// JSON array, newest first (n == 0 means all retained). Each
+  /// object carries the entry fields plus the rendered trace tree.
+  std::string ExportJson(size_t n = 0) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;  // insertion slot = next_
+  size_t next_ = 0;
+  uint64_t seq_ = 0;
+  Counter* captured_metric_ = nullptr;  // mirrors, may be null
+  Counter* evicted_metric_ = nullptr;
+};
+
+}  // namespace lexequal::obs
+
+#endif  // LEXEQUAL_OBS_SLOW_QUERY_LOG_H_

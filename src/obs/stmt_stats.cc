@@ -1,0 +1,289 @@
+#include "obs/stmt_stats.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace lexequal::obs {
+
+namespace {
+
+// JSON string escape for normalized statement text (quotes are rare
+// after literal normalization, but the exporter must never emit
+// malformed JSON).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t FingerprintHash(std::string_view normalized) {
+  // FNV-1a 64-bit.
+  uint64_t h = 14695981039346656037ull;
+  for (char c : normalized) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
+}
+
+StatementStats::StatementStats(size_t shards, size_t shard_capacity,
+                               MetricsRegistry* mirror)
+    : shard_count_(shards == 0 ? 1 : shards),
+      shard_capacity_(shard_capacity == 0 ? 1 : shard_capacity),
+      shards_(new Shard[shard_count_]) {
+  for (size_t s = 0; s < shard_count_; ++s) {
+    shards_[s].entries.reset(new Entry[shard_capacity_]);
+  }
+  if (mirror != nullptr) {
+    recorded_metric_ = mirror->GetCounter(
+        "lexequal_stmt_recorded",
+        "Queries aggregated into statement statistics");
+    dropped_metric_ = mirror->GetCounter(
+        "lexequal_stmt_dropped",
+        "Queries dropped because the fingerprint table was full");
+    fingerprints_metric_ = mirror->GetGauge(
+        "lexequal_stmt_fingerprints",
+        "Distinct statement fingerprints currently tracked");
+  }
+}
+
+StatementStats::Entry* StatementStats::FindOrClaim(uint64_t fp) {
+  Shard& shard = shards_[fp % shard_count_];
+  Entry* entries = shard.entries.get();
+  // Start the probe from an fp-derived slot decorrelated from the
+  // shard choice (which consumed the low bits).
+  size_t idx = (fp >> 8) % shard_capacity_;
+  for (size_t probe = 0; probe < shard_capacity_; ++probe) {
+    Entry& e = entries[idx];
+    uint64_t cur = e.fingerprint.load(std::memory_order_acquire);
+    if (cur == fp) return &e;
+    if (cur == 0) {
+      uint64_t expected = 0;
+      if (e.fingerprint.compare_exchange_strong(
+              expected, fp, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        fingerprints_.fetch_add(1, std::memory_order_relaxed);
+        if (fingerprints_metric_ != nullptr) {
+          fingerprints_metric_->Add(1);
+        }
+        return &e;
+      }
+      if (expected == fp) return &e;  // raced claim of the same fp
+      // A different fingerprint won the slot; keep probing.
+    }
+    idx = idx + 1 == shard_capacity_ ? 0 : idx + 1;
+  }
+  return nullptr;
+}
+
+void StatementStats::Record(const StmtRecord& record) {
+  if (!Enabled() || !enabled()) return;
+  const uint64_t fp = record.fingerprint != 0
+                          ? record.fingerprint
+                          : FingerprintHash(record.statement);
+  Entry* e = FindOrClaim(fp == 0 ? 1 : fp);
+  if (e == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_metric_ != nullptr) dropped_metric_->Inc();
+    return;
+  }
+  if (!e->text_ready.load(std::memory_order_acquire) &&
+      !record.statement.empty()) {
+    Shard& shard = shards_[(fp == 0 ? 1 : fp) % shard_count_];
+    std::lock_guard<std::mutex> lock(shard.text_mu);
+    if (!e->text_ready.load(std::memory_order_relaxed)) {
+      const size_t n =
+          std::min(record.statement.size(), kMaxStatementBytes);
+      std::memcpy(e->text, record.statement.data(), n);
+      e->text_len = static_cast<uint16_t>(n);
+      e->text_ready.store(true, std::memory_order_release);
+    }
+  }
+  e->calls.fetch_add(1, std::memory_order_relaxed);
+  if (record.error) e->errors.fetch_add(1, std::memory_order_relaxed);
+  e->rows.fetch_add(record.rows, std::memory_order_relaxed);
+  e->candidates.fetch_add(record.candidates, std::memory_order_relaxed);
+  e->dp_cells.fetch_add(record.dp_cells, std::memory_order_relaxed);
+  e->cache_hits.fetch_add(record.cache_hits, std::memory_order_relaxed);
+  e->cache_misses.fetch_add(record.cache_misses,
+                            std::memory_order_relaxed);
+  e->total_us.fetch_add(record.wall_us, std::memory_order_relaxed);
+  const size_t plan =
+      record.plan < kMaxPlans ? record.plan : kMaxPlans - 1;
+  e->plan_calls[plan].fetch_add(1, std::memory_order_relaxed);
+  e->latency.Record(record.wall_us);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (recorded_metric_ != nullptr) recorded_metric_->Inc();
+}
+
+std::vector<StatementStats::Aggregate> StatementStats::Snapshot()
+    const {
+  std::vector<Aggregate> out;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    const Entry* entries = shards_[s].entries.get();
+    for (size_t i = 0; i < shard_capacity_; ++i) {
+      const Entry& e = entries[i];
+      const uint64_t fp =
+          e.fingerprint.load(std::memory_order_acquire);
+      if (fp == 0) continue;
+      Aggregate agg;
+      agg.fingerprint = fp;
+      if (e.text_ready.load(std::memory_order_acquire)) {
+        agg.statement.assign(e.text, e.text_len);
+      }
+      agg.calls = e.calls.load(std::memory_order_relaxed);
+      agg.errors = e.errors.load(std::memory_order_relaxed);
+      agg.rows = e.rows.load(std::memory_order_relaxed);
+      agg.candidates = e.candidates.load(std::memory_order_relaxed);
+      agg.dp_cells = e.dp_cells.load(std::memory_order_relaxed);
+      agg.cache_hits = e.cache_hits.load(std::memory_order_relaxed);
+      agg.cache_misses =
+          e.cache_misses.load(std::memory_order_relaxed);
+      agg.total_us = e.total_us.load(std::memory_order_relaxed);
+      for (size_t p = 0; p < kMaxPlans; ++p) {
+        agg.plan_calls[p] =
+            e.plan_calls[p].load(std::memory_order_relaxed);
+      }
+      agg.latency = e.latency.Snapshot();
+      out.push_back(std::move(agg));
+    }
+  }
+  return out;
+}
+
+void StatementStats::Reset() {
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.text_mu);
+    Entry* entries = shard.entries.get();
+    for (size_t i = 0; i < shard_capacity_; ++i) {
+      Entry& e = entries[i];
+      if (e.fingerprint.load(std::memory_order_acquire) == 0) continue;
+      e.calls.store(0, std::memory_order_relaxed);
+      e.errors.store(0, std::memory_order_relaxed);
+      e.rows.store(0, std::memory_order_relaxed);
+      e.candidates.store(0, std::memory_order_relaxed);
+      e.dp_cells.store(0, std::memory_order_relaxed);
+      e.cache_hits.store(0, std::memory_order_relaxed);
+      e.cache_misses.store(0, std::memory_order_relaxed);
+      e.total_us.store(0, std::memory_order_relaxed);
+      for (auto& p : e.plan_calls) p.store(0, std::memory_order_relaxed);
+      e.latency.Reset();
+      e.text_len = 0;
+      e.text_ready.store(false, std::memory_order_relaxed);
+      // Free the slot last so a racing Record re-claims a zeroed
+      // entry rather than mixing epochs.
+      e.fingerprint.store(0, std::memory_order_release);
+    }
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  fingerprints_.store(0, std::memory_order_relaxed);
+  if (fingerprints_metric_ != nullptr) fingerprints_metric_->Set(0);
+}
+
+std::string StatementStats::ExportJson() const {
+  std::vector<Aggregate> aggs = Snapshot();
+  std::sort(aggs.begin(), aggs.end(),
+            [](const Aggregate& a, const Aggregate& b) {
+              if (a.calls != b.calls) return a.calls > b.calls;
+              return a.fingerprint < b.fingerprint;
+            });
+  std::string out = "[";
+  char buf[256];
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const Aggregate& a = aggs[i];
+    if (i > 0) out += ", ";
+    std::snprintf(buf, sizeof buf,
+                  "{\"fingerprint\": \"%016" PRIx64
+                  "\", \"calls\": %" PRIu64 ", \"errors\": %" PRIu64
+                  ", \"rows\": %" PRIu64 ", \"total_us\": %" PRIu64,
+                  a.fingerprint, a.calls, a.errors, a.rows, a.total_us);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  ", \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": "
+                  "%.1f, \"candidates\": %" PRIu64
+                  ", \"dp_cells\": %" PRIu64 ", \"cache_hits\": %" PRIu64
+                  ", \"cache_misses\": %" PRIu64,
+                  a.latency.p50(), a.latency.p95(), a.latency.p99(),
+                  a.candidates, a.dp_cells, a.cache_hits,
+                  a.cache_misses);
+    out += buf;
+    out += ", \"statement\": \"" + JsonEscape(a.statement) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string StatementStats::ExportPrometheus() const {
+  std::vector<Aggregate> aggs = Snapshot();
+  std::sort(aggs.begin(), aggs.end(),
+            [](const Aggregate& a, const Aggregate& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  std::string out;
+  char buf[160];
+  const struct {
+    const char* name;
+    uint64_t Aggregate::* field;
+  } kSeries[] = {
+      {"lexequal_stmt_calls", &Aggregate::calls},
+      {"lexequal_stmt_errors", &Aggregate::errors},
+      {"lexequal_stmt_rows", &Aggregate::rows},
+      {"lexequal_stmt_total_us", &Aggregate::total_us},
+  };
+  for (const auto& series : kSeries) {
+    out += std::string("# TYPE ") + series.name + " counter\n";
+    for (const Aggregate& a : aggs) {
+      std::snprintf(buf, sizeof buf,
+                    "%s{fingerprint=\"%016" PRIx64 "\"} %" PRIu64 "\n",
+                    series.name, a.fingerprint, a.*(series.field));
+      out += buf;
+    }
+  }
+  out += "# TYPE lexequal_stmt_recorded counter\n";
+  std::snprintf(buf, sizeof buf, "lexequal_stmt_recorded %" PRIu64 "\n",
+                recorded());
+  out += buf;
+  out += "# TYPE lexequal_stmt_dropped counter\n";
+  std::snprintf(buf, sizeof buf, "lexequal_stmt_dropped %" PRIu64 "\n",
+                dropped());
+  out += buf;
+  out += "# TYPE lexequal_stmt_fingerprints gauge\n";
+  std::snprintf(buf, sizeof buf,
+                "lexequal_stmt_fingerprints %" PRIu64 "\n",
+                fingerprints());
+  out += buf;
+  return out;
+}
+
+}  // namespace lexequal::obs

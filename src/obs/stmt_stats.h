@@ -1,0 +1,189 @@
+// StatementStats: cross-query aggregate statistics per statement
+// fingerprint — the pg_stat_statements of this engine.
+//
+// Per-query observability (QueryStats, QueryTrace) answers "what did
+// THIS query do"; the metrics registry answers "what is the process
+// doing overall". Neither answers the DBA question LexEQUAL's cost
+// knobs make urgent: *which statement shapes* are slow, how often do
+// they run, and which plan did the picker give them. StatementStats
+// keys every executed query by a 64-bit fingerprint of its
+// normalized form (literals -> `?`, identifiers case-folded,
+// plan/threshold/cost-model knobs preserved — see sql/fingerprint.h)
+// and aggregates: call count, error count, rows returned, per-plan
+// call counts, a 1-2-5 µs latency histogram, and the DP-cells /
+// candidates / phoneme-cache rollups that explain the latency.
+//
+// Concurrency: the steady-state Record path is lock-free. Slots live
+// in fixed preallocated shards; a fingerprint claims its slot with
+// one CAS on first sight and every later Record is a handful of
+// relaxed atomic adds plus one histogram bucket increment. The only
+// mutex is a per-shard text mutex taken once per fingerprint
+// lifetime, to publish the normalized statement text. A full shard
+// drops new fingerprints (counted, never blocks); existing
+// fingerprints keep aggregating. Counter adds are exact — the
+// differential test replays a workload and asserts aggregate
+// equality against per-query ground truth.
+//
+// Reset() (SHOW STATEMENTS RESET) zeroes every slot. Like
+// MetricsRegistry::ResetAll it is not linearizable against
+// concurrent recorders: an in-flight Record may survive into the
+// fresh epoch. That is fine for its job (bench isolation, DBA
+// "measure from now").
+
+#ifndef LEXEQUAL_OBS_STMT_STATS_H_
+#define LEXEQUAL_OBS_STMT_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lexequal::obs {
+
+/// FNV-1a over the normalized statement text. Never returns 0 (the
+/// registry's empty-slot sentinel); a real hash of 0 remaps to 1.
+uint64_t FingerprintHash(std::string_view normalized);
+
+/// One executed query, as the engine reports it after the latch is
+/// released. `plan` is an opaque small index (the engine's
+/// LexEqualPlan value); StatementStats does not interpret it beyond
+/// bucketing per-plan call counts.
+struct StmtRecord {
+  uint64_t fingerprint = 0;  // 0 = derive from `statement`
+  std::string_view statement;  // normalized text, stored on first sight
+  uint64_t wall_us = 0;
+  uint64_t rows = 0;
+  uint64_t candidates = 0;
+  uint64_t dp_cells = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint32_t plan = 0;  // clamped to kMaxPlans - 1
+  bool error = false;
+};
+
+class StatementStats {
+ public:
+  /// Per-plan count slots. The engine currently has 6 plan kinds
+  /// (incl. kAuto); 8 leaves headroom without a layering dependency
+  /// on engine/plan.h.
+  static constexpr size_t kMaxPlans = 8;
+  /// Longest normalized statement text retained per fingerprint.
+  static constexpr size_t kMaxStatementBytes = 240;
+
+  /// Everything aggregated for one fingerprint, read at one moment.
+  struct Aggregate {
+    uint64_t fingerprint = 0;
+    std::string statement;
+    uint64_t calls = 0;
+    uint64_t errors = 0;
+    uint64_t rows = 0;
+    uint64_t candidates = 0;
+    uint64_t dp_cells = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t total_us = 0;
+    std::array<uint64_t, kMaxPlans> plan_calls{};
+    HistogramSnapshot latency;  // p50()/p95()/p99() in µs
+  };
+
+  /// `mirror`, when non-null, receives the registry-level scalars
+  /// (lexequal_stmt_recorded / _dropped / _fingerprints) so the
+  /// subsystem shows up in the ordinary Prometheus scrape. Tests
+  /// pass nullptr and read the accessors directly.
+  explicit StatementStats(size_t shards = 8, size_t shard_capacity = 512,
+                          MetricsRegistry* mirror = nullptr);
+
+  StatementStats(const StatementStats&) = delete;
+  StatementStats& operator=(const StatementStats&) = delete;
+
+  /// Subsystem-local switch (the stmt-stats overhead bench's A/B
+  /// knob). Both this and the global obs::Enabled() gate Record.
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  bool set_enabled(bool on) {
+    return enabled_.exchange(on, std::memory_order_relaxed);
+  }
+
+  /// Aggregates one executed query. Lock-free after a fingerprint's
+  /// first sighting; never blocks on a full shard (drops + counts).
+  void Record(const StmtRecord& record);
+
+  /// Snapshot of every tracked fingerprint, unordered. Each entry is
+  /// internally consistent per counter; cross-counter skew from
+  /// in-flight Records is bounded by one query.
+  std::vector<Aggregate> Snapshot() const;
+
+  /// SHOW STATEMENTS RESET. Not linearizable vs concurrent Records
+  /// (header comment); fingerprint slots are freed for reuse.
+  void Reset();
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Distinct fingerprints currently tracked.
+  uint64_t fingerprints() const {
+    return fingerprints_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return shard_count_ * shard_capacity_; }
+
+  /// JSON array of per-fingerprint objects, sorted by calls
+  /// descending (ties by fingerprint for stable output).
+  std::string ExportJson() const;
+
+  /// Prometheus text: lexequal_stmt_{calls,errors,rows,total_us}
+  /// series labeled by fingerprint, plus the scalar rollups.
+  std::string ExportPrometheus() const;
+
+ private:
+  struct Entry {
+    std::atomic<uint64_t> fingerprint{0};  // 0 = empty; claimed by CAS
+    std::atomic<bool> text_ready{false};
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> candidates{0};
+    std::atomic<uint64_t> dp_cells{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> total_us{0};
+    std::array<std::atomic<uint64_t>, kMaxPlans> plan_calls{};
+    Histogram latency;
+    // Published once under the shard text mutex, then read-only
+    // behind the text_ready acquire flag.
+    uint16_t text_len = 0;
+    char text[kMaxStatementBytes];
+  };
+
+  struct Shard {
+    std::unique_ptr<Entry[]> entries;
+    std::mutex text_mu;  // first-claim statement-text publication only
+  };
+
+  /// Finds or claims the slot for `fp`; null when the shard is full.
+  Entry* FindOrClaim(uint64_t fp);
+
+  const size_t shard_count_;
+  const size_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> fingerprints_{0};
+  Counter* recorded_metric_ = nullptr;   // mirrors, may be null
+  Counter* dropped_metric_ = nullptr;
+  Gauge* fingerprints_metric_ = nullptr;
+};
+
+}  // namespace lexequal::obs
+
+#endif  // LEXEQUAL_OBS_STMT_STATS_H_

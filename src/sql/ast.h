@@ -20,6 +20,11 @@
 //   ANALYZE [table]
 //   EXPLAIN [ANALYZE] select
 //   CREATE INDEX phonetic|qgram|invidx ON table (column) [Q n]
+//
+// and the observability statement:
+//
+//   SHOW STATEMENTS [ORDER BY calls|p99|total_time] [LIMIT n]
+//   SHOW STATEMENTS RESET
 
 #ifndef LEXEQUAL_SQL_AST_H_
 #define LEXEQUAL_SQL_AST_H_
@@ -109,7 +114,23 @@ struct CreateIndexStatement {
   std::optional<int> q;
 };
 
-enum class StatementKind { kSelect, kExplain, kAnalyze, kCreateIndex };
+/// SHOW STATEMENTS [ORDER BY calls|p99|total_time] [LIMIT n]
+/// — the statement-statistics registry, one row per fingerprint —
+/// and SHOW STATEMENTS RESET, which zeroes it.
+struct ShowStatement {
+  enum class Order { kCalls, kP99, kTotalTime };
+  Order order = Order::kCalls;
+  bool reset = false;
+  std::optional<uint64_t> limit;
+};
+
+enum class StatementKind {
+  kSelect,
+  kExplain,
+  kAnalyze,
+  kCreateIndex,
+  kShow,
+};
 
 /// Any statement the SQL front end accepts. The payload for kExplain
 /// is `select` (with `explain_analyze` saying whether to execute it).
@@ -119,6 +140,7 @@ struct Statement {
   bool explain_analyze = false;
   AnalyzeStatement analyze;
   CreateIndexStatement create_index;
+  ShowStatement show;
 };
 
 }  // namespace lexequal::sql

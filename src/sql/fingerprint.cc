@@ -1,0 +1,151 @@
+#include "sql/fingerprint.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "obs/stmt_stats.h"
+
+namespace lexequal::sql {
+
+namespace {
+
+void AppendColumn(const ColumnName& col, std::string* out) {
+  if (!col.qualifier.empty()) {
+    *out += AsciiToLower(col.qualifier);
+    *out += '.';
+  }
+  *out += AsciiToLower(col.column);
+}
+
+// Knob values print as %g: "0.30" and "0.3" are the same statement.
+void AppendKnob(const char* name, double v, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " %s %g", name, v);
+  *out += buf;
+}
+
+void AppendPredicate(const Predicate& pred, std::string* out) {
+  AppendColumn(pred.left, out);
+  switch (pred.kind) {
+    case PredicateKind::kEqualsLiteral:
+      *out += " = ?";
+      return;
+    case PredicateKind::kEqualsColumn:
+      *out += " = ";
+      AppendColumn(pred.right_column, out);
+      return;
+    case PredicateKind::kNotEqualsColumn:
+      *out += " <> ";
+      AppendColumn(pred.right_column, out);
+      return;
+    case PredicateKind::kLexEqualLiteral:
+      *out += " lexequal ?";
+      break;
+    case PredicateKind::kLexEqualColumn:
+      *out += " lexequal ";
+      AppendColumn(pred.right_column, out);
+      break;
+  }
+  // The LexEQUAL plan knobs survive normalization.
+  if (pred.threshold.has_value()) {
+    AppendKnob("threshold", *pred.threshold, out);
+  }
+  if (pred.cost.has_value()) AppendKnob("cost", *pred.cost, out);
+  if (!pred.in_languages.empty()) {
+    *out += " inlanguages {";
+    for (size_t i = 0; i < pred.in_languages.size(); ++i) {
+      if (i > 0) *out += ", ";
+      *out += AsciiToLower(pred.in_languages[i]);
+    }
+    *out += "}";
+  }
+}
+
+std::string NormalizeSelect(const SelectStatement& stmt) {
+  std::string out = "select ";
+  if (stmt.select_star) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendColumn(stmt.select_list[i], &out);
+    }
+  }
+  out += " from ";
+  for (size_t i = 0; i < stmt.tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AsciiToLower(stmt.tables[i].table);
+    if (!stmt.tables[i].alias.empty()) {
+      out += " as " + AsciiToLower(stmt.tables[i].alias);
+    }
+  }
+  for (size_t i = 0; i < stmt.predicates.size(); ++i) {
+    out += i == 0 ? " where " : " and ";
+    AppendPredicate(stmt.predicates[i], &out);
+  }
+  if (stmt.lexsim_order.has_value()) {
+    out += " order by lexsim(";
+    AppendColumn(stmt.lexsim_order->column, &out);
+    out += ", ?)";
+  } else if (stmt.order_by.has_value()) {
+    out += " order by ";
+    AppendColumn(stmt.order_by->column, &out);
+    if (stmt.order_by->descending) out += " desc";
+  }
+  if (!stmt.plan_hint.empty()) {
+    out += " using " + AsciiToLower(stmt.plan_hint);
+  }
+  if (stmt.limit.has_value()) out += " limit ?";
+  return out;
+}
+
+}  // namespace
+
+std::string NormalizeStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return NormalizeSelect(stmt.select);
+    case StatementKind::kExplain:
+      return (stmt.explain_analyze ? std::string("explain analyze ")
+                                   : std::string("explain ")) +
+             NormalizeSelect(stmt.select);
+    case StatementKind::kAnalyze:
+      return "analyze " + (stmt.analyze.table.empty()
+                               ? std::string("*")
+                               : AsciiToLower(stmt.analyze.table));
+    case StatementKind::kCreateIndex: {
+      std::string out = "create index " + stmt.create_index.kind +
+                        " on " + AsciiToLower(stmt.create_index.table) +
+                        "(" + AsciiToLower(stmt.create_index.column) +
+                        ")";
+      if (stmt.create_index.q.has_value()) {
+        out += " q " + std::to_string(*stmt.create_index.q);
+      }
+      return out;
+    }
+    case StatementKind::kShow: {
+      std::string out = "show statements";
+      if (stmt.show.reset) return out + " reset";
+      switch (stmt.show.order) {
+        case ShowStatement::Order::kCalls:
+          out += " order by calls";
+          break;
+        case ShowStatement::Order::kP99:
+          out += " order by p99";
+          break;
+        case ShowStatement::Order::kTotalTime:
+          out += " order by total_time";
+          break;
+      }
+      if (stmt.show.limit.has_value()) out += " limit ?";
+      return out;
+    }
+  }
+  return "";
+}
+
+uint64_t FingerprintStatement(const Statement& stmt) {
+  return obs::FingerprintHash(NormalizeStatement(stmt));
+}
+
+}  // namespace lexequal::sql

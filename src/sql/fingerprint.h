@@ -1,0 +1,34 @@
+// Statement fingerprinting for the statement-statistics plane.
+//
+// NormalizeStatement maps a parsed statement to its canonical text:
+// comparison literals, probe strings, and LIMIT counts become `?`,
+// identifiers are case-folded, and clause spelling is fixed — while
+// the knobs that change the *plan* (THRESHOLD, COST, INLANGUAGES,
+// USING) keep their values, because "the same query at threshold 0.2
+// vs 0.5" is two different statements to an operator reading
+// SHOW STATEMENTS. FingerprintStatement hashes that text to the
+// stable 64-bit id the planner stamps onto every QueryRequest at plan
+// time (QueryRequest::fingerprint / ::statement), which is what
+// obs::StatementStats aggregates under.
+
+#ifndef LEXEQUAL_SQL_FINGERPRINT_H_
+#define LEXEQUAL_SQL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace lexequal::sql {
+
+/// Canonical text of `stmt`: literals -> `?`, identifiers folded,
+/// plan-shaping knobs preserved verbatim. Deterministic — equal ASTs
+/// always normalize identically.
+std::string NormalizeStatement(const Statement& stmt);
+
+/// obs::FingerprintHash over NormalizeStatement(stmt). Never 0.
+uint64_t FingerprintStatement(const Statement& stmt);
+
+}  // namespace lexequal::sql
+
+#endif  // LEXEQUAL_SQL_FINGERPRINT_H_

@@ -15,7 +15,7 @@ bool IsKeyword(const std::string& upper) {
       "NOT",    "LEXEQUAL",  "THRESHOLD",   "LIMIT", "INLANGUAGES",
       "USING",  "COST",      "AS",          "ORDER", "BY",
       "ASC",    "DESC",      "ANALYZE",     "EXPLAIN", "CREATE",
-      "INDEX",  "ON",
+      "INDEX",  "ON",        "SHOW",
   };
   for (const char* kw : kKeywords) {
     if (upper == kw) return true;

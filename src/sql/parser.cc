@@ -65,6 +65,39 @@ class Parser {
       }
       return Finish(std::move(stmt));
     }
+    if (MatchKeyword("SHOW")) {
+      stmt.kind = StatementKind::kShow;
+      // STATEMENTS / RESET / the order names stay identifiers (so
+      // columns with those names remain usable elsewhere); matched
+      // case-insensitively here.
+      if (!MatchIdentifier("statements")) {
+        return Error("expected STATEMENTS after SHOW");
+      }
+      if (MatchIdentifier("reset")) {
+        stmt.show.reset = true;
+        return Finish(std::move(stmt));
+      }
+      if (MatchKeyword("ORDER")) {
+        LEXEQUAL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+        if (MatchIdentifier("calls")) {
+          stmt.show.order = ShowStatement::Order::kCalls;
+        } else if (MatchIdentifier("p99")) {
+          stmt.show.order = ShowStatement::Order::kP99;
+        } else if (MatchIdentifier("total_time")) {
+          stmt.show.order = ShowStatement::Order::kTotalTime;
+        } else {
+          return Error(
+              "expected calls, p99 or total_time after ORDER BY");
+        }
+      }
+      if (MatchKeyword("LIMIT")) {
+        if (Peek().type != TokenType::kNumber) {
+          return Error("expected number after LIMIT");
+        }
+        stmt.show.limit = static_cast<uint64_t>(Next().number);
+      }
+      return Finish(std::move(stmt));
+    }
     stmt.kind = StatementKind::kSelect;
     LEXEQUAL_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
     return stmt;
@@ -150,6 +183,16 @@ class Parser {
 
   bool MatchKeyword(std::string_view kw) {
     if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  // Case-insensitive contextual word — a name that only acts as a
+  // keyword in one clause (lowercase expected).
+  bool MatchIdentifier(std::string_view lower) {
+    if (Peek().type == TokenType::kIdentifier &&
+        AsciiToLower(Peek().text) == lower) {
       ++pos_;
       return true;
     }

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "obs/stmt_stats.h"
+#include "sql/fingerprint.h"
 #include "sql/parser.h"
 #include "text/utf8.h"
 
@@ -58,6 +60,18 @@ Result<LexEqualQueryOptions> BuildOptions(const Predicate& pred,
   }
   LEXEQUAL_ASSIGN_OR_RETURN(options.hints.plan, ResolvePlanHint(hint));
   return options;
+}
+
+// Stamps the statement's fingerprint identity onto the request at
+// plan time, so Session::Execute records it under the normalized SQL
+// text rather than a request-shape description.
+void AttachFingerprint(const SelectStatement& stmt,
+                       engine::QueryRequest* req) {
+  Statement wrapper;
+  wrapper.kind = StatementKind::kSelect;
+  wrapper.select = stmt;
+  req->statement = NormalizeStatement(wrapper);
+  req->fingerprint = obs::FingerprintHash(req->statement);
 }
 
 // Resolves a column against one table; the qualifier (if any) must
@@ -122,6 +136,7 @@ Result<QueryResult> ExecuteTopK(Session* session,
   engine::QueryRequest req = engine::QueryRequest::TopK(
       ref.table, stmt.lexsim_order->column.column, query, *stmt.limit);
   req.options = options;
+  AttachFingerprint(stmt, &req);
   engine::QueryResult executed;
   LEXEQUAL_ASSIGN_OR_RETURN(executed, session->Execute(req));
   std::vector<engine::TopKRow> ranked = std::move(executed.ranked);
@@ -208,6 +223,7 @@ Result<QueryResult> ExecuteSingleTable(Session* session,
     engine::QueryRequest req = engine::QueryRequest::ThresholdSelect(
         ref.table, lex_pred->left.column, query);
     req.options = options;
+    AttachFingerprint(stmt, &req);
     engine::QueryResult executed;
     LEXEQUAL_ASSIGN_OR_RETURN(executed, session->Execute(req));
     rows = std::move(executed.rows);
@@ -324,6 +340,7 @@ Result<QueryResult> ExecuteJoin(Session* session,
       engine::QueryRequest::Join(left_ref.table, left_col->column,
                                  right_ref.table, right_col->column);
   req.options = options;
+  AttachFingerprint(stmt, &req);
   engine::QueryResult executed;
   LEXEQUAL_ASSIGN_OR_RETURN(executed, session->Execute(req));
   std::vector<std::pair<Tuple, Tuple>> pairs = std::move(executed.pairs);
@@ -569,6 +586,75 @@ std::string FormatCost(double v) {
   return buf;
 }
 
+// SHOW STATEMENTS [ORDER BY ...] [LIMIT n] — one row per fingerprint
+// from the engine's StatementStats registry, ordered hottest-first;
+// SHOW STATEMENTS RESET zeroes the registry.
+Result<QueryResult> ExecuteShow(Session* session,
+                                const ShowStatement& stmt) {
+  obs::StatementStats* stats = session->engine()->stmt_stats();
+  QueryResult result;
+  if (stmt.reset) {
+    stats->Reset();
+    result.column_names = {"statements"};
+    Tuple row;
+    row.push_back(Value::String("reset"));
+    result.rows.push_back(std::move(row));
+    result.stats.results = 1;
+    return result;
+  }
+
+  std::vector<obs::StatementStats::Aggregate> aggs = stats->Snapshot();
+  auto key = [&stmt](const obs::StatementStats::Aggregate& a) {
+    switch (stmt.order) {
+      case ShowStatement::Order::kP99:
+        return a.latency.p99();
+      case ShowStatement::Order::kTotalTime:
+        return static_cast<double>(a.total_us);
+      case ShowStatement::Order::kCalls:
+        break;
+    }
+    return static_cast<double>(a.calls);
+  };
+  std::stable_sort(aggs.begin(), aggs.end(),
+                   [&key](const obs::StatementStats::Aggregate& a,
+                          const obs::StatementStats::Aggregate& b) {
+                     return key(a) > key(b);
+                   });
+  if (stmt.limit.has_value() && aggs.size() > *stmt.limit) {
+    aggs.resize(*stmt.limit);
+  }
+
+  result.column_names = {"fingerprint", "calls",  "errors", "rows",
+                         "total_us",    "p50_us", "p95_us", "p99_us",
+                         "plans",       "statement"};
+  for (const obs::StatementStats::Aggregate& a : aggs) {
+    char fp[24];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(a.fingerprint));
+    std::string plans;
+    for (size_t i = 0; i < a.plan_calls.size(); ++i) {
+      if (a.plan_calls[i] == 0) continue;
+      if (!plans.empty()) plans += ' ';
+      plans += engine::LexEqualPlanName(static_cast<LexEqualPlan>(i));
+      plans += ':' + std::to_string(a.plan_calls[i]);
+    }
+    Tuple row;
+    row.push_back(Value::String(fp));
+    row.push_back(Value::Int64(static_cast<int64_t>(a.calls)));
+    row.push_back(Value::Int64(static_cast<int64_t>(a.errors)));
+    row.push_back(Value::Int64(static_cast<int64_t>(a.rows)));
+    row.push_back(Value::Int64(static_cast<int64_t>(a.total_us)));
+    row.push_back(Value::Int64(static_cast<int64_t>(a.latency.p50())));
+    row.push_back(Value::Int64(static_cast<int64_t>(a.latency.p95())));
+    row.push_back(Value::Int64(static_cast<int64_t>(a.latency.p99())));
+    row.push_back(Value::String(std::move(plans)));
+    row.push_back(Value::String(a.statement));
+    result.rows.push_back(std::move(row));
+  }
+  result.stats.results = result.rows.size();
+  return result;
+}
+
 // Renders a query's span tree as EXPLAIN ANALYZE's stage table:
 // stage name (indented by nesting depth), wall-clock µs, stage rows,
 // and the watched-counter deltas the engine's trace records.
@@ -802,6 +888,8 @@ Result<QueryResult> Execute(engine::Session* session,
       return ExecuteAnalyze(session, stmt.analyze);
     case StatementKind::kCreateIndex:
       return ExecuteCreateIndex(session, stmt.create_index);
+    case StatementKind::kShow:
+      return ExecuteShow(session, stmt.show);
   }
   return Status::Internal("unhandled statement kind");
 }

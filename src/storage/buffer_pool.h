@@ -79,6 +79,14 @@ class BufferPool {
     return out;
   }
   size_t pool_size() const { return frames_.size(); }
+
+  /// Pages currently resident in frames — the occupancy side of the
+  /// health snapshot. Takes the bookkeeping mutex (cold path only).
+  size_t resident_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return page_table_.size();
+  }
+
   DiskManager* disk() const { return disk_; }
 
  private:

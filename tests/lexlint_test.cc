@@ -244,6 +244,50 @@ TEST_F(LexlintTest, LatchCatchesUnlatchedCatalogInsertion) {
   EXPECT_NE(diags[0].message.find("catalog_.AddTable"), std::string::npos);
 }
 
+TEST_F(LexlintTest, LatchCatchesRecordUnderTheLatch) {
+  // The inverse funnel: statement/slowlog recording inside a *Locked
+  // function runs under the engine latch — record-after-release says
+  // it must not.
+  WriteFile("src/engine/hot.cc",
+            "Result<QueryResult> Engine::QueryLocked(const Req& req) {\n"
+            "  stmt_stats_.Record(MakeRecord(req));\n"
+            "  return Run(req);\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "latch");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("QueryLocked"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("record-after-release"),
+            std::string::npos);
+}
+
+TEST_F(LexlintTest, LatchCatchesAccessorRecordUnderTheLatch) {
+  WriteFile("src/engine/hot2.cc",
+            "void Session::ExecuteLocked(const Req& req) {\n"
+            "  engine_->slow_query_log()->Record(MakeEntry(req));\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("slow_query_log"), std::string::npos);
+}
+
+TEST_F(LexlintTest, LatchAllowsRecordAfterRelease) {
+  // Recording from a plain (non-Locked) function is the contract;
+  // funnels and Record calls may coexist in one file.
+  WriteFile("src/engine/session_like.cc",
+            "Result<QueryResult> Session::Execute(const Req& req) {\n"
+            "  Result<QueryResult> result = RunLatched(req);\n"
+            "  stmt_stats_.Record(MakeRecord(req));\n"
+            "  slow_log_.Record(MakeEntry(req));\n"
+            "  return result;\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"latch"}, &diags), 0) << Render(diags);
+}
+
 TEST_F(LexlintTest, DiscardedStatusIsFlagged) {
   WriteFile("src/common/io.h", "Status WriteAll(const char* path);\n");
   WriteFile("src/engine/save.cc",
@@ -437,6 +481,46 @@ TEST_F(LexlintTest, ExportModeCleanDump) {
   std::vector<Diagnostic> diags;
   std::ostringstream log;
   EXPECT_EQ(lexlint::Run(options, &diags, log), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, UndeclaredMetricSubsystemIsFlagged) {
+  // Well-formed but off-contract: "statement" is not a declared
+  // subsystem (the statement-stats plane registered "stmt").
+  WriteFile("src/engine/m.cc",
+            "void F() {\n"
+            "  reg.GetCounter(\"lexequal_statement_calls\", \"calls\");\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"metrics"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("undeclared subsystem"),
+            std::string::npos);
+  EXPECT_NE(diags[0].message.find("statement"), std::string::npos);
+}
+
+TEST_F(LexlintTest, StmtAndSlowlogSubsystemsAreDeclared) {
+  WriteFile("src/engine/m.cc",
+            "void F() {\n"
+            "  reg.GetCounter(\"lexequal_stmt_recorded\", \"n\");\n"
+            "  reg.GetCounter(\"lexequal_slowlog_captured\", \"n\");\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"metrics"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, ExportModeFlagsUndeclaredSubsystem) {
+  WriteFile("metrics.txt",
+            "# TYPE lexequal_stmt_recorded counter\n"
+            "lexequal_stmt_recorded 5\n"
+            "# TYPE lexequal_mystery_things counter\n"
+            "lexequal_mystery_things 1\n");
+  Options options;
+  options.export_file = (root_ / "metrics.txt").string();
+  std::vector<Diagnostic> diags;
+  std::ostringstream log;
+  EXPECT_EQ(lexlint::Run(options, &diags, log), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_NE(diags[0].message.find("mystery"), std::string::npos);
 }
 
 TEST_F(LexlintTest, ExportModeEmptyDumpFails) {

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -243,6 +245,131 @@ TEST_F(ObsMetricsTest, ResetAllZeroesEveryMetric) {
 
 TEST_F(ObsMetricsTest, DefaultRegistryIsProcessWideSingleton) {
   EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+TEST_F(ObsMetricsTest, SingleSampleHistogramQuantiles) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "Record compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Histogram* h = registry_.GetHistogram("lexequal_test_single_us");
+  h->Record(7);
+  // One observation: every quantile resolves inside its (5, 10]
+  // bucket, and the snapshot mirrors the live accessors exactly.
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 7u);
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GT(snap.Quantile(q), 5.0) << "q=" << q;
+    EXPECT_LE(snap.Quantile(q), 10.0) << "q=" << q;
+  }
+  EXPECT_EQ(snap.p50(), h->p50());
+}
+
+TEST_F(ObsMetricsTest, AllOverflowSnapshotClampsQuantiles) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "Record compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Histogram* h = registry_.GetHistogram("lexequal_test_allover_us");
+  const uint64_t max_bound = Histogram::BucketBounds().back();
+  for (int i = 0; i < 5; ++i) h->Record(max_bound * 2);
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.buckets.back(), 5u);  // all mass in overflow
+  EXPECT_EQ(snap.Quantile(0.5), static_cast<double>(max_bound));
+  EXPECT_EQ(snap.Quantile(1.0), static_cast<double>(max_bound));
+}
+
+TEST_F(ObsMetricsTest, EmptySnapshotQuantilesAreZero) {
+  const HistogramSnapshot snap =
+      registry_.GetHistogram("lexequal_test_emptysnap_us")->Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.p99(), 0.0);
+}
+
+// Regression for the export-inconsistency bug: Histogram::Record is
+// three separate relaxed atomic RMWs (bucket, count, sum), so a
+// reader walking the raw fields mid-Record could export a histogram
+// whose bucket total disagreed with its _count — which downstream
+// consumers (Prometheus rate() over +Inf vs _count, SHOW STATEMENTS
+// p99) interpret as corruption. Snapshot() must always return
+// buckets summing exactly to count, even under a recorder storm and
+// a SetEnabled writer flapping the global switch.
+TEST_F(ObsMetricsTest, SnapshotIsConsistentUnderRecorderRace) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "Record compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Histogram* h = registry_.GetHistogram("lexequal_test_snaprace_us");
+  std::atomic<bool> stop{false};
+  constexpr int kRecorders = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kRecorders + 1);
+  for (int t = 0; t < kRecorders; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t v = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h->Record(v % 4096 + t);
+        ++v;
+      }
+    });
+  }
+  // The kill switch flaps concurrently: a half-disabled Record must
+  // never surface as a torn snapshot either.
+  workers.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      SetEnabled(false);
+      SetEnabled(true);
+    }
+  });
+
+  for (int i = 0; i < 2000; ++i) {
+    const HistogramSnapshot snap = h->Snapshot();
+    uint64_t total = 0;
+    for (const uint64_t b : snap.buckets) total += b;
+    ASSERT_EQ(total, snap.count) << "torn snapshot at iteration " << i;
+  }
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+  SetEnabled(true);
+
+  // Quiesced: the final snapshot matches the live fields exactly.
+  const HistogramSnapshot final_snap = h->Snapshot();
+  EXPECT_EQ(final_snap.count, h->count());
+  EXPECT_EQ(final_snap.sum, h->sum());
+}
+
+// The same property read through the public exports: the +Inf
+// cumulative bucket of a Prometheus dump must equal _count in every
+// dump taken while recorders run.
+TEST_F(ObsMetricsTest, ExportBucketsMatchCountUnderRace) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "Record compiled out under LEXEQUAL_NO_OBS";
+#endif
+  Histogram* h = registry_.GetHistogram("lexequal_test_exportrace_us");
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    uint64_t v = 1;
+    while (!stop.load(std::memory_order_relaxed)) h->Record(v++ % 997);
+  });
+
+  auto parse_metric = [](const std::string& text, const std::string& line_prefix) {
+    const size_t pos = text.find(line_prefix);
+    EXPECT_NE(pos, std::string::npos) << line_prefix;
+    if (pos == std::string::npos) return uint64_t{0};
+    const size_t val = text.find_last_of(' ', text.find('\n', pos));
+    return static_cast<uint64_t>(
+        std::strtoull(text.c_str() + val + 1, nullptr, 10));
+  };
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = registry_.ExportPrometheus();
+    const uint64_t inf = parse_metric(
+        text, "lexequal_test_exportrace_us_bucket{le=\"+Inf\"}");
+    const uint64_t count =
+        parse_metric(text, "lexequal_test_exportrace_us_count");
+    ASSERT_EQ(inf, count) << "inconsistent export at iteration " << i;
+  }
+  stop.store(true);
+  recorder.join();
 }
 
 }  // namespace

@@ -1,0 +1,624 @@
+// Statement-statistics, slow-query-log, and engine-health coverage.
+//
+// Three layers, matching the observability planes:
+//  * obs unit tests — StatementStats slot lifecycle (claim, drop,
+//    reset, text truncation) and SlowQueryLog ring retention,
+//    including a threaded retention stress that runs under tsan via
+//    the `parallel` ctest label.
+//  * sql unit tests — fingerprint normalization: literals erased,
+//    identifiers case-folded, plan/threshold knobs preserved.
+//  * engine integration — the differential test: a randomized mixed
+//    workload over two concurrent sessions, with per-query ground
+//    truth summed from QueryResult stats and compared EXACTLY
+//    against the registry aggregates; plus SHOW STATEMENTS, slow
+//    query capture, and Engine::Health().
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <iterator>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/session.h"
+#include "obs/slow_query_log.h"
+#include "obs/stmt_stats.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "text/utf8.h"
+
+namespace lexequal {
+namespace {
+
+using engine::Engine;
+using engine::LexEqualPlan;
+using engine::QueryRequest;
+using engine::Schema;
+using engine::Session;
+using engine::Tuple;
+using engine::Value;
+using engine::ValueType;
+using text::Language;
+
+// --- StatementStats unit tests ---
+
+TEST(FingerprintHashTest, StableNonZeroAndDiscriminating) {
+  EXPECT_EQ(obs::FingerprintHash("select ?"),
+            obs::FingerprintHash("select ?"));
+  EXPECT_NE(obs::FingerprintHash("select ?"),
+            obs::FingerprintHash("select ??"));
+  EXPECT_NE(obs::FingerprintHash(""), 0u);
+  EXPECT_NE(obs::FingerprintHash("x"), 0u);
+}
+
+TEST(StatementStatsTest, AggregatesPerFingerprint) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "histogram recording compiled out";
+#endif
+  const bool was = obs::SetEnabled(true);
+  obs::StatementStats stats(2, 8);
+
+  obs::StmtRecord a;
+  a.fingerprint = 11;
+  a.statement = "select a";
+  a.wall_us = 100;
+  a.rows = 3;
+  a.candidates = 7;
+  a.dp_cells = 40;
+  a.plan = 1;
+  stats.Record(a);
+  a.wall_us = 50;
+  a.rows = 2;
+  a.plan = 2;
+  stats.Record(a);
+  obs::StmtRecord b;
+  b.fingerprint = 22;
+  b.statement = "select b";
+  b.wall_us = 9;
+  b.error = true;
+  stats.Record(b);
+
+  EXPECT_EQ(stats.recorded(), 3u);
+  EXPECT_EQ(stats.fingerprints(), 2u);
+  std::vector<obs::StatementStats::Aggregate> snap = stats.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  const auto& agg_a = snap[0].fingerprint == 11 ? snap[0] : snap[1];
+  const auto& agg_b = snap[0].fingerprint == 11 ? snap[1] : snap[0];
+  EXPECT_EQ(agg_a.calls, 2u);
+  EXPECT_EQ(agg_a.errors, 0u);
+  EXPECT_EQ(agg_a.rows, 5u);
+  EXPECT_EQ(agg_a.candidates, 14u);
+  EXPECT_EQ(agg_a.dp_cells, 80u);
+  EXPECT_EQ(agg_a.total_us, 150u);
+  EXPECT_EQ(agg_a.plan_calls[1], 1u);
+  EXPECT_EQ(agg_a.plan_calls[2], 1u);
+  EXPECT_EQ(agg_a.statement, "select a");
+  EXPECT_EQ(agg_a.latency.count, 2u);
+  EXPECT_EQ(agg_a.latency.sum, 150u);
+  EXPECT_EQ(agg_b.calls, 1u);
+  EXPECT_EQ(agg_b.errors, 1u);
+  obs::SetEnabled(was);
+}
+
+TEST(StatementStatsTest, DerivesFingerprintFromTextWhenZero) {
+  obs::StatementStats stats(1, 4);
+  obs::StmtRecord r;
+  r.statement = "select derived";
+  stats.Record(r);
+  std::vector<obs::StatementStats::Aggregate> snap = stats.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].fingerprint,
+            obs::FingerprintHash("select derived"));
+}
+
+TEST(StatementStatsTest, FullShardDropsNewKeepsExisting) {
+  obs::StatementStats stats(1, 2);
+  for (uint64_t fp : {1u, 2u, 3u}) {  // third claim must not fit
+    obs::StmtRecord r;
+    r.fingerprint = fp;
+    stats.Record(r);
+  }
+  EXPECT_EQ(stats.fingerprints(), 2u);
+  EXPECT_EQ(stats.dropped(), 1u);
+  // Established fingerprints keep aggregating after the shard fills.
+  obs::StmtRecord again;
+  again.fingerprint = 1;
+  stats.Record(again);
+  EXPECT_EQ(stats.dropped(), 1u);
+  std::vector<obs::StatementStats::Aggregate> snap = stats.Snapshot();
+  for (const auto& agg : snap) {
+    if (agg.fingerprint == 1) {
+      EXPECT_EQ(agg.calls, 2u);
+    }
+  }
+}
+
+TEST(StatementStatsTest, ResetFreesSlotsForReuse) {
+  obs::StatementStats stats(1, 2);
+  obs::StmtRecord r;
+  r.fingerprint = 7;
+  stats.Record(r);
+  stats.Reset();
+  EXPECT_EQ(stats.fingerprints(), 0u);
+  EXPECT_TRUE(stats.Snapshot().empty());
+  r.fingerprint = 8;  // a fresh fingerprint claims a recycled slot
+  stats.Record(r);
+  std::vector<obs::StatementStats::Aggregate> snap = stats.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].fingerprint, 8u);
+  EXPECT_EQ(snap[0].calls, 1u);
+}
+
+TEST(StatementStatsTest, StatementTextTruncatedAtCap) {
+  obs::StatementStats stats(1, 2);
+  const std::string longtext(
+      obs::StatementStats::kMaxStatementBytes + 100, 'q');
+  obs::StmtRecord r;
+  r.fingerprint = 5;
+  r.statement = longtext;
+  stats.Record(r);
+  std::vector<obs::StatementStats::Aggregate> snap = stats.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].statement.size(),
+            obs::StatementStats::kMaxStatementBytes);
+  EXPECT_EQ(snap[0].statement,
+            longtext.substr(0, obs::StatementStats::kMaxStatementBytes));
+}
+
+TEST(StatementStatsTest, ExportsCarryFingerprintSeries) {
+  obs::StatementStats stats(1, 4);
+  obs::StmtRecord r;
+  r.fingerprint = 0xabcdef;
+  r.statement = "select exported";
+  r.wall_us = 3;
+  stats.Record(r);
+  const std::string json = stats.ExportJson();
+  EXPECT_NE(json.find("select exported"), std::string::npos);
+  EXPECT_NE(json.find("\"calls\""), std::string::npos);
+  const std::string prom = stats.ExportPrometheus();
+  EXPECT_NE(prom.find("lexequal_stmt_calls"), std::string::npos);
+  EXPECT_NE(prom.find("lexequal_stmt_total_us"), std::string::npos);
+}
+
+// --- SlowQueryLog unit tests ---
+
+TEST(SlowQueryLogTest, RetainsNewestFirstAndEvictsOldest) {
+  obs::SlowQueryLog log(4);
+  for (int i = 0; i < 6; ++i) {
+    obs::SlowQueryEntry e;
+    e.wall_us = 100 + i;
+    e.statement = "q" + std::to_string(i);
+    log.Record(std::move(e));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.captured(), 6u);
+  std::vector<obs::SlowQueryEntry> latest = log.Latest();
+  ASSERT_EQ(latest.size(), 4u);
+  EXPECT_EQ(latest[0].seq, 6u);  // newest first
+  EXPECT_EQ(latest[3].seq, 3u);  // entries 1 and 2 evicted
+  EXPECT_EQ(latest[0].statement, "q5");
+  EXPECT_EQ(log.Latest(2).size(), 2u);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.captured(), 6u);  // lifetime counter survives Clear
+}
+
+TEST(SlowQueryLogTest, ExportJsonRendersEntries) {
+  obs::SlowQueryLog log(4);
+  obs::SlowQueryEntry e;
+  e.fingerprint = 42;
+  e.wall_us = 1234;
+  e.statement = "select slow";
+  e.plan = "qgram";
+  log.Record(std::move(e));
+  const std::string json = log.ExportJson();
+  EXPECT_NE(json.find("select slow"), std::string::npos);
+  EXPECT_NE(json.find("qgram"), std::string::npos);
+  EXPECT_NE(json.find("1234"), std::string::npos);
+}
+
+// Retention under racing writers: with T*M captures through a
+// capacity-C ring, the survivors must be exactly the C most recent
+// seqs, newest first. Runs under tsan via the `parallel` label.
+TEST(SlowQueryLogTest, ConcurrentRecordRetainsLastN) {
+  constexpr size_t kCapacity = 8;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  obs::SlowQueryLog log(kCapacity);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::SlowQueryEntry e;
+        e.session_id = static_cast<uint64_t>(t);
+        e.wall_us = static_cast<uint64_t>(i);
+        e.statement = "stress";
+        log.Record(std::move(e));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(log.captured(), kTotal);
+  EXPECT_EQ(log.size(), kCapacity);
+  std::vector<obs::SlowQueryEntry> latest = log.Latest();
+  ASSERT_EQ(latest.size(), kCapacity);
+  for (size_t i = 0; i < latest.size(); ++i) {
+    // Exactly the last kCapacity seqs, in strictly descending order.
+    EXPECT_EQ(latest[i].seq, kTotal - i);
+  }
+}
+
+// --- Fingerprint normalization (sql layer) ---
+
+uint64_t FingerprintOf(std::string_view query) {
+  Result<sql::Statement> stmt = sql::ParseStatement(query);
+  EXPECT_TRUE(stmt.ok()) << query << ": " << stmt.status();
+  return stmt.ok() ? sql::FingerprintStatement(*stmt) : 0;
+}
+
+TEST(FingerprintTest, LiteralsAndCaseDoNotChangeFingerprint) {
+  const uint64_t base = FingerprintOf(
+      "select Author from Books where Author LexEQUAL 'Nehru' "
+      "Threshold 0.25");
+  EXPECT_EQ(base, FingerprintOf("SELECT  author  FROM  books  WHERE  "
+                                "author  LEXEQUAL  'Nero'  "
+                                "threshold 0.25"));
+  EXPECT_NE(base, 0u);
+}
+
+TEST(FingerprintTest, KnobsAreFingerprintRelevant) {
+  const uint64_t t25 = FingerprintOf(
+      "select author from books where author lexequal 'x' "
+      "threshold 0.25");
+  const uint64_t t50 = FingerprintOf(
+      "select author from books where author lexequal 'x' "
+      "threshold 0.5");
+  const uint64_t t25_qgram = FingerprintOf(
+      "select author from books where author lexequal 'x' "
+      "threshold 0.25 using qgram");
+  EXPECT_NE(t25, t50);          // threshold is a plan-shaping knob
+  EXPECT_NE(t25, t25_qgram);    // so is the USING plan hint
+  EXPECT_NE(t50, t25_qgram);
+}
+
+TEST(FingerprintTest, NormalizedTextErasesLiterals) {
+  Result<sql::Statement> stmt = sql::ParseStatement(
+      "select Author from Books where Author LexEQUAL 'Nehru' "
+      "Threshold 0.25");
+  ASSERT_TRUE(stmt.ok());
+  const std::string norm = sql::NormalizeStatement(*stmt);
+  EXPECT_EQ(norm.find("Nehru"), std::string::npos);
+  EXPECT_EQ(norm.find("nehru"), std::string::npos);
+  EXPECT_NE(norm.find('?'), std::string::npos);
+  EXPECT_NE(norm.find("lexequal"), std::string::npos);
+  EXPECT_NE(norm.find("books"), std::string::npos);  // case-folded
+}
+
+// --- Engine integration ---
+
+class StmtStatsEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_obs_ = obs::SetEnabled(true);
+    path_ = std::filesystem::temp_directory_path() /
+            ("lexequal_stmt_stats_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db");
+    std::filesystem::remove(path_);
+    auto db = Engine::Open(path_.string(), 512);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+
+    Schema schema({
+        {"author", ValueType::kString, std::nullopt},
+        {"author_phon", ValueType::kString, 0},
+    });
+    ASSERT_TRUE(db_->CreateTable("books", schema).ok());
+    const std::string nehru_hi =
+        text::EncodeUtf8({0x0928, 0x0947, 0x0939, 0x0930, 0x0941});
+    for (const auto& [author, lang] :
+         std::vector<std::pair<std::string, Language>>{
+             {"Nehru", Language::kEnglish},
+             {nehru_hi, Language::kHindi},
+             {"Neeru", Language::kEnglish},
+             {"Nero", Language::kEnglish},
+             {"Smith", Language::kEnglish},
+             {"Schmidt", Language::kEnglish},
+             {"Laxman", Language::kEnglish},
+             {"Lakshman", Language::kEnglish},
+         }) {
+      Tuple values{Value::String(author, lang)};
+      ASSERT_TRUE(db_->Insert("books", values).ok());
+    }
+    ASSERT_TRUE(db_->CreateIndex({.kind = engine::IndexSpec::Kind::kQGram,
+                                  .table = "books",
+                                  .column = "author_phon",
+                                  .q = 2}).ok());
+    ASSERT_TRUE(
+        db_->CreateIndex({.kind = engine::IndexSpec::Kind::kPhonetic,
+                          .table = "books",
+                          .column = "author_phon"}).ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove(path_);
+    obs::SetEnabled(previous_obs_);
+  }
+
+  bool previous_obs_ = true;
+  std::filesystem::path path_;
+  std::unique_ptr<Engine> db_;
+};
+
+// Ground truth accumulated from per-query QueryResult stats — the
+// values Session::Execute later feeds into StatementStats must sum
+// to exactly these.
+struct ExpectedAggregate {
+  uint64_t calls = 0;
+  uint64_t rows = 0;
+  uint64_t candidates = 0;
+  uint64_t dp_cells = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t total_us = 0;
+  std::array<uint64_t, obs::StatementStats::kMaxPlans> plan_calls{};
+};
+
+// The acceptance differential: a randomized mixed workload over two
+// concurrent sessions. Every counter the registry aggregates is also
+// summed per-fingerprint from the QueryResults the clients saw; the
+// two views must agree EXACTLY — lock-free recording may not lose or
+// double-count a single row, cell, or microsecond.
+TEST_F(StmtStatsEngineTest, DifferentialAggregatesMatchGroundTruth) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "statement recording compiled out";
+#endif
+  const char* templates[] = {
+      "select author from books where author lexequal '%s' "
+      "threshold 0.25",
+      "select author from books where author lexequal '%s' "
+      "threshold 0.25 using qgram",
+      "select author from books where author lexequal '%s' "
+      "threshold 0.25 using phonetic",
+      "select author from books where author lexequal '%s' "
+      "threshold 0.5 using naive",
+  };
+  const char* probes[] = {"Nehru", "Nero", "Smith", "Laxman", "Neeru"};
+
+  std::mutex merge_mu;
+  std::map<uint64_t, ExpectedAggregate> expected;
+  std::atomic<bool> failed{false};
+  auto worker = [&](uint64_t seed) {
+    Session session = db_->CreateSession();
+    Random rng(seed);
+    std::map<uint64_t, ExpectedAggregate> local;
+    for (int i = 0; i < 60 && !failed.load(); ++i) {
+      const char* tmpl = templates[rng.Uniform(std::size(templates))];
+      const char* probe = probes[rng.Uniform(std::size(probes))];
+      char query[256];
+      std::snprintf(query, sizeof query, tmpl, probe);
+
+      Result<sql::Statement> stmt = sql::ParseStatement(query);
+      if (!stmt.ok()) {
+        failed.store(true);
+        return;
+      }
+      const uint64_t fp = sql::FingerprintStatement(*stmt);
+      Result<sql::QueryResult> result = sql::Execute(&session, *stmt);
+      if (!result.ok()) {
+        failed.store(true);
+        return;
+      }
+      ExpectedAggregate& agg = local[fp];
+      agg.calls += 1;
+      agg.rows += result->stats.results;
+      agg.candidates += result->stats.candidates;
+      agg.dp_cells += result->stats.match.dp_cells;
+      agg.cache_hits += result->stats.match.cache_hits;
+      agg.cache_misses += result->stats.match.cache_misses;
+      agg.total_us += result->stats.wall_us;
+      agg.plan_calls[static_cast<size_t>(result->stats.plan)] += 1;
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    for (const auto& [fp, agg] : local) {
+      ExpectedAggregate& merged = expected[fp];
+      merged.calls += agg.calls;
+      merged.rows += agg.rows;
+      merged.candidates += agg.candidates;
+      merged.dp_cells += agg.dp_cells;
+      merged.cache_hits += agg.cache_hits;
+      merged.cache_misses += agg.cache_misses;
+      merged.total_us += agg.total_us;
+      for (size_t p = 0; p < merged.plan_calls.size(); ++p) {
+        merged.plan_calls[p] += agg.plan_calls[p];
+      }
+    }
+  };
+  std::thread t1(worker, 0xA11CE);
+  std::thread t2(worker, 0xB0B);
+  t1.join();
+  t2.join();
+  ASSERT_FALSE(failed.load()) << "workload query failed";
+
+  std::vector<obs::StatementStats::Aggregate> snap =
+      db_->stmt_stats()->Snapshot();
+  ASSERT_EQ(snap.size(), expected.size());
+  for (const obs::StatementStats::Aggregate& agg : snap) {
+    auto it = expected.find(agg.fingerprint);
+    ASSERT_NE(it, expected.end())
+        << "unexpected fingerprint " << agg.fingerprint;
+    const ExpectedAggregate& want = it->second;
+    EXPECT_EQ(agg.calls, want.calls) << agg.statement;
+    EXPECT_EQ(agg.errors, 0u) << agg.statement;
+    EXPECT_EQ(agg.rows, want.rows) << agg.statement;
+    EXPECT_EQ(agg.candidates, want.candidates) << agg.statement;
+    EXPECT_EQ(agg.dp_cells, want.dp_cells) << agg.statement;
+    EXPECT_EQ(agg.cache_hits, want.cache_hits) << agg.statement;
+    EXPECT_EQ(agg.cache_misses, want.cache_misses) << agg.statement;
+    EXPECT_EQ(agg.total_us, want.total_us) << agg.statement;
+    for (size_t p = 0; p < want.plan_calls.size(); ++p) {
+      EXPECT_EQ(agg.plan_calls[p], want.plan_calls[p])
+          << agg.statement << " plan " << p;
+    }
+    // The latency histogram observed one wall_us sample per call.
+    EXPECT_EQ(agg.latency.count, want.calls) << agg.statement;
+    EXPECT_EQ(agg.latency.sum, want.total_us) << agg.statement;
+  }
+  EXPECT_EQ(db_->stmt_stats()->dropped(), 0u);
+}
+
+TEST_F(StmtStatsEngineTest, ShowStatementsOrdersLimitsAndResets) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "statement recording compiled out";
+#endif
+  Session session = db_->CreateSession();
+  const char* q_thrice =
+      "select author from books where author lexequal 'Nehru' "
+      "threshold 0.25 using qgram";
+  const char* q_once =
+      "select author from books where author lexequal 'Smith' "
+      "threshold 0.5 using naive";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(sql::ExecuteQuery(&session, q_thrice).ok());
+  }
+  ASSERT_TRUE(sql::ExecuteQuery(&session, q_once).ok());
+
+  Result<sql::QueryResult> shown =
+      sql::ExecuteQuery(&session, "show statements");
+  ASSERT_TRUE(shown.ok()) << shown.status();
+  ASSERT_EQ(shown->rows.size(), 2u);
+  ASSERT_EQ(shown->column_names.size(), 10u);
+  EXPECT_EQ(shown->column_names[0], "fingerprint");
+  EXPECT_EQ(shown->column_names[1], "calls");
+  // Default order is calls descending: the 3-call statement leads.
+  EXPECT_EQ(shown->rows[0][1].AsInt64(), 3);
+  EXPECT_EQ(shown->rows[1][1].AsInt64(), 1);
+  // The rendered statement is the normalized text with its plan knob.
+  const std::string top = shown->rows[0][9].AsString().text();
+  EXPECT_NE(top.find("lexequal ?"), std::string::npos);
+  EXPECT_NE(top.find("qgram"), std::string::npos);
+  // Per-plan call counts render as name:count pairs.
+  EXPECT_NE(shown->rows[0][8].AsString().text().find(":3"),
+            std::string::npos);
+
+  Result<sql::QueryResult> limited =
+      sql::ExecuteQuery(&session, "show statements limit 1");
+  ASSERT_TRUE(limited.ok()) << limited.status();
+  EXPECT_EQ(limited->rows.size(), 1u);
+
+  Result<sql::QueryResult> by_time = sql::ExecuteQuery(
+      &session, "show statements order by total_time limit 5");
+  ASSERT_TRUE(by_time.ok()) << by_time.status();
+  ASSERT_EQ(by_time->rows.size(), 2u);
+  EXPECT_GE(by_time->rows[0][4].AsInt64(),
+            by_time->rows[1][4].AsInt64());
+
+  Result<sql::QueryResult> reset =
+      sql::ExecuteQuery(&session, "show statements reset");
+  ASSERT_TRUE(reset.ok()) << reset.status();
+  Result<sql::QueryResult> empty =
+      sql::ExecuteQuery(&session, "show statements");
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE(empty->rows.empty());
+}
+
+TEST_F(StmtStatsEngineTest, ErrorsAreCountedPerFingerprint) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "statement recording compiled out";
+#endif
+  Session session = db_->CreateSession();
+  QueryRequest req = QueryRequest::ThresholdSelect(
+      "no_such_table", "author",
+      text::TaggedString("Nehru", Language::kEnglish));
+  Result<engine::QueryResult> result = session.Execute(req);
+  EXPECT_FALSE(result.ok());
+
+  std::vector<obs::StatementStats::Aggregate> snap =
+      db_->stmt_stats()->Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].calls, 1u);
+  EXPECT_EQ(snap[0].errors, 1u);
+  // API-path queries fingerprint via the request-shape description.
+  EXPECT_NE(snap[0].statement.find("no_such_table"),
+            std::string::npos);
+}
+
+TEST_F(StmtStatsEngineTest, SlowQueryCaptureHonorsThreshold) {
+#ifdef LEXEQUAL_NO_OBS
+  GTEST_SKIP() << "trace capture compiled out";
+#endif
+  // Default: capture is off; nothing lands in the log.
+  Session quiet = db_->CreateSession();
+  ASSERT_TRUE(sql::ExecuteQuery(
+      &quiet, "select author from books where author lexequal "
+              "'Nehru' threshold 0.25").ok());
+  EXPECT_EQ(db_->slow_query_log()->captured(), 0u);
+
+  // A 1µs threshold makes every real query slow. The capture must
+  // carry the full trace even though the session never set \trace.
+  Session session = db_->CreateSession();
+  session.set_slow_query_us(1);
+  ASSERT_TRUE(sql::ExecuteQuery(
+      &session, "select author from books where author lexequal "
+                "'Nehru' threshold 0.25 using qgram").ok());
+  ASSERT_GE(db_->slow_query_log()->captured(), 1u);
+  std::vector<obs::SlowQueryEntry> latest =
+      db_->slow_query_log()->Latest(1);
+  ASSERT_EQ(latest.size(), 1u);
+  const obs::SlowQueryEntry& e = latest[0];
+  EXPECT_EQ(e.session_id, session.id());
+  EXPECT_EQ(e.threshold_us, 1u);
+  EXPECT_GE(e.wall_us, 1u);
+  EXPECT_EQ(e.plan, "qgram-filter");
+  EXPECT_NE(e.statement.find("lexequal ?"), std::string::npos);
+  ASSERT_NE(e.trace, nullptr);
+  EXPECT_FALSE(e.trace->ToString().empty());
+
+  // Turning capture back off stops new entries.
+  const uint64_t before = db_->slow_query_log()->captured();
+  session.set_slow_query_us(0);
+  ASSERT_TRUE(sql::ExecuteQuery(
+      &session, "select author from books where author lexequal "
+                "'Nero' threshold 0.25").ok());
+  EXPECT_EQ(db_->slow_query_log()->captured(), before);
+}
+
+TEST_F(StmtStatsEngineTest, HealthSnapshotReflectsActivity) {
+  Session session = db_->CreateSession();
+  ASSERT_TRUE(sql::ExecuteQuery(
+      &session, "select author from books where author lexequal "
+                "'Nehru' threshold 0.25").ok());
+
+  const engine::HealthSnapshot health = db_->Health();
+  EXPECT_GT(health.uptime_us, 0u);
+  EXPECT_EQ(health.tables, 1u);
+  EXPECT_EQ(health.indexes, 2u);
+  EXPECT_GE(health.sessions_created, 1u);
+  EXPECT_EQ(health.in_flight_queries, 0);
+  EXPECT_GT(health.bufpool_frames, 0u);
+  EXPECT_GE(health.bufpool_frames, health.bufpool_resident);
+#ifndef LEXEQUAL_NO_OBS
+  EXPECT_GE(health.statements_recorded, 1u);
+  EXPECT_GE(health.statement_fingerprints, 1u);
+#endif
+
+  const std::string text = health.ToString();
+  EXPECT_NE(text.find("uptime"), std::string::npos);
+  EXPECT_NE(text.find("buffer pool"), std::string::npos);
+  const std::string json = health.ToJson();
+  EXPECT_NE(json.find("\"tables\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"in_flight_queries\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lexequal

@@ -62,6 +62,44 @@ const std::regex& MetricNameRe() {
   return re;
 }
 
+// The declared metric subsystems: the <subsystem> of the
+// lexequal_<subsystem>_<name> contract. A new subsystem means a row
+// here — an undeclared one is a violation, so subsystem names cannot
+// drift (lexequal_statement_* vs lexequal_stmt_*) without the lint
+// noticing.
+const std::set<std::string>& MetricSubsystems() {
+  static const std::set<std::string> kSubsystems = {
+      "query",  "match",    "qgram",   "phonetic", "invidx",
+      "bufpool", "disk",    "heap",    "phoneme",  "g2p",
+      "parallel", "stmt",   "slowlog",
+  };
+  return kSubsystems;
+}
+
+// Checks one metric name against the contract; returns the complaint
+// or nullopt when the name is fine.
+std::optional<std::string> MetricNameComplaint(const std::string& name) {
+  if (!std::regex_match(name, MetricNameRe())) {
+    return "bad metric name '" + name +
+           "' (want lexequal_<subsystem>_<name> snake_case)";
+  }
+  const size_t start = std::string("lexequal_").size();
+  const std::string subsystem =
+      name.substr(start, name.find('_', start) - start);
+  if (MetricSubsystems().count(subsystem) == 0) {
+    std::string known;
+    for (const std::string& s : MetricSubsystems()) {
+      if (!known.empty()) known += ", ";
+      known += s;
+    }
+    return "metric '" + name + "' uses undeclared subsystem '" +
+           subsystem + "' (declared: " + known +
+           "; add new subsystems to MetricSubsystems() in "
+           "tools/lexlint/lexlint.cc)";
+  }
+  return std::nullopt;
+}
+
 // ---------------------------------------------------------------------------
 // Source loading: a file plus comment/literal-stripped views and its
 // suppression table.
@@ -392,6 +430,17 @@ const std::regex& LatchFunnelRe() {
   return re;
 }
 
+// The record-after-release funnels: statement-stats and slow-query
+// recording must happen strictly AFTER the engine latch drops, so the
+// observability write never serializes the shared query path. Inside
+// a *Locked function these calls are by-contract under the latch —
+// the inverse of the funnel check above.
+const std::regex& LatchRecordRe() {
+  static const std::regex re(
+      R"((stmt_stats_|slow_log_|stmt_stats\s*\(\s*\)|slow_query_log\s*\(\s*\))\s*(\.|->)\s*Record\s*\()");
+  return re;
+}
+
 // The function name a brace-opening statement introduces: the first
 // `name(` whose name is not a control keyword. Empty when the brace
 // opens a namespace, class, lambda, or control block — those inherit
@@ -405,12 +454,19 @@ std::string FunctionOpenerName(const std::string& stmt) {
 }
 
 void CheckLatch(const std::vector<SourceFile>& files, Sink* sink) {
+  // A flagged mention: a catalog-mutation funnel (must be inside a
+  // *Locked function) or an observability Record call (must NOT be).
+  struct Site {
+    size_t pos;
+    std::string name;
+    bool record;  // true = record-after-release check
+  };
   for (const SourceFile& f : files) {
     if (f.module != "engine") continue;
 
     // Funnel mention positions, in order. Declarations and qualified
     // definitions are filtered out below; calls remain.
-    std::vector<std::pair<size_t, std::string>> sites;
+    std::vector<Site> sites;
     for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
                                         LatchFunnelRe());
          it != std::sregex_iterator(); ++it) {
@@ -438,8 +494,19 @@ void CheckLatch(const std::vector<SourceFile>& files, Sink* sink) {
           if (!IsStatementKeyword(f.pure.substr(b, p - b))) continue;
         }
       }
-      sites.emplace_back(pos, (*it)[1].str());
+      sites.push_back({pos, (*it)[1].str(), false});
     }
+    // Record-after-release sites: `stmt_stats_.Record(` and friends
+    // are always calls (the member access rules them out as
+    // declarations), so no filtering is needed.
+    for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
+                                        LatchRecordRe());
+         it != std::sregex_iterator(); ++it) {
+      sites.push_back(
+          {static_cast<size_t>(it->position(0)), (*it)[1].str(), true});
+    }
+    std::sort(sites.begin(), sites.end(),
+              [](const Site& a, const Site& b) { return a.pos < b.pos; });
     if (sites.empty()) continue;
 
     // One pass over the stripped text, tracking the enclosing function
@@ -449,12 +516,22 @@ void CheckLatch(const std::vector<SourceFile>& files, Sink* sink) {
     std::string stmt;
     size_t next = 0;
     for (size_t i = 0; i < f.pure.size() && next < sites.size(); ++i) {
-      if (i == sites[next].first) {
+      if (i == sites[next].pos) {
         const std::string fn = scopes.empty() ? "" : scopes.back();
         const bool held = fn.size() >= 6 &&
                           fn.compare(fn.size() - 6, 6, "Locked") == 0;
-        if (!held) {
-          std::string callee = sites[next].second;
+        if (sites[next].record) {
+          if (held) {
+            sink->Emit(f, "latch", LineOfOffset(f.pure, i),
+                       "statement/slow-query recording via '" +
+                           sites[next].name + "' inside '" + fn +
+                           "', which holds the engine latch by "
+                           "contract; record strictly after release "
+                           "(record-after-release, "
+                           "src/engine/session.h)");
+          }
+        } else if (!held) {
+          std::string callee = sites[next].name;
           if (callee.find("AddTable") != std::string::npos) {
             callee = "catalog_.AddTable";
           }
@@ -649,11 +726,9 @@ void CheckMetricsSource(const std::vector<SourceFile>& files, Sink* sink) {
         continue;
       }
       const std::string name = lm[1].str();
-      if (!std::regex_match(name, MetricNameRe())) {
-        sink->Emit(f, "metrics", lineno,
-                   "bad metric name '" + name +
-                       "' (want lexequal_<subsystem>_<name> "
-                       "snake_case)");
+      if (std::optional<std::string> complaint = MetricNameComplaint(name);
+          complaint.has_value()) {
+        sink->Emit(f, "metrics", lineno, *complaint);
       }
     }
   }
@@ -676,11 +751,9 @@ int CheckMetricsExport(const std::string& path, Sink* sink,
     if (!std::regex_match(line, m, type_re)) continue;
     ++found;
     const std::string name = m[1].str();
-    if (!std::regex_match(name, MetricNameRe())) {
-      sink->EmitRaw("metrics", path, lineno,
-                    "bad exported metric name '" + name +
-                        "' (want lexequal_<subsystem>_<name> "
-                        "snake_case)");
+    if (std::optional<std::string> complaint = MetricNameComplaint(name);
+        complaint.has_value()) {
+      sink->EmitRaw("metrics", path, lineno, "exported " + *complaint);
     }
   }
   if (found == 0) {
