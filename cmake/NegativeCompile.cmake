@@ -1,0 +1,63 @@
+# Negative-compile harness for the thread-safety arm: proves at
+# configure time that -Werror=thread-safety-analysis actually rejects
+# the two violation kinds the annotations exist to catch —
+#
+#   * writing a GUARDED_BY member without holding its mutex, and
+#   * calling a REQUIRES(mu) function without holding mu —
+#
+# plus a clean control fixture that must compile, so a fixture broken
+# for an unrelated reason (missing header, bad flag) cannot pass as a
+# "successful" rejection. Without this, a typo that silences the
+# analysis (say, a no-op macro leaking into the clang build) would
+# leave the whole arm green while verifying nothing.
+#
+# Included only when LEXEQUAL_THREAD_SAFETY is ON (clang-only).
+
+set(_ncfix "${CMAKE_CURRENT_LIST_DIR}/negative_compile")
+
+function(_lexequal_try_compile out_var src)
+  try_compile(${out_var}
+    "${CMAKE_BINARY_DIR}/negative_compile"
+    SOURCES "${src}"
+    COMPILE_DEFINITIONS "-I${PROJECT_SOURCE_DIR}/src"
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE _nc_log)
+  set(${out_var} "${${out_var}}" PARENT_SCOPE)
+  set(_nc_log "${_nc_log}" PARENT_SCOPE)
+endfunction()
+
+# try_compile does not inherit add_compile_options, so the analysis
+# flags must ride in explicitly for these sub-compiles.
+set(CMAKE_REQUIRED_FLAGS_SAVE "${CMAKE_CXX_FLAGS}")
+set(CMAKE_CXX_FLAGS
+    "${CMAKE_CXX_FLAGS} -Wthread-safety -Werror=thread-safety-analysis")
+
+_lexequal_try_compile(_nc_clean "${_ncfix}/clean.cc")
+if(NOT _nc_clean)
+  message(FATAL_ERROR
+      "negative-compile control fixture failed to build; the harness "
+      "cannot distinguish analysis rejections from broken fixtures:\n"
+      "${_nc_log}")
+endif()
+
+_lexequal_try_compile(_nc_guarded "${_ncfix}/guarded_member_without_lock.cc")
+if(_nc_guarded)
+  message(FATAL_ERROR
+      "thread-safety analysis accepted a write to a GUARDED_BY member "
+      "without the lock; the analysis arm is not rejecting violations "
+      "(check that the annotation macros expand under this compiler)")
+endif()
+
+_lexequal_try_compile(_nc_requires "${_ncfix}/requires_without_lock.cc")
+if(_nc_requires)
+  message(FATAL_ERROR
+      "thread-safety analysis accepted a call to a REQUIRES(mu) "
+      "function without the lock; the analysis arm is not rejecting "
+      "violations")
+endif()
+
+set(CMAKE_CXX_FLAGS "${CMAKE_REQUIRED_FLAGS_SAVE}")
+message(STATUS
+    "Thread-safety negative-compile harness: both violation fixtures "
+    "rejected, control fixture clean")

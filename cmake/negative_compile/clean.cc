@@ -1,0 +1,39 @@
+// Control fixture for the negative-compile harness: the same shape as
+// the two violation fixtures, but lock-correct. Must COMPILE under
+// -Werror=thread-safety-analysis — if it doesn't, the fixtures are
+// broken (bad include path, bad flags) and the harness aborts rather
+// than misreading the breakage as a successful rejection.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mu_) {
+    lexequal::common::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  void AuditLocked() REQUIRES(mu_) { ++audits_; }
+
+  void Audit() EXCLUDES(mu_) {
+    lexequal::common::MutexLock lock(&mu_);
+    AuditLocked();
+  }
+
+ private:
+  lexequal::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+  int audits_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.Audit();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Violation fixture: writes a GUARDED_BY member without holding its
+// mutex. MUST FAIL to compile under -Werror=thread-safety-analysis;
+// if it compiles, the analysis arm is not checking guarded state and
+// the configure step aborts (cmake/NegativeCompile.cmake).
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // The violation: balance_ is guarded by mu_, but no lock is taken.
+  void Deposit(int amount) { balance_ += amount; }
+
+ private:
+  lexequal::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Violation fixture: calls a REQUIRES(mu_) function without holding
+// the mutex — the *Locked-funnel mistake the engine annotations
+// exist to catch. MUST FAIL to compile under
+// -Werror=thread-safety-analysis; if it compiles, the configure step
+// aborts (cmake/NegativeCompile.cmake).
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void AuditLocked() REQUIRES(mu_) { ++audits_; }
+
+  // The violation: the REQUIRES(mu_) funnel is entered latch-free.
+  void Audit() { AuditLocked(); }
+
+ private:
+  lexequal::common::Mutex mu_;
+  int audits_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Audit();
+  return 0;
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# clang-tidy smoke: runs the repo profile (.clang-tidy — bugprone-*,
+# concurrency-*, performance-*) over a pinned subset of files chosen
+# to cover every lock owner plus the match kernel, so the check stays
+# fast enough for ctest (the full tree is run_static_analysis.sh's
+# job). Exits 77 — ctest's SKIP_RETURN_CODE — when clang-tidy is not
+# installed, so gcc-only machines skip rather than fail.
+#
+# Usage: scripts/clang_tidy_smoke.sh [build-dir]
+# The build dir must hold a compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS=ON, on by default in the tree).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+build="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang_tidy_smoke: clang-tidy not on PATH; skipping" >&2
+  exit 77
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "clang_tidy_smoke: no $build/compile_commands.json; configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 77
+fi
+
+# One file per annotated lock owner, plus the kernel hot path: the
+# places where a concurrency-* or performance-* finding costs most.
+files=(
+  src/common/mutex.h
+  src/obs/metrics.cc
+  src/obs/stmt_stats.cc
+  src/obs/slow_query_log.cc
+  src/storage/buffer_pool.cc
+  src/match/phoneme_cache.cc
+  src/match/match_kernel.cc
+  src/engine/session.cc
+)
+
+exec clang-tidy -p "$build" --quiet "${files[@]}"

@@ -1,67 +1,121 @@
 #!/usr/bin/env bash
 # The full sanitizer matrix, one preset per instrumented build tree:
 #
-#   asan  — AddressSanitizer over the whole suite (heap/stack
-#           lifetime, leaks on exit), build-asan/
-#   ubsan — UndefinedBehaviorSanitizer over the whole suite with
-#           recovery disabled, so the first overflow/shift/bounds
-#           report is a hard failure, build-ubsan/
-#   tsan  — ThreadSanitizer over the concurrency-labeled tests
-#           (`ctest -L parallel`); single-threaded code has nothing
-#           for it to see and triples the runtime, build-tsan/
+#   asan          — AddressSanitizer over the whole suite (heap/stack
+#                   lifetime, leaks on exit), build-asan/
+#   ubsan         — UndefinedBehaviorSanitizer over the whole suite
+#                   with recovery disabled, so the first
+#                   overflow/shift/bounds report is a hard failure,
+#                   build-ubsan/
+#   tsan          — ThreadSanitizer over the concurrency-labeled tests
+#                   (`ctest -L parallel`); single-threaded code has
+#                   nothing for it to see and triples the runtime,
+#                   build-tsan/
+#   thread-safety — Clang Thread Safety Analysis as a compile error:
+#                   the static complement to tsan (tsan sees the
+#                   interleavings that ran; the analysis sees every
+#                   annotated lock path). Included automatically when
+#                   clang++ is on PATH, SKIPped otherwise — its build
+#                   tree compiling cleanly IS the result, so no tests
+#                   run. build-thread-safety/
 #
 # Run from the repo root:
 #
-#   scripts/run_sanitizer_matrix.sh              # all three
-#   scripts/run_sanitizer_matrix.sh asan ubsan   # a subset
+#   scripts/run_sanitizer_matrix.sh                  # every arm
+#   scripts/run_sanitizer_matrix.sh asan ubsan       # a subset
+#   scripts/run_sanitizer_matrix.sh --keep-going     # don't fail fast
+#
+# The default is fail-fast: the first failing arm stops the matrix
+# (later arms are reported as SKIP), because a broken build usually
+# breaks every arm and serial re-runs of a known failure waste the
+# slowest machines' time. --keep-going restores run-everything. Either
+# way the run ends with a per-arm PASS/FAIL/SKIP table and exits
+# non-zero if any arm failed.
 #
 # Each arm is an independent build tree, so an interrupted run
 # resumes incrementally.
-set -eu
+set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
-arms=("$@")
-if [ ${#arms[@]} -eq 0 ]; then
-  arms=(asan ubsan tsan)
-fi
-
-for arm in "${arms[@]}"; do
-  case "$arm" in
-    asan|ubsan|tsan) ;;
-    *) echo "run_sanitizer_matrix: unknown arm '$arm' (want asan, ubsan, tsan)" >&2
+keep_going=0
+arms=()
+for arg in "$@"; do
+  case "$arg" in
+    --keep-going) keep_going=1 ;;
+    asan|ubsan|tsan|thread-safety) arms+=("$arg") ;;
+    *) echo "run_sanitizer_matrix: unknown arm '$arg' (want asan, ubsan, tsan, thread-safety, --keep-going)" >&2
        exit 2 ;;
   esac
 done
+if [ ${#arms[@]} -eq 0 ]; then
+  arms=(asan ubsan tsan)
+  # The analysis arm rides along whenever the toolchain is present;
+  # on gcc-only machines the matrix stays the classic three.
+  if command -v clang++ >/dev/null 2>&1; then
+    arms+=(thread-safety)
+  fi
+fi
 
-fail=0
-for arm in "${arms[@]}"; do
-  echo "=== sanitizer matrix: $arm ==="
-  cmake --preset "$arm"
-  cmake --build --preset "$arm" -j "$(nproc)"
+declare -A result
+failed=0
+
+run_arm() {
+  local arm="$1"
+  cmake --preset "$arm" || return 1
+  cmake --build --preset "$arm" -j "$(nproc)" || return 1
   case "$arm" in
     tsan)
       # Halt-on-error keeps the first data race on top of the output
       # instead of burying it under later, derived failures.
       TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-        ctest --test-dir build-tsan -L parallel --output-on-failure \
-        || fail=1
+        ctest --test-dir build-tsan -L parallel --output-on-failure
       ;;
     asan)
       ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-        ctest --test-dir build-asan --output-on-failure \
-        || fail=1
+        ctest --test-dir build-asan --output-on-failure
       ;;
     ubsan)
       UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
-        ctest --test-dir build-ubsan --output-on-failure \
-        || fail=1
+        ctest --test-dir build-ubsan --output-on-failure
+      ;;
+    thread-safety)
+      # Compiling cleanly under -Werror=thread-safety-analysis is the
+      # whole verdict; the binaries are byte-for-byte normal ones.
+      :
       ;;
   esac
+}
+
+for arm in "${arms[@]}"; do
+  if [ "$failed" -ne 0 ] && [ "$keep_going" -eq 0 ]; then
+    result[$arm]=SKIP
+    continue
+  fi
+  if [ "$arm" = thread-safety ] && ! command -v clang++ >/dev/null 2>&1; then
+    echo "=== sanitizer matrix: $arm (SKIP: clang++ not on PATH) ==="
+    result[$arm]=SKIP
+    continue
+  fi
+  echo "=== sanitizer matrix: $arm ==="
+  if run_arm "$arm"; then
+    result[$arm]=PASS
+  else
+    result[$arm]=FAIL
+    failed=1
+  fi
 done
 
-if [ "$fail" -ne 0 ]; then
+echo
+echo "=== sanitizer matrix summary ==="
+printf '%-15s %s\n' "arm" "result"
+printf '%-15s %s\n' "---" "------"
+for arm in "${arms[@]}"; do
+  printf '%-15s %s\n' "$arm" "${result[$arm]}"
+done
+
+if [ "$failed" -ne 0 ]; then
   echo "=== sanitizer matrix: FAILED ==="
   exit 1
 fi

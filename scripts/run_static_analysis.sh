@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# The whole static-analysis surface in one pass, three independent
+# arms with a PASS/FAIL/SKIP verdict each:
+#
+#   thread-safety — clang build with -Werror=thread-safety-analysis
+#                   over the annotated mutexes (the compile-time lock
+#                   discipline; includes the negative-compile harness
+#                   that proves violations are rejected). SKIP when
+#                   clang++ is not installed.
+#   lexlint       — every rule of the project linter (layering,
+#                   bufpool, kernel, latch, status, metrics, doclinks,
+#                   guards) over src/, built from the default tree.
+#   clang-tidy    — the root .clang-tidy profile (bugprone-*,
+#                   concurrency-*, performance-*) over the pinned lock
+#                   -owner subset (scripts/clang_tidy_smoke.sh). SKIP
+#                   when clang-tidy is not installed.
+#
+# Usage, from the repo root:
+#
+#   scripts/run_static_analysis.sh
+#
+# Exits non-zero if any arm FAILs; SKIPs (missing tools) do not fail
+# the run, so the pass degrades gracefully on gcc-only machines while
+# running everything where clang is available.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+declare -A result
+failed=0
+
+note() { echo; echo "=== static analysis: $* ==="; }
+
+# --- arm 1: clang thread-safety build --------------------------------
+note "thread-safety build"
+if command -v clang++ >/dev/null 2>&1; then
+  if cmake --preset thread-safety &&
+     cmake --build --preset thread-safety -j "$(nproc)"; then
+    result[thread-safety]=PASS
+  else
+    result[thread-safety]=FAIL
+    failed=1
+  fi
+else
+  echo "clang++ not on PATH; skipping the analysis build"
+  result[thread-safety]=SKIP
+fi
+
+# --- arm 2: lexlint, all rules ---------------------------------------
+note "lexlint (all rules)"
+lexlint=""
+for candidate in build/tools/lexlint build-thread-safety/tools/lexlint; do
+  if [ -x "$candidate" ]; then
+    lexlint="$candidate"
+    break
+  fi
+done
+if [ -z "$lexlint" ]; then
+  echo "no built lexlint found; building the default tree's tools"
+  if cmake --preset default >/dev/null &&
+     cmake --build --preset default -j "$(nproc)" --target lexlint; then
+    lexlint=build/tools/lexlint
+  fi
+fi
+if [ -n "$lexlint" ] && [ -x "$lexlint" ]; then
+  if "$lexlint" --root="$root" "$root/src"; then
+    result[lexlint]=PASS
+  else
+    result[lexlint]=FAIL
+    failed=1
+  fi
+else
+  echo "could not build lexlint"
+  result[lexlint]=FAIL
+  failed=1
+fi
+
+# --- arm 3: clang-tidy over the pinned subset ------------------------
+note "clang-tidy smoke"
+scripts/clang_tidy_smoke.sh build
+tidy_rc=$?
+if [ "$tidy_rc" -eq 0 ]; then
+  result[clang-tidy]=PASS
+elif [ "$tidy_rc" -eq 77 ]; then
+  result[clang-tidy]=SKIP
+else
+  result[clang-tidy]=FAIL
+  failed=1
+fi
+
+# --- summary ---------------------------------------------------------
+echo
+echo "=== static analysis summary ==="
+printf '%-15s %s\n' "arm" "result"
+printf '%-15s %s\n' "---" "------"
+for arm in thread-safety lexlint clang-tidy; do
+  printf '%-15s %s\n' "$arm" "${result[$arm]}"
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "=== static analysis: FAILED ==="
+  exit 1
+fi
+echo "=== static analysis: clean ==="

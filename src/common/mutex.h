@@ -1,0 +1,117 @@
+// Annotated mutex wrappers: the only place raw std::mutex /
+// std::shared_mutex may appear (enforced repo-wide by the lexlint
+// `guards` rule).
+//
+// common::Mutex and common::SharedMutex are thin capability-annotated
+// wrappers over the standard primitives — zero overhead, same
+// semantics — that exist so Clang Thread Safety Analysis can see lock
+// acquisition and release (std::mutex itself carries no annotations).
+// Every lock owner in the engine declares one of these, marks the
+// state it protects GUARDED_BY(it), and marks its internal funnels
+// REQUIRES(it) / REQUIRES_SHARED(it); the `thread-safety` build arm
+// then rejects any unlocked access at compile time. See
+// src/common/thread_annotations.h for the macro vocabulary and
+// ARCHITECTURE.md §6a for the lock → guarded state → functions table.
+//
+// RAII holders:
+//   MutexLock          exclusive  std::lock_guard equivalent
+//   SharedMutexLock    shared     std::shared_lock equivalent
+//   WriterMutexLock    exclusive  std::unique_lock-over-SharedMutex
+//
+// All three release in the destructor via RELEASE_GENERIC, the
+// spelling the analysis expects from scoped holders regardless of the
+// mode they acquired in.
+
+#ifndef LEXEQUAL_COMMON_MUTEX_H_
+#define LEXEQUAL_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace lexequal::common {
+
+/// Exclusive-only lock. Wraps std::mutex with capability annotations.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer lock. Wraps std::shared_mutex with capability
+/// annotations; exclusive for writers, shared for readers.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive hold of a Mutex (std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE_GENERIC() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared hold of a SharedMutex (std::shared_lock equivalent).
+class SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~SharedMutexLock() RELEASE_GENERIC() { mu_->UnlockShared(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive hold of a SharedMutex (writer side).
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE_GENERIC() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace lexequal::common
+
+#endif  // LEXEQUAL_COMMON_MUTEX_H_

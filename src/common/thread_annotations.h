@@ -1,0 +1,106 @@
+// Portable Clang Thread Safety Analysis macros.
+//
+// These wrap the `thread_safety` attribute family so locking
+// contracts — which mutex guards which member, which functions
+// require which lock, which must be called with it released — are
+// written next to the code and machine-checked at compile time under
+// clang (`-Wthread-safety`, promoted to an error by the
+// LEXEQUAL_THREAD_SAFETY build arm; see scripts/run_static_analysis.sh
+// and the `thread-safety` CMake preset). Under gcc and other
+// compilers every macro expands to nothing, so annotated code builds
+// everywhere; the annotations are still enforced structurally by the
+// lexlint `guards` rule, which runs under any toolchain.
+//
+// The vocabulary (same shape as Abseil's thread_annotations.h):
+//
+//   CAPABILITY("mutex")      on a class: instances are lockable
+//   SCOPED_CAPABILITY        on a class: RAII lock holder
+//   GUARDED_BY(mu)           on a member: reads need mu held (shared
+//                            is enough), writes need it exclusive
+//   PT_GUARDED_BY(mu)        like GUARDED_BY but for the pointee
+//   REQUIRES(mu)             callers must hold mu exclusively
+//   REQUIRES_SHARED(mu)      callers must hold mu at least shared
+//   ACQUIRE / ACQUIRE_SHARED the function takes the lock
+//   RELEASE / RELEASE_SHARED the function drops the lock
+//   RELEASE_GENERIC          drops a lock held in either mode (the
+//                            right spelling for scoped destructors
+//                            that may hold shared or exclusive)
+//   TRY_ACQUIRE(b, mu)       conditional acquisition, result b
+//   EXCLUDES(mu)             callers must NOT hold mu (encodes e.g.
+//                            the record-after-release contract)
+//   ASSERT_CAPABILITY(mu)    runtime assertion that mu is held
+//   RETURN_CAPABILITY(mu)    the function returns a reference to mu
+//   NO_THREAD_SAFETY_ANALYSIS opt one function out (audited escapes
+//                            only; pair with a lexlint:allow reason)
+//
+// Per-line audited escapes are allowed; blanket suppressions are not
+// (ISSUE 9 acceptance criteria). The analysis itself never checks
+// constructors/destructors' access to their own guarded members.
+
+#ifndef LEXEQUAL_COMMON_THREAD_ANNOTATIONS_H_
+#define LEXEQUAL_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LEXEQUAL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LEXEQUAL_THREAD_ANNOTATION
+#define LEXEQUAL_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) LEXEQUAL_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY LEXEQUAL_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) LEXEQUAL_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) LEXEQUAL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  LEXEQUAL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  LEXEQUAL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  LEXEQUAL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  LEXEQUAL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  LEXEQUAL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  LEXEQUAL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  LEXEQUAL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  LEXEQUAL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  LEXEQUAL_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  LEXEQUAL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  LEXEQUAL_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) LEXEQUAL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  LEXEQUAL_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  LEXEQUAL_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) LEXEQUAL_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LEXEQUAL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // LEXEQUAL_COMMON_THREAD_ANNOTATIONS_H_

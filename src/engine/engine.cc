@@ -4,7 +4,6 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -287,7 +286,7 @@ HealthSnapshot Engine::Health() const {
   {
     // Catalog shape is latch-guarded shared state; everything else in
     // the snapshot reads atomics.
-    std::shared_lock<std::shared_mutex> lock(latch_);
+    common::SharedMutexLock lock(&latch_);
     for (const std::string& name : catalog_.TableNames()) {
       Result<TableInfo*> info = catalog_.GetTable(name);
       if (!info.ok()) continue;
@@ -371,7 +370,7 @@ std::string HealthSnapshot::ToJson() const {
 }
 
 Status Engine::Flush() {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  common::WriterMutexLock lock(&latch_);
   // lexlint:allow(latch): exclusive latch acquired on the line above
   LEXEQUAL_RETURN_IF_ERROR(SaveCatalogLocked());
   return pool_->FlushAll();
@@ -388,30 +387,35 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
       new Engine(std::move(disk), std::move(pool)));
 
   // The meta heap lives at page 0: the very first allocation of a
-  // fresh file, or the known root of an existing one.
-  if (fresh) {
-    // Surfacing the Status matters here: with an undersized pool the
-    // very first page allocation can fail, and the old
-    // `.value()`-and-hope pattern turned that into undefined
-    // behaviour instead of an error (caught by the nodiscard audit).
-    Result<storage::HeapFile> meta =
-        storage::HeapFile::Create(db->pool_.get());
-    if (!meta.ok()) return meta.status();
-    if (meta->first_page() != 0) {
-      return Status::Internal("meta heap did not land on page 0");
+  // fresh file, or the known root of an existing one. No session can
+  // exist yet, so the exclusive latch below is uncontended — it is
+  // taken anyway so the REQUIRES(latch_) contract on
+  // LoadCatalogLocked and the GUARDED_BY(latch_) on meta_ hold by
+  // construction rather than by suppression.
+  {
+    common::WriterMutexLock lock(&db->latch_);
+    if (fresh) {
+      // Surfacing the Status matters here: with an undersized pool the
+      // very first page allocation can fail, and the old
+      // `.value()`-and-hope pattern turned that into undefined
+      // behaviour instead of an error (caught by the nodiscard audit).
+      Result<storage::HeapFile> meta =
+          storage::HeapFile::Create(db->pool_.get());
+      if (!meta.ok()) return meta.status();
+      if (meta->first_page() != 0) {
+        return Status::Internal("meta heap did not land on page 0");
+      }
+      db->meta_ =
+          std::make_unique<storage::HeapFile>(std::move(meta).value());
+    } else {
+      Result<storage::HeapFile> meta =
+          storage::HeapFile::Open(db->pool_.get(), 0);
+      if (!meta.ok()) return meta.status();
+      db->meta_ =
+          std::make_unique<storage::HeapFile>(std::move(meta).value());
+      // lexlint:allow(latch): exclusive latch held by the WriterMutexLock scope above
+      LEXEQUAL_RETURN_IF_ERROR(db->LoadCatalogLocked());
     }
-    db->meta_ =
-        std::make_unique<storage::HeapFile>(std::move(meta).value());
-  } else {
-    Result<storage::HeapFile> meta =
-        storage::HeapFile::Open(db->pool_.get(), 0);
-    if (!meta.ok()) return meta.status();
-    db->meta_ =
-        std::make_unique<storage::HeapFile>(std::move(meta).value());
-    // Construction precedes sharing: no session can exist yet, so the
-    // catalog load needs no latch.
-    // lexlint:allow(latch): construction precedes sharing
-    LEXEQUAL_RETURN_IF_ERROR(db->LoadCatalogLocked());
   }
 
   // The LexEQUAL UDF, callable from SQL and expression trees:
@@ -596,7 +600,7 @@ Status Engine::LoadCatalogLocked() {
 }
 
 Status Engine::CreateTable(const std::string& name, Schema schema) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  common::WriterMutexLock lock(&latch_);
   return CreateTableLocked(name, std::move(schema));
 }
 
@@ -627,7 +631,7 @@ Status Engine::CreateTableLocked(const std::string& name, Schema schema) {
 
 Result<RID> Engine::Insert(const std::string& table,
                            const Tuple& user_values) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  common::WriterMutexLock lock(&latch_);
   return InsertLocked(table, user_values);
 }
 
@@ -713,7 +717,7 @@ Result<RID> Engine::InsertLocked(const std::string& table,
 }
 
 Status Engine::CreateIndex(const IndexSpec& spec) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  common::WriterMutexLock lock(&latch_);
   return CreateIndexLocked(spec);
 }
 
@@ -821,7 +825,7 @@ Status Engine::CreateIndexLocked(const IndexSpec& spec) {
 }
 
 Status Engine::Analyze(const std::string& table) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  common::WriterMutexLock lock(&latch_);
   return AnalyzeLocked(table);
 }
 
@@ -908,7 +912,7 @@ Status Engine::AnalyzeLocked(const std::string& table) {
 Status Engine::AnalyzeAll() {
   // One exclusive latch across all tables, so a concurrent session
   // sees either no new stats or all of them.
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  common::WriterMutexLock lock(&latch_);
   for (const std::string& name : catalog_.TableNames()) {
     LEXEQUAL_RETURN_IF_ERROR(AnalyzeLocked(name));
   }

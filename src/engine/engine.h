@@ -15,10 +15,11 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/catalog.h"
 #include "engine/executor.h"
 #include "engine/expression.h"
@@ -200,15 +201,23 @@ class Engine {
   /// filled on insert with the IPA transform of the source column
   /// (rows whose language has no converter get an empty phonemic
   /// string, which never matches). Takes the latch exclusively.
-  Status CreateTable(const std::string& name, Schema schema);
+  Status CreateTable(const std::string& name, Schema schema)
+      EXCLUDES(latch_);
 
   /// Inserts a row; `user_values` covers the non-derived columns in
   /// schema order. Takes the latch exclusively (index maintenance
   /// mutates shared B-Trees and posting lists).
   Result<storage::RID> Insert(const std::string& table,
-                              const Tuple& user_values);
+                              const Tuple& user_values) EXCLUDES(latch_);
 
-  Result<TableInfo*> GetTable(const std::string& name) const {
+  /// Looks up a table under the shared latch. The returned pointer
+  /// stays valid for the engine's lifetime (tables are never
+  /// dropped), but its mutable state (heap, indexes, stats) must only
+  /// be touched under the latch — callers outside a query path should
+  /// treat it as a schema snapshot.
+  Result<TableInfo*> GetTable(const std::string& name) const
+      EXCLUDES(latch_) {
+    common::SharedMutexLock lock(&latch_);
     return catalog_.GetTable(name);
   }
 
@@ -216,17 +225,17 @@ class Engine {
   /// phonemic column, backfilling existing rows; maintained by
   /// subsequent inserts. A table holds at most one index of each
   /// kind. Takes the latch exclusively.
-  Status CreateIndex(const IndexSpec& spec);
+  Status CreateIndex(const IndexSpec& spec) EXCLUDES(latch_);
 
   /// Collects optimizer statistics for `table` — row count, phonemic
   /// lengths, phonetic-key fanout, q-gram posting density — in one
   /// heap scan, and persists them through the catalog snapshot. Until
   /// a table is ANALYZEd the plan picker falls back to a heuristic
   /// (see engine/plan_picker.h). Takes the latch exclusively.
-  Status Analyze(const std::string& table);
+  Status Analyze(const std::string& table) EXCLUDES(latch_);
 
   /// ANALYZEs every table in the catalog under one exclusive latch.
-  Status AnalyzeAll();
+  Status AnalyzeAll() EXCLUDES(latch_);
 
   storage::BufferPool* buffer_pool() { return pool_.get(); }
   UdfRegistry* udf_registry() { return &udfs_; }
@@ -246,7 +255,7 @@ class Engine {
 
   /// One consistent-enough health snapshot: catalog shape under the
   /// shared latch, cache/pool counters from their atomics.
-  HealthSnapshot Health() const;
+  HealthSnapshot Health() const EXCLUDES(latch_);
 
   /// Process-wide metrics registry in Prometheus text exposition
   /// format — the shell's \metrics command.
@@ -262,7 +271,7 @@ class Engine {
   /// Snapshots the catalog (current index roots included) and flushes
   /// all dirty pages. Call before closing to make the file reopenable
   /// with its tables and indexes. Takes the latch exclusively.
-  Status Flush();
+  Status Flush() EXCLUDES(latch_);
 
  private:
   friend class Session;  // queries run through the *Locked impls
@@ -277,20 +286,25 @@ class Engine {
   // whole query, so TableInfo pointers stay valid across the plan;
   // writers (DDL / ANALYZE / Insert / Flush) hold it exclusively.
   // Methods suffixed `Locked` assume the caller already holds the
-  // latch in the required mode and never re-acquire it; the lexlint
-  // `latch` rule enforces that the catalog-mutation funnels are only
-  // reached from inside *Locked helpers.
+  // latch in the required mode and never re-acquire it. The contract
+  // is machine-checked twice: the REQUIRES / REQUIRES_SHARED
+  // annotations below make clang's thread-safety analysis reject any
+  // unlatched call path at compile time (the `thread-safety` preset),
+  // and the lexlint `latch` rule enforces the same funnel shape
+  // textually under every toolchain.
 
   // Catalog persistence: snapshot records in the meta heap (page 0).
-  Status SaveCatalogLocked();
-  Status LoadCatalogLocked();
+  Status SaveCatalogLocked() REQUIRES(latch_);
+  Status LoadCatalogLocked() REQUIRES(latch_);
 
   // Write-path bodies (exclusive latch held).
-  Status CreateTableLocked(const std::string& name, Schema schema);
+  Status CreateTableLocked(const std::string& name, Schema schema)
+      REQUIRES(latch_);
   Result<storage::RID> InsertLocked(const std::string& table,
-                                    const Tuple& user_values);
-  Status CreateIndexLocked(const IndexSpec& spec);
-  Status AnalyzeLocked(const std::string& table);
+                                    const Tuple& user_values)
+      REQUIRES(latch_);
+  Status CreateIndexLocked(const IndexSpec& spec) REQUIRES(latch_);
+  Status AnalyzeLocked(const std::string& table) REQUIRES(latch_);
 
   // ------------------------------------------------------------------
   // Query bodies (shared latch held; called by Session::Execute).
@@ -303,14 +317,14 @@ class Engine {
   Result<PlanChoice> ExplainSelectLocked(
       const std::string& table, const std::string& column,
       const phonetic::PhonemeString& query_phon,
-      const LexEqualQueryOptions& options);
+      const LexEqualQueryOptions& options) REQUIRES_SHARED(latch_);
 
   // WHERE `column` LexEQUAL probe, in phoneme space (Fig. 3).
   Result<std::vector<Tuple>> SelectPhonemesLocked(
       const std::string& table, const std::string& column,
       const phonetic::PhonemeString& query_phon,
       const LexEqualQueryOptions& options, QueryStats* qs,
-      obs::QueryTrace* trace);
+      obs::QueryTrace* trace) REQUIRES_SHARED(latch_);
 
   // Ranked retrieval: the k rows most similar to the probe under
   // lexsim, ordered (score desc, insertion order asc).
@@ -318,7 +332,7 @@ class Engine {
       const std::string& table, const std::string& column,
       const phonetic::PhonemeString& query_phon, size_t k,
       const LexEqualQueryOptions& options, QueryStats* qs,
-      obs::QueryTrace* trace);
+      obs::QueryTrace* trace) REQUIRES_SHARED(latch_);
 
   // SELECT pairs WHERE t1.c1 LexEQUAL t2.c2 AND t1.language <>
   // t2.language (Fig. 5). `outer_limit` caps outer rows (0 = all).
@@ -326,21 +340,22 @@ class Engine {
       const std::string& left_table, const std::string& left_column,
       const std::string& right_table, const std::string& right_column,
       const LexEqualQueryOptions& options, uint64_t outer_limit,
-      QueryStats* qs, obs::QueryTrace* trace);
+      QueryStats* qs, obs::QueryTrace* trace) REQUIRES_SHARED(latch_);
 
   // SELECT * WHERE `column` = literal (native equality; the Table 1
   // "Exact" baseline).
   Result<std::vector<Tuple>> ExactSelectLocked(const std::string& table,
                                                const std::string& column,
                                                const Value& literal,
-                                               QueryStats* qs);
+                                               QueryStats* qs)
+      REQUIRES_SHARED(latch_);
 
   // Exact-match join baseline (text equality on the two columns,
   // different languages), for Table 1's "Exact Join" row.
   Result<std::vector<std::pair<Tuple, Tuple>>> ExactJoinLocked(
       const std::string& left_table, const std::string& left_column,
       const std::string& right_table, const std::string& right_column,
-      uint64_t outer_limit, QueryStats* qs);
+      uint64_t outer_limit, QueryStats* qs) REQUIRES_SHARED(latch_);
 
   // ------------------------------------------------------------------
   // Session-facing plumbing (defined in engine.cc, next to the
@@ -362,14 +377,16 @@ class Engine {
   // Assembles the plan-picker inputs for one probe of `phon_col`.
   PlanPickerInputs PickerInputs(const TableInfo& info, uint32_t phon_col,
                                 double query_len,
-                                const LexEqualQueryOptions& options) const;
+                                const LexEqualQueryOptions& options) const
+      REQUIRES_SHARED(latch_);
 
   // Shared verification step: parse the candidate's phonemic cell and
   // run the exact matcher.
   Result<bool> VerifyCandidate(const match::LexEqualMatcher& matcher,
                                const phonetic::PhonemeString& query_phon,
                                const Tuple& row, uint32_t phon_col,
-                               QueryStats* stats) const;
+                               QueryStats* stats) const
+      REQUIRES_SHARED(latch_);
 
   // Exact reference ranking: scores every phonemic row with the
   // kernel and keeps the best k by (score desc, RID asc). Used as the
@@ -379,7 +396,7 @@ class Engine {
       const match::LexEqualMatcher& matcher,
       const phonetic::PhonemeString& query_phon, size_t k,
       const LexEqualQueryOptions& options, QueryStats* qs,
-      obs::QueryTrace* trace);
+      obs::QueryTrace* trace) REQUIRES_SHARED(latch_);
 
   // Candidate RIDs from the q-gram access path for one probe. The
   // probe multiset is built once per query (BuildQGramProbe) and
@@ -391,27 +408,43 @@ class Engine {
   // clustered-cost matches (documented in DESIGN.md).
   Result<std::vector<storage::RID>> QGramCandidates(
       const TableInfo& table, const match::QGramProbe& probe,
-      double threshold, QueryStats* stats) const;
+      double threshold, QueryStats* stats) const
+      REQUIRES_SHARED(latch_);
 
   // True if the row's language passes the inlanguages clause.
   static bool LanguageAllowed(const LexEqualQueryOptions& options,
                               const Tuple& row, uint32_t source_col);
 
-  mutable std::shared_mutex latch_;  // readers: queries; writers: DDL
-  std::unique_ptr<storage::DiskManager> disk_;
-  std::unique_ptr<storage::BufferPool> pool_;
-  Catalog catalog_;
+  // Readers: queries; writers: DDL / ANALYZE / Insert / Flush.
+  mutable common::SharedMutex latch_;
+  // Owned sub-objects set once at Open and internally synchronized
+  // (BufferPool carries its own frame mutex; DiskManager is stateless
+  // past construction): the pointers never change, only the guarded
+  // state behind them does.
+  const std::unique_ptr<storage::DiskManager> disk_;
+  const std::unique_ptr<storage::BufferPool> pool_;
+  Catalog catalog_ GUARDED_BY(latch_);
+  // Registered once under the exclusive latch in Open, read-only for
+  // the rest of the engine's life — the accessor hands out a bare
+  // pointer, so a GUARDED_BY here would be a lie the analysis can't
+  // check through.
+  // lexlint:allow(guards): UDFs are registered once at Open before the engine is shared, read-only afterwards
   UdfRegistry udfs_;
-  const g2p::G2PRegistry* g2p_;
-  std::unique_ptr<storage::HeapFile> meta_;  // catalog snapshots
-  int64_t catalog_version_ = 0;
+  const g2p::G2PRegistry* const g2p_;
+  std::unique_ptr<storage::HeapFile> meta_
+      GUARDED_BY(latch_);  // catalog snapshots
+  int64_t catalog_version_ GUARDED_BY(latch_) = 0;
 
   // Observability state. Sessions mutate these only after releasing
-  // latch_ (record-after-release; audited by the lexlint latch rule),
-  // so a slow query can never serialize the shared query path.
+  // latch_ (record-after-release; audited by the lexlint latch rule
+  // and encoded as EXCLUDES(latch_) on Session::RecordStatement), so
+  // a slow query can never serialize the shared query path. Both are
+  // internally synchronized (lock-free shards / their own mutex).
   const std::chrono::steady_clock::time_point started_at_ =
       std::chrono::steady_clock::now();
+  // lexlint:allow(guards): StatementStats is internally synchronized (lock-free shards + per-shard text mutex)
   obs::StatementStats stmt_stats_;
+  // lexlint:allow(guards): SlowQueryLog is internally synchronized (owns its ring mutex)
   obs::SlowQueryLog slow_log_;
   std::atomic<uint64_t> next_session_id_{0};
   std::atomic<int64_t> in_flight_queries_{0};

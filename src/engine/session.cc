@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <shared_mutex>
 
 namespace lexequal::engine {
 
@@ -218,7 +217,7 @@ Result<QueryResult> Session::Execute(const QueryRequest& req) {
   // Insert. Dispatch's root spans close before the latch drops.
   engine_->in_flight_queries_.fetch_add(1, std::memory_order_relaxed);
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
-    std::shared_lock<std::shared_mutex> lock(engine_->latch_);
+    common::SharedMutexLock lock(&engine_->latch_);
     return Dispatch(req, options, &qs, trace.get());
   }();
   engine_->in_flight_queries_.fetch_sub(1, std::memory_order_relaxed);

@@ -133,7 +133,8 @@ class Session {
   /// metrics are flushed to the process registry here, once; stats,
   /// plan choice, and the trace come back inside the result (and are
   /// also kept as this session's LastQueryStats / LastTrace).
-  Result<QueryResult> Execute(const QueryRequest& req);
+  Result<QueryResult> Execute(const QueryRequest& req)
+      EXCLUDES(engine_->latch_);
 
   Engine* engine() const { return engine_; }
 
@@ -169,19 +170,24 @@ class Session {
 
  private:
   // Dispatches one validated request with the latch held; root spans
-  // and the G2P probe transform live here.
+  // and the G2P probe transform live here. (Session is a friend of
+  // Engine, so the analysis can name the private latch directly.)
   Result<QueryResult> Dispatch(const QueryRequest& req,
                                const LexEqualQueryOptions& options,
-                               QueryStats* qs, obs::QueryTrace* trace);
+                               QueryStats* qs, obs::QueryTrace* trace)
+      REQUIRES_SHARED(engine_->latch_);
 
   // Records one finished query into the engine's StatementStats and,
   // when over this session's threshold, its SlowQueryLog. Called by
   // Execute strictly after the shared latch is released
-  // (record-after-release; audited by the lexlint latch rule).
+  // (record-after-release; audited by the lexlint latch rule and
+  // encoded here as EXCLUDES — holding the latch at this point is a
+  // compile error under -Wthread-safety).
   void RecordStatement(const QueryRequest& req,
                        const LexEqualQueryOptions& options,
                        const QueryStats& qs, bool error,
-                       const std::shared_ptr<const obs::QueryTrace>& trace);
+                       const std::shared_ptr<const obs::QueryTrace>& trace)
+      EXCLUDES(engine_->latch_);
 
   Engine* engine_;
   uint64_t id_ = 0;

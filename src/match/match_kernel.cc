@@ -4,9 +4,10 @@
 #include <cstdio>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace lexequal::match {
@@ -54,6 +55,15 @@ obs::Counter* ArenaGrowths() {
       "DpArena requests that had to grow a buffer");
   return c;
 }
+
+// First-time cost-model compiles, keyed by model parameters. The map
+// is leaked intentionally: compiled models may be referenced from
+// thread-local caches past static destruction order. File scope (not
+// function-local statics) so the guard relationship is visible to
+// the thread-safety analysis.
+common::Mutex g_compile_mu;
+std::map<std::string, std::shared_ptr<const CompiledCostModel>>*
+    g_compile_cache GUARDED_BY(g_compile_mu) = nullptr;
 
 }  // namespace
 
@@ -125,13 +135,13 @@ std::shared_ptr<const CompiledCostModel> CompiledCostModel::Compile(
   thread_local std::shared_ptr<const CompiledCostModel> last;
   if (last != nullptr && last_key == key) return last;
 
-  static std::mutex mu;
-  // Leaked intentionally: compiled models may be referenced from
-  // thread-local caches past static destruction order.
-  static auto* cache =
-      new std::map<std::string, std::shared_ptr<const CompiledCostModel>>();
-  std::lock_guard<std::mutex> lock(mu);
-  std::shared_ptr<const CompiledCostModel>& slot = (*cache)[key];
+  common::MutexLock lock(&g_compile_mu);
+  if (g_compile_cache == nullptr) {
+    g_compile_cache = new std::map<
+        std::string, std::shared_ptr<const CompiledCostModel>>();
+  }
+  std::shared_ptr<const CompiledCostModel>& slot =
+      (*g_compile_cache)[key];
   if (slot == nullptr) slot = std::make_shared<CompiledCostModel>(model);
   last_key = key;
   last = slot;

@@ -73,7 +73,7 @@ PhonemeCache::GetOrCompute(uint16_t tag, std::string_view text,
   const KeyRef probe{tag, text};
   Shard& shard = ShardFor(probe);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     auto it = shard.map.find(probe);
     if (it != shard.map.end()) {
       ++shard.hits;
@@ -111,7 +111,7 @@ PhonemeCache::GetOrCompute(uint16_t tag, std::string_view text,
   }
   const Status status = entry.status;
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   // Another thread may have raced us to the same key; keep theirs.
   if (shard.map.find(KeyRef{tag, entry.key}) == shard.map.end()) {
     shard.lru.push_front(std::move(entry));
@@ -171,7 +171,7 @@ Result<phonetic::PhonemeString> PhonemeCache::ParseIpa(
 PhonemeCacheStats PhonemeCache::stats() const {
   PhonemeCacheStats out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.evictions += shard.evictions;
@@ -183,7 +183,7 @@ PhonemeCacheStats PhonemeCache::stats() const {
 void PhonemeCache::Clear() {
   int64_t dropped = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     dropped += static_cast<int64_t>(shard.lru.size());
     shard.map.clear();
     shard.lru.clear();

@@ -33,12 +33,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "g2p/g2p.h"
 #include "phonetic/phoneme_string.h"
 #include "text/language.h"
@@ -141,14 +142,14 @@ class PhonemeCache {
     std::shared_ptr<const phonetic::PhonemeString> phonemes;
   };
   struct Shard {
-    mutable std::mutex mu;
+    mutable common::Mutex mu;
     // MRU at front; map values point into the list.
-    std::list<Entry> lru;
+    std::list<Entry> lru GUARDED_BY(mu);
     std::unordered_map<KeyRef, std::list<Entry>::iterator, KeyRefHash>
-        map;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+        map GUARDED_BY(mu);
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   // Looks up (tag, text) in its shard, computing-and-inserting via
@@ -160,8 +161,8 @@ class PhonemeCache {
   Shard& ShardFor(const KeyRef& key);
 
   const g2p::G2PRegistry& registry_;
-  size_t capacity_;
-  size_t per_shard_capacity_;
+  const size_t capacity_;
+  const size_t per_shard_capacity_;
   Shard shards_[kShards];
 };
 

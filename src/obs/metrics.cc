@@ -142,7 +142,7 @@ MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
                  static_cast<int>(name.size()), name.data());
     std::abort();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = metrics_.find(std::string(name));
   if (it != metrics_.end()) {
     if (it->second.kind != kind) {
@@ -189,7 +189,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 std::string MetricsRegistry::ExportPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::string out;
   char buf[160];
   for (const auto& [name, entry] : metrics_) {
@@ -243,7 +243,7 @@ std::string MetricsRegistry::ExportPrometheus() const {
 }
 
 std::string MetricsRegistry::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::string counters, gauges, histograms;
   char buf[200];
   for (const auto& [name, entry] : metrics_) {
@@ -278,7 +278,7 @@ std::string MetricsRegistry::ExportJson() const {
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::string> out;
   out.reserve(metrics_.size());
   for (const auto& [name, entry] : metrics_) out.push_back(name);
@@ -286,7 +286,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& [name, entry] : metrics_) {
     switch (entry.kind) {
       case Kind::kCounter:

@@ -47,10 +47,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace lexequal::obs {
 
@@ -234,10 +236,12 @@ class MetricsRegistry {
   };
 
   Entry* GetOrCreate(std::string_view name, std::string_view help,
-                     Kind kind);
+                     Kind kind) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> metrics_;  // sorted => stable exports
+  mutable common::Mutex mu_;
+  // Sorted => stable exports. Entry objects are heap-allocated and
+  // never erased, so pointers handed out by Get* outlive the lock.
+  std::map<std::string, Entry> metrics_ GUARDED_BY(mu_);
 };
 
 }  // namespace lexequal::obs

@@ -42,23 +42,27 @@ std::string JsonEscape(std::string_view s) {
 }  // namespace
 
 SlowQueryLog::SlowQueryLog(size_t capacity, MetricsRegistry* mirror)
-    : capacity_(capacity == 0 ? 1 : capacity) {
+    : capacity_(capacity == 0 ? 1 : capacity),
+      captured_metric_(
+          mirror == nullptr
+              ? nullptr
+              : mirror->GetCounter(
+                    "lexequal_slowlog_captured",
+                    "Queries captured by the slow-query log")),
+      evicted_metric_(
+          mirror == nullptr
+              ? nullptr
+              : mirror->GetCounter(
+                    "lexequal_slowlog_evicted",
+                    "Slow-query entries evicted by ring wraparound")) {
   ring_.reserve(capacity_);
-  if (mirror != nullptr) {
-    captured_metric_ = mirror->GetCounter(
-        "lexequal_slowlog_captured",
-        "Queries captured by the slow-query log");
-    evicted_metric_ = mirror->GetCounter(
-        "lexequal_slowlog_evicted",
-        "Slow-query entries evicted by ring wraparound");
-  }
 }
 
 uint64_t SlowQueryLog::Record(SlowQueryEntry entry) {
   uint64_t seq;
   bool evicted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     seq = ++seq_;
     entry.seq = seq;
     if (ring_.size() < capacity_) {
@@ -75,7 +79,7 @@ uint64_t SlowQueryLog::Record(SlowQueryEntry entry) {
 }
 
 std::vector<SlowQueryEntry> SlowQueryLog::Latest(size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<SlowQueryEntry> out(ring_.begin(), ring_.end());
   std::sort(out.begin(), out.end(),
             [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
@@ -86,18 +90,18 @@ std::vector<SlowQueryEntry> SlowQueryLog::Latest(size_t n) const {
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ring_.clear();
   next_ = 0;
 }
 
 size_t SlowQueryLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return ring_.size();
 }
 
 uint64_t SlowQueryLog::captured() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return seq_;
 }
 

@@ -21,10 +21,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -63,7 +64,7 @@ class SlowQueryLog {
 
   /// The most recent entries, newest first. n == 0 means all
   /// retained entries.
-  std::vector<SlowQueryEntry> Latest(size_t n = 0) const;
+  [[nodiscard]] std::vector<SlowQueryEntry> Latest(size_t n = 0) const;
 
   void Clear();
 
@@ -75,16 +76,16 @@ class SlowQueryLog {
 
   /// JSON array, newest first (n == 0 means all retained). Each
   /// object carries the entry fields plus the rendered trace tree.
-  std::string ExportJson(size_t n = 0) const;
+  [[nodiscard]] std::string ExportJson(size_t n = 0) const;
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<SlowQueryEntry> ring_;  // insertion slot = next_
-  size_t next_ = 0;
-  uint64_t seq_ = 0;
-  Counter* captured_metric_ = nullptr;  // mirrors, may be null
-  Counter* evicted_metric_ = nullptr;
+  mutable common::Mutex mu_;
+  std::vector<SlowQueryEntry> ring_ GUARDED_BY(mu_);  // slot = next_
+  size_t next_ GUARDED_BY(mu_) = 0;
+  uint64_t seq_ GUARDED_BY(mu_) = 0;
+  Counter* const captured_metric_;  // mirrors, may be null
+  Counter* const evicted_metric_;
 };
 
 }  // namespace lexequal::obs

@@ -59,20 +59,28 @@ StatementStats::StatementStats(size_t shards, size_t shard_capacity,
                                MetricsRegistry* mirror)
     : shard_count_(shards == 0 ? 1 : shards),
       shard_capacity_(shard_capacity == 0 ? 1 : shard_capacity),
-      shards_(new Shard[shard_count_]) {
+      shards_(new Shard[shard_count_]),
+      recorded_metric_(
+          mirror == nullptr
+              ? nullptr
+              : mirror->GetCounter(
+                    "lexequal_stmt_recorded",
+                    "Queries aggregated into statement statistics")),
+      dropped_metric_(
+          mirror == nullptr
+              ? nullptr
+              : mirror->GetCounter("lexequal_stmt_dropped",
+                                   "Queries dropped because the "
+                                   "fingerprint table was full")),
+      fingerprints_metric_(
+          mirror == nullptr
+              ? nullptr
+              : mirror->GetGauge(
+                    "lexequal_stmt_fingerprints",
+                    "Distinct statement fingerprints currently "
+                    "tracked")) {
   for (size_t s = 0; s < shard_count_; ++s) {
     shards_[s].entries.reset(new Entry[shard_capacity_]);
-  }
-  if (mirror != nullptr) {
-    recorded_metric_ = mirror->GetCounter(
-        "lexequal_stmt_recorded",
-        "Queries aggregated into statement statistics");
-    dropped_metric_ = mirror->GetCounter(
-        "lexequal_stmt_dropped",
-        "Queries dropped because the fingerprint table was full");
-    fingerprints_metric_ = mirror->GetGauge(
-        "lexequal_stmt_fingerprints",
-        "Distinct statement fingerprints currently tracked");
   }
 }
 
@@ -119,7 +127,7 @@ void StatementStats::Record(const StmtRecord& record) {
   if (!e->text_ready.load(std::memory_order_acquire) &&
       !record.statement.empty()) {
     Shard& shard = shards_[(fp == 0 ? 1 : fp) % shard_count_];
-    std::lock_guard<std::mutex> lock(shard.text_mu);
+    common::MutexLock lock(&shard.text_mu);
     if (!e->text_ready.load(std::memory_order_relaxed)) {
       const size_t n =
           std::min(record.statement.size(), kMaxStatementBytes);
@@ -183,7 +191,7 @@ std::vector<StatementStats::Aggregate> StatementStats::Snapshot()
 void StatementStats::Reset() {
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lock(shard.text_mu);
+    common::MutexLock lock(&shard.text_mu);
     Entry* entries = shard.entries.get();
     for (size_t i = 0; i < shard_capacity_; ++i) {
       Entry& e = entries[i];

@@ -37,11 +37,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace lexequal::obs {
@@ -118,7 +119,7 @@ class StatementStats {
   /// Snapshot of every tracked fingerprint, unordered. Each entry is
   /// internally consistent per counter; cross-counter skew from
   /// in-flight Records is bounded by one query.
-  std::vector<Aggregate> Snapshot() const;
+  [[nodiscard]] std::vector<Aggregate> Snapshot() const;
 
   /// SHOW STATEMENTS RESET. Not linearizable vs concurrent Records
   /// (header comment); fingerprint slots are freed for reuse.
@@ -138,11 +139,11 @@ class StatementStats {
 
   /// JSON array of per-fingerprint objects, sorted by calls
   /// descending (ties by fingerprint for stable output).
-  std::string ExportJson() const;
+  [[nodiscard]] std::string ExportJson() const;
 
   /// Prometheus text: lexequal_stmt_{calls,errors,rows,total_us}
   /// series labeled by fingerprint, plus the scalar rollups.
-  std::string ExportPrometheus() const;
+  [[nodiscard]] std::string ExportPrometheus() const;
 
  private:
   struct Entry {
@@ -158,15 +159,23 @@ class StatementStats {
     std::atomic<uint64_t> total_us{0};
     std::array<std::atomic<uint64_t>, kMaxPlans> plan_calls{};
     Histogram latency;
-    // Published once under the shard text mutex, then read-only
-    // behind the text_ready acquire flag.
+    // Published once under the owning shard's text_mu, then read-only
+    // behind the text_ready acquire flag. Entry cannot name that
+    // mutex in a GUARDED_BY (it lives in Shard, one level up), so the
+    // contract stays documented here and checked by the acquire/
+    // release pair: readers load text_ready with acquire before
+    // touching text/text_len; the single writer stores it with
+    // release after filling them.
     uint16_t text_len = 0;
     char text[kMaxStatementBytes];
   };
 
   struct Shard {
+    // Set once at construction, immutable afterwards; the Entry
+    // slots themselves are atomics (lock-free Record path).
+    // lexlint:allow(guards): entries pointer is written only in the StatementStats constructor, before any concurrent access
     std::unique_ptr<Entry[]> entries;
-    std::mutex text_mu;  // first-claim statement-text publication only
+    common::Mutex text_mu;  // first-claim statement-text publication
   };
 
   /// Finds or claims the slot for `fp`; null when the shard is full.
@@ -174,14 +183,14 @@ class StatementStats {
 
   const size_t shard_count_;
   const size_t shard_capacity_;
-  std::unique_ptr<Shard[]> shards_;
+  const std::unique_ptr<Shard[]> shards_;
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> recorded_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> fingerprints_{0};
-  Counter* recorded_metric_ = nullptr;   // mirrors, may be null
-  Counter* dropped_metric_ = nullptr;
-  Gauge* fingerprints_metric_ = nullptr;
+  Counter* const recorded_metric_;   // mirrors, may be null
+  Counter* const dropped_metric_;
+  Gauge* const fingerprints_metric_;
 };
 
 }  // namespace lexequal::obs

@@ -24,10 +24,10 @@ namespace lexequal::sql {
 /// Canonical text of `stmt`: literals -> `?`, identifiers folded,
 /// plan-shaping knobs preserved verbatim. Deterministic — equal ASTs
 /// always normalize identically.
-std::string NormalizeStatement(const Statement& stmt);
+[[nodiscard]] std::string NormalizeStatement(const Statement& stmt);
 
 /// obs::FingerprintHash over NormalizeStatement(stmt). Never 0.
-uint64_t FingerprintStatement(const Statement& stmt);
+[[nodiscard]] uint64_t FingerprintStatement(const Statement& stmt);
 
 }  // namespace lexequal::sql
 

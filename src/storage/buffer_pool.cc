@@ -3,22 +3,24 @@
 namespace lexequal::storage {
 
 BufferPool::BufferPool(DiskManager* disk, size_t pool_size)
-    : disk_(disk) {
+    : disk_(disk),
+      m_hits_(obs::MetricsRegistry::Default().GetCounter(
+          "lexequal_bufpool_hits", "Buffer pool page hits")),
+      m_misses_(obs::MetricsRegistry::Default().GetCounter(
+          "lexequal_bufpool_misses",
+          "Buffer pool page misses (disk faults)")),
+      m_evictions_(obs::MetricsRegistry::Default().GetCounter(
+          "lexequal_bufpool_evictions",
+          "Frames reclaimed from the LRU list")),
+      m_flushes_(obs::MetricsRegistry::Default().GetCounter(
+          "lexequal_bufpool_flushes",
+          "Dirty pages written back to disk")) {
   frames_.reserve(pool_size);
   free_frames_.reserve(pool_size);
   for (size_t i = 0; i < pool_size; ++i) {
     frames_.push_back(std::make_unique<Page>());
     free_frames_.push_back(pool_size - 1 - i);  // pop from the back
   }
-  auto& reg = obs::MetricsRegistry::Default();
-  m_hits_ = reg.GetCounter("lexequal_bufpool_hits",
-                           "Buffer pool page hits");
-  m_misses_ = reg.GetCounter("lexequal_bufpool_misses",
-                             "Buffer pool page misses (disk faults)");
-  m_evictions_ = reg.GetCounter("lexequal_bufpool_evictions",
-                                "Frames reclaimed from the LRU list");
-  m_flushes_ = reg.GetCounter("lexequal_bufpool_flushes",
-                              "Dirty pages written back to disk");
 }
 
 BufferPool::~BufferPool() {
@@ -56,7 +58,7 @@ Result<size_t> BufferPool::GetVictimFrameLocked() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     counters_.hits.fetch_add(1, std::memory_order_relaxed);
@@ -89,7 +91,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   PageId id;
   LEXEQUAL_ASSIGN_OR_RETURN(id, disk_->AllocatePage());
   size_t frame;
@@ -103,7 +105,7 @@ Result<Page*> BufferPool::NewPage() {
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
     return Status::NotFound("unpin of unbuffered page " +
@@ -125,7 +127,7 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
     return Status::NotFound("flush of unbuffered page " +
@@ -142,7 +144,7 @@ Status BufferPool::FlushPage(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& [id, frame] : page_table_) {
     Page* page = frames_[frame].get();
     if (page->is_dirty()) {

@@ -7,11 +7,12 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -82,8 +83,8 @@ class BufferPool {
 
   /// Pages currently resident in frames — the occupancy side of the
   /// health snapshot. Takes the bookkeeping mutex (cold path only).
-  size_t resident_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t resident_pages() const EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
     return page_table_.size();
   }
 
@@ -99,21 +100,27 @@ class BufferPool {
   };
 
   // Finds a victim frame: a free one, else the LRU unpinned one.
-  // Caller holds mu_.
-  Result<size_t> GetVictimFrameLocked();
+  Result<size_t> GetVictimFrameLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // guards the frame bookkeeping below
-  DiskManager* disk_;
+  mutable common::Mutex mu_;  // guards the frame bookkeeping below
+  DiskManager* const disk_;   // borrowed; internally synchronized
+  // Sized once in the constructor and never resized; the frame
+  // *contents* (pin counts, dirty bits, page bytes) mutate only with
+  // mu_ held, so pool_size() may read frames_.size() lock-free.
+  // lexlint:allow(guards): frames_ vector shape is immutable after construction; element state is mutated under mu_
   std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<PageId, size_t> page_table_;  // page id -> frame
-  std::list<size_t> lru_;  // unpinned frames, least-recent first
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_
+      GUARDED_BY(mu_);  // page id -> frame
+  // Unpinned frames, least-recent first.
+  std::list<size_t> lru_ GUARDED_BY(mu_);
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_
+      GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ GUARDED_BY(mu_);
   AtomicStats counters_;
-  obs::Counter* m_hits_;
-  obs::Counter* m_misses_;
-  obs::Counter* m_evictions_;
-  obs::Counter* m_flushes_;
+  obs::Counter* const m_hits_;
+  obs::Counter* const m_misses_;
+  obs::Counter* const m_evictions_;
+  obs::Counter* const m_flushes_;
 };
 
 }  // namespace lexequal::storage

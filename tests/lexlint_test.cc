@@ -534,5 +534,126 @@ TEST_F(LexlintTest, ExportModeEmptyDumpFails) {
   EXPECT_NE(diags[0].message.find("no '# TYPE'"), std::string::npos);
 }
 
+TEST_F(LexlintTest, GuardsFlagsRawMutexOutsideCommon) {
+  WriteFile("src/engine/cache.cc",
+            "#include <mutex>\n"
+            "std::mutex g_mu;\n"
+            "void F() { std::lock_guard<std::mutex> lock(g_mu); }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 1);
+  // Line 2 declares the mutex; line 3 mentions both the adapter and
+  // the type again. Every mention is a finding.
+  ASSERT_GE(diags.size(), 2u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "guards");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("common::Mutex"), std::string::npos);
+}
+
+TEST_F(LexlintTest, GuardsAllowsRawMutexInCommon) {
+  WriteFile("src/common/mutex.h",
+            "#include <mutex>\n"
+            "class Mutex { std::mutex mu_; };\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, GuardsIgnoresMutexMentionsInCommentsAndStrings) {
+  WriteFile("src/engine/doc.cc",
+            "// a std::mutex would be wrong here\n"
+            "const char* kMsg = \"std::shared_mutex banned\";\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, GuardsFlagsUnannotatedMemberNextToMutex) {
+  WriteFile("src/storage/pool.h",
+            "class Pool {\n"
+            " private:\n"
+            "  mutable common::Mutex mu_;\n"
+            "  std::vector<int> table_;\n"
+            "};\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "guards");
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("'Pool'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'table_'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("GUARDED_BY"), std::string::npos);
+}
+
+TEST_F(LexlintTest, GuardsCleanAnnotatedClassPasses) {
+  // Every non-mutex member is guarded, const, atomic, or a function:
+  // the shape the whole tree migrated to.
+  WriteFile("src/storage/pool.h",
+            "class Pool {\n"
+            " public:\n"
+            "  size_t Size() const EXCLUDES(mu_);\n"
+            " private:\n"
+            "  size_t VictimLocked() REQUIRES(mu_);\n"
+            "  mutable common::SharedMutex mu_;\n"
+            "  std::map<int, int> table_ GUARDED_BY(mu_);\n"
+            "  uint64_t generation_ GUARDED_BY(mu_) = 0;\n"
+            "  Counter* const metric_;\n"
+            "  const size_t capacity_;\n"
+            "  std::atomic<uint64_t> hits_{0};\n"
+            "  static constexpr size_t kShards = 4;\n"
+            "};\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, GuardsMutexlessClassIsNotChecked) {
+  // No lock, no discipline to enforce: plain structs stay unannotated.
+  WriteFile("src/engine/req.h",
+            "struct Request {\n"
+            "  std::string table;\n"
+            "  size_t k = 0;\n"
+            "};\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, GuardsMutexDeclaredAfterMembersStillCounts) {
+  // Judgment happens at class close, so declaration order is free.
+  WriteFile("src/match/shard.h",
+            "struct Shard {\n"
+            "  std::list<int> lru;\n"
+            "  common::Mutex mu;\n"
+            "};\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 1u) << Render(diags);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("'lru'"), std::string::npos);
+}
+
+TEST_F(LexlintTest, GuardsSuppressionWithReasonSilencesFinding) {
+  WriteFile("src/obs/stats.h",
+            "class Stats {\n"
+            "  common::Mutex mu_;\n"
+            "  // lexlint:allow(guards): set once in the constructor before sharing\n"
+            "  std::unique_ptr<int[]> slots_;\n"
+            "};\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 0) << Render(diags);
+}
+
+TEST_F(LexlintTest, GuardsNestedClassesJudgedIndependently) {
+  // The inner struct owns the lock and is fully annotated; the outer
+  // class owns no lock, so its bare members pass.
+  WriteFile("src/match/cache.h",
+            "class Cache {\n"
+            "  struct Shard {\n"
+            "    common::Mutex mu;\n"
+            "    std::list<int> lru GUARDED_BY(mu);\n"
+            "  };\n"
+            "  Shard shards_[16];\n"
+            "  size_t capacity_ = 0;\n"
+            "};\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"guards"}, &diags), 0) << Render(diags);
+}
+
 }  // namespace
 }  // namespace lexequal::lexlint

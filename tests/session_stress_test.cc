@@ -166,5 +166,55 @@ TEST_F(SessionStressTest, ConcurrentReadersAgreeOnAStaticTable) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST_F(SessionStressTest, GetTableRacesDdlWithoutTearing) {
+  // Regression for the one genuine latch hole the thread-safety
+  // annotation pass surfaced: Engine::GetTable used to read the
+  // catalog map with no latch at all, so a concurrent CREATE TABLE /
+  // CREATE INDEX could rehash the map under the reader's feet.
+  // GetTable now takes the shared latch internally; this hammers it
+  // against the exclusive-latch DDL path so tsan can certify the fix.
+  constexpr int kReaders = 4;
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+
+  auto reader = [&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      Result<TableInfo*> info = db_->GetTable("names");
+      if (!info.ok() || info.value() == nullptr ||
+          info.value()->name != "names") {
+        ++failures;
+      }
+      // Misses must come back NotFound, never tear.
+      Result<TableInfo*> miss = db_->GetTable("no_such_table");
+      if (miss.ok()) ++failures;
+    }
+  };
+
+  auto writer = [&] {
+    Schema extra({{"word", ValueType::kString, std::nullopt},
+                  {"word_phon", ValueType::kString, 0}});
+    for (int i = 0; i < 8; ++i) {
+      // Each CREATE TABLE inserts into the catalog map (a rehash is
+      // exactly the torn read the old code risked); the index build
+      // and ANALYZE mutate the TableInfo the readers hold.
+      if (!db_->CreateTable("scratch_" + std::to_string(i), extra).ok()) {
+        ++failures;
+      }
+      if (!db_->Analyze("names").ok()) ++failures;
+    }
+    done.store(true, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int id = 0; id < kReaders; ++id) threads.emplace_back(reader);
+  threads.emplace_back(writer);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  Result<TableInfo*> info = db_->GetTable("scratch_7");
+  EXPECT_TRUE(info.ok());
+}
+
 }  // namespace
 }  // namespace lexequal::engine

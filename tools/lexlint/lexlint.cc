@@ -819,6 +819,252 @@ void CheckDocLinks(const fs::path& root, Sink* sink) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: guards.
+//
+// The source-level half of the Clang Thread Safety Analysis arm
+// (src/common/thread_annotations.h). Two checks:
+//
+//   (a) raw standard-library mutexes (std::mutex, std::shared_mutex,
+//       and their lock adapters) may appear only in src/common/ —
+//       everywhere else goes through the annotated common::Mutex /
+//       common::SharedMutex wrappers, so -Wthread-safety can see
+//       every lock in the tree. A raw mutex elsewhere is a lock the
+//       analysis silently ignores.
+//
+//   (b) a class that owns an annotated mutex member must say, for
+//       every other mutable data member, what protects it: the
+//       member carries GUARDED_BY / PT_GUARDED_BY, or is immutable
+//       (const / static / constexpr), or is an atomic, or is itself
+//       a mutex. An unannotated member sitting next to a lock is
+//       exactly the shared state the analysis cannot check.
+//
+// The member scan is heuristic (this is a regex linter, not a
+// parser): member-function declarations are recognized by their
+// parameter list and skipped, brace-initializers are distinguished
+// from function bodies by what follows the closing brace, and a
+// `const` anywhere in the declarator counts as immutable (so
+// `T* const` passes — the pointee is the callee's problem). Members
+// that are genuinely unguarded by design — set once before sharing,
+// or internally synchronized — take a
+// `// lexlint:allow(guards): <reason>` suppression, which doubles as
+// the audit trail the thread-safety build's zero-blanket-suppression
+// policy requires.
+
+const std::regex& RawMutexRe() {
+  static const std::regex re(
+      R"(std\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock)\b)");
+  return re;
+}
+
+// A member declaration that makes its class a lock owner: a direct
+// (non-pointer, non-reference) common::Mutex / common::SharedMutex
+// member. The wrappers' own internals (std::mutex) deliberately do
+// not match.
+bool IsAnnotatedMutexMember(const std::string& stmt) {
+  static const std::regex re(
+      R"(^(mutable\s+)?(common\s*::\s*)?(Mutex|SharedMutex)\s+[A-Za-z_]\w*\s*(;|$))");
+  return std::regex_search(stmt, re);
+}
+
+// The declared name of a member statement, for diagnostics: the last
+// identifier before any initializer / array extent.
+std::string MemberName(std::string stmt) {
+  const size_t cut = stmt.find_first_of("={");
+  if (cut != std::string::npos) stmt = stmt.substr(0, cut);
+  static const std::regex re(R"(([A-Za-z_]\w*)\s*(\[[^\]]*\]\s*)*$)");
+  std::smatch m;
+  if (std::regex_search(stmt, m, re)) return m[1].str();
+  return "<member>";
+}
+
+void CheckGuards(const std::vector<SourceFile>& files, Sink* sink) {
+  static const std::regex class_open_re(
+      R"((^|[\s;{}])(class|struct|union)\s)");
+  static const std::regex enum_open_re(R"((^|[\s;{}])enum\s)");
+  static const std::regex label_re(
+      R"(^\s*(public|private|protected)\s*:\s*)");
+  static const std::regex skip_re(
+      R"(^(using\s|typedef\s|friend\s|static_assert\b|template\s*<|enum\s|class\s|struct\s|union\s))");
+  static const std::regex immutable_re(R"(\b(const|static|constexpr)\b)");
+  static const std::regex atomic_re(R"(atomic|Atomic)");
+  static const std::regex guarded_re(R"(\b(GUARDED_BY|PT_GUARDED_BY)\s*\()");
+  static const std::regex mutexish_re(
+      R"(\b(Mutex|SharedMutex)\b)");
+
+  for (const SourceFile& f : files) {
+    // (a) Raw standard mutexes outside the common wrappers.
+    if (f.module != "common") {
+      for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
+                                          RawMutexRe());
+           it != std::sregex_iterator(); ++it) {
+        sink->Emit(f, "guards",
+                   LineOfOffset(f.pure, static_cast<size_t>(it->position(0))),
+                   "raw std::" + (*it)[1].str() +
+                       " outside src/common/; use the annotated "
+                       "common::Mutex / common::SharedMutex wrappers "
+                       "(src/common/mutex.h) so thread-safety analysis "
+                       "sees this lock");
+      }
+    }
+
+    // (b) Unannotated members in mutex-owning classes. One pass over
+    // the stripped text with a scope stack; member statements are
+    // collected per class and judged when the class body closes (the
+    // mutex may be declared after the members it guards).
+    struct Member {
+      std::string stmt;
+      int line;
+    };
+    struct Scope {
+      bool is_class;
+      std::string name;
+      std::vector<Member> members;
+    };
+    std::vector<Scope> scopes;
+    std::string stmt;
+    int stmt_line = 0;
+    bool fresh = true;
+    int paren = 0;
+
+    auto flush_member = [&]() {
+      std::string t = Trimmed(stmt);
+      // Peel access labels off the front (they have no ';' of their
+      // own, so they ride in with the following declaration).
+      std::smatch lm;
+      while (std::regex_search(t, lm, label_re)) {
+        t = t.substr(static_cast<size_t>(lm.length(0)));
+      }
+      if (!t.empty() && !scopes.empty() && scopes.back().is_class) {
+        scopes.back().members.push_back({std::move(t), stmt_line});
+      }
+      stmt.clear();
+      fresh = true;
+      paren = 0;
+    };
+
+    auto close_class = [&](const Scope& cls) {
+      bool owner = false;
+      for (const Member& m : cls.members) {
+        if (IsAnnotatedMutexMember(m.stmt)) owner = true;
+      }
+      if (!owner) return;
+      for (const Member& m : cls.members) {
+        if (std::regex_search(m.stmt, guarded_re)) continue;
+        if (std::regex_search(m.stmt, skip_re)) continue;
+        // A parameter list marks a function declaration, not state.
+        if (m.stmt.find('(') != std::string::npos) continue;
+        if (std::regex_search(m.stmt, immutable_re)) continue;
+        if (std::regex_search(m.stmt, atomic_re)) continue;
+        if (std::regex_search(m.stmt, mutexish_re)) continue;
+        sink->Emit(f, "guards", m.line,
+                   "class '" + cls.name + "' owns an annotated mutex but "
+                       "member '" + MemberName(m.stmt) +
+                       "' has no GUARDED_BY / PT_GUARDED_BY and is not "
+                       "const or atomic; annotate what protects it, or "
+                       "suppress with a reason if it is set once before "
+                       "sharing or internally synchronized "
+                       "(src/common/thread_annotations.h)");
+      }
+    };
+
+    const std::string& text = f.pure;
+    for (size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      if (fresh && !std::isspace(static_cast<unsigned char>(c))) {
+        stmt_line = LineOfOffset(text, i);
+        fresh = false;
+      }
+      if (c == '(') ++paren;
+      if (c == ')') paren = std::max(0, paren - 1);
+      if (c == ';' && paren == 0) {
+        flush_member();
+        continue;
+      }
+      if (c == '{') {
+        const std::string head = Trimmed(stmt);
+        std::smatch m;
+        const bool is_enum = std::regex_search(head, m, enum_open_re);
+        const bool is_class =
+            !is_enum && std::regex_search(head, m, class_open_re);
+        if (is_class) {
+          // Class name: last identifier before any base-clause colon
+          // (skipping over :: in qualified base names).
+          std::string name = head;
+          size_t base = std::string::npos;
+          for (size_t p = 0; p < name.size(); ++p) {
+            if (name[p] == ':') {
+              if (p + 1 < name.size() && name[p + 1] == ':') {
+                ++p;
+                continue;
+              }
+              base = p;
+              break;
+            }
+          }
+          if (base != std::string::npos) name = name.substr(0, base);
+          static const std::regex name_re(R"(([A-Za-z_]\w*)\s*$)");
+          std::smatch nm;
+          scopes.push_back({true,
+                            std::regex_search(name, nm, name_re)
+                                ? nm[1].str()
+                                : "<anonymous>",
+                            {}});
+          stmt.clear();
+          fresh = true;
+          paren = 0;
+          continue;
+        }
+        // Distinguish a brace initializer (`member{0};`) from a body:
+        // an initializer's closing brace is followed by ';' or ','.
+        int depth = 0;
+        size_t close = std::string::npos;
+        for (size_t j = i; j < text.size(); ++j) {
+          if (text[j] == '{') ++depth;
+          if (text[j] == '}' && --depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        size_t after = close == std::string::npos ? std::string::npos
+                                                  : close + 1;
+        while (after != std::string::npos && after < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[after]))) {
+          ++after;
+        }
+        const char next_sig = (after != std::string::npos &&
+                               after < text.size())
+                                  ? text[after]
+                                  : '\0';
+        const bool brace_init =
+            !head.empty() && head.find('(') == std::string::npos &&
+            (next_sig == ';' || next_sig == ',');
+        if (brace_init && close != std::string::npos) {
+          // Swallow the initializer; the statement continues.
+          i = close;
+          continue;
+        }
+        scopes.push_back({false, "", {}});
+        stmt.clear();
+        fresh = true;
+        paren = 0;
+        continue;
+      }
+      if (c == '}') {
+        if (!scopes.empty()) {
+          if (scopes.back().is_class) close_class(scopes.back());
+          scopes.pop_back();
+        }
+        stmt.clear();
+        fresh = true;
+        paren = 0;
+        continue;
+      }
+      stmt.push_back(c);
+    }
+  }
+}
+
 }  // namespace
 
 std::string Diagnostic::ToString() const {
@@ -830,8 +1076,8 @@ std::string Diagnostic::ToString() const {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      "layering", "bufpool", "kernel", "latch",
-      "status",   "metrics", "doclinks"};
+      "layering", "bufpool", "kernel",   "latch",
+      "status",   "metrics", "doclinks", "guards"};
   return kRules;
 }
 
@@ -881,7 +1127,8 @@ int Run(const Options& options, std::vector<Diagnostic>* diags,
 
   const bool needs_sources = enabled("layering") || enabled("bufpool") ||
                              enabled("kernel") || enabled("latch") ||
-                             enabled("status") || enabled("metrics");
+                             enabled("status") || enabled("metrics") ||
+                             enabled("guards");
   std::vector<SourceFile> files;
   if (needs_sources) {
     std::vector<fs::path> paths;
@@ -918,6 +1165,7 @@ int Run(const Options& options, std::vector<Diagnostic>* diags,
   if (enabled("status")) CheckStatus(files, &sink);
   if (enabled("metrics")) CheckMetricsSource(files, &sink);
   if (enabled("doclinks")) CheckDocLinks(root, &sink);
+  if (enabled("guards")) CheckGuards(files, &sink);
 
   return diags->empty() ? 0 : 1;
 }

@@ -33,6 +33,15 @@
 //               or --export over a Prometheus text dump).
 //   doclinks  — every relative link / backticked repo path in the
 //               top-level docs resolves to a real file.
+//   guards    — annotated-mutex discipline backing the Clang Thread
+//               Safety Analysis arm: raw std::mutex /
+//               std::shared_mutex (and their lock adapters) only in
+//               src/common/, and every mutable data member of a
+//               class that owns a common::Mutex / common::SharedMutex
+//               carries GUARDED_BY / PT_GUARDED_BY (or is const /
+//               atomic / itself a mutex). Set-once and internally
+//               synchronized members take an audited
+//               lexlint:allow(guards) suppression.
 //
 // Suppression: `// lexlint:allow(<rule>): <reason>` on the offending
 // line, or alone on the line above it. The reason string is
@@ -70,7 +79,7 @@ struct Options {
   /// Repo root, for the doclinks rule; empty = parent of src_dir.
   std::string root_dir;
   /// Subset of rules to run; empty = all. Known names: layering,
-  /// bufpool, kernel, latch, status, metrics, doclinks.
+  /// bufpool, kernel, latch, status, metrics, doclinks, guards.
   std::vector<std::string> rules;
   /// Non-empty: validate metric names in this Prometheus text export
   /// instead of scanning sources (implies the metrics rule only).
