@@ -3,20 +3,31 @@
 // naive-scan verification workload — every (probe, candidate) pair of
 // 10 probes against the generated dataset, decided at threshold 0.25.
 //
-// Two cost-model arms, one per kernel family:
-//   levenshtein  — unit costs, decided by the bit-parallel path
-//                  (target >= 3x over the reference DP)
-//   clustered    — paper default (intra 0.25, weak discount), decided
-//                  by the banded DP (target >= 1.5x)
+// Arms, one per kernel family/backend:
+//   levenshtein      — unit costs, bit-parallel path (target >= 3x
+//                      over the reference DP)
+//   clustered-banded — paper default (intra 0.25, weak discount) with
+//                      the SIMD lane path disabled: the scalar banded
+//                      DP baseline (target >= 1.5x)
+//   clustered-simd   — same model, lane backend auto-resolved; the
+//                      >= 3x target is enforced only on machines whose
+//                      resolved backend is a real vector ISA
+//                      (avx2/neon), reported-only elsewhere
+//   clustered-scalar — same model through the portable scalar
+//                      emulation backend, report-only (it exists for
+//                      parity coverage, not speed)
 //
 // Arms are interleaved per repetition so clock drift and cache warmth
 // cancel out, and each repetition cross-checks that both
 // implementations accept exactly the same pairs (the kernel is exact,
-// not approximate — tests/match_kernel_test.cc proves bit-equality).
+// not approximate — tests/match_kernel_test.cc proves bit-equality
+// per backend).
 //
 // Usage:
 //   ./bench/kernel_speedup               full run, writes BENCH_kernel.json
 //   ./bench/kernel_speedup --smoke       tiny dataset + 1 rep (ctest)
+//   ./bench/kernel_speedup --simd-smoke  mid-size banded-vs-simd parity/
+//                                        speedup gate (kernel_simd_smoke)
 //   ./bench/kernel_speedup --json <path> JSON output path
 
 #include <cstdio>
@@ -29,6 +40,7 @@
 #include "dataset/lexicon.h"
 #include "match/edit_distance.h"
 #include "match/match_kernel.h"
+#include "match/simd_dp.h"
 #include "phonetic/cluster.h"
 
 using namespace lexequal;
@@ -37,6 +49,8 @@ using match::CompiledCostModel;
 using match::CostModel;
 using match::DpArena;
 using match::MatchKernel;
+using match::MatchKernelOptions;
+using match::SimdBackend;
 using phonetic::PhonemeString;
 
 namespace {
@@ -45,9 +59,10 @@ constexpr double kThreshold = 0.25;
 constexpr size_t kProbes = 10;
 
 struct Arm {
-  const char* name;
+  std::string name;
   std::unique_ptr<CostModel> model;
-  double target_speedup;
+  MatchKernelOptions opts;
+  double target_speedup;  // 0 = report-only
   double legacy_ms = 0;
   double kernel_ms = 0;
   uint64_t pairs = 0;
@@ -56,6 +71,26 @@ struct Arm {
 
   double Speedup() const {
     return kernel_ms > 0 ? legacy_ms / kernel_ms : 0.0;
+  }
+  // The backend the arm's kernel actually runs with.
+  SimdBackend ResolvedBackend() const {
+    return match::ResolveSimdBackend(opts.simd_backend);
+  }
+  // Lanes allocated per lane-path pair (width * groups / pairs).
+  // Below 1 means the length filter rejected pairs before they cost
+  // a lane; above 1 means pad lanes from partial tail groups
+  // dominated. Early-exit rate is the fraction of lane-path pairs
+  // retired by the row-minimum mask before the final DP row.
+  double LanesPerPair() const {
+    if (counters.simd_pairs == 0) return 0.0;
+    return static_cast<double>(counters.simd_groups *
+                               match::SimdLaneWidth(ResolvedBackend())) /
+           static_cast<double>(counters.simd_pairs);
+  }
+  double EarlyExitRate() const {
+    if (counters.simd_pairs == 0) return 0.0;
+    return static_cast<double>(counters.simd_early_exits) /
+           static_cast<double>(counters.simd_pairs);
   }
 };
 
@@ -95,19 +130,35 @@ double RunKernel(const std::vector<const PhonemeString*>& probes,
   return t.Millis();
 }
 
+std::unique_ptr<CostModel> Clustered() {
+  return std::make_unique<match::ClusteredCost>(
+      phonetic::ClusterTable::Default(), 0.25, true);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool simd_smoke = false;
   std::string json_path = "BENCH_kernel.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--simd-smoke") == 0) simd_smoke = true;
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     }
   }
-  const size_t rows = smoke ? 2000 : GeneratedDatasetSize(200000);
-  const int reps = smoke ? 1 : 5;
+  const size_t rows = smoke        ? 2000
+                      : simd_smoke ? 20000
+                                   : GeneratedDatasetSize(200000);
+  const int reps = smoke || simd_smoke ? 1 : 5;
+
+  // Whether this host resolves kAuto to a real vector ISA. Speedup
+  // targets for the simd arm are gated on this: scalar emulation has
+  // no architectural reason to beat the banded DP.
+  const SimdBackend best = match::BestSimdBackend();
+  const bool has_vector_isa =
+      best == SimdBackend::kAvx2 || best == SimdBackend::kNeon;
 
   Result<dataset::Lexicon> lexicon = dataset::Lexicon::BuildTrilingual();
   if (!lexicon.ok()) {
@@ -129,22 +180,49 @@ int main(int argc, char** argv) {
     probes.push_back(&cands[(cands.size() / kProbes) * i]);
   }
   std::printf("kernel_speedup: %zu candidates x %zu probes, "
-              "threshold %.2f, %d rep(s)\n",
-              cands.size(), probes.size(), kThreshold, reps);
+              "threshold %.2f, %d rep(s), best simd backend %s\n",
+              cands.size(), probes.size(), kThreshold, reps,
+              match::SimdBackendName(best));
 
   std::vector<Arm> arms;
-  arms.push_back({"levenshtein", std::make_unique<match::LevenshteinCost>(),
-                  3.0});
-  arms.push_back({"clustered",
-                  std::make_unique<match::ClusteredCost>(
-                      phonetic::ClusterTable::Default(), 0.25, true),
-                  1.5});
+  if (!simd_smoke) {
+    Arm lev;
+    lev.name = "levenshtein";
+    lev.model = std::make_unique<match::LevenshteinCost>();
+    lev.target_speedup = 3.0;
+    arms.push_back(std::move(lev));
+  }
+  {
+    Arm banded;
+    banded.name = "clustered-banded";
+    banded.model = Clustered();
+    banded.opts.simd_backend = SimdBackend::kDisabled;
+    banded.target_speedup = 1.5;
+    arms.push_back(std::move(banded));
+  }
+  {
+    Arm simd;
+    simd.name = "clustered-simd";
+    simd.model = Clustered();
+    simd.opts.simd_backend = SimdBackend::kAuto;
+    simd.target_speedup = has_vector_isa ? 3.0 : 0.0;
+    arms.push_back(std::move(simd));
+  }
+  if (!simd_smoke) {
+    Arm emul;
+    emul.name = "clustered-scalar";
+    emul.model = Clustered();
+    emul.opts.simd_backend = SimdBackend::kScalar;
+    emul.target_speedup = 0.0;  // parity coverage, not speed
+    arms.push_back(std::move(emul));
+  }
 
   DpArena arena;
   bool parity_ok = true;
   for (int rep = 0; rep < reps; ++rep) {
     for (Arm& arm : arms) {
-      const MatchKernel kernel(CompiledCostModel::Compile(*arm.model));
+      const MatchKernel kernel(CompiledCostModel::Compile(*arm.model),
+                               arm.opts);
       uint64_t legacy_matched = 0;
       uint64_t kernel_matched = 0;
       const match::KernelCounters before = arena.counters;
@@ -156,7 +234,7 @@ int main(int argc, char** argv) {
       if (legacy_matched != kernel_matched) {
         std::printf("PARITY FAILURE %s rep %d: legacy %llu vs kernel "
                     "%llu matches\n",
-                    arm.name, rep,
+                    arm.name.c_str(), rep,
                     static_cast<unsigned long long>(legacy_matched),
                     static_cast<unsigned long long>(kernel_matched));
         parity_ok = false;
@@ -166,11 +244,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("| %-12s | %10s | %10s | %8s | %8s |\n", "model",
-              "legacy ms", "kernel ms", "speedup", "target");
+  std::printf("| %-16s | %-8s | %10s | %10s | %8s | %8s |\n", "model",
+              "backend", "legacy ms", "kernel ms", "speedup", "target");
   for (const Arm& arm : arms) {
-    std::printf("| %-12s | %10.1f | %10.1f | %7.2fx | %7.2fx |\n",
-                arm.name, arm.legacy_ms, arm.kernel_ms, arm.Speedup(),
+    std::printf("| %-16s | %-8s | %10.1f | %10.1f | %7.2fx | %7.2fx |\n",
+                arm.name.c_str(),
+                match::SimdBackendName(arm.ResolvedBackend()),
+                arm.legacy_ms, arm.kernel_ms, arm.Speedup(),
                 arm.target_speedup);
   }
 
@@ -183,28 +263,40 @@ int main(int argc, char** argv) {
                "{\n  \"bench\": \"kernel_speedup\",\n"
                "  \"rows\": %zu,\n  \"probes\": %zu,\n"
                "  \"threshold\": %.2f,\n  \"reps\": %d,\n"
-               "  \"smoke\": %s,\n  \"arms\": [\n",
+               "  \"smoke\": %s,\n  \"simd_smoke\": %s,\n"
+               "  \"best_simd_backend\": \"%s\",\n  \"arms\": [\n",
                cands.size(), probes.size(), kThreshold, reps,
-               smoke ? "true" : "false");
+               smoke ? "true" : "false", simd_smoke ? "true" : "false",
+               match::SimdBackendName(best));
   for (size_t i = 0; i < arms.size(); ++i) {
     const Arm& arm = arms[i];
     std::fprintf(
         json,
-        "    {\"model\": \"%s\", \"legacy_ms\": %.1f, "
+        "    {\"model\": \"%s\", \"backend\": \"%s\", "
+        "\"legacy_ms\": %.1f, "
         "\"kernel_ms\": %.1f, \"speedup\": %.2f, "
         "\"target_speedup\": %.1f, \"met_target\": %s, "
         "\"pairs\": %llu, \"matched\": %llu, "
-        "\"bitparallel_pairs\": %llu, \"banded_pairs\": %llu, "
-        "\"general_pairs\": %llu, \"dp_cells\": %llu}%s\n",
-        arm.name, arm.legacy_ms, arm.kernel_ms, arm.Speedup(),
-        arm.target_speedup,
-        arm.Speedup() >= arm.target_speedup ? "true" : "false",
+        "\"bitparallel_pairs\": %llu, \"simd_pairs\": %llu, "
+        "\"banded_pairs\": %llu, "
+        "\"general_pairs\": %llu, \"dp_cells\": %llu, "
+        "\"simd_cells\": %llu, \"simd_groups\": %llu, "
+        "\"lanes_per_pair\": %.2f, \"early_exit_rate\": %.3f}%s\n",
+        arm.name.c_str(), match::SimdBackendName(arm.ResolvedBackend()),
+        arm.legacy_ms, arm.kernel_ms, arm.Speedup(), arm.target_speedup,
+        arm.target_speedup <= 0.0 || arm.Speedup() >= arm.target_speedup
+            ? "true"
+            : "false",
         static_cast<unsigned long long>(arm.pairs),
         static_cast<unsigned long long>(arm.matched),
         static_cast<unsigned long long>(arm.counters.bitparallel_pairs),
+        static_cast<unsigned long long>(arm.counters.simd_pairs),
         static_cast<unsigned long long>(arm.counters.banded_pairs),
         static_cast<unsigned long long>(arm.counters.general_pairs),
         static_cast<unsigned long long>(arm.counters.dp_cells),
+        static_cast<unsigned long long>(arm.counters.simd_cells),
+        static_cast<unsigned long long>(arm.counters.simd_groups),
+        arm.LanesPerPair(), arm.EarlyExitRate(),
         i + 1 < arms.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n  \"parity_ok\": %s\n}\n",
@@ -212,13 +304,30 @@ int main(int argc, char** argv) {
   std::fclose(json);
   std::printf("wrote %s\n", json_path.c_str());
 
-  // Parity is a correctness gate in every mode; the speedup targets
-  // are only enforced on full runs (smoke timings are noise).
+  // Parity is a correctness gate in every mode; speedup targets are
+  // enforced on full runs, plus the banded-vs-simd ratio in
+  // --simd-smoke on hosts with a real vector ISA (20k rows is enough
+  // signal for a 1.5x floor; the full run enforces the 3x target).
   if (!parity_ok) return 1;
-  if (!smoke) {
+  if (simd_smoke && has_vector_isa) {
+    const Arm* banded = nullptr;
+    const Arm* simd = nullptr;
     for (const Arm& arm : arms) {
-      if (arm.Speedup() < arm.target_speedup) {
-        std::printf("TARGET MISSED: %s %.2fx < %.1fx\n", arm.name,
+      if (arm.name == "clustered-banded") banded = &arm;
+      if (arm.name == "clustered-simd") simd = &arm;
+    }
+    if (banded != nullptr && simd != nullptr && simd->kernel_ms > 0 &&
+        banded->kernel_ms < 1.5 * simd->kernel_ms) {
+      std::printf("SIMD SMOKE TARGET MISSED: banded %.1fms < 1.5 * simd "
+                  "%.1fms\n",
+                  banded->kernel_ms, simd->kernel_ms);
+      return 1;
+    }
+  }
+  if (!smoke && !simd_smoke) {
+    for (const Arm& arm : arms) {
+      if (arm.target_speedup > 0.0 && arm.Speedup() < arm.target_speedup) {
+        std::printf("TARGET MISSED: %s %.2fx < %.1fx\n", arm.name.c_str(),
                     arm.Speedup(), arm.target_speedup);
         return 1;
       }

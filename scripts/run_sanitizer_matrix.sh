@@ -19,6 +19,14 @@
 #                   tree compiling cleanly IS the result, so no tests
 #                   run. build-thread-safety/
 #
+# After their normal ctest pass, the asan/ubsan/tsan arms re-run the
+# SIMD-sensitive tests with LEXEQUAL_FORCE_SCALAR_SIMD=1. The lane DP
+# in src/match/simd_dp.cc reads that env var at backend resolution, so
+# one build tree covers both codepaths: the host's vector backend in
+# the first pass and the portable scalar-emulation lanes (the code the
+# sanitizers can actually see into, and the only lane backend on hosts
+# without AVX2/NEON) in the second.
+#
 # Run from the repo root:
 #
 #   scripts/run_sanitizer_matrix.sh                  # every arm
@@ -61,6 +69,18 @@ fi
 declare -A result
 failed=0
 
+# Second pass over the lane-kernel coverage with the vector backend
+# forced off, so the scalar-emulation lanes (and the kernel dispatch
+# around them) run under the arm's sanitizer too. Same build tree —
+# the env var is read at runtime.
+run_scalar_simd_pass() {
+  local tree="$1"
+  echo "--- $tree: re-running lane-kernel tests with LEXEQUAL_FORCE_SCALAR_SIMD=1 ---"
+  LEXEQUAL_FORCE_SCALAR_SIMD=1 \
+    ctest --test-dir "$tree" --output-on-failure \
+          -R 'MatchKernelSimd|kernel_simd_smoke'
+}
+
 run_arm() {
   local arm="$1"
   cmake --preset "$arm" || return 1
@@ -70,15 +90,27 @@ run_arm() {
       # Halt-on-error keeps the first data race on top of the output
       # instead of burying it under later, derived failures.
       TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-        ctest --test-dir build-tsan -L parallel --output-on-failure
+        ctest --test-dir build-tsan -L parallel --output-on-failure \
+        || return 1
+      # The parallel matcher drives the lane kernel from worker
+      # threads; force the scalar lanes so tsan watches that code, not
+      # the opaque vector ISA path.
+      TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      LEXEQUAL_FORCE_SCALAR_SIMD=1 \
+        ctest --test-dir build-tsan -L parallel --output-on-failure \
+              -R 'parallel_matcher'
       ;;
     asan)
       ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-        ctest --test-dir build-asan --output-on-failure
+        ctest --test-dir build-asan --output-on-failure || return 1
+      ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+        run_scalar_simd_pass build-asan
       ;;
     ubsan)
       UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
-        ctest --test-dir build-ubsan --output-on-failure
+        ctest --test-dir build-ubsan --output-on-failure || return 1
+      UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+        run_scalar_simd_pass build-ubsan
       ;;
     thread-safety)
       # Compiling cleanly under -Werror=thread-safety-analysis is the

@@ -8,6 +8,7 @@ namespace lexequal::engine {
 
 namespace {
 
+using match::ClassifyVerifyPath;
 using match::EstimateInvidxPostings;
 using match::EstimateParallelSpeedup;
 using match::EstimateQGramCandidates;
@@ -26,8 +27,14 @@ std::vector<PlanCostEstimate> PriceAll(const PlanPickerInputs& in,
                                              in.stats->row_count));
   const double avg_len = std::max(col.avg_phonemes(), 1.0);
   const double threshold = in.match.threshold;
+  // Price the verify step at the kernel path MatchBatch will actually
+  // take for this cost model (bit-parallel / SIMD lanes / banded), so
+  // weighted-model scans are no longer priced at the scalar DP rate.
+  const match::VerifyPath path =
+      ClassifyVerifyPath(in.query_len, in.match.intra_cluster_cost,
+                         in.match.weak_phoneme_discount);
   const double verify =
-      EstimateVerifyCost(in.query_len, avg_len, threshold, p);
+      EstimateVerifyCost(in.query_len, avg_len, threshold, p, path);
 
   std::vector<PlanCostEstimate> out;
 

@@ -8,6 +8,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "match/simd_dp.h"
 #include "obs/metrics.h"
 
 namespace lexequal::match {
@@ -43,6 +44,30 @@ obs::Counter* DpCells() {
       "DP cells computed by the banded/general kernel paths");
   return c;
 }
+obs::Counter* SimdPairs() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_simd_pairs",
+      "Pairs decided under the SIMD lane-parallel weighted path");
+  return c;
+}
+obs::Counter* SimdCells() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_simd_cells",
+      "Lane DP cells computed by the SIMD path (including pad lanes)");
+  return c;
+}
+obs::Counter* SimdGroups() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_simd_groups",
+      "Lane groups executed by the SIMD path");
+  return c;
+}
+obs::Counter* SimdEarlyExits() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "lexequal_match_kernel_simd_early_exits",
+      "Lanes retired by the row-minimum early exit before the last row");
+  return c;
+}
 obs::Counter* ArenaReuses() {
   static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
       "lexequal_match_kernel_arena_reuses",
@@ -73,6 +98,8 @@ const char* KernelPathName(KernelPath path) {
       return "none";
     case KernelPath::kBitParallel:
       return "bitparallel";
+    case KernelPath::kSimdLanes:
+      return "simd";
     case KernelPath::kBanded:
       return "banded";
     case KernelPath::kGeneral:
@@ -106,7 +133,10 @@ CompiledCostModel::CompiledCostModel(const CostModel& model) {
       if (sub_[static_cast<size_t>(p) * kP + q] != want) unit_ = false;
     }
   }
+  quantized_ = QuantizedCostModel::Build(*this);
 }
+
+CompiledCostModel::~CompiledCostModel() = default;
 
 std::shared_ptr<const CompiledCostModel> CompiledCostModel::Compile(
     const CostModel& model) {
@@ -151,9 +181,17 @@ std::shared_ptr<const CompiledCostModel> CompiledCostModel::Compile(
 // ---------------------------------------------------------------------------
 // DpArena
 
+DpArena::DpArena() = default;
+DpArena::~DpArena() = default;
+
 DpArena& DpArena::ThreadLocal() {
   thread_local DpArena arena;
   return arena;
+}
+
+LaneScratch& DpArena::Lanes() {
+  if (lanes_ == nullptr) lanes_ = std::make_unique<LaneScratch>();
+  return *lanes_;
 }
 
 double* DpArena::Grow(std::vector<double>* buf, size_t n) {
@@ -252,9 +290,13 @@ uint64_t MyersDistance(const uint8_t* pat, size_t m, const uint8_t* txt,
 // whole batch), never per pair.
 void FlushRegistry(const KernelCounters& d) {
   if (d.bitparallel_pairs > 0) BitParallelPairs()->Inc(d.bitparallel_pairs);
+  if (d.simd_pairs > 0) SimdPairs()->Inc(d.simd_pairs);
   if (d.banded_pairs > 0) BandedPairs()->Inc(d.banded_pairs);
   if (d.general_pairs > 0) GeneralPairs()->Inc(d.general_pairs);
   if (d.dp_cells > 0) DpCells()->Inc(d.dp_cells);
+  if (d.simd_cells > 0) SimdCells()->Inc(d.simd_cells);
+  if (d.simd_groups > 0) SimdGroups()->Inc(d.simd_groups);
+  if (d.simd_early_exits > 0) SimdEarlyExits()->Inc(d.simd_early_exits);
 }
 
 }  // namespace
@@ -507,6 +549,33 @@ void MatchKernel::MatchBatch(
       probe_suffix[i] = std::min(probe_suffix[i + 1], d);
     }
     const double per_gap = tight ? cm.min_indel() : cm.min_edit();
+
+    // SIMD lane dispatch: when the compiled tables sit on the 1/128
+    // fixed-point grid and the batch is wide enough, survivors of the
+    // length filter are staged into lane groups and decided 8/16 at
+    // a time (simd_dp.h proves decision parity with the scalar DP).
+    // Candidates the lane path cannot take (quantized bound overflow,
+    // oversized strings) flush the pending group first so *matched
+    // stays ascending, then run the scalar DP inline.
+    const SimdBackend backend = ResolveSimdBackend(options_.simd_backend);
+    const uint32_t width = SimdLaneWidth(backend);
+    const QuantizedCostModel* q =
+        width > 0 ? costs_->quantized() : nullptr;
+    const LaneKernelFn lane_fn =
+        q != nullptr && q->valid && lp > 0 &&
+                candidates.size() >= options_.simd_min_batch
+            ? GetLaneKernel(backend)
+            : nullptr;
+    LaneScratch* ls = lane_fn != nullptr ? &arena->Lanes() : nullptr;
+    auto flush_group = [&] {
+      if (ls->pending == 0) return;
+      MatchLanes(lane_fn, width, *q, pp, lp, ls, &arena->counters);
+      for (uint32_t l = 0; l < ls->pending; ++l) {
+        if (ls->dist[l] <= ls->bounds[l]) matched->push_back(ls->index[l]);
+      }
+      ls->pending = 0;
+    };
+
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (candidates[i] == nullptr) continue;
       const phonetic::PhonemeString& cand = *candidates[i];
@@ -516,15 +585,32 @@ void MatchKernel::MatchBatch(
       if (lp > 0 && lc > 0) {
         const size_t gap = lc > lp ? lc - lp : lp - lc;
         if (static_cast<double>(gap) * per_gap > bound) {
-          ++arena->counters.banded_pairs;
+          // The length filter decides the pair under whichever path
+          // owns the batch, mirroring the bit-parallel branch.
+          ++(ls != nullptr ? arena->counters.simd_pairs
+                           : arena->counters.banded_pairs);
           continue;
         }
+      }
+      if (ls != nullptr) {
+        const int64_t bq = QuantizeBound(bound);
+        if (bq >= 0 && lc <= kMaxLaneCandLen) {
+          ls->cand[ls->pending] = &cand;
+          ls->index[ls->pending] = i;
+          ls->bounds[ls->pending] = static_cast<uint16_t>(bq);
+          ++ls->pending;
+          ++arena->counters.simd_pairs;
+          if (ls->pending == width) flush_group();
+          continue;
+        }
+        flush_group();
       }
       if (DistanceImpl(probe, cand, bound, /*bounded=*/true, arena,
                        probe_suffix) <= bound) {
         matched->push_back(i);
       }
     }
+    if (ls != nullptr) flush_group();
   }
 
   // Publish the whole batch's counters in one registry round-trip.

@@ -9,6 +9,10 @@
 // compiled tables admit:
 //
 //   unit costs, min side <= 64   -> bit-parallel (Myers 64-bit block)
+//   weighted, tables on the 1/128
+//   grid, batch wide enough      -> SIMD lane DP (simd_dp.h: one
+//                                   probe vs 8/16 candidates per
+//                                   instruction, u16 fixed point)
 //   weighted + finite bound      -> banded DP (Ukkonen band from
 //                                   bound / min ins-del cost)
 //   otherwise                    -> general full DP, table-driven
@@ -37,44 +41,74 @@
 
 namespace lexequal::match {
 
+struct QuantizedCostModel;  // simd_dp.h: fixed-point table snapshot
+class LaneScratch;          // simd_dp.h: SoA scratch for lane groups
+
 /// Which algorithm decided a pair. Exported per pair through the
 /// lexequal_match_kernel_* counters and per query through MatchStats.
-enum class KernelPath : uint8_t { kNone, kBitParallel, kBanded, kGeneral };
+enum class KernelPath : uint8_t {
+  kNone,
+  kBitParallel,
+  kSimdLanes,
+  kBanded,
+  kGeneral
+};
 
-/// Display name ("bitparallel", "banded", "general", "none").
+/// Display name ("bitparallel", "simd", "banded", "general", "none").
 const char* KernelPathName(KernelPath path);
+
+/// SIMD lane backend for the weighted batch path (see simd_dp.h).
+/// kAuto picks the best available at runtime; kDisabled keeps every
+/// pair on the scalar paths; the concrete backends exist so tests and
+/// benches can force one (an unavailable backend degrades to
+/// kDisabled, never to a different ISA).
+enum class SimdBackend : uint8_t { kAuto, kDisabled, kScalar, kAvx2, kNeon };
 
 /// Per-arena kernel counters. Workers accumulate these privately and
 /// fold them into MatchStats at batch end — no atomics on the pair
 /// path (the global registry counters are bumped separately).
 struct KernelCounters {
   uint64_t bitparallel_pairs = 0;  // pairs decided by the Myers path
+  uint64_t simd_pairs = 0;         // pairs decided under the lane path
   uint64_t banded_pairs = 0;       // pairs decided by the banded DP
   uint64_t general_pairs = 0;      // pairs decided by the full DP
-  uint64_t dp_cells = 0;           // DP cells computed (banded+general)
+  uint64_t dp_cells = 0;           // scalar DP cells (banded+general)
+  uint64_t simd_cells = 0;         // lane DP cells (incl. pad lanes)
+  uint64_t simd_groups = 0;        // lane groups executed
+  uint64_t simd_early_exits = 0;   // lanes retired before the last row
 
   void Merge(const KernelCounters& o) {
     bitparallel_pairs += o.bitparallel_pairs;
+    simd_pairs += o.simd_pairs;
     banded_pairs += o.banded_pairs;
     general_pairs += o.general_pairs;
     dp_cells += o.dp_cells;
+    simd_cells += o.simd_cells;
+    simd_groups += o.simd_groups;
+    simd_early_exits += o.simd_early_exits;
   }
 
   /// This minus an earlier snapshot of the same counters.
   KernelCounters DeltaSince(const KernelCounters& before) const {
     KernelCounters d;
     d.bitparallel_pairs = bitparallel_pairs - before.bitparallel_pairs;
+    d.simd_pairs = simd_pairs - before.simd_pairs;
     d.banded_pairs = banded_pairs - before.banded_pairs;
     d.general_pairs = general_pairs - before.general_pairs;
     d.dp_cells = dp_cells - before.dp_cells;
+    d.simd_cells = simd_cells - before.simd_cells;
+    d.simd_groups = simd_groups - before.simd_groups;
+    d.simd_early_exits = simd_early_exits - before.simd_early_exits;
     return d;
   }
 
   void AccumulateInto(MatchStats* stats) const {
     stats->kernel_bitparallel += bitparallel_pairs;
+    stats->kernel_simd += simd_pairs;
     stats->kernel_banded += banded_pairs;
     stats->kernel_general += general_pairs;
     stats->dp_cells += dp_cells;
+    stats->simd_cells += simd_cells;
   }
 };
 
@@ -92,6 +126,7 @@ class CompiledCostModel {
   /// Snapshots `model` with kP*(kP+2) virtual calls. Prefer Compile()
   /// on hot paths — it caches one compiled model per (model, params).
   explicit CompiledCostModel(const CostModel& model);
+  ~CompiledCostModel();  // out-of-line: quantized_ is forward-declared
 
   /// Returns the cached compiled form of `model`. Recognized models
   /// (Levenshtein / Clustered / Feature) are keyed by their params and
@@ -122,6 +157,12 @@ class CompiledCostModel {
   /// discount off. Enables the bit-parallel path.
   bool IsUnit() const { return unit_; }
 
+  /// The tables snapshotted onto the 1/128 fixed-point grid for the
+  /// SIMD lane path; quantized()->valid is false when any value is
+  /// off the grid (then the lane path is never taken). Built once at
+  /// compile time, never null.
+  const QuantizedCostModel* quantized() const { return quantized_.get(); }
+
  private:
   std::vector<double> sub_;  // kP * kP, row-major [from][to]
   std::array<double, kP> ins_;
@@ -129,6 +170,7 @@ class CompiledCostModel {
   double min_edit_ = 1.0;
   double min_indel_ = 1.0;
   bool unit_ = false;
+  std::unique_ptr<QuantizedCostModel> quantized_;
 };
 
 /// Reusable scratch for the kernel: DP rows, suffix min-cost tables,
@@ -138,7 +180,8 @@ class CompiledCostModel {
 /// keep one per worker, or use ThreadLocal() from scalar paths.
 class DpArena {
  public:
-  DpArena() = default;
+  DpArena();
+  ~DpArena();  // out-of-line: LaneScratch is forward-declared
   DpArena(const DpArena&) = delete;
   DpArena& operator=(const DpArena&) = delete;
 
@@ -155,6 +198,10 @@ class DpArena {
   /// entries it set before returning, so the table is always zero
   /// between calls.
   uint64_t* Peq() { return peq_.data(); }
+
+  /// Structure-of-arrays scratch for the SIMD lane path, created on
+  /// first use (scalar-only workloads never pay for it).
+  LaneScratch& Lanes();
 
   /// Kernel counters accumulated by every call through this arena.
   KernelCounters counters;
@@ -174,6 +221,7 @@ class DpArena {
   std::vector<double> suffix_a_;
   std::vector<double> suffix_b_;
   std::array<uint64_t, CompiledCostModel::kP> peq_{};
+  std::unique_ptr<LaneScratch> lanes_;
 };
 
 /// Kernel tuning knobs. `tight_prune` selects the per-phoneme
@@ -184,6 +232,16 @@ class DpArena {
 /// bound visits strictly fewer cells.
 struct MatchKernelOptions {
   bool tight_prune = true;
+
+  /// Lane backend for the weighted MatchBatch path. kAuto resolves
+  /// once per batch via cpuid / compile-time detection (and honors
+  /// LEXEQUAL_FORCE_SCALAR_SIMD); tests force concrete backends to
+  /// prove bit-identical results.
+  SimdBackend simd_backend = SimdBackend::kAuto;
+
+  /// Minimum batch size before the lane path engages; smaller batches
+  /// stay on the scalar banded DP (too few candidates to fill lanes).
+  uint32_t simd_min_batch = 8;
 };
 
 /// The batch-oriented, allocation-free edit-distance kernel. Holds a

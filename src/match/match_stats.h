@@ -30,9 +30,11 @@ struct MatchStats {
   // the dp_evaluations above, and how many DP cells the non-bit-
   // parallel paths actually computed.
   uint64_t kernel_bitparallel = 0;  // pairs via the Myers bit kernel
+  uint64_t kernel_simd = 0;         // pairs via the SIMD lane path
   uint64_t kernel_banded = 0;       // pairs via the banded DP
   uint64_t kernel_general = 0;      // pairs via the general full DP
   uint64_t dp_cells = 0;            // banded+general DP cells computed
+  uint64_t simd_cells = 0;          // lane DP cells (incl. pad lanes)
   uint32_t threads_used = 0;       // worker threads (0 = serial path)
   double wall_ms = 0.0;            // matcher wall-clock
 
@@ -47,9 +49,11 @@ struct MatchStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     kernel_bitparallel += other.kernel_bitparallel;
+    kernel_simd += other.kernel_simd;
     kernel_banded += other.kernel_banded;
     kernel_general += other.kernel_general;
     dp_cells += other.dp_cells;
+    simd_cells += other.simd_cells;
     if (other.threads_used > threads_used) {
       threads_used = other.threads_used;
     }
@@ -64,17 +68,20 @@ struct MatchStats {
   }
 
   /// Name of the kernel path that decided most pairs this query
-  /// ("bitparallel" / "banded" / "general"), or "none" before any DP
-  /// ran. Surfaced by EXPLAIN ANALYZE and the shell's \stats.
+  /// ("bitparallel" / "simd" / "banded" / "general"), or "none"
+  /// before any DP ran. Surfaced by EXPLAIN ANALYZE and \stats.
   const char* DominantKernel() const {
-    if (kernel_bitparallel + kernel_banded + kernel_general == 0) {
-      return "none";
+    const uint64_t counts[4] = {kernel_bitparallel, kernel_simd,
+                                kernel_banded, kernel_general};
+    static constexpr const char* kNames[4] = {"bitparallel", "simd",
+                                              "banded", "general"};
+    uint64_t total = 0;
+    int best = 0;
+    for (int i = 0; i < 4; ++i) {
+      total += counts[i];
+      if (counts[i] > counts[best]) best = i;
     }
-    if (kernel_bitparallel >= kernel_banded &&
-        kernel_bitparallel >= kernel_general) {
-      return "bitparallel";
-    }
-    return kernel_banded >= kernel_general ? "banded" : "general";
+    return total == 0 ? "none" : kNames[best];
   }
 
   /// One-line rendering for shells and benches, e.g.
@@ -82,7 +89,7 @@ struct MatchStats {
   ///  cache=1020/3 (99.7% hit) kernel=banded cells=812k threads=4
   ///  wall=41.2ms".
   std::string ToString() const {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "scanned=%llu filtered=%llu dp=%llu matched=%llu "
                   "cache=%llu/%llu (%.1f%% hit) kernel=%s cells=%llu "
@@ -96,7 +103,13 @@ struct MatchStats {
                   100.0 * cache_hit_rate(), DominantKernel(),
                   static_cast<unsigned long long>(dp_cells), threads_used,
                   wall_ms);
-    return std::string(buf);
+    std::string out(buf);
+    if (simd_cells > 0) {
+      std::snprintf(buf, sizeof(buf), " simd_cells=%llu",
+                    static_cast<unsigned long long>(simd_cells));
+      out += buf;
+    }
+    return out;
   }
 };
 

@@ -93,9 +93,15 @@ bool PassesPrefilters(const LexEqualMatcher& matcher,
 }
 
 // Per-worker verification state: survivors of the prefilters are
-// collected per chunk and decided by one MatchKernel::MatchBatch call
-// on the worker's private arena — zero allocations per pair, one
-// batched DP pass per chunk.
+// collected and decided by MatchKernel::MatchBatch calls on the
+// worker's private arena — zero allocations per pair. Batches are
+// flushed every kVerifierFlushThreshold survivors rather than once
+// per chunk: the arena scratch (and, on the MatchBatchIpa path, the
+// `owned` parse pins) stays bounded on huge scans, while the batch is
+// still far wider than the SIMD lane width, so the lane path keeps
+// forming full-width candidate groups.
+constexpr size_t kVerifierFlushThreshold = 4096;
+
 struct ChunkVerifier {
   explicit ChunkVerifier(const LexEqualMatcher& matcher)
       : matcher(matcher) {}
@@ -116,6 +122,9 @@ struct ChunkVerifier {
 
   // Runs the batched verification, appends matched original indices
   // (ascending) to *matched, and folds kernel counters into *stats.
+  // Survivors are added in ascending index order and every segment
+  // flushes before later indices arrive, so the concatenation of
+  // per-flush match lists stays ascending.
   void Flush(const ProbeContext& ctx, MatchStats* stats,
              std::vector<size_t>* matched) {
     stats->dp_evaluations += survivors.size();
@@ -252,6 +261,9 @@ Result<std::vector<size_t>> ParallelMatcher::MatchBatch(
         for (size_t i = begin; i < end; ++i) {
           if (PassesPrefilters(matcher_, ctx, candidates[i], s)) {
             verifier.Add(&candidates[i], i);
+            if (verifier.survivors.size() >= kVerifierFlushThreshold) {
+              verifier.Flush(ctx, s, matched);
+            }
           }
         }
         verifier.Flush(ctx, s, matched);
@@ -304,6 +316,9 @@ Result<std::vector<size_t>> ParallelMatcher::MatchBatchIpa(
           if (PassesPrefilters(matcher_, ctx, *cand, s)) {
             verifier.Add(cand.get(), i);
             verifier.owned.push_back(std::move(cand));
+            if (verifier.survivors.size() >= kVerifierFlushThreshold) {
+              verifier.Flush(ctx, s, matched);
+            }
           }
         }
         verifier.Flush(ctx, s, matched);

@@ -1,17 +1,60 @@
 #include "match/plan_cost.h"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "match/qgram.h"
+#include "match/simd_dp.h"
 
 namespace lexequal::match {
 
+VerifyPath ClassifyVerifyPath(double query_len, double intra_cluster_cost,
+                              bool weak_phoneme_discount) {
+  // Mirrors the dispatch in MatchKernel::MatchBatch. Unit tables (no
+  // intra-cluster discount, no weak-phoneme discount) with the probe
+  // inside one 64-bit block take the Myers bit-parallel path.
+  if (intra_cluster_cost == 1.0 && !weak_phoneme_discount) {
+    if (query_len <= 64.0) return VerifyPath::kBitParallel;
+    return VerifyPath::kBanded;
+  }
+  // Weighted tables on the 1/128 fixed-point grid take the lane path
+  // when the host resolves a real vector ISA. The weak-phoneme
+  // discount halves substitution costs, which keeps them on the grid,
+  // so only the intra-cluster cost decides representability here.
+  const double scaled =
+      intra_cluster_cost * QuantizedCostModel::kScale;
+  const bool on_grid = scaled >= 0.0 && scaled <= 255.0 &&
+                       std::nearbyint(scaled) == scaled;
+  if (on_grid) {
+    const SimdBackend best = BestSimdBackend();
+    if (best == SimdBackend::kAvx2 || best == SimdBackend::kNeon) {
+      return VerifyPath::kSimdLanes;
+    }
+  }
+  return VerifyPath::kBanded;
+}
+
 double EstimateVerifyCost(double query_len, double cand_len,
-                          double threshold, const PlanCostParams& p) {
+                          double threshold, const PlanCostParams& p,
+                          VerifyPath path) {
   if (query_len <= 0 || cand_len <= 0) return p.phoneme_parse;
   const double shorter = std::min(query_len, cand_len);
   const double longer = std::max(query_len, cand_len);
+  const double parse = p.phoneme_parse * cand_len;
+  switch (path) {
+    case VerifyPath::kBitParallel:
+      // One Myers word-op bundle per text phoneme, band-free.
+      return parse + p.dp_cell_bitparallel * longer;
+    case VerifyPath::kSimdLanes:
+      // The lane DP runs the full matrix, unbanded; the 8/16-wide
+      // vector and row-minimum early exit live in the constant.
+      return parse + p.dp_cell_simd * shorter * longer;
+    case VerifyPath::kGeneral:
+      return parse + p.dp_cell * shorter * (longer + 1.0);
+    case VerifyPath::kBanded:
+      break;
+  }
   // Band around the diagonal as the kernel computes it: the weighted
   // bound (threshold * shorter) buys bound / min_indel unit edits each
   // side; with the default clustered weights (min_indel = 0.5) that is
@@ -19,7 +62,7 @@ double EstimateVerifyCost(double query_len, double cand_len,
   // the row-minimum early-out prunes.
   const double band =
       std::min(4.0 * threshold * shorter + 1.0, longer + 1.0);
-  return p.phoneme_parse * cand_len + p.dp_cell * shorter * band;
+  return parse + p.dp_cell * shorter * band;
 }
 
 double EstimateQGramPostings(double query_len, int q,

@@ -17,15 +17,33 @@
 
 namespace lexequal::match {
 
+/// Which MatchKernel path will verify candidates, for pricing. The
+/// per-cell constants differ by an order of magnitude between the
+/// scalar banded DP and the bit-parallel / SIMD lane paths, so
+/// pricing every model at the banded rate over-priced exactly the
+/// weighted-model scans the lane path now accelerates.
+enum class VerifyPath : uint8_t {
+  kBitParallel,  // unit costs, min side <= 64: Myers word ops
+  kSimdLanes,    // 1/128-grid tables + vector ISA: lane DP
+  kBanded,       // weighted scalar DP, Ukkonen band
+  kGeneral,      // weighted scalar DP, full width
+};
+
 /// Cost-model constants, in units of one sequential heap-tuple pull.
-/// Calibrated against bench/autoplan on the generated dataset; only
-/// the *ratios* matter to plan choice.
+/// Calibrated against bench/autoplan and bench/kernel_speedup on the
+/// generated dataset; only the *ratios* matter to plan choice.
 struct PlanCostParams {
   double scan_tuple = 1.0;       // sequential heap pull + deserialize
   double rid_lookup = 4.0;       // random heap fetch for one candidate
   double btree_probe = 40.0;     // one B-Tree descent
   double posting_entry = 0.2;    // one index entry touched in a range
-  double dp_cell = 0.02;         // one cell of the table-driven DP
+  double dp_cell = 0.02;         // one cell of the scalar banded /
+                                 // general table-driven DP
+  double dp_cell_simd = 0.006;   // one lane-DP cell amortized over the
+                                 // 8/16-wide vector (kernel_speedup:
+                                 // ~3.3x under the scalar cell)
+  double dp_cell_bitparallel = 0.005;  // one Myers word op (priced per
+                                       // text phoneme, not per cell)
   double invidx_posting = 0.05;  // one varint posting decoded in a
                                  // block-at-a-time inverted-list merge
                                  // (sequential, no B-Tree re-descent)
@@ -36,17 +54,39 @@ struct PlanCostParams {
   uint32_t max_useful_threads = 8;     // memory bandwidth ceiling
 };
 
+/// The kernel path MatchBatch will take for a clustered cost model
+/// with these options, mirroring the dispatch in match_kernel.cc:
+/// exactly-unit tables with the probe inside the 64-bit block go
+/// bit-parallel; tables on the 1/128 fixed-point grid go to the SIMD
+/// lane path when this host resolves a real vector ISA (the scalar
+/// emulation exists for coverage, not speed, so grid models without
+/// an ISA — and off-grid models everywhere — price as banded). Pure
+/// in its arguments except for the process-constant backend probe.
+VerifyPath ClassifyVerifyPath(double query_len, double intra_cluster_cost,
+                              bool weak_phoneme_discount);
+
 /// Cost of verifying one candidate of `cand_len` phonemes against a
 /// probe of `query_len`: parsing the stored IPA cell plus the
-/// table-driven DP of match_kernel.h. The kernel band derives from
-/// the weighted bound over the cheapest insert/delete (~ threshold *
-/// min length / min_indel unit edits each side of the diagonal); with
-/// the default clustered weights (min_indel = 0.5) that is ~ 4k+1
-/// columns wide, k = threshold * min length. The bit-parallel
-/// unit-cost path is strictly cheaper, so this stays an upper bound.
+/// table-driven DP of match_kernel.h, priced per path.
+///
+///   kBanded       dp_cell * shorter * band; the band derives from
+///                 the weighted bound over the cheapest insert/delete
+///                 (~ threshold * min length / min_indel unit edits
+///                 each side of the diagonal: ~4k+1 columns with the
+///                 default clustered weights)
+///   kGeneral      dp_cell over the full shorter * (longer+1) matrix
+///   kSimdLanes    dp_cell_simd over the full shorter * longer matrix
+///                 (the lane path runs unbanded; the vector width and
+///                 row-minimum early exit are folded into the cheaper
+///                 per-cell constant)
+///   kBitParallel  dp_cell_bitparallel * longer word ops
+///
+/// The default path keeps the historical banded pricing so existing
+/// callers are unchanged.
 double EstimateVerifyCost(double query_len, double cand_len,
                           double threshold,
-                          const PlanCostParams& p = {});
+                          const PlanCostParams& p = {},
+                          VerifyPath path = VerifyPath::kBanded);
 
 /// Index entries touched by a q-gram probe: the padded probe carries
 /// query_len + q - 1 grams, each hitting ~avg_postings_per_gram

@@ -1,0 +1,303 @@
+#include "match/simd_dp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "match/simd_dp_lanes.h"
+
+namespace lexequal::match {
+
+namespace {
+
+// Portable 16-lane emulation of the vector trait. Same lane count as
+// AVX2 so group shapes (and therefore pad-lane behavior) match the
+// widest real backend; the ops are plain loops the autovectorizer is
+// free to lower however it likes — correctness never depends on it.
+struct VecScalar {
+  static constexpr uint32_t kLanes = 16;
+  struct U16 {
+    uint16_t v[kLanes];
+  };
+  struct U8 {
+    uint8_t v[kLanes];
+  };
+  struct Lut {
+    const uint8_t* row;
+  };
+
+  static U16 Splat(uint16_t x) {
+    U16 r;
+    for (uint32_t l = 0; l < kLanes; ++l) r.v[l] = x;
+    return r;
+  }
+  static U16 Load(const uint16_t* p) {
+    U16 r;
+    std::memcpy(r.v, p, sizeof r.v);
+    return r;
+  }
+  static void Store(uint16_t* p, U16 a) { std::memcpy(p, a.v, sizeof a.v); }
+  static U8 LoadBytes(const uint8_t* p) {
+    U8 r;
+    std::memcpy(r.v, p, sizeof r.v);
+    return r;
+  }
+  static void StoreBytes(uint8_t* p, U8 a) { std::memcpy(p, a.v, sizeof a.v); }
+  static Lut PrepareLut(const uint8_t* row64) { return Lut{row64}; }
+  static U8 Lookup(const Lut& t, U8 ids) {
+    U8 r;
+    for (uint32_t l = 0; l < kLanes; ++l) r.v[l] = t.row[ids.v[l]];
+    return r;
+  }
+  static U16 Widen(U8 a) {
+    U16 r;
+    for (uint32_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l];
+    return r;
+  }
+  static U16 AddSat(U16 a, U16 b) {
+    U16 r;
+    for (uint32_t l = 0; l < kLanes; ++l) {
+      const uint32_t s = static_cast<uint32_t>(a.v[l]) + b.v[l];
+      r.v[l] = static_cast<uint16_t>(std::min<uint32_t>(s, 0xFFFF));
+    }
+    return r;
+  }
+  static U16 Min(U16 a, U16 b) {
+    U16 r;
+    for (uint32_t l = 0; l < kLanes; ++l) r.v[l] = std::min(a.v[l], b.v[l]);
+    return r;
+  }
+  static U16 Or(U16 a, U16 b) {
+    U16 r;
+    for (uint32_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] | b.v[l];
+    return r;
+  }
+  static U16 And(U16 a, U16 b) {
+    U16 r;
+    for (uint32_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] & b.v[l];
+    return r;
+  }
+  static U16 LeMask(U16 a, U16 b) {  // a <= b ? 0xFFFF : 0, per lane
+    U16 r;
+    for (uint32_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] <= b.v[l] ? 0xFFFF : 0;
+    return r;
+  }
+  static bool AnyNonZero(U16 a) {
+    for (uint32_t l = 0; l < kLanes; ++l) {
+      if (a.v[l] != 0) return true;
+    }
+    return false;
+  }
+};
+
+void LaneDpScalar(const LaneGroup& g) { internal::RunLaneDp<VecScalar>(g); }
+
+bool ForceScalarFromEnv() {
+  const char* v = std::getenv("LEXEQUAL_FORCE_SCALAR_SIMD");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+namespace internal {
+LaneKernelFn GetLaneKernelScalar() { return &LaneDpScalar; }
+}  // namespace internal
+
+const char* SimdBackendName(SimdBackend b) {
+  switch (b) {
+    case SimdBackend::kAuto:
+      return "auto";
+    case SimdBackend::kDisabled:
+      return "disabled";
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kAvx2:
+      return "avx2";
+    case SimdBackend::kNeon:
+      return "neon";
+  }
+  return "disabled";
+}
+
+bool SimdBackendCompiled(SimdBackend b) {
+  switch (b) {
+    case SimdBackend::kScalar:
+      return true;
+    case SimdBackend::kAvx2:
+      return internal::GetLaneKernelAvx2() != nullptr;
+    case SimdBackend::kNeon:
+      return internal::GetLaneKernelNeon() != nullptr;
+    case SimdBackend::kAuto:
+    case SimdBackend::kDisabled:
+      return false;
+  }
+  return false;
+}
+
+bool SimdBackendAvailable(SimdBackend b) {
+  if (!SimdBackendCompiled(b)) return false;
+  if (b == SimdBackend::kAvx2) {
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+  }
+  return true;  // scalar always; NEON is baseline where it compiles
+}
+
+SimdBackend BestSimdBackend() {
+  static const SimdBackend best = [] {
+    if (ForceScalarFromEnv()) return SimdBackend::kScalar;
+    if (SimdBackendAvailable(SimdBackend::kAvx2)) return SimdBackend::kAvx2;
+    if (SimdBackendAvailable(SimdBackend::kNeon)) return SimdBackend::kNeon;
+    return SimdBackend::kScalar;
+  }();
+  return best;
+}
+
+SimdBackend ResolveSimdBackend(SimdBackend requested) {
+  if (requested == SimdBackend::kAuto) return BestSimdBackend();
+  if (requested == SimdBackend::kDisabled) return SimdBackend::kDisabled;
+  return SimdBackendAvailable(requested) ? requested : SimdBackend::kDisabled;
+}
+
+uint32_t SimdLaneWidth(SimdBackend b) {
+  switch (b) {
+    case SimdBackend::kScalar:
+    case SimdBackend::kAvx2:
+      return 16;
+    case SimdBackend::kNeon:
+      return 8;
+    case SimdBackend::kAuto:
+    case SimdBackend::kDisabled:
+      return 0;
+  }
+  return 0;
+}
+
+LaneKernelFn GetLaneKernel(SimdBackend b) {
+  switch (b) {
+    case SimdBackend::kScalar:
+      return internal::GetLaneKernelScalar();
+    case SimdBackend::kAvx2:
+      return internal::GetLaneKernelAvx2();
+    case SimdBackend::kNeon:
+      return internal::GetLaneKernelNeon();
+    case SimdBackend::kAuto:
+    case SimdBackend::kDisabled:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<QuantizedCostModel> QuantizedCostModel::Build(
+    const CompiledCostModel& cm) {
+  auto q = std::make_unique<QuantizedCostModel>();
+  // A value quantizes losslessly iff v * 128 is a non-negative
+  // integer in range. The comparison is exact: v * 128 only shifts
+  // the exponent, and nearbyint of an integer-valued double is
+  // itself.
+  auto grid = [](double v, double max) -> int64_t {
+    const double s = v * kScale;
+    if (!(s >= 0.0) || s > max) return -1;
+    const double r = std::nearbyint(s);
+    if (r != s) return -1;
+    return static_cast<int64_t>(r);
+  };
+  q->valid = true;
+  for (int p = 0; p < kP && q->valid; ++p) {
+    const auto ph = static_cast<uint8_t>(p);
+    const int64_t iv = grid(cm.Ins(ph), kSat - 1.0);
+    const int64_t dv = grid(cm.Del(ph), kSat - 1.0);
+    if (iv < 0 || dv < 0) {
+      q->valid = false;
+      break;
+    }
+    q->ins[p] = static_cast<uint16_t>(iv);
+    q->del[p] = static_cast<uint16_t>(dv);
+    for (int c = 0; c < kP; ++c) {
+      const int64_t sv = grid(cm.Sub(ph, static_cast<uint8_t>(c)), 255.0);
+      if (sv < 0) {
+        q->valid = false;
+        break;
+      }
+      q->sub[static_cast<size_t>(p) * kRow + c] = static_cast<uint8_t>(sv);
+    }
+  }
+  return q;
+}
+
+void MatchLanes(LaneKernelFn fn, uint32_t width, const QuantizedCostModel& q,
+                const uint8_t* probe, size_t lp, LaneScratch* ls,
+                KernelCounters* counters) {
+  const uint32_t active = ls->pending;
+  size_t lc_max = 0;
+  for (uint32_t l = 0; l < active; ++l) {
+    lc_max = std::max(lc_max, ls->cand[l]->size());
+  }
+
+  const size_t cols = lc_max * width;
+  if (ls->ids.size() < cols) {
+    ls->ids.resize(cols);
+    ls->ins_col.resize(cols);
+    ls->pad_or.resize(cols);
+  }
+  const size_t row_elems = 2 * (lc_max + 1) * width;
+  if (ls->rows.size() < row_elems) ls->rows.resize(row_elems);
+  const size_t slots = std::min(lp, static_cast<size_t>(QuantizedCostModel::kP));
+  if (ls->stripes.size() < slots * lc_max * width) {
+    ls->stripes.resize(slots * lc_max * width);
+  }
+  ls->stripe_slot.fill(0xFF);
+
+  // Transpose candidates into lane-major columns. Pad lanes and a
+  // lane's columns past its own length get id 0, a saturated insert
+  // cost, and the kSat pad mask.
+  for (size_t j = 0; j < lc_max; ++j) {
+    uint8_t* idp = ls->ids.data() + j * width;
+    uint16_t* inp = ls->ins_col.data() + j * width;
+    uint16_t* pop = ls->pad_or.data() + j * width;
+    for (uint32_t l = 0; l < width; ++l) {
+      if (l < active && j < ls->cand[l]->size()) {
+        const uint8_t id = ls->cand[l]->ids()[j];
+        idp[l] = id;
+        inp[l] = q.ins[id];
+        pop[l] = 0;
+      } else {
+        idp[l] = 0;
+        inp[l] = QuantizedCostModel::kSat;
+        pop[l] = QuantizedCostModel::kSat;
+      }
+    }
+  }
+  for (uint32_t l = 0; l < width; ++l) {
+    ls->lc[l] =
+        l < active ? static_cast<uint16_t>(ls->cand[l]->size()) : uint16_t{0};
+    if (l >= active) ls->bounds[l] = 0;  // pad lanes can never match
+  }
+
+  LaneGroup g;
+  g.q = &q;
+  g.probe = probe;
+  g.lp = lp;
+  g.width = width;
+  g.active = active;
+  g.lc_max = lc_max;
+  g.ids = ls->ids.data();
+  g.ins_col = ls->ins_col.data();
+  g.pad_or = ls->pad_or.data();
+  g.bounds = ls->bounds.data();
+  g.lc = ls->lc.data();
+  g.rows = ls->rows.data();
+  g.stripes = ls->stripes.data();
+  g.stripe_slot = ls->stripe_slot.data();
+  g.dist_q = ls->dist.data();
+  g.cells = &counters->simd_cells;
+  g.early_exit_lanes = &counters->simd_early_exits;
+  ++counters->simd_groups;
+  fn(g);
+}
+
+}  // namespace lexequal::match

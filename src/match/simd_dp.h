@@ -1,0 +1,187 @@
+// SIMD lane-parallel weighted DP: the batch kernel path for compiled
+// cost models the Myers bit-parallel block cannot serve.
+//
+// The scalar banded DP decides one (probe, candidate) pair at a time.
+// This path transposes a batch of candidates into structure-of-arrays
+// lanes — one probe against 8 (NEON) or 16 (AVX2 / scalar emulation)
+// candidates per instruction — and advances every lane across DP rows
+// together, with a per-lane early-exit mask that retires a lane as
+// soon as its row minimum exceeds its threshold bound.
+//
+// Exactness. Costs run in 16-bit saturating fixed point on the 1/128
+// grid (kScaleShift). The path only activates when every compiled
+// table value is exactly representable on that grid
+// (QuantizedCostModel::valid): then every DP partial sum is an exact
+// integer multiple of 1/128 in both the double and the u16 arithmetic
+// (sums stay far below 2^53), the quantized bound floor(bound * 128)
+// is computed without rounding (a *128 only shifts the exponent), and
+// saturation can only under-report values that already exceed every
+// representable bound. Hence dist_q <= bound_q iff the reference
+// distance <= bound, and dist_q / 128.0 equals the reference distance
+// bit-for-bit whenever it is within bound — for every backend, since
+// all backends instantiate the same RunLaneDp template over a vector
+// trait with identical semantics (lane width only changes grouping,
+// never a lane's own cells). Models off the grid (e.g. FeatureCost's
+// 0.35 weights) simply keep the scalar banded path.
+//
+// Backend selection is a runtime decision (cpuid on x86, compile-time
+// baseline on aarch64), overridable per kernel via
+// MatchKernelOptions::simd_backend and process-wide via the
+// LEXEQUAL_FORCE_SCALAR_SIMD environment variable (the sanitizer
+// matrix uses the latter so asan/ubsan/tsan execute the lane logic on
+// every host). ISA-specific code lives only in simd_dp_avx2.cc /
+// simd_dp_neon.cc — the lexlint `kernel` rule rejects raw intrinsics
+// anywhere else.
+
+#ifndef LEXEQUAL_MATCH_SIMD_DP_H_
+#define LEXEQUAL_MATCH_SIMD_DP_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "match/match_kernel.h"
+#include "phonetic/phoneme_string.h"
+
+namespace lexequal::match {
+
+/// Widest lane count any backend uses (AVX2 and the scalar emulation
+/// run 16 u16 lanes; NEON runs 8).
+inline constexpr uint32_t kMaxSimdLanes = 16;
+
+/// Longest candidate the lane path accepts; longer strings fall back
+/// to the scalar banded DP. Bounds the per-arena stripe scratch at
+/// kP * kMaxLaneCandLen * kMaxSimdLanes bytes (~1 MiB).
+inline constexpr size_t kMaxLaneCandLen = 1024;
+
+/// Display name ("auto", "disabled", "scalar", "avx2", "neon").
+const char* SimdBackendName(SimdBackend b);
+
+/// True when the backend's kernel is linked into this binary (the
+/// AVX2 translation unit only emits code when the compiler accepts
+/// -mavx2; NEON only on aarch64). Scalar emulation is always compiled.
+bool SimdBackendCompiled(SimdBackend b);
+
+/// Compiled and runnable on this machine (cpuid check for AVX2).
+bool SimdBackendAvailable(SimdBackend b);
+
+/// The backend kAuto resolves to: the best available vector ISA, the
+/// scalar emulation when LEXEQUAL_FORCE_SCALAR_SIMD is set, kDisabled
+/// when nothing usable is linked. Computed once per process.
+SimdBackend BestSimdBackend();
+
+/// Resolves a requested backend: kAuto -> BestSimdBackend(); an
+/// explicit backend is honored only when available, else kDisabled.
+SimdBackend ResolveSimdBackend(SimdBackend requested);
+
+/// u16 lanes per vector for a concrete backend (0 for kAuto/kDisabled).
+uint32_t SimdLaneWidth(SimdBackend b);
+
+/// A CompiledCostModel snapshotted onto the 1/128 fixed-point grid.
+/// `valid` is true only when the conversion is lossless: every table
+/// value v satisfies v * 128 integral, sub costs fit u8 (<= 255/128),
+/// ins/del fit u16. The substitution matrix is padded to 64-byte rows
+/// so a row doubles as a 4x16 byte shuffle table.
+struct QuantizedCostModel {
+  static constexpr int kP = CompiledCostModel::kP;
+  static constexpr int kRow = 64;  // padded sub row stride (LUT width)
+  static constexpr int kScaleShift = 7;
+  static constexpr double kScale = 128.0;
+  static constexpr uint16_t kSat = 0xFFFF;  // saturating "infinity"
+
+  bool valid = false;
+  alignas(16) uint8_t sub[static_cast<size_t>(kP) * kRow] = {};
+  uint16_t ins[kP] = {};
+  uint16_t del[kP] = {};
+
+  /// Snapshots `cm`; `valid` records whether the grid was lossless.
+  static std::unique_ptr<QuantizedCostModel> Build(
+      const CompiledCostModel& cm);
+};
+
+/// floor(bound * 128) when it is a representable lane bound, -1 when
+/// the pair must stay on the scalar path. Exact: * 128 only shifts
+/// the double exponent, and floor of an exact product is exact.
+inline int64_t QuantizeBound(double bound) {
+  if (!(bound >= 0.0)) return -1;
+  const double scaled = std::floor(bound * QuantizedCostModel::kScale);
+  if (scaled >= static_cast<double>(QuantizedCostModel::kSat)) return -1;
+  return static_cast<int64_t>(scaled);
+}
+
+/// One transposed lane group, handed to a backend kernel. All column
+/// buffers are lane-major: element (column j, lane l) lives at
+/// [j * width + l]. Pad lanes (l >= active) and pad columns (j beyond
+/// a lane's own length) carry kSat in pad_or so their cells saturate
+/// and can never look like a match.
+struct LaneGroup {
+  const QuantizedCostModel* q = nullptr;
+  const uint8_t* probe = nullptr;  // probe phoneme ids, length lp
+  size_t lp = 0;
+  uint32_t width = 0;   // backend lane count (must equal V::kLanes)
+  uint32_t active = 0;  // real candidate lanes (<= width)
+  size_t lc_max = 0;    // widest candidate (columns per row)
+
+  const uint8_t* ids = nullptr;      // [lc_max * width] candidate ids
+  const uint16_t* ins_col = nullptr; // [lc_max * width] per-cand ins cost
+  const uint16_t* pad_or = nullptr;  // [lc_max * width] 0 or kSat
+  const uint16_t* bounds = nullptr;  // [width] quantized per-lane bounds
+  const uint16_t* lc = nullptr;      // [width] per-lane candidate length
+
+  uint16_t* rows = nullptr;          // [2 * (lc_max + 1) * width] scratch
+  uint8_t* stripes = nullptr;        // [min(lp,kP) * lc_max * width]
+  uint8_t* stripe_slot = nullptr;    // [kP], caller-filled with 0xFF
+
+  uint16_t* dist_q = nullptr;        // out: [width] final distances
+  uint64_t* cells = nullptr;         // out: lane DP cells accumulated
+  uint64_t* early_exit_lanes = nullptr;  // out: real lanes retired early
+};
+
+/// A backend kernel: runs the full lane DP for one group.
+using LaneKernelFn = void (*)(const LaneGroup&);
+
+/// The kernel for a concrete backend, nullptr when unavailable.
+LaneKernelFn GetLaneKernel(SimdBackend b);
+
+/// Reusable per-arena scratch for lane groups: the SoA buffers plus
+/// the group being assembled by MatchBatch. Grown monotonically,
+/// reused across groups. Not thread-safe (lives in a DpArena).
+class LaneScratch {
+ public:
+  // SoA buffers, sized by MatchLanes per group.
+  std::vector<uint8_t> ids;
+  std::vector<uint8_t> stripes;
+  std::vector<uint16_t> ins_col;
+  std::vector<uint16_t> pad_or;
+  std::vector<uint16_t> rows;
+  std::array<uint8_t, QuantizedCostModel::kP> stripe_slot = {};
+
+  // Per-lane group state (bounds/lc are kernel inputs, dist outputs).
+  std::array<uint16_t, kMaxSimdLanes> bounds = {};
+  std::array<uint16_t, kMaxSimdLanes> lc = {};
+  std::array<uint16_t, kMaxSimdLanes> dist = {};
+
+  // Group assembly, owned by MatchBatch: the candidate pointers and
+  // original batch indices of the lanes pending a flush.
+  std::array<const phonetic::PhonemeString*, kMaxSimdLanes> cand = {};
+  std::array<size_t, kMaxSimdLanes> index = {};
+  uint32_t pending = 0;
+};
+
+/// Runs one assembled group (ls->pending lanes, candidates/bounds
+/// already staged in *ls) through `fn`: transposes the candidates
+/// into the SoA buffers, pads the tail lanes, executes the lane DP,
+/// and leaves per-lane quantized distances in ls->dist. A lane
+/// matches iff ls->dist[l] <= ls->bounds[l]; when it matches,
+/// ls->dist[l] / 128.0 is the exact reference distance. Accumulates
+/// simd_groups / simd_cells / simd_early_exits into *counters (the
+/// caller owns simd_pairs).
+void MatchLanes(LaneKernelFn fn, uint32_t width, const QuantizedCostModel& q,
+                const uint8_t* probe, size_t lp, LaneScratch* ls,
+                KernelCounters* counters);
+
+}  // namespace lexequal::match
+
+#endif  // LEXEQUAL_MATCH_SIMD_DP_H_

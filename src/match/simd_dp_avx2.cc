@@ -1,0 +1,91 @@
+// AVX2 backend: 16 u16 lanes per __m256i. This translation unit is
+// the only x86-intrinsic code in the tree (lexlint enforces that) and
+// is compiled with -mavx2 *per file* (see src/match/CMakeLists.txt),
+// so the rest of the binary stays baseline-portable; the kernel is
+// only ever called after a runtime cpuid check (SimdBackendAvailable).
+
+#include "match/simd_dp_lanes.h"
+
+#if defined(LEXEQUAL_SIMD_AVX2)
+
+#include <immintrin.h>
+
+namespace lexequal::match::internal {
+
+namespace {
+
+struct VecAvx2 {
+  static constexpr uint32_t kLanes = 16;
+  using U16 = __m256i;
+  using U8 = __m128i;
+  struct Lut {
+    __m128i t[4];
+  };
+
+  static U16 Splat(uint16_t x) {
+    return _mm256_set1_epi16(static_cast<short>(x));
+  }
+  static U16 Load(const uint16_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void Store(uint16_t* p, U16 a) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a);
+  }
+  static U8 LoadBytes(const uint8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void StoreBytes(uint8_t* p, U8 a) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a);
+  }
+  static Lut PrepareLut(const uint8_t* row64) {
+    Lut l;
+    for (int c = 0; c < 4; ++c) {
+      l.t[c] =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row64 + 16 * c));
+    }
+    return l;
+  }
+  // 64-entry byte table lookup from four 16-byte shuffles. For chunk
+  // c the index is rebased by -16c; pshufb zeroes lanes whose rebased
+  // index has the sign bit set (index below the chunk), and the
+  // explicit `off < 16` mask drops lanes above it, so exactly one
+  // chunk contributes per lane. Phoneme ids are < 61, so every lane
+  // hits one of the four chunks.
+  static U8 Lookup(const Lut& l, U8 ids) {
+    __m128i r = _mm_setzero_si128();
+    for (int c = 0; c < 4; ++c) {
+      const __m128i off =
+          _mm_sub_epi8(ids, _mm_set1_epi8(static_cast<char>(16 * c)));
+      const __m128i hit = _mm_shuffle_epi8(l.t[c], off);
+      const __m128i in_range = _mm_cmpgt_epi8(_mm_set1_epi8(16), off);
+      r = _mm_or_si128(r, _mm_and_si128(hit, in_range));
+    }
+    return r;
+  }
+  static U16 Widen(U8 a) { return _mm256_cvtepu8_epi16(a); }
+  static U16 AddSat(U16 a, U16 b) { return _mm256_adds_epu16(a, b); }
+  static U16 Min(U16 a, U16 b) { return _mm256_min_epu16(a, b); }
+  static U16 Or(U16 a, U16 b) { return _mm256_or_si256(a, b); }
+  static U16 And(U16 a, U16 b) { return _mm256_and_si256(a, b); }
+  // Unsigned u16 a <= b via min: no unsigned compare until AVX-512.
+  static U16 LeMask(U16 a, U16 b) {
+    return _mm256_cmpeq_epi16(_mm256_min_epu16(a, b), a);
+  }
+  static bool AnyNonZero(U16 a) { return _mm256_testz_si256(a, a) == 0; }
+};
+
+void LaneDpAvx2(const LaneGroup& g) { RunLaneDp<VecAvx2>(g); }
+
+}  // namespace
+
+LaneKernelFn GetLaneKernelAvx2() { return &LaneDpAvx2; }
+
+}  // namespace lexequal::match::internal
+
+#else  // !LEXEQUAL_SIMD_AVX2
+
+namespace lexequal::match::internal {
+LaneKernelFn GetLaneKernelAvx2() { return nullptr; }
+}  // namespace lexequal::match::internal
+
+#endif

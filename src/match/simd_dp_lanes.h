@@ -1,0 +1,140 @@
+// The lane DP itself, shared by every backend as a template over a
+// vector trait V. A trait provides W = V::kLanes u16 lanes and the
+// tiny op set the recurrence needs (saturating add, unsigned min,
+// byte-table lookup, <=-mask, any-lane test). Instantiating the same
+// template everywhere is what makes the backends bit-identical: the
+// recurrence, the row-0 border, the pad-column handling, and the
+// early-exit test are one piece of code; a backend only decides how
+// many lanes advance per instruction.
+//
+// Internal header: included by simd_dp.cc and the simd_dp_*.cc
+// backend translation units only.
+
+#ifndef LEXEQUAL_MATCH_SIMD_DP_LANES_H_
+#define LEXEQUAL_MATCH_SIMD_DP_LANES_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "match/simd_dp.h"
+
+namespace lexequal::match::internal {
+
+// Row-major lane DP over one group. Row i of the classic matrix is a
+// vector row of lc_max columns x W lanes; every lane runs its own
+// candidate in its own column range, columns past a lane's length are
+// forced to kSat through pad_or (OR with 0xFFFF saturates the cell,
+// and since dependencies only flow left-to-right, a forced cell never
+// feeds a real one). The early exit is sound because every alignment
+// path crosses every row and all costs are >= 0, so a row minimum
+// above the lane's bound proves the final distance is too.
+template <typename V>
+void RunLaneDp(const LaneGroup& g) {
+  constexpr uint32_t W = V::kLanes;
+  using U16 = typename V::U16;
+  const QuantizedCostModel& q = *g.q;
+  const size_t n = g.lc_max;
+  constexpr uint16_t kSat = QuantizedCostModel::kSat;
+
+  uint16_t* prev = g.rows;
+  uint16_t* cur = g.rows + (n + 1) * W;
+
+  // Row 0: per-lane prefix sums of the candidate's insert costs. Pad
+  // positions carry kSat in ins_col already, so their prefix saturates
+  // and stays saturated.
+  U16 acc = V::Splat(0);
+  V::Store(prev, acc);
+  for (size_t j = 1; j <= n; ++j) {
+    acc = V::AddSat(acc, V::Load(g.ins_col + (j - 1) * W));
+    V::Store(prev + j * W, acc);
+  }
+
+  const U16 bounds_v = V::Load(g.bounds);
+  U16 alive = V::Splat(kSat);
+  uint32_t border = 0;  // column-0 prefix of probe deletes (scalar)
+  uint8_t next_slot = 0;
+  uint64_t cells = 0;
+  bool all_dead = false;
+
+  for (size_t i = 1; i <= g.lp; ++i) {
+    const uint8_t ca = g.probe[i - 1];
+
+    // Substitution stripe for this probe phoneme: sub[ca][cand_id]
+    // gathered once per distinct probe phoneme into a byte column
+    // (lane-major, same layout as ids), then the inner loop only
+    // loads and widens bytes.
+    uint8_t slot = g.stripe_slot[ca];
+    if (slot == 0xFF) {
+      slot = next_slot++;
+      g.stripe_slot[ca] = slot;
+      uint8_t* sp = g.stripes + static_cast<size_t>(slot) * n * W;
+      const typename V::Lut lut =
+          V::PrepareLut(q.sub + static_cast<size_t>(ca) *
+                                    QuantizedCostModel::kRow);
+      for (size_t j = 0; j < n; ++j) {
+        V::StoreBytes(sp + j * W, V::Lookup(lut, V::LoadBytes(g.ids + j * W)));
+      }
+    }
+    const uint8_t* stripe = g.stripes + static_cast<size_t>(slot) * n * W;
+
+    border = std::min<uint32_t>(border + q.del[ca], kSat);
+    const U16 border_v = V::Splat(static_cast<uint16_t>(border));
+    V::Store(cur, border_v);
+    U16 row_min = border_v;
+    const U16 del_v = V::Splat(q.del[ca]);
+    for (size_t j = 1; j <= n; ++j) {
+      const U16 sub16 = V::Widen(V::LoadBytes(stripe + (j - 1) * W));
+      U16 v = V::Min(V::AddSat(V::Load(prev + j * W), del_v),
+                     V::AddSat(V::Load(cur + (j - 1) * W),
+                               V::Load(g.ins_col + (j - 1) * W)));
+      v = V::Min(v, V::AddSat(V::Load(prev + (j - 1) * W), sub16));
+      v = V::Or(v, V::Load(g.pad_or + (j - 1) * W));
+      V::Store(cur + j * W, v);
+      row_min = V::Min(row_min, v);
+    }
+    cells += n * W;
+
+    // Retire lanes whose row minimum exceeds their bound; once no
+    // lane is alive, no lane can still match and the group stops.
+    alive = V::And(alive, V::LeMask(row_min, bounds_v));
+    if (!V::AnyNonZero(alive)) {
+      all_dead = true;
+      break;
+    }
+    uint16_t* t = prev;
+    prev = cur;
+    cur = t;
+  }
+  *g.cells += cells;
+
+  // The final DP row sits in `prev` after the last swap. Lanes whose
+  // mask died before the final row still computed exact cells (the
+  // mask only gates the break), so extraction stays exact; a lane
+  // that died is guaranteed > bound either way.
+  if (all_dead) {
+    for (uint32_t l = 0; l < g.width; ++l) g.dist_q[l] = kSat;
+  } else {
+    for (uint32_t l = 0; l < g.width; ++l) {
+      g.dist_q[l] = prev[static_cast<size_t>(g.lc[l]) * W + l];
+    }
+  }
+
+  alignas(32) uint16_t alive_arr[W];
+  V::Store(alive_arr, alive);
+  uint64_t dead = 0;
+  for (uint32_t l = 0; l < g.active; ++l) {
+    if (alive_arr[l] == 0) ++dead;
+  }
+  *g.early_exit_lanes += dead;
+}
+
+// Backend entry points. Each simd_dp_*.cc translation unit always
+// compiles; the getter returns nullptr when its ISA was not built in,
+// so simd_dp.cc links identically on every platform.
+LaneKernelFn GetLaneKernelAvx2();
+LaneKernelFn GetLaneKernelNeon();
+LaneKernelFn GetLaneKernelScalar();
+
+}  // namespace lexequal::match::internal
+
+#endif  // LEXEQUAL_MATCH_SIMD_DP_LANES_H_

@@ -1,0 +1,62 @@
+// NEON backend: 8 u16 lanes per uint16x8_t, aarch64 only (vqtbl4q is
+// an A64 instruction and NEON is baseline there, so no per-file ISA
+// flag is needed). The only arm_neon.h code in the tree — lexlint
+// keeps it that way.
+
+#include "match/simd_dp_lanes.h"
+
+#if defined(LEXEQUAL_SIMD_NEON)
+
+#include <arm_neon.h>
+
+namespace lexequal::match::internal {
+
+namespace {
+
+struct VecNeon {
+  static constexpr uint32_t kLanes = 8;
+  using U16 = uint16x8_t;
+  using U8 = uint8x8_t;
+  struct Lut {
+    uint8x16x4_t t;
+  };
+
+  static U16 Splat(uint16_t x) { return vdupq_n_u16(x); }
+  static U16 Load(const uint16_t* p) { return vld1q_u16(p); }
+  static void Store(uint16_t* p, U16 a) { vst1q_u16(p, a); }
+  static U8 LoadBytes(const uint8_t* p) { return vld1_u8(p); }
+  static void StoreBytes(uint8_t* p, U8 a) { vst1_u8(p, a); }
+  static Lut PrepareLut(const uint8_t* row64) {
+    Lut l;
+    l.t.val[0] = vld1q_u8(row64);
+    l.t.val[1] = vld1q_u8(row64 + 16);
+    l.t.val[2] = vld1q_u8(row64 + 32);
+    l.t.val[3] = vld1q_u8(row64 + 48);
+    return l;
+  }
+  // One 64-entry table lookup instruction; phoneme ids are < 61.
+  static U8 Lookup(const Lut& l, U8 ids) { return vqtbl4_u8(l.t, ids); }
+  static U16 Widen(U8 a) { return vmovl_u8(a); }
+  static U16 AddSat(U16 a, U16 b) { return vqaddq_u16(a, b); }
+  static U16 Min(U16 a, U16 b) { return vminq_u16(a, b); }
+  static U16 Or(U16 a, U16 b) { return vorrq_u16(a, b); }
+  static U16 And(U16 a, U16 b) { return vandq_u16(a, b); }
+  static U16 LeMask(U16 a, U16 b) { return vcleq_u16(a, b); }
+  static bool AnyNonZero(U16 a) { return vmaxvq_u16(a) != 0; }
+};
+
+void LaneDpNeon(const LaneGroup& g) { RunLaneDp<VecNeon>(g); }
+
+}  // namespace
+
+LaneKernelFn GetLaneKernelNeon() { return &LaneDpNeon; }
+
+}  // namespace lexequal::match::internal
+
+#else  // !LEXEQUAL_SIMD_NEON
+
+namespace lexequal::match::internal {
+LaneKernelFn GetLaneKernelNeon() { return nullptr; }
+}  // namespace lexequal::match::internal
+
+#endif

@@ -842,6 +842,10 @@ Result<QueryResult> ExecuteExplain(Session* session,
       note += actual.match.DominantKernel();
       note += " dp_cells=";
       note += std::to_string(actual.match.dp_cells);
+      if (actual.match.simd_cells > 0) {
+        note += " simd_cells=";
+        note += std::to_string(actual.match.simd_cells);
+      }
     }
     Tuple row;
     row.push_back(Value::String(std::string(plan_name)));

@@ -9,6 +9,8 @@
 
 #include "engine/plan_picker.h"
 #include "engine/session.h"
+#include "match/plan_cost.h"
+#include "match/simd_dp.h"
 #include "text/utf8.h"
 
 namespace lexequal::engine {
@@ -140,6 +142,91 @@ TEST(PlanPicker, MissingIndexesAreIneligible) {
   EXPECT_FALSE(choice.Estimate(LexEqualPlan::kPhoneticIndex)->eligible);
   EXPECT_TRUE(choice.plan == LexEqualPlan::kNaiveUdf ||
               choice.plan == LexEqualPlan::kParallelScan);
+}
+
+// ---------------------------------------------------------------------
+// Verify-path pricing: the picker charges the kernel path MatchBatch
+// will actually take (bit-parallel / SIMD lanes / banded) instead of
+// flat banded-DP pricing for every cost model.
+
+TEST(PlanPicker, VerifyPathMirrorsKernelDispatch) {
+  using match::ClassifyVerifyPath;
+  using match::VerifyPath;
+  // Textbook Levenshtein with the probe inside one 64-bit block.
+  EXPECT_EQ(ClassifyVerifyPath(8.0, 1.0, false),
+            VerifyPath::kBitParallel);
+  // Unit costs but too long for the word-parallel block.
+  EXPECT_EQ(ClassifyVerifyPath(100.0, 1.0, false), VerifyPath::kBanded);
+  // Off-grid substitution weight: no 1/128 fixed-point form exists,
+  // so the kernel falls back to the scalar banded DP.
+  EXPECT_EQ(ClassifyVerifyPath(8.0, 0.3, true), VerifyPath::kBanded);
+  // The default clustered model is on-grid; the lane path is priced
+  // exactly when this host resolves a real vector ISA (the scalar
+  // emulation backend exists for coverage, not speed).
+  const match::SimdBackend best = match::BestSimdBackend();
+  const bool vector_isa = best == match::SimdBackend::kAvx2 ||
+                          best == match::SimdBackend::kNeon;
+  EXPECT_EQ(ClassifyVerifyPath(8.0, 0.5, true),
+            vector_isa ? VerifyPath::kSimdLanes : VerifyPath::kBanded);
+}
+
+TEST(PlanPicker, PerPathVerifyCostsAreOrdered) {
+  using match::EstimateVerifyCost;
+  using match::VerifyPath;
+  const match::PlanCostParams p;
+  // Benched shape: 8-phoneme probe against 16-phoneme rows, e = 0.25.
+  const double banded =
+      EstimateVerifyCost(8.0, 16.0, 0.25, p, VerifyPath::kBanded);
+  const double simd =
+      EstimateVerifyCost(8.0, 16.0, 0.25, p, VerifyPath::kSimdLanes);
+  const double bitp =
+      EstimateVerifyCost(8.0, 16.0, 0.25, p, VerifyPath::kBitParallel);
+  const double general =
+      EstimateVerifyCost(8.0, 16.0, 0.25, p, VerifyPath::kGeneral);
+  EXPECT_LT(bitp, simd);      // word ops beat lane cells
+  EXPECT_LT(simd, banded);    // lane DP beats banded at bench shapes
+  EXPECT_LT(banded, general); // the band never costs more than full
+  // The defaulted argument keeps historical callers on banded pricing.
+  EXPECT_EQ(EstimateVerifyCost(8.0, 16.0, 0.25, p), banded);
+}
+
+TEST(PlanPicker, RecalibratedPricingKeepsBenchedAutoChoices) {
+  // The per-path constants only ever lower the verify term, so the
+  // kAuto winners of the benched workload shapes must not flip.
+  // Assert them for the default clustered model (lane- or banded-
+  // priced depending on host ISA) and for textbook Levenshtein
+  // (bit-parallel priced).
+  for (const bool levenshtein : {false, true}) {
+    auto pick = [&](PlanPickerInputs in) {
+      if (levenshtein) {
+        in.match.intra_cluster_cost = 1.0;
+        in.match.weak_phoneme_discount = false;
+      }
+      return ChooseLexEqualPlan(in);
+    };
+    const TableStats small = MakeStats(50, 8.0, 40, 200, 450);
+    const PlanChoice small_choice = pick(Inputs(&small, true, true, 0.25));
+    EXPECT_EQ(small_choice.plan, LexEqualPlan::kNaiveUdf);
+    // "Unchanged or strictly cheaper": the naive estimate is never
+    // above what flat banded pricing would have charged it.
+    const PlanCostEstimate* naive =
+        small_choice.Estimate(LexEqualPlan::kNaiveUdf);
+    ASSERT_NE(naive, nullptr);
+    const double banded_naive =
+        50.0 * 1.0 + 50.0 * match::EstimateVerifyCost(8.0, 8.0, 0.25);
+    EXPECT_LE(naive->cost, banded_naive + 1e-9);
+
+    const TableStats large = MakeStats(200000, 8.0, 50000, 2000, 1800000);
+    EXPECT_EQ(pick(Inputs(&large, true, true, 0.25)).plan,
+              LexEqualPlan::kPhoneticIndex);
+    const TableStats mid = MakeStats(5000, 8.0, 1500, 500, 45000);
+    EXPECT_EQ(pick(Inputs(&mid, true, true, 0.40)).plan,
+              LexEqualPlan::kQGramFilter);
+    const TableStats huge = MakeStats(1000000, 8.0, 250000, 0, 0);
+    PlanPickerInputs unindexed = Inputs(&huge, false, false, 0.25);
+    unindexed.hints.threads = 8;
+    EXPECT_EQ(pick(unindexed).plan, LexEqualPlan::kParallelScan);
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -174,6 +174,60 @@ TEST_F(LexlintTest, KernelIgnoresIdentifierPrefixesAndComments) {
   EXPECT_EQ(Lint({"kernel"}, &diags), 0) << Render(diags);
 }
 
+TEST_F(LexlintTest, SimdVendorHeaderOutsideSimdFilesIsFlagged) {
+  WriteFile("src/engine/fast_verify.cc",
+            "#include <immintrin.h>\n"
+            "int F() { return 0; }\n");
+  WriteFile("src/match/match_kernel.cc",
+            "#include <arm_neon.h>\n"
+            "int G() { return 0; }\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"kernel"}, &diags), 1);
+  ASSERT_EQ(diags.size(), 2u) << Render(diags);
+  EXPECT_EQ(diags[0].rule, "kernel");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("simd_dp.h"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("arm_neon.h"), std::string::npos);
+}
+
+TEST_F(LexlintTest, RawIntrinsicOutsideSimdFilesIsFlagged) {
+  WriteFile("src/sql/hot_path.cc",
+            "void F(void* p, void* q) {\n"
+            "  _mm256_storeu_si256(p, _mm256_loadu_si256(q));\n"
+            "}\n");
+  WriteFile("src/index/neon_scan.cc",
+            "void G(unsigned short* d, const unsigned short* a) {\n"
+            "  vst1q_u16(d, vaddq_u16(vld1q_u16(a), vld1q_u16(a)));\n"
+            "}\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"kernel"}, &diags), 1);
+  EXPECT_GE(diags.size(), 2u) << Render(diags);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "kernel");
+    EXPECT_NE(d.message.find("lane-kernel seam"), std::string::npos);
+  }
+}
+
+TEST_F(LexlintTest, SimdBackendFilesMayUseIntrinsics) {
+  WriteFile("src/match/simd_dp_avx2.cc",
+            "#include <immintrin.h>\n"
+            "void F(void* p) { _mm256_storeu_si256(p, _mm256_setzero_si256()); }\n");
+  WriteFile("src/match/simd_dp_neon.cc",
+            "#include <arm_neon.h>\n"
+            "unsigned short G(const unsigned short* a) {\n"
+            "  return vmaxvq_u16(vld1q_u16(a));\n"
+            "}\n");
+  // Lookalike identifiers and comments must not trip the token scan.
+  WriteFile("src/engine/doc.cc",
+            "// _mm256_add_epi16( is only allowed under src/match/simd*\n"
+            "int my_mm256_helper(int x);\n"
+            "int y = my_mm256_helper(2);\n"
+            "int vmax_len(int n);\n"
+            "int z = vmax_len(3);\n");
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(Lint({"kernel"}, &diags), 0) << Render(diags);
+}
+
 TEST_F(LexlintTest, LatchFunnelOutsideLockedFunctionIsFlagged) {
   WriteFile("src/engine/checkpoint.cc",
             "Status Engine::Checkpoint() {\n"

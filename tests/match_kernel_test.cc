@@ -1,8 +1,12 @@
 // Differential tests for the table-driven MatchKernel
 // (match/match_kernel.h) against the reference DP
 // (match/edit_distance.h): randomized pairs across every bundled cost
-// model and a grid of bounds must agree bit-for-bit, for all three
-// kernel paths (bit-parallel, banded, general). Plus the tight-prune
+// model and a grid of bounds must agree bit-for-bit, for every kernel
+// path (bit-parallel, SIMD lanes, banded, general). The SIMD section
+// forces each compiled backend (scalar emulation everywhere, AVX2 /
+// NEON where the host reports the ISA) over the same corpus and
+// asserts bit-identical costs and decisions, including fixed-point
+// edge cases exactly at the threshold boundary. Plus the tight-prune
 // regression (same decisions, strictly fewer cells) and the batch
 // API contract.
 
@@ -18,6 +22,7 @@
 #include "common/random.h"
 #include "match/edit_distance.h"
 #include "match/lexequal.h"
+#include "match/simd_dp.h"
 #include "phonetic/cluster.h"
 #include "phonetic/phoneme_string.h"
 
@@ -286,6 +291,255 @@ TEST(MatchKernelTest, CountersClassifyPathsCorrectly) {
   const KernelCounters before2 = arena.counters;
   weighted.Distance(t30, u30, &arena);
   EXPECT_EQ(arena.counters.DeltaSince(before2).general_pairs, 1u);
+}
+
+// ---------------------------------------------------------------------
+// SIMD lane path: backend parity, fixed-point exactness, dispatch.
+
+// Every backend whose kernel is runnable on this host. Scalar
+// emulation is always present; AVX2/NEON join on hosts reporting the
+// ISA, so the same test binary proves cross-backend bit-equality
+// wherever it runs.
+std::vector<SimdBackend> ForcedBackends() {
+  std::vector<SimdBackend> backends{SimdBackend::kScalar};
+  for (const SimdBackend b : {SimdBackend::kAvx2, SimdBackend::kNeon}) {
+    if (SimdBackendAvailable(b)) backends.push_back(b);
+  }
+  return backends;
+}
+
+TEST(MatchKernelSimdTest, QuantizationAcceptsExactlyTheGridModels) {
+  const phonetic::ClusterTable& clusters =
+      phonetic::ClusterTable::Default();
+  // Every bundled clustered configuration sits on the 1/128 grid.
+  for (const double alpha : {0.0, 0.25, 0.5, 1.0}) {
+    const ClusteredCost m(clusters, alpha, true);
+    EXPECT_TRUE(CompiledCostModel::Compile(m)->quantized()->valid)
+        << "alpha=" << alpha;
+  }
+  const LevenshteinCost lev;
+  EXPECT_TRUE(CompiledCostModel::Compile(lev)->quantized()->valid);
+  // Off-grid tables must be rejected, not rounded: the feature
+  // weights (0.35/0.30/...) and a non-dyadic intra-cluster cost have
+  // no exact 1/128 representation.
+  const FeatureCost feat(true);
+  EXPECT_FALSE(CompiledCostModel::Compile(feat)->quantized()->valid);
+  const ClusteredCost odd(clusters, 0.3, true);
+  EXPECT_FALSE(CompiledCostModel::Compile(odd)->quantized()->valid);
+}
+
+TEST(MatchKernelSimdTest, AllBackendsDecideBatchesBitIdentically) {
+  Random rng(0x5eed0007);
+  const phonetic::ClusterTable& clusters =
+      phonetic::ClusterTable::Default();
+  std::vector<NamedModel> models;
+  for (const double alpha : {0.0, 0.25, 0.5, 1.0}) {
+    models.push_back({"clustered_" + std::to_string(alpha),
+                      std::make_unique<ClusteredCost>(clusters, alpha, true)});
+  }
+  // Off-grid models exercise the in-batch fallback: the lane path
+  // must decline them and the decisions still agree.
+  models.push_back({"clustered_offgrid",
+                    std::make_unique<ClusteredCost>(clusters, 0.3, true)});
+  models.push_back({"feature", std::make_unique<FeatureCost>(true)});
+
+  const std::vector<SimdBackend> backends = ForcedBackends();
+  ASSERT_GE(backends.size(), 1u);
+  // 0.25 is the paper's operating point; 23/128 lands bounds exactly
+  // on grid points for many lengths (threshold-boundary rounding);
+  // 0.3 is deliberately off-grid (the bound floor must still agree).
+  const double thresholds[] = {0.25, 23.0 / 128.0, 0.3};
+
+  uint64_t lane_pairs = 0;
+  for (const NamedModel& nm : models) {
+    auto compiled = CompiledCostModel::Compile(*nm.model);
+    for (int trial = 0; trial < 6; ++trial) {
+      const PhonemeString probe =
+          RandomString(&rng, 1 + RandomLength(&rng));
+      std::vector<PhonemeString> pool;
+      for (int i = 0; i < 60; ++i) {
+        pool.push_back(RandomString(&rng, RandomLength(&rng)));
+      }
+      // A few copies of the probe so matches actually occur.
+      for (int i = 0; i < 6; ++i) {
+        pool.push_back(probe);
+      }
+      std::vector<const PhonemeString*> ptrs;
+      for (const PhonemeString& s : pool) ptrs.push_back(&s);
+      ptrs.push_back(nullptr);
+
+      for (const double threshold : thresholds) {
+        MatchKernelOptions off;
+        off.simd_backend = SimdBackend::kDisabled;
+        const MatchKernel scalar_kernel(compiled, off);
+        DpArena scalar_arena;
+        std::vector<size_t> want;
+        scalar_kernel.MatchBatch(probe, ptrs, threshold, &scalar_arena,
+                                 &want);
+
+        for (const SimdBackend be : backends) {
+          MatchKernelOptions opts;
+          opts.simd_backend = be;
+          opts.simd_min_batch = 1;
+          const MatchKernel lane_kernel(compiled, opts);
+          DpArena arena;
+          std::vector<size_t> got;
+          lane_kernel.MatchBatch(probe, ptrs, threshold, &arena, &got);
+          EXPECT_EQ(got, want)
+              << nm.name << " backend=" << SimdBackendName(be)
+              << " threshold=" << threshold << " trial=" << trial;
+          lane_pairs += arena.counters.simd_pairs;
+        }
+      }
+    }
+  }
+  // The sweep must actually have run the lane path (grid models).
+  EXPECT_GT(lane_pairs, 0u);
+}
+
+TEST(MatchKernelSimdTest, LaneDistancesAreExactFixedPoint) {
+  // With a bound wide enough that no lane saturates or retires, every
+  // lane's dist_q / 128 must equal the reference DP bit-for-bit — on
+  // every backend, including pad-lane-heavy partial groups.
+  Random rng(0x5eed0008);
+  const ClusteredCost model(phonetic::ClusterTable::Default(), 0.25, true);
+  auto compiled = CompiledCostModel::Compile(model);
+  const QuantizedCostModel* q = compiled->quantized();
+  ASSERT_TRUE(q->valid);
+
+  for (const SimdBackend be : ForcedBackends()) {
+    const LaneKernelFn fn = GetLaneKernel(be);
+    ASSERT_NE(fn, nullptr) << SimdBackendName(be);
+    const uint32_t width = SimdLaneWidth(be);
+    DpArena arena;
+    LaneScratch& ls = arena.Lanes();
+    for (int trial = 0; trial < 40; ++trial) {
+      const PhonemeString probe = RandomString(&rng, 1 + rng.Uniform(40));
+      const uint32_t lanes =
+          1 + static_cast<uint32_t>(rng.Uniform(width));  // partial groups too
+      std::vector<PhonemeString> cands;
+      cands.reserve(lanes);
+      for (uint32_t l = 0; l < lanes; ++l) {
+        cands.push_back(RandomString(&rng, rng.Uniform(48)));
+      }
+      ls.pending = lanes;
+      for (uint32_t l = 0; l < lanes; ++l) {
+        ls.cand[l] = &cands[l];
+        ls.index[l] = l;
+        ls.bounds[l] = 0xFFFE;  // max representable: no early exit
+      }
+      KernelCounters counters;
+      MatchLanes(fn, width, *q, probe.ids(), probe.size(), &ls, &counters);
+      for (uint32_t l = 0; l < lanes; ++l) {
+        const double ref = EditDistance(probe, cands[l], model);
+        EXPECT_EQ(static_cast<double>(ls.dist[l]) / 128.0, ref)
+            << SimdBackendName(be) << " trial=" << trial << " lane=" << l;
+      }
+      ls.pending = 0;
+    }
+  }
+}
+
+TEST(MatchKernelSimdTest, ThresholdBoundaryIsExactToOneGridStep) {
+  // The sharpest rounding edge: a bound exactly equal to the true
+  // distance must match, and a bound one 1/128 step below must not —
+  // on every backend.
+  Random rng(0x5eed0009);
+  const ClusteredCost model(phonetic::ClusterTable::Default(), 0.25, true);
+  auto compiled = CompiledCostModel::Compile(model);
+  const QuantizedCostModel* q = compiled->quantized();
+  ASSERT_TRUE(q->valid);
+
+  for (const SimdBackend be : ForcedBackends()) {
+    const LaneKernelFn fn = GetLaneKernel(be);
+    const uint32_t width = SimdLaneWidth(be);
+    DpArena arena;
+    LaneScratch& ls = arena.Lanes();
+    int checked = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+      const PhonemeString probe = RandomString(&rng, 4 + rng.Uniform(16));
+      const PhonemeString cand = RandomString(&rng, 4 + rng.Uniform(16));
+      const double ref = EditDistance(probe, cand, model);
+      const int64_t ref_q =
+          static_cast<int64_t>(ref * QuantizedCostModel::kScale);
+      ASSERT_EQ(static_cast<double>(ref_q) / 128.0, ref);  // on-grid
+      if (ref_q <= 0 || ref_q >= 0xFFFE) continue;
+
+      auto decide = [&](uint16_t bound_q) {
+        ls.pending = 1;
+        ls.cand[0] = &cand;
+        ls.index[0] = 0;
+        ls.bounds[0] = bound_q;
+        KernelCounters counters;
+        MatchLanes(fn, width, *q, probe.ids(), probe.size(), &ls,
+                   &counters);
+        ls.pending = 0;
+        return ls.dist[0] <= bound_q;
+      };
+      EXPECT_TRUE(decide(static_cast<uint16_t>(ref_q)))
+          << SimdBackendName(be) << " trial=" << trial;
+      EXPECT_FALSE(decide(static_cast<uint16_t>(ref_q - 1)))
+          << SimdBackendName(be) << " trial=" << trial;
+      ++checked;
+    }
+    ASSERT_GT(checked, 20) << SimdBackendName(be);
+  }
+}
+
+TEST(MatchKernelSimdTest, DispatchCountersAndNames) {
+  EXPECT_STREQ(KernelPathName(KernelPath::kSimdLanes), "simd");
+  EXPECT_STREQ(SimdBackendName(SimdBackend::kScalar), "scalar");
+  EXPECT_TRUE(SimdBackendAvailable(SimdBackend::kScalar));
+  EXPECT_EQ(ResolveSimdBackend(SimdBackend::kDisabled),
+            SimdBackend::kDisabled);
+  EXPECT_NE(ResolveSimdBackend(SimdBackend::kAuto), SimdBackend::kAuto);
+
+  Random rng(0x5eed000a);
+  const ClusteredCost clu(phonetic::ClusterTable::Default(), 0.25, true);
+  auto compiled = CompiledCostModel::Compile(clu);
+  const PhonemeString probe = RandomString(&rng, 12);
+  std::vector<PhonemeString> pool;
+  for (int i = 0; i < 40; ++i) {
+    pool.push_back(RandomString(&rng, 8 + rng.Uniform(10)));
+  }
+  std::vector<const PhonemeString*> ptrs;
+  for (const PhonemeString& s : pool) ptrs.push_back(&s);
+
+  // Lane path on: pairs land on the simd counters and MatchStats.
+  MatchKernelOptions lane_opts;
+  lane_opts.simd_backend = SimdBackend::kScalar;
+  lane_opts.simd_min_batch = 8;
+  const MatchKernel lane_kernel(compiled, lane_opts);
+  DpArena arena;
+  std::vector<size_t> matched;
+  lane_kernel.MatchBatch(probe, ptrs, 0.25, &arena, &matched);
+  EXPECT_EQ(arena.counters.simd_pairs, pool.size());
+  EXPECT_GT(arena.counters.simd_groups, 0u);
+  EXPECT_GT(arena.counters.simd_cells, 0u);
+  MatchStats stats;
+  arena.counters.AccumulateInto(&stats);
+  EXPECT_EQ(stats.kernel_simd, pool.size());
+  EXPECT_STREQ(stats.DominantKernel(), "simd");
+
+  // Lane path off: the same batch stays on the banded counters.
+  MatchKernelOptions off;
+  off.simd_backend = SimdBackend::kDisabled;
+  const MatchKernel scalar_kernel(compiled, off);
+  DpArena scalar_arena;
+  std::vector<size_t> matched2;
+  scalar_kernel.MatchBatch(probe, ptrs, 0.25, &scalar_arena, &matched2);
+  EXPECT_EQ(scalar_arena.counters.simd_pairs, 0u);
+  EXPECT_EQ(matched2, matched);
+
+  // Below simd_min_batch the lane path must not engage.
+  MatchKernelOptions min_opts = lane_opts;
+  min_opts.simd_min_batch = 64;
+  const MatchKernel small_kernel(compiled, min_opts);
+  DpArena small_arena;
+  std::vector<size_t> matched3;
+  small_kernel.MatchBatch(probe, ptrs, 0.25, &small_arena, &matched3);
+  EXPECT_EQ(small_arena.counters.simd_pairs, 0u);
+  EXPECT_EQ(matched3, matched);
 }
 
 }  // namespace

@@ -390,6 +390,57 @@ bool KernelExempt(const std::string& module) {
   return module == "match" || module == "index" || module == "dataset";
 }
 
+// Only the dedicated SIMD backend files of the match library may use
+// vendor intrinsics: everything else goes through the lane-kernel
+// seam (src/match/simd_dp.h), so backend selection, the runtime cpuid
+// gate, and the per-file -mavx2 island stay in one place. An
+// <immintrin.h> include in an ordinary TU would quietly require AVX2
+// of the whole binary once CMake's per-file flags spread.
+bool KernelSimdExempt(const SourceFile& f) {
+  return f.module == "match" && f.base.rfind("simd", 0) == 0;
+}
+
+void CheckKernelSimd(const std::vector<SourceFile>& files, Sink* sink) {
+  // Vendor headers are preprocessor lines (blanked in `pure`), so
+  // search the comment-stripped `code` view for them; the intrinsic
+  // tokens themselves live in ordinary code.
+  static const std::regex include_re(
+      R"(#[ \t]*include[ \t]*[<"](immintrin\.h|arm_neon\.h)[>"])");
+  // NEON names are verb + optional lane decorations + a mandatory
+  // element-type suffix (_u8, _s16, _f32, ...); requiring the suffix
+  // keeps lookalike identifiers (vmax_len) out of the net.
+  static const std::regex intrin_re(
+      R"((_mm(?:256|512)?_[A-Za-z0-9_]+|v(?:q)?(?:add|sub|min|max|ld1|st1|tbl|dup|cle|movl|maxv)[a-z0-9_]*_[uspf](?:8|16|32|64))[ \t]*\()");
+  for (const SourceFile& f : files) {
+    if (KernelSimdExempt(f)) continue;
+    for (auto it = std::sregex_iterator(f.code.begin(), f.code.end(),
+                                        include_re);
+         it != std::sregex_iterator(); ++it) {
+      sink->Emit(f, "kernel",
+                 LineOfOffset(f.code, static_cast<size_t>(it->position(0))),
+                 "SIMD vendor header <" + (*it)[1].str() +
+                     "> outside src/match/simd*; raw intrinsics belong "
+                     "behind the lane-kernel seam (src/match/simd_dp.h)");
+    }
+    for (auto it = std::sregex_iterator(f.pure.begin(), f.pure.end(),
+                                        intrin_re);
+         it != std::sregex_iterator(); ++it) {
+      const size_t pos = static_cast<size_t>(it->position(0));
+      // Reject identifier-prefix matches (e.g. my_mm256_helper).
+      if (pos > 0) {
+        const char prev = f.pure[pos - 1];
+        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+          continue;
+        }
+      }
+      sink->Emit(f, "kernel", LineOfOffset(f.pure, pos),
+                 "raw SIMD intrinsic " + (*it)[1].str() +
+                     " outside src/match/simd*; use the lane-kernel "
+                     "seam (src/match/simd_dp.h)");
+    }
+  }
+}
+
 void CheckKernel(const std::vector<SourceFile>& files, Sink* sink) {
   static const std::regex call_re(
       R"((BoundedEditDistance|EditDistance)[ \t]*\()");
@@ -413,6 +464,7 @@ void CheckKernel(const std::vector<SourceFile>& files, Sink* sink) {
                      "(src/match/match_kernel.h)");
     }
   }
+  CheckKernelSimd(files, sink);
 }
 
 // ---------------------------------------------------------------------------
